@@ -1,0 +1,94 @@
+// Sec. 5.2 ablation: approximate query processing for exploratory probes.
+// Sweeps the scan sampling rate and reports latency plus observed relative
+// error of the Horvitz-Thompson-scaled aggregate, against exact execution.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "opt/aqp.h"
+#include "opt/rules.h"
+#include "plan/binder.h"
+#include "sql/parser.h"
+
+namespace agentfirst {
+namespace {
+
+struct AqpFixture {
+  Catalog catalog;
+  PlanPtr count_plan;
+  PlanPtr group_plan;
+  double exact_count = 0;
+};
+
+AqpFixture* Build() {
+  auto* f = new AqpFixture();
+  Schema schema({ColumnDef("id", DataType::kInt64, false, "events"),
+                 ColumnDef("v", DataType::kFloat64, false, "events"),
+                 ColumnDef("grp", DataType::kString, false, "events")});
+  auto t = *f->catalog.CreateTable("events", schema);
+  constexpr int kRows = 200000;
+  for (int i = 0; i < kRows; ++i) {
+    (void)t->AppendRow({Value::Int(i), Value::Double(i % 97),
+                        Value::String("g" + std::to_string(i % 8))});
+  }
+  Binder binder(&f->catalog);
+  auto count = ParseSelect("SELECT count(*), sum(v) FROM events");
+  f->count_plan = OptimizePlan(*binder.BindSelect(**count));
+  auto group = ParseSelect("SELECT grp, count(*) FROM events GROUP BY grp");
+  f->group_plan = OptimizePlan(*binder.BindSelect(**group));
+  f->exact_count = kRows;
+  return f;
+}
+
+AqpFixture* Get() {
+  static AqpFixture* f = Build();
+  return f;
+}
+
+void BM_AqpCountSweep(benchmark::State& state) {
+  AqpFixture* f = Get();
+  double rate = static_cast<double>(state.range(0)) / 1000.0;
+  if (rate <= 0) rate = 1.0;  // range(0)==0 encodes exact
+  double max_rel_err = 0;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    ExecOptions base;
+    base.sample_seed = seed++;
+    auto answer = ExecuteApproximate(*f->count_plan, rate, base);
+    benchmark::DoNotOptimize(answer);
+    if (answer.ok()) {
+      double est = answer->result->rows[0][0].AsDouble();
+      max_rel_err = std::max(max_rel_err,
+                             std::fabs(est - f->exact_count) / f->exact_count);
+    }
+  }
+  state.counters["sample_rate"] = rate;
+  state.counters["max_rel_err"] = max_rel_err;
+}
+BENCHMARK(BM_AqpCountSweep)
+    ->Arg(0)      // exact
+    ->Arg(1)     // 0.1%
+    ->Arg(10)    // 1%
+    ->Arg(50)    // 5%
+    ->Arg(200)   // 20%
+    ->Arg(500)   // 50%
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AqpGroupedSweep(benchmark::State& state) {
+  AqpFixture* f = Get();
+  double rate = static_cast<double>(state.range(0)) / 1000.0;
+  if (rate <= 0) rate = 1.0;
+  for (auto _ : state) {
+    auto answer = ExecuteApproximate(*f->group_plan, rate);
+    benchmark::DoNotOptimize(answer);
+  }
+  state.counters["sample_rate"] = rate;
+}
+BENCHMARK(BM_AqpGroupedSweep)->Arg(0)->Arg(10)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace agentfirst
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Substrate sanity bench: raw operator throughput of the SQL engine the
+// agent-first layer sits on (scan, filter, hash join, aggregation, sort).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "exec/engine.h"
+#include "opt/rules.h"
+#include "plan/binder.h"
+#include "sql/parser.h"
+
+namespace agentfirst {
+namespace {
+
+constexpr int kFactRows = 100000;
+constexpr int kDimRows = 1000;
+
+struct EngineFixture {
+  Catalog catalog;
+  std::unique_ptr<Engine> engine;
+
+  EngineFixture() {
+    engine = std::make_unique<Engine>(&catalog);
+    Rng rng(77);
+    auto dim = *catalog.CreateTable(
+        "dim", Schema({ColumnDef("id", DataType::kInt64, false, "dim"),
+                       ColumnDef("label", DataType::kString, true, "dim")}));
+    for (int i = 0; i < kDimRows; ++i) {
+      (void)dim->AppendRow({Value::Int(i),
+                            Value::String("label" + std::to_string(i % 97))});
+    }
+    auto fact = *catalog.CreateTable(
+        "fact", Schema({ColumnDef("id", DataType::kInt64, false, "fact"),
+                        ColumnDef("dim_id", DataType::kInt64, false, "fact"),
+                        ColumnDef("v", DataType::kFloat64, false, "fact"),
+                        ColumnDef("cat", DataType::kString, false, "fact")}));
+    for (int i = 0; i < kFactRows; ++i) {
+      (void)fact->AppendRow(
+          {Value::Int(i), Value::Int(static_cast<int64_t>(rng.NextUint(kDimRows))),
+           Value::Double(rng.NextDouble() * 100),
+           Value::String("cat" + std::to_string(i % 16))});
+    }
+  }
+
+  PlanPtr Plan(const std::string& sql) {
+    Binder binder(&catalog);
+    return OptimizePlan(*binder.BindSelect(**ParseSelect(sql)));
+  }
+};
+
+EngineFixture& Fixture() {
+  static auto* f = new EngineFixture();
+  return *f;
+}
+
+void RunPlanBench(benchmark::State& state, const std::string& sql) {
+  PlanPtr plan = Fixture().Plan(sql);
+  for (auto _ : state) {
+    auto r = ExecutePlan(*plan);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * kFactRows);
+}
+
+void BM_FullScanCount(benchmark::State& state) {
+  RunPlanBench(state, "SELECT count(*) FROM fact");
+}
+BENCHMARK(BM_FullScanCount)->Unit(benchmark::kMillisecond);
+
+void BM_FilteredScan(benchmark::State& state) {
+  RunPlanBench(state, "SELECT count(*), sum(v) FROM fact WHERE v > 50.0");
+}
+BENCHMARK(BM_FilteredScan)->Unit(benchmark::kMillisecond);
+
+void BM_HashJoin(benchmark::State& state) {
+  RunPlanBench(state,
+               "SELECT count(*) FROM fact JOIN dim ON fact.dim_id = dim.id "
+               "WHERE dim.label = 'label7'");
+}
+BENCHMARK(BM_HashJoin)->Unit(benchmark::kMillisecond);
+
+void BM_GroupByAggregate(benchmark::State& state) {
+  RunPlanBench(state, "SELECT cat, count(*), sum(v), avg(v) FROM fact GROUP BY cat");
+}
+BENCHMARK(BM_GroupByAggregate)->Unit(benchmark::kMillisecond);
+
+void BM_SortLimit(benchmark::State& state) {
+  RunPlanBench(state, "SELECT id, v FROM fact ORDER BY v DESC LIMIT 10");
+}
+BENCHMARK(BM_SortLimit)->Unit(benchmark::kMillisecond);
+
+void BM_ParseBindOptimize(benchmark::State& state) {
+  const std::string sql =
+      "SELECT cat, count(*) AS n, sum(v) FROM fact WHERE v > 10 AND dim_id < 500 "
+      "GROUP BY cat HAVING count(*) > 2 ORDER BY n DESC LIMIT 5";
+  for (auto _ : state) {
+    Binder binder(&Fixture().catalog);
+    auto plan = OptimizePlan(*binder.BindSelect(**ParseSelect(sql)));
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_ParseBindOptimize)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace agentfirst
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Sec. 6 substrate ablation: hash-index point lookups vs. full scans, plus
+// the cost of maintaining index freshness under writes. The agent-facing
+// counterpart (adaptive auto-indexing on hot columns) is exercised by
+// index_test and the probe optimizer.
+
+#include <benchmark/benchmark.h>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "exec/executor.h"
+#include "opt/rules.h"
+#include "plan/binder.h"
+#include "sql/parser.h"
+
+namespace agentfirst {
+namespace {
+
+constexpr int kRows = 200000;
+constexpr int kDistinctKeys = 10000;
+
+struct IndexFixture {
+  Catalog catalog;
+
+  IndexFixture() {
+    Rng rng(3);
+    auto t = *catalog.CreateTable(
+        "events", Schema({ColumnDef("id", DataType::kInt64, false, "events"),
+                          ColumnDef("key", DataType::kInt64, false, "events"),
+                          ColumnDef("payload", DataType::kString, false, "events")}));
+    for (int i = 0; i < kRows; ++i) {
+      (void)t->AppendRow({Value::Int(i),
+                          Value::Int(static_cast<int64_t>(rng.NextUint(kDistinctKeys))),
+                          Value::String("payload_" + std::to_string(i % 100))});
+    }
+  }
+
+  PlanPtr Plan(const std::string& sql, bool with_index) {
+    Binder binder(&catalog);
+    auto select = ParseSelect(sql);
+    auto plan = binder.BindSelect(**select);
+    return OptimizePlan(*plan, with_index ? &catalog : nullptr);
+  }
+};
+
+IndexFixture& Fixture() {
+  static auto* f = new IndexFixture();
+  return *f;
+}
+
+void BM_PointLookupFullScan(benchmark::State& state) {
+  IndexFixture& f = Fixture();
+  PlanPtr plan = f.Plan("SELECT id, payload FROM events WHERE key = 4242", false);
+  for (auto _ : state) {
+    auto r = ExecutePlan(*plan);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_PointLookupFullScan)->Unit(benchmark::kMicrosecond);
+
+void BM_PointLookupIndexed(benchmark::State& state) {
+  IndexFixture& f = Fixture();
+  if (!f.catalog.HasIndex("events", "key")) {
+    (void)f.catalog.CreateIndex("events", "key");
+  }
+  PlanPtr plan = f.Plan("SELECT id, payload FROM events WHERE key = 4242", true);
+  for (auto _ : state) {
+    auto r = ExecutePlan(*plan);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_PointLookupIndexed)->Unit(benchmark::kMicrosecond);
+
+void BM_IndexBuild(benchmark::State& state) {
+  IndexFixture& f = Fixture();
+  auto table = *f.catalog.GetTable("events");
+  for (auto _ : state) {
+    HashIndex index("events", 1);
+    (void)index.Build(*table);
+    benchmark::DoNotOptimize(index.num_entries());
+  }
+}
+BENCHMARK(BM_IndexBuild)->Unit(benchmark::kMillisecond);
+
+void BM_IndexedLookupAfterWriteChurn(benchmark::State& state) {
+  // Each iteration dirties the table then queries: the lazy rebuild cost is
+  // what adaptive indexing trades against scan savings.
+  IndexFixture& f = Fixture();
+  if (!f.catalog.HasIndex("events", "key")) {
+    (void)f.catalog.CreateIndex("events", "key");
+  }
+  auto table = *f.catalog.GetTable("events");
+  int64_t next_id = kRows;
+  for (auto _ : state) {
+    (void)table->AppendRow({Value::Int(next_id++), Value::Int(4242),
+                            Value::String("fresh")});
+    PlanPtr plan = f.Plan("SELECT count(*) FROM events WHERE key = 4242", true);
+    auto r = ExecutePlan(*plan);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_IndexedLookupAfterWriteChurn)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace agentfirst
+
+BENCHMARK_MAIN();

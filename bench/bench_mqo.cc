@@ -1,0 +1,165 @@
+// Sec. 5.2 ablation: multi-query (shared sub-plan) execution of a redundant
+// probe batch vs. executing every query independently. The redundancy comes
+// from 50 parallel attempts per task (the Figure 2 workload), so this bench
+// quantifies how much of that measured redundancy the BatchExecutor turns
+// into saved work.
+
+#include <benchmark/benchmark.h>
+
+#include "agents/attempts.h"
+#include "opt/mqo.h"
+#include "opt/rules.h"
+#include "plan/binder.h"
+#include "sql/parser.h"
+#include "workload/minibird.h"
+
+namespace agentfirst {
+namespace {
+
+struct Workload {
+  std::vector<MiniBirdDatabase> suite;
+  std::vector<PlanPtr> plans;           // 50 attempts for one task (redundant)
+  std::vector<PlanPtr> distinct_plans;  // 50 structurally distinct queries
+};
+
+Workload* BuildWorkload() {
+  auto* w = new Workload();
+  MiniBirdOptions options;
+  options.num_databases = 1;
+  options.rows_per_fact_table = 20000;
+  options.rows_per_dim_table = 64;
+  options.seed = 42;
+  w->suite = GenerateMiniBird(options);
+  auto& db = w->suite[0];
+  Binder binder(db.system->catalog());
+  const TaskSpec& task = db.tasks[0];
+  for (const std::string& sql : GenerateAttempts(task, 50, 0.5, 7)) {
+    auto parsed = ParseSelect(sql);
+    if (!parsed.ok()) continue;
+    auto plan = binder.BindSelect(**parsed);
+    if (!plan.ok()) continue;
+    w->plans.push_back(OptimizePlan(*plan));
+  }
+  // Low-redundancy batch: 50 queries over disjoint predicates; nothing to
+  // share, so this isolates raw parallel throughput.
+  for (int i = 0; i < 50; ++i) {
+    std::string sql = "SELECT count(*), sum(revenue) FROM sales WHERE month = " +
+                      std::to_string(1 + i % 12) + " AND quantity > " +
+                      std::to_string(i % 19);
+    auto parsed = ParseSelect(sql);
+    auto plan = binder.BindSelect(**parsed);
+    if (plan.ok()) w->distinct_plans.push_back(OptimizePlan(*plan));
+  }
+  return w;
+}
+
+Workload* GetWorkload() {
+  static Workload* w = BuildWorkload();
+  return w;
+}
+
+void BM_IndependentExecution(benchmark::State& state) {
+  Workload* w = GetWorkload();
+  for (auto _ : state) {
+    for (const PlanPtr& plan : w->plans) {
+      auto r = ExecutePlan(*plan);
+      benchmark::DoNotOptimize(r);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(w->plans.size()));
+}
+BENCHMARK(BM_IndependentExecution)->Unit(benchmark::kMillisecond);
+
+void BM_SharedBatchExecution(benchmark::State& state) {
+  Workload* w = GetWorkload();
+  for (auto _ : state) {
+    BatchExecutor batch;  // fresh cache each iteration: fair comparison
+    auto results = batch.ExecuteBatch(w->plans);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(w->plans.size()));
+}
+BENCHMARK(BM_SharedBatchExecution)->Unit(benchmark::kMillisecond);
+
+void BM_SharedBatchParallel(benchmark::State& state) {
+  Workload* w = GetWorkload();
+  size_t threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    BatchExecutor batch;
+    auto results = batch.ExecuteBatchParallel(w->plans, threads);
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(w->plans.size()));
+}
+BENCHMARK(BM_SharedBatchParallel)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Low-redundancy batches: with nothing to share, parallelism carries the
+// load (the redundant batch above is the opposite regime -- there, serial
+// shared execution wins because one result feeds all 50 probes).
+// NOTE: on a single-CPU host the parallel variants cannot beat serial wall
+// time; they then serve as thread-safety/overhead checks. On multi-core
+// hardware BM_DistinctBatchParallel scales near-linearly.
+void BM_DistinctBatchSerial(benchmark::State& state) {
+  Workload* w = GetWorkload();
+  for (auto _ : state) {
+    BatchExecutor batch;
+    auto results = batch.ExecuteBatch(w->distinct_plans);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(w->distinct_plans.size()));
+}
+BENCHMARK(BM_DistinctBatchSerial)->Unit(benchmark::kMillisecond);
+
+void BM_DistinctBatchParallel(benchmark::State& state) {
+  Workload* w = GetWorkload();
+  size_t threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    BatchExecutor batch;
+    auto results = batch.ExecuteBatchParallel(w->distinct_plans, threads);
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(w->distinct_plans.size()));
+}
+BENCHMARK(BM_DistinctBatchParallel)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SharedBatchWarmCache(benchmark::State& state) {
+  Workload* w = GetWorkload();
+  BatchExecutor batch;
+  (void)batch.ExecuteBatch(w->plans);  // warm
+  for (auto _ : state) {
+    auto results = batch.ExecuteBatch(w->plans);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(w->plans.size()));
+}
+BENCHMARK(BM_SharedBatchWarmCache)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace agentfirst
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  // Report the sharing statistics once, outside timing.
+  using namespace agentfirst;
+  auto* w = GetWorkload();
+  BatchExecutor batch;
+  (void)batch.ExecuteBatch(w->plans);
+  SharingStats stats = batch.stats();
+  std::printf("\nsharing stats over the 50-attempt batch: %zu operators, %zu "
+              "distinct (%.1f%% sharable), %llu cache hits\n",
+              stats.total_operators, stats.distinct_operators,
+              stats.SharingRatio() * 100.0,
+              static_cast<unsigned long long>(stats.cache_hits));
+  return 0;
+}

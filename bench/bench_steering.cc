@@ -1,0 +1,77 @@
+// Sec. 4.2 ablation: steering via sleeper-agent feedback. Measures
+// turns-to-solution and success with the hint side channel on vs. off, on
+// the tasks where grounding matters most (tricky value encodings).
+
+#include <cstdio>
+
+#include "agents/sim_agent.h"
+#include "bench_util.h"
+#include "workload/minibird.h"
+
+namespace agentfirst {
+namespace {
+
+struct Outcome {
+  double turns = 0;
+  double solved = 0;
+  double episodes = 0;
+};
+
+void Run() {
+  MiniBirdOptions options;
+  options.num_databases = 6;
+  options.rows_per_fact_table = 1500;
+  options.rows_per_dim_table = 32;
+  options.seed = 20260706;
+
+  Outcome with[2];   // [0]=all tasks, [1]=encoding tasks
+  Outcome without[2];
+
+  for (int use_steering = 0; use_steering < 2; ++use_steering) {
+    auto suite = GenerateMiniBird(options);
+    for (auto& db : suite) {
+      for (const TaskSpec& task : db.tasks) {
+        for (uint64_t seed = 1; seed <= 4; ++seed) {
+          EpisodeOptions eo;
+          eo.seed = seed;
+          eo.use_steering = use_steering == 1;
+          EpisodeResult r = RunEpisode(db.system.get(), task,
+                                       StrongAgentProfile(), eo);
+          Outcome* buckets = use_steering == 1 ? with : without;
+          for (int b = 0; b < 2; ++b) {
+            if (b == 1 && task.encoded_column.empty()) continue;
+            buckets[b].turns += r.turns_used;
+            buckets[b].solved += r.solved ? 1 : 0;
+            buckets[b].episodes += 1;
+          }
+        }
+      }
+    }
+  }
+
+  std::printf("=== Steering (sleeper-agent hints) ablation (Sec. 4.2) ===\n\n");
+  const char* scopes[2] = {"all tasks", "encoding-trap tasks"};
+  std::vector<std::vector<std::string>> rows;
+  for (int b = 0; b < 2; ++b) {
+    double t_off = without[b].turns / without[b].episodes;
+    double t_on = with[b].turns / with[b].episodes;
+    rows.push_back({scopes[b], "avg turns", bench::Num(t_off), bench::Num(t_on),
+                    bench::Pct((t_on - t_off) / t_off)});
+    double s_off = without[b].solved / without[b].episodes;
+    double s_on = with[b].solved / with[b].episodes;
+    rows.push_back({scopes[b], "success rate", bench::Pct(s_off),
+                    bench::Pct(s_on), ""});
+  }
+  bench::PrintTable({"scope", "metric", "steering OFF", "steering ON", "change"},
+                    rows);
+  std::printf("\n(paper: proactive grounding cuts speculation length by >20%% "
+              "on affected phases)\n");
+}
+
+}  // namespace
+}  // namespace agentfirst
+
+int main() {
+  agentfirst::Run();
+  return 0;
+}

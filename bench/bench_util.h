@@ -1,0 +1,55 @@
+#ifndef AGENTFIRST_BENCH_BENCH_UTIL_H_
+#define AGENTFIRST_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace agentfirst {
+namespace bench {
+
+/// Prints a right-aligned text table: header row then data rows.
+inline void PrintTable(const std::vector<std::string>& header,
+                       const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> widths(header.size());
+  for (size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%s%*s", c == 0 ? "" : "  ", static_cast<int>(widths[c]),
+                  row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(header);
+  for (const auto& row : rows) print_row(row);
+}
+
+inline std::string Pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+inline std::string Num(double v, int decimals = 2) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+/// A crude inline bar for terminal "plots".
+inline std::string Bar(double fraction, size_t width = 30) {
+  if (fraction < 0) fraction = 0;
+  if (fraction > 1) fraction = 1;
+  size_t filled = static_cast<size_t>(fraction * width + 0.5);
+  return std::string(filled, '#') + std::string(width - filled, '.');
+}
+
+}  // namespace bench
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_BENCH_BENCH_UTIL_H_

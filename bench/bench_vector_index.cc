@@ -1,0 +1,101 @@
+// Substrate bench: vector index behind semantic operators and the memory
+// store. Flat (exact) vs IVF (approximate) latency, plus IVF recall@10 as a
+// reported counter.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "embed/embedding.h"
+#include "embed/vector_index.h"
+
+namespace agentfirst {
+namespace {
+
+constexpr size_t kCorpus = 20000;
+
+std::vector<Embedding>* BuildCorpus() {
+  auto* corpus = new std::vector<Embedding>();
+  corpus->reserve(kCorpus);
+  const char* nouns[] = {"sales", "store", "crew", "flight", "user", "post",
+                         "order", "product", "revenue", "customer"};
+  const char* attrs[] = {"id", "name", "state", "city", "year", "price",
+                         "status", "count", "total", "segment"};
+  Rng rng(5);
+  for (size_t i = 0; i < kCorpus; ++i) {
+    std::string text = std::string(nouns[rng.NextUint(10)]) + " " +
+                       attrs[rng.NextUint(10)] + " " +
+                       std::to_string(rng.NextUint(997));
+    corpus->push_back(EmbedText(text));
+  }
+  return corpus;
+}
+
+const std::vector<Embedding>& Corpus() {
+  static auto* corpus = BuildCorpus();
+  return *corpus;
+}
+
+void BM_FlatTopK(benchmark::State& state) {
+  FlatVectorIndex index;
+  for (size_t i = 0; i < Corpus().size(); ++i) index.Add(i, Corpus()[i]);
+  Embedding query = EmbedText("sales state california");
+  for (auto _ : state) {
+    auto hits = index.TopK(query, 10);
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_FlatTopK)->Unit(benchmark::kMicrosecond);
+
+void BM_IvfTopK(benchmark::State& state) {
+  size_t nprobe = static_cast<size_t>(state.range(0));
+  IvfVectorIndex index(64, nprobe, 3);
+  for (size_t i = 0; i < Corpus().size(); ++i) index.Add(i, Corpus()[i]);
+  (void)index.Build();
+  FlatVectorIndex exact;
+  for (size_t i = 0; i < Corpus().size(); ++i) exact.Add(i, Corpus()[i]);
+
+  Embedding query = EmbedText("sales state california");
+  for (auto _ : state) {
+    auto hits = index.TopK(query, 10);
+    benchmark::DoNotOptimize(hits);
+  }
+  // Recall@10 vs exact, reported as a counter.
+  auto approx_hits = index.TopK(query, 10);
+  auto exact_hits = exact.TopK(query, 10);
+  size_t found = 0;
+  for (const auto& e : exact_hits) {
+    for (const auto& a : approx_hits) {
+      if (a.id == e.id) {
+        ++found;
+        break;
+      }
+    }
+  }
+  state.counters["recall@10"] =
+      static_cast<double>(found) / static_cast<double>(exact_hits.size());
+  state.counters["nprobe"] = static_cast<double>(nprobe);
+}
+BENCHMARK(BM_IvfTopK)->Arg(2)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
+
+void BM_IvfBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    IvfVectorIndex index(64, 8, 3);
+    for (size_t i = 0; i < Corpus().size(); ++i) index.Add(i, Corpus()[i]);
+    (void)index.Build();
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_IvfBuild)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_EmbedText(benchmark::State& state) {
+  for (auto _ : state) {
+    Embedding e = EmbedText("total coffee bean revenue in berkeley this year");
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_EmbedText)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace agentfirst
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Quickstart: create an agent-first database, load data with plain SQL, and
+// issue a probe -- a batch of queries plus a natural-language brief -- to get
+// answers, approximation metadata, and proactive steering hints back.
+//
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/system.h"
+
+using agentfirst::AgentFirstSystem;
+using agentfirst::Hint;
+using agentfirst::HintKindName;
+using agentfirst::Probe;
+
+int main() {
+  AgentFirstSystem db;
+
+  // 1. Ordinary SQL still works: DDL + DML through the engine.
+  const char* setup[] = {
+      "CREATE TABLE products (product_id BIGINT, name VARCHAR, category VARCHAR,"
+      " price DOUBLE)",
+      "INSERT INTO products VALUES"
+      " (1, 'House Blend', 'coffee beans', 14.5),"
+      " (2, 'Dark Roast', 'coffee beans', 16.0),"
+      " (3, 'Ceramic Mug', 'mugs', 9.0),"
+      " (4, 'Burr Grinder', 'grinders', 79.0),"
+      " (5, 'Hario V60', 'brewers', 24.0)",
+      "CREATE TABLE sales (sale_id BIGINT, product_id BIGINT, quantity BIGINT,"
+      " revenue DOUBLE)",
+      "INSERT INTO sales VALUES"
+      " (100, 1, 3, 43.5), (101, 1, 1, 14.5), (102, 2, 2, 32.0),"
+      " (103, 3, 4, 36.0), (104, 4, 1, 79.0), (105, 9, 1, 5.0)",
+  };
+  for (const char* sql : setup) {
+    auto r = db.ExecuteSql(sql);
+    if (!r.ok()) {
+      std::fprintf(stderr, "setup failed: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  // 2. An agent probe: several queries, one brief. The brief tells the
+  //    system why the queries are being asked; the probe optimizer uses it
+  //    for admission control and approximation decisions.
+  Probe probe;
+  probe.agent_id = "demo-agent";
+  probe.queries = {
+      "SELECT table_name, num_rows FROM information_schema.tables",
+      "SELECT category, count(*) AS n, sum(revenue) AS total "
+      "  FROM sales JOIN products ON sales.product_id = products.product_id "
+      "  GROUP BY category ORDER BY total DESC",
+      "SELECT name FROM products WHERE category = 'espresso'",  // empty!
+  };
+  probe.brief.text =
+      "exploring which product categories drive revenue; rough numbers are fine";
+
+  auto response = db.HandleProbe(probe);
+  if (!response.ok()) {
+    std::fprintf(stderr, "probe failed: %s\n",
+                 response.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Read answers + the steering side channel.
+  std::printf("%s\n", response->ToString().c_str());
+
+  std::printf("what just happened:\n");
+  std::printf(" - the brief was interpreted as phase '%s'\n",
+              agentfirst::ProbePhaseName(response->interpreted_phase));
+  for (const Hint& h : response->hints) {
+    std::printf(" - hint [%s]: %s\n", HintKindName(h.kind), h.text.c_str());
+  }
+  std::printf(
+      " - re-issuing the same probe would be served from the agentic memory "
+      "store\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// The paper's "tariff" scenario (Sec. 4.1): an agent is asked how a company
+// is impacted by increased tariffs on imported electronic goods, but has no
+// idea which tables are relevant. SQL's LIKE cannot express "anything
+// semantically similar to electronics, anywhere" -- the probe's semantic
+// discovery operator can, searching table names, column names, and sampled
+// cell values at once.
+//
+//   ./build/examples/semantic_discovery
+
+#include <cstdio>
+
+#include "core/system.h"
+
+using namespace agentfirst;
+
+int main() {
+  AgentFirstSystem db;
+  const char* setup[] = {
+      "CREATE TABLE suppliers (supplier_id BIGINT, name VARCHAR, country VARCHAR)",
+      "INSERT INTO suppliers VALUES (1,'Shenzhen Circuits','China'),"
+      " (2,'Bavaria Precision','Germany'), (3,'Austin Textiles','USA')",
+      "CREATE TABLE purchase_orders (po_id BIGINT, supplier_id BIGINT,"
+      " item_description VARCHAR, amount DOUBLE)",
+      "INSERT INTO purchase_orders VALUES"
+      " (10, 1, 'semiconductor chips', 125000.0),"
+      " (11, 1, 'circuit boards', 84000.0),"
+      " (12, 2, 'machined housings', 40000.0),"
+      " (13, 3, 'cotton fabric', 9000.0),"
+      " (14, 1, 'consumer electronics modules', 230000.0)",
+      "CREATE TABLE hr_payroll (emp_id BIGINT, salary DOUBLE)",
+      "INSERT INTO hr_payroll VALUES (1, 90000.0), (2, 85000.0)",
+  };
+  for (const char* sql : setup) {
+    if (!db.ExecuteSql(sql).ok()) {
+      std::fprintf(stderr, "setup failed: %s\n", sql);
+      return 1;
+    }
+  }
+
+  std::printf("task: how is the company impacted by increased tariffs on the "
+              "import of electronic goods?\n\n");
+
+  // Step 1: beyond-SQL semantic discovery. No table is named "electronics";
+  // the discovery operator searches all data and metadata.
+  Probe discover;
+  discover.agent_id = "tariff-agent";
+  discover.semantic_search_phrase = "electronics electronic goods imports";
+  discover.semantic_top_k = 6;
+  auto r1 = db.HandleProbe(discover);
+  if (!r1.ok()) return 1;
+  std::printf("semantic discovery for 'electronic goods':\n");
+  for (const SemanticMatch& m : r1->discoveries) {
+    const char* kind = m.kind == SemanticMatch::Kind::kTable
+                           ? "table"
+                           : (m.kind == SemanticMatch::Kind::kColumn ? "column"
+                                                                     : "value");
+    std::printf("  [%.2f] %-6s %s", m.score, kind, m.table.c_str());
+    if (!m.column.empty()) std::printf(".%s", m.column.c_str());
+    if (m.kind == SemanticMatch::Kind::kValue) std::printf(" = '%s'", m.text.c_str());
+    std::printf("\n");
+  }
+
+  // Step 2: follow the discovered lead with a grounded SQL probe.
+  Probe quantify;
+  quantify.agent_id = "tariff-agent";
+  quantify.queries = {
+      "SELECT s.country, sum(po.amount) AS exposure FROM purchase_orders po "
+      "JOIN suppliers s ON po.supplier_id = s.supplier_id "
+      "WHERE po.item_description LIKE '%electronic%' "
+      "   OR po.item_description LIKE '%circuit%' "
+      "   OR po.item_description LIKE '%semiconductor%' "
+      "GROUP BY s.country ORDER BY exposure DESC"};
+  quantify.brief.text =
+      "solution formulation: quantify tariff exposure on electronics imports "
+      "by supplier country, exact numbers please";
+  auto r2 = db.HandleProbe(quantify);
+  if (!r2.ok() || !r2->answers[0].status.ok()) {
+    std::fprintf(stderr, "probe failed\n");
+    return 1;
+  }
+  std::printf("\nelectronics import exposure by country:\n%s\n",
+              r2->answers[0].result->ToString().c_str());
+
+  // Step 3: the scalar similarity operator is also usable inside SQL.
+  Probe scored;
+  scored.agent_id = "tariff-agent";
+  scored.queries = {
+      "SELECT item_description, "
+      "       round(semantic_sim(item_description, 'electronic goods'), 3) AS sim "
+      "FROM purchase_orders ORDER BY sim DESC"};
+  scored.brief.text = "exploring which line items look electronic";
+  auto r3 = db.HandleProbe(scored);
+  if (!r3.ok() || !r3->answers[0].status.ok()) return 1;
+  std::printf("per-row semantic similarity to 'electronic goods':\n%s",
+              r3->answers[0].result->ToString().c_str());
+  return 0;
+}

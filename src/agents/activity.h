@@ -1,0 +1,29 @@
+#ifndef AGENTFIRST_AGENTS_ACTIVITY_H_
+#define AGENTFIRST_AGENTS_ACTIVITY_H_
+
+namespace agentfirst {
+
+/// Activity labels used across the paper's Figure 3 heatmap and Table 1:
+/// what an agent was doing on a given turn.
+enum class ActivityKind {
+  kExploreTables = 0,   // "exploring tables"
+  kExploreColumns = 1,  // "exploring specific columns"
+  kPartialQuery = 2,    // "attempting part of the query"
+  kFullQuery = 3,       // "attempting entire query"
+};
+
+inline constexpr int kNumActivities = 4;
+
+inline const char* ActivityName(ActivityKind a) {
+  switch (a) {
+    case ActivityKind::kExploreTables: return "exploring tables";
+    case ActivityKind::kExploreColumns: return "exploring specific columns";
+    case ActivityKind::kPartialQuery: return "attempting part of the query";
+    case ActivityKind::kFullQuery: return "attempting entire query";
+  }
+  return "?";
+}
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_AGENTS_ACTIVITY_H_

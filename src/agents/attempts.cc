@@ -1,0 +1,161 @@
+#include "agents/attempts.h"
+
+#include <functional>
+
+#include "sql/parser.h"
+
+namespace agentfirst {
+
+namespace {
+
+/// Collects pointers to every literal in an expression tree.
+void CollectLiterals(Expr* e, std::vector<Expr*>* out) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kLiteral) out->push_back(e);
+  for (auto& c : e->children) CollectLiterals(c.get(), out);
+}
+
+void CollectLiteralsInStmt(SelectStmt* stmt, std::vector<Expr*>* out) {
+  for (auto& item : stmt->items) CollectLiterals(item.expr.get(), out);
+  CollectLiterals(stmt->where.get(), out);
+  for (auto& g : stmt->group_by) CollectLiterals(g.get(), out);
+  CollectLiterals(stmt->having.get(), out);
+  // Table refs: join conditions.
+  std::function<void(TableRefAst*)> walk_ref = [&](TableRefAst* ref) {
+    if (ref == nullptr) return;
+    if (ref->kind == TableRefAst::Kind::kJoin) {
+      CollectLiterals(ref->join_condition.get(), out);
+      walk_ref(ref->left.get());
+      walk_ref(ref->right.get());
+    }
+  };
+  walk_ref(stmt->from.get());
+}
+
+void CollectAggCalls(Expr* e, std::vector<Expr*>* out) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kFunction &&
+      (e->name == "sum" || e->name == "avg" || e->name == "min" ||
+       e->name == "max")) {
+    out->push_back(e);
+  }
+  for (auto& c : e->children) CollectAggCalls(c.get(), out);
+}
+
+bool MutateLiteral(Expr* lit, Rng* rng) {
+  switch (lit->literal.type()) {
+    case DataType::kInt64: {
+      int64_t v = lit->literal.int_value();
+      int64_t delta = rng->NextInt(1, 3) * (rng->NextBool(0.5) ? 1 : -1);
+      lit->literal = Value::Int(v + delta);
+      return true;
+    }
+    case DataType::kFloat64: {
+      double v = lit->literal.double_value();
+      lit->literal = Value::Double(v * (0.8 + rng->NextDouble() * 0.4) + 1.0);
+      return true;
+    }
+    case DataType::kString: {
+      // A wrong-but-plausible value: abbreviate, retype, or substitute.
+      const std::string& s = lit->literal.string_value();
+      switch (rng->NextUint(3)) {
+        case 0:  // abbreviation guess ("California" -> "CAL")
+          lit->literal = Value::String(s.substr(0, std::max<size_t>(2, s.size() / 3)));
+          break;
+        case 1:  // casing mistake
+          lit->literal = Value::String(std::string(s) + "s");
+          break;
+        default:  // unrelated plausible token
+          lit->literal = Value::String("unknown_" + std::to_string(rng->NextUint(100)));
+          break;
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+/// Drops one conjunct from an AND tree; returns the replacement expression.
+ExprPtr DropConjunct(ExprPtr where, Rng* rng) {
+  if (where == nullptr) return where;
+  if (where->kind == ExprKind::kBinary && where->bin_op == BinaryOp::kAnd) {
+    // Keep a random side.
+    size_t keep = rng->NextUint(2);
+    return std::move(where->children[keep]);
+  }
+  return where;  // single predicate: keep (dropping all changes arity of test)
+}
+
+}  // namespace
+
+std::string MutateSql(const std::string& gold_sql, Rng rng) {
+  auto parsed = ParseSelect(gold_sql);
+  if (!parsed.ok()) return gold_sql;  // should not happen for gold queries
+  SelectStmt* stmt = parsed->get();
+
+  // Try mutations in random order until one applies.
+  std::vector<int> order = {0, 1, 2, 3};
+  rng.Shuffle(&order);
+  for (int mutation : order) {
+    switch (mutation) {
+      case 0: {  // perturb a literal
+        std::vector<Expr*> literals;
+        CollectLiteralsInStmt(stmt, &literals);
+        if (literals.empty()) break;
+        Expr* lit = literals[rng.NextUint(literals.size())];
+        if (MutateLiteral(lit, &rng)) return stmt->ToString();
+        break;
+      }
+      case 1: {  // drop a WHERE conjunct
+        if (stmt->where != nullptr &&
+            stmt->where->kind == ExprKind::kBinary &&
+            stmt->where->bin_op == BinaryOp::kAnd) {
+          stmt->where = DropConjunct(std::move(stmt->where), &rng);
+          return stmt->ToString();
+        }
+        break;
+      }
+      case 2: {  // swap an aggregate function
+        std::vector<Expr*> aggs;
+        for (auto& item : stmt->items) CollectAggCalls(item.expr.get(), &aggs);
+        if (aggs.empty()) break;
+        Expr* agg = aggs[rng.NextUint(aggs.size())];
+        if (agg->name == "sum") agg->name = "avg";
+        else if (agg->name == "avg") agg->name = "sum";
+        else if (agg->name == "min") agg->name = "max";
+        else agg->name = "min";
+        return stmt->ToString();
+      }
+      case 3: {  // flip ORDER BY direction or add a LIMIT
+        if (!stmt->order_by.empty()) {
+          stmt->order_by[0].ascending = !stmt->order_by[0].ascending;
+          return stmt->ToString();
+        }
+        if (!stmt->limit.has_value()) {
+          stmt->limit = static_cast<int64_t>(1 + rng.NextUint(10));
+          return stmt->ToString();
+        }
+        break;
+      }
+    }
+  }
+  return stmt->ToString();
+}
+
+std::vector<std::string> GenerateAttempts(const TaskSpec& task, size_t n,
+                                          double skill, uint64_t seed) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextBool(skill)) {
+      out.push_back(task.gold_sql);
+    } else {
+      out.push_back(MutateSql(task.gold_sql, rng.Fork(i + 17)));
+    }
+  }
+  return out;
+}
+
+}  // namespace agentfirst

@@ -1,0 +1,27 @@
+#ifndef AGENTFIRST_AGENTS_ATTEMPTS_H_
+#define AGENTFIRST_AGENTS_ATTEMPTS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/minibird.h"
+
+namespace agentfirst {
+
+/// Produces a plausible-but-perturbed variant of `gold_sql`, modeling how an
+/// LLM's near-miss attempt differs from the correct query: a changed literal,
+/// a dropped predicate, a swapped aggregate, or an added LIMIT. The result
+/// always parses; most sub-plans are shared with the gold plan, which is
+/// exactly the redundancy the paper's Figure 2 measures.
+std::string MutateSql(const std::string& gold_sql, Rng rng);
+
+/// Generates `n` independent full attempts at a task (the paper's parallel
+/// field-agent setting): each is the gold query with probability `skill`,
+/// otherwise a mutation.
+std::vector<std::string> GenerateAttempts(const TaskSpec& task, size_t n,
+                                          double skill, uint64_t seed);
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_AGENTS_ATTEMPTS_H_

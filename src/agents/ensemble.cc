@@ -1,0 +1,91 @@
+#include "agents/ensemble.h"
+
+namespace agentfirst {
+
+EnsembleResult RunParallelEnsemble(AgentFirstSystem* system, const TaskSpec& task,
+                                   const AgentProfile& profile, size_t k,
+                                   const EpisodeOptions& base_options) {
+  EnsembleResult out;
+  out.total_candidates = k;
+  Rng rng(base_options.seed ^ 0xE17A);
+
+  std::vector<bool> candidate_correct;
+  candidate_correct.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    EpisodeOptions options = base_options;
+    options.seed = base_options.seed * 1000003ULL + i * 7919ULL + 1;
+    EpisodeResult episode = RunEpisode(system, task, profile, options);
+    bool correct = episode.solved;
+    candidate_correct.push_back(correct);
+    if (correct) ++out.correct_candidates;
+  }
+  if (out.correct_candidates == 0) {
+    out.success = false;
+    return out;
+  }
+  // Agent-in-charge: a good verifier picks a correct candidate; a failed
+  // verification round degenerates to a random pick.
+  if (rng.NextBool(profile.verifier_accuracy)) {
+    out.success = true;
+  } else {
+    size_t pick = rng.NextUint(k);
+    out.success = candidate_correct[pick];
+  }
+  return out;
+}
+
+std::vector<double> SuccessAtK(std::vector<MiniBirdDatabase>* suite,
+                               const AgentProfile& profile,
+                               const std::vector<size_t>& ks,
+                               const EpisodeOptions& base_options) {
+  std::vector<double> rates;
+  for (size_t k : ks) {
+    size_t successes = 0;
+    size_t total = 0;
+    for (auto& db : *suite) {
+      for (const TaskSpec& task : db.tasks) {
+        EpisodeOptions options = base_options;
+        options.seed = base_options.seed + HashString(task.id);
+        EnsembleResult r =
+            RunParallelEnsemble(db.system.get(), task, profile, k, options);
+        if (r.success) ++successes;
+        ++total;
+      }
+    }
+    rates.push_back(total == 0 ? 0.0 : static_cast<double>(successes) / total);
+  }
+  return rates;
+}
+
+std::vector<double> SuccessByTurn(std::vector<MiniBirdDatabase>* suite,
+                                  const AgentProfile& profile,
+                                  const EpisodeOptions& base_options,
+                                  size_t episodes_per_task) {
+  std::vector<size_t> solved_by_turn(profile.max_turns + 1, 0);
+  size_t total = 0;
+  for (auto& db : *suite) {
+    for (const TaskSpec& task : db.tasks) {
+      for (size_t e = 0; e < episodes_per_task; ++e) {
+        EpisodeOptions options = base_options;
+        options.seed = base_options.seed + HashString(task.id) * 31 + e;
+        EpisodeResult r = RunEpisode(db.system.get(), task, profile, options);
+        ++total;
+        if (r.solved && r.solved_at_turn > 0) {
+          for (int t = r.solved_at_turn;
+               t <= profile.max_turns; ++t) {
+            ++solved_by_turn[static_cast<size_t>(t)];
+          }
+        }
+      }
+    }
+  }
+  std::vector<double> rates;
+  for (int t = 1; t <= profile.max_turns; ++t) {
+    rates.push_back(total == 0 ? 0.0
+                               : static_cast<double>(solved_by_turn[static_cast<size_t>(t)]) /
+                                     static_cast<double>(total));
+  }
+  return rates;
+}
+
+}  // namespace agentfirst

@@ -1,0 +1,41 @@
+#ifndef AGENTFIRST_AGENTS_ENSEMBLE_H_
+#define AGENTFIRST_AGENTS_ENSEMBLE_H_
+
+#include <vector>
+
+#include "agents/sim_agent.h"
+
+namespace agentfirst {
+
+/// Outcome of a parallel ensemble: K independent field agents attempt the
+/// task; an agent-in-charge then picks one candidate answer (paper Fig. 1a).
+struct EnsembleResult {
+  bool success = false;       // the picked candidate was correct
+  size_t correct_candidates = 0;
+  size_t total_candidates = 0;
+};
+
+/// Runs K independent episodes (distinct seeds) and simulates the
+/// agent-in-charge: with probability `profile.verifier_accuracy` it can tell
+/// correct candidates from wrong ones; otherwise it picks at random.
+EnsembleResult RunParallelEnsemble(AgentFirstSystem* system, const TaskSpec& task,
+                                   const AgentProfile& profile, size_t k,
+                                   const EpisodeOptions& base_options);
+
+/// Success@K curve over a task suite: for each K in `ks`, the fraction of
+/// tasks solved by a K-agent ensemble.
+std::vector<double> SuccessAtK(std::vector<MiniBirdDatabase>* suite,
+                               const AgentProfile& profile,
+                               const std::vector<size_t>& ks,
+                               const EpisodeOptions& base_options);
+
+/// Success-by-turn curve (paper Fig. 1b): fraction of episodes solved within
+/// the first t turns, for t = 1..max_turns.
+std::vector<double> SuccessByTurn(std::vector<MiniBirdDatabase>* suite,
+                                  const AgentProfile& profile,
+                                  const EpisodeOptions& base_options,
+                                  size_t episodes_per_task = 3);
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_AGENTS_ENSEMBLE_H_

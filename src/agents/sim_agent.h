@@ -1,0 +1,73 @@
+#ifndef AGENTFIRST_AGENTS_SIM_AGENT_H_
+#define AGENTFIRST_AGENTS_SIM_AGENT_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "agents/activity.h"
+#include "common/rng.h"
+#include "core/system.h"
+#include "workload/minibird.h"
+
+namespace agentfirst {
+
+/// Competence parameters of a simulated LLM field agent. Two calibrated
+/// profiles stand in for the paper's two models (see DESIGN.md): the
+/// statistics of the interaction (success rates, trace shapes, hint
+/// sensitivity) are what the experiments measure, not model internals.
+struct AgentProfile {
+  std::string name;
+  /// P(a full attempt is correct, given complete grounding).
+  double formulation_skill = 0.55;
+  /// P(recognizing a needed table/column in one exploration turn).
+  double exploration_efficiency = 0.7;
+  /// P(the agent notices its own wrong answer and keeps iterating).
+  double self_check_accuracy = 0.7;
+  /// P(the agent-in-charge verifier distinguishes right from wrong).
+  double verifier_accuracy = 0.95;
+  /// P(an extra statistics-exploration turn before attempting).
+  double stat_curiosity = 0.35;
+  int max_turns = 24;
+};
+
+/// "GPT-4o-mini-like": solid formulation, good verifier.
+AgentProfile StrongAgentProfile();
+/// "Qwen2.5-Coder-7B-like": weaker formulation and self-checking.
+AgentProfile WeakAgentProfile();
+
+struct TraceEvent {
+  ActivityKind activity;
+  int turn = 0;
+  bool used_hint = false;  // a steering hint advanced this step
+};
+
+struct EpisodeOptions {
+  /// Expert hints injected up front (Table 1's "w/ Hints" condition): each
+  /// required grounding item is pre-known with `hint_strength` probability.
+  bool with_hints = false;
+  double hint_strength = 0.45;
+  /// Consume the system's steering side channel (sleeper-agent hints).
+  bool use_steering = true;
+  uint64_t seed = 1;
+};
+
+struct EpisodeResult {
+  bool solved = false;
+  bool committed_wrong = false;  // agent ended confident in a wrong answer
+  int turns_used = 0;
+  int solved_at_turn = -1;  // first turn with a correct committed answer
+  std::vector<TraceEvent> trace;
+  size_t probes_issued = 0;
+  ResultSetPtr final_answer;
+};
+
+/// Runs one sequential speculation episode: the agent explores metadata,
+/// statistics, and partial queries through real probes against `system`,
+/// then formulates attempts until it commits an answer or exhausts turns.
+EpisodeResult RunEpisode(AgentFirstSystem* system, const TaskSpec& task,
+                         const AgentProfile& profile, const EpisodeOptions& options);
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_AGENTS_SIM_AGENT_H_

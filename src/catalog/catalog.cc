@@ -1,0 +1,114 @@
+#include "catalog/catalog.h"
+
+namespace agentfirst {
+
+Result<TablePtr> Catalog::CreateTable(const std::string& name, Schema schema) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  auto table = std::make_shared<Table>(name, std::move(schema));
+  tables_[name] = table;
+  ++schema_version_;
+  return table;
+}
+
+Status Catalog::RegisterTable(TablePtr table) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  if (tables_.count(table->name()) > 0) {
+    return Status::AlreadyExists("table already exists: " + table->name());
+  }
+  tables_[table->name()] = std::move(table);
+  ++schema_version_;
+  return Status::OK();
+}
+
+Result<TablePtr> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  return it->second;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  tables_.erase(it);
+  stats_cache_.erase(name);
+  for (auto iit = indexes_.begin(); iit != indexes_.end();) {
+    if (iit->first.first == name) iit = indexes_.erase(iit);
+    else ++iit;
+  }
+  ++schema_version_;
+  return Status::OK();
+}
+
+Status Catalog::CreateIndex(const std::string& table, const std::string& column) {
+  auto tit = tables_.find(table);
+  if (tit == tables_.end()) return Status::NotFound("no such table: " + table);
+  auto col = tit->second->schema().FindColumn(column);
+  if (!col.has_value()) {
+    return Status::NotFound("no such column: " + table + "." + column);
+  }
+  auto key = std::make_pair(table, column);
+  if (indexes_.count(key) > 0) {
+    return Status::AlreadyExists("index already exists on " + table + "." + column);
+  }
+  auto index = std::make_unique<HashIndex>(table, *col);
+  AF_RETURN_IF_ERROR(index->Build(*tit->second));
+  indexes_[key] = std::move(index);
+  return Status::OK();
+}
+
+Status Catalog::DropIndex(const std::string& table, const std::string& column) {
+  if (indexes_.erase(std::make_pair(table, column)) == 0) {
+    return Status::NotFound("no index on " + table + "." + column);
+  }
+  return Status::OK();
+}
+
+bool Catalog::HasIndex(const std::string& table, const std::string& column) const {
+  return indexes_.count(std::make_pair(table, column)) > 0;
+}
+
+std::vector<std::pair<std::string, std::string>> Catalog::ListIndexes() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [key, index] : indexes_) out.push_back(key);
+  return out;
+}
+
+const HashIndex* Catalog::GetFreshIndex(const std::string& table, size_t column) {
+  auto tit = tables_.find(table);
+  if (tit == tables_.end()) return nullptr;
+  for (auto& [key, index] : indexes_) {
+    if (key.first != table || index->column() != column) continue;
+    if (!index->FreshFor(*tit->second)) {
+      if (!index->Build(*tit->second).ok()) return nullptr;
+    }
+    return index.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Catalog::ListTables() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, t] : tables_) out.push_back(name);
+  return out;
+}
+
+Result<const TableStats*> Catalog::GetStats(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  auto cached = stats_cache_.find(name);
+  if (cached != stats_cache_.end() &&
+      cached->second.data_version == it->second->data_version()) {
+    return const_cast<const TableStats*>(&cached->second);
+  }
+  stats_cache_[name] = ComputeTableStats(*it->second);
+  return const_cast<const TableStats*>(&stats_cache_[name]);
+}
+
+}  // namespace agentfirst

@@ -1,0 +1,71 @@
+#ifndef AGENTFIRST_CATALOG_CATALOG_H_
+#define AGENTFIRST_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/index.h"
+#include "catalog/stats.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/table.h"
+#include "types/schema.h"
+
+namespace agentfirst {
+
+/// The database catalog: named tables, their statistics (computed lazily and
+/// invalidated by version counters), and a schema version used by the
+/// agentic memory store to detect stale grounding.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates an empty table. Fails with AlreadyExists on name collision.
+  Result<TablePtr> CreateTable(const std::string& name, Schema schema);
+
+  /// Registers an externally built table (e.g. a branch materialization).
+  Status RegisterTable(TablePtr table);
+
+  Result<TablePtr> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+  Status DropTable(const std::string& name);
+
+  std::vector<std::string> ListTables() const;
+  size_t NumTables() const { return tables_.size(); }
+
+  /// Returns (computing or refreshing as needed) statistics for `name`.
+  Result<const TableStats*> GetStats(const std::string& name);
+
+  /// Bumped on every DDL (create/drop/register). Grounding artifacts pin the
+  /// version they were derived from.
+  uint64_t schema_version() const { return schema_version_; }
+
+  // --- equality indexes ----------------------------------------------------
+
+  /// Declares a hash index on table.column (built immediately). Fails with
+  /// AlreadyExists when one is present.
+  Status CreateIndex(const std::string& table, const std::string& column);
+  Status DropIndex(const std::string& table, const std::string& column);
+  bool HasIndex(const std::string& table, const std::string& column) const;
+  std::vector<std::pair<std::string, std::string>> ListIndexes() const;
+
+  /// Returns a lookup-ready index for (table, column index), rebuilding it
+  /// if the table changed since the last build; nullptr if none exists.
+  const HashIndex* GetFreshIndex(const std::string& table, size_t column);
+
+ private:
+  std::map<std::string, TablePtr> tables_;
+  mutable std::map<std::string, TableStats> stats_cache_;
+  // (table, column name) -> index.
+  std::map<std::pair<std::string, std::string>, std::unique_ptr<HashIndex>>
+      indexes_;
+  uint64_t schema_version_ = 0;
+};
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_CATALOG_CATALOG_H_

@@ -1,0 +1,45 @@
+#include "catalog/index.h"
+
+namespace agentfirst {
+
+Status HashIndex::Build(const Table& table) {
+  if (column_ >= table.schema().NumColumns()) {
+    return Status::OutOfRange("index column out of range");
+  }
+  buckets_.clear();
+  num_entries_ = 0;
+  size_t row = 0;
+  for (const auto& seg : table.segments()) {
+    const ColumnVector& col = seg->column(column_);
+    for (size_t i = 0; i < seg->num_rows(); ++i, ++row) {
+      Value v = col.Get(i);
+      if (v.is_null()) continue;  // SQL equality never matches NULL
+      auto& bucket = buckets_[v.Hash()];
+      bool found = false;
+      for (auto& [value, rows] : bucket) {
+        if (value.Equals(v)) {
+          rows.push_back(row);
+          found = true;
+          break;
+        }
+      }
+      if (!found) bucket.push_back({v, {row}});
+      ++num_entries_;
+    }
+  }
+  built_ = true;
+  built_version_ = table.data_version();
+  return Status::OK();
+}
+
+std::vector<size_t> HashIndex::Lookup(const Value& v) const {
+  if (v.is_null()) return {};
+  auto it = buckets_.find(v.Hash());
+  if (it == buckets_.end()) return {};
+  for (const auto& [value, rows] : it->second) {
+    if (value.Equals(v)) return rows;  // appended in order: already sorted
+  }
+  return {};
+}
+
+}  // namespace agentfirst

@@ -1,0 +1,54 @@
+#ifndef AGENTFIRST_CATALOG_INDEX_H_
+#define AGENTFIRST_CATALOG_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+#include "types/value.h"
+
+namespace agentfirst {
+
+/// An equality (hash) index over one column: value -> sorted row ids.
+/// Indexes are version-pinned snapshots: a lookup is only valid while the
+/// table's data_version matches the version the index was built at; the
+/// catalog rebuilds stale indexes lazily.
+class HashIndex {
+ public:
+  HashIndex(std::string table_name, size_t column)
+      : table_name_(std::move(table_name)), column_(column) {}
+
+  const std::string& table_name() const { return table_name_; }
+  size_t column() const { return column_; }
+  uint64_t built_version() const { return built_version_; }
+  size_t num_entries() const { return num_entries_; }
+
+  /// (Re)builds from the table's current contents.
+  Status Build(const Table& table);
+
+  /// True when lookups against `table` are valid.
+  bool FreshFor(const Table& table) const {
+    return built_ && built_version_ == table.data_version();
+  }
+
+  /// Row ids whose column equals `v` (ascending). NULL never matches.
+  /// Returns an empty vector for no matches.
+  std::vector<size_t> Lookup(const Value& v) const;
+
+ private:
+  std::string table_name_;
+  size_t column_;
+  bool built_ = false;
+  uint64_t built_version_ = 0;
+  size_t num_entries_ = 0;
+  // hash -> (value, row ids); values kept to resolve hash collisions.
+  std::unordered_map<uint64_t, std::vector<std::pair<Value, std::vector<size_t>>>>
+      buckets_;
+};
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_CATALOG_INDEX_H_

@@ -1,0 +1,75 @@
+#include "catalog/info_schema.h"
+
+namespace agentfirst {
+
+bool IsInfoSchemaTable(const std::string& name) {
+  return name == kInfoSchemaTables || name == kInfoSchemaColumns ||
+         name == kInfoSchemaColumnStats;
+}
+
+Result<TablePtr> BuildInfoSchemaTable(Catalog& catalog, const std::string& name) {
+  if (name == kInfoSchemaTables) {
+    Schema schema({ColumnDef("table_name", DataType::kString, false, name),
+                   ColumnDef("num_rows", DataType::kInt64, false, name),
+                   ColumnDef("num_columns", DataType::kInt64, false, name)});
+    auto view = std::make_shared<Table>(name, schema);
+    for (const std::string& tname : catalog.ListTables()) {
+      auto table = catalog.GetTable(tname);
+      if (!table.ok()) continue;
+      AF_RETURN_IF_ERROR(view->AppendRow(
+          {Value::String(tname),
+           Value::Int(static_cast<int64_t>((*table)->NumRows())),
+           Value::Int(static_cast<int64_t>((*table)->schema().NumColumns()))}));
+    }
+    return view;
+  }
+  if (name == kInfoSchemaColumns) {
+    Schema schema({ColumnDef("table_name", DataType::kString, false, name),
+                   ColumnDef("column_name", DataType::kString, false, name),
+                   ColumnDef("data_type", DataType::kString, false, name),
+                   ColumnDef("ordinal", DataType::kInt64, false, name)});
+    auto view = std::make_shared<Table>(name, schema);
+    for (const std::string& tname : catalog.ListTables()) {
+      auto table = catalog.GetTable(tname);
+      if (!table.ok()) continue;
+      const Schema& ts = (*table)->schema();
+      for (size_t i = 0; i < ts.NumColumns(); ++i) {
+        AF_RETURN_IF_ERROR(view->AppendRow(
+            {Value::String(tname), Value::String(ts.column(i).name),
+             Value::String(DataTypeName(ts.column(i).type)),
+             Value::Int(static_cast<int64_t>(i))}));
+      }
+    }
+    return view;
+  }
+  if (name == kInfoSchemaColumnStats) {
+    Schema schema({ColumnDef("table_name", DataType::kString, false, name),
+                   ColumnDef("column_name", DataType::kString, false, name),
+                   ColumnDef("num_distinct", DataType::kInt64, false, name),
+                   ColumnDef("num_nulls", DataType::kInt64, false, name),
+                   ColumnDef("min_value", DataType::kString, true, name),
+                   ColumnDef("max_value", DataType::kString, true, name),
+                   ColumnDef("most_common_value", DataType::kString, true, name)});
+    auto view = std::make_shared<Table>(name, schema);
+    for (const std::string& tname : catalog.ListTables()) {
+      auto stats = catalog.GetStats(tname);
+      if (!stats.ok()) continue;
+      for (const ColumnStats& cs : (*stats)->columns) {
+        Value most_common = cs.top_values.empty()
+                                ? Value::Null()
+                                : Value::String(cs.top_values[0].first.ToString());
+        AF_RETURN_IF_ERROR(view->AppendRow(
+            {Value::String(tname), Value::String(cs.column_name),
+             Value::Int(static_cast<int64_t>(cs.distinct_count)),
+             Value::Int(static_cast<int64_t>(cs.null_count)),
+             cs.min.is_null() ? Value::Null() : Value::String(cs.min.ToString()),
+             cs.max.is_null() ? Value::Null() : Value::String(cs.max.ToString()),
+             most_common}));
+      }
+    }
+    return view;
+  }
+  return Status::NotFound("no such information_schema table: " + name);
+}
+
+}  // namespace agentfirst

@@ -1,0 +1,37 @@
+#ifndef AGENTFIRST_CATALOG_INFO_SCHEMA_H_
+#define AGENTFIRST_CATALOG_INFO_SCHEMA_H_
+
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "storage/table.h"
+
+namespace agentfirst {
+
+/// Virtual metadata tables, materialized on demand so that agents can probe
+/// metadata through the same SQL path as data:
+///   information_schema.tables       (table_name, num_rows, num_columns)
+///   information_schema.columns      (table_name, column_name, data_type, ordinal)
+///   information_schema.column_stats (table_name, column_name, num_distinct,
+///                                    num_nulls, min_value, max_value,
+///                                    most_common_value)
+/// These names are resolved specially by the binder. column_stats exposes
+/// the engine's statistics directly so an agent's stat-exploration phase is
+/// one cheap metadata query instead of many table scans.
+
+inline constexpr const char* kInfoSchemaTables = "information_schema.tables";
+inline constexpr const char* kInfoSchemaColumns = "information_schema.columns";
+inline constexpr const char* kInfoSchemaColumnStats =
+    "information_schema.column_stats";
+
+bool IsInfoSchemaTable(const std::string& name);
+
+/// Builds the requested view over the current catalog contents, or
+/// NotFound for unknown information_schema names. Non-const: column_stats
+/// refreshes the statistics cache.
+Result<TablePtr> BuildInfoSchemaTable(Catalog& catalog, const std::string& name);
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_CATALOG_INFO_SCHEMA_H_

@@ -1,0 +1,135 @@
+#include "catalog/stats.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/rng.h"
+
+namespace agentfirst {
+
+double ColumnStats::EqualitySelectivity(const Value& v) const {
+  if (row_count == 0) return 0.0;
+  if (v.is_null()) return static_cast<double>(null_count) / row_count;
+  for (const auto& [tv, count] : top_values) {
+    if (tv.Equals(v)) return static_cast<double>(count) / row_count;
+  }
+  uint64_t non_null = row_count - null_count;
+  if (non_null == 0 || distinct_count == 0) return 0.0;
+  // Uniformity over the values not covered by top_values.
+  return (static_cast<double>(non_null) / distinct_count) / row_count;
+}
+
+double ColumnStats::RangeSelectivity(const std::string& op, const Value& v) const {
+  if (row_count == 0 || v.is_null()) return 0.0;
+  if (!IsNumeric(v.type()) || min.is_null() || max.is_null() ||
+      !IsNumeric(min.type())) {
+    return 0.3;  // default guess for non-numeric ranges
+  }
+  double x = v.AsDouble();
+  double lo = min.AsDouble();
+  double hi = max.AsDouble();
+  double frac_below;  // P(col < x) approximately
+  if (!histogram_bounds.empty()) {
+    size_t buckets = histogram_bounds.size() - 1;
+    size_t b = 0;
+    while (b < buckets && histogram_bounds[b + 1] < x) ++b;
+    if (b >= buckets) {
+      frac_below = 1.0;
+    } else {
+      double bl = histogram_bounds[b];
+      double bh = histogram_bounds[b + 1];
+      double within = bh > bl ? (x - bl) / (bh - bl) : 0.5;
+      within = std::clamp(within, 0.0, 1.0);
+      frac_below = (static_cast<double>(b) + within) / buckets;
+    }
+  } else if (hi > lo) {
+    frac_below = std::clamp((x - lo) / (hi - lo), 0.0, 1.0);
+  } else {
+    frac_below = x > lo ? 1.0 : 0.0;
+  }
+  double sel;
+  if (op == "<" || op == "<=") {
+    sel = frac_below;
+  } else if (op == ">" || op == ">=") {
+    sel = 1.0 - frac_below;
+  } else {
+    sel = 0.3;
+  }
+  double non_null_frac =
+      row_count == 0 ? 0.0
+                     : static_cast<double>(row_count - null_count) / row_count;
+  return std::clamp(sel, 0.0, 1.0) * non_null_frac;
+}
+
+TableStats ComputeTableStats(const Table& table, uint64_t seed) {
+  TableStats stats;
+  stats.row_count = table.NumRows();
+  stats.data_version = table.data_version();
+  const Schema& schema = table.schema();
+  Rng rng(seed);
+
+  for (size_t c = 0; c < schema.NumColumns(); ++c) {
+    ColumnStats cs;
+    cs.column_name = schema.column(c).name;
+    cs.row_count = table.NumRows();
+
+    std::unordered_map<uint64_t, std::pair<Value, uint64_t>> value_counts;
+    std::vector<double> numeric_values;
+    bool numeric = IsNumeric(schema.column(c).type);
+
+    size_t seen_non_null = 0;
+    for (const auto& seg : table.segments()) {
+      const ColumnVector& col = seg->column(c);
+      for (size_t i = 0; i < seg->num_rows(); ++i) {
+        Value v = col.Get(i);
+        if (v.is_null()) {
+          ++cs.null_count;
+          continue;
+        }
+        ++seen_non_null;
+        if (cs.min.is_null() || v.Compare(cs.min) < 0) cs.min = v;
+        if (cs.max.is_null() || v.Compare(cs.max) > 0) cs.max = v;
+        auto& slot = value_counts[v.Hash()];
+        if (slot.second == 0) slot.first = v;
+        ++slot.second;
+        if (numeric) numeric_values.push_back(v.AsDouble());
+        // Reservoir sample.
+        if (cs.sample.size() < ColumnStats::kSampleSize) {
+          cs.sample.push_back(v);
+        } else {
+          size_t j = rng.NextUint(seen_non_null);
+          if (j < ColumnStats::kSampleSize) cs.sample[j] = v;
+        }
+      }
+    }
+    cs.distinct_count = value_counts.size();
+
+    // Top-K most common values.
+    std::vector<std::pair<Value, uint64_t>> pairs;
+    pairs.reserve(value_counts.size());
+    for (auto& [h, vc] : value_counts) pairs.push_back(vc);
+    std::sort(pairs.begin(), pairs.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first.Compare(b.first) < 0;
+    });
+    if (pairs.size() > ColumnStats::kTopK) pairs.resize(ColumnStats::kTopK);
+    cs.top_values = std::move(pairs);
+
+    // Equi-depth histogram for numerics.
+    if (numeric && !numeric_values.empty()) {
+      std::sort(numeric_values.begin(), numeric_values.end());
+      size_t buckets = std::min(ColumnStats::kHistogramBuckets,
+                                numeric_values.size());
+      cs.histogram_bounds.push_back(numeric_values.front());
+      for (size_t b = 1; b < buckets; ++b) {
+        size_t idx = b * numeric_values.size() / buckets;
+        cs.histogram_bounds.push_back(numeric_values[idx]);
+      }
+      cs.histogram_bounds.push_back(numeric_values.back());
+    }
+    stats.columns.push_back(std::move(cs));
+  }
+  return stats;
+}
+
+}  // namespace agentfirst

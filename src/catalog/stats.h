@@ -1,0 +1,55 @@
+#ifndef AGENTFIRST_CATALOG_STATS_H_
+#define AGENTFIRST_CATALOG_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+#include "types/value.h"
+
+namespace agentfirst {
+
+/// Per-column statistics, the grounding substrate for the cost model, the
+/// probe optimizer's selectivity estimates, and sleeper-agent hints.
+struct ColumnStats {
+  std::string column_name;
+  uint64_t row_count = 0;
+  uint64_t null_count = 0;
+  uint64_t distinct_count = 0;
+  Value min;
+  Value max;
+  /// Equi-depth histogram bucket boundaries (numeric columns only);
+  /// boundaries.size() == #buckets + 1.
+  std::vector<double> histogram_bounds;
+  /// Most frequent values with their counts (up to kTopK).
+  std::vector<std::pair<Value, uint64_t>> top_values;
+  /// Uniform reservoir sample of non-null values (up to kSampleSize).
+  std::vector<Value> sample;
+
+  static constexpr size_t kTopK = 8;
+  static constexpr size_t kSampleSize = 64;
+  static constexpr size_t kHistogramBuckets = 16;
+
+  /// Fraction of rows expected to satisfy `col = v` (uses top values, then
+  /// uniformity over NDV).
+  double EqualitySelectivity(const Value& v) const;
+
+  /// Fraction of rows expected to satisfy a range predicate against `v`.
+  /// `op` is one of "<", "<=", ">", ">=".
+  double RangeSelectivity(const std::string& op, const Value& v) const;
+};
+
+struct TableStats {
+  uint64_t row_count = 0;
+  uint64_t data_version = 0;  // table version these stats were computed at
+  std::vector<ColumnStats> columns;
+};
+
+/// Scans the table once and computes full statistics. `seed` drives the
+/// reservoir sample.
+TableStats ComputeTableStats(const Table& table, uint64_t seed = 42);
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_CATALOG_STATS_H_

@@ -1,0 +1,58 @@
+#ifndef AGENTFIRST_COMMON_HASH_H_
+#define AGENTFIRST_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace agentfirst {
+
+inline constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// FNV-1a over a byte range, continuing from `seed`.
+inline uint64_t Fnv1a(const void* data, size_t len, uint64_t seed = kFnvOffsetBasis) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s, uint64_t seed = kFnvOffsetBasis) {
+  return Fnv1a(s.data(), s.size(), seed);
+}
+
+/// Strong 64-bit finalizer (murmur3 fmix64); use to decorrelate hash values.
+inline uint64_t Mix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Order-dependent combiner for building composite hashes.
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Mix64(a * 0x9e3779b97f4a7c15ULL + b + (a << 6) + (a >> 2));
+}
+
+inline uint64_t HashInt(uint64_t v, uint64_t seed = 0) {
+  return Mix64(v ^ (seed * kFnvPrime));
+}
+
+inline uint64_t HashDouble(double d, uint64_t seed = 0) {
+  // Normalize -0.0 to 0.0 so equal values hash equally.
+  if (d == 0.0) d = 0.0;
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return HashInt(bits, seed);
+}
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_COMMON_HASH_H_

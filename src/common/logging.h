@@ -1,0 +1,27 @@
+#ifndef AGENTFIRST_COMMON_LOGGING_H_
+#define AGENTFIRST_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Invariant check that stays on in release builds. Failing a check indicates
+/// a library bug, never bad user input (that path returns Status instead).
+#define AF_CHECK(cond)                                                       \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "AF_CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define AF_CHECK_MSG(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "AF_CHECK failed at %s:%d: %s (%s)\n", __FILE__,  \
+                   __LINE__, #cond, msg);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#endif  // AGENTFIRST_COMMON_LOGGING_H_

@@ -1,0 +1,66 @@
+#ifndef AGENTFIRST_COMMON_RESULT_H_
+#define AGENTFIRST_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+#include "common/status.h"
+
+namespace agentfirst {
+
+/// Holds either a value of type T or a non-OK Status, analogous to
+/// arrow::Result / absl::StatusOr. Accessing value() on an error aborts in
+/// debug builds; callers must check ok() or use AF_ASSIGN_OR_RETURN.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from any type convertible to T (e.g.
+  /// shared_ptr<X> -> shared_ptr<const X>).
+  template <typename U,
+            typename = std::enable_if_t<std::is_convertible_v<U&&, T> &&
+                                        !std::is_same_v<std::decay_t<U>, Result> &&
+                                        !std::is_same_v<std::decay_t<U>, Status>>>
+  Result(U&& value) : value_(T(std::forward<U>(value))) {}  // NOLINT
+  /// Implicit construction from an error Status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` if this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_COMMON_RESULT_H_

@@ -1,0 +1,94 @@
+#ifndef AGENTFIRST_COMMON_RNG_H_
+#define AGENTFIRST_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace agentfirst {
+
+/// Deterministic, seedable pseudo-random generator (splitmix64 core).
+/// Every stochastic component in the library draws from an Rng whose seed is
+/// threaded from the top so that experiments are exactly reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit draw.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t NextUint(uint64_t n) { return Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextUint(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) { return lo + NextDouble() * (hi - lo); }
+
+  /// Bernoulli draw with success probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Zipf-like skewed index in [0, n): lower indexes are more likely.
+  /// `skew` = 0 is uniform; larger values concentrate mass on small indexes.
+  uint64_t NextZipf(uint64_t n, double skew) {
+    if (n <= 1) return 0;
+    if (skew <= 0.0) return NextUint(n);
+    // Inverse-CDF on a truncated pareto-ish shape; cheap and deterministic.
+    double u = NextDouble();
+    double x = std::pow(u, 1.0 + skew);
+    auto idx = static_cast<uint64_t>(x * static_cast<double>(n));
+    return idx >= n ? n - 1 : idx;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = NextUint(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Picks a uniformly random element (v must be non-empty).
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[NextUint(v.size())];
+  }
+
+  /// Derives an independent child generator; used to give each agent/task its
+  /// own stream so adding one component does not perturb the others.
+  Rng Fork(uint64_t salt) {
+    uint64_t s = state_ ^ (salt * 0xd6e8feb86659fd93ULL + 0x2545f4914f6cdd1dULL);
+    Rng child(s);
+    child.Next();
+    return child;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_COMMON_RNG_H_

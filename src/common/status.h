@@ -1,0 +1,97 @@
+#ifndef AGENTFIRST_COMMON_STATUS_H_
+#define AGENTFIRST_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace agentfirst {
+
+/// Error codes used across the library. Library code does not throw; every
+/// fallible operation returns a Status or a Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kNotImplemented,
+  kInternal,
+  kAborted,
+  kPermissionDenied,
+  kResourceExhausted,
+};
+
+/// Returns a human-readable name for `code` (e.g. "NotFound").
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value, modeled after the Status types used
+/// in Arrow and RocksDB. The OK status carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace agentfirst
+
+/// Propagates a non-OK Status from the current function.
+#define AF_RETURN_IF_ERROR(expr)                    \
+  do {                                              \
+    ::agentfirst::Status _af_status = (expr);       \
+    if (!_af_status.ok()) return _af_status;        \
+  } while (0)
+
+#define AF_CONCAT_IMPL(x, y) x##y
+#define AF_CONCAT(x, y) AF_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define AF_ASSIGN_OR_RETURN(lhs, expr)                          \
+  auto AF_CONCAT(_af_result_, __LINE__) = (expr);               \
+  if (!AF_CONCAT(_af_result_, __LINE__).ok())                   \
+    return AF_CONCAT(_af_result_, __LINE__).status();           \
+  lhs = std::move(AF_CONCAT(_af_result_, __LINE__)).value();
+
+#endif  // AGENTFIRST_COMMON_STATUS_H_

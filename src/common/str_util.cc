@@ -1,0 +1,115 @@
+#include "common/str_util.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace agentfirst {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> Split(std::string_view s, char delim, bool skip_empty) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      if (i > start || !skip_empty) out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitWords(std::string_view s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle) {
+  if (needle.empty()) return true;
+  if (needle.size() > haystack.size()) return false;
+  for (size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    size_t j = 0;
+    for (; j < needle.size(); ++j) {
+      if (std::tolower(static_cast<unsigned char>(haystack[i + j])) !=
+          std::tolower(static_cast<unsigned char>(needle[j]))) {
+        break;
+      }
+    }
+    if (j == needle.size()) return true;
+  }
+  return false;
+}
+
+bool LikeMatch(std::string_view value, std::string_view pattern) {
+  // Iterative matcher with backtracking over the last '%'.
+  size_t v = 0;
+  size_t p = 0;
+  size_t star_p = std::string_view::npos;
+  size_t star_v = 0;
+  while (v < value.size()) {
+    if (p < pattern.size() && (pattern[p] == '_' || pattern[p] == value[v])) {
+      ++v;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_v = v;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      v = ++star_v;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace agentfirst

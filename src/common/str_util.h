@@ -1,0 +1,41 @@
+#ifndef AGENTFIRST_COMMON_STR_UTIL_H_
+#define AGENTFIRST_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace agentfirst {
+
+/// ASCII lower-casing (SQL identifiers and brief keywords are ASCII).
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+/// Strips leading/trailing whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Splits on a delimiter character; empty tokens are kept unless
+/// `skip_empty`.
+std::vector<std::string> Split(std::string_view s, char delim,
+                               bool skip_empty = false);
+
+/// Splits on any whitespace run; empty tokens are dropped.
+std::vector<std::string> SplitWords(std::string_view s);
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// SQL LIKE matcher: '%' matches any run, '_' matches one char. Case
+/// sensitive, per standard semantics.
+bool LikeMatch(std::string_view value, std::string_view pattern);
+
+/// Formats a double with up to 6 significant decimals, trimming zeros
+/// ("1.5", "3", "0.25").
+std::string FormatDouble(double v);
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_COMMON_STR_UTIL_H_

@@ -1,0 +1,98 @@
+#include "core/brief_interpreter.h"
+
+#include <unordered_set>
+
+#include "common/str_util.h"
+
+namespace agentfirst {
+
+namespace {
+
+bool ContainsAny(const std::string& text,
+                 std::initializer_list<const char*> needles) {
+  for (const char* n : needles) {
+    if (text.find(n) != std::string::npos) return true;
+  }
+  return false;
+}
+
+const std::unordered_set<std::string>& Stopwords() {
+  static const auto* kStop = new std::unordered_set<std::string>({
+      "the", "a",  "an",  "of",  "for", "to",   "and", "or",  "in",   "on",
+      "is",  "are", "we",  "i",   "am",  "this", "that", "it", "with", "by",
+      "be",  "as",  "at",  "from", "need", "want", "looking", "look", "find",
+      "out", "what", "which", "how", "many", "much", "please", "query",
+      "queries", "phase", "exploring", "explore",
+  });
+  return *kStop;
+}
+
+}  // namespace
+
+Brief BriefInterpreter::Interpret(const Brief& brief) const {
+  Brief out = brief;
+  std::string text = ToLower(brief.text);
+
+  if (out.phase == ProbePhase::kUnspecified) {
+    if (ContainsAny(text, {"explor", "schema", "metadata", "discover", "browse",
+                           "what tables", "where is", "orient", "get a sense",
+                           "sample data", "look around"})) {
+      out.phase = ProbePhase::kMetadataExploration;
+    } else if (ContainsAny(text, {"statistic", "distinct", "distribution",
+                                  "range of", "how many values", "cardinalit",
+                                  "profile"})) {
+      out.phase = ProbePhase::kStatExploration;
+    } else if (ContainsAny(text, {"verify", "validat", "double-check",
+                                  "confirm", "final answer", "exact answer"})) {
+      out.phase = ProbePhase::kValidation;
+    } else if (ContainsAny(text, {"attempt", "candidate", "solution", "formulat",
+                                  "try ", "answer the task", "final"})) {
+      out.phase = ProbePhase::kSolutionFormulation;
+    }
+  }
+
+  if (out.max_relative_error < 0.0) {
+    if (ContainsAny(text, {"exact", "precise", "verify", "validat", "no approximation"})) {
+      out.max_relative_error = 0.0;
+    } else if (ContainsAny(text, {"very rough", "ballpark", "order of magnitude"})) {
+      out.max_relative_error = 0.25;
+    } else if (ContainsAny(text, {"rough", "approximate", "quick", "estimate",
+                                  "sketch", "roughly"})) {
+      out.max_relative_error = 0.10;
+    }
+  }
+
+  if (out.priority == 0) {
+    if (ContainsAny(text, {"urgent", "high priority", "blocking"})) {
+      out.priority = 2;
+    } else if (ContainsAny(text, {"low priority", "whenever", "background"})) {
+      out.priority = -1;
+    }
+  }
+
+  if (out.k_of_n == 0) {
+    if (ContainsAny(text, {"any one of", "any of these", "one of these is enough",
+                           "whichever is cheapest", "pick any"})) {
+      out.k_of_n = 1;
+    } else if (ContainsAny(text, {"any two of", "two of these"})) {
+      out.k_of_n = 2;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> BriefInterpreter::GoalKeywords(const Brief& brief) const {
+  std::string text = ToLower(brief.text);
+  for (char& c : text) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') c = ' ';
+  }
+  std::vector<std::string> keywords;
+  for (const std::string& w : SplitWords(text)) {
+    if (w.size() < 3) continue;
+    if (Stopwords().count(w) > 0) continue;
+    keywords.push_back(w);
+  }
+  return keywords;
+}
+
+}  // namespace agentfirst

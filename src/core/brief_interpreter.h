@@ -1,0 +1,28 @@
+#ifndef AGENTFIRST_CORE_BRIEF_INTERPRETER_H_
+#define AGENTFIRST_CORE_BRIEF_INTERPRETER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/probe.h"
+
+namespace agentfirst {
+
+/// Deterministic stand-in for the paper's in-database "probe interpreter
+/// agent": reads the brief's free text and fills any structured fields the
+/// issuing agent left unset (phase, accuracy, priority, satisficing k).
+/// Keyword-driven so experiments are reproducible; a deployment would put an
+/// LLM here behind the same interface.
+class BriefInterpreter {
+ public:
+  /// Returns `brief` with unset fields inferred from its text.
+  Brief Interpret(const Brief& brief) const;
+
+  /// Keywords extracted from the brief text for semantic relevance scoring
+  /// (stopwords removed, lower-cased).
+  std::vector<std::string> GoalKeywords(const Brief& brief) const;
+};
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_CORE_BRIEF_INTERPRETER_H_

@@ -1,0 +1,559 @@
+#include "core/probe_optimizer.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "opt/aqp.h"
+#include "opt/cost_model.h"
+#include "opt/rules.h"
+#include "plan/binder.h"
+#include "plan/fingerprint.h"
+#include "sql/parser.h"
+
+namespace agentfirst {
+
+ProbeOptimizer::ProbeOptimizer(Catalog* catalog, AgenticMemoryStore* memory,
+                               SemanticCatalogSearch* search, Options options)
+    : catalog_(catalog),
+      memory_(memory),
+      search_(search),
+      options_(options),
+      sleeper_(catalog, memory, search) {}
+
+namespace {
+/// Strips the top projection/sort chain: the "core relation" whose
+/// information content a query exposes.
+const PlanNode* CoreOf(const PlanNode* node) {
+  while ((node->kind == PlanKind::kProject || node->kind == PlanKind::kSort) &&
+         !node->children.empty()) {
+    node = node->children[0].get();
+  }
+  return node;
+}
+
+/// Strips everything down to the data-producing relation (scans, filters,
+/// joins): what the invest heuristic counts as "the same work recurring".
+const PlanNode* DataCoreOf(const PlanNode* node) {
+  while ((node->kind == PlanKind::kProject || node->kind == PlanKind::kSort ||
+          node->kind == PlanKind::kAggregate || node->kind == PlanKind::kLimit) &&
+         !node->children.empty()) {
+    node = node->children[0].get();
+  }
+  return node;
+}
+}  // namespace
+
+double ProbeOptimizer::GoalRelevance(const PlanNode& plan, const Brief& brief) {
+  if (brief.text.empty()) return 1.0;
+  Embedding goal = EmbedText(brief.text);
+  double best = 0.0;
+  for (const std::string& table : ReferencedTables(plan)) {
+    double s = CosineSimilarity(goal, EmbedText(table));
+    best = std::max(best, s);
+    auto t = catalog_->GetTable(table);
+    if (t.ok()) {
+      for (const ColumnDef& col : (*t)->schema().columns()) {
+        best = std::max(best,
+                        CosineSimilarity(goal, EmbedText(table + " " + col.name)));
+      }
+    }
+  }
+  return best;
+}
+
+void ProbeOptimizer::AdviseMaterialization(const PlanPtr& plan,
+                                           std::vector<Hint>* hints) {
+  if (options_.materialization_threshold == 0 || plan == nullptr) return;
+  for (const SubplanInfo& sub : EnumerateSubplans(*plan)) {
+    if (sub.node->kind != PlanKind::kHashJoin &&
+        sub.node->kind != PlanKind::kAggregate) {
+      continue;
+    }
+    auto& entry = subplan_recurrence_[sub.canonical_fingerprint];
+    ++entry.first;
+    if (!entry.second && entry.first >= options_.materialization_threshold) {
+      entry.second = true;
+      ++metrics_.materialization_suggestions;
+      std::string tables;
+      for (const std::string& t : ReferencedTables(*sub.node)) {
+        if (!tables.empty()) tables += ", ";
+        tables += t;
+      }
+      hints->push_back(Hint{
+          HintKind::kSchemaGuidance,
+          std::string("the ") + PlanKindName(sub.node->kind) + " over [" +
+              tables + "] has recurred " + std::to_string(entry.first) +
+              " times across probes; its result is now pinned in the shared "
+              "cache (materialized)",
+          0.45});
+    }
+  }
+}
+
+Result<std::vector<ProbeResponse>> ProbeOptimizer::ProcessBatch(
+    const std::vector<Probe>& probes) {
+  // Admission control: order by brief priority, then phase urgency.
+  auto phase_rank = [](ProbePhase p) {
+    switch (p) {
+      case ProbePhase::kValidation: return 0;
+      case ProbePhase::kSolutionFormulation: return 1;
+      case ProbePhase::kStatExploration: return 2;
+      case ProbePhase::kMetadataExploration: return 3;
+      case ProbePhase::kUnspecified: return 4;
+    }
+    return 5;
+  };
+  std::vector<size_t> order(probes.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<Brief> interpreted;
+  interpreted.reserve(probes.size());
+  for (const Probe& p : probes) interpreted.push_back(interpreter_.Interpret(p.brief));
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (interpreted[a].priority != interpreted[b].priority) {
+      return interpreted[a].priority > interpreted[b].priority;
+    }
+    return phase_rank(interpreted[a].phase) < phase_rank(interpreted[b].phase);
+  });
+
+  std::vector<ProbeResponse> responses(probes.size());
+  for (size_t idx : order) {
+    AF_ASSIGN_OR_RETURN(responses[idx], Process(probes[idx]));
+  }
+  return responses;
+}
+
+Result<ProbeResponse> ProbeOptimizer::Process(const Probe& probe) {
+  ++metrics_.probes;
+  ProbeResponse response;
+  response.probe_id = probe.id;
+
+  Brief brief = interpreter_.Interpret(probe.brief);
+  response.interpreted_phase = brief.phase;
+
+  bool exploratory = brief.phase == ProbePhase::kMetadataExploration ||
+                     brief.phase == ProbePhase::kStatExploration;
+  bool wants_exact = brief.phase == ProbePhase::kValidation ||
+                     brief.max_relative_error == 0.0;
+
+  // 1. Parse + bind + (optionally) rewrite every query.
+  struct Prepared {
+    std::string sql;
+    PlanPtr plan;       // null on bind error
+    Status bind_status;
+    double cost = 0.0;
+    double rows = 0.0;
+    double relevance = 1.0;
+    uint64_t fingerprint = 0;
+    uint64_t core_fingerprint = 0;
+  };
+  std::vector<Prepared> prepared;
+  metrics_.queries_submitted += probe.queries.size();
+
+  for (const std::string& sql : probe.queries) {
+    Prepared p;
+    p.sql = sql;
+    auto select = ParseSelect(sql);
+    if (!select.ok()) {
+      p.bind_status = select.status();
+      prepared.push_back(std::move(p));
+      continue;
+    }
+    Binder binder(catalog_);
+    binder.set_subquery_evaluator(
+        [](const PlanNode& subplan) -> Result<std::vector<Row>> {
+          auto result = ExecutePlan(subplan);
+          if (!result.ok()) return result.status();
+          return (*result)->rows;
+        });
+    auto plan = binder.BindSelect(**select);
+    if (!plan.ok()) {
+      p.bind_status = plan.status();
+      prepared.push_back(std::move(p));
+      continue;
+    }
+    p.plan = options_.enable_rewrites ? OptimizePlan(*plan, catalog_) : *plan;
+    CostEstimate est = EstimatePlanCost(*p.plan, catalog_);
+    p.cost = est.total_cost;
+    p.rows = est.output_rows;
+    p.fingerprint = PlanFingerprint(*p.plan);
+    p.core_fingerprint = CanonicalPlanFingerprint(*DataCoreOf(p.plan.get()));
+    ++core_recurrence_[p.core_fingerprint];
+    if (options_.enable_semantic_pruning && exploratory) {
+      p.relevance = GoalRelevance(*p.plan, brief);
+    }
+    prepared.push_back(std::move(p));
+  }
+
+  // 2. Decide what to execute.
+  std::vector<bool> run(prepared.size(), true);
+  for (size_t i = 0; i < prepared.size(); ++i) {
+    if (prepared[i].plan == nullptr) run[i] = false;
+  }
+  // Semantic pruning: during exploration, drop queries unrelated to the goal.
+  if (options_.enable_semantic_pruning && exploratory && !brief.text.empty()) {
+    for (size_t i = 0; i < prepared.size(); ++i) {
+      if (prepared[i].plan != nullptr &&
+          prepared[i].relevance < options_.semantic_prune_threshold) {
+        run[i] = false;
+      }
+    }
+  }
+  // Subsumption pruning (paper Sec. 5.2.1): within one exploratory probe,
+  // a query whose underlying relation (the plan beneath its root
+  // projection/sort) appears as a sub-plan of another query in the same
+  // probe adds no new information during exploration -- the larger query's
+  // answer covers it. Only applied to exploratory briefs.
+  std::vector<size_t> subsumed_by(prepared.size(), SIZE_MAX);
+  if (options_.enable_satisficing && exploratory && prepared.size() > 1) {
+    std::vector<uint64_t> roots(prepared.size(), 0);
+    std::vector<std::vector<uint64_t>> subs(prepared.size());
+    for (size_t i = 0; i < prepared.size(); ++i) {
+      if (prepared[i].plan == nullptr) continue;
+      roots[i] = CanonicalPlanFingerprint(*CoreOf(prepared[i].plan.get()));
+      for (const SubplanInfo& s : EnumerateSubplans(*prepared[i].plan)) {
+        subs[i].push_back(s.canonical_fingerprint);
+      }
+    }
+    for (size_t i = 0; i < prepared.size(); ++i) {
+      if (prepared[i].plan == nullptr || !run[i]) continue;
+      for (size_t j = 0; j < prepared.size(); ++j) {
+        if (i == j || prepared[j].plan == nullptr || !run[j]) continue;
+        if (roots[i] == roots[j]) {
+          // Semantically identical queries: keep the first occurrence.
+          if (j < i) {
+            run[i] = false;
+            subsumed_by[i] = j;
+            break;
+          }
+          continue;
+        }
+        bool contained = false;
+        for (uint64_t s : subs[j]) {
+          if (s == roots[i]) {
+            contained = true;
+            break;
+          }
+        }
+        if (contained) {
+          run[i] = false;
+          subsumed_by[i] = j;
+          break;
+        }
+      }
+    }
+  }
+
+  // Cross-turn dropping (paper Sec. 5.2.2): if this agent already received
+  // an answer over the same core relation in an earlier turn, an exploratory
+  // re-ask adds no new information; skip it and point at the earlier query.
+  std::vector<const std::string*> covered_by_turn(prepared.size(), nullptr);
+  if (options_.enable_satisficing && exploratory && !probe.agent_id.empty()) {
+    auto& answered = answered_cores_[probe.agent_id];
+    for (size_t i = 0; i < prepared.size(); ++i) {
+      if (!run[i] || prepared[i].plan == nullptr) continue;
+      auto it = answered.find(prepared[i].core_fingerprint);
+      // Identical full queries fall through to the memory short-circuit,
+      // which can return the actual cached rows; only *variants* are
+      // dropped here.
+      if (it != answered.end() && it->second != prepared[i].sql) {
+        run[i] = false;
+        covered_by_turn[i] = &it->second;
+      }
+    }
+  }
+
+  // Cost budget: during exploration, shed the least useful-per-cost queries
+  // until the probe fits the declared computational budget.
+  std::vector<bool> over_budget(prepared.size(), false);
+  if (options_.enable_satisficing && brief.cost_budget > 0.0 && exploratory) {
+    double total = 0.0;
+    std::vector<size_t> runnable;
+    for (size_t i = 0; i < prepared.size(); ++i) {
+      if (run[i] && prepared[i].plan != nullptr) {
+        total += prepared[i].cost;
+        runnable.push_back(i);
+      }
+    }
+    std::sort(runnable.begin(), runnable.end(), [&](size_t a, size_t b) {
+      double ua = prepared[a].relevance / (1.0 + prepared[a].cost);
+      double ub = prepared[b].relevance / (1.0 + prepared[b].cost);
+      return ua < ub;  // least useful-per-cost first (shed order)
+    });
+    for (size_t idx : runnable) {
+      if (total <= brief.cost_budget) break;
+      run[idx] = false;
+      over_budget[idx] = true;
+      total -= prepared[idx].cost;
+    }
+  }
+
+  // k-of-n satisficing: keep the k most useful-per-cost runnable queries.
+  if (options_.enable_satisficing && brief.k_of_n > 0) {
+    std::vector<size_t> candidates;
+    for (size_t i = 0; i < prepared.size(); ++i) {
+      if (run[i] && prepared[i].plan != nullptr) candidates.push_back(i);
+    }
+    if (candidates.size() > brief.k_of_n) {
+      std::sort(candidates.begin(), candidates.end(), [&](size_t a, size_t b) {
+        double ua = prepared[a].relevance / (1.0 + prepared[a].cost);
+        double ub = prepared[b].relevance / (1.0 + prepared[b].cost);
+        return ua > ub;
+      });
+      for (size_t j = brief.k_of_n; j < candidates.size(); ++j) {
+        run[candidates[j]] = false;
+      }
+    }
+  }
+
+  // 3. Pick the approximation level.
+  double sample_rate = 1.0;
+  if (options_.enable_aqp && !wants_exact) {
+    if (brief.max_relative_error > 0.0) {
+      double max_rows = 1.0;
+      for (const Prepared& p : prepared) {
+        if (p.plan != nullptr) max_rows = std::max(max_rows, p.cost);
+      }
+      sample_rate = ChooseSampleRate(max_rows, brief.max_relative_error);
+      // Sampling only pays off when it skips real work.
+      if (sample_rate > 0.9) sample_rate = 1.0;
+    } else if (exploratory) {
+      // Only approximate when the work is worth saving.
+      double total_cost = 0.0;
+      for (size_t i = 0; i < prepared.size(); ++i) {
+        if (run[i]) total_cost += prepared[i].cost;
+      }
+      if (total_cost > options_.exploration_cost_threshold) {
+        sample_rate = options_.exploration_sample_rate;
+      }
+    }
+  }
+
+  // 4. Execute (memory short-circuit first, then shared batch execution).
+  size_t rows_produced_total = 0;
+  bool termination_fired = false;
+  std::vector<PlanPtr> plans_for_steering;
+  response.answers.resize(prepared.size());
+  for (size_t i = 0; i < prepared.size(); ++i) {
+    QueryAnswer& answer = response.answers[i];
+    answer.sql = prepared[i].sql;
+    answer.estimated_cost = prepared[i].cost;
+    answer.estimated_rows = prepared[i].rows;
+    plans_for_steering.push_back(prepared[i].plan);
+
+    if (prepared[i].plan == nullptr) {
+      answer.status = prepared[i].bind_status;
+      continue;
+    }
+    response.total_estimated_cost += prepared[i].cost;
+    // Dry run: report the plan and estimates without touching data.
+    if (probe.dry_run) {
+      answer.status = Status::OK();
+      answer.skipped = true;
+      answer.skip_reason = "dry run: plan and cost estimate only";
+      answer.plan_text = prepared[i].plan->ToString();
+      continue;
+    }
+    if (!run[i]) {
+      answer.skipped = true;
+      if (subsumed_by[i] != SIZE_MAX) {
+        answer.skip_reason = "subsumed: query " + std::to_string(subsumed_by[i]) +
+                             " computes this as a sub-plan";
+      } else if (covered_by_turn[i] != nullptr) {
+        answer.skip_reason = "covered by your earlier probe: " + *covered_by_turn[i];
+      } else if (over_budget[i]) {
+        answer.skip_reason = "shed: probe cost budget exhausted";
+      } else if (prepared[i].relevance < options_.semantic_prune_threshold) {
+        answer.skip_reason = "pruned: not relevant to the stated goal";
+      } else {
+        answer.skip_reason = "satisficing: covered by the answered subset";
+      }
+      ++metrics_.queries_skipped;
+      metrics_.skipped_cost += prepared[i].cost;
+      continue;
+    }
+    // Termination criteria: enough rows produced, or the agent-defined
+    // stop_when function fired on an earlier result.
+    if (options_.enable_satisficing &&
+        (termination_fired ||
+         (brief.enough_rows_total > 0 &&
+          rows_produced_total >= brief.enough_rows_total))) {
+      answer.skipped = true;
+      answer.skip_reason = termination_fired
+                               ? "termination criterion met: stop_when fired"
+                               : "termination criterion met: enough rows produced";
+      ++metrics_.queries_skipped;
+      metrics_.skipped_cost += prepared[i].cost;
+      continue;
+    }
+
+    // Memory short-circuit: identical plan answered before (and not stale;
+    // the fingerprint embeds table data versions, so version changes miss).
+    // An approximate cached answer satisfies any brief except one demanding
+    // exactness.
+    if (options_.enable_memory && memory_ != nullptr) {
+      std::string key = "probe_result:" + std::to_string(prepared[i].fingerprint);
+      auto hit = memory_->GetExact(key, probe.agent_id);
+      if (hit.has_value() && hit->artifact->result != nullptr && !hit->stale &&
+          (!hit->artifact->result->approximate || !wants_exact)) {
+        answer.status = Status::OK();
+        answer.result = hit->artifact->result;
+        answer.from_memory = true;
+        answer.approximate = answer.result->approximate;
+        answer.sample_rate = answer.result->sample_rate;
+        rows_produced_total += answer.result->rows.size();
+        ++metrics_.queries_from_memory;
+        if (!probe.agent_id.empty()) {
+          answered_cores_[probe.agent_id].emplace(prepared[i].core_fingerprint,
+                                                  prepared[i].sql);
+        }
+        continue;
+      }
+    }
+
+    // Invest heuristic: a relation asked about repeatedly deserves one exact
+    // answer that future probes reuse, even if this brief tolerates error.
+    double effective_rate = sample_rate;
+    if (effective_rate < 1.0 && options_.invest_threshold > 0 &&
+        core_recurrence_[prepared[i].core_fingerprint] >=
+            options_.invest_threshold) {
+      effective_rate = 1.0;
+    }
+
+    ExecOptions exec_options;
+    exec_options.sample_rate = effective_rate;
+    exec_options.cache = options_.enable_mqo ? batch_.cache() : nullptr;
+
+    if (effective_rate < 1.0) {
+      auto approx = ExecuteApproximate(*prepared[i].plan, effective_rate, exec_options);
+      if (!approx.ok()) {
+        answer.status = approx.status();
+        continue;
+      }
+      answer.result = approx->result;
+      answer.approximate = true;
+      answer.sample_rate = approx->sample_rate;
+      answer.relative_ci95 = approx->relative_ci95;
+      ++metrics_.queries_approximate;
+    } else {
+      auto results = batch_.ExecuteBatch({prepared[i].plan});
+      if (!results[0].ok()) {
+        answer.status = results[0].status();
+        continue;
+      }
+      answer.result = *results[0];
+    }
+    answer.status = Status::OK();
+    rows_produced_total += answer.result->rows.size();
+    if (!probe.agent_id.empty()) {
+      answered_cores_[probe.agent_id].emplace(prepared[i].core_fingerprint,
+                                              prepared[i].sql);
+    }
+    if (brief.stop_when && answer.result != nullptr &&
+        brief.stop_when(*answer.result)) {
+      termination_fired = true;
+    }
+    ++metrics_.queries_executed;
+    // Sampled execution touches roughly cost * rate rows.
+    double effective_cost =
+        prepared[i].cost * (answer.approximate ? answer.sample_rate : 1.0);
+    metrics_.executed_cost += effective_cost;
+    response.total_executed_cost += effective_cost;
+
+    // Record the answer as a memory artifact for future probes (approximate
+    // answers are stored too, flagged by their result's sample_rate).
+    if (options_.enable_memory && memory_ != nullptr) {
+      MemoryArtifact artifact;
+      artifact.kind = ArtifactKind::kProbeResult;
+      artifact.key = "probe_result:" + std::to_string(prepared[i].fingerprint);
+      artifact.content = prepared[i].sql;
+      artifact.result = answer.result;
+      artifact.table_deps = ReferencedTables(*prepared[i].plan);
+      artifact.owner = probe.agent_id;
+      memory_->Put(std::move(artifact));
+    }
+  }
+
+  // 5. Semantic discovery (beyond-SQL probe).
+  if (!probe.semantic_search_phrase.empty() && search_ != nullptr) {
+    response.discoveries =
+        search_->Search(probe.semantic_search_phrase, probe.semantic_top_k);
+  }
+
+  // 6. Steering feedback.
+  if (options_.enable_steering) {
+    auto& recent = recent_tables_[probe.agent_id];
+    response.hints = sleeper_.Analyze(probe, brief, response.answers,
+                                      plans_for_steering, recent);
+    // Update the agent's recent-table history.
+    for (const auto& p : plans_for_steering) {
+      if (p == nullptr) continue;
+      for (const std::string& t : ReferencedTables(*p)) {
+        if (std::find(recent.begin(), recent.end(), t) == recent.end()) {
+          recent.push_back(t);
+        }
+      }
+    }
+    while (recent.size() > options_.recent_tables_per_agent) {
+      recent.erase(recent.begin());
+    }
+  }
+
+  // 7. Advisors: recurring sub-plans (materialization) and hot equality
+  //    columns (adaptive indexing).
+  for (const auto& p : plans_for_steering) {
+    AdviseMaterialization(p, &response.hints);
+    AdaptiveIndexing(p, &response.hints);
+  }
+  return response;
+}
+
+void ProbeOptimizer::AdaptiveIndexing(const PlanPtr& plan,
+                                      std::vector<Hint>* hints) {
+  if (options_.auto_index_threshold == 0 || plan == nullptr) return;
+  // Collect equality conjuncts of every scan's pushed-down filter.
+  std::function<void(const PlanNode&)> walk = [&](const PlanNode& node) {
+    for (const auto& c : node.children) walk(*c);
+    if (node.kind != PlanKind::kScan || node.table == nullptr ||
+        node.scan_filter == nullptr) {
+      return;
+    }
+    std::vector<BoundExprPtr> conjuncts = SplitConjuncts(node.scan_filter->Clone());
+    for (const auto& conjunct : conjuncts) {
+      if (conjunct->kind != BoundExprKind::kBinary ||
+          conjunct->bin_op != BinaryOp::kEq) {
+        continue;
+      }
+      const BoundExpr* col = nullptr;
+      if (conjunct->children[0]->kind == BoundExprKind::kColumn &&
+          conjunct->children[1]->kind == BoundExprKind::kLiteral) {
+        col = conjunct->children[0].get();
+      } else if (conjunct->children[1]->kind == BoundExprKind::kColumn &&
+                 conjunct->children[0]->kind == BoundExprKind::kLiteral) {
+        col = conjunct->children[1].get();
+      }
+      if (col == nullptr ||
+          col->column_index >= node.table->schema().NumColumns()) {
+        continue;
+      }
+      const std::string& column_name =
+          node.table->schema().column(col->column_index).name;
+      auto key = std::make_pair(node.table_name, column_name);
+      size_t count = ++eq_predicate_counts_[key];
+      if (count >= options_.auto_index_threshold &&
+          !catalog_->HasIndex(node.table_name, column_name)) {
+        if (catalog_->CreateIndex(node.table_name, column_name).ok()) {
+          hints->push_back(Hint{
+              HintKind::kSchemaGuidance,
+              "equality probes against " + node.table_name + "." + column_name +
+                  " recurred " + std::to_string(count) +
+                  " times; an index was auto-created, so such lookups are now "
+                  "cheap",
+              0.5});
+        }
+      }
+    }
+  };
+  walk(*plan);
+}
+
+}  // namespace agentfirst

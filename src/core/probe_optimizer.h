@@ -1,0 +1,128 @@
+#ifndef AGENTFIRST_CORE_PROBE_OPTIMIZER_H_
+#define AGENTFIRST_CORE_PROBE_OPTIMIZER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "core/brief_interpreter.h"
+#include "core/probe.h"
+#include "core/semantic_search.h"
+#include "core/steering.h"
+#include "memory/memory_store.h"
+#include "opt/mqo.h"
+
+namespace agentfirst {
+
+/// The satisficing probe optimizer (paper Sec. 5): decides *what* to execute
+/// (admission control by phase, semantic pruning against the goal, k-of-n
+/// satisficing, memory-store short-circuiting) and *how* (approximation
+/// level chosen from phase/accuracy, multi-query shared execution), then
+/// invokes the sleeper agent for steering feedback.
+class ProbeOptimizer {
+ public:
+  struct Options {
+    bool enable_mqo = true;          // shared sub-plan cache across probes
+    bool enable_aqp = true;          // sampling for exploratory phases
+    bool enable_memory = true;       // read/write the agentic memory store
+    bool enable_steering = true;     // sleeper-agent hints
+    bool enable_semantic_pruning = true;
+    bool enable_rewrites = true;     // rule-based plan rewrites
+    /// Honor briefs' satisficing directives (k-of-n, termination criteria).
+    /// Disabled by the classical-database baseline in the benches.
+    bool enable_satisficing = true;
+    /// Sampling rate used for exploratory probes when the brief gives no
+    /// explicit accuracy and the estimated cost is above
+    /// `exploration_cost_threshold`.
+    double exploration_sample_rate = 0.05;
+    double exploration_cost_threshold = 20000.0;
+    /// Queries whose goal-relevance falls below this are pruned during
+    /// exploration (only when the brief carries goal text).
+    double semantic_prune_threshold = 0.05;
+    size_t recent_tables_per_agent = 8;
+    /// Materialization advisor (paper Sec. 5.2.2): when a join/aggregate
+    /// sub-plan recurs this many times across probes, its result is pinned
+    /// in the shared cache and a hint is emitted. 0 disables the advisor.
+    size_t materialization_threshold = 3;
+    /// Invest heuristic (paper Sec. 5.2.2): once the same underlying
+    /// relation has been asked about this many times, answer exactly even
+    /// when the brief would allow approximation -- the exact result enters
+    /// the memory store and pays itself back across future turns.
+    /// 0 disables.
+    size_t invest_threshold = 3;
+    /// Adaptive indexing (paper Sec. 6: static tuning fails on dynamic
+    /// agentic workloads, so the system tunes itself): after this many
+    /// equality probes against the same column, a hash index is created
+    /// automatically and announced via a hint. 0 disables.
+    size_t auto_index_threshold = 4;
+  };
+
+  struct Metrics {
+    uint64_t probes = 0;
+    uint64_t queries_submitted = 0;
+    uint64_t queries_executed = 0;
+    uint64_t queries_skipped = 0;
+    uint64_t queries_from_memory = 0;
+    uint64_t queries_approximate = 0;
+    double executed_cost = 0.0;
+    double skipped_cost = 0.0;  // estimated cost avoided by satisficing
+    uint64_t materialization_suggestions = 0;
+  };
+
+  ProbeOptimizer(Catalog* catalog, AgenticMemoryStore* memory,
+                 SemanticCatalogSearch* search)
+      : ProbeOptimizer(catalog, memory, search, Options()) {}
+  ProbeOptimizer(Catalog* catalog, AgenticMemoryStore* memory,
+                 SemanticCatalogSearch* search, Options options);
+
+  /// Answers a probe end-to-end. Per-query errors are reported inside the
+  /// response; only catastrophic failures return a non-OK status.
+  Result<ProbeResponse> Process(const Probe& probe);
+
+  /// Answers a batch of concurrently submitted probes (paper Sec. 5.2.1):
+  /// admission control orders them by brief priority, then by phase
+  /// (validation > formulation > statistics > metadata), and the shared
+  /// sub-plan cache plus the memory store absorb cross-probe redundancy.
+  /// Responses are returned in the submission order.
+  Result<std::vector<ProbeResponse>> ProcessBatch(const std::vector<Probe>& probes);
+
+  const Metrics& metrics() const { return metrics_; }
+  SharingStats sharing_stats() const { return batch_.stats(); }
+  void InvalidateCaches() { batch_.InvalidateCache(); }
+
+ private:
+  double GoalRelevance(const PlanNode& plan, const Brief& brief);
+  /// Tracks recurring expensive sub-plans; emits hints on recurrence.
+  void AdviseMaterialization(const PlanPtr& plan, std::vector<Hint>* hints);
+  /// Tracks equality predicates per column; auto-creates hash indexes on hot
+  /// columns and announces them.
+  void AdaptiveIndexing(const PlanPtr& plan, std::vector<Hint>* hints);
+
+  Catalog* catalog_;
+  AgenticMemoryStore* memory_;
+  SemanticCatalogSearch* search_;
+  Options options_;
+  BriefInterpreter interpreter_;
+  BatchExecutor batch_;
+  SleeperAgent sleeper_;
+  Metrics metrics_;
+  // Per-agent recently touched tables (batching suggestions).
+  std::map<std::string, std::vector<std::string>> recent_tables_;
+  // Materialization advisor state: canonical sub-plan fingerprint ->
+  // (occurrences, already suggested).
+  std::map<uint64_t, std::pair<size_t, bool>> subplan_recurrence_;
+  // Invest heuristic state: canonical core-relation fingerprint -> times a
+  // probe asked about that relation.
+  std::map<uint64_t, size_t> core_recurrence_;
+  // Cross-turn dropping state (paper Sec. 5.2.2): per agent, the core
+  // relations it has already received answers over, with the covering SQL.
+  std::map<std::string, std::map<uint64_t, std::string>> answered_cores_;
+  // Adaptive-indexing state: (table, column name) -> equality-probe count.
+  std::map<std::pair<std::string, std::string>, size_t> eq_predicate_counts_;
+};
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_CORE_PROBE_OPTIMIZER_H_

@@ -1,0 +1,85 @@
+#include "core/semantic_search.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace agentfirst {
+
+void SemanticCatalogSearch::RebuildIfStale() {
+  uint64_t data_fp = 0;
+  for (const std::string& name : catalog_->ListTables()) {
+    auto table = catalog_->GetTable(name);
+    if (table.ok()) {
+      data_fp = HashCombine(data_fp, HashString(name));
+      data_fp = HashCombine(data_fp, HashInt((*table)->data_version()));
+    }
+  }
+  if (indexed_schema_version_ == catalog_->schema_version() &&
+      indexed_data_fingerprint_ == data_fp) {
+    return;
+  }
+
+  items_.clear();
+  embeddings_.clear();
+  for (const std::string& name : catalog_->ListTables()) {
+    auto table = catalog_->GetTable(name);
+    if (!table.ok()) continue;
+    items_.push_back({SemanticMatch::Kind::kTable, name, "", name});
+    embeddings_.push_back(EmbedText(name));
+    const Schema& schema = (*table)->schema();
+    auto stats = catalog_->GetStats(name);
+    for (size_t c = 0; c < schema.NumColumns(); ++c) {
+      const std::string& col = schema.column(c).name;
+      items_.push_back({SemanticMatch::Kind::kColumn, name, col, col});
+      // Embed table+column together so "sales state" ranks sales.state high.
+      embeddings_.push_back(EmbedText(name + " " + col));
+      // Sampled string values become searchable content.
+      if (stats.ok() && c < (*stats)->columns.size() &&
+          schema.column(c).type == DataType::kString) {
+        std::vector<std::string> seen;
+        for (const Value& v : (*stats)->columns[c].sample) {
+          if (v.is_null()) continue;
+          const std::string& s = v.string_value();
+          if (std::find(seen.begin(), seen.end(), s) != seen.end()) continue;
+          seen.push_back(s);
+          if (seen.size() > 16) break;
+          items_.push_back({SemanticMatch::Kind::kValue, name, col, s});
+          embeddings_.push_back(EmbedText(s));
+        }
+      }
+    }
+  }
+  indexed_schema_version_ = catalog_->schema_version();
+  indexed_data_fingerprint_ = data_fp;
+}
+
+std::vector<SemanticMatch> SemanticCatalogSearch::Search(const std::string& phrase,
+                                                         size_t k,
+                                                         double min_score) {
+  RebuildIfStale();
+  Embedding q = EmbedText(phrase);
+  std::vector<std::pair<double, size_t>> scored;
+  for (size_t i = 0; i < items_.size(); ++i) {
+    double s = CosineSimilarity(q, embeddings_[i]);
+    if (s >= min_score) scored.emplace_back(s, i);
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  std::vector<SemanticMatch> out;
+  for (const auto& [score, i] : scored) {
+    if (out.size() >= k) break;
+    SemanticMatch m;
+    m.kind = items_[i].kind;
+    m.table = items_[i].table;
+    m.column = items_[i].column;
+    m.text = items_[i].text;
+    m.score = score;
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace agentfirst

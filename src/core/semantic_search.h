@@ -1,0 +1,53 @@
+#ifndef AGENTFIRST_CORE_SEMANTIC_SEARCH_H_
+#define AGENTFIRST_CORE_SEMANTIC_SEARCH_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "core/probe.h"
+#include "embed/embedding.h"
+
+namespace agentfirst {
+
+/// Semantic similarity operators over *anything* in the database (paper
+/// Sec. 4.1 "Extending Capabilities through Flexible Probes"): table names,
+/// column names, and sampled cell values are embedded and searchable with a
+/// free-text phrase — the capability SQL's LIKE cannot express.
+///
+/// The index is rebuilt lazily whenever the catalog's schema version or any
+/// table's data version changes.
+class SemanticCatalogSearch {
+ public:
+  explicit SemanticCatalogSearch(Catalog* catalog) : catalog_(catalog) {}
+
+  /// Top-k matches for the phrase across tables, columns, and sampled
+  /// values. `min_score` filters weak matches.
+  std::vector<SemanticMatch> Search(const std::string& phrase, size_t k,
+                                    double min_score = 0.2);
+
+  /// Force an index rebuild on next search.
+  void Invalidate() { indexed_schema_version_ = ~0ULL; }
+
+  size_t IndexedItems() const { return items_.size(); }
+
+ private:
+  struct Item {
+    SemanticMatch::Kind kind;
+    std::string table;
+    std::string column;
+    std::string text;
+  };
+
+  void RebuildIfStale();
+
+  Catalog* catalog_;
+  uint64_t indexed_schema_version_ = ~0ULL;
+  uint64_t indexed_data_fingerprint_ = 0;
+  std::vector<Item> items_;
+  std::vector<Embedding> embeddings_;
+};
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_CORE_SEMANTIC_SEARCH_H_

@@ -1,0 +1,269 @@
+#include "core/steering.h"
+
+#include <algorithm>
+#include <set>
+
+#include "exec/evaluator.h"
+
+namespace agentfirst {
+
+namespace {
+void CollectTables(const PlanNode& node, std::set<std::string>* out) {
+  if (node.kind == PlanKind::kScan && node.table != nullptr) {
+    out->insert(node.table_name);
+  }
+  for (const auto& c : node.children) CollectTables(*c, out);
+}
+}  // namespace
+
+std::vector<std::string> ReferencedTables(const PlanNode& plan) {
+  std::set<std::string> set;
+  CollectTables(plan, &set);
+  return {set.begin(), set.end()};
+}
+
+std::vector<Hint> SleeperAgent::Analyze(const Probe& probe,
+                                        const Brief& interpreted,
+                                        const std::vector<QueryAnswer>& answers,
+                                        const std::vector<PlanPtr>& plans,
+                                        const std::vector<std::string>& recent_tables) {
+  (void)probe;
+  std::vector<Hint> hints;
+
+  // Why-not analysis for queries that came back empty -- either literally
+  // (no rows) or as a lone all-zero/NULL aggregate row (COUNT(*) = 0).
+  auto looks_empty = [](const ResultSet& rs) {
+    if (rs.rows.empty()) return true;
+    if (rs.rows.size() != 1) return false;
+    for (const Value& v : rs.rows[0]) {
+      if (v.is_null()) continue;
+      if (IsNumeric(v.type()) && v.AsDouble() == 0.0) continue;
+      return false;
+    }
+    return true;
+  };
+  for (size_t i = 0; i < answers.size() && i < plans.size(); ++i) {
+    if (plans[i] == nullptr || answers[i].skipped || !answers[i].status.ok()) {
+      continue;
+    }
+    if (answers[i].result != nullptr && looks_empty(*answers[i].result)) {
+      WhyEmpty(*plans[i], &hints);
+    }
+  }
+  CostFeedback(answers, &hints);
+  RelatedTables(plans, interpreted, &hints);
+  MemoryPointers(interpreted, probe.agent_id, &hints);
+  BatchingSuggestion(plans, recent_tables, &hints);
+
+  std::stable_sort(hints.begin(), hints.end(),
+                   [](const Hint& a, const Hint& b) { return a.relevance > b.relevance; });
+  if (hints.size() > options_.max_hints) hints.resize(options_.max_hints);
+  return hints;
+}
+
+void SleeperAgent::WhyEmpty(const PlanNode& plan, std::vector<Hint>* hints) {
+  // Find scans whose pushed-down filter is the likely culprit; test each
+  // conjunct in isolation against a bounded prefix of the table.
+  if (plan.kind == PlanKind::kScan && plan.table != nullptr &&
+      plan.scan_filter != nullptr) {
+    std::vector<BoundExprPtr> conjuncts = SplitConjuncts(plan.scan_filter->Clone());
+    for (const auto& conjunct : conjuncts) {
+      size_t matches = 0;
+      size_t inspected = 0;
+      for (const auto& seg : plan.table->segments()) {
+        for (size_t r = 0; r < seg->num_rows(); ++r) {
+          if (inspected++ >= options_.why_not_row_budget) break;
+          if (EvalPredicate(*conjunct, seg->GetRow(r))) {
+            ++matches;
+            break;
+          }
+        }
+        if (matches > 0 || inspected >= options_.why_not_row_budget) break;
+      }
+      if (matches > 0) continue;
+
+      // This conjunct alone matches nothing: report it, with sample values
+      // of the referenced column so the agent can fix its encoding guess
+      // (the paper's "CA" vs "California" example).
+      std::string text = "predicate " + conjunct->ToString() + " on table " +
+                         plan.table_name + " matched no rows";
+      std::vector<size_t> cols;
+      conjunct->CollectColumns(&cols);
+      if (!cols.empty()) {
+        auto stats = catalog_->GetStats(plan.table_name);
+        if (stats.ok() && cols[0] < (*stats)->columns.size()) {
+          const ColumnStats& cs = (*stats)->columns[cols[0]];
+          std::string values;
+          size_t shown = 0;
+          for (const auto& [v, count] : cs.top_values) {
+            if (shown++ >= 4) break;
+            if (shown > 1) values += ", ";
+            values += "'" + v.ToString() + "'";
+          }
+          text += "; actual values of " + cs.column_name + " look like: " + values;
+          // Persist the discovered encoding as a shared grounding artifact
+          // so future probes (from any agent) are steered proactively.
+          if (memory_ != nullptr && !values.empty()) {
+            MemoryArtifact artifact;
+            artifact.kind = ArtifactKind::kColumnEncoding;
+            artifact.key = "encoding:" + plan.table_name + "." + cs.column_name;
+            artifact.content = "values of " + plan.table_name + "." +
+                               cs.column_name + " are encoded like " + values;
+            artifact.table_deps = {plan.table_name};
+            memory_->Put(std::move(artifact));
+          }
+        }
+      }
+      hints->push_back(Hint{HintKind::kWhyEmptyResult, text, 1.0});
+    }
+  }
+  for (const auto& c : plan.children) WhyEmpty(*c, hints);
+}
+
+void SleeperAgent::CostFeedback(const std::vector<QueryAnswer>& answers,
+                                std::vector<Hint>* hints) {
+  for (size_t i = 0; i < answers.size(); ++i) {
+    if (answers[i].estimated_cost > options_.cost_warning_threshold) {
+      hints->push_back(Hint{
+          HintKind::kCostWarning,
+          "query " + std::to_string(i) + " has estimated cost " +
+              std::to_string(static_cast<long long>(answers[i].estimated_cost)) +
+              "; consider narrowing its predicates or accepting an approximate answer",
+          0.6});
+    }
+  }
+}
+
+void SleeperAgent::RelatedTables(const std::vector<PlanPtr>& plans,
+                                 const Brief& brief, std::vector<Hint>* hints) {
+  std::set<std::string> referenced;
+  for (const auto& p : plans) {
+    if (p == nullptr) continue;
+    for (const std::string& t : ReferencedTables(*p)) referenced.insert(t);
+  }
+  // Join discovery between referenced and other tables: shared column names,
+  // plus value-inclusion between column samples (a lightweight inclusion-
+  // dependency detector a la "Finding Related Tables").
+  for (const std::string& ref : referenced) {
+    auto ref_table = catalog_->GetTable(ref);
+    auto ref_stats = catalog_->GetStats(ref);
+    if (!ref_table.ok() || !ref_stats.ok()) continue;
+    for (const std::string& other : catalog_->ListTables()) {
+      if (other == ref || referenced.count(other) > 0) continue;
+      auto other_table = catalog_->GetTable(other);
+      auto other_stats = catalog_->GetStats(other);
+      if (!other_table.ok() || !other_stats.ok()) continue;
+
+      bool suggested = false;
+      // (a) Same column name and type.
+      for (const ColumnDef& col : (*ref_table)->schema().columns()) {
+        auto idx = (*other_table)->schema().FindColumn(col.name);
+        if (idx.has_value() &&
+            (*other_table)->schema().column(*idx).type == col.type &&
+            col.name.size() > 2) {
+          hints->push_back(Hint{
+              HintKind::kJoinSuggestion,
+              "table " + other + " also has column " + col.name +
+                  " and may join with " + ref + " on it",
+              0.5});
+          suggested = true;
+          break;
+        }
+      }
+      if (suggested) continue;
+
+      // (b) Value inclusion: a ref column whose sampled values mostly appear
+      // in a key-like column of the other table.
+      const Schema& rs = (*ref_table)->schema();
+      const Schema& os = (*other_table)->schema();
+      for (size_t rc = 0; rc < rs.NumColumns() && !suggested; ++rc) {
+        const ColumnStats& rstat = (*ref_stats)->columns[rc];
+        if (rstat.sample.empty()) continue;
+        for (size_t oc = 0; oc < os.NumColumns(); ++oc) {
+          if (os.column(oc).type != rs.column(rc).type) continue;
+          const ColumnStats& ostat = (*other_stats)->columns[oc];
+          uint64_t non_null = ostat.row_count - ostat.null_count;
+          if (non_null == 0 ||
+              static_cast<double>(ostat.distinct_count) / non_null < 0.8) {
+            continue;  // not key-like
+          }
+          size_t contained = 0;
+          for (const Value& v : rstat.sample) {
+            bool found = false;
+            if (non_null <= ColumnStats::kSampleSize) {
+              // Sample covers the whole column: exact membership.
+              for (const Value& ov : ostat.sample) {
+                if (v.Equals(ov)) {
+                  found = true;
+                  break;
+                }
+              }
+            } else if (!ostat.min.is_null() && !ostat.max.is_null()) {
+              found = v.Compare(ostat.min) >= 0 && v.Compare(ostat.max) <= 0;
+            }
+            if (found) ++contained;
+          }
+          double overlap = static_cast<double>(contained) / rstat.sample.size();
+          if (overlap >= 0.5) {
+            hints->push_back(Hint{
+                HintKind::kJoinSuggestion,
+                "values of " + ref + "." + rs.column(rc).name +
+                    " appear contained in " + other + "." + os.column(oc).name +
+                    "; the tables likely join on these columns",
+                0.4 + 0.2 * overlap});
+            suggested = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  // Goal-driven related tables via semantic search.
+  if (!brief.text.empty() && search_ != nullptr) {
+    for (const SemanticMatch& m : search_->Search(brief.text, 3, 0.3)) {
+      if (m.kind == SemanticMatch::Kind::kTable && referenced.count(m.table) == 0) {
+        hints->push_back(Hint{HintKind::kRelatedTable,
+                              "table " + m.table +
+                                  " looks semantically related to your goal",
+                              m.score});
+      }
+    }
+  }
+}
+
+void SleeperAgent::MemoryPointers(const Brief& brief, const std::string& agent_id,
+                                  std::vector<Hint>* hints) {
+  if (memory_ == nullptr || brief.text.empty()) return;
+  for (const MemoryHit& hit : memory_->Search(brief.text, 3, agent_id, 0.35)) {
+    std::string text = std::string("memory artifact [") +
+                       ArtifactKindName(hit.artifact->kind) + "] " +
+                       hit.artifact->key;
+    if (!hit.artifact->content.empty()) text += ": " + hit.artifact->content;
+    if (hit.stale) text += " (may be stale)";
+    HintKind kind = hit.artifact->kind == ArtifactKind::kProbeResult
+                        ? HintKind::kCachedAnswer
+                        : (hit.artifact->kind == ArtifactKind::kColumnEncoding
+                               ? HintKind::kEncodingNote
+                               : HintKind::kSchemaGuidance);
+    hints->push_back(Hint{kind, text, hit.score});
+  }
+}
+
+void SleeperAgent::BatchingSuggestion(const std::vector<PlanPtr>& plans,
+                                      const std::vector<std::string>& recent_tables,
+                                      std::vector<Hint>* hints) {
+  if (plans.size() != 1 || plans[0] == nullptr || recent_tables.empty()) return;
+  for (const std::string& t : ReferencedTables(*plans[0])) {
+    if (std::find(recent_tables.begin(), recent_tables.end(), t) !=
+        recent_tables.end()) {
+      hints->push_back(Hint{
+          HintKind::kBatchingSuggestion,
+          "you have issued several sequential probes over table " + t +
+              "; batching them into one probe lets the system share work",
+          0.4});
+      return;
+    }
+  }
+}
+
+}  // namespace agentfirst

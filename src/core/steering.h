@@ -1,0 +1,70 @@
+#ifndef AGENTFIRST_CORE_STEERING_H_
+#define AGENTFIRST_CORE_STEERING_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "core/probe.h"
+#include "core/semantic_search.h"
+#include "memory/memory_store.h"
+#include "plan/logical_plan.h"
+
+namespace agentfirst {
+
+/// The in-database "sleeper agent" (paper Sec. 4.2): runs alongside probe
+/// answering and produces proactive grounding as a side channel — why-not
+/// analysis of empty results, related-table/join discovery, cost feedback,
+/// batching suggestions, and pointers to memory artifacts that already
+/// answer the question. Deterministic (no LLM), same interface an LLM-backed
+/// deployment would use.
+class SleeperAgent {
+ public:
+  struct Options {
+    double cost_warning_threshold = 250000.0;
+    size_t why_not_row_budget = 4096;  // rows inspected per why-not analysis
+    size_t max_hints = 8;
+  };
+
+  // Two overloads instead of a defaulted Options argument: GCC rejects
+  // default arguments that require a nested class's member initializers
+  // before the enclosing class is complete.
+  SleeperAgent(Catalog* catalog, AgenticMemoryStore* memory,
+               SemanticCatalogSearch* search)
+      : catalog_(catalog), memory_(memory), search_(search) {}
+  SleeperAgent(Catalog* catalog, AgenticMemoryStore* memory,
+               SemanticCatalogSearch* search, Options options)
+      : catalog_(catalog), memory_(memory), search_(search), options_(options) {}
+
+  /// Produces hints for a just-answered probe. `plans` is parallel to
+  /// `answers` (null for queries that failed to bind). `recent_tables` are
+  /// tables this agent touched in its previous probes (batching detection).
+  std::vector<Hint> Analyze(const Probe& probe, const Brief& interpreted,
+                            const std::vector<QueryAnswer>& answers,
+                            const std::vector<PlanPtr>& plans,
+                            const std::vector<std::string>& recent_tables);
+
+ private:
+  void WhyEmpty(const PlanNode& plan, std::vector<Hint>* hints);
+  void RelatedTables(const std::vector<PlanPtr>& plans, const Brief& brief,
+                     std::vector<Hint>* hints);
+  void CostFeedback(const std::vector<QueryAnswer>& answers,
+                    std::vector<Hint>* hints);
+  void MemoryPointers(const Brief& brief, const std::string& agent_id,
+                      std::vector<Hint>* hints);
+  void BatchingSuggestion(const std::vector<PlanPtr>& plans,
+                          const std::vector<std::string>& recent_tables,
+                          std::vector<Hint>* hints);
+
+  Catalog* catalog_;
+  AgenticMemoryStore* memory_;
+  SemanticCatalogSearch* search_;
+  Options options_;
+};
+
+/// Collects the base-table names referenced by a plan.
+std::vector<std::string> ReferencedTables(const PlanNode& plan);
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_CORE_STEERING_H_

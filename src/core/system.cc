@@ -1,0 +1,49 @@
+#include "core/system.h"
+
+namespace agentfirst {
+
+AgentFirstSystem::AgentFirstSystem(Options options)
+    : engine_(&catalog_),
+      memory_(&catalog_, options.memory),
+      search_(&catalog_),
+      optimizer_(&catalog_, &memory_, &search_, options.optimizer) {}
+
+Result<ResultSetPtr> AgentFirstSystem::ExecuteSql(const std::string& sql) {
+  auto result = engine_.ExecuteSql(sql);
+  return result;
+}
+
+Result<ProbeResponse> AgentFirstSystem::HandleProbe(const Probe& probe) {
+  Probe numbered = probe;
+  if (numbered.id == 0) numbered.id = next_probe_id_++;
+  return optimizer_.Process(numbered);
+}
+
+Result<std::vector<ProbeResponse>> AgentFirstSystem::HandleProbeBatch(
+    std::vector<Probe> probes) {
+  for (Probe& p : probes) {
+    if (p.id == 0) p.id = next_probe_id_++;
+  }
+  return optimizer_.ProcessBatch(probes);
+}
+
+Status AgentFirstSystem::EnableBranching(const std::string& table_name) {
+  AF_ASSIGN_OR_RETURN(TablePtr table, catalog_.GetTable(table_name));
+  return branches_.ImportTable(*table);
+}
+
+Result<ResultSetPtr> AgentFirstSystem::QueryBranch(uint64_t branch,
+                                                   const std::string& sql) {
+  if (!branches_.HasBranch(branch)) {
+    return Status::NotFound("no such branch: " + std::to_string(branch));
+  }
+  Catalog scratch;
+  for (const std::string& name : branches_.TableNames()) {
+    AF_ASSIGN_OR_RETURN(TablePtr view, branches_.MaterializeTable(branch, name));
+    AF_RETURN_IF_ERROR(scratch.RegisterTable(view));
+  }
+  Engine engine(&scratch);
+  return engine.ExecuteSql(sql);
+}
+
+}  // namespace agentfirst

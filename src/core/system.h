@@ -1,0 +1,76 @@
+#ifndef AGENTFIRST_CORE_SYSTEM_H_
+#define AGENTFIRST_CORE_SYSTEM_H_
+
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "core/probe.h"
+#include "core/probe_optimizer.h"
+#include "core/semantic_search.h"
+#include "exec/engine.h"
+#include "memory/memory_store.h"
+#include "txn/branch_manager.h"
+
+namespace agentfirst {
+
+/// The agent-first data system facade (paper Fig. 4): one object wiring the
+/// catalog + SQL engine substrate to the agent-first components — probe
+/// interpreter/optimizer, sleeper-agent steering, semantic catalog search,
+/// agentic memory store, and the branched transaction manager.
+///
+///   AgentFirstSystem db;
+///   db.ExecuteSql("CREATE TABLE sales (...)");
+///   Probe probe;
+///   probe.queries = {"SELECT ..."};
+///   probe.brief.text = "exploring which table holds coffee sales";
+///   auto response = db.HandleProbe(probe);
+class AgentFirstSystem {
+ public:
+  struct Options {
+    ProbeOptimizer::Options optimizer;
+    AgenticMemoryStore::Options memory;
+  };
+
+  AgentFirstSystem() : AgentFirstSystem(Options()) {}
+  explicit AgentFirstSystem(Options options);
+
+  /// Plain SQL path (also usable by agents for DDL/DML).
+  Result<ResultSetPtr> ExecuteSql(const std::string& sql);
+
+  /// The agent-first path: answers + steering + discovery.
+  Result<ProbeResponse> HandleProbe(const Probe& probe);
+
+  /// Batch submission with admission control (priority, then phase) and
+  /// cross-probe sharing. Responses come back in submission order.
+  Result<std::vector<ProbeResponse>> HandleProbeBatch(std::vector<Probe> probes);
+
+  /// Imports a catalog table into the branch manager so agents can run
+  /// branched what-if updates on it.
+  Status EnableBranching(const std::string& table_name);
+
+  /// Runs a SELECT against a hypothetical world: the branch's tables are
+  /// materialized (zero-copy) into a scratch catalog and queried there. The
+  /// main catalog and other branches are never visible to the query.
+  Result<ResultSetPtr> QueryBranch(uint64_t branch, const std::string& sql);
+
+  Catalog* catalog() { return &catalog_; }
+  Engine* engine() { return &engine_; }
+  AgenticMemoryStore* memory() { return &memory_; }
+  BranchManager* branches() { return &branches_; }
+  SemanticCatalogSearch* semantic_search() { return &search_; }
+  ProbeOptimizer* optimizer() { return &optimizer_; }
+
+ private:
+  Catalog catalog_;
+  Engine engine_;
+  AgenticMemoryStore memory_;
+  SemanticCatalogSearch search_;
+  ProbeOptimizer optimizer_;
+  BranchManager branches_;
+  uint64_t next_probe_id_ = 1;
+};
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_CORE_SYSTEM_H_

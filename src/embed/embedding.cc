@@ -1,0 +1,61 @@
+#include "embed/embedding.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/str_util.h"
+
+namespace agentfirst {
+
+namespace {
+void AccumulateFeature(std::string_view feature, float weight, Embedding* vec) {
+  uint64_t h = HashString(feature);
+  size_t idx = h % kEmbeddingDim;
+  float sign = ((h >> 32) & 1) != 0 ? 1.0f : -1.0f;
+  (*vec)[idx] += sign * weight;
+}
+}  // namespace
+
+Embedding EmbedText(std::string_view text) {
+  Embedding vec(kEmbeddingDim, 0.0f);
+  std::string lower = ToLower(text);
+  // Character trigrams over the padded text (captures morphology: "sales" ~
+  // "sale", "store_id" ~ "stores").
+  std::string padded = "^" + lower + "$";
+  for (size_t i = 0; i + 3 <= padded.size(); ++i) {
+    AccumulateFeature(std::string_view(padded).substr(i, 3), 1.0f, &vec);
+  }
+  // Word unigrams (split on whitespace and '_' so identifiers decompose),
+  // weighted higher than trigrams.
+  std::string wordified = lower;
+  for (char& c : wordified) {
+    if (c == '_' || c == '.' || c == '-' || c == ',') c = ' ';
+  }
+  for (const std::string& word : SplitWords(wordified)) {
+    AccumulateFeature(word, 3.0f, &vec);
+  }
+  // L2 normalize.
+  double norm = 0.0;
+  for (float v : vec) norm += static_cast<double>(v) * v;
+  if (norm > 0.0) {
+    float inv = static_cast<float>(1.0 / std::sqrt(norm));
+    for (float& v : vec) v *= inv;
+  }
+  return vec;
+}
+
+double CosineSimilarity(const Embedding& a, const Embedding& b) {
+  if (a.size() != b.size()) return 0.0;
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+}  // namespace agentfirst

@@ -1,0 +1,26 @@
+#ifndef AGENTFIRST_EMBED_EMBEDDING_H_
+#define AGENTFIRST_EMBED_EMBEDDING_H_
+
+#include <string_view>
+#include <vector>
+
+namespace agentfirst {
+
+/// Dimensionality of the deterministic text embedding.
+inline constexpr size_t kEmbeddingDim = 64;
+
+using Embedding = std::vector<float>;
+
+/// Deterministic text embedding standing in for a learned model: hashed
+/// character trigrams plus hashed word unigrams, signed and L2-normalized.
+/// Similar strings (shared substrings/words) land near each other, which is
+/// the property the semantic operators and the memory store rely on.
+/// Case-insensitive; returns a zero vector for empty text.
+Embedding EmbedText(std::string_view text);
+
+/// Cosine similarity in [-1, 1]; 0 if either vector is zero.
+double CosineSimilarity(const Embedding& a, const Embedding& b);
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_EMBED_EMBEDDING_H_

@@ -1,0 +1,126 @@
+#include "embed/vector_index.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace agentfirst {
+
+namespace {
+void KeepTopK(std::vector<VectorSearchHit>* hits, size_t k) {
+  std::sort(hits->begin(), hits->end(), [](const auto& a, const auto& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  });
+  if (hits->size() > k) hits->resize(k);
+}
+}  // namespace
+
+void FlatVectorIndex::Add(uint64_t id, Embedding vec) {
+  ids_.push_back(id);
+  vectors_.push_back(std::move(vec));
+}
+
+std::vector<VectorSearchHit> FlatVectorIndex::TopK(const Embedding& query,
+                                                   size_t k) const {
+  std::vector<VectorSearchHit> hits;
+  hits.reserve(ids_.size());
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    hits.push_back({ids_[i], CosineSimilarity(query, vectors_[i])});
+  }
+  KeepTopK(&hits, k);
+  return hits;
+}
+
+void IvfVectorIndex::Add(uint64_t id, Embedding vec) {
+  ids_.push_back(id);
+  vectors_.push_back(std::move(vec));
+  built_ = false;
+}
+
+Status IvfVectorIndex::Build() {
+  if (vectors_.empty()) return Status::InvalidArgument("no vectors to index");
+  size_t nlist = std::min(nlist_, vectors_.size());
+  Rng rng(seed_);
+
+  // Initialize centroids with distinct random vectors.
+  std::vector<size_t> perm(vectors_.size());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  rng.Shuffle(&perm);
+  centroids_.assign(nlist, Embedding());
+  for (size_t c = 0; c < nlist; ++c) centroids_[c] = vectors_[perm[c]];
+
+  std::vector<size_t> assignment(vectors_.size(), 0);
+  constexpr int kIterations = 8;
+  for (int iter = 0; iter < kIterations; ++iter) {
+    // Assign.
+    for (size_t i = 0; i < vectors_.size(); ++i) {
+      double best = -2.0;
+      size_t best_c = 0;
+      for (size_t c = 0; c < nlist; ++c) {
+        double s = CosineSimilarity(vectors_[i], centroids_[c]);
+        if (s > best) {
+          best = s;
+          best_c = c;
+        }
+      }
+      assignment[i] = best_c;
+    }
+    // Update.
+    std::vector<Embedding> sums(nlist, Embedding(kEmbeddingDim, 0.0f));
+    std::vector<size_t> counts(nlist, 0);
+    for (size_t i = 0; i < vectors_.size(); ++i) {
+      size_t c = assignment[i];
+      ++counts[c];
+      for (size_t d = 0; d < vectors_[i].size() && d < kEmbeddingDim; ++d) {
+        sums[c][d] += vectors_[i][d];
+      }
+    }
+    for (size_t c = 0; c < nlist; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed empty cluster with a random vector.
+        centroids_[c] = vectors_[rng.NextUint(vectors_.size())];
+        continue;
+      }
+      for (float& v : sums[c]) v /= static_cast<float>(counts[c]);
+      centroids_[c] = std::move(sums[c]);
+    }
+  }
+  lists_.assign(nlist, {});
+  for (size_t i = 0; i < vectors_.size(); ++i) {
+    lists_[assignment[i]].push_back(i);
+  }
+  built_ = true;
+  return Status::OK();
+}
+
+std::vector<VectorSearchHit> IvfVectorIndex::TopK(const Embedding& query,
+                                                  size_t k) const {
+  std::vector<VectorSearchHit> hits;
+  if (!built_) {
+    // Exact fallback.
+    for (size_t i = 0; i < ids_.size(); ++i) {
+      hits.push_back({ids_[i], CosineSimilarity(query, vectors_[i])});
+    }
+    KeepTopK(&hits, k);
+    return hits;
+  }
+  // Rank centroids, probe the nearest nprobe lists.
+  std::vector<std::pair<double, size_t>> ranked;
+  ranked.reserve(centroids_.size());
+  for (size_t c = 0; c < centroids_.size(); ++c) {
+    ranked.emplace_back(CosineSimilarity(query, centroids_[c]), c);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  size_t probes = std::min(nprobe_, ranked.size());
+  for (size_t p = 0; p < probes; ++p) {
+    for (size_t off : lists_[ranked[p].second]) {
+      hits.push_back({ids_[off], CosineSimilarity(query, vectors_[off])});
+    }
+  }
+  KeepTopK(&hits, k);
+  return hits;
+}
+
+}  // namespace agentfirst

@@ -1,0 +1,61 @@
+#ifndef AGENTFIRST_EMBED_VECTOR_INDEX_H_
+#define AGENTFIRST_EMBED_VECTOR_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "embed/embedding.h"
+
+namespace agentfirst {
+
+struct VectorSearchHit {
+  uint64_t id = 0;
+  double score = 0.0;  // cosine similarity, higher is better
+};
+
+/// Exact top-k search by linear scan. The baseline both for correctness
+/// tests and the recall benchmark of the IVF index.
+class FlatVectorIndex {
+ public:
+  void Add(uint64_t id, Embedding vec);
+  size_t size() const { return ids_.size(); }
+
+  std::vector<VectorSearchHit> TopK(const Embedding& query, size_t k) const;
+
+ private:
+  std::vector<uint64_t> ids_;
+  std::vector<Embedding> vectors_;
+};
+
+/// Inverted-file (IVF) approximate index: k-means coarse quantizer with
+/// `nlist` centroids; queries probe the `nprobe` nearest lists. Call Build()
+/// after all Add()s; TopK before Build falls back to exact search.
+class IvfVectorIndex {
+ public:
+  IvfVectorIndex(size_t nlist, size_t nprobe, uint64_t seed = 7)
+      : nlist_(nlist), nprobe_(nprobe), seed_(seed) {}
+
+  void Add(uint64_t id, Embedding vec);
+  size_t size() const { return ids_.size(); }
+
+  /// Runs k-means (a few Lloyd iterations) and assigns vectors to lists.
+  Status Build();
+  bool built() const { return built_; }
+
+  std::vector<VectorSearchHit> TopK(const Embedding& query, size_t k) const;
+
+ private:
+  size_t nlist_;
+  size_t nprobe_;
+  uint64_t seed_;
+  bool built_ = false;
+  std::vector<uint64_t> ids_;
+  std::vector<Embedding> vectors_;
+  std::vector<Embedding> centroids_;
+  std::vector<std::vector<size_t>> lists_;  // centroid -> vector offsets
+};
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_EMBED_VECTOR_INDEX_H_

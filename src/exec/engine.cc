@@ -1,0 +1,223 @@
+#include "exec/engine.h"
+
+#include "exec/evaluator.h"
+#include "plan/binder.h"
+#include "sql/parser.h"
+
+namespace agentfirst {
+
+namespace {
+/// Binder wired to the executor so uncorrelated subqueries can be resolved
+/// (they always run exactly, never sampled).
+Binder MakeEngineBinder(Catalog* catalog) {
+  Binder binder(catalog);
+  binder.set_subquery_evaluator(
+      [](const PlanNode& plan) -> Result<std::vector<Row>> {
+        auto result = ExecutePlan(plan);
+        if (!result.ok()) return result.status();
+        return (*result)->rows;
+      });
+  return binder;
+}
+}  // namespace
+
+ResultSetPtr Engine::MakeAffectedResult(int64_t affected) {
+  auto rs = std::make_shared<ResultSet>();
+  rs->schema = Schema({ColumnDef("affected", DataType::kInt64, false)});
+  rs->rows.push_back({Value::Int(affected)});
+  return rs;
+}
+
+Result<ResultSetPtr> Engine::ExecuteSql(const std::string& sql,
+                                        const ExecOptions& options) {
+  AF_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect: {
+      Binder binder = MakeEngineBinder(catalog_);
+      AF_ASSIGN_OR_RETURN(PlanPtr plan, binder.BindSelect(*stmt.select));
+      return ExecutePlan(*plan, options);
+    }
+    case Statement::Kind::kCreateTable:
+      return ExecCreateTable(*stmt.create_table);
+    case Statement::Kind::kInsert:
+      return ExecInsert(*stmt.insert);
+    case Statement::Kind::kDropTable:
+      return ExecDropTable(*stmt.drop_table);
+    case Statement::Kind::kUpdate:
+      return ExecUpdate(*stmt.update);
+    case Statement::Kind::kDelete:
+      return ExecDelete(*stmt.del);
+    case Statement::Kind::kExplain:
+      return ExecExplain(*stmt.select);
+    case Statement::Kind::kCreateIndex:
+      AF_RETURN_IF_ERROR(catalog_->CreateIndex(stmt.create_index->table_name,
+                                               stmt.create_index->column_name));
+      return MakeAffectedResult(0);
+    case Statement::Kind::kDropIndex:
+      AF_RETURN_IF_ERROR(catalog_->DropIndex(stmt.drop_index->table_name,
+                                             stmt.drop_index->column_name));
+      return MakeAffectedResult(0);
+  }
+  return Status::Internal("unknown statement kind");
+}
+
+Result<ResultSetPtr> Engine::ExecExplain(const SelectStmt& stmt) {
+  // Shows the bound logical plan (rewrites live a layer up, in opt/; the
+  // probe path explains post-rewrite plans via PlanNode::ToString directly).
+  Binder binder = MakeEngineBinder(catalog_);
+  AF_ASSIGN_OR_RETURN(PlanPtr plan, binder.BindSelect(stmt));
+  auto rs = std::make_shared<ResultSet>();
+  rs->schema = Schema({ColumnDef("plan", DataType::kString, false)});
+  std::string text = plan->ToString();
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    if (end > start) {
+      rs->rows.push_back({Value::String(text.substr(start, end - start))});
+    }
+    start = end + 1;
+  }
+  return rs;
+}
+
+Result<ResultSetPtr> Engine::ExecCreateTable(const CreateTableStmt& stmt) {
+  if (stmt.as_select != nullptr) {
+    // CREATE TABLE ... AS SELECT: the explicit materialization primitive.
+    Binder binder = MakeEngineBinder(catalog_);
+    AF_ASSIGN_OR_RETURN(PlanPtr plan, binder.BindSelect(*stmt.as_select));
+    AF_ASSIGN_OR_RETURN(ResultSetPtr result, ExecutePlan(*plan));
+    Schema schema;
+    for (const ColumnDef& col : result->schema.columns()) {
+      schema.AddColumn(ColumnDef(col.name, col.type, col.nullable, stmt.table_name));
+    }
+    auto created = catalog_->CreateTable(stmt.table_name, std::move(schema));
+    if (!created.ok()) return created.status();
+    AF_RETURN_IF_ERROR((*created)->AppendRows(result->rows));
+    return MakeAffectedResult(static_cast<int64_t>(result->rows.size()));
+  }
+  Schema schema;
+  for (const ColumnSpec& col : stmt.columns) {
+    schema.AddColumn(ColumnDef(col.name, col.type, col.nullable, stmt.table_name));
+  }
+  auto created = catalog_->CreateTable(stmt.table_name, std::move(schema));
+  if (!created.ok()) return created.status();
+  return MakeAffectedResult(0);
+}
+
+Result<ResultSetPtr> Engine::ExecInsert(const InsertStmt& stmt) {
+  AF_ASSIGN_OR_RETURN(TablePtr table, catalog_->GetTable(stmt.table_name));
+  const Schema& schema = table->schema();
+
+  // Map statement columns to table positions.
+  std::vector<size_t> positions;
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < schema.NumColumns(); ++i) positions.push_back(i);
+  } else {
+    for (const std::string& name : stmt.columns) {
+      auto idx = schema.FindColumn(name);
+      if (!idx.has_value()) {
+        return Status::NotFound("no such column: " + name);
+      }
+      positions.push_back(*idx);
+    }
+  }
+
+  // INSERT INTO ... SELECT.
+  if (stmt.select != nullptr) {
+    Binder binder = MakeEngineBinder(catalog_);
+    AF_ASSIGN_OR_RETURN(PlanPtr plan, binder.BindSelect(*stmt.select));
+    AF_ASSIGN_OR_RETURN(ResultSetPtr result, ExecutePlan(*plan));
+    if (result->schema.NumColumns() != positions.size()) {
+      return Status::InvalidArgument("INSERT SELECT arity mismatch");
+    }
+    int64_t inserted = 0;
+    for (const Row& src : result->rows) {
+      Row row(schema.NumColumns());
+      for (size_t i = 0; i < positions.size(); ++i) row[positions[i]] = src[i];
+      AF_RETURN_IF_ERROR(table->AppendRow(row));
+      ++inserted;
+    }
+    return MakeAffectedResult(inserted);
+  }
+
+  int64_t affected = 0;
+  Row empty;
+  for (const auto& exprs : stmt.rows) {
+    if (exprs.size() != positions.size()) {
+      return Status::InvalidArgument("VALUES arity mismatch");
+    }
+    Row row(schema.NumColumns());  // defaults to NULLs
+    Binder binder = MakeEngineBinder(catalog_);
+    Schema empty_schema;
+    for (size_t i = 0; i < exprs.size(); ++i) {
+      AF_ASSIGN_OR_RETURN(BoundExprPtr bound,
+                          binder.BindScalar(*exprs[i], empty_schema));
+      row[positions[i]] = EvalExpr(*bound, empty);
+    }
+    AF_RETURN_IF_ERROR(table->AppendRow(row));
+    ++affected;
+  }
+  return MakeAffectedResult(affected);
+}
+
+Result<ResultSetPtr> Engine::ExecDropTable(const DropTableStmt& stmt) {
+  AF_RETURN_IF_ERROR(catalog_->DropTable(stmt.table_name));
+  return MakeAffectedResult(0);
+}
+
+Result<ResultSetPtr> Engine::ExecUpdate(const UpdateStmt& stmt) {
+  AF_ASSIGN_OR_RETURN(TablePtr table, catalog_->GetTable(stmt.table_name));
+  const Schema& schema = table->schema();
+  Binder binder = MakeEngineBinder(catalog_);
+
+  BoundExprPtr where;
+  if (stmt.where != nullptr) {
+    AF_ASSIGN_OR_RETURN(where, binder.BindScalar(*stmt.where, schema));
+  }
+  std::vector<std::pair<size_t, BoundExprPtr>> assignments;
+  for (const auto& [col, expr] : stmt.assignments) {
+    auto idx = schema.FindColumn(col);
+    if (!idx.has_value()) return Status::NotFound("no such column: " + col);
+    AF_ASSIGN_OR_RETURN(BoundExprPtr bound, binder.BindScalar(*expr, schema));
+    assignments.emplace_back(*idx, std::move(bound));
+  }
+
+  int64_t affected = 0;
+  for (size_t r = 0; r < table->NumRows(); ++r) {
+    auto row = table->GetRow(r);
+    if (!row.ok()) return row.status();
+    if (where != nullptr && !EvalPredicate(*where, *row)) continue;
+    for (const auto& [idx, expr] : assignments) {
+      Value v = EvalExpr(*expr, *row);
+      AF_RETURN_IF_ERROR(table->SetValue(r, idx, v));
+    }
+    ++affected;
+  }
+  return MakeAffectedResult(affected);
+}
+
+Result<ResultSetPtr> Engine::ExecDelete(const DeleteStmt& stmt) {
+  AF_ASSIGN_OR_RETURN(TablePtr table, catalog_->GetTable(stmt.table_name));
+  const Schema& schema = table->schema();
+  Binder binder = MakeEngineBinder(catalog_);
+
+  BoundExprPtr where;
+  if (stmt.where != nullptr) {
+    AF_ASSIGN_OR_RETURN(where, binder.BindScalar(*stmt.where, schema));
+  }
+  std::vector<uint8_t> mask(table->NumRows(), 0);
+  int64_t affected = 0;
+  for (size_t r = 0; r < table->NumRows(); ++r) {
+    auto row = table->GetRow(r);
+    if (!row.ok()) return row.status();
+    if (where == nullptr || EvalPredicate(*where, *row)) {
+      mask[r] = 1;
+      ++affected;
+    }
+  }
+  AF_RETURN_IF_ERROR(table->RemoveRows(mask));
+  return MakeAffectedResult(affected);
+}
+
+}  // namespace agentfirst

@@ -1,0 +1,43 @@
+#ifndef AGENTFIRST_EXEC_ENGINE_H_
+#define AGENTFIRST_EXEC_ENGINE_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "exec/executor.h"
+#include "exec/result_set.h"
+
+namespace agentfirst {
+
+/// Statement-level SQL engine over a catalog: parse -> bind -> execute.
+/// This is the classical query interface the agent-first layer (probes)
+/// builds on; it is also what the baseline "plain database" in the benches
+/// uses.
+class Engine {
+ public:
+  explicit Engine(Catalog* catalog) : catalog_(catalog) {}
+
+  /// Executes any supported statement. SELECT returns its rows; DDL/DML
+  /// return a single-row result with an "affected" count.
+  Result<ResultSetPtr> ExecuteSql(const std::string& sql,
+                                  const ExecOptions& options = {});
+
+  Catalog* catalog() { return catalog_; }
+
+ private:
+  Result<ResultSetPtr> ExecCreateTable(const CreateTableStmt& stmt);
+  Result<ResultSetPtr> ExecInsert(const InsertStmt& stmt);
+  Result<ResultSetPtr> ExecDropTable(const DropTableStmt& stmt);
+  Result<ResultSetPtr> ExecUpdate(const UpdateStmt& stmt);
+  Result<ResultSetPtr> ExecDelete(const DeleteStmt& stmt);
+  Result<ResultSetPtr> ExecExplain(const SelectStmt& stmt);
+
+  static ResultSetPtr MakeAffectedResult(int64_t affected);
+
+  Catalog* catalog_;
+};
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_EXEC_ENGINE_H_

@@ -1,0 +1,319 @@
+#include "exec/evaluator.h"
+
+#include <cmath>
+
+#include "common/str_util.h"
+#include "embed/embedding.h"
+
+namespace agentfirst {
+
+namespace {
+
+Value EvalBinary(const BoundExpr& expr, const Row& row);
+Value EvalFunction(const BoundExpr& expr, const Row& row);
+
+/// Three-valued comparison helper: returns NULL Value if either side is
+/// NULL, else Bool.
+Value CompareValues(BinaryOp op, const Value& lhs, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return Value::Null();
+  int c = lhs.Compare(rhs);
+  switch (op) {
+    case BinaryOp::kEq: return Value::Bool(c == 0);
+    case BinaryOp::kNe: return Value::Bool(c != 0);
+    case BinaryOp::kLt: return Value::Bool(c < 0);
+    case BinaryOp::kLe: return Value::Bool(c <= 0);
+    case BinaryOp::kGt: return Value::Bool(c > 0);
+    case BinaryOp::kGe: return Value::Bool(c >= 0);
+    default: return Value::Null();
+  }
+}
+
+Value EvalBinary(const BoundExpr& expr, const Row& row) {
+  // Kleene AND/OR must not short-circuit incorrectly around NULLs.
+  if (expr.bin_op == BinaryOp::kAnd || expr.bin_op == BinaryOp::kOr) {
+    Value lhs = EvalExpr(*expr.children[0], row);
+    bool is_and = expr.bin_op == BinaryOp::kAnd;
+    // Short-circuit on the dominating value.
+    if (!lhs.is_null() && lhs.type() == DataType::kBool) {
+      if (is_and && !lhs.bool_value()) return Value::Bool(false);
+      if (!is_and && lhs.bool_value()) return Value::Bool(true);
+    }
+    Value rhs = EvalExpr(*expr.children[1], row);
+    if (!rhs.is_null() && rhs.type() == DataType::kBool) {
+      if (is_and && !rhs.bool_value()) return Value::Bool(false);
+      if (!is_and && rhs.bool_value()) return Value::Bool(true);
+    }
+    if (lhs.is_null() || rhs.is_null()) return Value::Null();
+    return Value::Bool(is_and ? (lhs.bool_value() && rhs.bool_value())
+                              : (lhs.bool_value() || rhs.bool_value()));
+  }
+
+  Value lhs = EvalExpr(*expr.children[0], row);
+  Value rhs = EvalExpr(*expr.children[1], row);
+  switch (expr.bin_op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return CompareValues(expr.bin_op, lhs, rhs);
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kMod: {
+      if (lhs.is_null() || rhs.is_null()) return Value::Null();
+      bool ints = lhs.type() == DataType::kInt64 && rhs.type() == DataType::kInt64;
+      if (ints) {
+        int64_t a = lhs.int_value();
+        int64_t b = rhs.int_value();
+        switch (expr.bin_op) {
+          case BinaryOp::kAdd: return Value::Int(a + b);
+          case BinaryOp::kSub: return Value::Int(a - b);
+          case BinaryOp::kMul: return Value::Int(a * b);
+          case BinaryOp::kMod: return b == 0 ? Value::Null() : Value::Int(a % b);
+          default: break;
+        }
+      }
+      double a = lhs.AsDouble();
+      double b = rhs.AsDouble();
+      switch (expr.bin_op) {
+        case BinaryOp::kAdd: return Value::Double(a + b);
+        case BinaryOp::kSub: return Value::Double(a - b);
+        case BinaryOp::kMul: return Value::Double(a * b);
+        case BinaryOp::kMod:
+          return b == 0.0 ? Value::Null() : Value::Double(std::fmod(a, b));
+        default: break;
+      }
+      return Value::Null();
+    }
+    case BinaryOp::kDiv: {
+      if (lhs.is_null() || rhs.is_null()) return Value::Null();
+      double b = rhs.AsDouble();
+      if (b == 0.0) return Value::Null();
+      return Value::Double(lhs.AsDouble() / b);
+    }
+    default:
+      return Value::Null();
+  }
+}
+
+Value EvalFunction(const BoundExpr& expr, const Row& row) {
+  const std::string& f = expr.func_name;
+  std::vector<Value> args;
+  args.reserve(expr.children.size());
+  for (const auto& c : expr.children) args.push_back(EvalExpr(*c, row));
+
+  if (f == "coalesce") {
+    for (const Value& v : args) {
+      if (!v.is_null()) return v;
+    }
+    return Value::Null();
+  }
+  if (f == "concat") {
+    std::string out;
+    for (const Value& v : args) {
+      if (!v.is_null()) out += v.ToString();
+    }
+    return Value::String(std::move(out));
+  }
+  // Remaining functions are strict: NULL in -> NULL out.
+  for (const Value& v : args) {
+    if (v.is_null()) return Value::Null();
+  }
+  if (f == "abs") {
+    if (args[0].type() == DataType::kInt64) {
+      return Value::Int(std::llabs(args[0].int_value()));
+    }
+    return Value::Double(std::fabs(args[0].AsDouble()));
+  }
+  if (f == "round") {
+    double digits = args.size() > 1 ? args[1].AsDouble() : 0.0;
+    double scale = std::pow(10.0, digits);
+    return Value::Double(std::round(args[0].AsDouble() * scale) / scale);
+  }
+  if (f == "floor") return Value::Double(std::floor(args[0].AsDouble()));
+  if (f == "ceil") return Value::Double(std::ceil(args[0].AsDouble()));
+  if (f == "lower") return Value::String(ToLower(args[0].ToString()));
+  if (f == "upper") return Value::String(ToUpper(args[0].ToString()));
+  if (f == "length") {
+    return Value::Int(static_cast<int64_t>(args[0].ToString().size()));
+  }
+  if (f == "substr" || f == "substring") {
+    const std::string s = args[0].ToString();
+    int64_t start = args[1].AsInt();  // 1-based
+    if (start < 1) start = 1;
+    size_t begin = static_cast<size_t>(start - 1);
+    if (begin >= s.size()) return Value::String("");
+    size_t len = args.size() > 2 && args[2].AsInt() >= 0
+                     ? static_cast<size_t>(args[2].AsInt())
+                     : std::string::npos;
+    return Value::String(s.substr(begin, len));
+  }
+  if (f == "semantic_sim") {
+    Embedding a = EmbedText(args[0].ToString());
+    Embedding b = EmbedText(args[1].ToString());
+    return Value::Double(CosineSimilarity(a, b));
+  }
+  if (f == "trim") return Value::String(std::string(Trim(args[0].ToString())));
+  if (f == "ltrim") {
+    std::string s = args[0].ToString();
+    size_t b = s.find_first_not_of(" \t\n\r");
+    return Value::String(b == std::string::npos ? "" : s.substr(b));
+  }
+  if (f == "rtrim") {
+    std::string s = args[0].ToString();
+    size_t e = s.find_last_not_of(" \t\n\r");
+    return Value::String(e == std::string::npos ? "" : s.substr(0, e + 1));
+  }
+  if (f == "replace") {
+    std::string s = args[0].ToString();
+    const std::string from = args[1].ToString();
+    const std::string to = args[2].ToString();
+    if (from.empty()) return Value::String(std::move(s));
+    std::string out;
+    size_t pos = 0;
+    while (true) {
+      size_t hit = s.find(from, pos);
+      if (hit == std::string::npos) {
+        out += s.substr(pos);
+        break;
+      }
+      out += s.substr(pos, hit - pos);
+      out += to;
+      pos = hit + from.size();
+    }
+    return Value::String(std::move(out));
+  }
+  if (f == "contains") {
+    return Value::Bool(args[0].ToString().find(args[1].ToString()) !=
+                       std::string::npos);
+  }
+  if (f == "starts_with") {
+    return Value::Bool(StartsWith(args[0].ToString(), args[1].ToString()));
+  }
+  if (f == "ends_with") {
+    return Value::Bool(EndsWith(args[0].ToString(), args[1].ToString()));
+  }
+  if (f == "nullif") {
+    return args[0].Equals(args[1]) ? Value::Null() : args[0];
+  }
+  if (f == "greatest" || f == "least") {
+    Value best = args[0];
+    for (size_t i = 1; i < args.size(); ++i) {
+      int c = args[i].Compare(best);
+      if ((f == "greatest" && c > 0) || (f == "least" && c < 0)) best = args[i];
+    }
+    return best;
+  }
+  if (f == "sqrt") {
+    double v = args[0].AsDouble();
+    return v < 0 ? Value::Null() : Value::Double(std::sqrt(v));
+  }
+  if (f == "pow" || f == "power") {
+    return Value::Double(std::pow(args[0].AsDouble(), args[1].AsDouble()));
+  }
+  if (f == "ln") {
+    double v = args[0].AsDouble();
+    return v <= 0 ? Value::Null() : Value::Double(std::log(v));
+  }
+  if (f == "log10") {
+    double v = args[0].AsDouble();
+    return v <= 0 ? Value::Null() : Value::Double(std::log10(v));
+  }
+  if (f == "exp") return Value::Double(std::exp(args[0].AsDouble()));
+  if (f == "sign") {
+    double v = args[0].AsDouble();
+    return Value::Int(v > 0 ? 1 : (v < 0 ? -1 : 0));
+  }
+  return Value::Null();  // unknown functions were rejected at bind time
+}
+
+}  // namespace
+
+Value EvalExpr(const BoundExpr& expr, const Row& row) {
+  switch (expr.kind) {
+    case BoundExprKind::kColumn:
+      return expr.column_index < row.size() ? row[expr.column_index] : Value::Null();
+    case BoundExprKind::kLiteral:
+      return expr.literal;
+    case BoundExprKind::kUnary: {
+      Value v = EvalExpr(*expr.children[0], row);
+      if (v.is_null()) return Value::Null();
+      if (expr.un_op == UnaryOp::kNot) {
+        if (v.type() != DataType::kBool) return Value::Null();
+        return Value::Bool(!v.bool_value());
+      }
+      if (v.type() == DataType::kInt64) return Value::Int(-v.int_value());
+      return Value::Double(-v.AsDouble());
+    }
+    case BoundExprKind::kBinary:
+      return EvalBinary(expr, row);
+    case BoundExprKind::kFunction:
+      return EvalFunction(expr, row);
+    case BoundExprKind::kLike: {
+      Value v = EvalExpr(*expr.children[0], row);
+      Value p = EvalExpr(*expr.children[1], row);
+      if (v.is_null() || p.is_null()) return Value::Null();
+      bool match = LikeMatch(v.ToString(), p.ToString());
+      return Value::Bool(expr.negated ? !match : match);
+    }
+    case BoundExprKind::kInList: {
+      Value v = EvalExpr(*expr.children[0], row);
+      if (v.is_null()) return Value::Null();
+      bool saw_null = false;
+      for (size_t i = 1; i < expr.children.size(); ++i) {
+        Value item = EvalExpr(*expr.children[i], row);
+        if (item.is_null()) {
+          saw_null = true;
+          continue;
+        }
+        if (v.Equals(item)) return Value::Bool(!expr.negated);
+      }
+      if (saw_null) return Value::Null();  // unknown membership
+      return Value::Bool(expr.negated);
+    }
+    case BoundExprKind::kBetween: {
+      Value v = EvalExpr(*expr.children[0], row);
+      Value lo = EvalExpr(*expr.children[1], row);
+      Value hi = EvalExpr(*expr.children[2], row);
+      if (v.is_null() || lo.is_null() || hi.is_null()) return Value::Null();
+      bool in_range = v.Compare(lo) >= 0 && v.Compare(hi) <= 0;
+      return Value::Bool(expr.negated ? !in_range : in_range);
+    }
+    case BoundExprKind::kIsNull: {
+      Value v = EvalExpr(*expr.children[0], row);
+      bool is_null = v.is_null();
+      return Value::Bool(expr.negated ? !is_null : is_null);
+    }
+    case BoundExprKind::kCase: {
+      size_t i = 0;
+      Value operand;
+      bool has_operand = expr.has_case_operand;
+      if (has_operand) operand = EvalExpr(*expr.children[i++], row);
+      size_t end = expr.children.size() - (expr.has_case_else ? 1 : 0);
+      while (i + 1 < end + 1 && i + 2 <= end) {  // WHEN/THEN pairs in [i, end)
+        Value when = EvalExpr(*expr.children[i], row);
+        bool matches;
+        if (has_operand) {
+          matches = !when.is_null() && !operand.is_null() && operand.Equals(when);
+        } else {
+          matches = !when.is_null() && when.type() == DataType::kBool &&
+                    when.bool_value();
+        }
+        if (matches) return EvalExpr(*expr.children[i + 1], row);
+        i += 2;
+      }
+      if (expr.has_case_else) return EvalExpr(*expr.children.back(), row);
+      return Value::Null();
+    }
+  }
+  return Value::Null();
+}
+
+bool EvalPredicate(const BoundExpr& expr, const Row& row) {
+  Value v = EvalExpr(expr, row);
+  return !v.is_null() && v.type() == DataType::kBool && v.bool_value();
+}
+
+}  // namespace agentfirst

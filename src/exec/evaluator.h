@@ -1,0 +1,20 @@
+#ifndef AGENTFIRST_EXEC_EVALUATOR_H_
+#define AGENTFIRST_EXEC_EVALUATOR_H_
+
+#include "plan/bound_expr.h"
+#include "types/value.h"
+
+namespace agentfirst {
+
+/// Evaluates a bound expression against one input row using SQL three-valued
+/// logic (NULL propagates; AND/OR are Kleene). Runtime anomalies (division
+/// by zero, bad substring bounds) evaluate to NULL rather than failing the
+/// query — agentic speculation prefers degraded answers over hard errors.
+Value EvalExpr(const BoundExpr& expr, const Row& row);
+
+/// True only if the predicate evaluates to boolean TRUE (NULL/false reject).
+bool EvalPredicate(const BoundExpr& expr, const Row& row);
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_EXEC_EVALUATOR_H_

@@ -1,0 +1,449 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "exec/evaluator.h"
+
+namespace agentfirst {
+
+ResultSetPtr ExecCache::Get(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void ExecCache::Put(uint64_t key, ResultSetPtr result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_[key] = std::move(result);
+}
+
+void ExecCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+size_t ExecCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+uint64_t ExecCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+uint64_t ExecCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+namespace {
+
+uint64_t CacheKey(const PlanNode& node, const ExecOptions& options) {
+  uint64_t key = PlanFingerprint(node);
+  if (options.sample_rate < 1.0) {
+    key = HashCombine(key, HashDouble(options.sample_rate));
+    key = HashCombine(key, HashInt(options.sample_seed));
+  }
+  return key;
+}
+
+Result<ResultSetPtr> ExecNode(const PlanNode& node, const ExecOptions& options);
+
+Result<ResultSetPtr> ExecScan(const PlanNode& node, const ExecOptions& options) {
+  auto out = std::make_shared<ResultSet>();
+  out->schema = node.output_schema;
+  if (node.table == nullptr) {
+    if (node.table_name == "<dual>") {
+      out->rows.emplace_back();  // a single empty row
+      return out;
+    }
+    return Status::Internal("scan of unresolved table: " + node.table_name);
+  }
+  bool sampling = options.sample_rate < 1.0;
+  // Index-accelerated path: candidate rows from the hash index, full filter
+  // re-applied. Skipped under sampling and when the index went stale.
+  if (!sampling && node.index != nullptr && node.index->FreshFor(*node.table)) {
+    for (size_t row_id : node.index->Lookup(node.index_value)) {
+      auto row = node.table->GetRow(row_id);
+      if (!row.ok()) return row.status();
+      if (node.scan_filter != nullptr && !EvalPredicate(*node.scan_filter, *row)) {
+        continue;
+      }
+      out->rows.push_back(std::move(*row));
+    }
+    return out;
+  }
+  // Seed depends on the table so parallel scans in one plan decorrelate.
+  Rng rng(options.sample_seed ^ HashString(node.table_name));
+  for (const auto& seg : node.table->segments()) {
+    for (size_t i = 0; i < seg->num_rows(); ++i) {
+      if (sampling && !rng.NextBool(options.sample_rate)) continue;
+      Row row = seg->GetRow(i);
+      if (node.scan_filter != nullptr && !EvalPredicate(*node.scan_filter, row)) {
+        continue;
+      }
+      out->rows.push_back(std::move(row));
+    }
+  }
+  if (sampling) {
+    out->approximate = true;
+    out->sample_rate = options.sample_rate;
+  }
+  return out;
+}
+
+Result<ResultSetPtr> ExecFilter(const PlanNode& node, const ExecOptions& options) {
+  AF_ASSIGN_OR_RETURN(ResultSetPtr input, ExecNode(*node.children[0], options));
+  auto out = std::make_shared<ResultSet>();
+  out->schema = node.output_schema;
+  out->approximate = input->approximate;
+  out->sample_rate = input->sample_rate;
+  for (const Row& row : input->rows) {
+    if (EvalPredicate(*node.predicate, row)) out->rows.push_back(row);
+  }
+  return out;
+}
+
+Result<ResultSetPtr> ExecProject(const PlanNode& node, const ExecOptions& options) {
+  ResultSetPtr input;
+  if (node.children.empty()) {
+    return Status::Internal("project with no input");
+  }
+  AF_ASSIGN_OR_RETURN(input, ExecNode(*node.children[0], options));
+  auto out = std::make_shared<ResultSet>();
+  out->schema = node.output_schema;
+  out->approximate = input->approximate;
+  out->sample_rate = input->sample_rate;
+  out->rows.reserve(input->rows.size());
+  for (const Row& row : input->rows) {
+    Row projected;
+    projected.reserve(node.project_exprs.size());
+    for (const auto& e : node.project_exprs) {
+      projected.push_back(EvalExpr(*e, row));
+    }
+    out->rows.push_back(std::move(projected));
+  }
+  return out;
+}
+
+Result<ResultSetPtr> ExecHashJoin(const PlanNode& node, const ExecOptions& options) {
+  AF_ASSIGN_OR_RETURN(ResultSetPtr left, ExecNode(*node.children[0], options));
+  AF_ASSIGN_OR_RETURN(ResultSetPtr right, ExecNode(*node.children[1], options));
+  auto out = std::make_shared<ResultSet>();
+  out->schema = node.output_schema;
+  out->approximate = left->approximate || right->approximate;
+  out->sample_rate = std::min(left->sample_rate, right->sample_rate);
+
+  // Build hash table on the right side.
+  std::unordered_map<uint64_t, std::vector<size_t>> build;
+  std::vector<std::vector<Value>> right_keys(right->rows.size());
+  for (size_t i = 0; i < right->rows.size(); ++i) {
+    std::vector<Value> key;
+    key.reserve(node.join_keys.size());
+    bool has_null = false;
+    for (const auto& [l, r] : node.join_keys) {
+      Value v = EvalExpr(*r, right->rows[i]);
+      if (v.is_null()) has_null = true;
+      key.push_back(std::move(v));
+    }
+    if (has_null) continue;  // NULL keys never match
+    right_keys[i] = key;
+    build[HashRow(key)].push_back(i);
+  }
+
+  size_t right_width = right->schema.NumColumns();
+  for (const Row& lrow : left->rows) {
+    std::vector<Value> key;
+    key.reserve(node.join_keys.size());
+    bool has_null = false;
+    for (const auto& [l, r] : node.join_keys) {
+      Value v = EvalExpr(*l, lrow);
+      if (v.is_null()) has_null = true;
+      key.push_back(std::move(v));
+    }
+    bool matched = false;
+    if (!has_null) {
+      auto it = build.find(HashRow(key));
+      if (it != build.end()) {
+        for (size_t ridx : it->second) {
+          // Verify key equality (hash collisions).
+          bool equal = true;
+          for (size_t k = 0; k < key.size(); ++k) {
+            if (!key[k].Equals(right_keys[ridx][k])) {
+              equal = false;
+              break;
+            }
+          }
+          if (!equal) continue;
+          Row combined = lrow;
+          combined.insert(combined.end(), right->rows[ridx].begin(),
+                          right->rows[ridx].end());
+          if (node.predicate != nullptr &&
+              !EvalPredicate(*node.predicate, combined)) {
+            continue;
+          }
+          matched = true;
+          out->rows.push_back(std::move(combined));
+        }
+      }
+    }
+    if (!matched && node.join_type == JoinType::kLeft) {
+      Row combined = lrow;
+      combined.resize(combined.size() + right_width);  // NULL padding
+      out->rows.push_back(std::move(combined));
+    }
+  }
+  return out;
+}
+
+Result<ResultSetPtr> ExecNestedLoopJoin(const PlanNode& node,
+                                        const ExecOptions& options) {
+  AF_ASSIGN_OR_RETURN(ResultSetPtr left, ExecNode(*node.children[0], options));
+  AF_ASSIGN_OR_RETURN(ResultSetPtr right, ExecNode(*node.children[1], options));
+  auto out = std::make_shared<ResultSet>();
+  out->schema = node.output_schema;
+  out->approximate = left->approximate || right->approximate;
+  out->sample_rate = std::min(left->sample_rate, right->sample_rate);
+  for (const Row& lrow : left->rows) {
+    for (const Row& rrow : right->rows) {
+      Row combined = lrow;
+      combined.insert(combined.end(), rrow.begin(), rrow.end());
+      if (node.predicate != nullptr && !EvalPredicate(*node.predicate, combined)) {
+        continue;
+      }
+      out->rows.push_back(std::move(combined));
+    }
+  }
+  return out;
+}
+
+struct AggState {
+  int64_t count = 0;
+  double sum_double = 0.0;
+  int64_t sum_int = 0;
+  bool sum_is_int = true;
+  bool any = false;
+  Value min;
+  Value max;
+  std::set<std::string> distinct_seen;  // serialized values for DISTINCT
+};
+
+Result<ResultSetPtr> ExecAggregate(const PlanNode& node, const ExecOptions& options) {
+  AF_ASSIGN_OR_RETURN(ResultSetPtr input, ExecNode(*node.children[0], options));
+  auto out = std::make_shared<ResultSet>();
+  out->schema = node.output_schema;
+  out->approximate = input->approximate;
+  out->sample_rate = input->sample_rate;
+
+  struct Group {
+    std::vector<Value> keys;
+    std::vector<AggState> states;
+  };
+  std::unordered_map<uint64_t, std::vector<Group>> groups;
+  std::vector<uint64_t> group_order;  // hash buckets in first-seen order
+  std::vector<std::pair<uint64_t, size_t>> ordered_groups;
+
+  auto update = [&](Group* g, const Row& row) {
+    for (size_t a = 0; a < node.aggregates.size(); ++a) {
+      const AggregateExpr& agg = node.aggregates[a];
+      AggState& st = g->states[a];
+      Value v = agg.arg != nullptr ? EvalExpr(*agg.arg, row) : Value::Int(1);
+      if (agg.arg != nullptr && v.is_null()) continue;  // aggregates skip NULLs
+      if (agg.distinct) {
+        std::string ser = std::to_string(static_cast<int>(v.type())) + ":" + v.ToString();
+        if (!st.distinct_seen.insert(ser).second) continue;
+      }
+      st.any = true;
+      ++st.count;
+      if (v.type() == DataType::kInt64) {
+        st.sum_int += v.int_value();
+        st.sum_double += v.AsDouble();
+      } else if (IsNumeric(v.type())) {
+        st.sum_is_int = false;
+        st.sum_double += v.AsDouble();
+      }
+      if (st.min.is_null() || v.Compare(st.min) < 0) st.min = v;
+      if (st.max.is_null() || v.Compare(st.max) > 0) st.max = v;
+    }
+  };
+
+  for (const Row& row : input->rows) {
+    std::vector<Value> keys;
+    keys.reserve(node.group_by.size());
+    for (const auto& g : node.group_by) keys.push_back(EvalExpr(*g, row));
+    uint64_t h = HashRow(keys);
+    auto& bucket = groups[h];
+    Group* group = nullptr;
+    for (Group& g : bucket) {
+      bool equal = true;
+      for (size_t k = 0; k < keys.size(); ++k) {
+        bool both_null = keys[k].is_null() && g.keys[k].is_null();
+        if (!both_null && !keys[k].Equals(g.keys[k])) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      bucket.push_back(Group{keys, std::vector<AggState>(node.aggregates.size())});
+      group = &bucket.back();
+      ordered_groups.emplace_back(h, bucket.size() - 1);
+    }
+    update(group, row);
+  }
+
+  // Global aggregate over empty input still emits one row.
+  if (ordered_groups.empty() && node.group_by.empty() && !node.aggregates.empty()) {
+    groups[0].push_back(Group{{}, std::vector<AggState>(node.aggregates.size())});
+    ordered_groups.emplace_back(0, 0);
+  }
+
+  // Horvitz-Thompson scale factor for sampled inputs.
+  double scale = 1.0;
+  if (input->approximate && input->sample_rate > 0.0 &&
+      input->sample_rate < 1.0 && options.scale_approximate_aggregates) {
+    scale = 1.0 / input->sample_rate;
+  }
+
+  for (const auto& [h, idx] : ordered_groups) {
+    const Group& g = groups[h][idx];
+    Row row = g.keys;
+    for (size_t a = 0; a < node.aggregates.size(); ++a) {
+      const AggregateExpr& agg = node.aggregates[a];
+      const AggState& st = g.states[a];
+      double agg_scale = agg.distinct ? 1.0 : scale;
+      switch (agg.func) {
+        case AggFunc::kCount:
+          row.push_back(Value::Int(static_cast<int64_t>(
+              std::llround(static_cast<double>(st.count) * agg_scale))));
+          break;
+        case AggFunc::kSum:
+          if (!st.any) {
+            row.push_back(Value::Null());
+          } else if (agg.output_type == DataType::kInt64 && st.sum_is_int) {
+            row.push_back(Value::Int(static_cast<int64_t>(
+                std::llround(static_cast<double>(st.sum_int) * agg_scale))));
+          } else {
+            row.push_back(Value::Double(st.sum_double * agg_scale));
+          }
+          break;
+        case AggFunc::kAvg:
+          row.push_back(st.any ? Value::Double(st.sum_double / st.count)
+                               : Value::Null());
+          break;
+        case AggFunc::kMin:
+          row.push_back(st.min);
+          break;
+        case AggFunc::kMax:
+          row.push_back(st.max);
+          break;
+      }
+    }
+    out->rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<ResultSetPtr> ExecSort(const PlanNode& node, const ExecOptions& options) {
+  AF_ASSIGN_OR_RETURN(ResultSetPtr input, ExecNode(*node.children[0], options));
+  auto out = std::make_shared<ResultSet>();
+  out->schema = node.output_schema;
+  out->approximate = input->approximate;
+  out->sample_rate = input->sample_rate;
+  out->rows = input->rows;
+  std::stable_sort(out->rows.begin(), out->rows.end(),
+                   [&](const Row& a, const Row& b) {
+                     for (const SortKey& key : node.sort_keys) {
+                       Value va = EvalExpr(*key.expr, a);
+                       Value vb = EvalExpr(*key.expr, b);
+                       int c = va.Compare(vb);
+                       if (c != 0) return key.ascending ? c < 0 : c > 0;
+                     }
+                     return false;
+                   });
+  return out;
+}
+
+Result<ResultSetPtr> ExecLimit(const PlanNode& node, const ExecOptions& options) {
+  AF_ASSIGN_OR_RETURN(ResultSetPtr input, ExecNode(*node.children[0], options));
+  auto out = std::make_shared<ResultSet>();
+  out->schema = node.output_schema;
+  out->approximate = input->approximate;
+  out->sample_rate = input->sample_rate;
+  size_t begin = std::min(static_cast<size_t>(std::max<int64_t>(node.offset, 0)),
+                          input->rows.size());
+  size_t end = input->rows.size();
+  if (node.limit >= 0) {
+    end = std::min(end, begin + static_cast<size_t>(node.limit));
+  }
+  out->rows.assign(input->rows.begin() + begin, input->rows.begin() + end);
+  return out;
+}
+
+Result<ResultSetPtr> ExecUnion(const PlanNode& node, const ExecOptions& options) {
+  auto out = std::make_shared<ResultSet>();
+  out->schema = node.output_schema;
+  for (const auto& child : node.children) {
+    AF_ASSIGN_OR_RETURN(ResultSetPtr input, ExecNode(*child, options));
+    if (input->schema.NumColumns() != out->schema.NumColumns()) {
+      return Status::Internal("UNION arity mismatch at execution");
+    }
+    out->approximate = out->approximate || input->approximate;
+    out->sample_rate = std::min(out->sample_rate, input->sample_rate);
+    out->rows.insert(out->rows.end(), input->rows.begin(), input->rows.end());
+  }
+  return out;
+}
+
+Result<ResultSetPtr> ExecNode(const PlanNode& node, const ExecOptions& options) {
+  uint64_t key = 0;
+  if (options.cache != nullptr) {
+    key = CacheKey(node, options);
+    if (ResultSetPtr cached = options.cache->Get(key); cached != nullptr) {
+      return cached;
+    }
+  }
+  Result<ResultSetPtr> result = [&]() -> Result<ResultSetPtr> {
+    switch (node.kind) {
+      case PlanKind::kScan: return ExecScan(node, options);
+      case PlanKind::kFilter: return ExecFilter(node, options);
+      case PlanKind::kProject: return ExecProject(node, options);
+      case PlanKind::kHashJoin: return ExecHashJoin(node, options);
+      case PlanKind::kNestedLoopJoin: return ExecNestedLoopJoin(node, options);
+      case PlanKind::kAggregate: return ExecAggregate(node, options);
+      case PlanKind::kSort: return ExecSort(node, options);
+      case PlanKind::kLimit: return ExecLimit(node, options);
+      case PlanKind::kUnion: return ExecUnion(node, options);
+    }
+    return Status::Internal("unknown plan kind");
+  }();
+  if (result.ok() && options.cache != nullptr && options.cache_subplans) {
+    options.cache->Put(key, result.value());
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<ResultSetPtr> ExecutePlan(const PlanNode& plan, const ExecOptions& options) {
+  return ExecNode(plan, options);
+}
+
+}  // namespace agentfirst

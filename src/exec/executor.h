@@ -1,0 +1,62 @@
+#ifndef AGENTFIRST_EXEC_EXECUTOR_H_
+#define AGENTFIRST_EXEC_EXECUTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "exec/result_set.h"
+#include "plan/fingerprint.h"
+#include "plan/logical_plan.h"
+
+namespace agentfirst {
+
+/// Shared materialized-result cache keyed by strict plan fingerprint (plus
+/// the effective sampling rate). The multi-query optimizer executes a batch
+/// of plans through one cache so identical sub-plans run once; scan
+/// fingerprints include the table data version, so writes invalidate
+/// naturally. Thread-safe: concurrent executors may share one cache (the
+/// parallel batch path relies on this).
+class ExecCache {
+ public:
+  ResultSetPtr Get(uint64_t key);
+  void Put(uint64_t key, ResultSetPtr result);
+  void Clear();
+
+  size_t size() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<uint64_t, ResultSetPtr> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+struct ExecOptions {
+  /// Scan-level Bernoulli sampling rate in (0, 1]; 1.0 = exact.
+  double sample_rate = 1.0;
+  /// Seed for the sampler (deterministic given plan + seed).
+  uint64_t sample_seed = 42;
+  /// Optional shared sub-plan cache (multi-query optimization). Not owned.
+  ExecCache* cache = nullptr;
+  /// When set, caches every operator's result, not just the root's
+  /// (enables cross-query sub-plan sharing at memory cost).
+  bool cache_subplans = true;
+  /// Horvitz-Thompson scaling: when scans are sampled, COUNT and SUM
+  /// aggregates are scaled by 1/sample_rate (DISTINCT aggregates and
+  /// MIN/MAX/AVG are left unscaled). Disable to observe raw sample values.
+  bool scale_approximate_aggregates = true;
+};
+
+/// Executes a bound logical plan bottom-up, materializing each operator.
+/// Never throws; malformed plans produce Status.
+Result<ResultSetPtr> ExecutePlan(const PlanNode& plan,
+                                 const ExecOptions& options = {});
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_EXEC_EXECUTOR_H_

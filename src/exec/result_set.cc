@@ -1,0 +1,53 @@
+#include "exec/result_set.h"
+
+#include <algorithm>
+
+namespace agentfirst {
+
+std::string ResultSet::ToString(size_t max_rows) const {
+  std::vector<size_t> widths(schema.NumColumns());
+  std::vector<std::string> headers;
+  for (size_t c = 0; c < schema.NumColumns(); ++c) {
+    headers.push_back(schema.column(c).name);
+    widths[c] = headers.back().size();
+  }
+  size_t shown = std::min(max_rows, rows.size());
+  std::vector<std::vector<std::string>> cells(shown);
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < schema.NumColumns(); ++c) {
+      std::string s = c < rows[r].size() ? rows[r][c].ToString() : "";
+      widths[c] = std::max(widths[c], s.size());
+      cells[r].push_back(std::move(s));
+    }
+  }
+  auto pad = [](const std::string& s, size_t w) {
+    return s + std::string(w - s.size(), ' ');
+  };
+  std::string out;
+  for (size_t c = 0; c < headers.size(); ++c) {
+    if (c > 0) out += " | ";
+    out += pad(headers[c], widths[c]);
+  }
+  out += "\n";
+  for (size_t c = 0; c < headers.size(); ++c) {
+    if (c > 0) out += "-+-";
+    out += std::string(widths[c], '-');
+  }
+  out += "\n";
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < cells[r].size(); ++c) {
+      if (c > 0) out += " | ";
+      out += pad(cells[r][c], widths[c]);
+    }
+    out += "\n";
+  }
+  if (rows.size() > shown) {
+    out += "... (" + std::to_string(rows.size() - shown) + " more rows)\n";
+  }
+  if (approximate) {
+    out += "[approximate: sample rate " + std::to_string(sample_rate) + "]\n";
+  }
+  return out;
+}
+
+}  // namespace agentfirst

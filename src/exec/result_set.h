@@ -1,0 +1,33 @@
+#ifndef AGENTFIRST_EXEC_RESULT_SET_H_
+#define AGENTFIRST_EXEC_RESULT_SET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace agentfirst {
+
+/// A fully materialized query result. Immutable once returned, so it can be
+/// shared between the multi-query cache, the memory store, and callers.
+struct ResultSet {
+  Schema schema;
+  std::vector<Row> rows;
+  /// True when any scan in the producing plan was sampled.
+  bool approximate = false;
+  /// Effective scan sampling rate that produced this result (1.0 = exact).
+  double sample_rate = 1.0;
+
+  size_t NumRows() const { return rows.size(); }
+
+  /// Pretty-prints up to `max_rows` rows as an aligned text table.
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+using ResultSetPtr = std::shared_ptr<const ResultSet>;
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_EXEC_RESULT_SET_H_

@@ -1,0 +1,182 @@
+#include "io/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/str_util.h"
+
+namespace agentfirst {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos || field.empty();
+}
+
+std::string QuoteField(const std::string& field) {
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+std::string FormatCell(const Value& v) {
+  if (v.is_null()) return "";  // empty unquoted = NULL
+  std::string s = v.ToString();
+  // An empty non-null string must be quoted to stay distinguishable.
+  return NeedsQuoting(s) ? QuoteField(s) : s;
+}
+
+}  // namespace
+
+Status ExportCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) return Status::Internal("cannot open for writing: " + path);
+  const Schema& schema = table.schema();
+  for (size_t c = 0; c < schema.NumColumns(); ++c) {
+    if (c > 0) out << ",";
+    const std::string& name = schema.column(c).name;
+    out << (NeedsQuoting(name) ? QuoteField(name) : name);
+  }
+  out << "\n";
+  for (const auto& seg : table.segments()) {
+    for (size_t r = 0; r < seg->num_rows(); ++r) {
+      for (size_t c = 0; c < schema.NumColumns(); ++c) {
+        if (c > 0) out << ",";
+        out << FormatCell(seg->GetValue(r, c));
+      }
+      out << "\n";
+    }
+  }
+  out.flush();
+  if (!out.good()) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line,
+                                              std::vector<bool>* quoted) {
+  std::vector<std::string> fields;
+  if (quoted != nullptr) quoted->clear();
+  std::string current;
+  bool in_quotes = false;
+  bool was_quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"' && current.empty() && !was_quoted) {
+      in_quotes = true;
+      was_quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      if (quoted != nullptr) quoted->push_back(was_quoted);
+      current.clear();
+      was_quoted = false;
+    } else {
+      current += c;
+    }
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated quote in CSV line");
+  fields.push_back(std::move(current));
+  if (quoted != nullptr) quoted->push_back(was_quoted);
+  return fields;
+}
+
+Result<TablePtr> ImportCsv(Catalog* catalog, const std::string& name,
+                           const Schema& schema, const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return Status::NotFound("cannot open: " + path);
+
+  std::string line;
+  if (!std::getline(in, line)) return Status::InvalidArgument("empty CSV: " + path);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  AF_ASSIGN_OR_RETURN(auto header, ParseCsvLine(line));
+  if (header.size() != schema.NumColumns()) {
+    return Status::InvalidArgument("CSV header arity does not match schema");
+  }
+  for (size_t c = 0; c < header.size(); ++c) {
+    if (header[c] != schema.column(c).name) {
+      return Status::InvalidArgument("CSV header mismatch at column " +
+                                     std::to_string(c) + ": '" + header[c] +
+                                     "' vs '" + schema.column(c).name + "'");
+    }
+  }
+
+  AF_ASSIGN_OR_RETURN(TablePtr table, catalog->CreateTable(name, schema));
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    // An empty line is a single NULL field for one-column tables; otherwise
+    // it is padding and skipped.
+    if (line.empty() && schema.NumColumns() > 1) continue;
+    std::vector<bool> quoted;
+    AF_ASSIGN_OR_RETURN(auto fields, ParseCsvLine(line, &quoted));
+    if (fields.size() != schema.NumColumns()) {
+      return Status::InvalidArgument("CSV arity mismatch at line " +
+                                     std::to_string(line_number));
+    }
+    Row row;
+    row.reserve(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      const std::string& f = fields[c];
+      if (f.empty() && !quoted[c]) {
+        row.push_back(Value::Null());
+        continue;
+      }
+      switch (schema.column(c).type) {
+        case DataType::kInt64: {
+          char* end = nullptr;
+          long long v = std::strtoll(f.c_str(), &end, 10);
+          if (end == nullptr || *end != '\0') {
+            return Status::InvalidArgument("bad BIGINT '" + f + "' at line " +
+                                           std::to_string(line_number));
+          }
+          row.push_back(Value::Int(v));
+          break;
+        }
+        case DataType::kFloat64: {
+          char* end = nullptr;
+          double v = std::strtod(f.c_str(), &end);
+          if (end == nullptr || *end != '\0') {
+            return Status::InvalidArgument("bad DOUBLE '" + f + "' at line " +
+                                           std::to_string(line_number));
+          }
+          row.push_back(Value::Double(v));
+          break;
+        }
+        case DataType::kBool: {
+          std::string lower = ToLower(f);
+          if (lower == "true" || lower == "1") {
+            row.push_back(Value::Bool(true));
+          } else if (lower == "false" || lower == "0") {
+            row.push_back(Value::Bool(false));
+          } else {
+            return Status::InvalidArgument("bad BOOLEAN '" + f + "' at line " +
+                                           std::to_string(line_number));
+          }
+          break;
+        }
+        default:
+          row.push_back(Value::String(f));
+          break;
+      }
+    }
+    AF_RETURN_IF_ERROR(table->AppendRow(row));
+  }
+  return table;
+}
+
+}  // namespace agentfirst

@@ -1,0 +1,33 @@
+#ifndef AGENTFIRST_IO_CSV_H_
+#define AGENTFIRST_IO_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace agentfirst {
+
+/// RFC-4180-flavored CSV: comma separated, double-quote quoting with ""
+/// escapes, first line is the header. NULLs export as empty unquoted fields
+/// and import from empty fields.
+
+/// Writes the table (header + all rows) to `path`.
+Status ExportCsv(const Table& table, const std::string& path);
+
+/// Parses one CSV record (no trailing newline). Exposed for testing.
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line,
+                                              std::vector<bool>* quoted = nullptr);
+
+/// Creates table `name` in the catalog with `schema` and loads `path` into
+/// it. The header must match the schema's column names (order included).
+/// Typed parsing: BIGINT/DOUBLE/BOOLEAN fields are converted; empty unquoted
+/// fields become NULL.
+Result<TablePtr> ImportCsv(Catalog* catalog, const std::string& name,
+                           const Schema& schema, const std::string& path);
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_IO_CSV_H_

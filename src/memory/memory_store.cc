@@ -1,0 +1,257 @@
+#include "memory/memory_store.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/str_util.h"
+
+namespace agentfirst {
+
+namespace {
+
+std::string EscapeField(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string UnescapeField(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      char n = s[++i];
+      if (n == 't') out += '\t';
+      else if (n == 'n') out += '\n';
+      else out += n;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+std::optional<ArtifactKind> KindFromName(const std::string& name) {
+  for (ArtifactKind k : {ArtifactKind::kProbeResult, ArtifactKind::kColumnEncoding,
+                         ArtifactKind::kSchemaNote, ArtifactKind::kStatSummary,
+                         ArtifactKind::kGroundingNote}) {
+    if (name == ArtifactKindName(k)) return k;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+const char* ArtifactKindName(ArtifactKind k) {
+  switch (k) {
+    case ArtifactKind::kProbeResult: return "probe_result";
+    case ArtifactKind::kColumnEncoding: return "column_encoding";
+    case ArtifactKind::kSchemaNote: return "schema_note";
+    case ArtifactKind::kStatSummary: return "stat_summary";
+    case ArtifactKind::kGroundingNote: return "grounding_note";
+  }
+  return "?";
+}
+
+bool AgenticMemoryStore::Visible(const MemoryArtifact& a,
+                                 const std::string& principal) const {
+  if (a.owner.empty()) return true;
+  if (a.owner == principal) return true;
+  return options_.share_across_principals;
+}
+
+bool AgenticMemoryStore::IsStale(const MemoryArtifact& a) const {
+  if (catalog_ == nullptr) return false;
+  for (const std::string& dep : a.table_deps) {
+    if (!catalog_->HasTable(dep)) return true;
+    auto it = a.table_versions.find(dep);
+    if (it != a.table_versions.end()) {
+      auto table = catalog_->GetTable(dep);
+      if (table.ok() && (*table)->data_version() != it->second) return true;
+    }
+  }
+  // Schema-level artifacts expire on any DDL.
+  if ((a.kind == ArtifactKind::kSchemaNote) &&
+      a.schema_version != catalog_->schema_version()) {
+    return true;
+  }
+  return false;
+}
+
+void AgenticMemoryStore::Touch(MemoryArtifact* a) { a->last_used_tick = ++tick_; }
+
+uint64_t AgenticMemoryStore::Put(MemoryArtifact artifact) {
+  ++stats_.puts;
+  artifact.id = next_id_++;
+  artifact.created_tick = ++tick_;
+  artifact.last_used_tick = artifact.created_tick;
+  if (catalog_ != nullptr) {
+    artifact.schema_version = catalog_->schema_version();
+    for (const std::string& dep : artifact.table_deps) {
+      auto table = catalog_->GetTable(dep);
+      if (table.ok()) artifact.table_versions[dep] = (*table)->data_version();
+    }
+  }
+  // Supersede same-key same-owner artifacts.
+  for (size_t i = 0; i < artifacts_.size(); ++i) {
+    if (artifacts_[i]->key == artifact.key && artifacts_[i]->owner == artifact.owner) {
+      artifacts_.erase(artifacts_.begin() + static_cast<long>(i));
+      embeddings_.erase(embeddings_.begin() + static_cast<long>(i));
+      break;
+    }
+  }
+  Embedding emb = EmbedText(artifact.key + " " + artifact.content);
+  uint64_t id = artifact.id;
+  artifacts_.push_back(std::make_unique<MemoryArtifact>(std::move(artifact)));
+  embeddings_.push_back(std::move(emb));
+  EvictIfNeeded();
+  return id;
+}
+
+std::optional<MemoryHit> AgenticMemoryStore::GetExact(const std::string& key,
+                                                      const std::string& principal) {
+  for (size_t i = 0; i < artifacts_.size(); ++i) {
+    MemoryArtifact* a = artifacts_[i].get();
+    if (a->key != key || !Visible(*a, principal)) continue;
+    if (IsStale(*a)) {
+      if (options_.staleness == StalenessPolicy::kEager) {
+        ++stats_.stale_dropped;
+        artifacts_.erase(artifacts_.begin() + static_cast<long>(i));
+        embeddings_.erase(embeddings_.begin() + static_cast<long>(i));
+        ++stats_.exact_misses;
+        return std::nullopt;
+      }
+      ++stats_.stale_served;
+      Touch(a);
+      ++stats_.exact_hits;
+      return MemoryHit{a, 1.0, /*stale=*/true};
+    }
+    Touch(a);
+    ++stats_.exact_hits;
+    return MemoryHit{a, 1.0, false};
+  }
+  ++stats_.exact_misses;
+  return std::nullopt;
+}
+
+std::vector<MemoryHit> AgenticMemoryStore::Search(const std::string& query,
+                                                  size_t k,
+                                                  const std::string& principal,
+                                                  double min_score) {
+  ++stats_.semantic_queries;
+  Embedding q = EmbedText(query);
+  std::vector<std::pair<double, size_t>> scored;
+  for (size_t i = 0; i < artifacts_.size(); ++i) {
+    if (!Visible(*artifacts_[i], principal)) continue;
+    double s = CosineSimilarity(q, embeddings_[i]);
+    if (s >= min_score) scored.emplace_back(s, i);
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+
+  std::vector<MemoryHit> hits;
+  std::vector<size_t> to_drop;
+  for (const auto& [score, i] : scored) {
+    if (hits.size() >= k) break;
+    MemoryArtifact* a = artifacts_[i].get();
+    bool stale = IsStale(*a);
+    if (stale && options_.staleness == StalenessPolicy::kEager) {
+      ++stats_.stale_dropped;
+      to_drop.push_back(i);
+      continue;
+    }
+    if (stale) ++stats_.stale_served;
+    Touch(a);
+    hits.push_back(MemoryHit{a, score, stale});
+  }
+  // Remove stale entries found during the scan (descending index order).
+  std::sort(to_drop.begin(), to_drop.end(), std::greater<>());
+  for (size_t i : to_drop) {
+    artifacts_.erase(artifacts_.begin() + static_cast<long>(i));
+    embeddings_.erase(embeddings_.begin() + static_cast<long>(i));
+  }
+  return hits;
+}
+
+size_t AgenticMemoryStore::SweepStale() {
+  size_t removed = 0;
+  for (size_t i = artifacts_.size(); i > 0; --i) {
+    if (IsStale(*artifacts_[i - 1])) {
+      artifacts_.erase(artifacts_.begin() + static_cast<long>(i - 1));
+      embeddings_.erase(embeddings_.begin() + static_cast<long>(i - 1));
+      ++removed;
+      ++stats_.stale_dropped;
+    }
+  }
+  return removed;
+}
+
+Status AgenticMemoryStore::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.good()) return Status::Internal("cannot open for writing: " + path);
+  for (const auto& artifact : artifacts_) {
+    if (artifact->kind == ArtifactKind::kProbeResult) continue;  // re-derivable
+    out << ArtifactKindName(artifact->kind) << '\t' << EscapeField(artifact->key)
+        << '\t' << EscapeField(artifact->owner) << '\t'
+        << EscapeField(Join(artifact->table_deps, ",")) << '\t'
+        << EscapeField(artifact->content) << '\n';
+  }
+  out.flush();
+  if (!out.good()) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<size_t> AgenticMemoryStore::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return Status::NotFound("cannot open: " + path);
+  size_t loaded = 0;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = Split(line, '\t');
+    if (fields.size() != 5) {
+      return Status::InvalidArgument("malformed memory artifact at line " +
+                                     std::to_string(line_number));
+    }
+    auto kind = KindFromName(fields[0]);
+    if (!kind.has_value()) {
+      return Status::InvalidArgument("unknown artifact kind at line " +
+                                     std::to_string(line_number));
+    }
+    MemoryArtifact artifact;
+    artifact.kind = *kind;
+    artifact.key = UnescapeField(fields[1]);
+    artifact.owner = UnescapeField(fields[2]);
+    artifact.table_deps = Split(UnescapeField(fields[3]), ',', /*skip_empty=*/true);
+    artifact.content = UnescapeField(fields[4]);
+    Put(std::move(artifact));
+    ++loaded;
+  }
+  return loaded;
+}
+
+void AgenticMemoryStore::EvictIfNeeded() {
+  while (artifacts_.size() > options_.capacity) {
+    size_t lru = 0;
+    for (size_t i = 1; i < artifacts_.size(); ++i) {
+      if (artifacts_[i]->last_used_tick < artifacts_[lru]->last_used_tick) lru = i;
+    }
+    artifacts_.erase(artifacts_.begin() + static_cast<long>(lru));
+    embeddings_.erase(embeddings_.begin() + static_cast<long>(lru));
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace agentfirst

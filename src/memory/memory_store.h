@@ -1,0 +1,134 @@
+#ifndef AGENTFIRST_MEMORY_MEMORY_STORE_H_
+#define AGENTFIRST_MEMORY_MEMORY_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "embed/embedding.h"
+#include "exec/result_set.h"
+
+namespace agentfirst {
+
+/// What a memory artifact records (paper Sec. 6.1 "Artifacts").
+enum class ArtifactKind {
+  kProbeResult,     // cached answer of a prior probe
+  kColumnEncoding,  // e.g. "state is spelled out, not two-letter codes"
+  kSchemaNote,      // which tables/columns matter for what
+  kStatSummary,     // value ranges, distinct counts, partitions' coverage
+  kGroundingNote,   // any other free-form grounding
+};
+
+const char* ArtifactKindName(ArtifactKind k);
+
+/// One grounding artifact. Artifacts pin the catalog/table versions they
+/// were derived from so staleness is detectable.
+struct MemoryArtifact {
+  uint64_t id = 0;
+  ArtifactKind kind = ArtifactKind::kGroundingNote;
+  std::string key;       // structured key, e.g. "table:sales/col:state"
+  std::string content;   // natural-language grounding text
+  ResultSetPtr result;   // optional cached result rows
+  std::vector<std::string> table_deps;
+  uint64_t schema_version = 0;
+  std::map<std::string, uint64_t> table_versions;
+  std::string owner;     // principal; empty = public
+  uint64_t created_tick = 0;
+  uint64_t last_used_tick = 0;
+};
+
+/// A retrieval hit; `stale` is only possible under the lazy policy.
+struct MemoryHit {
+  const MemoryArtifact* artifact = nullptr;
+  double score = 1.0;
+  bool stale = false;
+};
+
+/// The agentic memory store (paper Sec. 6.1): a persistent, queryable
+/// semantic cache of grounding gleaned by prior probes. Supports exact
+/// structured lookup and embedding-based semantic search, staleness
+/// handling against catalog versions (eager invalidation or lazy detection),
+/// LRU eviction, and per-principal access control.
+class AgenticMemoryStore {
+ public:
+  enum class StalenessPolicy {
+    kEager,  // stale artifacts are dropped at access time (never served)
+    kLazy,   // stale artifacts are served flagged; dropped when superseded
+  };
+
+  struct Options {
+    size_t capacity = 4096;
+    StalenessPolicy staleness = StalenessPolicy::kEager;
+    /// When false, artifacts are only visible to their owner (privacy mode,
+    /// paper's multi-user concern); when true, all principals share.
+    bool share_across_principals = true;
+  };
+
+  struct Stats {
+    uint64_t puts = 0;
+    uint64_t exact_hits = 0;
+    uint64_t exact_misses = 0;
+    uint64_t semantic_queries = 0;
+    uint64_t stale_dropped = 0;
+    uint64_t stale_served = 0;
+    uint64_t evictions = 0;
+  };
+
+  AgenticMemoryStore(Catalog* catalog, Options options)
+      : catalog_(catalog), options_(options) {}
+
+  /// Stores an artifact (embedding derived from key + content). Returns id.
+  /// An artifact with an identical key and owner is superseded.
+  uint64_t Put(MemoryArtifact artifact);
+
+  /// Exact lookup by structured key (subject to visibility and staleness).
+  std::optional<MemoryHit> GetExact(const std::string& key,
+                                    const std::string& principal = "");
+
+  /// Semantic search: top-k artifacts by embedding similarity to `query`,
+  /// above `min_score`.
+  std::vector<MemoryHit> Search(const std::string& query, size_t k,
+                                const std::string& principal = "",
+                                double min_score = 0.15);
+
+  /// Drops every artifact that is stale with respect to the catalog now.
+  /// Returns the number removed.
+  size_t SweepStale();
+
+  /// Persists grounding artifacts to a file (tab-separated, one artifact per
+  /// line). Cached result rows are NOT persisted: they are re-derivable and
+  /// version-pinned; the durable value is the grounding text.
+  Status SaveToFile(const std::string& path) const;
+
+  /// Loads artifacts from `path` into the store (same-key artifacts are
+  /// superseded). Loaded artifacts are version-stamped against the *current*
+  /// catalog. Returns the number loaded.
+  Result<size_t> LoadFromFile(const std::string& path);
+
+  size_t size() const { return artifacts_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  bool Visible(const MemoryArtifact& a, const std::string& principal) const;
+  bool IsStale(const MemoryArtifact& a) const;
+  void Touch(MemoryArtifact* a);
+  void EvictIfNeeded();
+
+  Catalog* catalog_;
+  Options options_;
+  Stats stats_;
+  uint64_t next_id_ = 1;
+  uint64_t tick_ = 0;
+  // id -> artifact; parallel embedding storage for semantic search.
+  std::vector<std::unique_ptr<MemoryArtifact>> artifacts_;
+  std::vector<Embedding> embeddings_;
+};
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_MEMORY_MEMORY_STORE_H_

@@ -1,0 +1,139 @@
+#include "opt/aqp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace agentfirst {
+
+namespace {
+
+constexpr double kZ95 = 1.959964;
+
+/// Finds the aggregate node feeding the root through a chain of
+/// column-preserving operators, and the mapping from root output column to
+/// aggregate output column (SIZE_MAX when severed).
+const PlanNode* FindAggregate(const PlanNode& root, std::vector<size_t>* mapping) {
+  const PlanNode* node = &root;
+  // Identity over root outputs.
+  mapping->assign(root.output_schema.NumColumns(), 0);
+  for (size_t i = 0; i < mapping->size(); ++i) (*mapping)[i] = i;
+
+  while (node != nullptr) {
+    switch (node->kind) {
+      case PlanKind::kAggregate:
+        return node;
+      case PlanKind::kLimit:
+      case PlanKind::kSort:
+      case PlanKind::kFilter:
+        node = node->children.empty() ? nullptr : node->children[0].get();
+        break;
+      case PlanKind::kProject: {
+        // Compose: current root col -> project output col -> project input.
+        std::vector<size_t> next(mapping->size(), SIZE_MAX);
+        for (size_t i = 0; i < mapping->size(); ++i) {
+          size_t j = (*mapping)[i];
+          if (j == SIZE_MAX || j >= node->project_exprs.size()) continue;
+          const BoundExpr& e = *node->project_exprs[j];
+          if (e.kind == BoundExprKind::kColumn) next[i] = e.column_index;
+        }
+        *mapping = std::move(next);
+        node = node->children.empty() ? nullptr : node->children[0].get();
+        break;
+      }
+      default:
+        return nullptr;  // joins/scans sever the aggregate chain
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<ApproxAnswer> ExecuteApproximate(const PlanNode& plan, double sample_rate,
+                                        const ExecOptions& base_options) {
+  ApproxAnswer answer;
+  answer.sample_rate = std::clamp(sample_rate, 0.0, 1.0);
+  ExecOptions options = base_options;
+  options.sample_rate = answer.sample_rate <= 0.0 ? 1.0 : answer.sample_rate;
+
+  AF_ASSIGN_OR_RETURN(answer.result, ExecutePlan(plan, options));
+  const size_t width = answer.result->schema.NumColumns();
+  answer.relative_ci95.assign(width, std::nullopt);
+
+  double p = options.sample_rate;
+  if (p >= 1.0) {
+    // Exact: zero-width bounds on everything.
+    for (auto& ci : answer.relative_ci95) ci = 0.0;
+    return answer;
+  }
+
+  std::vector<size_t> mapping;
+  const PlanNode* agg = FindAggregate(plan, &mapping);
+  if (agg == nullptr) return answer;
+
+  size_t group_count = agg->group_by.size();
+  // Locate a plain COUNT (non-distinct) column to estimate raw sample sizes.
+  std::optional<size_t> count_agg_idx;
+  for (size_t a = 0; a < agg->aggregates.size(); ++a) {
+    if (agg->aggregates[a].func == AggFunc::kCount && !agg->aggregates[a].distinct) {
+      count_agg_idx = group_count + a;
+      break;
+    }
+  }
+
+  for (size_t col = 0; col < width; ++col) {
+    size_t agg_col = col < mapping.size() ? mapping[col] : SIZE_MAX;
+    if (agg_col == SIZE_MAX || agg_col < group_count) continue;
+    const AggregateExpr& a = agg->aggregates[agg_col - group_count];
+    if (a.distinct) continue;  // no unbiased scale-up exists
+    if (a.func != AggFunc::kCount && a.func != AggFunc::kSum) continue;
+
+    // Worst-case (smallest) raw sample count across result groups.
+    double min_raw = -1.0;
+    for (const Row& row : answer.result->rows) {
+      double scaled;
+      if (a.func == AggFunc::kCount) {
+        scaled = row[col].AsDouble();
+      } else if (count_agg_idx.has_value()) {
+        // Find the root column mapped to the count aggregate.
+        double found = -1.0;
+        for (size_t c2 = 0; c2 < width; ++c2) {
+          if (c2 < mapping.size() && mapping[c2] == *count_agg_idx) {
+            found = row[c2].AsDouble();
+            break;
+          }
+        }
+        if (found < 0) {
+          scaled = -1.0;
+        } else {
+          scaled = found;
+        }
+      } else {
+        scaled = -1.0;
+      }
+      if (scaled < 0) {
+        min_raw = -1.0;
+        break;
+      }
+      double raw = scaled * p;
+      if (min_raw < 0 || raw < min_raw) min_raw = raw;
+    }
+    if (min_raw <= 0.0) continue;
+    // Bernoulli-sampling CLT: rel err of c/p is ~ z * sqrt((1-p)/c_raw).
+    answer.relative_ci95[col] = kZ95 * std::sqrt((1.0 - p) / min_raw);
+  }
+  return answer;
+}
+
+double ChooseSampleRate(double estimated_input_rows, double target_relative_error,
+                        double min_rate) {
+  if (estimated_input_rows <= 0.0 || target_relative_error <= 0.0) return 1.0;
+  // Invert rel = z * sqrt((1-p) / (p * N)) for p:
+  //   rel^2 * p * N = z^2 (1 - p)  =>  p = z^2 / (rel^2 N + z^2).
+  double z2 = kZ95 * kZ95;
+  double r2 = target_relative_error * target_relative_error;
+  double p = z2 / (r2 * estimated_input_rows + z2);
+  return std::clamp(p, min_rate, 1.0);
+}
+
+}  // namespace agentfirst

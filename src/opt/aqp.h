@@ -1,0 +1,39 @@
+#ifndef AGENTFIRST_OPT_AQP_H_
+#define AGENTFIRST_OPT_AQP_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/executor.h"
+#include "plan/logical_plan.h"
+
+namespace agentfirst {
+
+/// An approximate answer: the (scaled) result plus CLT-based 95% confidence
+/// half-widths for scalable aggregate output columns (COUNT/SUM without
+/// DISTINCT). Columns that carry no bound have nullopt.
+struct ApproxAnswer {
+  ResultSetPtr result;
+  double sample_rate = 1.0;
+  /// Per output column: relative 95% CI half-width (e.g. 0.03 = +-3%);
+  /// nullopt when the column has no statistical bound.
+  std::vector<std::optional<double>> relative_ci95;
+};
+
+/// Executes `plan` with Bernoulli scan sampling at `sample_rate` and
+/// Horvitz-Thompson scaling (done by the executor). Computes confidence
+/// bounds from the scaled counts. sample_rate >= 1 degenerates to exact
+/// execution with zero-width bounds.
+Result<ApproxAnswer> ExecuteApproximate(const PlanNode& plan, double sample_rate,
+                                        const ExecOptions& base_options = {});
+
+/// Picks a sample rate that targets the given relative error for COUNT-like
+/// aggregates over `estimated_input_rows` rows (inverts the CLT bound);
+/// clamped to [min_rate, 1].
+double ChooseSampleRate(double estimated_input_rows, double target_relative_error,
+                        double min_rate = 0.001);
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_OPT_AQP_H_

@@ -1,0 +1,30 @@
+#ifndef AGENTFIRST_OPT_COST_MODEL_H_
+#define AGENTFIRST_OPT_COST_MODEL_H_
+
+#include "catalog/catalog.h"
+#include "plan/logical_plan.h"
+
+namespace agentfirst {
+
+/// Cost estimate for one plan: estimated output rows and a unit-less work
+/// measure (rows touched across operators). Both feed the probe optimizer's
+/// satisficing decisions and the sleeper agents' cost feedback.
+struct CostEstimate {
+  double output_rows = 0.0;
+  double total_cost = 0.0;
+};
+
+/// Estimates cardinality/cost bottom-up using catalog statistics where
+/// available (selectivity from histograms/NDV) and standard default
+/// selectivities otherwise. Never executes the plan.
+CostEstimate EstimatePlanCost(const PlanNode& plan, Catalog* catalog);
+
+/// Selectivity of a predicate over a relation described by `stats`
+/// (columns indexed by position in `schema`). Conservative defaults for
+/// shapes the stats cannot capture.
+double EstimateSelectivity(const BoundExpr& predicate, const Schema& schema,
+                           const TableStats* stats);
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_OPT_COST_MODEL_H_

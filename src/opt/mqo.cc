@@ -1,0 +1,93 @@
+#include "opt/mqo.h"
+
+#include <atomic>
+#include <thread>
+#include <unordered_set>
+
+#include "plan/fingerprint.h"
+
+namespace agentfirst {
+
+namespace {
+void CountOperators(const PlanNode& node, size_t* total,
+                    std::unordered_set<uint64_t>* distinct) {
+  ++*total;
+  distinct->insert(PlanFingerprint(node));
+  for (const auto& c : node.children) CountOperators(*c, total, distinct);
+}
+}  // namespace
+
+std::vector<Result<ResultSetPtr>> BatchExecutor::ExecuteBatch(
+    const std::vector<PlanPtr>& plans) {
+  std::unordered_set<uint64_t> distinct;
+  size_t total = 0;
+  for (const auto& p : plans) {
+    if (p != nullptr) CountOperators(*p, &total, &distinct);
+  }
+  total_operators_ += total;
+  distinct_operators_ += distinct.size();
+
+  ExecOptions options = base_options_;
+  options.cache = &cache_;
+  options.cache_subplans = true;
+
+  std::vector<Result<ResultSetPtr>> results;
+  results.reserve(plans.size());
+  for (const auto& p : plans) {
+    if (p == nullptr) {
+      results.emplace_back(Status::InvalidArgument("null plan in batch"));
+      continue;
+    }
+    results.push_back(ExecutePlan(*p, options));
+  }
+  return results;
+}
+
+std::vector<Result<ResultSetPtr>> BatchExecutor::ExecuteBatchParallel(
+    const std::vector<PlanPtr>& plans, size_t num_threads) {
+  if (num_threads <= 1 || plans.size() <= 1) return ExecuteBatch(plans);
+
+  std::unordered_set<uint64_t> distinct;
+  size_t total = 0;
+  for (const auto& p : plans) {
+    if (p != nullptr) CountOperators(*p, &total, &distinct);
+  }
+  total_operators_ += total;
+  distinct_operators_ += distinct.size();
+
+  ExecOptions options = base_options_;
+  options.cache = &cache_;
+  options.cache_subplans = true;
+
+  std::vector<Result<ResultSetPtr>> results(
+      plans.size(), Result<ResultSetPtr>(Status::Internal("not executed")));
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    while (true) {
+      size_t i = next.fetch_add(1);
+      if (i >= plans.size()) break;
+      if (plans[i] == nullptr) {
+        results[i] = Status::InvalidArgument("null plan in batch");
+        continue;
+      }
+      results[i] = ExecutePlan(*plans[i], options);
+    }
+  };
+  std::vector<std::thread> threads;
+  size_t spawn = std::min(num_threads, plans.size());
+  threads.reserve(spawn);
+  for (size_t t = 0; t < spawn; ++t) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+  return results;
+}
+
+SharingStats BatchExecutor::stats() const {
+  SharingStats s;
+  s.total_operators = total_operators_;
+  s.distinct_operators = distinct_operators_;
+  s.cache_hits = cache_.hits();
+  s.cache_misses = cache_.misses();
+  return s;
+}
+
+}  // namespace agentfirst

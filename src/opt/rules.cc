@@ -1,0 +1,251 @@
+#include "opt/rules.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "exec/evaluator.h"
+
+namespace agentfirst {
+
+namespace {
+
+bool IsFoldableLiteralTree(const BoundExpr& e) {
+  if (e.kind == BoundExprKind::kColumn) return false;
+  if (e.kind == BoundExprKind::kLiteral) return true;
+  for (const auto& c : e.children) {
+    if (!IsFoldableLiteralTree(*c)) return false;
+  }
+  return true;
+}
+
+PlanPtr MakeFilterNode(PlanPtr child, BoundExprPtr predicate) {
+  auto filter = std::make_shared<PlanNode>(PlanKind::kFilter);
+  filter->output_schema = child->output_schema;
+  filter->predicate = std::move(predicate);
+  filter->children.push_back(std::move(child));
+  return filter;
+}
+
+/// One bottom-up rewrite pass. Sets *changed when any rule fired.
+PlanPtr RewriteOnce(PlanPtr node, bool* changed) {
+  for (auto& c : node->children) c = RewriteOnce(c, changed);
+
+  // Fold constants in every expression slot.
+  auto fold = [&](BoundExprPtr* e) {
+    if (*e == nullptr) return;
+    uint64_t before = (*e)->Hash(false);
+    *e = FoldConstants(std::move(*e));
+    if ((*e)->Hash(false) != before) *changed = true;
+  };
+  fold(&node->predicate);
+  fold(&node->scan_filter);
+  for (auto& e : node->project_exprs) fold(&e);
+  for (auto& g : node->group_by) fold(&g);
+  for (auto& [l, r] : node->join_keys) {
+    fold(&l);
+    fold(&r);
+  }
+  for (auto& a : node->aggregates) {
+    if (a.arg != nullptr) fold(&a.arg);
+  }
+
+  if (node->kind != PlanKind::kFilter) return node;
+  PlanPtr child = node->children[0];
+
+  // Filter over Filter: merge.
+  if (child->kind == PlanKind::kFilter) {
+    *changed = true;
+    auto merged = std::make_shared<PlanNode>(PlanKind::kFilter);
+    merged->output_schema = node->output_schema;
+    merged->predicate = MakeBoundBinary(BinaryOp::kAnd, node->predicate->Clone(),
+                                        child->predicate->Clone());
+    merged->children = child->children;
+    return merged;
+  }
+
+  // Filter over Scan: push into scan_filter.
+  if (child->kind == PlanKind::kScan && child->table != nullptr) {
+    *changed = true;
+    auto scan = std::make_shared<PlanNode>(PlanKind::kScan);
+    scan->table_name = child->table_name;
+    scan->table = child->table;
+    scan->output_schema = child->output_schema;
+    scan->scan_filter =
+        child->scan_filter != nullptr
+            ? MakeBoundBinary(BinaryOp::kAnd, child->scan_filter->Clone(),
+                              node->predicate->Clone())
+            : node->predicate->Clone();
+    return scan;
+  }
+
+  // Filter over Project: push conjuncts that only touch pass-through columns.
+  if (child->kind == PlanKind::kProject) {
+    // mapping[out_idx] = input idx when the projection is a bare column ref.
+    std::vector<size_t> mapping(child->project_exprs.size(), SIZE_MAX);
+    bool any_identity = false;
+    for (size_t i = 0; i < child->project_exprs.size(); ++i) {
+      if (child->project_exprs[i]->kind == BoundExprKind::kColumn) {
+        mapping[i] = child->project_exprs[i]->column_index;
+        any_identity = true;
+      }
+    }
+    if (any_identity) {
+      std::vector<BoundExprPtr> conjuncts = SplitConjuncts(node->predicate->Clone());
+      std::vector<BoundExprPtr> below;
+      std::vector<BoundExprPtr> above;
+      for (auto& c : conjuncts) {
+        BoundExprPtr copy = c->Clone();
+        if (copy->RemapColumns(mapping)) {
+          below.push_back(std::move(copy));
+        } else {
+          above.push_back(std::move(c));
+        }
+      }
+      if (!below.empty()) {
+        *changed = true;
+        auto new_project = std::make_shared<PlanNode>(PlanKind::kProject);
+        new_project->output_schema = child->output_schema;
+        for (const auto& e : child->project_exprs) {
+          new_project->project_exprs.push_back(e->Clone());
+        }
+        new_project->children.push_back(
+            MakeFilterNode(child->children[0], CombineConjuncts(std::move(below))));
+        if (above.empty()) return new_project;
+        return MakeFilterNode(new_project, CombineConjuncts(std::move(above)));
+      }
+    }
+  }
+
+  // Filter over join: route conjuncts to the side they reference.
+  if (child->kind == PlanKind::kHashJoin ||
+      child->kind == PlanKind::kNestedLoopJoin) {
+    size_t left_width = child->children[0]->output_schema.NumColumns();
+    size_t total = child->output_schema.NumColumns();
+    bool left_ok = true;
+    // For LEFT joins only left-side conjuncts may move (right side rows can
+    // be synthesized NULLs above the join).
+    bool right_ok = child->join_type != JoinType::kLeft;
+
+    std::vector<BoundExprPtr> conjuncts = SplitConjuncts(node->predicate->Clone());
+    std::vector<BoundExprPtr> to_left;
+    std::vector<BoundExprPtr> to_right;
+    std::vector<BoundExprPtr> stay;
+    for (auto& c : conjuncts) {
+      std::vector<size_t> cols;
+      c->CollectColumns(&cols);
+      bool all_left = !cols.empty();
+      bool all_right = !cols.empty();
+      for (size_t idx : cols) {
+        if (idx >= left_width) all_left = false;
+        if (idx < left_width) all_right = false;
+      }
+      if (all_left && left_ok) {
+        to_left.push_back(std::move(c));
+      } else if (all_right && right_ok) {
+        std::vector<size_t> mapping(total, SIZE_MAX);
+        for (size_t i = left_width; i < total; ++i) mapping[i] = i - left_width;
+        AF_CHECK(c->RemapColumns(mapping));
+        to_right.push_back(std::move(c));
+      } else {
+        stay.push_back(std::move(c));
+      }
+    }
+    if (!to_left.empty() || !to_right.empty()) {
+      *changed = true;
+      auto new_join = std::make_shared<PlanNode>(child->kind);
+      new_join->output_schema = child->output_schema;
+      new_join->join_type = child->join_type;
+      for (const auto& [l, r] : child->join_keys) {
+        new_join->join_keys.emplace_back(l->Clone(), r->Clone());
+      }
+      if (child->predicate != nullptr) new_join->predicate = child->predicate->Clone();
+      PlanPtr left = child->children[0];
+      PlanPtr right = child->children[1];
+      if (!to_left.empty()) {
+        left = MakeFilterNode(left, CombineConjuncts(std::move(to_left)));
+      }
+      if (!to_right.empty()) {
+        right = MakeFilterNode(right, CombineConjuncts(std::move(to_right)));
+      }
+      new_join->children = {left, right};
+      if (stay.empty()) return new_join;
+      return MakeFilterNode(new_join, CombineConjuncts(std::move(stay)));
+    }
+  }
+  return node;
+}
+
+}  // namespace
+
+BoundExprPtr FoldConstants(BoundExprPtr expr) {
+  if (expr == nullptr) return expr;
+  for (auto& c : expr->children) c = FoldConstants(std::move(c));
+  if (expr->kind == BoundExprKind::kLiteral ||
+      expr->kind == BoundExprKind::kColumn) {
+    return expr;
+  }
+  if (!IsFoldableLiteralTree(*expr)) return expr;
+  Row empty;
+  Value v = EvalExpr(*expr, empty);
+  DataType t = expr->type;
+  auto folded = MakeBoundLiteral(std::move(v));
+  // Preserve the statically inferred type for NULL results.
+  if (folded->literal.is_null()) folded->type = t;
+  return folded;
+}
+
+namespace {
+
+/// Index selection: attach a fresh hash index to scans whose filter carries
+/// an equality conjunct on an indexed column. The conjunct stays in the
+/// filter (re-verified per row), so execution against a stale index or a
+/// mutated table stays correct.
+void SelectIndexes(PlanNode* node, Catalog* catalog) {
+  for (auto& c : node->children) SelectIndexes(c.get(), catalog);
+  if (node->kind != PlanKind::kScan || node->table == nullptr ||
+      node->scan_filter == nullptr || node->index != nullptr) {
+    return;
+  }
+  std::vector<BoundExprPtr> conjuncts = SplitConjuncts(node->scan_filter->Clone());
+  for (const auto& conjunct : conjuncts) {
+    if (conjunct->kind != BoundExprKind::kBinary ||
+        conjunct->bin_op != BinaryOp::kEq) {
+      continue;
+    }
+    const BoundExpr* col = nullptr;
+    const BoundExpr* lit = nullptr;
+    if (conjunct->children[0]->kind == BoundExprKind::kColumn &&
+        conjunct->children[1]->kind == BoundExprKind::kLiteral) {
+      col = conjunct->children[0].get();
+      lit = conjunct->children[1].get();
+    } else if (conjunct->children[1]->kind == BoundExprKind::kColumn &&
+               conjunct->children[0]->kind == BoundExprKind::kLiteral) {
+      col = conjunct->children[1].get();
+      lit = conjunct->children[0].get();
+    }
+    if (col == nullptr || lit->literal.is_null()) continue;
+    const HashIndex* index =
+        catalog->GetFreshIndex(node->table_name, col->column_index);
+    if (index == nullptr) continue;
+    node->index = index;
+    node->index_value = lit->literal;
+    return;
+  }
+}
+
+}  // namespace
+
+PlanPtr OptimizePlan(PlanPtr plan, Catalog* catalog) {
+  if (plan == nullptr) return plan;
+  PlanPtr current = plan->Clone();
+  constexpr int kMaxPasses = 6;
+  for (int pass = 0; pass < kMaxPasses; ++pass) {
+    bool changed = false;
+    current = RewriteOnce(current, &changed);
+    if (!changed) break;
+  }
+  if (catalog != nullptr) SelectIndexes(current.get(), catalog);
+  return current;
+}
+
+}  // namespace agentfirst

@@ -1,0 +1,29 @@
+#ifndef AGENTFIRST_OPT_RULES_H_
+#define AGENTFIRST_OPT_RULES_H_
+
+#include "catalog/catalog.h"
+#include "plan/logical_plan.h"
+
+namespace agentfirst {
+
+/// Rule-based logical rewrites. All rules are semantics-preserving and
+/// idempotent; OptimizePlan applies them to fixpoint (bounded passes).
+///
+/// Implemented rules:
+///  - constant folding inside expressions (literal-only subtrees collapse)
+///  - merge adjacent Filters into one conjunction
+///  - push Filter conjuncts below Project (when they reference only
+///    pass-through columns)
+///  - push Filter conjuncts into the matching side of a join
+///  - push Filter into Scan (becomes scan_filter)
+///  - with a catalog: index selection (an equality conjunct of a scan filter
+///    with a matching hash index turns the scan into an index probe)
+PlanPtr OptimizePlan(PlanPtr plan, Catalog* catalog = nullptr);
+
+/// Folds literal-only subtrees of `expr` into literals (in place); returns
+/// the possibly-replaced root.
+BoundExprPtr FoldConstants(BoundExprPtr expr);
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_OPT_RULES_H_

@@ -1,0 +1,883 @@
+#include "plan/binder.h"
+
+#include <map>
+#include <set>
+
+#include "catalog/info_schema.h"
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace agentfirst {
+
+bool IsAggregateFunctionName(const std::string& lower_name) {
+  return lower_name == "count" || lower_name == "sum" || lower_name == "avg" ||
+         lower_name == "min" || lower_name == "max";
+}
+
+bool ContainsAggregate(const Expr& expr) {
+  if (expr.kind == ExprKind::kFunction && IsAggregateFunctionName(expr.name)) {
+    return true;
+  }
+  for (const auto& c : expr.children) {
+    if (ContainsAggregate(*c)) return true;
+  }
+  return false;
+}
+
+Result<DataType> InferScalarFunctionType(const std::string& name,
+                                         const std::vector<DataType>& args) {
+  auto require_args = [&](size_t lo, size_t hi) -> Status {
+    if (args.size() < lo || args.size() > hi) {
+      return Status::InvalidArgument("wrong argument count for " + name);
+    }
+    return Status::OK();
+  };
+  if (name == "abs") {
+    AF_RETURN_IF_ERROR(require_args(1, 1));
+    return args[0] == DataType::kFloat64 ? DataType::kFloat64 : DataType::kInt64;
+  }
+  if (name == "round" || name == "floor" || name == "ceil") {
+    AF_RETURN_IF_ERROR(require_args(1, 2));
+    return DataType::kFloat64;
+  }
+  if (name == "lower" || name == "upper") {
+    AF_RETURN_IF_ERROR(require_args(1, 1));
+    return DataType::kString;
+  }
+  if (name == "length") {
+    AF_RETURN_IF_ERROR(require_args(1, 1));
+    return DataType::kInt64;
+  }
+  if (name == "substr" || name == "substring") {
+    AF_RETURN_IF_ERROR(require_args(2, 3));
+    return DataType::kString;
+  }
+  if (name == "coalesce") {
+    AF_RETURN_IF_ERROR(require_args(1, 64));
+    for (DataType t : args) {
+      if (t != DataType::kNull) return t;
+    }
+    return DataType::kNull;
+  }
+  if (name == "concat") {
+    AF_RETURN_IF_ERROR(require_args(1, 64));
+    return DataType::kString;
+  }
+  if (name == "semantic_sim") {
+    AF_RETURN_IF_ERROR(require_args(2, 2));
+    return DataType::kFloat64;
+  }
+  if (name == "trim" || name == "ltrim" || name == "rtrim") {
+    AF_RETURN_IF_ERROR(require_args(1, 1));
+    return DataType::kString;
+  }
+  if (name == "replace") {
+    AF_RETURN_IF_ERROR(require_args(3, 3));
+    return DataType::kString;
+  }
+  if (name == "contains" || name == "starts_with" || name == "ends_with") {
+    AF_RETURN_IF_ERROR(require_args(2, 2));
+    return DataType::kBool;
+  }
+  if (name == "nullif") {
+    AF_RETURN_IF_ERROR(require_args(2, 2));
+    return args[0];
+  }
+  if (name == "greatest" || name == "least") {
+    AF_RETURN_IF_ERROR(require_args(1, 64));
+    for (DataType t : args) {
+      if (t != DataType::kNull) return t;
+    }
+    return DataType::kNull;
+  }
+  if (name == "sqrt" || name == "pow" || name == "power" || name == "ln" ||
+      name == "exp" || name == "log10") {
+    AF_RETURN_IF_ERROR(require_args(name == "pow" || name == "power" ? 2 : 1,
+                                    name == "pow" || name == "power" ? 2 : 1));
+    return DataType::kFloat64;
+  }
+  if (name == "sign") {
+    AF_RETURN_IF_ERROR(require_args(1, 1));
+    return DataType::kInt64;
+  }
+  return Status::NotFound("unknown function: " + name);
+}
+
+namespace {
+
+/// Rewrites `table` qualifiers of every column in a schema (alias binding).
+Schema QualifySchema(const Schema& schema, const std::string& qualifier) {
+  std::vector<ColumnDef> cols;
+  cols.reserve(schema.NumColumns());
+  for (const ColumnDef& c : schema.columns()) {
+    ColumnDef copy = c;
+    copy.table = qualifier;
+    cols.push_back(copy);
+  }
+  return Schema(std::move(cols));
+}
+
+std::string DeriveColumnName(const SelectItem& item, size_t index) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr->kind == ExprKind::kColumnRef) return item.expr->name;
+  if (item.expr->kind == ExprKind::kFunction) return item.expr->ToString();
+  return "col" + std::to_string(index);
+}
+
+}  // namespace
+
+Result<PlanPtr> Binder::BindBaseTable(const std::string& name,
+                                      const std::string& alias) {
+  TablePtr table;
+  if (IsInfoSchemaTable(name)) {
+    AF_ASSIGN_OR_RETURN(table, BuildInfoSchemaTable(*catalog_, name));
+  } else {
+    auto result = catalog_->GetTable(name);
+    if (!result.ok()) return result.status();
+    table = *result;
+  }
+  auto scan = std::make_shared<PlanNode>(PlanKind::kScan);
+  scan->table_name = name;
+  scan->table = table;
+  scan->output_schema =
+      QualifySchema(table->schema(), alias.empty() ? name : alias);
+  return scan;
+}
+
+Result<PlanPtr> Binder::BindTableRef(const TableRefAst& ref) {
+  switch (ref.kind) {
+    case TableRefAst::Kind::kBase:
+      return BindBaseTable(ref.table_name, ref.alias);
+    case TableRefAst::Kind::kSubquery: {
+      AF_ASSIGN_OR_RETURN(PlanPtr sub, BindSelect(*ref.subquery));
+      // Re-qualify output columns with the derived-table alias. Wrap in a
+      // no-op projection so the alias does not leak into the subquery plan.
+      auto project = std::make_shared<PlanNode>(PlanKind::kProject);
+      project->children.push_back(sub);
+      const Schema& s = sub->output_schema;
+      std::vector<ColumnDef> cols;
+      for (size_t i = 0; i < s.NumColumns(); ++i) {
+        project->project_exprs.push_back(
+            MakeBoundColumn(i, s.column(i).type, s.column(i).name));
+        cols.emplace_back(s.column(i).name, s.column(i).type,
+                          s.column(i).nullable, ref.alias);
+      }
+      project->output_schema = Schema(std::move(cols));
+      return project;
+    }
+    case TableRefAst::Kind::kJoin: {
+      AF_ASSIGN_OR_RETURN(PlanPtr left, BindTableRef(*ref.left));
+      AF_ASSIGN_OR_RETURN(PlanPtr right, BindTableRef(*ref.right));
+      Schema combined = Schema::Concat(left->output_schema, right->output_schema);
+      size_t left_width = left->output_schema.NumColumns();
+
+      if (ref.join_type == JoinType::kCross) {
+        auto join = std::make_shared<PlanNode>(PlanKind::kNestedLoopJoin);
+        join->join_type = JoinType::kCross;
+        join->children = {left, right};
+        join->output_schema = std::move(combined);
+        return join;
+      }
+
+      AF_ASSIGN_OR_RETURN(BoundExprPtr condition,
+                          BindExpr(*ref.join_condition, combined));
+      // Extract equi-key conjuncts: one side references only left columns,
+      // the other only right columns.
+      std::vector<BoundExprPtr> conjuncts = SplitConjuncts(std::move(condition));
+      std::vector<std::pair<BoundExprPtr, BoundExprPtr>> keys;
+      std::vector<BoundExprPtr> residual;
+      auto side = [&](const BoundExpr& e) -> int {
+        // 0 = left only, 1 = right only, -1 = mixed/none.
+        std::vector<size_t> cols;
+        e.CollectColumns(&cols);
+        if (cols.empty()) return -1;
+        bool all_left = true;
+        bool all_right = true;
+        for (size_t c : cols) {
+          if (c >= left_width) all_left = false;
+          if (c < left_width) all_right = false;
+        }
+        if (all_left) return 0;
+        if (all_right) return 1;
+        return -1;
+      };
+      for (auto& c : conjuncts) {
+        if (c->kind == BoundExprKind::kBinary && c->bin_op == BinaryOp::kEq) {
+          int ls = side(*c->children[0]);
+          int rs = side(*c->children[1]);
+          if (ls == 0 && rs == 1) {
+            auto r = std::move(c->children[1]);
+            // Right-side key indexes are relative to the right child.
+            std::vector<size_t> mapping(combined.NumColumns(), SIZE_MAX);
+            for (size_t i = left_width; i < combined.NumColumns(); ++i) {
+              mapping[i] = i - left_width;
+            }
+            AF_CHECK(r->RemapColumns(mapping));
+            keys.emplace_back(std::move(c->children[0]), std::move(r));
+            continue;
+          }
+          if (ls == 1 && rs == 0) {
+            auto l = std::move(c->children[1]);  // left-only side
+            auto r = std::move(c->children[0]);
+            std::vector<size_t> mapping(combined.NumColumns(), SIZE_MAX);
+            for (size_t i = left_width; i < combined.NumColumns(); ++i) {
+              mapping[i] = i - left_width;
+            }
+            AF_CHECK(r->RemapColumns(mapping));
+            keys.emplace_back(std::move(l), std::move(r));
+            continue;
+          }
+        }
+        residual.push_back(std::move(c));
+      }
+
+      if (keys.empty()) {
+        if (ref.join_type == JoinType::kLeft) {
+          return Status::NotImplemented(
+              "LEFT JOIN requires at least one equi-join key");
+        }
+        auto join = std::make_shared<PlanNode>(PlanKind::kNestedLoopJoin);
+        join->join_type = ref.join_type;
+        join->children = {left, right};
+        join->predicate = CombineConjuncts(std::move(residual));
+        join->output_schema = std::move(combined);
+        return join;
+      }
+      auto join = std::make_shared<PlanNode>(PlanKind::kHashJoin);
+      join->join_type = ref.join_type;
+      join->children = {left, right};
+      join->join_keys = std::move(keys);
+      join->predicate = CombineConjuncts(std::move(residual));
+      join->output_schema = std::move(combined);
+      return join;
+    }
+  }
+  return Status::Internal("unreachable table ref kind");
+}
+
+Result<BoundExprPtr> Binder::BindExpr(const Expr& expr, const Schema& schema) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return MakeBoundLiteral(expr.literal);
+    case ExprKind::kColumnRef: {
+      std::optional<size_t> idx;
+      if (!expr.table.empty()) {
+        idx = schema.FindColumn(expr.table, expr.name);
+        if (!idx.has_value()) {
+          return Status::NotFound("no such column: " + expr.table + "." + expr.name);
+        }
+      } else {
+        bool ambiguous = false;
+        idx = schema.FindColumn(expr.name, &ambiguous);
+        if (ambiguous) {
+          return Status::InvalidArgument("ambiguous column: " + expr.name);
+        }
+        if (!idx.has_value()) {
+          return Status::NotFound("no such column: " + expr.name);
+        }
+      }
+      return MakeBoundColumn(*idx, schema.column(*idx).type,
+                             schema.column(*idx).name);
+    }
+    case ExprKind::kStar:
+      return Status::InvalidArgument("'*' is only valid in the select list or COUNT(*)");
+    case ExprKind::kUnary: {
+      AF_ASSIGN_OR_RETURN(BoundExprPtr child, BindExpr(*expr.children[0], schema));
+      auto e = std::make_unique<BoundExpr>(BoundExprKind::kUnary);
+      e->un_op = expr.un_op;
+      e->type = expr.un_op == UnaryOp::kNot ? DataType::kBool : child->type;
+      e->children.push_back(std::move(child));
+      return e;
+    }
+    case ExprKind::kBinary: {
+      AF_ASSIGN_OR_RETURN(BoundExprPtr lhs, BindExpr(*expr.children[0], schema));
+      AF_ASSIGN_OR_RETURN(BoundExprPtr rhs, BindExpr(*expr.children[1], schema));
+      switch (expr.bin_op) {
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          if (!TypesComparable(lhs->type, rhs->type)) {
+            return Status::InvalidArgument(
+                std::string("cannot compare ") + DataTypeName(lhs->type) +
+                " with " + DataTypeName(rhs->type));
+          }
+          break;
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod:
+          if ((!IsNumeric(lhs->type) && lhs->type != DataType::kNull) ||
+              (!IsNumeric(rhs->type) && rhs->type != DataType::kNull)) {
+            return Status::InvalidArgument("arithmetic requires numeric operands");
+          }
+          break;
+        default:
+          break;
+      }
+      return MakeBoundBinary(expr.bin_op, std::move(lhs), std::move(rhs));
+    }
+    case ExprKind::kFunction: {
+      if (IsAggregateFunctionName(expr.name)) {
+        return Status::InvalidArgument(
+            "aggregate function not allowed here: " + expr.name);
+      }
+      auto e = std::make_unique<BoundExpr>(BoundExprKind::kFunction);
+      e->func_name = expr.name;
+      std::vector<DataType> arg_types;
+      for (const auto& c : expr.children) {
+        AF_ASSIGN_OR_RETURN(BoundExprPtr arg, BindExpr(*c, schema));
+        arg_types.push_back(arg->type);
+        e->children.push_back(std::move(arg));
+      }
+      AF_ASSIGN_OR_RETURN(e->type, InferScalarFunctionType(expr.name, arg_types));
+      return e;
+    }
+    case ExprKind::kLike: {
+      auto e = std::make_unique<BoundExpr>(BoundExprKind::kLike);
+      e->negated = expr.negated;
+      e->type = DataType::kBool;
+      for (const auto& c : expr.children) {
+        AF_ASSIGN_OR_RETURN(BoundExprPtr b, BindExpr(*c, schema));
+        e->children.push_back(std::move(b));
+      }
+      return e;
+    }
+    case ExprKind::kInList: {
+      auto e = std::make_unique<BoundExpr>(BoundExprKind::kInList);
+      e->negated = expr.negated;
+      e->type = DataType::kBool;
+      for (const auto& c : expr.children) {
+        AF_ASSIGN_OR_RETURN(BoundExprPtr b, BindExpr(*c, schema));
+        e->children.push_back(std::move(b));
+      }
+      return e;
+    }
+    case ExprKind::kBetween: {
+      auto e = std::make_unique<BoundExpr>(BoundExprKind::kBetween);
+      e->negated = expr.negated;
+      e->type = DataType::kBool;
+      for (const auto& c : expr.children) {
+        AF_ASSIGN_OR_RETURN(BoundExprPtr b, BindExpr(*c, schema));
+        e->children.push_back(std::move(b));
+      }
+      return e;
+    }
+    case ExprKind::kIsNull: {
+      auto e = std::make_unique<BoundExpr>(BoundExprKind::kIsNull);
+      e->negated = expr.negated;
+      e->type = DataType::kBool;
+      AF_ASSIGN_OR_RETURN(BoundExprPtr b, BindExpr(*expr.children[0], schema));
+      e->children.push_back(std::move(b));
+      return e;
+    }
+    case ExprKind::kCase: {
+      auto e = std::make_unique<BoundExpr>(BoundExprKind::kCase);
+      e->has_case_operand = expr.has_case_operand;
+      e->has_case_else = expr.has_case_else;
+      for (const auto& c : expr.children) {
+        AF_ASSIGN_OR_RETURN(BoundExprPtr b, BindExpr(*c, schema));
+        e->children.push_back(std::move(b));
+      }
+      // Result type: first THEN branch.
+      size_t first_then = expr.has_case_operand ? 2 : 1;
+      if (first_then < e->children.size()) e->type = e->children[first_then]->type;
+      return e;
+    }
+    // Uncorrelated subqueries evaluate at bind time and fold into literals
+    // (the plan snapshot already pins table versions, so this is consistent
+    // with the execution model).
+    case ExprKind::kExists: {
+      AF_ASSIGN_OR_RETURN(auto sub, EvaluateSubquery(*expr.subquery));
+      return MakeBoundLiteral(Value::Bool(expr.negated ? sub.first.empty()
+                                                       : !sub.first.empty()));
+    }
+    case ExprKind::kScalarSubquery: {
+      AF_ASSIGN_OR_RETURN(auto sub, EvaluateSubquery(*expr.subquery));
+      if (sub.second.NumColumns() != 1) {
+        return Status::InvalidArgument("scalar subquery must return one column");
+      }
+      if (sub.first.size() > 1) {
+        return Status::InvalidArgument("scalar subquery returned more than one row");
+      }
+      Value v = sub.first.empty() ? Value::Null() : sub.first[0][0];
+      auto lit = MakeBoundLiteral(std::move(v));
+      if (lit->literal.is_null()) lit->type = sub.second.column(0).type;
+      return lit;
+    }
+    case ExprKind::kInSubquery: {
+      AF_ASSIGN_OR_RETURN(auto sub, EvaluateSubquery(*expr.subquery));
+      if (sub.second.NumColumns() != 1) {
+        return Status::InvalidArgument("IN subquery must return one column");
+      }
+      auto e = std::make_unique<BoundExpr>(BoundExprKind::kInList);
+      e->negated = expr.negated;
+      e->type = DataType::kBool;
+      AF_ASSIGN_OR_RETURN(BoundExprPtr lhs, BindExpr(*expr.children[0], schema));
+      e->children.push_back(std::move(lhs));
+      for (const Row& row : sub.first) {
+        e->children.push_back(MakeBoundLiteral(row[0]));
+      }
+      return e;
+    }
+  }
+  return Status::Internal("unreachable expr kind");
+}
+
+Result<std::pair<std::vector<Row>, Schema>> Binder::EvaluateSubquery(
+    const SelectStmt& subquery) {
+  if (!subquery_evaluator_) {
+    return Status::NotImplemented(
+        "subquery expressions require an executor-backed binder");
+  }
+  AF_ASSIGN_OR_RETURN(PlanPtr plan, BindSelect(subquery));
+  AF_ASSIGN_OR_RETURN(std::vector<Row> rows, subquery_evaluator_(*plan));
+  return std::make_pair(std::move(rows), plan->output_schema);
+}
+
+Result<BoundExprPtr> Binder::BindScalar(const Expr& expr, const Schema& schema) {
+  return BindExpr(expr, schema);
+}
+
+namespace {
+
+/// Helper that rewrites post-aggregation expressions (select items, HAVING)
+/// into expressions over the Aggregate node's output:
+/// [group columns..., aggregate columns...].
+class PostAggBinder {
+ public:
+  PostAggBinder(Binder* binder, const Schema& input_schema,
+                const std::vector<std::string>& group_strs,
+                const std::vector<BoundExprPtr>* group_bound,
+                std::vector<AggregateExpr>* aggs, Schema* agg_schema)
+      : binder_(binder),
+        input_schema_(input_schema),
+        group_strs_(group_strs),
+        group_bound_(group_bound),
+        aggs_(aggs),
+        agg_schema_(agg_schema) {}
+
+  Result<BoundExprPtr> Bind(const Expr& expr) {
+    // Group-by expression match (structural, by SQL text).
+    std::string text = expr.ToString();
+    for (size_t i = 0; i < group_strs_.size(); ++i) {
+      if (group_strs_[i] == text) {
+        return MakeBoundColumn(i, (*group_bound_)[i]->type,
+                               agg_schema_->column(i).name);
+      }
+    }
+    if (expr.kind == ExprKind::kFunction && IsAggregateFunctionName(expr.name)) {
+      return BindAggregateCall(expr);
+    }
+    // Uncorrelated subqueries fold to literals regardless of grouping.
+    if (expr.kind == ExprKind::kExists || expr.kind == ExprKind::kScalarSubquery) {
+      return binder_->BindScalar(expr, input_schema_);
+    }
+    switch (expr.kind) {
+      case ExprKind::kLiteral:
+        return MakeBoundLiteral(expr.literal);
+      case ExprKind::kColumnRef:
+        return Status::InvalidArgument(
+            "column " + expr.name +
+            " must appear in GROUP BY or inside an aggregate");
+      case ExprKind::kStar:
+        return Status::InvalidArgument("'*' outside COUNT(*)");
+      default: {
+        // Recurse: clone the node shape, rebinding children post-agg.
+        auto shallow = std::make_unique<Expr>(expr.kind);
+        shallow->literal = expr.literal;
+        shallow->table = expr.table;
+        shallow->name = expr.name;
+        shallow->bin_op = expr.bin_op;
+        shallow->un_op = expr.un_op;
+        shallow->negated = expr.negated;
+        shallow->distinct = expr.distinct;
+        shallow->has_case_operand = expr.has_case_operand;
+        shallow->has_case_else = expr.has_case_else;
+        // Bind children individually, then assemble a BoundExpr of the same
+        // kind.
+        auto out = std::make_unique<BoundExpr>(MapKind(expr.kind));
+        out->bin_op = expr.bin_op;
+        out->un_op = expr.un_op;
+        out->func_name = expr.name;
+        out->negated = expr.negated;
+        out->has_case_operand = expr.has_case_operand;
+        out->has_case_else = expr.has_case_else;
+        std::vector<DataType> arg_types;
+        for (const auto& c : expr.children) {
+          AF_ASSIGN_OR_RETURN(BoundExprPtr b, Bind(*c));
+          arg_types.push_back(b->type);
+          out->children.push_back(std::move(b));
+        }
+        // Type inference mirrors Binder::BindExpr.
+        switch (expr.kind) {
+          case ExprKind::kUnary:
+            out->type = expr.un_op == UnaryOp::kNot ? DataType::kBool
+                                                    : out->children[0]->type;
+            break;
+          case ExprKind::kBinary:
+            switch (expr.bin_op) {
+              case BinaryOp::kAdd:
+              case BinaryOp::kSub:
+              case BinaryOp::kMul:
+              case BinaryOp::kMod:
+                out->type = (out->children[0]->type == DataType::kFloat64 ||
+                             out->children[1]->type == DataType::kFloat64)
+                                ? DataType::kFloat64
+                                : DataType::kInt64;
+                break;
+              case BinaryOp::kDiv:
+                out->type = DataType::kFloat64;
+                break;
+              default:
+                out->type = DataType::kBool;
+            }
+            break;
+          case ExprKind::kFunction: {
+            AF_ASSIGN_OR_RETURN(out->type,
+                                InferScalarFunctionType(expr.name, arg_types));
+            break;
+          }
+          case ExprKind::kCase: {
+            size_t first_then = expr.has_case_operand ? 2 : 1;
+            if (first_then < out->children.size()) {
+              out->type = out->children[first_then]->type;
+            }
+            break;
+          }
+          default:
+            out->type = DataType::kBool;
+        }
+        return out;
+      }
+    }
+  }
+
+ private:
+  static BoundExprKind MapKind(ExprKind k) {
+    switch (k) {
+      case ExprKind::kUnary: return BoundExprKind::kUnary;
+      case ExprKind::kBinary: return BoundExprKind::kBinary;
+      case ExprKind::kFunction: return BoundExprKind::kFunction;
+      case ExprKind::kLike: return BoundExprKind::kLike;
+      case ExprKind::kInList: return BoundExprKind::kInList;
+      case ExprKind::kBetween: return BoundExprKind::kBetween;
+      case ExprKind::kIsNull: return BoundExprKind::kIsNull;
+      case ExprKind::kCase: return BoundExprKind::kCase;
+      default: return BoundExprKind::kLiteral;
+    }
+  }
+
+  Result<BoundExprPtr> BindAggregateCall(const Expr& expr) {
+    AggregateExpr agg;
+    agg.distinct = expr.distinct;
+    std::string name = expr.name;
+    if (name == "count") agg.func = AggFunc::kCount;
+    else if (name == "sum") agg.func = AggFunc::kSum;
+    else if (name == "avg") agg.func = AggFunc::kAvg;
+    else if (name == "min") agg.func = AggFunc::kMin;
+    else agg.func = AggFunc::kMax;
+
+    if (expr.children.size() != 1) {
+      return Status::InvalidArgument(name + " takes exactly one argument");
+    }
+    const Expr& arg = *expr.children[0];
+    if (arg.kind == ExprKind::kStar) {
+      if (agg.func != AggFunc::kCount) {
+        return Status::InvalidArgument("'*' only valid in COUNT(*)");
+      }
+      agg.arg = nullptr;
+    } else {
+      if (ContainsAggregate(arg)) {
+        return Status::InvalidArgument("nested aggregates are not allowed");
+      }
+      AF_ASSIGN_OR_RETURN(agg.arg, binder_->BindScalar(arg, input_schema_));
+    }
+    switch (agg.func) {
+      case AggFunc::kCount:
+        agg.output_type = DataType::kInt64;
+        break;
+      case AggFunc::kAvg:
+        agg.output_type = DataType::kFloat64;
+        break;
+      case AggFunc::kSum:
+        agg.output_type = (agg.arg != nullptr && agg.arg->type == DataType::kInt64)
+                              ? DataType::kInt64
+                              : DataType::kFloat64;
+        break;
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        agg.output_type = agg.arg != nullptr ? agg.arg->type : DataType::kNull;
+        break;
+    }
+    agg.output_name = expr.ToString();
+
+    // Dedupe structurally identical aggregates.
+    std::string key = agg.output_name;
+    for (size_t i = 0; i < aggs_->size(); ++i) {
+      if ((*aggs_)[i].output_name == key && (*aggs_)[i].distinct == agg.distinct) {
+        return MakeBoundColumn(group_strs_.size() + i, (*aggs_)[i].output_type, key);
+      }
+    }
+    aggs_->push_back(std::move(agg));
+    size_t idx = group_strs_.size() + aggs_->size() - 1;
+    agg_schema_->AddColumn(ColumnDef(key, aggs_->back().output_type, true));
+    return MakeBoundColumn(idx, aggs_->back().output_type, key);
+  }
+
+  Binder* binder_;
+  const Schema& input_schema_;
+  const std::vector<std::string>& group_strs_;
+  const std::vector<BoundExprPtr>* group_bound_;
+  std::vector<AggregateExpr>* aggs_;
+  Schema* agg_schema_;
+};
+
+}  // namespace
+
+Result<PlanPtr> Binder::BindSelect(const SelectStmt& stmt) {
+  // 1. FROM.
+  PlanPtr plan;
+  if (stmt.from != nullptr) {
+    AF_ASSIGN_OR_RETURN(plan, BindTableRef(*stmt.from));
+  } else {
+    // "dual": a scan producing a single empty row.
+    plan = std::make_shared<PlanNode>(PlanKind::kScan);
+    plan->table_name = "<dual>";
+  }
+  const Schema input_schema = plan->output_schema;
+
+  // 2. WHERE.
+  if (stmt.where != nullptr) {
+    AF_ASSIGN_OR_RETURN(BoundExprPtr pred, BindExpr(*stmt.where, input_schema));
+    if (ContainsAggregate(*stmt.where)) {
+      return Status::InvalidArgument("aggregates are not allowed in WHERE");
+    }
+    auto filter = std::make_shared<PlanNode>(PlanKind::kFilter);
+    filter->predicate = std::move(pred);
+    filter->children.push_back(plan);
+    filter->output_schema = input_schema;
+    plan = filter;
+  }
+
+  // 3. Expand stars in the select list.
+  std::vector<SelectItem> items;
+  for (const SelectItem& item : stmt.items) {
+    if (item.expr->kind == ExprKind::kStar) {
+      const std::string& qualifier = item.expr->table;  // empty = all
+      for (size_t i = 0; i < input_schema.NumColumns(); ++i) {
+        const ColumnDef& col = input_schema.column(i);
+        if (!qualifier.empty() && col.table != qualifier) continue;
+        SelectItem expanded;
+        expanded.expr = MakeColumnRef(col.table, col.name);
+        items.push_back(std::move(expanded));
+      }
+      if (items.empty()) {
+        return Status::InvalidArgument("'*' expanded to zero columns");
+      }
+      continue;
+    }
+    SelectItem copy;
+    copy.expr = item.expr->Clone();
+    copy.alias = item.alias;
+    items.push_back(std::move(copy));
+  }
+
+  // 4. Aggregation.
+  bool has_agg = !stmt.group_by.empty();
+  for (const SelectItem& item : items) {
+    if (ContainsAggregate(*item.expr)) has_agg = true;
+  }
+  if (stmt.having != nullptr) has_agg = true;
+
+  std::vector<BoundExprPtr> project_exprs;
+  std::vector<ColumnDef> project_cols;
+
+  if (has_agg) {
+    std::vector<std::string> group_strs;
+    std::vector<BoundExprPtr> group_bound;
+    Schema agg_schema;
+    for (const ExprPtr& g : stmt.group_by) {
+      AF_ASSIGN_OR_RETURN(BoundExprPtr b, BindExpr(*g, input_schema));
+      std::string gname = g->kind == ExprKind::kColumnRef ? g->name : g->ToString();
+      agg_schema.AddColumn(ColumnDef(gname, b->type, true));
+      group_strs.push_back(g->ToString());
+      group_bound.push_back(std::move(b));
+    }
+    std::vector<AggregateExpr> aggs;
+    PostAggBinder post(this, input_schema, group_strs, &group_bound, &aggs,
+                       &agg_schema);
+
+    for (size_t i = 0; i < items.size(); ++i) {
+      AF_ASSIGN_OR_RETURN(BoundExprPtr e, post.Bind(*items[i].expr));
+      project_cols.emplace_back(DeriveColumnName(items[i], i), e->type, true);
+      project_exprs.push_back(std::move(e));
+    }
+    BoundExprPtr having_bound;
+    if (stmt.having != nullptr) {
+      AF_ASSIGN_OR_RETURN(having_bound, post.Bind(*stmt.having));
+    }
+
+    auto agg_node = std::make_shared<PlanNode>(PlanKind::kAggregate);
+    agg_node->children.push_back(plan);
+    agg_node->group_by = std::move(group_bound);
+    agg_node->aggregates = std::move(aggs);
+    agg_node->output_schema = agg_schema;
+    plan = agg_node;
+
+    if (having_bound != nullptr) {
+      auto having = std::make_shared<PlanNode>(PlanKind::kFilter);
+      having->predicate = std::move(having_bound);
+      having->children.push_back(plan);
+      having->output_schema = plan->output_schema;
+      plan = having;
+    }
+  } else {
+    for (size_t i = 0; i < items.size(); ++i) {
+      AF_ASSIGN_OR_RETURN(BoundExprPtr e, BindExpr(*items[i].expr, input_schema));
+      project_cols.emplace_back(DeriveColumnName(items[i], i), e->type, true);
+      project_exprs.push_back(std::move(e));
+    }
+  }
+
+  auto project = std::make_shared<PlanNode>(PlanKind::kProject);
+  project->children.push_back(plan);
+  project->project_exprs = std::move(project_exprs);
+  project->output_schema = Schema(std::move(project_cols));
+  plan = project;
+
+  // 5. DISTINCT: group by all output columns.
+  auto make_dedupe = [](PlanPtr input) {
+    auto dedupe = std::make_shared<PlanNode>(PlanKind::kAggregate);
+    dedupe->children.push_back(input);
+    const Schema& s = input->output_schema;
+    for (size_t i = 0; i < s.NumColumns(); ++i) {
+      dedupe->group_by.push_back(
+          MakeBoundColumn(i, s.column(i).type, s.column(i).name));
+    }
+    dedupe->output_schema = s;
+    return dedupe;
+  };
+  if (stmt.distinct) plan = make_dedupe(plan);
+
+  // 5.5 UNION chains, folded left-to-right; a (distinct) UNION dedupes the
+  // accumulated result immediately, matching standard semantics.
+  for (const SetOpTerm& term : stmt.set_ops) {
+    AF_ASSIGN_OR_RETURN(PlanPtr rhs, BindSelect(*term.select));
+    const Schema& ls = plan->output_schema;
+    const Schema& rs = rhs->output_schema;
+    if (ls.NumColumns() != rs.NumColumns()) {
+      return Status::InvalidArgument("UNION operands have different arity");
+    }
+    for (size_t i = 0; i < ls.NumColumns(); ++i) {
+      if (!TypesComparable(ls.column(i).type, rs.column(i).type)) {
+        return Status::InvalidArgument(
+            "UNION operand column types are incompatible at position " +
+            std::to_string(i));
+      }
+    }
+    auto u = std::make_shared<PlanNode>(PlanKind::kUnion);
+    u->children = {plan, rhs};
+    u->output_schema = ls;
+    plan = u;
+    if (term.op == SetOp::kUnion) plan = make_dedupe(plan);
+  }
+
+  // 6. ORDER BY over the projected schema (name, alias, or 1-based ordinal).
+  //    Keys that only bind against the *input* (e.g. ORDER BY id when id is
+  //    not selected) are added as hidden projection columns and dropped by a
+  //    final projection after the sort. Hidden keys are incompatible with
+  //    DISTINCT and aggregation (standard SQL restriction).
+  if (!stmt.order_by.empty()) {
+    auto sort = std::make_shared<PlanNode>(PlanKind::kSort);
+    size_t visible_columns = plan->output_schema.NumColumns();
+    size_t hidden = 0;
+    for (const OrderByItem& item : stmt.order_by) {
+      const Schema& s = plan->output_schema;
+      SortKey key;
+      key.ascending = item.ascending;
+      if (item.expr->kind == ExprKind::kLiteral &&
+          item.expr->literal.type() == DataType::kInt64) {
+        int64_t ordinal = item.expr->literal.int_value();
+        if (ordinal < 1 || static_cast<size_t>(ordinal) > visible_columns) {
+          return Status::InvalidArgument("ORDER BY ordinal out of range");
+        }
+        size_t idx = static_cast<size_t>(ordinal - 1);
+        key.expr = MakeBoundColumn(idx, s.column(idx).type, s.column(idx).name);
+      } else {
+        // Match by output column text first so ORDER BY count(*) etc. binds
+        // to the projected aggregate column.
+        std::string text = item.expr->ToString();
+        size_t match = SIZE_MAX;
+        for (size_t i = 0; i < s.NumColumns(); ++i) {
+          if (s.column(i).name == text) {
+            match = i;
+            break;
+          }
+        }
+        // A qualified column (s.year) also matches an output column whose
+        // name equals the unqualified part (projection drops qualifiers).
+        if (match == SIZE_MAX && item.expr->kind == ExprKind::kColumnRef &&
+            !item.expr->table.empty()) {
+          bool ambiguous = false;
+          auto found = s.FindColumn(item.expr->name, &ambiguous);
+          if (found.has_value() && !ambiguous) match = *found;
+        }
+        if (match != SIZE_MAX) {
+          key.expr = MakeBoundColumn(match, s.column(match).type,
+                                     s.column(match).name);
+        } else {
+          auto bound = BindExpr(*item.expr, s);
+          if (bound.ok()) {
+            key.expr = std::move(*bound);
+          } else if (!has_agg && !stmt.distinct &&
+                     plan->kind == PlanKind::kProject) {
+            // Hidden sort column bound over the projection's input.
+            auto over_input = BindExpr(*item.expr, input_schema);
+            if (!over_input.ok()) return bound.status();
+            DataType type = (*over_input)->type;
+            plan->project_exprs.push_back(std::move(*over_input));
+            std::string name = "__sort" + std::to_string(hidden++);
+            plan->output_schema.AddColumn(ColumnDef(name, type, true));
+            key.expr = MakeBoundColumn(plan->output_schema.NumColumns() - 1,
+                                       type, name);
+          } else {
+            return bound.status();
+          }
+        }
+      }
+      sort->sort_keys.push_back(std::move(key));
+    }
+    sort->children.push_back(plan);
+    sort->output_schema = plan->output_schema;
+    plan = sort;
+    if (hidden > 0) {
+      auto strip = std::make_shared<PlanNode>(PlanKind::kProject);
+      strip->children.push_back(plan);
+      std::vector<ColumnDef> cols;
+      for (size_t i = 0; i < visible_columns; ++i) {
+        const ColumnDef& c = plan->output_schema.column(i);
+        strip->project_exprs.push_back(MakeBoundColumn(i, c.type, c.name));
+        cols.push_back(c);
+      }
+      strip->output_schema = Schema(std::move(cols));
+      plan = strip;
+    }
+  }
+
+  // 7. LIMIT / OFFSET.
+  if (stmt.limit.has_value() || stmt.offset.has_value()) {
+    auto limit = std::make_shared<PlanNode>(PlanKind::kLimit);
+    limit->limit = stmt.limit.value_or(-1);
+    limit->offset = stmt.offset.value_or(0);
+    limit->children.push_back(plan);
+    limit->output_schema = plan->output_schema;
+    plan = limit;
+  }
+  return plan;
+}
+
+}  // namespace agentfirst

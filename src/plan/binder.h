@@ -1,0 +1,66 @@
+#ifndef AGENTFIRST_PLAN_BINDER_H_
+#define AGENTFIRST_PLAN_BINDER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "plan/logical_plan.h"
+#include "sql/ast.h"
+
+namespace agentfirst {
+
+/// Resolves a parsed SELECT against the catalog, producing a typed logical
+/// plan: Scan -> [Filter] -> [Aggregate] -> [Filter(HAVING)] -> Project
+/// -> [Aggregate(DISTINCT)] -> [Sort] -> [Limit].
+/// information_schema tables are materialized as bind-time snapshots.
+class Binder {
+ public:
+  /// Executes a bound sub-plan and returns its rows. Injected by the engine
+  /// so the binder can resolve *uncorrelated* subqueries (EXISTS / IN /
+  /// scalar) at plan time without a plan->exec dependency cycle.
+  using SubqueryEvaluator =
+      std::function<Result<std::vector<Row>>(const PlanNode& plan)>;
+
+  explicit Binder(Catalog* catalog) : catalog_(catalog) {}
+
+  /// Enables subquery expressions; without it they bind to NotImplemented.
+  void set_subquery_evaluator(SubqueryEvaluator evaluator) {
+    subquery_evaluator_ = std::move(evaluator);
+  }
+
+  Result<PlanPtr> BindSelect(const SelectStmt& stmt);
+
+  /// Binds a scalar expression over an explicit schema (used for predicates
+  /// on raw tables in UPDATE/DELETE and in tests).
+  Result<BoundExprPtr> BindScalar(const Expr& expr, const Schema& schema);
+
+ private:
+  Result<PlanPtr> BindTableRef(const TableRefAst& ref);
+  Result<PlanPtr> BindBaseTable(const std::string& name, const std::string& alias);
+  Result<BoundExprPtr> BindExpr(const Expr& expr, const Schema& schema);
+  /// Binds and evaluates an uncorrelated subquery, returning (rows, schema).
+  Result<std::pair<std::vector<Row>, Schema>> EvaluateSubquery(
+      const SelectStmt& subquery);
+
+  Catalog* catalog_;
+  SubqueryEvaluator subquery_evaluator_;
+};
+
+/// True if the expression tree contains an aggregate function call.
+bool ContainsAggregate(const Expr& expr);
+
+/// True for count/sum/avg/min/max.
+bool IsAggregateFunctionName(const std::string& lower_name);
+
+/// Scalar-function type inference; NotFound for unknown functions.
+/// Known: abs, round, floor, ceil, lower, upper, length, substr, coalesce,
+/// concat, semantic_sim.
+Result<DataType> InferScalarFunctionType(const std::string& name,
+                                         const std::vector<DataType>& args);
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_PLAN_BINDER_H_

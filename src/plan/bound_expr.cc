@@ -1,0 +1,253 @@
+#include "plan/bound_expr.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace agentfirst {
+
+std::unique_ptr<BoundExpr> BoundExpr::Clone() const {
+  auto out = std::make_unique<BoundExpr>(kind);
+  out->type = type;
+  out->column_index = column_index;
+  out->column_name = column_name;
+  out->literal = literal;
+  out->bin_op = bin_op;
+  out->un_op = un_op;
+  out->func_name = func_name;
+  out->negated = negated;
+  out->has_case_operand = has_case_operand;
+  out->has_case_else = has_case_else;
+  out->children.reserve(children.size());
+  for (const auto& c : children) out->children.push_back(c->Clone());
+  return out;
+}
+
+namespace {
+bool IsCommutative(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+    case BinaryOp::kMul:
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kAnd:
+    case BinaryOp::kOr:
+      return true;
+    default:
+      return false;
+  }
+}
+}  // namespace
+
+uint64_t BoundExpr::Hash(bool canonical) const {
+  uint64_t h = HashInt(static_cast<uint64_t>(kind), 0x51);
+  switch (kind) {
+    case BoundExprKind::kColumn:
+      h = HashCombine(h, HashInt(column_index));
+      break;
+    case BoundExprKind::kLiteral:
+      h = HashCombine(h, literal.Hash());
+      break;
+    case BoundExprKind::kUnary:
+      h = HashCombine(h, HashInt(static_cast<uint64_t>(un_op)));
+      break;
+    case BoundExprKind::kBinary:
+      h = HashCombine(h, HashInt(static_cast<uint64_t>(bin_op)));
+      break;
+    case BoundExprKind::kFunction:
+      h = HashCombine(h, HashString(func_name));
+      break;
+    default:
+      break;
+  }
+  h = HashCombine(h, HashInt(negated ? 1 : 0));
+  std::vector<uint64_t> child_hashes;
+  child_hashes.reserve(children.size());
+  for (const auto& c : children) child_hashes.push_back(c->Hash(canonical));
+  if (canonical && kind == BoundExprKind::kBinary && IsCommutative(bin_op) &&
+      child_hashes.size() == 2 && child_hashes[0] > child_hashes[1]) {
+    std::swap(child_hashes[0], child_hashes[1]);
+  }
+  for (uint64_t ch : child_hashes) h = HashCombine(h, ch);
+  return h;
+}
+
+bool BoundExpr::Equals(const BoundExpr& other) const {
+  if (kind != other.kind || negated != other.negated ||
+      children.size() != other.children.size()) {
+    return false;
+  }
+  switch (kind) {
+    case BoundExprKind::kColumn:
+      if (column_index != other.column_index) return false;
+      break;
+    case BoundExprKind::kLiteral:
+      if (!(literal.is_null() && other.literal.is_null()) &&
+          !literal.Equals(other.literal)) {
+        return false;
+      }
+      break;
+    case BoundExprKind::kUnary:
+      if (un_op != other.un_op) return false;
+      break;
+    case BoundExprKind::kBinary:
+      if (bin_op != other.bin_op) return false;
+      break;
+    case BoundExprKind::kFunction:
+      if (func_name != other.func_name) return false;
+      break;
+    case BoundExprKind::kCase:
+      if (has_case_operand != other.has_case_operand ||
+          has_case_else != other.has_case_else) {
+        return false;
+      }
+      break;
+    default:
+      break;
+  }
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (!children[i]->Equals(*other.children[i])) return false;
+  }
+  return true;
+}
+
+std::string BoundExpr::ToString() const {
+  switch (kind) {
+    case BoundExprKind::kColumn: {
+      std::string out = "#" + std::to_string(column_index);
+      if (!column_name.empty()) out += "(" + column_name + ")";
+      return out;
+    }
+    case BoundExprKind::kLiteral:
+      return literal.ToSqlLiteral();
+    case BoundExprKind::kUnary:
+      return (un_op == UnaryOp::kNeg ? "-" : "NOT ") + children[0]->ToString();
+    case BoundExprKind::kBinary:
+      return "(" + children[0]->ToString() + " " + BinaryOpName(bin_op) + " " +
+             children[1]->ToString() + ")";
+    case BoundExprKind::kFunction: {
+      std::string out = func_name + "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case BoundExprKind::kLike:
+      return "(" + children[0]->ToString() + (negated ? " NOT LIKE " : " LIKE ") +
+             children[1]->ToString() + ")";
+    case BoundExprKind::kInList: {
+      std::string out = "(" + children[0]->ToString() + (negated ? " NOT IN (" : " IN (");
+      for (size_t i = 1; i < children.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + "))";
+    }
+    case BoundExprKind::kBetween:
+      return "(" + children[0]->ToString() +
+             (negated ? " NOT BETWEEN " : " BETWEEN ") + children[1]->ToString() +
+             " AND " + children[2]->ToString() + ")";
+    case BoundExprKind::kIsNull:
+      return "(" + children[0]->ToString() +
+             (negated ? " IS NOT NULL" : " IS NULL") + ")";
+    case BoundExprKind::kCase:
+      return "CASE(...)";
+  }
+  return "?";
+}
+
+bool BoundExpr::ReferencesColumn(size_t idx) const {
+  if (kind == BoundExprKind::kColumn) return column_index == idx;
+  for (const auto& c : children) {
+    if (c->ReferencesColumn(idx)) return true;
+  }
+  return false;
+}
+
+void BoundExpr::CollectColumns(std::vector<size_t>* out) const {
+  if (kind == BoundExprKind::kColumn) out->push_back(column_index);
+  for (const auto& c : children) c->CollectColumns(out);
+}
+
+bool BoundExpr::RemapColumns(const std::vector<size_t>& mapping) {
+  if (kind == BoundExprKind::kColumn) {
+    if (column_index >= mapping.size() || mapping[column_index] == SIZE_MAX) {
+      return false;
+    }
+    column_index = mapping[column_index];
+  }
+  for (auto& c : children) {
+    if (!c->RemapColumns(mapping)) return false;
+  }
+  return true;
+}
+
+BoundExprPtr MakeBoundColumn(size_t index, DataType type, std::string name) {
+  auto e = std::make_unique<BoundExpr>(BoundExprKind::kColumn);
+  e->column_index = index;
+  e->type = type;
+  e->column_name = std::move(name);
+  return e;
+}
+
+BoundExprPtr MakeBoundLiteral(Value v) {
+  auto e = std::make_unique<BoundExpr>(BoundExprKind::kLiteral);
+  e->type = v.type();
+  e->literal = std::move(v);
+  return e;
+}
+
+BoundExprPtr MakeBoundBinary(BinaryOp op, BoundExprPtr lhs, BoundExprPtr rhs) {
+  auto e = std::make_unique<BoundExpr>(BoundExprKind::kBinary);
+  e->bin_op = op;
+  switch (op) {
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+    case BinaryOp::kMod:
+      e->type = (lhs->type == DataType::kFloat64 || rhs->type == DataType::kFloat64 ||
+                 op == BinaryOp::kDiv)
+                    ? DataType::kFloat64
+                    : DataType::kInt64;
+      break;
+    default:
+      e->type = DataType::kBool;
+      break;
+  }
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+std::vector<BoundExprPtr> SplitConjuncts(BoundExprPtr predicate) {
+  std::vector<BoundExprPtr> out;
+  if (predicate == nullptr) return out;
+  if (predicate->kind == BoundExprKind::kBinary &&
+      predicate->bin_op == BinaryOp::kAnd) {
+    auto lhs = std::move(predicate->children[0]);
+    auto rhs = std::move(predicate->children[1]);
+    auto left = SplitConjuncts(std::move(lhs));
+    auto right = SplitConjuncts(std::move(rhs));
+    for (auto& e : left) out.push_back(std::move(e));
+    for (auto& e : right) out.push_back(std::move(e));
+    return out;
+  }
+  out.push_back(std::move(predicate));
+  return out;
+}
+
+BoundExprPtr CombineConjuncts(std::vector<BoundExprPtr> conjuncts) {
+  BoundExprPtr result;
+  for (auto& c : conjuncts) {
+    if (result == nullptr) {
+      result = std::move(c);
+    } else {
+      result = MakeBoundBinary(BinaryOp::kAnd, std::move(result), std::move(c));
+    }
+  }
+  return result;
+}
+
+}  // namespace agentfirst

@@ -1,0 +1,86 @@
+#ifndef AGENTFIRST_PLAN_BOUND_EXPR_H_
+#define AGENTFIRST_PLAN_BOUND_EXPR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "types/data_type.h"
+#include "types/value.h"
+
+namespace agentfirst {
+
+/// Expression kinds after binding. Column references are resolved to indexes
+/// into the operator's input row; types are known.
+enum class BoundExprKind {
+  kColumn,    // input column by index
+  kLiteral,
+  kUnary,
+  kBinary,
+  kFunction,  // scalar function by lower-case name
+  kLike,
+  kInList,
+  kBetween,
+  kIsNull,
+  kCase,
+};
+
+/// A bound (resolved, typed) expression tree. Child layout mirrors Expr.
+struct BoundExpr {
+  BoundExprKind kind;
+  DataType type = DataType::kNull;
+  size_t column_index = 0;            // kColumn
+  std::string column_name;            // kColumn (for display only)
+  Value literal;                      // kLiteral
+  BinaryOp bin_op = BinaryOp::kAdd;   // kBinary
+  UnaryOp un_op = UnaryOp::kNeg;      // kUnary
+  std::string func_name;              // kFunction
+  bool negated = false;
+  bool has_case_operand = false;
+  bool has_case_else = false;
+  std::vector<std::unique_ptr<BoundExpr>> children;
+
+  explicit BoundExpr(BoundExprKind k) : kind(k) {}
+
+  std::unique_ptr<BoundExpr> Clone() const;
+
+  /// Structural hash. When `canonical`, operand order of commutative
+  /// operators (+, *, =, <>, AND, OR) is normalized so semantically
+  /// identical predicates written in different orders collide.
+  uint64_t Hash(bool canonical) const;
+
+  /// Structural equality (same shape, indexes, literals).
+  bool Equals(const BoundExpr& other) const;
+
+  /// Display form; columns render as "#<index>(<name>)".
+  std::string ToString() const;
+
+  /// True if any node references input column `idx`.
+  bool ReferencesColumn(size_t idx) const;
+
+  /// Collects all referenced column indexes.
+  void CollectColumns(std::vector<size_t>* out) const;
+
+  /// Rewrites column indexes through `mapping` (old index -> new index);
+  /// mapping entries of SIZE_MAX mean "not available" and make the rewrite
+  /// fail (returns false).
+  bool RemapColumns(const std::vector<size_t>& mapping);
+};
+
+using BoundExprPtr = std::unique_ptr<BoundExpr>;
+
+BoundExprPtr MakeBoundColumn(size_t index, DataType type, std::string name = "");
+BoundExprPtr MakeBoundLiteral(Value v);
+BoundExprPtr MakeBoundBinary(BinaryOp op, BoundExprPtr lhs, BoundExprPtr rhs);
+
+/// Splits a predicate into its AND-ed conjuncts (ownership transferred).
+std::vector<BoundExprPtr> SplitConjuncts(BoundExprPtr predicate);
+
+/// AND-combines conjuncts (returns null for empty input).
+BoundExprPtr CombineConjuncts(std::vector<BoundExprPtr> conjuncts);
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_PLAN_BOUND_EXPR_H_

@@ -1,0 +1,139 @@
+#include "plan/fingerprint.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace agentfirst {
+
+namespace {
+
+uint64_t HashExpr(const BoundExprPtr& e, bool canonical) {
+  return e == nullptr ? 0x9e37 : e->Hash(canonical);
+}
+
+uint64_t FingerprintImpl(const PlanNode& node, bool canonical) {
+  uint64_t h = HashInt(static_cast<uint64_t>(node.kind), 0xA5);
+  std::vector<uint64_t> child_hashes;
+  child_hashes.reserve(node.children.size());
+  for (const auto& c : node.children) {
+    child_hashes.push_back(FingerprintImpl(*c, canonical));
+  }
+
+  switch (node.kind) {
+    case PlanKind::kScan: {
+      h = HashCombine(h, HashString(node.table_name));
+      // The scan must key on the data it reads: include the table's data
+      // version so cached results are invalidated by writes.
+      if (node.table != nullptr) {
+        h = HashCombine(h, HashInt(node.table->data_version()));
+      }
+      h = HashCombine(h, HashExpr(node.scan_filter, canonical));
+      break;
+    }
+    case PlanKind::kFilter: {
+      if (canonical) {
+        // Conjunct order does not matter: hash the multiset of conjunct
+        // hashes. (Walk without consuming: collect AND leaves.)
+        std::vector<uint64_t> conjuncts;
+        const BoundExpr* stack[64];
+        size_t top = 0;
+        if (node.predicate != nullptr) stack[top++] = node.predicate.get();
+        while (top > 0) {
+          const BoundExpr* e = stack[--top];
+          if (e->kind == BoundExprKind::kBinary && e->bin_op == BinaryOp::kAnd &&
+              top + 2 <= 64) {
+            stack[top++] = e->children[0].get();
+            stack[top++] = e->children[1].get();
+          } else {
+            conjuncts.push_back(e->Hash(true));
+          }
+        }
+        std::sort(conjuncts.begin(), conjuncts.end());
+        for (uint64_t c : conjuncts) h = HashCombine(h, c);
+      } else {
+        h = HashCombine(h, HashExpr(node.predicate, canonical));
+      }
+      break;
+    }
+    case PlanKind::kProject: {
+      for (const auto& e : node.project_exprs) {
+        h = HashCombine(h, e->Hash(canonical));
+      }
+      break;
+    }
+    case PlanKind::kHashJoin:
+    case PlanKind::kNestedLoopJoin: {
+      h = HashCombine(h, HashInt(static_cast<uint64_t>(node.join_type)));
+      std::vector<uint64_t> key_hashes;
+      for (const auto& [l, r] : node.join_keys) {
+        key_hashes.push_back(HashCombine(l->Hash(canonical), r->Hash(canonical)));
+      }
+      if (canonical) std::sort(key_hashes.begin(), key_hashes.end());
+      for (uint64_t k : key_hashes) h = HashCombine(h, k);
+      h = HashCombine(h, HashExpr(node.predicate, canonical));
+      if (canonical && node.join_type == JoinType::kInner &&
+          child_hashes.size() == 2 && child_hashes[0] > child_hashes[1]) {
+        std::swap(child_hashes[0], child_hashes[1]);
+      }
+      break;
+    }
+    case PlanKind::kAggregate: {
+      std::vector<uint64_t> group_hashes;
+      for (const auto& g : node.group_by) group_hashes.push_back(g->Hash(canonical));
+      if (canonical) std::sort(group_hashes.begin(), group_hashes.end());
+      for (uint64_t g : group_hashes) h = HashCombine(h, g);
+      for (const auto& a : node.aggregates) {
+        uint64_t ah = HashInt(static_cast<uint64_t>(a.func), 0x17);
+        ah = HashCombine(ah, HashExpr(a.arg, canonical));
+        ah = HashCombine(ah, HashInt(a.distinct ? 1 : 0));
+        h = HashCombine(h, ah);
+      }
+      break;
+    }
+    case PlanKind::kSort: {
+      for (const auto& k : node.sort_keys) {
+        h = HashCombine(h, k.expr->Hash(canonical));
+        h = HashCombine(h, HashInt(k.ascending ? 1 : 0));
+      }
+      break;
+    }
+    case PlanKind::kLimit: {
+      h = HashCombine(h, HashInt(static_cast<uint64_t>(node.limit)));
+      h = HashCombine(h, HashInt(static_cast<uint64_t>(node.offset)));
+      break;
+    }
+    case PlanKind::kUnion:
+      break;  // identified by kind + children
+  }
+  for (uint64_t ch : child_hashes) h = HashCombine(h, ch);
+  return h;
+}
+
+void EnumerateImpl(const PlanNode& node, std::vector<SubplanInfo>* out) {
+  SubplanInfo info;
+  info.node = &node;
+  info.size = node.TreeSize();
+  info.root_class = PlanKindToOpClass(node.kind);
+  info.canonical_fingerprint = FingerprintImpl(node, /*canonical=*/true);
+  out->push_back(info);
+  for (const auto& c : node.children) EnumerateImpl(*c, out);
+}
+
+}  // namespace
+
+uint64_t PlanFingerprint(const PlanNode& node) {
+  return FingerprintImpl(node, /*canonical=*/false);
+}
+
+uint64_t CanonicalPlanFingerprint(const PlanNode& node) {
+  return FingerprintImpl(node, /*canonical=*/true);
+}
+
+std::vector<SubplanInfo> EnumerateSubplans(const PlanNode& plan) {
+  std::vector<SubplanInfo> out;
+  EnumerateImpl(plan, &out);
+  return out;
+}
+
+}  // namespace agentfirst

@@ -1,0 +1,173 @@
+#include "plan/logical_plan.h"
+
+namespace agentfirst {
+
+const char* PlanKindName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kScan: return "Scan";
+    case PlanKind::kFilter: return "Filter";
+    case PlanKind::kProject: return "Project";
+    case PlanKind::kHashJoin: return "HashJoin";
+    case PlanKind::kNestedLoopJoin: return "NestedLoopJoin";
+    case PlanKind::kAggregate: return "Aggregate";
+    case PlanKind::kSort: return "Sort";
+    case PlanKind::kLimit: return "Limit";
+    case PlanKind::kUnion: return "Union";
+  }
+  return "?";
+}
+
+const char* OpClassName(OpClass c) {
+  switch (c) {
+    case OpClass::PR: return "PR";
+    case OpClass::TS: return "TS";
+    case OpClass::FI: return "FI";
+    case OpClass::HJ: return "HJ";
+    case OpClass::UA: return "UA";
+    case OpClass::OT: return "OT";
+  }
+  return "?";
+}
+
+OpClass PlanKindToOpClass(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kProject: return OpClass::PR;
+    case PlanKind::kScan: return OpClass::TS;
+    case PlanKind::kFilter: return OpClass::FI;
+    case PlanKind::kHashJoin: return OpClass::HJ;
+    case PlanKind::kAggregate: return OpClass::UA;
+    default: return OpClass::OT;
+  }
+}
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount: return "count";
+    case AggFunc::kSum: return "sum";
+    case AggFunc::kAvg: return "avg";
+    case AggFunc::kMin: return "min";
+    case AggFunc::kMax: return "max";
+  }
+  return "?";
+}
+
+size_t PlanNode::TreeSize() const {
+  size_t size = 1;
+  for (const auto& c : children) size += c->TreeSize();
+  return size;
+}
+
+std::shared_ptr<PlanNode> PlanNode::Clone() const {
+  auto out = std::make_shared<PlanNode>(kind);
+  out->output_schema = output_schema;
+  out->table_name = table_name;
+  out->table = table;
+  out->index = index;
+  out->index_value = index_value;
+  if (scan_filter != nullptr) out->scan_filter = scan_filter->Clone();
+  if (predicate != nullptr) out->predicate = predicate->Clone();
+  for (const auto& e : project_exprs) out->project_exprs.push_back(e->Clone());
+  out->join_type = join_type;
+  for (const auto& [l, r] : join_keys) {
+    out->join_keys.emplace_back(l->Clone(), r->Clone());
+  }
+  for (const auto& g : group_by) out->group_by.push_back(g->Clone());
+  for (const auto& a : aggregates) {
+    AggregateExpr copy;
+    copy.func = a.func;
+    copy.arg = a.arg != nullptr ? a.arg->Clone() : nullptr;
+    copy.distinct = a.distinct;
+    copy.output_name = a.output_name;
+    copy.output_type = a.output_type;
+    out->aggregates.push_back(std::move(copy));
+  }
+  for (const auto& s : sort_keys) {
+    SortKey copy;
+    copy.expr = s.expr->Clone();
+    copy.ascending = s.ascending;
+    out->sort_keys.push_back(std::move(copy));
+  }
+  out->limit = limit;
+  out->offset = offset;
+  for (const auto& c : children) out->children.push_back(c->Clone());
+  return out;
+}
+
+std::string PlanNode::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad + PlanKindName(kind);
+  switch (kind) {
+    case PlanKind::kScan:
+      out += " " + table_name;
+      if (scan_filter != nullptr) out += " filter=" + scan_filter->ToString();
+      if (index != nullptr) {
+        out += " index=(col" + std::to_string(index->column()) + " = " +
+               index_value.ToSqlLiteral() + ")";
+      }
+      break;
+    case PlanKind::kFilter:
+      out += " " + predicate->ToString();
+      break;
+    case PlanKind::kProject: {
+      out += " [";
+      for (size_t i = 0; i < project_exprs.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += project_exprs[i]->ToString();
+      }
+      out += "]";
+      break;
+    }
+    case PlanKind::kHashJoin: {
+      out += join_type == JoinType::kLeft ? " LEFT" : "";
+      out += " on ";
+      for (size_t i = 0; i < join_keys.size(); ++i) {
+        if (i > 0) out += " AND ";
+        out += join_keys[i].first->ToString() + "=" + join_keys[i].second->ToString();
+      }
+      if (predicate != nullptr) out += " residual=" + predicate->ToString();
+      break;
+    }
+    case PlanKind::kNestedLoopJoin:
+      if (predicate != nullptr) out += " on " + predicate->ToString();
+      break;
+    case PlanKind::kAggregate: {
+      out += " group=[";
+      for (size_t i = 0; i < group_by.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += group_by[i]->ToString();
+      }
+      out += "] aggs=[";
+      for (size_t i = 0; i < aggregates.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += AggFuncName(aggregates[i].func);
+        out += "(";
+        if (aggregates[i].distinct) out += "DISTINCT ";
+        out += aggregates[i].arg != nullptr ? aggregates[i].arg->ToString() : "*";
+        out += ")";
+      }
+      out += "]";
+      break;
+    }
+    case PlanKind::kSort: {
+      out += " by [";
+      for (size_t i = 0; i < sort_keys.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += sort_keys[i].expr->ToString();
+        out += sort_keys[i].ascending ? " ASC" : " DESC";
+      }
+      out += "]";
+      break;
+    }
+    case PlanKind::kLimit:
+      out += " " + std::to_string(limit);
+      if (offset > 0) out += " offset " + std::to_string(offset);
+      break;
+    case PlanKind::kUnion:
+      break;
+  }
+  out += "\n";
+  for (const auto& c : children) out += c->ToString(indent + 1);
+  return out;
+}
+
+}  // namespace agentfirst

@@ -1,0 +1,109 @@
+#ifndef AGENTFIRST_PLAN_LOGICAL_PLAN_H_
+#define AGENTFIRST_PLAN_LOGICAL_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/index.h"
+#include "plan/bound_expr.h"
+#include "storage/table.h"
+#include "types/schema.h"
+
+namespace agentfirst {
+
+enum class PlanKind {
+  kScan,        // base table (with optional pushed-down filter)
+  kFilter,
+  kProject,
+  kHashJoin,    // equi-join with optional residual predicate
+  kNestedLoopJoin,  // cross join / arbitrary condition
+  kAggregate,
+  kSort,
+  kLimit,
+  kUnion,       // bag union of N children (dedupe handled by Aggregate)
+};
+
+const char* PlanKindName(PlanKind kind);
+
+/// Root-operator classes used by the Figure 2 redundancy analysis.
+/// PR=Projection, TS=Scan, FI=Filter, HJ=Hash Join, UA=Aggregate, OT=other.
+enum class OpClass { PR, TS, FI, HJ, UA, OT };
+const char* OpClassName(OpClass c);
+OpClass PlanKindToOpClass(PlanKind kind);
+
+enum class AggFunc { kCount, kSum, kAvg, kMin, kMax };
+const char* AggFuncName(AggFunc f);
+
+struct AggregateExpr {
+  AggFunc func = AggFunc::kCount;
+  BoundExprPtr arg;       // null for COUNT(*)
+  bool distinct = false;
+  std::string output_name;
+  DataType output_type = DataType::kInt64;
+};
+
+struct SortKey {
+  BoundExprPtr expr;
+  bool ascending = true;
+};
+
+/// A logical plan node. Children are shared_ptr so the multi-query optimizer
+/// can stitch identical sub-plans into a DAG.
+struct PlanNode {
+  PlanKind kind;
+  Schema output_schema;
+  std::vector<std::shared_ptr<PlanNode>> children;
+
+  // kScan
+  std::string table_name;
+  TablePtr table;           // resolved at bind time (nullptr for virtual)
+  BoundExprPtr scan_filter; // pushed-down predicate (over table schema)
+  /// Optional index acceleration chosen by the optimizer: candidate rows
+  /// come from `index->Lookup(index_value)`; scan_filter is still applied in
+  /// full, so a stale index at execution time safely falls back to scanning.
+  /// Physical detail -- excluded from plan fingerprints. Not owned.
+  const HashIndex* index = nullptr;
+  Value index_value;
+
+  // kFilter / kNestedLoopJoin residual
+  BoundExprPtr predicate;
+
+  // kProject
+  std::vector<BoundExprPtr> project_exprs;
+
+  // kHashJoin / kNestedLoopJoin
+  JoinType join_type = JoinType::kInner;
+  // Equi-key pairs: left expr over left child schema, right over right child.
+  std::vector<std::pair<BoundExprPtr, BoundExprPtr>> join_keys;
+
+  // kAggregate
+  std::vector<BoundExprPtr> group_by;
+  std::vector<AggregateExpr> aggregates;
+
+  // kSort
+  std::vector<SortKey> sort_keys;
+
+  // kLimit
+  int64_t limit = -1;   // -1 = unlimited
+  int64_t offset = 0;
+
+  explicit PlanNode(PlanKind k) : kind(k) {}
+
+  /// Number of operators in the subtree (DAG nodes counted once per path,
+  /// matching how an agent would write the query).
+  size_t TreeSize() const;
+
+  /// Deep copy of the plan tree (expressions cloned; tables shared).
+  std::shared_ptr<PlanNode> Clone() const;
+
+  /// Multi-line EXPLAIN-style rendering.
+  std::string ToString(int indent = 0) const;
+};
+
+using PlanPtr = std::shared_ptr<PlanNode>;
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_PLAN_LOGICAL_PLAN_H_

@@ -1,0 +1,243 @@
+#include "sql/ast.h"
+
+namespace agentfirst {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+Expr::~Expr() = default;  // out of line: SelectStmt is incomplete in ast.h
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto out = std::make_unique<Expr>(kind);
+  out->literal = literal;
+  out->table = table;
+  out->name = name;
+  out->bin_op = bin_op;
+  out->un_op = un_op;
+  out->negated = negated;
+  out->distinct = distinct;
+  out->has_case_operand = has_case_operand;
+  out->has_case_else = has_case_else;
+  out->children.reserve(children.size());
+  for (const auto& c : children) out->children.push_back(c->Clone());
+  if (subquery != nullptr) out->subquery = subquery->Clone();
+  return out;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.ToSqlLiteral();
+    case ExprKind::kColumnRef:
+      return table.empty() ? name : table + "." + name;
+    case ExprKind::kStar:
+      return "*";
+    case ExprKind::kUnary:
+      return (un_op == UnaryOp::kNeg ? "-" : "NOT ") + children[0]->ToString();
+    case ExprKind::kBinary:
+      return "(" + children[0]->ToString() + " " + BinaryOpName(bin_op) + " " +
+             children[1]->ToString() + ")";
+    case ExprKind::kFunction: {
+      std::string out = name + "(";
+      if (distinct) out += "DISTINCT ";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kLike:
+      return "(" + children[0]->ToString() + (negated ? " NOT LIKE " : " LIKE ") +
+             children[1]->ToString() + ")";
+    case ExprKind::kInList: {
+      std::string out = "(" + children[0]->ToString() + (negated ? " NOT IN (" : " IN (");
+      for (size_t i = 1; i < children.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + "))";
+    }
+    case ExprKind::kBetween:
+      return "(" + children[0]->ToString() +
+             (negated ? " NOT BETWEEN " : " BETWEEN ") + children[1]->ToString() +
+             " AND " + children[2]->ToString() + ")";
+    case ExprKind::kIsNull:
+      return "(" + children[0]->ToString() + (negated ? " IS NOT NULL" : " IS NULL") + ")";
+    case ExprKind::kCase: {
+      std::string out = "CASE";
+      size_t i = 0;
+      if (has_case_operand) out += " " + children[i++]->ToString();
+      size_t end = children.size() - (has_case_else ? 1 : 0);
+      while (i + 1 < end + 1 && i + 1 < children.size() + 1 && i < end) {
+        out += " WHEN " + children[i]->ToString();
+        out += " THEN " + children[i + 1]->ToString();
+        i += 2;
+      }
+      if (has_case_else) out += " ELSE " + children.back()->ToString();
+      return out + " END";
+    }
+    case ExprKind::kExists:
+      return std::string(negated ? "NOT " : "") + "EXISTS (" +
+             subquery->ToString() + ")";
+    case ExprKind::kInSubquery:
+      return "(" + children[0]->ToString() + (negated ? " NOT IN (" : " IN (") +
+             subquery->ToString() + "))";
+    case ExprKind::kScalarSubquery:
+      return "(" + subquery->ToString() + ")";
+  }
+  return "?";
+}
+
+ExprPtr MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>(ExprKind::kLiteral);
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeColumnRef(std::string table, std::string name) {
+  auto e = std::make_unique<Expr>(ExprKind::kColumnRef);
+  e->table = std::move(table);
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr MakeColumnRef(std::string name) { return MakeColumnRef("", std::move(name)); }
+
+ExprPtr MakeStar() { return std::make_unique<Expr>(ExprKind::kStar); }
+
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>(ExprKind::kBinary);
+  e->bin_op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>(ExprKind::kUnary);
+  e->un_op = op;
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr MakeFunction(std::string name, std::vector<ExprPtr> args, bool distinct) {
+  auto e = std::make_unique<Expr>(ExprKind::kFunction);
+  e->name = std::move(name);
+  e->children = std::move(args);
+  e->distinct = distinct;
+  return e;
+}
+
+std::unique_ptr<TableRefAst> TableRefAst::Clone() const {
+  auto out = std::make_unique<TableRefAst>(kind);
+  out->table_name = table_name;
+  out->alias = alias;
+  out->join_type = join_type;
+  if (left != nullptr) out->left = left->Clone();
+  if (right != nullptr) out->right = right->Clone();
+  if (join_condition != nullptr) out->join_condition = join_condition->Clone();
+  if (subquery != nullptr) out->subquery = subquery->Clone();
+  return out;
+}
+
+std::unique_ptr<SelectStmt> SelectStmt::Clone() const {
+  auto out = std::make_unique<SelectStmt>();
+  out->distinct = distinct;
+  for (const SelectItem& item : items) {
+    SelectItem copy;
+    copy.expr = item.expr->Clone();
+    copy.alias = item.alias;
+    out->items.push_back(std::move(copy));
+  }
+  if (from != nullptr) out->from = from->Clone();
+  if (where != nullptr) out->where = where->Clone();
+  for (const auto& g : group_by) out->group_by.push_back(g->Clone());
+  if (having != nullptr) out->having = having->Clone();
+  for (const SetOpTerm& term : set_ops) {
+    SetOpTerm copy;
+    copy.op = term.op;
+    copy.select = term.select->Clone();
+    out->set_ops.push_back(std::move(copy));
+  }
+  for (const OrderByItem& o : order_by) {
+    OrderByItem copy;
+    copy.expr = o.expr->Clone();
+    copy.ascending = o.ascending;
+    out->order_by.push_back(std::move(copy));
+  }
+  out->limit = limit;
+  out->offset = offset;
+  return out;
+}
+
+std::string TableRefAst::ToString() const {
+  switch (kind) {
+    case Kind::kBase:
+      return alias.empty() ? table_name : table_name + " AS " + alias;
+    case Kind::kJoin: {
+      std::string jt = join_type == JoinType::kInner
+                           ? " JOIN "
+                           : (join_type == JoinType::kLeft ? " LEFT JOIN "
+                                                           : " CROSS JOIN ");
+      std::string out = left->ToString() + jt + right->ToString();
+      if (join_condition != nullptr) out += " ON " + join_condition->ToString();
+      return out;
+    }
+    case Kind::kSubquery:
+      return "(" + subquery->ToString() + ") AS " + alias;
+  }
+  return "?";
+}
+
+std::string SelectStmt::ToString() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += items[i].expr->ToString();
+    if (!items[i].alias.empty()) out += " AS " + items[i].alias;
+  }
+  if (from != nullptr) out += " FROM " + from->ToString();
+  if (where != nullptr) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i]->ToString();
+    }
+  }
+  if (having != nullptr) out += " HAVING " + having->ToString();
+  for (const SetOpTerm& term : set_ops) {
+    out += term.op == SetOp::kUnionAll ? " UNION ALL " : " UNION ";
+    out += term.select->ToString();
+  }
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += order_by[i].expr->ToString();
+      if (!order_by[i].ascending) out += " DESC";
+    }
+  }
+  if (limit.has_value()) out += " LIMIT " + std::to_string(*limit);
+  if (offset.has_value()) out += " OFFSET " + std::to_string(*offset);
+  return out;
+}
+
+}  // namespace agentfirst

@@ -1,0 +1,223 @@
+#ifndef AGENTFIRST_SQL_AST_H_
+#define AGENTFIRST_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace agentfirst {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  kLiteral,    // literal Value
+  kColumnRef,  // [table.]name
+  kStar,       // * (select list or COUNT(*))
+  kUnary,      // un_op child
+  kBinary,     // child0 bin_op child1
+  kFunction,   // name(children...), possibly DISTINCT (aggregates)
+  kLike,       // child0 [NOT] LIKE child1
+  kInList,     // child0 [NOT] IN (child1..childN)
+  kBetween,    // child0 [NOT] BETWEEN child1 AND child2
+  kIsNull,     // child0 IS [NOT] NULL
+  kCase,       // CASE [operand] WHEN.. THEN.. [ELSE..] END
+  kExists,     // [NOT] EXISTS (subquery)
+  kInSubquery,     // child0 [NOT] IN (subquery)
+  kScalarSubquery, // (subquery) used as a scalar
+};
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+enum class UnaryOp { kNeg, kNot };
+
+const char* BinaryOpName(BinaryOp op);
+
+struct SelectStmt;  // subqueries appear inside expressions
+
+/// One tagged AST expression node. Child layout per kind:
+///   kUnary:    {operand}
+///   kBinary:   {lhs, rhs}
+///   kFunction: {args...}
+///   kLike:     {value, pattern}
+///   kInList:   {value, candidates...}
+///   kBetween:  {value, low, high}
+///   kIsNull:   {value}
+///   kCase:     if has_case_operand: {operand, when1, then1, ..., [else]}
+///              else:                {when1, then1, ..., [else]}
+///              has_case_else tells whether the trailing child is the ELSE.
+struct Expr {
+  ExprKind kind;
+  Value literal;                      // kLiteral
+  std::string table;                  // kColumnRef qualifier (may be empty)
+  std::string name;                   // kColumnRef column / kFunction name
+  BinaryOp bin_op = BinaryOp::kAdd;   // kBinary
+  UnaryOp un_op = UnaryOp::kNeg;      // kUnary
+  bool negated = false;               // kLike/kInList/kBetween/kIsNull
+  bool distinct = false;              // kFunction (aggregate DISTINCT)
+  bool has_case_operand = false;      // kCase
+  bool has_case_else = false;         // kCase
+  std::vector<std::unique_ptr<Expr>> children;
+  /// kExists / kInSubquery / kScalarSubquery: the nested query.
+  std::unique_ptr<SelectStmt> subquery;
+
+  explicit Expr(ExprKind k) : kind(k) {}
+  ~Expr();
+
+  std::unique_ptr<Expr> Clone() const;
+  /// Round-trippable SQL-ish rendering, used in tests and error messages.
+  std::string ToString() const;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+// Convenience constructors used heavily by tests and the workload generator.
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeColumnRef(std::string table, std::string name);
+ExprPtr MakeColumnRef(std::string name);
+ExprPtr MakeStar();
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand);
+ExprPtr MakeFunction(std::string name, std::vector<ExprPtr> args,
+                     bool distinct = false);
+
+// ---------------------------------------------------------------------------
+// Table references
+// ---------------------------------------------------------------------------
+
+enum class JoinType { kInner, kLeft, kCross };
+
+/// FROM-clause item: a base table, a join, or a derived table (subquery).
+struct TableRefAst {
+  enum class Kind { kBase, kJoin, kSubquery } kind;
+
+  // kBase
+  std::string table_name;
+  std::string alias;  // also used for kSubquery
+
+  // kJoin
+  JoinType join_type = JoinType::kInner;
+  std::unique_ptr<TableRefAst> left;
+  std::unique_ptr<TableRefAst> right;
+  ExprPtr join_condition;  // null for CROSS JOIN
+
+  // kSubquery
+  std::unique_ptr<SelectStmt> subquery;
+
+  explicit TableRefAst(Kind k) : kind(k) {}
+  std::unique_ptr<TableRefAst> Clone() const;
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;
+};
+
+struct OrderByItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+enum class SetOp { kUnion, kUnionAll };
+
+/// One "UNION [ALL] <core>" term chained onto a select core.
+struct SetOpTerm {
+  SetOp op = SetOp::kUnion;
+  std::unique_ptr<SelectStmt> select;
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::unique_ptr<TableRefAst> from;  // may be null (e.g. SELECT 1)
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  /// UNION / UNION ALL terms applied to this core, left to right. ORDER BY
+  /// and LIMIT below apply to the combined result.
+  std::vector<SetOpTerm> set_ops;
+  std::vector<OrderByItem> order_by;
+  std::optional<int64_t> limit;
+  std::optional<int64_t> offset;
+
+  std::unique_ptr<SelectStmt> Clone() const;
+  std::string ToString() const;
+};
+
+struct ColumnSpec {
+  std::string name;
+  DataType type = DataType::kNull;
+  bool nullable = true;
+};
+
+struct CreateTableStmt {
+  std::string table_name;
+  std::vector<ColumnSpec> columns;   // empty when created AS SELECT
+  std::unique_ptr<SelectStmt> as_select;  // CREATE TABLE ... AS SELECT
+};
+
+struct InsertStmt {
+  std::string table_name;
+  std::vector<std::string> columns;      // empty = positional
+  std::vector<std::vector<ExprPtr>> rows;  // VALUES rows (literal exprs)
+  std::unique_ptr<SelectStmt> select;    // INSERT INTO ... SELECT
+};
+
+struct DropTableStmt {
+  std::string table_name;
+};
+
+struct CreateIndexStmt {
+  std::string index_name;  // optional, informational
+  std::string table_name;
+  std::string column_name;
+};
+
+struct DropIndexStmt {
+  std::string table_name;
+  std::string column_name;
+};
+
+struct UpdateStmt {
+  std::string table_name;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;  // may be null
+};
+
+struct DeleteStmt {
+  std::string table_name;
+  ExprPtr where;  // may be null
+};
+
+/// A parsed statement; exactly one member is non-null, matching `kind`.
+struct Statement {
+  enum class Kind {
+    kSelect, kCreateTable, kInsert, kDropTable, kUpdate, kDelete, kExplain,
+    kCreateIndex, kDropIndex,
+  } kind;
+  std::unique_ptr<SelectStmt> select;  // also used by kExplain
+  std::unique_ptr<CreateTableStmt> create_table;
+  std::unique_ptr<InsertStmt> insert;
+  std::unique_ptr<DropTableStmt> drop_table;
+  std::unique_ptr<UpdateStmt> update;
+  std::unique_ptr<DeleteStmt> del;
+  std::unique_ptr<CreateIndexStmt> create_index;
+  std::unique_ptr<DropIndexStmt> drop_index;
+};
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_SQL_AST_H_

@@ -1,0 +1,178 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "common/str_util.h"
+
+namespace agentfirst {
+
+namespace {
+const std::unordered_set<std::string>& KeywordSet() {
+  static const auto* kKeywords = new std::unordered_set<std::string>({
+      "SELECT", "FROM",   "WHERE",  "GROUP",    "BY",     "HAVING", "ORDER",
+      "LIMIT",  "OFFSET", "AS",     "AND",      "OR",     "NOT",    "NULL",
+      "IS",     "IN",     "LIKE",   "BETWEEN",  "JOIN",   "INNER",  "LEFT",
+      "RIGHT",  "OUTER",  "CROSS",  "ON",       "ASC",    "DESC",   "DISTINCT",
+      "CREATE", "TABLE",  "INSERT", "INTO",     "VALUES", "DROP",   "CASE",
+      "WHEN",   "THEN",   "ELSE",   "END",      "TRUE",   "FALSE",  "UPDATE",
+      "SET",    "DELETE", "UNION",  "ALL",     "EXISTS", "EXPLAIN", "INDEX",
+  });
+  return *kKeywords;
+}
+}  // namespace
+
+bool IsSqlKeyword(const std::string& word) {
+  return KeywordSet().count(ToUpper(word)) > 0;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comments.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = i;
+    // String literal.
+    if (c == '\'') {
+      std::string text;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            text += '\'';
+            i += 2;
+          } else {
+            ++i;
+            closed = true;
+            break;
+          }
+        } else {
+          text += sql[i++];
+        }
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at offset " +
+                                       std::to_string(tok.position));
+      }
+      tok.type = TokenType::kStringLiteral;
+      tok.text = std::move(text);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Quoted identifier.
+    if (c == '"') {
+      std::string text;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '"') {
+          ++i;
+          closed = true;
+          break;
+        }
+        text += sql[i++];
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated quoted identifier at offset " +
+                                       std::to_string(tok.position));
+      }
+      tok.type = TokenType::kIdentifier;
+      tok.text = std::move(text);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Number.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.') {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        size_t save = i;
+        ++i;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        if (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) {
+          is_float = true;
+          while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+        } else {
+          i = save;  // 'e' belongs to a following identifier
+        }
+      }
+      tok.text = sql.substr(start, i - start);
+      if (is_float) {
+        tok.type = TokenType::kFloatLiteral;
+        tok.float_value = std::strtod(tok.text.c_str(), nullptr);
+      } else {
+        tok.type = TokenType::kIntLiteral;
+        tok.int_value = std::strtoll(tok.text.c_str(), nullptr, 10);
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Identifier or keyword.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) || sql[i] == '_')) {
+        ++i;
+      }
+      std::string word = sql.substr(start, i - start);
+      std::string upper = ToUpper(word);
+      if (KeywordSet().count(upper) > 0) {
+        tok.type = TokenType::kKeyword;
+        tok.text = std::move(upper);
+      } else {
+        tok.type = TokenType::kIdentifier;
+        tok.text = ToLower(word);
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Operators / punctuation.
+    auto two = [&](const char* op) {
+      return i + 1 < n && sql[i] == op[0] && sql[i + 1] == op[1];
+    };
+    if (two("<=") || two(">=") || two("<>") || two("!=")) {
+      tok.type = TokenType::kOperator;
+      tok.text = sql.substr(i, 2);
+      if (tok.text == "!=") tok.text = "<>";
+      i += 2;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    static const std::string kSingles = "+-*/%(),.;<>=";
+    if (kSingles.find(c) != std::string::npos) {
+      tok.type = TokenType::kOperator;
+      tok.text = std::string(1, c);
+      ++i;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    return Status::InvalidArgument(std::string("unexpected character '") + c +
+                                   "' at offset " + std::to_string(i));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace agentfirst

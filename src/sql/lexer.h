@@ -1,0 +1,22 @@
+#ifndef AGENTFIRST_SQL_LEXER_H_
+#define AGENTFIRST_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/token.h"
+
+namespace agentfirst {
+
+/// Tokenizes SQL text. Unquoted identifiers are lower-cased; keywords are
+/// recognized case-insensitively and normalized to upper case. The final
+/// token is always kEnd.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+/// True if `word` (any case) is a reserved SQL keyword.
+bool IsSqlKeyword(const std::string& word);
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_SQL_LEXER_H_

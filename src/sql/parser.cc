@@ -1,0 +1,747 @@
+#include "sql/parser.h"
+
+#include <utility>
+
+#include "common/str_util.h"
+#include "sql/lexer.h"
+
+namespace agentfirst {
+
+namespace {
+
+/// Recursive-descent parser over the token stream. All Parse* methods return
+/// Result and never throw; errors carry the offending token position.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatementTop() {
+    Statement stmt{};
+    const Token& t = Peek();
+    if (t.IsKeyword("SELECT")) {
+      AF_ASSIGN_OR_RETURN(auto select, ParseSelectStmt());
+      stmt.kind = Statement::Kind::kSelect;
+      stmt.select = std::move(select);
+    } else if (t.IsKeyword("CREATE") && Peek(1).IsKeyword("INDEX")) {
+      AF_ASSIGN_OR_RETURN(auto create, ParseCreateIndex());
+      stmt.kind = Statement::Kind::kCreateIndex;
+      stmt.create_index = std::move(create);
+    } else if (t.IsKeyword("CREATE")) {
+      AF_ASSIGN_OR_RETURN(auto create, ParseCreateTable());
+      stmt.kind = Statement::Kind::kCreateTable;
+      stmt.create_table = std::move(create);
+    } else if (t.IsKeyword("INSERT")) {
+      AF_ASSIGN_OR_RETURN(auto insert, ParseInsert());
+      stmt.kind = Statement::Kind::kInsert;
+      stmt.insert = std::move(insert);
+    } else if (t.IsKeyword("DROP") && Peek(1).IsKeyword("INDEX")) {
+      AF_ASSIGN_OR_RETURN(auto drop, ParseDropIndex());
+      stmt.kind = Statement::Kind::kDropIndex;
+      stmt.drop_index = std::move(drop);
+    } else if (t.IsKeyword("DROP")) {
+      AF_ASSIGN_OR_RETURN(auto drop, ParseDropTable());
+      stmt.kind = Statement::Kind::kDropTable;
+      stmt.drop_table = std::move(drop);
+    } else if (t.IsKeyword("UPDATE")) {
+      AF_ASSIGN_OR_RETURN(auto update, ParseUpdate());
+      stmt.kind = Statement::Kind::kUpdate;
+      stmt.update = std::move(update);
+    } else if (t.IsKeyword("DELETE")) {
+      AF_ASSIGN_OR_RETURN(auto del, ParseDelete());
+      stmt.kind = Statement::Kind::kDelete;
+      stmt.del = std::move(del);
+    } else if (t.IsKeyword("EXPLAIN")) {
+      Advance();
+      AF_ASSIGN_OR_RETURN(auto select, ParseSelectStmt());
+      stmt.kind = Statement::Kind::kExplain;
+      stmt.select = std::move(select);
+    } else {
+      return ErrorHere("expected a statement keyword");
+    }
+    if (Peek().IsOperator(";")) Advance();
+    if (Peek().type != TokenType::kEnd) {
+      return ErrorHere("unexpected trailing tokens");
+    }
+    return stmt;
+  }
+
+  Result<ExprPtr> ParseExpressionTop() {
+    AF_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (Peek().type != TokenType::kEnd) {
+      return ErrorHere("unexpected trailing tokens after expression");
+    }
+    return e;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  bool Accept(TokenType type, const char* text) {
+    const Token& t = Peek();
+    if (t.type == type && t.text == text) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptKeyword(const char* kw) { return Accept(TokenType::kKeyword, kw); }
+  bool AcceptOperator(const char* op) { return Accept(TokenType::kOperator, op); }
+
+  Status Expect(TokenType type, const char* text) {
+    if (!Accept(type, text)) {
+      return Status::InvalidArgument(std::string("expected '") + text +
+                                     "' at offset " + std::to_string(Peek().position) +
+                                     ", got '" + Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  Status ExpectKeyword(const char* kw) { return Expect(TokenType::kKeyword, kw); }
+  Status ExpectOperator(const char* op) { return Expect(TokenType::kOperator, op); }
+
+  Status ErrorHere(const std::string& msg) const {
+    return Status::InvalidArgument(msg + " at offset " +
+                                   std::to_string(Peek().position) + " near '" +
+                                   Peek().text + "'");
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    const Token& t = Peek();
+    if (t.type != TokenType::kIdentifier) {
+      return ErrorHere("expected identifier");
+    }
+    std::string name = t.text;
+    Advance();
+    return name;
+  }
+
+  // --- statements ---
+
+  /// A select "core": SELECT ... FROM ... WHERE ... GROUP BY ... HAVING,
+  /// without set operations, ORDER BY, or LIMIT.
+  Result<std::unique_ptr<SelectStmt>> ParseSelectCore() {
+    AF_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    auto stmt = std::make_unique<SelectStmt>();
+    if (AcceptKeyword("DISTINCT")) stmt->distinct = true;
+
+    // Select list.
+    do {
+      SelectItem item;
+      AF_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (AcceptKeyword("AS")) {
+        AF_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+      } else if (Peek().type == TokenType::kIdentifier) {
+        item.alias = Peek().text;
+        Advance();
+      }
+      stmt->items.push_back(std::move(item));
+    } while (AcceptOperator(","));
+
+    if (AcceptKeyword("FROM")) {
+      AF_ASSIGN_OR_RETURN(stmt->from, ParseTableRef());
+    }
+    if (AcceptKeyword("WHERE")) {
+      AF_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    if (AcceptKeyword("GROUP")) {
+      AF_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        AF_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        stmt->group_by.push_back(std::move(e));
+      } while (AcceptOperator(","));
+    }
+    if (AcceptKeyword("HAVING")) {
+      AF_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+    }
+    return stmt;
+  }
+
+  Result<std::unique_ptr<SelectStmt>> ParseSelectStmt() {
+    AF_ASSIGN_OR_RETURN(auto stmt, ParseSelectCore());
+    // UNION [ALL] chains; ORDER BY/LIMIT below apply to the whole chain.
+    while (Peek().IsKeyword("UNION")) {
+      Advance();
+      SetOpTerm term;
+      term.op = AcceptKeyword("ALL") ? SetOp::kUnionAll : SetOp::kUnion;
+      AF_ASSIGN_OR_RETURN(term.select, ParseSelectCore());
+      stmt->set_ops.push_back(std::move(term));
+    }
+    if (AcceptKeyword("ORDER")) {
+      AF_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        OrderByItem item;
+        AF_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKeyword("DESC")) {
+          item.ascending = false;
+        } else {
+          AcceptKeyword("ASC");
+        }
+        stmt->order_by.push_back(std::move(item));
+      } while (AcceptOperator(","));
+    }
+    if (AcceptKeyword("LIMIT")) {
+      const Token& t = Peek();
+      if (t.type != TokenType::kIntLiteral) return ErrorHere("expected LIMIT count");
+      stmt->limit = t.int_value;
+      Advance();
+    }
+    if (AcceptKeyword("OFFSET")) {
+      const Token& t = Peek();
+      if (t.type != TokenType::kIntLiteral) return ErrorHere("expected OFFSET count");
+      stmt->offset = t.int_value;
+      Advance();
+    }
+    return stmt;
+  }
+
+  /// table_ref := table_primary { [LEFT|CROSS|INNER] JOIN table_primary [ON expr] }
+  Result<std::unique_ptr<TableRefAst>> ParseTableRef() {
+    AF_ASSIGN_OR_RETURN(auto left, ParseTablePrimary());
+    while (true) {
+      JoinType jt;
+      if (AcceptKeyword("JOIN")) {
+        jt = JoinType::kInner;
+      } else if (Peek().IsKeyword("INNER") && Peek(1).IsKeyword("JOIN")) {
+        Advance();
+        Advance();
+        jt = JoinType::kInner;
+      } else if (Peek().IsKeyword("LEFT")) {
+        Advance();
+        AcceptKeyword("OUTER");
+        AF_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+        jt = JoinType::kLeft;
+      } else if (Peek().IsKeyword("CROSS") && Peek(1).IsKeyword("JOIN")) {
+        Advance();
+        Advance();
+        jt = JoinType::kCross;
+      } else if (AcceptOperator(",")) {
+        jt = JoinType::kCross;  // comma join == cross join
+      } else {
+        break;
+      }
+      AF_ASSIGN_OR_RETURN(auto right, ParseTablePrimary());
+      auto join = std::make_unique<TableRefAst>(TableRefAst::Kind::kJoin);
+      join->join_type = jt;
+      join->left = std::move(left);
+      join->right = std::move(right);
+      if (jt != JoinType::kCross) {
+        AF_RETURN_IF_ERROR(ExpectKeyword("ON"));
+        AF_ASSIGN_OR_RETURN(join->join_condition, ParseExpr());
+      }
+      left = std::move(join);
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<TableRefAst>> ParseTablePrimary() {
+    if (AcceptOperator("(")) {
+      // Derived table.
+      auto ref = std::make_unique<TableRefAst>(TableRefAst::Kind::kSubquery);
+      AF_ASSIGN_OR_RETURN(ref->subquery, ParseSelectStmt());
+      AF_RETURN_IF_ERROR(ExpectOperator(")"));
+      AcceptKeyword("AS");
+      AF_ASSIGN_OR_RETURN(ref->alias, ExpectIdentifier());
+      return ref;
+    }
+    auto ref = std::make_unique<TableRefAst>(TableRefAst::Kind::kBase);
+    AF_ASSIGN_OR_RETURN(ref->table_name, ExpectIdentifier());
+    // Dotted names (information_schema.tables).
+    while (AcceptOperator(".")) {
+      AF_ASSIGN_OR_RETURN(std::string part, ExpectIdentifier());
+      ref->table_name += "." + part;
+    }
+    if (AcceptKeyword("AS")) {
+      AF_ASSIGN_OR_RETURN(ref->alias, ExpectIdentifier());
+    } else if (Peek().type == TokenType::kIdentifier) {
+      ref->alias = Peek().text;
+      Advance();
+    }
+    return ref;
+  }
+
+  Result<std::unique_ptr<CreateTableStmt>> ParseCreateTable() {
+    AF_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+    AF_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    auto stmt = std::make_unique<CreateTableStmt>();
+    AF_ASSIGN_OR_RETURN(stmt->table_name, ExpectIdentifier());
+    if (AcceptKeyword("AS")) {
+      AF_ASSIGN_OR_RETURN(stmt->as_select, ParseSelectStmt());
+      return stmt;
+    }
+    AF_RETURN_IF_ERROR(ExpectOperator("("));
+    do {
+      ColumnSpec col;
+      AF_ASSIGN_OR_RETURN(col.name, ExpectIdentifier());
+      AF_ASSIGN_OR_RETURN(col.type, ParseTypeName());
+      if (AcceptKeyword("NOT")) {
+        AF_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+        col.nullable = false;
+      } else {
+        AcceptKeyword("NULL");
+      }
+      stmt->columns.push_back(std::move(col));
+    } while (AcceptOperator(","));
+    AF_RETURN_IF_ERROR(ExpectOperator(")"));
+    return stmt;
+  }
+
+  Result<DataType> ParseTypeName() {
+    const Token& t = Peek();
+    if (t.type != TokenType::kIdentifier && t.type != TokenType::kKeyword) {
+      return ErrorHere("expected a type name");
+    }
+    std::string type_name = ToUpper(t.text);
+    Advance();
+    if (type_name == "BIGINT" || type_name == "INT" || type_name == "INTEGER") {
+      return DataType::kInt64;
+    }
+    if (type_name == "DOUBLE" || type_name == "FLOAT" || type_name == "REAL" ||
+        type_name == "DECIMAL" || type_name == "NUMERIC") {
+      // Optional (p, s) suffix is accepted and ignored.
+      if (AcceptOperator("(")) {
+        while (!Peek().IsOperator(")") && Peek().type != TokenType::kEnd) Advance();
+        AF_RETURN_IF_ERROR(ExpectOperator(")"));
+      }
+      return DataType::kFloat64;
+    }
+    if (type_name == "VARCHAR" || type_name == "TEXT" || type_name == "CHAR" ||
+        type_name == "STRING") {
+      if (AcceptOperator("(")) {
+        while (!Peek().IsOperator(")") && Peek().type != TokenType::kEnd) Advance();
+        AF_RETURN_IF_ERROR(ExpectOperator(")"));
+      }
+      return DataType::kString;
+    }
+    if (type_name == "BOOLEAN" || type_name == "BOOL") return DataType::kBool;
+    return Status::InvalidArgument("unknown type name: " + type_name);
+  }
+
+  Result<std::unique_ptr<InsertStmt>> ParseInsert() {
+    AF_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+    AF_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    auto stmt = std::make_unique<InsertStmt>();
+    AF_ASSIGN_OR_RETURN(stmt->table_name, ExpectIdentifier());
+    if (AcceptOperator("(")) {
+      do {
+        AF_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        stmt->columns.push_back(std::move(col));
+      } while (AcceptOperator(","));
+      AF_RETURN_IF_ERROR(ExpectOperator(")"));
+    }
+    if (Peek().IsKeyword("SELECT")) {
+      AF_ASSIGN_OR_RETURN(stmt->select, ParseSelectStmt());
+      return stmt;
+    }
+    AF_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    do {
+      AF_RETURN_IF_ERROR(ExpectOperator("("));
+      std::vector<ExprPtr> row;
+      do {
+        AF_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        row.push_back(std::move(e));
+      } while (AcceptOperator(","));
+      AF_RETURN_IF_ERROR(ExpectOperator(")"));
+      stmt->rows.push_back(std::move(row));
+    } while (AcceptOperator(","));
+    return stmt;
+  }
+
+  /// CREATE INDEX [name] ON table (column)
+  Result<std::unique_ptr<CreateIndexStmt>> ParseCreateIndex() {
+    AF_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+    AF_RETURN_IF_ERROR(ExpectKeyword("INDEX"));
+    auto stmt = std::make_unique<CreateIndexStmt>();
+    if (Peek().type == TokenType::kIdentifier) {
+      stmt->index_name = Peek().text;
+      Advance();
+    }
+    AF_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    AF_ASSIGN_OR_RETURN(stmt->table_name, ExpectIdentifier());
+    AF_RETURN_IF_ERROR(ExpectOperator("("));
+    AF_ASSIGN_OR_RETURN(stmt->column_name, ExpectIdentifier());
+    AF_RETURN_IF_ERROR(ExpectOperator(")"));
+    return stmt;
+  }
+
+  /// DROP INDEX ON table (column)
+  Result<std::unique_ptr<DropIndexStmt>> ParseDropIndex() {
+    AF_RETURN_IF_ERROR(ExpectKeyword("DROP"));
+    AF_RETURN_IF_ERROR(ExpectKeyword("INDEX"));
+    auto stmt = std::make_unique<DropIndexStmt>();
+    AF_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    AF_ASSIGN_OR_RETURN(stmt->table_name, ExpectIdentifier());
+    AF_RETURN_IF_ERROR(ExpectOperator("("));
+    AF_ASSIGN_OR_RETURN(stmt->column_name, ExpectIdentifier());
+    AF_RETURN_IF_ERROR(ExpectOperator(")"));
+    return stmt;
+  }
+
+  Result<std::unique_ptr<DropTableStmt>> ParseDropTable() {
+    AF_RETURN_IF_ERROR(ExpectKeyword("DROP"));
+    AF_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    auto stmt = std::make_unique<DropTableStmt>();
+    AF_ASSIGN_OR_RETURN(stmt->table_name, ExpectIdentifier());
+    return stmt;
+  }
+
+  Result<std::unique_ptr<UpdateStmt>> ParseUpdate() {
+    AF_RETURN_IF_ERROR(ExpectKeyword("UPDATE"));
+    auto stmt = std::make_unique<UpdateStmt>();
+    AF_ASSIGN_OR_RETURN(stmt->table_name, ExpectIdentifier());
+    AF_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    do {
+      AF_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      AF_RETURN_IF_ERROR(ExpectOperator("="));
+      AF_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      stmt->assignments.emplace_back(std::move(col), std::move(e));
+    } while (AcceptOperator(","));
+    if (AcceptKeyword("WHERE")) {
+      AF_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    return stmt;
+  }
+
+  Result<std::unique_ptr<DeleteStmt>> ParseDelete() {
+    AF_RETURN_IF_ERROR(ExpectKeyword("DELETE"));
+    AF_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    auto stmt = std::make_unique<DeleteStmt>();
+    AF_ASSIGN_OR_RETURN(stmt->table_name, ExpectIdentifier());
+    if (AcceptKeyword("WHERE")) {
+      AF_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    return stmt;
+  }
+
+  // --- expressions (precedence climbing) ---
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    AF_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (AcceptKeyword("OR")) {
+      AF_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = MakeBinary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    AF_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (Peek().IsKeyword("AND")) {
+      Advance();
+      AF_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = MakeBinary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (AcceptKeyword("NOT")) {
+      AF_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return MakeUnary(UnaryOp::kNot, std::move(operand));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    AF_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    // IS [NOT] NULL / [NOT] LIKE / [NOT] IN / [NOT] BETWEEN.
+    while (true) {
+      if (Peek().IsKeyword("IS")) {
+        Advance();
+        bool neg = AcceptKeyword("NOT");
+        AF_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+        auto e = std::make_unique<Expr>(ExprKind::kIsNull);
+        e->negated = neg;
+        e->children.push_back(std::move(lhs));
+        lhs = std::move(e);
+        continue;
+      }
+      bool neg = false;
+      size_t save = pos_;
+      if (Peek().IsKeyword("NOT") &&
+          (Peek(1).IsKeyword("LIKE") || Peek(1).IsKeyword("IN") ||
+           Peek(1).IsKeyword("BETWEEN"))) {
+        Advance();
+        neg = true;
+      }
+      if (AcceptKeyword("LIKE")) {
+        AF_ASSIGN_OR_RETURN(ExprPtr pattern, ParseAdditive());
+        auto e = std::make_unique<Expr>(ExprKind::kLike);
+        e->negated = neg;
+        e->children.push_back(std::move(lhs));
+        e->children.push_back(std::move(pattern));
+        lhs = std::move(e);
+        continue;
+      }
+      if (AcceptKeyword("IN")) {
+        AF_RETURN_IF_ERROR(ExpectOperator("("));
+        if (Peek().IsKeyword("SELECT")) {
+          auto e = std::make_unique<Expr>(ExprKind::kInSubquery);
+          e->negated = neg;
+          e->children.push_back(std::move(lhs));
+          AF_ASSIGN_OR_RETURN(e->subquery, ParseSelectStmt());
+          AF_RETURN_IF_ERROR(ExpectOperator(")"));
+          lhs = std::move(e);
+          continue;
+        }
+        auto e = std::make_unique<Expr>(ExprKind::kInList);
+        e->negated = neg;
+        e->children.push_back(std::move(lhs));
+        do {
+          AF_ASSIGN_OR_RETURN(ExprPtr item, ParseExpr());
+          e->children.push_back(std::move(item));
+        } while (AcceptOperator(","));
+        AF_RETURN_IF_ERROR(ExpectOperator(")"));
+        lhs = std::move(e);
+        continue;
+      }
+      if (AcceptKeyword("BETWEEN")) {
+        // AND inside BETWEEN binds to the BETWEEN, so parse additive bounds.
+        AF_ASSIGN_OR_RETURN(ExprPtr low, ParseAdditive());
+        AF_RETURN_IF_ERROR(ExpectKeyword("AND"));
+        AF_ASSIGN_OR_RETURN(ExprPtr high, ParseAdditive());
+        auto e = std::make_unique<Expr>(ExprKind::kBetween);
+        e->negated = neg;
+        e->children.push_back(std::move(lhs));
+        e->children.push_back(std::move(low));
+        e->children.push_back(std::move(high));
+        lhs = std::move(e);
+        continue;
+      }
+      pos_ = save;  // un-consume a dangling NOT
+      break;
+    }
+    // Binary comparisons (non-associative; single application).
+    struct CmpOp {
+      const char* text;
+      BinaryOp op;
+    };
+    static constexpr CmpOp kCmps[] = {
+        {"<=", BinaryOp::kLe}, {">=", BinaryOp::kGe}, {"<>", BinaryOp::kNe},
+        {"=", BinaryOp::kEq},  {"<", BinaryOp::kLt},  {">", BinaryOp::kGt},
+    };
+    for (const CmpOp& cmp : kCmps) {
+      if (Peek().IsOperator(cmp.text)) {
+        Advance();
+        AF_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+        return MakeBinary(cmp.op, std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    AF_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (true) {
+      BinaryOp op;
+      if (Peek().IsOperator("+")) {
+        op = BinaryOp::kAdd;
+      } else if (Peek().IsOperator("-")) {
+        op = BinaryOp::kSub;
+      } else {
+        break;
+      }
+      Advance();
+      AF_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    AF_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (true) {
+      BinaryOp op;
+      if (Peek().IsOperator("*")) {
+        op = BinaryOp::kMul;
+      } else if (Peek().IsOperator("/")) {
+        op = BinaryOp::kDiv;
+      } else if (Peek().IsOperator("%")) {
+        op = BinaryOp::kMod;
+      } else {
+        break;
+      }
+      Advance();
+      AF_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (AcceptOperator("-")) {
+      AF_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      // Fold negative numeric literals immediately.
+      if (operand->kind == ExprKind::kLiteral) {
+        if (operand->literal.type() == DataType::kInt64) {
+          return MakeLiteral(Value::Int(-operand->literal.int_value()));
+        }
+        if (operand->literal.type() == DataType::kFloat64) {
+          return MakeLiteral(Value::Double(-operand->literal.double_value()));
+        }
+      }
+      return MakeUnary(UnaryOp::kNeg, std::move(operand));
+    }
+    if (AcceptOperator("+")) return ParseUnary();
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kIntLiteral: {
+        int64_t v = t.int_value;
+        Advance();
+        return MakeLiteral(Value::Int(v));
+      }
+      case TokenType::kFloatLiteral: {
+        double v = t.float_value;
+        Advance();
+        return MakeLiteral(Value::Double(v));
+      }
+      case TokenType::kStringLiteral: {
+        std::string v = t.text;
+        Advance();
+        return MakeLiteral(Value::String(std::move(v)));
+      }
+      case TokenType::kKeyword: {
+        if (t.text == "NULL") {
+          Advance();
+          return MakeLiteral(Value::Null());
+        }
+        if (t.text == "TRUE") {
+          Advance();
+          return MakeLiteral(Value::Bool(true));
+        }
+        if (t.text == "FALSE") {
+          Advance();
+          return MakeLiteral(Value::Bool(false));
+        }
+        if (t.text == "CASE") return ParseCase();
+        if (t.text == "EXISTS") {
+          Advance();
+          AF_RETURN_IF_ERROR(ExpectOperator("("));
+          auto e = std::make_unique<Expr>(ExprKind::kExists);
+          AF_ASSIGN_OR_RETURN(e->subquery, ParseSelectStmt());
+          AF_RETURN_IF_ERROR(ExpectOperator(")"));
+          return e;
+        }
+        return ErrorHere("unexpected keyword in expression");
+      }
+      case TokenType::kOperator: {
+        if (t.text == "(") {
+          Advance();
+          if (Peek().IsKeyword("SELECT")) {
+            auto e = std::make_unique<Expr>(ExprKind::kScalarSubquery);
+            AF_ASSIGN_OR_RETURN(e->subquery, ParseSelectStmt());
+            AF_RETURN_IF_ERROR(ExpectOperator(")"));
+            return e;
+          }
+          AF_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          AF_RETURN_IF_ERROR(ExpectOperator(")"));
+          return e;
+        }
+        if (t.text == "*") {
+          Advance();
+          return MakeStar();
+        }
+        return ErrorHere("unexpected operator in expression");
+      }
+      case TokenType::kIdentifier: {
+        std::string first = t.text;
+        Advance();
+        // Function call.
+        if (Peek().IsOperator("(")) {
+          Advance();
+          bool distinct = AcceptKeyword("DISTINCT");
+          std::vector<ExprPtr> args;
+          if (!Peek().IsOperator(")")) {
+            do {
+              AF_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+              args.push_back(std::move(arg));
+            } while (AcceptOperator(","));
+          }
+          AF_RETURN_IF_ERROR(ExpectOperator(")"));
+          return MakeFunction(ToLower(first), std::move(args), distinct);
+        }
+        // Qualified column: a.b (or schema-qualified a.b.c -> table "a.b").
+        if (AcceptOperator(".")) {
+          if (Peek().IsOperator("*")) {
+            Advance();
+            auto star = MakeStar();
+            star->table = first;  // qualified star: t.*
+            return star;
+          }
+          AF_ASSIGN_OR_RETURN(std::string second, ExpectIdentifier());
+          if (AcceptOperator(".")) {
+            AF_ASSIGN_OR_RETURN(std::string third, ExpectIdentifier());
+            return MakeColumnRef(first + "." + second, third);
+          }
+          return MakeColumnRef(first, second);
+        }
+        return MakeColumnRef(first);
+      }
+      case TokenType::kEnd:
+        return ErrorHere("unexpected end of input");
+    }
+    return ErrorHere("unexpected token");
+  }
+
+  Result<ExprPtr> ParseCase() {
+    AF_RETURN_IF_ERROR(ExpectKeyword("CASE"));
+    auto e = std::make_unique<Expr>(ExprKind::kCase);
+    if (!Peek().IsKeyword("WHEN")) {
+      e->has_case_operand = true;
+      AF_ASSIGN_OR_RETURN(ExprPtr operand, ParseExpr());
+      e->children.push_back(std::move(operand));
+    }
+    bool any_when = false;
+    while (AcceptKeyword("WHEN")) {
+      any_when = true;
+      AF_ASSIGN_OR_RETURN(ExprPtr when, ParseExpr());
+      AF_RETURN_IF_ERROR(ExpectKeyword("THEN"));
+      AF_ASSIGN_OR_RETURN(ExprPtr then, ParseExpr());
+      e->children.push_back(std::move(when));
+      e->children.push_back(std::move(then));
+    }
+    if (!any_when) return ErrorHere("CASE requires at least one WHEN");
+    if (AcceptKeyword("ELSE")) {
+      e->has_case_else = true;
+      AF_ASSIGN_OR_RETURN(ExprPtr els, ParseExpr());
+      e->children.push_back(std::move(els));
+    }
+    AF_RETURN_IF_ERROR(ExpectKeyword("END"));
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(const std::string& sql) {
+  AF_ASSIGN_OR_RETURN(auto tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatementTop();
+}
+
+Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& sql) {
+  AF_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  if (stmt.kind != Statement::Kind::kSelect) {
+    return Status::InvalidArgument("expected a SELECT statement");
+  }
+  return std::move(stmt.select);
+}
+
+Result<ExprPtr> ParseExpression(const std::string& text) {
+  AF_ASSIGN_OR_RETURN(auto tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseExpressionTop();
+}
+
+}  // namespace agentfirst

@@ -1,0 +1,25 @@
+#ifndef AGENTFIRST_SQL_PARSER_H_
+#define AGENTFIRST_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace agentfirst {
+
+/// Parses a single SQL statement (a trailing ';' is allowed).
+/// Supported: SELECT (joins, derived tables, WHERE/GROUP BY/HAVING/ORDER
+/// BY/LIMIT/OFFSET, DISTINCT), CREATE TABLE, INSERT ... VALUES, DROP TABLE,
+/// UPDATE ... SET ... [WHERE], DELETE FROM ... [WHERE].
+Result<Statement> ParseStatement(const std::string& sql);
+
+/// Convenience: parses and requires a SELECT.
+Result<std::unique_ptr<SelectStmt>> ParseSelect(const std::string& sql);
+
+/// Parses a standalone scalar expression (used by tests and briefs).
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_SQL_PARSER_H_

@@ -1,0 +1,36 @@
+#ifndef AGENTFIRST_SQL_TOKEN_H_
+#define AGENTFIRST_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace agentfirst {
+
+enum class TokenType {
+  kEnd = 0,
+  kIdentifier,   // unquoted or "quoted" identifier (text lower-cased when unquoted)
+  kKeyword,      // recognized SQL keyword, text upper-cased
+  kIntLiteral,
+  kFloatLiteral,
+  kStringLiteral,  // 'text' with '' escaping, text unescaped
+  kOperator,       // punctuation / operator, text as written (e.g. "<=")
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  size_t position = 0;  // byte offset in the input, for error messages
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsOperator(const char* op) const {
+    return type == TokenType::kOperator && text == op;
+  }
+};
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_SQL_TOKEN_H_

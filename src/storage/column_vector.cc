@@ -1,0 +1,104 @@
+#include "storage/column_vector.h"
+
+namespace agentfirst {
+
+namespace {
+Status TypeError(DataType col, DataType val) {
+  return Status::InvalidArgument(std::string("cannot store ") +
+                                 DataTypeName(val) + " in " +
+                                 DataTypeName(col) + " column");
+}
+}  // namespace
+
+Status ColumnVector::Append(const Value& v) {
+  if (v.is_null()) {
+    valid_.push_back(0);
+    switch (type_) {
+      case DataType::kInt64:
+        ints_.push_back(0);
+        break;
+      case DataType::kFloat64:
+        doubles_.push_back(0.0);
+        break;
+      case DataType::kBool:
+        bools_.push_back(0);
+        break;
+      case DataType::kString:
+        strings_.emplace_back();
+        break;
+      default:
+        break;
+    }
+    return Status::OK();
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      if (!IsNumeric(v.type())) return TypeError(type_, v.type());
+      ints_.push_back(v.AsInt());
+      break;
+    case DataType::kFloat64:
+      if (!IsNumeric(v.type())) return TypeError(type_, v.type());
+      doubles_.push_back(v.AsDouble());
+      break;
+    case DataType::kBool:
+      if (v.type() != DataType::kBool) return TypeError(type_, v.type());
+      bools_.push_back(v.bool_value() ? 1 : 0);
+      break;
+    case DataType::kString:
+      if (v.type() != DataType::kString) return TypeError(type_, v.type());
+      strings_.push_back(v.string_value());
+      break;
+    default:
+      return Status::Internal("column has no storage type");
+  }
+  valid_.push_back(1);
+  return Status::OK();
+}
+
+Value ColumnVector::Get(size_t i) const {
+  if (i >= valid_.size() || valid_[i] == 0) return Value::Null();
+  switch (type_) {
+    case DataType::kInt64:
+      return Value::Int(ints_[i]);
+    case DataType::kFloat64:
+      return Value::Double(doubles_[i]);
+    case DataType::kBool:
+      return Value::Bool(bools_[i] != 0);
+    case DataType::kString:
+      return Value::String(strings_[i]);
+    default:
+      return Value::Null();
+  }
+}
+
+Status ColumnVector::Set(size_t i, const Value& v) {
+  if (i >= valid_.size()) return Status::OutOfRange("column index out of range");
+  if (v.is_null()) {
+    valid_[i] = 0;
+    return Status::OK();
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      if (!IsNumeric(v.type())) return TypeError(type_, v.type());
+      ints_[i] = v.AsInt();
+      break;
+    case DataType::kFloat64:
+      if (!IsNumeric(v.type())) return TypeError(type_, v.type());
+      doubles_[i] = v.AsDouble();
+      break;
+    case DataType::kBool:
+      if (v.type() != DataType::kBool) return TypeError(type_, v.type());
+      bools_[i] = v.bool_value() ? 1 : 0;
+      break;
+    case DataType::kString:
+      if (v.type() != DataType::kString) return TypeError(type_, v.type());
+      strings_[i] = v.string_value();
+      break;
+    default:
+      return Status::Internal("column has no storage type");
+  }
+  valid_[i] = 1;
+  return Status::OK();
+}
+
+}  // namespace agentfirst

@@ -1,0 +1,55 @@
+#ifndef AGENTFIRST_STORAGE_COLUMN_VECTOR_H_
+#define AGENTFIRST_STORAGE_COLUMN_VECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/data_type.h"
+#include "types/value.h"
+
+namespace agentfirst {
+
+/// Typed, nullable column storage within one segment. Data lives in a vector
+/// of the column's physical type plus a validity vector; `Value` is only
+/// materialized at the boundary.
+class ColumnVector {
+ public:
+  ColumnVector() : type_(DataType::kNull) {}
+  explicit ColumnVector(DataType type) : type_(type) {}
+
+  DataType type() const { return type_; }
+  size_t size() const { return valid_.size(); }
+
+  /// Appends a value. NULL is always accepted; otherwise the value type must
+  /// be implicitly convertible to the column type (int<->double).
+  Status Append(const Value& v);
+
+  /// Reads element `i` as a Value (NULL if invalid).
+  Value Get(size_t i) const;
+
+  /// Overwrites element `i`.
+  Status Set(size_t i, const Value& v);
+
+  bool IsNull(size_t i) const { return valid_[i] == 0; }
+
+  /// Raw typed access for hot loops. Only valid for the matching type and
+  /// non-null entries.
+  int64_t IntAt(size_t i) const { return ints_[i]; }
+  double DoubleAt(size_t i) const { return doubles_[i]; }
+  bool BoolAt(size_t i) const { return bools_[i] != 0; }
+  const std::string& StringAt(size_t i) const { return strings_[i]; }
+
+ private:
+  DataType type_;
+  std::vector<uint8_t> valid_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<uint8_t> bools_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_STORAGE_COLUMN_VECTOR_H_

@@ -1,0 +1,54 @@
+#include "storage/segment.h"
+
+namespace agentfirst {
+
+Segment::Segment(const Schema& schema, size_t capacity) : capacity_(capacity) {
+  columns_.reserve(schema.NumColumns());
+  for (const ColumnDef& col : schema.columns()) {
+    columns_.emplace_back(col.type);
+  }
+}
+
+Status Segment::AppendRow(const Row& row) {
+  if (Full()) return Status::ResourceExhausted("segment full");
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument("row arity does not match segment");
+  }
+  // Validate all cells before mutating so a failed append leaves the segment
+  // unchanged (appends are all-or-nothing).
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    const Value& v = row[c];
+    if (v.is_null()) continue;
+    DataType ct = columns_[c].type();
+    bool ok = (v.type() == ct) || (IsNumeric(v.type()) && IsNumeric(ct));
+    if (!ok) {
+      return Status::InvalidArgument(
+          std::string("type mismatch in column ") + std::to_string(c) + ": " +
+          DataTypeName(v.type()) + " vs " + DataTypeName(ct));
+    }
+  }
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    AF_RETURN_IF_ERROR(columns_[c].Append(row[c]));
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Status Segment::SetValue(size_t row, size_t col, const Value& v) {
+  if (row >= num_rows_) return Status::OutOfRange("row out of range");
+  if (col >= columns_.size()) return Status::OutOfRange("column out of range");
+  return columns_[col].Set(row, v);
+}
+
+Row Segment::GetRow(size_t row) const {
+  Row out;
+  out.reserve(columns_.size());
+  for (const ColumnVector& c : columns_) out.push_back(c.Get(row));
+  return out;
+}
+
+std::shared_ptr<Segment> Segment::Clone() const {
+  return std::make_shared<Segment>(*this);
+}
+
+}  // namespace agentfirst

@@ -1,0 +1,50 @@
+#ifndef AGENTFIRST_STORAGE_SEGMENT_H_
+#define AGENTFIRST_STORAGE_SEGMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/column_vector.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace agentfirst {
+
+/// A fixed-capacity horizontal slice of a table, stored column-wise.
+/// Segments are the unit of copy-on-write sharing between branches: a branch
+/// that updates one row copies only that row's segment.
+class Segment {
+ public:
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  Segment(const Schema& schema, size_t capacity = kDefaultCapacity);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t capacity() const { return capacity_; }
+  bool Full() const { return num_rows_ >= capacity_; }
+  size_t NumColumns() const { return columns_.size(); }
+
+  /// Appends a row; fails when full or on column count/type mismatch.
+  Status AppendRow(const Row& row);
+
+  Value GetValue(size_t row, size_t col) const { return columns_[col].Get(row); }
+  Status SetValue(size_t row, size_t col, const Value& v);
+
+  Row GetRow(size_t row) const;
+
+  const ColumnVector& column(size_t i) const { return columns_[i]; }
+
+  /// Deep copy; used by the branch manager when a shared segment is written.
+  std::shared_ptr<Segment> Clone() const;
+
+ private:
+  size_t capacity_;
+  size_t num_rows_ = 0;
+  std::vector<ColumnVector> columns_;
+};
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_STORAGE_SEGMENT_H_

@@ -1,0 +1,86 @@
+#include "storage/table.h"
+
+namespace agentfirst {
+
+Status Table::AppendRow(const Row& row) {
+  if (segments_.empty() || segments_.back()->Full()) {
+    segments_.push_back(std::make_shared<Segment>(schema_, segment_capacity_));
+  }
+  AF_RETURN_IF_ERROR(segments_.back()->AppendRow(row));
+  ++num_rows_;
+  ++data_version_;
+  return Status::OK();
+}
+
+Status Table::AppendRows(const std::vector<Row>& rows) {
+  for (const Row& r : rows) AF_RETURN_IF_ERROR(AppendRow(r));
+  return Status::OK();
+}
+
+std::pair<size_t, size_t> Table::Locate(size_t row) const {
+  // Segments are filled to capacity before a new one starts, except possibly
+  // after FromSegments; walk for correctness.
+  size_t seg = 0;
+  while (seg < segments_.size() && row >= segments_[seg]->num_rows()) {
+    row -= segments_[seg]->num_rows();
+    ++seg;
+  }
+  return {seg, row};
+}
+
+Result<Row> Table::GetRow(size_t row) const {
+  if (row >= num_rows_) return Status::OutOfRange("row out of range");
+  auto [seg, off] = Locate(row);
+  return segments_[seg]->GetRow(off);
+}
+
+Result<Value> Table::GetValue(size_t row, size_t col) const {
+  if (row >= num_rows_) return Status::OutOfRange("row out of range");
+  if (col >= schema_.NumColumns()) return Status::OutOfRange("col out of range");
+  auto [seg, off] = Locate(row);
+  return segments_[seg]->GetValue(off, col);
+}
+
+Status Table::SetValue(size_t row, size_t col, const Value& v) {
+  if (row >= num_rows_) return Status::OutOfRange("row out of range");
+  if (col >= schema_.NumColumns()) return Status::OutOfRange("col out of range");
+  auto [seg, off] = Locate(row);
+  AF_RETURN_IF_ERROR(segments_[seg]->SetValue(off, col, v));
+  ++data_version_;
+  return Status::OK();
+}
+
+Status Table::RemoveRows(const std::vector<uint8_t>& remove_mask) {
+  if (remove_mask.size() != num_rows_) {
+    return Status::InvalidArgument("mask size does not match row count");
+  }
+  std::vector<std::shared_ptr<Segment>> new_segments;
+  size_t new_count = 0;
+  size_t global = 0;
+  for (const auto& seg : segments_) {
+    for (size_t i = 0; i < seg->num_rows(); ++i, ++global) {
+      if (remove_mask[global] != 0) continue;
+      if (new_segments.empty() || new_segments.back()->Full()) {
+        new_segments.push_back(std::make_shared<Segment>(schema_, segment_capacity_));
+      }
+      AF_RETURN_IF_ERROR(new_segments.back()->AppendRow(seg->GetRow(i)));
+      ++new_count;
+    }
+  }
+  segments_ = std::move(new_segments);
+  num_rows_ = new_count;
+  ++data_version_;
+  return Status::OK();
+}
+
+std::shared_ptr<Table> Table::FromSegments(
+    std::string name, Schema schema,
+    std::vector<std::shared_ptr<Segment>> segments) {
+  auto t = std::make_shared<Table>(std::move(name), std::move(schema));
+  t->segments_ = std::move(segments);
+  t->num_rows_ = 0;
+  for (const auto& s : t->segments_) t->num_rows_ += s->num_rows();
+  return t;
+}
+
+}  // namespace agentfirst

@@ -1,0 +1,72 @@
+#ifndef AGENTFIRST_STORAGE_TABLE_H_
+#define AGENTFIRST_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/segment.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace agentfirst {
+
+/// An in-memory table: a schema plus a sequence of columnar segments.
+/// Segments are held by shared_ptr so snapshots (branches) can alias them;
+/// a Table used through the branch manager must be mutated via COW helpers.
+class Table {
+ public:
+  Table(std::string name, Schema schema, size_t segment_capacity = Segment::kDefaultCapacity)
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        segment_capacity_(segment_capacity) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  size_t NumRows() const { return num_rows_; }
+  size_t NumSegments() const { return segments_.size(); }
+  const std::vector<std::shared_ptr<Segment>>& segments() const { return segments_; }
+
+  Status AppendRow(const Row& row);
+  Status AppendRows(const std::vector<Row>& rows);
+
+  /// Global row access (row ids are dense append order).
+  Result<Row> GetRow(size_t row) const;
+  Result<Value> GetValue(size_t row, size_t col) const;
+
+  /// In-place update (non-branched path). Branched updates go through
+  /// BranchManager, which clones segments instead.
+  Status SetValue(size_t row, size_t col, const Value& v);
+
+  /// Removes every row whose mask entry is non-zero, rebuilding segments.
+  /// mask.size() must equal NumRows().
+  Status RemoveRows(const std::vector<uint8_t>& remove_mask);
+
+  /// Monotone counter bumped on every mutation; consumed by the agentic
+  /// memory store and statistics cache for staleness detection.
+  uint64_t data_version() const { return data_version_; }
+
+  /// Builds a table directly from segments (used by branch materialization).
+  static std::shared_ptr<Table> FromSegments(
+      std::string name, Schema schema,
+      std::vector<std::shared_ptr<Segment>> segments);
+
+ private:
+  std::pair<size_t, size_t> Locate(size_t row) const;
+
+  std::string name_;
+  Schema schema_;
+  size_t segment_capacity_;
+  std::vector<std::shared_ptr<Segment>> segments_;
+  size_t num_rows_ = 0;
+  uint64_t data_version_ = 0;
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_STORAGE_TABLE_H_

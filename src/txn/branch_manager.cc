@@ -1,0 +1,339 @@
+#include "txn/branch_manager.h"
+
+#include <algorithm>
+
+namespace agentfirst {
+
+BranchManager::BranchManager() {
+  Branch main;
+  main.id = kMainBranch;
+  main.parent = kMainBranch;
+  branches_[kMainBranch] = std::move(main);
+}
+
+Status BranchManager::ImportTable(const Table& table) {
+  Branch& main = branches_[kMainBranch];
+  if (main.tables.count(table.name()) > 0) {
+    return Status::AlreadyExists("table already imported: " + table.name());
+  }
+  BranchTable bt;
+  bt.schema = table.schema();
+  bt.segments = table.segments();  // shared
+  bt.num_rows = table.NumRows();
+  bt.base_rows = bt.num_rows;
+  bt.base_segments = bt.segments;
+  bt.base_num_rows = bt.num_rows;
+  main.tables[table.name()] = std::move(bt);
+  return Status::OK();
+}
+
+Result<uint64_t> BranchManager::Fork(uint64_t parent) {
+  auto it = branches_.find(parent);
+  if (it == branches_.end()) {
+    return Status::NotFound("no such branch: " + std::to_string(parent));
+  }
+  // Every parent segment is now shared with the child: the parent loses
+  // in-place write ownership and must re-clone on its next write.
+  for (auto& [name, bt] : it->second.tables) bt.owned.clear();
+
+  Branch child;
+  child.id = next_branch_id_++;
+  child.parent = parent;
+  for (const auto& [name, src] : it->second.tables) {
+    BranchTable bt;
+    bt.schema = src.schema;
+    bt.segments = src.segments;  // all shared
+    bt.num_rows = src.num_rows;
+    bt.base_rows = src.num_rows;
+    bt.base_segments = src.segments;
+    bt.base_num_rows = src.num_rows;
+    child.tables[name] = std::move(bt);
+  }
+  uint64_t id = child.id;
+  branches_[id] = std::move(child);
+  ++stats_.forks;
+  return id;
+}
+
+Status BranchManager::Rollback(uint64_t branch) {
+  if (branch == kMainBranch) {
+    return Status::InvalidArgument("cannot roll back the main branch");
+  }
+  auto it = branches_.find(branch);
+  if (it == branches_.end()) {
+    return Status::NotFound("no such branch: " + std::to_string(branch));
+  }
+  branches_.erase(it);
+  ++stats_.rollbacks;
+  return Status::OK();
+}
+
+std::vector<std::string> BranchManager::TableNames() const {
+  std::vector<std::string> out;
+  auto it = branches_.find(kMainBranch);
+  if (it == branches_.end()) return out;
+  for (const auto& [name, t] : it->second.tables) out.push_back(name);
+  return out;
+}
+
+Result<const BranchManager::BranchTable*> BranchManager::FindTable(
+    uint64_t branch, const std::string& table) const {
+  auto it = branches_.find(branch);
+  if (it == branches_.end()) {
+    return Status::NotFound("no such branch: " + std::to_string(branch));
+  }
+  auto tit = it->second.tables.find(table);
+  if (tit == it->second.tables.end()) {
+    return Status::NotFound("no such table in branch: " + table);
+  }
+  return &tit->second;
+}
+
+Result<BranchManager::BranchTable*> BranchManager::FindTableMutable(
+    uint64_t branch, const std::string& table) {
+  auto it = branches_.find(branch);
+  if (it == branches_.end()) {
+    return Status::NotFound("no such branch: " + std::to_string(branch));
+  }
+  auto tit = it->second.tables.find(table);
+  if (tit == it->second.tables.end()) {
+    return Status::NotFound("no such table in branch: " + table);
+  }
+  return &tit->second;
+}
+
+Result<std::pair<size_t, size_t>> BranchManager::Locate(const BranchTable& bt,
+                                                        size_t row) {
+  if (row >= bt.num_rows) return Status::OutOfRange("row out of range");
+  size_t seg = 0;
+  while (seg < bt.segments.size() && row >= bt.segments[seg]->num_rows()) {
+    row -= bt.segments[seg]->num_rows();
+    ++seg;
+  }
+  if (seg >= bt.segments.size()) return Status::Internal("segment walk overflow");
+  return std::make_pair(seg, row);
+}
+
+Value BranchManager::ReadBase(const BranchTable& bt, size_t row, size_t col) {
+  size_t r = row;
+  for (const auto& seg : bt.base_segments) {
+    if (r < seg->num_rows()) return seg->GetValue(r, col);
+    r -= seg->num_rows();
+  }
+  return Value::Null();
+}
+
+Result<size_t> BranchManager::NumRows(uint64_t branch,
+                                      const std::string& table) const {
+  AF_ASSIGN_OR_RETURN(const BranchTable* bt, FindTable(branch, table));
+  return bt->num_rows;
+}
+
+Result<Value> BranchManager::Read(uint64_t branch, const std::string& table,
+                                  size_t row, size_t col) const {
+  AF_ASSIGN_OR_RETURN(const BranchTable* bt, FindTable(branch, table));
+  if (col >= bt->schema.NumColumns()) return Status::OutOfRange("col out of range");
+  AF_ASSIGN_OR_RETURN(auto loc, Locate(*bt, row));
+  return bt->segments[loc.first]->GetValue(loc.second, col);
+}
+
+Result<Row> BranchManager::ReadRow(uint64_t branch, const std::string& table,
+                                   size_t row) const {
+  AF_ASSIGN_OR_RETURN(const BranchTable* bt, FindTable(branch, table));
+  AF_ASSIGN_OR_RETURN(auto loc, Locate(*bt, row));
+  return bt->segments[loc.first]->GetRow(loc.second);
+}
+
+Status BranchManager::WriteToTable(BranchTable* bt, size_t row, size_t col,
+                                   const Value& value) {
+  if (col >= bt->schema.NumColumns()) return Status::OutOfRange("col out of range");
+  AF_ASSIGN_OR_RETURN(auto loc, Locate(*bt, row));
+  auto& seg = bt->segments[loc.first];
+  if (bt->owned.count(seg.get()) == 0) {
+    // Copy-on-write: this segment may be visible to other branches.
+    seg = seg->Clone();
+    bt->owned.insert(seg.get());
+    ++stats_.segments_cloned;
+  }
+  AF_RETURN_IF_ERROR(seg->SetValue(loc.second, col, value));
+  bt->modified_rows.insert(row);
+  ++stats_.cells_written;
+  return Status::OK();
+}
+
+Status BranchManager::Write(uint64_t branch, const std::string& table, size_t row,
+                            size_t col, const Value& value) {
+  AF_ASSIGN_OR_RETURN(BranchTable* bt, FindTableMutable(branch, table));
+  return WriteToTable(bt, row, col, value);
+}
+
+Status BranchManager::Append(uint64_t branch, const std::string& table,
+                             const Row& row) {
+  AF_ASSIGN_OR_RETURN(BranchTable* bt, FindTableMutable(branch, table));
+  if (bt->segments.empty() || bt->segments.back()->Full() ||
+      bt->owned.count(bt->segments.back().get()) == 0) {
+    // Appends also copy-on-write: never extend a shared segment in place.
+    if (!bt->segments.empty() && !bt->segments.back()->Full() &&
+        bt->owned.count(bt->segments.back().get()) == 0) {
+      auto clone = bt->segments.back()->Clone();
+      bt->segments.back() = clone;
+      bt->owned.insert(clone.get());
+      ++stats_.segments_cloned;
+    } else {
+      auto fresh = std::make_shared<Segment>(bt->schema);
+      bt->segments.push_back(fresh);
+      bt->owned.insert(fresh.get());
+    }
+  }
+  AF_RETURN_IF_ERROR(bt->segments.back()->AppendRow(row));
+  ++bt->num_rows;
+  ++stats_.cells_written;
+  return Status::OK();
+}
+
+Result<MergeReport> BranchManager::Merge(uint64_t source, uint64_t destination,
+                                         MergePolicy policy) {
+  if (source == destination) {
+    return Status::InvalidArgument("cannot merge a branch into itself");
+  }
+  auto sit = branches_.find(source);
+  auto dit = branches_.find(destination);
+  if (sit == branches_.end() || dit == branches_.end()) {
+    return Status::NotFound("merge endpoints must both exist");
+  }
+
+  MergeReport report;
+  // Pass 1: detect conflicts (no mutation).
+  struct PendingWrite {
+    std::string table;
+    size_t row;
+    size_t col;
+    Value value;
+  };
+  std::vector<PendingWrite> writes;
+  std::vector<std::pair<std::string, Row>> appends;
+
+  for (const auto& [name, src_bt] : sit->second.tables) {
+    auto dtit = dit->second.tables.find(name);
+    if (dtit == dit->second.tables.end()) continue;
+    BranchTable& dst_bt = dtit->second;
+
+    for (size_t row : src_bt.modified_rows) {
+      if (row >= src_bt.base_rows) continue;  // appended rows handled below
+      for (size_t col = 0; col < src_bt.schema.NumColumns(); ++col) {
+        Value base = ReadBase(src_bt, row, col);
+        auto src_loc = Locate(src_bt, row);
+        if (!src_loc.ok()) return src_loc.status();
+        Value src_val =
+            src_bt.segments[src_loc->first]->GetValue(src_loc->second, col);
+        bool src_changed = !(src_val.is_null() && base.is_null()) &&
+                           !(src_val.Equals(base));
+        if (!src_changed) continue;
+
+        // Destination value for the same logical row. Rows beyond the
+        // destination's view are out of scope (destination shrank: skip).
+        if (row >= dst_bt.num_rows) continue;
+        auto dst_loc = Locate(dst_bt, row);
+        if (!dst_loc.ok()) return dst_loc.status();
+        Value dst_val =
+            dst_bt.segments[dst_loc->first]->GetValue(dst_loc->second, col);
+        Value dst_base = ReadBase(dst_bt, row, col);
+        bool dst_changed = !(dst_val.is_null() && dst_base.is_null()) &&
+                           !(dst_val.Equals(dst_base));
+        bool values_differ = !(src_val.is_null() && dst_val.is_null()) &&
+                             !src_val.Equals(dst_val);
+        if (dst_changed && values_differ) {
+          report.conflicts.push_back(
+              MergeConflict{name, row, col, dst_base, src_val, dst_val});
+          if (policy == MergePolicy::kSourceWins) {
+            writes.push_back({name, row, col, src_val});
+          }
+          // kDestinationWins: keep destination value, apply nothing.
+          continue;
+        }
+        if (values_differ) writes.push_back({name, row, col, src_val});
+      }
+    }
+    // Rows appended on the source are appended to the destination.
+    for (size_t row = src_bt.base_rows; row < src_bt.num_rows; ++row) {
+      auto loc = Locate(src_bt, row);
+      if (!loc.ok()) return loc.status();
+      appends.emplace_back(name, src_bt.segments[loc->first]->GetRow(loc->second));
+    }
+  }
+
+  if (!report.conflicts.empty() && policy == MergePolicy::kFailOnConflict) {
+    report.committed = false;
+    return report;
+  }
+
+  // Pass 2: apply.
+  for (const PendingWrite& w : writes) {
+    AF_ASSIGN_OR_RETURN(BranchTable* bt, FindTableMutable(destination, w.table));
+    AF_RETURN_IF_ERROR(WriteToTable(bt, w.row, w.col, w.value));
+    ++report.cells_applied;
+  }
+  for (const auto& [table, row] : appends) {
+    AF_RETURN_IF_ERROR(Append(destination, table, row));
+    ++report.rows_appended;
+  }
+  report.committed = true;
+  ++stats_.merges;
+  return report;
+}
+
+Result<TablePtr> BranchManager::MaterializeTable(uint64_t branch,
+                                                 const std::string& table) const {
+  AF_ASSIGN_OR_RETURN(const BranchTable* bt, FindTable(branch, table));
+  return Table::FromSegments(table, bt->schema, bt->segments);
+}
+
+Result<std::vector<BranchManager::BranchDelta>> BranchManager::Diff(
+    uint64_t branch) const {
+  auto it = branches_.find(branch);
+  if (it == branches_.end()) {
+    return Status::NotFound("no such branch: " + std::to_string(branch));
+  }
+  std::vector<BranchDelta> deltas;
+  for (const auto& [name, bt] : it->second.tables) {
+    for (size_t row : bt.modified_rows) {
+      if (row >= bt.base_rows) continue;  // appended rows reported below
+      for (size_t col = 0; col < bt.schema.NumColumns(); ++col) {
+        Value base = ReadBase(bt, row, col);
+        auto loc = Locate(bt, row);
+        if (!loc.ok()) return loc.status();
+        Value current = bt.segments[loc->first]->GetValue(loc->second, col);
+        bool changed = !(current.is_null() && base.is_null()) &&
+                       !current.Equals(base);
+        if (changed) {
+          deltas.push_back(BranchDelta{name, row, col, false, base, current});
+        }
+      }
+    }
+    for (size_t row = bt.base_rows; row < bt.num_rows; ++row) {
+      deltas.push_back(
+          BranchDelta{name, row, 0, true, Value::Null(), Value::Null()});
+    }
+  }
+  return deltas;
+}
+
+size_t BranchManager::DistinctLiveSegments() const {
+  std::unordered_set<const Segment*> distinct;
+  for (const auto& [id, branch] : branches_) {
+    for (const auto& [name, bt] : branch.tables) {
+      for (const auto& seg : bt.segments) distinct.insert(seg.get());
+    }
+  }
+  return distinct.size();
+}
+
+size_t BranchManager::LogicalSegmentRefs() const {
+  size_t total = 0;
+  for (const auto& [id, branch] : branches_) {
+    for (const auto& [name, bt] : branch.tables) total += bt.segments.size();
+  }
+  return total;
+}
+
+}  // namespace agentfirst

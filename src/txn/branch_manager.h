@@ -1,0 +1,162 @@
+#ifndef AGENTFIRST_TXN_BRANCH_MANAGER_H_
+#define AGENTFIRST_TXN_BRANCH_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace agentfirst {
+
+/// Conflict discovered during a three-way merge: the same cell was changed
+/// to different values on both sides since the fork point.
+struct MergeConflict {
+  std::string table;
+  size_t row = 0;
+  size_t col = 0;
+  Value base;
+  Value source;
+  Value destination;
+};
+
+enum class MergePolicy {
+  kFailOnConflict,     // abort, change nothing
+  kSourceWins,
+  kDestinationWins,
+};
+
+struct MergeReport {
+  bool committed = false;
+  size_t cells_applied = 0;
+  size_t rows_appended = 0;
+  std::vector<MergeConflict> conflicts;
+};
+
+/// Copy-on-write branch manager (paper Sec. 6.2): supports massive
+/// speculative forking with multi-world isolation. A branch shares all
+/// segments with its parent at fork time (O(#segments) pointers); the first
+/// write to a shared segment clones just that segment. Rollback drops the
+/// branch in O(1). Merge is three-way against the fork-point snapshot with
+/// cell-level conflict detection, and branches may merge into any other
+/// branch (not just the mainline).
+class BranchManager {
+ public:
+  static constexpr uint64_t kMainBranch = 0;
+
+  BranchManager();
+  BranchManager(const BranchManager&) = delete;
+  BranchManager& operator=(const BranchManager&) = delete;
+
+  /// Registers a table on the main branch, sharing the source's segments.
+  Status ImportTable(const Table& table);
+
+  /// Creates a child branch of `parent`; all segments shared.
+  Result<uint64_t> Fork(uint64_t parent);
+
+  /// Discards a branch (fast abort). The main branch cannot be rolled back.
+  Status Rollback(uint64_t branch);
+
+  bool HasBranch(uint64_t branch) const { return branches_.count(branch) > 0; }
+  size_t NumBranches() const { return branches_.size(); }
+  std::vector<std::string> TableNames() const;
+
+  Result<size_t> NumRows(uint64_t branch, const std::string& table) const;
+  Result<Value> Read(uint64_t branch, const std::string& table, size_t row,
+                     size_t col) const;
+  Result<Row> ReadRow(uint64_t branch, const std::string& table, size_t row) const;
+
+  /// Cell update with copy-on-write segment cloning.
+  Status Write(uint64_t branch, const std::string& table, size_t row, size_t col,
+               const Value& value);
+
+  /// Appends a row to the branch's view of the table.
+  Status Append(uint64_t branch, const std::string& table, const Row& row);
+
+  /// Three-way merge of `source` into `destination`; both survive (the
+  /// caller typically rolls back `source` afterwards). On kFailOnConflict
+  /// with conflicts, nothing is applied and report.committed == false.
+  Result<MergeReport> Merge(uint64_t source, uint64_t destination,
+                            MergePolicy policy);
+
+  /// Zero-copy read view of the branch's table (segments shared).
+  Result<TablePtr> MaterializeTable(uint64_t branch, const std::string& table) const;
+
+  /// One changed cell (or appended row marker) in a branch relative to its
+  /// fork point.
+  struct BranchDelta {
+    std::string table;
+    size_t row = 0;
+    size_t col = 0;
+    bool appended = false;  // true: whole row is new; base is meaningless
+    Value base;
+    Value current;
+  };
+
+  /// Everything this branch changed since it was forked — the "what-if
+  /// summary" an agent (or human decision maker) reviews before merging.
+  Result<std::vector<BranchDelta>> Diff(uint64_t branch) const;
+
+  struct Stats {
+    uint64_t forks = 0;
+    uint64_t rollbacks = 0;
+    uint64_t merges = 0;
+    uint64_t segments_cloned = 0;
+    uint64_t cells_written = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Total live segment objects across all branches (distinct), vs the
+  /// number a naive copy-per-branch design would hold. Quantifies COW
+  /// sharing for the Sec. 6.2 bench.
+  size_t DistinctLiveSegments() const;
+  size_t LogicalSegmentRefs() const;
+
+ private:
+  struct BranchTable {
+    Schema schema;
+    std::vector<std::shared_ptr<Segment>> segments;
+    size_t num_rows = 0;
+    // Segments this branch itself cloned (safe to write in place).
+    std::unordered_set<const Segment*> owned;
+    // Rows modified since fork (indexes into the branch's own view).
+    std::set<size_t> modified_rows;
+    // Rows appended since fork start at base_rows.
+    size_t base_rows = 0;
+    // Fork-point snapshot for three-way merge.
+    std::vector<std::shared_ptr<Segment>> base_segments;
+    size_t base_num_rows = 0;
+  };
+
+  struct Branch {
+    uint64_t id = 0;
+    uint64_t parent = 0;
+    std::map<std::string, BranchTable> tables;
+  };
+
+  Result<const BranchTable*> FindTable(uint64_t branch,
+                                       const std::string& table) const;
+  Result<BranchTable*> FindTableMutable(uint64_t branch, const std::string& table);
+
+  // Locates (segment index, offset) for a row in a branch table.
+  static Result<std::pair<size_t, size_t>> Locate(const BranchTable& bt, size_t row);
+  // Reads a cell from a fork-point snapshot.
+  static Value ReadBase(const BranchTable& bt, size_t row, size_t col);
+
+  Status WriteToTable(BranchTable* bt, size_t row, size_t col, const Value& value);
+
+  std::map<uint64_t, Branch> branches_;
+  uint64_t next_branch_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_TXN_BRANCH_MANAGER_H_

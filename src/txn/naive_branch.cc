@@ -1,0 +1,75 @@
+#include "txn/naive_branch.h"
+
+namespace agentfirst {
+
+Status NaiveBranchManager::ImportTable(const Table& table) {
+  auto& main = branches_[kMainBranch];
+  if (main.count(table.name()) > 0) {
+    return Status::AlreadyExists("table already imported: " + table.name());
+  }
+  Stored stored;
+  stored.schema = table.schema();
+  stored.rows.reserve(table.NumRows());
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    auto row = table.GetRow(r);
+    if (!row.ok()) return row.status();
+    stored.rows.push_back(std::move(*row));
+  }
+  main[table.name()] = std::move(stored);
+  return Status::OK();
+}
+
+Result<uint64_t> NaiveBranchManager::Fork(uint64_t parent) {
+  auto it = branches_.find(parent);
+  if (it == branches_.end()) {
+    return Status::NotFound("no such branch: " + std::to_string(parent));
+  }
+  uint64_t id = next_branch_id_++;
+  branches_[id] = it->second;  // deep copy of every row of every table
+  return id;
+}
+
+Status NaiveBranchManager::Rollback(uint64_t branch) {
+  if (branch == kMainBranch) {
+    return Status::InvalidArgument("cannot roll back the main branch");
+  }
+  if (branches_.erase(branch) == 0) {
+    return Status::NotFound("no such branch: " + std::to_string(branch));
+  }
+  return Status::OK();
+}
+
+Result<Value> NaiveBranchManager::Read(uint64_t branch, const std::string& table,
+                                       size_t row, size_t col) const {
+  auto it = branches_.find(branch);
+  if (it == branches_.end()) return Status::NotFound("no such branch");
+  auto tit = it->second.find(table);
+  if (tit == it->second.end()) return Status::NotFound("no such table: " + table);
+  if (row >= tit->second.rows.size()) return Status::OutOfRange("row out of range");
+  if (col >= tit->second.rows[row].size()) return Status::OutOfRange("col out of range");
+  return tit->second.rows[row][col];
+}
+
+Status NaiveBranchManager::Write(uint64_t branch, const std::string& table,
+                                 size_t row, size_t col, const Value& value) {
+  auto it = branches_.find(branch);
+  if (it == branches_.end()) return Status::NotFound("no such branch");
+  auto tit = it->second.find(table);
+  if (tit == it->second.end()) return Status::NotFound("no such table: " + table);
+  if (row >= tit->second.rows.size()) return Status::OutOfRange("row out of range");
+  if (col >= tit->second.rows[row].size()) return Status::OutOfRange("col out of range");
+  tit->second.rows[row][col] = value;
+  return Status::OK();
+}
+
+Status NaiveBranchManager::Append(uint64_t branch, const std::string& table,
+                                  const Row& row) {
+  auto it = branches_.find(branch);
+  if (it == branches_.end()) return Status::NotFound("no such branch");
+  auto tit = it->second.find(table);
+  if (tit == it->second.end()) return Status::NotFound("no such table: " + table);
+  tit->second.rows.push_back(row);
+  return Status::OK();
+}
+
+}  // namespace agentfirst

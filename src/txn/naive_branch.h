@@ -1,0 +1,49 @@
+#ifndef AGENTFIRST_TXN_NAIVE_BRANCH_H_
+#define AGENTFIRST_TXN_NAIVE_BRANCH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace agentfirst {
+
+/// Baseline branching implementation that deep-copies every table on fork
+/// ("duplicate the database per branch"). Exists solely as the comparison
+/// point for the Sec. 6.2 benchmark; it is deliberately the straightforward
+/// design the paper argues against.
+class NaiveBranchManager {
+ public:
+  static constexpr uint64_t kMainBranch = 0;
+
+  NaiveBranchManager() { branches_[kMainBranch] = {}; }
+
+  Status ImportTable(const Table& table);
+  Result<uint64_t> Fork(uint64_t parent);
+  Status Rollback(uint64_t branch);
+
+  Result<Value> Read(uint64_t branch, const std::string& table, size_t row,
+                     size_t col) const;
+  Status Write(uint64_t branch, const std::string& table, size_t row, size_t col,
+               const Value& value);
+  Status Append(uint64_t branch, const std::string& table, const Row& row);
+
+  size_t NumBranches() const { return branches_.size(); }
+
+ private:
+  struct Stored {
+    Schema schema;
+    std::vector<Row> rows;
+  };
+  using BranchTables = std::map<std::string, Stored>;
+
+  std::map<uint64_t, BranchTables> branches_;
+  uint64_t next_branch_id_ = 1;
+};
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_TXN_NAIVE_BRANCH_H_

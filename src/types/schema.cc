@@ -1,0 +1,61 @@
+#include "types/schema.h"
+
+namespace agentfirst {
+
+std::optional<size_t> Schema::FindColumn(const std::string& name,
+                                         bool* ambiguous) const {
+  if (ambiguous != nullptr) *ambiguous = false;
+  std::optional<size_t> found;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) {
+      if (found.has_value()) {
+        if (ambiguous != nullptr) *ambiguous = true;
+        return std::nullopt;
+      }
+      found = i;
+    }
+  }
+  return found;
+}
+
+std::optional<size_t> Schema::FindColumn(const std::string& table,
+                                         const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].table == table && columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<ColumnDef> cols = left.columns_;
+  cols.insert(cols.end(), right.columns_.begin(), right.columns_.end());
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (!columns_[i].table.empty()) {
+      out += columns_[i].table;
+      out += ".";
+    }
+    out += columns_[i].name;
+    out += ":";
+    out += DataTypeName(columns_[i].type);
+  }
+  return out;
+}
+
+bool Schema::Equals(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name != other.columns_[i].name ||
+        columns_[i].type != other.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace agentfirst

@@ -1,0 +1,62 @@
+#ifndef AGENTFIRST_TYPES_SCHEMA_H_
+#define AGENTFIRST_TYPES_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "types/data_type.h"
+
+namespace agentfirst {
+
+/// One column of a schema. `table` carries the originating table name (or
+/// alias) for qualified-name resolution; it may be empty for computed
+/// columns.
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kNull;
+  bool nullable = true;
+  std::string table;
+
+  ColumnDef() = default;
+  ColumnDef(std::string n, DataType t, bool null_ok = true, std::string tbl = "")
+      : name(std::move(n)), type(t), nullable(null_ok), table(std::move(tbl)) {}
+};
+
+/// An ordered list of columns. Column names need not be unique across joined
+/// schemas; qualified lookup disambiguates.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {}
+
+  size_t NumColumns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  void AddColumn(ColumnDef col) { columns_.push_back(std::move(col)); }
+
+  /// Finds by unqualified name; returns nullopt if absent or ambiguous
+  /// (`ambiguous` set when provided).
+  std::optional<size_t> FindColumn(const std::string& name,
+                                   bool* ambiguous = nullptr) const;
+
+  /// Finds by table-qualified name.
+  std::optional<size_t> FindColumn(const std::string& table,
+                                   const std::string& name) const;
+
+  /// Concatenation for join outputs.
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  /// "name:TYPE, name:TYPE, ..." — used in plan explanations and tests.
+  std::string ToString() const;
+
+  bool Equals(const Schema& other) const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_TYPES_SCHEMA_H_

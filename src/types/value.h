@@ -1,0 +1,81 @@
+#ifndef AGENTFIRST_TYPES_VALUE_H_
+#define AGENTFIRST_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/hash.h"
+#include "types/data_type.h"
+
+namespace agentfirst {
+
+/// A dynamically-typed SQL value: NULL, BOOLEAN, BIGINT, DOUBLE, or VARCHAR.
+/// Values cross module boundaries (rows, literals, statistics); hot paths in
+/// the executor operate on typed column storage instead.
+class Value {
+ public:
+  /// Constructs SQL NULL.
+  Value() : type_(DataType::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(DataType::kBool, v); }
+  static Value Int(int64_t v) { return Value(DataType::kInt64, v); }
+  static Value Double(double v) { return Value(DataType::kFloat64, v); }
+  static Value String(std::string v) {
+    return Value(DataType::kString, std::move(v));
+  }
+
+  DataType type() const { return type_; }
+  bool is_null() const { return type_ == DataType::kNull; }
+
+  /// Typed accessors; calling the wrong one is a programming error (checked
+  /// by std::get in debug via exceptions disabled -> use only after type()).
+  bool bool_value() const { return std::get<bool>(data_); }
+  int64_t int_value() const { return std::get<int64_t>(data_); }
+  double double_value() const { return std::get<double>(data_); }
+  const std::string& string_value() const { return std::get<std::string>(data_); }
+
+  /// Numeric view: BIGINT and DOUBLE both convert; others return 0.
+  double AsDouble() const;
+  /// Integer view (truncates doubles); others return 0.
+  int64_t AsInt() const;
+
+  /// SQL equality ignoring numeric width (1 == 1.0). NULL != anything,
+  /// including NULL (use is_null for three-valued logic; this is for
+  /// hash/grouping semantics where NULLs compare equal to each other).
+  bool Equals(const Value& other) const;
+
+  /// Total order for sorting: NULL < BOOL < numerics < STRING; numerics
+  /// compare by value across widths. Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  /// Hash consistent with Equals.
+  uint64_t Hash() const;
+
+  /// SQL text rendering ("NULL", "42", "3.5", "abc" without quotes).
+  std::string ToString() const;
+  /// Rendering for plans/literals: strings quoted with single quotes.
+  std::string ToSqlLiteral() const;
+
+  bool operator==(const Value& other) const { return Equals(other); }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+ private:
+  template <typename T>
+  Value(DataType t, T v) : type_(t), data_(std::move(v)) {}
+
+  DataType type_;
+  std::variant<std::monostate, bool, int64_t, double, std::string> data_;
+};
+
+/// A materialized tuple.
+using Row = std::vector<Value>;
+
+/// Hash of a full row (order-dependent).
+uint64_t HashRow(const Row& row);
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_TYPES_VALUE_H_

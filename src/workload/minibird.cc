@@ -1,0 +1,630 @@
+#include "workload/minibird.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace agentfirst {
+
+namespace {
+
+struct StateName {
+  const char* full;
+  const char* abbrev;
+};
+
+constexpr StateName kStates[] = {
+    {"California", "CA"}, {"New York", "NY"},   {"Texas", "TX"},
+    {"Washington", "WA"}, {"Oregon", "OR"},     {"Florida", "FL"},
+    {"Illinois", "IL"},   {"Massachusetts", "MA"},
+};
+
+constexpr const char* kCities[] = {"Berkeley",  "Oakland", "Seattle", "Austin",
+                                   "Portland",  "Boston",  "Chicago", "Miami",
+                                   "New York",  "Dallas"};
+constexpr const char* kRegions[] = {"west", "east", "central", "south"};
+constexpr const char* kCategories[] = {"coffee beans", "tea",      "espresso machines",
+                                       "mugs",         "grinders", "filters"};
+constexpr const char* kCountries[] = {"Germany", "France", "Brazil", "Japan",
+                                      "Canada",  "India"};
+constexpr const char* kTopics[] = {"coffee", "travel", "music", "sports",
+                                   "movies", "cooking"};
+constexpr const char* kAirports[] = {"SFO", "JFK", "SEA", "AUS", "ORD", "BOS"};
+constexpr const char* kStatuses[] = {"on_time", "delayed", "cancelled"};
+constexpr const char* kRoles[] = {"captain", "first_officer", "attendant"};
+
+Schema MakeSchema(const std::string& table,
+                  std::initializer_list<std::pair<const char*, DataType>> cols) {
+  Schema s;
+  for (const auto& [name, type] : cols) {
+    s.AddColumn(ColumnDef(name, type, true, table));
+  }
+  return s;
+}
+
+void MustAppend(Table* t, Row row) { AF_CHECK(t->AppendRow(row).ok()); }
+
+// ---------------------------------------------------------------------------
+// Domain builders
+// ---------------------------------------------------------------------------
+
+void BuildRetail(AgentFirstSystem* system, Rng* rng, size_t fact_rows,
+                 size_t dim_rows) {
+  Catalog* catalog = system->catalog();
+  auto stores = *catalog->CreateTable(
+      "stores", MakeSchema("stores", {{"store_id", DataType::kInt64},
+                                      {"city", DataType::kString},
+                                      {"state", DataType::kString},
+                                      {"region", DataType::kString}}));
+  size_t num_states = std::size(kStates);
+  for (size_t i = 0; i < dim_rows; ++i) {
+    MustAppend(stores.get(),
+               {Value::Int(static_cast<int64_t>(i)),
+                Value::String(kCities[rng->NextUint(std::size(kCities))]),
+                Value::String(kStates[i % num_states].full),
+                Value::String(kRegions[rng->NextUint(std::size(kRegions))])});
+  }
+  auto products = *catalog->CreateTable(
+      "products", MakeSchema("products", {{"product_id", DataType::kInt64},
+                                          {"category", DataType::kString},
+                                          {"name", DataType::kString},
+                                          {"price", DataType::kFloat64}}));
+  for (size_t i = 0; i < dim_rows; ++i) {
+    const char* cat = kCategories[i % std::size(kCategories)];
+    MustAppend(products.get(),
+               {Value::Int(static_cast<int64_t>(i)), Value::String(cat),
+                Value::String(std::string(cat) + " #" + std::to_string(i)),
+                Value::Double(2.0 + rng->NextDouble() * 98.0)});
+  }
+  auto sales = *catalog->CreateTable(
+      "sales", MakeSchema("sales", {{"sale_id", DataType::kInt64},
+                                    {"store_id", DataType::kInt64},
+                                    {"product_id", DataType::kInt64},
+                                    {"year", DataType::kInt64},
+                                    {"month", DataType::kInt64},
+                                    {"quantity", DataType::kInt64},
+                                    {"revenue", DataType::kFloat64}}));
+  for (size_t i = 0; i < fact_rows; ++i) {
+    int64_t qty = rng->NextInt(1, 20);
+    MustAppend(sales.get(),
+               {Value::Int(static_cast<int64_t>(i)),
+                Value::Int(static_cast<int64_t>(rng->NextZipf(dim_rows, 0.5))),
+                Value::Int(static_cast<int64_t>(rng->NextZipf(dim_rows, 0.8))),
+                Value::Int(rng->NextBool(0.6) ? 2025 : 2024),
+                Value::Int(rng->NextInt(1, 12)), Value::Int(qty),
+                Value::Double(static_cast<double>(qty) *
+                              (2.0 + rng->NextDouble() * 48.0))});
+  }
+}
+
+void BuildWeb(AgentFirstSystem* system, Rng* rng, size_t fact_rows,
+              size_t dim_rows) {
+  Catalog* catalog = system->catalog();
+  auto users = *catalog->CreateTable(
+      "users", MakeSchema("users", {{"user_id", DataType::kInt64},
+                                    {"name", DataType::kString},
+                                    {"country", DataType::kString},
+                                    {"signup_year", DataType::kInt64}}));
+  for (size_t i = 0; i < dim_rows; ++i) {
+    MustAppend(users.get(),
+               {Value::Int(static_cast<int64_t>(i)),
+                Value::String("user_" + std::to_string(i)),
+                Value::String(kCountries[rng->NextUint(std::size(kCountries))]),
+                Value::Int(rng->NextInt(2015, 2025))});
+  }
+  auto posts = *catalog->CreateTable(
+      "posts", MakeSchema("posts", {{"post_id", DataType::kInt64},
+                                    {"user_id", DataType::kInt64},
+                                    {"topic", DataType::kString},
+                                    {"upvotes", DataType::kInt64}}));
+  for (size_t i = 0; i < fact_rows; ++i) {
+    MustAppend(posts.get(),
+               {Value::Int(static_cast<int64_t>(i)),
+                Value::Int(static_cast<int64_t>(rng->NextZipf(dim_rows, 0.7))),
+                Value::String(kTopics[rng->NextUint(std::size(kTopics))]),
+                Value::Int(rng->NextInt(0, 500))});
+  }
+  auto interactions = *catalog->CreateTable(
+      "interactions", MakeSchema("interactions", {{"user_id", DataType::kInt64},
+                                                  {"post_id", DataType::kInt64},
+                                                  {"action", DataType::kString}}));
+  constexpr const char* kActions[] = {"view", "upvote", "share"};
+  for (size_t i = 0; i < fact_rows / 2; ++i) {
+    MustAppend(interactions.get(),
+               {Value::Int(static_cast<int64_t>(rng->NextUint(dim_rows))),
+                Value::Int(static_cast<int64_t>(rng->NextUint(fact_rows))),
+                Value::String(kActions[rng->NextUint(std::size(kActions))])});
+  }
+}
+
+void BuildFlights(AgentFirstSystem* system, Rng* rng, size_t fact_rows,
+                  size_t dim_rows) {
+  Catalog* catalog = system->catalog();
+  auto flights = *catalog->CreateTable(
+      "flights", MakeSchema("flights", {{"flight_id", DataType::kInt64},
+                                        {"origin", DataType::kString},
+                                        {"dest", DataType::kString},
+                                        {"day", DataType::kInt64},
+                                        {"status", DataType::kString}}));
+  for (size_t i = 0; i < fact_rows / 4; ++i) {
+    size_t o = rng->NextUint(std::size(kAirports));
+    size_t d = (o + 1 + rng->NextUint(std::size(kAirports) - 1)) % std::size(kAirports);
+    double roll = rng->NextDouble();
+    const char* status = roll < 0.78 ? kStatuses[0] : (roll < 0.95 ? kStatuses[1] : kStatuses[2]);
+    MustAppend(flights.get(),
+               {Value::Int(static_cast<int64_t>(i)), Value::String(kAirports[o]),
+                Value::String(kAirports[d]), Value::Int(rng->NextInt(1, 365)),
+                Value::String(status)});
+  }
+  auto crew = *catalog->CreateTable(
+      "crew", MakeSchema("crew", {{"crew_id", DataType::kInt64},
+                                  {"name", DataType::kString},
+                                  {"role", DataType::kString},
+                                  {"base", DataType::kString}}));
+  for (size_t i = 0; i < dim_rows; ++i) {
+    MustAppend(crew.get(),
+               {Value::Int(static_cast<int64_t>(i)),
+                Value::String("crew_" + std::to_string(i)),
+                Value::String(kRoles[rng->NextUint(std::size(kRoles))]),
+                Value::String(kAirports[rng->NextUint(std::size(kAirports))])});
+  }
+  auto assignments = *catalog->CreateTable(
+      "assignments", MakeSchema("assignments", {{"flight_id", DataType::kInt64},
+                                                {"crew_id", DataType::kInt64}}));
+  for (size_t i = 0; i < fact_rows / 2; ++i) {
+    MustAppend(assignments.get(),
+               {Value::Int(static_cast<int64_t>(rng->NextUint(fact_rows / 4))),
+                Value::Int(static_cast<int64_t>(rng->NextUint(dim_rows)))});
+  }
+}
+
+void BuildHealthcare(AgentFirstSystem* system, Rng* rng, size_t fact_rows,
+                     size_t dim_rows) {
+  Catalog* catalog = system->catalog();
+  constexpr const char* kDepartments[] = {"cardiology", "oncology", "pediatrics",
+                                          "radiology", "emergency"};
+  constexpr const char* kSeverities[] = {"routine", "urgent", "critical"};
+  auto patients = *catalog->CreateTable(
+      "patients", MakeSchema("patients", {{"patient_id", DataType::kInt64},
+                                          {"name", DataType::kString},
+                                          {"birth_year", DataType::kInt64},
+                                          {"insurer", DataType::kString}}));
+  constexpr const char* kInsurers[] = {"Blue Shield", "Kaiser", "Aetna", "None"};
+  for (size_t i = 0; i < dim_rows; ++i) {
+    MustAppend(patients.get(),
+               {Value::Int(static_cast<int64_t>(i)),
+                Value::String("patient_" + std::to_string(i)),
+                Value::Int(rng->NextInt(1940, 2020)),
+                Value::String(kInsurers[rng->NextUint(std::size(kInsurers))])});
+  }
+  auto visits = *catalog->CreateTable(
+      "visits", MakeSchema("visits", {{"visit_id", DataType::kInt64},
+                                      {"patient_id", DataType::kInt64},
+                                      {"department", DataType::kString},
+                                      {"severity", DataType::kString},
+                                      {"cost", DataType::kFloat64}}));
+  for (size_t i = 0; i < fact_rows / 2; ++i) {
+    double roll = rng->NextDouble();
+    const char* severity =
+        roll < 0.6 ? kSeverities[0] : (roll < 0.9 ? kSeverities[1] : kSeverities[2]);
+    MustAppend(visits.get(),
+               {Value::Int(static_cast<int64_t>(i)),
+                Value::Int(static_cast<int64_t>(rng->NextZipf(dim_rows, 0.6))),
+                Value::String(kDepartments[rng->NextUint(std::size(kDepartments))]),
+                Value::String(severity),
+                Value::Double(100.0 + rng->NextDouble() * 900.0)});
+  }
+}
+
+void BuildFinance(AgentFirstSystem* system, Rng* rng, size_t fact_rows,
+                  size_t dim_rows) {
+  Catalog* catalog = system->catalog();
+  constexpr const char* kSectors[] = {"technology", "energy", "healthcare",
+                                      "finance", "consumer"};
+  auto accounts = *catalog->CreateTable(
+      "accounts", MakeSchema("accounts", {{"account_id", DataType::kInt64},
+                                          {"holder", DataType::kString},
+                                          {"tier", DataType::kString},
+                                          {"balance", DataType::kFloat64}}));
+  constexpr const char* kTiers[] = {"basic", "premium", "institutional"};
+  for (size_t i = 0; i < dim_rows; ++i) {
+    MustAppend(accounts.get(),
+               {Value::Int(static_cast<int64_t>(i)),
+                Value::String("holder_" + std::to_string(i)),
+                Value::String(kTiers[rng->NextUint(std::size(kTiers))]),
+                Value::Double(rng->NextDouble() * 100000.0)});
+  }
+  auto trades = *catalog->CreateTable(
+      "trades", MakeSchema("trades", {{"trade_id", DataType::kInt64},
+                                      {"account_id", DataType::kInt64},
+                                      {"sector", DataType::kString},
+                                      {"side", DataType::kString},
+                                      {"notional", DataType::kFloat64}}));
+  for (size_t i = 0; i < fact_rows; ++i) {
+    MustAppend(trades.get(),
+               {Value::Int(static_cast<int64_t>(i)),
+                Value::Int(static_cast<int64_t>(rng->NextZipf(dim_rows, 0.7))),
+                Value::String(kSectors[rng->NextUint(std::size(kSectors))]),
+                Value::String(rng->NextBool(0.55) ? "buy" : "sell"),
+                Value::Double(10.0 + rng->NextDouble() * 9990.0)});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Task builders (gold answers are computed by execution at the end)
+// ---------------------------------------------------------------------------
+
+std::vector<TaskSpec> RetailTasks(Rng* rng) {
+  std::vector<TaskSpec> tasks;
+  const StateName& st = kStates[rng->NextUint(std::size(kStates))];
+  int64_t year = rng->NextBool(0.5) ? 2024 : 2025;
+
+  {
+    TaskSpec t;
+    t.id = "retail_revenue_by_state";
+    t.question = std::string("What was the total sales revenue in ") + st.abbrev +
+                 " in " + std::to_string(year) + "?";
+    t.gold_sql = std::string("SELECT sum(s.revenue) FROM sales s JOIN stores st ON "
+                             "s.store_id = st.store_id WHERE st.state = '") +
+                 st.full + "' AND s.year = " + std::to_string(year);
+    t.relevant_tables = {"sales", "stores"};
+    t.relevant_columns = {"sales.revenue", "sales.store_id", "sales.year",
+                          "stores.store_id", "stores.state"};
+    t.encoding_note = std::string("states are stored fully spelled out (e.g. '") +
+                      st.full + "'), not as two-letter codes";
+    t.question_value = st.abbrev;
+    t.stored_value = st.full;
+    t.encoded_column = "stores.state";
+    t.difficulty = 4;
+    tasks.push_back(std::move(t));
+  }
+  {
+    TaskSpec t;
+    const char* cat = kCategories[rng->NextUint(std::size(kCategories))];
+    t.id = "retail_category_count";
+    t.question = std::string("How many sales were of ") + cat + "?";
+    t.gold_sql = std::string("SELECT count(*) FROM sales s JOIN products p ON "
+                             "s.product_id = p.product_id WHERE p.category = '") +
+                 cat + "'";
+    t.relevant_tables = {"sales", "products"};
+    t.relevant_columns = {"sales.product_id", "products.product_id",
+                          "products.category"};
+    t.difficulty = 3;
+    tasks.push_back(std::move(t));
+  }
+  {
+    TaskSpec t;
+    const char* cat = kCategories[rng->NextUint(std::size(kCategories))];
+    t.id = "retail_avg_price";
+    t.question = std::string("What is the average price of ") + cat + " products?";
+    t.gold_sql = std::string("SELECT avg(price) FROM products WHERE category = '") +
+                 cat + "'";
+    t.relevant_tables = {"products"};
+    t.relevant_columns = {"products.price", "products.category"};
+    t.difficulty = 1;
+    tasks.push_back(std::move(t));
+  }
+  {
+    TaskSpec t;
+    t.id = "retail_top_state";
+    t.question = "Which state had the highest total revenue?";
+    t.gold_sql = "SELECT st.state, sum(s.revenue) AS total FROM sales s JOIN stores "
+                 "st ON s.store_id = st.store_id GROUP BY st.state ORDER BY total "
+                 "DESC LIMIT 1";
+    t.relevant_tables = {"sales", "stores"};
+    t.relevant_columns = {"sales.revenue", "sales.store_id", "stores.store_id",
+                          "stores.state"};
+    t.difficulty = 3;
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+std::vector<TaskSpec> WebTasks(Rng* rng) {
+  std::vector<TaskSpec> tasks;
+  {
+    TaskSpec t;
+    const char* country = kCountries[rng->NextUint(std::size(kCountries))];
+    t.id = "web_posts_by_country";
+    t.question = std::string("How many posts were written by users from ") +
+                 country + "?";
+    t.gold_sql = std::string("SELECT count(*) FROM posts p JOIN users u ON "
+                             "p.user_id = u.user_id WHERE u.country = '") +
+                 country + "'";
+    t.relevant_tables = {"posts", "users"};
+    t.relevant_columns = {"posts.user_id", "users.user_id", "users.country"};
+    t.difficulty = 3;
+    tasks.push_back(std::move(t));
+  }
+  {
+    TaskSpec t;
+    const char* topic = kTopics[rng->NextUint(std::size(kTopics))];
+    t.id = "web_avg_upvotes";
+    t.question = std::string("What is the average number of upvotes on ") + topic +
+                 " posts?";
+    t.gold_sql = std::string("SELECT avg(upvotes) FROM posts WHERE topic = '") +
+                 topic + "'";
+    t.relevant_tables = {"posts"};
+    t.relevant_columns = {"posts.upvotes", "posts.topic"};
+    t.difficulty = 1;
+    tasks.push_back(std::move(t));
+  }
+  {
+    TaskSpec t;
+    t.id = "web_top_country";
+    t.question = "Which country has the most users?";
+    t.gold_sql = "SELECT country, count(*) AS n FROM users GROUP BY country ORDER "
+                 "BY n DESC, country ASC LIMIT 1";
+    t.relevant_tables = {"users"};
+    t.relevant_columns = {"users.country"};
+    t.difficulty = 2;
+    tasks.push_back(std::move(t));
+  }
+  {
+    TaskSpec t;
+    t.id = "web_upvote_actions";
+    t.question = "How many upvote interactions are recorded?";
+    t.gold_sql = "SELECT count(*) FROM interactions WHERE action = 'upvote'";
+    t.relevant_tables = {"interactions"};
+    t.relevant_columns = {"interactions.action"};
+    t.difficulty = 1;
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+std::vector<TaskSpec> FlightsTasks(Rng* rng) {
+  std::vector<TaskSpec> tasks;
+  {
+    TaskSpec t;
+    const char* origin = kAirports[rng->NextUint(std::size(kAirports))];
+    t.id = "flights_delayed_from";
+    t.question = std::string("How many flights out of ") + origin +
+                 " were delayed?";
+    t.gold_sql = std::string("SELECT count(*) FROM flights WHERE origin = '") +
+                 origin + "' AND status = 'delayed'";
+    t.relevant_tables = {"flights"};
+    t.relevant_columns = {"flights.origin", "flights.status"};
+    // Status is stored as 'delayed' but a question phrased "late" would
+    // mislead; mark the status column encoding-sensitive.
+    t.encoding_note = "flight status values are 'on_time', 'delayed', 'cancelled'";
+    t.question_value = "late";
+    t.stored_value = "delayed";
+    t.encoded_column = "flights.status";
+    t.difficulty = 2;
+    tasks.push_back(std::move(t));
+  }
+  {
+    TaskSpec t;
+    const char* base = kAirports[rng->NextUint(std::size(kAirports))];
+    t.id = "flights_crew_at_base";
+    t.question = std::string("How many crew members are based at ") + base + "?";
+    t.gold_sql = std::string("SELECT count(*) FROM crew WHERE base = '") + base + "'";
+    t.relevant_tables = {"crew"};
+    t.relevant_columns = {"crew.base"};
+    t.difficulty = 1;
+    tasks.push_back(std::move(t));
+  }
+  {
+    TaskSpec t;
+    t.id = "flights_busiest";
+    t.question = "Which flight has the most crew assignments?";
+    t.gold_sql = "SELECT flight_id, count(*) AS n FROM assignments GROUP BY "
+                 "flight_id ORDER BY n DESC, flight_id ASC LIMIT 1";
+    t.relevant_tables = {"assignments"};
+    t.relevant_columns = {"assignments.flight_id", "assignments.crew_id"};
+    t.difficulty = 2;
+    tasks.push_back(std::move(t));
+  }
+  {
+    TaskSpec t;
+    const char* role = kRoles[rng->NextUint(std::size(kRoles))];
+    t.id = "flights_role_assignments";
+    t.question = std::string("How many assignments involve a ") + role + "?";
+    t.gold_sql = std::string("SELECT count(*) FROM assignments a JOIN crew c ON "
+                             "a.crew_id = c.crew_id WHERE c.role = '") +
+                 role + "'";
+    t.relevant_tables = {"assignments", "crew"};
+    t.relevant_columns = {"assignments.crew_id", "crew.crew_id", "crew.role"};
+    t.difficulty = 3;
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+std::vector<TaskSpec> HealthcareTasks(Rng* rng) {
+  std::vector<TaskSpec> tasks;
+  constexpr const char* kDepartments[] = {"cardiology", "oncology", "pediatrics",
+                                          "radiology", "emergency"};
+  {
+    TaskSpec t;
+    const char* dept = kDepartments[rng->NextUint(std::size(kDepartments))];
+    t.id = "health_dept_cost";
+    t.question = std::string("What is the total cost of ") + dept + " visits?";
+    t.gold_sql = std::string("SELECT sum(cost) FROM visits WHERE department = '") +
+                 dept + "'";
+    t.relevant_tables = {"visits"};
+    t.relevant_columns = {"visits.cost", "visits.department"};
+    t.difficulty = 1;
+    tasks.push_back(std::move(t));
+  }
+  {
+    TaskSpec t;
+    t.id = "health_critical_count";
+    t.question = "How many visits were emergencies (critical severity)?";
+    t.gold_sql = "SELECT count(*) FROM visits WHERE severity = 'critical'";
+    t.relevant_tables = {"visits"};
+    t.relevant_columns = {"visits.severity"};
+    // "emergencies" is also a department name -- the agent must discover
+    // that severity uses 'critical', not 'emergency'.
+    t.encoding_note = "severity values are 'routine', 'urgent', 'critical'";
+    t.question_value = "emergency";
+    t.stored_value = "critical";
+    t.encoded_column = "visits.severity";
+    t.difficulty = 2;
+    tasks.push_back(std::move(t));
+  }
+  {
+    TaskSpec t;
+    const char* insurer = rng->NextBool(0.5) ? "Kaiser" : "Aetna";
+    t.id = "health_insurer_visits";
+    t.question = std::string("How many visits were by patients insured by ") +
+                 insurer + "?";
+    t.gold_sql = std::string("SELECT count(*) FROM visits v JOIN patients p ON "
+                             "v.patient_id = p.patient_id WHERE p.insurer = '") +
+                 insurer + "'";
+    t.relevant_tables = {"visits", "patients"};
+    t.relevant_columns = {"visits.patient_id", "patients.patient_id",
+                          "patients.insurer"};
+    t.difficulty = 3;
+    tasks.push_back(std::move(t));
+  }
+  {
+    TaskSpec t;
+    t.id = "health_busiest_dept";
+    t.question = "Which department has the most visits?";
+    t.gold_sql = "SELECT department, count(*) AS n FROM visits GROUP BY "
+                 "department ORDER BY n DESC, department ASC LIMIT 1";
+    t.relevant_tables = {"visits"};
+    t.relevant_columns = {"visits.department"};
+    t.difficulty = 2;
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+std::vector<TaskSpec> FinanceTasks(Rng* rng) {
+  std::vector<TaskSpec> tasks;
+  constexpr const char* kSectors[] = {"technology", "energy", "healthcare",
+                                      "finance", "consumer"};
+  {
+    TaskSpec t;
+    const char* sector = kSectors[rng->NextUint(std::size(kSectors))];
+    t.id = "finance_sector_notional";
+    t.question = std::string("What is the total notional traded in ") + sector + "?";
+    t.gold_sql = std::string("SELECT sum(notional) FROM trades WHERE sector = '") +
+                 sector + "'";
+    t.relevant_tables = {"trades"};
+    t.relevant_columns = {"trades.notional", "trades.sector"};
+    t.difficulty = 1;
+    tasks.push_back(std::move(t));
+  }
+  {
+    TaskSpec t;
+    t.id = "finance_sell_count";
+    t.question = "How many short (sell) trades are there?";
+    t.gold_sql = "SELECT count(*) FROM trades WHERE side = 'sell'";
+    t.relevant_tables = {"trades"};
+    t.relevant_columns = {"trades.side"};
+    t.encoding_note = "trade sides are stored as 'buy' and 'sell'";
+    t.question_value = "short";
+    t.stored_value = "sell";
+    t.encoded_column = "trades.side";
+    t.difficulty = 2;
+    tasks.push_back(std::move(t));
+  }
+  {
+    TaskSpec t;
+    t.id = "finance_premium_trades";
+    t.question = "How many trades were placed by premium-tier accounts?";
+    t.gold_sql = "SELECT count(*) FROM trades t JOIN accounts a ON "
+                 "t.account_id = a.account_id WHERE a.tier = 'premium'";
+    t.relevant_tables = {"trades", "accounts"};
+    t.relevant_columns = {"trades.account_id", "accounts.account_id",
+                          "accounts.tier"};
+    t.difficulty = 3;
+    tasks.push_back(std::move(t));
+  }
+  {
+    TaskSpec t;
+    t.id = "finance_top_sector";
+    t.question = "Which sector sees the largest average trade?";
+    t.gold_sql = "SELECT sector, avg(notional) AS a FROM trades GROUP BY sector "
+                 "ORDER BY a DESC, sector ASC LIMIT 1";
+    t.relevant_tables = {"trades"};
+    t.relevant_columns = {"trades.sector", "trades.notional"};
+    t.difficulty = 2;
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+}  // namespace
+
+bool ResultsEquivalent(const ResultSet& a, const ResultSet& b) {
+  if (a.rows.size() != b.rows.size()) return false;
+  if (a.schema.NumColumns() != b.schema.NumColumns()) return false;
+  auto serialize = [](const ResultSet& rs) {
+    std::vector<std::string> rows;
+    rows.reserve(rs.rows.size());
+    for (const Row& r : rs.rows) {
+      std::string s;
+      for (const Value& v : r) {
+        if (v.type() == DataType::kFloat64) {
+          // Tolerant float rendering (9 significant digits).
+          char buf[48];
+          std::snprintf(buf, sizeof(buf), "%.9g", v.double_value());
+          s += buf;
+        } else {
+          s += v.ToString();
+        }
+        s += "\x1f";
+      }
+      rows.push_back(std::move(s));
+    }
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+  return serialize(a) == serialize(b);
+}
+
+std::vector<MiniBirdDatabase> GenerateMiniBird(const MiniBirdOptions& options) {
+  std::vector<MiniBirdDatabase> out;
+  Rng master(options.seed);
+  constexpr const char* kDomains[] = {"retail", "web", "flights", "healthcare",
+                                      "finance"};
+
+  for (size_t d = 0; d < options.num_databases; ++d) {
+    MiniBirdDatabase db;
+    db.domain = kDomains[d % std::size(kDomains)];
+    db.name = db.domain + "_" + std::to_string(d);
+    db.system = std::make_unique<AgentFirstSystem>(options.system_options);
+    Rng rng = master.Fork(d + 1);
+
+    if (db.domain == "retail") {
+      BuildRetail(db.system.get(), &rng, options.rows_per_fact_table,
+                  options.rows_per_dim_table);
+      db.tasks = RetailTasks(&rng);
+    } else if (db.domain == "web") {
+      BuildWeb(db.system.get(), &rng, options.rows_per_fact_table,
+               options.rows_per_dim_table);
+      db.tasks = WebTasks(&rng);
+    } else if (db.domain == "flights") {
+      BuildFlights(db.system.get(), &rng, options.rows_per_fact_table,
+                   options.rows_per_dim_table);
+      db.tasks = FlightsTasks(&rng);
+    } else if (db.domain == "healthcare") {
+      BuildHealthcare(db.system.get(), &rng, options.rows_per_fact_table,
+                      options.rows_per_dim_table);
+      db.tasks = HealthcareTasks(&rng);
+    } else {
+      BuildFinance(db.system.get(), &rng, options.rows_per_fact_table,
+                   options.rows_per_dim_table);
+      db.tasks = FinanceTasks(&rng);
+    }
+
+    // Compute gold answers.
+    for (TaskSpec& task : db.tasks) {
+      task.id = db.name + "/" + task.id;
+      auto gold = db.system->ExecuteSql(task.gold_sql);
+      AF_CHECK_MSG(gold.ok(), (task.id + ": " + gold.status().ToString()).c_str());
+      task.gold_answer = *gold;
+    }
+    out.push_back(std::move(db));
+  }
+  return out;
+}
+
+}  // namespace agentfirst

@@ -1,0 +1,66 @@
+#ifndef AGENTFIRST_WORKLOAD_MINIBIRD_H_
+#define AGENTFIRST_WORKLOAD_MINIBIRD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "exec/result_set.h"
+
+namespace agentfirst {
+
+/// One benchmark task: a natural-language question with a gold SQL query and
+/// its gold answer, plus the grounding an agent must discover to solve it.
+/// "MiniBird" is the offline stand-in for the BIRD text2SQL benchmark used
+/// by the paper's case studies (see DESIGN.md, substitutions).
+struct TaskSpec {
+  std::string id;
+  std::string question;
+  std::string gold_sql;
+  ResultSetPtr gold_answer;
+
+  /// Tables/columns the agent must know about to formulate the solution.
+  std::vector<std::string> relevant_tables;
+  std::vector<std::string> relevant_columns;  // "table.column"
+
+  /// Non-empty when the question uses a different value encoding than the
+  /// data (the paper's "CA" vs "California" trap). The text is the hint a
+  /// human expert (or the why-not sleeper agent) would give.
+  std::string encoding_note;
+  /// The literal as the question phrases it vs. as the data stores it.
+  std::string question_value;
+  std::string stored_value;
+  /// Column holding the tricky value, as "table.column".
+  std::string encoded_column;
+
+  int difficulty = 1;  // 1 (one table, clean) .. 4 (joins + tricky encoding)
+};
+
+/// One generated database plus its tasks.
+struct MiniBirdDatabase {
+  std::string name;
+  std::string domain;  // "retail", "web", "flights"
+  std::unique_ptr<AgentFirstSystem> system;
+  std::vector<TaskSpec> tasks;
+};
+
+struct MiniBirdOptions {
+  size_t num_databases = 6;
+  size_t rows_per_fact_table = 4000;
+  size_t rows_per_dim_table = 64;
+  uint64_t seed = 20260706;
+  AgentFirstSystem::Options system_options;
+};
+
+/// Generates the full benchmark suite: seeded, deterministic, offline.
+/// Every task's gold answer is computed by executing the gold SQL.
+std::vector<MiniBirdDatabase> GenerateMiniBird(const MiniBirdOptions& options);
+
+/// Multiset row equality between two results (order-insensitive), the
+/// correctness check used by the agent-in-charge / harness.
+bool ResultsEquivalent(const ResultSet& a, const ResultSet& b);
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_WORKLOAD_MINIBIRD_H_

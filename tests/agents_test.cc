@@ -1,0 +1,241 @@
+#include "agents/sim_agent.h"
+
+#include "agents/attempts.h"
+#include "agents/ensemble.h"
+#include "gtest/gtest.h"
+#include "plan/binder.h"
+#include "sql/parser.h"
+
+namespace agentfirst {
+namespace {
+
+MiniBirdOptions TinyOptions() {
+  MiniBirdOptions options;
+  options.num_databases = 3;
+  options.rows_per_fact_table = 300;
+  options.rows_per_dim_table = 16;
+  options.seed = 11;
+  return options;
+}
+
+class AgentsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { suite_ = GenerateMiniBird(TinyOptions()); }
+  std::vector<MiniBirdDatabase> suite_;
+};
+
+TEST_F(AgentsTest, EpisodeIsDeterministic) {
+  const TaskSpec& task = suite_[0].tasks[0];
+  EpisodeOptions options;
+  options.seed = 5;
+  EpisodeResult a = RunEpisode(suite_[0].system.get(), task,
+                               StrongAgentProfile(), options);
+  EpisodeResult b = RunEpisode(suite_[0].system.get(), task,
+                               StrongAgentProfile(), options);
+  EXPECT_EQ(a.solved, b.solved);
+  EXPECT_EQ(a.turns_used, b.turns_used);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].activity, b.trace[i].activity);
+  }
+}
+
+TEST_F(AgentsTest, SolvedEpisodeAnswerMatchesGold) {
+  // Find any solved episode across tasks/seeds; its answer must equal gold.
+  for (auto& db : suite_) {
+    for (const TaskSpec& task : db.tasks) {
+      for (uint64_t seed = 1; seed <= 4; ++seed) {
+        EpisodeOptions options;
+        options.seed = seed;
+        EpisodeResult r = RunEpisode(db.system.get(), task,
+                                     StrongAgentProfile(), options);
+        if (r.solved) {
+          ASSERT_NE(r.final_answer, nullptr);
+          EXPECT_TRUE(ResultsEquivalent(*r.final_answer, *task.gold_answer));
+          EXPECT_GT(r.solved_at_turn, 0);
+          return;
+        }
+      }
+    }
+  }
+  FAIL() << "no episode solved any task; agent model is miscalibrated";
+}
+
+TEST_F(AgentsTest, TraceFollowsPhaseOrderPerRequirement) {
+  // The first full-query attempt can only come after the grounding phases
+  // for tasks that require discovery.
+  const TaskSpec& task = suite_[0].tasks[0];  // retail revenue task (tricky)
+  EpisodeOptions options;
+  options.seed = 3;
+  options.use_steering = false;
+  EpisodeResult r = RunEpisode(suite_[0].system.get(), task,
+                               StrongAgentProfile(), options);
+  bool seen_full = false;
+  for (const TraceEvent& e : r.trace) {
+    if (e.activity == ActivityKind::kFullQuery) seen_full = true;
+    if (!seen_full && e.activity == ActivityKind::kExploreTables) {
+      // exploration precedes formulation: ok.
+    }
+  }
+  // The first event must be exploration (no hints given).
+  ASSERT_FALSE(r.trace.empty());
+  EXPECT_EQ(r.trace.front().activity, ActivityKind::kExploreTables);
+}
+
+TEST_F(AgentsTest, HintsReduceActivityCounts) {
+  double steps_without = 0;
+  double steps_with = 0;
+  int episodes = 0;
+  for (auto& db : suite_) {
+    for (const TaskSpec& task : db.tasks) {
+      for (uint64_t seed = 1; seed <= 3; ++seed) {
+        EpisodeOptions base;
+        base.seed = seed;
+        base.hint_strength = 0.9;
+        base.with_hints = false;
+        EpisodeResult no_hints = RunEpisode(db.system.get(), task,
+                                            StrongAgentProfile(), base);
+        base.with_hints = true;
+        EpisodeResult hints = RunEpisode(db.system.get(), task,
+                                         StrongAgentProfile(), base);
+        steps_without += static_cast<double>(no_hints.trace.size());
+        steps_with += static_cast<double>(hints.trace.size());
+        ++episodes;
+      }
+    }
+  }
+  ASSERT_GT(episodes, 0);
+  // Hints should cut average trace length noticeably (paper: -18% overall).
+  EXPECT_LT(steps_with, steps_without * 0.95);
+}
+
+TEST_F(AgentsTest, SteeringHelpsOnEncodingTasks) {
+  // On tasks with tricky encodings, enabling the steering side channel
+  // should solve at least as fast on average.
+  double turns_with = 0;
+  double turns_without = 0;
+  int n = 0;
+  for (auto& db : suite_) {
+    for (const TaskSpec& task : db.tasks) {
+      if (task.encoded_column.empty()) continue;
+      for (uint64_t seed = 1; seed <= 5; ++seed) {
+        EpisodeOptions options;
+        options.seed = seed;
+        options.use_steering = true;
+        turns_with += RunEpisode(db.system.get(), task, StrongAgentProfile(),
+                                 options).turns_used;
+        options.use_steering = false;
+        turns_without += RunEpisode(db.system.get(), task, StrongAgentProfile(),
+                                    options).turns_used;
+        ++n;
+      }
+    }
+  }
+  ASSERT_GT(n, 0);
+  EXPECT_LE(turns_with, turns_without);
+}
+
+TEST_F(AgentsTest, StrongBeatsWeakOnAverage) {
+  int strong_solved = 0;
+  int weak_solved = 0;
+  for (auto& db : suite_) {
+    for (const TaskSpec& task : db.tasks) {
+      for (uint64_t seed = 1; seed <= 3; ++seed) {
+        EpisodeOptions options;
+        options.seed = seed;
+        if (RunEpisode(db.system.get(), task, StrongAgentProfile(), options).solved) {
+          ++strong_solved;
+        }
+        if (RunEpisode(db.system.get(), task, WeakAgentProfile(), options).solved) {
+          ++weak_solved;
+        }
+      }
+    }
+  }
+  EXPECT_GT(strong_solved, weak_solved);
+}
+
+TEST_F(AgentsTest, EnsembleSuccessMonotonicInK) {
+  EpisodeOptions options;
+  options.seed = 21;
+  std::vector<size_t> ks = {1, 4, 16};
+  auto rates = SuccessAtK(&suite_, StrongAgentProfile(), ks, options);
+  ASSERT_EQ(rates.size(), 3u);
+  EXPECT_GE(rates[1], rates[0] - 0.1);  // allow small noise
+  EXPECT_GE(rates[2], rates[0]);        // k=16 must beat k=1
+  EXPECT_GT(rates[2], 0.0);
+}
+
+TEST_F(AgentsTest, SuccessByTurnIsNonDecreasing) {
+  EpisodeOptions options;
+  options.seed = 31;
+  auto curve = SuccessByTurn(&suite_, StrongAgentProfile(), options, 2);
+  ASSERT_FALSE(curve.empty());
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i], curve[i - 1]);
+  }
+  EXPECT_GT(curve.back(), curve.front());
+}
+
+// ---------------------------------------------------------------------------
+// Attempt generation / mutation
+// ---------------------------------------------------------------------------
+
+TEST_F(AgentsTest, MutatedSqlAlwaysParses) {
+  for (auto& db : suite_) {
+    for (const TaskSpec& task : db.tasks) {
+      for (uint64_t seed = 0; seed < 20; ++seed) {
+        std::string mutated = MutateSql(task.gold_sql, Rng(seed));
+        auto parsed = ParseSelect(mutated);
+        EXPECT_TRUE(parsed.ok()) << mutated;
+      }
+    }
+  }
+}
+
+TEST_F(AgentsTest, MutatedSqlUsuallyDiffers) {
+  const TaskSpec& task = suite_[0].tasks[0];
+  int different = 0;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    if (MutateSql(task.gold_sql, Rng(seed)) !=
+        ParseSelect(task.gold_sql).value()->ToString()) {
+      ++different;
+    }
+  }
+  EXPECT_GT(different, 15);
+}
+
+TEST_F(AgentsTest, GenerateAttemptsMixesGoldAndMutations) {
+  const TaskSpec& task = suite_[0].tasks[0];
+  auto attempts = GenerateAttempts(task, 50, /*skill=*/0.5, /*seed=*/3);
+  ASSERT_EQ(attempts.size(), 50u);
+  int gold = 0;
+  for (const auto& sql : attempts) {
+    if (sql == task.gold_sql) ++gold;
+  }
+  EXPECT_GT(gold, 10);
+  EXPECT_LT(gold, 40);
+}
+
+TEST_F(AgentsTest, AttemptsBindAgainstTheirDatabase) {
+  // Mutations must stay bindable (same tables/columns).
+  auto& db = suite_[0];
+  const TaskSpec& task = db.tasks[0];
+  auto attempts = GenerateAttempts(task, 30, 0.5, 5);
+  Binder binder(db.system->catalog());
+  int bound = 0;
+  for (const auto& sql : attempts) {
+    auto parsed = ParseSelect(sql);
+    ASSERT_TRUE(parsed.ok()) << sql;
+    if (binder.BindSelect(**parsed).ok()) ++bound;
+  }
+  EXPECT_EQ(bound, 30);
+}
+
+TEST(ActivityTest, Names) {
+  EXPECT_STREQ(ActivityName(ActivityKind::kExploreTables), "exploring tables");
+  EXPECT_STREQ(ActivityName(ActivityKind::kFullQuery), "attempting entire query");
+}
+
+}  // namespace
+}  // namespace agentfirst

@@ -1,0 +1,155 @@
+#include "opt/aqp.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "opt/rules.h"
+#include "plan/binder.h"
+#include "sql/parser.h"
+
+namespace agentfirst {
+namespace {
+
+/// Fixture with a large-ish table so sampling is statistically meaningful.
+class AqpTest : public ::testing::Test {
+ protected:
+  static constexpr int kRows = 20000;
+
+  void SetUp() override {
+    Schema schema({ColumnDef("id", DataType::kInt64, false, "big"),
+                   ColumnDef("v", DataType::kFloat64, false, "big"),
+                   ColumnDef("grp", DataType::kString, false, "big")});
+    auto t = catalog_.CreateTable("big", schema);
+    ASSERT_TRUE(t.ok());
+    for (int i = 0; i < kRows; ++i) {
+      ASSERT_TRUE((*t)->AppendRow({Value::Int(i), Value::Double(i % 100),
+                                   Value::String("g" + std::to_string(i % 4))})
+                      .ok());
+    }
+  }
+
+  PlanPtr Bind(const std::string& sql) {
+    auto select = ParseSelect(sql);
+    EXPECT_TRUE(select.ok());
+    Binder binder(&catalog_);
+    auto plan = binder.BindSelect(**select);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return plan.ok() ? OptimizePlan(*plan) : nullptr;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(AqpTest, ExactExecutionHasZeroWidthBounds) {
+  auto plan = Bind("SELECT count(*) FROM big");
+  auto answer = ExecuteApproximate(*plan, 1.0);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_FALSE(answer->result->approximate);
+  EXPECT_EQ(answer->result->rows[0][0].int_value(), kRows);
+  ASSERT_EQ(answer->relative_ci95.size(), 1u);
+  EXPECT_DOUBLE_EQ(answer->relative_ci95[0].value(), 0.0);
+}
+
+TEST_F(AqpTest, ScaledCountIsCloseAtModerateRates) {
+  auto plan = Bind("SELECT count(*) FROM big");
+  auto answer = ExecuteApproximate(*plan, 0.1);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer->result->approximate);
+  double est = answer->result->rows[0][0].AsDouble();
+  EXPECT_NEAR(est, kRows, kRows * 0.1);
+  ASSERT_TRUE(answer->relative_ci95[0].has_value());
+  EXPECT_GT(*answer->relative_ci95[0], 0.0);
+  EXPECT_LT(*answer->relative_ci95[0], 0.2);
+}
+
+TEST_F(AqpTest, ScaledSumIsClose) {
+  auto plan = Bind("SELECT sum(v), count(*) FROM big");
+  auto answer = ExecuteApproximate(*plan, 0.2);
+  ASSERT_TRUE(answer.ok());
+  double exact_sum = 0;
+  for (int i = 0; i < kRows; ++i) exact_sum += i % 100;
+  EXPECT_NEAR(answer->result->rows[0][0].AsDouble(), exact_sum, exact_sum * 0.1);
+  // SUM bound derived from the sibling COUNT.
+  EXPECT_TRUE(answer->relative_ci95[0].has_value());
+}
+
+TEST_F(AqpTest, AvgIsUnscaledButAccurate) {
+  auto plan = Bind("SELECT avg(v) FROM big");
+  auto answer = ExecuteApproximate(*plan, 0.1);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_NEAR(answer->result->rows[0][0].double_value(), 49.5, 3.0);
+}
+
+TEST_F(AqpTest, GroupedCountsScalePerGroup) {
+  auto plan = Bind("SELECT grp, count(*) FROM big GROUP BY grp");
+  auto answer = ExecuteApproximate(*plan, 0.2);
+  ASSERT_TRUE(answer.ok());
+  ASSERT_EQ(answer->result->rows.size(), 4u);
+  for (const Row& r : answer->result->rows) {
+    EXPECT_NEAR(r[1].AsDouble(), kRows / 4.0, kRows / 4.0 * 0.2);
+  }
+  // CI bound present for the count column.
+  EXPECT_TRUE(answer->relative_ci95[1].has_value());
+}
+
+TEST_F(AqpTest, CiShrinksWithSampleRate) {
+  auto plan = Bind("SELECT count(*) FROM big");
+  auto low = ExecuteApproximate(*plan, 0.02);
+  auto high = ExecuteApproximate(*plan, 0.5);
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(high.ok());
+  ASSERT_TRUE(low->relative_ci95[0].has_value());
+  ASSERT_TRUE(high->relative_ci95[0].has_value());
+  EXPECT_GT(*low->relative_ci95[0], *high->relative_ci95[0]);
+}
+
+TEST_F(AqpTest, CoverageProperty) {
+  // Across many seeds, the 95% CI should cover the true count most of the
+  // time (allow slack: this is a CLT approximation).
+  auto plan = Bind("SELECT count(*) FROM big");
+  int covered = 0;
+  const int trials = 40;
+  for (int s = 0; s < trials; ++s) {
+    ExecOptions base;
+    base.sample_seed = 1000 + static_cast<uint64_t>(s);
+    auto answer = ExecuteApproximate(*plan, 0.05, base);
+    ASSERT_TRUE(answer.ok());
+    double est = answer->result->rows[0][0].AsDouble();
+    double rel = answer->relative_ci95[0].value_or(0.0);
+    if (std::fabs(est - kRows) <= rel * est + 1e-9) ++covered;
+  }
+  EXPECT_GE(covered, trials * 80 / 100);
+}
+
+TEST_F(AqpTest, DistinctAggregateGetsNoBound) {
+  auto plan = Bind("SELECT count(DISTINCT grp) FROM big");
+  auto answer = ExecuteApproximate(*plan, 0.3);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_FALSE(answer->relative_ci95[0].has_value());
+}
+
+TEST_F(AqpTest, NonAggregateQueryGetsNoBounds) {
+  auto plan = Bind("SELECT id FROM big LIMIT 5");
+  auto answer = ExecuteApproximate(*plan, 0.5);
+  ASSERT_TRUE(answer.ok());
+  for (const auto& ci : answer->relative_ci95) {
+    EXPECT_FALSE(ci.has_value());
+  }
+}
+
+TEST(ChooseSampleRateTest, InvertsTheBound) {
+  // Large table + loose target -> small rate; tight target -> rate ~ 1.
+  double loose = ChooseSampleRate(1e6, 0.1);
+  double tight = ChooseSampleRate(1e6, 0.001);
+  EXPECT_LT(loose, 0.01);
+  EXPECT_GT(tight, 0.5);
+  EXPECT_LE(tight, 1.0);
+  // Degenerate inputs.
+  EXPECT_DOUBLE_EQ(ChooseSampleRate(0, 0.1), 1.0);
+  EXPECT_DOUBLE_EQ(ChooseSampleRate(100, 0), 1.0);
+  // Respects the floor.
+  EXPECT_GE(ChooseSampleRate(1e12, 0.5, 0.001), 0.001);
+}
+
+}  // namespace
+}  // namespace agentfirst

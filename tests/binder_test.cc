@@ -1,0 +1,281 @@
+#include "plan/binder.h"
+
+#include "gtest/gtest.h"
+#include "plan/fingerprint.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace agentfirst {
+namespace {
+
+using testing_util::PeopleDbTest;
+
+class BinderTest : public PeopleDbTest {
+ protected:
+  PlanPtr Bind(const std::string& sql) {
+    auto select = ParseSelect(sql);
+    EXPECT_TRUE(select.ok()) << select.status().ToString();
+    if (!select.ok()) return nullptr;
+    Binder binder(&catalog_);
+    auto plan = binder.BindSelect(**select);
+    EXPECT_TRUE(plan.ok()) << sql << " -> " << plan.status().ToString();
+    return plan.ok() ? *plan : nullptr;
+  }
+
+  Status BindError(const std::string& sql) {
+    auto select = ParseSelect(sql);
+    if (!select.ok()) return select.status();
+    Binder binder(&catalog_);
+    auto plan = binder.BindSelect(**select);
+    return plan.ok() ? Status::OK() : plan.status();
+  }
+};
+
+TEST_F(BinderTest, SimpleProjectScan) {
+  PlanPtr plan = Bind("SELECT name, age FROM people");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->kind, PlanKind::kProject);
+  ASSERT_EQ(plan->children.size(), 1u);
+  EXPECT_EQ(plan->children[0]->kind, PlanKind::kScan);
+  ASSERT_EQ(plan->output_schema.NumColumns(), 2u);
+  EXPECT_EQ(plan->output_schema.column(0).name, "name");
+  EXPECT_EQ(plan->output_schema.column(0).type, DataType::kString);
+  EXPECT_EQ(plan->output_schema.column(1).type, DataType::kInt64);
+}
+
+TEST_F(BinderTest, StarExpansion) {
+  PlanPtr plan = Bind("SELECT * FROM people");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->output_schema.NumColumns(), 4u);
+}
+
+TEST_F(BinderTest, QualifiedStarExpansion) {
+  PlanPtr plan = Bind("SELECT p.* FROM people p JOIN orders o ON p.id = o.person_id");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->output_schema.NumColumns(), 4u);  // only people's columns
+}
+
+TEST_F(BinderTest, WhereBecomesFilter) {
+  PlanPtr plan = Bind("SELECT name FROM people WHERE age > 30");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->children[0]->kind, PlanKind::kFilter);
+  EXPECT_EQ(plan->children[0]->children[0]->kind, PlanKind::kScan);
+}
+
+TEST_F(BinderTest, UnknownColumnRejected) {
+  Status s = BindError("SELECT nope FROM people");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST_F(BinderTest, UnknownTableRejected) {
+  Status s = BindError("SELECT x FROM nonexistent");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST_F(BinderTest, AmbiguousColumnRejected) {
+  // Both people and a self-join alias have "id".
+  Status s = BindError("SELECT id FROM people p1 JOIN people p2 ON p1.id = p2.id");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(BinderTest, EquiJoinExtractsKeys) {
+  PlanPtr plan = Bind(
+      "SELECT name, amount FROM people JOIN orders ON people.id = orders.person_id");
+  ASSERT_NE(plan, nullptr);
+  const PlanNode* join = plan->children[0].get();
+  ASSERT_EQ(join->kind, PlanKind::kHashJoin);
+  ASSERT_EQ(join->join_keys.size(), 1u);
+  EXPECT_EQ(join->join_keys[0].first->column_index, 0u);   // people.id
+  EXPECT_EQ(join->join_keys[0].second->column_index, 1u);  // orders.person_id
+  EXPECT_EQ(join->predicate, nullptr);
+}
+
+TEST_F(BinderTest, MixedJoinConditionKeepsResidual) {
+  PlanPtr plan = Bind(
+      "SELECT name FROM people JOIN orders ON people.id = orders.person_id "
+      "AND people.age > orders.amount");
+  ASSERT_NE(plan, nullptr);
+  const PlanNode* join = plan->children[0].get();
+  ASSERT_EQ(join->kind, PlanKind::kHashJoin);
+  EXPECT_EQ(join->join_keys.size(), 1u);
+  EXPECT_NE(join->predicate, nullptr);
+}
+
+TEST_F(BinderTest, NonEquiJoinIsNestedLoop) {
+  PlanPtr plan = Bind("SELECT name FROM people JOIN orders ON people.age > orders.amount");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->children[0]->kind, PlanKind::kNestedLoopJoin);
+}
+
+TEST_F(BinderTest, AggregateGlobal) {
+  PlanPtr plan = Bind("SELECT count(*), sum(age) FROM people");
+  ASSERT_NE(plan, nullptr);
+  const PlanNode* agg = plan->children[0].get();
+  ASSERT_EQ(agg->kind, PlanKind::kAggregate);
+  EXPECT_TRUE(agg->group_by.empty());
+  ASSERT_EQ(agg->aggregates.size(), 2u);
+  EXPECT_EQ(agg->aggregates[0].func, AggFunc::kCount);
+  EXPECT_EQ(agg->aggregates[1].func, AggFunc::kSum);
+  EXPECT_EQ(agg->aggregates[1].output_type, DataType::kInt64);
+}
+
+TEST_F(BinderTest, AggregateDedupesIdenticalCalls) {
+  PlanPtr plan = Bind("SELECT count(*), count(*) + 1 FROM people");
+  ASSERT_NE(plan, nullptr);
+  const PlanNode* agg = plan->children[0].get();
+  ASSERT_EQ(agg->kind, PlanKind::kAggregate);
+  EXPECT_EQ(agg->aggregates.size(), 1u);
+}
+
+TEST_F(BinderTest, GroupByWithExpressionOverKeys) {
+  PlanPtr plan = Bind("SELECT city, count(*) FROM people GROUP BY city");
+  ASSERT_NE(plan, nullptr);
+  const PlanNode* agg = plan->children[0].get();
+  ASSERT_EQ(agg->kind, PlanKind::kAggregate);
+  EXPECT_EQ(agg->group_by.size(), 1u);
+}
+
+TEST_F(BinderTest, NonGroupedColumnRejected) {
+  Status s = BindError("SELECT name, count(*) FROM people GROUP BY city");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(BinderTest, AggregateInWhereRejected) {
+  Status s = BindError("SELECT name FROM people WHERE count(*) > 1");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(BinderTest, NestedAggregateRejected) {
+  Status s = BindError("SELECT sum(count(*)) FROM people");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(BinderTest, HavingBindsOverAggregates) {
+  PlanPtr plan = Bind(
+      "SELECT city, count(*) AS n FROM people GROUP BY city HAVING count(*) > 1");
+  ASSERT_NE(plan, nullptr);
+  // Project <- Filter(HAVING) <- Aggregate.
+  ASSERT_EQ(plan->kind, PlanKind::kProject);
+  EXPECT_EQ(plan->children[0]->kind, PlanKind::kFilter);
+  EXPECT_EQ(plan->children[0]->children[0]->kind, PlanKind::kAggregate);
+}
+
+TEST_F(BinderTest, DistinctBecomesGroupingAggregate) {
+  PlanPtr plan = Bind("SELECT DISTINCT city FROM people");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->kind, PlanKind::kAggregate);
+  EXPECT_EQ(plan->group_by.size(), 1u);
+  EXPECT_TRUE(plan->aggregates.empty());
+}
+
+TEST_F(BinderTest, OrderByAliasOrdinalAndAggText) {
+  PlanPtr p1 = Bind("SELECT name AS n FROM people ORDER BY n");
+  ASSERT_NE(p1, nullptr);
+  EXPECT_EQ(p1->kind, PlanKind::kSort);
+  PlanPtr p2 = Bind("SELECT name FROM people ORDER BY 1");
+  ASSERT_NE(p2, nullptr);
+  EXPECT_EQ(p2->kind, PlanKind::kSort);
+  PlanPtr p3 = Bind("SELECT city, count(*) FROM people GROUP BY city ORDER BY count(*)");
+  ASSERT_NE(p3, nullptr);
+  EXPECT_EQ(p3->kind, PlanKind::kSort);
+  EXPECT_FALSE(BindError("SELECT name FROM people ORDER BY 5").ok());
+}
+
+TEST_F(BinderTest, LimitNode) {
+  PlanPtr plan = Bind("SELECT name FROM people LIMIT 2 OFFSET 1");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->kind, PlanKind::kLimit);
+  EXPECT_EQ(plan->limit, 2);
+  EXPECT_EQ(plan->offset, 1);
+}
+
+TEST_F(BinderTest, DerivedTableQualifier) {
+  PlanPtr plan = Bind("SELECT s.name FROM (SELECT name FROM people) AS s");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->output_schema.column(0).name, "name");
+}
+
+TEST_F(BinderTest, InfoSchemaBindable) {
+  PlanPtr plan = Bind("SELECT table_name FROM information_schema.tables");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->output_schema.column(0).type, DataType::kString);
+}
+
+TEST_F(BinderTest, TypeMismatchComparisonRejected) {
+  Status s = BindError("SELECT name FROM people WHERE name > 5");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(BinderTest, ArithmeticOnStringsRejected) {
+  Status s = BindError("SELECT name + 1 FROM people");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(BinderTest, UnknownFunctionRejected) {
+  Status s = BindError("SELECT frobnicate(name) FROM people");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST_F(BinderTest, ScalarFunctionTypes) {
+  PlanPtr plan = Bind(
+      "SELECT abs(age), lower(name), length(city), age / 2 FROM people");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->output_schema.column(0).type, DataType::kInt64);
+  EXPECT_EQ(plan->output_schema.column(1).type, DataType::kString);
+  EXPECT_EQ(plan->output_schema.column(2).type, DataType::kInt64);
+  EXPECT_EQ(plan->output_schema.column(3).type, DataType::kFloat64);
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprints
+// ---------------------------------------------------------------------------
+
+TEST_F(BinderTest, IdenticalPlansShareFingerprint) {
+  PlanPtr a = Bind("SELECT name FROM people WHERE age > 30");
+  PlanPtr b = Bind("SELECT name FROM people WHERE age > 30");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(PlanFingerprint(*a), PlanFingerprint(*b));
+  EXPECT_EQ(CanonicalPlanFingerprint(*a), CanonicalPlanFingerprint(*b));
+}
+
+TEST_F(BinderTest, DifferentLiteralsDifferentFingerprint) {
+  PlanPtr a = Bind("SELECT name FROM people WHERE age > 30");
+  PlanPtr b = Bind("SELECT name FROM people WHERE age > 31");
+  EXPECT_NE(PlanFingerprint(*a), PlanFingerprint(*b));
+}
+
+TEST_F(BinderTest, CanonicalFingerprintNormalizesConjunctOrder) {
+  PlanPtr a = Bind("SELECT name FROM people WHERE age > 30 AND city = 'berkeley'");
+  PlanPtr b = Bind("SELECT name FROM people WHERE city = 'berkeley' AND age > 30");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(PlanFingerprint(*a), PlanFingerprint(*b));
+  EXPECT_EQ(CanonicalPlanFingerprint(*a), CanonicalPlanFingerprint(*b));
+}
+
+TEST_F(BinderTest, FingerprintChangesWithData) {
+  PlanPtr a = Bind("SELECT count(*) FROM people");
+  uint64_t before = PlanFingerprint(*a);
+  Run("INSERT INTO people VALUES (6,'frank',50,'oakland')");
+  PlanPtr b = Bind("SELECT count(*) FROM people");
+  EXPECT_NE(before, PlanFingerprint(*b));
+}
+
+TEST_F(BinderTest, SubplanEnumerationSizesAndClasses) {
+  PlanPtr plan = Bind(
+      "SELECT city, count(*) FROM people WHERE age > 20 GROUP BY city");
+  ASSERT_NE(plan, nullptr);
+  auto subplans = EnumerateSubplans(*plan);
+  // Project <- Aggregate <- Filter <- Scan = 4 nodes.
+  ASSERT_EQ(subplans.size(), 4u);
+  EXPECT_EQ(subplans[0].size, 4u);
+  EXPECT_EQ(subplans[0].root_class, OpClass::PR);
+  EXPECT_EQ(subplans[1].root_class, OpClass::UA);
+  EXPECT_EQ(subplans[2].root_class, OpClass::FI);
+  EXPECT_EQ(subplans[3].root_class, OpClass::TS);
+  EXPECT_EQ(subplans[3].size, 1u);
+}
+
+}  // namespace
+}  // namespace agentfirst

@@ -1,0 +1,266 @@
+#include "txn/branch_manager.h"
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "txn/naive_branch.h"
+
+namespace agentfirst {
+namespace {
+
+Schema AccountSchema() {
+  return Schema({ColumnDef("id", DataType::kInt64, false, "accounts"),
+                 ColumnDef("balance", DataType::kInt64, true, "accounts"),
+                 ColumnDef("owner", DataType::kString, true, "accounts")});
+}
+
+class BranchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = std::make_unique<Table>("accounts", AccountSchema(), /*segment_capacity=*/4);
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(table_->AppendRow({Value::Int(i), Value::Int(100),
+                                     Value::String("owner" + std::to_string(i))})
+                      .ok());
+    }
+    ASSERT_TRUE(manager_.ImportTable(*table_).ok());
+  }
+
+  std::unique_ptr<Table> table_;
+  BranchManager manager_;
+};
+
+TEST_F(BranchTest, ForkSharesAllSegments) {
+  size_t before = manager_.DistinctLiveSegments();
+  auto branch = manager_.Fork(BranchManager::kMainBranch);
+  ASSERT_TRUE(branch.ok());
+  EXPECT_EQ(manager_.DistinctLiveSegments(), before);  // nothing copied
+  EXPECT_GT(manager_.LogicalSegmentRefs(), before);
+}
+
+TEST_F(BranchTest, WritesAreIsolatedBetweenBranches) {
+  auto b1 = *manager_.Fork(BranchManager::kMainBranch);
+  auto b2 = *manager_.Fork(BranchManager::kMainBranch);
+  ASSERT_TRUE(manager_.Write(b1, "accounts", 0, 1, Value::Int(500)).ok());
+  EXPECT_EQ(manager_.Read(b1, "accounts", 0, 1)->int_value(), 500);
+  EXPECT_EQ(manager_.Read(b2, "accounts", 0, 1)->int_value(), 100);
+  EXPECT_EQ(manager_.Read(BranchManager::kMainBranch, "accounts", 0, 1)->int_value(),
+            100);
+}
+
+TEST_F(BranchTest, CowClonesOnlyTouchedSegment) {
+  auto b = *manager_.Fork(BranchManager::kMainBranch);
+  uint64_t cloned_before = manager_.stats().segments_cloned;
+  ASSERT_TRUE(manager_.Write(b, "accounts", 0, 1, Value::Int(1)).ok());
+  ASSERT_TRUE(manager_.Write(b, "accounts", 1, 1, Value::Int(2)).ok());  // same segment
+  EXPECT_EQ(manager_.stats().segments_cloned, cloned_before + 1);
+  ASSERT_TRUE(manager_.Write(b, "accounts", 9, 1, Value::Int(3)).ok());  // other segment
+  EXPECT_EQ(manager_.stats().segments_cloned, cloned_before + 2);
+}
+
+TEST_F(BranchTest, RollbackDropsBranch) {
+  auto b = *manager_.Fork(BranchManager::kMainBranch);
+  ASSERT_TRUE(manager_.Write(b, "accounts", 0, 1, Value::Int(999)).ok());
+  ASSERT_TRUE(manager_.Rollback(b).ok());
+  EXPECT_FALSE(manager_.HasBranch(b));
+  EXPECT_EQ(manager_.Read(BranchManager::kMainBranch, "accounts", 0, 1)->int_value(),
+            100);
+  EXPECT_FALSE(manager_.Rollback(b).ok());
+}
+
+TEST_F(BranchTest, MainBranchCannotRollback) {
+  EXPECT_FALSE(manager_.Rollback(BranchManager::kMainBranch).ok());
+}
+
+TEST_F(BranchTest, AppendVisibleOnlyInBranch) {
+  auto b = *manager_.Fork(BranchManager::kMainBranch);
+  ASSERT_TRUE(manager_.Append(b, "accounts",
+                              {Value::Int(100), Value::Int(7), Value::String("new")})
+                  .ok());
+  EXPECT_EQ(*manager_.NumRows(b, "accounts"), 11u);
+  EXPECT_EQ(*manager_.NumRows(BranchManager::kMainBranch, "accounts"), 10u);
+}
+
+TEST_F(BranchTest, AppendToPartiallyFilledSharedSegmentIsCow) {
+  // 10 rows with capacity 4: last segment has 2 rows and is shared.
+  auto b = *manager_.Fork(BranchManager::kMainBranch);
+  ASSERT_TRUE(manager_.Append(b, "accounts",
+                              {Value::Int(100), Value::Int(7), Value::String("new")})
+                  .ok());
+  // Main's last segment must still have 2 rows.
+  EXPECT_EQ(*manager_.NumRows(BranchManager::kMainBranch, "accounts"), 10u);
+  EXPECT_EQ(manager_.Read(b, "accounts", 10, 0)->int_value(), 100);
+}
+
+TEST_F(BranchTest, NestedForks) {
+  auto b1 = *manager_.Fork(BranchManager::kMainBranch);
+  ASSERT_TRUE(manager_.Write(b1, "accounts", 0, 1, Value::Int(200)).ok());
+  auto b2 = *manager_.Fork(b1);
+  EXPECT_EQ(manager_.Read(b2, "accounts", 0, 1)->int_value(), 200);
+  ASSERT_TRUE(manager_.Write(b2, "accounts", 0, 1, Value::Int(300)).ok());
+  EXPECT_EQ(manager_.Read(b1, "accounts", 0, 1)->int_value(), 200);
+  EXPECT_EQ(manager_.Read(b2, "accounts", 0, 1)->int_value(), 300);
+}
+
+TEST_F(BranchTest, MergeAppliesNonConflictingWrites) {
+  auto b = *manager_.Fork(BranchManager::kMainBranch);
+  ASSERT_TRUE(manager_.Write(b, "accounts", 2, 1, Value::Int(777)).ok());
+  auto report = manager_.Merge(b, BranchManager::kMainBranch,
+                               MergePolicy::kFailOnConflict);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->committed);
+  EXPECT_EQ(report->cells_applied, 1u);
+  EXPECT_TRUE(report->conflicts.empty());
+  EXPECT_EQ(manager_.Read(BranchManager::kMainBranch, "accounts", 2, 1)->int_value(),
+            777);
+}
+
+TEST_F(BranchTest, MergeAppendsNewRows) {
+  auto b = *manager_.Fork(BranchManager::kMainBranch);
+  ASSERT_TRUE(manager_.Append(b, "accounts",
+                              {Value::Int(50), Value::Int(1), Value::String("x")})
+                  .ok());
+  auto report = manager_.Merge(b, BranchManager::kMainBranch,
+                               MergePolicy::kFailOnConflict);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rows_appended, 1u);
+  EXPECT_EQ(*manager_.NumRows(BranchManager::kMainBranch, "accounts"), 11u);
+}
+
+TEST_F(BranchTest, MergeDetectsConflicts) {
+  auto b1 = *manager_.Fork(BranchManager::kMainBranch);
+  auto b2 = *manager_.Fork(BranchManager::kMainBranch);
+  ASSERT_TRUE(manager_.Write(b1, "accounts", 3, 1, Value::Int(111)).ok());
+  ASSERT_TRUE(manager_.Write(b2, "accounts", 3, 1, Value::Int(222)).ok());
+  // Merge b1 into main; then b2 into main conflicts on row 3.
+  ASSERT_TRUE(manager_.Merge(b1, BranchManager::kMainBranch,
+                             MergePolicy::kFailOnConflict)->committed);
+  auto report = manager_.Merge(b2, BranchManager::kMainBranch,
+                               MergePolicy::kFailOnConflict);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->committed);
+  ASSERT_EQ(report->conflicts.size(), 1u);
+  EXPECT_EQ(report->conflicts[0].row, 3u);
+  EXPECT_EQ(report->conflicts[0].col, 1u);
+  EXPECT_EQ(report->conflicts[0].source.int_value(), 222);
+  EXPECT_EQ(report->conflicts[0].destination.int_value(), 111);
+  // Destination untouched on failed merge.
+  EXPECT_EQ(manager_.Read(BranchManager::kMainBranch, "accounts", 3, 1)->int_value(),
+            111);
+}
+
+TEST_F(BranchTest, MergeSourceWinsPolicy) {
+  auto b1 = *manager_.Fork(BranchManager::kMainBranch);
+  auto b2 = *manager_.Fork(BranchManager::kMainBranch);
+  ASSERT_TRUE(manager_.Write(b1, "accounts", 3, 1, Value::Int(111)).ok());
+  ASSERT_TRUE(manager_.Write(b2, "accounts", 3, 1, Value::Int(222)).ok());
+  ASSERT_TRUE(manager_.Merge(b1, BranchManager::kMainBranch,
+                             MergePolicy::kFailOnConflict)->committed);
+  auto report = manager_.Merge(b2, BranchManager::kMainBranch,
+                               MergePolicy::kSourceWins);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->committed);
+  EXPECT_EQ(manager_.Read(BranchManager::kMainBranch, "accounts", 3, 1)->int_value(),
+            222);
+}
+
+TEST_F(BranchTest, MergeDestinationWinsPolicy) {
+  auto b1 = *manager_.Fork(BranchManager::kMainBranch);
+  auto b2 = *manager_.Fork(BranchManager::kMainBranch);
+  ASSERT_TRUE(manager_.Write(b1, "accounts", 3, 1, Value::Int(111)).ok());
+  ASSERT_TRUE(manager_.Write(b2, "accounts", 3, 1, Value::Int(222)).ok());
+  ASSERT_TRUE(manager_.Merge(b1, BranchManager::kMainBranch,
+                             MergePolicy::kFailOnConflict)->committed);
+  auto report = manager_.Merge(b2, BranchManager::kMainBranch,
+                               MergePolicy::kDestinationWins);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->committed);
+  EXPECT_EQ(manager_.Read(BranchManager::kMainBranch, "accounts", 3, 1)->int_value(),
+            111);
+}
+
+TEST_F(BranchTest, BranchToBranchMerge) {
+  // The paper: forks must reconcile with each other, not just the mainline.
+  auto b1 = *manager_.Fork(BranchManager::kMainBranch);
+  auto b2 = *manager_.Fork(BranchManager::kMainBranch);
+  ASSERT_TRUE(manager_.Write(b1, "accounts", 1, 1, Value::Int(11)).ok());
+  ASSERT_TRUE(manager_.Write(b2, "accounts", 2, 1, Value::Int(22)).ok());
+  auto report = manager_.Merge(b1, b2, MergePolicy::kFailOnConflict);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->committed);
+  EXPECT_EQ(manager_.Read(b2, "accounts", 1, 1)->int_value(), 11);
+  EXPECT_EQ(manager_.Read(b2, "accounts", 2, 1)->int_value(), 22);
+}
+
+TEST_F(BranchTest, MergeIntoSelfRejected) {
+  EXPECT_FALSE(manager_.Merge(BranchManager::kMainBranch,
+                              BranchManager::kMainBranch,
+                              MergePolicy::kFailOnConflict).ok());
+}
+
+TEST_F(BranchTest, MaterializeTableSharesSegments) {
+  auto b = *manager_.Fork(BranchManager::kMainBranch);
+  ASSERT_TRUE(manager_.Write(b, "accounts", 0, 1, Value::Int(5)).ok());
+  auto view = manager_.MaterializeTable(b, "accounts");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ((*view)->NumRows(), 10u);
+  EXPECT_EQ((*view)->GetValue(0, 1)->int_value(), 5);
+}
+
+// Property test: random interleaved writes across branches always stay
+// isolated, and COW storage matches a naive reference implementation.
+class BranchFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BranchFuzzTest, CowMatchesNaiveReference) {
+  Table table("t", Schema({ColumnDef("a", DataType::kInt64, true, "t")}),
+              /*segment_capacity=*/8);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(table.AppendRow({Value::Int(i)}).ok());
+  }
+  BranchManager cow;
+  NaiveBranchManager naive;
+  ASSERT_TRUE(cow.ImportTable(table).ok());
+  ASSERT_TRUE(naive.ImportTable(table).ok());
+
+  Rng rng(GetParam());
+  std::vector<uint64_t> cow_branches = {BranchManager::kMainBranch};
+  std::vector<uint64_t> naive_branches = {NaiveBranchManager::kMainBranch};
+
+  for (int step = 0; step < 200; ++step) {
+    double action = rng.NextDouble();
+    size_t which = rng.NextUint(cow_branches.size());
+    if (action < 0.2 && cow_branches.size() < 12) {
+      auto cb = cow.Fork(cow_branches[which]);
+      auto nb = naive.Fork(naive_branches[which]);
+      ASSERT_TRUE(cb.ok());
+      ASSERT_TRUE(nb.ok());
+      cow_branches.push_back(*cb);
+      naive_branches.push_back(*nb);
+    } else if (action < 0.3 && cow_branches.size() > 1 && which != 0) {
+      ASSERT_TRUE(cow.Rollback(cow_branches[which]).ok());
+      ASSERT_TRUE(naive.Rollback(naive_branches[which]).ok());
+      cow_branches.erase(cow_branches.begin() + static_cast<long>(which));
+      naive_branches.erase(naive_branches.begin() + static_cast<long>(which));
+    } else {
+      size_t row = rng.NextUint(64);
+      int64_t value = rng.NextInt(0, 1000);
+      ASSERT_TRUE(cow.Write(cow_branches[which], "t", row, 0, Value::Int(value)).ok());
+      ASSERT_TRUE(naive.Write(naive_branches[which], "t", row, 0, Value::Int(value)).ok());
+    }
+  }
+  // Full-state comparison across all live branches.
+  for (size_t b = 0; b < cow_branches.size(); ++b) {
+    for (size_t row = 0; row < 64; ++row) {
+      auto cv = cow.Read(cow_branches[b], "t", row, 0);
+      auto nv = naive.Read(naive_branches[b], "t", row, 0);
+      ASSERT_TRUE(cv.ok());
+      ASSERT_TRUE(nv.ok());
+      EXPECT_TRUE(cv->Equals(*nv)) << "branch " << b << " row " << row;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BranchFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 11, 42, 99));
+
+}  // namespace
+}  // namespace agentfirst

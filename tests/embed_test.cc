@@ -1,0 +1,163 @@
+#include "embed/embedding.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "embed/vector_index.h"
+#include "gtest/gtest.h"
+
+namespace agentfirst {
+namespace {
+
+TEST(EmbeddingTest, Deterministic) {
+  EXPECT_EQ(EmbedText("coffee beans"), EmbedText("coffee beans"));
+}
+
+TEST(EmbeddingTest, CaseInsensitive) {
+  EXPECT_EQ(EmbedText("Coffee Beans"), EmbedText("coffee beans"));
+}
+
+TEST(EmbeddingTest, Normalized) {
+  Embedding e = EmbedText("hello world");
+  double norm = 0;
+  for (float v : e) norm += static_cast<double>(v) * v;
+  EXPECT_NEAR(norm, 1.0, 1e-5);
+}
+
+TEST(EmbeddingTest, EmptyTextIsZeroVector) {
+  Embedding e = EmbedText("");
+  for (float v : e) EXPECT_EQ(v, 0.0f);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(e, EmbedText("x")), 0.0);
+}
+
+TEST(EmbeddingTest, SimilarStringsScoreHigher) {
+  Embedding coffee = EmbedText("coffee beans");
+  EXPECT_GT(CosineSimilarity(coffee, EmbedText("coffee")),
+            CosineSimilarity(coffee, EmbedText("flight crew")));
+  EXPECT_GT(CosineSimilarity(EmbedText("sales_by_state"), EmbedText("sales state")),
+            CosineSimilarity(EmbedText("sales_by_state"), EmbedText("user posts")));
+}
+
+TEST(EmbeddingTest, IdentifierDecomposition) {
+  // Underscore-separated identifiers share word features with phrases.
+  double sim = CosineSimilarity(EmbedText("store_id"), EmbedText("store"));
+  EXPECT_GT(sim, 0.3);
+}
+
+TEST(EmbeddingTest, SelfSimilarityIsOne) {
+  Embedding e = EmbedText("anything at all");
+  EXPECT_NEAR(CosineSimilarity(e, e), 1.0, 1e-9);
+}
+
+TEST(CosineTest, MismatchedSizesReturnZero) {
+  Embedding a(4, 1.0f);
+  Embedding b(8, 1.0f);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Vector indexes
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> Corpus() {
+  std::vector<std::string> out;
+  const char* domains[] = {"sales", "store", "product", "customer", "flight",
+                           "crew",  "user",  "post",    "order",    "revenue"};
+  const char* suffixes[] = {"id",    "name",  "total", "count", "state",
+                            "city",  "year",  "month", "price", "status"};
+  for (const char* d : domains) {
+    for (const char* s : suffixes) {
+      out.push_back(std::string(d) + "_" + s);
+    }
+  }
+  return out;
+}
+
+TEST(FlatIndexTest, TopKExactAndOrdered) {
+  FlatVectorIndex index;
+  auto corpus = Corpus();
+  for (size_t i = 0; i < corpus.size(); ++i) index.Add(i, EmbedText(corpus[i]));
+  auto hits = index.TopK(EmbedText("sales state"), 5);
+  ASSERT_EQ(hits.size(), 5u);
+  // Scores descending.
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_LE(hits[i].score, hits[i - 1].score);
+  }
+  // The literal "sales_state" item should rank first.
+  EXPECT_EQ(corpus[hits[0].id], "sales_state");
+}
+
+TEST(FlatIndexTest, KLargerThanCorpus) {
+  FlatVectorIndex index;
+  index.Add(1, EmbedText("a"));
+  index.Add(2, EmbedText("b"));
+  EXPECT_EQ(index.TopK(EmbedText("a"), 10).size(), 2u);
+}
+
+TEST(IvfIndexTest, BuildRequiresVectors) {
+  IvfVectorIndex index(4, 2);
+  EXPECT_FALSE(index.Build().ok());
+}
+
+TEST(IvfIndexTest, UnbuiltFallsBackToExact) {
+  IvfVectorIndex index(4, 2);
+  auto corpus = Corpus();
+  for (size_t i = 0; i < corpus.size(); ++i) index.Add(i, EmbedText(corpus[i]));
+  auto hits = index.TopK(EmbedText("sales state"), 3);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(corpus[hits[0].id], "sales_state");
+}
+
+TEST(IvfIndexTest, RecallAgainstFlat) {
+  FlatVectorIndex flat;
+  IvfVectorIndex ivf(8, 4, /*seed=*/3);
+  auto corpus = Corpus();
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    Embedding e = EmbedText(corpus[i]);
+    flat.Add(i, e);
+    ivf.Add(i, e);
+  }
+  ASSERT_TRUE(ivf.Build().ok());
+  ASSERT_TRUE(ivf.built());
+
+  // Average recall@5 over several queries must be high with nprobe=4 of 8.
+  const char* queries[] = {"sales state", "crew name", "user post", "order price",
+                           "flight status"};
+  double recall_sum = 0;
+  for (const char* q : queries) {
+    auto exact = flat.TopK(EmbedText(q), 5);
+    auto approx = ivf.TopK(EmbedText(q), 5);
+    size_t found = 0;
+    for (const auto& e : exact) {
+      for (const auto& a : approx) {
+        if (a.id == e.id) {
+          ++found;
+          break;
+        }
+      }
+    }
+    recall_sum += static_cast<double>(found) / exact.size();
+  }
+  EXPECT_GE(recall_sum / std::size(queries), 0.6);
+}
+
+TEST(IvfIndexTest, ProbingAllListsMatchesExact) {
+  FlatVectorIndex flat;
+  IvfVectorIndex ivf(6, 6, /*seed=*/5);  // probe everything
+  auto corpus = Corpus();
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    Embedding e = EmbedText(corpus[i]);
+    flat.Add(i, e);
+    ivf.Add(i, e);
+  }
+  ASSERT_TRUE(ivf.Build().ok());
+  auto exact = flat.TopK(EmbedText("revenue total"), 4);
+  auto approx = ivf.TopK(EmbedText("revenue total"), 4);
+  ASSERT_EQ(exact.size(), approx.size());
+  for (size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_EQ(exact[i].id, approx[i].id);
+  }
+}
+
+}  // namespace
+}  // namespace agentfirst

@@ -1,0 +1,122 @@
+// Tests for EXPLAIN, CREATE TABLE AS SELECT, INSERT INTO ... SELECT, and the
+// information_schema.column_stats view.
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace agentfirst {
+namespace {
+
+using testing_util::PeopleDbTest;
+
+class EngineFeaturesTest : public PeopleDbTest {};
+
+TEST_F(EngineFeaturesTest, ExplainShowsPlanTree) {
+  auto rs = Run("EXPLAIN SELECT name FROM people WHERE age > 30 ORDER BY name");
+  ASSERT_NE(rs, nullptr);
+  ASSERT_GE(rs->NumRows(), 4u);  // Sort, Project, Filter, Scan
+  std::string all;
+  for (const Row& r : rs->rows) all += r[0].string_value() + "\n";
+  EXPECT_NE(all.find("Sort"), std::string::npos);
+  EXPECT_NE(all.find("Project"), std::string::npos);
+  EXPECT_NE(all.find("Filter"), std::string::npos);
+  EXPECT_NE(all.find("Scan people"), std::string::npos);
+}
+
+TEST_F(EngineFeaturesTest, ExplainDoesNotExecute) {
+  auto before = Run("SELECT count(*) FROM people")->rows[0][0].int_value();
+  (void)Run("EXPLAIN SELECT count(*) FROM people");
+  auto after = Run("SELECT count(*) FROM people")->rows[0][0].int_value();
+  EXPECT_EQ(before, after);
+}
+
+TEST_F(EngineFeaturesTest, CreateTableAsSelect) {
+  auto created = Run(
+      "CREATE TABLE berkeley_people AS SELECT name, age FROM people WHERE "
+      "city = 'berkeley'");
+  ASSERT_NE(created, nullptr);
+  EXPECT_EQ(created->rows[0][0].int_value(), 3);  // rows materialized
+  auto rs = Run("SELECT count(*), max(age) FROM berkeley_people");
+  EXPECT_EQ(rs->rows[0][0].int_value(), 3);
+  EXPECT_EQ(rs->rows[0][1].int_value(), 41);
+  // Schema carried over with types.
+  auto cols = Run("SELECT data_type FROM information_schema.columns WHERE "
+                  "table_name = 'berkeley_people' ORDER BY ordinal");
+  ASSERT_EQ(cols->NumRows(), 2u);
+  EXPECT_EQ(cols->rows[0][0].string_value(), "VARCHAR");
+  EXPECT_EQ(cols->rows[1][0].string_value(), "BIGINT");
+}
+
+TEST_F(EngineFeaturesTest, CtasFromAggregate) {
+  Run("CREATE TABLE city_counts AS SELECT city, count(*) AS n FROM people "
+      "GROUP BY city");
+  auto rs = Run("SELECT n FROM city_counts WHERE city = 'berkeley'");
+  ASSERT_EQ(rs->NumRows(), 1u);
+  EXPECT_EQ(rs->rows[0][0].int_value(), 3);
+}
+
+TEST_F(EngineFeaturesTest, CtasDuplicateNameFails) {
+  auto r = engine_->ExecuteSql("CREATE TABLE people AS SELECT 1 AS one");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(EngineFeaturesTest, InsertFromSelect) {
+  Run("CREATE TABLE names (who VARCHAR)");
+  auto ins = Run("INSERT INTO names SELECT name FROM people WHERE age > 30");
+  EXPECT_EQ(ins->rows[0][0].int_value(), 2);
+  EXPECT_EQ(Run("SELECT count(*) FROM names")->rows[0][0].int_value(), 2);
+}
+
+TEST_F(EngineFeaturesTest, InsertSelectWithColumnList) {
+  Run("CREATE TABLE sparse (a BIGINT, b VARCHAR, c BIGINT)");
+  Run("INSERT INTO sparse (b, c) SELECT name, age FROM people WHERE id = 1");
+  auto rs = Run("SELECT a, b, c FROM sparse");
+  ASSERT_EQ(rs->NumRows(), 1u);
+  EXPECT_TRUE(rs->rows[0][0].is_null());
+  EXPECT_EQ(rs->rows[0][1].string_value(), "alice");
+  EXPECT_EQ(rs->rows[0][2].int_value(), 34);
+}
+
+TEST_F(EngineFeaturesTest, InsertSelectArityMismatchFails) {
+  Run("CREATE TABLE one_col (a BIGINT)");
+  auto r = engine_->ExecuteSql("INSERT INTO one_col SELECT id, age FROM people");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(EngineFeaturesTest, ColumnStatsView) {
+  auto rs = Run(
+      "SELECT column_name, num_distinct, num_nulls, min_value, max_value "
+      "FROM information_schema.column_stats WHERE table_name = 'people' "
+      "ORDER BY column_name");
+  ASSERT_EQ(rs->NumRows(), 4u);
+  // age: 4 distinct non-null values, 1 null, min 19 max 41.
+  const Row* age = nullptr;
+  for (const Row& r : rs->rows) {
+    if (r[0].string_value() == "age") age = &r;
+  }
+  ASSERT_NE(age, nullptr);
+  EXPECT_EQ((*age)[1].int_value(), 4);
+  EXPECT_EQ((*age)[2].int_value(), 1);
+  EXPECT_EQ((*age)[3].string_value(), "19");
+  EXPECT_EQ((*age)[4].string_value(), "41");
+}
+
+TEST_F(EngineFeaturesTest, ColumnStatsMostCommonValue) {
+  auto rs = Run(
+      "SELECT most_common_value FROM information_schema.column_stats "
+      "WHERE table_name = 'people' AND column_name = 'city'");
+  ASSERT_EQ(rs->NumRows(), 1u);
+  EXPECT_EQ(rs->rows[0][0].string_value(), "berkeley");
+}
+
+TEST_F(EngineFeaturesTest, ColumnStatsReflectsWrites) {
+  Run("INSERT INTO people VALUES (50,'zed',99,'nowhere')");
+  auto rs = Run(
+      "SELECT max_value FROM information_schema.column_stats "
+      "WHERE table_name = 'people' AND column_name = 'age'");
+  ASSERT_EQ(rs->NumRows(), 1u);
+  EXPECT_EQ(rs->rows[0][0].string_value(), "99");
+}
+
+}  // namespace
+}  // namespace agentfirst

@@ -1,0 +1,205 @@
+// Additional edge-case coverage for the executor: multi-way joins,
+// self-joins, expression-keyed grouping, NULL-heavy inputs, segment
+// boundaries, and operator interactions.
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace agentfirst {
+namespace {
+
+using testing_util::PeopleDbTest;
+
+class ExecutorEdgeTest : public PeopleDbTest {};
+
+TEST_F(ExecutorEdgeTest, ThreeWayJoin) {
+  Run("CREATE TABLE cities (city VARCHAR, region VARCHAR)");
+  Run("INSERT INTO cities VALUES ('berkeley','west'), ('oakland','west'),"
+      " ('seattle','northwest')");
+  auto rs = Run(
+      "SELECT p.name, c.region, o.amount FROM people p "
+      "JOIN orders o ON p.id = o.person_id "
+      "JOIN cities c ON p.city = c.city "
+      "ORDER BY p.name, o.amount");
+  ASSERT_EQ(rs->NumRows(), 4u);
+  EXPECT_EQ(rs->rows[0][0].string_value(), "alice");
+  EXPECT_EQ(rs->rows[0][1].string_value(), "west");
+}
+
+TEST_F(ExecutorEdgeTest, SelfJoin) {
+  auto rs = Run(
+      "SELECT p1.name, p2.name FROM people p1 JOIN people p2 "
+      "ON p1.city = p2.city WHERE p1.id < p2.id ORDER BY p1.name, p2.name");
+  // berkeley trio: (alice,carol), (alice,erin), (carol,erin) = 3 pairs.
+  EXPECT_EQ(rs->NumRows(), 3u);
+}
+
+TEST_F(ExecutorEdgeTest, GroupByExpression) {
+  auto rs = Run(
+      "SELECT age / 10, count(*) FROM people WHERE age IS NOT NULL "
+      "GROUP BY age / 10 ORDER BY 1");
+  // ages 19,28,34,41 -> decades 1.9? no: age/10 is float division.
+  // 1.9, 2.8, 3.4, 4.1 -> 4 groups.
+  EXPECT_EQ(rs->NumRows(), 4u);
+}
+
+TEST_F(ExecutorEdgeTest, CaseInsideAggregate) {
+  auto rs = Run(
+      "SELECT sum(CASE WHEN city = 'berkeley' THEN 1 ELSE 0 END) FROM people");
+  ASSERT_EQ(rs->NumRows(), 1u);
+  EXPECT_EQ(rs->rows[0][0].int_value(), 3);
+}
+
+TEST_F(ExecutorEdgeTest, AggregateOfExpression) {
+  auto rs = Run("SELECT sum(age * 2) FROM people");
+  EXPECT_EQ(rs->rows[0][0].int_value(), 244);
+}
+
+TEST_F(ExecutorEdgeTest, HavingWithoutThatAggInSelect) {
+  auto rs = Run(
+      "SELECT city FROM people GROUP BY city HAVING max(age) > 30 ORDER BY city");
+  // berkeley max 41, oakland 28, seattle 19.
+  ASSERT_EQ(rs->NumRows(), 1u);
+  EXPECT_EQ(rs->rows[0][0].string_value(), "berkeley");
+}
+
+TEST_F(ExecutorEdgeTest, JoinOnExpressionKeys) {
+  auto rs = Run(
+      "SELECT count(*) FROM people p JOIN orders o ON p.id + 100 = o.order_id");
+  // order_ids 100..104; p.id+100: 101..105 -> matches 101,102,103,104.
+  EXPECT_EQ(rs->rows[0][0].int_value(), 4);
+}
+
+TEST_F(ExecutorEdgeTest, SegmentBoundarySpanningScan) {
+  // Push well past one segment (default capacity 1024).
+  std::string insert = "INSERT INTO people VALUES ";
+  for (int i = 0; i < 2500; ++i) {
+    if (i > 0) insert += ",";
+    insert += "(" + std::to_string(1000 + i) + ",'bulk'," +
+              std::to_string(20 + i % 50) + ",'metropolis')";
+  }
+  Run(insert);
+  auto rs = Run("SELECT count(*), min(id), max(id) FROM people WHERE id >= 1000");
+  EXPECT_EQ(rs->rows[0][0].int_value(), 2500);
+  EXPECT_EQ(rs->rows[0][1].int_value(), 1000);
+  EXPECT_EQ(rs->rows[0][2].int_value(), 3499);
+}
+
+TEST_F(ExecutorEdgeTest, WhereOnlyNullsTable) {
+  Run("CREATE TABLE all_null (v BIGINT)");
+  Run("INSERT INTO all_null VALUES (NULL), (NULL), (NULL)");
+  EXPECT_EQ(Run("SELECT count(*) FROM all_null")->rows[0][0].int_value(), 3);
+  EXPECT_EQ(Run("SELECT count(v) FROM all_null")->rows[0][0].int_value(), 0);
+  EXPECT_TRUE(Run("SELECT sum(v) FROM all_null")->rows[0][0].is_null());
+  EXPECT_TRUE(Run("SELECT min(v) FROM all_null")->rows[0][0].is_null());
+  EXPECT_EQ(Run("SELECT count(*) FROM all_null WHERE v = 1")->rows[0][0].int_value(), 0);
+}
+
+TEST_F(ExecutorEdgeTest, EmptyTableBehaviors) {
+  Run("CREATE TABLE void (x BIGINT, s VARCHAR)");
+  EXPECT_EQ(Run("SELECT * FROM void")->NumRows(), 0u);
+  EXPECT_EQ(Run("SELECT count(*) FROM void")->rows[0][0].int_value(), 0);
+  EXPECT_EQ(Run("SELECT x FROM void ORDER BY x LIMIT 5")->NumRows(), 0u);
+  EXPECT_EQ(Run("SELECT s, count(*) FROM void GROUP BY s")->NumRows(), 0u);
+  EXPECT_EQ(Run("SELECT * FROM void CROSS JOIN people")->NumRows(), 0u);
+  EXPECT_EQ(Run("SELECT name FROM people LEFT JOIN void ON people.id = void.x")
+                ->NumRows(), 5u);
+}
+
+TEST_F(ExecutorEdgeTest, DistinctOnExpression) {
+  auto rs = Run("SELECT DISTINCT length(city) FROM people ORDER BY 1");
+  // berkeley=8, oakland=7, seattle=7 -> {7, 8}.
+  ASSERT_EQ(rs->NumRows(), 2u);
+  EXPECT_EQ(rs->rows[0][0].int_value(), 7);
+  EXPECT_EQ(rs->rows[1][0].int_value(), 8);
+}
+
+TEST_F(ExecutorEdgeTest, OrderByExpressionOverOutput) {
+  auto rs = Run("SELECT name, age * -1 AS neg FROM people WHERE age IS NOT NULL "
+                "ORDER BY neg");
+  ASSERT_EQ(rs->NumRows(), 4u);
+  EXPECT_EQ(rs->rows[0][0].string_value(), "carol");  // -41 first
+}
+
+TEST_F(ExecutorEdgeTest, LimitZero) {
+  EXPECT_EQ(Run("SELECT * FROM people LIMIT 0")->NumRows(), 0u);
+}
+
+TEST_F(ExecutorEdgeTest, MultipleAggregatesSameColumn) {
+  auto rs = Run(
+      "SELECT min(age), max(age), avg(age), sum(age), count(age), "
+      "count(DISTINCT age) FROM people");
+  const Row& r = rs->rows[0];
+  EXPECT_EQ(r[0].int_value(), 19);
+  EXPECT_EQ(r[1].int_value(), 41);
+  EXPECT_DOUBLE_EQ(r[2].double_value(), 30.5);
+  EXPECT_EQ(r[3].int_value(), 122);
+  EXPECT_EQ(r[4].int_value(), 4);
+  EXPECT_EQ(r[5].int_value(), 4);
+}
+
+TEST_F(ExecutorEdgeTest, SumDistinct) {
+  Run("INSERT INTO people VALUES (20,'twin',34,'berkeley')");  // duplicate 34
+  EXPECT_EQ(Run("SELECT sum(age) FROM people")->rows[0][0].int_value(), 156);
+  EXPECT_EQ(Run("SELECT sum(DISTINCT age) FROM people")->rows[0][0].int_value(), 122);
+}
+
+TEST_F(ExecutorEdgeTest, NestedDerivedTables) {
+  auto rs = Run(
+      "SELECT n FROM (SELECT n FROM (SELECT count(*) AS n FROM people) AS a) AS b");
+  ASSERT_EQ(rs->NumRows(), 1u);
+  EXPECT_EQ(rs->rows[0][0].int_value(), 5);
+}
+
+TEST_F(ExecutorEdgeTest, JoinDerivedTableWithBase) {
+  auto rs = Run(
+      "SELECT p.name, agg.total FROM people p JOIN "
+      "(SELECT person_id, sum(amount) AS total FROM orders GROUP BY person_id) "
+      "AS agg ON p.id = agg.person_id ORDER BY agg.total DESC");
+  ASSERT_EQ(rs->NumRows(), 3u);
+  EXPECT_EQ(rs->rows[0][0].string_value(), "carol");  // 99.0
+  EXPECT_DOUBLE_EQ(rs->rows[1][1].double_value(), 32.5);  // alice 25+7.5
+}
+
+TEST_F(ExecutorEdgeTest, ComparisonAcrossIntAndDouble) {
+  auto rs = Run("SELECT count(*) FROM orders WHERE amount = 12");
+  EXPECT_EQ(rs->rows[0][0].int_value(), 1);
+}
+
+TEST_F(ExecutorEdgeTest, StringComparisons) {
+  EXPECT_EQ(Run("SELECT count(*) FROM people WHERE name >= 'c'")
+                ->rows[0][0].int_value(), 3);  // carol, dan, erin
+  EXPECT_EQ(Run("SELECT count(*) FROM people WHERE name BETWEEN 'b' AND 'd'")
+                ->rows[0][0].int_value(), 2);  // bob, carol
+}
+
+TEST_F(ExecutorEdgeTest, UpdateThenAggregateConsistency) {
+  Run("UPDATE people SET age = age + 1 WHERE city = 'berkeley'");
+  // alice 35, carol 42; erin NULL stays NULL (NULL + 1 = NULL).
+  auto rs = Run("SELECT sum(age) FROM people");
+  EXPECT_EQ(rs->rows[0][0].int_value(), 124);
+  EXPECT_TRUE(Run("SELECT age FROM people WHERE name = 'erin'")->rows[0][0].is_null());
+}
+
+TEST_F(ExecutorEdgeTest, DeleteEverythingThenQuery) {
+  Run("DELETE FROM orders");
+  EXPECT_EQ(Run("SELECT count(*) FROM orders")->rows[0][0].int_value(), 0);
+  EXPECT_EQ(Run("SELECT name FROM people JOIN orders ON people.id = orders.person_id")
+                ->NumRows(), 0u);
+}
+
+TEST_F(ExecutorEdgeTest, DuplicateColumnNamesInProjection) {
+  auto rs = Run("SELECT age, age FROM people WHERE id = 1");
+  ASSERT_EQ(rs->schema.NumColumns(), 2u);
+  EXPECT_EQ(rs->rows[0][0].int_value(), 34);
+  EXPECT_EQ(rs->rows[0][1].int_value(), 34);
+}
+
+TEST_F(ExecutorEdgeTest, WhereTrueAndWhereFalse) {
+  EXPECT_EQ(Run("SELECT count(*) FROM people WHERE TRUE")->rows[0][0].int_value(), 5);
+  EXPECT_EQ(Run("SELECT count(*) FROM people WHERE FALSE")->rows[0][0].int_value(), 0);
+  EXPECT_EQ(Run("SELECT count(*) FROM people WHERE 1 = 1")->rows[0][0].int_value(), 5);
+}
+
+}  // namespace
+}  // namespace agentfirst

@@ -1,0 +1,167 @@
+#include "exec/evaluator.h"
+
+#include "gtest/gtest.h"
+#include "plan/binder.h"
+#include "sql/parser.h"
+
+namespace agentfirst {
+namespace {
+
+/// Evaluates a closed (no column refs) SQL expression.
+Value Eval(const std::string& text) {
+  auto parsed = ParseExpression(text);
+  EXPECT_TRUE(parsed.ok()) << text << " -> " << parsed.status().ToString();
+  if (!parsed.ok()) return Value::Null();
+  Catalog catalog;
+  Binder binder(&catalog);
+  Schema empty;
+  auto bound = binder.BindScalar(**parsed, empty);
+  EXPECT_TRUE(bound.ok()) << text << " -> " << bound.status().ToString();
+  if (!bound.ok()) return Value::Null();
+  Row row;
+  return EvalExpr(**bound, row);
+}
+
+TEST(EvalTest, Arithmetic) {
+  EXPECT_EQ(Eval("1 + 2").int_value(), 3);
+  EXPECT_EQ(Eval("7 - 10").int_value(), -3);
+  EXPECT_EQ(Eval("6 * 7").int_value(), 42);
+  EXPECT_DOUBLE_EQ(Eval("7 / 2").double_value(), 3.5);
+  EXPECT_EQ(Eval("7 % 3").int_value(), 1);
+  EXPECT_DOUBLE_EQ(Eval("1.5 + 2").double_value(), 3.5);
+}
+
+TEST(EvalTest, DivisionByZeroIsNull) {
+  EXPECT_TRUE(Eval("1 / 0").is_null());
+  EXPECT_TRUE(Eval("1 % 0").is_null());
+  EXPECT_TRUE(Eval("1.0 / 0").is_null());
+}
+
+TEST(EvalTest, NullPropagation) {
+  EXPECT_TRUE(Eval("NULL + 1").is_null());
+  EXPECT_TRUE(Eval("1 = NULL").is_null());
+  EXPECT_TRUE(Eval("NULL = NULL").is_null());
+  EXPECT_TRUE(Eval("-(NULL)").is_null());
+}
+
+TEST(EvalTest, KleeneAndOr) {
+  // FALSE AND NULL = FALSE; TRUE AND NULL = NULL.
+  EXPECT_FALSE(Eval("FALSE AND NULL").bool_value());
+  EXPECT_TRUE(Eval("TRUE AND NULL").is_null());
+  // TRUE OR NULL = TRUE; FALSE OR NULL = NULL.
+  EXPECT_TRUE(Eval("TRUE OR NULL").bool_value());
+  EXPECT_TRUE(Eval("FALSE OR NULL").is_null());
+  EXPECT_TRUE(Eval("NULL AND NULL").is_null());
+}
+
+TEST(EvalTest, NotOperator) {
+  EXPECT_FALSE(Eval("NOT TRUE").bool_value());
+  EXPECT_TRUE(Eval("NOT FALSE").bool_value());
+  EXPECT_TRUE(Eval("NOT NULL").is_null());
+}
+
+TEST(EvalTest, Comparisons) {
+  EXPECT_TRUE(Eval("1 < 2").bool_value());
+  EXPECT_TRUE(Eval("2 <= 2").bool_value());
+  EXPECT_FALSE(Eval("2 < 2").bool_value());
+  EXPECT_TRUE(Eval("'abc' < 'abd'").bool_value());
+  EXPECT_TRUE(Eval("1 = 1.0").bool_value());
+  EXPECT_TRUE(Eval("2 <> 3").bool_value());
+}
+
+TEST(EvalTest, InListSemantics) {
+  EXPECT_TRUE(Eval("2 IN (1, 2, 3)").bool_value());
+  EXPECT_FALSE(Eval("5 IN (1, 2, 3)").bool_value());
+  // Unknown membership with NULL in the list.
+  EXPECT_TRUE(Eval("5 IN (1, NULL)").is_null());
+  EXPECT_TRUE(Eval("1 IN (1, NULL)").bool_value());
+  EXPECT_TRUE(Eval("NULL IN (1, 2)").is_null());
+  EXPECT_FALSE(Eval("5 NOT IN (1, 2)").is_null());
+  EXPECT_TRUE(Eval("5 NOT IN (1, 2)").bool_value());
+}
+
+TEST(EvalTest, BetweenSemantics) {
+  EXPECT_TRUE(Eval("5 BETWEEN 1 AND 10").bool_value());
+  EXPECT_TRUE(Eval("1 BETWEEN 1 AND 10").bool_value());
+  EXPECT_TRUE(Eval("10 BETWEEN 1 AND 10").bool_value());
+  EXPECT_FALSE(Eval("0 BETWEEN 1 AND 10").bool_value());
+  EXPECT_TRUE(Eval("0 NOT BETWEEN 1 AND 10").bool_value());
+  EXPECT_TRUE(Eval("NULL BETWEEN 1 AND 2").is_null());
+}
+
+TEST(EvalTest, LikeSemantics) {
+  EXPECT_TRUE(Eval("'coffee beans' LIKE '%bean%'").bool_value());
+  EXPECT_FALSE(Eval("'tea' LIKE '%bean%'").bool_value());
+  EXPECT_TRUE(Eval("'tea' NOT LIKE '%bean%'").bool_value());
+  EXPECT_TRUE(Eval("NULL LIKE '%'").is_null());
+}
+
+TEST(EvalTest, IsNullSemantics) {
+  EXPECT_TRUE(Eval("NULL IS NULL").bool_value());
+  EXPECT_FALSE(Eval("1 IS NULL").bool_value());
+  EXPECT_TRUE(Eval("1 IS NOT NULL").bool_value());
+}
+
+TEST(EvalTest, StringFunctions) {
+  EXPECT_EQ(Eval("lower('ABC')").string_value(), "abc");
+  EXPECT_EQ(Eval("upper('abc')").string_value(), "ABC");
+  EXPECT_EQ(Eval("length('hello')").int_value(), 5);
+  EXPECT_EQ(Eval("substr('hello', 2, 3)").string_value(), "ell");
+  EXPECT_EQ(Eval("substr('hello', 2)").string_value(), "ello");
+  EXPECT_EQ(Eval("substr('hello', 99)").string_value(), "");
+  EXPECT_EQ(Eval("concat('a', 'b', 'c')").string_value(), "abc");
+}
+
+TEST(EvalTest, NumericFunctions) {
+  EXPECT_EQ(Eval("abs(-5)").int_value(), 5);
+  EXPECT_DOUBLE_EQ(Eval("abs(-5.5)").double_value(), 5.5);
+  EXPECT_DOUBLE_EQ(Eval("round(3.456, 1)").double_value(), 3.5);
+  EXPECT_DOUBLE_EQ(Eval("round(3.456)").double_value(), 3.0);
+  EXPECT_DOUBLE_EQ(Eval("floor(3.9)").double_value(), 3.0);
+  EXPECT_DOUBLE_EQ(Eval("ceil(3.1)").double_value(), 4.0);
+}
+
+TEST(EvalTest, Coalesce) {
+  EXPECT_EQ(Eval("coalesce(NULL, NULL, 7)").int_value(), 7);
+  EXPECT_EQ(Eval("coalesce(1, 2)").int_value(), 1);
+  EXPECT_TRUE(Eval("coalesce(NULL, NULL)").is_null());
+}
+
+TEST(EvalTest, SemanticSimilarity) {
+  // Identical strings: similarity ~1. Unrelated strings: much lower.
+  double same = Eval("semantic_sim('coffee beans', 'coffee beans')").double_value();
+  double related = Eval("semantic_sim('coffee beans', 'coffee')").double_value();
+  double unrelated = Eval("semantic_sim('coffee beans', 'flight crew')").double_value();
+  EXPECT_NEAR(same, 1.0, 1e-6);
+  EXPECT_GT(related, unrelated);
+  EXPECT_GT(related, 0.3);
+}
+
+TEST(EvalTest, CaseSearchedAndOperandForms) {
+  EXPECT_EQ(Eval("CASE WHEN 1 > 2 THEN 'a' WHEN 2 > 1 THEN 'b' ELSE 'c' END")
+                .string_value(), "b");
+  EXPECT_EQ(Eval("CASE WHEN 1 > 2 THEN 'a' ELSE 'c' END").string_value(), "c");
+  EXPECT_TRUE(Eval("CASE WHEN 1 > 2 THEN 'a' END").is_null());
+  EXPECT_EQ(Eval("CASE 2 WHEN 1 THEN 'one' WHEN 2 THEN 'two' END").string_value(),
+            "two");
+}
+
+TEST(EvalTest, EvalPredicateRejectsNullAndNonBool) {
+  auto check = [](const std::string& text) {
+    auto parsed = ParseExpression(text);
+    EXPECT_TRUE(parsed.ok());
+    Catalog catalog;
+    Binder binder(&catalog);
+    Schema empty;
+    auto bound = binder.BindScalar(**parsed, empty);
+    EXPECT_TRUE(bound.ok());
+    Row row;
+    return EvalPredicate(**bound, row);
+  };
+  EXPECT_TRUE(check("1 < 2"));
+  EXPECT_FALSE(check("1 > 2"));
+  EXPECT_FALSE(check("NULL = 1"));  // NULL predicate rejects
+}
+
+}  // namespace
+}  // namespace agentfirst

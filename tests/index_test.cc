@@ -1,0 +1,198 @@
+// Tests for hash indexes: build/lookup/staleness, SQL DDL, optimizer index
+// selection, executor correctness, and the probe optimizer's adaptive
+// auto-indexing.
+
+#include "catalog/index.h"
+
+#include "core/system.h"
+#include "gtest/gtest.h"
+#include "opt/rules.h"
+#include "plan/binder.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace agentfirst {
+namespace {
+
+using testing_util::PeopleDbTest;
+
+class IndexTest : public PeopleDbTest {
+ protected:
+  PlanPtr BindOptimized(const std::string& sql) {
+    auto select = ParseSelect(sql);
+    EXPECT_TRUE(select.ok());
+    Binder binder(&catalog_);
+    auto plan = binder.BindSelect(**select);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return plan.ok() ? OptimizePlan(*plan, &catalog_) : nullptr;
+  }
+
+  const PlanNode* FindScan(const PlanNode* node) {
+    if (node->kind == PlanKind::kScan) return node;
+    for (const auto& c : node->children) {
+      if (const PlanNode* s = FindScan(c.get())) return s;
+    }
+    return nullptr;
+  }
+};
+
+TEST_F(IndexTest, BuildAndLookup) {
+  auto table = *catalog_.GetTable("people");
+  HashIndex index("people", 3);  // city
+  ASSERT_TRUE(index.Build(*table).ok());
+  EXPECT_TRUE(index.FreshFor(*table));
+  auto rows = index.Lookup(Value::String("berkeley"));
+  EXPECT_EQ(rows, (std::vector<size_t>{0, 2, 4}));  // alice, carol, erin
+  EXPECT_TRUE(index.Lookup(Value::String("nowhere")).empty());
+  EXPECT_TRUE(index.Lookup(Value::Null()).empty());
+}
+
+TEST_F(IndexTest, StalenessAfterWrite) {
+  auto table = *catalog_.GetTable("people");
+  HashIndex index("people", 3);
+  ASSERT_TRUE(index.Build(*table).ok());
+  Run("INSERT INTO people VALUES (9,'zoe',21,'berkeley')");
+  EXPECT_FALSE(index.FreshFor(*table));
+  ASSERT_TRUE(index.Build(*table).ok());
+  EXPECT_EQ(index.Lookup(Value::String("berkeley")).size(), 4u);
+}
+
+TEST_F(IndexTest, NullsExcludedFromIndex) {
+  auto table = *catalog_.GetTable("people");
+  HashIndex index("people", 2);  // age: erin has NULL
+  ASSERT_TRUE(index.Build(*table).ok());
+  EXPECT_EQ(index.num_entries(), 4u);
+}
+
+TEST_F(IndexTest, CatalogLifecycle) {
+  ASSERT_TRUE(catalog_.CreateIndex("people", "city").ok());
+  EXPECT_TRUE(catalog_.HasIndex("people", "city"));
+  EXPECT_FALSE(catalog_.CreateIndex("people", "city").ok());  // duplicate
+  EXPECT_FALSE(catalog_.CreateIndex("people", "nope").ok());
+  EXPECT_FALSE(catalog_.CreateIndex("ghost", "city").ok());
+  EXPECT_EQ(catalog_.ListIndexes().size(), 1u);
+  ASSERT_TRUE(catalog_.DropIndex("people", "city").ok());
+  EXPECT_FALSE(catalog_.DropIndex("people", "city").ok());
+}
+
+TEST_F(IndexTest, GetFreshIndexRebuildsLazily) {
+  ASSERT_TRUE(catalog_.CreateIndex("people", "city").ok());
+  Run("INSERT INTO people VALUES (9,'zoe',21,'berkeley')");
+  const HashIndex* index = catalog_.GetFreshIndex("people", 3);
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->Lookup(Value::String("berkeley")).size(), 4u);
+  EXPECT_EQ(catalog_.GetFreshIndex("people", 0), nullptr);  // no index on id
+}
+
+TEST_F(IndexTest, DropTableDropsItsIndexes) {
+  ASSERT_TRUE(catalog_.CreateIndex("orders", "item").ok());
+  Run("DROP TABLE orders");
+  EXPECT_FALSE(catalog_.HasIndex("orders", "item"));
+}
+
+TEST_F(IndexTest, SqlDdl) {
+  auto created = Run("CREATE INDEX city_idx ON people (city)");
+  ASSERT_NE(created, nullptr);
+  EXPECT_TRUE(catalog_.HasIndex("people", "city"));
+  auto dropped = Run("DROP INDEX ON people (city)");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_FALSE(catalog_.HasIndex("people", "city"));
+  // Unnamed form too.
+  EXPECT_NE(Run("CREATE INDEX ON people (name)"), nullptr);
+}
+
+TEST_F(IndexTest, OptimizerSelectsIndexForEqualityFilter) {
+  ASSERT_TRUE(catalog_.CreateIndex("people", "city").ok());
+  PlanPtr plan = BindOptimized("SELECT name FROM people WHERE city = 'berkeley'");
+  const PlanNode* scan = FindScan(plan.get());
+  ASSERT_NE(scan, nullptr);
+  EXPECT_NE(scan->index, nullptr);
+  EXPECT_EQ(scan->index_value.string_value(), "berkeley");
+  // The filter stays (re-verified per row).
+  EXPECT_NE(scan->scan_filter, nullptr);
+}
+
+TEST_F(IndexTest, OptimizerIgnoresNonEqualityAndUnindexed) {
+  ASSERT_TRUE(catalog_.CreateIndex("people", "city").ok());
+  PlanPtr range = BindOptimized("SELECT name FROM people WHERE age > 30");
+  EXPECT_EQ(FindScan(range.get())->index, nullptr);
+  PlanPtr other = BindOptimized("SELECT name FROM people WHERE name = 'bob'");
+  EXPECT_EQ(FindScan(other.get())->index, nullptr);
+}
+
+TEST_F(IndexTest, IndexedExecutionMatchesScan) {
+  // Compare results with and without the index across several predicates.
+  const char* queries[] = {
+      "SELECT name FROM people WHERE city = 'berkeley' ORDER BY name",
+      "SELECT count(*) FROM people WHERE city = 'oakland'",
+      "SELECT name FROM people WHERE city = 'berkeley' AND age > 30 ORDER BY name",
+      "SELECT name FROM people WHERE city = 'mars'",
+  };
+  std::vector<std::string> plain;
+  for (const char* q : queries) {
+    auto rs = ExecutePlan(*BindOptimized(q));
+    ASSERT_TRUE(rs.ok());
+    plain.push_back((*rs)->ToString(100));
+  }
+  ASSERT_TRUE(catalog_.CreateIndex("people", "city").ok());
+  for (size_t i = 0; i < std::size(queries); ++i) {
+    PlanPtr plan = BindOptimized(queries[i]);
+    ASSERT_NE(FindScan(plan.get()), nullptr);
+    auto rs = ExecutePlan(*plan);
+    ASSERT_TRUE(rs.ok());
+    EXPECT_EQ((*rs)->ToString(100), plain[i]) << queries[i];
+  }
+}
+
+TEST_F(IndexTest, StaleIndexFallsBackSafely) {
+  ASSERT_TRUE(catalog_.CreateIndex("people", "city").ok());
+  PlanPtr plan = BindOptimized("SELECT count(*) FROM people WHERE city = 'berkeley'");
+  ASSERT_NE(FindScan(plan.get())->index, nullptr);
+  // Mutate the table AFTER planning: the plan's index pointer is now stale;
+  // execution must fall back to a full scan and still be correct... the
+  // scan's fingerprint also changed, but we execute the stale plan directly.
+  Run("INSERT INTO people VALUES (9,'zoe',21,'berkeley')");
+  auto rs = ExecutePlan(*plan);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ((*rs)->rows[0][0].int_value(), 4);
+}
+
+TEST_F(IndexTest, ExplainProbePathShowsIndex) {
+  ASSERT_TRUE(catalog_.CreateIndex("people", "city").ok());
+  PlanPtr plan = BindOptimized("SELECT name FROM people WHERE city = 'berkeley'");
+  EXPECT_NE(plan->ToString().find("index=("), std::string::npos);
+}
+
+class AutoIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    system_ = std::make_unique<AgentFirstSystem>();
+    testing_util::BuildPeopleDb(system_->engine());
+  }
+  std::unique_ptr<AgentFirstSystem> system_;
+};
+
+TEST_F(AutoIndexTest, RepeatedEqualityProbesTriggerAutoIndex) {
+  ASSERT_FALSE(system_->catalog()->HasIndex("people", "city"));
+  bool hinted = false;
+  for (int i = 0; i < 6 && !hinted; ++i) {
+    Probe probe;
+    probe.agent_id = "agent" + std::to_string(i);  // distinct agents
+    probe.queries = {"SELECT name FROM people WHERE city = '" +
+                     std::string(i % 2 == 0 ? "berkeley" : "oakland") +
+                     "' AND age > " + std::to_string(i) };
+    auto r = system_->HandleProbe(probe);
+    ASSERT_TRUE(r.ok());
+    for (const Hint& h : r->hints) {
+      if (h.text.find("index") != std::string::npos &&
+          h.kind == HintKind::kSchemaGuidance) {
+        hinted = true;
+      }
+    }
+  }
+  EXPECT_TRUE(system_->catalog()->HasIndex("people", "city"));
+  EXPECT_TRUE(hinted);
+}
+
+}  // namespace
+}  // namespace agentfirst

@@ -1,0 +1,178 @@
+// End-to-end scenarios exercising the full agent-first stack: probes with
+// briefs through the optimizer, steering, memory, semantic search, and
+// branched updates together.
+
+#include "core/system.h"
+
+#include "agents/ensemble.h"
+#include "agents/sim_agent.h"
+#include "gtest/gtest.h"
+#include "workload/minibird.h"
+
+namespace agentfirst {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    system_ = std::make_unique<AgentFirstSystem>();
+    auto run = [&](const std::string& sql) {
+      auto r = system_->ExecuteSql(sql);
+      ASSERT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    };
+    run("CREATE TABLE stores (store_id BIGINT, city VARCHAR, state VARCHAR)");
+    run("INSERT INTO stores VALUES (1,'Berkeley','California'),"
+        "(2,'Oakland','California'), (3,'Seattle','Washington')");
+    run("CREATE TABLE bean_sales (sale_id BIGINT, store_id BIGINT, year BIGINT,"
+        " revenue DOUBLE)");
+    std::string insert = "INSERT INTO bean_sales VALUES ";
+    for (int i = 0; i < 300; ++i) {
+      if (i > 0) insert += ",";
+      int store = 1 + i % 3;
+      int year = (i % 2 == 0) ? 2024 : 2025;
+      double revenue = 10.0 + (i % 7) * 3.0 - (year == 2025 ? 4.0 : 0.0);
+      insert += "(" + std::to_string(i) + "," + std::to_string(store) + "," +
+                std::to_string(year) + "," + std::to_string(revenue) + ")";
+    }
+    run(insert);
+  }
+
+  std::unique_ptr<AgentFirstSystem> system_;
+};
+
+TEST_F(IntegrationTest, CoffeeProfitsInvestigationFlow) {
+  // 1. Exploration probe: what tables exist?
+  Probe explore;
+  explore.agent_id = "analyst";
+  explore.queries = {"SELECT table_name FROM information_schema.tables"};
+  explore.brief.text = "exploring: why did coffee bean profits drop in Berkeley";
+  auto r1 = system_->HandleProbe(explore);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r1->answers[0].status.ok());
+  EXPECT_EQ(r1->answers[0].result->rows.size(), 2u);
+
+  // 2. Wrong encoding attempt: 'CA' instead of 'California'.
+  Probe wrong;
+  wrong.agent_id = "analyst";
+  wrong.queries = {"SELECT store_id FROM stores WHERE state = 'CA'"};
+  wrong.brief.text = "attempting part of the query";
+  auto r2 = system_->HandleProbe(wrong);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->answers[0].result->rows.empty());
+  bool why_not = false;
+  for (const Hint& h : r2->hints) {
+    if (h.kind == HintKind::kWhyEmptyResult &&
+        h.text.find("California") != std::string::npos) {
+      why_not = true;
+    }
+  }
+  EXPECT_TRUE(why_not) << "sleeper agent should explain the empty result";
+
+  // 3. Corrected full query, validation phase.
+  Probe final_probe;
+  final_probe.agent_id = "analyst";
+  final_probe.queries = {
+      "SELECT s.year, sum(s.revenue) AS total FROM bean_sales s JOIN stores st "
+      "ON s.store_id = st.store_id WHERE st.city = 'Berkeley' GROUP BY s.year "
+      "ORDER BY s.year"};
+  final_probe.brief.text = "validate the final answer exactly";
+  auto r3 = system_->HandleProbe(final_probe);
+  ASSERT_TRUE(r3.ok());
+  ASSERT_TRUE(r3->answers[0].status.ok());
+  ASSERT_EQ(r3->answers[0].result->rows.size(), 2u);
+  double y2024 = r3->answers[0].result->rows[0][1].AsDouble();
+  double y2025 = r3->answers[0].result->rows[1][1].AsDouble();
+  EXPECT_GT(y2024, y2025);  // profits really dropped
+
+  // 4. The same probe again is served from agentic memory.
+  auto r4 = system_->HandleProbe(final_probe);
+  ASSERT_TRUE(r4.ok());
+  EXPECT_TRUE(r4->answers[0].from_memory);
+}
+
+TEST_F(IntegrationTest, SemanticDiscoveryThenQuery) {
+  Probe discover;
+  discover.semantic_search_phrase = "bean revenue";
+  auto r = system_->HandleProbe(discover);
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r->discoveries.empty());
+  bool found_sales = false;
+  for (const SemanticMatch& m : r->discoveries) {
+    if (m.table == "bean_sales") found_sales = true;
+  }
+  EXPECT_TRUE(found_sales);
+}
+
+TEST_F(IntegrationTest, BranchedWhatIfUpdates) {
+  ASSERT_TRUE(system_->EnableBranching("stores").ok());
+  BranchManager* branches = system_->branches();
+
+  // Fork three hypothesis branches, mutate each differently.
+  auto b1 = *branches->Fork(BranchManager::kMainBranch);
+  auto b2 = *branches->Fork(BranchManager::kMainBranch);
+  auto b3 = *branches->Fork(BranchManager::kMainBranch);
+  ASSERT_TRUE(branches->Write(b1, "stores", 0, 1, Value::String("Albany")).ok());
+  ASSERT_TRUE(branches->Write(b2, "stores", 1, 1, Value::String("Alameda")).ok());
+  ASSERT_TRUE(branches->Write(b3, "stores", 2, 1, Value::String("Tacoma")).ok());
+
+  // Pick b2; roll back the others; merge the winner.
+  ASSERT_TRUE(branches->Rollback(b1).ok());
+  ASSERT_TRUE(branches->Rollback(b3).ok());
+  auto report = branches->Merge(b2, BranchManager::kMainBranch,
+                                MergePolicy::kFailOnConflict);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->committed);
+  EXPECT_EQ(branches->Read(BranchManager::kMainBranch, "stores", 1, 1)->string_value(),
+            "Alameda");
+  // The catalog's original table is untouched (branching is a separate
+  // world until explicitly written back).
+  auto original = system_->ExecuteSql(
+      "SELECT city FROM stores WHERE store_id = 2");
+  ASSERT_TRUE(original.ok());
+  EXPECT_EQ((*original)->rows[0][0].string_value(), "Oakland");
+}
+
+TEST_F(IntegrationTest, MiniBirdEndToEndEpisode) {
+  MiniBirdOptions options;
+  options.num_databases = 1;
+  options.rows_per_fact_table = 200;
+  options.rows_per_dim_table = 8;
+  options.seed = 99;
+  auto suite = GenerateMiniBird(options);
+  ASSERT_EQ(suite.size(), 1u);
+  const TaskSpec& task = suite[0].tasks[2];  // retail_avg_price: no trap
+  bool solved_any = false;
+  for (uint64_t seed = 1; seed <= 8 && !solved_any; ++seed) {
+    EpisodeOptions eo;
+    eo.seed = seed;
+    solved_any = RunEpisode(suite[0].system.get(), task,
+                            StrongAgentProfile(), eo).solved;
+  }
+  EXPECT_TRUE(solved_any);
+}
+
+TEST_F(IntegrationTest, MixedWorkloadKeepsCachesCoherent) {
+  // Interleave probes and writes; answers must always reflect latest data.
+  Probe count_probe;
+  count_probe.queries = {"SELECT count(*) FROM bean_sales"};
+  count_probe.brief.text = "verify exactly";
+  auto r1 = system_->HandleProbe(count_probe);
+  ASSERT_TRUE(r1.ok());
+  int64_t c1 = r1->answers[0].result->rows[0][0].int_value();
+
+  ASSERT_TRUE(system_->ExecuteSql(
+      "INSERT INTO bean_sales VALUES (9999, 1, 2025, 42.0)").ok());
+
+  auto r2 = system_->HandleProbe(count_probe);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->answers[0].result->rows[0][0].int_value(), c1 + 1);
+
+  ASSERT_TRUE(system_->ExecuteSql(
+      "DELETE FROM bean_sales WHERE sale_id = 9999").ok());
+  auto r3 = system_->HandleProbe(count_probe);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3->answers[0].result->rows[0][0].int_value(), c1);
+}
+
+}  // namespace
+}  // namespace agentfirst

@@ -1,0 +1,105 @@
+#include "sql/lexer.h"
+
+#include "gtest/gtest.h"
+
+namespace agentfirst {
+namespace {
+
+std::vector<Token> MustTokenize(const std::string& sql) {
+  auto r = Tokenize(sql);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : std::vector<Token>{};
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  auto tokens = MustTokenize("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, KeywordsUppercasedIdentifiersLowercased) {
+  auto tokens = MustTokenize("SeLeCt FooBar");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].type, TokenType::kKeyword);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "foobar");
+}
+
+TEST(LexerTest, IntAndFloatLiterals) {
+  auto tokens = MustTokenize("42 3.5 .5 1e3 2E-2");
+  EXPECT_EQ(tokens[0].type, TokenType::kIntLiteral);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].type, TokenType::kFloatLiteral);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 3.5);
+  EXPECT_EQ(tokens[2].type, TokenType::kFloatLiteral);
+  EXPECT_DOUBLE_EQ(tokens[2].float_value, 0.5);
+  EXPECT_EQ(tokens[3].type, TokenType::kFloatLiteral);
+  EXPECT_DOUBLE_EQ(tokens[3].float_value, 1000.0);
+  EXPECT_EQ(tokens[4].type, TokenType::kFloatLiteral);
+  EXPECT_DOUBLE_EQ(tokens[4].float_value, 0.02);
+}
+
+TEST(LexerTest, StringLiteralWithEscapedQuote) {
+  auto tokens = MustTokenize("'it''s'");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+  EXPECT_FALSE(Tokenize("\"oops").ok());
+}
+
+TEST(LexerTest, QuotedIdentifierPreservesCase) {
+  auto tokens = MustTokenize("\"MyTable\"");
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "MyTable");
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  auto tokens = MustTokenize("<= >= <> != < > =");
+  EXPECT_EQ(tokens[0].text, "<=");
+  EXPECT_EQ(tokens[1].text, ">=");
+  EXPECT_EQ(tokens[2].text, "<>");
+  EXPECT_EQ(tokens[3].text, "<>");  // != normalized
+  EXPECT_EQ(tokens[4].text, "<");
+  EXPECT_EQ(tokens[5].text, ">");
+  EXPECT_EQ(tokens[6].text, "=");
+}
+
+TEST(LexerTest, LineComments) {
+  auto tokens = MustTokenize("SELECT -- the select list\n 1");
+  ASSERT_EQ(tokens.size(), 3u);  // SELECT, 1, END
+  EXPECT_EQ(tokens[1].int_value, 1);
+}
+
+TEST(LexerTest, UnexpectedCharacterIsError) {
+  auto r = Tokenize("SELECT @x");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LexerTest, PositionsRecorded) {
+  auto tokens = MustTokenize("SELECT a");
+  EXPECT_EQ(tokens[0].position, 0u);
+  EXPECT_EQ(tokens[1].position, 7u);
+}
+
+TEST(LexerTest, IsSqlKeyword) {
+  EXPECT_TRUE(IsSqlKeyword("select"));
+  EXPECT_TRUE(IsSqlKeyword("GROUP"));
+  EXPECT_FALSE(IsSqlKeyword("foobar"));
+}
+
+TEST(LexerTest, DottedIdentifiers) {
+  auto tokens = MustTokenize("information_schema.tables");
+  ASSERT_GE(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "information_schema");
+  EXPECT_EQ(tokens[1].text, ".");
+  EXPECT_EQ(tokens[2].text, "tables");
+}
+
+}  // namespace
+}  // namespace agentfirst

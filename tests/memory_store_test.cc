@@ -1,0 +1,172 @@
+#include "memory/memory_store.h"
+
+#include "gtest/gtest.h"
+
+namespace agentfirst {
+namespace {
+
+class MemoryStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema schema({ColumnDef("id", DataType::kInt64, false, "sales"),
+                   ColumnDef("state", DataType::kString, true, "sales")});
+    auto t = catalog_.CreateTable("sales", schema);
+    ASSERT_TRUE(t.ok());
+    table_ = *t;
+    ASSERT_TRUE(table_->AppendRow({Value::Int(1), Value::String("California")}).ok());
+  }
+
+  MemoryArtifact MakeArtifact(const std::string& key, const std::string& content,
+                              std::vector<std::string> deps = {"sales"}) {
+    MemoryArtifact a;
+    a.kind = ArtifactKind::kGroundingNote;
+    a.key = key;
+    a.content = content;
+    a.table_deps = std::move(deps);
+    return a;
+  }
+
+  Catalog catalog_;
+  TablePtr table_;
+};
+
+TEST_F(MemoryStoreTest, PutAndGetExact) {
+  AgenticMemoryStore store(&catalog_, {});
+  store.Put(MakeArtifact("k1", "states are spelled out"));
+  auto hit = store.GetExact("k1");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->artifact->content, "states are spelled out");
+  EXPECT_FALSE(hit->stale);
+  EXPECT_FALSE(store.GetExact("k2").has_value());
+  EXPECT_EQ(store.stats().exact_hits, 1u);
+  EXPECT_EQ(store.stats().exact_misses, 1u);
+}
+
+TEST_F(MemoryStoreTest, PutSupersedesSameKeySameOwner) {
+  AgenticMemoryStore store(&catalog_, {});
+  store.Put(MakeArtifact("k", "old"));
+  store.Put(MakeArtifact("k", "new"));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.GetExact("k")->artifact->content, "new");
+}
+
+TEST_F(MemoryStoreTest, SemanticSearchRanksByRelevance) {
+  AgenticMemoryStore store(&catalog_, {});
+  store.Put(MakeArtifact("note:sales_state", "sales table state column encoding"));
+  store.Put(MakeArtifact("note:crew", "flight crew roster details", {}));
+  auto hits = store.Search("state encoding in sales", 2);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].artifact->key, "note:sales_state");
+}
+
+TEST_F(MemoryStoreTest, EagerStalenessDropsOnDataChange) {
+  AgenticMemoryStore::Options options;
+  options.staleness = AgenticMemoryStore::StalenessPolicy::kEager;
+  AgenticMemoryStore store(&catalog_, options);
+  store.Put(MakeArtifact("k", "depends on sales"));
+  // Mutate the table: artifact becomes stale.
+  ASSERT_TRUE(table_->AppendRow({Value::Int(2), Value::String("Texas")}).ok());
+  EXPECT_FALSE(store.GetExact("k").has_value());
+  EXPECT_EQ(store.stats().stale_dropped, 1u);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST_F(MemoryStoreTest, LazyStalenessServesFlagged) {
+  AgenticMemoryStore::Options options;
+  options.staleness = AgenticMemoryStore::StalenessPolicy::kLazy;
+  AgenticMemoryStore store(&catalog_, options);
+  store.Put(MakeArtifact("k", "depends on sales"));
+  ASSERT_TRUE(table_->AppendRow({Value::Int(2), Value::String("Texas")}).ok());
+  auto hit = store.GetExact("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->stale);
+  EXPECT_EQ(store.stats().stale_served, 1u);
+}
+
+TEST_F(MemoryStoreTest, DroppedTableMakesArtifactStale) {
+  AgenticMemoryStore store(&catalog_, {});
+  store.Put(MakeArtifact("k", "depends on sales"));
+  ASSERT_TRUE(catalog_.DropTable("sales").ok());
+  EXPECT_FALSE(store.GetExact("k").has_value());
+}
+
+TEST_F(MemoryStoreTest, SchemaNoteExpiresOnAnyDdl) {
+  AgenticMemoryStore store(&catalog_, {});
+  MemoryArtifact a = MakeArtifact("schema", "there are two tables", {});
+  a.kind = ArtifactKind::kSchemaNote;
+  store.Put(std::move(a));
+  ASSERT_TRUE(catalog_.CreateTable("extra", Schema({ColumnDef("x", DataType::kInt64)})).ok());
+  EXPECT_FALSE(store.GetExact("schema").has_value());
+}
+
+TEST_F(MemoryStoreTest, SweepStaleRemovesAll) {
+  AgenticMemoryStore::Options options;
+  options.staleness = AgenticMemoryStore::StalenessPolicy::kLazy;
+  AgenticMemoryStore store(&catalog_, options);
+  store.Put(MakeArtifact("k1", "a"));
+  store.Put(MakeArtifact("k2", "b"));
+  store.Put(MakeArtifact("fresh", "no deps", {}));
+  ASSERT_TRUE(table_->AppendRow({Value::Int(3), Value::String("Oregon")}).ok());
+  EXPECT_EQ(store.SweepStale(), 2u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST_F(MemoryStoreTest, LruEviction) {
+  AgenticMemoryStore::Options options;
+  options.capacity = 2;
+  AgenticMemoryStore store(&catalog_, options);
+  store.Put(MakeArtifact("a", "1", {}));
+  store.Put(MakeArtifact("b", "2", {}));
+  // Touch "a" so "b" is the LRU.
+  (void)store.GetExact("a");
+  store.Put(MakeArtifact("c", "3", {}));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.GetExact("a").has_value());
+  EXPECT_FALSE(store.GetExact("b").has_value());
+  EXPECT_TRUE(store.GetExact("c").has_value());
+  EXPECT_EQ(store.stats().evictions, 1u);
+}
+
+TEST_F(MemoryStoreTest, AccessControlPrivateMode) {
+  AgenticMemoryStore::Options options;
+  options.share_across_principals = false;
+  AgenticMemoryStore store(&catalog_, options);
+  MemoryArtifact a = MakeArtifact("k", "private note", {});
+  a.owner = "agent1";
+  store.Put(std::move(a));
+  EXPECT_TRUE(store.GetExact("k", "agent1").has_value());
+  EXPECT_FALSE(store.GetExact("k", "agent2").has_value());
+  // Public artifacts visible to everyone.
+  store.Put(MakeArtifact("pub", "public note", {}));
+  EXPECT_TRUE(store.GetExact("pub", "agent2").has_value());
+}
+
+TEST_F(MemoryStoreTest, AccessControlSharedMode) {
+  AgenticMemoryStore::Options options;
+  options.share_across_principals = true;
+  AgenticMemoryStore store(&catalog_, options);
+  MemoryArtifact a = MakeArtifact("k", "note", {});
+  a.owner = "agent1";
+  store.Put(std::move(a));
+  EXPECT_TRUE(store.GetExact("k", "agent2").has_value());
+}
+
+TEST_F(MemoryStoreTest, SearchRespectsVisibility) {
+  AgenticMemoryStore::Options options;
+  options.share_across_principals = false;
+  AgenticMemoryStore store(&catalog_, options);
+  MemoryArtifact a = MakeArtifact("k", "sales state encoding note", {});
+  a.owner = "agent1";
+  store.Put(std::move(a));
+  EXPECT_TRUE(store.Search("sales state", 5, "agent2").empty());
+  auto own = store.Search("sales state", 5, "agent1");
+  ASSERT_FALSE(own.empty());
+}
+
+TEST_F(MemoryStoreTest, ArtifactKindNames) {
+  EXPECT_STREQ(ArtifactKindName(ArtifactKind::kProbeResult), "probe_result");
+  EXPECT_STREQ(ArtifactKindName(ArtifactKind::kColumnEncoding), "column_encoding");
+}
+
+}  // namespace
+}  // namespace agentfirst

@@ -1,0 +1,136 @@
+// Edge cases of the branch manager's three-way merge and bookkeeping, beyond
+// the core coverage in branch_test.cc.
+
+#include "gtest/gtest.h"
+#include "txn/branch_manager.h"
+
+namespace agentfirst {
+namespace {
+
+class MergeEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Table table("t", Schema({ColumnDef("k", DataType::kInt64, false, "t"),
+                             ColumnDef("v", DataType::kString, true, "t")}),
+                /*segment_capacity=*/4);
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE(table.AppendRow({Value::Int(i), Value::String("base")}).ok());
+    }
+    ASSERT_TRUE(manager_.ImportTable(table).ok());
+  }
+
+  BranchManager manager_;
+};
+
+TEST_F(MergeEdgeTest, AppendsOnBothSidesConcatenate) {
+  auto src = *manager_.Fork(BranchManager::kMainBranch);
+  ASSERT_TRUE(manager_.Append(BranchManager::kMainBranch, "t",
+                              {Value::Int(100), Value::String("dst-new")}).ok());
+  ASSERT_TRUE(manager_.Append(src, "t",
+                              {Value::Int(200), Value::String("src-new")}).ok());
+  auto report = manager_.Merge(src, BranchManager::kMainBranch,
+                               MergePolicy::kFailOnConflict);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->committed);
+  EXPECT_EQ(report->rows_appended, 1u);
+  EXPECT_EQ(*manager_.NumRows(BranchManager::kMainBranch, "t"), 8u);
+  // Both appended rows present.
+  EXPECT_EQ(manager_.Read(BranchManager::kMainBranch, "t", 6, 0)->int_value(), 100);
+  EXPECT_EQ(manager_.Read(BranchManager::kMainBranch, "t", 7, 0)->int_value(), 200);
+}
+
+TEST_F(MergeEdgeTest, SameValueOnBothSidesIsNotAConflict) {
+  auto a = *manager_.Fork(BranchManager::kMainBranch);
+  auto b = *manager_.Fork(BranchManager::kMainBranch);
+  ASSERT_TRUE(manager_.Write(a, "t", 1, 1, Value::String("agreed")).ok());
+  ASSERT_TRUE(manager_.Write(b, "t", 1, 1, Value::String("agreed")).ok());
+  ASSERT_TRUE(manager_.Merge(a, BranchManager::kMainBranch,
+                             MergePolicy::kFailOnConflict)->committed);
+  auto report = manager_.Merge(b, BranchManager::kMainBranch,
+                               MergePolicy::kFailOnConflict);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->committed);
+  EXPECT_TRUE(report->conflicts.empty());
+}
+
+TEST_F(MergeEdgeTest, NullTransitionsDetected) {
+  auto src = *manager_.Fork(BranchManager::kMainBranch);
+  ASSERT_TRUE(manager_.Write(src, "t", 2, 1, Value::Null()).ok());
+  auto report = manager_.Merge(src, BranchManager::kMainBranch,
+                               MergePolicy::kFailOnConflict);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->committed);
+  EXPECT_EQ(report->cells_applied, 1u);
+  EXPECT_TRUE(manager_.Read(BranchManager::kMainBranch, "t", 2, 1)->is_null());
+}
+
+TEST_F(MergeEdgeTest, MergeUnknownEndpointsRejected) {
+  EXPECT_FALSE(manager_.Merge(42, BranchManager::kMainBranch,
+                              MergePolicy::kFailOnConflict).ok());
+  EXPECT_FALSE(manager_.Merge(BranchManager::kMainBranch, 42,
+                              MergePolicy::kFailOnConflict).ok());
+}
+
+TEST_F(MergeEdgeTest, FailedMergeLeavesSourceIntact) {
+  auto a = *manager_.Fork(BranchManager::kMainBranch);
+  auto b = *manager_.Fork(BranchManager::kMainBranch);
+  ASSERT_TRUE(manager_.Write(a, "t", 3, 1, Value::String("A")).ok());
+  ASSERT_TRUE(manager_.Write(b, "t", 3, 1, Value::String("B")).ok());
+  ASSERT_TRUE(manager_.Merge(a, BranchManager::kMainBranch,
+                             MergePolicy::kFailOnConflict)->committed);
+  auto report = manager_.Merge(b, BranchManager::kMainBranch,
+                               MergePolicy::kFailOnConflict);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->committed);
+  // Source branch b still holds its value and can retry under a policy.
+  EXPECT_EQ(manager_.Read(b, "t", 3, 1)->string_value(), "B");
+  auto retry = manager_.Merge(b, BranchManager::kMainBranch,
+                              MergePolicy::kSourceWins);
+  ASSERT_TRUE(retry.ok());
+  EXPECT_TRUE(retry->committed);
+  EXPECT_EQ(manager_.Read(BranchManager::kMainBranch, "t", 3, 1)->string_value(), "B");
+}
+
+TEST_F(MergeEdgeTest, StatsCountersAdvance) {
+  auto before = manager_.stats();
+  auto b = *manager_.Fork(BranchManager::kMainBranch);
+  ASSERT_TRUE(manager_.Write(b, "t", 0, 1, Value::String("x")).ok());
+  ASSERT_TRUE(manager_.Merge(b, BranchManager::kMainBranch,
+                             MergePolicy::kSourceWins)->committed);
+  ASSERT_TRUE(manager_.Rollback(b).ok());
+  auto after = manager_.stats();
+  EXPECT_EQ(after.forks, before.forks + 1);
+  EXPECT_EQ(after.merges, before.merges + 1);
+  EXPECT_EQ(after.rollbacks, before.rollbacks + 1);
+  EXPECT_GT(after.segments_cloned, before.segments_cloned);
+  EXPECT_GT(after.cells_written, before.cells_written);
+}
+
+TEST_F(MergeEdgeTest, DiffAfterMergeShowsDestinationChanges) {
+  auto b = *manager_.Fork(BranchManager::kMainBranch);
+  ASSERT_TRUE(manager_.Write(b, "t", 4, 1, Value::String("delta")).ok());
+  ASSERT_TRUE(manager_.Merge(b, BranchManager::kMainBranch,
+                             MergePolicy::kSourceWins)->committed);
+  // The destination (main) now diverges from ITS base.
+  auto deltas = manager_.Diff(BranchManager::kMainBranch);
+  ASSERT_TRUE(deltas.ok());
+  ASSERT_EQ(deltas->size(), 1u);
+  EXPECT_EQ((*deltas)[0].current.string_value(), "delta");
+}
+
+TEST_F(MergeEdgeTest, ManyTablesMergeIndependently) {
+  Table other("u", Schema({ColumnDef("x", DataType::kInt64, true, "u")}));
+  ASSERT_TRUE(other.AppendRow({Value::Int(1)}).ok());
+  ASSERT_TRUE(manager_.ImportTable(other).ok());
+  auto b = *manager_.Fork(BranchManager::kMainBranch);
+  ASSERT_TRUE(manager_.Write(b, "t", 0, 1, Value::String("t-change")).ok());
+  ASSERT_TRUE(manager_.Write(b, "u", 0, 0, Value::Int(99)).ok());
+  auto report = manager_.Merge(b, BranchManager::kMainBranch,
+                               MergePolicy::kFailOnConflict);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->cells_applied, 2u);
+  EXPECT_EQ(manager_.Read(BranchManager::kMainBranch, "u", 0, 0)->int_value(), 99);
+}
+
+}  // namespace
+}  // namespace agentfirst

@@ -1,0 +1,172 @@
+#include "opt/mqo.h"
+
+#include "gtest/gtest.h"
+#include "opt/rules.h"
+#include "plan/binder.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace agentfirst {
+namespace {
+
+using testing_util::PeopleDbTest;
+
+class MqoTest : public PeopleDbTest {
+ protected:
+  PlanPtr Bind(const std::string& sql) {
+    auto select = ParseSelect(sql);
+    EXPECT_TRUE(select.ok());
+    Binder binder(&catalog_);
+    auto plan = binder.BindSelect(**select);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return plan.ok() ? OptimizePlan(*plan) : nullptr;
+  }
+};
+
+TEST_F(MqoTest, BatchSharesIdenticalPlans) {
+  BatchExecutor batch;
+  std::vector<PlanPtr> plans;
+  for (int i = 0; i < 10; ++i) {
+    plans.push_back(Bind("SELECT count(*) FROM people WHERE age > 20"));
+  }
+  auto results = batch.ExecuteBatch(plans);
+  ASSERT_EQ(results.size(), 10u);
+  for (auto& r : results) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ((*r)->rows[0][0].int_value(), 3);
+  }
+  SharingStats stats = batch.stats();
+  EXPECT_GT(stats.cache_hits, 0u);
+  // 10 identical plans: distinct operators are ~1/10 of total.
+  EXPECT_GT(stats.SharingRatio(), 0.8);
+}
+
+TEST_F(MqoTest, PartialOverlapSharesSubplans) {
+  BatchExecutor batch;
+  std::vector<PlanPtr> plans = {
+      Bind("SELECT count(*) FROM people WHERE age > 20"),
+      Bind("SELECT max(age) FROM people WHERE age > 20"),  // same filtered scan
+  };
+  auto results = batch.ExecuteBatch(plans);
+  ASSERT_TRUE(results[0].ok());
+  ASSERT_TRUE(results[1].ok());
+  SharingStats stats = batch.stats();
+  EXPECT_GT(stats.SharingRatio(), 0.0);
+  EXPECT_LT(stats.SharingRatio(), 1.0);
+}
+
+TEST_F(MqoTest, DisjointPlansShareNothing) {
+  BatchExecutor batch;
+  std::vector<PlanPtr> plans = {
+      Bind("SELECT count(*) FROM people"),
+      Bind("SELECT count(*) FROM orders"),
+  };
+  (void)batch.ExecuteBatch(plans);
+  EXPECT_DOUBLE_EQ(batch.stats().SharingRatio(), 0.0);
+}
+
+TEST_F(MqoTest, SecondBatchReusesCacheAcrossCalls) {
+  BatchExecutor batch;
+  auto p = Bind("SELECT count(*) FROM people");
+  (void)batch.ExecuteBatch({p});
+  uint64_t misses_before = batch.stats().cache_misses;
+  auto results = batch.ExecuteBatch({Bind("SELECT count(*) FROM people")});
+  ASSERT_TRUE(results[0].ok());
+  EXPECT_EQ(batch.stats().cache_misses, misses_before);  // all hits
+}
+
+TEST_F(MqoTest, WritesInvalidateViaFingerprint) {
+  BatchExecutor batch;
+  auto r1 = batch.ExecuteBatch({Bind("SELECT count(*) FROM people")});
+  ASSERT_TRUE(r1[0].ok());
+  Run("INSERT INTO people VALUES (42,'zed',33,'austin')");
+  auto r2 = batch.ExecuteBatch({Bind("SELECT count(*) FROM people")});
+  ASSERT_TRUE(r2[0].ok());
+  EXPECT_EQ((*r2[0])->rows[0][0].int_value(),
+            (*r1[0])->rows[0][0].int_value() + 1);
+}
+
+TEST_F(MqoTest, NullPlanReportsErrorWithoutFailingBatch) {
+  BatchExecutor batch;
+  std::vector<PlanPtr> plans = {nullptr, Bind("SELECT count(*) FROM people")};
+  auto results = batch.ExecuteBatch(plans);
+  EXPECT_FALSE(results[0].ok());
+  EXPECT_TRUE(results[1].ok());
+}
+
+TEST_F(MqoTest, ParallelBatchMatchesSerial) {
+  std::vector<std::string> sqls = {
+      "SELECT count(*) FROM people WHERE age > 20",
+      "SELECT max(age) FROM people",
+      "SELECT name FROM people WHERE city = 'berkeley' ORDER BY name",
+      "SELECT city, count(*) FROM people GROUP BY city",
+      "SELECT count(*) FROM orders WHERE amount > 10",
+      "SELECT name, amount FROM people JOIN orders ON people.id = orders.person_id",
+  };
+  std::vector<PlanPtr> plans;
+  for (const auto& sql : sqls) plans.push_back(Bind(sql));
+
+  BatchExecutor serial;
+  auto expected = serial.ExecuteBatch(plans);
+  BatchExecutor parallel;
+  auto actual = parallel.ExecuteBatchParallel(plans, 4);
+
+  auto serialize = [](const ResultSet& rs) {
+    std::vector<std::string> rows;
+    for (const Row& r : rs.rows) {
+      std::string s;
+      for (const Value& v : r) s += v.ToString() + "|";
+      rows.push_back(std::move(s));
+    }
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_TRUE(expected[i].ok());
+    ASSERT_TRUE(actual[i].ok()) << sqls[i] << ": " << actual[i].status().ToString();
+    EXPECT_EQ(serialize(**expected[i]), serialize(**actual[i])) << sqls[i];
+  }
+}
+
+TEST_F(MqoTest, ParallelIdenticalPlansShareCacheSafely) {
+  std::vector<PlanPtr> plans;
+  for (int i = 0; i < 64; ++i) {
+    plans.push_back(Bind("SELECT count(*) FROM people WHERE age > 20"));
+  }
+  BatchExecutor batch;
+  auto results = batch.ExecuteBatchParallel(plans, 8);
+  ASSERT_EQ(results.size(), 64u);
+  for (auto& r : results) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ((*r)->rows[0][0].int_value(), 3);
+  }
+}
+
+TEST_F(MqoTest, ParallelHandlesNullPlans) {
+  std::vector<PlanPtr> plans = {Bind("SELECT count(*) FROM people"), nullptr,
+                                Bind("SELECT count(*) FROM orders")};
+  BatchExecutor batch;
+  auto results = batch.ExecuteBatchParallel(plans, 3);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_TRUE(results[2].ok());
+}
+
+TEST_F(MqoTest, ParallelSingleThreadFallsBackToSerial) {
+  std::vector<PlanPtr> plans = {Bind("SELECT count(*) FROM people")};
+  BatchExecutor batch;
+  auto results = batch.ExecuteBatchParallel(plans, 1);
+  ASSERT_TRUE(results[0].ok());
+  EXPECT_EQ((*results[0])->rows[0][0].int_value(), 5);
+}
+
+TEST_F(MqoTest, InvalidateCacheForcesRecompute) {
+  BatchExecutor batch;
+  (void)batch.ExecuteBatch({Bind("SELECT count(*) FROM people")});
+  batch.InvalidateCache();
+  EXPECT_EQ(batch.cache()->size(), 0u);
+}
+
+}  // namespace
+}  // namespace agentfirst

@@ -1,0 +1,175 @@
+#include "opt/rules.h"
+
+#include "gtest/gtest.h"
+#include "opt/cost_model.h"
+#include "plan/binder.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace agentfirst {
+namespace {
+
+using testing_util::PeopleDbTest;
+
+class OptimizerTest : public PeopleDbTest {
+ protected:
+  PlanPtr Bind(const std::string& sql) {
+    auto select = ParseSelect(sql);
+    EXPECT_TRUE(select.ok());
+    Binder binder(&catalog_);
+    auto plan = binder.BindSelect(**select);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return plan.ok() ? *plan : nullptr;
+  }
+};
+
+TEST_F(OptimizerTest, FoldConstantsCollapsesLiteralTrees) {
+  auto parsed = ParseExpression("1 + 2 * 3");
+  ASSERT_TRUE(parsed.ok());
+  Binder binder(&catalog_);
+  Schema empty;
+  auto bound = binder.BindScalar(**parsed, empty);
+  ASSERT_TRUE(bound.ok());
+  BoundExprPtr folded = FoldConstants(std::move(*bound));
+  ASSERT_EQ(folded->kind, BoundExprKind::kLiteral);
+  EXPECT_EQ(folded->literal.int_value(), 7);
+}
+
+TEST_F(OptimizerTest, FoldConstantsKeepsColumnRefs) {
+  auto plan = Bind("SELECT age + (1 + 2) FROM people");
+  ASSERT_NE(plan, nullptr);
+  PlanPtr optimized = OptimizePlan(plan);
+  // The (1+2) subtree folds; the addition with the column stays.
+  const BoundExpr& e = *optimized->project_exprs[0];
+  ASSERT_EQ(e.kind, BoundExprKind::kBinary);
+  EXPECT_EQ(e.children[1]->kind, BoundExprKind::kLiteral);
+  EXPECT_EQ(e.children[1]->literal.int_value(), 3);
+}
+
+TEST_F(OptimizerTest, FilterPushedIntoScan) {
+  PlanPtr plan = Bind("SELECT name FROM people WHERE age > 30");
+  PlanPtr optimized = OptimizePlan(plan);
+  // Project <- Scan(filter).
+  ASSERT_EQ(optimized->kind, PlanKind::kProject);
+  ASSERT_EQ(optimized->children[0]->kind, PlanKind::kScan);
+  EXPECT_NE(optimized->children[0]->scan_filter, nullptr);
+}
+
+TEST_F(OptimizerTest, FilterSplitAcrossJoinSides) {
+  PlanPtr plan = Bind(
+      "SELECT name FROM people JOIN orders ON people.id = orders.person_id "
+      "WHERE people.age > 30 AND orders.amount > 10");
+  PlanPtr optimized = OptimizePlan(plan);
+  // Both conjuncts should reach the scans below the join.
+  std::function<size_t(const PlanNode&)> count_scan_filters =
+      [&](const PlanNode& n) -> size_t {
+    size_t c = n.kind == PlanKind::kScan && n.scan_filter != nullptr ? 1 : 0;
+    for (const auto& ch : n.children) c += count_scan_filters(*ch);
+    return c;
+  };
+  EXPECT_EQ(count_scan_filters(*optimized), 2u);
+}
+
+TEST_F(OptimizerTest, LeftJoinRightSideFilterStaysAbove) {
+  PlanPtr plan = Bind(
+      "SELECT name FROM people LEFT JOIN orders ON people.id = orders.person_id "
+      "WHERE orders.amount > 10");
+  PlanPtr optimized = OptimizePlan(plan);
+  // The right-side conjunct must NOT be pushed below a LEFT join.
+  std::function<bool(const PlanNode&)> scan_has_filter =
+      [&](const PlanNode& n) -> bool {
+    if (n.kind == PlanKind::kScan && n.table_name == "orders" &&
+        n.scan_filter != nullptr) {
+      return true;
+    }
+    for (const auto& ch : n.children) {
+      if (scan_has_filter(*ch)) return true;
+    }
+    return false;
+  };
+  EXPECT_FALSE(scan_has_filter(*optimized));
+}
+
+// Property sweep: OptimizePlan never changes query results.
+class RewriteEquivalenceTest
+    : public PeopleDbTest,
+      public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(RewriteEquivalenceTest, OptimizedPlanProducesSameRows) {
+  auto select = ParseSelect(GetParam());
+  ASSERT_TRUE(select.ok());
+  Binder binder(&catalog_);
+  auto plan = binder.BindSelect(**select);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  auto raw = ExecutePlan(**plan);
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  PlanPtr optimized = OptimizePlan(*plan);
+  auto opt = ExecutePlan(*optimized);
+  ASSERT_TRUE(opt.ok()) << opt.status().ToString();
+
+  // Compare as multisets of stringified rows.
+  auto serialize = [](const ResultSet& rs) {
+    std::vector<std::string> rows;
+    for (const Row& r : rs.rows) {
+      std::string s;
+      for (const Value& v : r) s += v.ToString() + "|";
+      rows.push_back(s);
+    }
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+  EXPECT_EQ(serialize(**raw), serialize(**opt)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, RewriteEquivalenceTest,
+    ::testing::Values(
+        "SELECT * FROM people",
+        "SELECT name FROM people WHERE age > 30",
+        "SELECT name FROM people WHERE age > 20 AND city = 'berkeley'",
+        "SELECT name FROM people WHERE age > 20 OR city = 'berkeley'",
+        "SELECT name, amount FROM people JOIN orders ON people.id = orders.person_id",
+        "SELECT name FROM people JOIN orders ON people.id = orders.person_id "
+        "WHERE people.age > 25 AND orders.amount > 10",
+        "SELECT name, amount FROM people LEFT JOIN orders ON people.id = "
+        "orders.person_id WHERE people.age > 25",
+        "SELECT name, amount FROM people LEFT JOIN orders ON people.id = "
+        "orders.person_id WHERE orders.amount > 10",
+        "SELECT city, count(*) FROM people GROUP BY city",
+        "SELECT city, count(*) FROM people WHERE age IS NOT NULL GROUP BY city "
+        "HAVING count(*) > 0",
+        "SELECT DISTINCT city FROM people WHERE 1 + 1 = 2",
+        "SELECT name FROM people WHERE age BETWEEN 10 + 10 AND 40 ORDER BY name",
+        "SELECT s.n FROM (SELECT count(*) AS n FROM people) AS s",
+        "SELECT name FROM people WHERE city LIKE 'b%' ORDER BY name LIMIT 2"));
+
+TEST_F(OptimizerTest, CostEstimateScalesWithTableSize) {
+  PlanPtr small = Bind("SELECT count(*) FROM people");
+  PlanPtr big = Bind("SELECT people.id FROM people CROSS JOIN orders");
+  CostEstimate cs = EstimatePlanCost(*small, &catalog_);
+  CostEstimate cb = EstimatePlanCost(*big, &catalog_);
+  EXPECT_GT(cb.total_cost, cs.total_cost);
+}
+
+TEST_F(OptimizerTest, SelectivityUsesStats) {
+  PlanPtr plan = Bind("SELECT name FROM people WHERE city = 'berkeley'");
+  PlanPtr optimized = OptimizePlan(plan);
+  CostEstimate est = EstimatePlanCost(*optimized, &catalog_);
+  // 3 of 5 rows are berkeley.
+  EXPECT_NEAR(est.output_rows, 3.0, 1.0);
+}
+
+TEST_F(OptimizerTest, EstimateAggregateOutput) {
+  PlanPtr plan = Bind("SELECT count(*) FROM people");
+  CostEstimate est = EstimatePlanCost(*plan, &catalog_);
+  EXPECT_NEAR(est.output_rows, 1.0, 0.01);
+}
+
+TEST_F(OptimizerTest, LimitCapsEstimate) {
+  PlanPtr plan = Bind("SELECT name FROM people LIMIT 2");
+  CostEstimate est = EstimatePlanCost(*plan, &catalog_);
+  EXPECT_LE(est.output_rows, 2.0);
+}
+
+}  // namespace
+}  // namespace agentfirst

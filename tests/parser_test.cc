@@ -1,0 +1,279 @@
+#include "sql/parser.h"
+
+#include "gtest/gtest.h"
+
+namespace agentfirst {
+namespace {
+
+std::unique_ptr<SelectStmt> MustParseSelect(const std::string& sql) {
+  auto r = ParseSelect(sql);
+  EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  return r.ok() ? std::move(*r) : nullptr;
+}
+
+TEST(ParserTest, MinimalSelect) {
+  auto stmt = MustParseSelect("SELECT 1");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->items.size(), 1u);
+  EXPECT_EQ(stmt->items[0].expr->kind, ExprKind::kLiteral);
+  EXPECT_EQ(stmt->from, nullptr);
+}
+
+TEST(ParserTest, SelectStarFromTable) {
+  auto stmt = MustParseSelect("SELECT * FROM people");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_EQ(stmt->items[0].expr->kind, ExprKind::kStar);
+  ASSERT_NE(stmt->from, nullptr);
+  EXPECT_EQ(stmt->from->kind, TableRefAst::Kind::kBase);
+  EXPECT_EQ(stmt->from->table_name, "people");
+}
+
+TEST(ParserTest, AliasesWithAndWithoutAs) {
+  auto stmt = MustParseSelect("SELECT a AS x, b y FROM t AS t1");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_EQ(stmt->items[0].alias, "x");
+  EXPECT_EQ(stmt->items[1].alias, "y");
+  EXPECT_EQ(stmt->from->alias, "t1");
+}
+
+TEST(ParserTest, WhereWithPrecedence) {
+  auto stmt = MustParseSelect("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  ASSERT_NE(stmt, nullptr);
+  // OR is the root: AND binds tighter.
+  ASSERT_EQ(stmt->where->kind, ExprKind::kBinary);
+  EXPECT_EQ(stmt->where->bin_op, BinaryOp::kOr);
+  EXPECT_EQ(stmt->where->children[1]->bin_op, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  auto expr = ParseExpression("1 + 2 * 3");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->bin_op, BinaryOp::kAdd);
+  EXPECT_EQ((*expr)->children[1]->bin_op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  auto expr = ParseExpression("(1 + 2) * 3");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->bin_op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, UnaryMinusFoldsLiterals) {
+  auto expr = ParseExpression("-5");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->kind, ExprKind::kLiteral);
+  EXPECT_EQ((*expr)->literal.int_value(), -5);
+}
+
+TEST(ParserTest, NotLikeInBetween) {
+  auto stmt = MustParseSelect(
+      "SELECT a FROM t WHERE a NOT LIKE 'x%' AND b NOT IN (1,2) AND "
+      "c NOT BETWEEN 1 AND 10 AND d IS NOT NULL");
+  ASSERT_NE(stmt, nullptr);
+  std::string s = stmt->where->ToString();
+  EXPECT_NE(s.find("NOT LIKE"), std::string::npos);
+  EXPECT_NE(s.find("NOT IN"), std::string::npos);
+  EXPECT_NE(s.find("NOT BETWEEN"), std::string::npos);
+  EXPECT_NE(s.find("IS NOT NULL"), std::string::npos);
+}
+
+TEST(ParserTest, BetweenAndBindsToBetween) {
+  auto stmt = MustParseSelect("SELECT a FROM t WHERE a BETWEEN 1 AND 10 AND b = 2");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->where->bin_op, BinaryOp::kAnd);
+  EXPECT_EQ(stmt->where->children[0]->kind, ExprKind::kBetween);
+}
+
+TEST(ParserTest, JoinVariants) {
+  auto stmt = MustParseSelect(
+      "SELECT * FROM a JOIN b ON a.id = b.id LEFT JOIN c ON b.id = c.id");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->from->kind, TableRefAst::Kind::kJoin);
+  EXPECT_EQ(stmt->from->join_type, JoinType::kLeft);
+  EXPECT_EQ(stmt->from->left->kind, TableRefAst::Kind::kJoin);
+  EXPECT_EQ(stmt->from->left->join_type, JoinType::kInner);
+}
+
+TEST(ParserTest, CrossJoinAndCommaJoin) {
+  auto stmt1 = MustParseSelect("SELECT * FROM a CROSS JOIN b");
+  ASSERT_NE(stmt1, nullptr);
+  EXPECT_EQ(stmt1->from->join_type, JoinType::kCross);
+  auto stmt2 = MustParseSelect("SELECT * FROM a, b");
+  ASSERT_NE(stmt2, nullptr);
+  EXPECT_EQ(stmt2->from->join_type, JoinType::kCross);
+}
+
+TEST(ParserTest, DerivedTable) {
+  auto stmt = MustParseSelect(
+      "SELECT x FROM (SELECT a AS x FROM t WHERE a > 1) AS sub");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->from->kind, TableRefAst::Kind::kSubquery);
+  EXPECT_EQ(stmt->from->alias, "sub");
+  EXPECT_NE(stmt->from->subquery, nullptr);
+}
+
+TEST(ParserTest, GroupByHavingOrderByLimitOffset) {
+  auto stmt = MustParseSelect(
+      "SELECT city, count(*) AS n FROM t GROUP BY city HAVING count(*) > 2 "
+      "ORDER BY n DESC, city ASC LIMIT 5 OFFSET 2");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_EQ(stmt->group_by.size(), 1u);
+  EXPECT_NE(stmt->having, nullptr);
+  ASSERT_EQ(stmt->order_by.size(), 2u);
+  EXPECT_FALSE(stmt->order_by[0].ascending);
+  EXPECT_TRUE(stmt->order_by[1].ascending);
+  EXPECT_EQ(stmt->limit.value(), 5);
+  EXPECT_EQ(stmt->offset.value(), 2);
+}
+
+TEST(ParserTest, DistinctAndCountDistinct) {
+  auto stmt = MustParseSelect("SELECT DISTINCT city FROM t");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_TRUE(stmt->distinct);
+  auto stmt2 = MustParseSelect("SELECT count(DISTINCT city) FROM t");
+  ASSERT_NE(stmt2, nullptr);
+  EXPECT_TRUE(stmt2->items[0].expr->distinct);
+}
+
+TEST(ParserTest, QualifiedColumnsAndStar) {
+  auto stmt = MustParseSelect("SELECT t.a, t.* FROM t");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_EQ(stmt->items[0].expr->table, "t");
+  EXPECT_EQ(stmt->items[0].expr->name, "a");
+  EXPECT_EQ(stmt->items[1].expr->kind, ExprKind::kStar);
+  EXPECT_EQ(stmt->items[1].expr->table, "t");
+}
+
+TEST(ParserTest, InformationSchemaDottedName) {
+  auto stmt = MustParseSelect("SELECT * FROM information_schema.tables");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_EQ(stmt->from->table_name, "information_schema.tables");
+}
+
+TEST(ParserTest, CaseExpression) {
+  auto expr = ParseExpression(
+      "CASE WHEN a > 1 THEN 'big' WHEN a > 0 THEN 'small' ELSE 'neg' END");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->kind, ExprKind::kCase);
+  EXPECT_FALSE((*expr)->has_case_operand);
+  EXPECT_TRUE((*expr)->has_case_else);
+  EXPECT_EQ((*expr)->children.size(), 5u);
+}
+
+TEST(ParserTest, CaseWithOperand) {
+  auto expr = ParseExpression("CASE x WHEN 1 THEN 'one' END");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_TRUE((*expr)->has_case_operand);
+  EXPECT_FALSE((*expr)->has_case_else);
+  EXPECT_EQ((*expr)->children.size(), 3u);
+}
+
+TEST(ParserTest, CreateTable) {
+  auto r = ParseStatement(
+      "CREATE TABLE t (id BIGINT NOT NULL, name VARCHAR(64), price DOUBLE, "
+      "ok BOOLEAN)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->kind, Statement::Kind::kCreateTable);
+  const auto& ct = *r->create_table;
+  EXPECT_EQ(ct.table_name, "t");
+  ASSERT_EQ(ct.columns.size(), 4u);
+  EXPECT_EQ(ct.columns[0].type, DataType::kInt64);
+  EXPECT_FALSE(ct.columns[0].nullable);
+  EXPECT_EQ(ct.columns[1].type, DataType::kString);
+  EXPECT_EQ(ct.columns[2].type, DataType::kFloat64);
+  EXPECT_EQ(ct.columns[3].type, DataType::kBool);
+}
+
+TEST(ParserTest, InsertMultipleRows) {
+  auto r = ParseStatement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->kind, Statement::Kind::kInsert);
+  EXPECT_EQ(r->insert->columns.size(), 2u);
+  EXPECT_EQ(r->insert->rows.size(), 2u);
+}
+
+TEST(ParserTest, UpdateAndDelete) {
+  auto u = ParseStatement("UPDATE t SET a = 1, b = 'x' WHERE id = 3");
+  ASSERT_TRUE(u.ok());
+  ASSERT_EQ(u->kind, Statement::Kind::kUpdate);
+  EXPECT_EQ(u->update->assignments.size(), 2u);
+  EXPECT_NE(u->update->where, nullptr);
+
+  auto d = ParseStatement("DELETE FROM t WHERE id = 3");
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d->kind, Statement::Kind::kDelete);
+  EXPECT_NE(d->del->where, nullptr);
+}
+
+TEST(ParserTest, DropTable) {
+  auto r = ParseStatement("DROP TABLE t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->kind, Statement::Kind::kDropTable);
+  EXPECT_EQ(r->drop_table->table_name, "t");
+}
+
+TEST(ParserTest, TrailingSemicolonAccepted) {
+  EXPECT_TRUE(ParseStatement("SELECT 1;").ok());
+}
+
+TEST(ParserTest, TrailingGarbageRejected) {
+  EXPECT_FALSE(ParseStatement("SELECT 1 1").ok());
+  EXPECT_FALSE(ParseStatement("SELECT 1; SELECT 2").ok());
+}
+
+struct BadSql {
+  const char* sql;
+};
+
+class ParserErrorTest : public ::testing::TestWithParam<BadSql> {};
+
+TEST_P(ParserErrorTest, Rejected) {
+  auto r = ParseStatement(GetParam().sql);
+  EXPECT_FALSE(r.ok()) << GetParam().sql;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadStatements, ParserErrorTest,
+    ::testing::Values(BadSql{"SELECT"}, BadSql{"SELECT FROM t"},
+                      BadSql{"SELECT * FROM"}, BadSql{"SELECT * FROM t WHERE"},
+                      BadSql{"SELECT * FROM t GROUP"},
+                      BadSql{"SELECT * FROM t ORDER BY"},
+                      BadSql{"SELECT * FROM t LIMIT x"},
+                      BadSql{"CREATE TABLE"},
+                      BadSql{"CREATE TABLE t (a UNKNOWNTYPE)"},
+                      BadSql{"INSERT INTO t VALUES"},
+                      BadSql{"INSERT INTO t VALUES (1"},
+                      BadSql{"UPDATE t"}, BadSql{"DELETE t"},
+                      BadSql{"CASE WHEN 1 THEN 2"},
+                      BadSql{"SELECT CASE END FROM t"},
+                      BadSql{"SELECT a FROM t JOIN b"},
+                      BadSql{"FROB the database"}));
+
+// Round trip: parse(stmt.ToString()) must parse and render identically.
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, ParseRenderParse) {
+  auto first = ParseSelect(GetParam());
+  ASSERT_TRUE(first.ok()) << GetParam();
+  std::string rendered = (*first)->ToString();
+  auto second = ParseSelect(rendered);
+  ASSERT_TRUE(second.ok()) << rendered;
+  EXPECT_EQ(rendered, (*second)->ToString());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, RoundTripTest,
+    ::testing::Values(
+        "SELECT 1",
+        "SELECT a, b FROM t WHERE a > 1 AND b < 2",
+        "SELECT count(*) FROM t",
+        "SELECT city, sum(x) AS total FROM t GROUP BY city HAVING sum(x) > 10 "
+        "ORDER BY total DESC LIMIT 3",
+        "SELECT * FROM a JOIN b ON a.id = b.id WHERE a.x IN (1, 2, 3)",
+        "SELECT a FROM t WHERE name LIKE '%foo%'",
+        "SELECT DISTINCT a FROM t",
+        "SELECT a FROM (SELECT a FROM t) AS s",
+        "SELECT CASE WHEN a > 1 THEN 'x' ELSE 'y' END FROM t"));
+
+}  // namespace
+}  // namespace agentfirst

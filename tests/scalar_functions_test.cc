@@ -1,0 +1,112 @@
+// Tests for the extended scalar function library.
+
+#include "exec/evaluator.h"
+#include "gtest/gtest.h"
+#include "plan/binder.h"
+#include "sql/parser.h"
+
+namespace agentfirst {
+namespace {
+
+Value Eval(const std::string& text) {
+  auto parsed = ParseExpression(text);
+  EXPECT_TRUE(parsed.ok()) << text << " -> " << parsed.status().ToString();
+  if (!parsed.ok()) return Value::Null();
+  Catalog catalog;
+  Binder binder(&catalog);
+  Schema empty;
+  auto bound = binder.BindScalar(**parsed, empty);
+  EXPECT_TRUE(bound.ok()) << text << " -> " << bound.status().ToString();
+  if (!bound.ok()) return Value::Null();
+  Row row;
+  return EvalExpr(**bound, row);
+}
+
+TEST(ScalarFunctionsTest, TrimFamily) {
+  EXPECT_EQ(Eval("trim('  hi  ')").string_value(), "hi");
+  EXPECT_EQ(Eval("ltrim('  hi  ')").string_value(), "hi  ");
+  EXPECT_EQ(Eval("rtrim('  hi  ')").string_value(), "  hi");
+  EXPECT_EQ(Eval("trim('')").string_value(), "");
+  EXPECT_EQ(Eval("ltrim('   ')").string_value(), "");
+}
+
+TEST(ScalarFunctionsTest, Replace) {
+  EXPECT_EQ(Eval("replace('a-b-c', '-', '_')").string_value(), "a_b_c");
+  EXPECT_EQ(Eval("replace('aaa', 'aa', 'b')").string_value(), "ba");
+  EXPECT_EQ(Eval("replace('abc', 'x', 'y')").string_value(), "abc");
+  EXPECT_EQ(Eval("replace('abc', '', 'y')").string_value(), "abc");
+}
+
+TEST(ScalarFunctionsTest, StringPredicates) {
+  EXPECT_TRUE(Eval("contains('coffee beans', 'bean')").bool_value());
+  EXPECT_FALSE(Eval("contains('tea', 'bean')").bool_value());
+  EXPECT_TRUE(Eval("starts_with('coffee', 'cof')").bool_value());
+  EXPECT_FALSE(Eval("starts_with('coffee', 'fee')").bool_value());
+  EXPECT_TRUE(Eval("ends_with('coffee', 'fee')").bool_value());
+  EXPECT_FALSE(Eval("ends_with('coffee', 'cof')").bool_value());
+}
+
+TEST(ScalarFunctionsTest, NullIf) {
+  EXPECT_TRUE(Eval("nullif(3, 3)").is_null());
+  EXPECT_EQ(Eval("nullif(3, 4)").int_value(), 3);
+  EXPECT_TRUE(Eval("nullif('a', 'a')").is_null());
+}
+
+TEST(ScalarFunctionsTest, GreatestLeast) {
+  EXPECT_EQ(Eval("greatest(1, 5, 3)").int_value(), 5);
+  EXPECT_EQ(Eval("least(1, 5, 3)").int_value(), 1);
+  EXPECT_EQ(Eval("greatest('a', 'c', 'b')").string_value(), "c");
+  EXPECT_DOUBLE_EQ(Eval("greatest(1, 2.5)").double_value(), 2.5);
+}
+
+TEST(ScalarFunctionsTest, MathFunctions) {
+  EXPECT_DOUBLE_EQ(Eval("sqrt(9)").double_value(), 3.0);
+  EXPECT_TRUE(Eval("sqrt(-1)").is_null());
+  EXPECT_DOUBLE_EQ(Eval("pow(2, 10)").double_value(), 1024.0);
+  EXPECT_NEAR(Eval("ln(exp(1))").double_value(), 1.0, 1e-9);
+  EXPECT_TRUE(Eval("ln(0)").is_null());
+  EXPECT_DOUBLE_EQ(Eval("log10(1000)").double_value(), 3.0);
+  EXPECT_EQ(Eval("sign(-7)").int_value(), -1);
+  EXPECT_EQ(Eval("sign(0)").int_value(), 0);
+  EXPECT_EQ(Eval("sign(0.5)").int_value(), 1);
+}
+
+TEST(ScalarFunctionsTest, StrictNullPropagation) {
+  EXPECT_TRUE(Eval("trim(NULL)").is_null());
+  EXPECT_TRUE(Eval("pow(NULL, 2)").is_null());
+  EXPECT_TRUE(Eval("contains('x', NULL)").is_null());
+}
+
+TEST(ScalarFunctionsTest, ArityErrorsAtBindTime) {
+  Catalog catalog;
+  Binder binder(&catalog);
+  Schema empty;
+  for (const char* bad : {"trim('a','b')", "replace('a','b')", "sqrt(1,2)",
+                          "nullif(1)", "sign()"}) {
+    auto parsed = ParseExpression(bad);
+    ASSERT_TRUE(parsed.ok()) << bad;
+    EXPECT_FALSE(binder.BindScalar(**parsed, empty).ok()) << bad;
+  }
+}
+
+TEST(ScalarFunctionsTest, TypeInference) {
+  Catalog catalog;
+  Binder binder(&catalog);
+  Schema empty;
+  auto type_of = [&](const std::string& text) {
+    auto parsed = ParseExpression(text);
+    EXPECT_TRUE(parsed.ok());
+    auto bound = binder.BindScalar(**parsed, empty);
+    EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+    return bound.ok() ? (*bound)->type : DataType::kNull;
+  };
+  EXPECT_EQ(type_of("trim('x')"), DataType::kString);
+  EXPECT_EQ(type_of("contains('x','y')"), DataType::kBool);
+  EXPECT_EQ(type_of("sqrt(4)"), DataType::kFloat64);
+  EXPECT_EQ(type_of("sign(4)"), DataType::kInt64);
+  EXPECT_EQ(type_of("nullif(1, 2)"), DataType::kInt64);
+  EXPECT_EQ(type_of("greatest(1.0, 2.0)"), DataType::kFloat64);
+}
+
+}  // namespace
+}  // namespace agentfirst

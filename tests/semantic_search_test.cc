@@ -1,0 +1,90 @@
+#include "core/semantic_search.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace agentfirst {
+namespace {
+
+class SemanticSearchTest : public testing_util::PeopleDbTest {
+ protected:
+  void SetUp() override {
+    testing_util::PeopleDbTest::SetUp();
+    search_ = std::make_unique<SemanticCatalogSearch>(&catalog_);
+  }
+  std::unique_ptr<SemanticCatalogSearch> search_;
+};
+
+TEST_F(SemanticSearchTest, FindsTablesByName) {
+  auto matches = search_->Search("people", 3);
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(matches[0].kind, SemanticMatch::Kind::kTable);
+  EXPECT_EQ(matches[0].table, "people");
+}
+
+TEST_F(SemanticSearchTest, FindsColumns) {
+  auto matches = search_->Search("orders amount", 5);
+  bool found = false;
+  for (const auto& m : matches) {
+    if (m.kind == SemanticMatch::Kind::kColumn && m.table == "orders" &&
+        m.column == "amount") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SemanticSearchTest, FindsCellValues) {
+  auto matches = search_->Search("espresso machine", 5);
+  bool found = false;
+  for (const auto& m : matches) {
+    if (m.kind == SemanticMatch::Kind::kValue &&
+        m.text == "espresso machine") {
+      found = true;
+      EXPECT_EQ(m.table, "orders");
+      EXPECT_EQ(m.column, "item");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SemanticSearchTest, ScoresDescendAndRespectK) {
+  auto matches = search_->Search("coffee", 3);
+  ASSERT_LE(matches.size(), 3u);
+  for (size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_LE(matches[i].score, matches[i - 1].score);
+  }
+}
+
+TEST_F(SemanticSearchTest, MinScoreFilters) {
+  auto strict = search_->Search("zzz qqq xxx", 10, /*min_score=*/0.9);
+  EXPECT_TRUE(strict.empty());
+}
+
+TEST_F(SemanticSearchTest, IndexRebuildsOnDdl) {
+  (void)search_->Search("people", 1);
+  size_t before = search_->IndexedItems();
+  ASSERT_TRUE(catalog_.CreateTable(
+      "tariffs", Schema({ColumnDef("good", DataType::kString, true, "tariffs")})).ok());
+  auto matches = search_->Search("tariffs", 1);
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(matches[0].table, "tariffs");
+  EXPECT_GT(search_->IndexedItems(), before);
+}
+
+TEST_F(SemanticSearchTest, IndexRebuildsOnDataChange) {
+  (void)search_->Search("people", 1);
+  Run("INSERT INTO orders VALUES (105, 2, 3.0, 'matcha latte powder')");
+  auto matches = search_->Search("matcha latte", 5);
+  bool found = false;
+  for (const auto& m : matches) {
+    if (m.kind == SemanticMatch::Kind::kValue &&
+        m.text.find("matcha") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace agentfirst

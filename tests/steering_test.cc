@@ -1,0 +1,209 @@
+// Unit tests for the sleeper agent (steering side channel): why-not
+// analysis, cost warnings, join discovery, batching suggestions, memory
+// pointers, and the encoding-artifact write-back.
+
+#include "core/steering.h"
+
+#include "core/system.h"
+#include "gtest/gtest.h"
+#include "opt/rules.h"
+#include "plan/binder.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace agentfirst {
+namespace {
+
+class SteeringTest : public testing_util::PeopleDbTest {
+ protected:
+  void SetUp() override {
+    testing_util::PeopleDbTest::SetUp();
+    memory_ = std::make_unique<AgenticMemoryStore>(&catalog_,
+                                                   AgenticMemoryStore::Options{});
+    search_ = std::make_unique<SemanticCatalogSearch>(&catalog_);
+    sleeper_ = std::make_unique<SleeperAgent>(&catalog_, memory_.get(),
+                                              search_.get());
+  }
+
+  PlanPtr Plan(const std::string& sql) {
+    Binder binder(&catalog_);
+    auto select = ParseSelect(sql);
+    EXPECT_TRUE(select.ok());
+    auto plan = binder.BindSelect(**select);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return plan.ok() ? OptimizePlan(*plan) : nullptr;
+  }
+
+  /// Runs a plan and builds the corresponding QueryAnswer.
+  QueryAnswer Answer(const PlanPtr& plan, double estimated_cost = 0.0) {
+    QueryAnswer a;
+    a.status = Status::OK();
+    auto r = ExecutePlan(*plan);
+    EXPECT_TRUE(r.ok());
+    if (r.ok()) a.result = *r;
+    a.estimated_cost = estimated_cost;
+    return a;
+  }
+
+  std::vector<Hint> Analyze(const std::vector<PlanPtr>& plans,
+                            const std::vector<QueryAnswer>& answers,
+                            const std::string& brief_text = "",
+                            const std::vector<std::string>& recent = {}) {
+    Probe probe;
+    probe.agent_id = "tester";
+    Brief brief;
+    brief.text = brief_text;
+    return sleeper_->Analyze(probe, brief, answers, plans, recent);
+  }
+
+  std::unique_ptr<AgenticMemoryStore> memory_;
+  std::unique_ptr<SemanticCatalogSearch> search_;
+  std::unique_ptr<SleeperAgent> sleeper_;
+};
+
+TEST_F(SteeringTest, ReferencedTablesWalksJoins) {
+  PlanPtr plan = Plan(
+      "SELECT name FROM people JOIN orders ON people.id = orders.person_id");
+  auto tables = ReferencedTables(*plan);
+  EXPECT_EQ(tables, (std::vector<std::string>{"orders", "people"}));
+}
+
+TEST_F(SteeringTest, WhyNotIdentifiesTheKillingConjunct) {
+  PlanPtr plan = Plan(
+      "SELECT name FROM people WHERE city = 'BRK' AND age > 10");
+  auto hints = Analyze({plan}, {Answer(plan)});
+  const Hint* why = nullptr;
+  for (const Hint& h : hints) {
+    if (h.kind == HintKind::kWhyEmptyResult) why = &h;
+  }
+  ASSERT_NE(why, nullptr);
+  // Must blame the city conjunct, not the age one.
+  EXPECT_NE(why->text.find("BRK"), std::string::npos) << why->text;
+  EXPECT_EQ(why->text.find("age"), std::string::npos) << why->text;
+  EXPECT_NE(why->text.find("berkeley"), std::string::npos) << why->text;
+}
+
+TEST_F(SteeringTest, WhyNotWritesEncodingArtifact) {
+  PlanPtr plan = Plan("SELECT name FROM people WHERE city = 'BRK'");
+  (void)Analyze({plan}, {Answer(plan)});
+  auto hit = memory_->GetExact("encoding:people.city");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->artifact->kind, ArtifactKind::kColumnEncoding);
+  EXPECT_NE(hit->artifact->content.find("berkeley"), std::string::npos);
+}
+
+TEST_F(SteeringTest, NoWhyNotForNonEmptyResults) {
+  PlanPtr plan = Plan("SELECT name FROM people WHERE city = 'berkeley'");
+  auto hints = Analyze({plan}, {Answer(plan)});
+  for (const Hint& h : hints) {
+    EXPECT_NE(h.kind, HintKind::kWhyEmptyResult);
+  }
+}
+
+TEST_F(SteeringTest, ZeroCountAggregateTriggersWhyNot) {
+  PlanPtr plan = Plan("SELECT count(*) FROM people WHERE city = 'BRK'");
+  auto hints = Analyze({plan}, {Answer(plan)});
+  bool found = false;
+  for (const Hint& h : hints) {
+    if (h.kind == HintKind::kWhyEmptyResult) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SteeringTest, CostWarningAboveThreshold) {
+  PlanPtr plan = Plan("SELECT count(*) FROM people");
+  auto low = Analyze({plan}, {Answer(plan, 10.0)});
+  for (const Hint& h : low) EXPECT_NE(h.kind, HintKind::kCostWarning);
+  auto high = Analyze({plan}, {Answer(plan, 1e9)});
+  bool warned = false;
+  for (const Hint& h : high) {
+    if (h.kind == HintKind::kCostWarning) warned = true;
+  }
+  EXPECT_TRUE(warned);
+}
+
+TEST_F(SteeringTest, JoinDiscoveryByValueInclusion) {
+  // orders.person_id values sit inside people.id: suggest the join even
+  // though no column names match.
+  PlanPtr plan = Plan("SELECT count(*) FROM orders");
+  auto hints = Analyze({plan}, {Answer(plan)}, "exploring order volume");
+  bool suggested = false;
+  for (const Hint& h : hints) {
+    if (h.kind == HintKind::kJoinSuggestion &&
+        h.text.find("people") != std::string::npos) {
+      suggested = true;
+    }
+  }
+  EXPECT_TRUE(suggested);
+}
+
+TEST_F(SteeringTest, BatchingSuggestionForRepeatTables) {
+  PlanPtr plan = Plan("SELECT count(*) FROM people");
+  auto hints = Analyze({plan}, {Answer(plan)}, "", {"people"});
+  bool suggested = false;
+  for (const Hint& h : hints) {
+    if (h.kind == HintKind::kBatchingSuggestion) suggested = true;
+  }
+  EXPECT_TRUE(suggested);
+  // No suggestion when the probe touches fresh tables.
+  auto fresh = Analyze({plan}, {Answer(plan)}, "", {"orders"});
+  for (const Hint& h : fresh) {
+    EXPECT_NE(h.kind, HintKind::kBatchingSuggestion);
+  }
+}
+
+TEST_F(SteeringTest, MemoryPointersSurfaceRelevantArtifacts) {
+  MemoryArtifact note;
+  note.kind = ArtifactKind::kGroundingNote;
+  note.key = "note:ages";
+  note.content = "people ages range from 19 to 41 with one null";
+  note.table_deps = {"people"};
+  memory_->Put(std::move(note));
+
+  PlanPtr plan = Plan("SELECT count(*) FROM people");
+  auto hints = Analyze({plan}, {Answer(plan)},
+                       "looking into the ages of people in the data");
+  bool surfaced = false;
+  for (const Hint& h : hints) {
+    if (h.kind == HintKind::kSchemaGuidance &&
+        h.text.find("note:ages") != std::string::npos) {
+      surfaced = true;
+    }
+  }
+  EXPECT_TRUE(surfaced);
+}
+
+TEST_F(SteeringTest, HintsAreCappedAndSorted) {
+  SleeperAgent::Options options;
+  options.max_hints = 2;
+  SleeperAgent capped(&catalog_, memory_.get(), search_.get(), options);
+  PlanPtr plan = Plan("SELECT name FROM people WHERE city = 'BRK'");
+  Probe probe;
+  Brief brief;
+  brief.text = "exploring people and orders and everything";
+  auto hints = capped.Analyze(probe, brief, {Answer(plan, 1e9)}, {plan}, {});
+  ASSERT_LE(hints.size(), 2u);
+  for (size_t i = 1; i < hints.size(); ++i) {
+    EXPECT_GE(hints[i - 1].relevance, hints[i].relevance);
+  }
+}
+
+TEST_F(SteeringTest, SkippedAndFailedAnswersIgnored) {
+  PlanPtr plan = Plan("SELECT name FROM people WHERE city = 'BRK'");
+  QueryAnswer skipped;
+  skipped.status = Status::OK();
+  skipped.skipped = true;
+  auto hints = Analyze({plan}, {skipped});
+  for (const Hint& h : hints) {
+    EXPECT_NE(h.kind, HintKind::kWhyEmptyResult);
+  }
+  QueryAnswer failed;
+  failed.status = Status::Internal("boom");
+  auto hints2 = Analyze({plan}, {failed});
+  for (const Hint& h : hints2) {
+    EXPECT_NE(h.kind, HintKind::kWhyEmptyResult);
+  }
+}
+
+}  // namespace
+}  // namespace agentfirst

@@ -1,0 +1,159 @@
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "storage/column_vector.h"
+#include "storage/segment.h"
+#include "storage/table.h"
+
+namespace agentfirst {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema({ColumnDef("id", DataType::kInt64, false, "t"),
+                 ColumnDef("name", DataType::kString, true, "t")});
+}
+
+TEST(ColumnVectorTest, AppendAndGet) {
+  ColumnVector col(DataType::kInt64);
+  ASSERT_TRUE(col.Append(Value::Int(7)).ok());
+  ASSERT_TRUE(col.Append(Value::Null()).ok());
+  EXPECT_EQ(col.size(), 2u);
+  EXPECT_EQ(col.Get(0).int_value(), 7);
+  EXPECT_TRUE(col.Get(1).is_null());
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_FALSE(col.IsNull(0));
+}
+
+TEST(ColumnVectorTest, TypeMismatchRejected) {
+  ColumnVector col(DataType::kInt64);
+  EXPECT_FALSE(col.Append(Value::String("x")).ok());
+  ColumnVector scol(DataType::kString);
+  EXPECT_FALSE(scol.Append(Value::Int(1)).ok());
+  ColumnVector bcol(DataType::kBool);
+  EXPECT_FALSE(bcol.Append(Value::Int(1)).ok());
+}
+
+TEST(ColumnVectorTest, NumericCoercion) {
+  ColumnVector dcol(DataType::kFloat64);
+  ASSERT_TRUE(dcol.Append(Value::Int(3)).ok());
+  EXPECT_DOUBLE_EQ(dcol.Get(0).double_value(), 3.0);
+  ColumnVector icol(DataType::kInt64);
+  ASSERT_TRUE(icol.Append(Value::Double(3.7)).ok());
+  EXPECT_EQ(icol.Get(0).int_value(), 3);
+}
+
+TEST(ColumnVectorTest, SetOverwritesAndNullifies) {
+  ColumnVector col(DataType::kString);
+  ASSERT_TRUE(col.Append(Value::String("a")).ok());
+  ASSERT_TRUE(col.Set(0, Value::String("b")).ok());
+  EXPECT_EQ(col.Get(0).string_value(), "b");
+  ASSERT_TRUE(col.Set(0, Value::Null()).ok());
+  EXPECT_TRUE(col.Get(0).is_null());
+  EXPECT_FALSE(col.Set(5, Value::String("x")).ok());
+}
+
+TEST(SegmentTest, AppendUntilFull) {
+  Segment seg(TwoColSchema(), /*capacity=*/2);
+  EXPECT_TRUE(seg.AppendRow({Value::Int(1), Value::String("a")}).ok());
+  EXPECT_FALSE(seg.Full());
+  EXPECT_TRUE(seg.AppendRow({Value::Int(2), Value::String("b")}).ok());
+  EXPECT_TRUE(seg.Full());
+  EXPECT_FALSE(seg.AppendRow({Value::Int(3), Value::String("c")}).ok());
+  EXPECT_EQ(seg.num_rows(), 2u);
+}
+
+TEST(SegmentTest, AppendIsAllOrNothing) {
+  Segment seg(TwoColSchema(), 4);
+  // Second column has the wrong type; nothing should be appended.
+  EXPECT_FALSE(seg.AppendRow({Value::Int(1), Value::Int(2)}).ok());
+  EXPECT_EQ(seg.num_rows(), 0u);
+  EXPECT_EQ(seg.column(0).size(), 0u);
+  EXPECT_EQ(seg.column(1).size(), 0u);
+}
+
+TEST(SegmentTest, ArityMismatchRejected) {
+  Segment seg(TwoColSchema(), 4);
+  EXPECT_FALSE(seg.AppendRow({Value::Int(1)}).ok());
+}
+
+TEST(SegmentTest, CloneIsDeep) {
+  Segment seg(TwoColSchema(), 4);
+  ASSERT_TRUE(seg.AppendRow({Value::Int(1), Value::String("a")}).ok());
+  auto clone = seg.Clone();
+  ASSERT_TRUE(clone->SetValue(0, 1, Value::String("mutated")).ok());
+  EXPECT_EQ(seg.GetValue(0, 1).string_value(), "a");
+  EXPECT_EQ(clone->GetValue(0, 1).string_value(), "mutated");
+}
+
+TEST(TableTest, AppendAcrossSegments) {
+  Table t("t", TwoColSchema(), /*segment_capacity=*/3);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value::Int(i), Value::String("r" + std::to_string(i))}).ok());
+  }
+  EXPECT_EQ(t.NumRows(), 10u);
+  EXPECT_EQ(t.NumSegments(), 4u);  // 3+3+3+1
+  for (int i = 0; i < 10; ++i) {
+    auto row = t.GetRow(static_cast<size_t>(i));
+    ASSERT_TRUE(row.ok());
+    EXPECT_EQ((*row)[0].int_value(), i);
+  }
+}
+
+TEST(TableTest, GetRowOutOfRange) {
+  Table t("t", TwoColSchema());
+  EXPECT_FALSE(t.GetRow(0).ok());
+}
+
+TEST(TableTest, SetValueBumpsVersion) {
+  Table t("t", TwoColSchema());
+  ASSERT_TRUE(t.AppendRow({Value::Int(1), Value::String("a")}).ok());
+  uint64_t v1 = t.data_version();
+  ASSERT_TRUE(t.SetValue(0, 1, Value::String("b")).ok());
+  EXPECT_GT(t.data_version(), v1);
+  EXPECT_EQ(t.GetValue(0, 1)->string_value(), "b");
+}
+
+TEST(TableTest, RemoveRows) {
+  Table t("t", TwoColSchema(), 2);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value::Int(i), Value::String("x")}).ok());
+  }
+  std::vector<uint8_t> mask = {1, 0, 1, 0, 1, 0};  // remove even positions
+  ASSERT_TRUE(t.RemoveRows(mask).ok());
+  EXPECT_EQ(t.NumRows(), 3u);
+  EXPECT_EQ(t.GetRow(0)->at(0).int_value(), 1);
+  EXPECT_EQ(t.GetRow(1)->at(0).int_value(), 3);
+  EXPECT_EQ(t.GetRow(2)->at(0).int_value(), 5);
+}
+
+TEST(TableTest, RemoveRowsMaskSizeMismatch) {
+  Table t("t", TwoColSchema());
+  ASSERT_TRUE(t.AppendRow({Value::Int(1), Value::String("a")}).ok());
+  EXPECT_FALSE(t.RemoveRows({1, 1}).ok());
+}
+
+TEST(TableTest, FromSegmentsSharesSegments) {
+  Table t("t", TwoColSchema(), 2);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value::Int(i), Value::String("x")}).ok());
+  }
+  auto view = Table::FromSegments("view", t.schema(), t.segments());
+  EXPECT_EQ(view->NumRows(), 4u);
+  // Mutating the view's shared segment is visible through both (shared
+  // physical storage, as used by branch materialization).
+  EXPECT_EQ(view->segments()[0].get(), t.segments()[0].get());
+}
+
+TEST(TableTest, PartialSegmentsFromBranchMaterializeReadCorrectly) {
+  // Locate() must walk segments by their actual sizes, not capacity.
+  auto seg1 = std::make_shared<Segment>(TwoColSchema(), 4);
+  ASSERT_TRUE(seg1->AppendRow({Value::Int(1), Value::String("a")}).ok());
+  auto seg2 = std::make_shared<Segment>(TwoColSchema(), 4);
+  ASSERT_TRUE(seg2->AppendRow({Value::Int(2), Value::String("b")}).ok());
+  auto t = Table::FromSegments("t", TwoColSchema(), {seg1, seg2});
+  EXPECT_EQ(t->NumRows(), 2u);
+  EXPECT_EQ(t->GetRow(1)->at(0).int_value(), 2);
+}
+
+}  // namespace
+}  // namespace agentfirst

@@ -1,0 +1,75 @@
+#ifndef AGENTFIRST_TESTS_TEST_UTIL_H_
+#define AGENTFIRST_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "exec/engine.h"
+#include "gtest/gtest.h"
+
+namespace agentfirst {
+namespace testing_util {
+
+/// Asserts a Result is OK and yields its value.
+#define AF_ASSERT_OK(expr)                                     \
+  do {                                                         \
+    auto _st = (expr);                                         \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                   \
+  } while (0)
+
+#define AF_ASSERT_OK_RESULT(result) \
+  ASSERT_TRUE((result).ok()) << (result).status().ToString()
+
+#define AF_EXPECT_OK_RESULT(result) \
+  EXPECT_TRUE((result).ok()) << (result).status().ToString()
+
+/// Builds the small, fully known test database used across suites:
+///
+///   people(id BIGINT, name VARCHAR, age BIGINT, city VARCHAR)
+///     (1,'alice',34,'berkeley'), (2,'bob',28,'oakland'),
+///     (3,'carol',41,'berkeley'), (4,'dan',19,'seattle'),
+///     (5,'erin',NULL,'berkeley')
+///
+///   orders(order_id BIGINT, person_id BIGINT, amount DOUBLE, item VARCHAR)
+///     (100,1,25.0,'coffee beans'), (101,1,7.5,'mug'),
+///     (102,2,12.0,'coffee beans'), (103,3,99.0,'espresso machine'),
+///     (104,9,5.0,'tea')                       -- dangling person_id
+inline void BuildPeopleDb(Engine* engine) {
+  auto run = [&](const std::string& sql) {
+    auto r = engine->ExecuteSql(sql);
+    ASSERT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  };
+  run("CREATE TABLE people (id BIGINT, name VARCHAR, age BIGINT, city VARCHAR)");
+  run("INSERT INTO people VALUES (1,'alice',34,'berkeley'), (2,'bob',28,'oakland'),"
+      "(3,'carol',41,'berkeley'), (4,'dan',19,'seattle'), (5,'erin',NULL,'berkeley')");
+  run("CREATE TABLE orders (order_id BIGINT, person_id BIGINT, amount DOUBLE,"
+      " item VARCHAR)");
+  run("INSERT INTO orders VALUES (100,1,25.0,'coffee beans'), (101,1,7.5,'mug'),"
+      "(102,2,12.0,'coffee beans'), (103,3,99.0,'espresso machine'), (104,9,5.0,'tea')");
+}
+
+/// Catalog + engine fixture with the people/orders database loaded.
+class PeopleDbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_ = std::make_unique<Engine>(&catalog_);
+    BuildPeopleDb(engine_.get());
+  }
+
+  /// Runs SQL, asserting success.
+  ResultSetPtr Run(const std::string& sql) {
+    auto r = engine_->ExecuteSql(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? *r : nullptr;
+  }
+
+  Catalog catalog_;
+  std::unique_ptr<Engine> engine_;
+};
+
+}  // namespace testing_util
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_TESTS_TEST_UTIL_H_

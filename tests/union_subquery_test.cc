@@ -1,0 +1,185 @@
+// Tests for UNION / UNION ALL and uncorrelated subquery expressions
+// (EXISTS, IN (SELECT ...), scalar subqueries).
+
+#include "gtest/gtest.h"
+#include "plan/binder.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace agentfirst {
+namespace {
+
+using testing_util::PeopleDbTest;
+
+class UnionTest : public PeopleDbTest {};
+
+TEST_F(UnionTest, ParserAcceptsUnionChains) {
+  auto stmt = ParseSelect("SELECT a FROM t UNION SELECT b FROM u UNION ALL "
+                          "SELECT c FROM v ORDER BY 1 LIMIT 5");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ((*stmt)->set_ops.size(), 2u);
+  EXPECT_EQ((*stmt)->set_ops[0].op, SetOp::kUnion);
+  EXPECT_EQ((*stmt)->set_ops[1].op, SetOp::kUnionAll);
+  EXPECT_EQ((*stmt)->order_by.size(), 1u);
+  EXPECT_EQ((*stmt)->limit.value(), 5);
+}
+
+TEST_F(UnionTest, UnionAllKeepsDuplicates) {
+  auto rs = Run("SELECT city FROM people WHERE id = 1 UNION ALL "
+                "SELECT city FROM people WHERE id = 3");
+  ASSERT_NE(rs, nullptr);
+  EXPECT_EQ(rs->NumRows(), 2u);  // both 'berkeley'
+}
+
+TEST_F(UnionTest, UnionDeduplicates) {
+  auto rs = Run("SELECT city FROM people WHERE id = 1 UNION "
+                "SELECT city FROM people WHERE id = 3");
+  ASSERT_NE(rs, nullptr);
+  EXPECT_EQ(rs->NumRows(), 1u);
+  EXPECT_EQ(rs->rows[0][0].string_value(), "berkeley");
+}
+
+TEST_F(UnionTest, UnionAcrossTables) {
+  auto rs = Run("SELECT name FROM people UNION ALL SELECT item FROM orders");
+  ASSERT_NE(rs, nullptr);
+  EXPECT_EQ(rs->NumRows(), 10u);  // 5 people + 5 orders
+}
+
+TEST_F(UnionTest, OrderByAndLimitApplyToWholeUnion) {
+  auto rs = Run("SELECT age FROM people WHERE age IS NOT NULL UNION ALL "
+                "SELECT order_id FROM orders ORDER BY 1 DESC LIMIT 3");
+  ASSERT_NE(rs, nullptr);
+  ASSERT_EQ(rs->NumRows(), 3u);
+  EXPECT_EQ(rs->rows[0][0].int_value(), 104);
+  EXPECT_EQ(rs->rows[1][0].int_value(), 103);
+}
+
+TEST_F(UnionTest, ArityMismatchRejected) {
+  auto r = engine_->ExecuteSql("SELECT id, name FROM people UNION SELECT id FROM people");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(UnionTest, TypeMismatchRejected) {
+  auto r = engine_->ExecuteSql("SELECT id FROM people UNION SELECT name FROM people");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(UnionTest, MixedDistinctAllLeftToRight) {
+  // (A UNION A) has 5 rows (distinct names); then UNION ALL adds 5 more.
+  auto rs = Run("SELECT name FROM people UNION SELECT name FROM people "
+                "UNION ALL SELECT name FROM people");
+  ASSERT_NE(rs, nullptr);
+  EXPECT_EQ(rs->NumRows(), 10u);
+}
+
+class SubqueryTest : public PeopleDbTest {};
+
+TEST_F(SubqueryTest, ExistsTrueAndFalse) {
+  auto t = Run("SELECT name FROM people WHERE EXISTS (SELECT 1 FROM orders "
+               "WHERE amount > 50)");
+  EXPECT_EQ(t->NumRows(), 5u);  // uncorrelated TRUE keeps everything
+  auto f = Run("SELECT name FROM people WHERE EXISTS (SELECT 1 FROM orders "
+               "WHERE amount > 5000)");
+  EXPECT_EQ(f->NumRows(), 0u);
+}
+
+TEST_F(SubqueryTest, NotExists) {
+  auto rs = Run("SELECT count(*) FROM people WHERE NOT EXISTS "
+                "(SELECT 1 FROM orders WHERE amount > 5000)");
+  EXPECT_EQ(rs->rows[0][0].int_value(), 5);
+}
+
+TEST_F(SubqueryTest, InSubquery) {
+  auto rs = Run("SELECT name FROM people WHERE id IN "
+                "(SELECT person_id FROM orders) ORDER BY name");
+  ASSERT_EQ(rs->NumRows(), 3u);  // alice, bob, carol (9 dangles)
+  EXPECT_EQ(rs->rows[0][0].string_value(), "alice");
+}
+
+TEST_F(SubqueryTest, NotInSubquery) {
+  auto rs = Run("SELECT name FROM people WHERE id NOT IN "
+                "(SELECT person_id FROM orders) ORDER BY name");
+  ASSERT_EQ(rs->NumRows(), 2u);  // dan, erin
+}
+
+TEST_F(SubqueryTest, ScalarSubqueryInComparison) {
+  auto rs = Run("SELECT name FROM people WHERE age > "
+                "(SELECT avg(age) FROM people)");
+  // avg = 30.5: alice (34), carol (41).
+  EXPECT_EQ(rs->NumRows(), 2u);
+}
+
+TEST_F(SubqueryTest, ScalarSubqueryInSelectList) {
+  auto rs = Run("SELECT name, (SELECT max(amount) FROM orders) AS top FROM "
+                "people WHERE id = 1");
+  ASSERT_EQ(rs->NumRows(), 1u);
+  EXPECT_DOUBLE_EQ(rs->rows[0][1].double_value(), 99.0);
+}
+
+TEST_F(SubqueryTest, ScalarSubqueryWithAggregationOutside) {
+  auto rs = Run("SELECT count(*), (SELECT min(amount) FROM orders) FROM people");
+  ASSERT_EQ(rs->NumRows(), 1u);
+  EXPECT_EQ(rs->rows[0][0].int_value(), 5);
+  EXPECT_DOUBLE_EQ(rs->rows[0][1].double_value(), 5.0);
+}
+
+TEST_F(SubqueryTest, EmptyScalarSubqueryIsNull) {
+  auto rs = Run("SELECT (SELECT age FROM people WHERE id = 999)");
+  ASSERT_EQ(rs->NumRows(), 1u);
+  EXPECT_TRUE(rs->rows[0][0].is_null());
+}
+
+TEST_F(SubqueryTest, MultiRowScalarSubqueryRejected) {
+  auto r = engine_->ExecuteSql("SELECT (SELECT age FROM people)");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(SubqueryTest, MultiColumnInSubqueryRejected) {
+  auto r = engine_->ExecuteSql(
+      "SELECT name FROM people WHERE id IN (SELECT id, age FROM people)");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(SubqueryTest, NestedSubqueries) {
+  auto rs = Run("SELECT name FROM people WHERE id IN (SELECT person_id FROM "
+                "orders WHERE amount > (SELECT avg(amount) FROM orders))");
+  // avg amount = 29.7; orders above: 103 (carol).
+  ASSERT_EQ(rs->NumRows(), 1u);
+  EXPECT_EQ(rs->rows[0][0].string_value(), "carol");
+}
+
+TEST_F(SubqueryTest, SubqueryWithoutEvaluatorRejected) {
+  auto parsed = ParseSelect("SELECT 1 WHERE EXISTS (SELECT 1)");
+  ASSERT_TRUE(parsed.ok());
+  Binder binder(&catalog_);  // no evaluator wired
+  auto plan = binder.BindSelect(**parsed);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kNotImplemented);
+}
+
+TEST_F(SubqueryTest, SubqueryAstRoundTrips) {
+  const char* queries[] = {
+      "SELECT name FROM people WHERE EXISTS (SELECT 1 FROM orders)",
+      "SELECT name FROM people WHERE id IN (SELECT person_id FROM orders)",
+      "SELECT (SELECT max(amount) FROM orders) FROM people",
+  };
+  for (const char* q : queries) {
+    auto first = ParseSelect(q);
+    ASSERT_TRUE(first.ok()) << q;
+    std::string rendered = (*first)->ToString();
+    auto second = ParseSelect(rendered);
+    ASSERT_TRUE(second.ok()) << rendered;
+    EXPECT_EQ(rendered, (*second)->ToString());
+  }
+}
+
+TEST_F(SubqueryTest, CloneDeepCopiesSubqueries) {
+  auto stmt = ParseSelect(
+      "SELECT name FROM people WHERE id IN (SELECT person_id FROM orders)");
+  ASSERT_TRUE(stmt.ok());
+  auto clone = (*stmt)->Clone();
+  EXPECT_EQ((*stmt)->ToString(), clone->ToString());
+}
+
+}  // namespace
+}  // namespace agentfirst

@@ -1,0 +1,157 @@
+#include "types/value.h"
+
+#include "gtest/gtest.h"
+#include "types/schema.h"
+
+namespace agentfirst {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), DataType::kNull);
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, Constructors) {
+  EXPECT_EQ(Value::Bool(true).type(), DataType::kBool);
+  EXPECT_EQ(Value::Int(5).int_value(), 5);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::String("x").string_value(), "x");
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_TRUE(Value::Int(1).Equals(Value::Double(1.0)));
+  EXPECT_FALSE(Value::Int(1).Equals(Value::Double(1.5)));
+  EXPECT_TRUE(Value::Double(2.0).Equals(Value::Int(2)));
+}
+
+TEST(ValueTest, NullEqualsNullForGrouping) {
+  EXPECT_TRUE(Value::Null().Equals(Value::Null()));
+  EXPECT_FALSE(Value::Null().Equals(Value::Int(0)));
+  EXPECT_FALSE(Value::Int(0).Equals(Value::Null()));
+}
+
+TEST(ValueTest, StringEquality) {
+  EXPECT_TRUE(Value::String("abc").Equals(Value::String("abc")));
+  EXPECT_FALSE(Value::String("abc").Equals(Value::String("abd")));
+  EXPECT_FALSE(Value::String("1").Equals(Value::Int(1)));
+}
+
+TEST(ValueTest, CompareTotalOrder) {
+  EXPECT_LT(Value::Null().Compare(Value::Bool(false)), 0);
+  EXPECT_LT(Value::Bool(true).Compare(Value::Int(0)), 0);
+  EXPECT_LT(Value::Int(5).Compare(Value::String("")), 0);
+  EXPECT_EQ(Value::Int(3).Compare(Value::Double(3.0)), 0);
+  EXPECT_GT(Value::Int(4).Compare(Value::Double(3.5)), 0);
+  EXPECT_LT(Value::String("a").Compare(Value::String("b")), 0);
+}
+
+// Property: Equals implies equal Hash (over a representative value set).
+class ValuePairTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+std::vector<Value> RepresentativeValues() {
+  return {Value::Null(),        Value::Bool(false),  Value::Bool(true),
+          Value::Int(0),        Value::Int(1),       Value::Int(-7),
+          Value::Int(1 << 20),  Value::Double(0.0),  Value::Double(1.0),
+          Value::Double(-7.0),  Value::Double(0.5),  Value::String(""),
+          Value::String("a"),   Value::String("ab"), Value::String("1")};
+}
+
+TEST_P(ValuePairTest, EqualsImpliesEqualHash) {
+  auto values = RepresentativeValues();
+  const Value& a = values[GetParam().first];
+  const Value& b = values[GetParam().second];
+  if (a.Equals(b)) {
+    EXPECT_EQ(a.Hash(), b.Hash()) << a.ToString() << " vs " << b.ToString();
+  }
+}
+
+TEST_P(ValuePairTest, CompareAntisymmetric) {
+  auto values = RepresentativeValues();
+  const Value& a = values[GetParam().first];
+  const Value& b = values[GetParam().second];
+  EXPECT_EQ(a.Compare(b), -b.Compare(a));
+}
+
+std::vector<std::pair<int, int>> AllPairs() {
+  std::vector<std::pair<int, int>> pairs;
+  int n = static_cast<int>(RepresentativeValues().size());
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) pairs.emplace_back(i, j);
+  }
+  return pairs;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, ValuePairTest, ::testing::ValuesIn(AllPairs()));
+
+TEST(ValueTest, IntDoubleHashAgreement) {
+  EXPECT_EQ(Value::Int(42).Hash(), Value::Double(42.0).Hash());
+}
+
+TEST(ValueTest, AsDoubleAndAsInt) {
+  EXPECT_DOUBLE_EQ(Value::Int(3).AsDouble(), 3.0);
+  EXPECT_EQ(Value::Double(3.9).AsInt(), 3);
+  EXPECT_DOUBLE_EQ(Value::Bool(true).AsDouble(), 1.0);
+  EXPECT_EQ(Value::Null().AsInt(), 0);
+}
+
+TEST(ValueTest, ToSqlLiteralQuotesStrings) {
+  EXPECT_EQ(Value::String("it's").ToSqlLiteral(), "'it''s'");
+  EXPECT_EQ(Value::Int(5).ToSqlLiteral(), "5");
+  EXPECT_EQ(Value::Null().ToSqlLiteral(), "NULL");
+}
+
+TEST(RowTest, HashRowOrderDependent) {
+  Row a = {Value::Int(1), Value::Int(2)};
+  Row b = {Value::Int(2), Value::Int(1)};
+  EXPECT_NE(HashRow(a), HashRow(b));
+  EXPECT_EQ(HashRow(a), HashRow({Value::Int(1), Value::Int(2)}));
+}
+
+// ---------------------------------------------------------------------------
+// Schema
+// ---------------------------------------------------------------------------
+
+TEST(SchemaTest, FindColumnUnqualified) {
+  Schema s({ColumnDef("a", DataType::kInt64, true, "t"),
+            ColumnDef("b", DataType::kString, true, "t")});
+  EXPECT_EQ(s.FindColumn("a").value(), 0u);
+  EXPECT_EQ(s.FindColumn("b").value(), 1u);
+  EXPECT_FALSE(s.FindColumn("c").has_value());
+}
+
+TEST(SchemaTest, FindColumnAmbiguous) {
+  Schema s({ColumnDef("id", DataType::kInt64, true, "t1"),
+            ColumnDef("id", DataType::kInt64, true, "t2")});
+  bool ambiguous = false;
+  EXPECT_FALSE(s.FindColumn("id", &ambiguous).has_value());
+  EXPECT_TRUE(ambiguous);
+  EXPECT_EQ(s.FindColumn("t2", "id").value(), 1u);
+}
+
+TEST(SchemaTest, Concat) {
+  Schema a({ColumnDef("x", DataType::kInt64)});
+  Schema b({ColumnDef("y", DataType::kString)});
+  Schema c = Schema::Concat(a, b);
+  ASSERT_EQ(c.NumColumns(), 2u);
+  EXPECT_EQ(c.column(0).name, "x");
+  EXPECT_EQ(c.column(1).name, "y");
+}
+
+TEST(SchemaTest, EqualsIgnoresQualifier) {
+  Schema a({ColumnDef("x", DataType::kInt64, true, "t1")});
+  Schema b({ColumnDef("x", DataType::kInt64, true, "t2")});
+  EXPECT_TRUE(a.Equals(b));
+  Schema c({ColumnDef("x", DataType::kString, true, "t1")});
+  EXPECT_FALSE(a.Equals(c));
+}
+
+TEST(SchemaTest, ToStringRendersTypes) {
+  Schema s({ColumnDef("n", DataType::kInt64, true, "t")});
+  EXPECT_EQ(s.ToString(), "t.n:BIGINT");
+}
+
+}  // namespace
+}  // namespace agentfirst

@@ -1,0 +1,154 @@
+#include "workload/minibird.h"
+
+#include "gtest/gtest.h"
+
+namespace agentfirst {
+namespace {
+
+MiniBirdOptions SmallOptions() {
+  MiniBirdOptions options;
+  options.num_databases = 3;  // one of each domain
+  options.rows_per_fact_table = 400;
+  options.rows_per_dim_table = 16;
+  options.seed = 7;
+  return options;
+}
+
+TEST(MiniBirdTest, GeneratesAllDomains) {
+  auto suite = GenerateMiniBird(SmallOptions());
+  ASSERT_EQ(suite.size(), 3u);
+  EXPECT_EQ(suite[0].domain, "retail");
+  EXPECT_EQ(suite[1].domain, "web");
+  EXPECT_EQ(suite[2].domain, "flights");
+}
+
+TEST(MiniBirdTest, FiveDomainsCycle) {
+  MiniBirdOptions options = SmallOptions();
+  options.num_databases = 5;
+  auto suite = GenerateMiniBird(options);
+  ASSERT_EQ(suite.size(), 5u);
+  EXPECT_EQ(suite[3].domain, "healthcare");
+  EXPECT_EQ(suite[4].domain, "finance");
+  // Every domain's tasks carry executable gold.
+  for (const auto& db : suite) {
+    for (const TaskSpec& task : db.tasks) {
+      ASSERT_NE(task.gold_answer, nullptr) << task.id;
+    }
+  }
+}
+
+TEST(MiniBirdTest, TablesPopulated) {
+  auto suite = GenerateMiniBird(SmallOptions());
+  for (const auto& db : suite) {
+    auto tables = db.system->catalog()->ListTables();
+    EXPECT_GE(tables.size(), 2u) << db.name;
+    for (const std::string& t : tables) {
+      auto table = db.system->catalog()->GetTable(t);
+      ASSERT_TRUE(table.ok());
+      EXPECT_GT((*table)->NumRows(), 0u) << db.name << "." << t;
+    }
+  }
+}
+
+TEST(MiniBirdTest, EveryTaskHasExecutableGold) {
+  auto suite = GenerateMiniBird(SmallOptions());
+  for (const auto& db : suite) {
+    EXPECT_FALSE(db.tasks.empty());
+    for (const TaskSpec& task : db.tasks) {
+      ASSERT_NE(task.gold_answer, nullptr) << task.id;
+      // Re-running the gold query reproduces the gold answer.
+      auto again = db.system->ExecuteSql(task.gold_sql);
+      ASSERT_TRUE(again.ok()) << task.id;
+      EXPECT_TRUE(ResultsEquivalent(*task.gold_answer, **again)) << task.id;
+    }
+  }
+}
+
+TEST(MiniBirdTest, TaskMetadataConsistent) {
+  auto suite = GenerateMiniBird(SmallOptions());
+  for (const auto& db : suite) {
+    for (const TaskSpec& task : db.tasks) {
+      for (const std::string& t : task.relevant_tables) {
+        EXPECT_TRUE(db.system->catalog()->HasTable(t)) << task.id << " " << t;
+      }
+      for (const std::string& c : task.relevant_columns) {
+        auto dot = c.find('.');
+        ASSERT_NE(dot, std::string::npos) << c;
+        auto table = db.system->catalog()->GetTable(c.substr(0, dot));
+        ASSERT_TRUE(table.ok()) << task.id << " " << c;
+        EXPECT_TRUE((*table)->schema().FindColumn(c.substr(dot + 1)).has_value())
+            << task.id << " " << c;
+      }
+      if (!task.encoded_column.empty()) {
+        EXPECT_FALSE(task.question_value.empty());
+        EXPECT_FALSE(task.stored_value.empty());
+        EXPECT_NE(task.question_value, task.stored_value);
+      }
+    }
+  }
+}
+
+TEST(MiniBirdTest, DeterministicAcrossRuns) {
+  auto a = GenerateMiniBird(SmallOptions());
+  auto b = GenerateMiniBird(SmallOptions());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].tasks.size(), b[i].tasks.size());
+    for (size_t t = 0; t < a[i].tasks.size(); ++t) {
+      EXPECT_EQ(a[i].tasks[t].gold_sql, b[i].tasks[t].gold_sql);
+      EXPECT_TRUE(ResultsEquivalent(*a[i].tasks[t].gold_answer,
+                                    *b[i].tasks[t].gold_answer));
+    }
+  }
+}
+
+TEST(MiniBirdTest, DifferentSeedsVary) {
+  auto a = GenerateMiniBird(SmallOptions());
+  MiniBirdOptions other = SmallOptions();
+  other.seed = 8888;
+  auto b = GenerateMiniBird(other);
+  bool any_difference = false;
+  for (size_t i = 0; i < a.size() && !any_difference; ++i) {
+    for (size_t t = 0; t < a[i].tasks.size(); ++t) {
+      if (a[i].tasks[t].gold_sql != b[i].tasks[t].gold_sql) any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(ResultsEquivalentTest, OrderInsensitive) {
+  ResultSet a;
+  a.schema = Schema({ColumnDef("x", DataType::kInt64)});
+  a.rows = {{Value::Int(1)}, {Value::Int(2)}};
+  ResultSet b;
+  b.schema = a.schema;
+  b.rows = {{Value::Int(2)}, {Value::Int(1)}};
+  EXPECT_TRUE(ResultsEquivalent(a, b));
+}
+
+TEST(ResultsEquivalentTest, DetectsDifferences) {
+  ResultSet a;
+  a.schema = Schema({ColumnDef("x", DataType::kInt64)});
+  a.rows = {{Value::Int(1)}};
+  ResultSet b;
+  b.schema = a.schema;
+  b.rows = {{Value::Int(2)}};
+  EXPECT_FALSE(ResultsEquivalent(a, b));
+  ResultSet c;
+  c.schema = a.schema;
+  c.rows = {{Value::Int(1)}, {Value::Int(1)}};
+  EXPECT_FALSE(ResultsEquivalent(a, c));
+}
+
+TEST(ResultsEquivalentTest, FloatTolerance) {
+  ResultSet a;
+  a.schema = Schema({ColumnDef("x", DataType::kFloat64)});
+  a.rows = {{Value::Double(1.0 / 3.0)}};
+  ResultSet b;
+  b.schema = a.schema;
+  b.rows = {{Value::Double((1.0 / 3.0) * (1.0 + 1e-14))}};
+  EXPECT_TRUE(ResultsEquivalent(a, b));
+}
+
+}  // namespace
+}  // namespace agentfirst

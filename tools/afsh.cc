@@ -1,0 +1,235 @@
+// afsh -- the agent-first shell. An interactive REPL over AgentFirstSystem:
+// plain SQL executes directly; meta commands expose the agent-facing
+// machinery (probes with briefs, semantic discovery, memory, branches).
+//
+//   ./build/tools/afsh            # interactive
+//   ./build/tools/afsh < file.sql # scripted
+//
+// Meta commands:
+//   \dt                       list tables
+//   \stats <table>            column statistics
+//   \probe <brief> | <sql>    issue a probe with a brief (answers + hints)
+//   \search <phrase>          semantic discovery over data + metadata
+//   \memory [query]           list / search memory artifacts
+//   \fork                     fork a branch of all branching-enabled tables
+//   \branch <id> <sql>        run SQL in a hypothetical world
+//   \merge <id>               merge a branch into main (source wins)
+//   \rollback <id>            discard a branch
+//   \import <table> <csv>     load a CSV (schema inferred as VARCHAR)
+//   \export <table> <csv>     dump a table
+//   \metrics                  probe-optimizer accounting
+//   \demo                     load a small demo database
+//   \q                        quit
+
+#include <cstdio>
+#include <iostream>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/str_util.h"
+#include "core/system.h"
+#include "io/csv.h"
+
+namespace agentfirst {
+namespace {
+
+void PrintResult(const ResultSetPtr& rs) {
+  if (rs == nullptr) return;
+  std::printf("%s(%zu rows)\n", rs->ToString(40).c_str(), rs->NumRows());
+}
+
+void PrintResponse(const ProbeResponse& r) {
+  std::printf("%s", r.ToString(20).c_str());
+}
+
+void LoadDemo(AgentFirstSystem* db) {
+  const char* setup[] = {
+      "CREATE TABLE stores (store_id BIGINT, city VARCHAR, state VARCHAR)",
+      "INSERT INTO stores VALUES (1,'Berkeley','California'),"
+      "(2,'Oakland','California'),(3,'Seattle','Washington')",
+      "CREATE TABLE sales (sale_id BIGINT, store_id BIGINT, year BIGINT,"
+      " revenue DOUBLE)",
+      "INSERT INTO sales VALUES (1,1,2024,120.5),(2,1,2025,80.0),"
+      "(3,2,2024,200.0),(4,2,2025,210.0),(5,3,2024,150.0),(6,3,2025,149.0)",
+  };
+  for (const char* sql : setup) {
+    auto r = db->ExecuteSql(sql);
+    if (!r.ok()) {
+      std::printf("demo setup failed: %s\n", r.status().ToString().c_str());
+      return;
+    }
+  }
+  (void)db->EnableBranching("stores");
+  (void)db->EnableBranching("sales");
+  std::printf("demo loaded: stores (3 rows), sales (6 rows); branching enabled\n");
+}
+
+int RunShell() {
+  AgentFirstSystem db;
+  std::printf("afsh -- agent-first shell. \\q quits, \\demo loads sample data.\n");
+  std::string line;
+  while (true) {
+    std::printf("afsh> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string trimmed(Trim(line));
+    if (trimmed.empty()) continue;
+
+    if (trimmed[0] != '\\') {
+      auto r = db.ExecuteSql(trimmed);
+      if (!r.ok()) {
+        std::printf("error: %s\n", r.status().ToString().c_str());
+      } else {
+        PrintResult(*r);
+      }
+      continue;
+    }
+
+    // Meta commands.
+    std::istringstream in(trimmed);
+    std::string cmd;
+    in >> cmd;
+    if (cmd == "\\q" || cmd == "\\quit") break;
+    if (cmd == "\\demo") {
+      LoadDemo(&db);
+    } else if (cmd == "\\dt") {
+      auto r = db.ExecuteSql(
+          "SELECT table_name, num_rows, num_columns FROM "
+          "information_schema.tables ORDER BY table_name");
+      if (r.ok()) PrintResult(*r);
+    } else if (cmd == "\\stats") {
+      std::string table;
+      in >> table;
+      auto r = db.ExecuteSql(
+          "SELECT column_name, num_distinct, num_nulls, min_value, max_value, "
+          "most_common_value FROM information_schema.column_stats WHERE "
+          "table_name = '" + table + "'");
+      if (!r.ok()) std::printf("error: %s\n", r.status().ToString().c_str());
+      else PrintResult(*r);
+    } else if (cmd == "\\probe") {
+      std::string rest;
+      std::getline(in, rest);
+      size_t bar = rest.find('|');
+      if (bar == std::string::npos) {
+        std::printf("usage: \\probe <brief text> | <sql>\n");
+        continue;
+      }
+      Probe probe;
+      probe.agent_id = "shell";
+      probe.brief.text = std::string(Trim(rest.substr(0, bar)));
+      probe.queries = {std::string(Trim(rest.substr(bar + 1)))};
+      auto r = db.HandleProbe(probe);
+      if (!r.ok()) std::printf("error: %s\n", r.status().ToString().c_str());
+      else PrintResponse(*r);
+    } else if (cmd == "\\search") {
+      std::string phrase;
+      std::getline(in, phrase);
+      Probe probe;
+      probe.semantic_search_phrase = std::string(Trim(phrase));
+      auto r = db.HandleProbe(probe);
+      if (!r.ok()) {
+        std::printf("error: %s\n", r.status().ToString().c_str());
+        continue;
+      }
+      for (const SemanticMatch& m : r->discoveries) {
+        std::printf("  [%.2f] %s%s%s%s\n", m.score, m.table.c_str(),
+                    m.column.empty() ? "" : ".", m.column.c_str(),
+                    m.kind == SemanticMatch::Kind::kValue
+                        ? (" = '" + m.text + "'").c_str()
+                        : "");
+      }
+      if (r->discoveries.empty()) std::printf("  (no matches)\n");
+    } else if (cmd == "\\memory") {
+      std::string query;
+      std::getline(in, query);
+      std::string q(Trim(query));
+      if (q.empty()) {
+        std::printf("  %zu artifacts stored\n", db.memory()->size());
+      } else {
+        for (const MemoryHit& hit : db.memory()->Search(q, 5, "shell")) {
+          std::printf("  [%.2f] (%s) %s: %s\n", hit.score,
+                      ArtifactKindName(hit.artifact->kind),
+                      hit.artifact->key.c_str(), hit.artifact->content.c_str());
+        }
+      }
+    } else if (cmd == "\\fork") {
+      auto b = db.branches()->Fork(BranchManager::kMainBranch);
+      if (!b.ok()) std::printf("error: %s\n", b.status().ToString().c_str());
+      else std::printf("forked branch %llu\n", static_cast<unsigned long long>(*b));
+    } else if (cmd == "\\branch") {
+      uint64_t id = 0;
+      in >> id;
+      std::string sql;
+      std::getline(in, sql);
+      auto r = db.QueryBranch(id, std::string(Trim(sql)));
+      if (!r.ok()) std::printf("error: %s\n", r.status().ToString().c_str());
+      else PrintResult(*r);
+    } else if (cmd == "\\merge") {
+      uint64_t id = 0;
+      in >> id;
+      auto r = db.branches()->Merge(id, BranchManager::kMainBranch,
+                                    MergePolicy::kSourceWins);
+      if (!r.ok()) {
+        std::printf("error: %s\n", r.status().ToString().c_str());
+      } else {
+        std::printf("merged: %zu cells, %zu appended rows, %zu conflicts\n",
+                    r->cells_applied, r->rows_appended, r->conflicts.size());
+      }
+    } else if (cmd == "\\rollback") {
+      uint64_t id = 0;
+      in >> id;
+      auto s = db.branches()->Rollback(id);
+      std::printf("%s\n", s.ok() ? "rolled back" : s.ToString().c_str());
+    } else if (cmd == "\\export") {
+      std::string table, path;
+      in >> table >> path;
+      auto t = db.catalog()->GetTable(table);
+      if (!t.ok()) {
+        std::printf("error: %s\n", t.status().ToString().c_str());
+        continue;
+      }
+      auto s = ExportCsv(**t, path);
+      std::printf("%s\n", s.ok() ? "exported" : s.ToString().c_str());
+    } else if (cmd == "\\import") {
+      std::string table, path;
+      in >> table >> path;
+      // Infer an all-VARCHAR schema from the header.
+      std::ifstream file(path);
+      std::string header;
+      if (!file.good() || !std::getline(file, header)) {
+        std::printf("error: cannot read %s\n", path.c_str());
+        continue;
+      }
+      auto fields = ParseCsvLine(header);
+      if (!fields.ok()) {
+        std::printf("error: %s\n", fields.status().ToString().c_str());
+        continue;
+      }
+      Schema schema;
+      for (const std::string& col : *fields) {
+        schema.AddColumn(ColumnDef(col, DataType::kString, true, table));
+      }
+      auto t = ImportCsv(db.catalog(), table, schema, path);
+      if (!t.ok()) std::printf("error: %s\n", t.status().ToString().c_str());
+      else std::printf("imported %zu rows\n", (*t)->NumRows());
+    } else if (cmd == "\\metrics") {
+      const ProbeOptimizer::Metrics& m = db.optimizer()->metrics();
+      std::printf("  probes %llu | executed %llu | memory %llu | approx %llu | "
+                  "skipped %llu\n",
+                  static_cast<unsigned long long>(m.probes),
+                  static_cast<unsigned long long>(m.queries_executed),
+                  static_cast<unsigned long long>(m.queries_from_memory),
+                  static_cast<unsigned long long>(m.queries_approximate),
+                  static_cast<unsigned long long>(m.queries_skipped));
+    } else {
+      std::printf("unknown command %s\n", cmd.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace agentfirst
+
+int main() { return agentfirst::RunShell(); }
