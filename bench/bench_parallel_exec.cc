@@ -1,0 +1,234 @@
+// Morsel-driven parallel execution bench: operator throughput (scan,
+// hash-join probe, aggregate) and probe-batch throughput at 1/2/4/8
+// threads, reporting the scaling curve over the serial baseline.
+//
+//   build/bench/bench_parallel_exec [BENCH_parallel.json]
+//
+// With a path argument, the measured curves are also written there as JSON
+// (the perf trajectory later PRs regress against). Scaling factors are only
+// meaningful on a multi-core host; the tool records the visible CPU count
+// alongside the numbers.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/system.h"
+#include "exec/executor.h"
+#include "opt/rules.h"
+#include "plan/binder.h"
+#include "sql/parser.h"
+
+namespace agentfirst {
+namespace {
+
+constexpr size_t kFactRows = 1000000;
+constexpr size_t kDimRows = 1000;
+constexpr int kRepetitions = 3;
+const std::vector<size_t> kThreadCounts = {1, 2, 4, 8};
+
+double Seconds(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+struct Fixture {
+  Catalog catalog;
+
+  Fixture() {
+    Rng rng(20260805);
+    auto dim = *catalog.CreateTable(
+        "dim", Schema({ColumnDef("id", DataType::kInt64, false, "dim"),
+                       ColumnDef("label", DataType::kString, true, "dim")}));
+    for (size_t i = 0; i < kDimRows; ++i) {
+      (void)dim->AppendRow({Value::Int(static_cast<int64_t>(i)),
+                            Value::String("label" + std::to_string(i % 97))});
+    }
+    auto fact = *catalog.CreateTable(
+        "fact", Schema({ColumnDef("id", DataType::kInt64, false, "fact"),
+                        ColumnDef("dim_id", DataType::kInt64, false, "fact"),
+                        ColumnDef("v", DataType::kFloat64, false, "fact"),
+                        ColumnDef("cat", DataType::kString, false, "fact")}));
+    for (size_t i = 0; i < kFactRows; ++i) {
+      (void)fact->AppendRow(
+          {Value::Int(static_cast<int64_t>(i)),
+           Value::Int(static_cast<int64_t>(rng.NextUint(kDimRows))),
+           Value::Double(rng.NextDouble() * 100),
+           Value::String("cat" + std::to_string(i % 16))});
+    }
+  }
+
+  PlanPtr Plan(const std::string& sql) {
+    Binder binder(&catalog);
+    return OptimizePlan(*binder.BindSelect(**ParseSelect(sql)), &catalog);
+  }
+};
+
+/// Best-of-k rows/s for one plan at one thread count, on a pool of exactly
+/// `threads` workers so the sweep measures thread scaling, not default-pool
+/// sizing.
+double MeasurePlan(Fixture& fx, const std::string& sql, size_t threads) {
+  PlanPtr plan = fx.Plan(sql);
+  ThreadPool pool(threads);
+  ExecOptions options;
+  options.num_threads = threads;
+  options.pool = &pool;
+  double best = 0.0;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    auto result = ExecutePlan(*plan, options);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!result.ok()) {
+      std::fprintf(stderr, "plan failed: %s\n",
+                   result.status().ToString().c_str());
+      return 0.0;
+    }
+    best = std::max(best, static_cast<double>(kFactRows) / Seconds(t0, t1));
+  }
+  return best;
+}
+
+/// Probe-batch throughput: a speculation batch of `kProbes` distinct probes
+/// through the probe optimizer at a given batch_parallelism. Memory reuse
+/// and rewrites are disabled and the sub-plan cache dropped between reps so
+/// every repetition pays full execution cost.
+constexpr size_t kProbes = 16;
+
+double MeasureProbeBatch(size_t parallelism) {
+  AgentFirstSystem::Options options;
+  options.optimizer.enable_memory = false;
+  options.optimizer.enable_aqp = false;
+  options.optimizer.batch_parallelism = parallelism;
+  options.optimizer.intra_query_threads = 1;
+  AgentFirstSystem system(options);
+  (void)system.ExecuteSql(
+      "CREATE TABLE sales (id BIGINT, region VARCHAR, amount DOUBLE)");
+  for (int chunk = 0; chunk < 50; ++chunk) {
+    std::string insert = "INSERT INTO sales VALUES ";
+    for (int i = 0; i < 1000; ++i) {
+      int id = chunk * 1000 + i;
+      if (i > 0) insert += ",";
+      insert += "(" + std::to_string(id) + ",'r" + std::to_string(id % 11) +
+                "'," + std::to_string((id * 37) % 1000) + ".0)";
+    }
+    (void)system.ExecuteSql(insert);
+  }
+
+  std::vector<Probe> probes;
+  for (size_t p = 0; p < kProbes; ++p) {
+    Probe probe;
+    probe.agent_id = "agent" + std::to_string(p);
+    probe.brief.text = "validate per-region revenue";
+    probe.queries = {
+        "SELECT count(*), sum(amount) FROM sales WHERE amount > " +
+            std::to_string(p * 53 % 900),
+        "SELECT region, count(*) FROM sales WHERE id > " +
+            std::to_string(p * 1000) + " GROUP BY region",
+    };
+    probes.push_back(std::move(probe));
+  }
+
+  double best = 0.0;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    system.optimizer()->InvalidateCaches();
+    auto t0 = std::chrono::steady_clock::now();
+    auto responses = system.HandleProbeBatch(probes);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!responses.ok() || responses->size() != kProbes) {
+      std::fprintf(stderr, "probe batch failed\n");
+      return 0.0;
+    }
+    best = std::max(best, static_cast<double>(kProbes) / Seconds(t0, t1));
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace agentfirst
+
+int main(int argc, char** argv) {
+  using namespace agentfirst;
+  using bench::Num;
+
+  struct Workload {
+    std::string key;
+    std::string sql;  // empty = probe batch
+  };
+  const std::vector<Workload> workloads = {
+      {"scan_filter", "SELECT id, v FROM fact WHERE v > 99.0"},
+      {"hash_join",
+       "SELECT fact.id, dim.label FROM fact JOIN dim ON fact.dim_id = dim.id "
+       "WHERE dim.label = 'label7'"},
+      {"aggregate", "SELECT cat, count(*), sum(v) FROM fact GROUP BY cat"},
+      {"probe_batch", ""},
+  };
+
+  std::printf("building %zu-row fact table...\n", kFactRows);
+  Fixture fx;
+
+  // results[w][t] = throughput (rows/s for plans, probes/s for the batch).
+  std::vector<std::vector<double>> results(workloads.size());
+  for (size_t w = 0; w < workloads.size(); ++w) {
+    for (size_t threads : kThreadCounts) {
+      double r = workloads[w].sql.empty()
+                     ? MeasureProbeBatch(threads)
+                     : MeasurePlan(fx, workloads[w].sql, threads);
+      results[w].push_back(r);
+      std::printf("  %-12s threads=%zu  %.3g %s\n", workloads[w].key.c_str(),
+                  threads, r, workloads[w].sql.empty() ? "probes/s" : "rows/s");
+    }
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  for (size_t w = 0; w < workloads.size(); ++w) {
+    bool per_probe = workloads[w].sql.empty();
+    std::vector<std::string> row = {workloads[w].key};
+    for (size_t t = 0; t < kThreadCounts.size(); ++t) {
+      row.push_back(per_probe ? Num(results[w][t], 1)
+                              : Num(results[w][t] / 1e6, 3) + "M");
+    }
+    row.push_back(Num(results[w].back() / results[w].front(), 2) + "x");
+    rows.push_back(std::move(row));
+  }
+  std::printf(
+      "\nThroughput (plans: M rows/s; probe_batch: probes/s) and 8T/1T "
+      "scaling:\n");
+  bench::PrintTable({"workload", "1T", "2T", "4T", "8T", "scale"}, rows);
+  unsigned cpus = std::thread::hardware_concurrency();
+  std::printf("\nvisible CPUs: %u%s\n", cpus,
+              cpus < 4 ? "  (scaling curves need >= 4 cores to be meaningful)"
+                       : "");
+
+  if (argc > 1) {
+    std::ofstream out(argv[1]);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", argv[1]);
+      return 1;
+    }
+    out << "{\n  \"bench\": \"bench_parallel_exec\",\n";
+    out << "  \"visible_cpus\": " << cpus << ",\n";
+    out << "  \"fact_rows\": " << kFactRows << ",\n";
+    out << "  \"probes_per_batch\": " << kProbes << ",\n";
+    out << "  \"units\": {\"plans\": \"rows_per_sec\", \"probe_batch\": "
+           "\"probes_per_sec\"},\n";
+    out << "  \"throughput\": {\n";
+    for (size_t w = 0; w < workloads.size(); ++w) {
+      out << "    \"" << workloads[w].key << "\": {";
+      for (size_t t = 0; t < kThreadCounts.size(); ++t) {
+        out << "\"" << kThreadCounts[t] << "\": " << Num(results[w][t], 1);
+        if (t + 1 < kThreadCounts.size()) out << ", ";
+      }
+      out << "}" << (w + 1 < workloads.size() ? "," : "") << "\n";
+    }
+    out << "  }\n}\n";
+    std::printf("wrote %s\n", argv[1]);
+  }
+  return 0;
+}

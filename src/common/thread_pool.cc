@@ -1,0 +1,172 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace agentfirst {
+
+namespace {
+/// Identifies the pool (and worker slot) the current thread belongs to, so
+/// Submit from inside a task lands on the worker's own deque and nested
+/// ParallelFor calls know they are already on a pool thread.
+thread_local ThreadPool* tls_pool = nullptr;
+thread_local size_t tls_worker_index = 0;
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i]() { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true);
+  {
+    // Empty critical section: pairs with the wait predicate so no worker
+    // misses the stop flag between its predicate check and its wait.
+    std::lock_guard<std::mutex> lock(injector_mutex_);
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+ThreadPool* ThreadPool::Default() {
+  static ThreadPool pool(0);
+  return &pool;
+}
+
+void ThreadPool::Push(Task task) {
+  num_tasks_.fetch_add(1);
+  if (tls_pool == this) {
+    Worker& self = *workers_[tls_worker_index];
+    std::lock_guard<std::mutex> lock(self.mutex);
+    self.deque.push_back(std::move(task));
+  } else {
+    std::lock_guard<std::mutex> lock(injector_mutex_);
+    injector_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::PopTask(Task* out) {
+  // Own deque first (LIFO: best locality for nested submissions).
+  if (tls_pool == this) {
+    Worker& self = *workers_[tls_worker_index];
+    std::lock_guard<std::mutex> lock(self.mutex);
+    if (!self.deque.empty()) {
+      *out = std::move(self.deque.back());
+      self.deque.pop_back();
+      return true;
+    }
+  }
+  // Global injector next (FIFO: fairness for external submissions).
+  {
+    std::lock_guard<std::mutex> lock(injector_mutex_);
+    if (!injector_.empty()) {
+      *out = std::move(injector_.front());
+      injector_.pop_front();
+      return true;
+    }
+  }
+  // Steal from the other workers' fronts (FIFO end: oldest, largest work).
+  size_t start = (tls_pool == this) ? tls_worker_index + 1 : 0;
+  for (size_t k = 0; k < workers_.size(); ++k) {
+    Worker& victim = *workers_[(start + k) % workers_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.deque.empty()) {
+      *out = std::move(victim.deque.front());
+      victim.deque.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  tls_pool = this;
+  tls_worker_index = index;
+  while (true) {
+    Task task;
+    if (PopTask(&task)) {
+      num_tasks_.fetch_sub(1);
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(injector_mutex_);
+    work_cv_.wait(lock, [this]() {
+      return stop_.load() || num_tasks_.load() > 0;
+    });
+    if (stop_.load() && num_tasks_.load() == 0) return;
+  }
+}
+
+void ThreadPool::RunMorselLoop(ParallelForState* state) {
+  while (!state->abort.load(std::memory_order_relaxed)) {
+    size_t morsel_begin = state->next.fetch_add(state->grain);
+    if (morsel_begin >= state->end) break;
+    size_t morsel_end = std::min(morsel_begin + state->grain, state->end);
+    try {
+      (*state->body)(morsel_begin, morsel_end);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        if (!state->exception) state->exception = std::current_exception();
+      }
+      state->abort.store(true);
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t, size_t)>& body,
+                             size_t grain, size_t max_threads) {
+  if (end <= begin) return;
+  size_t n = end - begin;
+  if (grain == 0) {
+    // ~4 morsels per participant: enough slack for stealing to balance
+    // skewed morsels without drowning in scheduling overhead.
+    grain = std::max<size_t>(1, n / (4 * (num_workers() + 1)));
+  }
+  size_t num_morsels = (n + grain - 1) / grain;
+  size_t helpers = std::min(num_workers(), num_morsels - 1);
+  if (max_threads > 0) helpers = std::min(helpers, max_threads - 1);
+  if (helpers == 0) {
+    body(begin, end);
+    return;
+  }
+
+  auto state = std::make_shared<ParallelForState>();
+  state->next.store(begin);
+  state->end = end;
+  state->grain = grain;
+  state->body = &body;
+  for (size_t i = 0; i < helpers; ++i) {
+    Push([state]() {
+      state->active.fetch_add(1);
+      RunMorselLoop(state.get());
+      if (state->active.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->done_cv.notify_all();
+      }
+    });
+  }
+  RunMorselLoop(state.get());
+  // Exhaust the cursor explicitly: on the abort (exception) path the caller
+  // leaves the loop with morsels unclaimed, and a queued-but-unstarted
+  // helper must not claim one after `body` is gone. With the cursor at
+  // `end`, only helpers that already claimed a morsel (active > 0) can
+  // touch `body`, and the wait below covers exactly those.
+  state->next.store(state->end);
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done_cv.wait(lock, [&]() { return state->active.load() == 0; });
+  if (state->exception) std::rethrow_exception(state->exception);
+}
+
+}  // namespace agentfirst

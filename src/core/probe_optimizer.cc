@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <functional>
+#include <optional>
+#include <thread>
 
+#include "common/thread_pool.h"
 #include "opt/aqp.h"
 #include "opt/cost_model.h"
 #include "opt/rules.h"
@@ -12,12 +15,30 @@
 
 namespace agentfirst {
 
+namespace {
+/// Resolves the "0 = hardware concurrency" convention of the parallelism
+/// options once, at construction.
+ProbeOptimizer::Options NormalizeOptions(ProbeOptimizer::Options options) {
+  size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  if (options.batch_parallelism == 0) options.batch_parallelism = hw;
+  if (options.intra_query_threads == 0) options.intra_query_threads = hw;
+  return options;
+}
+
+ExecOptions BatchBaseOptions(size_t intra_query_threads) {
+  ExecOptions eo;
+  eo.num_threads = intra_query_threads;
+  return eo;
+}
+}  // namespace
+
 ProbeOptimizer::ProbeOptimizer(Catalog* catalog, AgenticMemoryStore* memory,
                                SemanticCatalogSearch* search, Options options)
     : catalog_(catalog),
       memory_(memory),
       search_(search),
-      options_(options),
+      options_(NormalizeOptions(options)),
+      batch_(BatchBaseOptions(options_.intra_query_threads)),
       sleeper_(catalog, memory, search) {}
 
 namespace {
@@ -90,6 +111,36 @@ void ProbeOptimizer::AdviseMaterialization(const PlanPtr& plan,
   }
 }
 
+/// Per-probe state threaded through the three ProcessBatch phases. Prepare
+/// fills everything up to the admission/pruning/approximation decisions,
+/// Execute turns decisions into answers, Finalize adds steering + advisors.
+struct ProbeOptimizer::ProbeTask {
+  struct Prepared {
+    std::string sql;
+    PlanPtr plan;       // null on bind error
+    Status bind_status;
+    double cost = 0.0;
+    double rows = 0.0;
+    double relevance = 1.0;
+    uint64_t fingerprint = 0;
+    uint64_t core_fingerprint = 0;
+  };
+
+  const Probe* probe = nullptr;
+  Brief brief;
+  bool exploratory = false;
+  bool wants_exact = false;
+  std::vector<Prepared> prepared;
+  // Decision vectors, all indexed like `prepared` (char over bool so
+  // elements are addressable objects).
+  std::vector<char> run;
+  std::vector<size_t> subsumed_by;
+  std::vector<const std::string*> covered_by_turn;
+  std::vector<char> over_budget;
+  double sample_rate = 1.0;
+  ProbeResponse response;
+};
+
 Result<std::vector<ProbeResponse>> ProbeOptimizer::ProcessBatch(
     const std::vector<Probe>& probes) {
   // Admission control: order by brief priority, then phase urgency.
@@ -115,38 +166,70 @@ Result<std::vector<ProbeResponse>> ProbeOptimizer::ProcessBatch(
     return phase_rank(interpreted[a].phase) < phase_rank(interpreted[b].phase);
   });
 
+  // Phase 1 (serial, admission order): parse/bind/cost + every admission,
+  // pruning, and approximation decision. Keeping this serial keeps the
+  // decisions — and therefore which queries run — independent of thread
+  // count.
+  std::vector<ProbeTask> tasks(probes.size());
+  for (size_t idx : order) PrepareProbe(probes[idx], &tasks[idx]);
+
+  // Phase 2: execute admitted queries, one task per probe on the shared
+  // work-stealing pool (a 50-probe speculation batch saturates the machine).
+  // Intra-query morsels nest on the same pool. Shared optimizer state is
+  // touched under state_mutex_ inside ExecuteProbe; plan execution itself
+  // runs unlocked.
+  size_t par = std::min(options_.batch_parallelism, probes.size());
+  if (par <= 1) {
+    for (size_t idx : order) ExecuteProbe(&tasks[idx]);
+  } else {
+    ThreadPool::Default()->ParallelFor(
+        0, order.size(),
+        [&](size_t begin, size_t end) {
+          for (size_t k = begin; k < end; ++k) ExecuteProbe(&tasks[order[k]]);
+        },
+        /*grain=*/1, par);
+  }
+
+  // Phase 3 (serial, admission order): steering, discovery, advisors —
+  // these mutate cross-probe state (recent tables, recurrence counters,
+  // auto-indexes) and must observe probes in admission order.
+  for (size_t idx : order) FinalizeProbe(&tasks[idx]);
+
   std::vector<ProbeResponse> responses(probes.size());
-  for (size_t idx : order) {
-    AF_ASSIGN_OR_RETURN(responses[idx], Process(probes[idx]));
+  for (size_t i = 0; i < probes.size(); ++i) {
+    responses[i] = std::move(tasks[i].response);
   }
   return responses;
 }
 
 Result<ProbeResponse> ProbeOptimizer::Process(const Probe& probe) {
+  ProbeTask task;
+  PrepareProbe(probe, &task);
+  ExecuteProbe(&task);
+  FinalizeProbe(&task);
+  return std::move(task.response);
+}
+
+void ProbeOptimizer::PrepareProbe(const Probe& probe, ProbeTask* task) {
   ++metrics_.probes;
-  ProbeResponse response;
+  task->probe = &probe;
+  ProbeResponse& response = task->response;
   response.probe_id = probe.id;
 
-  Brief brief = interpreter_.Interpret(probe.brief);
+  Brief& brief = task->brief;
+  brief = interpreter_.Interpret(probe.brief);
   response.interpreted_phase = brief.phase;
 
   bool exploratory = brief.phase == ProbePhase::kMetadataExploration ||
                      brief.phase == ProbePhase::kStatExploration;
   bool wants_exact = brief.phase == ProbePhase::kValidation ||
                      brief.max_relative_error == 0.0;
+  task->exploratory = exploratory;
+  task->wants_exact = wants_exact;
 
   // 1. Parse + bind + (optionally) rewrite every query.
-  struct Prepared {
-    std::string sql;
-    PlanPtr plan;       // null on bind error
-    Status bind_status;
-    double cost = 0.0;
-    double rows = 0.0;
-    double relevance = 1.0;
-    uint64_t fingerprint = 0;
-    uint64_t core_fingerprint = 0;
-  };
-  std::vector<Prepared> prepared;
+  using Prepared = ProbeTask::Prepared;
+  std::vector<Prepared>& prepared = task->prepared;
   metrics_.queries_submitted += probe.queries.size();
 
   for (const std::string& sql : probe.queries) {
@@ -185,7 +268,8 @@ Result<ProbeResponse> ProbeOptimizer::Process(const Probe& probe) {
   }
 
   // 2. Decide what to execute.
-  std::vector<bool> run(prepared.size(), true);
+  std::vector<char>& run = task->run;
+  run.assign(prepared.size(), 1);
   for (size_t i = 0; i < prepared.size(); ++i) {
     if (prepared[i].plan == nullptr) run[i] = false;
   }
@@ -203,7 +287,8 @@ Result<ProbeResponse> ProbeOptimizer::Process(const Probe& probe) {
   // projection/sort) appears as a sub-plan of another query in the same
   // probe adds no new information during exploration -- the larger query's
   // answer covers it. Only applied to exploratory briefs.
-  std::vector<size_t> subsumed_by(prepared.size(), SIZE_MAX);
+  std::vector<size_t>& subsumed_by = task->subsumed_by;
+  subsumed_by.assign(prepared.size(), SIZE_MAX);
   if (options_.enable_satisficing && exploratory && prepared.size() > 1) {
     std::vector<uint64_t> roots(prepared.size(), 0);
     std::vector<std::vector<uint64_t>> subs(prepared.size());
@@ -246,7 +331,8 @@ Result<ProbeResponse> ProbeOptimizer::Process(const Probe& probe) {
   // Cross-turn dropping (paper Sec. 5.2.2): if this agent already received
   // an answer over the same core relation in an earlier turn, an exploratory
   // re-ask adds no new information; skip it and point at the earlier query.
-  std::vector<const std::string*> covered_by_turn(prepared.size(), nullptr);
+  std::vector<const std::string*>& covered_by_turn = task->covered_by_turn;
+  covered_by_turn.assign(prepared.size(), nullptr);
   if (options_.enable_satisficing && exploratory && !probe.agent_id.empty()) {
     auto& answered = answered_cores_[probe.agent_id];
     for (size_t i = 0; i < prepared.size(); ++i) {
@@ -264,7 +350,8 @@ Result<ProbeResponse> ProbeOptimizer::Process(const Probe& probe) {
 
   // Cost budget: during exploration, shed the least useful-per-cost queries
   // until the probe fits the declared computational budget.
-  std::vector<bool> over_budget(prepared.size(), false);
+  std::vector<char>& over_budget = task->over_budget;
+  over_budget.assign(prepared.size(), 0);
   if (options_.enable_satisficing && brief.cost_budget > 0.0 && exploratory) {
     double total = 0.0;
     std::vector<size_t> runnable;
@@ -306,7 +393,8 @@ Result<ProbeResponse> ProbeOptimizer::Process(const Probe& probe) {
   }
 
   // 3. Pick the approximation level.
-  double sample_rate = 1.0;
+  double& sample_rate = task->sample_rate;
+  sample_rate = 1.0;
   if (options_.enable_aqp && !wants_exact) {
     if (brief.max_relative_error > 0.0) {
       double max_rows = 1.0;
@@ -327,18 +415,33 @@ Result<ProbeResponse> ProbeOptimizer::Process(const Probe& probe) {
       }
     }
   }
+}
+
+void ProbeOptimizer::ExecuteProbe(ProbeTask* task) {
+  const Probe& probe = *task->probe;
+  const Brief& brief = task->brief;
+  std::vector<ProbeTask::Prepared>& prepared = task->prepared;
+  ProbeResponse& response = task->response;
+  const std::vector<char>& run = task->run;
+  const std::vector<size_t>& subsumed_by = task->subsumed_by;
+  const std::vector<const std::string*>& covered_by_turn = task->covered_by_turn;
+  const std::vector<char>& over_budget = task->over_budget;
+  const bool wants_exact = task->wants_exact;
+  const double sample_rate = task->sample_rate;
 
   // 4. Execute (memory short-circuit first, then shared batch execution).
+  // This phase may run concurrently with other probes' Execute phases:
+  // everything task-local is lock-free, every touch of shared optimizer
+  // state (metrics, memory store, answered-cores map) takes state_mutex_,
+  // and the mutex is never held across plan execution.
   size_t rows_produced_total = 0;
   bool termination_fired = false;
-  std::vector<PlanPtr> plans_for_steering;
   response.answers.resize(prepared.size());
   for (size_t i = 0; i < prepared.size(); ++i) {
     QueryAnswer& answer = response.answers[i];
     answer.sql = prepared[i].sql;
     answer.estimated_cost = prepared[i].cost;
     answer.estimated_rows = prepared[i].rows;
-    plans_for_steering.push_back(prepared[i].plan);
 
     if (prepared[i].plan == nullptr) {
       answer.status = prepared[i].bind_status;
@@ -367,12 +470,15 @@ Result<ProbeResponse> ProbeOptimizer::Process(const Probe& probe) {
       } else {
         answer.skip_reason = "satisficing: covered by the answered subset";
       }
+      std::lock_guard<std::mutex> lock(state_mutex_);
       ++metrics_.queries_skipped;
       metrics_.skipped_cost += prepared[i].cost;
       continue;
     }
     // Termination criteria: enough rows produced, or the agent-defined
-    // stop_when function fired on an earlier result.
+    // stop_when function fired on an earlier result. Both are scoped to
+    // this probe's own answer sequence, so they stay deterministic under
+    // batch parallelism.
     if (options_.enable_satisficing &&
         (termination_fired ||
          (brief.enough_rows_total > 0 &&
@@ -381,6 +487,7 @@ Result<ProbeResponse> ProbeOptimizer::Process(const Probe& probe) {
       answer.skip_reason = termination_fired
                                ? "termination criterion met: stop_when fired"
                                : "termination criterion met: enough rows produced";
+      std::lock_guard<std::mutex> lock(state_mutex_);
       ++metrics_.queries_skipped;
       metrics_.skipped_cost += prepared[i].cost;
       continue;
@@ -392,7 +499,11 @@ Result<ProbeResponse> ProbeOptimizer::Process(const Probe& probe) {
     // exactness.
     if (options_.enable_memory && memory_ != nullptr) {
       std::string key = "probe_result:" + std::to_string(prepared[i].fingerprint);
-      auto hit = memory_->GetExact(key, probe.agent_id);
+      std::optional<MemoryHit> hit;
+      {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        hit = memory_->GetExact(key, probe.agent_id);
+      }
       if (hit.has_value() && hit->artifact->result != nullptr && !hit->stale &&
           (!hit->artifact->result->approximate || !wants_exact)) {
         answer.status = Status::OK();
@@ -401,6 +512,7 @@ Result<ProbeResponse> ProbeOptimizer::Process(const Probe& probe) {
         answer.approximate = answer.result->approximate;
         answer.sample_rate = answer.result->sample_rate;
         rows_produced_total += answer.result->rows.size();
+        std::lock_guard<std::mutex> lock(state_mutex_);
         ++metrics_.queries_from_memory;
         if (!probe.agent_id.empty()) {
           answered_cores_[probe.agent_id].emplace(prepared[i].core_fingerprint,
@@ -412,16 +524,22 @@ Result<ProbeResponse> ProbeOptimizer::Process(const Probe& probe) {
 
     // Invest heuristic: a relation asked about repeatedly deserves one exact
     // answer that future probes reuse, even if this brief tolerates error.
+    // (The recurrence counters were bumped during the serial Prepare phase,
+    // so this read is stable across the whole Execute phase.)
     double effective_rate = sample_rate;
-    if (effective_rate < 1.0 && options_.invest_threshold > 0 &&
-        core_recurrence_[prepared[i].core_fingerprint] >=
-            options_.invest_threshold) {
-      effective_rate = 1.0;
+    if (effective_rate < 1.0 && options_.invest_threshold > 0) {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      auto it = core_recurrence_.find(prepared[i].core_fingerprint);
+      if (it != core_recurrence_.end() &&
+          it->second >= options_.invest_threshold) {
+        effective_rate = 1.0;
+      }
     }
 
     ExecOptions exec_options;
     exec_options.sample_rate = effective_rate;
     exec_options.cache = options_.enable_mqo ? batch_.cache() : nullptr;
+    exec_options.num_threads = options_.intra_query_threads;
 
     if (effective_rate < 1.0) {
       auto approx = ExecuteApproximate(*prepared[i].plan, effective_rate, exec_options);
@@ -433,7 +551,6 @@ Result<ProbeResponse> ProbeOptimizer::Process(const Probe& probe) {
       answer.approximate = true;
       answer.sample_rate = approx->sample_rate;
       answer.relative_ci95 = approx->relative_ci95;
-      ++metrics_.queries_approximate;
     } else {
       auto results = batch_.ExecuteBatch({prepared[i].plan});
       if (!results[0].ok()) {
@@ -444,20 +561,24 @@ Result<ProbeResponse> ProbeOptimizer::Process(const Probe& probe) {
     }
     answer.status = Status::OK();
     rows_produced_total += answer.result->rows.size();
-    if (!probe.agent_id.empty()) {
-      answered_cores_[probe.agent_id].emplace(prepared[i].core_fingerprint,
-                                              prepared[i].sql);
-    }
     if (brief.stop_when && answer.result != nullptr &&
         brief.stop_when(*answer.result)) {
       termination_fired = true;
     }
-    ++metrics_.queries_executed;
     // Sampled execution touches roughly cost * rate rows.
     double effective_cost =
         prepared[i].cost * (answer.approximate ? answer.sample_rate : 1.0);
-    metrics_.executed_cost += effective_cost;
     response.total_executed_cost += effective_cost;
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      if (answer.approximate) ++metrics_.queries_approximate;
+      ++metrics_.queries_executed;
+      metrics_.executed_cost += effective_cost;
+      if (!probe.agent_id.empty()) {
+        answered_cores_[probe.agent_id].emplace(prepared[i].core_fingerprint,
+                                                prepared[i].sql);
+      }
+    }
 
     // Record the answer as a memory artifact for future probes (approximate
     // answers are stored too, flagged by their result's sample_rate).
@@ -469,9 +590,19 @@ Result<ProbeResponse> ProbeOptimizer::Process(const Probe& probe) {
       artifact.result = answer.result;
       artifact.table_deps = ReferencedTables(*prepared[i].plan);
       artifact.owner = probe.agent_id;
+      std::lock_guard<std::mutex> lock(state_mutex_);
       memory_->Put(std::move(artifact));
     }
   }
+}
+
+void ProbeOptimizer::FinalizeProbe(ProbeTask* task) {
+  const Probe& probe = *task->probe;
+  const Brief& brief = task->brief;
+  ProbeResponse& response = task->response;
+  std::vector<PlanPtr> plans_for_steering;
+  plans_for_steering.reserve(task->prepared.size());
+  for (const auto& p : task->prepared) plans_for_steering.push_back(p.plan);
 
   // 5. Semantic discovery (beyond-SQL probe).
   if (!probe.semantic_search_phrase.empty() && search_ != nullptr) {
@@ -504,7 +635,6 @@ Result<ProbeResponse> ProbeOptimizer::Process(const Probe& probe) {
     AdviseMaterialization(p, &response.hints);
     AdaptiveIndexing(p, &response.hints);
   }
-  return response;
 }
 
 void ProbeOptimizer::AdaptiveIndexing(const PlanPtr& plan,

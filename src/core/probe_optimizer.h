@@ -2,6 +2,7 @@
 #define AGENTFIRST_CORE_PROBE_OPTIMIZER_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,18 @@ class ProbeOptimizer {
     /// equality probes against the same column, a hash index is created
     /// automatically and announced via a hint. 0 disables.
     size_t auto_index_threshold = 4;
+    /// Concurrent probe execution inside ProcessBatch: admitted probes run
+    /// as tasks on the shared work-stealing pool while admission, pruning,
+    /// steering, and advisor decisions stay serial in admission order.
+    /// 1 = fully serial (identical to processing probes one by one, the
+    /// default); 0 = hardware concurrency; N = at most N probes in flight.
+    /// Note: with parallelism, probes in one batch no longer observe memory
+    /// artifacts written by other probes of the *same* batch
+    /// deterministically — the shared sub-plan cache still dedupes the work.
+    size_t batch_parallelism = 1;
+    /// Intra-query morsel parallelism for executed probe queries
+    /// (ExecOptions::num_threads); draws from the same pool.
+    size_t intra_query_threads = 1;
   };
 
   struct Metrics {
@@ -93,6 +106,17 @@ class ProbeOptimizer {
   void InvalidateCaches() { batch_.InvalidateCache(); }
 
  private:
+  /// One probe's state as it moves through the three ProcessBatch phases:
+  /// Prepare (serial: parse/bind/cost, admission + pruning decisions),
+  /// Execute (parallelizable: runs the admitted queries; shared optimizer
+  /// state is mutex-guarded, execution itself runs unlocked), Finalize
+  /// (serial: steering, discovery, materialization/indexing advisors).
+  struct ProbeTask;
+
+  void PrepareProbe(const Probe& probe, ProbeTask* task);
+  void ExecuteProbe(ProbeTask* task);
+  void FinalizeProbe(ProbeTask* task);
+
   double GoalRelevance(const PlanNode& plan, const Brief& brief);
   /// Tracks recurring expensive sub-plans; emits hints on recurrence.
   void AdviseMaterialization(const PlanPtr& plan, std::vector<Hint>* hints);
@@ -104,6 +128,10 @@ class ProbeOptimizer {
   AgenticMemoryStore* memory_;
   SemanticCatalogSearch* search_;
   Options options_;
+  /// Guards all mutable optimizer state (metrics, recurrence maps, memory
+  /// store access) during the parallel Execute phase. Never held across
+  /// plan execution.
+  std::mutex state_mutex_;
   BriefInterpreter interpreter_;
   BatchExecutor batch_;
   SleeperAgent sleeper_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <set>
 #include <unordered_map>
 
@@ -11,42 +12,102 @@
 
 namespace agentfirst {
 
+ExecCache::ExecCache(size_t capacity_bytes) : capacity_bytes_(capacity_bytes) {}
+
+size_t ExecCache::ApproxResultBytes(const ResultSet& result) {
+  size_t total = sizeof(ResultSet);
+  for (const Row& row : result.rows) {
+    total += sizeof(Row) + row.size() * sizeof(Value);
+    for (const Value& v : row) {
+      if (v.type() == DataType::kString) total += v.string_value().size();
+    }
+  }
+  return total;
+}
+
 ResultSetPtr ExecCache::Get(uint64_t key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    ++misses_;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  ++hits_;
-  return it->second;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.result;
 }
 
 void ExecCache::Put(uint64_t key, ResultSetPtr result) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  entries_[key] = std::move(result);
+  size_t result_bytes = ApproxResultBytes(*result);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    shard.bytes -= it->second.bytes;
+    shard.bytes += result_bytes;
+    it->second.result = std::move(result);
+    it->second.bytes = result_bytes;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+  } else {
+    shard.lru.push_front(key);
+    shard.entries[key] = Entry{std::move(result), result_bytes, shard.lru.begin()};
+    shard.bytes += result_bytes;
+  }
+  EvictOverBudgetLocked(shard);
+}
+
+void ExecCache::EvictOverBudgetLocked(Shard& shard) {
+  size_t shard_budget =
+      std::max<size_t>(1, capacity_bytes_.load(std::memory_order_relaxed) / kNumShards);
+  // Never evict the entry just touched (front): a single over-budget result
+  // stays resident until something displaces it.
+  while (shard.bytes > shard_budget && shard.lru.size() > 1) {
+    uint64_t victim = shard.lru.back();
+    shard.lru.pop_back();
+    auto it = shard.entries.find(victim);
+    shard.bytes -= it->second.bytes;
+    shard.entries.erase(it);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void ExecCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  entries_.clear();
-  hits_ = 0;
-  misses_ = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.entries.clear();
+    shard.lru.clear();
+    shard.bytes = 0;
+  }
+  hits_.store(0);
+  misses_.store(0);
+  evictions_.store(0);
 }
 
 size_t ExecCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return entries_.size();
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.entries.size();
+  }
+  return total;
 }
 
-uint64_t ExecCache::hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return hits_;
+size_t ExecCache::bytes() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.bytes;
+  }
+  return total;
 }
 
-uint64_t ExecCache::misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return misses_;
+void ExecCache::set_capacity_bytes(size_t capacity_bytes) {
+  capacity_bytes_.store(capacity_bytes);
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    EvictOverBudgetLocked(shard);
+  }
 }
 
 namespace {
@@ -58,6 +119,45 @@ uint64_t CacheKey(const PlanNode& node, const ExecOptions& options) {
     key = HashCombine(key, HashInt(options.sample_seed));
   }
   return key;
+}
+
+/// Row-range morsel size for parallel operators. Fixed (never derived from
+/// the pool width) so morsel boundaries — and therefore merged output order —
+/// are identical for every thread count.
+constexpr size_t kRowMorselSize = 1024;
+/// Inputs smaller than this run serially; fan-out costs more than it saves.
+constexpr size_t kMinParallelRows = 2048;
+
+ThreadPool* PoolFor(const ExecOptions& options) {
+  return options.pool != nullptr ? options.pool : ThreadPool::Default();
+}
+
+bool UseParallel(const ExecOptions& options, size_t num_rows) {
+  return options.num_threads > 1 && num_rows >= kMinParallelRows;
+}
+
+/// Runs `body(row_begin, row_end, buffer)` over fixed-size morsels of
+/// [0, num_rows) on the pool and appends the per-morsel buffers to `out` in
+/// morsel order. Each morsel writes its own buffer, so output is
+/// byte-identical to a serial left-to-right pass regardless of scheduling.
+void ParallelMorselAppend(
+    const ExecOptions& options, size_t num_rows, std::vector<Row>* out,
+    const std::function<void(size_t, size_t, std::vector<Row>*)>& body) {
+  size_t num_morsels = (num_rows + kRowMorselSize - 1) / kRowMorselSize;
+  std::vector<std::vector<Row>> buffers(num_morsels);
+  PoolFor(options)->ParallelFor(
+      0, num_rows,
+      [&](size_t begin, size_t end) {
+        body(begin, end, &buffers[begin / kRowMorselSize]);
+      },
+      kRowMorselSize, options.num_threads);
+  size_t total = 0;
+  for (const auto& buf : buffers) total += buf.size();
+  out->reserve(out->size() + total);
+  for (auto& buf : buffers) {
+    out->insert(out->end(), std::make_move_iterator(buf.begin()),
+                std::make_move_iterator(buf.end()));
+  }
 }
 
 Result<ResultSetPtr> ExecNode(const PlanNode& node, const ExecOptions& options);
@@ -86,10 +186,52 @@ Result<ResultSetPtr> ExecScan(const PlanNode& node, const ExecOptions& options) 
     }
     return out;
   }
+  const auto& segments = node.table->segments();
+  // Morsel-driven parallel scan: one morsel per storage segment, per-morsel
+  // output buffers merged in segment order (deterministic). Sampling stays
+  // serial: its RNG stream runs across segment boundaries.
+  if (!sampling && UseParallel(options, node.table->NumRows()) &&
+      segments.size() > 1) {
+    std::vector<std::vector<Row>> buffers(segments.size());
+    PoolFor(options)->ParallelFor(
+        0, segments.size(),
+        [&](size_t begin, size_t end) {
+          for (size_t s = begin; s < end; ++s) {
+            const Segment& seg = *segments[s];
+            std::vector<Row>& buf = buffers[s];
+            buf.reserve(seg.num_rows());
+            for (size_t i = 0; i < seg.num_rows(); ++i) {
+              Row row = seg.GetRow(i);
+              if (node.scan_filter != nullptr &&
+                  !EvalPredicate(*node.scan_filter, row)) {
+                continue;
+              }
+              buf.push_back(std::move(row));
+            }
+          }
+        },
+        /*grain=*/1, options.num_threads);
+    size_t total = 0;
+    for (const auto& buf : buffers) total += buf.size();
+    out->rows.reserve(total);
+    for (auto& buf : buffers) {
+      out->rows.insert(out->rows.end(), std::make_move_iterator(buf.begin()),
+                       std::make_move_iterator(buf.end()));
+    }
+    return out;
+  }
   // Seed depends on the table so parallel scans in one plan decorrelate.
   Rng rng(options.sample_seed ^ HashString(node.table_name));
-  for (const auto& seg : node.table->segments()) {
+  size_t expected = node.table->NumRows();
+  if (sampling) {
+    expected = static_cast<size_t>(static_cast<double>(expected) *
+                                   options.sample_rate) + 16;
+  }
+  out->rows.reserve(expected);
+  for (const auto& seg : segments) {
     for (size_t i = 0; i < seg->num_rows(); ++i) {
+      // Sampling decides before the row is materialized: skipped rows never
+      // pay the GetRow copy.
       if (sampling && !rng.NextBool(options.sample_rate)) continue;
       Row row = seg->GetRow(i);
       if (node.scan_filter != nullptr && !EvalPredicate(*node.scan_filter, row)) {
@@ -111,8 +253,36 @@ Result<ResultSetPtr> ExecFilter(const PlanNode& node, const ExecOptions& options
   out->schema = node.output_schema;
   out->approximate = input->approximate;
   out->sample_rate = input->sample_rate;
-  for (const Row& row : input->rows) {
-    if (EvalPredicate(*node.predicate, row)) out->rows.push_back(row);
+  size_t n = input->rows.size();
+  // A use count of 1 means no cache or upstream operator aliases the input,
+  // so surviving rows can be moved out instead of copied.
+  bool unique_input = input.use_count() == 1;
+  if (UseParallel(options, n)) {
+    ParallelMorselAppend(
+        options, n, &out->rows,
+        [&](size_t begin, size_t end, std::vector<Row>* buf) {
+          for (size_t i = begin; i < end; ++i) {
+            const Row& row = input->rows[i];
+            if (!EvalPredicate(*node.predicate, row)) continue;
+            if (unique_input) {
+              buf->push_back(std::move(const_cast<Row&>(row)));
+            } else {
+              buf->push_back(row);
+            }
+          }
+        });
+    return out;
+  }
+  out->rows.reserve(n);
+  if (unique_input) {
+    auto& rows = const_cast<ResultSet*>(input.get())->rows;
+    for (Row& row : rows) {
+      if (EvalPredicate(*node.predicate, row)) out->rows.push_back(std::move(row));
+    }
+  } else {
+    for (const Row& row : input->rows) {
+      if (EvalPredicate(*node.predicate, row)) out->rows.push_back(row);
+    }
   }
   return out;
 }
@@ -127,14 +297,30 @@ Result<ResultSetPtr> ExecProject(const PlanNode& node, const ExecOptions& option
   out->schema = node.output_schema;
   out->approximate = input->approximate;
   out->sample_rate = input->sample_rate;
-  out->rows.reserve(input->rows.size());
-  for (const Row& row : input->rows) {
+  size_t n = input->rows.size();
+  auto project_row = [&](const Row& row) {
     Row projected;
     projected.reserve(node.project_exprs.size());
     for (const auto& e : node.project_exprs) {
       projected.push_back(EvalExpr(*e, row));
     }
-    out->rows.push_back(std::move(projected));
+    return projected;
+  };
+  if (UseParallel(options, n)) {
+    out->rows.resize(n);
+    PoolFor(options)->ParallelFor(
+        0, n,
+        [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            out->rows[i] = project_row(input->rows[i]);
+          }
+        },
+        kRowMorselSize, options.num_threads);
+    return out;
+  }
+  out->rows.reserve(n);
+  for (const Row& row : input->rows) {
+    out->rows.push_back(project_row(row));
   }
   return out;
 }
@@ -147,7 +333,8 @@ Result<ResultSetPtr> ExecHashJoin(const PlanNode& node, const ExecOptions& optio
   out->approximate = left->approximate || right->approximate;
   out->sample_rate = std::min(left->sample_rate, right->sample_rate);
 
-  // Build hash table on the right side.
+  // Build hash table on the right side (serial: builds are short and the
+  // probe side dominates).
   std::unordered_map<uint64_t, std::vector<size_t>> build;
   std::vector<std::vector<Value>> right_keys(right->rows.size());
   for (size_t i = 0; i < right->rows.size(); ++i) {
@@ -165,7 +352,8 @@ Result<ResultSetPtr> ExecHashJoin(const PlanNode& node, const ExecOptions& optio
   }
 
   size_t right_width = right->schema.NumColumns();
-  for (const Row& lrow : left->rows) {
+  // Probes one left row against the build side, appending matches to `buf`.
+  auto probe_row = [&](const Row& lrow, std::vector<Row>* buf) {
     std::vector<Value> key;
     key.reserve(node.join_keys.size());
     bool has_null = false;
@@ -196,15 +384,31 @@ Result<ResultSetPtr> ExecHashJoin(const PlanNode& node, const ExecOptions& optio
             continue;
           }
           matched = true;
-          out->rows.push_back(std::move(combined));
+          buf->push_back(std::move(combined));
         }
       }
     }
     if (!matched && node.join_type == JoinType::kLeft) {
       Row combined = lrow;
       combined.resize(combined.size() + right_width);  // NULL padding
-      out->rows.push_back(std::move(combined));
+      buf->push_back(std::move(combined));
     }
+  };
+
+  // Morsel-driven probe phase: the left input is partitioned into row-range
+  // morsels; per-morsel buffers are merged in morsel order, matching the
+  // serial left-to-right probe order exactly.
+  if (UseParallel(options, left->rows.size())) {
+    ParallelMorselAppend(options, left->rows.size(), &out->rows,
+                         [&](size_t begin, size_t end, std::vector<Row>* buf) {
+                           for (size_t i = begin; i < end; ++i) {
+                             probe_row(left->rows[i], buf);
+                           }
+                         });
+    return out;
+  }
+  for (const Row& lrow : left->rows) {
+    probe_row(lrow, &out->rows);
   }
   return out;
 }
@@ -253,7 +457,6 @@ Result<ResultSetPtr> ExecAggregate(const PlanNode& node, const ExecOptions& opti
     std::vector<AggState> states;
   };
   std::unordered_map<uint64_t, std::vector<Group>> groups;
-  std::vector<uint64_t> group_order;  // hash buckets in first-seen order
   std::vector<std::pair<uint64_t, size_t>> ordered_groups;
 
   auto update = [&](Group* g, const Row& row) {

@@ -1,12 +1,15 @@
 #ifndef AGENTFIRST_EXEC_EXECUTOR_H_
 #define AGENTFIRST_EXEC_EXECUTOR_H_
 
+#include <atomic>
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "exec/result_set.h"
 #include "plan/fingerprint.h"
 #include "plan/logical_plan.h"
@@ -17,23 +20,57 @@ namespace agentfirst {
 /// the effective sampling rate). The multi-query optimizer executes a batch
 /// of plans through one cache so identical sub-plans run once; scan
 /// fingerprints include the table data version, so writes invalidate
-/// naturally. Thread-safe: concurrent executors may share one cache (the
-/// parallel batch path relies on this).
+/// naturally.
+///
+/// Thread-safe and built for parallel batches: entries are spread over
+/// mutex-striped shards (so concurrent executors don't serialize on one
+/// lock) and each shard evicts least-recently-used entries against a byte
+/// budget (so speculation storms can't grow the cache unboundedly).
 class ExecCache {
  public:
+  static constexpr size_t kDefaultCapacityBytes = 256ull << 20;  // 256 MiB
+
+  explicit ExecCache(size_t capacity_bytes = kDefaultCapacityBytes);
+
   ResultSetPtr Get(uint64_t key);
   void Put(uint64_t key, ResultSetPtr result);
   void Clear();
 
   size_t size() const;
-  uint64_t hits() const;
-  uint64_t misses() const;
+  /// Estimated resident bytes across all shards.
+  size_t bytes() const;
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const { return evictions_.load(std::memory_order_relaxed); }
+
+  void set_capacity_bytes(size_t capacity_bytes);
+
+  /// Rough footprint of a materialized result (rows, values, string heap).
+  static size_t ApproxResultBytes(const ResultSet& result);
 
  private:
-  mutable std::mutex mutex_;
-  std::unordered_map<uint64_t, ResultSetPtr> entries_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  static constexpr size_t kNumShards = 16;
+
+  struct Entry {
+    ResultSetPtr result;
+    size_t bytes = 0;
+    std::list<uint64_t>::iterator lru_it;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<uint64_t, Entry> entries;
+    std::list<uint64_t> lru;  // front = most recently used
+    size_t bytes = 0;
+  };
+
+  Shard& ShardFor(uint64_t key) { return shards_[(key >> 56) % kNumShards]; }
+  void EvictOverBudgetLocked(Shard& shard);
+
+  Shard shards_[kNumShards];
+  std::atomic<size_t> capacity_bytes_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 struct ExecOptions {
@@ -50,6 +87,13 @@ struct ExecOptions {
   /// aggregates are scaled by 1/sample_rate (DISTINCT aggregates and
   /// MIN/MAX/AVG are left unscaled). Disable to observe raw sample values.
   bool scale_approximate_aggregates = true;
+  /// Intra-query parallelism cap. 1 = serial row-at-a-time. >1 runs the hot
+  /// operators (scan, filter, project, hash-join probe) morsel-driven on
+  /// `pool`, merging per-morsel buffers in morsel order so results are
+  /// byte-identical to serial execution.
+  size_t num_threads = 1;
+  /// Pool for morsel execution; nullptr = ThreadPool::Default(). Not owned.
+  ThreadPool* pool = nullptr;
 };
 
 /// Executes a bound logical plan bottom-up, materializing each operator.

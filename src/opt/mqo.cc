@@ -1,9 +1,8 @@
 #include "opt/mqo.h"
 
-#include <atomic>
-#include <thread>
 #include <unordered_set>
 
+#include "common/thread_pool.h"
 #include "plan/fingerprint.h"
 
 namespace agentfirst {
@@ -17,15 +16,19 @@ void CountOperators(const PlanNode& node, size_t* total,
 }
 }  // namespace
 
-std::vector<Result<ResultSetPtr>> BatchExecutor::ExecuteBatch(
-    const std::vector<PlanPtr>& plans) {
+void BatchExecutor::RecordOperatorCounts(const std::vector<PlanPtr>& plans) {
   std::unordered_set<uint64_t> distinct;
   size_t total = 0;
   for (const auto& p : plans) {
     if (p != nullptr) CountOperators(*p, &total, &distinct);
   }
-  total_operators_ += total;
-  distinct_operators_ += distinct.size();
+  total_operators_.fetch_add(total, std::memory_order_relaxed);
+  distinct_operators_.fetch_add(distinct.size(), std::memory_order_relaxed);
+}
+
+std::vector<Result<ResultSetPtr>> BatchExecutor::ExecuteBatch(
+    const std::vector<PlanPtr>& plans) {
+  RecordOperatorCounts(plans);
 
   ExecOptions options = base_options_;
   options.cache = &cache_;
@@ -47,13 +50,7 @@ std::vector<Result<ResultSetPtr>> BatchExecutor::ExecuteBatchParallel(
     const std::vector<PlanPtr>& plans, size_t num_threads) {
   if (num_threads <= 1 || plans.size() <= 1) return ExecuteBatch(plans);
 
-  std::unordered_set<uint64_t> distinct;
-  size_t total = 0;
-  for (const auto& p : plans) {
-    if (p != nullptr) CountOperators(*p, &total, &distinct);
-  }
-  total_operators_ += total;
-  distinct_operators_ += distinct.size();
+  RecordOperatorCounts(plans);
 
   ExecOptions options = base_options_;
   options.cache = &cache_;
@@ -61,30 +58,32 @@ std::vector<Result<ResultSetPtr>> BatchExecutor::ExecuteBatchParallel(
 
   std::vector<Result<ResultSetPtr>> results(
       plans.size(), Result<ResultSetPtr>(Status::Internal("not executed")));
-  std::atomic<size_t> next{0};
-  auto worker = [&]() {
-    while (true) {
-      size_t i = next.fetch_add(1);
-      if (i >= plans.size()) break;
-      if (plans[i] == nullptr) {
-        results[i] = Status::InvalidArgument("null plan in batch");
-        continue;
-      }
-      results[i] = ExecutePlan(*plans[i], options);
-    }
-  };
-  std::vector<std::thread> threads;
-  size_t spawn = std::min(num_threads, plans.size());
-  threads.reserve(spawn);
-  for (size_t t = 0; t < spawn; ++t) threads.emplace_back(worker);
-  for (std::thread& t : threads) t.join();
+  // Plans are tasks on the shared work-stealing pool, one plan per morsel,
+  // capped at `num_threads` concurrent claimants. Intra-query morsels
+  // (options.num_threads in base_options_) nest on the same pool, so batch-
+  // and operator-level parallelism share one scheduler instead of
+  // oversubscribing with ad-hoc threads.
+  ThreadPool* pool =
+      base_options_.pool != nullptr ? base_options_.pool : ThreadPool::Default();
+  pool->ParallelFor(
+      0, plans.size(),
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          if (plans[i] == nullptr) {
+            results[i] = Status::InvalidArgument("null plan in batch");
+            continue;
+          }
+          results[i] = ExecutePlan(*plans[i], options);
+        }
+      },
+      /*grain=*/1, num_threads);
   return results;
 }
 
 SharingStats BatchExecutor::stats() const {
   SharingStats s;
-  s.total_operators = total_operators_;
-  s.distinct_operators = distinct_operators_;
+  s.total_operators = total_operators_.load(std::memory_order_relaxed);
+  s.distinct_operators = distinct_operators_.load(std::memory_order_relaxed);
   s.cache_hits = cache_.hits();
   s.cache_misses = cache_.misses();
   return s;

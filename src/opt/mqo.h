@@ -1,6 +1,7 @@
 #ifndef AGENTFIRST_OPT_MQO_H_
 #define AGENTFIRST_OPT_MQO_H_
 
+#include <atomic>
 #include <vector>
 
 #include "common/result.h"
@@ -38,9 +39,10 @@ class BatchExecutor {
   std::vector<Result<ResultSetPtr>> ExecuteBatch(
       const std::vector<PlanPtr>& plans);
 
-  /// Like ExecuteBatch but runs plans on `num_threads` worker threads
-  /// sharing the same cache (the paper's high-throughput setting: thousands
-  /// of concurrent field-agent probes). Results are in submission order.
+  /// Like ExecuteBatch but runs the plans concurrently on the shared
+  /// work-stealing pool (at most `num_threads` in flight), all sharing the
+  /// same sub-plan cache — the paper's high-throughput setting: thousands of
+  /// concurrent field-agent probes. Results are in submission order.
   std::vector<Result<ResultSetPtr>> ExecuteBatchParallel(
       const std::vector<PlanPtr>& plans, size_t num_threads);
 
@@ -53,10 +55,12 @@ class BatchExecutor {
   ExecCache* cache() { return &cache_; }
 
  private:
+  void RecordOperatorCounts(const std::vector<PlanPtr>& plans);
+
   ExecOptions base_options_;
   ExecCache cache_;
-  size_t total_operators_ = 0;
-  size_t distinct_operators_ = 0;
+  std::atomic<size_t> total_operators_{0};
+  std::atomic<size_t> distinct_operators_{0};
 };
 
 }  // namespace agentfirst

@@ -1,0 +1,161 @@
+// Determinism contract of morsel-driven execution: for any plan, running
+// with N threads must produce a ResultSet byte-identical to serial
+// execution — same rows, same values, same order. The parallel operators
+// guarantee this by fixing morsel boundaries independently of scheduling
+// and merging per-morsel buffers in morsel order.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "exec/engine.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "workload/minibird.h"
+
+namespace agentfirst {
+namespace {
+
+/// Exact (order-sensitive) result equality; ResultsEquivalent is the
+/// multiset check, this is the stricter byte-identical one.
+::testing::AssertionResult ExactlyEqual(const ResultSet& a, const ResultSet& b) {
+  if (a.rows.size() != b.rows.size()) {
+    return ::testing::AssertionFailure()
+           << "row count " << a.rows.size() << " vs " << b.rows.size();
+  }
+  if (a.approximate != b.approximate || a.sample_rate != b.sample_rate) {
+    return ::testing::AssertionFailure() << "approximation metadata differs";
+  }
+  for (size_t r = 0; r < a.rows.size(); ++r) {
+    if (a.rows[r].size() != b.rows[r].size()) {
+      return ::testing::AssertionFailure() << "row " << r << " width differs";
+    }
+    for (size_t c = 0; c < a.rows[r].size(); ++c) {
+      if (!(a.rows[r][c] == b.rows[r][c])) {
+        return ::testing::AssertionFailure()
+               << "row " << r << " col " << c << ": " << a.rows[r][c].ToString()
+               << " vs " << b.rows[r][c].ToString();
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+class ParallelDeterminismTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  /// One MiniBird suite shared across all thread-count instantiations (the
+  /// generator is seeded, so every instantiation sees identical data).
+  static std::vector<MiniBirdDatabase>& Databases() {
+    static auto* dbs = []() {
+      MiniBirdOptions options;
+      options.num_databases = 3;
+      return new std::vector<MiniBirdDatabase>(GenerateMiniBird(options));
+    }();
+    return *dbs;
+  }
+};
+
+TEST_P(ParallelDeterminismTest, MiniBirdGoldQueriesByteIdentical) {
+  size_t num_threads = GetParam();
+  size_t checked = 0;
+  for (auto& db : Databases()) {
+    for (const TaskSpec& task : db.tasks) {
+      ExecOptions serial;
+      serial.num_threads = 1;
+      ExecOptions parallel;
+      parallel.num_threads = num_threads;
+      auto s = db.system->engine()->ExecuteSql(task.gold_sql, serial);
+      auto p = db.system->engine()->ExecuteSql(task.gold_sql, parallel);
+      AF_ASSERT_OK_RESULT(s);
+      AF_ASSERT_OK_RESULT(p);
+      EXPECT_TRUE(ExactlyEqual(**s, **p))
+          << db.name << " task " << task.id << " (" << task.gold_sql
+          << ") with num_threads=" << num_threads;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelDeterminismTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+/// The probe-batch layer has the same contract at probe granularity:
+/// executing a batch with batch_parallelism=N yields the same per-query
+/// answer rows as serial batch processing, because admission, pruning, and
+/// approximation decisions are made serially before execution fans out.
+TEST(ParallelProbeBatchTest, ParallelBatchMatchesSerialAnswers) {
+  auto build = [](size_t batch_parallelism, size_t intra_query_threads) {
+    AgentFirstSystem::Options options;
+    options.optimizer.batch_parallelism = batch_parallelism;
+    options.optimizer.intra_query_threads = intra_query_threads;
+    auto system = std::make_unique<AgentFirstSystem>(options);
+    auto run = [&](const std::string& sql) {
+      auto r = system->ExecuteSql(sql);
+      EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    };
+    run("CREATE TABLE sales (id BIGINT, region VARCHAR, amount DOUBLE)");
+    for (int chunk = 0; chunk < 8; ++chunk) {
+      std::string insert = "INSERT INTO sales VALUES ";
+      for (int i = 0; i < 512; ++i) {
+        int id = chunk * 512 + i;
+        if (i > 0) insert += ",";
+        insert += "(" + std::to_string(id) + ",'r" + std::to_string(id % 7) +
+                  "'," + std::to_string((id * 37) % 1000) + ".0)";
+      }
+      run(insert);
+    }
+    return system;
+  };
+
+  auto make_batch = []() {
+    std::vector<Probe> probes;
+    for (int a = 0; a < 6; ++a) {
+      Probe probe;
+      probe.agent_id = "agent" + std::to_string(a);
+      probe.brief.text = "validate totals per region";
+      probe.queries = {
+          "SELECT count(*) FROM sales WHERE region = 'r" + std::to_string(a) + "'",
+          "SELECT sum(amount) FROM sales WHERE amount > " + std::to_string(a * 100),
+          "SELECT region, count(*) FROM sales GROUP BY region ORDER BY region",
+      };
+      probes.push_back(std::move(probe));
+    }
+    return probes;
+  };
+
+  auto serial_system = build(1, 1);
+  auto parallel_system = build(8, 2);
+  ASSERT_NE(serial_system, nullptr);
+  ASSERT_NE(parallel_system, nullptr);
+
+  auto serial = serial_system->HandleProbeBatch(make_batch());
+  auto parallel = parallel_system->HandleProbeBatch(make_batch());
+  AF_ASSERT_OK_RESULT(serial);
+  AF_ASSERT_OK_RESULT(parallel);
+  ASSERT_EQ(serial->size(), parallel->size());
+  for (size_t p = 0; p < serial->size(); ++p) {
+    const ProbeResponse& rs = (*serial)[p];
+    const ProbeResponse& rp = (*parallel)[p];
+    ASSERT_EQ(rs.answers.size(), rp.answers.size()) << "probe " << p;
+    for (size_t q = 0; q < rs.answers.size(); ++q) {
+      const QueryAnswer& as = rs.answers[q];
+      const QueryAnswer& ap = rp.answers[q];
+      EXPECT_EQ(as.status.ok(), ap.status.ok()) << "probe " << p << " q " << q;
+      EXPECT_EQ(as.skipped, ap.skipped) << "probe " << p << " q " << q;
+      if (as.result != nullptr && ap.result != nullptr) {
+        EXPECT_TRUE(ExactlyEqual(*as.result, *ap.result))
+            << "probe " << p << " query " << q << ": " << as.sql;
+      } else {
+        // One side served from batch-internal memory reuse may hand back a
+        // shared pointer; both must agree on whether rows exist at all.
+        EXPECT_EQ(as.result == nullptr, ap.result == nullptr)
+            << "probe " << p << " query " << q;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace agentfirst

@@ -1,0 +1,183 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "gtest/gtest.h"
+
+namespace agentfirst {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([]() { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesStatus) {
+  ThreadPool pool(2);
+  auto ok = pool.Submit([]() { return Status::OK(); });
+  auto bad = pool.Submit([]() { return Status::Internal("worker failed"); });
+  EXPECT_TRUE(ok.get().ok());
+  Status st = bad.get();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("worker failed"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  for (size_t n : {0ul, 1ul, 7ul, 1000ul, 4097ul}) {
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    pool.ParallelFor(0, n, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " of " << n;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForNonZeroBegin) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(
+      37, 100,
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      },
+      /*grain=*/8);
+  for (size_t i = 0; i < 100; ++i) EXPECT_EQ(hits[i].load(), i >= 37 ? 1 : 0);
+}
+
+TEST(ThreadPoolTest, ParallelForWorksWithSingleWorkerPool) {
+  ThreadPool pool(1);
+  std::atomic<long> sum{0};
+  pool.ParallelFor(0, 10000, [&](size_t begin, size_t end) {
+    long local = 0;
+    for (size_t i = begin; i < end; ++i) local += static_cast<long>(i);
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), 10000L * 9999 / 2);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(
+          0, 10000,
+          [&](size_t begin, size_t) {
+            if (begin >= 5000) throw std::runtime_error("morsel failed");
+          },
+          /*grain=*/64),
+      std::runtime_error);
+  // The pool stays usable after an aborted loop.
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, 100, [&](size_t begin, size_t end) {
+    count.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  pool.ParallelFor(
+      0, 8,
+      [&](size_t begin, size_t end) {
+        for (size_t outer = begin; outer < end; ++outer) {
+          pool.ParallelFor(
+              0, 100,
+              [&](size_t b, size_t e) {
+                sum.fetch_add(static_cast<long>(e - b));
+              },
+              /*grain=*/7);
+        }
+      },
+      /*grain=*/1);
+  EXPECT_EQ(sum.load(), 800);
+}
+
+TEST(ThreadPoolTest, NestedSubmissionFromWorker) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  constexpr int kChildren = 64;
+  // The outer task submits children and returns without blocking on them
+  // (blocking a worker on a nested future could starve a narrow pool).
+  auto outer = pool.Submit([&]() {
+    for (int i = 0; i < kChildren; ++i) {
+      pool.Submit([&]() { done.fetch_add(1); });
+    }
+  });
+  outer.get();
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (done.load() < kChildren &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(done.load(), kChildren);
+}
+
+TEST(ThreadPoolTest, StressTenThousandTasks) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 10000;
+  std::atomic<long> sum{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.Submit([&sum, i]() { sum.fetch_add(i); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), static_cast<long>(kTasks) * (kTasks - 1) / 2);
+}
+
+TEST(ThreadPoolTest, MorselBoundariesIndependentOfSchedule) {
+  // Morsel boundaries must be a pure function of (begin, end, grain) —
+  // the determinism contract the parallel operators rely on.
+  for (size_t workers : {1ul, 2ul, 4ul}) {
+    ThreadPool pool(workers);
+    std::mutex mu;
+    std::set<std::pair<size_t, size_t>> seen;
+    pool.ParallelFor(
+        0, 1000,
+        [&](size_t begin, size_t end) {
+          std::lock_guard<std::mutex> lock(mu);
+          seen.emplace(begin, end);
+        },
+        /*grain=*/128);
+    std::set<std::pair<size_t, size_t>> expected;
+    for (size_t b = 0; b < 1000; b += 128) {
+      expected.emplace(b, std::min<size_t>(b + 128, 1000));
+    }
+    EXPECT_EQ(seen, expected) << "workers=" << workers;
+  }
+}
+
+TEST(ThreadPoolTest, DefaultPoolIsSingleton) {
+  ThreadPool* a = ThreadPool::Default();
+  ThreadPool* b = ThreadPool::Default();
+  EXPECT_EQ(a, b);
+  EXPECT_GE(a->num_workers(), 1u);
+  std::atomic<int> x{0};
+  a->ParallelFor(0, 10, [&](size_t begin, size_t end) {
+    x.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(x.load(), 10);
+}
+
+}  // namespace
+}  // namespace agentfirst
