@@ -1,0 +1,267 @@
+// Robustness bench: the price of resilience.
+//
+//   build/bench/bench_fault_tolerance [BENCH_robustness.json]
+//
+// Three measurements:
+//   1. Interrupt-check overhead: a 1M-row scan+filter with no lifecycle
+//      limits (checks compile to an inactive fast path) vs. the same scan
+//      with a cancellable token and a far-future deadline (every morsel
+//      boundary pays one relaxed load + one steady_clock read). The paper's
+//      agent-first contract only works if this tax is negligible (<2%).
+//   2. Deadline precision: how far past a 25ms deadline an oversized cross
+//      join actually runs (the "within one morsel" promise, measured).
+//   3. Probe-batch completion under 10% injected transient faults, with
+//      transparent retry: completion rate, retries spent, and the slowdown
+//      against the same batch fault-free.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "catalog/catalog.h"
+#include "common/cancellation.h"
+#include "common/fault_injection.h"
+#include "common/rng.h"
+#include "core/system.h"
+#include "exec/executor.h"
+#include "opt/rules.h"
+#include "plan/binder.h"
+#include "sql/parser.h"
+
+namespace agentfirst {
+namespace {
+
+constexpr size_t kScanRows = 1000000;
+constexpr int kRepetitions = 5;
+
+double Seconds(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+struct Fixture {
+  Catalog catalog;
+
+  Fixture() {
+    Rng rng(20260805);
+    auto fact = *catalog.CreateTable(
+        "fact", Schema({ColumnDef("id", DataType::kInt64, false, "fact"),
+                        ColumnDef("v", DataType::kFloat64, false, "fact")}));
+    for (size_t i = 0; i < kScanRows; ++i) {
+      (void)fact->AppendRow({Value::Int(static_cast<int64_t>(i)),
+                             Value::Double(rng.NextDouble() * 100)});
+    }
+  }
+
+  PlanPtr Plan(const std::string& sql) {
+    Binder binder(&catalog);
+    return OptimizePlan(*binder.BindSelect(**ParseSelect(sql)), &catalog);
+  }
+};
+
+/// Best-of-k seconds for one plan under the given options.
+double MeasurePlan(Fixture& fx, const std::string& sql,
+                   const ExecOptions& options) {
+  PlanPtr plan = fx.Plan(sql);
+  double best = 1e30;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    auto result = ExecutePlan(*plan, options);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!result.ok()) {
+      std::fprintf(stderr, "plan failed: %s\n",
+                   result.status().ToString().c_str());
+      return 0.0;
+    }
+    best = std::min(best, Seconds(t0, t1));
+  }
+  return best;
+}
+
+/// Worst-case overshoot (ms) past a `deadline_ms` deadline across reps, on an
+/// oversized nested-loop join that would otherwise run for seconds.
+double MeasureDeadlineOvershoot(double deadline_ms, size_t threads) {
+  Catalog catalog;
+  auto t = *catalog.CreateTable(
+      "big", Schema({ColumnDef("id", DataType::kInt64, false, "big")}));
+  for (size_t i = 0; i < 4096; ++i) {
+    (void)t->AppendRow({Value::Int(static_cast<int64_t>(i))});
+  }
+  Binder binder(&catalog);
+  PlanPtr plan = OptimizePlan(
+      *binder.BindSelect(**ParseSelect("SELECT * FROM big a CROSS JOIN big b")),
+      &catalog);
+  double worst = 0.0;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    ExecOptions options;
+    options.num_threads = threads;
+    options.deadline = Deadline::AfterMillis(deadline_ms);
+    auto t0 = std::chrono::steady_clock::now();
+    auto result = ExecutePlan(*plan, options);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!result.ok() || !(*result)->truncated) {
+      std::fprintf(stderr, "deadline run did not truncate\n");
+      return -1.0;
+    }
+    worst = std::max(worst, Seconds(t0, t1) * 1e3 - deadline_ms);
+  }
+  return worst;
+}
+
+struct FaultBatchResult {
+  double seconds = 0.0;
+  size_t answers_ok = 0;
+  size_t answers_total = 0;
+  uint64_t retries = 0;
+};
+
+/// Runs a 16-probe validation batch; with `fault_rate` > 0, every query
+/// execution attempt fails with that probability (seeded, deterministic)
+/// and the optimizer's transparent retry recovers it.
+FaultBatchResult MeasureFaultedBatch(double fault_rate) {
+  AgentFirstSystem::Options options;
+  options.optimizer.enable_memory = false;
+  options.optimizer.enable_aqp = false;
+  options.optimizer.max_query_retries = 5;
+  options.optimizer.retry_backoff_ms = 0.05;
+  AgentFirstSystem system(options);
+  (void)system.ExecuteSql(
+      "CREATE TABLE sales (id BIGINT, region VARCHAR, amount DOUBLE)");
+  for (int chunk = 0; chunk < 50; ++chunk) {
+    std::string insert = "INSERT INTO sales VALUES ";
+    for (int i = 0; i < 1000; ++i) {
+      int id = chunk * 1000 + i;
+      if (i > 0) insert += ",";
+      insert += "(" + std::to_string(id) + ",'r" + std::to_string(id % 11) +
+                "'," + std::to_string((id * 37) % 1000) + ".0)";
+    }
+    (void)system.ExecuteSql(insert);
+  }
+
+  std::vector<Probe> probes;
+  for (size_t p = 0; p < 16; ++p) {
+    Probe probe;
+    probe.agent_id = "agent" + std::to_string(p);
+    probe.brief.phase = ProbePhase::kValidation;
+    probe.queries = {
+        "SELECT count(*), sum(amount) FROM sales WHERE amount > " +
+            std::to_string(p * 53 % 900),
+        "SELECT region, count(*) FROM sales WHERE id > " +
+            std::to_string(p * 1000) + " GROUP BY region",
+    };
+    probes.push_back(std::move(probe));
+  }
+
+  if (fault_rate > 0.0) {
+    FaultRegistry::Global().Enable(/*seed=*/20260805);
+    FaultSpec spec;
+    spec.kind = FaultKind::kError;
+    spec.probability = fault_rate;
+    spec.code = StatusCode::kAborted;
+    FaultRegistry::Global().Arm("core.probe.query", spec);
+  }
+  FaultBatchResult out;
+  auto t0 = std::chrono::steady_clock::now();
+  auto responses = system.HandleProbeBatch(probes);
+  out.seconds = Seconds(t0, std::chrono::steady_clock::now());
+  FaultRegistry::Global().Disable();
+  FaultRegistry::Global().ClearArmed();
+  if (!responses.ok()) return out;
+  for (const ProbeResponse& r : *responses) {
+    out.retries += r.total_retries;
+    for (const QueryAnswer& a : r.answers) {
+      ++out.answers_total;
+      if (a.status.ok() && !a.skipped) ++out.answers_ok;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace agentfirst
+
+int main(int argc, char** argv) {
+  using namespace agentfirst;
+  using bench::Num;
+
+  std::printf("building %zu-row fact table...\n", kScanRows);
+  Fixture fx;
+  const std::string scan_sql = "SELECT id, v FROM fact WHERE v > 99.0";
+
+  // 1. Interrupt-check overhead (serial + 4 threads).
+  std::vector<std::vector<std::string>> overhead_rows;
+  double overhead_pct_serial = 0.0;
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    ExecOptions plain;
+    plain.num_threads = threads;
+    ExecOptions guarded = plain;
+    CancellationSource source;  // never cancelled; the check still runs
+    guarded.cancel = source.token();
+    guarded.deadline = Deadline::AfterMillis(1e9);
+    double base = MeasurePlan(fx, scan_sql, plain);
+    double checked = MeasurePlan(fx, scan_sql, guarded);
+    double pct = base > 0 ? (checked - base) / base * 100.0 : 0.0;
+    if (threads == 1) overhead_pct_serial = pct;
+    overhead_rows.push_back({std::to_string(threads),
+                             Num(kScanRows / base / 1e6, 3) + "M",
+                             Num(kScanRows / checked / 1e6, 3) + "M",
+                             Num(pct, 2) + "%"});
+    std::printf("  scan 1M rows, threads=%zu: plain %.1f ms, guarded %.1f ms "
+                "(%+.2f%%)\n",
+                threads, base * 1e3, checked * 1e3, pct);
+  }
+
+  // 2. Deadline precision on an oversized join.
+  constexpr double kDeadlineMs = 25.0;
+  double overshoot_1t = MeasureDeadlineOvershoot(kDeadlineMs, 1);
+  double overshoot_4t = MeasureDeadlineOvershoot(kDeadlineMs, 4);
+  std::printf("  %.0fms deadline on 16.8M-pair join: worst overshoot "
+              "%.2f ms (1T), %.2f ms (4T)\n",
+              kDeadlineMs, overshoot_1t, overshoot_4t);
+
+  // 3. Probe batch under transient faults.
+  FaultBatchResult clean = MeasureFaultedBatch(0.0);
+  FaultBatchResult faulted = MeasureFaultedBatch(0.10);
+  double slowdown =
+      clean.seconds > 0 ? faulted.seconds / clean.seconds : 0.0;
+  std::printf("  16-probe batch: fault-free %.1f ms; 10%% faults %.1f ms "
+              "(%.2fx), %zu/%zu answers ok, %llu retries\n",
+              clean.seconds * 1e3, faulted.seconds * 1e3, slowdown,
+              faulted.answers_ok, faulted.answers_total,
+              static_cast<unsigned long long>(faulted.retries));
+
+  std::printf("\nInterrupt-check overhead (1M-row scan, best of %d):\n",
+              kRepetitions);
+  bench::PrintTable({"threads", "plain", "guarded", "overhead"},
+                    overhead_rows);
+  std::printf("\nverdicts: overhead %s (<2%% target), batch completion %s\n",
+              overhead_pct_serial < 2.0 ? "PASS" : "FAIL",
+              faulted.answers_ok == faulted.answers_total ? "PASS" : "FAIL");
+
+  if (argc > 1) {
+    std::ofstream out(argv[1]);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", argv[1]);
+      return 1;
+    }
+    out << "{\n  \"bench\": \"bench_fault_tolerance\",\n";
+    out << "  \"scan_rows\": " << kScanRows << ",\n";
+    out << "  \"interrupt_check_overhead_pct\": "
+        << Num(overhead_pct_serial, 3) << ",\n";
+    out << "  \"deadline_ms\": " << Num(kDeadlineMs, 1) << ",\n";
+    out << "  \"deadline_overshoot_ms\": {\"1\": " << Num(overshoot_1t, 2)
+        << ", \"4\": " << Num(overshoot_4t, 2) << "},\n";
+    out << "  \"faulted_batch\": {\"fault_rate\": 0.10, \"answers_ok\": "
+        << faulted.answers_ok << ", \"answers_total\": "
+        << faulted.answers_total << ", \"retries\": " << faulted.retries
+        << ", \"slowdown_vs_clean\": " << Num(slowdown, 3) << "}\n";
+    out << "}\n";
+    std::printf("wrote %s\n", argv[1]);
+  }
+  return 0;
+}

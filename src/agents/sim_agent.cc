@@ -95,7 +95,15 @@ EpisodeResult RunEpisode(AgentFirstSystem* system, const TaskSpec& task,
     probe.queries = std::move(queries);
     probe.brief.text = brief_text;
     ++result.probes_issued;
-    return system->HandleProbe(probe);
+    auto response = system->HandleProbe(probe);
+    if (response.ok()) {
+      result.query_retries += response->total_retries;
+      if (response->shed) ++result.probes_shed;
+      for (const QueryAnswer& a : response->answers) {
+        if (a.truncated) ++result.answers_truncated;
+      }
+    }
+    return response;
   };
 
   for (int turn = 1; turn <= profile.max_turns; ++turn) {

@@ -59,6 +59,14 @@ struct EpisodeResult {
   int solved_at_turn = -1;  // first turn with a correct committed answer
   std::vector<TraceEvent> trace;
   size_t probes_issued = 0;
+  /// Transparent transient-fault retries the system spent across all of the
+  /// episode's probes (attempt accounting: probes_issued counts what the
+  /// agent asked for, this counts extra execution attempts it never saw).
+  uint64_t query_retries = 0;
+  /// Probes shed by the per-agent circuit breaker during the episode.
+  size_t probes_shed = 0;
+  /// Answers returned truncated (deadline or output budget) — partial rows.
+  size_t answers_truncated = 0;
   ResultSetPtr final_answer;
 };
 

@@ -1,0 +1,106 @@
+#ifndef AGENTFIRST_COMMON_CANCELLATION_H_
+#define AGENTFIRST_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace agentfirst {
+
+/// A steady-clock wall deadline. Copyable, trivially cheap to pass by value;
+/// the default-constructed Deadline never expires. The executor checks
+/// deadlines at morsel granularity, so an oversized probe stops within one
+/// morsel of expiry instead of running to completion.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never expires.
+  Deadline() : when_(Clock::time_point::max()) {}
+  explicit Deadline(Clock::time_point when) : when_(when) {}
+
+  static Deadline After(std::chrono::nanoseconds d) {
+    return Deadline(Clock::now() + d);
+  }
+  static Deadline AfterMillis(double ms) {
+    return After(std::chrono::nanoseconds(
+        static_cast<int64_t>(ms * 1e6)));
+  }
+  static Deadline Infinite() { return Deadline(); }
+
+  bool is_infinite() const { return when_ == Clock::time_point::max(); }
+  bool expired() const { return !is_infinite() && Clock::now() >= when_; }
+  Clock::time_point when() const { return when_; }
+
+  /// Remaining time; zero when expired, a very large value when infinite.
+  std::chrono::nanoseconds remaining() const {
+    if (is_infinite()) return std::chrono::nanoseconds::max();
+    auto now = Clock::now();
+    return now >= when_ ? std::chrono::nanoseconds(0) : when_ - now;
+  }
+
+ private:
+  Clock::time_point when_;
+};
+
+/// Shared-flag cooperative cancellation. A CancellationSource owns the flag;
+/// any number of CancellationToken copies observe it. Tokens are cheap
+/// shared_ptr copies; a default-constructed token can never be cancelled.
+/// The same flag doubles as the early-exit signal for ThreadPool::ParallelFor
+/// (workers stop claiming morsels once it is set), so one trip stops a whole
+/// parallel operator within a morsel.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  bool cancellable() const { return flag_ != nullptr; }
+  bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+
+  /// The raw flag for ParallelFor's cancel parameter; nullptr when this token
+  /// cannot be cancelled.
+  const std::atomic<bool>* flag() const { return flag_.get(); }
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+class CancellationSource {
+ public:
+  CancellationSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  CancellationToken token() const { return CancellationToken(flag_); }
+  void RequestCancel() { flag_->store(true, std::memory_order_relaxed); }
+  bool cancel_requested() const { return flag_->load(std::memory_order_relaxed); }
+  /// Re-arms the source (e.g. between probe batches on a reused system) by
+  /// swapping in a fresh flag: tokens handed out before the reset stay
+  /// cancelled, so a racing in-flight probe cannot be un-cancelled.
+  void Reset() { flag_ = std::make_shared<std::atomic<bool>>(false); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Combined interrupt check for execution hot loops: cancellation wins over
+/// deadline (an abandoned probe should not masquerade as a timeout). Returns
+/// OK when neither fired. Cheap enough for once-per-morsel use: one relaxed
+/// load plus, when a deadline is set, one steady_clock read.
+inline Status CheckInterrupt(const CancellationToken& token,
+                             const Deadline& deadline) {
+  if (token.cancelled()) return Status::Cancelled("probe cancelled");
+  if (deadline.expired()) return Status::DeadlineExceeded("deadline exceeded");
+  return Status::OK();
+}
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_COMMON_CANCELLATION_H_

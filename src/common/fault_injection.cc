@@ -1,0 +1,110 @@
+#include "common/fault_injection.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "common/hash.h"
+
+namespace agentfirst {
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+FaultRegistry::FaultRegistry() {
+  if (EnabledByEnvironment()) enabled_.store(true, std::memory_order_relaxed);
+}
+
+bool FaultRegistry::EnabledByEnvironment() {
+  static const bool enabled = []() {
+    const char* v = std::getenv("AGENTFIRST_FAULTS");
+    return v != nullptr && v[0] == '1';
+  }();
+  return enabled;
+}
+
+void FaultRegistry::Enable(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  seed_ = seed;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void FaultRegistry::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void FaultRegistry::Arm(const std::string& site, const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SiteState& state = sites_[site];
+  state.spec = spec;
+  state.armed = true;
+  state.hit_count = 0;
+  state.fired_count = 0;
+}
+
+void FaultRegistry::ClearArmed() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_.clear();
+}
+
+Status FaultRegistry::Hit(const char* site) {
+  FaultSpec spec;
+  uint64_t hit_index;
+  uint64_t seed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SiteState& state = sites_[site];
+    hit_index = state.hit_count++;
+    if (!state.armed) return Status::OK();
+    spec = state.spec;
+    seed = seed_;
+    if (spec.max_fires != 0 && state.fired_count >= spec.max_fires) {
+      return Status::OK();
+    }
+    // Whether hit #k at this site fires is a pure function of
+    // (seed, site, k): the *set* of firing indices is identical across
+    // thread counts and interleavings, which is what makes 10%-fault sweeps
+    // reproducible.
+    uint64_t draw = Mix64(HashCombine(HashString(site, seed), hit_index));
+    double u = static_cast<double>(draw >> 11) * (1.0 / 9007199254740992.0);
+    if (u >= spec.probability) return Status::OK();
+    ++state.fired_count;
+  }
+  switch (spec.kind) {
+    case FaultKind::kLatency:
+      std::this_thread::sleep_for(std::chrono::milliseconds(spec.latency_ms));
+      return Status::OK();
+    case FaultKind::kAllocFailure:
+      return Status::ResourceExhausted(std::string("injected allocation failure at ") +
+                                       site);
+    case FaultKind::kError:
+      return Status(spec.code,
+                    std::string("injected fault at ") + site);
+  }
+  return Status::OK();
+}
+
+uint64_t FaultRegistry::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hit_count;
+}
+
+uint64_t FaultRegistry::fired(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fired_count;
+}
+
+std::vector<std::string> FaultRegistry::SeenSites() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [name, state] : sites_) {
+    if (state.hit_count > 0) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace agentfirst

@@ -1,0 +1,113 @@
+#ifndef AGENTFIRST_COMMON_FAULT_INJECTION_H_
+#define AGENTFIRST_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace agentfirst {
+
+/// What an armed fault point injects when it fires.
+enum class FaultKind {
+  kError,    // returns a Status with the configured code (transient by default)
+  kLatency,  // sleeps latency_ms, then proceeds normally
+  kAllocFailure,  // returns kResourceExhausted ("allocation failed")
+};
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kError;
+  /// Probability in [0, 1] that a hit fires. Which hit indices fire is a
+  /// pure function of (seed, site, hit index), so a run is deterministic for
+  /// a given seed regardless of thread interleaving.
+  double probability = 1.0;
+  /// Status code for kError faults (kAborted = transient/retryable).
+  StatusCode code = StatusCode::kAborted;
+  int latency_ms = 0;
+  /// Fire only on the first `max_fires` firing opportunities (0 = unlimited).
+  /// Lets tests model faults that heal (retry then succeeds).
+  uint64_t max_fires = 0;
+};
+
+/// A seeded, deterministic fault-point registry (the test double for machine
+/// failures, stragglers, and allocation pressure). Call sites name themselves
+/// with AF_FAULT_POINT("exec.scan.morsel")-style macros; tests arm sites with
+/// specs and a seed. When nothing is armed — the default — every fault point
+/// is a single relaxed atomic load, so production paths pay ~nothing.
+///
+/// The registry is process-global (like the default thread pool). It starts
+/// disabled unless the AGENTFIRST_FAULTS=1 environment variable is set, in
+/// which case armed specs take effect; Enable()/Disable() override the
+/// environment for tests.
+class FaultRegistry {
+ public:
+  static FaultRegistry& Global();
+
+  /// Arms injection with a seed (determinism anchor). Implies enabled.
+  void Enable(uint64_t seed);
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// True when the AGENTFIRST_FAULTS=1 environment variable was set at
+  /// process start (the opt-in for fault-injection CI runs).
+  static bool EnabledByEnvironment();
+
+  /// Arms `site` (exact name) with `spec`. Re-arming replaces the spec and
+  /// resets its counters.
+  void Arm(const std::string& site, const FaultSpec& spec);
+  /// Disarms everything and zeroes all counters; leaves enabled() unchanged.
+  void ClearArmed();
+
+  /// Called by fault points. Returns OK unless `site` is armed and this hit
+  /// deterministically fires; kLatency faults sleep and then return OK.
+  Status Hit(const char* site);
+
+  /// Total hits (armed or not) / fired injections for a site, for asserting
+  /// coverage in tests.
+  uint64_t hits(const std::string& site) const;
+  uint64_t fired(const std::string& site) const;
+  /// Names of all sites that reported at least one hit since ClearArmed().
+  std::vector<std::string> SeenSites() const;
+
+ private:
+  FaultRegistry();
+
+  struct SiteState {
+    FaultSpec spec;
+    bool armed = false;
+    uint64_t hit_count = 0;
+    uint64_t fired_count = 0;
+  };
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  uint64_t seed_ = 0;
+  std::map<std::string, SiteState> sites_;
+};
+
+}  // namespace agentfirst
+
+/// Status-returning fault point: at an armed site this returns the injected
+/// error from the enclosing function (which must return Status or Result<T>).
+/// Compiles down to one relaxed load when the registry is disabled.
+#define AF_FAULT_POINT(site)                                              \
+  do {                                                                    \
+    if (::agentfirst::FaultRegistry::Global().enabled()) {                \
+      ::agentfirst::Status _af_fault =                                    \
+          ::agentfirst::FaultRegistry::Global().Hit(site);                \
+      if (!_af_fault.ok()) return _af_fault;                              \
+    }                                                                     \
+  } while (0)
+
+/// Fault point for void contexts / hot loops: evaluates to the injected
+/// Status (or OK) so the caller decides how to propagate.
+#define AF_FAULT_STATUS(site)                                     \
+  (::agentfirst::FaultRegistry::Global().enabled()                \
+       ? ::agentfirst::FaultRegistry::Global().Hit(site)          \
+       : ::agentfirst::Status::OK())
+
+#endif  // AGENTFIRST_COMMON_FAULT_INJECTION_H_

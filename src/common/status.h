@@ -19,6 +19,8 @@ enum class StatusCode {
   kAborted,
   kPermissionDenied,
   kResourceExhausted,
+  kDeadlineExceeded,
+  kCancelled,
 };
 
 /// Returns a human-readable name for `code` (e.g. "NotFound").
@@ -61,6 +63,12 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -73,6 +81,16 @@ class Status {
   StatusCode code_;
   std::string message_;
 };
+
+/// True for failures that a caller may reasonably retry verbatim: transient
+/// conflicts and injected/transient faults (kAborted). Deadline expiry,
+/// cancellation, and budget exhaustion are deliberate outcomes — retrying
+/// the identical request would just hit the same wall, so they are not
+/// retryable (the probe optimizer degrades those to approximate execution
+/// instead).
+inline bool IsRetryable(const Status& status) {
+  return status.code() == StatusCode::kAborted;
+}
 
 }  // namespace agentfirst
 

@@ -108,9 +108,18 @@ void ThreadPool::WorkerLoop(size_t index) {
 }
 
 void ThreadPool::RunMorselLoop(ParallelForState* state) {
-  while (!state->abort.load(std::memory_order_relaxed)) {
+  while (true) {
+    // Claim before checking the flags: `cancel` and `body` point into the
+    // owning ParallelFor's frame, and a queued helper may only start after
+    // that frame is gone. ParallelFor exhausts the cursor on exit, so such a
+    // helper breaks here without dereferencing either.
     size_t morsel_begin = state->next.fetch_add(state->grain);
     if (morsel_begin >= state->end) break;
+    if (state->abort.load(std::memory_order_relaxed) ||
+        (state->cancel != nullptr &&
+         state->cancel->load(std::memory_order_relaxed))) {
+      break;
+    }
     size_t morsel_end = std::min(morsel_begin + state->grain, state->end);
     try {
       (*state->body)(morsel_begin, morsel_end);
@@ -126,8 +135,10 @@ void ThreadPool::RunMorselLoop(ParallelForState* state) {
 
 void ThreadPool::ParallelFor(size_t begin, size_t end,
                              const std::function<void(size_t, size_t)>& body,
-                             size_t grain, size_t max_threads) {
+                             size_t grain, size_t max_threads,
+                             const std::atomic<bool>* cancel) {
   if (end <= begin) return;
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) return;
   size_t n = end - begin;
   if (grain == 0) {
     // ~4 morsels per participant: enough slack for stealing to balance
@@ -138,7 +149,15 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   size_t helpers = std::min(num_workers(), num_morsels - 1);
   if (max_threads > 0) helpers = std::min(helpers, max_threads - 1);
   if (helpers == 0) {
-    body(begin, end);
+    // Serial fallback still honors the cancel flag at morsel granularity.
+    if (cancel == nullptr) {
+      body(begin, end);
+      return;
+    }
+    for (size_t b = begin; b < end; b += grain) {
+      if (cancel->load(std::memory_order_relaxed)) return;
+      body(b, std::min(b + grain, end));
+    }
     return;
   }
 
@@ -147,6 +166,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   state->end = end;
   state->grain = grain;
   state->body = &body;
+  state->cancel = cancel;
   for (size_t i = 0; i < helpers; ++i) {
     Push([state]() {
       state->active.fetch_add(1);
@@ -158,11 +178,12 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
     });
   }
   RunMorselLoop(state.get());
-  // Exhaust the cursor explicitly: on the abort (exception) path the caller
+  // Exhaust the cursor explicitly: on the abort/cancel paths the caller
   // leaves the loop with morsels unclaimed, and a queued-but-unstarted
-  // helper must not claim one after `body` is gone. With the cursor at
-  // `end`, only helpers that already claimed a morsel (active > 0) can
-  // touch `body`, and the wait below covers exactly those.
+  // helper must not claim one after this frame is gone. With the cursor at
+  // `end` (and RunMorselLoop claiming before it reads any caller-owned
+  // pointer), only helpers that already claimed a morsel (active > 0) can
+  // touch `body` or `cancel`, and the wait below covers exactly those.
   state->next.store(state->end);
   std::unique_lock<std::mutex> lock(state->mutex);
   state->done_cv.wait(lock, [&]() { return state->active.load() == 0; });

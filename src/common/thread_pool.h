@@ -62,9 +62,17 @@ class ThreadPool {
   /// the caller (0 = no cap beyond pool width). Morsel boundaries depend
   /// only on (begin, end, grain), never on scheduling, so any body that
   /// writes to per-morsel slots is deterministic.
+  ///
+  /// `cancel` (optional, not owned, must outlive the call) is a cooperative
+  /// stop flag: once it reads true, no further morsels are claimed — already
+  /// running morsels finish. Point it at a CancellationToken's flag to stop
+  /// a parallel operator within one morsel of cancellation or deadline
+  /// expiry. Cancellation is not an error at this layer: the loop returns
+  /// normally having covered only a prefix-by-claim-order subset.
   void ParallelFor(size_t begin, size_t end,
                    const std::function<void(size_t, size_t)>& body,
-                   size_t grain = 0, size_t max_threads = 0);
+                   size_t grain = 0, size_t max_threads = 0,
+                   const std::atomic<bool>* cancel = nullptr);
 
   /// Process-wide default pool, sized from hardware_concurrency(). Created
   /// on first use; joined at process exit.
@@ -86,6 +94,8 @@ class ThreadPool {
     /// passes `end` the pointed-to function may be gone, but by then no
     /// claimant can reach it.
     const std::function<void(size_t, size_t)>* body = nullptr;
+    /// External cooperative stop flag (may be null; not owned).
+    const std::atomic<bool>* cancel = nullptr;
     std::atomic<int> active{0};
     std::atomic<bool> abort{false};
     std::mutex mutex;

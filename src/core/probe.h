@@ -51,6 +51,17 @@ struct Brief {
   /// useful-per-cost queries until the budget holds ("satisfice under
   /// available resources", paper Sec. 5.2).
   double cost_budget = 0.0;
+  /// Wall-clock deadline for each of this probe's queries in milliseconds
+  /// (0 = none, or the optimizer's default_deadline_ms). On expiry the
+  /// query stops within one morsel and the answer carries whatever rows
+  /// were already merged, flagged `truncated` with kDeadlineExceeded —
+  /// a partial answer is still grounding for the agent (paper Sec. 4.2).
+  double deadline_ms = 0.0;
+  /// Per-answer output budgets (0 = unlimited): rows and approximate bytes.
+  /// Exceeding one truncates the answer with kResourceExhausted. Agents use
+  /// these to bound context-window spend per probe.
+  size_t max_result_rows = 0;
+  size_t max_result_bytes = 0;
 };
 
 /// A probe: one or more SQL queries plus a brief, and optionally a semantic
@@ -115,6 +126,13 @@ struct QueryAnswer {
   double estimated_rows = 0.0;
   bool from_memory = false;    // served from the agentic memory store
   std::string plan_text;       // filled for dry-run probes
+  /// True when execution stopped at the deadline or an output budget:
+  /// `result` holds the partial rows merged so far and `status` carries
+  /// kDeadlineExceeded / kResourceExhausted explaining why.
+  bool truncated = false;
+  /// Transparent retries spent recovering this answer from transient
+  /// (retryable) execution faults. 0 = first attempt succeeded.
+  uint32_t retries = 0;
 };
 
 /// Everything the data system returns for a probe: answers plus the
@@ -127,6 +145,11 @@ struct ProbeResponse {
   ProbePhase interpreted_phase = ProbePhase::kUnspecified;
   double total_estimated_cost = 0.0;
   double total_executed_cost = 0.0;  // cost of what actually ran
+  /// Sum of per-answer transparent retries (attempt accounting for agents).
+  uint64_t total_retries = 0;
+  /// True when the whole probe was shed by the per-agent circuit breaker
+  /// (repeated execution failures; retry after the cooldown).
+  bool shed = false;
 
   /// Renders answers + hints for an agent's context window.
   std::string ToString(size_t max_rows_per_answer = 10) const;

@@ -5,6 +5,8 @@
 #include <optional>
 #include <thread>
 
+#include "common/fault_injection.h"
+#include "common/hash.h"
 #include "common/thread_pool.h"
 #include "opt/aqp.h"
 #include "opt/cost_model.h"
@@ -29,6 +31,16 @@ ExecOptions BatchBaseOptions(size_t intra_query_threads) {
   ExecOptions eo;
   eo.num_threads = intra_query_threads;
   return eo;
+}
+
+/// Deterministic backoff jitter in [0.5, 1.5): a pure function of
+/// (seed, probe, query, attempt), so concurrent retry storms decorrelate
+/// without any shared RNG state and replays are reproducible.
+double RetryJitter(uint64_t seed, uint64_t probe_id, size_t query,
+                   size_t attempt) {
+  uint64_t h = Mix64(HashCombine(HashCombine(HashInt(seed), HashInt(probe_id)),
+                                 HashInt((query << 8) ^ attempt)));
+  return 0.5 + static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
 }
 }  // namespace
 
@@ -138,6 +150,9 @@ struct ProbeOptimizer::ProbeTask {
   std::vector<const std::string*> covered_by_turn;
   std::vector<char> over_budget;
   double sample_rate = 1.0;
+  /// Set during Prepare when the agent's circuit breaker is open: Execute
+  /// skips every query without touching the pool.
+  bool shed = false;
   ProbeResponse response;
 };
 
@@ -226,6 +241,22 @@ void ProbeOptimizer::PrepareProbe(const Probe& probe, ProbeTask* task) {
                      brief.max_relative_error == 0.0;
   task->exploratory = exploratory;
   task->wants_exact = wants_exact;
+
+  // Circuit breaker (serial phase, so the shed decision is independent of
+  // batch thread count): while this agent's breaker is open, shed the whole
+  // probe before spending any parse/bind/execute work on it. Past
+  // `open_until` the next probe runs as a half-open trial; its outcome
+  // (recorded in FinalizeProbe) closes or re-opens the breaker.
+  if (options_.breaker_failure_threshold > 0 && !probe.agent_id.empty() &&
+      !probe.dry_run) {
+    auto it = breakers_.find(probe.agent_id);
+    if (it != breakers_.end() &&
+        std::chrono::steady_clock::now() < it->second.open_until) {
+      task->shed = true;
+      response.shed = true;
+      ++metrics_.probes_shed;
+    }
+  }
 
   // 1. Parse + bind + (optionally) rewrite every query.
   using Prepared = ProbeTask::Prepared;
@@ -437,6 +468,28 @@ void ProbeOptimizer::ExecuteProbe(ProbeTask* task) {
   size_t rows_produced_total = 0;
   bool termination_fired = false;
   response.answers.resize(prepared.size());
+
+  // Breaker shed: answer every query with a skip, spending nothing.
+  if (task->shed) {
+    for (size_t i = 0; i < prepared.size(); ++i) {
+      QueryAnswer& answer = response.answers[i];
+      answer.sql = prepared[i].sql;
+      answer.estimated_cost = prepared[i].cost;
+      answer.estimated_rows = prepared[i].rows;
+      answer.skipped = true;
+      answer.skip_reason =
+          "shed: circuit breaker open after repeated execution failures; "
+          "retry after the cooldown";
+    }
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    metrics_.queries_skipped += prepared.size();
+    return;
+  }
+
+  // Per-query wall-clock deadline (brief overrides the optimizer default).
+  const double deadline_ms = brief.deadline_ms > 0.0
+                                 ? brief.deadline_ms
+                                 : options_.default_deadline_ms;
   for (size_t i = 0; i < prepared.size(); ++i) {
     QueryAnswer& answer = response.answers[i];
     answer.sql = prepared[i].sql;
@@ -537,29 +590,94 @@ void ProbeOptimizer::ExecuteProbe(ProbeTask* task) {
     }
 
     ExecOptions exec_options;
-    exec_options.sample_rate = effective_rate;
     exec_options.cache = options_.enable_mqo ? batch_.cache() : nullptr;
     exec_options.num_threads = options_.intra_query_threads;
+    exec_options.cancel = cancel_;
+    exec_options.max_output_rows = brief.max_result_rows;
+    exec_options.max_output_bytes = brief.max_result_bytes;
 
-    if (effective_rate < 1.0) {
-      auto approx = ExecuteApproximate(*prepared[i].plan, effective_rate, exec_options);
-      if (!approx.ok()) {
-        answer.status = approx.status();
-        continue;
+    // One execution attempt at `rate`. Each attempt gets a fresh deadline of
+    // the same length — a retry after a transient fault should not inherit
+    // the time the failed attempt burned. The fault point lets tests inject
+    // probe-level transient faults without touching executor internals.
+    auto attempt_once = [&](double rate) -> Result<ResultSetPtr> {
+      Status injected = AF_FAULT_STATUS("core.probe.query");
+      if (!injected.ok()) return injected;
+      ExecOptions eo = exec_options;
+      eo.sample_rate = rate;
+      if (deadline_ms > 0.0) eo.deadline = Deadline::AfterMillis(deadline_ms);
+      if (rate < 1.0) {
+        auto approx = ExecuteApproximate(*prepared[i].plan, rate, eo);
+        if (!approx.ok()) return approx.status();
+        answer.approximate = true;
+        answer.sample_rate = approx->sample_rate;
+        answer.relative_ci95 = approx->relative_ci95;
+        return approx->result;
       }
-      answer.result = approx->result;
-      answer.approximate = true;
-      answer.sample_rate = approx->sample_rate;
-      answer.relative_ci95 = approx->relative_ci95;
-    } else {
-      auto results = batch_.ExecuteBatch({prepared[i].plan});
-      if (!results[0].ok()) {
-        answer.status = results[0].status();
-        continue;
-      }
-      answer.result = *results[0];
+      auto results = batch_.ExecuteBatch({prepared[i].plan}, eo);
+      return results[0];
+    };
+
+    // Transient-fault retry with seeded jittered exponential backoff.
+    // Deliberate outcomes (deadline, budget, cancellation, bad SQL) are not
+    // retryable — see IsRetryable.
+    Result<ResultSetPtr> exec_result = attempt_once(effective_rate);
+    size_t retries = 0;
+    while (!exec_result.ok() && IsRetryable(exec_result.status()) &&
+           retries < options_.max_query_retries) {
+      ++retries;
+      double jitter = RetryJitter(options_.retry_seed, probe.id, i, retries);
+      double delay_ms = options_.retry_backoff_ms *
+                        static_cast<double>(1ull << (retries - 1)) * jitter;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay_ms));
+      exec_result = attempt_once(effective_rate);
     }
-    answer.status = Status::OK();
+    answer.retries = static_cast<uint32_t>(retries);
+    response.total_retries += retries;
+    if (retries > 0) {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      metrics_.query_retries += retries;
+    }
+    if (!exec_result.ok()) {
+      answer.status = exec_result.status();
+      continue;
+    }
+    answer.result = *exec_result;
+
+    // Deadline/budget truncation becomes a partial-result answer: the rows
+    // merged before the trip ship to the agent with a status explaining the
+    // cut. Exploratory probes first degrade once to the AQP sampling path
+    // (fresh deadline): a complete approximate answer grounds exploration
+    // better than an exact prefix.
+    if (answer.result->truncated) {
+      bool degraded = false;
+      if (answer.result->interrupt == StatusCode::kDeadlineExceeded &&
+          options_.degrade_on_deadline && options_.enable_aqp &&
+          task->exploratory && !wants_exact && effective_rate >= 1.0) {
+        auto retry = attempt_once(options_.exploration_sample_rate);
+        if (retry.ok() && !(*retry)->truncated) {
+          answer.result = *retry;
+          degraded = true;
+          std::lock_guard<std::mutex> lock(state_mutex_);
+          ++metrics_.queries_degraded;
+        }
+      }
+      if (!degraded) {
+        answer.truncated = true;
+        answer.status =
+            answer.result->interrupt == StatusCode::kResourceExhausted
+                ? Status::ResourceExhausted(
+                      "answer truncated: output budget reached; partial rows "
+                      "attached")
+                : Status::DeadlineExceeded(
+                      "answer truncated: deadline expired; partial rows "
+                      "attached");
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        ++metrics_.queries_truncated;
+      }
+    }
+    if (!answer.truncated) answer.status = Status::OK();
     rows_produced_total += answer.result->rows.size();
     if (brief.stop_when && answer.result != nullptr &&
         brief.stop_when(*answer.result)) {
@@ -574,15 +692,18 @@ void ProbeOptimizer::ExecuteProbe(ProbeTask* task) {
       if (answer.approximate) ++metrics_.queries_approximate;
       ++metrics_.queries_executed;
       metrics_.executed_cost += effective_cost;
-      if (!probe.agent_id.empty()) {
+      // A truncated answer does not cover its core relation: future re-asks
+      // must be allowed to run to completion.
+      if (!probe.agent_id.empty() && !answer.truncated) {
         answered_cores_[probe.agent_id].emplace(prepared[i].core_fingerprint,
                                                 prepared[i].sql);
       }
     }
 
     // Record the answer as a memory artifact for future probes (approximate
-    // answers are stored too, flagged by their result's sample_rate).
-    if (options_.enable_memory && memory_ != nullptr) {
+    // answers are stored too, flagged by their result's sample_rate; partial
+    // truncated answers are never stored — they would poison later probes).
+    if (options_.enable_memory && memory_ != nullptr && !answer.truncated) {
       MemoryArtifact artifact;
       artifact.kind = ArtifactKind::kProbeResult;
       artifact.key = "probe_result:" + std::to_string(prepared[i].fingerprint);
@@ -600,6 +721,33 @@ void ProbeOptimizer::FinalizeProbe(ProbeTask* task) {
   const Probe& probe = *task->probe;
   const Brief& brief = task->brief;
   ProbeResponse& response = task->response;
+
+  // Circuit-breaker outcome accounting (serial, admission order). Only
+  // genuine execution failures count: truncation and cancellation are
+  // deliberate outcomes, and parse/bind errors are the agent's SQL, not a
+  // system fault. A success (including a memory hit) closes the breaker.
+  if (options_.breaker_failure_threshold > 0 && !probe.agent_id.empty() &&
+      !probe.dry_run && !task->shed) {
+    auto& breaker = breakers_[probe.agent_id];
+    for (size_t i = 0; i < response.answers.size(); ++i) {
+      const QueryAnswer& answer = response.answers[i];
+      if (answer.skipped || task->prepared[i].plan == nullptr) continue;
+      bool failed = !answer.status.ok() && !answer.truncated &&
+                    answer.status.code() != StatusCode::kCancelled;
+      if (!failed) {
+        breaker.consecutive_failures = 0;
+        continue;
+      }
+      if (++breaker.consecutive_failures >=
+          options_.breaker_failure_threshold) {
+        breaker.open_until =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double, std::milli>(
+                    options_.breaker_cooldown_ms));
+      }
+    }
+  }
   std::vector<PlanPtr> plans_for_steering;
   plans_for_steering.reserve(task->prepared.size());
   for (const auto& p : task->prepared) plans_for_steering.push_back(p.plan);

@@ -1,10 +1,13 @@
 #ifndef AGENTFIRST_CORE_PROBE_OPTIMIZER_H_
 #define AGENTFIRST_CORE_PROBE_OPTIMIZER_H_
 
+#include <chrono>
 #include <map>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/cancellation.h"
 
 #include "catalog/catalog.h"
 #include "common/result.h"
@@ -70,6 +73,31 @@ class ProbeOptimizer {
     /// Intra-query morsel parallelism for executed probe queries
     /// (ExecOptions::num_threads); draws from the same pool.
     size_t intra_query_threads = 1;
+    /// Wall-clock deadline applied to every probe query whose brief does not
+    /// set `deadline_ms` (0 = none). Deadline expiry yields a truncated
+    /// partial answer, never a hang: an oversized probe costs at most this
+    /// much latency plus one morsel.
+    double default_deadline_ms = 0.0;
+    /// Transparent retries per query on transient (IsRetryable) execution
+    /// faults. 0 disables retry.
+    size_t max_query_retries = 2;
+    /// Base for the retry backoff; attempt k sleeps
+    /// retry_backoff_ms * 2^(k-1) * jitter, with jitter in [0.5, 1.5)
+    /// derived deterministically from (retry_seed, probe id, query, attempt)
+    /// so concurrent retry storms decorrelate reproducibly.
+    double retry_backoff_ms = 1.0;
+    uint64_t retry_seed = 0x5eed;
+    /// When an exploratory probe's exact answer comes back truncated by the
+    /// deadline, retry it once through the AQP sampling path (a complete
+    /// approximate answer usually grounds exploration better than an exact
+    /// prefix). Validation-phase probes are never degraded.
+    bool degrade_on_deadline = true;
+    /// Per-agent circuit breaker: after this many consecutive failed
+    /// executed queries, the agent's next probes are shed wholesale until
+    /// the cooldown passes (0 disables the breaker). Sheds protect the
+    /// shared pool from an agent stuck in a failing retry loop.
+    size_t breaker_failure_threshold = 5;
+    double breaker_cooldown_ms = 250.0;
   };
 
   struct Metrics {
@@ -82,6 +110,10 @@ class ProbeOptimizer {
     double executed_cost = 0.0;
     double skipped_cost = 0.0;  // estimated cost avoided by satisficing
     uint64_t materialization_suggestions = 0;
+    uint64_t queries_truncated = 0;   // deadline or output-budget truncation
+    uint64_t query_retries = 0;       // transparent transient-fault retries
+    uint64_t queries_degraded = 0;    // deadline-truncated -> AQP retry
+    uint64_t probes_shed = 0;         // shed by the circuit breaker
   };
 
   ProbeOptimizer(Catalog* catalog, AgenticMemoryStore* memory,
@@ -105,6 +137,11 @@ class ProbeOptimizer {
   SharingStats sharing_stats() const { return batch_.stats(); }
   void InvalidateCaches() { batch_.InvalidateCache(); }
 
+  /// Installs the cooperative cancellation token consulted by every probe
+  /// execution (the system facade points this at its CancelAllProbes
+  /// source). Cancelled probes return kCancelled answers within one morsel.
+  void SetCancellationToken(CancellationToken token) { cancel_ = std::move(token); }
+
  private:
   /// One probe's state as it moves through the three ProcessBatch phases:
   /// Prepare (serial: parse/bind/cost, admission + pruning decisions),
@@ -116,6 +153,15 @@ class ProbeOptimizer {
   void PrepareProbe(const Probe& probe, ProbeTask* task);
   void ExecuteProbe(ProbeTask* task);
   void FinalizeProbe(ProbeTask* task);
+
+  /// Per-agent circuit breaker state. Consulted during the serial Prepare
+  /// phase (shed decision) and updated during the serial Finalize phase
+  /// (outcome accounting), so breaker behavior is independent of the
+  /// Execute phase's thread count.
+  struct BreakerState {
+    size_t consecutive_failures = 0;
+    std::chrono::steady_clock::time_point open_until{};
+  };
 
   double GoalRelevance(const PlanNode& plan, const Brief& brief);
   /// Tracks recurring expensive sub-plans; emits hints on recurrence.
@@ -149,6 +195,11 @@ class ProbeOptimizer {
   std::map<std::string, std::map<uint64_t, std::string>> answered_cores_;
   // Adaptive-indexing state: (table, column name) -> equality-probe count.
   std::map<std::pair<std::string, std::string>, size_t> eq_predicate_counts_;
+  // Circuit-breaker state per agent id (Prepare/Finalize phases only).
+  std::map<std::string, BreakerState> breakers_;
+  // Cooperative cancellation for all probe executions (see
+  // SetCancellationToken); default token is non-cancellable.
+  CancellationToken cancel_;
 };
 
 }  // namespace agentfirst

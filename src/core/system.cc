@@ -6,7 +6,18 @@ AgentFirstSystem::AgentFirstSystem(Options options)
     : engine_(&catalog_),
       memory_(&catalog_, options.memory),
       search_(&catalog_),
-      optimizer_(&catalog_, &memory_, &search_, options.optimizer) {}
+      optimizer_(&catalog_, &memory_, &search_, options.optimizer) {
+  optimizer_.SetCancellationToken(probe_cancel_.token());
+}
+
+void AgentFirstSystem::CancelAllProbes() { probe_cancel_.RequestCancel(); }
+
+void AgentFirstSystem::ResetProbeCancellation() {
+  // Reset swaps in a fresh token, so the optimizer must be re-pointed at it;
+  // probes cancelled under the old token stay cancelled.
+  probe_cancel_.Reset();
+  optimizer_.SetCancellationToken(probe_cancel_.token());
+}
 
 Result<ResultSetPtr> AgentFirstSystem::ExecuteSql(const std::string& sql) {
   auto result = engine_.ExecuteSql(sql);

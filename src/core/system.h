@@ -5,6 +5,7 @@
 #include <string>
 
 #include "catalog/catalog.h"
+#include "common/cancellation.h"
 #include "core/probe.h"
 #include "core/probe_optimizer.h"
 #include "core/semantic_search.h"
@@ -54,6 +55,13 @@ class AgentFirstSystem {
   /// main catalog and other branches are never visible to the query.
   Result<ResultSetPtr> QueryBranch(uint64_t branch, const std::string& sql);
 
+  /// Cooperatively cancels every in-flight (and subsequently submitted)
+  /// probe execution: running operators stop within one morsel and their
+  /// answers come back kCancelled. Call ResetProbeCancellation to accept
+  /// probes again — e.g. when an agent episode is abandoned mid-batch.
+  void CancelAllProbes();
+  void ResetProbeCancellation();
+
   Catalog* catalog() { return &catalog_; }
   Engine* engine() { return &engine_; }
   AgenticMemoryStore* memory() { return &memory_; }
@@ -68,6 +76,8 @@ class AgentFirstSystem {
   SemanticCatalogSearch search_;
   ProbeOptimizer optimizer_;
   BranchManager branches_;
+  /// Source behind CancelAllProbes; its token is installed in the optimizer.
+  CancellationSource probe_cancel_;
   uint64_t next_probe_id_ = 1;
 };
 

@@ -6,6 +6,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "common/fault_injection.h"
 #include "common/hash.h"
 #include "common/rng.h"
 #include "exec/evaluator.h"
@@ -14,14 +15,21 @@ namespace agentfirst {
 
 ExecCache::ExecCache(size_t capacity_bytes) : capacity_bytes_(capacity_bytes) {}
 
+namespace {
+/// Rough resident footprint of one row (shared by the cache estimate and the
+/// executor's byte-budget accounting).
+size_t ApproxRowBytes(const Row& row) {
+  size_t total = sizeof(Row) + row.size() * sizeof(Value);
+  for (const Value& v : row) {
+    if (v.type() == DataType::kString) total += v.string_value().size();
+  }
+  return total;
+}
+}  // namespace
+
 size_t ExecCache::ApproxResultBytes(const ResultSet& result) {
   size_t total = sizeof(ResultSet);
-  for (const Row& row : result.rows) {
-    total += sizeof(Row) + row.size() * sizeof(Value);
-    for (const Value& v : row) {
-      if (v.type() == DataType::kString) total += v.string_value().size();
-    }
-  }
+  for (const Row& row : result.rows) total += ApproxRowBytes(row);
   return total;
 }
 
@@ -132,6 +140,130 @@ ThreadPool* PoolFor(const ExecOptions& options) {
   return options.pool != nullptr ? options.pool : ThreadPool::Default();
 }
 
+/// How often the serial row loops re-check the interrupt state: every
+/// kCheckInterval rows, matching the parallel paths' morsel granularity, so
+/// "stops within one morsel of the deadline" holds at any thread count.
+constexpr size_t kCheckInterval = kRowMorselSize;
+
+/// Per-plan-execution interrupt state, threaded through every operator.
+/// Aggregates cancellation, deadline, output budgets, and morsel-level
+/// injected faults into one tripwire that ParallelFor can observe. When
+/// none of those are configured (the default), every check is a single
+/// relaxed load — serial behavior and output are completely unchanged.
+struct InterruptCtx {
+  CancellationToken cancel;
+  Deadline deadline;
+  size_t max_rows;
+  size_t max_bytes;
+  /// Any of deadline / cancel / budgets configured?
+  bool active;
+
+  /// Once set, no further morsels are claimed anywhere in the plan.
+  std::atomic<bool> stop{false};
+  /// Hard stop (cancellation): the whole execution returns an error.
+  std::atomic<bool> hard{false};
+  /// First soft-trip reason (kDeadlineExceeded or kResourceExhausted).
+  std::atomic<int> code{static_cast<int>(StatusCode::kOk)};
+  /// First injected morsel-level fault (errors can't propagate out of
+  /// ParallelFor bodies directly).
+  std::mutex fault_mutex;
+  Status fault;
+  std::atomic<bool> has_fault{false};
+
+  explicit InterruptCtx(const ExecOptions& o)
+      : cancel(o.cancel),
+        deadline(o.deadline),
+        max_rows(o.max_output_rows),
+        max_bytes(o.max_output_bytes),
+        active(o.cancel.cancellable() || !o.deadline.is_infinite() ||
+               o.max_output_rows > 0 || o.max_output_bytes > 0) {}
+
+  const std::atomic<bool>* stop_flag() const { return &stop; }
+
+  void Trip(StatusCode c) {
+    int expected = static_cast<int>(StatusCode::kOk);
+    code.compare_exchange_strong(expected, static_cast<int>(c),
+                                 std::memory_order_relaxed);
+    stop.store(true, std::memory_order_relaxed);
+  }
+
+  void TripFault(Status s) {
+    {
+      std::lock_guard<std::mutex> lock(fault_mutex);
+      if (!has_fault.load(std::memory_order_relaxed)) {
+        fault = std::move(s);
+        has_fault.store(true, std::memory_order_relaxed);
+      }
+    }
+    stop.store(true, std::memory_order_relaxed);
+  }
+
+  /// Morsel-boundary check. True = stop claiming work. Sets the trip state
+  /// on the first detection so sibling morsels stop within one morsel too.
+  bool Check() {
+    if (stop.load(std::memory_order_relaxed)) return true;
+    if (!active) return false;
+    if (cancel.cancelled()) {
+      hard.store(true, std::memory_order_relaxed);
+      Trip(StatusCode::kCancelled);
+      return true;
+    }
+    if (deadline.expired()) {
+      Trip(StatusCode::kDeadlineExceeded);
+      return true;
+    }
+    return false;
+  }
+
+  /// Fault point usable inside parallel morsel bodies; returns true when an
+  /// error was injected (and recorded) at `site`.
+  bool FaultAt(const char* site) {
+    if (!FaultRegistry::Global().enabled()) return false;
+    Status s = FaultRegistry::Global().Hit(site);
+    if (s.ok()) return false;
+    TripFault(std::move(s));
+    return true;
+  }
+
+  bool soft_stopped() const {
+    return stop.load(std::memory_order_relaxed) &&
+           !hard.load(std::memory_order_relaxed) &&
+           !has_fault.load(std::memory_order_relaxed);
+  }
+  bool cancelled() const { return hard.load(std::memory_order_relaxed); }
+  StatusCode trip_code() const {
+    return static_cast<StatusCode>(code.load(std::memory_order_relaxed));
+  }
+
+  /// Propagated/injected error to return from the enclosing operator, if
+  /// any: injected faults first, then cancellation. Truncation (deadline,
+  /// budgets) is NOT an error — it yields a truncated OK result.
+  Status TakeError() {
+    if (has_fault.load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> lock(fault_mutex);
+      return fault;
+    }
+    if (cancelled()) return Status::Cancelled("probe cancelled");
+    return Status::OK();
+  }
+};
+
+/// Marks `out` truncated when this execution soft-tripped (deadline or
+/// budget) or its input was already partial.
+void StampTruncation(const InterruptCtx& ctx, ResultSet* out) {
+  if (ctx.soft_stopped()) {
+    out->truncated = true;
+    out->interrupt = ctx.trip_code();
+  }
+}
+
+void CarryTruncation(const ResultSet& in, ResultSet* out) {
+  if (in.truncated) {
+    out->truncated = true;
+    if (out->interrupt == StatusCode::kOk) out->interrupt = in.interrupt;
+  }
+}
+
 bool UseParallel(const ExecOptions& options, size_t num_rows) {
   return options.num_threads > 1 && num_rows >= kMinParallelRows;
 }
@@ -140,17 +272,42 @@ bool UseParallel(const ExecOptions& options, size_t num_rows) {
 /// [0, num_rows) on the pool and appends the per-morsel buffers to `out` in
 /// morsel order. Each morsel writes its own buffer, so output is
 /// byte-identical to a serial left-to-right pass regardless of scheduling.
+///
+/// Interrupt semantics: morsels re-check `ctx` before running (deadline,
+/// cancellation) and count produced rows/bytes against the output budgets;
+/// the first trip stops further claims within one morsel. Completed morsel
+/// buffers are still merged in morsel order, so a truncated result is a
+/// deterministic-order subset of the full answer.
 void ParallelMorselAppend(
-    const ExecOptions& options, size_t num_rows, std::vector<Row>* out,
+    const ExecOptions& options, InterruptCtx& ctx, const char* fault_site,
+    size_t num_rows, std::vector<Row>* out,
     const std::function<void(size_t, size_t, std::vector<Row>*)>& body) {
   size_t num_morsels = (num_rows + kRowMorselSize - 1) / kRowMorselSize;
   std::vector<std::vector<Row>> buffers(num_morsels);
+  std::atomic<size_t> produced_rows{0};
+  std::atomic<size_t> produced_bytes{0};
   PoolFor(options)->ParallelFor(
       0, num_rows,
       [&](size_t begin, size_t end) {
-        body(begin, end, &buffers[begin / kRowMorselSize]);
+        if (ctx.Check() || ctx.FaultAt(fault_site)) return;
+        std::vector<Row>* buf = &buffers[begin / kRowMorselSize];
+        body(begin, end, buf);
+        if (ctx.max_rows > 0) {
+          size_t total = produced_rows.fetch_add(buf->size(),
+                                                 std::memory_order_relaxed) +
+                         buf->size();
+          if (total > ctx.max_rows) ctx.Trip(StatusCode::kResourceExhausted);
+        }
+        if (ctx.max_bytes > 0) {
+          size_t bytes = 0;
+          for (const Row& row : *buf) bytes += ApproxRowBytes(row);
+          size_t total = produced_bytes.fetch_add(bytes,
+                                                  std::memory_order_relaxed) +
+                         bytes;
+          if (total > ctx.max_bytes) ctx.Trip(StatusCode::kResourceExhausted);
+        }
       },
-      kRowMorselSize, options.num_threads);
+      kRowMorselSize, options.num_threads, ctx.stop_flag());
   size_t total = 0;
   for (const auto& buf : buffers) total += buf.size();
   out->reserve(out->size() + total);
@@ -160,9 +317,34 @@ void ParallelMorselAppend(
   }
 }
 
-Result<ResultSetPtr> ExecNode(const PlanNode& node, const ExecOptions& options);
+/// Serial-loop budget tracker mirroring ParallelMorselAppend's accounting.
+struct BudgetTracker {
+  InterruptCtx& ctx;
+  size_t rows = 0;
+  size_t bytes = 0;
 
-Result<ResultSetPtr> ExecScan(const PlanNode& node, const ExecOptions& options) {
+  explicit BudgetTracker(InterruptCtx& c) : ctx(c) {}
+
+  /// Records one appended row; returns true when a budget tripped.
+  bool Add(const Row& row) {
+    if (ctx.max_rows == 0 && ctx.max_bytes == 0) return false;
+    ++rows;
+    if (ctx.max_bytes > 0) bytes += ApproxRowBytes(row);
+    if ((ctx.max_rows > 0 && rows > ctx.max_rows) ||
+        (ctx.max_bytes > 0 && bytes > ctx.max_bytes)) {
+      ctx.Trip(StatusCode::kResourceExhausted);
+      return true;
+    }
+    return false;
+  }
+};
+
+Result<ResultSetPtr> ExecNode(const PlanNode& node, const ExecOptions& options,
+                              InterruptCtx& ctx);
+
+Result<ResultSetPtr> ExecScan(const PlanNode& node, const ExecOptions& options,
+                              InterruptCtx& ctx) {
+  AF_FAULT_POINT("exec.scan.begin");
   auto out = std::make_shared<ResultSet>();
   out->schema = node.output_schema;
   if (node.table == nullptr) {
@@ -171,6 +353,13 @@ Result<ResultSetPtr> ExecScan(const PlanNode& node, const ExecOptions& options) 
       return out;
     }
     return Status::Internal("scan of unresolved table: " + node.table_name);
+  }
+  // A scan reached after the plan already tripped produces no new data:
+  // the budget is spent, and downstream operators drain what exists.
+  if (ctx.Check()) {
+    AF_RETURN_IF_ERROR(ctx.TakeError());
+    StampTruncation(ctx, out.get());
+    return out;
   }
   bool sampling = options.sample_rate < 1.0;
   // Index-accelerated path: candidate rows from the hash index, full filter
@@ -193,14 +382,18 @@ Result<ResultSetPtr> ExecScan(const PlanNode& node, const ExecOptions& options) 
   if (!sampling && UseParallel(options, node.table->NumRows()) &&
       segments.size() > 1) {
     std::vector<std::vector<Row>> buffers(segments.size());
+    std::atomic<size_t> produced_rows{0};
+    std::atomic<size_t> produced_bytes{0};
     PoolFor(options)->ParallelFor(
         0, segments.size(),
         [&](size_t begin, size_t end) {
           for (size_t s = begin; s < end; ++s) {
+            if (ctx.Check() || ctx.FaultAt("exec.scan.morsel")) return;
             const Segment& seg = *segments[s];
             std::vector<Row>& buf = buffers[s];
             buf.reserve(seg.num_rows());
             for (size_t i = 0; i < seg.num_rows(); ++i) {
+              if ((i % kCheckInterval) == 0 && i > 0 && ctx.Check()) break;
               Row row = seg.GetRow(i);
               if (node.scan_filter != nullptr &&
                   !EvalPredicate(*node.scan_filter, row)) {
@@ -208,9 +401,25 @@ Result<ResultSetPtr> ExecScan(const PlanNode& node, const ExecOptions& options) 
               }
               buf.push_back(std::move(row));
             }
+            if (ctx.max_rows > 0 &&
+                produced_rows.fetch_add(buf.size(), std::memory_order_relaxed) +
+                        buf.size() >
+                    ctx.max_rows) {
+              ctx.Trip(StatusCode::kResourceExhausted);
+            }
+            if (ctx.max_bytes > 0) {
+              size_t bytes = 0;
+              for (const Row& row : buf) bytes += ApproxRowBytes(row);
+              if (produced_bytes.fetch_add(bytes, std::memory_order_relaxed) +
+                      bytes >
+                  ctx.max_bytes) {
+                ctx.Trip(StatusCode::kResourceExhausted);
+              }
+            }
           }
         },
-        /*grain=*/1, options.num_threads);
+        /*grain=*/1, options.num_threads, ctx.stop_flag());
+    AF_RETURN_IF_ERROR(ctx.TakeError());
     size_t total = 0;
     for (const auto& buf : buffers) total += buf.size();
     out->rows.reserve(total);
@@ -218,6 +427,7 @@ Result<ResultSetPtr> ExecScan(const PlanNode& node, const ExecOptions& options) 
       out->rows.insert(out->rows.end(), std::make_move_iterator(buf.begin()),
                        std::make_move_iterator(buf.end()));
     }
+    StampTruncation(ctx, out.get());
     return out;
   }
   // Seed depends on the table so parallel scans in one plan decorrelate.
@@ -228,38 +438,59 @@ Result<ResultSetPtr> ExecScan(const PlanNode& node, const ExecOptions& options) 
                                    options.sample_rate) + 16;
   }
   out->rows.reserve(expected);
+  BudgetTracker budget(ctx);
+  size_t scanned = 0;
+  bool tripped = false;
   for (const auto& seg : segments) {
     for (size_t i = 0; i < seg->num_rows(); ++i) {
       // Sampling decides before the row is materialized: skipped rows never
       // pay the GetRow copy.
+      if ((scanned++ % kCheckInterval) == 0 && scanned > 1 && ctx.Check()) {
+        tripped = true;
+        break;
+      }
       if (sampling && !rng.NextBool(options.sample_rate)) continue;
       Row row = seg->GetRow(i);
       if (node.scan_filter != nullptr && !EvalPredicate(*node.scan_filter, row)) {
         continue;
       }
       out->rows.push_back(std::move(row));
+      if (budget.Add(out->rows.back())) {
+        tripped = true;
+        break;
+      }
     }
+    if (tripped) break;
   }
+  AF_RETURN_IF_ERROR(ctx.TakeError());
   if (sampling) {
     out->approximate = true;
     out->sample_rate = options.sample_rate;
   }
+  StampTruncation(ctx, out.get());
   return out;
 }
 
-Result<ResultSetPtr> ExecFilter(const PlanNode& node, const ExecOptions& options) {
-  AF_ASSIGN_OR_RETURN(ResultSetPtr input, ExecNode(*node.children[0], options));
+Result<ResultSetPtr> ExecFilter(const PlanNode& node, const ExecOptions& options,
+                                InterruptCtx& ctx) {
+  AF_ASSIGN_OR_RETURN(ResultSetPtr input,
+                      ExecNode(*node.children[0], options, ctx));
   auto out = std::make_shared<ResultSet>();
   out->schema = node.output_schema;
   out->approximate = input->approximate;
   out->sample_rate = input->sample_rate;
+  CarryTruncation(*input, out.get());
   size_t n = input->rows.size();
   // A use count of 1 means no cache or upstream operator aliases the input,
   // so surviving rows can be moved out instead of copied.
   bool unique_input = input.use_count() == 1;
-  if (UseParallel(options, n)) {
+  // Drain mode (plan already tripped): the input is a bounded partial, so
+  // run it through serially without further interrupt checks — stopping
+  // here would throw away the rows the deadline's budget already paid for.
+  bool draining = ctx.soft_stopped();
+  if (!draining && UseParallel(options, n)) {
     ParallelMorselAppend(
-        options, n, &out->rows,
+        options, ctx, "exec.filter.morsel", n, &out->rows,
         [&](size_t begin, size_t end, std::vector<Row>* buf) {
           for (size_t i = begin; i < end; ++i) {
             const Row& row = input->rows[i];
@@ -271,32 +502,51 @@ Result<ResultSetPtr> ExecFilter(const PlanNode& node, const ExecOptions& options
             }
           }
         });
+    AF_RETURN_IF_ERROR(ctx.TakeError());
+    StampTruncation(ctx, out.get());
     return out;
   }
   out->rows.reserve(n);
+  BudgetTracker budget(ctx);
+  auto keep_row = [&](Row&& row) {
+    out->rows.push_back(std::move(row));
+    return budget.Add(out->rows.back());
+  };
   if (unique_input) {
     auto& rows = const_cast<ResultSet*>(input.get())->rows;
-    for (Row& row : rows) {
-      if (EvalPredicate(*node.predicate, row)) out->rows.push_back(std::move(row));
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (!draining && (i % kCheckInterval) == 0 && i > 0 && ctx.Check()) break;
+      if (EvalPredicate(*node.predicate, rows[i]) &&
+          keep_row(std::move(rows[i]))) {
+        break;
+      }
     }
   } else {
-    for (const Row& row : input->rows) {
-      if (EvalPredicate(*node.predicate, row)) out->rows.push_back(row);
+    for (size_t i = 0; i < input->rows.size(); ++i) {
+      if (!draining && (i % kCheckInterval) == 0 && i > 0 && ctx.Check()) break;
+      if (EvalPredicate(*node.predicate, input->rows[i]) &&
+          keep_row(Row(input->rows[i]))) {
+        break;
+      }
     }
   }
+  AF_RETURN_IF_ERROR(ctx.TakeError());
+  StampTruncation(ctx, out.get());
   return out;
 }
 
-Result<ResultSetPtr> ExecProject(const PlanNode& node, const ExecOptions& options) {
+Result<ResultSetPtr> ExecProject(const PlanNode& node, const ExecOptions& options,
+                                 InterruptCtx& ctx) {
   ResultSetPtr input;
   if (node.children.empty()) {
     return Status::Internal("project with no input");
   }
-  AF_ASSIGN_OR_RETURN(input, ExecNode(*node.children[0], options));
+  AF_ASSIGN_OR_RETURN(input, ExecNode(*node.children[0], options, ctx));
   auto out = std::make_shared<ResultSet>();
   out->schema = node.output_schema;
   out->approximate = input->approximate;
   out->sample_rate = input->sample_rate;
+  CarryTruncation(*input, out.get());
   size_t n = input->rows.size();
   auto project_row = [&](const Row& row) {
     Row projected;
@@ -306,32 +556,58 @@ Result<ResultSetPtr> ExecProject(const PlanNode& node, const ExecOptions& option
     }
     return projected;
   };
-  if (UseParallel(options, n)) {
+  bool draining = ctx.soft_stopped();
+  if (!draining && UseParallel(options, n)) {
+    // Slot-per-row writes can't stop at arbitrary rows without leaving
+    // holes, so the parallel projection checks interrupts per morsel and a
+    // trip falls through to a serial drain of the skipped morsels (the
+    // input is materialized; the residual work is bounded).
+    size_t num_morsels = (n + kRowMorselSize - 1) / kRowMorselSize;
+    std::vector<char> morsel_done(num_morsels, 0);
     out->rows.resize(n);
     PoolFor(options)->ParallelFor(
         0, n,
         [&](size_t begin, size_t end) {
+          if (ctx.Check() || ctx.FaultAt("exec.project.morsel")) return;
           for (size_t i = begin; i < end; ++i) {
             out->rows[i] = project_row(input->rows[i]);
           }
+          morsel_done[begin / kRowMorselSize] = 1;
         },
-        kRowMorselSize, options.num_threads);
+        kRowMorselSize, options.num_threads, ctx.stop_flag());
+    AF_RETURN_IF_ERROR(ctx.TakeError());
+    for (size_t m = 0; m < num_morsels; ++m) {
+      if (morsel_done[m]) continue;
+      size_t begin = m * kRowMorselSize;
+      size_t end = std::min(begin + kRowMorselSize, n);
+      for (size_t i = begin; i < end; ++i) {
+        out->rows[i] = project_row(input->rows[i]);
+      }
+    }
+    StampTruncation(ctx, out.get());
     return out;
   }
   out->rows.reserve(n);
   for (const Row& row : input->rows) {
     out->rows.push_back(project_row(row));
   }
+  AF_RETURN_IF_ERROR(ctx.TakeError());
+  StampTruncation(ctx, out.get());
   return out;
 }
 
-Result<ResultSetPtr> ExecHashJoin(const PlanNode& node, const ExecOptions& options) {
-  AF_ASSIGN_OR_RETURN(ResultSetPtr left, ExecNode(*node.children[0], options));
-  AF_ASSIGN_OR_RETURN(ResultSetPtr right, ExecNode(*node.children[1], options));
+Result<ResultSetPtr> ExecHashJoin(const PlanNode& node, const ExecOptions& options,
+                                  InterruptCtx& ctx) {
+  AF_ASSIGN_OR_RETURN(ResultSetPtr left,
+                      ExecNode(*node.children[0], options, ctx));
+  AF_ASSIGN_OR_RETURN(ResultSetPtr right,
+                      ExecNode(*node.children[1], options, ctx));
   auto out = std::make_shared<ResultSet>();
   out->schema = node.output_schema;
   out->approximate = left->approximate || right->approximate;
   out->sample_rate = std::min(left->sample_rate, right->sample_rate);
+  CarryTruncation(*left, out.get());
+  CarryTruncation(*right, out.get());
 
   // Build hash table on the right side (serial: builds are short and the
   // probe side dominates).
@@ -397,40 +673,86 @@ Result<ResultSetPtr> ExecHashJoin(const PlanNode& node, const ExecOptions& optio
 
   // Morsel-driven probe phase: the left input is partitioned into row-range
   // morsels; per-morsel buffers are merged in morsel order, matching the
-  // serial left-to-right probe order exactly.
-  if (UseParallel(options, left->rows.size())) {
-    ParallelMorselAppend(options, left->rows.size(), &out->rows,
+  // serial left-to-right probe order exactly. The probe side is where an
+  // oversized join burns its time, so this is the load-bearing deadline
+  // check: each morsel re-checks `ctx`, and a trip merges only the morsels
+  // completed so far (the probe batch's partial answer).
+  bool draining = ctx.soft_stopped();
+  if (!draining && UseParallel(options, left->rows.size())) {
+    ParallelMorselAppend(options, ctx, "exec.join.probe.morsel",
+                         left->rows.size(), &out->rows,
                          [&](size_t begin, size_t end, std::vector<Row>* buf) {
                            for (size_t i = begin; i < end; ++i) {
                              probe_row(left->rows[i], buf);
                            }
                          });
+    AF_RETURN_IF_ERROR(ctx.TakeError());
+    StampTruncation(ctx, out.get());
     return out;
   }
-  for (const Row& lrow : left->rows) {
-    probe_row(lrow, &out->rows);
+  BudgetTracker budget(ctx);
+  for (size_t i = 0; i < left->rows.size(); ++i) {
+    if (!draining && (i % kCheckInterval) == 0 && i > 0 && ctx.Check()) break;
+    size_t before = out->rows.size();
+    probe_row(left->rows[i], &out->rows);
+    bool over = false;
+    for (size_t r = before; r < out->rows.size() && !over; ++r) {
+      over = budget.Add(out->rows[r]);
+    }
+    if (over) break;
   }
+  AF_RETURN_IF_ERROR(ctx.TakeError());
+  StampTruncation(ctx, out.get());
   return out;
 }
 
 Result<ResultSetPtr> ExecNestedLoopJoin(const PlanNode& node,
-                                        const ExecOptions& options) {
-  AF_ASSIGN_OR_RETURN(ResultSetPtr left, ExecNode(*node.children[0], options));
-  AF_ASSIGN_OR_RETURN(ResultSetPtr right, ExecNode(*node.children[1], options));
+                                        const ExecOptions& options,
+                                        InterruptCtx& ctx) {
+  AF_ASSIGN_OR_RETURN(ResultSetPtr left,
+                      ExecNode(*node.children[0], options, ctx));
+  AF_ASSIGN_OR_RETURN(ResultSetPtr right,
+                      ExecNode(*node.children[1], options, ctx));
   auto out = std::make_shared<ResultSet>();
   out->schema = node.output_schema;
   out->approximate = left->approximate || right->approximate;
   out->sample_rate = std::min(left->sample_rate, right->sample_rate);
+  CarryTruncation(*left, out.get());
+  CarryTruncation(*right, out.get());
+  // The cross product is the one operator whose cost is NOT linear in its
+  // materialized inputs, so it keeps checking the deadline even in drain
+  // mode — a 4k x 4k cross join after a trip must still stop in one morsel.
+  BudgetTracker budget(ctx);
+  size_t pairs = 0;
+  bool tripped = false;
   for (const Row& lrow : left->rows) {
     for (const Row& rrow : right->rows) {
+      if ((pairs++ % kCheckInterval) == 0 && pairs > 1) {
+        if (ctx.Check() && !ctx.soft_stopped()) {  // cancel or fault: abandon
+          tripped = true;
+          break;
+        }
+        if (ctx.active && ctx.deadline.expired()) {
+          ctx.Trip(StatusCode::kDeadlineExceeded);
+          tripped = true;
+          break;
+        }
+      }
       Row combined = lrow;
       combined.insert(combined.end(), rrow.begin(), rrow.end());
       if (node.predicate != nullptr && !EvalPredicate(*node.predicate, combined)) {
         continue;
       }
       out->rows.push_back(std::move(combined));
+      if (budget.Add(out->rows.back())) {
+        tripped = true;
+        break;
+      }
     }
+    if (tripped) break;
   }
+  AF_RETURN_IF_ERROR(ctx.TakeError());
+  StampTruncation(ctx, out.get());
   return out;
 }
 
@@ -445,12 +767,15 @@ struct AggState {
   std::set<std::string> distinct_seen;  // serialized values for DISTINCT
 };
 
-Result<ResultSetPtr> ExecAggregate(const PlanNode& node, const ExecOptions& options) {
-  AF_ASSIGN_OR_RETURN(ResultSetPtr input, ExecNode(*node.children[0], options));
+Result<ResultSetPtr> ExecAggregate(const PlanNode& node, const ExecOptions& options,
+                                   InterruptCtx& ctx) {
+  AF_ASSIGN_OR_RETURN(ResultSetPtr input,
+                      ExecNode(*node.children[0], options, ctx));
   auto out = std::make_shared<ResultSet>();
   out->schema = node.output_schema;
   out->approximate = input->approximate;
   out->sample_rate = input->sample_rate;
+  CarryTruncation(*input, out.get());
 
   struct Group {
     std::vector<Value> keys;
@@ -483,7 +808,17 @@ Result<ResultSetPtr> ExecAggregate(const PlanNode& node, const ExecOptions& opti
     }
   };
 
+  // Consuming already-materialized input is linear work, so an aggregate
+  // reached after a trip drains fully (checks disabled); a live aggregate
+  // over a huge input still honors the deadline per morsel — groups built
+  // from the consumed prefix become the truncated partial answer.
+  bool draining = ctx.soft_stopped();
+  size_t consumed = 0;
   for (const Row& row : input->rows) {
+    if (!draining && (consumed++ % kCheckInterval) == 0 && consumed > 1 &&
+        ctx.Check()) {
+      break;
+    }
     std::vector<Value> keys;
     keys.reserve(node.group_by.size());
     for (const auto& g : node.group_by) keys.push_back(EvalExpr(*g, row));
@@ -561,15 +896,20 @@ Result<ResultSetPtr> ExecAggregate(const PlanNode& node, const ExecOptions& opti
     }
     out->rows.push_back(std::move(row));
   }
+  AF_RETURN_IF_ERROR(ctx.TakeError());
+  StampTruncation(ctx, out.get());
   return out;
 }
 
-Result<ResultSetPtr> ExecSort(const PlanNode& node, const ExecOptions& options) {
-  AF_ASSIGN_OR_RETURN(ResultSetPtr input, ExecNode(*node.children[0], options));
+Result<ResultSetPtr> ExecSort(const PlanNode& node, const ExecOptions& options,
+                              InterruptCtx& ctx) {
+  AF_ASSIGN_OR_RETURN(ResultSetPtr input,
+                      ExecNode(*node.children[0], options, ctx));
   auto out = std::make_shared<ResultSet>();
   out->schema = node.output_schema;
   out->approximate = input->approximate;
   out->sample_rate = input->sample_rate;
+  CarryTruncation(*input, out.get());
   out->rows = input->rows;
   std::stable_sort(out->rows.begin(), out->rows.end(),
                    [&](const Row& a, const Row& b) {
@@ -584,12 +924,15 @@ Result<ResultSetPtr> ExecSort(const PlanNode& node, const ExecOptions& options) 
   return out;
 }
 
-Result<ResultSetPtr> ExecLimit(const PlanNode& node, const ExecOptions& options) {
-  AF_ASSIGN_OR_RETURN(ResultSetPtr input, ExecNode(*node.children[0], options));
+Result<ResultSetPtr> ExecLimit(const PlanNode& node, const ExecOptions& options,
+                               InterruptCtx& ctx) {
+  AF_ASSIGN_OR_RETURN(ResultSetPtr input,
+                      ExecNode(*node.children[0], options, ctx));
   auto out = std::make_shared<ResultSet>();
   out->schema = node.output_schema;
   out->approximate = input->approximate;
   out->sample_rate = input->sample_rate;
+  CarryTruncation(*input, out.get());
   size_t begin = std::min(static_cast<size_t>(std::max<int64_t>(node.offset, 0)),
                           input->rows.size());
   size_t end = input->rows.size();
@@ -600,22 +943,39 @@ Result<ResultSetPtr> ExecLimit(const PlanNode& node, const ExecOptions& options)
   return out;
 }
 
-Result<ResultSetPtr> ExecUnion(const PlanNode& node, const ExecOptions& options) {
+Result<ResultSetPtr> ExecUnion(const PlanNode& node, const ExecOptions& options,
+                               InterruptCtx& ctx) {
   auto out = std::make_shared<ResultSet>();
   out->schema = node.output_schema;
   for (const auto& child : node.children) {
-    AF_ASSIGN_OR_RETURN(ResultSetPtr input, ExecNode(*child, options));
+    // After a soft trip, skip children that have not started: their scans
+    // would return empty anyway, and skipping keeps "one morsel past the
+    // deadline" true for wide unions. Already-collected rows are kept.
+    if (ctx.soft_stopped()) {
+      StampTruncation(ctx, out.get());
+      break;
+    }
+    AF_ASSIGN_OR_RETURN(ResultSetPtr input, ExecNode(*child, options, ctx));
     if (input->schema.NumColumns() != out->schema.NumColumns()) {
       return Status::Internal("UNION arity mismatch at execution");
     }
     out->approximate = out->approximate || input->approximate;
     out->sample_rate = std::min(out->sample_rate, input->sample_rate);
+    CarryTruncation(*input, out.get());
     out->rows.insert(out->rows.end(), input->rows.begin(), input->rows.end());
   }
+  AF_RETURN_IF_ERROR(ctx.TakeError());
   return out;
 }
 
-Result<ResultSetPtr> ExecNode(const PlanNode& node, const ExecOptions& options) {
+Result<ResultSetPtr> ExecNode(const PlanNode& node, const ExecOptions& options,
+                              InterruptCtx& ctx) {
+  // A hard interrupt (cancel / injected fault) surfaces before any child
+  // work; a soft trip still descends so drain-mode operators can finish
+  // assembling the partial answer.
+  if (ctx.Check() && !ctx.soft_stopped()) {
+    AF_RETURN_IF_ERROR(ctx.TakeError());
+  }
   uint64_t key = 0;
   if (options.cache != nullptr) {
     key = CacheKey(node, options);
@@ -625,20 +985,29 @@ Result<ResultSetPtr> ExecNode(const PlanNode& node, const ExecOptions& options) 
   }
   Result<ResultSetPtr> result = [&]() -> Result<ResultSetPtr> {
     switch (node.kind) {
-      case PlanKind::kScan: return ExecScan(node, options);
-      case PlanKind::kFilter: return ExecFilter(node, options);
-      case PlanKind::kProject: return ExecProject(node, options);
-      case PlanKind::kHashJoin: return ExecHashJoin(node, options);
-      case PlanKind::kNestedLoopJoin: return ExecNestedLoopJoin(node, options);
-      case PlanKind::kAggregate: return ExecAggregate(node, options);
-      case PlanKind::kSort: return ExecSort(node, options);
-      case PlanKind::kLimit: return ExecLimit(node, options);
-      case PlanKind::kUnion: return ExecUnion(node, options);
+      case PlanKind::kScan: return ExecScan(node, options, ctx);
+      case PlanKind::kFilter: return ExecFilter(node, options, ctx);
+      case PlanKind::kProject: return ExecProject(node, options, ctx);
+      case PlanKind::kHashJoin: return ExecHashJoin(node, options, ctx);
+      case PlanKind::kNestedLoopJoin:
+        return ExecNestedLoopJoin(node, options, ctx);
+      case PlanKind::kAggregate: return ExecAggregate(node, options, ctx);
+      case PlanKind::kSort: return ExecSort(node, options, ctx);
+      case PlanKind::kLimit: return ExecLimit(node, options, ctx);
+      case PlanKind::kUnion: return ExecUnion(node, options, ctx);
     }
     return Status::Internal("unknown plan kind");
   }();
-  if (result.ok() && options.cache != nullptr && options.cache_subplans) {
-    options.cache->Put(key, result.value());
+  if (result.ok() && options.cache != nullptr && options.cache_subplans &&
+      !(*result)->truncated) {
+    // Truncated results are partial answers for THIS probe's deadline or
+    // budget; caching them would poison exact re-executions.
+    Status put_fault = AF_FAULT_STATUS("exec.cache.put");
+    if (put_fault.ok()) {
+      options.cache->Put(key, result.value());
+    }
+    // An injected allocation failure here only skips caching — the result
+    // itself is sound, so execution proceeds.
   }
   return result;
 }
@@ -646,7 +1015,13 @@ Result<ResultSetPtr> ExecNode(const PlanNode& node, const ExecOptions& options) 
 }  // namespace
 
 Result<ResultSetPtr> ExecutePlan(const PlanNode& plan, const ExecOptions& options) {
-  return ExecNode(plan, options);
+  InterruptCtx ctx(options);
+  Result<ResultSetPtr> result = ExecNode(plan, options, ctx);
+  if (!result.ok()) return result;
+  // A hard trip can race with operators that completed normally; make the
+  // terminal state authoritative.
+  AF_RETURN_IF_ERROR(ctx.TakeError());
+  return result;
 }
 
 }  // namespace agentfirst

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "exec/result_set.h"
@@ -94,6 +95,23 @@ struct ExecOptions {
   size_t num_threads = 1;
   /// Pool for morsel execution; nullptr = ThreadPool::Default(). Not owned.
   ThreadPool* pool = nullptr;
+  /// Wall-clock deadline for the whole plan (default: none). Checked at
+  /// morsel granularity; on expiry the plan stops within one morsel and
+  /// returns a well-formed partial result with `truncated = true` and
+  /// `interrupt = kDeadlineExceeded`. Operators downstream of the trip
+  /// drain their already-materialized inputs so partial rows survive to the
+  /// root; scans that have not started yet return empty.
+  Deadline deadline;
+  /// Cooperative cancellation (default: non-cancellable). Unlike a deadline,
+  /// cancellation abandons the answer: ExecutePlan returns kCancelled with
+  /// no result.
+  CancellationToken cancel;
+  /// Per-operator output row cap (0 = unlimited). Exceeding it truncates
+  /// the result with `interrupt = kResourceExhausted`.
+  size_t max_output_rows = 0;
+  /// Approximate per-operator output byte cap (0 = unlimited), measured
+  /// like ExecCache::ApproxResultBytes. Same truncation semantics.
+  size_t max_output_bytes = 0;
 };
 
 /// Executes a bound logical plan bottom-up, materializing each operator.

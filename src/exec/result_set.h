@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "types/schema.h"
 #include "types/value.h"
 
@@ -19,6 +20,14 @@ struct ResultSet {
   bool approximate = false;
   /// Effective scan sampling rate that produced this result (1.0 = exact).
   double sample_rate = 1.0;
+  /// True when execution stopped early — deadline expiry or an output
+  /// budget — so `rows` hold whatever had been merged by then: a well-formed
+  /// but incomplete answer (the paper's partial-result satisficing). The
+  /// executor never caches truncated results.
+  bool truncated = false;
+  /// Why execution stopped early: kDeadlineExceeded or kResourceExhausted
+  /// (kOk when not truncated).
+  StatusCode interrupt = StatusCode::kOk;
 
   size_t NumRows() const { return rows.size(); }
 

@@ -1,5 +1,6 @@
 #include "io/csv.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
 
@@ -102,7 +103,14 @@ Result<TablePtr> ImportCsv(Catalog* catalog, const std::string& name,
   std::string line;
   if (!std::getline(in, line)) return Status::InvalidArgument("empty CSV: " + path);
   if (!line.empty() && line.back() == '\r') line.pop_back();
-  AF_ASSIGN_OR_RETURN(auto header, ParseCsvLine(line));
+  // Every malformed-input error below carries the 1-based line number, so an
+  // agent (or operator) can fix the offending row without bisecting the file.
+  auto header_result = ParseCsvLine(line);
+  if (!header_result.ok()) {
+    return Status::InvalidArgument(header_result.status().message() +
+                                   " at line 1");
+  }
+  auto header = std::move(header_result).value();
   if (header.size() != schema.NumColumns()) {
     return Status::InvalidArgument("CSV header arity does not match schema");
   }
@@ -115,6 +123,12 @@ Result<TablePtr> ImportCsv(Catalog* catalog, const std::string& name,
   }
 
   AF_ASSIGN_OR_RETURN(TablePtr table, catalog->CreateTable(name, schema));
+  // Any malformed row aborts the import; `fail` drops the half-filled table
+  // first so a failed import never leaves a partial table in the catalog.
+  auto fail = [&](Status status) -> Status {
+    (void)catalog->DropTable(name);
+    return status;
+  };
   size_t line_number = 1;
   while (std::getline(in, line)) {
     ++line_number;
@@ -123,10 +137,18 @@ Result<TablePtr> ImportCsv(Catalog* catalog, const std::string& name,
     // it is padding and skipped.
     if (line.empty() && schema.NumColumns() > 1) continue;
     std::vector<bool> quoted;
-    AF_ASSIGN_OR_RETURN(auto fields, ParseCsvLine(line, &quoted));
+    auto parsed = ParseCsvLine(line, &quoted);
+    if (!parsed.ok()) {
+      return fail(Status::InvalidArgument(parsed.status().message() +
+                                          " at line " +
+                                          std::to_string(line_number)));
+    }
+    auto fields = std::move(parsed).value();
     if (fields.size() != schema.NumColumns()) {
-      return Status::InvalidArgument("CSV arity mismatch at line " +
-                                     std::to_string(line_number));
+      return fail(Status::InvalidArgument(
+          "CSV arity mismatch at line " + std::to_string(line_number) +
+          ": expected " + std::to_string(schema.NumColumns()) + " fields, got " +
+          std::to_string(fields.size())));
     }
     Row row;
     row.reserve(fields.size());
@@ -139,10 +161,17 @@ Result<TablePtr> ImportCsv(Catalog* catalog, const std::string& name,
       switch (schema.column(c).type) {
         case DataType::kInt64: {
           char* end = nullptr;
+          errno = 0;
           long long v = std::strtoll(f.c_str(), &end, 10);
-          if (end == nullptr || *end != '\0') {
-            return Status::InvalidArgument("bad BIGINT '" + f + "' at line " +
-                                           std::to_string(line_number));
+          if (end == nullptr || *end != '\0' || end == f.c_str()) {
+            return fail(Status::InvalidArgument("bad BIGINT '" + f +
+                                                "' at line " +
+                                                std::to_string(line_number)));
+          }
+          if (errno == ERANGE) {
+            return fail(Status::OutOfRange("BIGINT overflow '" + f +
+                                           "' at line " +
+                                           std::to_string(line_number)));
           }
           row.push_back(Value::Int(v));
           break;
@@ -150,9 +179,10 @@ Result<TablePtr> ImportCsv(Catalog* catalog, const std::string& name,
         case DataType::kFloat64: {
           char* end = nullptr;
           double v = std::strtod(f.c_str(), &end);
-          if (end == nullptr || *end != '\0') {
-            return Status::InvalidArgument("bad DOUBLE '" + f + "' at line " +
-                                           std::to_string(line_number));
+          if (end == nullptr || *end != '\0' || end == f.c_str()) {
+            return fail(Status::InvalidArgument("bad DOUBLE '" + f +
+                                                "' at line " +
+                                                std::to_string(line_number)));
           }
           row.push_back(Value::Double(v));
           break;
@@ -164,8 +194,9 @@ Result<TablePtr> ImportCsv(Catalog* catalog, const std::string& name,
           } else if (lower == "false" || lower == "0") {
             row.push_back(Value::Bool(false));
           } else {
-            return Status::InvalidArgument("bad BOOLEAN '" + f + "' at line " +
-                                           std::to_string(line_number));
+            return fail(Status::InvalidArgument("bad BOOLEAN '" + f +
+                                                "' at line " +
+                                                std::to_string(line_number)));
           }
           break;
         }
@@ -174,7 +205,8 @@ Result<TablePtr> ImportCsv(Catalog* catalog, const std::string& name,
           break;
       }
     }
-    AF_RETURN_IF_ERROR(table->AppendRow(row));
+    Status append = table->AppendRow(row);
+    if (!append.ok()) return fail(std::move(append));
   }
   return table;
 }

@@ -28,9 +28,14 @@ void BatchExecutor::RecordOperatorCounts(const std::vector<PlanPtr>& plans) {
 
 std::vector<Result<ResultSetPtr>> BatchExecutor::ExecuteBatch(
     const std::vector<PlanPtr>& plans) {
+  return ExecuteBatch(plans, base_options_);
+}
+
+std::vector<Result<ResultSetPtr>> BatchExecutor::ExecuteBatch(
+    const std::vector<PlanPtr>& plans, const ExecOptions& caller_options) {
   RecordOperatorCounts(plans);
 
-  ExecOptions options = base_options_;
+  ExecOptions options = caller_options;
   options.cache = &cache_;
   options.cache_subplans = true;
 
@@ -41,6 +46,10 @@ std::vector<Result<ResultSetPtr>> BatchExecutor::ExecuteBatch(
       results.emplace_back(Status::InvalidArgument("null plan in batch"));
       continue;
     }
+    if (options.cancel.cancelled()) {
+      results.emplace_back(Status::Cancelled("batch cancelled"));
+      continue;
+    }
     results.push_back(ExecutePlan(*p, options));
   }
   return results;
@@ -48,11 +57,19 @@ std::vector<Result<ResultSetPtr>> BatchExecutor::ExecuteBatch(
 
 std::vector<Result<ResultSetPtr>> BatchExecutor::ExecuteBatchParallel(
     const std::vector<PlanPtr>& plans, size_t num_threads) {
-  if (num_threads <= 1 || plans.size() <= 1) return ExecuteBatch(plans);
+  return ExecuteBatchParallel(plans, num_threads, base_options_);
+}
+
+std::vector<Result<ResultSetPtr>> BatchExecutor::ExecuteBatchParallel(
+    const std::vector<PlanPtr>& plans, size_t num_threads,
+    const ExecOptions& caller_options) {
+  if (num_threads <= 1 || plans.size() <= 1) {
+    return ExecuteBatch(plans, caller_options);
+  }
 
   RecordOperatorCounts(plans);
 
-  ExecOptions options = base_options_;
+  ExecOptions options = caller_options;
   options.cache = &cache_;
   options.cache_subplans = true;
 
@@ -71,6 +88,10 @@ std::vector<Result<ResultSetPtr>> BatchExecutor::ExecuteBatchParallel(
         for (size_t i = begin; i < end; ++i) {
           if (plans[i] == nullptr) {
             results[i] = Status::InvalidArgument("null plan in batch");
+            continue;
+          }
+          if (options.cancel.cancelled()) {
+            results[i] = Status::Cancelled("batch cancelled");
             continue;
           }
           results[i] = ExecutePlan(*plans[i], options);

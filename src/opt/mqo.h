@@ -39,12 +39,28 @@ class BatchExecutor {
   std::vector<Result<ResultSetPtr>> ExecuteBatch(
       const std::vector<PlanPtr>& plans);
 
+  /// Like the above, but with caller-supplied execution options (deadline,
+  /// cancellation, budgets, sampling) layered over this executor's cache.
+  /// The cache / cache_subplans fields of `options` are overridden so the
+  /// batch still shares sub-plan results. If `options.cancel` trips, plans
+  /// not yet started return kCancelled immediately instead of executing —
+  /// batch-level cancellation stops within one plan (and, inside a running
+  /// plan, within one morsel).
+  std::vector<Result<ResultSetPtr>> ExecuteBatch(
+      const std::vector<PlanPtr>& plans, const ExecOptions& options);
+
   /// Like ExecuteBatch but runs the plans concurrently on the shared
   /// work-stealing pool (at most `num_threads` in flight), all sharing the
   /// same sub-plan cache — the paper's high-throughput setting: thousands of
   /// concurrent field-agent probes. Results are in submission order.
   std::vector<Result<ResultSetPtr>> ExecuteBatchParallel(
       const std::vector<PlanPtr>& plans, size_t num_threads);
+
+  /// Parallel variant with caller-supplied options; same cache override and
+  /// cancellation early-exit semantics as the serial overload.
+  std::vector<Result<ResultSetPtr>> ExecuteBatchParallel(
+      const std::vector<PlanPtr>& plans, size_t num_threads,
+      const ExecOptions& options);
 
   /// Cumulative stats across all batches executed through this object.
   SharingStats stats() const;

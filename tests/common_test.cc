@@ -1,6 +1,12 @@
+#include <algorithm>
+#include <atomic>
 #include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "common/cancellation.h"
+#include "common/fault_injection.h"
 #include "common/hash.h"
 #include "common/result.h"
 #include "common/rng.h"
@@ -36,8 +42,148 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
       Status::AlreadyExists("").code(),   Status::OutOfRange("").code(),
       Status::NotImplemented("").code(),  Status::Internal("").code(),
       Status::Aborted("").code(),         Status::PermissionDenied("").code(),
-      Status::ResourceExhausted("").code()};
-  EXPECT_EQ(codes.size(), 9u);
+      Status::ResourceExhausted("").code(),
+      Status::DeadlineExceeded("").code(), Status::Cancelled("").code()};
+  EXPECT_EQ(codes.size(), 11u);
+}
+
+TEST(StatusTest, LifecycleCodesNameAndMessage) {
+  Status d = Status::DeadlineExceeded("probe deadline");
+  EXPECT_EQ(d.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(d.ToString(), "DeadlineExceeded: probe deadline");
+  Status c = Status::Cancelled("caller gave up");
+  EXPECT_EQ(c.code(), StatusCode::kCancelled);
+  EXPECT_EQ(c.ToString(), "Cancelled: caller gave up");
+}
+
+TEST(StatusTest, IsRetryableOnlyForTransientAborts) {
+  EXPECT_TRUE(IsRetryable(Status::Aborted("transient")));
+  // Deliberate lifecycle outcomes must not be retried: retrying a deadline
+  // or a cancellation would repeat the very work that was cut short.
+  EXPECT_FALSE(IsRetryable(Status::DeadlineExceeded("")));
+  EXPECT_FALSE(IsRetryable(Status::Cancelled("")));
+  EXPECT_FALSE(IsRetryable(Status::ResourceExhausted("")));
+  EXPECT_FALSE(IsRetryable(Status::InvalidArgument("")));
+  EXPECT_FALSE(IsRetryable(Status::Internal("")));
+  EXPECT_FALSE(IsRetryable(Status::OK()));
+}
+
+// ---------------------------------------------------------------------------
+// Deadline / CancellationToken
+// ---------------------------------------------------------------------------
+
+TEST(DeadlineTest, InfiniteByDefault) {
+  Deadline d;
+  EXPECT_TRUE(d.is_infinite());
+  EXPECT_FALSE(d.expired());
+}
+
+TEST(DeadlineTest, ExpiresAfterDuration) {
+  Deadline d = Deadline::AfterMillis(0.0);
+  EXPECT_FALSE(d.is_infinite());
+  EXPECT_TRUE(d.expired());
+
+  Deadline far = Deadline::AfterMillis(60000.0);
+  EXPECT_FALSE(far.expired());
+  EXPECT_GT(far.remaining().count(), 0);
+}
+
+TEST(CancellationTest, DefaultTokenIsNotCancellable) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancellable());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.flag(), nullptr);
+  EXPECT_TRUE(CheckInterrupt(token, Deadline::Infinite()).ok());
+}
+
+TEST(CancellationTest, SourceCancelsItsTokens) {
+  CancellationSource source;
+  CancellationToken token = source.token();
+  EXPECT_TRUE(token.cancellable());
+  EXPECT_FALSE(token.cancelled());
+  ASSERT_NE(token.flag(), nullptr);
+
+  source.RequestCancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(source.cancel_requested());
+  EXPECT_TRUE(token.flag()->load());
+
+  Status s = CheckInterrupt(token, Deadline::Infinite());
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+
+  // Reset hands out fresh tokens; the old one stays cancelled.
+  source.Reset();
+  EXPECT_FALSE(source.token().cancelled());
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancellationTest, CancellationWinsOverDeadline) {
+  CancellationSource source;
+  source.RequestCancel();
+  Status s = CheckInterrupt(source.token(), Deadline::AfterMillis(0.0));
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+  // Deadline alone reports kDeadlineExceeded.
+  Status d = CheckInterrupt(CancellationToken(), Deadline::AfterMillis(0.0));
+  EXPECT_EQ(d.code(), StatusCode::kDeadlineExceeded);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectionTest, DisabledRegistryIsInert) {
+  FaultRegistry& reg = FaultRegistry::Global();
+  reg.Disable();
+  reg.ClearArmed();
+  EXPECT_FALSE(reg.enabled());
+  EXPECT_TRUE(reg.Hit("common_test.site").ok());
+}
+
+TEST(FaultInjectionTest, ArmedErrorFiresDeterministically) {
+  FaultRegistry& reg = FaultRegistry::Global();
+  reg.ClearArmed();
+  reg.Enable(/*seed=*/7);
+  FaultSpec spec;
+  spec.kind = FaultKind::kError;
+  spec.probability = 0.5;
+  spec.code = StatusCode::kAborted;
+  reg.Arm("common_test.flaky", spec);
+
+  std::vector<bool> first;
+  for (int i = 0; i < 64; ++i) {
+    first.push_back(!reg.Hit("common_test.flaky").ok());
+  }
+  // Same seed -> identical fire pattern on replay.
+  reg.Disable();
+  reg.Enable(/*seed=*/7);
+  reg.Arm("common_test.flaky", spec);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(!reg.Hit("common_test.flaky").ok(), first[i]) << "hit " << i;
+  }
+  size_t fired = static_cast<size_t>(
+      std::count(first.begin(), first.end(), true));
+  EXPECT_GT(fired, 0u);
+  EXPECT_LT(fired, 64u);
+  reg.Disable();
+  reg.ClearArmed();
+}
+
+TEST(FaultInjectionTest, MaxFiresCapsInjection) {
+  FaultRegistry& reg = FaultRegistry::Global();
+  reg.ClearArmed();
+  reg.Enable(/*seed=*/1);
+  FaultSpec spec;
+  spec.kind = FaultKind::kError;
+  spec.probability = 1.0;
+  spec.max_fires = 2;
+  reg.Arm("common_test.capped", spec);
+  int failures = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (!reg.Hit("common_test.capped").ok()) ++failures;
+  }
+  EXPECT_EQ(failures, 2);
+  reg.Disable();
+  reg.ClearArmed();
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -140,6 +140,58 @@ TEST_F(CsvTest, BadTypedFieldRejected) {
   std::remove(path.c_str());
 }
 
+TEST_F(CsvTest, MalformedRowsReportOneBasedLineNumbers) {
+  Schema schema({ColumnDef("n", DataType::kInt64, true, "x"),
+                 ColumnDef("s", DataType::kString, true, "x")});
+  struct Case {
+    const char* body;           // after the "n,s" header
+    const char* expect_in_msg;  // substring the error must carry
+    StatusCode code;
+  };
+  const Case cases[] = {
+      // Row 3 (header is line 1) has too few fields.
+      {"1,a\n2\n3,c\n", "line 3", StatusCode::kInvalidArgument},
+      // Row 2 has an unterminated quote.
+      {"1,\"oops\n", "line 2", StatusCode::kInvalidArgument},
+      // Row 4 has a non-numeric BIGINT.
+      {"1,a\n2,b\nx,c\n", "line 4", StatusCode::kInvalidArgument},
+      // Row 2 overflows int64.
+      {"99999999999999999999999,a\n", "line 2", StatusCode::kOutOfRange},
+  };
+  for (const Case& c : cases) {
+    std::string path = TempPath("malformed.csv");
+    {
+      std::ofstream out(path);
+      out << "n,s\n" << c.body;
+    }
+    Catalog fresh;
+    auto r = ImportCsv(&fresh, "x", schema, path);
+    ASSERT_FALSE(r.ok()) << c.body;
+    EXPECT_EQ(r.status().code(), c.code) << r.status().ToString();
+    EXPECT_NE(r.status().message().find(c.expect_in_msg), std::string::npos)
+        << "message '" << r.status().message() << "' should name "
+        << c.expect_in_msg;
+    // A failed import never leaves a half-filled table behind.
+    EXPECT_FALSE(fresh.GetTable("x").ok());
+    std::remove(path.c_str());
+  }
+}
+
+TEST_F(CsvTest, UnterminatedQuoteInHeaderNamesLineOne) {
+  std::string path = TempPath("badhdr.csv");
+  {
+    std::ofstream out(path);
+    out << "\"n\n1\n";
+  }
+  Catalog fresh;
+  Schema schema({ColumnDef("n", DataType::kInt64, true, "x")});
+  auto r = ImportCsv(&fresh, "x", schema, path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 1"), std::string::npos)
+      << r.status().message();
+  std::remove(path.c_str());
+}
+
 // ---------------------------------------------------------------------------
 // Memory store persistence
 // ---------------------------------------------------------------------------

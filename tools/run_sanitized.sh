@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Runs the tier-1 test suite under ThreadSanitizer and/or AddressSanitizer,
+# with fault injection armed via AGENTFIRST_FAULTS=1 so the injected-error
+# paths (retry, truncation, breaker) are exercised under the sanitizer too.
+#
+#   tools/run_sanitized.sh            # thread + address, full suite
+#   tools/run_sanitized.sh thread     # one sanitizer only
+#   tools/run_sanitized.sh address fault_tolerance_test   # one test binary
+#
+# Each sanitizer gets its own build tree (build-tsan / build-asan) beside the
+# default build directory, so incremental rebuilds stay cheap.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+sanitizers=("${1:-both}")
+if [[ "${sanitizers[0]}" == "both" ]]; then
+  sanitizers=(thread address)
+fi
+test_filter="${2:-}"
+
+for san in "${sanitizers[@]}"; do
+  case "$san" in
+    thread)  build_dir=build-tsan ;;
+    address) build_dir=build-asan ;;
+    *) echo "unknown sanitizer '$san' (want thread|address|both)" >&2; exit 2 ;;
+  esac
+
+  echo "=== configuring $build_dir (AGENTFIRST_SANITIZE=$san) ==="
+  cmake -B "$build_dir" -S . -DAGENTFIRST_SANITIZE="$san" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  echo "=== building $build_dir ==="
+  cmake --build "$build_dir" -j "$(nproc)"
+
+  echo "=== running tests under $san sanitizer (faults armed) ==="
+  # AGENTFIRST_FAULTS=1 enables the deterministic fault-injection registry;
+  # tests that arm fault points then actually inject. halt_on_error makes a
+  # sanitizer report fail the test instead of scrolling past.
+  (
+    cd "$build_dir"
+    export AGENTFIRST_FAULTS=1
+    export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+    export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1"
+    if [[ -n "$test_filter" ]]; then
+      ctest --output-on-failure -R "$test_filter"
+    else
+      ctest --output-on-failure
+    fi
+  )
+  echo "=== $san sanitizer run PASSED ==="
+done
