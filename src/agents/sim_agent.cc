@@ -142,6 +142,8 @@ EpisodeResult RunEpisode(AgentFirstSystem* system, const TaskSpec& task,
     if (!know.ColumnsComplete(task)) {
       std::string table = FirstUnknownColumnTable(task, know);
       result.trace.push_back({ActivityKind::kExploreColumns, turn, false});
+      // Fire-and-forget exploration: a failed probe just wastes the turn,
+      // which is exactly what the simulated agent would experience.
       (void)issue({"SELECT * FROM " + table + " LIMIT 5",
                    "SELECT column_name, data_type FROM information_schema.columns "
                    "WHERE table_name = '" + table + "'"},
@@ -178,6 +180,7 @@ EpisodeResult RunEpisode(AgentFirstSystem* system, const TaskSpec& task,
         }
       } else {
         // Second try: inspect distinct values directly; always resolves.
+        // Fire-and-forget: even a failed probe teaches the agent the encoding.
         (void)issue({"SELECT DISTINCT " + col + " FROM " + table + " LIMIT 20"},
                     "exploring the distinct values of " + col);
         know.encoding_known = true;
@@ -191,6 +194,7 @@ EpisodeResult RunEpisode(AgentFirstSystem* system, const TaskSpec& task,
       result.trace.push_back({ActivityKind::kPartialQuery, turn, false});
       // Metadata-first profiling: the column_stats view answers in one cheap
       // probe what would otherwise take several scans.
+      // Fire-and-forget curiosity probe; the outcome never gates progress.
       (void)issue({"SELECT column_name, num_distinct, num_nulls, "
                    "most_common_value FROM information_schema.column_stats "
                    "WHERE table_name = '" + table + "'",

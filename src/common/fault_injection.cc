@@ -26,7 +26,7 @@ bool FaultRegistry::EnabledByEnvironment() {
 }
 
 void FaultRegistry::Enable(uint64_t seed) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   seed_ = seed;
   enabled_.store(true, std::memory_order_relaxed);
 }
@@ -36,7 +36,7 @@ void FaultRegistry::Disable() {
 }
 
 void FaultRegistry::Arm(const std::string& site, const FaultSpec& spec) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   SiteState& state = sites_[site];
   state.spec = spec;
   state.armed = true;
@@ -45,7 +45,7 @@ void FaultRegistry::Arm(const std::string& site, const FaultSpec& spec) {
 }
 
 void FaultRegistry::ClearArmed() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   sites_.clear();
 }
 
@@ -54,7 +54,7 @@ Status FaultRegistry::Hit(const char* site) {
   uint64_t hit_index;
   uint64_t seed;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     SiteState& state = sites_[site];
     hit_index = state.hit_count++;
     if (!state.armed) return Status::OK();
@@ -87,19 +87,19 @@ Status FaultRegistry::Hit(const char* site) {
 }
 
 uint64_t FaultRegistry::hits(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.hit_count;
 }
 
 uint64_t FaultRegistry::fired(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.fired_count;
 }
 
 std::vector<std::string> FaultRegistry::SeenSites() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> out;
   for (const auto& [name, state] : sites_) {
     if (state.hit_count > 0) out.push_back(name);

@@ -4,11 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace agentfirst {
 
@@ -84,9 +84,9 @@ class FaultRegistry {
   };
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
-  uint64_t seed_ = 0;
-  std::map<std::string, SiteState> sites_;
+  mutable Mutex mutex_;
+  uint64_t seed_ AF_GUARDED_BY(mutex_) = 0;
+  std::map<std::string, SiteState> sites_ AF_GUARDED_BY(mutex_);
 };
 
 }  // namespace agentfirst

@@ -13,8 +13,11 @@ namespace agentfirst {
 /// Holds either a value of type T or a non-OK Status, analogous to
 /// arrow::Result / absl::StatusOr. Accessing value() on an error aborts in
 /// debug builds; callers must check ok() or use AF_ASSIGN_OR_RETURN.
+/// Like Status, Result is [[nodiscard]]: dropping a returned Result silently
+/// swallows the error (and discards the computed value). Intentional discards
+/// must spell out `(void)expr;  // reason`.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (the common success path).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

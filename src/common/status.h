@@ -28,7 +28,13 @@ const char* StatusCodeName(StatusCode code);
 
 /// A lightweight success-or-error value, modeled after the Status types used
 /// in Arrow and RocksDB. The OK status carries no allocation.
-class Status {
+///
+/// The class is [[nodiscard]]: a call site that drops a returned Status is a
+/// compile error under -Werror=unused-result (a dropped Status defeats the
+/// retry/circuit-breaker layer — the error silently vanishes). Where a
+/// discard is genuinely intended, write `(void)expr;  // reason` so the
+/// intent is visible and greppable.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

@@ -1,0 +1,117 @@
+#ifndef AGENTFIRST_COMMON_THREAD_ANNOTATIONS_H_
+#define AGENTFIRST_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+/// Portable shims for Clang's thread-safety analysis
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), in the style of
+/// Abseil's thread_annotations.h. Under Clang the macros expand to the
+/// corresponding attributes and the `-DAGENTFIRST_THREAD_SAFETY=ON` build
+/// turns violations into compile errors (-Werror=thread-safety); under every
+/// other compiler they expand to nothing, so the annotations cost nothing and
+/// the code stays portable.
+///
+/// Lock discipline they encode:
+///   - AF_GUARDED_BY(mu) on a member: reads/writes require holding `mu`.
+///   - AF_PT_GUARDED_BY(mu) on a pointer member: the pointee requires `mu`.
+///   - AF_REQUIRES(mu) on a function: callers must already hold `mu`.
+///   - AF_ACQUIRE/AF_RELEASE on a function: it takes/drops `mu` itself.
+///   - AF_EXCLUDES(mu): the function must NOT be entered holding `mu`
+///     (guards against self-deadlock on non-recursive mutexes).
+///
+/// Because std::mutex / std::lock_guard carry no capability attributes, the
+/// analysis cannot see through them. Library code therefore uses the
+/// annotated wrappers below (Mutex, MutexLock, CondVar); aflint's
+/// `raw-mutex-guard` rule keeps raw std::lock_guard/std::unique_lock from
+/// creeping back into src/.
+
+#if defined(__clang__)
+#define AF_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define AF_THREAD_ANNOTATION_(x)
+#endif
+
+#define AF_CAPABILITY(x) AF_THREAD_ANNOTATION_(capability(x))
+#define AF_SCOPED_CAPABILITY AF_THREAD_ANNOTATION_(scoped_lockable)
+#define AF_GUARDED_BY(x) AF_THREAD_ANNOTATION_(guarded_by(x))
+#define AF_PT_GUARDED_BY(x) AF_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define AF_ACQUIRE(...) AF_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define AF_RELEASE(...) AF_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define AF_TRY_ACQUIRE(...) \
+  AF_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define AF_REQUIRES(...) AF_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define AF_EXCLUDES(...) AF_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define AF_ASSERT_CAPABILITY(x) AF_THREAD_ANNOTATION_(assert_capability(x))
+#define AF_RETURN_CAPABILITY(x) AF_THREAD_ANNOTATION_(lock_returned(x))
+#define AF_NO_THREAD_SAFETY_ANALYSIS \
+  AF_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace agentfirst {
+
+class CondVar;
+
+/// std::mutex with the `capability` attribute, so AF_GUARDED_BY members and
+/// AF_REQUIRES functions can name it. Zero overhead: every method is an
+/// inline forward.
+class AF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() AF_ACQUIRE() { mu_.lock(); }
+  void unlock() AF_RELEASE() { mu_.unlock(); }
+  bool try_lock() AF_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  // The one mutex the analysis cannot see: it IS the capability.
+  // aflint:allow(guarded-by-coverage)
+  std::mutex mu_;
+};
+
+/// RAII guard over Mutex, visible to the analysis (scoped_lockable). The
+/// only way library code should hold a Mutex.
+class AF_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) AF_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() AF_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with Mutex. Wait() must be called with the
+/// Mutex held (enforced by AF_REQUIRES); it atomically releases the mutex
+/// while blocked and re-acquires before returning, so the caller's lock
+/// state is unchanged — which is exactly what the analysis assumes.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until `pred()` holds. The predicate runs with the mutex held.
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) AF_REQUIRES(mu) {
+    // Adopt the caller's hold for the duration of the wait, then release
+    // ownership back to the caller's MutexLock. aflint:allow(raw-mutex-guard)
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock, std::move(pred));
+    lock.release();
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_COMMON_THREAD_ANNOTATIONS_H_

@@ -31,7 +31,7 @@ ThreadPool::~ThreadPool() {
   {
     // Empty critical section: pairs with the wait predicate so no worker
     // misses the stop flag between its predicate check and its wait.
-    std::lock_guard<std::mutex> lock(injector_mutex_);
+    MutexLock lock(injector_mutex_);
   }
   work_cv_.notify_all();
   for (std::thread& t : threads_) t.join();
@@ -46,10 +46,10 @@ void ThreadPool::Push(Task task) {
   num_tasks_.fetch_add(1);
   if (tls_pool == this) {
     Worker& self = *workers_[tls_worker_index];
-    std::lock_guard<std::mutex> lock(self.mutex);
+    MutexLock lock(self.mutex);
     self.deque.push_back(std::move(task));
   } else {
-    std::lock_guard<std::mutex> lock(injector_mutex_);
+    MutexLock lock(injector_mutex_);
     injector_.push_back(std::move(task));
   }
   work_cv_.notify_one();
@@ -59,7 +59,7 @@ bool ThreadPool::PopTask(Task* out) {
   // Own deque first (LIFO: best locality for nested submissions).
   if (tls_pool == this) {
     Worker& self = *workers_[tls_worker_index];
-    std::lock_guard<std::mutex> lock(self.mutex);
+    MutexLock lock(self.mutex);
     if (!self.deque.empty()) {
       *out = std::move(self.deque.back());
       self.deque.pop_back();
@@ -68,7 +68,7 @@ bool ThreadPool::PopTask(Task* out) {
   }
   // Global injector next (FIFO: fairness for external submissions).
   {
-    std::lock_guard<std::mutex> lock(injector_mutex_);
+    MutexLock lock(injector_mutex_);
     if (!injector_.empty()) {
       *out = std::move(injector_.front());
       injector_.pop_front();
@@ -79,7 +79,7 @@ bool ThreadPool::PopTask(Task* out) {
   size_t start = (tls_pool == this) ? tls_worker_index + 1 : 0;
   for (size_t k = 0; k < workers_.size(); ++k) {
     Worker& victim = *workers_[(start + k) % workers_.size()];
-    std::lock_guard<std::mutex> lock(victim.mutex);
+    MutexLock lock(victim.mutex);
     if (!victim.deque.empty()) {
       *out = std::move(victim.deque.front());
       victim.deque.pop_front();
@@ -99,8 +99,8 @@ void ThreadPool::WorkerLoop(size_t index) {
       task();
       continue;
     }
-    std::unique_lock<std::mutex> lock(injector_mutex_);
-    work_cv_.wait(lock, [this]() {
+    MutexLock lock(injector_mutex_);
+    work_cv_.Wait(injector_mutex_, [this]() {
       return stop_.load() || num_tasks_.load() > 0;
     });
     if (stop_.load() && num_tasks_.load() == 0) return;
@@ -125,7 +125,7 @@ void ThreadPool::RunMorselLoop(ParallelForState* state) {
       (*state->body)(morsel_begin, morsel_end);
     } catch (...) {
       {
-        std::lock_guard<std::mutex> lock(state->mutex);
+        MutexLock lock(state->mutex);
         if (!state->exception) state->exception = std::current_exception();
       }
       state->abort.store(true);
@@ -172,7 +172,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
       state->active.fetch_add(1);
       RunMorselLoop(state.get());
       if (state->active.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(state->mutex);
+        MutexLock lock(state->mutex);
         state->done_cv.notify_all();
       }
     });
@@ -185,8 +185,9 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   // pointer), only helpers that already claimed a morsel (active > 0) can
   // touch `body` or `cancel`, and the wait below covers exactly those.
   state->next.store(state->end);
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->done_cv.wait(lock, [&]() { return state->active.load() == 0; });
+  MutexLock lock(state->mutex);
+  state->done_cv.Wait(state->mutex,
+                      [&]() { return state->active.load() == 0; });
   if (state->exception) std::rethrow_exception(state->exception);
 }
 

@@ -2,15 +2,15 @@
 #define AGENTFIRST_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace agentfirst {
 
@@ -82,8 +82,8 @@ class ThreadPool {
   using Task = std::function<void()>;
 
   struct Worker {
-    std::mutex mutex;
-    std::deque<Task> deque;
+    Mutex mutex;
+    std::deque<Task> deque AF_GUARDED_BY(mutex);
   };
 
   struct ParallelForState {
@@ -98,9 +98,9 @@ class ThreadPool {
     const std::atomic<bool>* cancel = nullptr;
     std::atomic<int> active{0};
     std::atomic<bool> abort{false};
-    std::mutex mutex;
-    std::condition_variable done_cv;
-    std::exception_ptr exception;  // guarded by mutex
+    Mutex mutex;
+    CondVar done_cv;
+    std::exception_ptr exception AF_GUARDED_BY(mutex);
   };
 
   static void RunMorselLoop(ParallelForState* state);
@@ -113,9 +113,9 @@ class ThreadPool {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
 
-  std::mutex injector_mutex_;
-  std::deque<Task> injector_;
-  std::condition_variable work_cv_;
+  Mutex injector_mutex_;
+  std::deque<Task> injector_ AF_GUARDED_BY(injector_mutex_);
+  CondVar work_cv_;
   std::atomic<size_t> num_tasks_{0};  // queued anywhere, not yet claimed
   std::atomic<bool> stop_{false};
 };

@@ -147,7 +147,10 @@ struct ProbeOptimizer::ProbeTask {
   // elements are addressable objects).
   std::vector<char> run;
   std::vector<size_t> subsumed_by;
-  std::vector<const std::string*> covered_by_turn;
+  /// Covering SQL from an earlier turn (empty = not covered). A copy, not a
+  /// pointer into answered_cores_: that map is mutex-guarded state and the
+  /// parallel Execute phase must not hold references into it.
+  std::vector<std::string> covered_by_turn;
   std::vector<char> over_budget;
   double sample_rate = 1.0;
   /// Set during Prepare when the agent's circuit breaker is open: Execute
@@ -226,7 +229,10 @@ Result<ProbeResponse> ProbeOptimizer::Process(const Probe& probe) {
 }
 
 void ProbeOptimizer::PrepareProbe(const Probe& probe, ProbeTask* task) {
-  ++metrics_.probes;
+  {
+    MutexLock lock(state_mutex_);
+    ++metrics_.probes;
+  }
   task->probe = &probe;
   ProbeResponse& response = task->response;
   response.probe_id = probe.id;
@@ -249,6 +255,7 @@ void ProbeOptimizer::PrepareProbe(const Probe& probe, ProbeTask* task) {
   // (recorded in FinalizeProbe) closes or re-opens the breaker.
   if (options_.breaker_failure_threshold > 0 && !probe.agent_id.empty() &&
       !probe.dry_run) {
+    MutexLock lock(state_mutex_);
     auto it = breakers_.find(probe.agent_id);
     if (it != breakers_.end() &&
         std::chrono::steady_clock::now() < it->second.open_until) {
@@ -261,7 +268,10 @@ void ProbeOptimizer::PrepareProbe(const Probe& probe, ProbeTask* task) {
   // 1. Parse + bind + (optionally) rewrite every query.
   using Prepared = ProbeTask::Prepared;
   std::vector<Prepared>& prepared = task->prepared;
-  metrics_.queries_submitted += probe.queries.size();
+  {
+    MutexLock lock(state_mutex_);
+    metrics_.queries_submitted += probe.queries.size();
+  }
 
   for (const std::string& sql : probe.queries) {
     Prepared p;
@@ -291,7 +301,10 @@ void ProbeOptimizer::PrepareProbe(const Probe& probe, ProbeTask* task) {
     p.rows = est.output_rows;
     p.fingerprint = PlanFingerprint(*p.plan);
     p.core_fingerprint = CanonicalPlanFingerprint(*DataCoreOf(p.plan.get()));
-    ++core_recurrence_[p.core_fingerprint];
+    {
+      MutexLock lock(state_mutex_);
+      ++core_recurrence_[p.core_fingerprint];
+    }
     if (options_.enable_semantic_pruning && exploratory) {
       p.relevance = GoalRelevance(*p.plan, brief);
     }
@@ -362,9 +375,10 @@ void ProbeOptimizer::PrepareProbe(const Probe& probe, ProbeTask* task) {
   // Cross-turn dropping (paper Sec. 5.2.2): if this agent already received
   // an answer over the same core relation in an earlier turn, an exploratory
   // re-ask adds no new information; skip it and point at the earlier query.
-  std::vector<const std::string*>& covered_by_turn = task->covered_by_turn;
-  covered_by_turn.assign(prepared.size(), nullptr);
+  std::vector<std::string>& covered_by_turn = task->covered_by_turn;
+  covered_by_turn.assign(prepared.size(), std::string());
   if (options_.enable_satisficing && exploratory && !probe.agent_id.empty()) {
+    MutexLock lock(state_mutex_);
     auto& answered = answered_cores_[probe.agent_id];
     for (size_t i = 0; i < prepared.size(); ++i) {
       if (!run[i] || prepared[i].plan == nullptr) continue;
@@ -374,7 +388,7 @@ void ProbeOptimizer::PrepareProbe(const Probe& probe, ProbeTask* task) {
       // dropped here.
       if (it != answered.end() && it->second != prepared[i].sql) {
         run[i] = false;
-        covered_by_turn[i] = &it->second;
+        covered_by_turn[i] = it->second;
       }
     }
   }
@@ -455,7 +469,7 @@ void ProbeOptimizer::ExecuteProbe(ProbeTask* task) {
   ProbeResponse& response = task->response;
   const std::vector<char>& run = task->run;
   const std::vector<size_t>& subsumed_by = task->subsumed_by;
-  const std::vector<const std::string*>& covered_by_turn = task->covered_by_turn;
+  const std::vector<std::string>& covered_by_turn = task->covered_by_turn;
   const std::vector<char>& over_budget = task->over_budget;
   const bool wants_exact = task->wants_exact;
   const double sample_rate = task->sample_rate;
@@ -481,7 +495,7 @@ void ProbeOptimizer::ExecuteProbe(ProbeTask* task) {
           "shed: circuit breaker open after repeated execution failures; "
           "retry after the cooldown";
     }
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(state_mutex_);
     metrics_.queries_skipped += prepared.size();
     return;
   }
@@ -514,8 +528,8 @@ void ProbeOptimizer::ExecuteProbe(ProbeTask* task) {
       if (subsumed_by[i] != SIZE_MAX) {
         answer.skip_reason = "subsumed: query " + std::to_string(subsumed_by[i]) +
                              " computes this as a sub-plan";
-      } else if (covered_by_turn[i] != nullptr) {
-        answer.skip_reason = "covered by your earlier probe: " + *covered_by_turn[i];
+      } else if (!covered_by_turn[i].empty()) {
+        answer.skip_reason = "covered by your earlier probe: " + covered_by_turn[i];
       } else if (over_budget[i]) {
         answer.skip_reason = "shed: probe cost budget exhausted";
       } else if (prepared[i].relevance < options_.semantic_prune_threshold) {
@@ -523,7 +537,7 @@ void ProbeOptimizer::ExecuteProbe(ProbeTask* task) {
       } else {
         answer.skip_reason = "satisficing: covered by the answered subset";
       }
-      std::lock_guard<std::mutex> lock(state_mutex_);
+      MutexLock lock(state_mutex_);
       ++metrics_.queries_skipped;
       metrics_.skipped_cost += prepared[i].cost;
       continue;
@@ -540,7 +554,7 @@ void ProbeOptimizer::ExecuteProbe(ProbeTask* task) {
       answer.skip_reason = termination_fired
                                ? "termination criterion met: stop_when fired"
                                : "termination criterion met: enough rows produced";
-      std::lock_guard<std::mutex> lock(state_mutex_);
+      MutexLock lock(state_mutex_);
       ++metrics_.queries_skipped;
       metrics_.skipped_cost += prepared[i].cost;
       continue;
@@ -554,7 +568,7 @@ void ProbeOptimizer::ExecuteProbe(ProbeTask* task) {
       std::string key = "probe_result:" + std::to_string(prepared[i].fingerprint);
       std::optional<MemoryHit> hit;
       {
-        std::lock_guard<std::mutex> lock(state_mutex_);
+        MutexLock lock(state_mutex_);
         hit = memory_->GetExact(key, probe.agent_id);
       }
       if (hit.has_value() && hit->artifact->result != nullptr && !hit->stale &&
@@ -565,7 +579,7 @@ void ProbeOptimizer::ExecuteProbe(ProbeTask* task) {
         answer.approximate = answer.result->approximate;
         answer.sample_rate = answer.result->sample_rate;
         rows_produced_total += answer.result->rows.size();
-        std::lock_guard<std::mutex> lock(state_mutex_);
+        MutexLock lock(state_mutex_);
         ++metrics_.queries_from_memory;
         if (!probe.agent_id.empty()) {
           answered_cores_[probe.agent_id].emplace(prepared[i].core_fingerprint,
@@ -581,7 +595,7 @@ void ProbeOptimizer::ExecuteProbe(ProbeTask* task) {
     // so this read is stable across the whole Execute phase.)
     double effective_rate = sample_rate;
     if (effective_rate < 1.0 && options_.invest_threshold > 0) {
-      std::lock_guard<std::mutex> lock(state_mutex_);
+      MutexLock lock(state_mutex_);
       auto it = core_recurrence_.find(prepared[i].core_fingerprint);
       if (it != core_recurrence_.end() &&
           it->second >= options_.invest_threshold) {
@@ -636,7 +650,7 @@ void ProbeOptimizer::ExecuteProbe(ProbeTask* task) {
     answer.retries = static_cast<uint32_t>(retries);
     response.total_retries += retries;
     if (retries > 0) {
-      std::lock_guard<std::mutex> lock(state_mutex_);
+      MutexLock lock(state_mutex_);
       metrics_.query_retries += retries;
     }
     if (!exec_result.ok()) {
@@ -659,7 +673,7 @@ void ProbeOptimizer::ExecuteProbe(ProbeTask* task) {
         if (retry.ok() && !(*retry)->truncated) {
           answer.result = *retry;
           degraded = true;
-          std::lock_guard<std::mutex> lock(state_mutex_);
+          MutexLock lock(state_mutex_);
           ++metrics_.queries_degraded;
         }
       }
@@ -673,7 +687,7 @@ void ProbeOptimizer::ExecuteProbe(ProbeTask* task) {
                 : Status::DeadlineExceeded(
                       "answer truncated: deadline expired; partial rows "
                       "attached");
-        std::lock_guard<std::mutex> lock(state_mutex_);
+        MutexLock lock(state_mutex_);
         ++metrics_.queries_truncated;
       }
     }
@@ -688,7 +702,7 @@ void ProbeOptimizer::ExecuteProbe(ProbeTask* task) {
         prepared[i].cost * (answer.approximate ? answer.sample_rate : 1.0);
     response.total_executed_cost += effective_cost;
     {
-      std::lock_guard<std::mutex> lock(state_mutex_);
+      MutexLock lock(state_mutex_);
       if (answer.approximate) ++metrics_.queries_approximate;
       ++metrics_.queries_executed;
       metrics_.executed_cost += effective_cost;
@@ -711,7 +725,7 @@ void ProbeOptimizer::ExecuteProbe(ProbeTask* task) {
       artifact.result = answer.result;
       artifact.table_deps = ReferencedTables(*prepared[i].plan);
       artifact.owner = probe.agent_id;
-      std::lock_guard<std::mutex> lock(state_mutex_);
+      MutexLock lock(state_mutex_);
       memory_->Put(std::move(artifact));
     }
   }
@@ -728,6 +742,7 @@ void ProbeOptimizer::FinalizeProbe(ProbeTask* task) {
   // system fault. A success (including a memory hit) closes the breaker.
   if (options_.breaker_failure_threshold > 0 && !probe.agent_id.empty() &&
       !probe.dry_run && !task->shed) {
+    MutexLock lock(state_mutex_);
     auto& breaker = breakers_[probe.agent_id];
     for (size_t i = 0; i < response.answers.size(); ++i) {
       const QueryAnswer& answer = response.answers[i];
@@ -758,8 +773,11 @@ void ProbeOptimizer::FinalizeProbe(ProbeTask* task) {
         search_->Search(probe.semantic_search_phrase, probe.semantic_top_k);
   }
 
-  // 6. Steering feedback.
+  // 6. Steering feedback. Finalize runs serially, so holding state_mutex_
+  // across the sleeper analysis is uncontended; it keeps the reference into
+  // recent_tables_ from outliving the lock.
   if (options_.enable_steering) {
+    MutexLock lock(state_mutex_);
     auto& recent = recent_tables_[probe.agent_id];
     response.hints = sleeper_.Analyze(probe, brief, response.answers,
                                       plans_for_steering, recent);
@@ -778,10 +796,13 @@ void ProbeOptimizer::FinalizeProbe(ProbeTask* task) {
   }
 
   // 7. Advisors: recurring sub-plans (materialization) and hot equality
-  //    columns (adaptive indexing).
-  for (const auto& p : plans_for_steering) {
-    AdviseMaterialization(p, &response.hints);
-    AdaptiveIndexing(p, &response.hints);
+  //    columns (adaptive indexing). Both require state_mutex_.
+  {
+    MutexLock lock(state_mutex_);
+    for (const auto& p : plans_for_steering) {
+      AdviseMaterialization(p, &response.hints);
+      AdaptiveIndexing(p, &response.hints);
+    }
   }
 }
 

@@ -3,11 +3,11 @@
 
 #include <chrono>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/cancellation.h"
+#include "common/thread_annotations.h"
 
 #include "catalog/catalog.h"
 #include "common/result.h"
@@ -133,7 +133,12 @@ class ProbeOptimizer {
   /// Responses are returned in the submission order.
   Result<std::vector<ProbeResponse>> ProcessBatch(const std::vector<Probe>& probes);
 
-  const Metrics& metrics() const { return metrics_; }
+  /// Snapshot of the counters, taken under the state mutex (callers may race
+  /// with an in-flight batch; a torn read would report impossible counts).
+  Metrics metrics() const {
+    MutexLock lock(state_mutex_);
+    return metrics_;
+  }
   SharingStats sharing_stats() const { return batch_.stats(); }
   void InvalidateCaches() { batch_.InvalidateCache(); }
 
@@ -165,38 +170,46 @@ class ProbeOptimizer {
 
   double GoalRelevance(const PlanNode& plan, const Brief& brief);
   /// Tracks recurring expensive sub-plans; emits hints on recurrence.
-  void AdviseMaterialization(const PlanPtr& plan, std::vector<Hint>* hints);
+  void AdviseMaterialization(const PlanPtr& plan, std::vector<Hint>* hints)
+      AF_REQUIRES(state_mutex_);
   /// Tracks equality predicates per column; auto-creates hash indexes on hot
   /// columns and announces them.
-  void AdaptiveIndexing(const PlanPtr& plan, std::vector<Hint>* hints);
+  void AdaptiveIndexing(const PlanPtr& plan, std::vector<Hint>* hints)
+      AF_REQUIRES(state_mutex_);
 
   Catalog* catalog_;
   AgenticMemoryStore* memory_;
   SemanticCatalogSearch* search_;
   Options options_;
-  /// Guards all mutable optimizer state (metrics, recurrence maps, memory
-  /// store access) during the parallel Execute phase. Never held across
-  /// plan execution.
-  std::mutex state_mutex_;
+  /// Guards all mutable optimizer state (metrics, recurrence maps, breaker
+  /// and steering state). The serial Prepare/Finalize phases take it too —
+  /// uncontended there, but it keeps every guarded access checkable by the
+  /// clang thread-safety analysis instead of relying on phase discipline.
+  /// Never held across plan execution.
+  mutable Mutex state_mutex_;
   BriefInterpreter interpreter_;
   BatchExecutor batch_;
   SleeperAgent sleeper_;
-  Metrics metrics_;
+  Metrics metrics_ AF_GUARDED_BY(state_mutex_);
   // Per-agent recently touched tables (batching suggestions).
-  std::map<std::string, std::vector<std::string>> recent_tables_;
+  std::map<std::string, std::vector<std::string>> recent_tables_
+      AF_GUARDED_BY(state_mutex_);
   // Materialization advisor state: canonical sub-plan fingerprint ->
   // (occurrences, already suggested).
-  std::map<uint64_t, std::pair<size_t, bool>> subplan_recurrence_;
+  std::map<uint64_t, std::pair<size_t, bool>> subplan_recurrence_
+      AF_GUARDED_BY(state_mutex_);
   // Invest heuristic state: canonical core-relation fingerprint -> times a
   // probe asked about that relation.
-  std::map<uint64_t, size_t> core_recurrence_;
+  std::map<uint64_t, size_t> core_recurrence_ AF_GUARDED_BY(state_mutex_);
   // Cross-turn dropping state (paper Sec. 5.2.2): per agent, the core
   // relations it has already received answers over, with the covering SQL.
-  std::map<std::string, std::map<uint64_t, std::string>> answered_cores_;
+  std::map<std::string, std::map<uint64_t, std::string>> answered_cores_
+      AF_GUARDED_BY(state_mutex_);
   // Adaptive-indexing state: (table, column name) -> equality-probe count.
-  std::map<std::pair<std::string, std::string>, size_t> eq_predicate_counts_;
+  std::map<std::pair<std::string, std::string>, size_t> eq_predicate_counts_
+      AF_GUARDED_BY(state_mutex_);
   // Circuit-breaker state per agent id (Prepare/Finalize phases only).
-  std::map<std::string, BreakerState> breakers_;
+  std::map<std::string, BreakerState> breakers_ AF_GUARDED_BY(state_mutex_);
   // Cooperative cancellation for all probe executions (see
   // SetCancellationToken); default token is non-cancellable.
   CancellationToken cancel_;

@@ -35,7 +35,7 @@ size_t ExecCache::ApproxResultBytes(const ResultSet& result) {
 
 ResultSetPtr ExecCache::Get(uint64_t key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto it = shard.entries.find(key);
   if (it == shard.entries.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -49,7 +49,7 @@ ResultSetPtr ExecCache::Get(uint64_t key) {
 void ExecCache::Put(uint64_t key, ResultSetPtr result) {
   size_t result_bytes = ApproxResultBytes(*result);
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto it = shard.entries.find(key);
   if (it != shard.entries.end()) {
     shard.bytes -= it->second.bytes;
@@ -82,7 +82,7 @@ void ExecCache::EvictOverBudgetLocked(Shard& shard) {
 
 void ExecCache::Clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     shard.entries.clear();
     shard.lru.clear();
     shard.bytes = 0;
@@ -95,7 +95,7 @@ void ExecCache::Clear() {
 size_t ExecCache::size() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     total += shard.entries.size();
   }
   return total;
@@ -104,7 +104,7 @@ size_t ExecCache::size() const {
 size_t ExecCache::bytes() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     total += shard.bytes;
   }
   return total;
@@ -113,7 +113,7 @@ size_t ExecCache::bytes() const {
 void ExecCache::set_capacity_bytes(size_t capacity_bytes) {
   capacity_bytes_.store(capacity_bytes);
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     EvictOverBudgetLocked(shard);
   }
 }
@@ -166,8 +166,8 @@ struct InterruptCtx {
   std::atomic<int> code{static_cast<int>(StatusCode::kOk)};
   /// First injected morsel-level fault (errors can't propagate out of
   /// ParallelFor bodies directly).
-  std::mutex fault_mutex;
-  Status fault;
+  Mutex fault_mutex;
+  Status fault AF_GUARDED_BY(fault_mutex);
   std::atomic<bool> has_fault{false};
 
   explicit InterruptCtx(const ExecOptions& o)
@@ -189,7 +189,7 @@ struct InterruptCtx {
 
   void TripFault(Status s) {
     {
-      std::lock_guard<std::mutex> lock(fault_mutex);
+      MutexLock lock(fault_mutex);
       if (!has_fault.load(std::memory_order_relaxed)) {
         fault = std::move(s);
         has_fault.store(true, std::memory_order_relaxed);
@@ -240,7 +240,7 @@ struct InterruptCtx {
   /// budgets) is NOT an error — it yields a truncated OK result.
   Status TakeError() {
     if (has_fault.load(std::memory_order_relaxed)) {
-      std::lock_guard<std::mutex> lock(fault_mutex);
+      MutexLock lock(fault_mutex);
       return fault;
     }
     if (cancelled()) return Status::Cancelled("probe cancelled");

@@ -5,11 +5,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "common/cancellation.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "exec/result_set.h"
 #include "plan/fingerprint.h"
@@ -58,14 +58,14 @@ class ExecCache {
     std::list<uint64_t>::iterator lru_it;
   };
   struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_map<uint64_t, Entry> entries;
-    std::list<uint64_t> lru;  // front = most recently used
-    size_t bytes = 0;
+    mutable Mutex mutex;
+    std::unordered_map<uint64_t, Entry> entries AF_GUARDED_BY(mutex);
+    std::list<uint64_t> lru AF_GUARDED_BY(mutex);  // front = most recently used
+    size_t bytes AF_GUARDED_BY(mutex) = 0;
   };
 
   Shard& ShardFor(uint64_t key) { return shards_[(key >> 56) % kNumShards]; }
-  void EvictOverBudgetLocked(Shard& shard);
+  void EvictOverBudgetLocked(Shard& shard) AF_REQUIRES(shard.mutex);
 
   Shard shards_[kNumShards];
   std::atomic<size_t> capacity_bytes_;

@@ -126,6 +126,8 @@ Result<TablePtr> ImportCsv(Catalog* catalog, const std::string& name,
   // Any malformed row aborts the import; `fail` drops the half-filled table
   // first so a failed import never leaves a partial table in the catalog.
   auto fail = [&](Status status) -> Status {
+    // Best-effort cleanup on a path that is already failing: the import
+    // error in `status` is the one the caller needs to see.
     (void)catalog->DropTable(name);
     return status;
   };

@@ -1,0 +1,487 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <initializer_list>
+#include <memory>
+#include <set>
+
+namespace agentfirst {
+namespace lint {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Finds `token` in `line` starting at `from`, requiring identifier
+/// boundaries on both sides (':' counts as part of a qualified name on the
+/// left, so "this_thread" and "x::rand" style qualifications don't match).
+size_t FindToken(const std::string& line, const std::string& token,
+                 size_t from = 0) {
+  size_t pos = from;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    bool left_ok =
+        pos == 0 || (!IsIdentChar(line[pos - 1]) && line[pos - 1] != ':');
+    size_t end = pos + token.size();
+    bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+    if (left_ok && right_ok) return pos;
+    ++pos;
+  }
+  return std::string::npos;
+}
+
+/// Source text after comment/string scrubbing, with per-line metadata.
+struct Scrubbed {
+  /// Code text, same line structure as the input; comment bodies and
+  /// string/char literal contents replaced by spaces (quotes kept).
+  std::vector<std::string> lines;
+  /// Rules named in an aflint:allow(...) comment on each line.
+  std::vector<std::set<std::string>> allows;
+  /// Line held a comment and no code (suppressions there cover line+1).
+  std::vector<bool> comment_only;
+  /// Line belongs to a preprocessor directive (including continuations).
+  std::vector<bool> preprocessor;
+};
+
+/// Extracts rule names from every "aflint:allow(a, b)" inside comment text.
+void ParseAllows(const std::string& comment, std::set<std::string>* out) {
+  const std::string marker = "aflint:allow(";
+  size_t pos = 0;
+  while ((pos = comment.find(marker, pos)) != std::string::npos) {
+    size_t cursor = pos + marker.size();
+    size_t close = comment.find(')', cursor);
+    if (close == std::string::npos) break;
+    std::string inside = comment.substr(cursor, close - cursor);
+    std::string name;
+    for (char c : inside + ",") {
+      if (c == ',' || c == ' ' || c == '\t') {
+        if (!name.empty()) out->insert(name);
+        name.clear();
+      } else {
+        name.push_back(c);
+      }
+    }
+    pos = close;
+  }
+}
+
+Scrubbed Scrub(const std::string& content) {
+  Scrubbed out;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string code_line;
+  std::string comment_line;
+  std::string raw_delim;  // for kRawString: the ")delim" terminator
+  bool in_preproc = false;
+  bool line_continues_preproc = false;
+
+  auto flush_line = [&]() {
+    out.allows.emplace_back();
+    ParseAllows(comment_line, &out.allows.back());
+    bool only_ws = std::all_of(code_line.begin(), code_line.end(), [](char c) {
+      return std::isspace(static_cast<unsigned char>(c)) != 0;
+    });
+    out.comment_only.push_back(!comment_line.empty() && only_ws);
+    out.preprocessor.push_back(in_preproc);
+    out.lines.push_back(code_line);
+    // A preprocessor directive continues onto the next line after a
+    // trailing backslash.
+    line_continues_preproc =
+        in_preproc && !code_line.empty() && code_line.back() == '\\';
+    code_line.clear();
+    comment_line.clear();
+    in_preproc = line_continues_preproc;
+  };
+
+  for (size_t i = 0; i < content.size(); ++i) {
+    char c = content[i];
+    char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      flush_line();
+      continue;
+    }
+    switch (state) {
+      case State::kCode: {
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          code_line += "  ";
+          ++i;
+        } else if (c == '"') {
+          // R"delim( ... )delim" — detect the R prefix just before.
+          bool raw = !code_line.empty() && code_line.back() == 'R' &&
+                     (code_line.size() < 2 || !IsIdentChar(code_line[code_line.size() - 2]));
+          code_line += '"';
+          if (raw) {
+            raw_delim = ")";
+            size_t j = i + 1;
+            while (j < content.size() && content[j] != '(') {
+              raw_delim += content[j];
+              ++j;
+            }
+            raw_delim += '"';
+            i = j;  // skip past the opening '('
+            state = State::kRawString;
+          } else {
+            state = State::kString;
+          }
+        } else if (c == '\'') {
+          code_line += '\'';
+          state = State::kChar;
+        } else {
+          if (c == '#' && std::all_of(code_line.begin(), code_line.end(),
+                                      [](char w) { return std::isspace(static_cast<unsigned char>(w)) != 0; })) {
+            in_preproc = true;
+          }
+          code_line += c;
+        }
+        break;
+      }
+      case State::kLineComment:
+        comment_line += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          code_line += "  ";
+          ++i;
+        } else {
+          comment_line += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          code_line += "  ";
+          ++i;
+          if (next == '\n') flush_line();
+        } else if (c == '"') {
+          code_line += '"';
+          state = State::kCode;
+        } else {
+          code_line += ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          code_line += "  ";
+          ++i;
+        } else if (c == '\'') {
+          code_line += '\'';
+          state = State::kCode;
+        } else {
+          code_line += ' ';
+        }
+        break;
+      case State::kRawString: {
+        if (c == ')' && content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          code_line += '"';
+          state = State::kCode;
+        } else {
+          code_line += ' ';
+        }
+        break;
+      }
+    }
+  }
+  flush_line();
+  return out;
+}
+
+/// Scope classification for the fault-point-scope rule.
+struct Scope {
+  bool returns_status = false;
+};
+
+bool SignatureReturnsStatus(const std::string& sig) {
+  // Trailing return type: "-> Status" / "-> Result<...>".
+  size_t arrow = sig.rfind("->");
+  if (arrow != std::string::npos) {
+    std::string tail = sig.substr(arrow + 2);
+    if (FindToken(tail, "Status") != std::string::npos ||
+        tail.find("Result") != std::string::npos) {
+      return true;
+    }
+  }
+  // Leading return type: "Status Foo(...)" / "Result<T> Foo(...)".
+  size_t paren = sig.find('(');
+  std::string head = paren == std::string::npos ? sig : sig.substr(0, paren);
+  return FindToken(head, "Status") != std::string::npos ||
+         head.find("Result") != std::string::npos;
+}
+
+bool HasAnyToken(const std::string& sig, std::initializer_list<const char*> toks) {
+  for (const char* t : toks) {
+    if (FindToken(sig, t) != std::string::npos) return true;
+  }
+  return false;
+}
+
+class Linter {
+ public:
+  Linter(const std::string& path, const std::string& content)
+      : path_(path), scrubbed_(Scrub(content)) {
+    in_src_ = StartsWith(path_, "src/");
+    is_cc_ = EndsWith(path_, ".cc") || EndsWith(path_, ".cpp");
+    annotated_ = content.find("common/thread_annotations.h") != std::string::npos ||
+                 content.find("AF_GUARDED_BY") != std::string::npos;
+  }
+
+  std::vector<Diagnostic> Run() {
+    for (size_t i = 0; i < scrubbed_.lines.size(); ++i) {
+      const std::string& line = scrubbed_.lines[i];
+      if (scrubbed_.preprocessor[i]) continue;
+      CheckRawThread(i, line);
+      CheckUnseededRandom(i, line);
+      CheckIostream(i, line);
+      CheckRawMutexGuard(i, line);
+      CheckMutexMemberCoverage(i, line);
+    }
+    CheckFaultPointScope();
+    std::sort(diags_.begin(), diags_.end(),
+              [](const Diagnostic& a, const Diagnostic& b) { return a.line < b.line; });
+    return std::move(diags_);
+  }
+
+ private:
+  bool Allowed(size_t idx, const std::string& rule) const {
+    if (scrubbed_.allows[idx].count(rule) > 0) return true;
+    // A comment-only line suppresses for the line that follows it.
+    return idx > 0 && scrubbed_.comment_only[idx - 1] &&
+           scrubbed_.allows[idx - 1].count(rule) > 0;
+  }
+
+  void Report(size_t idx, const std::string& rule, std::string message) {
+    if (Allowed(idx, rule)) return;
+    diags_.push_back(Diagnostic{path_, idx + 1, rule, std::move(message)});
+  }
+
+  void CheckRawThread(size_t idx, const std::string& line) {
+    if (path_ == "src/common/thread_pool.h" ||
+        path_ == "src/common/thread_pool.cc") {
+      return;
+    }
+    for (const char* tok : {"std::thread", "std::jthread"}) {
+      const std::string exempt = "::hardware_concurrency";
+      size_t pos = FindToken(line, tok);
+      while (pos != std::string::npos) {
+        size_t end = pos + std::string(tok).size();
+        // Querying the core count spawns nothing.
+        if (line.compare(end, exempt.size(), exempt) != 0) {
+          Report(idx, "raw-thread",
+                 std::string(tok) +
+                     " outside src/common/thread_pool.*: run work on the "
+                     "shared ThreadPool so concurrency composes");
+          break;
+        }
+        pos = FindToken(line, tok, end);
+      }
+    }
+  }
+
+  void CheckUnseededRandom(size_t idx, const std::string& line) {
+    if (path_ == "src/common/rng.h") return;
+    auto report = [&](const std::string& what) {
+      Report(idx, "unseeded-random",
+             what + ": all randomness must come from a seeded Rng "
+                    "(common/rng.h) so runs replay deterministically");
+    };
+    for (const char* fn : {"rand", "srand"}) {
+      size_t pos = FindToken(line, fn);
+      if (pos != std::string::npos) {
+        size_t after = pos + std::string(fn).size();
+        while (after < line.size() && line[after] == ' ') ++after;
+        if (after < line.size() && line[after] == '(') {
+          report(std::string(fn) + "()");
+          return;
+        }
+      }
+    }
+    if (FindToken(line, "std::random_device") != std::string::npos) {
+      report("std::random_device");
+    }
+  }
+
+  void CheckIostream(size_t idx, const std::string& line) {
+    if (!in_src_) return;
+    for (const char* tok : {"std::cout", "std::cerr", "std::clog"}) {
+      if (FindToken(line, tok) != std::string::npos) {
+        Report(idx, "iostream-in-lib",
+               std::string(tok) +
+                   " in library code: report through Status/results (tests, "
+                   "tools, and benches may print)");
+        return;
+      }
+    }
+  }
+
+  void CheckRawMutexGuard(size_t idx, const std::string& line) {
+    if (!in_src_) return;
+    for (const char* tok :
+         {"std::lock_guard", "std::unique_lock", "std::scoped_lock"}) {
+      if (FindToken(line, tok) != std::string::npos) {
+        Report(idx, "raw-mutex-guard",
+               std::string(tok) +
+                   " is invisible to the clang thread-safety analysis: use "
+                   "MutexLock from common/thread_annotations.h");
+        return;
+      }
+    }
+  }
+
+  void CheckMutexMemberCoverage(size_t idx, const std::string& line) {
+    if (!in_src_ || !annotated_) return;
+    // Member declaration: [mutable] (Mutex|std::mutex|std::shared_mutex) name;
+    for (const char* type : {"Mutex", "std::mutex", "std::shared_mutex"}) {
+      size_t pos = FindToken(line, type);
+      if (pos == std::string::npos) continue;
+      size_t cursor = pos + std::string(type).size();
+      while (cursor < line.size() && line[cursor] == ' ') ++cursor;
+      size_t name_begin = cursor;
+      while (cursor < line.size() && IsIdentChar(line[cursor])) ++cursor;
+      if (cursor == name_begin) continue;  // reference, template arg, ...
+      std::string name = line.substr(name_begin, cursor - name_begin);
+      while (cursor < line.size() && line[cursor] == ' ') ++cursor;
+      if (cursor >= line.size() || line[cursor] != ';') continue;  // not a plain member
+      if (referenced_mutexes_ == nullptr) BuildMutexReferenceIndex();
+      if (referenced_mutexes_->count(name) == 0) {
+        Report(idx, "guarded-by-coverage",
+               "mutex member '" + name +
+                   "' has no AF_GUARDED_BY/AF_PT_GUARDED_BY/AF_REQUIRES "
+                   "coverage in this file: annotate what it protects");
+      }
+      return;
+    }
+  }
+
+  /// Collects every mutex name referenced by an annotation argument anywhere
+  /// in the file: AF_GUARDED_BY(name), AF_PT_GUARDED_BY(name),
+  /// AF_REQUIRES(a.name) etc.
+  void BuildMutexReferenceIndex() {
+    referenced_storage_ = std::make_unique<std::set<std::string>>();
+    referenced_mutexes_ = referenced_storage_.get();
+    for (const std::string& line : scrubbed_.lines) {
+      for (const char* macro :
+           {"AF_GUARDED_BY", "AF_PT_GUARDED_BY", "AF_REQUIRES", "AF_ACQUIRE",
+            "AF_RELEASE", "AF_EXCLUDES"}) {
+        size_t pos = 0;
+        while ((pos = line.find(macro, pos)) != std::string::npos) {
+          size_t open = line.find('(', pos);
+          if (open == std::string::npos) break;
+          size_t close = line.find(')', open);
+          if (close == std::string::npos) break;
+          // Last identifier inside the parens ("shard.mutex" -> "mutex").
+          std::string arg = line.substr(open + 1, close - open - 1);
+          std::string name;
+          for (char c : arg) {
+            if (IsIdentChar(c)) {
+              name.push_back(c);
+            } else {
+              name.clear();
+            }
+          }
+          if (!name.empty()) referenced_storage_->insert(name);
+          pos = close;
+        }
+      }
+    }
+  }
+
+  void CheckFaultPointScope() {
+    // Brace-depth scope machine: classify every opened scope by the
+    // signature text preceding its '{', so an AF_FAULT_POINT can be checked
+    // against the return type of its innermost enclosing function.
+    std::vector<Scope> stack;
+    std::string sig;
+    for (size_t idx = 0; idx < scrubbed_.lines.size(); ++idx) {
+      if (scrubbed_.preprocessor[idx]) continue;  // macro bodies don't nest scopes
+      const std::string& line = scrubbed_.lines[idx];
+      size_t pos = FindToken(line, "AF_FAULT_POINT");
+      if (pos != std::string::npos) {
+        bool ok = in_src_ && is_cc_ && !stack.empty() &&
+                  stack.back().returns_status;
+        if (!ok) {
+          Report(idx, "fault-point-scope",
+                 "AF_FAULT_POINT returns the injected Status, so it may only "
+                 "appear inside a Status/Result-returning function in a .cc "
+                 "file under src/ (use AF_FAULT_STATUS in expression "
+                 "contexts)");
+        }
+      }
+      for (char c : line) {
+        if (c == '{') {
+          Scope scope;
+          bool inherited = !stack.empty() && stack.back().returns_status;
+          if (HasAnyToken(sig, {"namespace"})) {
+            scope.returns_status = false;
+          } else if (HasAnyToken(sig, {"class", "struct", "union", "enum"}) &&
+                     sig.find('(') == std::string::npos) {
+            scope.returns_status = false;
+          } else if (HasAnyToken(sig, {"if", "for", "while", "switch", "do",
+                                       "else", "catch", "try"})) {
+            scope.returns_status = inherited;  // control flow: same function
+          } else if (sig.find('(') != std::string::npos) {
+            scope.returns_status = SignatureReturnsStatus(sig);
+          } else {
+            scope.returns_status = inherited;  // init-list / bare block
+          }
+          stack.push_back(scope);
+          sig.clear();
+        } else if (c == '}') {
+          if (!stack.empty()) stack.pop_back();
+          sig.clear();
+        } else if (c == ';') {
+          sig.clear();
+        } else {
+          sig += c;
+        }
+      }
+      sig += ' ';
+    }
+  }
+
+  std::string path_;
+  Scrubbed scrubbed_;
+  bool in_src_ = false;
+  bool is_cc_ = false;
+  bool annotated_ = false;
+  std::unique_ptr<std::set<std::string>> referenced_storage_;
+  const std::set<std::string>* referenced_mutexes_ = nullptr;
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace
+
+std::string Diagnostic::ToString() const {
+  return file + ":" + std::to_string(line) + ": error: " + message + " [" +
+         rule + "]";
+}
+
+std::vector<std::string> RuleNames() {
+  return {"raw-thread",      "unseeded-random",    "iostream-in-lib",
+          "raw-mutex-guard", "guarded-by-coverage", "fault-point-scope"};
+}
+
+std::vector<Diagnostic> LintSource(const std::string& path,
+                                   const std::string& content) {
+  std::string normalized = path;
+  std::replace(normalized.begin(), normalized.end(), '\\', '/');
+  return Linter(normalized, content).Run();
+}
+
+}  // namespace lint
+}  // namespace agentfirst

@@ -1,0 +1,74 @@
+#ifndef AGENTFIRST_LINT_LINT_H_
+#define AGENTFIRST_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+namespace agentfirst {
+namespace lint {
+
+/// One rule violation at a source location.
+struct Diagnostic {
+  std::string file;   // path as passed to LintSource
+  size_t line = 0;    // 1-based
+  std::string rule;   // e.g. "raw-thread"
+  std::string message;
+
+  /// "file:line: error: message [rule]" — GNU style, so editors and CI can
+  /// jump to the location.
+  std::string ToString() const;
+};
+
+/// The project lint rules (aflint). These enforce conventions that TSan and
+/// the compiler cannot: TSan only proves the schedules it happened to run,
+/// and no compiler flag knows that this codebase routes all threading
+/// through ThreadPool or all randomness through a seeded Rng.
+///
+///   raw-thread           std::thread / std::jthread outside
+///                        src/common/thread_pool.{h,cc}. Everything must run
+///                        on the shared work-stealing pool so concurrency
+///                        composes instead of oversubscribing.
+///                        (std::thread::hardware_concurrency is exempt: it
+///                        queries, it does not spawn.)
+///   unseeded-random      rand( / srand( / std::random_device. All
+///                        randomness must flow from a seeded Rng so runs are
+///                        reproducible (src/common/rng.h is the one allowed
+///                        home).
+///   iostream-in-lib      std::cout / std::cerr / std::clog under src/.
+///                        Library code reports through Status and structured
+///                        results, never by printing.
+///   raw-mutex-guard      std::lock_guard / std::unique_lock /
+///                        std::scoped_lock under src/. Clang's thread-safety
+///                        analysis cannot see through std:: guards; use the
+///                        annotated Mutex/MutexLock/CondVar from
+///                        common/thread_annotations.h.
+///   guarded-by-coverage  a Mutex / std::mutex / std::shared_mutex member in
+///                        an annotated file (one that uses
+///                        thread_annotations.h) with no AF_GUARDED_BY /
+///                        AF_PT_GUARDED_BY / AF_REQUIRES referring to it —
+///                        i.e. a lock that provably protects nothing the
+///                        analysis can check.
+///   fault-point-scope    AF_FAULT_POINT outside a Status/Result-returning
+///                        function in a .cc file under src/. The macro
+///                        `return`s the injected Status, so anywhere else it
+///                        either breaks the build or silently changes
+///                        control flow; expression contexts use
+///                        AF_FAULT_STATUS instead.
+///
+/// Suppression: `// aflint:allow(rule)` (comma-separated for several rules)
+/// on the offending line, or on a comment line immediately above it.
+///
+/// Matching runs on scrubbed text — comment and string-literal contents are
+/// blanked first — so prose and SQL never trip a rule.
+std::vector<std::string> RuleNames();
+
+/// Lints one translation unit. `path` must be repo-relative with forward
+/// slashes (e.g. "src/exec/executor.cc"); the path decides which rules apply
+/// where. Diagnostics come back in line order.
+std::vector<Diagnostic> LintSource(const std::string& path,
+                                   const std::string& content);
+
+}  // namespace lint
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_LINT_LINT_H_

@@ -1,0 +1,322 @@
+// Fixture snippets (good and deliberately violating) for every aflint rule,
+// checking that each fires with the right rule name and line, and that
+// `// aflint:allow(<rule>)` suppressions are honored. The violating code
+// lives in string literals; aflint scrubs literal contents before matching,
+// so scanning this very file stays clean.
+
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace agentfirst {
+namespace lint {
+namespace {
+
+std::vector<Diagnostic> RunLint(const std::string& path,
+                                const std::string& content) {
+  return LintSource(path, content);
+}
+
+bool HasRuleAtLine(const std::vector<Diagnostic>& diags,
+                   const std::string& rule, size_t line) {
+  for (const Diagnostic& d : diags) {
+    if (d.rule == rule && d.line == line) return true;
+  }
+  return false;
+}
+
+bool HasRule(const std::vector<Diagnostic>& diags, const std::string& rule) {
+  for (const Diagnostic& d : diags) {
+    if (d.rule == rule) return true;
+  }
+  return false;
+}
+
+TEST(AflintTest, RuleCatalogIsStable) {
+  std::vector<std::string> rules = RuleNames();
+  ASSERT_EQ(rules.size(), 6u);
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "raw-thread"), rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "fault-point-scope"),
+            rules.end());
+}
+
+TEST(AflintTest, RawThreadFiresOutsideThreadPool) {
+  std::string src =
+      "#include <thread>\n"
+      "void F() {\n"
+      "  std::thread t([] {});\n"
+      "  t.join();\n"
+      "}\n";
+  auto diags = RunLint("src/agents/foo.cc", src);
+  EXPECT_TRUE(HasRuleAtLine(diags, "raw-thread", 3)) << diags.size();
+}
+
+TEST(AflintTest, RawThreadAllowedInThreadPoolFiles) {
+  std::string src = "void F() { std::thread t([] {}); t.join(); }\n";
+  EXPECT_TRUE(RunLint("src/common/thread_pool.cc", src).empty());
+  EXPECT_TRUE(RunLint("src/common/thread_pool.h", src).empty());
+}
+
+TEST(AflintTest, HardwareConcurrencyIsExempt) {
+  std::string src =
+      "size_t N() { return std::thread::hardware_concurrency(); }\n";
+  EXPECT_TRUE(RunLint("src/core/foo.cc", src).empty());
+}
+
+TEST(AflintTest, JthreadAlsoFires) {
+  std::string src = "void F() { std::jthread t([] {}); }\n";
+  EXPECT_TRUE(HasRule(RunLint("src/core/foo.cc", src), "raw-thread"));
+}
+
+TEST(AflintTest, SuppressionOnSameLine) {
+  std::string src =
+      "void F() { std::thread t([] {}); }  // aflint:allow(raw-thread)\n";
+  EXPECT_TRUE(RunLint("src/agents/foo.cc", src).empty());
+}
+
+TEST(AflintTest, SuppressionOnPrecedingCommentLine) {
+  std::string src =
+      "// needs an out-of-pool canceller. aflint:allow(raw-thread)\n"
+      "void F() { std::thread t([] {}); }\n";
+  EXPECT_TRUE(RunLint("src/agents/foo.cc", src).empty());
+}
+
+TEST(AflintTest, SuppressionForDifferentRuleDoesNotApply) {
+  std::string src =
+      "void F() { std::thread t([] {}); }  // aflint:allow(unseeded-random)\n";
+  EXPECT_TRUE(HasRule(RunLint("src/agents/foo.cc", src), "raw-thread"));
+}
+
+TEST(AflintTest, SuppressionListCoversMultipleRules) {
+  std::string src =
+      "// aflint:allow(raw-thread, unseeded-random)\n"
+      "void F() { std::thread t([] {}); int x = rand(); (void)x; }\n";
+  EXPECT_TRUE(RunLint("src/agents/foo.cc", src).empty());
+}
+
+TEST(AflintTest, UnseededRandomFires) {
+  std::string src =
+      "int F() { return rand(); }\n"
+      "void G() { srand(42); }\n"
+      "int H() { std::random_device rd; return rd(); }\n";
+  auto diags = RunLint("src/opt/foo.cc", src);
+  EXPECT_TRUE(HasRuleAtLine(diags, "unseeded-random", 1));
+  EXPECT_TRUE(HasRuleAtLine(diags, "unseeded-random", 2));
+  EXPECT_TRUE(HasRuleAtLine(diags, "unseeded-random", 3));
+}
+
+TEST(AflintTest, UnseededRandomAllowedInRngHeader) {
+  std::string src = "int F() { std::random_device rd; return rd(); }\n";
+  EXPECT_TRUE(RunLint("src/common/rng.h", src).empty());
+}
+
+TEST(AflintTest, IdentifiersContainingRandDoNotFire) {
+  std::string src =
+      "void strand(); void operand(int);\n"
+      "void F() { strand(); operand(3); }\n";
+  EXPECT_TRUE(RunLint("src/opt/foo.cc", src).empty());
+}
+
+TEST(AflintTest, IostreamFiresOnlyUnderSrc) {
+  std::string src =
+      "#include <iostream>\n"
+      "void F() { std::cout << 1; }\n"
+      "void G() { std::cerr << 2; }\n";
+  auto diags = RunLint("src/exec/foo.cc", src);
+  EXPECT_TRUE(HasRuleAtLine(diags, "iostream-in-lib", 2));
+  EXPECT_TRUE(HasRuleAtLine(diags, "iostream-in-lib", 3));
+  EXPECT_TRUE(RunLint("tests/foo_test.cc", src).empty());
+  EXPECT_TRUE(RunLint("tools/foo.cc", src).empty());
+}
+
+TEST(AflintTest, RawMutexGuardFiresOnlyUnderSrc) {
+  std::string src =
+      "void F() { std::lock_guard<std::mutex> l(m); }\n"
+      "void G() { std::unique_lock<std::mutex> l(m); }\n"
+      "void H() { std::scoped_lock l(m); }\n";
+  auto diags = RunLint("src/exec/foo.cc", src);
+  EXPECT_TRUE(HasRuleAtLine(diags, "raw-mutex-guard", 1));
+  EXPECT_TRUE(HasRuleAtLine(diags, "raw-mutex-guard", 2));
+  EXPECT_TRUE(HasRuleAtLine(diags, "raw-mutex-guard", 3));
+  EXPECT_FALSE(HasRule(RunLint("tests/foo_test.cc", src), "raw-mutex-guard"));
+}
+
+TEST(AflintTest, GuardedByCoverageFiresOnUncoveredMutexMember) {
+  std::string src =
+      "#include \"common/thread_annotations.h\"\n"
+      "class C {\n"
+      "  Mutex mu_;\n"
+      "  int value_ = 0;\n"
+      "};\n";
+  auto diags = RunLint("src/core/foo.h", src);
+  EXPECT_TRUE(HasRuleAtLine(diags, "guarded-by-coverage", 3));
+}
+
+TEST(AflintTest, GuardedByCoverageSatisfiedByAnnotation) {
+  std::string src =
+      "#include \"common/thread_annotations.h\"\n"
+      "class C {\n"
+      "  mutable Mutex mu_;\n"
+      "  int value_ AF_GUARDED_BY(mu_) = 0;\n"
+      "};\n";
+  EXPECT_TRUE(RunLint("src/core/foo.h", src).empty());
+}
+
+TEST(AflintTest, GuardedByCoverageSatisfiedByRequires) {
+  std::string src =
+      "#include \"common/thread_annotations.h\"\n"
+      "struct S {\n"
+      "  Mutex mu;\n"
+      "  void DrainLocked() AF_REQUIRES(mu);\n"
+      "};\n";
+  EXPECT_TRUE(RunLint("src/core/foo.h", src).empty());
+}
+
+TEST(AflintTest, GuardedByCoverageSkipsUnannotatedFiles) {
+  // A file that never touches thread_annotations.h is outside the
+  // annotation regime; the coverage rule must not fire there.
+  std::string src =
+      "#include <mutex>\n"
+      "class C {\n"
+      "  std::mutex mu_;\n"
+      "};\n";
+  EXPECT_TRUE(RunLint("src/legacy/foo.h", src).empty());
+}
+
+TEST(AflintTest, StdMutexMemberInAnnotatedFileNeedsCoverage) {
+  std::string src =
+      "#include \"common/thread_annotations.h\"\n"
+      "class C {\n"
+      "  std::mutex mu_;\n"
+      "};\n";
+  EXPECT_TRUE(
+      HasRuleAtLine(RunLint("src/core/foo.h", src), "guarded-by-coverage", 3));
+}
+
+TEST(AflintTest, FaultPointOkInStatusReturningFunction) {
+  std::string src =
+      "Status F() {\n"
+      "  AF_FAULT_POINT(\"core.f\");\n"
+      "  return Status::OK();\n"
+      "}\n"
+      "Result<int> G(int x) {\n"
+      "  AF_FAULT_POINT(\"core.g\");\n"
+      "  return x;\n"
+      "}\n";
+  EXPECT_TRUE(RunLint("src/core/foo.cc", src).empty());
+}
+
+TEST(AflintTest, FaultPointFiresInVoidFunction) {
+  std::string src =
+      "void F() {\n"
+      "  AF_FAULT_POINT(\"core.f\");\n"
+      "}\n";
+  EXPECT_TRUE(
+      HasRuleAtLine(RunLint("src/core/foo.cc", src), "fault-point-scope", 2));
+}
+
+TEST(AflintTest, FaultPointFiresInHeaders) {
+  std::string src =
+      "Status F() {\n"
+      "  AF_FAULT_POINT(\"core.f\");\n"
+      "  return Status::OK();\n"
+      "}\n";
+  EXPECT_TRUE(HasRule(RunLint("src/core/foo.h", src), "fault-point-scope"));
+}
+
+TEST(AflintTest, FaultPointOkInStatusLambdaInsideVoidFunction) {
+  std::string src =
+      "void F() {\n"
+      "  auto attempt = [&]() -> Result<int> {\n"
+      "    AF_FAULT_POINT(\"core.attempt\");\n"
+      "    return 1;\n"
+      "  };\n"
+      "  (void)attempt();\n"
+      "}\n";
+  EXPECT_TRUE(RunLint("src/core/foo.cc", src).empty());
+}
+
+TEST(AflintTest, FaultPointOkInsideControlFlowOfStatusFunction) {
+  std::string src =
+      "Status F(bool flag) {\n"
+      "  if (flag) {\n"
+      "    AF_FAULT_POINT(\"core.branch\");\n"
+      "  }\n"
+      "  for (int i = 0; i < 2; ++i) {\n"
+      "    AF_FAULT_POINT(\"core.loop\");\n"
+      "  }\n"
+      "  return Status::OK();\n"
+      "}\n";
+  EXPECT_TRUE(RunLint("src/core/foo.cc", src).empty());
+}
+
+TEST(AflintTest, FaultStatusExpressionFormIsAlwaysAllowed) {
+  std::string src =
+      "void F() {\n"
+      "  Status s = AF_FAULT_STATUS(\"core.f\");\n"
+      "  (void)s;\n"
+      "}\n";
+  EXPECT_TRUE(RunLint("src/core/foo.cc", src).empty());
+}
+
+TEST(AflintTest, CommentsAndStringsAreScrubbed) {
+  std::string src =
+      "// std::thread in prose, rand() too, std::cout as well\n"
+      "/* std::lock_guard<std::mutex> in a block comment */\n"
+      "const char* kSql = \"SELECT rand() FROM t\";\n"
+      "const char* kMsg = \"std::cout << std::thread\";\n";
+  EXPECT_TRUE(RunLint("src/sql/foo.cc", src).empty());
+}
+
+TEST(AflintTest, RawStringLiteralsAreScrubbed) {
+  std::string src =
+      "const char* kFixture = R\"(\n"
+      "  std::thread t; std::cout << rand();\n"
+      ")\";\n";
+  EXPECT_TRUE(RunLint("src/sql/foo.cc", src).empty());
+}
+
+TEST(AflintTest, PreprocessorLinesAreSkipped) {
+  // Macro definitions (including continuation lines) are neither scanned
+  // for fault points nor allowed to confuse the scope machine.
+  std::string src =
+      "#define MY_POINT(site)                  \\\n"
+      "  do {                                  \\\n"
+      "    AF_FAULT_POINT(site);               \\\n"
+      "  } while (0)\n"
+      "Status F() {\n"
+      "  MY_POINT(\"x\");\n"
+      "  return Status::OK();\n"
+      "}\n";
+  EXPECT_TRUE(RunLint("src/core/foo.cc", src).empty());
+}
+
+TEST(AflintTest, DiagnosticToStringIsGnuStyle) {
+  std::string src = "void F() { std::thread t([] {}); }\n";
+  auto diags = RunLint("src/agents/foo.cc", src);
+  ASSERT_EQ(diags.size(), 1u);
+  std::string text = diags[0].ToString();
+  EXPECT_NE(text.find("src/agents/foo.cc:1: error:"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("[raw-thread]"), std::string::npos) << text;
+}
+
+TEST(AflintTest, MultipleViolationsComeBackInLineOrder) {
+  std::string src =
+      "void F() { std::thread t([] {}); }\n"
+      "int G() { return rand(); }\n"
+      "void H() { std::cout << 1; }\n";
+  auto diags = RunLint("src/core/foo.cc", src);
+  ASSERT_EQ(diags.size(), 3u);
+  EXPECT_EQ(diags[0].rule, "raw-thread");
+  EXPECT_EQ(diags[1].rule, "unseeded-random");
+  EXPECT_EQ(diags[2].rule, "iostream-in-lib");
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace agentfirst

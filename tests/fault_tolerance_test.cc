@@ -142,7 +142,9 @@ TEST_P(FaultToleranceTest, MidFlightCancellationStopsOversizedJoin) {
   ExecOptions options;
   options.num_threads = threads;
   options.cancel = source.token();
-  // Cancel from a second thread shortly after the join starts.
+  // Cancel from a second thread shortly after the join starts. The canceller
+  // must live outside the pool under test or it could be starved by the very
+  // join it is supposed to interrupt. aflint:allow(raw-thread)
   std::thread canceller([&]() {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
     source.RequestCancel();

@@ -1,0 +1,117 @@
+// aflint — the in-tree source linter. Walks the given directories (default:
+// src tests) and enforces the project conventions that neither the compiler
+// nor TSan can check; see src/lint/lint.h for the rule catalog.
+//
+//   aflint [--root <repo-root>] [--list-rules] [dir|file ...]
+//
+// Exit codes: 0 = clean, 1 = violations found (one "file:line: error: ..."
+// diagnostic per line on stdout), 2 = usage or I/O error.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool IsLintableFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+bool ReadFile(const fs::path& p, std::string* out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  std::vector<std::string> targets;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "aflint: --root needs a directory argument\n";
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--list-rules") {
+      for (const std::string& rule : agentfirst::lint::RuleNames()) {
+        std::cout << rule << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: aflint [--root <repo-root>] [--list-rules] "
+                   "[dir|file ...]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "aflint: unknown option '" << arg << "'\n";
+      return 2;
+    } else {
+      targets.push_back(arg);
+    }
+  }
+  if (targets.empty()) targets = {"src", "tests"};
+
+  std::error_code ec;
+  std::vector<fs::path> files;
+  for (const std::string& target : targets) {
+    fs::path full = root / target;
+    if (fs::is_regular_file(full, ec)) {
+      files.push_back(full);
+      continue;
+    }
+    if (!fs::is_directory(full, ec)) {
+      std::cerr << "aflint: no such file or directory: " << full.string()
+                << "\n";
+      return 2;
+    }
+    for (fs::recursive_directory_iterator it(full, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) {
+        std::cerr << "aflint: error walking " << full.string() << ": "
+                  << ec.message() << "\n";
+        return 2;
+      }
+      if (it->is_regular_file() && IsLintableFile(it->path())) {
+        files.push_back(it->path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  size_t violations = 0;
+  size_t scanned = 0;
+  for (const fs::path& file : files) {
+    std::string content;
+    if (!ReadFile(file, &content)) {
+      std::cerr << "aflint: cannot read " << file.string() << "\n";
+      return 2;
+    }
+    ++scanned;
+    // Rules key off repo-relative paths ("src/...", "tests/...").
+    std::string rel = fs::relative(file, root, ec).generic_string();
+    if (ec) rel = file.generic_string();
+    for (const auto& diag : agentfirst::lint::LintSource(rel, content)) {
+      std::cout << diag.ToString() << "\n";
+      ++violations;
+    }
+  }
+  std::fprintf(stderr, "aflint: %zu file(s) scanned, %zu violation(s)\n",
+               scanned, violations);
+  return violations == 0 ? 0 : 1;
+}

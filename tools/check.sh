@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# One-shot gate for the static-analysis toolchain plus tier-1:
+#
+#   1. aflint         — in-tree convention linter over src/ and tests/
+#   2. thread-safety  — clang -Wthread-safety -Werror=thread-safety build
+#                       (skipped with a notice when clang++ is absent; the
+#                       AF_* annotations compile to nothing under GCC, so a
+#                       GCC build proves nothing about locking)
+#   3. tier-1         — default build + full ctest suite
+#
+#   tools/check.sh              # all three stages
+#   tools/check.sh --no-tests   # aflint + thread-safety only (fast pre-push)
+#
+# Exits non-zero on the first failing stage.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_tests=1
+if [[ "${1:-}" == "--no-tests" ]]; then
+  run_tests=0
+fi
+
+echo "=== [1/3] aflint ==="
+# The lint rule engine is a plain C++ library; build just the CLI target so
+# this stage stays fast even on a cold tree.
+cmake -B build -S . > /dev/null
+cmake --build build -j "$(nproc)" --target aflint > /dev/null
+./build/tools/aflint --root . src tests
+echo "aflint: clean"
+
+echo "=== [2/3] clang thread-safety analysis ==="
+if command -v clang++ > /dev/null 2>&1; then
+  cmake -B build-tsafety -S . -DCMAKE_CXX_COMPILER=clang++ \
+        -DAGENTFIRST_THREAD_SAFETY=ON > /dev/null
+  cmake --build build-tsafety -j "$(nproc)"
+  echo "thread-safety: clean"
+else
+  echo "thread-safety: SKIPPED (clang++ not found; install clang to check" \
+       "the AF_GUARDED_BY/AF_REQUIRES annotations)"
+fi
+
+if [[ "$run_tests" == "1" ]]; then
+  echo "=== [3/3] tier-1 build + tests ==="
+  cmake --build build -j "$(nproc)"
+  ctest --test-dir build --output-on-failure -j "$(nproc)"
+else
+  echo "=== [3/3] tier-1 tests skipped (--no-tests) ==="
+fi
+
+echo "check.sh: all stages passed"

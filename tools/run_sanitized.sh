@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
-# Runs the tier-1 test suite under ThreadSanitizer and/or AddressSanitizer,
-# with fault injection armed via AGENTFIRST_FAULTS=1 so the injected-error
-# paths (retry, truncation, breaker) are exercised under the sanitizer too.
+# Runs the tier-1 test suite under ThreadSanitizer, AddressSanitizer, and/or
+# UndefinedBehaviorSanitizer, with fault injection armed via
+# AGENTFIRST_FAULTS=1 so the injected-error paths (retry, truncation,
+# breaker) are exercised under the sanitizer too.
 #
 #   tools/run_sanitized.sh            # thread + address, full suite
-#   tools/run_sanitized.sh thread     # one sanitizer only
+#   tools/run_sanitized.sh all        # thread + address + undefined
+#   tools/run_sanitized.sh undefined  # one sanitizer only
 #   tools/run_sanitized.sh address fault_tolerance_test   # one test binary
 #
-# Each sanitizer gets its own build tree (build-tsan / build-asan) beside the
-# default build directory, so incremental rebuilds stay cheap.
+# Each sanitizer gets its own build tree (build-tsan / build-asan /
+# build-ubsan) beside the default build directory, so incremental rebuilds
+# stay cheap.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -16,14 +19,17 @@ cd "$(dirname "$0")/.."
 sanitizers=("${1:-both}")
 if [[ "${sanitizers[0]}" == "both" ]]; then
   sanitizers=(thread address)
+elif [[ "${sanitizers[0]}" == "all" ]]; then
+  sanitizers=(thread address undefined)
 fi
 test_filter="${2:-}"
 
 for san in "${sanitizers[@]}"; do
   case "$san" in
-    thread)  build_dir=build-tsan ;;
-    address) build_dir=build-asan ;;
-    *) echo "unknown sanitizer '$san' (want thread|address|both)" >&2; exit 2 ;;
+    thread)    build_dir=build-tsan ;;
+    address)   build_dir=build-asan ;;
+    undefined) build_dir=build-ubsan ;;
+    *) echo "unknown sanitizer '$san' (want thread|address|undefined|both|all)" >&2; exit 2 ;;
   esac
 
   echo "=== configuring $build_dir (AGENTFIRST_SANITIZE=$san) ==="
@@ -41,6 +47,7 @@ for san in "${sanitizers[@]}"; do
     export AGENTFIRST_FAULTS=1
     export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
     export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1"
+    export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
     if [[ -n "$test_filter" ]]; then
       ctest --output-on-failure -R "$test_filter"
     else
