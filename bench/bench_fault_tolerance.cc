@@ -100,7 +100,7 @@ double MeasureDeadlineOvershoot(double deadline_ms, size_t threads) {
   for (int rep = 0; rep < kRepetitions; ++rep) {
     ExecOptions options;
     options.num_threads = threads;
-    options.deadline = Deadline::AfterMillis(deadline_ms);
+    options.limits.DeadlineMillis(deadline_ms);
     auto t0 = std::chrono::steady_clock::now();
     auto result = ExecutePlan(*plan, options);
     auto t1 = std::chrono::steady_clock::now();
@@ -202,7 +202,7 @@ int main(int argc, char** argv) {
     ExecOptions guarded = plain;
     CancellationSource source;  // never cancelled; the check still runs
     guarded.cancel = source.token();
-    guarded.deadline = Deadline::AfterMillis(1e9);
+    guarded.limits.DeadlineMillis(1e9);
     double base = MeasurePlan(fx, scan_sql, plain);
     double checked = MeasurePlan(fx, scan_sql, guarded);
     double pct = base > 0 ? (checked - base) / base * 100.0 : 0.0;

@@ -9,6 +9,7 @@
 
 #include "agents/ensemble.h"
 #include "agents/sim_agent.h"
+#include "core/probe_builder.h"
 #include "core/system.h"
 #include "workload/minibird.h"
 
@@ -27,15 +28,15 @@ int main() {
               db->catalog()->NumTables());
 
   // --- 1. Dry run: ask for cost estimates before committing to work ------
-  Probe dry;
-  dry.agent_id = "planner";
-  dry.dry_run = true;
-  dry.queries = {
-      "SELECT count(*) FROM sales",
-      "SELECT st.state, sum(s.revenue) FROM sales s JOIN stores st ON "
-      "s.store_id = st.store_id GROUP BY st.state",
-      "SELECT s1.sale_id FROM sales s1 CROSS JOIN sales s2 LIMIT 10",  // ouch
-  };
+  Probe dry =
+      ProbeBuilder("planner")
+          .DryRun()
+          .Query("SELECT count(*) FROM sales")
+          .Query("SELECT st.state, sum(s.revenue) FROM sales s JOIN stores st "
+                 "ON s.store_id = st.store_id GROUP BY st.state")
+          .Query("SELECT s1.sale_id FROM sales s1 CROSS JOIN sales s2 "
+                 "LIMIT 10")  // ouch
+          .Build();
   auto estimates = db->HandleProbe(dry);
   if (!estimates.ok()) return 1;
   std::printf("dry-run cost estimates (nothing executed):\n");
@@ -49,29 +50,23 @@ int main() {
 
   // --- 2. A prioritized probe batch from several agents ------------------
   std::vector<Probe> batch;
-  {
-    Probe p;
-    p.agent_id = "explorer-1";
-    p.queries = {"SELECT table_name, num_rows FROM information_schema.tables",
-                 "SELECT column_name, num_distinct, most_common_value FROM "
-                 "information_schema.column_stats WHERE table_name = 'sales'"};
-    p.brief.text = "low priority background exploration of the sales schema";
-    batch.push_back(p);
-  }
-  {
-    Probe p;
-    p.agent_id = "validator";
-    p.queries = {"SELECT count(*) FROM sales WHERE year = 2025"};
-    p.brief.text = "urgent: verify the final 2025 sales count exactly";
-    batch.push_back(p);
-  }
-  {
-    Probe p;
-    p.agent_id = "explorer-2";
-    p.queries = {"SELECT count(*) FROM sales WHERE year = 2025"};  // duplicate!
-    p.brief.text = "exploring sales volume";
-    batch.push_back(p);
-  }
+  batch.push_back(
+      ProbeBuilder("explorer-1")
+          .Query("SELECT table_name, num_rows FROM information_schema.tables")
+          .Query("SELECT column_name, num_distinct, most_common_value FROM "
+                 "information_schema.column_stats WHERE table_name = 'sales'")
+          .Brief("low priority background exploration of the sales schema")
+          .Build());
+  batch.push_back(
+      ProbeBuilder("validator")
+          .Query("SELECT count(*) FROM sales WHERE year = 2025")
+          .Brief("urgent: verify the final 2025 sales count exactly")
+          .Build());
+  batch.push_back(
+      ProbeBuilder("explorer-2")
+          .Query("SELECT count(*) FROM sales WHERE year = 2025")  // duplicate!
+          .Brief("exploring sales volume")
+          .Build());
   auto responses = db->HandleProbeBatch(batch);
   if (!responses.ok()) return 1;
   std::printf("probe batch of %zu probes answered; admission control ran the "

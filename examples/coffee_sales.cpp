@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "core/probe_builder.h"
 #include "core/system.h"
 
 using namespace agentfirst;
@@ -65,18 +66,20 @@ int main() {
               "(2025) vs last year?\n\n");
 
   // --- Field agent 1: metadata exploration ------------------------------
-  Probe explore;
-  explore.agent_id = "field-1";
-  explore.queries = {"SELECT table_name, num_rows FROM information_schema.tables"};
-  explore.brief.text = "exploring: where do coffee bean sales and costs live?";
+  Probe explore =
+      ProbeBuilder("field-1")
+          .Query("SELECT table_name, num_rows FROM information_schema.tables")
+          .Brief("exploring: where do coffee bean sales and costs live?")
+          .Build();
   auto r1 = MustProbe(&db, explore);
   std::printf("[field-1 explores metadata]\n%s\n", r1.ToString(5).c_str());
 
   // --- Field agent 2: stumbles over the state encoding ------------------
-  Probe wrong;
-  wrong.agent_id = "field-2";
-  wrong.queries = {"SELECT store_id FROM stores WHERE state = 'CA'"};
-  wrong.brief.text = "attempting part of the query: find California stores";
+  Probe wrong =
+      ProbeBuilder("field-2")
+          .Query("SELECT store_id FROM stores WHERE state = 'CA'")
+          .Brief("attempting part of the query: find California stores")
+          .Build();
   auto r2 = MustProbe(&db, wrong);
   std::printf("[field-2 guesses 'CA' and gets steered]\n%s\n",
               r2.ToString(5).c_str());
@@ -84,25 +87,24 @@ int main() {
   // --- Field agents 3..6: redundant speculative aggregates --------------
   // The memory store answers the repeats without re-executing.
   for (int a = 3; a <= 6; ++a) {
-    Probe agg;
-    agg.agent_id = "field-" + std::to_string(a);
-    agg.queries = {
-        "SELECT year, sum(revenue) AS revenue, sum(cost) AS cost "
-        "FROM bean_sales GROUP BY year ORDER BY year"};
-    agg.brief.text = "exploring yearly totals for the profit question";
+    Probe agg = ProbeBuilder("field-" + std::to_string(a))
+                    .Query("SELECT year, sum(revenue) AS revenue, sum(cost) AS "
+                           "cost FROM bean_sales GROUP BY year ORDER BY year")
+                    .Brief("exploring yearly totals for the profit question")
+                    .Build();
     auto r = MustProbe(&db, agg);
     std::printf("[field-%d yearly totals]%s\n", a,
                 r.answers[0].from_memory ? " (served from agentic memory)" : "");
   }
 
   // --- Agent-in-charge: exact drill-down by store and year --------------
-  Probe final_probe;
-  final_probe.agent_id = "in-charge";
-  final_probe.queries = {
-      "SELECT st.city, s.year, sum(s.revenue - s.cost) AS profit "
-      "FROM bean_sales s JOIN stores st ON s.store_id = st.store_id "
-      "GROUP BY st.city, s.year ORDER BY st.city, s.year"};
-  final_probe.brief.text = "validate the final answer exactly";
+  Probe final_probe =
+      ProbeBuilder("in-charge")
+          .Query("SELECT st.city, s.year, sum(s.revenue - s.cost) AS profit "
+                 "FROM bean_sales s JOIN stores st ON s.store_id = st.store_id "
+                 "GROUP BY st.city, s.year ORDER BY st.city, s.year")
+          .Brief("validate the final answer exactly")
+          .Build();
   auto r3 = MustProbe(&db, final_probe);
   std::printf("\n[in-charge validates profit by city and year]\n%s\n",
               r3.answers[0].result->ToString().c_str());

@@ -6,12 +6,14 @@
 
 #include <cstdio>
 
+#include "core/probe_builder.h"
 #include "core/system.h"
 
 using agentfirst::AgentFirstSystem;
 using agentfirst::Hint;
 using agentfirst::HintKindName;
 using agentfirst::Probe;
+using agentfirst::ProbeBuilder;
 
 int main() {
   AgentFirstSystem db;
@@ -43,17 +45,17 @@ int main() {
   // 2. An agent probe: several queries, one brief. The brief tells the
   //    system why the queries are being asked; the probe optimizer uses it
   //    for admission control and approximation decisions.
-  Probe probe;
-  probe.agent_id = "demo-agent";
-  probe.queries = {
-      "SELECT table_name, num_rows FROM information_schema.tables",
-      "SELECT category, count(*) AS n, sum(revenue) AS total "
-      "  FROM sales JOIN products ON sales.product_id = products.product_id "
-      "  GROUP BY category ORDER BY total DESC",
-      "SELECT name FROM products WHERE category = 'espresso'",  // empty!
-  };
-  probe.brief.text =
-      "exploring which product categories drive revenue; rough numbers are fine";
+  Probe probe =
+      ProbeBuilder("demo-agent")
+          .Query("SELECT table_name, num_rows FROM information_schema.tables")
+          .Query("SELECT category, count(*) AS n, sum(revenue) AS total "
+                 "  FROM sales JOIN products ON sales.product_id = "
+                 "products.product_id "
+                 "  GROUP BY category ORDER BY total DESC")
+          .Query("SELECT name FROM products WHERE category = 'espresso'")  // empty!
+          .Brief("exploring which product categories drive revenue; rough "
+                 "numbers are fine")
+          .Build();
 
   auto response = db.HandleProbe(probe);
   if (!response.ok()) {

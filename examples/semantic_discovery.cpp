@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "core/probe_builder.h"
 #include "core/system.h"
 
 using namespace agentfirst;
@@ -42,10 +43,10 @@ int main() {
 
   // Step 1: beyond-SQL semantic discovery. No table is named "electronics";
   // the discovery operator searches all data and metadata.
-  Probe discover;
-  discover.agent_id = "tariff-agent";
-  discover.semantic_search_phrase = "electronics electronic goods imports";
-  discover.semantic_top_k = 6;
+  Probe discover =
+      ProbeBuilder("tariff-agent")
+          .SemanticSearch("electronics electronic goods imports", /*top_k=*/6)
+          .Build();
   auto r1 = db.HandleProbe(discover);
   if (!r1.ok()) return 1;
   std::printf("semantic discovery for 'electronic goods':\n");
@@ -61,18 +62,19 @@ int main() {
   }
 
   // Step 2: follow the discovered lead with a grounded SQL probe.
-  Probe quantify;
-  quantify.agent_id = "tariff-agent";
-  quantify.queries = {
-      "SELECT s.country, sum(po.amount) AS exposure FROM purchase_orders po "
-      "JOIN suppliers s ON po.supplier_id = s.supplier_id "
-      "WHERE po.item_description LIKE '%electronic%' "
-      "   OR po.item_description LIKE '%circuit%' "
-      "   OR po.item_description LIKE '%semiconductor%' "
-      "GROUP BY s.country ORDER BY exposure DESC"};
-  quantify.brief.text =
-      "solution formulation: quantify tariff exposure on electronics imports "
-      "by supplier country, exact numbers please";
+  Probe quantify =
+      ProbeBuilder("tariff-agent")
+          .Query("SELECT s.country, sum(po.amount) AS exposure FROM "
+                 "purchase_orders po "
+                 "JOIN suppliers s ON po.supplier_id = s.supplier_id "
+                 "WHERE po.item_description LIKE '%electronic%' "
+                 "   OR po.item_description LIKE '%circuit%' "
+                 "   OR po.item_description LIKE '%semiconductor%' "
+                 "GROUP BY s.country ORDER BY exposure DESC")
+          .Brief("solution formulation: quantify tariff exposure on "
+                 "electronics imports by supplier country, exact numbers "
+                 "please")
+          .Build();
   auto r2 = db.HandleProbe(quantify);
   if (!r2.ok() || !r2->answers[0].status.ok()) {
     std::fprintf(stderr, "probe failed\n");
@@ -82,13 +84,14 @@ int main() {
               r2->answers[0].result->ToString().c_str());
 
   // Step 3: the scalar similarity operator is also usable inside SQL.
-  Probe scored;
-  scored.agent_id = "tariff-agent";
-  scored.queries = {
-      "SELECT item_description, "
-      "       round(semantic_sim(item_description, 'electronic goods'), 3) AS sim "
-      "FROM purchase_orders ORDER BY sim DESC"};
-  scored.brief.text = "exploring which line items look electronic";
+  Probe scored =
+      ProbeBuilder("tariff-agent")
+          .Query("SELECT item_description, "
+                 "       round(semantic_sim(item_description, 'electronic "
+                 "goods'), 3) AS sim "
+                 "FROM purchase_orders ORDER BY sim DESC")
+          .Brief("exploring which line items look electronic")
+          .Build();
   auto r3 = db.HandleProbe(scored);
   if (!r3.ok() || !r3->answers[0].status.ok()) return 1;
   std::printf("per-row semantic similarity to 'electronic goods':\n%s",

@@ -4,6 +4,7 @@
 
 #include "agents/attempts.h"
 #include "common/str_util.h"
+#include "core/probe_builder.h"
 
 namespace agentfirst {
 
@@ -90,10 +91,8 @@ EpisodeResult RunEpisode(AgentFirstSystem* system, const TaskSpec& task,
 
   auto issue = [&](std::vector<std::string> queries, const std::string& brief_text)
       -> Result<ProbeResponse> {
-    Probe probe;
-    probe.agent_id = agent_id;
-    probe.queries = std::move(queries);
-    probe.brief.text = brief_text;
+    Probe probe =
+        ProbeBuilder(agent_id).Queries(std::move(queries)).Brief(brief_text).Build();
     ++result.probes_issued;
     auto response = system->HandleProbe(probe);
     if (response.ok()) {

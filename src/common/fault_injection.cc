@@ -5,8 +5,20 @@
 #include <thread>
 
 #include "common/hash.h"
+#include "obs/metrics.h"
 
 namespace agentfirst {
+
+namespace {
+/// af.fault.fired counts injected faults process-wide; hits at armed sites
+/// are already per-site observable via FaultRegistry::hits(). Only the
+/// fired (slow) path touches this — disabled fault points stay one load.
+obs::Counter* FiredCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Default().GetCounter("af.fault.fired");
+  return counter;
+}
+}  // namespace
 
 FaultRegistry& FaultRegistry::Global() {
   static FaultRegistry* registry = new FaultRegistry();
@@ -72,6 +84,7 @@ Status FaultRegistry::Hit(const char* site) {
     if (u >= spec.probability) return Status::OK();
     ++state.fired_count;
   }
+  FiredCounter()->Increment();
   switch (spec.kind) {
     case FaultKind::kLatency:
       std::this_thread::sleep_for(std::chrono::milliseconds(spec.latency_ms));

@@ -1,0 +1,89 @@
+#ifndef AGENTFIRST_COMMON_LIMITS_H_
+#define AGENTFIRST_COMMON_LIMITS_H_
+
+#include <chrono>
+#include <cstddef>
+#include <optional>
+
+namespace agentfirst {
+
+/// The one resource-limits vocabulary shared by every layer (paper Sec. 4.1:
+/// briefs carry the agent's budget; Sec. 5.2: the optimizer satisfices under
+/// it). A brief, the probe optimizer's defaults, and low-level ExecOptions
+/// all carry a ResourceLimits; unset fields mean "no limit requested at this
+/// layer", never 0-means-off sentinels.
+///
+/// Merge rule (documented once, applied everywhere): the brief's limits
+/// override the optimizer's defaults, which override whatever the execution
+/// layer was constructed with —
+///
+///     effective = brief.MergedOver(optimizer_defaults).MergedOver(exec)
+///
+/// i.e. for each field the most agent-specific layer that set it wins.
+/// `MergedOver` never weakens a set field: merging only fills gaps.
+///
+/// Field semantics:
+///   - `deadline`: wall-clock budget for one plan execution, armed when the
+///     execution starts (retries re-arm it). Expiry truncates within one
+///     morsel: the caller gets the rows merged so far, flagged truncated
+///     with kDeadlineExceeded. A zero deadline expires immediately; "no
+///     deadline" is expressed by leaving the field unset.
+///   - `max_rows` / `max_bytes`: per-operator output caps; exceeding one
+///     truncates with kResourceExhausted. Agents use these to bound
+///     context-window spend per answer.
+///   - `cost_budget`: estimated rows-touched budget for a whole probe;
+///     the optimizer sheds the least useful-per-cost queries until it
+///     holds. Ignored by the executor (plans carry no estimator there).
+struct ResourceLimits {
+  /// Millisecond-typed wall-clock duration. double rep so sub-millisecond
+  /// deadlines (used by fault-tolerance tests to force instant expiry) stay
+  /// representable.
+  using Millis = std::chrono::duration<double, std::milli>;
+
+  std::optional<Millis> deadline;
+  std::optional<size_t> max_rows;
+  std::optional<size_t> max_bytes;
+  std::optional<double> cost_budget;
+
+  /// Returns these limits with unset fields filled from `fallback` (set
+  /// fields here always win). See the merge rule above.
+  ResourceLimits MergedOver(const ResourceLimits& fallback) const {
+    ResourceLimits merged = *this;
+    if (!merged.deadline) merged.deadline = fallback.deadline;
+    if (!merged.max_rows) merged.max_rows = fallback.max_rows;
+    if (!merged.max_bytes) merged.max_bytes = fallback.max_bytes;
+    if (!merged.cost_budget) merged.cost_budget = fallback.cost_budget;
+    return merged;
+  }
+
+  bool Unbounded() const {
+    return !deadline && !max_rows && !max_bytes && !cost_budget;
+  }
+
+  double deadline_millis_or(double fallback_ms) const {
+    return deadline ? deadline->count() : fallback_ms;
+  }
+
+  // Fluent setters so call sites (and ProbeBuilder) read as one expression:
+  //   ResourceLimits().DeadlineMillis(50).MaxRows(1000)
+  ResourceLimits& DeadlineMillis(double ms) {
+    deadline = Millis(ms);
+    return *this;
+  }
+  ResourceLimits& MaxRows(size_t rows) {
+    max_rows = rows;
+    return *this;
+  }
+  ResourceLimits& MaxBytes(size_t bytes) {
+    max_bytes = bytes;
+    return *this;
+  }
+  ResourceLimits& CostBudget(double budget) {
+    cost_budget = budget;
+    return *this;
+  }
+};
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_COMMON_LIMITS_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace agentfirst {
 
 namespace {
@@ -10,6 +12,26 @@ namespace {
 /// ParallelFor calls know they are already on a pool thread.
 thread_local ThreadPool* tls_pool = nullptr;
 thread_local size_t tls_worker_index = 0;
+
+/// Process-wide scheduler metrics (af.pool.*), aggregated over every pool in
+/// the process (in practice: ThreadPool::Default() plus test-local pools).
+struct PoolMetrics {
+  obs::Counter* submitted;
+  obs::Counter* steals;
+  obs::Gauge* queue_depth;
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics* m = [] {
+    auto& reg = obs::MetricsRegistry::Default();
+    auto* metrics = new PoolMetrics();
+    metrics->submitted = reg.GetCounter("af.pool.tasks_submitted");
+    metrics->steals = reg.GetCounter("af.pool.steals");
+    metrics->queue_depth = reg.GetGauge("af.pool.queue_depth");
+    return metrics;
+  }();
+  return *m;
+}
 }  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -43,7 +65,9 @@ ThreadPool* ThreadPool::Default() {
 }
 
 void ThreadPool::Push(Task task) {
-  num_tasks_.fetch_add(1);
+  Metrics().submitted->Increment();
+  Metrics().queue_depth->Set(
+      static_cast<int64_t>(num_tasks_.fetch_add(1)) + 1);
   if (tls_pool == this) {
     Worker& self = *workers_[tls_worker_index];
     MutexLock lock(self.mutex);
@@ -83,6 +107,7 @@ bool ThreadPool::PopTask(Task* out) {
     if (!victim.deque.empty()) {
       *out = std::move(victim.deque.front());
       victim.deque.pop_front();
+      Metrics().steals->Increment();
       return true;
     }
   }
@@ -95,7 +120,8 @@ void ThreadPool::WorkerLoop(size_t index) {
   while (true) {
     Task task;
     if (PopTask(&task)) {
-      num_tasks_.fetch_sub(1);
+      Metrics().queue_depth->Set(
+          static_cast<int64_t>(num_tasks_.fetch_sub(1)) - 1);
       task();
       continue;
     }

@@ -87,6 +87,7 @@ class ThreadPool {
   };
 
   struct ParallelForState {
+    // Work-claim cursor, not a metric. aflint:allow(raw-counter)
     std::atomic<size_t> next{0};
     size_t end = 0;
     size_t grain = 1;
@@ -116,7 +117,10 @@ class ThreadPool {
   Mutex injector_mutex_;
   std::deque<Task> injector_ AF_GUARDED_BY(injector_mutex_);
   CondVar work_cv_;
-  std::atomic<size_t> num_tasks_{0};  // queued anywhere, not yet claimed
+  // Load-bearing wait-predicate state (queued anywhere, not yet claimed) —
+  // the af.pool.queue_depth gauge mirrors it for observers.
+  // aflint:allow(raw-counter)
+  std::atomic<size_t> num_tasks_{0};
   std::atomic<bool> stop_{false};
 };
 

@@ -51,7 +51,7 @@ Brief BriefInterpreter::Interpret(const Brief& brief) const {
     }
   }
 
-  if (out.max_relative_error < 0.0) {
+  if (!out.max_relative_error.has_value()) {
     if (ContainsAny(text, {"exact", "precise", "verify", "validat", "no approximation"})) {
       out.max_relative_error = 0.0;
     } else if (ContainsAny(text, {"very rough", "ballpark", "order of magnitude"})) {

@@ -13,6 +13,21 @@ const char* ProbePhaseName(ProbePhase phase) {
   return "?";
 }
 
+ResourceLimits Brief::EffectiveLimits() const {
+  // The deprecated-alias shim: fold the old 0-means-unset knobs into the
+  // unified struct. Delete this fold (and the alias fields) next PR.
+  ResourceLimits folded = limits;
+  if (!folded.cost_budget && cost_budget > 0.0) folded.cost_budget = cost_budget;
+  if (!folded.deadline && deadline_ms > 0.0) {
+    folded.deadline = ResourceLimits::Millis(deadline_ms);
+  }
+  if (!folded.max_rows && max_result_rows > 0) folded.max_rows = max_result_rows;
+  if (!folded.max_bytes && max_result_bytes > 0) {
+    folded.max_bytes = max_result_bytes;
+  }
+  return folded;
+}
+
 const char* HintKindName(HintKind kind) {
   switch (kind) {
     case HintKind::kRelatedTable: return "related_table";
@@ -68,6 +83,10 @@ std::string ProbeResponse::ToString(size_t max_rows_per_answer) const {
     for (const Hint& h : hints) {
       out += std::string("   [") + HintKindName(h.kind) + "] " + h.text + "\n";
     }
+  }
+  if (!trace.empty()) {
+    out += "-- trace:\n";
+    out += trace.Render();
   }
   return out;
 }

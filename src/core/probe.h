@@ -7,8 +7,10 @@
 #include <string>
 #include <vector>
 
+#include "common/limits.h"
 #include "common/status.h"
 #include "exec/result_set.h"
+#include "obs/trace.h"
 
 namespace agentfirst {
 
@@ -31,9 +33,9 @@ const char* ProbePhaseName(ProbePhase phase);
 struct Brief {
   std::string text;  // free-form; interpreted by the in-database agent
   ProbePhase phase = ProbePhase::kUnspecified;
-  /// Acceptable relative error for aggregate answers; negative = let the
-  /// system decide from the phase.
-  double max_relative_error = -1.0;
+  /// Acceptable relative error for aggregate answers; unset = let the
+  /// system decide from the phase (0.0 = demand exact).
+  std::optional<double> max_relative_error;
   /// Relative priority across concurrently submitted probes (higher first).
   int priority = 0;
   /// Satisficing: only `k_of_n` of the probe's queries need full answers
@@ -46,22 +48,32 @@ struct Brief {
   /// produced result; once it returns true, the probe's remaining queries
   /// are skipped. E.g. "stop once any answer shows the trend I expected".
   std::function<bool(const ResultSet&)> stop_when;
-  /// Computational budget for this probe in estimated rows-touched
-  /// (0 = unlimited). During exploration the optimizer drops the least
-  /// useful-per-cost queries until the budget holds ("satisfice under
-  /// available resources", paper Sec. 5.2).
-  double cost_budget = 0.0;
-  /// Wall-clock deadline for each of this probe's queries in milliseconds
-  /// (0 = none, or the optimizer's default_deadline_ms). On expiry the
-  /// query stops within one morsel and the answer carries whatever rows
-  /// were already merged, flagged `truncated` with kDeadlineExceeded —
-  /// a partial answer is still grounding for the agent (paper Sec. 4.2).
-  double deadline_ms = 0.0;
-  /// Per-answer output budgets (0 = unlimited): rows and approximate bytes.
-  /// Exceeding one truncates the answer with kResourceExhausted. Agents use
-  /// these to bound context-window spend per probe.
-  size_t max_result_rows = 0;
-  size_t max_result_bytes = 0;
+  /// Resource limits this probe volunteers to live within: per-query
+  /// wall-clock deadline, per-answer row/byte caps, whole-probe cost budget
+  /// (see common/limits.h for per-field semantics). Unset fields fall back
+  /// to the optimizer's `default_limits` per the documented merge rule.
+  /// Deadline expiry and output-cap trips yield *partial* answers flagged
+  /// `truncated` — a partial answer is still grounding for the agent
+  /// (paper Sec. 4.2); cost-budget exhaustion sheds the least
+  /// useful-per-cost queries ("satisfice under available resources",
+  /// paper Sec. 5.2).
+  ResourceLimits limits;
+
+  // ---------------------------------------------------------------------
+  // Deprecated aliases, kept for one PR so out-of-tree callers compile.
+  // 0 keeps its old "not set" meaning here; EffectiveLimits() folds any
+  // set alias into `limits` (a set `limits` field always wins). New code
+  // must use `limits` / ProbeBuilder.
+  double cost_budget = 0.0;      // deprecated: use limits.cost_budget
+  double deadline_ms = 0.0;      // deprecated: use limits.deadline
+  size_t max_result_rows = 0;    // deprecated: use limits.max_rows
+  size_t max_result_bytes = 0;   // deprecated: use limits.max_bytes
+
+  /// `limits` with any set deprecated alias folded in. The only supported
+  /// way to read this brief's limits; everything inside the system goes
+  /// through it so the aliases can be deleted next PR by deleting this
+  /// fold.
+  ResourceLimits EffectiveLimits() const;
 };
 
 /// A probe: one or more SQL queries plus a brief, and optionally a semantic
@@ -74,7 +86,8 @@ struct Probe {
   Brief brief;
 
   std::string semantic_search_phrase;  // empty = no discovery
-  size_t semantic_top_k = 5;
+  /// How many semantic matches to return; unset = the system default (5).
+  std::optional<size_t> semantic_top_k;
 
   /// Dry run (paper Sec. 4.2 cost feedback): plan and estimate every query
   /// but execute nothing. Answers carry estimated cost/cardinality and the
@@ -150,8 +163,15 @@ struct ProbeResponse {
   /// True when the whole probe was shed by the per-agent circuit breaker
   /// (repeated execution failures; retry after the cooldown).
   bool shed = false;
+  /// Per-probe span tree (paper Sec. 4.2 cost feedback as structured data):
+  /// why each query was skipped/truncated/shed, what it cost, what each
+  /// operator produced. Empty when the optimizer runs with tracing
+  /// disabled. Span structure and ids are deterministic (see obs/trace.h);
+  /// only durations are wall-clock.
+  obs::TraceSpan trace;
 
-  /// Renders answers + hints for an agent's context window.
+  /// Renders answers + hints (and the trace, when present) for an agent's
+  /// context window.
   std::string ToString(size_t max_rows_per_answer = 10) const;
 };
 

@@ -1,0 +1,120 @@
+#ifndef AGENTFIRST_CORE_PROBE_BUILDER_H_
+#define AGENTFIRST_CORE_PROBE_BUILDER_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/probe.h"
+
+namespace agentfirst {
+
+/// Fluent construction of probes, so agents/tests/examples stop
+/// hand-initializing the Probe/Brief field soup:
+///
+///   Probe p = ProbeBuilder("agent-7")
+///                 .Query("SELECT count(*) FROM orders")
+///                 .Phase(ProbePhase::kStatExploration)
+///                 .Limits(ResourceLimits().DeadlineMillis(50).MaxRows(1000))
+///                 .Build();
+///
+/// Every setter returns *this; Build() hands out the accumulated probe (the
+/// builder stays usable — issue-loops mutate a base builder and Build()
+/// per turn).
+class ProbeBuilder {
+ public:
+  explicit ProbeBuilder(std::string agent_id) {
+    probe_.agent_id = std::move(agent_id);
+  }
+
+  /// Appends one SQL query.
+  ProbeBuilder& Query(std::string sql) {
+    probe_.queries.push_back(std::move(sql));
+    return *this;
+  }
+  /// Appends a batch of SQL queries.
+  ProbeBuilder& Queries(std::vector<std::string> sqls) {
+    for (std::string& sql : sqls) probe_.queries.push_back(std::move(sql));
+    return *this;
+  }
+
+  /// Free-form brief text (goals, tolerances; interpreted server-side).
+  ProbeBuilder& Brief(std::string text) {
+    probe_.brief.text = std::move(text);
+    return *this;
+  }
+  ProbeBuilder& Phase(ProbePhase phase) {
+    probe_.brief.phase = phase;
+    return *this;
+  }
+  ProbeBuilder& MaxRelativeError(double error) {
+    probe_.brief.max_relative_error = error;
+    return *this;
+  }
+  ProbeBuilder& Priority(int priority) {
+    probe_.brief.priority = priority;
+    return *this;
+  }
+  ProbeBuilder& KOfN(size_t k) {
+    probe_.brief.k_of_n = k;
+    return *this;
+  }
+  ProbeBuilder& EnoughRowsTotal(size_t rows) {
+    probe_.brief.enough_rows_total = rows;
+    return *this;
+  }
+  ProbeBuilder& StopWhen(std::function<bool(const ResultSet&)> pred) {
+    probe_.brief.stop_when = std::move(pred);
+    return *this;
+  }
+
+  /// Replaces the brief's resource limits wholesale.
+  ProbeBuilder& Limits(ResourceLimits limits) {
+    probe_.brief.limits = limits;
+    return *this;
+  }
+  // Single-field limit conveniences (compose with each other and Limits()).
+  ProbeBuilder& DeadlineMillis(double ms) {
+    probe_.brief.limits.DeadlineMillis(ms);
+    return *this;
+  }
+  ProbeBuilder& MaxRows(size_t rows) {
+    probe_.brief.limits.MaxRows(rows);
+    return *this;
+  }
+  ProbeBuilder& MaxBytes(size_t bytes) {
+    probe_.brief.limits.MaxBytes(bytes);
+    return *this;
+  }
+  ProbeBuilder& CostBudget(double budget) {
+    probe_.brief.limits.CostBudget(budget);
+    return *this;
+  }
+
+  /// Semantic discovery beyond SQL (find tables/columns/values similar to
+  /// `phrase`); `top_k` unset = system default.
+  ProbeBuilder& SemanticSearch(std::string phrase,
+                               std::optional<size_t> top_k = std::nullopt) {
+    probe_.semantic_search_phrase = std::move(phrase);
+    probe_.semantic_top_k = top_k;
+    return *this;
+  }
+
+  /// Plan + estimate everything, execute nothing (paper Sec. 4.2 cost
+  /// feedback).
+  ProbeBuilder& DryRun(bool dry_run = true) {
+    probe_.dry_run = dry_run;
+    return *this;
+  }
+
+  Probe Build() const { return probe_; }
+
+ private:
+  Probe probe_;
+};
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_CORE_PROBE_BUILDER_H_

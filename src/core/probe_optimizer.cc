@@ -8,6 +8,8 @@
 #include "common/fault_injection.h"
 #include "common/hash.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "opt/aqp.h"
 #include "opt/cost_model.h"
 #include "opt/rules.h"
@@ -41,6 +43,41 @@ double RetryJitter(uint64_t seed, uint64_t probe_id, size_t query,
   uint64_t h = Mix64(HashCombine(HashCombine(HashInt(seed), HashInt(probe_id)),
                                  HashInt((query << 8) ^ attempt)));
   return 0.5 + static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+/// Semantic-discovery matches returned when the probe leaves
+/// `semantic_top_k` unset (documented in core/probe.h).
+constexpr size_t kDefaultSemanticTopK = 5;
+
+/// Process-wide probe-layer counters (af.probe.*): the registry mirror of
+/// the per-optimizer Metrics snapshot, aggregated over every ProbeOptimizer
+/// in the process. Resolved once; every update is one relaxed add.
+struct ProbeCounters {
+  obs::Counter* probes;
+  obs::Counter* executed;
+  obs::Counter* skipped;
+  obs::Counter* from_memory;
+  obs::Counter* retries;
+  obs::Counter* truncated;
+  obs::Counter* degraded;
+  obs::Counter* shed;
+};
+
+ProbeCounters& Counters() {
+  static ProbeCounters* c = [] {
+    auto& reg = obs::MetricsRegistry::Default();
+    auto* counters = new ProbeCounters();
+    counters->probes = reg.GetCounter("af.probe.probes");
+    counters->executed = reg.GetCounter("af.probe.queries_executed");
+    counters->skipped = reg.GetCounter("af.probe.queries_skipped");
+    counters->from_memory = reg.GetCounter("af.probe.queries_from_memory");
+    counters->retries = reg.GetCounter("af.probe.retries");
+    counters->truncated = reg.GetCounter("af.probe.truncated");
+    counters->degraded = reg.GetCounter("af.probe.degraded");
+    counters->shed = reg.GetCounter("af.probe.sheds");
+    return counters;
+  }();
+  return *c;
 }
 }  // namespace
 
@@ -140,6 +177,15 @@ struct ProbeOptimizer::ProbeTask {
 
   const Probe* probe = nullptr;
   Brief brief;
+  /// Effective resource limits: the brief's (aliases folded) merged over the
+  /// optimizer's defaults — common/limits.h merge rule, applied once here.
+  ResourceLimits limits;
+  /// Root of the probe's span tree; name stays empty when tracing is
+  /// disabled. Prepare adds interpret/admit, Execute adds the query[i]
+  /// subtrees (task-local, so no synchronization even under batch
+  /// parallelism), Finalize adds finalize, assigns the seeded ids, and moves
+  /// the tree into the response.
+  obs::TraceSpan trace;
   bool exploratory = false;
   bool wants_exact = false;
   std::vector<Prepared> prepared;
@@ -233,6 +279,7 @@ void ProbeOptimizer::PrepareProbe(const Probe& probe, ProbeTask* task) {
     MutexLock lock(state_mutex_);
     ++metrics_.probes;
   }
+  Counters().probes->Increment();
   task->probe = &probe;
   ProbeResponse& response = task->response;
   response.probe_id = probe.id;
@@ -247,6 +294,22 @@ void ProbeOptimizer::PrepareProbe(const Probe& probe, ProbeTask* task) {
                      brief.max_relative_error == 0.0;
   task->exploratory = exploratory;
   task->wants_exact = wants_exact;
+  task->limits = brief.EffectiveLimits().MergedOver(options_.default_limits);
+
+  if (options_.enable_tracing) {
+    task->trace.name = "probe";
+    task->trace.AddNote("id", std::to_string(probe.id));
+    if (!probe.agent_id.empty()) task->trace.AddNote("agent", probe.agent_id);
+    obs::TraceSpan* interpret = task->trace.AddChild("interpret");
+    interpret->AddNote("phase", ProbePhaseName(brief.phase));
+    if (brief.max_relative_error.has_value()) {
+      interpret->AddNote("max_relative_error",
+                         std::to_string(*brief.max_relative_error));
+    }
+    if (brief.priority != 0) {
+      interpret->AddNote("priority", std::to_string(brief.priority));
+    }
+  }
 
   // Circuit breaker (serial phase, so the shed decision is independent of
   // batch thread count): while this agent's breaker is open, shed the whole
@@ -262,6 +325,7 @@ void ProbeOptimizer::PrepareProbe(const Probe& probe, ProbeTask* task) {
       task->shed = true;
       response.shed = true;
       ++metrics_.probes_shed;
+      Counters().shed->Increment();
     }
   }
 
@@ -397,7 +461,8 @@ void ProbeOptimizer::PrepareProbe(const Probe& probe, ProbeTask* task) {
   // until the probe fits the declared computational budget.
   std::vector<char>& over_budget = task->over_budget;
   over_budget.assign(prepared.size(), 0);
-  if (options_.enable_satisficing && brief.cost_budget > 0.0 && exploratory) {
+  const std::optional<double> cost_budget = task->limits.cost_budget;
+  if (options_.enable_satisficing && cost_budget.has_value() && exploratory) {
     double total = 0.0;
     std::vector<size_t> runnable;
     for (size_t i = 0; i < prepared.size(); ++i) {
@@ -412,7 +477,7 @@ void ProbeOptimizer::PrepareProbe(const Probe& probe, ProbeTask* task) {
       return ua < ub;  // least useful-per-cost first (shed order)
     });
     for (size_t idx : runnable) {
-      if (total <= brief.cost_budget) break;
+      if (total <= *cost_budget) break;
       run[idx] = false;
       over_budget[idx] = true;
       total -= prepared[idx].cost;
@@ -446,7 +511,7 @@ void ProbeOptimizer::PrepareProbe(const Probe& probe, ProbeTask* task) {
       for (const Prepared& p : prepared) {
         if (p.plan != nullptr) max_rows = std::max(max_rows, p.cost);
       }
-      sample_rate = ChooseSampleRate(max_rows, brief.max_relative_error);
+      sample_rate = ChooseSampleRate(max_rows, *brief.max_relative_error);
       // Sampling only pays off when it skips real work.
       if (sample_rate > 0.9) sample_rate = 1.0;
     } else if (exploratory) {
@@ -458,6 +523,28 @@ void ProbeOptimizer::PrepareProbe(const Probe& probe, ProbeTask* task) {
       if (total_cost > options_.exploration_cost_threshold) {
         sample_rate = options_.exploration_sample_rate;
       }
+    }
+  }
+
+  // Admission summary span: every decision above, machine-readable.
+  if (options_.enable_tracing) {
+    obs::TraceSpan* admit = task->trace.AddChild("admit");
+    size_t admitted = 0;
+    for (char r : run) {
+      if (r != 0) ++admitted;
+    }
+    admit->AddNote("submitted", std::to_string(prepared.size()));
+    admit->AddNote("admitted", std::to_string(task->shed ? 0 : admitted));
+    if (task->shed) admit->AddNote("shed", "circuit breaker open");
+    if (sample_rate < 1.0) {
+      admit->AddNote("sample_rate", std::to_string(sample_rate));
+    }
+    if (task->limits.deadline.has_value()) {
+      admit->AddNote("deadline_ms",
+                     std::to_string(task->limits.deadline->count()));
+    }
+    if (cost_budget.has_value()) {
+      admit->AddNote("cost_budget", std::to_string(*cost_budget));
     }
   }
 }
@@ -473,6 +560,10 @@ void ProbeOptimizer::ExecuteProbe(ProbeTask* task) {
   const std::vector<char>& over_budget = task->over_budget;
   const bool wants_exact = task->wants_exact;
   const double sample_rate = task->sample_rate;
+  // Span-tree root for this probe (nullptr = tracing disabled). Execute owns
+  // the task exclusively during this phase, so appending query subtrees here
+  // needs no synchronization even when probes run batch-parallel.
+  obs::TraceSpan* root = options_.enable_tracing ? &task->trace : nullptr;
 
   // 4. Execute (memory short-circuit first, then shared batch execution).
   // This phase may run concurrently with other probes' Execute phases:
@@ -494,21 +585,40 @@ void ProbeOptimizer::ExecuteProbe(ProbeTask* task) {
       answer.skip_reason =
           "shed: circuit breaker open after repeated execution failures; "
           "retry after the cooldown";
+      if (root != nullptr) {
+        root->AddChild("query[" + std::to_string(i) + "]")
+            ->AddNote("skip", answer.skip_reason);
+      }
     }
+    Counters().skipped->Add(prepared.size());
     MutexLock lock(state_mutex_);
     metrics_.queries_skipped += prepared.size();
     return;
   }
 
-  // Per-query wall-clock deadline (brief overrides the optimizer default).
-  const double deadline_ms = brief.deadline_ms > 0.0
-                                 ? brief.deadline_ms
-                                 : options_.default_deadline_ms;
+  // Effective limits for every query of this probe (brief overrides the
+  // optimizer defaults; common/limits.h merge rule, applied in Prepare).
+  // The deadline is relative and armed by the executor at the start of each
+  // execution attempt, so retries get a fresh budget automatically.
+  const ResourceLimits& limits = task->limits;
   for (size_t i = 0; i < prepared.size(); ++i) {
     QueryAnswer& answer = response.answers[i];
     answer.sql = prepared[i].sql;
     answer.estimated_cost = prepared[i].cost;
     answer.estimated_rows = prepared[i].rows;
+
+    obs::TraceSpan* qspan =
+        root != nullptr ? root->AddChild("query[" + std::to_string(i) + "]")
+                        : nullptr;
+    if (qspan != nullptr) {
+      obs::TraceSpan* plan_span = qspan->AddChild("plan");
+      if (prepared[i].plan == nullptr) {
+        plan_span->AddNote("error", prepared[i].bind_status.message());
+      } else {
+        plan_span->AddNote("est_cost", std::to_string(prepared[i].cost));
+        plan_span->AddNote("est_rows", std::to_string(prepared[i].rows));
+      }
+    }
 
     if (prepared[i].plan == nullptr) {
       answer.status = prepared[i].bind_status;
@@ -521,6 +631,7 @@ void ProbeOptimizer::ExecuteProbe(ProbeTask* task) {
       answer.skipped = true;
       answer.skip_reason = "dry run: plan and cost estimate only";
       answer.plan_text = prepared[i].plan->ToString();
+      if (qspan != nullptr) qspan->AddNote("skip", answer.skip_reason);
       continue;
     }
     if (!run[i]) {
@@ -537,6 +648,8 @@ void ProbeOptimizer::ExecuteProbe(ProbeTask* task) {
       } else {
         answer.skip_reason = "satisficing: covered by the answered subset";
       }
+      if (qspan != nullptr) qspan->AddNote("skip", answer.skip_reason);
+      Counters().skipped->Increment();
       MutexLock lock(state_mutex_);
       ++metrics_.queries_skipped;
       metrics_.skipped_cost += prepared[i].cost;
@@ -554,6 +667,8 @@ void ProbeOptimizer::ExecuteProbe(ProbeTask* task) {
       answer.skip_reason = termination_fired
                                ? "termination criterion met: stop_when fired"
                                : "termination criterion met: enough rows produced";
+      if (qspan != nullptr) qspan->AddNote("skip", answer.skip_reason);
+      Counters().skipped->Increment();
       MutexLock lock(state_mutex_);
       ++metrics_.queries_skipped;
       metrics_.skipped_cost += prepared[i].cost;
@@ -579,6 +694,11 @@ void ProbeOptimizer::ExecuteProbe(ProbeTask* task) {
         answer.approximate = answer.result->approximate;
         answer.sample_rate = answer.result->sample_rate;
         rows_produced_total += answer.result->rows.size();
+        if (qspan != nullptr) {
+          qspan->AddNote("from_memory", "true");
+          qspan->AddNote("rows", std::to_string(answer.result->rows.size()));
+        }
+        Counters().from_memory->Increment();
         MutexLock lock(state_mutex_);
         ++metrics_.queries_from_memory;
         if (!probe.agent_id.empty()) {
@@ -607,19 +727,22 @@ void ProbeOptimizer::ExecuteProbe(ProbeTask* task) {
     exec_options.cache = options_.enable_mqo ? batch_.cache() : nullptr;
     exec_options.num_threads = options_.intra_query_threads;
     exec_options.cancel = cancel_;
-    exec_options.max_output_rows = brief.max_result_rows;
-    exec_options.max_output_bytes = brief.max_result_bytes;
+    exec_options.limits = limits;
 
-    // One execution attempt at `rate`. Each attempt gets a fresh deadline of
-    // the same length — a retry after a transient fault should not inherit
-    // the time the failed attempt burned. The fault point lets tests inject
-    // probe-level transient faults without touching executor internals.
-    auto attempt_once = [&](double rate) -> Result<ResultSetPtr> {
+    // One execution attempt at `rate`, recorded into `span` (operator child
+    // spans plus wall time). The relative deadline in `limits` is armed
+    // inside ExecutePlan, so each attempt gets a fresh budget — a retry
+    // after a transient fault never inherits the time the failed attempt
+    // burned. The fault point lets tests inject probe-level transient
+    // faults without touching executor internals.
+    auto attempt_once = [&](double rate,
+                            obs::TraceSpan* span) -> Result<ResultSetPtr> {
       Status injected = AF_FAULT_STATUS("core.probe.query");
       if (!injected.ok()) return injected;
       ExecOptions eo = exec_options;
       eo.sample_rate = rate;
-      if (deadline_ms > 0.0) eo.deadline = Deadline::AfterMillis(deadline_ms);
+      eo.trace = span;
+      obs::SpanTimer timer(span);
       if (rate < 1.0) {
         auto approx = ExecuteApproximate(*prepared[i].plan, rate, eo);
         if (!approx.ok()) return approx.status();
@@ -635,7 +758,9 @@ void ProbeOptimizer::ExecuteProbe(ProbeTask* task) {
     // Transient-fault retry with seeded jittered exponential backoff.
     // Deliberate outcomes (deadline, budget, cancellation, bad SQL) are not
     // retryable — see IsRetryable.
-    Result<ResultSetPtr> exec_result = attempt_once(effective_rate);
+    obs::TraceSpan* exec_span =
+        qspan != nullptr ? qspan->AddChild("exec") : nullptr;
+    Result<ResultSetPtr> exec_result = attempt_once(effective_rate, exec_span);
     size_t retries = 0;
     while (!exec_result.ok() && IsRetryable(exec_result.status()) &&
            retries < options_.max_query_retries) {
@@ -645,16 +770,26 @@ void ProbeOptimizer::ExecuteProbe(ProbeTask* task) {
                         static_cast<double>(1ull << (retries - 1)) * jitter;
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::milli>(delay_ms));
-      exec_result = attempt_once(effective_rate);
+      obs::TraceSpan* retry_span = nullptr;
+      if (qspan != nullptr) {
+        retry_span = qspan->AddChild("retry[" + std::to_string(retries) + "]");
+        retry_span->AddNote("after", exec_result.status().message());
+        retry_span->AddNote("backoff_ms", std::to_string(delay_ms));
+      }
+      exec_result = attempt_once(effective_rate, retry_span);
     }
     answer.retries = static_cast<uint32_t>(retries);
     response.total_retries += retries;
     if (retries > 0) {
+      Counters().retries->Add(retries);
       MutexLock lock(state_mutex_);
       metrics_.query_retries += retries;
     }
     if (!exec_result.ok()) {
       answer.status = exec_result.status();
+      if (qspan != nullptr) {
+        qspan->AddNote("error", answer.status.message());
+      }
       continue;
     }
     answer.result = *exec_result;
@@ -669,12 +804,24 @@ void ProbeOptimizer::ExecuteProbe(ProbeTask* task) {
       if (answer.result->interrupt == StatusCode::kDeadlineExceeded &&
           options_.degrade_on_deadline && options_.enable_aqp &&
           task->exploratory && !wants_exact && effective_rate >= 1.0) {
-        auto retry = attempt_once(options_.exploration_sample_rate);
+        obs::TraceSpan* degrade_span = nullptr;
+        if (qspan != nullptr) {
+          degrade_span = qspan->AddChild("degrade");
+          degrade_span->AddNote(
+              "reason",
+              "deadline-truncated exact answer; re-running via AQP sampling");
+        }
+        auto retry = attempt_once(options_.exploration_sample_rate,
+                                  degrade_span);
         if (retry.ok() && !(*retry)->truncated) {
           answer.result = *retry;
           degraded = true;
+          Counters().degraded->Increment();
           MutexLock lock(state_mutex_);
           ++metrics_.queries_degraded;
+        } else if (degrade_span != nullptr) {
+          degrade_span->AddNote("outcome",
+                                "degrade failed; keeping truncated prefix");
         }
       }
       if (!degraded) {
@@ -687,12 +834,21 @@ void ProbeOptimizer::ExecuteProbe(ProbeTask* task) {
                 : Status::DeadlineExceeded(
                       "answer truncated: deadline expired; partial rows "
                       "attached");
+        if (qspan != nullptr) {
+          qspan->AddNote("truncated", answer.status.message());
+        }
+        Counters().truncated->Increment();
         MutexLock lock(state_mutex_);
         ++metrics_.queries_truncated;
       }
     }
     if (!answer.truncated) answer.status = Status::OK();
     rows_produced_total += answer.result->rows.size();
+    if (qspan != nullptr) {
+      qspan->AddNote("rows", std::to_string(answer.result->rows.size()));
+      if (answer.approximate) qspan->AddNote("approximate", "true");
+    }
+    Counters().executed->Increment();
     if (brief.stop_when && answer.result != nullptr &&
         brief.stop_when(*answer.result)) {
       termination_fired = true;
@@ -769,8 +925,9 @@ void ProbeOptimizer::FinalizeProbe(ProbeTask* task) {
 
   // 5. Semantic discovery (beyond-SQL probe).
   if (!probe.semantic_search_phrase.empty() && search_ != nullptr) {
-    response.discoveries =
-        search_->Search(probe.semantic_search_phrase, probe.semantic_top_k);
+    response.discoveries = search_->Search(
+        probe.semantic_search_phrase,
+        probe.semantic_top_k.value_or(kDefaultSemanticTopK));
   }
 
   // 6. Steering feedback. Finalize runs serially, so holding state_mutex_
@@ -803,6 +960,21 @@ void ProbeOptimizer::FinalizeProbe(ProbeTask* task) {
       AdviseMaterialization(p, &response.hints);
       AdaptiveIndexing(p, &response.hints);
     }
+  }
+
+  // 8. Seal the span tree: summarize finalize-phase outputs, assign the
+  // seeded-deterministic ids (a pure function of the tree shape and
+  // (trace_seed, probe id) — never of scheduling), and hand the tree to the
+  // agent via the response.
+  if (options_.enable_tracing) {
+    obs::TraceSpan* fin = task->trace.AddChild("finalize");
+    fin->AddNote("hints", std::to_string(response.hints.size()));
+    if (!response.discoveries.empty()) {
+      fin->AddNote("discoveries", std::to_string(response.discoveries.size()));
+    }
+    obs::AssignSpanIds(&task->trace,
+                       obs::MixSpanId(options_.trace_seed, probe.id));
+    response.trace = std::move(task->trace);
   }
 }
 

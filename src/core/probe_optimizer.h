@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/cancellation.h"
+#include "common/limits.h"
 #include "common/thread_annotations.h"
 
 #include "catalog/catalog.h"
@@ -73,11 +74,20 @@ class ProbeOptimizer {
     /// Intra-query morsel parallelism for executed probe queries
     /// (ExecOptions::num_threads); draws from the same pool.
     size_t intra_query_threads = 1;
-    /// Wall-clock deadline applied to every probe query whose brief does not
-    /// set `deadline_ms` (0 = none). Deadline expiry yields a truncated
-    /// partial answer, never a hang: an oversized probe costs at most this
-    /// much latency plus one morsel.
-    double default_deadline_ms = 0.0;
+    /// Default resource limits applied to every probe whose brief leaves the
+    /// corresponding field unset (common/limits.h merge rule:
+    /// `brief.EffectiveLimits().MergedOver(default_limits)` — the brief
+    /// always wins field-by-field). Deadline expiry yields a truncated
+    /// partial answer, never a hang: an oversized probe costs at most the
+    /// deadline plus one morsel.
+    ResourceLimits default_limits;
+    /// Record a per-probe span tree (obs/trace.h) into
+    /// ProbeResponse::trace: interpretation, admission, per-query
+    /// plan/exec/retry/degrade spans with skip/truncate/shed reasons and
+    /// per-operator cardinalities. Span structure and ids are deterministic
+    /// under `trace_seed`; only durations are wall-clock.
+    bool enable_tracing = true;
+    uint64_t trace_seed = 0x0b5eed;
     /// Transparent retries per query on transient (IsRetryable) execution
     /// faults. 0 disables retry.
     size_t max_query_retries = 2;

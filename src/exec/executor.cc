@@ -1,6 +1,7 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <iterator>
 #include <set>
@@ -25,6 +26,36 @@ size_t ApproxRowBytes(const Row& row) {
   }
   return total;
 }
+
+/// Process-wide executor metrics (af.exec.*). Pointers are resolved once and
+/// cached, so each hot-path update is a single relaxed atomic add.
+struct ExecMetrics {
+  obs::Counter* cache_hits;
+  obs::Counter* cache_misses;
+  obs::Counter* cache_evictions;
+  obs::Counter* cache_hit_bytes;
+  obs::Counter* cache_evicted_bytes;
+  obs::Counter* plans;
+  obs::Counter* morsels;
+  obs::Histogram* plan_us;
+};
+
+ExecMetrics& Metrics() {
+  static ExecMetrics* m = [] {
+    auto& reg = obs::MetricsRegistry::Default();
+    auto* metrics = new ExecMetrics();
+    metrics->cache_hits = reg.GetCounter("af.exec.cache.hits");
+    metrics->cache_misses = reg.GetCounter("af.exec.cache.misses");
+    metrics->cache_evictions = reg.GetCounter("af.exec.cache.evictions");
+    metrics->cache_hit_bytes = reg.GetCounter("af.exec.cache.hit_bytes");
+    metrics->cache_evicted_bytes = reg.GetCounter("af.exec.cache.evicted_bytes");
+    metrics->plans = reg.GetCounter("af.exec.plans");
+    metrics->morsels = reg.GetCounter("af.exec.morsels");
+    metrics->plan_us = reg.GetHistogram("af.exec.plan_us");
+    return metrics;
+  }();
+  return *m;
+}
 }  // namespace
 
 size_t ExecCache::ApproxResultBytes(const ResultSet& result) {
@@ -38,11 +69,14 @@ ResultSetPtr ExecCache::Get(uint64_t key) {
   MutexLock lock(shard.mutex);
   auto it = shard.entries.find(key);
   if (it == shard.entries.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_.Increment();
+    Metrics().cache_misses->Increment();
     return nullptr;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  hits_.Increment();
+  Metrics().cache_hits->Increment();
+  Metrics().cache_hit_bytes->Add(it->second.bytes);
   return it->second.result;
 }
 
@@ -75,8 +109,10 @@ void ExecCache::EvictOverBudgetLocked(Shard& shard) {
     shard.lru.pop_back();
     auto it = shard.entries.find(victim);
     shard.bytes -= it->second.bytes;
+    evictions_.Increment();
+    Metrics().cache_evictions->Increment();
+    Metrics().cache_evicted_bytes->Add(it->second.bytes);
     shard.entries.erase(it);
-    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -87,9 +123,9 @@ void ExecCache::Clear() {
     shard.lru.clear();
     shard.bytes = 0;
   }
-  hits_.store(0);
-  misses_.store(0);
-  evictions_.store(0);
+  hits_.Reset();
+  misses_.Reset();
+  evictions_.Reset();
 }
 
 size_t ExecCache::size() const {
@@ -170,13 +206,18 @@ struct InterruptCtx {
   Status fault AF_GUARDED_BY(fault_mutex);
   std::atomic<bool> has_fault{false};
 
+  /// Arms the relative `limits.deadline` against now (construction time ==
+  /// ExecutePlan entry), so each execution — including each retry attempt —
+  /// gets the full budget.
   explicit InterruptCtx(const ExecOptions& o)
       : cancel(o.cancel),
-        deadline(o.deadline),
-        max_rows(o.max_output_rows),
-        max_bytes(o.max_output_bytes),
-        active(o.cancel.cancellable() || !o.deadline.is_infinite() ||
-               o.max_output_rows > 0 || o.max_output_bytes > 0) {}
+        deadline(o.limits.deadline
+                     ? Deadline::AfterMillis(o.limits.deadline->count())
+                     : Deadline()),
+        max_rows(o.limits.max_rows.value_or(0)),
+        max_bytes(o.limits.max_bytes.value_or(0)),
+        active(o.cancel.cancellable() || o.limits.deadline.has_value() ||
+               max_rows > 0 || max_bytes > 0) {}
 
   const std::atomic<bool>* stop_flag() const { return &stop; }
 
@@ -284,12 +325,17 @@ void ParallelMorselAppend(
     const std::function<void(size_t, size_t, std::vector<Row>*)>& body) {
   size_t num_morsels = (num_rows + kRowMorselSize - 1) / kRowMorselSize;
   std::vector<std::vector<Row>> buffers(num_morsels);
+  // Budget tripwires local to this operator invocation, not metrics.
+  // aflint:allow(raw-counter)
   std::atomic<size_t> produced_rows{0};
+  // aflint:allow(raw-counter)
   std::atomic<size_t> produced_bytes{0};
+  obs::Counter* morsel_counter = Metrics().morsels;
   PoolFor(options)->ParallelFor(
       0, num_rows,
       [&](size_t begin, size_t end) {
         if (ctx.Check() || ctx.FaultAt(fault_site)) return;
+        morsel_counter->Increment();
         std::vector<Row>* buf = &buffers[begin / kRowMorselSize];
         body(begin, end, buf);
         if (ctx.max_rows > 0) {
@@ -382,7 +428,10 @@ Result<ResultSetPtr> ExecScan(const PlanNode& node, const ExecOptions& options,
   if (!sampling && UseParallel(options, node.table->NumRows()) &&
       segments.size() > 1) {
     std::vector<std::vector<Row>> buffers(segments.size());
+    // Budget tripwires local to this scan, not metrics.
+    // aflint:allow(raw-counter)
     std::atomic<size_t> produced_rows{0};
+    // aflint:allow(raw-counter)
     std::atomic<size_t> produced_bytes{0};
     PoolFor(options)->ParallelFor(
         0, segments.size(),
@@ -980,9 +1029,19 @@ Result<ResultSetPtr> ExecNode(const PlanNode& node, const ExecOptions& options,
   if (options.cache != nullptr) {
     key = CacheKey(node, options);
     if (ResultSetPtr cached = options.cache->Get(key); cached != nullptr) {
+      if (options.trace != nullptr) {
+        obs::TraceSpan* span = options.trace->AddChild(
+            std::string("op:") + PlanKindName(node.kind));
+        span->AddNote("cached", "true");
+        span->AddNote("rows", std::to_string(cached->rows.size()));
+      }
       return cached;
     }
   }
+  // Tracing disabled (the default) costs exactly this one branch per
+  // operator; enabled, it costs two clock reads plus one span append.
+  std::chrono::steady_clock::time_point op_start;
+  if (options.trace != nullptr) op_start = std::chrono::steady_clock::now();
   Result<ResultSetPtr> result = [&]() -> Result<ResultSetPtr> {
     switch (node.kind) {
       case PlanKind::kScan: return ExecScan(node, options, ctx);
@@ -998,6 +1057,17 @@ Result<ResultSetPtr> ExecNode(const PlanNode& node, const ExecOptions& options,
     }
     return Status::Internal("unknown plan kind");
   }();
+  if (options.trace != nullptr && result.ok()) {
+    // Children recurse inside the switch, so operator spans land in
+    // deterministic post-order (a subtree's ops precede its root's).
+    obs::TraceSpan* span =
+        options.trace->AddChild(std::string("op:") + PlanKindName(node.kind));
+    span->duration_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - op_start)
+                            .count();
+    span->AddNote("rows", std::to_string((*result)->rows.size()));
+    if ((*result)->truncated) span->AddNote("truncated", "true");
+  }
   if (result.ok() && options.cache != nullptr && options.cache_subplans &&
       !(*result)->truncated) {
     // Truncated results are partial answers for THIS probe's deadline or
@@ -1015,8 +1085,14 @@ Result<ResultSetPtr> ExecNode(const PlanNode& node, const ExecOptions& options,
 }  // namespace
 
 Result<ResultSetPtr> ExecutePlan(const PlanNode& plan, const ExecOptions& options) {
+  auto start = std::chrono::steady_clock::now();
   InterruptCtx ctx(options);
   Result<ResultSetPtr> result = ExecNode(plan, options, ctx);
+  Metrics().plans->Increment();
+  Metrics().plan_us->Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
   if (!result.ok()) return result;
   // A hard trip can race with operators that completed normally; make the
   // terminal state authoritative.

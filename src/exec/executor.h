@@ -8,10 +8,13 @@
 #include <unordered_map>
 
 #include "common/cancellation.h"
+#include "common/limits.h"
 #include "common/result.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "exec/result_set.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "plan/fingerprint.h"
 #include "plan/logical_plan.h"
 
@@ -40,9 +43,9 @@ class ExecCache {
   size_t size() const;
   /// Estimated resident bytes across all shards.
   size_t bytes() const;
-  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
-  uint64_t evictions() const { return evictions_.load(std::memory_order_relaxed); }
+  uint64_t hits() const { return hits_.value(); }
+  uint64_t misses() const { return misses_.value(); }
+  uint64_t evictions() const { return evictions_.value(); }
 
   void set_capacity_bytes(size_t capacity_bytes);
 
@@ -68,10 +71,15 @@ class ExecCache {
   void EvictOverBudgetLocked(Shard& shard) AF_REQUIRES(shard.mutex);
 
   Shard shards_[kNumShards];
+  // Capacity is a configuration knob read at eviction time, not a counter.
+  // aflint:allow(raw-counter)
   std::atomic<size_t> capacity_bytes_;
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> evictions_{0};
+  // Per-instance stats (many caches coexist: one per BatchExecutor). The
+  // process-wide totals additionally flow into MetricsRegistry::Default()
+  // under af.exec.cache.* (see executor.cc).
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter evictions_;
 };
 
 struct ExecOptions {
@@ -95,23 +103,28 @@ struct ExecOptions {
   size_t num_threads = 1;
   /// Pool for morsel execution; nullptr = ThreadPool::Default(). Not owned.
   ThreadPool* pool = nullptr;
-  /// Wall-clock deadline for the whole plan (default: none). Checked at
-  /// morsel granularity; on expiry the plan stops within one morsel and
-  /// returns a well-formed partial result with `truncated = true` and
-  /// `interrupt = kDeadlineExceeded`. Operators downstream of the trip
-  /// drain their already-materialized inputs so partial rows survive to the
-  /// root; scans that have not started yet return empty.
-  Deadline deadline;
+  /// Unified resource limits (common/limits.h) for this plan execution.
+  /// `limits.deadline` is a *relative* wall-clock budget armed when
+  /// ExecutePlan starts (so retries re-arm naturally); expiry stops within
+  /// one morsel and returns a well-formed partial result with
+  /// `truncated = true` and `interrupt = kDeadlineExceeded` — operators
+  /// downstream of the trip drain their already-materialized inputs so
+  /// partial rows survive to the root. `limits.max_rows` / `max_bytes` are
+  /// per-operator output caps (bytes measured like
+  /// ExecCache::ApproxResultBytes); exceeding one truncates with
+  /// `interrupt = kResourceExhausted`. `limits.cost_budget` is an
+  /// optimizer-layer concept and is ignored here.
+  ResourceLimits limits;
   /// Cooperative cancellation (default: non-cancellable). Unlike a deadline,
   /// cancellation abandons the answer: ExecutePlan returns kCancelled with
   /// no result.
   CancellationToken cancel;
-  /// Per-operator output row cap (0 = unlimited). Exceeding it truncates
-  /// the result with `interrupt = kResourceExhausted`.
-  size_t max_output_rows = 0;
-  /// Approximate per-operator output byte cap (0 = unlimited), measured
-  /// like ExecCache::ApproxResultBytes. Same truncation semantics.
-  size_t max_output_bytes = 0;
+  /// When set, one `op:<kind>` child span is appended under this span per
+  /// executed operator (flat, post-order) carrying its output rows, cache
+  /// status, and wall time. Not owned; must outlive the call. One plan
+  /// execution per span — the recording is not synchronized across plans.
+  /// nullptr (the default) disables tracing at the cost of one branch.
+  obs::TraceSpan* trace = nullptr;
 };
 
 /// Executes a bound logical plan bottom-up, materializing each operator.

@@ -249,6 +249,7 @@ class Linter {
       CheckUnseededRandom(i, line);
       CheckIostream(i, line);
       CheckRawMutexGuard(i, line);
+      CheckRawCounter(i, line);
       CheckMutexMemberCoverage(i, line);
     }
     CheckFaultPointScope();
@@ -340,6 +341,31 @@ class Linter {
                    "MutexLock from common/thread_annotations.h");
         return;
       }
+    }
+  }
+
+  void CheckRawCounter(size_t idx, const std::string& line) {
+    if (!in_src_ || StartsWith(path_, "src/obs/")) return;
+    size_t pos = FindToken(line, "std::atomic");
+    while (pos != std::string::npos) {
+      size_t open = line.find('<', pos);
+      if (open == std::string::npos) return;
+      size_t close = line.find('>', open);
+      std::string payload =
+          close == std::string::npos ? line.substr(open + 1)
+                                     : line.substr(open + 1, close - open - 1);
+      for (const char* t : {"uint64_t", "uint32_t", "uint16_t", "size_t",
+                            "int64_t", "unsigned"}) {
+        if (FindToken(payload, t) != std::string::npos) {
+          Report(idx, "raw-counter",
+                 "std::atomic<" + payload +
+                     "> counter outside src/obs/: use obs::Counter / "
+                     "obs::Gauge / obs::Histogram (obs/metrics.h) so the "
+                     "value is named, registered, and dumpable");
+          return;
+        }
+      }
+      pos = FindToken(line, "std::atomic", pos + 1);
     }
   }
 
@@ -472,8 +498,9 @@ std::string Diagnostic::ToString() const {
 }
 
 std::vector<std::string> RuleNames() {
-  return {"raw-thread",      "unseeded-random",    "iostream-in-lib",
-          "raw-mutex-guard", "guarded-by-coverage", "fault-point-scope"};
+  return {"raw-thread",      "unseeded-random",     "iostream-in-lib",
+          "raw-mutex-guard", "guarded-by-coverage", "fault-point-scope",
+          "raw-counter"};
 }
 
 std::vector<Diagnostic> LintSource(const std::string& path,

@@ -54,6 +54,15 @@ struct Diagnostic {
 ///                        either breaks the build or silently changes
 ///                        control flow; expression contexts use
 ///                        AF_FAULT_STATUS instead.
+///   raw-counter          std::atomic over an integer type (uint64_t, size_t,
+///                        ...) under src/ but outside src/obs/. Ad-hoc atomic
+///                        counters are invisible to the telemetry spine; use
+///                        obs::Counter / obs::Gauge / obs::Histogram so every
+///                        count is named, registered, and dumpable by
+///                        afmetrics. Genuine non-metric atomics (work-claim
+///                        cursors, budget tripwires) take an explicit
+///                        aflint:allow(raw-counter). std::atomic<bool> flags
+///                        and std::atomic<int> status slots are not flagged.
 ///
 /// Suppression: `// aflint:allow(rule)` (comma-separated for several rules)
 /// on the offending line, or on a comment line immediately above it.

@@ -1,0 +1,194 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace agentfirst {
+namespace obs {
+
+namespace {
+
+/// FNV-1a — stable across runs and platforms, so stripe assignment (and
+/// therefore lock contention shape) is reproducible.
+uint64_t HashName(const std::string& name) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out->push_back(' ');
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+uint64_t Histogram::ValueAtPercentile(double p) const {
+  uint64_t n = count();
+  if (n == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Rank of the target sample, 1-based, rounding up.
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(n));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += bucket(i);
+    if (seen >= rank) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+MetricsRegistry::Stripe& MetricsRegistry::StripeFor(const std::string& name) {
+  return stripes_[HashName(name) % kNumStripes];
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  Stripe& stripe = StripeFor(name);
+  MutexLock lock(stripe.mutex);
+  if (stripe.gauges.count(name) > 0 || stripe.histograms.count(name) > 0) {
+    return nullptr;  // name already bound to a different kind
+  }
+  auto& slot = stripe.counters[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  Stripe& stripe = StripeFor(name);
+  MutexLock lock(stripe.mutex);
+  if (stripe.counters.count(name) > 0 || stripe.histograms.count(name) > 0) {
+    return nullptr;
+  }
+  auto& slot = stripe.gauges[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  Stripe& stripe = StripeFor(name);
+  MutexLock lock(stripe.mutex);
+  if (stripe.counters.count(name) > 0 || stripe.gauges.count(name) > 0) {
+    return nullptr;
+  }
+  auto& slot = stripe.histograms[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::Snapshot() const {
+  std::vector<Sample> out;
+  for (const Stripe& stripe : stripes_) {
+    MutexLock lock(stripe.mutex);
+    for (const auto& [name, counter] : stripe.counters) {
+      Sample s;
+      s.name = name;
+      s.kind = Kind::kCounter;
+      s.count = counter->value();
+      out.push_back(std::move(s));
+    }
+    for (const auto& [name, gauge] : stripe.gauges) {
+      Sample s;
+      s.name = name;
+      s.kind = Kind::kGauge;
+      s.gauge = gauge->value();
+      out.push_back(std::move(s));
+    }
+    for (const auto& [name, hist] : stripe.histograms) {
+      Sample s;
+      s.name = name;
+      s.kind = Kind::kHistogram;
+      s.count = hist->count();
+      s.sum = hist->sum();
+      s.p50 = hist->ValueAtPercentile(50.0);
+      s.p95 = hist->ValueAtPercentile(95.0);
+      s.p99 = hist->ValueAtPercentile(99.0);
+      out.push_back(std::move(s));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Sample& a, const Sample& b) { return a.name < b.name; });
+  return out;
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::string out;
+  for (const Sample& s : Snapshot()) {
+    out += s.name;
+    switch (s.kind) {
+      case Kind::kCounter:
+        out += " counter " + std::to_string(s.count);
+        break;
+      case Kind::kGauge:
+        out += " gauge " + std::to_string(s.gauge);
+        break;
+      case Kind::kHistogram:
+        out += " histogram count=" + std::to_string(s.count) +
+               " sum=" + std::to_string(s.sum) +
+               " p50=" + std::to_string(s.p50) +
+               " p95=" + std::to_string(s.p95) +
+               " p99=" + std::to_string(s.p99);
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::string out = "[";
+  bool first = true;
+  for (const Sample& s : Snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"name\": ";
+    AppendJsonString(s.name, &out);
+    switch (s.kind) {
+      case Kind::kCounter:
+        out += ", \"kind\": \"counter\", \"value\": " + std::to_string(s.count);
+        break;
+      case Kind::kGauge:
+        out += ", \"kind\": \"gauge\", \"value\": " + std::to_string(s.gauge);
+        break;
+      case Kind::kHistogram:
+        out += ", \"kind\": \"histogram\", \"count\": " +
+               std::to_string(s.count) + ", \"sum\": " + std::to_string(s.sum) +
+               ", \"p50\": " + std::to_string(s.p50) +
+               ", \"p95\": " + std::to_string(s.p95) +
+               ", \"p99\": " + std::to_string(s.p99);
+        break;
+    }
+    out += "}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  for (Stripe& stripe : stripes_) {
+    MutexLock lock(stripe.mutex);
+    for (auto& [name, counter] : stripe.counters) counter->Reset();
+    for (auto& [name, gauge] : stripe.gauges) gauge->Reset();
+    for (auto& [name, hist] : stripe.histograms) hist->Reset();
+  }
+}
+
+}  // namespace obs
+}  // namespace agentfirst

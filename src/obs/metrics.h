@@ -1,0 +1,179 @@
+#ifndef AGENTFIRST_OBS_METRICS_H_
+#define AGENTFIRST_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+/// The telemetry spine (paper Sec. 4.2: the system must explain its own
+/// behaviour back to agents and operators). Three primitives — Counter,
+/// Gauge, Histogram — plus a lock-striped name -> metric registry with a
+/// process-wide default. Layers register once (paying a striped map lookup),
+/// cache the returned pointer, and afterwards every hot-path update is a
+/// single relaxed atomic op: the same ≤ a-few-ns discipline as
+/// common/fault_injection.h's disabled path.
+///
+/// Metric naming scheme: `af.<layer>.<name>` — e.g. af.pool.steals,
+/// af.exec.cache.hits, af.probe.retries. Histograms append a unit suffix
+/// (`_us`, `_rows`). tools/afmetrics dumps the default registry as text or
+/// JSON; MetricsRegistry::RenderText/RenderJson do the same in-process.
+namespace agentfirst {
+namespace obs {
+
+/// Monotonically increasing event count. Relaxed ordering: totals are exact
+/// once the writers have quiesced (joined/synchronized), which is when
+/// anyone reads them.
+class Counter {
+ public:
+  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (queue depth, resident bytes). May move
+/// in either direction.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram over non-negative integer samples (latencies in
+/// microseconds, row counts). Buckets are geometric powers of two: bucket i
+/// holds samples whose bit width is i, i.e. bucket 0 holds 0, bucket i>0
+/// holds [2^(i-1), 2^i). Fixed buckets keep Record() lock-free (one relaxed
+/// add per sample plus sum/count) and make bucket math unit-testable.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 40;  // covers up to ~5.5e11 (2^39)
+
+  static size_t BucketIndex(uint64_t value) {
+    size_t width = 0;
+    while (value != 0) {
+      value >>= 1;
+      ++width;
+    }
+    return width < kNumBuckets ? width : kNumBuckets - 1;
+  }
+  /// Largest sample bucket i can hold (inclusive).
+  static uint64_t BucketUpperBound(size_t i) {
+    if (i == 0) return 0;
+    if (i >= 63) return ~0ull;
+    return (1ull << i) - 1;
+  }
+
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  double mean() const {
+    uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+  /// Upper bound of the bucket containing the p-th percentile sample
+  /// (p in [0, 100]). Conservative (rounds up to the bucket edge).
+  uint64_t ValueAtPercentile(double p) const;
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> count_{0};
+};
+
+/// Name -> metric registry. Registration is lock-striped (metrics whose
+/// names hash to different stripes register concurrently without touching
+/// the same mutex); returned pointers are stable for the registry's lifetime
+/// so callers cache them and never re-enter the lock on the hot path.
+///
+/// A name permanently binds to its first-registered kind; asking for the
+/// same name as a different kind returns nullptr (callers treat that as a
+/// programming error; tools surface it in --self-test).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide default registry (created on first use, never destroyed —
+  /// instrumented singletons like ThreadPool::Default() outlive statics).
+  static MetricsRegistry& Default();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  /// Point-in-time reading of one metric.
+  struct Sample {
+    std::string name;
+    Kind kind = Kind::kCounter;
+    uint64_t count = 0;   // counter value / histogram sample count
+    int64_t gauge = 0;    // gauge value
+    uint64_t sum = 0;     // histogram sum
+    uint64_t p50 = 0;     // histogram percentiles (bucket upper bounds)
+    uint64_t p95 = 0;
+    uint64_t p99 = 0;
+  };
+
+  /// All metrics, sorted by name (deterministic output for dumps and tests).
+  std::vector<Sample> Snapshot() const;
+
+  /// One metric per line: `<name> counter <value>` / `<name> gauge <value>`
+  /// / `<name> histogram count=<n> sum=<s> p50=<..> p95=<..> p99=<..>`.
+  std::string RenderText() const;
+  /// JSON array of objects with the same fields.
+  std::string RenderJson() const;
+
+  /// Zeroes every registered metric (registration survives; cached pointers
+  /// stay valid). For tests and tools only.
+  void Reset();
+
+ private:
+  static constexpr size_t kNumStripes = 8;
+
+  struct Stripe {
+    mutable Mutex mutex;
+    std::map<std::string, std::unique_ptr<Counter>> counters
+        AF_GUARDED_BY(mutex);
+    std::map<std::string, std::unique_ptr<Gauge>> gauges AF_GUARDED_BY(mutex);
+    std::map<std::string, std::unique_ptr<Histogram>> histograms
+        AF_GUARDED_BY(mutex);
+  };
+
+  Stripe& StripeFor(const std::string& name);
+
+  Stripe stripes_[kNumStripes];
+};
+
+}  // namespace obs
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_OBS_METRICS_H_

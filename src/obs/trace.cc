@@ -1,0 +1,93 @@
+#include "obs/trace.h"
+
+namespace agentfirst {
+namespace obs {
+
+namespace {
+
+uint64_t HashStr(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void RenderInto(const TraceSpan& span, size_t depth, bool include_durations,
+                std::string* out) {
+  out->append(depth * 2, ' ');
+  *out += span.name;
+  if (span.id != 0) {
+    *out += "#";
+    *out += std::to_string(span.id);
+  }
+  if (!span.notes.empty()) {
+    *out += " [";
+    for (size_t i = 0; i < span.notes.size(); ++i) {
+      if (i > 0) *out += " ";
+      *out += span.notes[i].first + "=" + span.notes[i].second;
+    }
+    *out += "]";
+  }
+  if (include_durations && span.duration_ms >= 0.0) {
+    *out += " (" + std::to_string(span.duration_ms) + " ms)";
+  }
+  *out += "\n";
+  for (const auto& child : span.children) {
+    RenderInto(*child, depth + 1, include_durations, out);
+  }
+}
+
+}  // namespace
+
+uint64_t MixSpanId(uint64_t a, uint64_t b) {
+  // splitmix64 finalizer over the xor-combined inputs: cheap, well mixed,
+  // and (unlike std::hash) identical on every platform.
+  uint64_t z = a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+TraceSpan* TraceSpan::AddChild(std::string child_name) {
+  children.push_back(std::make_shared<TraceSpan>());
+  children.back()->name = std::move(child_name);
+  return children.back().get();
+}
+
+const TraceSpan* TraceSpan::Find(const std::string& span_name) const {
+  if (name == span_name) return this;
+  for (const auto& child : children) {
+    if (const TraceSpan* found = child->Find(span_name)) return found;
+  }
+  return nullptr;
+}
+
+std::string TraceSpan::FindNote(const std::string& key) const {
+  for (const auto& [k, v] : notes) {
+    if (k == key) return v;
+  }
+  for (const auto& child : children) {
+    std::string v = child->FindNote(key);
+    if (!v.empty()) return v;
+  }
+  return std::string();
+}
+
+std::string TraceSpan::Render(bool include_durations) const {
+  std::string out;
+  RenderInto(*this, 0, include_durations, &out);
+  return out;
+}
+
+void AssignSpanIds(TraceSpan* root, uint64_t seed) {
+  // Never 0: 0 renders as "no id assigned".
+  root->id = MixSpanId(seed, HashStr(root->name)) | 1ull;
+  for (size_t i = 0; i < root->children.size(); ++i) {
+    AssignSpanIds(root->children[i].get(), MixSpanId(root->id, i + 1));
+  }
+}
+
+}  // namespace obs
+}  // namespace agentfirst

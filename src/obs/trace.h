@@ -1,0 +1,115 @@
+#ifndef AGENTFIRST_OBS_TRACE_H_
+#define AGENTFIRST_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// Per-probe span trees (the paper's Sec. 4.2 cost-feedback channel as
+/// structured data). A probe's lifecycle is recorded as
+///
+///   probe
+///   ├── interpret                  (brief -> phase/accuracy/priority)
+///   ├── admit                      (admission, pruning, shed decisions)
+///   ├── query[i]                   (one per submitted query, in order)
+///   │   ├── plan                   (parse/bind/optimize/estimate)
+///   │   ├── exec                   (execution; operator child spans)
+///   │   │   └── op:<kind>          (per-operator rows + wall time,
+///   │   │                           flat post-order under exec)
+///   │   ├── retry[k]               (transparent transient-fault retries)
+///   │   └── degrade                (deadline-truncated -> AQP re-run)
+///   └── finalize                   (steering, discovery, advisors)
+///
+/// Skip/truncate/shed reasons are attached as notes, so "why did I not get
+/// this answer" is machine-readable from ProbeResponse::trace.
+///
+/// Determinism: span *structure* (names, notes, order, ids) is a pure
+/// function of the probe batch and the configured seeds — ids come from
+/// AssignSpanIds, a seeded hash over the tree shape, never from scheduling.
+/// Only `duration_ms` is wall-clock; Render(/*include_durations=*/false)
+/// excludes it, and that rendering is byte-identical across runs and thread
+/// counts.
+namespace agentfirst {
+namespace obs {
+
+struct TraceSpan {
+  /// Seeded-deterministic id (0 until AssignSpanIds runs).
+  uint64_t id = 0;
+  std::string name;
+  /// Wall-clock duration; < 0 = not measured. Excluded from deterministic
+  /// renderings.
+  double duration_ms = -1.0;
+  /// Ordered key/value annotations (cardinalities, costs, reasons).
+  std::vector<std::pair<std::string, std::string>> notes;
+  /// Children in recording order. shared_ptr keeps child addresses stable
+  /// while siblings are appended (builders hold TraceSpan* across appends);
+  /// copying a span is shallow — copies share children, which is fine for
+  /// the read-only post-finalize lifetime of a trace.
+  std::vector<std::shared_ptr<TraceSpan>> children;
+
+  /// Appends a child and returns a pointer that stays valid for the
+  /// parent's lifetime.
+  TraceSpan* AddChild(std::string child_name);
+
+  void AddNote(std::string key, std::string value) {
+    notes.emplace_back(std::move(key), std::move(value));
+  }
+
+  bool empty() const {
+    return id == 0 && name.empty() && notes.empty() && children.empty();
+  }
+
+  /// Depth-first search by span name (this span included); nullptr if absent.
+  const TraceSpan* Find(const std::string& span_name) const;
+
+  /// Value of the first note with `key` in this subtree; empty if absent.
+  std::string FindNote(const std::string& key) const;
+
+  /// Indented one-line-per-span rendering:
+  ///   name#<id> [key=value ...] (<duration> ms)
+  /// With include_durations=false the duration suffix is omitted and the
+  /// output is deterministic (see file comment).
+  std::string Render(bool include_durations = true) const;
+};
+
+/// Assigns ids over the tree: each span's id is a hash of (seed, its name,
+/// its child index path from the root). Same tree + same seed => same ids,
+/// regardless of when or on how many threads the spans were recorded.
+void AssignSpanIds(TraceSpan* root, uint64_t seed);
+
+/// Deterministic 64-bit mix used for span ids (exposed for tests).
+uint64_t MixSpanId(uint64_t a, uint64_t b);
+
+/// RAII wall-clock timer: measures from construction to destruction into
+/// `span->duration_ms`. Null-safe — with a null span the constructor and
+/// destructor are a single branch each, so a disabled tracing path costs
+/// no clock reads.
+class SpanTimer {
+ public:
+  explicit SpanTimer(TraceSpan* span)
+      : span_(span),
+        start_(span == nullptr ? std::chrono::steady_clock::time_point()
+                               : std::chrono::steady_clock::now()) {}
+  ~SpanTimer() {
+    if (span_ == nullptr) return;
+    span_->duration_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+  }
+
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+ private:
+  TraceSpan* span_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_OBS_TRACE_H_

@@ -22,8 +22,14 @@ void BatchExecutor::RecordOperatorCounts(const std::vector<PlanPtr>& plans) {
   for (const auto& p : plans) {
     if (p != nullptr) CountOperators(*p, &total, &distinct);
   }
-  total_operators_.fetch_add(total, std::memory_order_relaxed);
-  distinct_operators_.fetch_add(distinct.size(), std::memory_order_relaxed);
+  total_operators_.Add(total);
+  distinct_operators_.Add(distinct.size());
+  static obs::Counter* g_total =
+      obs::MetricsRegistry::Default().GetCounter("af.mqo.operators_total");
+  static obs::Counter* g_distinct =
+      obs::MetricsRegistry::Default().GetCounter("af.mqo.operators_distinct");
+  g_total->Add(total);
+  g_distinct->Add(distinct.size());
 }
 
 std::vector<Result<ResultSetPtr>> BatchExecutor::ExecuteBatch(
@@ -103,8 +109,8 @@ std::vector<Result<ResultSetPtr>> BatchExecutor::ExecuteBatchParallel(
 
 SharingStats BatchExecutor::stats() const {
   SharingStats s;
-  s.total_operators = total_operators_.load(std::memory_order_relaxed);
-  s.distinct_operators = distinct_operators_.load(std::memory_order_relaxed);
+  s.total_operators = total_operators_.value();
+  s.distinct_operators = distinct_operators_.value();
   s.cache_hits = cache_.hits();
   s.cache_misses = cache_.misses();
   return s;

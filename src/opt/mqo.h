@@ -1,11 +1,11 @@
 #ifndef AGENTFIRST_OPT_MQO_H_
 #define AGENTFIRST_OPT_MQO_H_
 
-#include <atomic>
 #include <vector>
 
 #include "common/result.h"
 #include "exec/executor.h"
+#include "obs/metrics.h"
 #include "plan/logical_plan.h"
 
 namespace agentfirst {
@@ -75,8 +75,10 @@ class BatchExecutor {
 
   ExecOptions base_options_;
   ExecCache cache_;
-  std::atomic<size_t> total_operators_{0};
-  std::atomic<size_t> distinct_operators_{0};
+  // Per-instance sharing stats; af.mqo.* registry counters mirror the
+  // process-wide totals (see mqo.cc).
+  obs::Counter total_operators_;
+  obs::Counter distinct_operators_;
 };
 
 }  // namespace agentfirst

@@ -38,10 +38,11 @@ bool HasRule(const std::vector<Diagnostic>& diags, const std::string& rule) {
 
 TEST(AflintTest, RuleCatalogIsStable) {
   std::vector<std::string> rules = RuleNames();
-  ASSERT_EQ(rules.size(), 6u);
+  ASSERT_EQ(rules.size(), 7u);
   EXPECT_NE(std::find(rules.begin(), rules.end(), "raw-thread"), rules.end());
   EXPECT_NE(std::find(rules.begin(), rules.end(), "fault-point-scope"),
             rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "raw-counter"), rules.end());
 }
 
 TEST(AflintTest, RawThreadFiresOutsideThreadPool) {
@@ -261,6 +262,42 @@ TEST(AflintTest, FaultStatusExpressionFormIsAlwaysAllowed) {
       "  (void)s;\n"
       "}\n";
   EXPECT_TRUE(RunLint("src/core/foo.cc", src).empty());
+}
+
+TEST(AflintTest, RawCounterFiresOnIntegerAtomicsUnderSrc) {
+  std::string src =
+      "#include <atomic>\n"
+      "struct S {\n"
+      "  std::atomic<uint64_t> hits{0};\n"
+      "  std::atomic<size_t> bytes{0};\n"
+      "  std::atomic<int64_t> balance{0};\n"
+      "};\n";
+  auto diags = RunLint("src/exec/foo.h", src);
+  EXPECT_TRUE(HasRuleAtLine(diags, "raw-counter", 3));
+  EXPECT_TRUE(HasRuleAtLine(diags, "raw-counter", 4));
+  EXPECT_TRUE(HasRuleAtLine(diags, "raw-counter", 5));
+}
+
+TEST(AflintTest, RawCounterExemptInObsAndOutsideSrc) {
+  std::string src = "std::atomic<uint64_t> value_{0};\n";
+  EXPECT_TRUE(RunLint("src/obs/metrics.h", src).empty());
+  EXPECT_TRUE(RunLint("tests/foo_test.cc", src).empty());
+  EXPECT_TRUE(RunLint("bench/foo.cc", src).empty());
+}
+
+TEST(AflintTest, RawCounterIgnoresBoolAndStatusAtomics) {
+  std::string src =
+      "std::atomic<bool> stop{false};\n"
+      "std::atomic<int> code{0};\n"
+      "std::atomic<Node*> head{nullptr};\n";
+  EXPECT_TRUE(RunLint("src/exec/foo.cc", src).empty());
+}
+
+TEST(AflintTest, RawCounterSuppressedByAllow) {
+  std::string src =
+      "// work-claim cursor, not a metric. aflint:allow(raw-counter)\n"
+      "std::atomic<size_t> next{0};\n";
+  EXPECT_TRUE(RunLint("src/common/foo.h", src).empty());
 }
 
 TEST(AflintTest, CommentsAndStringsAreScrubbed) {

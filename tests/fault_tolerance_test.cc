@@ -74,7 +74,7 @@ TEST_P(FaultToleranceTest, OversizedJoinTruncatesAtDeadline) {
   // 4096 x 4096 = ~16.8M nested-loop pairs: far more work than 50ms.
   ExecOptions options;
   options.num_threads = threads;
-  options.deadline = Deadline::AfterMillis(50.0);
+  options.limits.DeadlineMillis(50.0);
   auto start = std::chrono::steady_clock::now();
   auto result =
       engine_->ExecuteSql("SELECT * FROM big a CROSS JOIN big b", options);
@@ -96,7 +96,7 @@ TEST_P(FaultToleranceTest, ExpiredDeadlineShortCircuitsParallelPlan) {
   BuildBig(8192);
   ExecOptions options;
   options.num_threads = threads;
-  options.deadline = Deadline::AfterMillis(0.0);  // already expired
+  options.limits.DeadlineMillis(0.0);  // expires immediately
   auto result = engine_->ExecuteSql(
       "SELECT a.id, b.amount FROM big a JOIN big b ON a.id = b.id", options);
   AF_ASSERT_OK_RESULT(result);
@@ -170,7 +170,7 @@ TEST_P(FaultToleranceTest, RowBudgetTruncatesWithResourceExhausted) {
   BuildBig(8192);
   ExecOptions options;
   options.num_threads = threads;
-  options.max_output_rows = 1000;
+  options.limits.MaxRows(1000);
   auto result = engine_->ExecuteSql("SELECT id FROM big", options);
   AF_ASSERT_OK_RESULT(result);
   EXPECT_TRUE((*result)->truncated);
@@ -184,7 +184,7 @@ TEST_P(FaultToleranceTest, ByteBudgetTruncatesWithResourceExhausted) {
   BuildBig(8192);
   ExecOptions options;
   options.num_threads = threads;
-  options.max_output_bytes = 16 * 1024;
+  options.limits.MaxBytes(16 * 1024);
   auto result = engine_->ExecuteSql("SELECT * FROM big", options);
   AF_ASSERT_OK_RESULT(result);
   EXPECT_TRUE((*result)->truncated);
@@ -309,7 +309,7 @@ TEST_F(ProbeResilienceTest, DeadlineYieldsPartialAnswerNotHang) {
   probe.agent_id = "deadline-agent";
   probe.queries = {"SELECT * FROM big a CROSS JOIN big b"};
   probe.brief.phase = ProbePhase::kValidation;  // exact: no AQP degrade
-  probe.brief.deadline_ms = 50.0;
+  probe.brief.limits.DeadlineMillis(50.0);
   auto response = system->HandleProbe(probe);
   AF_ASSERT_OK_RESULT(response);
   const QueryAnswer& answer = response->answers[0];
@@ -325,7 +325,7 @@ TEST_F(ProbeResilienceTest, TruncatedAnswersAreNeverReusedFromCachesOrMemory) {
   slow.agent_id = "cache-agent";
   slow.queries = {"SELECT grp, count(*) FROM big GROUP BY grp ORDER BY grp"};
   slow.brief.phase = ProbePhase::kValidation;
-  slow.brief.deadline_ms = 0.001;  // expires before the first morsel
+  slow.brief.limits.DeadlineMillis(0.001);  // expires before the first morsel
   auto first = system->HandleProbe(slow);
   AF_ASSERT_OK_RESULT(first);
   ASSERT_TRUE(first->answers[0].truncated);
@@ -333,7 +333,7 @@ TEST_F(ProbeResilienceTest, TruncatedAnswersAreNeverReusedFromCachesOrMemory) {
   // The same query without a deadline must produce the full 17 groups: a
   // cached or remembered partial answer would return fewer.
   Probe full = slow;
-  full.brief.deadline_ms = 0.0;
+  full.brief.limits.deadline.reset();  // no deadline at all
   auto second = system->HandleProbe(full);
   AF_ASSERT_OK_RESULT(second);
   const QueryAnswer& answer = second->answers[0];
@@ -349,7 +349,7 @@ TEST_F(ProbeResilienceTest, ResultRowBudgetTruncatesAnswer) {
   Probe probe;
   probe.queries = {"SELECT id FROM big"};
   probe.brief.phase = ProbePhase::kValidation;
-  probe.brief.max_result_rows = 500;
+  probe.brief.limits.MaxRows(500);
   auto response = system->HandleProbe(probe);
   AF_ASSERT_OK_RESULT(response);
   const QueryAnswer& answer = response->answers[0];
@@ -372,7 +372,7 @@ TEST_F(ProbeResilienceTest, ExploratoryProbeDegradesToSamplingOnDeadline) {
   probe.agent_id = "explorer";
   probe.queries = {"SELECT count(*) FROM big a CROSS JOIN big b"};
   probe.brief.phase = ProbePhase::kStatExploration;
-  probe.brief.deadline_ms = 150.0;
+  probe.brief.limits.DeadlineMillis(150.0);
   auto response = system->HandleProbe(probe);
   AF_ASSERT_OK_RESULT(response);
   const QueryAnswer& answer = response->answers[0];

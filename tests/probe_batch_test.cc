@@ -218,7 +218,7 @@ TEST_F(ProbeBatchTest, CostBudgetShedsExpensiveQueries) {
   }
   Probe probe;
   probe.brief.text = "exploring order volume";
-  probe.brief.cost_budget = 2000.0;  // rows-touched budget
+  probe.brief.limits.CostBudget(2000.0);  // rows-touched budget
   probe.queries = {
       "SELECT count(*) FROM orders",
       "SELECT count(*) FROM orders o1 CROSS JOIN orders o2",  // way over budget

@@ -40,11 +40,11 @@ TEST(BriefInterpreterTest, DetectsAccuracy) {
   BriefInterpreter interp;
   Brief b;
   b.text = "a rough estimate is fine";
-  EXPECT_NEAR(interp.Interpret(b).max_relative_error, 0.10, 1e-9);
+  EXPECT_NEAR(interp.Interpret(b).max_relative_error.value(), 0.10, 1e-9);
   b.text = "ballpark / order of magnitude";
-  EXPECT_NEAR(interp.Interpret(b).max_relative_error, 0.25, 1e-9);
+  EXPECT_NEAR(interp.Interpret(b).max_relative_error.value(), 0.25, 1e-9);
   b.text = "I need the exact number";
-  EXPECT_DOUBLE_EQ(interp.Interpret(b).max_relative_error, 0.0);
+  EXPECT_DOUBLE_EQ(interp.Interpret(b).max_relative_error.value(), 0.0);
 }
 
 TEST(BriefInterpreterTest, DetectsPriorityAndKofN) {

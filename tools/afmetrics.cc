@@ -1,0 +1,222 @@
+// afmetrics: dump the process-wide metrics registry, or self-test it.
+//
+//   afmetrics              run a small demo probe workload, dump text
+//   afmetrics --json       same, dump JSON
+//   afmetrics --self-test  exercise registry concurrency + histogram bucket
+//                          math with no workload; exit 0 iff all checks pass
+//
+// The demo workload exists because an empty registry dump proves nothing:
+// it drives a real AgentFirstSystem probe batch so the af.pool.*, af.exec.*,
+// and af.probe.* families all appear populated. --self-test is wired into
+// tools/check.sh as a static-analysis-adjacent gate.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/probe_builder.h"
+#include "core/system.h"
+#include "obs/metrics.h"
+
+namespace agentfirst {
+namespace {
+
+int g_failures = 0;
+
+#define CHECK_TRUE(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "afmetrics self-test FAIL at %s:%d: %s\n",        \
+                   __FILE__, __LINE__, #cond);                               \
+      ++g_failures;                                                          \
+    }                                                                        \
+  } while (0)
+
+#define CHECK_EQ(a, b)                                                       \
+  do {                                                                       \
+    auto va = (a);                                                           \
+    auto vb = (b);                                                           \
+    if (!(va == vb)) {                                                       \
+      std::fprintf(stderr,                                                   \
+                   "afmetrics self-test FAIL at %s:%d: %s == %s "            \
+                   "(%llu vs %llu)\n",                                       \
+                   __FILE__, __LINE__, #a, #b,                               \
+                   static_cast<unsigned long long>(va),                      \
+                   static_cast<unsigned long long>(vb));                     \
+      ++g_failures;                                                          \
+    }                                                                        \
+  } while (0)
+
+/// Histogram bucket math: bucket i holds samples of bit width i.
+void SelfTestHistogramBuckets() {
+  using H = obs::Histogram;
+  CHECK_EQ(H::BucketIndex(0), size_t{0});
+  CHECK_EQ(H::BucketIndex(1), size_t{1});
+  CHECK_EQ(H::BucketIndex(2), size_t{2});
+  CHECK_EQ(H::BucketIndex(3), size_t{2});
+  CHECK_EQ(H::BucketIndex(4), size_t{3});
+  CHECK_EQ(H::BucketIndex(1023), size_t{10});
+  CHECK_EQ(H::BucketIndex(1024), size_t{11});
+  CHECK_EQ(H::BucketIndex(~0ull), H::kNumBuckets - 1);
+  CHECK_EQ(H::BucketUpperBound(0), uint64_t{0});
+  CHECK_EQ(H::BucketUpperBound(1), uint64_t{1});
+  CHECK_EQ(H::BucketUpperBound(10), uint64_t{1023});
+
+  obs::Histogram h;
+  for (uint64_t v = 0; v < 1000; ++v) h.Record(v);
+  CHECK_EQ(h.count(), uint64_t{1000});
+  CHECK_EQ(h.sum(), uint64_t{499500});
+  // p50 of 0..999 lies in [500, 512); the bucket upper bound is 511.
+  CHECK_EQ(h.ValueAtPercentile(50.0), uint64_t{511});
+  CHECK_EQ(h.ValueAtPercentile(100.0), uint64_t{1023});
+  CHECK_EQ(h.ValueAtPercentile(0.0), uint64_t{0});
+}
+
+/// Registry hammering: many threads registering overlapping names and
+/// bumping shared counters must lose no updates and must hand every caller
+/// the same stable pointer per name.
+void SelfTestRegistryConcurrency() {
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    obs::MetricsRegistry registry;
+    ThreadPool pool(threads);
+    constexpr size_t kTasks = 64;
+    constexpr size_t kIncrementsPerTask = 10000;
+    pool.ParallelFor(0, kTasks, [&](size_t begin, size_t end) {
+      for (size_t t = begin; t < end; ++t) {
+        // Overlapping name set across tasks: shared.0..7 plus a task-unique
+        // name, touching several stripes.
+        obs::Counter* shared =
+            registry.GetCounter("shared." + std::to_string(t % 8));
+        obs::Counter* mine =
+            registry.GetCounter("unique." + std::to_string(t));
+        obs::Histogram* hist = registry.GetHistogram("latency_us");
+        for (size_t i = 0; i < kIncrementsPerTask; ++i) {
+          shared->Increment();
+          if ((i & 1023) == 0) hist->Record(t);
+        }
+        mine->Add(t);
+        // Re-registration must return the identical pointer.
+        if (registry.GetCounter("unique." + std::to_string(t)) != mine) {
+          ++g_failures;
+        }
+      }
+    }, /*grain=*/1, threads);
+    uint64_t shared_total = 0;
+    for (size_t s = 0; s < 8; ++s) {
+      shared_total +=
+          registry.GetCounter("shared." + std::to_string(s))->value();
+    }
+    CHECK_EQ(shared_total, uint64_t{kTasks * kIncrementsPerTask});
+    CHECK_EQ(registry.GetHistogram("latency_us")->count(),
+             uint64_t{kTasks * (kIncrementsPerTask / 1024 + 1)});
+    CHECK_EQ(registry.Snapshot().size(), size_t{8 + kTasks + 1});
+  }
+}
+
+/// A name binds to its first kind; cross-kind lookups return nullptr.
+void SelfTestKindBinding() {
+  obs::MetricsRegistry registry;
+  CHECK_TRUE(registry.GetCounter("x") != nullptr);
+  CHECK_TRUE(registry.GetGauge("x") == nullptr);
+  CHECK_TRUE(registry.GetHistogram("x") == nullptr);
+  CHECK_TRUE(registry.GetGauge("y") != nullptr);
+  CHECK_TRUE(registry.GetCounter("y") == nullptr);
+  registry.GetCounter("x")->Add(7);
+  registry.Reset();
+  CHECK_EQ(registry.GetCounter("x")->value(), uint64_t{0});
+}
+
+/// Render formats stay parseable: sorted names, one metric per text line,
+/// JSON array delimiters balanced.
+void SelfTestRendering() {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("b.count")->Add(2);
+  registry.GetGauge("a.depth")->Set(-3);
+  registry.GetHistogram("c.lat_us")->Record(100);
+  auto snap = registry.Snapshot();
+  CHECK_EQ(snap.size(), size_t{3});
+  CHECK_TRUE(snap[0].name == "a.depth");
+  CHECK_TRUE(snap[1].name == "b.count");
+  CHECK_TRUE(snap[2].name == "c.lat_us");
+  std::string text = registry.RenderText();
+  CHECK_TRUE(text.find("a.depth gauge -3") != std::string::npos);
+  CHECK_TRUE(text.find("b.count counter 2") != std::string::npos);
+  std::string json = registry.RenderJson();
+  CHECK_TRUE(json.find("\"name\": \"c.lat_us\"") != std::string::npos);
+  CHECK_TRUE(json.front() == '[' || json.find('[') != std::string::npos);
+}
+
+int RunSelfTest() {
+  SelfTestHistogramBuckets();
+  SelfTestRegistryConcurrency();
+  SelfTestKindBinding();
+  SelfTestRendering();
+  if (g_failures == 0) {
+    std::printf("afmetrics --self-test: all checks passed\n");
+    return 0;
+  }
+  std::fprintf(stderr, "afmetrics --self-test: %d check(s) FAILED\n",
+               g_failures);
+  return 1;
+}
+
+/// Populates the default registry with a real (tiny) probe workload so a
+/// dump shows every af.* family live rather than an empty registry.
+void RunDemoWorkload() {
+  AgentFirstSystem db;
+  (void)db.ExecuteSql(
+      "CREATE TABLE sales (id BIGINT, region VARCHAR, amount DOUBLE)");
+  for (int chunk = 0; chunk < 4; ++chunk) {
+    std::string insert = "INSERT INTO sales VALUES ";
+    for (int i = 0; i < 500; ++i) {
+      int id = chunk * 500 + i;
+      if (i > 0) insert += ",";
+      insert += "(" + std::to_string(id) + ",'r" + std::to_string(id % 7) +
+                "'," + std::to_string((id * 13) % 400) + ".0)";
+    }
+    (void)db.ExecuteSql(insert);
+  }
+  std::vector<Probe> probes;
+  for (int p = 0; p < 4; ++p) {
+    probes.push_back(
+        ProbeBuilder("demo" + std::to_string(p))
+            .Query("SELECT count(*), sum(amount) FROM sales WHERE amount > " +
+                   std::to_string(p * 40))
+            .Query("SELECT region, count(*) FROM sales GROUP BY region")
+            .Brief("exploring the sales data; rough numbers are fine")
+            .Build());
+  }
+  (void)db.HandleProbeBatch(probes);
+  // Touch the shared pool so the af.pool.* family shows up even though the
+  // demo tables are small enough to execute serially.
+  ThreadPool::Default()->ParallelFor(0, 1 << 14, [](size_t, size_t) {},
+                                     /*grain=*/256);
+}
+
+}  // namespace
+}  // namespace agentfirst
+
+int main(int argc, char** argv) {
+  using namespace agentfirst;
+  bool json = false;
+  bool self_test = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--self-test") == 0) {
+      self_test = true;
+    } else {
+      std::fprintf(stderr, "usage: afmetrics [--json | --self-test]\n");
+      return 2;
+    }
+  }
+  if (self_test) return RunSelfTest();
+  RunDemoWorkload();
+  std::string out = json ? obs::MetricsRegistry::Default().RenderJson()
+                         : obs::MetricsRegistry::Default().RenderText();
+  std::fputs(out.c_str(), stdout);
+  if (!out.empty() && out.back() != '\n') std::fputc('\n', stdout);
+  return 0;
+}

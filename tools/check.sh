@@ -2,14 +2,16 @@
 # One-shot gate for the static-analysis toolchain plus tier-1:
 #
 #   1. aflint         — in-tree convention linter over src/ and tests/
-#   2. thread-safety  — clang -Wthread-safety -Werror=thread-safety build
+#   2. afmetrics      — telemetry registry self-test (concurrency, histogram
+#                       bucket math, render formats)
+#   3. thread-safety  — clang -Wthread-safety -Werror=thread-safety build
 #                       (skipped with a notice when clang++ is absent; the
 #                       AF_* annotations compile to nothing under GCC, so a
 #                       GCC build proves nothing about locking)
-#   3. tier-1         — default build + full ctest suite
+#   4. tier-1         — default build + full ctest suite
 #
-#   tools/check.sh              # all three stages
-#   tools/check.sh --no-tests   # aflint + thread-safety only (fast pre-push)
+#   tools/check.sh              # all four stages
+#   tools/check.sh --no-tests   # static stages only (fast pre-push)
 #
 # Exits non-zero on the first failing stage.
 
@@ -21,7 +23,7 @@ if [[ "${1:-}" == "--no-tests" ]]; then
   run_tests=0
 fi
 
-echo "=== [1/3] aflint ==="
+echo "=== [1/4] aflint ==="
 # The lint rule engine is a plain C++ library; build just the CLI target so
 # this stage stays fast even on a cold tree.
 cmake -B build -S . > /dev/null
@@ -29,7 +31,11 @@ cmake --build build -j "$(nproc)" --target aflint > /dev/null
 ./build/tools/aflint --root . src tests
 echo "aflint: clean"
 
-echo "=== [2/3] clang thread-safety analysis ==="
+echo "=== [2/4] afmetrics self-test ==="
+cmake --build build -j "$(nproc)" --target afmetrics > /dev/null
+./build/tools/afmetrics --self-test
+
+echo "=== [3/4] clang thread-safety analysis ==="
 if command -v clang++ > /dev/null 2>&1; then
   cmake -B build-tsafety -S . -DCMAKE_CXX_COMPILER=clang++ \
         -DAGENTFIRST_THREAD_SAFETY=ON > /dev/null
@@ -41,11 +47,11 @@ else
 fi
 
 if [[ "$run_tests" == "1" ]]; then
-  echo "=== [3/3] tier-1 build + tests ==="
+  echo "=== [4/4] tier-1 build + tests ==="
   cmake --build build -j "$(nproc)"
   ctest --test-dir build --output-on-failure -j "$(nproc)"
 else
-  echo "=== [3/3] tier-1 tests skipped (--no-tests) ==="
+  echo "=== [4/4] tier-1 tests skipped (--no-tests) ==="
 fi
 
 echo "check.sh: all stages passed"
