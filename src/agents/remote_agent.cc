@@ -1,0 +1,12 @@
+#include "agents/remote_agent.h"
+
+namespace agentfirst {
+
+Result<std::unique_ptr<RemoteAgent>> RemoteAgent::Connect(
+    const std::string& host, uint16_t port, net::Client::Options options) {
+  AF_ASSIGN_OR_RETURN(std::unique_ptr<net::Client> client,
+                      net::Client::Connect(host, port, std::move(options)));
+  return std::make_unique<RemoteAgent>(std::move(client));
+}
+
+}  // namespace agentfirst

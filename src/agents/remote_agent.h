@@ -1,0 +1,56 @@
+#ifndef AGENTFIRST_AGENTS_REMOTE_AGENT_H_
+#define AGENTFIRST_AGENTS_REMOTE_AGENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/probe_service.h"
+#include "net/client.h"
+
+namespace agentfirst {
+
+/// ProbeService over a network connection: the adapter that lets everything
+/// written against the abstract endpoint — RunEpisode, afsh, the examples —
+/// run unchanged against a remote afserved instead of an in-process
+/// AgentFirstSystem. One RemoteAgent = one TCP session = one agent
+/// principal; a fleet is a vector of RemoteAgents, each on its own
+/// connection, which is exactly how the server's per-session backpressure
+/// and disconnect-cancellation are meant to be exercised.
+///
+/// Not thread-safe (the underlying Client is strictly blocking); parallel
+/// agents use parallel RemoteAgents.
+class RemoteAgent : public ProbeService {
+ public:
+  /// Connects and handshakes. `client_name` becomes the session's HELLO
+  /// identity (useful in server-side diagnostics).
+  static Result<std::unique_ptr<RemoteAgent>> Connect(
+      const std::string& host, uint16_t port,
+      net::Client::Options options = net::Client::Options());
+
+  /// Wraps an already-connected client (tests injecting custom options).
+  explicit RemoteAgent(std::unique_ptr<net::Client> client)
+      : client_(std::move(client)) {}
+
+  Result<ProbeResponse> HandleProbe(const Probe& probe) override {
+    return client_->HandleProbe(probe);
+  }
+
+  Result<std::vector<ProbeResponse>> HandleProbeBatch(
+      std::vector<Probe> probes) override {
+    return client_->HandleProbeBatch(std::move(probes));
+  }
+
+  Result<ResultSetPtr> ExecuteSql(const std::string& sql) override {
+    return client_->ExecuteSql(sql);
+  }
+
+  net::Client* client() { return client_.get(); }
+
+ private:
+  std::unique_ptr<net::Client> client_;
+};
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_AGENTS_REMOTE_AGENT_H_

@@ -66,7 +66,7 @@ std::string FirstUnknownColumnTable(const TaskSpec& task, const Knowledge& k) {
 
 }  // namespace
 
-EpisodeResult RunEpisode(AgentFirstSystem* system, const TaskSpec& task,
+EpisodeResult RunEpisode(ProbeService* system, const TaskSpec& task,
                          const AgentProfile& profile,
                          const EpisodeOptions& options) {
   EpisodeResult result;

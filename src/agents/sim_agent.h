@@ -7,7 +7,7 @@
 
 #include "agents/activity.h"
 #include "common/rng.h"
-#include "core/system.h"
+#include "core/probe_service.h"
 #include "workload/minibird.h"
 
 namespace agentfirst {
@@ -73,7 +73,10 @@ struct EpisodeResult {
 /// Runs one sequential speculation episode: the agent explores metadata,
 /// statistics, and partial queries through real probes against `system`,
 /// then formulates attempts until it commits an answer or exhausts turns.
-EpisodeResult RunEpisode(AgentFirstSystem* system, const TaskSpec& task,
+/// `system` is any ProbeService — the in-process AgentFirstSystem or a
+/// RemoteAgent speaking to afserved over TCP; episodes behave identically
+/// (that equivalence is what tests/net_test.cc's fleet parity test checks).
+EpisodeResult RunEpisode(ProbeService* system, const TaskSpec& task,
                          const AgentProfile& profile, const EpisodeOptions& options);
 
 }  // namespace agentfirst

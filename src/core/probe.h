@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/limits.h"
 #include "common/status.h"
 #include "exec/result_set.h"
@@ -93,6 +94,16 @@ struct Probe {
   /// but execute nothing. Answers carry estimated cost/cardinality and the
   /// plan text, letting the agent decide what is worth running.
   bool dry_run = false;
+
+  /// Runtime-only cooperative cancellation for this specific probe — never
+  /// serialized (src/net/wire.cc does not carry it). Transport layers attach
+  /// it after decoding so that client disconnect stops the probe's execution
+  /// within one morsel: the server session's CancellationSource cancels here
+  /// when the agent hangs up, and the abandoned speculation stops consuming
+  /// the executor. When set, it replaces the optimizer's system-wide token
+  /// for this probe (the server cancels all sessions on Stop, so the global
+  /// CancelAllProbes path and the per-session path cover the same ground).
+  CancellationToken cancel;
 };
 
 /// Kinds of proactive grounding feedback (paper Sec. 4.2).

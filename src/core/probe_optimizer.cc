@@ -726,7 +726,10 @@ void ProbeOptimizer::ExecuteProbe(ProbeTask* task) {
     ExecOptions exec_options;
     exec_options.cache = options_.enable_mqo ? batch_.cache() : nullptr;
     exec_options.num_threads = options_.intra_query_threads;
-    exec_options.cancel = cancel_;
+    // A probe that arrived with its own token (a network session's
+    // disconnect source) is governed by that token; everything else follows
+    // the system-wide CancelAllProbes token.
+    exec_options.cancel = probe.cancel.cancellable() ? probe.cancel : cancel_;
     exec_options.limits = limits;
 
     // One execution attempt at `rate`, recorded into `span` (operator child
@@ -751,6 +754,10 @@ void ProbeOptimizer::ExecuteProbe(ProbeTask* task) {
         answer.relative_ci95 = approx->relative_ci95;
         return approx->result;
       }
+      // With MQO off, probes must be pure functions of their content:
+      // bypass BatchExecutor entirely (it installs the shared sub-plan
+      // cache unconditionally, which would leak state across probes).
+      if (!options_.enable_mqo) return ExecutePlan(*prepared[i].plan, eo);
       auto results = batch_.ExecuteBatch({prepared[i].plan}, eo);
       return results[0];
     };

@@ -1,0 +1,44 @@
+#ifndef AGENTFIRST_CORE_PROBE_SERVICE_H_
+#define AGENTFIRST_CORE_PROBE_SERVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/probe.h"
+#include "exec/result_set.h"
+
+namespace agentfirst {
+
+/// The abstract probe endpoint an agent talks to. Two implementations exist:
+/// AgentFirstSystem (the in-process engine facade) and agents::RemoteAgent
+/// (the same surface over the src/net/ wire protocol against a remote
+/// `afserved`). Agent harnesses — the simulated fleet, afsh, examples —
+/// program against this interface so the same episode code runs in-process
+/// and over loopback/network without change.
+///
+/// Semantics are identical across implementations by construction: the
+/// remote path serializes the probe, the server routes it through the same
+/// ProbeOptimizer, and the response (answers, hints, discoveries, trace)
+/// comes back bit-faithfully (see src/net/wire.h). The only intentional
+/// difference: Brief::stop_when is a function and cannot cross the wire —
+/// remote implementations reject probes that set it with kInvalidArgument.
+class ProbeService {
+ public:
+  virtual ~ProbeService() = default;
+
+  /// Answers one probe end-to-end (answers + steering + discovery).
+  virtual Result<ProbeResponse> HandleProbe(const Probe& probe) = 0;
+
+  /// Answers a batch of concurrently submitted probes under admission
+  /// control; responses come back in submission order.
+  virtual Result<std::vector<ProbeResponse>> HandleProbeBatch(
+      std::vector<Probe> probes) = 0;
+
+  /// Plain SQL path (DDL/DML and direct queries).
+  virtual Result<ResultSetPtr> ExecuteSql(const std::string& sql) = 0;
+};
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_CORE_PROBE_SERVICE_H_

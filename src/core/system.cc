@@ -26,14 +26,16 @@ Result<ResultSetPtr> AgentFirstSystem::ExecuteSql(const std::string& sql) {
 
 Result<ProbeResponse> AgentFirstSystem::HandleProbe(const Probe& probe) {
   Probe numbered = probe;
-  if (numbered.id == 0) numbered.id = next_probe_id_++;
+  if (numbered.id == 0) {
+    numbered.id = next_probe_id_.fetch_add(1, std::memory_order_relaxed);
+  }
   return optimizer_.Process(numbered);
 }
 
 Result<std::vector<ProbeResponse>> AgentFirstSystem::HandleProbeBatch(
     std::vector<Probe> probes) {
   for (Probe& p : probes) {
-    if (p.id == 0) p.id = next_probe_id_++;
+    if (p.id == 0) p.id = next_probe_id_.fetch_add(1, std::memory_order_relaxed);
   }
   return optimizer_.ProcessBatch(probes);
 }

@@ -4,10 +4,13 @@
 #include <memory>
 #include <string>
 
+#include <atomic>
+
 #include "catalog/catalog.h"
 #include "common/cancellation.h"
 #include "core/probe.h"
 #include "core/probe_optimizer.h"
+#include "core/probe_service.h"
 #include "core/semantic_search.h"
 #include "exec/engine.h"
 #include "memory/memory_store.h"
@@ -26,7 +29,11 @@ namespace agentfirst {
 ///   probe.queries = {"SELECT ..."};
 ///   probe.brief.text = "exploring which table holds coffee sales";
 ///   auto response = db.HandleProbe(probe);
-class AgentFirstSystem {
+///
+/// Implements ProbeService, so agent harnesses written against the abstract
+/// endpoint (sim fleet, afsh, RemoteAgent round-trips) run against this
+/// in-process facade and a networked server interchangeably.
+class AgentFirstSystem : public ProbeService {
  public:
   struct Options {
     ProbeOptimizer::Options optimizer;
@@ -37,14 +44,15 @@ class AgentFirstSystem {
   explicit AgentFirstSystem(Options options);
 
   /// Plain SQL path (also usable by agents for DDL/DML).
-  Result<ResultSetPtr> ExecuteSql(const std::string& sql);
+  Result<ResultSetPtr> ExecuteSql(const std::string& sql) override;
 
   /// The agent-first path: answers + steering + discovery.
-  Result<ProbeResponse> HandleProbe(const Probe& probe);
+  Result<ProbeResponse> HandleProbe(const Probe& probe) override;
 
   /// Batch submission with admission control (priority, then phase) and
   /// cross-probe sharing. Responses come back in submission order.
-  Result<std::vector<ProbeResponse>> HandleProbeBatch(std::vector<Probe> probes);
+  Result<std::vector<ProbeResponse>> HandleProbeBatch(
+      std::vector<Probe> probes) override;
 
   /// Imports a catalog table into the branch manager so agents can run
   /// branched what-if updates on it.
@@ -78,7 +86,10 @@ class AgentFirstSystem {
   BranchManager branches_;
   /// Source behind CancelAllProbes; its token is installed in the optimizer.
   CancellationSource probe_cancel_;
-  uint64_t next_probe_id_ = 1;
+  /// Id generator, not a metric: probes may now arrive concurrently from
+  /// many network sessions (src/net/server.cc submits them from pool tasks),
+  /// so assignment must be race-free. aflint:allow(raw-counter)
+  std::atomic<uint64_t> next_probe_id_{1};
 };
 
 }  // namespace agentfirst

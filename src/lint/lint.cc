@@ -250,6 +250,8 @@ class Linter {
       CheckIostream(i, line);
       CheckRawMutexGuard(i, line);
       CheckRawCounter(i, line);
+      CheckRawSocket(i, line);
+      CheckDeprecatedBriefLimits(i, line);
       CheckMutexMemberCoverage(i, line);
     }
     CheckFaultPointScope();
@@ -366,6 +368,97 @@ class Linter {
         }
       }
       pos = FindToken(line, "std::atomic", pos + 1);
+    }
+  }
+
+  /// Finds `token` used as a call: identifier boundaries, with the left side
+  /// additionally admitting a global-scope `::` (so `::poll(` matches) but
+  /// not a qualified name (`std::bind(`, `client->connect(` via `.`/`->` are
+  /// member/namespace calls, not syscalls). The right side must be a '('
+  /// after optional spaces.
+  static size_t FindSyscallToken(const std::string& line,
+                                 const std::string& token, size_t from = 0) {
+    size_t pos = from;
+    while ((pos = line.find(token, pos)) != std::string::npos) {
+      bool left_ok;
+      if (pos == 0) {
+        left_ok = true;
+      } else if (line[pos - 1] == ':') {
+        // Only the global-scope qualifier :: with nothing named before it.
+        left_ok = pos >= 2 && line[pos - 2] == ':' &&
+                  (pos == 2 || !IsIdentChar(line[pos - 3]));
+      } else if (line[pos - 1] == '.' ||
+                 (pos >= 2 && line[pos - 2] == '-' && line[pos - 1] == '>')) {
+        left_ok = false;  // member call
+      } else {
+        left_ok = !IsIdentChar(line[pos - 1]);
+      }
+      size_t end = pos + token.size();
+      size_t after = end;
+      while (after < line.size() && line[after] == ' ') ++after;
+      bool right_ok = !((end < line.size() && IsIdentChar(line[end]))) &&
+                      after < line.size() && line[after] == '(';
+      if (left_ok && right_ok) return pos;
+      ++pos;
+    }
+    return std::string::npos;
+  }
+
+  void CheckRawSocket(size_t idx, const std::string& line) {
+    if (StartsWith(path_, "src/net/")) return;
+    for (const char* tok :
+         {"socket", "bind", "listen", "accept", "accept4", "connect", "poll",
+          "ppoll", "select", "pselect", "epoll_create", "epoll_create1",
+          "epoll_ctl", "epoll_wait", "recv", "send", "recvfrom", "sendto",
+          "sendmsg", "recvmsg", "setsockopt", "getsockopt", "getsockname",
+          "getpeername", "shutdown"}) {
+      if (FindSyscallToken(line, tok) != std::string::npos) {
+        Report(idx, "raw-socket",
+               std::string(tok) +
+                   "() outside src/net/: all socket and poll syscalls live "
+                   "behind net::Client / net::ProbeServer so framing, "
+                   "backpressure, and disconnect-cancellation stay in one "
+                   "place (tests drive the wire through Client test hooks)");
+        return;
+      }
+    }
+  }
+
+  void CheckDeprecatedBriefLimits(size_t idx, const std::string& line) {
+    // probe.{h,cc} declare the aliases and fold them in EffectiveLimits();
+    // everywhere else a write is new code on a doomed API.
+    if (path_ == "src/core/probe.h" || path_ == "src/core/probe.cc") return;
+    for (const char* tok :
+         {"deadline_ms", "max_result_rows", "max_result_bytes", "cost_budget"}) {
+      size_t pos = FindToken(line, tok);
+      while (pos != std::string::npos) {
+        // cost_budget also legitimately exists on ResourceLimits; only the
+        // Brief member ("brief.cost_budget = ...") is deprecated.
+        bool applicable = true;
+        if (std::string(tok) == "cost_budget") {
+          const std::string prefix = "brief.";
+          applicable = pos >= prefix.size() &&
+                       line.compare(pos - prefix.size(), prefix.size(),
+                                    prefix) == 0;
+        }
+        size_t after = pos + std::string(tok).size();
+        while (after < line.size() && line[after] == ' ') ++after;
+        // Assignment or compound assignment, but not ==.
+        if (after < line.size() &&
+            std::string("+-*/%|&^").find(line[after]) != std::string::npos) {
+          ++after;
+        }
+        bool is_write = after < line.size() && line[after] == '=' &&
+                        (after + 1 >= line.size() || line[after + 1] != '=');
+        if (applicable && is_write) {
+          Report(idx, "deprecated-brief-limits",
+                 std::string("write to deprecated Brief::") + tok +
+                     ": set brief.limits (ResourceLimits) or use "
+                     "ProbeBuilder; the aliases fold away next PR");
+          return;
+        }
+        pos = FindToken(line, tok, pos + 1);
+      }
     }
   }
 
@@ -500,7 +593,7 @@ std::string Diagnostic::ToString() const {
 std::vector<std::string> RuleNames() {
   return {"raw-thread",      "unseeded-random",     "iostream-in-lib",
           "raw-mutex-guard", "guarded-by-coverage", "fault-point-scope",
-          "raw-counter"};
+          "raw-counter",     "raw-socket",          "deprecated-brief-limits"};
 }
 
 std::vector<Diagnostic> LintSource(const std::string& path,

@@ -63,6 +63,24 @@ struct Diagnostic {
 ///                        cursors, budget tripwires) take an explicit
 ///                        aflint:allow(raw-counter). std::atomic<bool> flags
 ///                        and std::atomic<int> status slots are not flagged.
+///   raw-socket           socket/bind/listen/accept/connect/poll/epoll/
+///                        send/recv-family calls outside src/net/. All wire
+///                        I/O goes through net::Client and net::ProbeServer
+///                        so framing, backpressure, and disconnect-
+///                        cancellation have one implementation; tests abuse
+///                        the protocol through Client's test hooks instead
+///                        of raw fds. Member calls (x.connect(), x->send())
+///                        and std::-qualified names do not match; the
+///                        global-scope `::poll(...)` form does.
+///   deprecated-brief-limits
+///                        a write (=, +=, ...) to Brief's deprecated limit
+///                        aliases — deadline_ms / max_result_rows /
+///                        max_result_bytes anywhere, cost_budget when
+///                        spelled `brief.cost_budget` — outside
+///                        src/core/probe.{h,cc} (which declare and fold
+///                        them). New code sets brief.limits /
+///                        ProbeBuilder::Limits; the aliases are deleted next
+///                        PR. Reads and == comparisons are fine.
 ///
 /// Suppression: `// aflint:allow(rule)` (comma-separated for several rules)
 /// on the offending line, or on a comment line immediately above it.

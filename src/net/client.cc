@@ -1,0 +1,275 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace agentfirst {
+namespace net {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal("net: " + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                uint16_t port,
+                                                Options options) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  std::string resolved =
+      (host == "localhost" || host.empty()) ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("net: not an IPv4 address: " + host);
+  }
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  if (options.io_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = options.io_timeout_ms / 1000;
+    tv.tv_usec = (options.io_timeout_ms % 1000) * 1000;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status = Errno("connect " + resolved + ":" + std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  std::unique_ptr<Client> client(new Client(fd, std::move(options)));
+  Status handshake = client->SendAll(EncodeHelloFrame(client->options_.client_name));
+  if (handshake.ok()) {
+    FrameType type;
+    std::string payload;
+    handshake = client->ReadFrame(&type, &payload);
+    if (handshake.ok()) {
+      if (type == FrameType::kError) {
+        Status carried;
+        handshake = (DecodeErrorPayload(payload, &carried).ok() && !carried.ok())
+                        ? carried
+                        : Status::Internal("net: undecodable error frame");
+      } else if (type != FrameType::kHelloAck) {
+        handshake = Status::Internal(
+            "net: expected HELLO_ACK, got " +
+            std::string(FrameTypeName(type)));
+      } else {
+        auto ack = DecodeHelloPayload(payload);
+        if (!ack.ok()) {
+          handshake = ack.status();
+        } else {
+          client->server_name_ = ack->name;
+        }
+      }
+    }
+  }
+  if (!handshake.ok()) {
+    client->Close();
+    return handshake;
+  }
+  return client;
+}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::SendAll(std::string_view bytes) {
+  if (fd_ < 0) return Status::Internal("net: client not connected");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("net: send timed out");
+      }
+      Status status = Errno("send");
+      Close();
+      return status;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Client::ReadFrame(FrameType* type, std::string* payload) {
+  if (fd_ < 0) return Status::Internal("net: client not connected");
+  uint8_t header[kFrameHeaderBytes];
+  size_t got = 0;
+  while (got < sizeof(header)) {
+    ssize_t n = ::recv(fd_, header + got, sizeof(header) - got, 0);
+    if (n == 0) {
+      Close();
+      return Status::Aborted("net: server closed the connection");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("net: receive timed out");
+      }
+      Status status = Errno("recv");
+      Close();
+      return status;
+    }
+    got += static_cast<size_t>(n);
+  }
+  auto parsed = ParseFrameHeader(header, options_.max_frame_bytes);
+  if (!parsed.ok()) {
+    // Framing is lost; nothing on this socket can be trusted any more.
+    Close();
+    return parsed.status();
+  }
+  *type = parsed->type;
+  payload->resize(parsed->payload_bytes);
+  got = 0;
+  while (got < payload->size()) {
+    ssize_t n = ::recv(fd_, payload->data() + got, payload->size() - got, 0);
+    if (n == 0) {
+      Close();
+      return Status::Aborted("net: server closed mid-frame");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("net: receive timed out");
+      }
+      Status status = Errno("recv");
+      Close();
+      return status;
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Client::ReadExpected(FrameType expected, uint64_t expect_corr,
+                            std::string* payload) {
+  while (true) {
+    FrameType type;
+    AF_RETURN_IF_ERROR(ReadFrame(&type, payload));
+    if (type == FrameType::kError) {
+      Status carried;
+      Status decode = DecodeErrorPayload(*payload, &carried);
+      Close();  // the server closes after an error frame; mirror it
+      if (decode.ok() && !carried.ok()) return carried;
+      return Status::Internal("net: undecodable error frame");
+    }
+    if (type == FrameType::kPong) continue;  // stale ping echo
+    if (type != expected) {
+      Close();
+      return Status::Internal("net: expected " +
+                              std::string(FrameTypeName(expected)) + ", got " +
+                              FrameTypeName(type));
+    }
+    uint64_t corr = PeekCorrelationId(*payload);
+    if (corr != expect_corr) {
+      // A strictly blocking client never has two requests in flight, so a
+      // mismatched id means the stream is desynchronized.
+      Close();
+      return Status::Internal("net: correlation id mismatch");
+    }
+    return Status::OK();
+  }
+}
+
+Result<ProbeResponse> Client::HandleProbe(const Probe& probe) {
+  uint64_t corr = next_corr_++;
+  AF_ASSIGN_OR_RETURN(std::string frame, EncodeProbeRequestFrame(corr, probe));
+  AF_RETURN_IF_ERROR(SendAll(frame));
+  std::string payload;
+  AF_RETURN_IF_ERROR(ReadExpected(FrameType::kProbeResponse, corr, &payload));
+  AF_ASSIGN_OR_RETURN(DecodedProbeResponse decoded,
+                      DecodeProbeResponsePayload(payload));
+  if (!decoded.status.ok()) return decoded.status;
+  if (!decoded.response.has_value()) {
+    return Status::Internal("net: OK probe response without a body");
+  }
+  return std::move(*decoded.response);
+}
+
+Result<std::vector<ProbeResponse>> Client::HandleProbeBatch(
+    std::vector<Probe> probes) {
+  uint64_t corr = next_corr_++;
+  AF_ASSIGN_OR_RETURN(std::string frame,
+                      EncodeProbeBatchRequestFrame(corr, probes));
+  AF_RETURN_IF_ERROR(SendAll(frame));
+  std::string payload;
+  AF_RETURN_IF_ERROR(
+      ReadExpected(FrameType::kProbeBatchResponse, corr, &payload));
+  AF_ASSIGN_OR_RETURN(DecodedProbeBatchResponse decoded,
+                      DecodeProbeBatchResponsePayload(payload));
+  if (!decoded.status.ok()) return decoded.status;
+  return std::move(decoded.responses);
+}
+
+Result<ResultSetPtr> Client::ExecuteSql(const std::string& sql) {
+  uint64_t corr = next_corr_++;
+  AF_RETURN_IF_ERROR(SendAll(EncodeSqlRequestFrame(corr, sql)));
+  std::string payload;
+  AF_RETURN_IF_ERROR(ReadExpected(FrameType::kSqlResponse, corr, &payload));
+  AF_ASSIGN_OR_RETURN(DecodedSqlResponse decoded,
+                      DecodeSqlResponsePayload(payload));
+  if (!decoded.status.ok()) return decoded.status;
+  if (!decoded.result.has_value()) {
+    return Status::Internal("net: OK SQL response without a body");
+  }
+  return ResultSetPtr(
+      std::make_shared<const ResultSet>(std::move(*decoded.result)));
+}
+
+Result<std::string> Client::Ping(std::string_view echo) {
+  AF_RETURN_IF_ERROR(SendAll(EncodePingFrame(echo)));
+  while (true) {
+    FrameType type;
+    std::string payload;
+    AF_RETURN_IF_ERROR(ReadFrame(&type, &payload));
+    if (type == FrameType::kError) {
+      Status carried;
+      Status decode = DecodeErrorPayload(payload, &carried);
+      Close();
+      if (decode.ok() && !carried.ok()) return Result<std::string>(carried);
+      return Status::Internal("net: undecodable error frame");
+    }
+    if (type != FrameType::kPong) {
+      Close();
+      return Status::Internal("net: expected PONG, got " +
+                              std::string(FrameTypeName(type)));
+    }
+    WireReader r(payload);
+    std::string echoed;
+    AF_RETURN_IF_ERROR(r.Str(&echoed));
+    AF_RETURN_IF_ERROR(r.ExpectEnd());
+    return echoed;
+  }
+}
+
+Status Client::SendRawForTest(std::string_view bytes) { return SendAll(bytes); }
+
+Result<std::pair<FrameType, std::string>> Client::ReadFrameForTest() {
+  FrameType type;
+  std::string payload;
+  AF_RETURN_IF_ERROR(ReadFrame(&type, &payload));
+  return std::make_pair(type, std::move(payload));
+}
+
+}  // namespace net
+}  // namespace agentfirst

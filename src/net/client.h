@@ -1,0 +1,100 @@
+#ifndef AGENTFIRST_NET_CLIENT_H_
+#define AGENTFIRST_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/probe.h"
+#include "exec/result_set.h"
+#include "net/wire.h"
+
+/// Blocking client for the afp wire protocol: one TCP connection, one
+/// outstanding request at a time (an agent's turn loop is sequential anyway;
+/// concurrency comes from running many agents, each with its own Client).
+/// Not thread-safe — callers wanting parallel sessions open parallel
+/// clients, exactly like parallel agents.
+namespace agentfirst {
+namespace net {
+
+class Client {
+ public:
+  struct Options {
+    /// Socket-level send/receive timeout; an unresponsive server turns into
+    /// kDeadlineExceeded instead of a hang. 0 = block forever.
+    int io_timeout_ms = 30000;
+    /// Per-frame payload cap accepted from the server.
+    size_t max_frame_bytes = 64u << 20;
+    /// Name sent in the HELLO.
+    std::string client_name = "afclient";
+  };
+
+  /// Connects, performs the HELLO handshake, and returns a ready client.
+  /// `host` is an IPv4 dotted quad or "localhost" (no DNS).
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                 uint16_t port,
+                                                 Options options);
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                 uint16_t port) {
+    return Connect(host, port, Options());
+  }
+
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Round-trips one probe. Fails client-side (kInvalidArgument) when the
+  /// probe sets Brief::stop_when; see wire.h.
+  Result<ProbeResponse> HandleProbe(const Probe& probe);
+
+  /// Round-trips a whole batch as one frame, so the server runs it through
+  /// ProbeOptimizer::ProcessBatch with cross-probe sharing intact.
+  Result<std::vector<ProbeResponse>> HandleProbeBatch(std::vector<Probe> probes);
+
+  /// Plain SQL (DDL/DML/SELECT) over the wire.
+  Result<ResultSetPtr> ExecuteSql(const std::string& sql);
+
+  /// Liveness + RTT: sends PING, returns the echoed payload.
+  Result<std::string> Ping(std::string_view echo);
+
+  /// Half of the server's HELLO_ACK (its advertised name).
+  const std::string& server_name() const { return server_name_; }
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Test hooks: inject raw bytes / read one raw frame, so protocol-abuse
+  /// tests (malformed frames, bad magic, oversized length prefixes) exercise
+  /// the server without raw sockets outside src/net/ (aflint's raw-socket
+  /// rule keeps syscalls here).
+  Status SendRawForTest(std::string_view bytes);
+  Result<std::pair<FrameType, std::string>> ReadFrameForTest();
+
+ private:
+  Client(int fd, Options options) : fd_(fd), options_(std::move(options)) {}
+
+  Status SendAll(std::string_view bytes);
+  /// Reads exactly one frame (header + payload). kError frames are not
+  /// special-cased here; callers decide.
+  Status ReadFrame(FrameType* type, std::string* payload);
+  /// Reads frames until one of `expected` type arrives; a kError frame (or
+  /// transport failure) becomes the returned Status. Stray kPong frames are
+  /// skipped; anything else is a protocol error.
+  Status ReadExpected(FrameType expected, uint64_t expect_corr,
+                      std::string* payload);
+
+  int fd_ = -1;
+  Options options_;
+  std::string server_name_;
+  uint64_t next_corr_ = 1;
+};
+
+}  // namespace net
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_NET_CLIENT_H_

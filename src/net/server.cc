@@ -1,0 +1,643 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "net/wire.h"
+
+// Glibc guards POLLRDHUP behind _GNU_SOURCE; a missing definition only costs
+// slightly later disconnect detection (POLLHUP/read()==0 still fire).
+#ifndef POLLRDHUP
+#define POLLRDHUP 0
+#endif
+
+namespace agentfirst {
+namespace net {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal("net: " + what + ": " + std::strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(F_SETFL, O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+/// "localhost" and dotted-quad only — the protocol is loopback/cluster
+/// internal and a blocking resolver has no place in the event loop.
+Status ParseIPv4(const std::string& host, in_addr* out) {
+  std::string resolved = (host == "localhost" || host.empty()) ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), out) != 1) {
+    return Status::InvalidArgument("net: not an IPv4 address: " + host);
+  }
+  return Status::OK();
+}
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ProbeServer::ProbeServer(ProbeService* service, Options options)
+    : service_(service),
+      options_(std::move(options)),
+      pool_(options_.pool != nullptr ? options_.pool : ThreadPool::Default()) {
+  obs::MetricsRegistry& reg = options_.metrics != nullptr
+                                  ? *options_.metrics
+                                  : obs::MetricsRegistry::Default();
+  sessions_gauge_ = reg.GetGauge("af.net.sessions");
+  sessions_total_ = reg.GetCounter("af.net.sessions_total");
+  frames_in_ = reg.GetCounter("af.net.frames_in");
+  frames_out_ = reg.GetCounter("af.net.frames_out");
+  bytes_in_ = reg.GetCounter("af.net.bytes_in");
+  bytes_out_ = reg.GetCounter("af.net.bytes_out");
+  decode_errors_ = reg.GetCounter("af.net.decode_errors");
+  probes_ = reg.GetCounter("af.net.probes");
+  probes_cancelled_ = reg.GetCounter("af.net.probes_cancelled");
+  backpressure_stalls_ = reg.GetCounter("af.net.backpressure_stalls");
+  inflight_gauge_ = reg.GetGauge("af.net.inflight");
+  probe_latency_us_ = reg.GetHistogram("af.net.probe_latency_us");
+}
+
+ProbeServer::~ProbeServer() { Stop(); }
+
+Status ProbeServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::AlreadyExists("net: server already running");
+  }
+  stop_requested_.store(false, std::memory_order_release);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  AF_RETURN_IF_ERROR(ParseIPv4(options_.host, &addr.sin_addr));
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  int one = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status = Errno("bind " + options_.host + ":" +
+                          std::to_string(options_.port));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    Status status = Errno("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) < 0) {
+    Status status = Errno("getsockname");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  bound_port_ = ntohs(bound.sin_port);
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) < 0) {
+    Status status = Errno("pipe");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+
+  Status nb = SetNonBlocking(listen_fd_);
+  if (nb.ok()) nb = SetNonBlocking(wake_read_fd_);
+  if (nb.ok()) nb = SetNonBlocking(wake_write_fd_);
+  if (!nb.ok()) {
+    ::close(listen_fd_);
+    ::close(wake_read_fd_);
+    ::close(wake_write_fd_);
+    listen_fd_ = wake_read_fd_ = wake_write_fd_ = -1;
+    return nb;
+  }
+
+  running_.store(true, std::memory_order_release);
+  loop_pool_ = std::make_unique<ThreadPool>(1);
+  loop_done_ = loop_pool_->Submit([this] { EventLoop(); });
+  return Status::OK();
+}
+
+void ProbeServer::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_requested_.store(true, std::memory_order_release);
+  RingWakePipe();
+  if (loop_done_.valid()) loop_done_.wait();
+  loop_pool_.reset();
+  // Safe only now: the loop thread is gone and its pool tasks drained, so
+  // nobody can write to the wake pipe or poll these fds anymore.
+  ::close(listen_fd_);
+  ::close(wake_read_fd_);
+  ::close(wake_write_fd_);
+  listen_fd_ = wake_read_fd_ = wake_write_fd_ = -1;
+  running_.store(false, std::memory_order_release);
+}
+
+size_t ProbeServer::NumSessions() const {
+  MutexLock lock(sessions_mutex_);
+  return sessions_.size();
+}
+
+void ProbeServer::RingWakePipe() {
+  if (wake_write_fd_ < 0) return;
+  char byte = 1;
+  // A full pipe means a wake-up is already pending; nothing to do.
+  (void)::write(wake_write_fd_, &byte, 1);  // best-effort wake
+}
+
+void ProbeServer::TaskStarted() {
+  MutexLock lock(drain_mutex_);
+  ++tasks_inflight_;
+  inflight_gauge_->Set(static_cast<int64_t>(tasks_inflight_));
+}
+
+void ProbeServer::TaskFinished() {
+  MutexLock lock(drain_mutex_);
+  --tasks_inflight_;
+  inflight_gauge_->Set(static_cast<int64_t>(tasks_inflight_));
+  if (tasks_inflight_ == 0) drain_cv_.notify_all();
+}
+
+void ProbeServer::EventLoop() {
+  std::vector<pollfd> fds;
+  std::vector<SessionPtr> polled;  // parallel to fds[2..]
+
+  std::vector<SessionPtr> resumable;
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    // Backpressure release: a session that hit its inflight cap mid-buffer
+    // may hold complete frames in userspace `inbuf`. POLLIN cannot signal
+    // those (the kernel already handed the bytes over), so resume them here
+    // once completions bring the session back under its cap.
+    resumable.clear();
+    {
+      MutexLock lock(sessions_mutex_);
+      for (const SessionPtr& s : sessions_) {
+        if (s->inbuf.size() < kFrameHeaderBytes) continue;
+        MutexLock slock(s->mutex);
+        if (s->inflight < options_.max_inflight_per_session &&
+            s->outbox_bytes < options_.max_outbox_bytes_per_session &&
+            !s->close_after_flush) {
+          resumable.push_back(s);
+        }
+      }
+    }
+    for (const SessionPtr& s : resumable) {
+      if (!DecodeBuffered(s)) CloseSession(s);
+    }
+
+    fds.clear();
+    polled.clear();
+    fds.push_back({listen_fd_, POLLIN, 0});
+    fds.push_back({wake_read_fd_, POLLIN, 0});
+
+    {
+      MutexLock lock(sessions_mutex_);
+      for (const SessionPtr& s : sessions_) {
+        short events = POLLRDHUP;
+        bool want_write;
+        bool at_cap;
+        bool closing;
+        {
+          MutexLock slock(s->mutex);
+          want_write = !s->outbox.empty();
+          // Backpressure: a session at its inflight or outbox cap is not
+          // read from — unread requests stay in the kernel buffer and TCP
+          // flow control pushes back on the client.
+          at_cap = s->inflight >= options_.max_inflight_per_session ||
+                   s->outbox_bytes >= options_.max_outbox_bytes_per_session;
+          closing = s->close_after_flush;
+        }
+        if (!at_cap && !closing) {
+          events |= POLLIN;
+          s->stalled = false;
+        } else if (at_cap && !s->stalled) {
+          s->stalled = true;
+          backpressure_stalls_->Increment();
+        }
+        if (want_write) events |= POLLOUT;
+        fds.push_back({s->fd, events, 0});
+        polled.push_back(s);
+      }
+    }
+
+    int n = ::poll(fds.data(), fds.size(), /*timeout_ms=*/200);
+    if (n < 0 && errno != EINTR) break;  // poll itself failed; shut down
+    if (stop_requested_.load(std::memory_order_acquire)) break;
+    if (n <= 0) continue;
+
+    if (fds[1].revents != 0) {
+      char drain[256];
+      while (::read(wake_read_fd_, drain, sizeof(drain)) > 0) {
+      }
+    }
+    if (fds[0].revents != 0) AcceptNew();
+
+    for (size_t i = 0; i < polled.size(); ++i) {
+      const SessionPtr& s = polled[i];
+      short revents = fds[i + 2].revents;
+      if (revents == 0) continue;
+      bool alive = true;
+      if (revents & (POLLERR | POLLNVAL)) alive = false;
+      if (alive && (revents & POLLOUT)) alive = FlushOutbox(s);
+      if (alive && (revents & (POLLIN | POLLHUP | POLLRDHUP))) {
+        alive = ReadAndDispatch(s);
+      }
+      if (!alive) CloseSession(s);
+    }
+  }
+
+  // Shutdown: every session's cancellation fires, so in-flight probes stop
+  // within a morsel; wait for their pool tasks to drain, then close.
+  std::vector<SessionPtr> remaining;
+  {
+    MutexLock lock(sessions_mutex_);
+    remaining = sessions_;
+  }
+  for (const SessionPtr& s : remaining) CloseSession(s);
+  {
+    MutexLock lock(drain_mutex_);
+    drain_cv_.Wait(drain_mutex_, [this]() AF_REQUIRES(drain_mutex_) {
+      return tasks_inflight_ == 0;
+    });
+  }
+  // The fds are closed by Stop() after this loop is joined: closing them
+  // here would race with RingWakePipe writers (Stop itself, completions).
+}
+
+void ProbeServer::AcceptNew() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error; poll again
+    size_t count;
+    {
+      MutexLock lock(sessions_mutex_);
+      count = sessions_.size();
+    }
+    if (options_.max_sessions != 0 && count >= options_.max_sessions) {
+      std::string frame = EncodeErrorFrame(Status::ResourceExhausted(
+          "net: server at max_sessions=" +
+          std::to_string(options_.max_sessions)));
+      (void)::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);  // courtesy
+      ::close(fd);
+      continue;
+    }
+    if (!SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto session = std::make_shared<Session>();
+    session->fd = fd;
+    session->id = next_session_id_++;
+    {
+      MutexLock lock(sessions_mutex_);
+      sessions_.push_back(session);
+      sessions_gauge_->Set(static_cast<int64_t>(sessions_.size()));
+    }
+    sessions_total_->Increment();
+  }
+}
+
+bool ProbeServer::ReadAndDispatch(const SessionPtr& session) {
+  char buf[64 << 10];
+  while (true) {
+    ssize_t n = ::recv(session->fd, buf, sizeof(buf), 0);
+    if (n == 0) return false;  // clean EOF
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    bytes_in_->Add(static_cast<uint64_t>(n));
+    session->inbuf.append(buf, static_cast<size_t>(n));
+    if (static_cast<size_t>(n) < sizeof(buf)) break;
+  }
+  return DecodeBuffered(session);
+}
+
+bool ProbeServer::DecodeBuffered(const SessionPtr& session) {
+  while (session->inbuf.size() >= kFrameHeaderBytes) {
+    auto header = ParseFrameHeader(
+        reinterpret_cast<const uint8_t*>(session->inbuf.data()),
+        options_.max_frame_bytes);
+    if (!header.ok()) {
+      decode_errors_->Increment();
+      Enqueue(session, EncodeErrorFrame(header.status()));
+      MutexLock lock(session->mutex);
+      session->close_after_flush = true;
+      return true;  // keep alive until the error frame flushes
+    }
+    size_t frame_size = kFrameHeaderBytes + header->payload_bytes;
+    if (session->inbuf.size() < frame_size) break;  // wait for the rest
+    frames_in_->Increment();
+    std::string_view payload(session->inbuf.data() + kFrameHeaderBytes,
+                             header->payload_bytes);
+    bool ok = HandleFrame(session, static_cast<uint8_t>(header->type), payload);
+    session->inbuf.erase(0, frame_size);
+    if (!ok) return false;
+    // Respect backpressure mid-buffer: stop decoding once this session hits
+    // its inflight cap; the rest of inbuf waits for completions. Withholding
+    // already-received frames is the same stall the poll loop counts when it
+    // withholds POLLIN, so record the edge here too (the `stalled` flag keeps
+    // the two sites from double-counting one episode).
+    MutexLock lock(session->mutex);
+    if (session->inflight >= options_.max_inflight_per_session) {
+      if (!session->inbuf.empty() && !session->stalled) {
+        session->stalled = true;
+        backpressure_stalls_->Increment();
+      }
+      break;
+    }
+    if (session->close_after_flush) break;
+  }
+  return true;
+}
+
+bool ProbeServer::HandleFrame(const SessionPtr& session, uint8_t type,
+                              std::string_view payload) {
+  FrameType frame_type = static_cast<FrameType>(type);
+
+  if (!session->hello_done) {
+    if (frame_type != FrameType::kHello) {
+      decode_errors_->Increment();
+      Enqueue(session, EncodeErrorFrame(Status::InvalidArgument(
+                           "net: expected HELLO, got " +
+                           std::string(FrameTypeName(frame_type)))));
+      MutexLock lock(session->mutex);
+      session->close_after_flush = true;
+      return true;
+    }
+    auto hello = DecodeHelloPayload(payload);
+    if (!hello.ok()) {
+      decode_errors_->Increment();
+      Enqueue(session, EncodeErrorFrame(hello.status()));
+      MutexLock lock(session->mutex);
+      session->close_after_flush = true;
+      return true;
+    }
+    session->hello_done = true;
+    Enqueue(session, EncodeHelloAckFrame(options_.server_name));
+    return true;
+  }
+
+  switch (frame_type) {
+    case FrameType::kPing:
+      // Echo the payload back verbatim (liveness + RTT measurement).
+      {
+        WireWriter w;
+        std::string frame;
+        AppendFrameHeader(FrameType::kPong, payload.size(), &frame);
+        frame.append(payload);
+        Enqueue(session, std::move(frame));
+      }
+      return true;
+
+    case FrameType::kProbeRequest: {
+      auto request = DecodeProbeRequestPayload(payload);
+      if (!request.ok()) {
+        decode_errors_->Increment();
+        Enqueue(session,
+                EncodeProbeResponseFrame(PeekCorrelationId(payload),
+                                         request.status(), nullptr));
+        return true;
+      }
+      DispatchProbe(session, request->corr, std::move(request->probe));
+      return true;
+    }
+
+    case FrameType::kProbeBatchRequest: {
+      auto request = DecodeProbeBatchRequestPayload(payload);
+      if (!request.ok()) {
+        decode_errors_->Increment();
+        Enqueue(session,
+                EncodeProbeBatchResponseFrame(PeekCorrelationId(payload),
+                                              request.status(), {}));
+        return true;
+      }
+      DispatchProbeBatch(session, request->corr, std::move(request->probes));
+      return true;
+    }
+
+    case FrameType::kSqlRequest: {
+      auto request = DecodeSqlRequestPayload(payload);
+      if (!request.ok()) {
+        decode_errors_->Increment();
+        Enqueue(session, EncodeSqlResponseFrame(PeekCorrelationId(payload),
+                                                request.status(), nullptr));
+        return true;
+      }
+      DispatchSql(session, request->corr, std::move(request->sql));
+      return true;
+    }
+
+    case FrameType::kHello: {
+      decode_errors_->Increment();
+      Enqueue(session, EncodeErrorFrame(Status::InvalidArgument(
+                           "net: duplicate HELLO")));
+      MutexLock lock(session->mutex);
+      session->close_after_flush = true;
+      return true;
+    }
+
+    default: {
+      // Clients must not send server-to-client frame types.
+      decode_errors_->Increment();
+      Enqueue(session, EncodeErrorFrame(Status::InvalidArgument(
+                           "net: unexpected frame " +
+                           std::string(FrameTypeName(frame_type)))));
+      MutexLock lock(session->mutex);
+      session->close_after_flush = true;
+      return true;
+    }
+  }
+}
+
+void ProbeServer::DispatchProbe(const SessionPtr& session, uint64_t corr,
+                                Probe probe) {
+  probe.cancel = session->cancel.token();
+  {
+    MutexLock lock(session->mutex);
+    ++session->inflight;
+  }
+  TaskStarted();
+  probes_->Increment();
+  uint64_t start_us = NowMicros();
+  (void)pool_->Submit([this, session, corr, probe = std::move(probe),
+                       start_us]() mutable {
+    Result<ProbeResponse> result = service_->HandleProbe(probe);
+    probe_latency_us_->Record(NowMicros() - start_us);
+    std::string frame =
+        result.ok() ? EncodeProbeResponseFrame(corr, Status::OK(), &*result)
+                    : EncodeProbeResponseFrame(corr, result.status(), nullptr);
+    EnqueueFromPool(session, std::move(frame));
+    {
+      MutexLock lock(session->mutex);
+      --session->inflight;
+      // A session that closed while we executed means the answer was
+      // dropped: the probe was abandoned speculation, delivered to nobody.
+      if (session->closed) probes_cancelled_->Increment();
+    }
+    TaskFinished();
+  });
+}
+
+void ProbeServer::DispatchProbeBatch(const SessionPtr& session, uint64_t corr,
+                                     std::vector<Probe> probes) {
+  CancellationToken token = session->cancel.token();
+  for (Probe& p : probes) p.cancel = token;
+  {
+    MutexLock lock(session->mutex);
+    ++session->inflight;
+  }
+  TaskStarted();
+  probes_->Add(probes.size());
+  uint64_t start_us = NowMicros();
+  (void)pool_->Submit([this, session, corr, probes = std::move(probes),
+                       start_us]() mutable {
+    size_t n = probes.size();
+    Result<std::vector<ProbeResponse>> result =
+        service_->HandleProbeBatch(std::move(probes));
+    uint64_t elapsed = NowMicros() - start_us;
+    // Per-probe latency: the batch executed as one unit, so each member
+    // observed the same wall time.
+    for (size_t i = 0; i < n; ++i) probe_latency_us_->Record(elapsed);
+    std::string frame =
+        result.ok()
+            ? EncodeProbeBatchResponseFrame(corr, Status::OK(), *result)
+            : EncodeProbeBatchResponseFrame(corr, result.status(), {});
+    EnqueueFromPool(session, std::move(frame));
+    {
+      MutexLock lock(session->mutex);
+      --session->inflight;
+      if (session->closed) probes_cancelled_->Add(n);
+    }
+    TaskFinished();
+  });
+}
+
+void ProbeServer::DispatchSql(const SessionPtr& session, uint64_t corr,
+                              std::string sql) {
+  {
+    MutexLock lock(session->mutex);
+    ++session->inflight;
+  }
+  TaskStarted();
+  (void)pool_->Submit([this, session, corr, sql = std::move(sql)]() {
+    Result<ResultSetPtr> result = service_->ExecuteSql(sql);
+    std::string frame;
+    if (result.ok()) {
+      frame = EncodeSqlResponseFrame(corr, Status::OK(), result->get());
+    } else {
+      frame = EncodeSqlResponseFrame(corr, result.status(), nullptr);
+    }
+    EnqueueFromPool(session, std::move(frame));
+    {
+      MutexLock lock(session->mutex);
+      --session->inflight;
+    }
+    TaskFinished();
+  });
+}
+
+void ProbeServer::Enqueue(const SessionPtr& session, std::string frame) {
+  MutexLock lock(session->mutex);
+  if (session->closed) return;
+  session->outbox_bytes += frame.size();
+  session->outbox.push_back(std::move(frame));
+}
+
+void ProbeServer::EnqueueFromPool(const SessionPtr& session, std::string frame) {
+  {
+    MutexLock lock(session->mutex);
+    if (session->closed) return;  // disconnected mid-probe; drop the output
+    session->outbox_bytes += frame.size();
+    session->outbox.push_back(std::move(frame));
+  }
+  RingWakePipe();
+}
+
+bool ProbeServer::FlushOutbox(const SessionPtr& session) {
+  // The lock is held across send(): the fd is nonblocking, so the call
+  // returns immediately, and holding it avoids copying megabyte response
+  // frames just to write them. Pool completions appending to the outbox wait
+  // at most one short syscall.
+  MutexLock lock(session->mutex);
+  while (!session->outbox.empty()) {
+    const std::string& chunk = session->outbox.front();
+    ssize_t n = ::send(session->fd, chunk.data() + session->front_offset,
+                       chunk.size() - session->front_offset, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    bytes_out_->Add(static_cast<uint64_t>(n));
+    session->front_offset += static_cast<size_t>(n);
+    if (session->front_offset == chunk.size()) {
+      session->outbox_bytes -= chunk.size();
+      session->outbox.pop_front();
+      session->front_offset = 0;
+      frames_out_->Increment();
+    }
+  }
+  return !session->close_after_flush;  // drained; maybe a scheduled close
+}
+
+void ProbeServer::CloseSession(const SessionPtr& session) {
+  {
+    MutexLock lock(session->mutex);
+    if (session->closed) return;
+    session->closed = true;
+    session->outbox.clear();
+    session->outbox_bytes = 0;
+    session->front_offset = 0;
+  }
+  // The client is gone: its in-flight probes are abandoned speculation.
+  // Cancel them so they stop within one morsel instead of running to
+  // completion for nobody. (af.net.probes_cancelled is counted by each
+  // task as it finishes against the closed session — counting here would
+  // tag probes whose answers were already delivered.)
+  session->cancel.RequestCancel();
+  ::close(session->fd);
+  MutexLock lock(sessions_mutex_);
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+    if (it->get() == session.get()) {
+      sessions_.erase(it);
+      break;
+    }
+  }
+  sessions_gauge_->Set(static_cast<int64_t>(sessions_.size()));
+}
+
+}  // namespace net
+}  // namespace agentfirst

@@ -1,0 +1,201 @@
+#ifndef AGENTFIRST_NET_SERVER_H_
+#define AGENTFIRST_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/thread_pool.h"
+#include "core/probe_service.h"
+#include "obs/metrics.h"
+
+/// The networked probe endpoint (`afserved`): a portable poll-based TCP
+/// server that multiplexes many concurrent agent sessions onto one
+/// ProbeService (normally the in-process AgentFirstSystem). One event-loop
+/// thread owns every socket; probe execution never runs on it — decoded
+/// requests are dispatched to the shared work-stealing ThreadPool, so a
+/// hundred chatting agents contend for the same scheduler as in-process
+/// callers and the paper's "many agents, one substrate" economics hold over
+/// the wire too.
+///
+/// Per-session flow control: a session may have at most
+/// `max_inflight_per_session` probes executing and at most
+/// `max_outbox_bytes_per_session` of encoded responses awaiting the socket.
+/// Past either cap the loop simply stops polling that session for readability
+/// — TCP backpressure does the rest, and one greedy agent cannot monopolize
+/// the pool or balloon server memory.
+///
+/// Disconnect is cancellation: each session owns a CancellationSource whose
+/// token is attached to every probe it submits (Probe::cancel). When the
+/// client hangs up, the source fires and the session's in-flight probes stop
+/// within one morsel — abandoned speculation stops consuming the executor
+/// (the agent-first analogue of closing a laptop lid mid-query).
+namespace agentfirst {
+namespace net {
+
+class ProbeServer {
+ public:
+  struct Options {
+    /// Listen address. Only dotted-quad IPv4 (or "localhost"); this is a
+    /// loopback/cluster-internal protocol with no name resolution.
+    std::string host = "127.0.0.1";
+    /// 0 = ephemeral: the kernel picks; read the bound port from port().
+    uint16_t port = 0;
+    /// Accepted-connection cap; further connects are refused with an error
+    /// frame. 0 = unlimited.
+    size_t max_sessions = 64;
+    /// Probes (or SQL statements) one session may have executing at once.
+    size_t max_inflight_per_session = 8;
+    /// Encoded response bytes one session may have queued for the socket.
+    size_t max_outbox_bytes_per_session = 8u << 20;
+    /// Per-frame payload cap for this server (clamped to the protocol-wide
+    /// kMaxFramePayloadBytes).
+    size_t max_frame_bytes = 64u << 20;
+    /// Name sent in the HELLO_ACK.
+    std::string server_name = "afserved";
+    /// Pool probe work is dispatched to; nullptr = ThreadPool::Default().
+    ThreadPool* pool = nullptr;
+    /// Registry for af.net.* metrics; nullptr = MetricsRegistry::Default().
+    obs::MetricsRegistry* metrics = nullptr;
+  };
+
+  /// `service` must outlive the server.
+  ProbeServer(ProbeService* service, Options options);
+  ~ProbeServer();
+
+  ProbeServer(const ProbeServer&) = delete;
+  ProbeServer& operator=(const ProbeServer&) = delete;
+
+  /// Binds, listens, and starts the event loop. Fails with a Status (never
+  /// aborts) when the address is bad or the port is taken.
+  Status Start();
+
+  /// Stops accepting, cancels every session's in-flight probes, waits for
+  /// them to drain out of the pool, and closes all sockets. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The actually-bound port (useful with Options::port = 0).
+  uint16_t port() const { return bound_port_; }
+
+  /// Point-in-time count of connected sessions (the af.net.sessions gauge).
+  size_t NumSessions() const;
+
+ private:
+  /// One connected agent. The event-loop thread owns fd/inbuf/poll
+  /// interest; pool-side completion tasks touch only the mutex-guarded
+  /// output state, so the two sides meet at exactly one lock.
+  struct Session {
+    int fd = -1;
+    uint64_t id = 0;
+    bool hello_done = false;
+    /// Read buffer (event-loop thread only).
+    std::string inbuf;
+    /// Fires when the client disconnects or the server stops; attached to
+    /// every probe this session submits.
+    CancellationSource cancel;
+
+    Mutex mutex;
+    /// Encoded frames awaiting the socket, oldest first.
+    std::deque<std::string> outbox AF_GUARDED_BY(mutex);
+    /// Bytes of the front outbox entry already written.
+    size_t front_offset AF_GUARDED_BY(mutex) = 0;
+    /// Total bytes across outbox (backpressure input).
+    size_t outbox_bytes AF_GUARDED_BY(mutex) = 0;
+    /// Probes/SQL dispatched to the pool and not yet completed.
+    size_t inflight AF_GUARDED_BY(mutex) = 0;
+    /// Set once the socket is gone; completions then drop their output.
+    bool closed AF_GUARDED_BY(mutex) = false;
+    /// Close the socket once the outbox drains (fatal protocol error path).
+    bool close_after_flush AF_GUARDED_BY(mutex) = false;
+    /// True while the loop is withholding POLLIN for backpressure (edge
+    /// detection for the af.net.backpressure_stalls counter).
+    bool stalled = false;
+  };
+  using SessionPtr = std::shared_ptr<Session>;
+
+  void EventLoop();
+  void AcceptNew();
+  /// Reads whatever the socket has and dispatches complete frames. Returns
+  /// false when the session died (EOF, error, fatal protocol violation).
+  bool ReadAndDispatch(const SessionPtr& session);
+  /// Decodes frames already sitting in `inbuf`, stopping at the inflight
+  /// cap. Split from ReadAndDispatch because backpressure release must
+  /// resume these without a POLLIN (the bytes left the kernel long ago).
+  bool DecodeBuffered(const SessionPtr& session);
+  /// Handles one complete frame; returns false on fatal protocol errors.
+  bool HandleFrame(const SessionPtr& session, uint8_t type,
+                   std::string_view payload);
+  /// Writes queued bytes; returns false when the socket died.
+  bool FlushOutbox(const SessionPtr& session);
+  void CloseSession(const SessionPtr& session);
+  void Enqueue(const SessionPtr& session, std::string frame);
+  /// Completion-side enqueue: appends under the lock and rings the wake
+  /// pipe so the loop re-polls for writability.
+  void EnqueueFromPool(const SessionPtr& session, std::string frame);
+  void DispatchProbe(const SessionPtr& session, uint64_t corr, Probe probe);
+  void DispatchProbeBatch(const SessionPtr& session, uint64_t corr,
+                          std::vector<Probe> probes);
+  void DispatchSql(const SessionPtr& session, uint64_t corr, std::string sql);
+  /// Marks one pool task started/finished (drain accounting for Stop()).
+  void TaskStarted();
+  void TaskFinished();
+  void RingWakePipe();
+
+  ProbeService* const service_;
+  const Options options_;
+  ThreadPool* pool_;
+
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  uint16_t bound_port_ = 0;
+  uint64_t next_session_id_ = 1;  // event-loop thread only
+
+  /// The event loop runs as the sole task of this private single-thread
+  /// pool: it blocks in poll() for the server's whole lifetime, which would
+  /// starve the shared pool's workers (raw std::thread is banned outside
+  /// thread_pool.* by aflint's raw-thread rule, and this keeps lifecycle =
+  /// pool lifecycle).
+  std::unique_ptr<ThreadPool> loop_pool_;
+  std::future<void> loop_done_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+
+  /// Sessions list: event-loop thread writes; NumSessions reads under lock.
+  mutable Mutex sessions_mutex_;
+  std::vector<SessionPtr> sessions_ AF_GUARDED_BY(sessions_mutex_);
+
+  /// Pool tasks in flight across all sessions; Stop() waits for 0.
+  Mutex drain_mutex_;
+  CondVar drain_cv_;
+  size_t tasks_inflight_ AF_GUARDED_BY(drain_mutex_) = 0;
+
+  // Cached af.net.* metric pointers (registered once in the constructor).
+  obs::Gauge* sessions_gauge_;
+  obs::Counter* sessions_total_;
+  obs::Counter* frames_in_;
+  obs::Counter* frames_out_;
+  obs::Counter* bytes_in_;
+  obs::Counter* bytes_out_;
+  obs::Counter* decode_errors_;
+  obs::Counter* probes_;
+  obs::Counter* probes_cancelled_;
+  obs::Counter* backpressure_stalls_;
+  obs::Gauge* inflight_gauge_;
+  obs::Histogram* probe_latency_us_;
+};
+
+}  // namespace net
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_NET_SERVER_H_

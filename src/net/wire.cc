@@ -1,0 +1,893 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace agentfirst {
+namespace net {
+namespace {
+
+Status Malformed(const std::string& what) {
+  return Status::InvalidArgument("wire: " + what);
+}
+
+/// Optional<double>-style presence byte used by several structs below.
+void AppendOptDouble(const std::optional<double>& v, WireWriter* w) {
+  w->Bool(v.has_value());
+  if (v) w->F64(*v);
+}
+
+Status ReadOptDouble(WireReader* r, std::optional<double>* out) {
+  bool present = false;
+  AF_RETURN_IF_ERROR(r->Bool(&present));
+  if (!present) {
+    out->reset();
+    return Status::OK();
+  }
+  double v = 0;
+  AF_RETURN_IF_ERROR(r->F64(&v));
+  *out = v;
+  return Status::OK();
+}
+
+void AppendOptU64(const std::optional<size_t>& v, WireWriter* w) {
+  w->Bool(v.has_value());
+  if (v) w->U64(static_cast<uint64_t>(*v));
+}
+
+Status ReadOptU64(WireReader* r, std::optional<size_t>* out) {
+  bool present = false;
+  AF_RETURN_IF_ERROR(r->Bool(&present));
+  if (!present) {
+    out->reset();
+    return Status::OK();
+  }
+  uint64_t v = 0;
+  AF_RETURN_IF_ERROR(r->U64(&v));
+  *out = static_cast<size_t>(v);
+  return Status::OK();
+}
+
+Status ReadTraceSpanDepth(WireReader* r, obs::TraceSpan* out, size_t depth);
+
+std::string FinishFrame(FrameType type, WireWriter* payload) {
+  std::string frame;
+  const std::string& body = payload->buffer();
+  frame.reserve(kFrameHeaderBytes + body.size());
+  AppendFrameHeader(type, body.size(), &frame);
+  frame.append(body);
+  return frame;
+}
+
+}  // namespace
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+      return "HELLO";
+    case FrameType::kHelloAck:
+      return "HELLO_ACK";
+    case FrameType::kProbeRequest:
+      return "PROBE_REQUEST";
+    case FrameType::kProbeResponse:
+      return "PROBE_RESPONSE";
+    case FrameType::kProbeBatchRequest:
+      return "PROBE_BATCH_REQUEST";
+    case FrameType::kProbeBatchResponse:
+      return "PROBE_BATCH_RESPONSE";
+    case FrameType::kSqlRequest:
+      return "SQL_REQUEST";
+    case FrameType::kSqlResponse:
+      return "SQL_RESPONSE";
+    case FrameType::kError:
+      return "ERROR";
+    case FrameType::kPing:
+      return "PING";
+    case FrameType::kPong:
+      return "PONG";
+  }
+  return "UNKNOWN";
+}
+
+void AppendFrameHeader(FrameType type, size_t payload_bytes, std::string* out) {
+  out->push_back(static_cast<char>(kMagic[0]));
+  out->push_back(static_cast<char>(kMagic[1]));
+  out->push_back(static_cast<char>(kMagic[2]));
+  out->push_back(static_cast<char>(kMagic[3]));
+  out->push_back(static_cast<char>(kProtocolVersion));
+  out->push_back(static_cast<char>(type));
+  out->push_back(0);  // reserved
+  out->push_back(0);
+  uint32_t n = static_cast<uint32_t>(payload_bytes);
+  out->push_back(static_cast<char>(n & 0xff));
+  out->push_back(static_cast<char>((n >> 8) & 0xff));
+  out->push_back(static_cast<char>((n >> 16) & 0xff));
+  out->push_back(static_cast<char>((n >> 24) & 0xff));
+}
+
+Result<FrameHeader> ParseFrameHeader(const uint8_t* data,
+                                     size_t max_payload_bytes) {
+  if (data[0] != kMagic[0] || data[1] != kMagic[1] || data[2] != kMagic[2] ||
+      data[3] != kMagic[3]) {
+    return Malformed("bad magic");
+  }
+  FrameHeader header;
+  header.version = data[4];
+  if (header.version != kProtocolVersion) {
+    return Malformed("unsupported protocol version " +
+                     std::to_string(header.version));
+  }
+  uint8_t type = data[5];
+  if (type < static_cast<uint8_t>(FrameType::kHello) ||
+      type > static_cast<uint8_t>(FrameType::kPong)) {
+    return Malformed("unknown frame type " + std::to_string(type));
+  }
+  header.type = static_cast<FrameType>(type);
+  if (data[6] != 0 || data[7] != 0) return Malformed("nonzero reserved bits");
+  header.payload_bytes = static_cast<uint32_t>(data[8]) |
+                         (static_cast<uint32_t>(data[9]) << 8) |
+                         (static_cast<uint32_t>(data[10]) << 16) |
+                         (static_cast<uint32_t>(data[11]) << 24);
+  size_t cap = max_payload_bytes < kMaxFramePayloadBytes ? max_payload_bytes
+                                                         : kMaxFramePayloadBytes;
+  if (header.payload_bytes > cap) {
+    return Status::ResourceExhausted(
+        "wire: frame payload of " + std::to_string(header.payload_bytes) +
+        " bytes exceeds the " + std::to_string(cap) + "-byte cap");
+  }
+  return header;
+}
+
+// ---------------------------------------------------------------------------
+// WireWriter / WireReader
+// ---------------------------------------------------------------------------
+
+void WireWriter::U16(uint16_t v) {
+  U8(static_cast<uint8_t>(v & 0xff));
+  U8(static_cast<uint8_t>(v >> 8));
+}
+
+void WireWriter::U32(uint32_t v) {
+  U16(static_cast<uint16_t>(v & 0xffff));
+  U16(static_cast<uint16_t>(v >> 16));
+}
+
+void WireWriter::U64(uint64_t v) {
+  U32(static_cast<uint32_t>(v & 0xffffffffu));
+  U32(static_cast<uint32_t>(v >> 32));
+}
+
+void WireWriter::F64(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void WireWriter::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+Status WireReader::Take(size_t n, const uint8_t** out) {
+  if (!status_.ok()) return status_;
+  if (data_.size() - pos_ < n) {
+    status_ = Malformed("truncated payload (needed " + std::to_string(n) +
+                        " more bytes, had " +
+                        std::to_string(data_.size() - pos_) + ")");
+    return status_;
+  }
+  *out = reinterpret_cast<const uint8_t*>(data_.data()) + pos_;
+  pos_ += n;
+  return Status::OK();
+}
+
+Status WireReader::U8(uint8_t* v) {
+  const uint8_t* p = nullptr;
+  AF_RETURN_IF_ERROR(Take(1, &p));
+  *v = p[0];
+  return Status::OK();
+}
+
+Status WireReader::U16(uint16_t* v) {
+  const uint8_t* p = nullptr;
+  AF_RETURN_IF_ERROR(Take(2, &p));
+  *v = static_cast<uint16_t>(p[0]) | (static_cast<uint16_t>(p[1]) << 8);
+  return Status::OK();
+}
+
+Status WireReader::U32(uint32_t* v) {
+  const uint8_t* p = nullptr;
+  AF_RETURN_IF_ERROR(Take(4, &p));
+  *v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+       (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+  return Status::OK();
+}
+
+Status WireReader::U64(uint64_t* v) {
+  uint32_t lo = 0, hi = 0;
+  AF_RETURN_IF_ERROR(U32(&lo));
+  AF_RETURN_IF_ERROR(U32(&hi));
+  *v = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+  return Status::OK();
+}
+
+Status WireReader::F64(double* v) {
+  uint64_t bits = 0;
+  AF_RETURN_IF_ERROR(U64(&bits));
+  std::memcpy(v, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status WireReader::Bool(bool* v) {
+  uint8_t b = 0;
+  AF_RETURN_IF_ERROR(U8(&b));
+  if (b > 1) return status_ = Malformed("bool byte out of range");
+  *v = (b == 1);
+  return Status::OK();
+}
+
+Status WireReader::Str(std::string* v) {
+  uint32_t len = 0;
+  AF_RETURN_IF_ERROR(U32(&len));
+  if (len > remaining()) {
+    return status_ = Malformed("string length " + std::to_string(len) +
+                               " exceeds remaining payload");
+  }
+  const uint8_t* p = nullptr;
+  AF_RETURN_IF_ERROR(Take(len, &p));
+  v->assign(reinterpret_cast<const char*>(p), len);
+  return Status::OK();
+}
+
+Status WireReader::Count(size_t min_bytes_per_element, size_t* count) {
+  uint32_t n = 0;
+  AF_RETURN_IF_ERROR(U32(&n));
+  size_t floor = min_bytes_per_element == 0 ? 1 : min_bytes_per_element;
+  if (n > remaining() / floor) {
+    return status_ = Malformed("element count " + std::to_string(n) +
+                               " cannot fit in remaining payload");
+  }
+  *count = n;
+  return Status::OK();
+}
+
+Status WireReader::ExpectEnd() const {
+  if (!status_.ok()) return status_;
+  if (pos_ != data_.size()) {
+    return Malformed("trailing garbage (" + std::to_string(data_.size() - pos_) +
+                     " unconsumed bytes)");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Object serde
+// ---------------------------------------------------------------------------
+
+void AppendResourceLimits(const ResourceLimits& limits, WireWriter* w) {
+  w->Bool(limits.deadline.has_value());
+  if (limits.deadline) w->F64(limits.deadline->count());
+  AppendOptU64(limits.max_rows, w);
+  AppendOptU64(limits.max_bytes, w);
+  AppendOptDouble(limits.cost_budget, w);
+}
+
+Status ReadResourceLimits(WireReader* r, ResourceLimits* out) {
+  ResourceLimits limits;
+  bool has_deadline = false;
+  AF_RETURN_IF_ERROR(r->Bool(&has_deadline));
+  if (has_deadline) {
+    double ms = 0;
+    AF_RETURN_IF_ERROR(r->F64(&ms));
+    limits.deadline = ResourceLimits::Millis(ms);
+  }
+  AF_RETURN_IF_ERROR(ReadOptU64(r, &limits.max_rows));
+  AF_RETURN_IF_ERROR(ReadOptU64(r, &limits.max_bytes));
+  AF_RETURN_IF_ERROR(ReadOptDouble(r, &limits.cost_budget));
+  *out = limits;
+  return Status::OK();
+}
+
+void AppendBrief(const Brief& brief, WireWriter* w) {
+  w->Str(brief.text);
+  w->U8(static_cast<uint8_t>(brief.phase));
+  AppendOptDouble(brief.max_relative_error, w);
+  w->U32(static_cast<uint32_t>(brief.priority));
+  w->U64(static_cast<uint64_t>(brief.k_of_n));
+  w->U64(static_cast<uint64_t>(brief.enough_rows_total));
+  // Deprecated aliases are folded here, so briefs travel only in the unified
+  // vocabulary and a decoded Brief never resurrects an alias field.
+  AppendResourceLimits(brief.EffectiveLimits(), w);
+}
+
+Status ReadBrief(WireReader* r, Brief* out) {
+  Brief brief;
+  AF_RETURN_IF_ERROR(r->Str(&brief.text));
+  uint8_t phase = 0;
+  AF_RETURN_IF_ERROR(r->U8(&phase));
+  if (phase > static_cast<uint8_t>(ProbePhase::kValidation)) {
+    return Malformed("probe phase out of range");
+  }
+  brief.phase = static_cast<ProbePhase>(phase);
+  AF_RETURN_IF_ERROR(ReadOptDouble(r, &brief.max_relative_error));
+  uint32_t priority = 0;
+  AF_RETURN_IF_ERROR(r->U32(&priority));
+  brief.priority = static_cast<int>(priority);
+  uint64_t k_of_n = 0, enough = 0;
+  AF_RETURN_IF_ERROR(r->U64(&k_of_n));
+  AF_RETURN_IF_ERROR(r->U64(&enough));
+  brief.k_of_n = static_cast<size_t>(k_of_n);
+  brief.enough_rows_total = static_cast<size_t>(enough);
+  AF_RETURN_IF_ERROR(ReadResourceLimits(r, &brief.limits));
+  *out = std::move(brief);
+  return Status::OK();
+}
+
+Status AppendProbe(const Probe& probe, WireWriter* w) {
+  if (probe.brief.stop_when) {
+    return Status::InvalidArgument(
+        "wire: Brief::stop_when is an arbitrary function and cannot be "
+        "serialized; evaluate it client-side or use enough_rows_total");
+  }
+  w->U64(probe.id);
+  w->Str(probe.agent_id);
+  w->U32(static_cast<uint32_t>(probe.queries.size()));
+  for (const std::string& q : probe.queries) w->Str(q);
+  AppendBrief(probe.brief, w);
+  w->Str(probe.semantic_search_phrase);
+  AppendOptU64(probe.semantic_top_k, w);
+  w->Bool(probe.dry_run);
+  // probe.cancel is runtime-only and deliberately not serialized.
+  return Status::OK();
+}
+
+Status ReadProbe(WireReader* r, Probe* out) {
+  Probe probe;
+  AF_RETURN_IF_ERROR(r->U64(&probe.id));
+  AF_RETURN_IF_ERROR(r->Str(&probe.agent_id));
+  size_t n_queries = 0;
+  AF_RETURN_IF_ERROR(r->Count(4, &n_queries));
+  probe.queries.resize(n_queries);
+  for (size_t i = 0; i < n_queries; ++i) {
+    AF_RETURN_IF_ERROR(r->Str(&probe.queries[i]));
+  }
+  AF_RETURN_IF_ERROR(ReadBrief(r, &probe.brief));
+  AF_RETURN_IF_ERROR(r->Str(&probe.semantic_search_phrase));
+  AF_RETURN_IF_ERROR(ReadOptU64(r, &probe.semantic_top_k));
+  AF_RETURN_IF_ERROR(r->Bool(&probe.dry_run));
+  *out = std::move(probe);
+  return Status::OK();
+}
+
+void AppendValue(const Value& value, WireWriter* w) {
+  w->U8(static_cast<uint8_t>(value.type()));
+  switch (value.type()) {
+    case DataType::kNull:
+      break;
+    case DataType::kBool:
+      w->Bool(value.bool_value());
+      break;
+    case DataType::kInt64:
+      w->U64(static_cast<uint64_t>(value.int_value()));
+      break;
+    case DataType::kFloat64:
+      w->F64(value.double_value());
+      break;
+    case DataType::kString:
+      w->Str(value.string_value());
+      break;
+  }
+}
+
+Status ReadValue(WireReader* r, Value* out) {
+  uint8_t type = 0;
+  AF_RETURN_IF_ERROR(r->U8(&type));
+  if (type > static_cast<uint8_t>(DataType::kString)) {
+    return Malformed("value type out of range");
+  }
+  switch (static_cast<DataType>(type)) {
+    case DataType::kNull:
+      *out = Value::Null();
+      return Status::OK();
+    case DataType::kBool: {
+      bool v = false;
+      AF_RETURN_IF_ERROR(r->Bool(&v));
+      *out = Value::Bool(v);
+      return Status::OK();
+    }
+    case DataType::kInt64: {
+      uint64_t v = 0;
+      AF_RETURN_IF_ERROR(r->U64(&v));
+      *out = Value::Int(static_cast<int64_t>(v));
+      return Status::OK();
+    }
+    case DataType::kFloat64: {
+      double v = 0;
+      AF_RETURN_IF_ERROR(r->F64(&v));
+      *out = Value::Double(v);
+      return Status::OK();
+    }
+    case DataType::kString: {
+      std::string v;
+      AF_RETURN_IF_ERROR(r->Str(&v));
+      *out = Value::String(std::move(v));
+      return Status::OK();
+    }
+  }
+  return Malformed("value type out of range");
+}
+
+void AppendSchema(const Schema& schema, WireWriter* w) {
+  w->U32(static_cast<uint32_t>(schema.NumColumns()));
+  for (const ColumnDef& col : schema.columns()) {
+    w->Str(col.name);
+    w->U8(static_cast<uint8_t>(col.type));
+    w->Bool(col.nullable);
+    w->Str(col.table);
+  }
+}
+
+Status ReadSchema(WireReader* r, Schema* out) {
+  size_t n = 0;
+  AF_RETURN_IF_ERROR(r->Count(10, &n));
+  std::vector<ColumnDef> columns(n);
+  for (size_t i = 0; i < n; ++i) {
+    AF_RETURN_IF_ERROR(r->Str(&columns[i].name));
+    uint8_t type = 0;
+    AF_RETURN_IF_ERROR(r->U8(&type));
+    if (type > static_cast<uint8_t>(DataType::kString)) {
+      return Malformed("column type out of range");
+    }
+    columns[i].type = static_cast<DataType>(type);
+    AF_RETURN_IF_ERROR(r->Bool(&columns[i].nullable));
+    AF_RETURN_IF_ERROR(r->Str(&columns[i].table));
+  }
+  *out = Schema(std::move(columns));
+  return Status::OK();
+}
+
+void AppendResultSet(const ResultSet& rs, WireWriter* w) {
+  AppendSchema(rs.schema, w);
+  w->U32(static_cast<uint32_t>(rs.rows.size()));
+  for (const Row& row : rs.rows) {
+    w->U32(static_cast<uint32_t>(row.size()));
+    for (const Value& v : row) AppendValue(v, w);
+  }
+  w->Bool(rs.approximate);
+  w->F64(rs.sample_rate);
+  w->Bool(rs.truncated);
+  w->U8(static_cast<uint8_t>(rs.interrupt));
+}
+
+Status ReadResultSet(WireReader* r, ResultSet* out) {
+  ResultSet rs;
+  AF_RETURN_IF_ERROR(ReadSchema(r, &rs.schema));
+  size_t n_rows = 0;
+  AF_RETURN_IF_ERROR(r->Count(4, &n_rows));
+  rs.rows.resize(n_rows);
+  for (size_t i = 0; i < n_rows; ++i) {
+    size_t n_cols = 0;
+    AF_RETURN_IF_ERROR(r->Count(1, &n_cols));
+    rs.rows[i].resize(n_cols);
+    for (size_t j = 0; j < n_cols; ++j) {
+      AF_RETURN_IF_ERROR(ReadValue(r, &rs.rows[i][j]));
+    }
+  }
+  AF_RETURN_IF_ERROR(r->Bool(&rs.approximate));
+  AF_RETURN_IF_ERROR(r->F64(&rs.sample_rate));
+  AF_RETURN_IF_ERROR(r->Bool(&rs.truncated));
+  uint8_t interrupt = 0;
+  AF_RETURN_IF_ERROR(r->U8(&interrupt));
+  if (interrupt > static_cast<uint8_t>(StatusCode::kCancelled)) {
+    return Malformed("interrupt code out of range");
+  }
+  rs.interrupt = static_cast<StatusCode>(interrupt);
+  *out = std::move(rs);
+  return Status::OK();
+}
+
+void AppendStatusPayload(const Status& status, WireWriter* w) {
+  w->U8(static_cast<uint8_t>(status.code()));
+  w->Str(status.message());
+}
+
+Status ReadStatusPayload(WireReader* r, Status* out) {
+  uint8_t code = 0;
+  AF_RETURN_IF_ERROR(r->U8(&code));
+  if (code > static_cast<uint8_t>(StatusCode::kCancelled)) {
+    return Malformed("status code out of range");
+  }
+  std::string message;
+  AF_RETURN_IF_ERROR(r->Str(&message));
+  *out = Status(static_cast<StatusCode>(code), std::move(message));
+  return Status::OK();
+}
+
+void AppendTraceSpan(const obs::TraceSpan& span, WireWriter* w) {
+  w->U64(span.id);
+  w->Str(span.name);
+  w->F64(span.duration_ms);
+  w->U32(static_cast<uint32_t>(span.notes.size()));
+  for (const auto& [key, value] : span.notes) {
+    w->Str(key);
+    w->Str(value);
+  }
+  w->U32(static_cast<uint32_t>(span.children.size()));
+  for (const auto& child : span.children) {
+    AppendTraceSpan(child == nullptr ? obs::TraceSpan() : *child, w);
+  }
+}
+
+namespace {
+
+Status ReadTraceSpanDepth(WireReader* r, obs::TraceSpan* out, size_t depth) {
+  if (depth > kMaxTraceDepth) {
+    return Malformed("trace tree deeper than " + std::to_string(kMaxTraceDepth));
+  }
+  obs::TraceSpan span;
+  AF_RETURN_IF_ERROR(r->U64(&span.id));
+  AF_RETURN_IF_ERROR(r->Str(&span.name));
+  AF_RETURN_IF_ERROR(r->F64(&span.duration_ms));
+  size_t n_notes = 0;
+  AF_RETURN_IF_ERROR(r->Count(8, &n_notes));
+  span.notes.resize(n_notes);
+  for (size_t i = 0; i < n_notes; ++i) {
+    AF_RETURN_IF_ERROR(r->Str(&span.notes[i].first));
+    AF_RETURN_IF_ERROR(r->Str(&span.notes[i].second));
+  }
+  // Each serialized child occupies at least 24 bytes (id + name length +
+  // duration + two counts), bounding fan-out by the remaining payload.
+  size_t n_children = 0;
+  AF_RETURN_IF_ERROR(r->Count(24, &n_children));
+  span.children.reserve(n_children);
+  for (size_t i = 0; i < n_children; ++i) {
+    auto child = std::make_shared<obs::TraceSpan>();
+    AF_RETURN_IF_ERROR(ReadTraceSpanDepth(r, child.get(), depth + 1));
+    span.children.push_back(std::move(child));
+  }
+  *out = std::move(span);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ReadTraceSpan(WireReader* r, obs::TraceSpan* out) {
+  return ReadTraceSpanDepth(r, out, 0);
+}
+
+void AppendQueryAnswer(const QueryAnswer& answer, WireWriter* w) {
+  w->Str(answer.sql);
+  AppendStatusPayload(answer.status, w);
+  w->Bool(answer.result != nullptr);
+  if (answer.result != nullptr) AppendResultSet(*answer.result, w);
+  w->Bool(answer.skipped);
+  w->Str(answer.skip_reason);
+  w->Bool(answer.approximate);
+  w->F64(answer.sample_rate);
+  w->U32(static_cast<uint32_t>(answer.relative_ci95.size()));
+  for (const auto& ci : answer.relative_ci95) AppendOptDouble(ci, w);
+  w->F64(answer.estimated_cost);
+  w->F64(answer.estimated_rows);
+  w->Bool(answer.from_memory);
+  w->Str(answer.plan_text);
+  w->Bool(answer.truncated);
+  w->U32(answer.retries);
+}
+
+Status ReadQueryAnswer(WireReader* r, QueryAnswer* out) {
+  QueryAnswer answer;
+  AF_RETURN_IF_ERROR(r->Str(&answer.sql));
+  AF_RETURN_IF_ERROR(ReadStatusPayload(r, &answer.status));
+  bool has_result = false;
+  AF_RETURN_IF_ERROR(r->Bool(&has_result));
+  if (has_result) {
+    ResultSet rs;
+    AF_RETURN_IF_ERROR(ReadResultSet(r, &rs));
+    answer.result = std::make_shared<const ResultSet>(std::move(rs));
+  }
+  AF_RETURN_IF_ERROR(r->Bool(&answer.skipped));
+  AF_RETURN_IF_ERROR(r->Str(&answer.skip_reason));
+  AF_RETURN_IF_ERROR(r->Bool(&answer.approximate));
+  AF_RETURN_IF_ERROR(r->F64(&answer.sample_rate));
+  size_t n_ci = 0;
+  AF_RETURN_IF_ERROR(r->Count(1, &n_ci));
+  answer.relative_ci95.resize(n_ci);
+  for (size_t i = 0; i < n_ci; ++i) {
+    AF_RETURN_IF_ERROR(ReadOptDouble(r, &answer.relative_ci95[i]));
+  }
+  AF_RETURN_IF_ERROR(r->F64(&answer.estimated_cost));
+  AF_RETURN_IF_ERROR(r->F64(&answer.estimated_rows));
+  AF_RETURN_IF_ERROR(r->Bool(&answer.from_memory));
+  AF_RETURN_IF_ERROR(r->Str(&answer.plan_text));
+  AF_RETURN_IF_ERROR(r->Bool(&answer.truncated));
+  AF_RETURN_IF_ERROR(r->U32(&answer.retries));
+  *out = std::move(answer);
+  return Status::OK();
+}
+
+void AppendProbeResponse(const ProbeResponse& response, WireWriter* w) {
+  w->U64(response.probe_id);
+  w->U32(static_cast<uint32_t>(response.answers.size()));
+  for (const QueryAnswer& a : response.answers) AppendQueryAnswer(a, w);
+  w->U32(static_cast<uint32_t>(response.hints.size()));
+  for (const Hint& h : response.hints) {
+    w->U8(static_cast<uint8_t>(h.kind));
+    w->Str(h.text);
+    w->F64(h.relevance);
+  }
+  w->U32(static_cast<uint32_t>(response.discoveries.size()));
+  for (const SemanticMatch& m : response.discoveries) {
+    w->U8(static_cast<uint8_t>(m.kind));
+    w->Str(m.table);
+    w->Str(m.column);
+    w->Str(m.text);
+    w->F64(m.score);
+  }
+  w->U8(static_cast<uint8_t>(response.interpreted_phase));
+  w->F64(response.total_estimated_cost);
+  w->F64(response.total_executed_cost);
+  w->U64(response.total_retries);
+  w->Bool(response.shed);
+  w->Bool(!response.trace.empty());
+  if (!response.trace.empty()) AppendTraceSpan(response.trace, w);
+}
+
+Status ReadProbeResponse(WireReader* r, ProbeResponse* out) {
+  ProbeResponse response;
+  AF_RETURN_IF_ERROR(r->U64(&response.probe_id));
+  size_t n_answers = 0;
+  AF_RETURN_IF_ERROR(r->Count(16, &n_answers));
+  response.answers.resize(n_answers);
+  for (size_t i = 0; i < n_answers; ++i) {
+    AF_RETURN_IF_ERROR(ReadQueryAnswer(r, &response.answers[i]));
+  }
+  size_t n_hints = 0;
+  AF_RETURN_IF_ERROR(r->Count(13, &n_hints));
+  response.hints.resize(n_hints);
+  for (size_t i = 0; i < n_hints; ++i) {
+    uint8_t kind = 0;
+    AF_RETURN_IF_ERROR(r->U8(&kind));
+    if (kind > static_cast<uint8_t>(HintKind::kSchemaGuidance)) {
+      return Malformed("hint kind out of range");
+    }
+    response.hints[i].kind = static_cast<HintKind>(kind);
+    AF_RETURN_IF_ERROR(r->Str(&response.hints[i].text));
+    AF_RETURN_IF_ERROR(r->F64(&response.hints[i].relevance));
+  }
+  size_t n_matches = 0;
+  AF_RETURN_IF_ERROR(r->Count(21, &n_matches));
+  response.discoveries.resize(n_matches);
+  for (size_t i = 0; i < n_matches; ++i) {
+    uint8_t kind = 0;
+    AF_RETURN_IF_ERROR(r->U8(&kind));
+    if (kind > static_cast<uint8_t>(SemanticMatch::Kind::kValue)) {
+      return Malformed("semantic match kind out of range");
+    }
+    response.discoveries[i].kind = static_cast<SemanticMatch::Kind>(kind);
+    AF_RETURN_IF_ERROR(r->Str(&response.discoveries[i].table));
+    AF_RETURN_IF_ERROR(r->Str(&response.discoveries[i].column));
+    AF_RETURN_IF_ERROR(r->Str(&response.discoveries[i].text));
+    AF_RETURN_IF_ERROR(r->F64(&response.discoveries[i].score));
+  }
+  uint8_t phase = 0;
+  AF_RETURN_IF_ERROR(r->U8(&phase));
+  if (phase > static_cast<uint8_t>(ProbePhase::kValidation)) {
+    return Malformed("interpreted phase out of range");
+  }
+  response.interpreted_phase = static_cast<ProbePhase>(phase);
+  AF_RETURN_IF_ERROR(r->F64(&response.total_estimated_cost));
+  AF_RETURN_IF_ERROR(r->F64(&response.total_executed_cost));
+  AF_RETURN_IF_ERROR(r->U64(&response.total_retries));
+  AF_RETURN_IF_ERROR(r->Bool(&response.shed));
+  bool has_trace = false;
+  AF_RETURN_IF_ERROR(r->Bool(&has_trace));
+  if (has_trace) {
+    AF_RETURN_IF_ERROR(ReadTraceSpan(r, &response.trace));
+  }
+  *out = std::move(response);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Whole-frame helpers
+// ---------------------------------------------------------------------------
+
+Result<std::string> EncodeProbeRequestFrame(uint64_t corr, const Probe& probe) {
+  WireWriter w;
+  w.U64(corr);
+  AF_RETURN_IF_ERROR(AppendProbe(probe, &w));
+  return FinishFrame(FrameType::kProbeRequest, &w);
+}
+
+Result<std::string> EncodeProbeBatchRequestFrame(
+    uint64_t corr, const std::vector<Probe>& probes) {
+  WireWriter w;
+  w.U64(corr);
+  w.U32(static_cast<uint32_t>(probes.size()));
+  for (const Probe& p : probes) AF_RETURN_IF_ERROR(AppendProbe(p, &w));
+  return FinishFrame(FrameType::kProbeBatchRequest, &w);
+}
+
+std::string EncodeSqlRequestFrame(uint64_t corr, const std::string& sql) {
+  WireWriter w;
+  w.U64(corr);
+  w.Str(sql);
+  return FinishFrame(FrameType::kSqlRequest, &w);
+}
+
+std::string EncodeHelloFrame(const std::string& client_name) {
+  WireWriter w;
+  w.U8(kProtocolVersion);
+  w.Str(client_name);
+  return FinishFrame(FrameType::kHello, &w);
+}
+
+std::string EncodeHelloAckFrame(const std::string& server_name) {
+  WireWriter w;
+  w.U8(kProtocolVersion);
+  w.Str(server_name);
+  return FinishFrame(FrameType::kHelloAck, &w);
+}
+
+std::string EncodeErrorFrame(const Status& status) {
+  WireWriter w;
+  AppendStatusPayload(status, &w);
+  return FinishFrame(FrameType::kError, &w);
+}
+
+std::string EncodePingFrame(std::string_view echo) {
+  WireWriter w;
+  w.Str(echo);
+  return FinishFrame(FrameType::kPing, &w);
+}
+
+std::string EncodePongFrame(std::string_view echo) {
+  WireWriter w;
+  w.Str(echo);
+  return FinishFrame(FrameType::kPong, &w);
+}
+
+std::string EncodeProbeResponseFrame(uint64_t corr, const Status& status,
+                                     const ProbeResponse* response) {
+  WireWriter w;
+  w.U64(corr);
+  AppendStatusPayload(status, &w);
+  w.Bool(response != nullptr);
+  if (response != nullptr) AppendProbeResponse(*response, &w);
+  return FinishFrame(FrameType::kProbeResponse, &w);
+}
+
+std::string EncodeProbeBatchResponseFrame(
+    uint64_t corr, const Status& status,
+    const std::vector<ProbeResponse>& responses) {
+  WireWriter w;
+  w.U64(corr);
+  AppendStatusPayload(status, &w);
+  w.U32(static_cast<uint32_t>(responses.size()));
+  for (const ProbeResponse& r : responses) AppendProbeResponse(r, &w);
+  return FinishFrame(FrameType::kProbeBatchResponse, &w);
+}
+
+std::string EncodeSqlResponseFrame(uint64_t corr, const Status& status,
+                                   const ResultSet* result) {
+  WireWriter w;
+  w.U64(corr);
+  AppendStatusPayload(status, &w);
+  w.Bool(result != nullptr);
+  if (result != nullptr) AppendResultSet(*result, &w);
+  return FinishFrame(FrameType::kSqlResponse, &w);
+}
+
+Result<DecodedProbeRequest> DecodeProbeRequestPayload(std::string_view payload) {
+  WireReader r(payload);
+  DecodedProbeRequest out;
+  AF_RETURN_IF_ERROR(r.U64(&out.corr));
+  AF_RETURN_IF_ERROR(ReadProbe(&r, &out.probe));
+  AF_RETURN_IF_ERROR(r.ExpectEnd());
+  return out;
+}
+
+Result<DecodedProbeBatchRequest> DecodeProbeBatchRequestPayload(
+    std::string_view payload) {
+  WireReader r(payload);
+  DecodedProbeBatchRequest out;
+  AF_RETURN_IF_ERROR(r.U64(&out.corr));
+  size_t n = 0;
+  AF_RETURN_IF_ERROR(r.Count(16, &n));
+  out.probes.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    AF_RETURN_IF_ERROR(ReadProbe(&r, &out.probes[i]));
+  }
+  AF_RETURN_IF_ERROR(r.ExpectEnd());
+  return out;
+}
+
+Result<DecodedSqlRequest> DecodeSqlRequestPayload(std::string_view payload) {
+  WireReader r(payload);
+  DecodedSqlRequest out;
+  AF_RETURN_IF_ERROR(r.U64(&out.corr));
+  AF_RETURN_IF_ERROR(r.Str(&out.sql));
+  AF_RETURN_IF_ERROR(r.ExpectEnd());
+  return out;
+}
+
+Result<DecodedProbeResponse> DecodeProbeResponsePayload(
+    std::string_view payload) {
+  WireReader r(payload);
+  DecodedProbeResponse out;
+  AF_RETURN_IF_ERROR(r.U64(&out.corr));
+  AF_RETURN_IF_ERROR(ReadStatusPayload(&r, &out.status));
+  bool present = false;
+  AF_RETURN_IF_ERROR(r.Bool(&present));
+  if (present) {
+    ProbeResponse response;
+    AF_RETURN_IF_ERROR(ReadProbeResponse(&r, &response));
+    out.response = std::move(response);
+  }
+  AF_RETURN_IF_ERROR(r.ExpectEnd());
+  return out;
+}
+
+Result<DecodedProbeBatchResponse> DecodeProbeBatchResponsePayload(
+    std::string_view payload) {
+  WireReader r(payload);
+  DecodedProbeBatchResponse out;
+  AF_RETURN_IF_ERROR(r.U64(&out.corr));
+  AF_RETURN_IF_ERROR(ReadStatusPayload(&r, &out.status));
+  size_t n = 0;
+  AF_RETURN_IF_ERROR(r.Count(16, &n));
+  out.responses.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    AF_RETURN_IF_ERROR(ReadProbeResponse(&r, &out.responses[i]));
+  }
+  AF_RETURN_IF_ERROR(r.ExpectEnd());
+  return out;
+}
+
+Result<DecodedSqlResponse> DecodeSqlResponsePayload(std::string_view payload) {
+  WireReader r(payload);
+  DecodedSqlResponse out;
+  AF_RETURN_IF_ERROR(r.U64(&out.corr));
+  AF_RETURN_IF_ERROR(ReadStatusPayload(&r, &out.status));
+  bool present = false;
+  AF_RETURN_IF_ERROR(r.Bool(&present));
+  if (present) {
+    ResultSet rs;
+    AF_RETURN_IF_ERROR(ReadResultSet(&r, &rs));
+    out.result = std::move(rs);
+  }
+  AF_RETURN_IF_ERROR(r.ExpectEnd());
+  return out;
+}
+
+Result<DecodedHello> DecodeHelloPayload(std::string_view payload) {
+  WireReader r(payload);
+  DecodedHello out;
+  AF_RETURN_IF_ERROR(r.U8(&out.version));
+  if (out.version != kProtocolVersion) {
+    return Malformed("hello carries unsupported protocol version " +
+                     std::to_string(out.version));
+  }
+  AF_RETURN_IF_ERROR(r.Str(&out.name));
+  AF_RETURN_IF_ERROR(r.ExpectEnd());
+  return out;
+}
+
+Status DecodeErrorPayload(std::string_view payload, Status* carried) {
+  WireReader r(payload);
+  AF_RETURN_IF_ERROR(ReadStatusPayload(&r, carried));
+  AF_RETURN_IF_ERROR(r.ExpectEnd());
+  return Status::OK();
+}
+
+uint64_t PeekCorrelationId(std::string_view payload) {
+  if (payload.size() < 8) return 0;
+  WireReader r(payload);
+  uint64_t corr = 0;
+  // Cannot fail: 8 bytes are present.
+  (void)r.U64(&corr);  // peek only
+  return corr;
+}
+
+}  // namespace net
+}  // namespace agentfirst

@@ -1,0 +1,281 @@
+#ifndef AGENTFIRST_NET_WIRE_H_
+#define AGENTFIRST_NET_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/probe.h"
+#include "exec/result_set.h"
+
+/// The agent-first wire protocol (afp): a versioned, length-prefixed binary
+/// framing plus full serde for the probe vocabulary, so armies of agent
+/// processes can reach one AgentFirstSystem through src/net/server.cc.
+///
+/// Frame layout (all integers little-endian):
+///
+///   offset  size  field
+///   0       4     magic       'A' 'F' 'P' '1'
+///   4       1     version     kProtocolVersion (1)
+///   5       1     type        FrameType
+///   6       2     reserved    must be 0
+///   8       4     payload_bytes
+///   12      n     payload     (type-specific, see below)
+///
+/// Request payloads begin with a u64 correlation id chosen by the client;
+/// the matching response echoes it, so a session may keep several probes in
+/// flight and still pair answers to questions.
+///
+///   kHello          u8 version + str client_name
+///   kHelloAck       u8 version + str server_name
+///   kProbeRequest   u64 corr + Probe
+///   kProbeResponse  u64 corr + Status + (u8 present + ProbeResponse)
+///   kProbeBatchRequest   u64 corr + u32 n + n * Probe
+///   kProbeBatchResponse  u64 corr + Status + u32 n + n * ProbeResponse
+///   kSqlRequest     u64 corr + str sql
+///   kSqlResponse    u64 corr + Status + (u8 present + ResultSet)
+///   kError          Status (session-level failure; sender closes after)
+///   kPing / kPong   opaque echo bytes
+///
+/// Safety discipline: decoding is total — every malformed input (truncated
+/// field, count or string length exceeding the payload, out-of-range enum,
+/// over-deep trace tree, trailing garbage, oversized length prefix) comes
+/// back as a non-OK Status, never UB, never a partial object. Encoders are
+/// deterministic: encode(decode(encode(x))) == encode(x) byte-for-byte
+/// (tests/fuzz_wire_test.cc holds this under seeded fuzz).
+///
+/// Two fields of the in-process vocabulary deliberately do not cross the
+/// wire: Brief::stop_when (an arbitrary std::function; EncodeProbe rejects
+/// probes that set it with kInvalidArgument) and Probe::cancel (runtime-only
+/// cancellation, re-attached server-side from the session's disconnect
+/// source). Deprecated Brief limit aliases are folded via EffectiveLimits()
+/// at encode time and travel only as the unified ResourceLimits.
+namespace agentfirst {
+namespace net {
+
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 12;
+/// Hard cap on one frame's payload; servers/clients may configure less but
+/// never more. Oversized length prefixes are rejected before any allocation.
+inline constexpr size_t kMaxFramePayloadBytes = 64u << 20;
+/// Maximum nesting depth accepted for a serialized trace span tree (real
+/// probe traces are ~4 deep; the cap stops hostile payloads from recursing
+/// the decoder off the stack).
+inline constexpr size_t kMaxTraceDepth = 64;
+
+/// The four magic bytes, in wire order.
+inline constexpr uint8_t kMagic[4] = {'A', 'F', 'P', '1'};
+
+enum class FrameType : uint8_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kProbeRequest = 3,
+  kProbeResponse = 4,
+  kProbeBatchRequest = 5,
+  kProbeBatchResponse = 6,
+  kSqlRequest = 7,
+  kSqlResponse = 8,
+  kError = 9,
+  kPing = 10,
+  kPong = 11,
+};
+
+const char* FrameTypeName(FrameType type);
+
+struct FrameHeader {
+  uint8_t version = kProtocolVersion;
+  FrameType type = FrameType::kError;
+  uint32_t payload_bytes = 0;
+};
+
+/// Appends a 12-byte frame header to `out`.
+void AppendFrameHeader(FrameType type, size_t payload_bytes, std::string* out);
+
+/// Parses the first kFrameHeaderBytes of `data` (caller guarantees at least
+/// that many bytes). Rejects bad magic, unknown version, out-of-range frame
+/// type, nonzero reserved bits, and payload_bytes > max_payload_bytes.
+Result<FrameHeader> ParseFrameHeader(const uint8_t* data,
+                                     size_t max_payload_bytes);
+
+/// Append-only little-endian encoder. All Append* serde below writes through
+/// one of these; buffer() is the accumulated payload.
+class WireWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U16(uint16_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  /// IEEE-754 bit pattern, so doubles round-trip exactly.
+  void F64(double v);
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  /// u32 byte length + raw bytes.
+  void Str(std::string_view s);
+
+  const std::string& buffer() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked sequential decoder over one payload. Every getter returns
+/// a Status; after the first failure the reader is poisoned and all further
+/// reads fail, so callers may chain reads and check once.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  Status U8(uint8_t* v);
+  Status U16(uint16_t* v);
+  Status U32(uint32_t* v);
+  Status U64(uint64_t* v);
+  Status F64(double* v);
+  Status Bool(bool* v);
+  Status Str(std::string* v);
+
+  /// Reads a u32 element count for a sequence whose elements occupy at least
+  /// `min_bytes_per_element` bytes each; counts that could not possibly fit
+  /// in the remaining payload are rejected before any allocation.
+  Status Count(size_t min_bytes_per_element, size_t* count);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool failed() const { return !status_.ok(); }
+
+  /// Rejects trailing garbage: OK iff every payload byte was consumed.
+  Status ExpectEnd() const;
+
+ private:
+  Status Take(size_t n, const uint8_t** out);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  Status status_;
+};
+
+// ---------------------------------------------------------------------------
+// Object serde. Append* writes one object; Read* parses one object from the
+// reader's cursor. Read* fills `out` only on success.
+// ---------------------------------------------------------------------------
+
+void AppendResourceLimits(const ResourceLimits& limits, WireWriter* w);
+Status ReadResourceLimits(WireReader* r, ResourceLimits* out);
+
+/// Folds deprecated aliases via EffectiveLimits(); stop_when is checked by
+/// EncodeProbe (a Brief alone has no failure mode).
+void AppendBrief(const Brief& brief, WireWriter* w);
+Status ReadBrief(WireReader* r, Brief* out);
+
+Status AppendProbe(const Probe& probe, WireWriter* w);
+Status ReadProbe(WireReader* r, Probe* out);
+
+void AppendValue(const Value& value, WireWriter* w);
+Status ReadValue(WireReader* r, Value* out);
+
+void AppendSchema(const Schema& schema, WireWriter* w);
+Status ReadSchema(WireReader* r, Schema* out);
+
+void AppendResultSet(const ResultSet& rs, WireWriter* w);
+Status ReadResultSet(WireReader* r, ResultSet* out);
+
+void AppendStatusPayload(const Status& status, WireWriter* w);
+Status ReadStatusPayload(WireReader* r, Status* out);
+
+void AppendTraceSpan(const obs::TraceSpan& span, WireWriter* w);
+Status ReadTraceSpan(WireReader* r, obs::TraceSpan* out);
+
+void AppendQueryAnswer(const QueryAnswer& answer, WireWriter* w);
+Status ReadQueryAnswer(WireReader* r, QueryAnswer* out);
+
+void AppendProbeResponse(const ProbeResponse& response, WireWriter* w);
+Status ReadProbeResponse(WireReader* r, ProbeResponse* out);
+
+// ---------------------------------------------------------------------------
+// Whole-frame helpers (header + payload in one buffer, ready to send).
+// ---------------------------------------------------------------------------
+
+/// kProbeRequest frame. Fails (kInvalidArgument) when the probe sets
+/// stop_when — functions cannot cross the wire.
+Result<std::string> EncodeProbeRequestFrame(uint64_t corr, const Probe& probe);
+/// kProbeBatchRequest frame; same stop_when rule per probe.
+Result<std::string> EncodeProbeBatchRequestFrame(uint64_t corr,
+                                                 const std::vector<Probe>& probes);
+std::string EncodeSqlRequestFrame(uint64_t corr, const std::string& sql);
+std::string EncodeHelloFrame(const std::string& client_name);
+std::string EncodeHelloAckFrame(const std::string& server_name);
+std::string EncodeErrorFrame(const Status& status);
+std::string EncodePingFrame(std::string_view echo);
+std::string EncodePongFrame(std::string_view echo);
+
+/// kProbeResponse frame carrying either a response or the error status.
+std::string EncodeProbeResponseFrame(uint64_t corr, const Status& status,
+                                     const ProbeResponse* response);
+std::string EncodeProbeBatchResponseFrame(
+    uint64_t corr, const Status& status,
+    const std::vector<ProbeResponse>& responses);
+std::string EncodeSqlResponseFrame(uint64_t corr, const Status& status,
+                                   const ResultSet* result);
+
+/// Decoded request/response payloads (the correlation id is always
+/// recoverable when the payload holds at least 8 bytes, so transport errors
+/// can be routed back to the right caller).
+struct DecodedProbeRequest {
+  uint64_t corr = 0;
+  Probe probe;
+};
+struct DecodedProbeBatchRequest {
+  uint64_t corr = 0;
+  std::vector<Probe> probes;
+};
+struct DecodedSqlRequest {
+  uint64_t corr = 0;
+  std::string sql;
+};
+struct DecodedProbeResponse {
+  uint64_t corr = 0;
+  Status status;
+  std::optional<ProbeResponse> response;
+};
+struct DecodedProbeBatchResponse {
+  uint64_t corr = 0;
+  Status status;
+  std::vector<ProbeResponse> responses;
+};
+struct DecodedSqlResponse {
+  uint64_t corr = 0;
+  Status status;
+  std::optional<ResultSet> result;
+};
+struct DecodedHello {
+  uint8_t version = 0;
+  std::string name;
+};
+
+Result<DecodedProbeRequest> DecodeProbeRequestPayload(std::string_view payload);
+Result<DecodedProbeBatchRequest> DecodeProbeBatchRequestPayload(
+    std::string_view payload);
+Result<DecodedSqlRequest> DecodeSqlRequestPayload(std::string_view payload);
+Result<DecodedProbeResponse> DecodeProbeResponsePayload(std::string_view payload);
+Result<DecodedProbeBatchResponse> DecodeProbeBatchResponsePayload(
+    std::string_view payload);
+Result<DecodedSqlResponse> DecodeSqlResponsePayload(std::string_view payload);
+Result<DecodedHello> DecodeHelloPayload(std::string_view payload);
+/// Fills `carried` with the status the error frame transports; the returned
+/// Status reports whether decoding itself succeeded (Result<Status> would be
+/// ambiguous — both arms are a Status).
+Status DecodeErrorPayload(std::string_view payload, Status* carried);
+
+/// Best-effort correlation id from a request/response payload prefix (0 when
+/// the payload is shorter than 8 bytes). Used to route decode failures back
+/// to the waiting caller instead of tearing the session down.
+uint64_t PeekCorrelationId(std::string_view payload);
+
+}  // namespace net
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_NET_WIRE_H_

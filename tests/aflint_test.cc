@@ -38,11 +38,14 @@ bool HasRule(const std::vector<Diagnostic>& diags, const std::string& rule) {
 
 TEST(AflintTest, RuleCatalogIsStable) {
   std::vector<std::string> rules = RuleNames();
-  ASSERT_EQ(rules.size(), 7u);
+  ASSERT_EQ(rules.size(), 9u);
   EXPECT_NE(std::find(rules.begin(), rules.end(), "raw-thread"), rules.end());
   EXPECT_NE(std::find(rules.begin(), rules.end(), "fault-point-scope"),
             rules.end());
   EXPECT_NE(std::find(rules.begin(), rules.end(), "raw-counter"), rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "raw-socket"), rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "deprecated-brief-limits"),
+            rules.end());
 }
 
 TEST(AflintTest, RawThreadFiresOutsideThreadPool) {
@@ -298,6 +301,87 @@ TEST(AflintTest, RawCounterSuppressedByAllow) {
       "// work-claim cursor, not a metric. aflint:allow(raw-counter)\n"
       "std::atomic<size_t> next{0};\n";
   EXPECT_TRUE(RunLint("src/common/foo.h", src).empty());
+}
+
+TEST(AflintTest, RawSocketFiresOnSyscallsOutsideNet) {
+  std::string src =
+      "int fd = socket(AF_INET, SOCK_STREAM, 0);\n"
+      "int rc = ::poll(fds, n, 200);\n"
+      "ssize_t got = recv(fd, buf, len, 0);\n"
+      "setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));\n";
+  auto diags = RunLint("src/exec/foo.cc", src);
+  EXPECT_TRUE(HasRuleAtLine(diags, "raw-socket", 1));
+  EXPECT_TRUE(HasRuleAtLine(diags, "raw-socket", 2));
+  EXPECT_TRUE(HasRuleAtLine(diags, "raw-socket", 3));
+  EXPECT_TRUE(HasRuleAtLine(diags, "raw-socket", 4));
+  // Tools and tests are covered too: transport belongs behind net::Client.
+  EXPECT_TRUE(HasRule(RunLint("tools/foo.cc", src), "raw-socket"));
+  EXPECT_TRUE(HasRule(RunLint("tests/foo_test.cc", src), "raw-socket"));
+}
+
+TEST(AflintTest, RawSocketExemptUnderSrcNet) {
+  std::string src =
+      "int fd = ::socket(AF_INET, SOCK_STREAM, 0);\n"
+      "int rc = ::poll(fds.data(), fds.size(), 200);\n";
+  EXPECT_TRUE(RunLint("src/net/server.cc", src).empty());
+  EXPECT_TRUE(RunLint("src/net/client.cc", src).empty());
+}
+
+TEST(AflintTest, RawSocketIgnoresMembersAndQualifiedNames) {
+  std::string src =
+      "client.connect(host, port);\n"
+      "queue->send(frame);\n"
+      "auto f = std::bind(&Foo::Run, this);\n"
+      "dispatcher.poll();\n"
+      "net::Bind(addr);\n"
+      "int connect_retries = 3;\n";
+  EXPECT_TRUE(RunLint("src/exec/foo.cc", src).empty());
+}
+
+TEST(AflintTest, RawSocketSuppressedByAllow) {
+  std::string src =
+      "// legacy shim. aflint:allow(raw-socket)\n"
+      "int fd = socket(AF_INET, SOCK_STREAM, 0);\n";
+  EXPECT_TRUE(RunLint("src/exec/foo.cc", src).empty());
+}
+
+TEST(AflintTest, DeprecatedBriefLimitsFiresOnWrites) {
+  std::string src =
+      "brief.deadline_ms = 50.0;\n"
+      "b.max_result_rows = 10;\n"
+      "brief.max_result_bytes += 4096;\n"
+      "brief.cost_budget = 2.0;\n";
+  auto diags = RunLint("src/workload/foo.cc", src);
+  EXPECT_TRUE(HasRuleAtLine(diags, "deprecated-brief-limits", 1));
+  EXPECT_TRUE(HasRuleAtLine(diags, "deprecated-brief-limits", 2));
+  EXPECT_TRUE(HasRuleAtLine(diags, "deprecated-brief-limits", 3));
+  EXPECT_TRUE(HasRuleAtLine(diags, "deprecated-brief-limits", 4));
+  EXPECT_TRUE(HasRule(RunLint("tests/foo_test.cc", src),
+                      "deprecated-brief-limits"));
+}
+
+TEST(AflintTest, DeprecatedBriefLimitsExemptInProbeItself) {
+  // probe.{h,cc} declare the aliases and fold them in EffectiveLimits().
+  std::string src = "brief.deadline_ms = 50.0;\n";
+  EXPECT_TRUE(RunLint("src/core/probe.h", src).empty());
+  EXPECT_TRUE(RunLint("src/core/probe.cc", src).empty());
+}
+
+TEST(AflintTest, DeprecatedBriefLimitsIgnoresReadsAndNewApi) {
+  std::string src =
+      "if (brief.deadline_ms == 50.0) Use(brief);\n"
+      "double d = *brief.deadline_ms;\n"
+      "bool set = brief.max_result_rows.has_value();\n"
+      "limits.cost_budget = 3.0;\n"  // ResourceLimits field, not the alias
+      "brief.limits.DeadlineMillis(10.0);\n";
+  EXPECT_TRUE(RunLint("src/workload/foo.cc", src).empty());
+}
+
+TEST(AflintTest, DeprecatedBriefLimitsSuppressedByAllow) {
+  std::string src =
+      "// exercising the fold. aflint:allow(deprecated-brief-limits)\n"
+      "brief.deadline_ms = 50.0;\n";
+  EXPECT_TRUE(RunLint("tests/foo_test.cc", src).empty());
 }
 
 TEST(AflintTest, CommentsAndStringsAreScrubbed) {

@@ -190,8 +190,8 @@ TEST(ResourceLimitsTest, UnboundedAndFallbackAccessors) {
 
 TEST(ResourceLimitsTest, BriefEffectiveLimitsFoldsDeprecatedAliases) {
   Brief brief;
-  brief.deadline_ms = 75.0;        // deprecated alias, set
-  brief.max_result_rows = 42;      // deprecated alias, set
+  brief.deadline_ms = 75.0;    // deprecated alias, set  aflint:allow(deprecated-brief-limits)
+  brief.max_result_rows = 42;  // deprecated alias, set  aflint:allow(deprecated-brief-limits)
   brief.limits.CostBudget(900.0);  // new API, set
   ResourceLimits folded = brief.EffectiveLimits();
   EXPECT_DOUBLE_EQ(folded.deadline->count(), 75.0);
@@ -202,7 +202,7 @@ TEST(ResourceLimitsTest, BriefEffectiveLimitsFoldsDeprecatedAliases) {
 
 TEST(ResourceLimitsTest, NewApiWinsOverDeprecatedAlias) {
   Brief brief;
-  brief.deadline_ms = 75.0;
+  brief.deadline_ms = 75.0;  // aflint:allow(deprecated-brief-limits)
   brief.limits.DeadlineMillis(10.0);
   EXPECT_DOUBLE_EQ(brief.EffectiveLimits().deadline->count(), 10.0);
 }

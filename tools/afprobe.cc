@@ -1,0 +1,257 @@
+// afprobe -- wire-protocol client for a running afserved, plus a
+// self-contained protocol battery.
+//
+//   afprobe --connect HOST:PORT                      # ping + "SELECT 1"
+//   afprobe --connect HOST:PORT --sql "SELECT ..."   # one SQL statement
+//   afprobe --connect HOST:PORT --probe "brief|sql"  # one probe with brief
+//   afprobe --self-test                              # in-process server +
+//                                                    # client battery; exit 0
+//                                                    # iff every check passes
+//
+// --self-test needs no running server and no free fixed port: it boots an
+// AgentFirstSystem behind a ProbeServer on an ephemeral loopback port,
+// connects real clients, and exercises the happy paths and the protocol
+// error paths (malformed magic, truncated frame, oversized length prefix).
+// It is registered with ctest (afprobe_self_test) and runs in
+// tools/check.sh, like afmetrics --self-test.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+
+namespace agentfirst {
+namespace {
+
+int g_failures = 0;
+
+#define CHECK_TRUE(cond)                                              \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::fprintf(stderr, "afprobe self-test FAIL at %s:%d: %s\n",   \
+                   __FILE__, __LINE__, #cond);                        \
+      ++g_failures;                                                   \
+    }                                                                 \
+  } while (0)
+
+const Status& StatusOf(const Status& s) { return s; }
+template <typename T>
+const Status& StatusOf(const Result<T>& r) {
+  return r.status();
+}
+
+#define CHECK_OK(expr)                                                  \
+  do {                                                                  \
+    const auto& af_check_ok = (expr);                                   \
+    if (!af_check_ok.ok()) {                                            \
+      std::fprintf(stderr, "afprobe self-test FAIL at %s:%d: %s: %s\n", \
+                   __FILE__, __LINE__, #expr,                           \
+                   StatusOf(af_check_ok).ToString().c_str());           \
+      ++g_failures;                                                     \
+    }                                                                   \
+  } while (0)
+
+int SelfTest() {
+  AgentFirstSystem db;
+  net::ProbeServer::Options options;
+  options.server_name = "afprobe-selftest";
+  net::ProbeServer server(&db, options);
+  CHECK_OK(server.Start());
+  if (g_failures > 0) return 1;
+
+  // Happy path: DDL/DML/SELECT over the wire, then a probe with a brief.
+  {
+    auto client = net::Client::Connect("127.0.0.1", server.port());
+    CHECK_OK(client);
+    if (g_failures > 0) return 1;
+    CHECK_TRUE((*client)->server_name() == "afprobe-selftest");
+
+    auto echoed = (*client)->Ping("liveness");
+    CHECK_OK(echoed);
+    CHECK_TRUE(echoed.ok() && *echoed == "liveness");
+
+    CHECK_OK((*client)->ExecuteSql(
+        "CREATE TABLE t (id BIGINT, city VARCHAR)"));
+    CHECK_OK((*client)->ExecuteSql(
+        "INSERT INTO t VALUES (1,'Berkeley'),(2,'Oakland'),(3,'Seattle')"));
+    auto rows = (*client)->ExecuteSql("SELECT COUNT(*) FROM t");
+    CHECK_OK(rows);
+    CHECK_TRUE(rows.ok() && (*rows)->NumRows() == 1);
+
+    auto one = (*client)->ExecuteSql("SELECT 1");
+    CHECK_OK(one);
+
+    // A failing statement must come back as a Status, with the session
+    // still usable afterwards.
+    auto bad = (*client)->ExecuteSql("SELECT * FROM no_such_table");
+    CHECK_TRUE(!bad.ok());
+    CHECK_OK((*client)->ExecuteSql("SELECT 1"));
+
+    Probe probe;
+    probe.agent_id = "afprobe";
+    probe.brief.text = "exploring which cities appear in t";
+    probe.queries = {"SELECT city FROM t ORDER BY city"};
+    auto response = (*client)->HandleProbe(probe);
+    CHECK_OK(response);
+    CHECK_TRUE(response.ok() && response->answers.size() == 1);
+    CHECK_TRUE(response.ok() && response->answers[0].status.ok());
+
+    // Batch path keeps submission order.
+    std::vector<Probe> batch(2);
+    batch[0].agent_id = batch[1].agent_id = "afprobe";
+    batch[0].queries = {"SELECT COUNT(*) FROM t"};
+    batch[1].queries = {"SELECT MAX(id) FROM t"};
+    auto responses = (*client)->HandleProbeBatch(std::move(batch));
+    CHECK_OK(responses);
+    CHECK_TRUE(responses.ok() && responses->size() == 2);
+
+    CHECK_OK((*client)->ExecuteSql("DROP TABLE t"));
+    auto gone = (*client)->ExecuteSql("SELECT COUNT(*) FROM t");
+    CHECK_TRUE(!gone.ok());
+  }
+
+  // Protocol abuse: each case gets a fresh connection, sends raw bytes
+  // through the test hook, and must get an afp error frame back (never a
+  // hang, never a crash). The server closes abusive sessions; a fresh
+  // connection afterwards must still work.
+  {
+    auto client = net::Client::Connect("127.0.0.1", server.port());
+    CHECK_OK(client);
+    if (client.ok()) {
+      CHECK_OK((*client)->SendRawForTest("XXXX-not-an-afp-frame-header"));
+      auto frame = (*client)->ReadFrameForTest();
+      CHECK_TRUE(frame.ok() && frame->first == net::FrameType::kError);
+    }
+  }
+  {
+    auto client = net::Client::Connect("127.0.0.1", server.port());
+    CHECK_OK(client);
+    if (client.ok()) {
+      // Valid magic/version, oversized length prefix.
+      std::string header = {'A', 'F', 'P', '1',
+                            char(1), char(10), char(0), char(0),
+                            char(0xff), char(0xff), char(0xff), char(0x7f)};
+      CHECK_OK((*client)->SendRawForTest(header));
+      auto frame = (*client)->ReadFrameForTest();
+      CHECK_TRUE(frame.ok() && frame->first == net::FrameType::kError);
+    }
+  }
+  {
+    auto client = net::Client::Connect("127.0.0.1", server.port());
+    CHECK_OK(client);
+    if (client.ok()) {
+      CHECK_OK((*client)->ExecuteSql("SELECT 1"));  // server still healthy
+    }
+  }
+
+  server.Stop();
+  CHECK_TRUE(!server.running());
+  std::printf("afprobe self-test: %s\n", g_failures == 0 ? "PASS" : "FAIL");
+  return g_failures == 0 ? 0 : 1;
+}
+
+int RunClient(const std::string& endpoint, const std::string& sql,
+              const std::string& probe_spec) {
+  size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "afprobe: --connect wants HOST:PORT, got '%s'\n",
+                 endpoint.c_str());
+    return 2;
+  }
+  std::string host = endpoint.substr(0, colon);
+  int port = std::atoi(endpoint.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "afprobe: bad port in '%s'\n", endpoint.c_str());
+    return 2;
+  }
+
+  auto client =
+      net::Client::Connect(host, static_cast<uint16_t>(port));
+  if (!client.ok()) {
+    std::fprintf(stderr, "afprobe: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("connected to %s (server: %s)\n", endpoint.c_str(),
+              (*client)->server_name().c_str());
+
+  auto echoed = (*client)->Ping("afprobe");
+  if (!echoed.ok()) {
+    std::fprintf(stderr, "afprobe: ping: %s\n",
+                 echoed.status().ToString().c_str());
+    return 1;
+  }
+
+  if (!probe_spec.empty()) {
+    size_t bar = probe_spec.find('|');
+    Probe probe;
+    probe.agent_id = "afprobe";
+    if (bar == std::string::npos) {
+      probe.queries = {probe_spec};
+    } else {
+      probe.brief.text = probe_spec.substr(0, bar);
+      probe.queries = {probe_spec.substr(bar + 1)};
+    }
+    auto response = (*client)->HandleProbe(probe);
+    if (!response.ok()) {
+      std::fprintf(stderr, "afprobe: probe: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", response->ToString(20).c_str());
+    return 0;
+  }
+
+  auto result = (*client)->ExecuteSql(sql.empty() ? "SELECT 1" : sql);
+  if (!result.ok()) {
+    std::fprintf(stderr, "afprobe: sql: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s(%zu rows)\n", (*result)->ToString(40).c_str(),
+              (*result)->NumRows());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  std::string endpoint, sql, probe_spec;
+  bool self_test = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : "";
+    };
+    if (arg == "--self-test") {
+      self_test = true;
+    } else if (arg == "--connect") {
+      endpoint = next();
+    } else if (arg == "--sql") {
+      sql = next();
+    } else if (arg == "--probe") {
+      probe_spec = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: afprobe --self-test | --connect HOST:PORT "
+                   "[--sql S] [--probe 'brief|sql']\n");
+      return 2;
+    }
+  }
+  if (self_test) return SelfTest();
+  if (endpoint.empty()) {
+    std::fprintf(stderr,
+                 "afprobe: need --self-test or --connect HOST:PORT\n");
+    return 2;
+  }
+  return RunClient(endpoint, sql, probe_spec);
+}
+
+}  // namespace
+}  // namespace agentfirst
+
+int main(int argc, char** argv) { return agentfirst::Main(argc, argv); }

@@ -19,14 +19,22 @@
 //   \export <table> <csv>     dump a table
 //   \metrics                  probe-optimizer accounting
 //   \demo                     load a small demo database
+//   \connect host:port        attach to a running afserved; SQL, \probe,
+//                             \search, \dt, \stats, \demo then go over the
+//                             wire. On connect failure the shell stays on
+//                             the in-process system.
+//   \disconnect               drop the connection, back to in-process
 //   \q                        quit
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
+#include "agents/remote_agent.h"
 #include "common/str_util.h"
 #include "core/system.h"
 #include "io/csv.h"
@@ -43,7 +51,9 @@ void PrintResponse(const ProbeResponse& r) {
   std::printf("%s", r.ToString(20).c_str());
 }
 
-void LoadDemo(AgentFirstSystem* db) {
+/// Runs the demo DDL/DML through whatever endpoint is active (in-process or
+/// remote); branching is only enabled when the local system is the target.
+void LoadDemo(ProbeService* svc, AgentFirstSystem* local_or_null) {
   const char* setup[] = {
       "CREATE TABLE stores (store_id BIGINT, city VARCHAR, state VARCHAR)",
       "INSERT INTO stores VALUES (1,'Berkeley','California'),"
@@ -54,30 +64,42 @@ void LoadDemo(AgentFirstSystem* db) {
       "(3,2,2024,200.0),(4,2,2025,210.0),(5,3,2024,150.0),(6,3,2025,149.0)",
   };
   for (const char* sql : setup) {
-    auto r = db->ExecuteSql(sql);
+    auto r = svc->ExecuteSql(sql);
     if (!r.ok()) {
       std::printf("demo setup failed: %s\n", r.status().ToString().c_str());
       return;
     }
   }
-  (void)db->EnableBranching("stores");
-  (void)db->EnableBranching("sales");
-  std::printf("demo loaded: stores (3 rows), sales (6 rows); branching enabled\n");
+  if (local_or_null != nullptr) {
+    (void)local_or_null->EnableBranching("stores");
+    (void)local_or_null->EnableBranching("sales");
+    std::printf(
+        "demo loaded: stores (3 rows), sales (6 rows); branching enabled\n");
+  } else {
+    std::printf("demo loaded on the server: stores (3 rows), sales (6 rows)\n");
+  }
 }
 
 int RunShell() {
   AgentFirstSystem db;
+  // When connected, probes and SQL go over the wire; commands that reach
+  // into local subsystems (memory, branches, CSV import/export, optimizer
+  // metrics) stay on the in-process system and say so.
+  std::unique_ptr<RemoteAgent> remote;
   std::printf("afsh -- agent-first shell. \\q quits, \\demo loads sample data.\n");
   std::string line;
   while (true) {
-    std::printf("afsh> ");
+    ProbeService* svc = remote != nullptr
+                            ? static_cast<ProbeService*>(remote.get())
+                            : static_cast<ProbeService*>(&db);
+    std::fputs(remote != nullptr ? "afsh(remote)> " : "afsh> ", stdout);
     std::fflush(stdout);
     if (!std::getline(std::cin, line)) break;
     std::string trimmed(Trim(line));
     if (trimmed.empty()) continue;
 
     if (trimmed[0] != '\\') {
-      auto r = db.ExecuteSql(trimmed);
+      auto r = svc->ExecuteSql(trimmed);
       if (!r.ok()) {
         std::printf("error: %s\n", r.status().ToString().c_str());
       } else {
@@ -90,18 +112,56 @@ int RunShell() {
     std::istringstream in(trimmed);
     std::string cmd;
     in >> cmd;
+    // Memory, branching, CSV, and optimizer accounting reach into local
+    // subsystems that the wire protocol does not expose.
+    bool local_only = cmd == "\\memory" || cmd == "\\fork" ||
+                      cmd == "\\branch" || cmd == "\\merge" ||
+                      cmd == "\\rollback" || cmd == "\\export" ||
+                      cmd == "\\import" || cmd == "\\metrics";
+    if (local_only && remote != nullptr) {
+      std::printf("%s is local-only; \\disconnect first\n", cmd.c_str());
+      continue;
+    }
     if (cmd == "\\q" || cmd == "\\quit") break;
     if (cmd == "\\demo") {
-      LoadDemo(&db);
+      LoadDemo(svc, remote == nullptr ? &db : nullptr);
+    } else if (cmd == "\\connect") {
+      std::string endpoint;
+      in >> endpoint;
+      size_t colon = endpoint.rfind(':');
+      int port = colon == std::string::npos
+                     ? 0
+                     : std::atoi(endpoint.c_str() + colon + 1);
+      if (colon == std::string::npos || port <= 0 || port > 65535) {
+        std::printf("usage: \\connect host:port\n");
+        continue;
+      }
+      auto attached = RemoteAgent::Connect(endpoint.substr(0, colon),
+                                           static_cast<uint16_t>(port));
+      if (!attached.ok()) {
+        std::printf("connect failed: %s\nstaying in-process\n",
+                    attached.status().ToString().c_str());
+      } else {
+        remote = std::move(*attached);
+        std::printf("connected to %s (server: %s)\n", endpoint.c_str(),
+                    remote->client()->server_name().c_str());
+      }
+    } else if (cmd == "\\disconnect") {
+      if (remote == nullptr) {
+        std::printf("not connected\n");
+      } else {
+        remote.reset();
+        std::printf("disconnected; back to the in-process system\n");
+      }
     } else if (cmd == "\\dt") {
-      auto r = db.ExecuteSql(
+      auto r = svc->ExecuteSql(
           "SELECT table_name, num_rows, num_columns FROM "
           "information_schema.tables ORDER BY table_name");
       if (r.ok()) PrintResult(*r);
     } else if (cmd == "\\stats") {
       std::string table;
       in >> table;
-      auto r = db.ExecuteSql(
+      auto r = svc->ExecuteSql(
           "SELECT column_name, num_distinct, num_nulls, min_value, max_value, "
           "most_common_value FROM information_schema.column_stats WHERE "
           "table_name = '" + table + "'");
@@ -119,7 +179,7 @@ int RunShell() {
       probe.agent_id = "shell";
       probe.brief.text = std::string(Trim(rest.substr(0, bar)));
       probe.queries = {std::string(Trim(rest.substr(bar + 1)))};
-      auto r = db.HandleProbe(probe);
+      auto r = svc->HandleProbe(probe);
       if (!r.ok()) std::printf("error: %s\n", r.status().ToString().c_str());
       else PrintResponse(*r);
     } else if (cmd == "\\search") {
@@ -127,7 +187,7 @@ int RunShell() {
       std::getline(in, phrase);
       Probe probe;
       probe.semantic_search_phrase = std::string(Trim(phrase));
-      auto r = db.HandleProbe(probe);
+      auto r = svc->HandleProbe(probe);
       if (!r.ok()) {
         std::printf("error: %s\n", r.status().ToString().c_str());
         continue;

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # One-shot gate for the static-analysis toolchain plus tier-1:
 #
-#   1. aflint         — in-tree convention linter over src/ and tests/
+#   1. aflint         — in-tree convention linter over src/, tests/, tools/, bench/
 #   2. afmetrics      — telemetry registry self-test (concurrency, histogram
 #                       bucket math, render formats)
 #   3. thread-safety  — clang -Wthread-safety -Werror=thread-safety build
@@ -9,8 +9,12 @@
 #                       AF_* annotations compile to nothing under GCC, so a
 #                       GCC build proves nothing about locking)
 #   4. tier-1         — default build + full ctest suite
+#   5. net smoke      — TSan build of afserved + afprobe + the net tests:
+#                       boots the server on an ephemeral loopback port,
+#                       drives it with afprobe, then runs net_test and
+#                       fuzz_wire_test under the same TSan build
 #
-#   tools/check.sh              # all four stages
+#   tools/check.sh              # all five stages
 #   tools/check.sh --no-tests   # static stages only (fast pre-push)
 #
 # Exits non-zero on the first failing stage.
@@ -23,19 +27,19 @@ if [[ "${1:-}" == "--no-tests" ]]; then
   run_tests=0
 fi
 
-echo "=== [1/4] aflint ==="
+echo "=== [1/5] aflint ==="
 # The lint rule engine is a plain C++ library; build just the CLI target so
 # this stage stays fast even on a cold tree.
 cmake -B build -S . > /dev/null
 cmake --build build -j "$(nproc)" --target aflint > /dev/null
-./build/tools/aflint --root . src tests
+./build/tools/aflint --root . src tests tools bench
 echo "aflint: clean"
 
-echo "=== [2/4] afmetrics self-test ==="
+echo "=== [2/5] afmetrics self-test ==="
 cmake --build build -j "$(nproc)" --target afmetrics > /dev/null
 ./build/tools/afmetrics --self-test
 
-echo "=== [3/4] clang thread-safety analysis ==="
+echo "=== [3/5] clang thread-safety analysis ==="
 if command -v clang++ > /dev/null 2>&1; then
   cmake -B build-tsafety -S . -DCMAKE_CXX_COMPILER=clang++ \
         -DAGENTFIRST_THREAD_SAFETY=ON > /dev/null
@@ -47,11 +51,50 @@ else
 fi
 
 if [[ "$run_tests" == "1" ]]; then
-  echo "=== [4/4] tier-1 build + tests ==="
+  echo "=== [4/5] tier-1 build + tests ==="
   cmake --build build -j "$(nproc)"
   ctest --test-dir build --output-on-failure -j "$(nproc)"
 else
-  echo "=== [4/4] tier-1 tests skipped (--no-tests) ==="
+  echo "=== [4/5] tier-1 tests skipped (--no-tests) ==="
+fi
+
+if [[ "$run_tests" == "1" ]]; then
+  echo "=== [5/5] networked service smoke (TSan) ==="
+  cmake -B build-tsan -S . -DAGENTFIRST_SANITIZE=thread \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build build-tsan -j "$(nproc)" \
+        --target afserve afprobe net_test fuzz_wire_test > /dev/null
+  export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+
+  serve_log=$(mktemp)
+  ./build-tsan/tools/afserve --demo > "$serve_log" 2>&1 &
+  serve_pid=$!
+  trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+  # The server prints "afserved listening on HOST:PORT" once bound; the port
+  # is ephemeral, so parse it instead of hardcoding one.
+  port=""
+  for _ in $(seq 1 100); do
+    port=$(sed -n 's/^afserved listening on .*:\([0-9][0-9]*\)$/\1/p' "$serve_log" | head -1)
+    [[ -n "$port" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$port" ]]; then
+    echo "afserved did not come up:" >&2
+    cat "$serve_log" >&2
+    exit 1
+  fi
+  ./build-tsan/tools/afprobe --connect "127.0.0.1:$port" \
+      --sql "SELECT city, SUM(revenue) FROM stores JOIN sales ON stores.store_id = sales.store_id GROUP BY city ORDER BY city"
+  kill "$serve_pid"
+  wait "$serve_pid"
+  trap - EXIT
+  echo "--- afserved shut down cleanly; its af.net.* accounting:"
+  grep "af.net." "$serve_log" || true
+
+  ./build-tsan/tests/net_test
+  ./build-tsan/tests/fuzz_wire_test
+else
+  echo "=== [5/5] net smoke skipped (--no-tests) ==="
 fi
 
 echo "check.sh: all stages passed"
