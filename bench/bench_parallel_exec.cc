@@ -1,13 +1,19 @@
 // Morsel-driven parallel execution bench: operator throughput (scan,
 // hash-join probe, aggregate) and probe-batch throughput at 1/2/4/8
-// threads, reporting the scaling curve over the serial baseline.
+// threads, on both execution paths — row-at-a-time (options.vectorized =
+// false) and the vectorized batch engine — reporting the vec/row speedup
+// and the scaling curve over the serial baseline.
 //
-//   build/bench/bench_parallel_exec [BENCH_parallel.json]
+//   build/bench/bench_parallel_exec [--quick] [BENCH_parallel.json]
 //
 // With a path argument, the measured curves are also written there as JSON
 // (the perf trajectory later PRs regress against). Scaling factors are only
 // meaningful on a multi-core host; the tool records the visible CPU count
 // alongside the numbers.
+//
+// --quick is the CI smoke mode (tools/check.sh): a smaller fact table, plan
+// workloads only, single-threaded, asserting the vectorized path is at
+// least as fast as the row path on every workload (exit 1 otherwise).
 
 #include <chrono>
 #include <cstdio>
@@ -30,6 +36,7 @@ namespace agentfirst {
 namespace {
 
 constexpr size_t kFactRows = 1000000;
+constexpr size_t kQuickFactRows = 200000;
 constexpr size_t kDimRows = 1000;
 constexpr int kRepetitions = 3;
 const std::vector<size_t> kThreadCounts = {1, 2, 4, 8};
@@ -41,8 +48,9 @@ double Seconds(std::chrono::steady_clock::time_point a,
 
 struct Fixture {
   Catalog catalog;
+  size_t fact_rows;
 
-  Fixture() {
+  explicit Fixture(size_t rows) : fact_rows(rows) {
     Rng rng(20260805);
     auto dim = *catalog.CreateTable(
         "dim", Schema({ColumnDef("id", DataType::kInt64, false, "dim"),
@@ -56,7 +64,7 @@ struct Fixture {
                         ColumnDef("dim_id", DataType::kInt64, false, "fact"),
                         ColumnDef("v", DataType::kFloat64, false, "fact"),
                         ColumnDef("cat", DataType::kString, false, "fact")}));
-    for (size_t i = 0; i < kFactRows; ++i) {
+    for (size_t i = 0; i < fact_rows; ++i) {
       (void)fact->AppendRow(
           {Value::Int(static_cast<int64_t>(i)),
            Value::Int(static_cast<int64_t>(rng.NextUint(kDimRows))),
@@ -73,13 +81,15 @@ struct Fixture {
 
 /// Best-of-k rows/s for one plan at one thread count, on a pool of exactly
 /// `threads` workers so the sweep measures thread scaling, not default-pool
-/// sizing.
-double MeasurePlan(Fixture& fx, const std::string& sql, size_t threads) {
+/// sizing. `vectorized` selects the execution path being measured.
+double MeasurePlan(Fixture& fx, const std::string& sql, size_t threads,
+                   bool vectorized) {
   PlanPtr plan = fx.Plan(sql);
   ThreadPool pool(threads);
   ExecOptions options;
   options.num_threads = threads;
   options.pool = &pool;
+  options.vectorized = vectorized;
   double best = 0.0;
   for (int rep = 0; rep < kRepetitions; ++rep) {
     auto t0 = std::chrono::steady_clock::now();
@@ -90,7 +100,7 @@ double MeasurePlan(Fixture& fx, const std::string& sql, size_t threads) {
                    result.status().ToString().c_str());
       return 0.0;
     }
-    best = std::max(best, static_cast<double>(kFactRows) / Seconds(t0, t1));
+    best = std::max(best, static_cast<double>(fx.fact_rows) / Seconds(t0, t1));
   }
   return best;
 }
@@ -157,11 +167,21 @@ int main(int argc, char** argv) {
   using namespace agentfirst;
   using bench::Num;
 
+  bool quick = false;
+  const char* out_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") {
+      quick = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
   struct Workload {
     std::string key;
     std::string sql;  // empty = probe batch
   };
-  const std::vector<Workload> workloads = {
+  std::vector<Workload> workloads = {
       {"scan_filter", "SELECT id, v FROM fact WHERE v > 99.0"},
       {"hash_join",
        "SELECT fact.id, dim.label FROM fact JOIN dim ON fact.dim_id = dim.id "
@@ -169,20 +189,35 @@ int main(int argc, char** argv) {
       {"aggregate", "SELECT cat, count(*), sum(v) FROM fact GROUP BY cat"},
       {"probe_batch", ""},
   };
+  std::vector<size_t> thread_counts = kThreadCounts;
+  size_t fact_rows = kFactRows;
+  if (quick) {
+    workloads.pop_back();  // plan workloads only: this is an executor smoke
+    thread_counts = {1};
+    fact_rows = kQuickFactRows;
+  }
 
-  std::printf("building %zu-row fact table...\n", kFactRows);
-  Fixture fx;
+  std::printf("building %zu-row fact table...\n", fact_rows);
+  Fixture fx(fact_rows);
 
-  // results[w][t] = throughput (rows/s for plans, probes/s for the batch).
-  std::vector<std::vector<double>> results(workloads.size());
+  // results_vec/row[w][t] = throughput (rows/s for plans, probes/s for the
+  // batch; the probe path owns its own options, so it has no row variant).
+  std::vector<std::vector<double>> results_vec(workloads.size());
+  std::vector<std::vector<double>> results_row(workloads.size());
   for (size_t w = 0; w < workloads.size(); ++w) {
-    for (size_t threads : kThreadCounts) {
-      double r = workloads[w].sql.empty()
-                     ? MeasureProbeBatch(threads)
-                     : MeasurePlan(fx, workloads[w].sql, threads);
-      results[w].push_back(r);
-      std::printf("  %-12s threads=%zu  %.3g %s\n", workloads[w].key.c_str(),
-                  threads, r, workloads[w].sql.empty() ? "probes/s" : "rows/s");
+    for (size_t threads : thread_counts) {
+      double vec, row;
+      if (workloads[w].sql.empty()) {
+        vec = row = MeasureProbeBatch(threads);
+      } else {
+        row = MeasurePlan(fx, workloads[w].sql, threads, /*vectorized=*/false);
+        vec = MeasurePlan(fx, workloads[w].sql, threads, /*vectorized=*/true);
+      }
+      results_vec[w].push_back(vec);
+      results_row[w].push_back(row);
+      std::printf("  %-12s threads=%zu  row %.3g  vec %.3g %s\n",
+                  workloads[w].key.c_str(), threads, row, vec,
+                  workloads[w].sql.empty() ? "probes/s" : "rows/s");
     }
   }
 
@@ -190,45 +225,81 @@ int main(int argc, char** argv) {
   for (size_t w = 0; w < workloads.size(); ++w) {
     bool per_probe = workloads[w].sql.empty();
     std::vector<std::string> row = {workloads[w].key};
-    for (size_t t = 0; t < kThreadCounts.size(); ++t) {
-      row.push_back(per_probe ? Num(results[w][t], 1)
-                              : Num(results[w][t] / 1e6, 3) + "M");
+    for (size_t t = 0; t < thread_counts.size(); ++t) {
+      row.push_back(per_probe ? Num(results_vec[w][t], 1)
+                              : Num(results_vec[w][t] / 1e6, 3) + "M");
     }
-    row.push_back(Num(results[w].back() / results[w].front(), 2) + "x");
+    row.push_back(Num(results_vec[w].back() / results_vec[w].front(), 2) +
+                  "x");
+    row.push_back(per_probe ? "-"
+                            : Num(results_vec[w][0] / results_row[w][0], 2) +
+                                  "x");
     rows.push_back(std::move(row));
   }
   std::printf(
-      "\nThroughput (plans: M rows/s; probe_batch: probes/s) and 8T/1T "
-      "scaling:\n");
-  bench::PrintTable({"workload", "1T", "2T", "4T", "8T", "scale"}, rows);
+      "\nVectorized-path throughput (plans: M rows/s; probe_batch: "
+      "probes/s), thread scaling, and serial vec/row speedup:\n");
+  std::vector<std::string> header = {"workload"};
+  for (size_t t : thread_counts) header.push_back(std::to_string(t) + "T");
+  header.push_back("scale");
+  header.push_back("vec/row");
+  bench::PrintTable(header, rows);
   unsigned cpus = std::thread::hardware_concurrency();
   std::printf("\nvisible CPUs: %u%s\n", cpus,
               cpus < 4 ? "  (scaling curves need >= 4 cores to be meaningful)"
                        : "");
 
-  if (argc > 1) {
-    std::ofstream out(argv[1]);
+  if (quick) {
+    // Smoke gate: vectorized execution must never lose to the row path on
+    // its own home turf (it has a 4-8x margin in practice; equality means
+    // the gate silently fell back to rows).
+    bool ok = true;
+    for (size_t w = 0; w < workloads.size(); ++w) {
+      if (results_vec[w][0] < results_row[w][0]) {
+        std::fprintf(stderr,
+                     "FAIL: %s vectorized %.3g rows/s < row path %.3g rows/s\n",
+                     workloads[w].key.c_str(), results_vec[w][0],
+                     results_row[w][0]);
+        ok = false;
+      }
+    }
+    std::printf("quick smoke: %s\n", ok ? "vec >= row on every workload"
+                                        : "vectorized regression");
+    if (!ok) return 1;
+  }
+
+  if (out_path != nullptr) {
+    std::ofstream out(out_path);
     if (!out) {
-      std::fprintf(stderr, "cannot open %s for writing\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s for writing\n", out_path);
       return 1;
     }
+    auto dump = [&](const char* key,
+                    const std::vector<std::vector<double>>& results,
+                    bool trailing_comma) {
+      out << "  \"" << key << "\": {\n";
+      for (size_t w = 0; w < workloads.size(); ++w) {
+        out << "    \"" << workloads[w].key << "\": {";
+        for (size_t t = 0; t < thread_counts.size(); ++t) {
+          out << "\"" << thread_counts[t] << "\": " << Num(results[w][t], 1);
+          if (t + 1 < thread_counts.size()) out << ", ";
+        }
+        out << "}" << (w + 1 < workloads.size() ? "," : "") << "\n";
+      }
+      out << "  }" << (trailing_comma ? "," : "") << "\n";
+    };
     out << "{\n  \"bench\": \"bench_parallel_exec\",\n";
     out << "  \"visible_cpus\": " << cpus << ",\n";
-    out << "  \"fact_rows\": " << kFactRows << ",\n";
+    out << "  \"fact_rows\": " << fact_rows << ",\n";
     out << "  \"probes_per_batch\": " << kProbes << ",\n";
     out << "  \"units\": {\"plans\": \"rows_per_sec\", \"probe_batch\": "
            "\"probes_per_sec\"},\n";
-    out << "  \"throughput\": {\n";
-    for (size_t w = 0; w < workloads.size(); ++w) {
-      out << "    \"" << workloads[w].key << "\": {";
-      for (size_t t = 0; t < kThreadCounts.size(); ++t) {
-        out << "\"" << kThreadCounts[t] << "\": " << Num(results[w][t], 1);
-        if (t + 1 < kThreadCounts.size()) out << ", ";
-      }
-      out << "}" << (w + 1 < workloads.size() ? "," : "") << "\n";
-    }
-    out << "  }\n}\n";
-    std::printf("wrote %s\n", argv[1]);
+    // "throughput" stays the headline (vectorized = the default path), so
+    // the perf trajectory across PRs reads as one continuous series.
+    dump("throughput", results_vec, /*trailing_comma=*/true);
+    dump("throughput_row_path", results_row, /*trailing_comma=*/false);
+    out << "}\n";
+    std::printf("wrote %s\n", out_path);
   }
   return 0;
 }

@@ -1,0 +1,77 @@
+#include "common/arena.h"
+
+#include <algorithm>
+
+namespace agentfirst {
+
+Arena::~Arena() {
+  MutexLock lock(mutex_);
+  if (tracker_ != nullptr) tracker_->Release(allocated_bytes_);
+  blocks_.clear();
+}
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  if (align == 0) align = 1;
+  MutexLock lock(mutex_);
+  if (blocks_.empty() && !AddBlock(bytes + align)) return nullptr;
+  Block* block = &blocks_.back();
+  auto aligned_offset = [&](const Block& b) {
+    uintptr_t base = reinterpret_cast<uintptr_t>(b.data.get()) + b.used;
+    size_t pad = (align - base % align) % align;
+    return b.used + pad;
+  };
+  size_t offset = aligned_offset(*block);
+  if (offset + bytes > block->size) {
+    if (!AddBlock(bytes + align)) return nullptr;
+    block = &blocks_.back();
+    offset = aligned_offset(*block);
+  }
+  void* out = block->data.get() + offset;
+  used_bytes_ += (offset - block->used) + bytes;
+  block->used = offset + bytes;
+  return out;
+}
+
+bool Arena::AddBlock(size_t min_bytes) {
+  size_t size = std::max(next_block_bytes_, min_bytes);
+  if (tracker_ != nullptr) {
+    Status s = tracker_->TryConsume(size);
+    if (!s.ok()) return false;
+  }
+  Block block;
+  block.data.reset(new (std::nothrow) char[size]);
+  if (block.data == nullptr) {
+    if (tracker_ != nullptr) tracker_->Release(size);
+    return false;
+  }
+  block.size = size;
+  blocks_.push_back(std::move(block));
+  allocated_bytes_ += size;
+  next_block_bytes_ = std::min(next_block_bytes_ * 2, kMaxBlockBytes);
+  return true;
+}
+
+void Arena::Reset() {
+  MutexLock lock(mutex_);
+  if (blocks_.size() > 1) blocks_.resize(1);
+  size_t kept = blocks_.empty() ? 0 : blocks_.front().size;
+  if (!blocks_.empty()) blocks_.front().used = 0;
+  if (tracker_ != nullptr && allocated_bytes_ > kept) {
+    tracker_->Release(allocated_bytes_ - kept);
+  }
+  allocated_bytes_ = kept;
+  used_bytes_ = 0;
+  next_block_bytes_ = std::max(kept, kMinBlockBytes);
+}
+
+size_t Arena::used_bytes() const {
+  MutexLock lock(mutex_);
+  return used_bytes_;
+}
+
+size_t Arena::allocated_bytes() const {
+  MutexLock lock(mutex_);
+  return allocated_bytes_;
+}
+
+}  // namespace agentfirst

@@ -1,0 +1,130 @@
+#ifndef AGENTFIRST_COMMON_ARENA_H_
+#define AGENTFIRST_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace agentfirst {
+
+/// Byte-budget accounting shared by everything a query allocates. The limit
+/// maps to `ResourceLimits::max_bytes`; exceeding it is not an error at this
+/// layer — TryConsume returns a typed kResourceExhausted Status and the
+/// executor turns that into a truncated (satisficed) partial result.
+///
+/// Thread-safe: parallel morsels consume against one tracker.
+class MemoryTracker {
+ public:
+  /// `limit_bytes` 0 = unlimited.
+  explicit MemoryTracker(size_t limit_bytes = 0) : limit_(limit_bytes) {}
+
+  /// Reserves `bytes`; kResourceExhausted when the reservation would exceed
+  /// the limit (the tracker is left unchanged in that case).
+  [[nodiscard]] Status TryConsume(size_t bytes) {
+    MutexLock lock(mutex_);
+    if (limit_ > 0 && used_ + bytes > limit_) {
+      return Status::ResourceExhausted(
+          "memory budget exhausted: " + std::to_string(used_ + bytes) + " > " +
+          std::to_string(limit_) + " bytes");
+    }
+    used_ += bytes;
+    if (used_ > peak_) peak_ = used_;
+    return Status::OK();
+  }
+
+  void Release(size_t bytes) {
+    MutexLock lock(mutex_);
+    used_ = bytes > used_ ? 0 : used_ - bytes;
+  }
+
+  size_t used() const {
+    MutexLock lock(mutex_);
+    return used_;
+  }
+  size_t peak() const {
+    MutexLock lock(mutex_);
+    return peak_;
+  }
+  size_t limit() const { return limit_; }
+
+ private:
+  const size_t limit_;
+  mutable Mutex mutex_;
+  size_t used_ AF_GUARDED_BY(mutex_) = 0;
+  size_t peak_ AF_GUARDED_BY(mutex_) = 0;
+};
+
+/// Per-query bump allocator. Blocks grow geometrically; Reset() recycles the
+/// first block so a reused arena reaches steady state with zero mallocs.
+/// All memory is released at once when the arena dies or resets — the
+/// vectorized executor allocates batch buffers here instead of per-row heap
+/// objects, so query teardown is O(blocks), not O(rows).
+///
+/// Lifetime rule: anything allocated from the arena (selection vectors,
+/// computed column buffers, string refs) is valid until Reset()/destruction,
+/// i.e. for the duration of one plan execution. Only trivially-destructible
+/// payloads may live here; destructors are never run.
+///
+/// Thread-safe: morsel workers bump-allocate concurrently (one short lock
+/// per column-sized buffer, a few allocations per 1024-row batch).
+class Arena {
+ public:
+  static constexpr size_t kMinBlockBytes = 4 << 10;    // 4 KiB
+  static constexpr size_t kMaxBlockBytes = 256 << 10;  // 256 KiB
+
+  /// `tracker` (not owned, may be null) is charged per underlying block, so
+  /// a query budget caps the arena's real footprint, not just live bytes.
+  explicit Arena(MemoryTracker* tracker = nullptr) : tracker_(tracker) {}
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of uninitialized storage aligned to `align`, or nullptr
+  /// when the tracker's budget is exhausted. Never throws.
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t));
+
+  /// Typed array of `n` elements (uninitialized; T must be trivially
+  /// destructible). nullptr on budget exhaustion.
+  template <typename T>
+  T* AllocateArrayOf(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory never runs destructors");
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Drops every block except the first (kept for reuse) and rewinds it.
+  void Reset();
+
+  /// Bytes handed out by Allocate since construction/Reset.
+  size_t used_bytes() const;
+  /// Bytes reserved from the system (and charged to the tracker).
+  size_t allocated_bytes() const;
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  /// Appends a block of at least `min_bytes`; false on budget exhaustion.
+  bool AddBlock(size_t min_bytes) AF_REQUIRES(mutex_);
+
+  MemoryTracker* tracker_;
+  mutable Mutex mutex_;
+  std::vector<Block> blocks_ AF_GUARDED_BY(mutex_);
+  size_t next_block_bytes_ AF_GUARDED_BY(mutex_) = kMinBlockBytes;
+  size_t used_bytes_ AF_GUARDED_BY(mutex_) = 0;
+  size_t allocated_bytes_ AF_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_COMMON_ARENA_H_

@@ -183,16 +183,25 @@ Result<ResultSetPtr> Engine::ExecUpdate(const UpdateStmt& stmt) {
     assignments.emplace_back(*idx, std::move(bound));
   }
 
+  // Segment-batch scan: rows materialize column-at-a-time (ReadRows), and
+  // only matching rows pay the per-cell SetValue path. Assignments for a row
+  // are evaluated against its pre-update copy, same as the per-row loop.
   int64_t affected = 0;
-  for (size_t r = 0; r < table->NumRows(); ++r) {
-    auto row = table->GetRow(r);
-    if (!row.ok()) return row.status();
-    if (where != nullptr && !EvalPredicate(*where, *row)) continue;
-    for (const auto& [idx, expr] : assignments) {
-      Value v = EvalExpr(*expr, *row);
-      AF_RETURN_IF_ERROR(table->SetValue(r, idx, v));
+  size_t base = 0;
+  std::vector<Row> rows;
+  for (const auto& seg : table->segments()) {
+    rows.clear();
+    seg->ReadRows(0, seg->num_rows(), &rows);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      if (where != nullptr && !EvalPredicate(*where, row)) continue;
+      for (const auto& [idx, expr] : assignments) {
+        Value v = EvalExpr(*expr, row);
+        AF_RETURN_IF_ERROR(table->SetValue(base + i, idx, v));
+      }
+      ++affected;
     }
-    ++affected;
+    base += seg->num_rows();
   }
   return MakeAffectedResult(affected);
 }
@@ -208,13 +217,20 @@ Result<ResultSetPtr> Engine::ExecDelete(const DeleteStmt& stmt) {
   }
   std::vector<uint8_t> mask(table->NumRows(), 0);
   int64_t affected = 0;
-  for (size_t r = 0; r < table->NumRows(); ++r) {
-    auto row = table->GetRow(r);
-    if (!row.ok()) return row.status();
-    if (where == nullptr || EvalPredicate(*where, *row)) {
-      mask[r] = 1;
-      ++affected;
+  // Segment-batch scan (see ExecUpdate): the mask is built from
+  // column-at-a-time materialized rows instead of per-row GetRow calls.
+  size_t base = 0;
+  std::vector<Row> rows;
+  for (const auto& seg : table->segments()) {
+    rows.clear();
+    seg->ReadRows(0, seg->num_rows(), &rows);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (where == nullptr || EvalPredicate(*where, rows[i])) {
+        mask[base + i] = 1;
+        ++affected;
+      }
     }
+    base += seg->num_rows();
   }
   AF_RETURN_IF_ERROR(table->RemoveRows(mask));
   return MakeAffectedResult(affected);

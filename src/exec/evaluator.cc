@@ -1,6 +1,8 @@
 #include "exec/evaluator.h"
 
 #include <cmath>
+#include <cstring>
+#include <string_view>
 
 #include "common/str_util.h"
 #include "embed/embedding.h"
@@ -315,5 +317,761 @@ bool EvalPredicate(const BoundExpr& expr, const Row& row) {
   Value v = EvalExpr(expr, row);
   return !v.is_null() && v.type() == DataType::kBool && v.bool_value();
 }
+
+// ===========================================================================
+// Vectorized expression evaluation.
+//
+// The batch kernels below replicate the row path's semantics exactly —
+// including its quirks (three-way comparison treats NaN as equal to
+// everything; numeric comparison is exact for int/int and goes through
+// double otherwise) — because row-vs-vectorized byte-identity is the
+// regression gate. Every divergence is a determinism bug, not a cleanup.
+// ===========================================================================
+
+namespace vec {
+namespace {
+
+bool IsCmpOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Operand views: a kernel operand is either a constant (from a literal) or a
+// column. The accessors branch on `is_const`, which is loop-invariant, so
+// the optimizer hoists the branch out of the kernels' row loops.
+// ---------------------------------------------------------------------------
+
+struct NumOp {
+  bool is_const = false;
+  bool is_int = false;  // static physical type: int64 vs double
+  int64_t ci = 0;
+  double cd = 0.0;
+  const int64_t* i64 = nullptr;
+  const double* f64 = nullptr;
+  const uint8_t* valid = nullptr;
+
+  bool Ok(size_t row) const {
+    return is_const || valid == nullptr || valid[row] != 0;
+  }
+  int64_t I(size_t row) const { return is_const ? ci : i64[row]; }
+  double D(size_t row) const {
+    if (is_const) return cd;
+    return is_int ? static_cast<double>(i64[row]) : f64[row];
+  }
+};
+
+struct BoolOp {
+  bool is_const = false;
+  bool cb = false;
+  const uint8_t* b8 = nullptr;
+  const uint8_t* valid = nullptr;
+
+  bool Ok(size_t row) const {
+    return is_const || valid == nullptr || valid[row] != 0;
+  }
+  bool B(size_t row) const { return is_const ? cb : b8[row] != 0; }
+};
+
+struct StrOp {
+  bool is_const = false;
+  std::string_view cs;
+  VecColumn col;
+
+  bool Ok(size_t row) const { return is_const || ValidAt(col, row); }
+  std::string_view S(size_t row) const { return is_const ? cs : StrAt(col, row); }
+};
+
+// aflint:kernel-begin — typed tight loops; no row-at-a-time types in here.
+
+inline bool CmpPass(BinaryOp op, int c) {
+  switch (op) {
+    case BinaryOp::kEq: return c == 0;
+    case BinaryOp::kNe: return c != 0;
+    case BinaryOp::kLt: return c < 0;
+    case BinaryOp::kLe: return c <= 0;
+    case BinaryOp::kGt: return c > 0;
+    case BinaryOp::kGe: return c >= 0;
+    default: return false;
+  }
+}
+
+/// Three-way numeric comparison mirroring the dynamic-typed total order:
+/// exact when both sides are integers, via double otherwise.
+inline int NumCmp3(const NumOp& lhs, const NumOp& rhs, bool ints, size_t row) {
+  if (ints) {
+    int64_t a = lhs.I(row);
+    int64_t b = rhs.I(row);
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  double a = lhs.D(row);
+  double b = rhs.D(row);
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+inline int StrCmp3(std::string_view a, std::string_view b) {
+  int c = a.compare(b);
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+/// Appends each batch row passing `pass` to `out`; returns the count. The
+/// output order is ascending row order — the invariant every selection
+/// vector maintains.
+template <typename PassFn>
+size_t SelectInto(const VecBatch& b, PassFn pass, uint32_t* out) {
+  size_t n = 0;
+  if (b.sel != nullptr) {
+    for (size_t i = 0; i < b.sel_size; ++i) {
+      uint32_t row = b.sel[i];
+      if (pass(row)) out[n++] = row;
+    }
+  } else {
+    for (size_t row = 0; row < b.num_rows; ++row) {
+      if (pass(row)) out[n++] = static_cast<uint32_t>(row);
+    }
+  }
+  return n;
+}
+
+size_t SelNumCmp(BinaryOp op, const VecBatch& b, const NumOp& lhs,
+                 const NumOp& rhs, uint32_t* out) {
+  bool ints = lhs.is_int && rhs.is_int;
+  return SelectInto(
+      b,
+      [&](size_t row) {
+        return lhs.Ok(row) && rhs.Ok(row) &&
+               CmpPass(op, NumCmp3(lhs, rhs, ints, row));
+      },
+      out);
+}
+
+size_t SelStrCmp(BinaryOp op, const VecBatch& b, const StrOp& lhs,
+                 const StrOp& rhs, uint32_t* out) {
+  return SelectInto(
+      b,
+      [&](size_t row) {
+        return lhs.Ok(row) && rhs.Ok(row) &&
+               CmpPass(op, StrCmp3(lhs.S(row), rhs.S(row)));
+      },
+      out);
+}
+
+size_t SelBoolCmp(BinaryOp op, const VecBatch& b, const BoolOp& lhs,
+                  const BoolOp& rhs, uint32_t* out) {
+  return SelectInto(
+      b,
+      [&](size_t row) {
+        if (!lhs.Ok(row) || !rhs.Ok(row)) return false;
+        int a = lhs.B(row) ? 1 : 0;
+        int c = rhs.B(row) ? 1 : 0;
+        return CmpPass(op, a - c);
+      },
+      out);
+}
+
+/// Selects rows whose boolean column cell is valid TRUE.
+size_t SelTrue(const VecBatch& b, const VecColumn& c, uint32_t* out) {
+  if (c.type != DataType::kBool) return 0;  // non-bool predicate: no rows
+  return SelectInto(
+      b, [&](size_t row) { return ValidAt(c, row) && c.b8[row] != 0; }, out);
+}
+
+/// Allocates and fills a fresh boolean column over the batch's selection.
+/// `fn(row, &val)` returns validity. Unselected positions stay NULL.
+template <typename Fn>
+bool EmitBool(const VecBatch& b, Arena* arena, Fn fn, VecColumn* out) {
+  uint8_t* valid = arena->AllocateArrayOf<uint8_t>(b.num_rows);
+  uint8_t* data = arena->AllocateArrayOf<uint8_t>(b.num_rows);
+  if (valid == nullptr || data == nullptr) return false;
+  std::memset(valid, 0, b.num_rows);
+  size_t active = b.ActiveRows();
+  for (size_t i = 0; i < active; ++i) {
+    size_t row = b.RowAt(i);
+    bool v = false;
+    valid[row] = fn(row, &v) ? 1 : 0;
+    data[row] = v ? 1 : 0;
+  }
+  out->type = DataType::kBool;
+  out->valid = valid;
+  out->b8 = data;
+  return true;
+}
+
+bool EmitCmpNum(BinaryOp op, const VecBatch& b, const NumOp& lhs,
+                const NumOp& rhs, Arena* arena, VecColumn* out) {
+  bool ints = lhs.is_int && rhs.is_int;
+  return EmitBool(
+      b, arena,
+      [&](size_t row, bool* v) {
+        if (!lhs.Ok(row) || !rhs.Ok(row)) return false;
+        *v = CmpPass(op, NumCmp3(lhs, rhs, ints, row));
+        return true;
+      },
+      out);
+}
+
+bool EmitCmpStr(BinaryOp op, const VecBatch& b, const StrOp& lhs,
+                const StrOp& rhs, Arena* arena, VecColumn* out) {
+  return EmitBool(
+      b, arena,
+      [&](size_t row, bool* v) {
+        if (!lhs.Ok(row) || !rhs.Ok(row)) return false;
+        *v = CmpPass(op, StrCmp3(lhs.S(row), rhs.S(row)));
+        return true;
+      },
+      out);
+}
+
+bool EmitCmpBool(BinaryOp op, const VecBatch& b, const BoolOp& lhs,
+                 const BoolOp& rhs, Arena* arena, VecColumn* out) {
+  return EmitBool(
+      b, arena,
+      [&](size_t row, bool* v) {
+        if (!lhs.Ok(row) || !rhs.Ok(row)) return false;
+        int a = lhs.B(row) ? 1 : 0;
+        int c = rhs.B(row) ? 1 : 0;
+        *v = CmpPass(op, a - c);
+        return true;
+      },
+      out);
+}
+
+/// Kleene AND/OR over boolean operands (both sides fully evaluated — batch
+/// kernels have no side effects, so skipping the row path's short-circuit
+/// changes nothing observable).
+bool EmitAndOr(bool is_and, const VecBatch& b, const BoolOp& lhs,
+               const BoolOp& rhs, Arena* arena, VecColumn* out) {
+  return EmitBool(
+      b, arena,
+      [&](size_t row, bool* v) {
+        bool lv = lhs.Ok(row);
+        bool rv = rhs.Ok(row);
+        if (is_and) {
+          if ((lv && !lhs.B(row)) || (rv && !rhs.B(row))) {
+            *v = false;
+            return true;
+          }
+          if (!lv || !rv) return false;
+          *v = true;
+          return true;
+        }
+        if ((lv && lhs.B(row)) || (rv && rhs.B(row))) {
+          *v = true;
+          return true;
+        }
+        if (!lv || !rv) return false;
+        *v = false;
+        return true;
+      },
+      out);
+}
+
+bool EmitNot(const VecBatch& b, const BoolOp& operand, Arena* arena,
+             VecColumn* out) {
+  return EmitBool(
+      b, arena,
+      [&](size_t row, bool* v) {
+        if (!operand.Ok(row)) return false;
+        *v = !operand.B(row);
+        return true;
+      },
+      out);
+}
+
+bool EmitNeg(const VecBatch& b, const NumOp& operand, Arena* arena,
+             VecColumn* out) {
+  size_t active = b.ActiveRows();
+  uint8_t* valid = arena->AllocateArrayOf<uint8_t>(b.num_rows);
+  if (valid == nullptr) return false;
+  std::memset(valid, 0, b.num_rows);
+  if (operand.is_int) {
+    int64_t* data = arena->AllocateArrayOf<int64_t>(b.num_rows);
+    if (data == nullptr) return false;
+    for (size_t i = 0; i < active; ++i) {
+      size_t row = b.RowAt(i);
+      if (!operand.Ok(row)) continue;
+      valid[row] = 1;
+      data[row] = -operand.I(row);
+    }
+    out->type = DataType::kInt64;
+    out->valid = valid;
+    out->i64 = data;
+    return true;
+  }
+  double* data = arena->AllocateArrayOf<double>(b.num_rows);
+  if (data == nullptr) return false;
+  for (size_t i = 0; i < active; ++i) {
+    size_t row = b.RowAt(i);
+    if (!operand.Ok(row)) continue;
+    valid[row] = 1;
+    data[row] = -operand.D(row);
+  }
+  out->type = DataType::kFloat64;
+  out->valid = valid;
+  out->f64 = data;
+  return true;
+}
+
+bool EmitArith(BinaryOp op, const VecBatch& b, const NumOp& lhs,
+               const NumOp& rhs, Arena* arena, VecColumn* out) {
+  size_t active = b.ActiveRows();
+  uint8_t* valid = arena->AllocateArrayOf<uint8_t>(b.num_rows);
+  if (valid == nullptr) return false;
+  std::memset(valid, 0, b.num_rows);
+  bool ints = lhs.is_int && rhs.is_int && op != BinaryOp::kDiv;
+  if (ints) {
+    int64_t* data = arena->AllocateArrayOf<int64_t>(b.num_rows);
+    if (data == nullptr) return false;
+    for (size_t i = 0; i < active; ++i) {
+      size_t row = b.RowAt(i);
+      if (!lhs.Ok(row) || !rhs.Ok(row)) continue;
+      int64_t a = lhs.I(row);
+      int64_t c = rhs.I(row);
+      int64_t res = 0;
+      switch (op) {
+        case BinaryOp::kAdd: res = a + c; break;
+        case BinaryOp::kSub: res = a - c; break;
+        case BinaryOp::kMul: res = a * c; break;
+        case BinaryOp::kMod:
+          if (c == 0) continue;  // NULL, like the dynamic path
+          res = a % c;
+          break;
+        default: continue;
+      }
+      valid[row] = 1;
+      data[row] = res;
+    }
+    out->type = DataType::kInt64;
+    out->valid = valid;
+    out->i64 = data;
+    return true;
+  }
+  double* data = arena->AllocateArrayOf<double>(b.num_rows);
+  if (data == nullptr) return false;
+  for (size_t i = 0; i < active; ++i) {
+    size_t row = b.RowAt(i);
+    if (!lhs.Ok(row) || !rhs.Ok(row)) continue;
+    double a = lhs.D(row);
+    double c = rhs.D(row);
+    double res = 0.0;
+    switch (op) {
+      case BinaryOp::kAdd: res = a + c; break;
+      case BinaryOp::kSub: res = a - c; break;
+      case BinaryOp::kMul: res = a * c; break;
+      case BinaryOp::kDiv:
+        if (c == 0.0) continue;  // NULL
+        res = a / c;
+        break;
+      case BinaryOp::kMod:
+        if (c == 0.0) continue;  // NULL
+        res = std::fmod(a, c);
+        break;
+      default: continue;
+    }
+    valid[row] = 1;
+    data[row] = res;
+  }
+  out->type = DataType::kFloat64;
+  out->valid = valid;
+  out->f64 = data;
+  return true;
+}
+
+bool EmitIsNullFlags(const VecBatch& b, const VecColumn& child, bool negated,
+                     Arena* arena, VecColumn* out) {
+  uint8_t* data = arena->AllocateArrayOf<uint8_t>(b.num_rows);
+  if (data == nullptr) return false;
+  std::memset(data, 0, b.num_rows);
+  size_t active = b.ActiveRows();
+  for (size_t i = 0; i < active; ++i) {
+    size_t row = b.RowAt(i);
+    bool is_null = !ValidAt(child, row);
+    data[row] = (negated ? !is_null : is_null) ? 1 : 0;
+  }
+  out->type = DataType::kBool;
+  out->valid = nullptr;  // IS NULL never yields NULL
+  out->b8 = data;
+  return true;
+}
+
+bool EmitBetweenNum(bool negated, const VecBatch& b, const NumOp& v,
+                    const NumOp& lo, const NumOp& hi, Arena* arena,
+                    VecColumn* out) {
+  bool ints_lo = v.is_int && lo.is_int;
+  bool ints_hi = v.is_int && hi.is_int;
+  return EmitBool(
+      b, arena,
+      [&](size_t row, bool* res) {
+        if (!v.Ok(row) || !lo.Ok(row) || !hi.Ok(row)) return false;
+        bool in = NumCmp3(v, lo, ints_lo, row) >= 0 &&
+                  NumCmp3(v, hi, ints_hi, row) <= 0;
+        *res = negated ? !in : in;
+        return true;
+      },
+      out);
+}
+
+bool EmitBetweenStr(bool negated, const VecBatch& b, const StrOp& v,
+                    const StrOp& lo, const StrOp& hi, Arena* arena,
+                    VecColumn* out) {
+  return EmitBool(
+      b, arena,
+      [&](size_t row, bool* res) {
+        if (!v.Ok(row) || !lo.Ok(row) || !hi.Ok(row)) return false;
+        bool in = StrCmp3(v.S(row), lo.S(row)) >= 0 &&
+                  StrCmp3(v.S(row), hi.S(row)) <= 0;
+        *res = negated ? !in : in;
+        return true;
+      },
+      out);
+}
+
+// aflint:kernel-end
+
+// ---------------------------------------------------------------------------
+// Operand builders and dispatch (boundary code: literals are dynamic values).
+// ---------------------------------------------------------------------------
+
+std::vector<DataType> BatchTypes(const VecBatch& b) {
+  std::vector<DataType> types;
+  types.reserve(b.cols.size());
+  for (const VecColumn& c : b.cols) types.push_back(c.type);
+  return types;
+}
+
+DataType StaticType(const BoundExpr& e, const VecBatch& b) {
+  return InferExprType(e, BatchTypes(b)).value_or(DataType::kNull);
+}
+
+bool MakeNum(const BoundExpr& e, const VecBatch& b, Arena* arena, NumOp* op) {
+  if (e.kind == BoundExprKind::kLiteral) {
+    const Value& lit = e.literal;
+    op->is_const = true;
+    op->is_int = lit.type() == DataType::kInt64;
+    op->ci = op->is_int ? lit.int_value() : 0;
+    op->cd = lit.AsDouble();
+    return true;
+  }
+  VecColumn c;
+  if (!EvalExprBatch(e, b, arena, &c)) return false;
+  op->is_int = c.type == DataType::kInt64;
+  op->i64 = c.i64;
+  op->f64 = c.f64;
+  op->valid = c.valid;
+  return true;
+}
+
+bool MakeBool(const BoundExpr& e, const VecBatch& b, Arena* arena, BoolOp* op) {
+  if (e.kind == BoundExprKind::kLiteral) {
+    op->is_const = true;
+    op->cb = e.literal.bool_value();
+    return true;
+  }
+  VecColumn c;
+  if (!EvalExprBatch(e, b, arena, &c)) return false;
+  op->b8 = c.b8;
+  op->valid = c.valid;
+  return true;
+}
+
+bool MakeStr(const BoundExpr& e, const VecBatch& b, Arena* arena, StrOp* op) {
+  if (e.kind == BoundExprKind::kLiteral) {
+    op->is_const = true;
+    op->cs = std::string_view(e.literal.string_value());  // owned by the plan
+    return true;
+  }
+  op->is_const = false;
+  return EvalExprBatch(e, b, arena, &op->col);
+}
+
+bool MaterializeLiteralColumn(const Value& lit, const VecBatch& b, Arena* arena,
+                              VecColumn* out) {
+  out->type = lit.type();
+  if (lit.is_null()) {
+    uint8_t* valid = arena->AllocateArrayOf<uint8_t>(b.num_rows);
+    if (valid == nullptr) return false;
+    std::memset(valid, 0, b.num_rows);
+    out->valid = valid;
+    return true;
+  }
+  out->valid = nullptr;  // constant: every row valid
+  switch (lit.type()) {
+    case DataType::kBool: {
+      uint8_t* data = arena->AllocateArrayOf<uint8_t>(b.num_rows);
+      if (data == nullptr) return false;
+      std::memset(data, lit.bool_value() ? 1 : 0, b.num_rows);
+      out->b8 = data;
+      return true;
+    }
+    case DataType::kInt64: {
+      int64_t* data = arena->AllocateArrayOf<int64_t>(b.num_rows);
+      if (data == nullptr) return false;
+      std::fill_n(data, b.num_rows, lit.int_value());
+      out->i64 = data;
+      return true;
+    }
+    case DataType::kFloat64: {
+      double* data = arena->AllocateArrayOf<double>(b.num_rows);
+      if (data == nullptr) return false;
+      std::fill_n(data, b.num_rows, lit.double_value());
+      out->f64 = data;
+      return true;
+    }
+    case DataType::kString: {
+      StringRef* data = arena->AllocateArrayOf<StringRef>(b.num_rows);
+      if (data == nullptr) return false;
+      const std::string& s = lit.string_value();
+      StringRef ref{s.data(), static_cast<uint32_t>(s.size())};
+      std::fill_n(data, b.num_rows, ref);
+      out->refs = data;
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::optional<DataType> InferExprType(const BoundExpr& expr,
+                                      const std::vector<DataType>& input_types) {
+  switch (expr.kind) {
+    case BoundExprKind::kColumn:
+      if (expr.column_index >= input_types.size()) return std::nullopt;
+      return input_types[expr.column_index];
+    case BoundExprKind::kLiteral:
+      // NULL literals are only vectorizable standing alone (an all-NULL
+      // column); operand positions below require a concrete type.
+      return expr.literal.type();
+    case BoundExprKind::kUnary: {
+      auto c = InferExprType(*expr.children[0], input_types);
+      if (!c) return std::nullopt;
+      if (expr.un_op == UnaryOp::kNot) {
+        return *c == DataType::kBool ? std::optional(DataType::kBool)
+                                     : std::nullopt;
+      }
+      if (*c == DataType::kInt64) return DataType::kInt64;
+      if (*c == DataType::kFloat64) return DataType::kFloat64;
+      return std::nullopt;
+    }
+    case BoundExprKind::kIsNull: {
+      auto c = InferExprType(*expr.children[0], input_types);
+      return c ? std::optional(DataType::kBool) : std::nullopt;
+    }
+    case BoundExprKind::kBetween: {
+      auto v = InferExprType(*expr.children[0], input_types);
+      auto lo = InferExprType(*expr.children[1], input_types);
+      auto hi = InferExprType(*expr.children[2], input_types);
+      if (!v || !lo || !hi) return std::nullopt;
+      if (IsNumeric(*v) && IsNumeric(*lo) && IsNumeric(*hi)) {
+        return DataType::kBool;
+      }
+      if (*v == DataType::kString && *lo == DataType::kString &&
+          *hi == DataType::kString) {
+        return DataType::kBool;
+      }
+      return std::nullopt;
+    }
+    case BoundExprKind::kBinary: {
+      auto l = InferExprType(*expr.children[0], input_types);
+      auto r = InferExprType(*expr.children[1], input_types);
+      if (!l || !r) return std::nullopt;
+      switch (expr.bin_op) {
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr:
+          return (*l == DataType::kBool && *r == DataType::kBool)
+                     ? std::optional(DataType::kBool)
+                     : std::nullopt;
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          if (IsNumeric(*l) && IsNumeric(*r)) return DataType::kBool;
+          if (*l == *r &&
+              (*l == DataType::kString || *l == DataType::kBool)) {
+            return DataType::kBool;
+          }
+          return std::nullopt;
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kMod:
+          if (!IsNumeric(*l) || !IsNumeric(*r)) return std::nullopt;
+          return (*l == DataType::kInt64 && *r == DataType::kInt64)
+                     ? DataType::kInt64
+                     : DataType::kFloat64;
+        case BinaryOp::kDiv:
+          return (IsNumeric(*l) && IsNumeric(*r))
+                     ? std::optional(DataType::kFloat64)
+                     : std::nullopt;
+      }
+      return std::nullopt;
+    }
+    default:
+      return std::nullopt;  // LIKE / IN / CASE / functions: row path
+  }
+}
+
+bool EvalExprBatch(const BoundExpr& expr, const VecBatch& batch, Arena* arena,
+                   VecColumn* out) {
+  switch (expr.kind) {
+    case BoundExprKind::kColumn:
+      *out = batch.cols[expr.column_index];
+      return true;
+    case BoundExprKind::kLiteral:
+      return MaterializeLiteralColumn(expr.literal, batch, arena, out);
+    case BoundExprKind::kUnary: {
+      if (expr.un_op == UnaryOp::kNot) {
+        BoolOp operand;
+        if (!MakeBool(*expr.children[0], batch, arena, &operand)) return false;
+        return EmitNot(batch, operand, arena, out);
+      }
+      NumOp operand;
+      if (!MakeNum(*expr.children[0], batch, arena, &operand)) return false;
+      return EmitNeg(batch, operand, arena, out);
+    }
+    case BoundExprKind::kIsNull: {
+      VecColumn child;
+      if (!EvalExprBatch(*expr.children[0], batch, arena, &child)) return false;
+      return EmitIsNullFlags(batch, child, expr.negated, arena, out);
+    }
+    case BoundExprKind::kBetween: {
+      DataType vt = StaticType(*expr.children[0], batch);
+      if (vt == DataType::kString) {
+        StrOp v, lo, hi;
+        if (!MakeStr(*expr.children[0], batch, arena, &v) ||
+            !MakeStr(*expr.children[1], batch, arena, &lo) ||
+            !MakeStr(*expr.children[2], batch, arena, &hi)) {
+          return false;
+        }
+        return EmitBetweenStr(expr.negated, batch, v, lo, hi, arena, out);
+      }
+      NumOp v, lo, hi;
+      if (!MakeNum(*expr.children[0], batch, arena, &v) ||
+          !MakeNum(*expr.children[1], batch, arena, &lo) ||
+          !MakeNum(*expr.children[2], batch, arena, &hi)) {
+        return false;
+      }
+      return EmitBetweenNum(expr.negated, batch, v, lo, hi, arena, out);
+    }
+    case BoundExprKind::kBinary: {
+      if (expr.bin_op == BinaryOp::kAnd || expr.bin_op == BinaryOp::kOr) {
+        BoolOp lhs, rhs;
+        if (!MakeBool(*expr.children[0], batch, arena, &lhs) ||
+            !MakeBool(*expr.children[1], batch, arena, &rhs)) {
+          return false;
+        }
+        return EmitAndOr(expr.bin_op == BinaryOp::kAnd, batch, lhs, rhs, arena,
+                         out);
+      }
+      if (IsCmpOp(expr.bin_op)) {
+        DataType lt = StaticType(*expr.children[0], batch);
+        if (lt == DataType::kString) {
+          StrOp lhs, rhs;
+          if (!MakeStr(*expr.children[0], batch, arena, &lhs) ||
+              !MakeStr(*expr.children[1], batch, arena, &rhs)) {
+            return false;
+          }
+          return EmitCmpStr(expr.bin_op, batch, lhs, rhs, arena, out);
+        }
+        if (lt == DataType::kBool) {
+          BoolOp lhs, rhs;
+          if (!MakeBool(*expr.children[0], batch, arena, &lhs) ||
+              !MakeBool(*expr.children[1], batch, arena, &rhs)) {
+            return false;
+          }
+          return EmitCmpBool(expr.bin_op, batch, lhs, rhs, arena, out);
+        }
+        NumOp lhs, rhs;
+        if (!MakeNum(*expr.children[0], batch, arena, &lhs) ||
+            !MakeNum(*expr.children[1], batch, arena, &rhs)) {
+          return false;
+        }
+        return EmitCmpNum(expr.bin_op, batch, lhs, rhs, arena, out);
+      }
+      // Arithmetic.
+      NumOp lhs, rhs;
+      if (!MakeNum(*expr.children[0], batch, arena, &lhs) ||
+          !MakeNum(*expr.children[1], batch, arena, &rhs)) {
+        return false;
+      }
+      return EmitArith(expr.bin_op, batch, lhs, rhs, arena, out);
+    }
+    default:
+      // Unreachable when gated by CanVectorizeExpr; produce an all-NULL
+      // boolean column as a safe degenerate answer.
+      return MaterializeLiteralColumn(Value::Null(), batch, arena, out);
+  }
+}
+
+bool EvalPredicateBatch(const BoundExpr& expr, const VecBatch& batch,
+                        Arena* arena, const uint32_t** out_sel,
+                        size_t* out_count) {
+  // Top-level AND: narrow the selection conjunct by conjunct. Predicate
+  // context only keeps TRUE rows, and Kleene AND is TRUE exactly when both
+  // sides are TRUE, so narrowing preserves semantics.
+  if (expr.kind == BoundExprKind::kBinary && expr.bin_op == BinaryOp::kAnd) {
+    const uint32_t* first = nullptr;
+    size_t first_count = 0;
+    if (!EvalPredicateBatch(*expr.children[0], batch, arena, &first,
+                            &first_count)) {
+      return false;
+    }
+    VecBatch narrowed = batch;
+    narrowed.sel = first;
+    narrowed.sel_size = first_count;
+    return EvalPredicateBatch(*expr.children[1], narrowed, arena, out_sel,
+                              out_count);
+  }
+  uint32_t* sel = arena->AllocateArrayOf<uint32_t>(batch.ActiveRows());
+  if (sel == nullptr) return false;
+  // Bare comparison: direct selection kernel, no boolean materialization.
+  if (expr.kind == BoundExprKind::kBinary && IsCmpOp(expr.bin_op)) {
+    DataType lt = StaticType(*expr.children[0], batch);
+    if (lt == DataType::kString) {
+      StrOp lhs, rhs;
+      if (!MakeStr(*expr.children[0], batch, arena, &lhs) ||
+          !MakeStr(*expr.children[1], batch, arena, &rhs)) {
+        return false;
+      }
+      *out_count = SelStrCmp(expr.bin_op, batch, lhs, rhs, sel);
+    } else if (lt == DataType::kBool) {
+      BoolOp lhs, rhs;
+      if (!MakeBool(*expr.children[0], batch, arena, &lhs) ||
+          !MakeBool(*expr.children[1], batch, arena, &rhs)) {
+        return false;
+      }
+      *out_count = SelBoolCmp(expr.bin_op, batch, lhs, rhs, sel);
+    } else {
+      NumOp lhs, rhs;
+      if (!MakeNum(*expr.children[0], batch, arena, &lhs) ||
+          !MakeNum(*expr.children[1], batch, arena, &rhs)) {
+        return false;
+      }
+      *out_count = SelNumCmp(expr.bin_op, batch, lhs, rhs, sel);
+    }
+    *out_sel = sel;
+    return true;
+  }
+  // General predicate: evaluate to a boolean column, keep valid TRUEs.
+  VecColumn c;
+  if (!EvalExprBatch(expr, batch, arena, &c)) return false;
+  *out_count = SelTrue(batch, c, sel);
+  *out_sel = sel;
+  return true;
+}
+
+}  // namespace vec
 
 }  // namespace agentfirst

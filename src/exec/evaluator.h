@@ -1,6 +1,11 @@
 #ifndef AGENTFIRST_EXEC_EVALUATOR_H_
 #define AGENTFIRST_EXEC_EVALUATOR_H_
 
+#include <optional>
+#include <vector>
+
+#include "common/arena.h"
+#include "exec/vec_batch.h"
 #include "plan/bound_expr.h"
 #include "types/value.h"
 
@@ -15,6 +20,47 @@ Value EvalExpr(const BoundExpr& expr, const Row& row);
 /// True only if the predicate evaluates to boolean TRUE (NULL/false reject).
 bool EvalPredicate(const BoundExpr& expr, const Row& row);
 
+namespace vec {
+
+/// Static result type of `expr` when evaluated over inputs with the given
+/// column types, or nullopt when the expression cannot run as typed batch
+/// kernels (dynamic result types, unconverted kinds like LIKE/CASE/functions,
+/// or statically-NULL operands). A vectorizable expression's result column
+/// has one uniform physical type — the property that makes the vectorized
+/// path byte-identical to the row path.
+///
+/// Converted kinds: column refs, literals, comparisons (numeric/numeric,
+/// string/string, bool/bool), arithmetic (+ - * / %), unary NOT/negate,
+/// Kleene AND/OR over booleans, IS [NOT] NULL, [NOT] BETWEEN.
+std::optional<DataType> InferExprType(const BoundExpr& expr,
+                                      const std::vector<DataType>& input_types);
+
+inline bool CanVectorizeExpr(const BoundExpr& expr,
+                             const std::vector<DataType>& input_types) {
+  return InferExprType(expr, input_types).has_value();
+}
+
+/// Evaluates `expr` over `batch`, writing a column view into `*out`.
+/// Column refs pass through zero-copy; computed columns are sized
+/// `batch.num_rows` but only positions in the batch's selection hold defined
+/// data. Buffers come from `arena`. Returns false only when the arena budget
+/// is exhausted (caller trips kResourceExhausted).
+///
+/// Requires CanVectorizeExpr(expr, <batch column types>).
+[[nodiscard]] bool EvalExprBatch(const BoundExpr& expr, const VecBatch& batch,
+                                 Arena* arena, VecColumn* out);
+
+/// Narrows the batch's selection to rows where `expr` evaluates to TRUE
+/// (NULL/false reject, matching EvalPredicate). Top-level AND narrows
+/// conjunct-by-conjunct; bare comparisons run as direct selection kernels
+/// without materializing a boolean column. The new selection (ascending row
+/// order) is arena-allocated. Returns false only on arena exhaustion.
+[[nodiscard]] bool EvalPredicateBatch(const BoundExpr& expr,
+                                      const VecBatch& batch, Arena* arena,
+                                      const uint32_t** out_sel,
+                                      size_t* out_count);
+
+}  // namespace vec
 }  // namespace agentfirst
 
 #endif  // AGENTFIRST_EXEC_EVALUATOR_H_

@@ -11,52 +11,25 @@
 #include "common/hash.h"
 #include "common/rng.h"
 #include "exec/evaluator.h"
+#include "exec/exec_internal.h"
+#include "exec/vectorized.h"
 
 namespace agentfirst {
 
+// Shared row/vectorized internals (morsel geometry, interrupt context,
+// metrics, budget accounting) live in exec/exec_internal.h.
+using exec_internal::ApproxRowBytes;
+using exec_internal::BudgetTracker;
+using exec_internal::CarryTruncation;
+using exec_internal::InterruptCtx;
+using exec_internal::kCheckInterval;
+using exec_internal::kRowMorselSize;
+using exec_internal::Metrics;
+using exec_internal::PoolFor;
+using exec_internal::StampTruncation;
+using exec_internal::UseParallel;
+
 ExecCache::ExecCache(size_t capacity_bytes) : capacity_bytes_(capacity_bytes) {}
-
-namespace {
-/// Rough resident footprint of one row (shared by the cache estimate and the
-/// executor's byte-budget accounting).
-size_t ApproxRowBytes(const Row& row) {
-  size_t total = sizeof(Row) + row.size() * sizeof(Value);
-  for (const Value& v : row) {
-    if (v.type() == DataType::kString) total += v.string_value().size();
-  }
-  return total;
-}
-
-/// Process-wide executor metrics (af.exec.*). Pointers are resolved once and
-/// cached, so each hot-path update is a single relaxed atomic add.
-struct ExecMetrics {
-  obs::Counter* cache_hits;
-  obs::Counter* cache_misses;
-  obs::Counter* cache_evictions;
-  obs::Counter* cache_hit_bytes;
-  obs::Counter* cache_evicted_bytes;
-  obs::Counter* plans;
-  obs::Counter* morsels;
-  obs::Histogram* plan_us;
-};
-
-ExecMetrics& Metrics() {
-  static ExecMetrics* m = [] {
-    auto& reg = obs::MetricsRegistry::Default();
-    auto* metrics = new ExecMetrics();
-    metrics->cache_hits = reg.GetCounter("af.exec.cache.hits");
-    metrics->cache_misses = reg.GetCounter("af.exec.cache.misses");
-    metrics->cache_evictions = reg.GetCounter("af.exec.cache.evictions");
-    metrics->cache_hit_bytes = reg.GetCounter("af.exec.cache.hit_bytes");
-    metrics->cache_evicted_bytes = reg.GetCounter("af.exec.cache.evicted_bytes");
-    metrics->plans = reg.GetCounter("af.exec.plans");
-    metrics->morsels = reg.GetCounter("af.exec.morsels");
-    metrics->plan_us = reg.GetHistogram("af.exec.plan_us");
-    return metrics;
-  }();
-  return *m;
-}
-}  // namespace
 
 size_t ExecCache::ApproxResultBytes(const ResultSet& result) {
   size_t total = sizeof(ResultSet);
@@ -165,150 +138,6 @@ uint64_t CacheKey(const PlanNode& node, const ExecOptions& options) {
   return key;
 }
 
-/// Row-range morsel size for parallel operators. Fixed (never derived from
-/// the pool width) so morsel boundaries — and therefore merged output order —
-/// are identical for every thread count.
-constexpr size_t kRowMorselSize = 1024;
-/// Inputs smaller than this run serially; fan-out costs more than it saves.
-constexpr size_t kMinParallelRows = 2048;
-
-ThreadPool* PoolFor(const ExecOptions& options) {
-  return options.pool != nullptr ? options.pool : ThreadPool::Default();
-}
-
-/// How often the serial row loops re-check the interrupt state: every
-/// kCheckInterval rows, matching the parallel paths' morsel granularity, so
-/// "stops within one morsel of the deadline" holds at any thread count.
-constexpr size_t kCheckInterval = kRowMorselSize;
-
-/// Per-plan-execution interrupt state, threaded through every operator.
-/// Aggregates cancellation, deadline, output budgets, and morsel-level
-/// injected faults into one tripwire that ParallelFor can observe. When
-/// none of those are configured (the default), every check is a single
-/// relaxed load — serial behavior and output are completely unchanged.
-struct InterruptCtx {
-  CancellationToken cancel;
-  Deadline deadline;
-  size_t max_rows;
-  size_t max_bytes;
-  /// Any of deadline / cancel / budgets configured?
-  bool active;
-
-  /// Once set, no further morsels are claimed anywhere in the plan.
-  std::atomic<bool> stop{false};
-  /// Hard stop (cancellation): the whole execution returns an error.
-  std::atomic<bool> hard{false};
-  /// First soft-trip reason (kDeadlineExceeded or kResourceExhausted).
-  std::atomic<int> code{static_cast<int>(StatusCode::kOk)};
-  /// First injected morsel-level fault (errors can't propagate out of
-  /// ParallelFor bodies directly).
-  Mutex fault_mutex;
-  Status fault AF_GUARDED_BY(fault_mutex);
-  std::atomic<bool> has_fault{false};
-
-  /// Arms the relative `limits.deadline` against now (construction time ==
-  /// ExecutePlan entry), so each execution — including each retry attempt —
-  /// gets the full budget.
-  explicit InterruptCtx(const ExecOptions& o)
-      : cancel(o.cancel),
-        deadline(o.limits.deadline
-                     ? Deadline::AfterMillis(o.limits.deadline->count())
-                     : Deadline()),
-        max_rows(o.limits.max_rows.value_or(0)),
-        max_bytes(o.limits.max_bytes.value_or(0)),
-        active(o.cancel.cancellable() || o.limits.deadline.has_value() ||
-               max_rows > 0 || max_bytes > 0) {}
-
-  const std::atomic<bool>* stop_flag() const { return &stop; }
-
-  void Trip(StatusCode c) {
-    int expected = static_cast<int>(StatusCode::kOk);
-    code.compare_exchange_strong(expected, static_cast<int>(c),
-                                 std::memory_order_relaxed);
-    stop.store(true, std::memory_order_relaxed);
-  }
-
-  void TripFault(Status s) {
-    {
-      MutexLock lock(fault_mutex);
-      if (!has_fault.load(std::memory_order_relaxed)) {
-        fault = std::move(s);
-        has_fault.store(true, std::memory_order_relaxed);
-      }
-    }
-    stop.store(true, std::memory_order_relaxed);
-  }
-
-  /// Morsel-boundary check. True = stop claiming work. Sets the trip state
-  /// on the first detection so sibling morsels stop within one morsel too.
-  bool Check() {
-    if (stop.load(std::memory_order_relaxed)) return true;
-    if (!active) return false;
-    if (cancel.cancelled()) {
-      hard.store(true, std::memory_order_relaxed);
-      Trip(StatusCode::kCancelled);
-      return true;
-    }
-    if (deadline.expired()) {
-      Trip(StatusCode::kDeadlineExceeded);
-      return true;
-    }
-    return false;
-  }
-
-  /// Fault point usable inside parallel morsel bodies; returns true when an
-  /// error was injected (and recorded) at `site`.
-  bool FaultAt(const char* site) {
-    if (!FaultRegistry::Global().enabled()) return false;
-    Status s = FaultRegistry::Global().Hit(site);
-    if (s.ok()) return false;
-    TripFault(std::move(s));
-    return true;
-  }
-
-  bool soft_stopped() const {
-    return stop.load(std::memory_order_relaxed) &&
-           !hard.load(std::memory_order_relaxed) &&
-           !has_fault.load(std::memory_order_relaxed);
-  }
-  bool cancelled() const { return hard.load(std::memory_order_relaxed); }
-  StatusCode trip_code() const {
-    return static_cast<StatusCode>(code.load(std::memory_order_relaxed));
-  }
-
-  /// Propagated/injected error to return from the enclosing operator, if
-  /// any: injected faults first, then cancellation. Truncation (deadline,
-  /// budgets) is NOT an error — it yields a truncated OK result.
-  Status TakeError() {
-    if (has_fault.load(std::memory_order_relaxed)) {
-      MutexLock lock(fault_mutex);
-      return fault;
-    }
-    if (cancelled()) return Status::Cancelled("probe cancelled");
-    return Status::OK();
-  }
-};
-
-/// Marks `out` truncated when this execution soft-tripped (deadline or
-/// budget) or its input was already partial.
-void StampTruncation(const InterruptCtx& ctx, ResultSet* out) {
-  if (ctx.soft_stopped()) {
-    out->truncated = true;
-    out->interrupt = ctx.trip_code();
-  }
-}
-
-void CarryTruncation(const ResultSet& in, ResultSet* out) {
-  if (in.truncated) {
-    out->truncated = true;
-    if (out->interrupt == StatusCode::kOk) out->interrupt = in.interrupt;
-  }
-}
-
-bool UseParallel(const ExecOptions& options, size_t num_rows) {
-  return options.num_threads > 1 && num_rows >= kMinParallelRows;
-}
-
 /// Runs `body(row_begin, row_end, buffer)` over fixed-size morsels of
 /// [0, num_rows) on the pool and appends the per-morsel buffers to `out` in
 /// morsel order. Each morsel writes its own buffer, so output is
@@ -363,28 +192,6 @@ void ParallelMorselAppend(
   }
 }
 
-/// Serial-loop budget tracker mirroring ParallelMorselAppend's accounting.
-struct BudgetTracker {
-  InterruptCtx& ctx;
-  size_t rows = 0;
-  size_t bytes = 0;
-
-  explicit BudgetTracker(InterruptCtx& c) : ctx(c) {}
-
-  /// Records one appended row; returns true when a budget tripped.
-  bool Add(const Row& row) {
-    if (ctx.max_rows == 0 && ctx.max_bytes == 0) return false;
-    ++rows;
-    if (ctx.max_bytes > 0) bytes += ApproxRowBytes(row);
-    if ((ctx.max_rows > 0 && rows > ctx.max_rows) ||
-        (ctx.max_bytes > 0 && bytes > ctx.max_bytes)) {
-      ctx.Trip(StatusCode::kResourceExhausted);
-      return true;
-    }
-    return false;
-  }
-};
-
 Result<ResultSetPtr> ExecNode(const PlanNode& node, const ExecOptions& options,
                               InterruptCtx& ctx);
 
@@ -436,19 +243,28 @@ Result<ResultSetPtr> ExecScan(const PlanNode& node, const ExecOptions& options,
     PoolFor(options)->ParallelFor(
         0, segments.size(),
         [&](size_t begin, size_t end) {
+          std::vector<Row> scratch;
           for (size_t s = begin; s < end; ++s) {
             if (ctx.Check() || ctx.FaultAt("exec.scan.morsel")) return;
             const Segment& seg = *segments[s];
             std::vector<Row>& buf = buffers[s];
             buf.reserve(seg.num_rows());
-            for (size_t i = 0; i < seg.num_rows(); ++i) {
-              if ((i % kCheckInterval) == 0 && i > 0 && ctx.Check()) break;
-              Row row = seg.GetRow(i);
-              if (node.scan_filter != nullptr &&
-                  !EvalPredicate(*node.scan_filter, row)) {
+            // Column-at-a-time materialization in interrupt-check-sized
+            // chunks (same cadence as the old per-row loop).
+            for (size_t base = 0; base < seg.num_rows();
+                 base += kCheckInterval) {
+              if (base > 0 && ctx.Check()) break;
+              if (node.scan_filter == nullptr) {
+                seg.ReadRows(base, base + kCheckInterval, &buf);
                 continue;
               }
-              buf.push_back(std::move(row));
+              scratch.clear();
+              seg.ReadRows(base, base + kCheckInterval, &scratch);
+              for (Row& row : scratch) {
+                if (EvalPredicate(*node.scan_filter, row)) {
+                  buf.push_back(std::move(row));
+                }
+              }
             }
             if (ctx.max_rows > 0 &&
                 produced_rows.fetch_add(buf.size(), std::memory_order_relaxed) +
@@ -490,26 +306,57 @@ Result<ResultSetPtr> ExecScan(const PlanNode& node, const ExecOptions& options,
   BudgetTracker budget(ctx);
   size_t scanned = 0;
   bool tripped = false;
-  for (const auto& seg : segments) {
-    for (size_t i = 0; i < seg->num_rows(); ++i) {
-      // Sampling decides before the row is materialized: skipped rows never
-      // pay the GetRow copy.
-      if ((scanned++ % kCheckInterval) == 0 && scanned > 1 && ctx.Check()) {
-        tripped = true;
-        break;
+  if (sampling) {
+    for (const auto& seg : segments) {
+      for (size_t i = 0; i < seg->num_rows(); ++i) {
+        // Sampling decides before the row is materialized: skipped rows
+        // never pay the GetRow copy.
+        if ((scanned++ % kCheckInterval) == 0 && scanned > 1 && ctx.Check()) {
+          tripped = true;
+          break;
+        }
+        if (!rng.NextBool(options.sample_rate)) continue;
+        Row row = seg->GetRow(i);
+        if (node.scan_filter != nullptr &&
+            !EvalPredicate(*node.scan_filter, row)) {
+          continue;
+        }
+        out->rows.push_back(std::move(row));
+        if (budget.Add(out->rows.back())) {
+          tripped = true;
+          break;
+        }
       }
-      if (sampling && !rng.NextBool(options.sample_rate)) continue;
-      Row row = seg->GetRow(i);
-      if (node.scan_filter != nullptr && !EvalPredicate(*node.scan_filter, row)) {
-        continue;
-      }
-      out->rows.push_back(std::move(row));
-      if (budget.Add(out->rows.back())) {
-        tripped = true;
-        break;
-      }
+      if (tripped) break;
     }
-    if (tripped) break;
+  } else {
+    // Exact serial scan: materialize column-at-a-time in check-interval
+    // chunks, then filter/account per row (identical output, order, and
+    // interrupt cadence to the old per-row GetRow loop).
+    std::vector<Row> scratch;
+    for (const auto& seg : segments) {
+      for (size_t base = 0; base < seg->num_rows() && !tripped;
+           base += kCheckInterval) {
+        scratch.clear();
+        seg->ReadRows(base, base + kCheckInterval, &scratch);
+        for (Row& row : scratch) {
+          if ((scanned++ % kCheckInterval) == 0 && scanned > 1 && ctx.Check()) {
+            tripped = true;
+            break;
+          }
+          if (node.scan_filter != nullptr &&
+              !EvalPredicate(*node.scan_filter, row)) {
+            continue;
+          }
+          out->rows.push_back(std::move(row));
+          if (budget.Add(out->rows.back())) {
+            tripped = true;
+            break;
+          }
+        }
+      }
+      if (tripped) break;
+    }
   }
   AF_RETURN_IF_ERROR(ctx.TakeError());
   if (sampling) {
@@ -1024,6 +871,18 @@ Result<ResultSetPtr> ExecNode(const PlanNode& node, const ExecOptions& options,
   // assembling the partial answer.
   if (ctx.Check() && !ctx.soft_stopped()) {
     AF_RETURN_IF_ERROR(ctx.TakeError());
+  }
+  // Vectorized fast path: batch-convertible sub-trees run end-to-end on
+  // typed columnar kernels with byte-identical results. Only taken when no
+  // result cache (MQO hit accounting), trace (span-per-operator trees), or
+  // sampling is in play — those features observe per-operator row results,
+  // so they stay on the row path.
+  if (options.vectorized && options.cache == nullptr &&
+      options.trace == nullptr && options.sample_rate >= 1.0) {
+    if (vec::CanVectorize(node)) {
+      return vec::ExecuteVectorized(node, options, ctx);
+    }
+    Metrics().vec_fallbacks->Increment();
   }
   uint64_t key = 0;
   if (options.cache != nullptr) {

@@ -122,9 +122,17 @@ struct ExecOptions {
   /// When set, one `op:<kind>` child span is appended under this span per
   /// executed operator (flat, post-order) carrying its output rows, cache
   /// status, and wall time. Not owned; must outlive the call. One plan
-  /// execution per span — the recording is not synchronized across plans.
-  /// nullptr (the default) disables tracing at the cost of one branch.
+  /// execution per span — the recording is not synchronized at all across
+  /// plans. nullptr (the default) disables tracing at the cost of one branch.
   obs::TraceSpan* trace = nullptr;
+  /// Run batch-convertible sub-plans through the vectorized engine (typed
+  /// columnar kernels + per-query arena; see DESIGN.md "Vectorized execution
+  /// & memory"). Results are byte-identical to the row path — this is purely
+  /// a performance knob, kept toggleable so the parity tests can diff both
+  /// paths. The vectorized path only engages when no result cache, trace, or
+  /// sampling is configured; otherwise execution transparently stays on the
+  /// row path.
+  bool vectorized = true;
 };
 
 /// Executes a bound logical plan bottom-up, materializing each operator.

@@ -1,0 +1,1046 @@
+#include "exec/vectorized.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/fault_injection.h"
+#include "common/hash.h"
+#include "exec/evaluator.h"
+#include "exec/vec_batch.h"
+#include "storage/segment.h"
+
+namespace agentfirst {
+namespace vec {
+namespace {
+
+using exec_internal::InterruptCtx;
+using exec_internal::Metrics;
+using exec_internal::PoolFor;
+using exec_internal::StampTruncation;
+using exec_internal::UseParallel;
+
+// ---------------------------------------------------------------------------
+// Static type flow. A node is vectorizable only when every operator and
+// expression in its subtree resolves to one fixed physical type per column;
+// the check runs over types alone, never data.
+// ---------------------------------------------------------------------------
+
+bool InferNodeTypes(const PlanNode& node, std::vector<DataType>* out);
+
+bool InferScanTypes(const PlanNode& node, std::vector<DataType>* out) {
+  // Virtual tables, index-accelerated scans, and typeless columns stay on
+  // the row path.
+  if (node.table == nullptr || node.index != nullptr) return false;
+  std::vector<DataType> types;
+  types.reserve(node.table->schema().NumColumns());
+  for (const ColumnDef& col : node.table->schema().columns()) {
+    if (col.type == DataType::kNull) return false;
+    types.push_back(col.type);
+  }
+  if (node.scan_filter != nullptr && !CanVectorizeExpr(*node.scan_filter, types)) {
+    return false;
+  }
+  *out = std::move(types);
+  return true;
+}
+
+bool InferJoinTypes(const PlanNode& node, std::vector<DataType>* out) {
+  if (node.join_type != JoinType::kInner && node.join_type != JoinType::kLeft) {
+    return false;
+  }
+  if (node.predicate != nullptr || node.join_keys.empty()) return false;
+  std::vector<DataType> lt, rt;
+  if (!InferNodeTypes(*node.children[0], &lt) ||
+      !InferNodeTypes(*node.children[1], &rt)) {
+    return false;
+  }
+  for (const auto& [l, r] : node.join_keys) {
+    auto a = InferExprType(*l, lt);
+    auto b = InferExprType(*r, rt);
+    if (!a || !b) return false;
+    bool num = IsNumeric(*a) && IsNumeric(*b);
+    bool str = *a == DataType::kString && *b == DataType::kString;
+    if (!num && !str) return false;
+  }
+  out->assign(lt.begin(), lt.end());
+  out->insert(out->end(), rt.begin(), rt.end());
+  return true;
+}
+
+bool InferAggregateTypes(const PlanNode& node, std::vector<DataType>* out) {
+  std::vector<DataType> ct;
+  if (!InferNodeTypes(*node.children[0], &ct)) return false;
+  std::vector<DataType> types;
+  for (const auto& g : node.group_by) {
+    auto t = InferExprType(*g, ct);
+    if (!t || *t == DataType::kNull) return false;
+    types.push_back(*t);
+  }
+  for (const AggregateExpr& agg : node.aggregates) {
+    if (agg.distinct) return false;
+    std::optional<DataType> at;
+    if (agg.arg != nullptr) {
+      at = InferExprType(*agg.arg, ct);
+      if (!at) return false;
+    }
+    switch (agg.func) {
+      case AggFunc::kCount:
+        types.push_back(DataType::kInt64);
+        break;
+      case AggFunc::kSum:
+        if (!at || !IsNumeric(*at)) return false;
+        types.push_back(agg.output_type == DataType::kInt64 &&
+                                *at == DataType::kInt64
+                            ? DataType::kInt64
+                            : DataType::kFloat64);
+        break;
+      case AggFunc::kAvg:
+        if (!at || !IsNumeric(*at)) return false;
+        types.push_back(DataType::kFloat64);
+        break;
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        if (!at || (!IsNumeric(*at) && *at != DataType::kString)) return false;
+        types.push_back(*at);
+        break;
+    }
+  }
+  *out = std::move(types);
+  return true;
+}
+
+bool InferNodeTypes(const PlanNode& node, std::vector<DataType>* out) {
+  switch (node.kind) {
+    case PlanKind::kScan:
+      return InferScanTypes(node, out);
+    case PlanKind::kFilter: {
+      if (!InferNodeTypes(*node.children[0], out)) return false;
+      return node.predicate != nullptr && CanVectorizeExpr(*node.predicate, *out);
+    }
+    case PlanKind::kProject: {
+      std::vector<DataType> ct;
+      if (!InferNodeTypes(*node.children[0], &ct)) return false;
+      std::vector<DataType> types;
+      for (const auto& e : node.project_exprs) {
+        auto t = InferExprType(*e, ct);
+        if (!t) return false;
+        types.push_back(*t);
+      }
+      *out = std::move(types);
+      return true;
+    }
+    case PlanKind::kHashJoin:
+      return InferJoinTypes(node, out);
+    case PlanKind::kAggregate:
+      return InferAggregateTypes(node, out);
+    default:
+      return false;
+  }
+}
+
+Status ArenaExhausted() {
+  return Status::ResourceExhausted(
+      "vectorized arena: working-memory budget exhausted");
+}
+
+struct VecExec {
+  const ExecOptions& options;
+  InterruptCtx& ctx;
+  Arena* arena;
+};
+
+/// Rough resident footprint of one batch once materialized as rows —
+/// deliberately the same formula as exec_internal::ApproxRowBytes so the
+/// vectorized path trips the byte budget at the same thresholds as the row
+/// path (up to morsel granularity).
+size_t BatchApproxBytes(const VecBatch& b) {
+  size_t n = b.ActiveRows();
+  size_t total = n * (sizeof(Row) + b.cols.size() * sizeof(Value));
+  for (const VecColumn& c : b.cols) {
+    if (c.type != DataType::kString) continue;
+    for (size_t i = 0; i < n; ++i) {
+      size_t row = b.RowAt(i);
+      if (ValidAt(c, row)) total += StrAt(c, row).size();
+    }
+  }
+  return total;
+}
+
+/// Per-batch output budget accounting shared by scan / filter / join,
+/// mirroring ParallelMorselAppend's morsel-granular tripwires.
+struct BatchBudget {
+  InterruptCtx& ctx;
+  // Budget tripwires local to one operator invocation, not metrics.
+  // aflint:allow(raw-counter)
+  std::atomic<size_t> rows{0};
+  // aflint:allow(raw-counter)
+  std::atomic<size_t> bytes{0};
+
+  explicit BatchBudget(InterruptCtx& c) : ctx(c) {}
+
+  void Count(const VecBatch& b) {
+    if (ctx.max_rows > 0) {
+      size_t n = b.ActiveRows();
+      if (rows.fetch_add(n, std::memory_order_relaxed) + n > ctx.max_rows) {
+        ctx.Trip(StatusCode::kResourceExhausted);
+      }
+    }
+    if (ctx.max_bytes > 0) {
+      size_t bb = BatchApproxBytes(b);
+      if (bytes.fetch_add(bb, std::memory_order_relaxed) + bb > ctx.max_bytes) {
+        ctx.Trip(StatusCode::kResourceExhausted);
+      }
+    }
+  }
+};
+
+/// Zero-copy view of one stored column.
+VecColumn ColView(const ColumnVector& col) {
+  VecColumn c;
+  c.type = col.type();
+  c.valid = col.valid_data();
+  switch (col.type()) {
+    case DataType::kInt64: c.i64 = col.int_data(); break;
+    case DataType::kFloat64: c.f64 = col.double_data(); break;
+    case DataType::kBool: c.b8 = col.bool_data(); break;
+    case DataType::kString: c.str_base = col.string_data(); break;
+    default: break;  // kNull columns rejected by InferScanTypes
+  }
+  return c;
+}
+
+/// Selection vector meaning "no rows" for batches skipped after a trip
+/// (distinguishes them from untouched batches with sel == nullptr).
+constexpr uint32_t kNoRows[1] = {0};
+
+// ---------------------------------------------------------------------------
+// Gather: compact the active rows of source columns into fresh dense arrays.
+// Used by the join to materialize its output batches.
+// ---------------------------------------------------------------------------
+
+// aflint:kernel-begin
+
+/// Gathers `src[take[i]]` for matches; `take[i] == UINT32_MAX` (left-join
+/// padding) gathers NULL. `srcs` maps a match to its source column (joins
+/// gather from many batches); null for single-source gathers.
+struct GatherSource {
+  const VecColumn* col = nullptr;
+  uint32_t row = 0;
+};
+
+bool GatherColumn(const std::vector<GatherSource>& cells, DataType type,
+                  Arena* arena, VecColumn* out) {
+  size_t n = cells.size();
+  uint8_t* valid = arena->AllocateArrayOf<uint8_t>(n);
+  if (valid == nullptr) return false;
+  out->type = type;
+  out->valid = valid;
+  switch (type) {
+    case DataType::kInt64: {
+      int64_t* data = arena->AllocateArrayOf<int64_t>(n);
+      if (data == nullptr) return false;
+      for (size_t i = 0; i < n; ++i) {
+        const GatherSource& g = cells[i];
+        bool ok = g.col != nullptr && ValidAt(*g.col, g.row);
+        valid[i] = ok ? 1 : 0;
+        data[i] = ok ? g.col->i64[g.row] : 0;
+      }
+      out->i64 = data;
+      return true;
+    }
+    case DataType::kFloat64: {
+      double* data = arena->AllocateArrayOf<double>(n);
+      if (data == nullptr) return false;
+      for (size_t i = 0; i < n; ++i) {
+        const GatherSource& g = cells[i];
+        bool ok = g.col != nullptr && ValidAt(*g.col, g.row);
+        valid[i] = ok ? 1 : 0;
+        data[i] = ok ? g.col->f64[g.row] : 0.0;
+      }
+      out->f64 = data;
+      return true;
+    }
+    case DataType::kBool: {
+      uint8_t* data = arena->AllocateArrayOf<uint8_t>(n);
+      if (data == nullptr) return false;
+      for (size_t i = 0; i < n; ++i) {
+        const GatherSource& g = cells[i];
+        bool ok = g.col != nullptr && ValidAt(*g.col, g.row);
+        valid[i] = ok ? 1 : 0;
+        data[i] = ok ? g.col->b8[g.row] : 0;
+      }
+      out->b8 = data;
+      return true;
+    }
+    case DataType::kString: {
+      StringRef* data = arena->AllocateArrayOf<StringRef>(n);
+      if (data == nullptr) return false;
+      for (size_t i = 0; i < n; ++i) {
+        const GatherSource& g = cells[i];
+        bool ok = g.col != nullptr && ValidAt(*g.col, g.row);
+        valid[i] = ok ? 1 : 0;
+        if (ok) {
+          std::string_view s = StrAt(*g.col, g.row);
+          data[i] = StringRef{s.data(), static_cast<uint32_t>(s.size())};
+        } else {
+          data[i] = StringRef{};
+        }
+      }
+      out->refs = data;
+      return true;
+    }
+    default:
+      // kNull output column: all rows NULL.
+      std::memset(valid, 0, n);
+      return true;
+  }
+}
+
+// aflint:kernel-end
+
+// ---------------------------------------------------------------------------
+// Key hashing / equality for join build+probe and aggregation. Numeric keys
+// hash through their double image so INT 1 and DOUBLE 1.0 land in the same
+// bucket — the same width-insensitive behavior Value::Hash/Equals give the
+// row path. Hash values themselves never surface in results, so they only
+// need to be internally consistent.
+// ---------------------------------------------------------------------------
+
+constexpr uint64_t kNullKeyHash = 0x9ae16a3b2f90404fULL;
+
+uint64_t CellHash(const VecColumn& c, size_t row) {
+  if (!ValidAt(c, row)) return kNullKeyHash;
+  switch (c.type) {
+    case DataType::kInt64:
+      return HashDouble(static_cast<double>(c.i64[row]));
+    case DataType::kFloat64:
+      return HashDouble(c.f64[row]);
+    case DataType::kBool:
+      return HashInt(c.b8[row] != 0 ? 1 : 0);
+    case DataType::kString:
+      return HashString(StrAt(c, row));
+    default:
+      return kNullKeyHash;
+  }
+}
+
+uint64_t KeysHash(const std::vector<VecColumn>& keys, size_t row) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const VecColumn& c : keys) h = HashCombine(h, CellHash(c, row));
+  return h;
+}
+
+/// Width-insensitive cell equality between two columns of (possibly
+/// different) numeric types, or identical non-numeric types. `nulls_equal`
+/// selects grouping semantics (NULL == NULL) over join semantics.
+bool CellEquals(const VecColumn& a, size_t ar, const VecColumn& b, size_t br,
+                bool nulls_equal) {
+  bool an = !ValidAt(a, ar);
+  bool bn = !ValidAt(b, br);
+  if (an || bn) return nulls_equal && an && bn;
+  if (a.type == DataType::kInt64 && b.type == DataType::kInt64) {
+    return a.i64[ar] == b.i64[br];
+  }
+  if (IsNumeric(a.type) && IsNumeric(b.type)) {
+    double av = a.type == DataType::kInt64 ? static_cast<double>(a.i64[ar])
+                                           : a.f64[ar];
+    double bv = b.type == DataType::kInt64 ? static_cast<double>(b.i64[br])
+                                           : b.f64[br];
+    return av == bv;
+  }
+  switch (a.type) {
+    case DataType::kBool:
+      return (a.b8[ar] != 0) == (b.b8[br] != 0);
+    case DataType::kString:
+      return StrAt(a, ar) == StrAt(b, br);
+    default:
+      return false;
+  }
+}
+
+bool AnyNullKey(const std::vector<VecColumn>& keys, size_t row) {
+  for (const VecColumn& c : keys) {
+    if (!ValidAt(c, row)) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Operators
+// ---------------------------------------------------------------------------
+
+Status ExecVecNode(const PlanNode& node, VecExec& ex, VecResult* out);
+
+Status ExecVecScan(const PlanNode& node, VecExec& ex, VecResult* out) {
+  AF_FAULT_POINT("exec.scan.begin");
+  const Table& table = *node.table;
+  out->types.clear();
+  for (const ColumnDef& col : table.schema().columns()) {
+    out->types.push_back(col.type);
+  }
+  // A scan reached after the plan already tripped produces no new data.
+  if (ex.ctx.Check()) return ex.ctx.TakeError();
+  const auto& segments = table.segments();
+  out->batches.assign(segments.size(), VecBatch{});
+  BatchBudget budget(ex.ctx);
+  // One batch per storage segment, built zero-copy over the column spans.
+  // Returns false on arena exhaustion (only possible with a scan filter).
+  auto scan_segment = [&](size_t s) -> bool {
+    const Segment& seg = *segments[s];
+    VecBatch& b = out->batches[s];
+    b.num_rows = seg.num_rows();
+    b.cols.reserve(seg.NumColumns());
+    for (size_t c = 0; c < seg.NumColumns(); ++c) {
+      b.cols.push_back(ColView(seg.column(c)));
+    }
+    if (node.scan_filter != nullptr) {
+      const uint32_t* sel = nullptr;
+      size_t count = 0;
+      if (!EvalPredicateBatch(*node.scan_filter, b, ex.arena, &sel, &count)) {
+        return false;
+      }
+      b.sel = sel;
+      b.sel_size = count;
+    }
+    budget.Count(b);
+    Metrics().vec_batches->Increment();
+    return true;
+  };
+  if (UseParallel(ex.options, table.NumRows()) && segments.size() > 1) {
+    PoolFor(ex.options)->ParallelFor(
+        0, segments.size(),
+        [&](size_t begin, size_t end) {
+          for (size_t s = begin; s < end; ++s) {
+            if (ex.ctx.Check() || ex.ctx.FaultAt("exec.scan.morsel")) return;
+            if (!scan_segment(s)) {
+              ex.ctx.TripFault(ArenaExhausted());
+              return;
+            }
+          }
+        },
+        /*grain=*/1, ex.options.num_threads, ex.ctx.stop_flag());
+    return ex.ctx.TakeError();
+  }
+  for (size_t s = 0; s < segments.size(); ++s) {
+    // Same interrupt cadence as the serial row scan: roughly every
+    // kCheckInterval (= one segment's) rows.
+    if (s > 0 && ex.ctx.Check()) break;
+    if (!scan_segment(s)) return ArenaExhausted();
+    if (ex.ctx.stop.load(std::memory_order_relaxed)) break;  // budget trip
+  }
+  return ex.ctx.TakeError();
+}
+
+Status ExecVecFilter(const PlanNode& node, VecExec& ex, VecResult* out) {
+  AF_RETURN_IF_ERROR(ExecVecNode(*node.children[0], ex, out));
+  BatchBudget budget(ex.ctx);
+  // Drain mode (plan already tripped): narrow every batch serially without
+  // further checks — the input is a bounded partial the budget already paid
+  // for.
+  bool draining = ex.ctx.soft_stopped();
+  // Narrows one batch's selection in place; false on arena exhaustion.
+  auto filter_batch = [&](VecBatch& b) -> bool {
+    if (b.num_rows == 0) return true;
+    const uint32_t* sel = nullptr;
+    size_t count = 0;
+    if (!EvalPredicateBatch(*node.predicate, b, ex.arena, &sel, &count)) {
+      return false;
+    }
+    b.sel = sel;
+    b.sel_size = count;
+    if (!draining) budget.Count(b);
+    Metrics().vec_batches->Increment();
+    return true;
+  };
+  if (!draining && UseParallel(ex.options, out->TotalActiveRows())) {
+    PoolFor(ex.options)->ParallelFor(
+        0, out->batches.size(),
+        [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            if (ex.ctx.Check() || ex.ctx.FaultAt("exec.filter.morsel")) {
+              // Batches not reached keep no rows (vs. all rows untouched).
+              out->batches[i].sel = kNoRows;
+              out->batches[i].sel_size = 0;
+              continue;
+            }
+            if (!filter_batch(out->batches[i])) {
+              ex.ctx.TripFault(ArenaExhausted());
+              return;
+            }
+          }
+        },
+        /*grain=*/1, ex.options.num_threads, ex.ctx.stop_flag());
+    return ex.ctx.TakeError();
+  }
+  for (size_t i = 0; i < out->batches.size(); ++i) {
+    if (!draining && i > 0 && ex.ctx.Check()) {
+      out->batches[i].sel = kNoRows;
+      out->batches[i].sel_size = 0;
+      continue;
+    }
+    if (!filter_batch(out->batches[i])) return ArenaExhausted();
+  }
+  return ex.ctx.TakeError();
+}
+
+Status ExecVecProject(const PlanNode& node, VecExec& ex, VecResult* out) {
+  VecResult input;
+  AF_RETURN_IF_ERROR(ExecVecNode(*node.children[0], ex, &input));
+  out->types.clear();
+  for (const auto& e : node.project_exprs) {
+    out->types.push_back(InferExprType(*e, input.types).value_or(DataType::kNull));
+  }
+  out->batches.assign(input.batches.size(), VecBatch{});
+  // Computes the projected columns for one batch, sparse at the selection.
+  // Projection applies no output budget and — like the row path, whose
+  // parallel trip falls through to a serial drain — always completes every
+  // batch, so a soft trip upstream still yields all surviving rows.
+  auto project_batch = [&](size_t i) -> bool {
+    const VecBatch& in = input.batches[i];
+    VecBatch& b = out->batches[i];
+    b.num_rows = in.num_rows;
+    b.sel = in.sel;
+    b.sel_size = in.sel_size;
+    if (in.num_rows == 0) {
+      b.cols.assign(node.project_exprs.size(), VecColumn{});
+      return true;
+    }
+    b.cols.resize(node.project_exprs.size());
+    for (size_t e = 0; e < node.project_exprs.size(); ++e) {
+      if (!EvalExprBatch(*node.project_exprs[e], in, ex.arena, &b.cols[e])) {
+        return false;
+      }
+    }
+    Metrics().vec_batches->Increment();
+    return true;
+  };
+  bool draining = ex.ctx.soft_stopped();
+  if (!draining && UseParallel(ex.options, input.TotalActiveRows())) {
+    std::vector<char> batch_done(input.batches.size(), 0);
+    PoolFor(ex.options)->ParallelFor(
+        0, input.batches.size(),
+        [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            if (ex.ctx.Check() || ex.ctx.FaultAt("exec.project.morsel")) return;
+            if (!project_batch(i)) {
+              ex.ctx.TripFault(ArenaExhausted());
+              return;
+            }
+            batch_done[i] = 1;
+          }
+        },
+        /*grain=*/1, ex.options.num_threads, ex.ctx.stop_flag());
+    AF_RETURN_IF_ERROR(ex.ctx.TakeError());
+    // Serial drain of batches skipped by a soft trip: projection output is
+    // complete whenever its input is.
+    for (size_t i = 0; i < input.batches.size(); ++i) {
+      if (!batch_done[i] && !project_batch(i)) return ArenaExhausted();
+    }
+    return Status::OK();
+  }
+  for (size_t i = 0; i < input.batches.size(); ++i) {
+    if (!project_batch(i)) return ArenaExhausted();
+  }
+  return ex.ctx.TakeError();
+}
+
+Status ExecVecHashJoin(const PlanNode& node, VecExec& ex, VecResult* out) {
+  VecResult left, right;
+  AF_RETURN_IF_ERROR(ExecVecNode(*node.children[0], ex, &left));
+  AF_RETURN_IF_ERROR(ExecVecNode(*node.children[1], ex, &right));
+  out->types.assign(left.types.begin(), left.types.end());
+  out->types.insert(out->types.end(), right.types.begin(), right.types.end());
+
+  size_t nkeys = node.join_keys.size();
+  // Build phase (serial, like the row path): evaluate the right key columns
+  // per batch, then index every non-NULL-keyed right row by key hash. Bucket
+  // vectors fill in global right-row order, which is what makes the match
+  // order — and therefore the output — identical to the serial row probe.
+  std::vector<std::vector<VecColumn>> right_keys(right.batches.size());
+  std::unordered_map<uint64_t, std::vector<uint64_t>> build;
+  for (size_t rb = 0; rb < right.batches.size(); ++rb) {
+    const VecBatch& b = right.batches[rb];
+    if (b.num_rows == 0) continue;
+    right_keys[rb].resize(nkeys);
+    for (size_t k = 0; k < nkeys; ++k) {
+      if (!EvalExprBatch(*node.join_keys[k].second, b, ex.arena,
+                         &right_keys[rb][k])) {
+        return ArenaExhausted();
+      }
+    }
+    size_t active = b.ActiveRows();
+    for (size_t i = 0; i < active; ++i) {
+      size_t row = b.RowAt(i);
+      if (AnyNullKey(right_keys[rb], row)) continue;  // NULL keys never match
+      build[KeysHash(right_keys[rb], row)].push_back(
+          (static_cast<uint64_t>(rb) << 32) | static_cast<uint64_t>(row));
+    }
+  }
+
+  size_t left_width = left.types.size();
+  size_t right_width = right.types.size();
+  out->batches.assign(left.batches.size(), VecBatch{});
+  BatchBudget budget(ex.ctx);
+  constexpr uint32_t kPad = UINT32_MAX;  // left-join NULL padding marker
+
+  // Probes one left batch and materializes its output batch (dense gather,
+  // no selection). False on arena exhaustion.
+  auto probe_batch = [&](size_t lb) -> bool {
+    const VecBatch& b = left.batches[lb];
+    if (b.num_rows == 0) return true;
+    std::vector<VecColumn> lkeys(nkeys);
+    for (size_t k = 0; k < nkeys; ++k) {
+      if (!EvalExprBatch(*node.join_keys[k].first, b, ex.arena, &lkeys[k])) {
+        return false;
+      }
+    }
+    // (left row, packed right ref) match pairs in serial probe order.
+    std::vector<std::pair<uint32_t, uint64_t>> matches;
+    size_t active = b.ActiveRows();
+    for (size_t i = 0; i < active; ++i) {
+      size_t row = b.RowAt(i);
+      bool matched = false;
+      if (!AnyNullKey(lkeys, row)) {
+        auto it = build.find(KeysHash(lkeys, row));
+        if (it != build.end()) {
+          for (uint64_t packed : it->second) {
+            size_t rb = static_cast<size_t>(packed >> 32);
+            size_t rr = static_cast<size_t>(packed & 0xffffffffULL);
+            bool equal = true;
+            for (size_t k = 0; k < nkeys && equal; ++k) {
+              equal = CellEquals(lkeys[k], row, right_keys[rb][k], rr,
+                                 /*nulls_equal=*/false);
+            }
+            if (!equal) continue;  // hash collision
+            matched = true;
+            matches.emplace_back(static_cast<uint32_t>(row), packed);
+          }
+        }
+      }
+      if (!matched && node.join_type == JoinType::kLeft) {
+        matches.emplace_back(static_cast<uint32_t>(row),
+                             (static_cast<uint64_t>(kPad) << 32) | kPad);
+      }
+    }
+    VecBatch& ob = out->batches[lb];
+    ob.num_rows = matches.size();
+    ob.cols.resize(left_width + right_width);
+    std::vector<GatherSource> cells(matches.size());
+    for (size_t c = 0; c < left_width; ++c) {
+      for (size_t m = 0; m < matches.size(); ++m) {
+        cells[m] = GatherSource{&b.cols[c], matches[m].first};
+      }
+      if (!GatherColumn(cells, left.types[c], ex.arena, &ob.cols[c])) {
+        return false;
+      }
+    }
+    for (size_t c = 0; c < right_width; ++c) {
+      for (size_t m = 0; m < matches.size(); ++m) {
+        uint64_t packed = matches[m].second;
+        uint32_t rb = static_cast<uint32_t>(packed >> 32);
+        uint32_t rr = static_cast<uint32_t>(packed & 0xffffffffULL);
+        if (rb == kPad) {
+          cells[m] = GatherSource{};  // unmatched left row: NULL pad
+        } else {
+          cells[m] = GatherSource{&right.batches[rb].cols[c], rr};
+        }
+      }
+      if (!GatherColumn(cells, right.types[c], ex.arena,
+                        &ob.cols[left_width + c])) {
+        return false;
+      }
+    }
+    budget.Count(ob);
+    Metrics().vec_batches->Increment();
+    return true;
+  };
+
+  bool draining = ex.ctx.soft_stopped();
+  if (!draining && UseParallel(ex.options, left.TotalActiveRows())) {
+    PoolFor(ex.options)->ParallelFor(
+        0, left.batches.size(),
+        [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            if (ex.ctx.Check() || ex.ctx.FaultAt("exec.join.probe.morsel")) {
+              return;
+            }
+            if (!probe_batch(i)) {
+              ex.ctx.TripFault(ArenaExhausted());
+              return;
+            }
+          }
+        },
+        /*grain=*/1, ex.options.num_threads, ex.ctx.stop_flag());
+    return ex.ctx.TakeError();
+  }
+  for (size_t i = 0; i < left.batches.size(); ++i) {
+    if (!draining && i > 0 && ex.ctx.Check()) break;
+    if (!probe_batch(i)) return ArenaExhausted();
+    if (!draining && ex.ctx.stop.load(std::memory_order_relaxed)) break;
+  }
+  return ex.ctx.TakeError();
+}
+
+/// Typed per-group accumulator. Only the fields the (statically typed)
+/// aggregate actually reads are maintained; the replication targets are the
+/// row path's AggState transitions, including its quirks (NaN never replaces
+/// a min/max; int sums overflow by wrapping; finalize rounds through
+/// llround even at scale 1.0).
+struct VAggState {
+  int64_t count = 0;
+  double sum_double = 0.0;
+  int64_t sum_int = 0;
+  bool any = false;
+  bool has = false;  // min/max seen a value
+  int64_t min_i = 0, max_i = 0;
+  double min_d = 0.0, max_d = 0.0;
+  std::string_view min_s, max_s;
+};
+
+Status ExecVecAggregate(const PlanNode& node, VecExec& ex, VecResult* out) {
+  VecResult input;
+  AF_RETURN_IF_ERROR(ExecVecNode(*node.children[0], ex, &input));
+  size_t ngroup = node.group_by.size();
+  size_t naggs = node.aggregates.size();
+  std::vector<DataType> arg_types(naggs, DataType::kNull);
+  InferAggregateTypes(node, &out->types);  // cannot fail past the gate
+  for (size_t a = 0; a < naggs; ++a) {
+    if (node.aggregates[a].arg != nullptr) {
+      arg_types[a] = InferExprType(*node.aggregates[a].arg, input.types)
+                         .value_or(DataType::kNull);
+    }
+  }
+
+  struct VGroup {
+    size_t batch = 0;   // exemplar position for the group-key values
+    uint32_t row = 0;
+    std::vector<VAggState> states;
+  };
+  std::vector<VGroup> groups;  // insertion order == output order
+  std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+  // Group-key columns per batch must outlive the accumulation loop: group
+  // exemplars reference them at finalize. (Arena memory lives until the
+  // query ends, so the views stay valid.)
+  std::vector<std::vector<VecColumn>> key_cols(input.batches.size());
+
+  bool draining = ex.ctx.soft_stopped();
+  for (size_t bi = 0; bi < input.batches.size(); ++bi) {
+    // Same cadence as the row path's per-kCheckInterval consumption check:
+    // one batch is one morsel. Groups built from the consumed prefix become
+    // the truncated partial answer.
+    if (!draining && bi > 0 && ex.ctx.Check()) break;
+    const VecBatch& b = input.batches[bi];
+    if (b.num_rows == 0) continue;
+    std::vector<VecColumn>& keys = key_cols[bi];
+    keys.resize(ngroup);
+    for (size_t k = 0; k < ngroup; ++k) {
+      if (!EvalExprBatch(*node.group_by[k], b, ex.arena, &keys[k])) {
+        return ArenaExhausted();
+      }
+    }
+    std::vector<VecColumn> args(naggs);
+    for (size_t a = 0; a < naggs; ++a) {
+      if (node.aggregates[a].arg == nullptr) continue;
+      if (!EvalExprBatch(*node.aggregates[a].arg, b, ex.arena, &args[a])) {
+        return ArenaExhausted();
+      }
+    }
+    size_t active = b.ActiveRows();
+    for (size_t i = 0; i < active; ++i) {
+      size_t row = b.RowAt(i);
+      uint64_t h = KeysHash(keys, row);
+      std::vector<size_t>& bucket = buckets[h];
+      VGroup* group = nullptr;
+      for (size_t gi : bucket) {
+        VGroup& g = groups[gi];
+        bool equal = true;
+        for (size_t k = 0; k < ngroup && equal; ++k) {
+          equal = CellEquals(keys[k], row, key_cols[g.batch][k], g.row,
+                             /*nulls_equal=*/true);
+        }
+        if (equal) {
+          group = &g;
+          break;
+        }
+      }
+      if (group == nullptr) {
+        bucket.push_back(groups.size());
+        groups.push_back(VGroup{bi, static_cast<uint32_t>(row),
+                                std::vector<VAggState>(naggs)});
+        group = &groups.back();
+      }
+      for (size_t a = 0; a < naggs; ++a) {
+        VAggState& st = group->states[a];
+        const AggregateExpr& agg = node.aggregates[a];
+        if (agg.arg == nullptr) {
+          st.any = true;
+          ++st.count;
+          continue;
+        }
+        const VecColumn& c = args[a];
+        if (!ValidAt(c, row)) continue;  // aggregates skip NULLs
+        st.any = true;
+        ++st.count;
+        switch (arg_types[a]) {
+          case DataType::kInt64: {
+            int64_t v = c.i64[row];
+            st.sum_int += v;
+            st.sum_double += static_cast<double>(v);
+            if (!st.has || v < st.min_i) st.min_i = v;
+            if (!st.has || v > st.max_i) st.max_i = v;
+            break;
+          }
+          case DataType::kFloat64: {
+            double v = c.f64[row];
+            st.sum_double += v;
+            // `v < min` is false for NaN operands, replicating the row
+            // path's Compare()==0 treatment of NaN (never replaces, never
+            // gets replaced).
+            if (!st.has || v < st.min_d) st.min_d = v;
+            if (!st.has || v > st.max_d) st.max_d = v;
+            break;
+          }
+          case DataType::kString: {
+            std::string_view v = StrAt(c, row);
+            if (!st.has || v < st.min_s) st.min_s = v;
+            if (!st.has || v > st.max_s) st.max_s = v;
+            break;
+          }
+          default:
+            break;  // COUNT over bool: only count/any matter
+        }
+        st.has = true;
+      }
+    }
+    Metrics().vec_batches->Increment();
+  }
+
+  // Global aggregate over empty input still emits one row of defaults.
+  if (groups.empty() && ngroup == 0 && naggs > 0) {
+    groups.push_back(VGroup{0, 0, std::vector<VAggState>(naggs)});
+  }
+
+  size_t n = groups.size();
+  out->batches.clear();
+  if (n == 0) return ex.ctx.TakeError();
+  VecBatch ob;
+  ob.num_rows = n;
+  ob.cols.resize(ngroup + naggs);
+  // Group-key output columns: gather each group's exemplar cell.
+  std::vector<GatherSource> cells(n);
+  for (size_t k = 0; k < ngroup; ++k) {
+    for (size_t g = 0; g < n; ++g) {
+      cells[g] = GatherSource{&key_cols[groups[g].batch][k], groups[g].row};
+    }
+    if (!GatherColumn(cells, out->types[k], ex.arena, &ob.cols[k])) {
+      return ArenaExhausted();
+    }
+  }
+  // Aggregate output columns, replicating the row path's finalize exactly
+  // (vectorized execution never runs sampled, so the Horvitz-Thompson scale
+  // is always 1.0 — but the llround round-trip is kept for bit parity).
+  for (size_t a = 0; a < naggs; ++a) {
+    const AggregateExpr& agg = node.aggregates[a];
+    VecColumn& col = ob.cols[ngroup + a];
+    col.type = out->types[ngroup + a];
+    uint8_t* valid = ex.arena->AllocateArrayOf<uint8_t>(n);
+    if (valid == nullptr) return ArenaExhausted();
+    col.valid = valid;
+    switch (agg.func) {
+      case AggFunc::kCount: {
+        int64_t* data = ex.arena->AllocateArrayOf<int64_t>(n);
+        if (data == nullptr) return ArenaExhausted();
+        for (size_t g = 0; g < n; ++g) {
+          valid[g] = 1;
+          data[g] = static_cast<int64_t>(
+              std::llround(static_cast<double>(groups[g].states[a].count)));
+        }
+        col.i64 = data;
+        break;
+      }
+      case AggFunc::kSum: {
+        if (col.type == DataType::kInt64) {
+          int64_t* data = ex.arena->AllocateArrayOf<int64_t>(n);
+          if (data == nullptr) return ArenaExhausted();
+          for (size_t g = 0; g < n; ++g) {
+            const VAggState& st = groups[g].states[a];
+            valid[g] = st.any ? 1 : 0;
+            data[g] = st.any
+                          ? static_cast<int64_t>(std::llround(
+                                static_cast<double>(st.sum_int)))
+                          : 0;
+          }
+          col.i64 = data;
+        } else {
+          double* data = ex.arena->AllocateArrayOf<double>(n);
+          if (data == nullptr) return ArenaExhausted();
+          for (size_t g = 0; g < n; ++g) {
+            const VAggState& st = groups[g].states[a];
+            valid[g] = st.any ? 1 : 0;
+            data[g] = st.any ? st.sum_double : 0.0;
+          }
+          col.f64 = data;
+        }
+        break;
+      }
+      case AggFunc::kAvg: {
+        double* data = ex.arena->AllocateArrayOf<double>(n);
+        if (data == nullptr) return ArenaExhausted();
+        for (size_t g = 0; g < n; ++g) {
+          const VAggState& st = groups[g].states[a];
+          valid[g] = st.any ? 1 : 0;
+          data[g] = st.any ? st.sum_double / static_cast<double>(st.count) : 0.0;
+        }
+        col.f64 = data;
+        break;
+      }
+      case AggFunc::kMin:
+      case AggFunc::kMax: {
+        bool want_min = agg.func == AggFunc::kMin;
+        switch (col.type) {
+          case DataType::kInt64: {
+            int64_t* data = ex.arena->AllocateArrayOf<int64_t>(n);
+            if (data == nullptr) return ArenaExhausted();
+            for (size_t g = 0; g < n; ++g) {
+              const VAggState& st = groups[g].states[a];
+              valid[g] = st.has ? 1 : 0;
+              data[g] = want_min ? st.min_i : st.max_i;
+            }
+            col.i64 = data;
+            break;
+          }
+          case DataType::kFloat64: {
+            double* data = ex.arena->AllocateArrayOf<double>(n);
+            if (data == nullptr) return ArenaExhausted();
+            for (size_t g = 0; g < n; ++g) {
+              const VAggState& st = groups[g].states[a];
+              valid[g] = st.has ? 1 : 0;
+              data[g] = want_min ? st.min_d : st.max_d;
+            }
+            col.f64 = data;
+            break;
+          }
+          default: {  // kString
+            StringRef* data = ex.arena->AllocateArrayOf<StringRef>(n);
+            if (data == nullptr) return ArenaExhausted();
+            for (size_t g = 0; g < n; ++g) {
+              const VAggState& st = groups[g].states[a];
+              valid[g] = st.has ? 1 : 0;
+              std::string_view s = want_min ? st.min_s : st.max_s;
+              data[g] = StringRef{s.data(), static_cast<uint32_t>(s.size())};
+            }
+            col.refs = data;
+            break;
+          }
+        }
+        break;
+      }
+    }
+  }
+  out->batches.push_back(std::move(ob));
+  return ex.ctx.TakeError();
+}
+
+Status ExecVecNode(const PlanNode& node, VecExec& ex, VecResult* out) {
+  switch (node.kind) {
+    case PlanKind::kScan: return ExecVecScan(node, ex, out);
+    case PlanKind::kFilter: return ExecVecFilter(node, ex, out);
+    case PlanKind::kProject: return ExecVecProject(node, ex, out);
+    case PlanKind::kHashJoin: return ExecVecHashJoin(node, ex, out);
+    case PlanKind::kAggregate: return ExecVecAggregate(node, ex, out);
+    default:
+      return Status::Internal("operator is not vectorized: " +
+                              std::string(PlanKindName(node.kind)));
+  }
+}
+
+/// Boundary conversion: materialize one batch's active rows as row-path
+/// Values, one typed loop per column (the inverse of Segment::ReadRows).
+void AppendBatchRows(const VecBatch& b, std::vector<Row>* rows) {
+  size_t n = b.ActiveRows();
+  if (n == 0) return;
+  size_t base = rows->size();
+  size_t ncols = b.cols.size();
+  rows->resize(base + n);
+  for (size_t r = 0; r < n; ++r) {
+    (*rows)[base + r].resize(ncols);  // default Values == NULL
+  }
+  for (size_t c = 0; c < ncols; ++c) {
+    const VecColumn& col = b.cols[c];
+    switch (col.type) {
+      case DataType::kInt64:
+        for (size_t r = 0; r < n; ++r) {
+          size_t row = b.RowAt(r);
+          if (ValidAt(col, row)) {
+            (*rows)[base + r][c] = Value::Int(col.i64[row]);
+          }
+        }
+        break;
+      case DataType::kFloat64:
+        for (size_t r = 0; r < n; ++r) {
+          size_t row = b.RowAt(r);
+          if (ValidAt(col, row)) {
+            (*rows)[base + r][c] = Value::Double(col.f64[row]);
+          }
+        }
+        break;
+      case DataType::kBool:
+        for (size_t r = 0; r < n; ++r) {
+          size_t row = b.RowAt(r);
+          if (ValidAt(col, row)) {
+            (*rows)[base + r][c] = Value::Bool(col.b8[row] != 0);
+          }
+        }
+        break;
+      case DataType::kString:
+        for (size_t r = 0; r < n; ++r) {
+          size_t row = b.RowAt(r);
+          if (ValidAt(col, row)) {
+            (*rows)[base + r][c] = Value::String(std::string(StrAt(col, row)));
+          }
+        }
+        break;
+      default:
+        break;  // kNull column: rows stay NULL
+    }
+  }
+}
+
+}  // namespace
+
+bool CanVectorize(const PlanNode& node) {
+  std::vector<DataType> types;
+  return InferNodeTypes(node, &types);
+}
+
+Result<ResultSetPtr> ExecuteVectorized(const PlanNode& node,
+                                       const ExecOptions& options,
+                                       exec_internal::InterruptCtx& ctx) {
+  // The arena's working memory is capped by the same max_bytes budget that
+  // bounds result size; 0 = unlimited.
+  MemoryTracker tracker(options.limits.max_bytes.value_or(0));
+  Arena arena(&tracker);
+  VecExec ex{options, ctx, &arena};
+  VecResult res;
+  AF_RETURN_IF_ERROR(ExecVecNode(node, ex, &res));
+  AF_RETURN_IF_ERROR(ctx.TakeError());
+  auto out = std::make_shared<ResultSet>();
+  out->schema = node.output_schema;
+  out->rows.reserve(res.TotalActiveRows());
+  for (const VecBatch& b : res.batches) AppendBatchRows(b, &out->rows);
+  StampTruncation(ctx, out.get());
+  Metrics().vec_plans->Increment();
+  Metrics().arena_bytes->Add(arena.allocated_bytes());
+  return ResultSetPtr(std::move(out));
+}
+
+}  // namespace vec
+}  // namespace agentfirst

@@ -52,6 +52,9 @@ struct Scrubbed {
   std::vector<bool> comment_only;
   /// Line belongs to a preprocessor directive (including continuations).
   std::vector<bool> preprocessor;
+  /// Line's comment text opened / closed an aflint:kernel region.
+  std::vector<bool> kernel_begin;
+  std::vector<bool> kernel_end;
 };
 
 /// Extracts rule names from every "aflint:allow(a, b)" inside comment text.
@@ -94,6 +97,10 @@ Scrubbed Scrub(const std::string& content) {
     });
     out.comment_only.push_back(!comment_line.empty() && only_ws);
     out.preprocessor.push_back(in_preproc);
+    out.kernel_begin.push_back(comment_line.find("aflint:kernel-begin") !=
+                               std::string::npos);
+    out.kernel_end.push_back(comment_line.find("aflint:kernel-end") !=
+                             std::string::npos);
     out.lines.push_back(code_line);
     // A preprocessor directive continues onto the next line after a
     // trailing backslash.
@@ -244,7 +251,15 @@ class Linter {
   std::vector<Diagnostic> Run() {
     for (size_t i = 0; i < scrubbed_.lines.size(); ++i) {
       const std::string& line = scrubbed_.lines[i];
-      if (scrubbed_.preprocessor[i]) continue;
+      // A kernel-end marker closes the region before its own line is
+      // checked; a kernel-begin opens it after (the marker lines themselves
+      // are outside the region).
+      if (scrubbed_.kernel_end[i]) in_kernel_ = false;
+      if (scrubbed_.preprocessor[i]) {
+        if (scrubbed_.kernel_begin[i]) in_kernel_ = true;
+        continue;
+      }
+      if (in_kernel_) CheckRowValueInKernel(i, line);
       CheckRawThread(i, line);
       CheckUnseededRandom(i, line);
       CheckIostream(i, line);
@@ -253,6 +268,7 @@ class Linter {
       CheckRawSocket(i, line);
       CheckDeprecatedBriefLimits(i, line);
       CheckMutexMemberCoverage(i, line);
+      if (scrubbed_.kernel_begin[i]) in_kernel_ = true;
     }
     CheckFaultPointScope();
     std::sort(diags_.begin(), diags_.end(),
@@ -271,6 +287,20 @@ class Linter {
   void Report(size_t idx, const std::string& rule, std::string message) {
     if (Allowed(idx, rule)) return;
     diags_.push_back(Diagnostic{path_, idx + 1, rule, std::move(message)});
+  }
+
+  void CheckRowValueInKernel(size_t idx, const std::string& line) {
+    for (const char* tok :
+         {"Value", "Row", "GetRow", "EvalExpr", "EvalPredicate"}) {
+      if (FindToken(line, tok) != std::string::npos) {
+        Report(idx, "row-value-in-kernel",
+               std::string(tok) +
+                   " inside an aflint:kernel-begin/-end region: kernel loops "
+                   "must stay on typed column spans and selection vectors; "
+                   "materialize rows and Values only at the batch boundary");
+        return;
+      }
+    }
   }
 
   void CheckRawThread(size_t idx, const std::string& line) {
@@ -575,6 +605,7 @@ class Linter {
 
   std::string path_;
   Scrubbed scrubbed_;
+  bool in_kernel_ = false;
   bool in_src_ = false;
   bool is_cc_ = false;
   bool annotated_ = false;
@@ -591,9 +622,16 @@ std::string Diagnostic::ToString() const {
 }
 
 std::vector<std::string> RuleNames() {
-  return {"raw-thread",      "unseeded-random",     "iostream-in-lib",
-          "raw-mutex-guard", "guarded-by-coverage", "fault-point-scope",
-          "raw-counter",     "raw-socket",          "deprecated-brief-limits"};
+  return {"raw-thread",
+          "unseeded-random",
+          "iostream-in-lib",
+          "raw-mutex-guard",
+          "guarded-by-coverage",
+          "fault-point-scope",
+          "raw-counter",
+          "raw-socket",
+          "deprecated-brief-limits",
+          "row-value-in-kernel"};
 }
 
 std::vector<Diagnostic> LintSource(const std::string& path,

@@ -81,6 +81,16 @@ struct Diagnostic {
 ///                        them). New code sets brief.limits /
 ///                        ProbeBuilder::Limits; the aliases are deleted next
 ///                        PR. Reads and == comparisons are fine.
+///   row-value-in-kernel  Value / Row / GetRow / EvalExpr / EvalPredicate
+///                        between `// aflint:kernel-begin` and
+///                        `// aflint:kernel-end` comment markers. Kernel
+///                        regions hold the vectorized tight loops
+///                        (src/exec/evaluator.cc, src/exec/vectorized.cc);
+///                        touching the row representation there reintroduces
+///                        the per-row materialization the batch engine exists
+///                        to avoid. The marker lines themselves are outside
+///                        the region; boundary conversions take an explicit
+///                        aflint:allow(row-value-in-kernel).
 ///
 /// Suppression: `// aflint:allow(rule)` (comma-separated for several rules)
 /// on the offending line, or on a comment line immediately above it.

@@ -41,6 +41,17 @@ class ColumnVector {
   bool BoolAt(size_t i) const { return bools_[i] != 0; }
   const std::string& StringAt(size_t i) const { return strings_[i]; }
 
+  /// Whole-column typed spans for batch kernels and boundary conversion:
+  /// one pointer fetch instead of size() `Get` calls. Each pointer is only
+  /// meaningful for the matching column type; `valid_data()` always holds
+  /// size() entries (1 = present, 0 = NULL). Pointers are invalidated by
+  /// Append/Set like any vector data.
+  const uint8_t* valid_data() const { return valid_.data(); }
+  const int64_t* int_data() const { return ints_.data(); }
+  const double* double_data() const { return doubles_.data(); }
+  const uint8_t* bool_data() const { return bools_.data(); }
+  const std::string* string_data() const { return strings_.data(); }
+
  private:
   DataType type_;
   std::vector<uint8_t> valid_;

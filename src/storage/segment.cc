@@ -1,5 +1,7 @@
 #include "storage/segment.h"
 
+#include <algorithm>
+
 namespace agentfirst {
 
 Segment::Segment(const Schema& schema, size_t capacity) : capacity_(capacity) {
@@ -45,6 +47,59 @@ Row Segment::GetRow(size_t row) const {
   out.reserve(columns_.size());
   for (const ColumnVector& c : columns_) out.push_back(c.Get(row));
   return out;
+}
+
+void Segment::ReadRows(size_t begin, size_t end, std::vector<Row>* out) const {
+  end = std::min(end, num_rows_);
+  if (begin >= end) return;
+  size_t base = out->size();
+  size_t n = end - begin;
+  out->resize(base + n);
+  for (size_t r = 0; r < n; ++r) {
+    (*out)[base + r].resize(columns_.size());  // default Values == NULL
+  }
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    const ColumnVector& col = columns_[c];
+    const uint8_t* valid = col.valid_data();
+    switch (col.type()) {
+      case DataType::kInt64: {
+        const int64_t* data = col.int_data();
+        for (size_t r = 0; r < n; ++r) {
+          if (valid[begin + r]) (*out)[base + r][c] = Value::Int(data[begin + r]);
+        }
+        break;
+      }
+      case DataType::kFloat64: {
+        const double* data = col.double_data();
+        for (size_t r = 0; r < n; ++r) {
+          if (valid[begin + r]) {
+            (*out)[base + r][c] = Value::Double(data[begin + r]);
+          }
+        }
+        break;
+      }
+      case DataType::kBool: {
+        const uint8_t* data = col.bool_data();
+        for (size_t r = 0; r < n; ++r) {
+          if (valid[begin + r]) {
+            (*out)[base + r][c] = Value::Bool(data[begin + r] != 0);
+          }
+        }
+        break;
+      }
+      case DataType::kString: {
+        const std::string* data = col.string_data();
+        for (size_t r = 0; r < n; ++r) {
+          if (valid[begin + r]) {
+            (*out)[base + r][c] = Value::String(data[begin + r]);
+          }
+        }
+        break;
+      }
+      default:
+        break;  // typeless column: stays NULL
+    }
+  }
 }
 
 std::shared_ptr<Segment> Segment::Clone() const {

@@ -34,6 +34,12 @@ class Segment {
 
   Row GetRow(size_t row) const;
 
+  /// Appends rows [begin, end) to `out`, materializing column-at-a-time:
+  /// one typed loop per column over the storage spans instead of a per-cell
+  /// type switch. This is the row-path boundary conversion — use it wherever
+  /// more than a handful of consecutive rows leave columnar storage.
+  void ReadRows(size_t begin, size_t end, std::vector<Row>* out) const;
+
   const ColumnVector& column(size_t i) const { return columns_[i]; }
 
   /// Deep copy; used by the branch manager when a shared segment is written.

@@ -38,13 +38,15 @@ bool HasRule(const std::vector<Diagnostic>& diags, const std::string& rule) {
 
 TEST(AflintTest, RuleCatalogIsStable) {
   std::vector<std::string> rules = RuleNames();
-  ASSERT_EQ(rules.size(), 9u);
+  ASSERT_EQ(rules.size(), 10u);
   EXPECT_NE(std::find(rules.begin(), rules.end(), "raw-thread"), rules.end());
   EXPECT_NE(std::find(rules.begin(), rules.end(), "fault-point-scope"),
             rules.end());
   EXPECT_NE(std::find(rules.begin(), rules.end(), "raw-counter"), rules.end());
   EXPECT_NE(std::find(rules.begin(), rules.end(), "raw-socket"), rules.end());
   EXPECT_NE(std::find(rules.begin(), rules.end(), "deprecated-brief-limits"),
+            rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "row-value-in-kernel"),
             rules.end());
 }
 
@@ -382,6 +384,59 @@ TEST(AflintTest, DeprecatedBriefLimitsSuppressedByAllow) {
       "// exercising the fold. aflint:allow(deprecated-brief-limits)\n"
       "brief.deadline_ms = 50.0;\n";
   EXPECT_TRUE(RunLint("tests/foo_test.cc", src).empty());
+}
+
+TEST(AflintTest, RowValueInKernelFiresInsideRegion) {
+  std::string src =
+      "// aflint:kernel-begin\n"
+      "void K(const Row& rows) {\n"
+      "  Value v = rows[0];\n"
+      "  EvalExpr(*expr, rows);\n"
+      "}\n"
+      "// aflint:kernel-end\n";
+  auto diags = RunLint("src/exec/foo.cc", src);
+  EXPECT_TRUE(HasRuleAtLine(diags, "row-value-in-kernel", 2));
+  EXPECT_TRUE(HasRuleAtLine(diags, "row-value-in-kernel", 3));
+  EXPECT_TRUE(HasRuleAtLine(diags, "row-value-in-kernel", 4));
+}
+
+TEST(AflintTest, RowValueInKernelCleanOutsideRegion) {
+  // The same tokens are the normal currency of non-kernel code.
+  std::string src =
+      "Value EvalExpr(const BoundExpr& e, const Row& row);\n"
+      "// aflint:kernel-begin\n"
+      "void K(const int64_t* a, uint32_t* sel) { sel[0] = a[0] > 0; }\n"
+      "// aflint:kernel-end\n"
+      "bool EvalPredicate(const BoundExpr& e, const Row& row);\n";
+  EXPECT_TRUE(RunLint("src/exec/foo.cc", src).empty());
+}
+
+TEST(AflintTest, RowValueInKernelEndResetsRegion) {
+  std::string src =
+      "// aflint:kernel-begin\n"
+      "void K(const double* x, uint8_t* out);\n"
+      "// aflint:kernel-end\n"
+      "Row Materialize(const Value& v);\n";
+  EXPECT_TRUE(RunLint("src/exec/foo.cc", src).empty());
+}
+
+TEST(AflintTest, RowValueInKernelSuppressedByAllow) {
+  std::string src =
+      "// aflint:kernel-begin\n"
+      "// boundary gather: rows come from the left side's pad slots.\n"
+      "// aflint:allow(row-value-in-kernel)\n"
+      "void Gather(const Value* cells, int64_t* out);\n"
+      "// aflint:kernel-end\n";
+  EXPECT_TRUE(RunLint("src/exec/foo.cc", src).empty());
+}
+
+TEST(AflintTest, RowValueInKernelIgnoresSubstringsAndQualifiedNames) {
+  std::string src =
+      "// aflint:kernel-begin\n"
+      "void K(const int64_t* RowMajor, int GetRows, int xValue);\n"
+      "void L() { detail::Value(); }\n"
+      "// aflint:kernel-end\n";
+  EXPECT_TRUE(RunLint("src/exec/foo.cc", src).empty());
 }
 
 TEST(AflintTest, CommentsAndStringsAreScrubbed) {

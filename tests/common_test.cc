@@ -5,6 +5,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/cancellation.h"
 #include "common/fault_injection.h"
 #include "common/hash.h"
@@ -437,6 +438,105 @@ TEST(StrUtilTest, FormatDouble) {
   EXPECT_EQ(FormatDouble(3.0), "3");
   EXPECT_EQ(FormatDouble(1.5), "1.5");
   EXPECT_EQ(FormatDouble(0.25), "0.25");
+}
+
+// ---------------------------------------------------------------------------
+// MemoryTracker / Arena
+// ---------------------------------------------------------------------------
+
+TEST(MemoryTrackerTest, UnlimitedByDefault) {
+  MemoryTracker tracker;
+  EXPECT_EQ(tracker.limit(), 0u);
+  EXPECT_TRUE(tracker.TryConsume(1ull << 40).ok());
+  EXPECT_EQ(tracker.used(), 1ull << 40);
+}
+
+TEST(MemoryTrackerTest, EnforcesLimitAndLeavesStateUnchangedOnFailure) {
+  MemoryTracker tracker(100);
+  EXPECT_TRUE(tracker.TryConsume(60).ok());
+  Status s = tracker.TryConsume(41);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted) << s.ToString();
+  EXPECT_EQ(tracker.used(), 60u);  // failed reservation charged nothing
+  EXPECT_TRUE(tracker.TryConsume(40).ok());  // exactly at the limit is fine
+  EXPECT_EQ(tracker.used(), 100u);
+}
+
+TEST(MemoryTrackerTest, ReleaseAndPeak) {
+  MemoryTracker tracker(1000);
+  EXPECT_TRUE(tracker.TryConsume(700).ok());
+  tracker.Release(500);
+  EXPECT_EQ(tracker.used(), 200u);
+  EXPECT_EQ(tracker.peak(), 700u);
+  tracker.Release(10000);  // over-release clamps to zero
+  EXPECT_EQ(tracker.used(), 0u);
+  EXPECT_TRUE(tracker.TryConsume(900).ok());  // freed budget is reusable
+  EXPECT_EQ(tracker.peak(), 900u);
+}
+
+TEST(ArenaTest, AllocationsAreAlignedAndDisjoint) {
+  Arena arena;
+  auto* a = arena.AllocateArrayOf<int64_t>(100);
+  auto* b = arena.AllocateArrayOf<int64_t>(100);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % alignof(int64_t), 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % alignof(int64_t), 0u);
+  // Writes to one array must not alias the other.
+  for (int i = 0; i < 100; ++i) a[i] = i;
+  for (int i = 0; i < 100; ++i) b[i] = -i;
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a[i], i);
+  char* c = static_cast<char*>(arena.Allocate(3, 1));
+  auto* d = arena.AllocateArrayOf<double>(1);
+  ASSERT_NE(c, nullptr);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(d) % alignof(double), 0u);
+}
+
+TEST(ArenaTest, GrowsBeyondOneBlockAndTracksBytes) {
+  Arena arena;
+  size_t total = 0;
+  // Far more than kMinBlockBytes, and one request larger than kMaxBlockBytes.
+  for (size_t n : {1000u, 60000u, 300000u, 8u}) {
+    EXPECT_NE(arena.Allocate(n), nullptr);
+    total += n;
+  }
+  EXPECT_GE(arena.used_bytes(), total);
+  EXPECT_GE(arena.allocated_bytes(), arena.used_bytes());
+}
+
+TEST(ArenaTest, ResetRecyclesTheFirstBlock) {
+  Arena arena;
+  EXPECT_NE(arena.Allocate(64), nullptr);      // first (kept) block
+  EXPECT_NE(arena.Allocate(100000), nullptr);  // forces a second block
+  size_t grown = arena.allocated_bytes();
+  arena.Reset();
+  EXPECT_EQ(arena.used_bytes(), 0u);
+  EXPECT_LT(arena.allocated_bytes(), grown);  // extra blocks dropped
+  EXPECT_GT(arena.allocated_bytes(), 0u);     // first block kept for reuse
+  EXPECT_NE(arena.Allocate(64), nullptr);     // steady state: no new block
+}
+
+TEST(ArenaTest, ChargesTrackerPerBlockAndFailsTyped) {
+  MemoryTracker tracker(Arena::kMinBlockBytes);
+  Arena arena(&tracker);
+  EXPECT_NE(arena.Allocate(64), nullptr);  // first block fits exactly
+  EXPECT_EQ(tracker.used(), arena.allocated_bytes());
+  // The next block would exceed the budget: Allocate degrades to nullptr,
+  // never throws, and the arena stays usable for in-block allocations.
+  EXPECT_EQ(arena.Allocate(2 * Arena::kMinBlockBytes), nullptr);
+  EXPECT_NE(arena.Allocate(64), nullptr);
+}
+
+TEST(ArenaTest, ResetReleasesTrackerCharges) {
+  MemoryTracker tracker;
+  {
+    Arena arena(&tracker);
+    EXPECT_NE(arena.Allocate(100000), nullptr);
+    EXPECT_GT(tracker.used(), 0u);
+    arena.Reset();
+    EXPECT_EQ(tracker.used(), arena.allocated_bytes());
+  }
+  EXPECT_EQ(tracker.used(), 0u);  // destruction returns everything
 }
 
 }  // namespace

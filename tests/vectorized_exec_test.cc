@@ -1,0 +1,288 @@
+// Parity and determinism contract of the vectorized batch engine: for every
+// batch-convertible plan, `options.vectorized = true` must produce a
+// ResultSet byte-identical to the row path — same values, same order, same
+// truncation metadata — at every thread count. Edge coverage (NULLs, empty
+// inputs, division by zero, NaN-free ordering quirks) rides on the same
+// harness: whatever the row path answers is the specification.
+//
+// The one intentional divergence is working memory: the vectorized path
+// allocates its batch buffers from a per-query arena capped by
+// `limits.max_bytes`, and exhausting that cap is a typed kResourceExhausted
+// *error* (there is no meaningful partial answer for scratch memory), where
+// the row path only knows output-size truncation.
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "exec/engine.h"
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "test_util.h"
+
+namespace agentfirst {
+namespace {
+
+using testing_util::BuildPeopleDb;
+
+::testing::AssertionResult ExactlyEqual(const ResultSet& a,
+                                        const ResultSet& b) {
+  if (a.rows.size() != b.rows.size()) {
+    return ::testing::AssertionFailure()
+           << "row count " << a.rows.size() << " vs " << b.rows.size();
+  }
+  if (a.truncated != b.truncated || a.interrupt != b.interrupt) {
+    return ::testing::AssertionFailure() << "truncation metadata differs";
+  }
+  if (a.schema.NumColumns() != b.schema.NumColumns()) {
+    return ::testing::AssertionFailure() << "schema width differs";
+  }
+  for (size_t r = 0; r < a.rows.size(); ++r) {
+    if (a.rows[r].size() != b.rows[r].size()) {
+      return ::testing::AssertionFailure() << "row " << r << " width differs";
+    }
+    for (size_t c = 0; c < a.rows[r].size(); ++c) {
+      if (!(a.rows[r][c] == b.rows[r][c])) {
+        return ::testing::AssertionFailure()
+               << "row " << r << " col " << c << ": "
+               << a.rows[r][c].ToString() << " vs " << b.rows[r][c].ToString();
+      }
+      if (a.rows[r][c].type() != b.rows[r][c].type()) {
+        return ::testing::AssertionFailure()
+               << "row " << r << " col " << c << " type differs";
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// 5000 rows over 5 segments, all four scalar types plus a NULL-bearing
+/// column, with enough value skew to make filters selective and groups
+/// uneven. Plus a small dimension table for joins (including keys that miss
+/// and duplicate build rows).
+void BuildBigDb(Engine* engine) {
+  auto run = [&](const std::string& sql) {
+    auto r = engine->ExecuteSql(sql);
+    ASSERT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  };
+  run("CREATE TABLE big (id BIGINT, v DOUBLE, name VARCHAR, flag BOOLEAN, "
+      "n BIGINT)");
+  for (int chunk = 0; chunk < 10; ++chunk) {
+    std::string insert = "INSERT INTO big VALUES ";
+    for (int i = 0; i < 500; ++i) {
+      int id = chunk * 500 + i;
+      if (i > 0) insert += ",";
+      insert += "(" + std::to_string(id) + "," +
+                std::to_string((id * 37) % 1000) + ".25,'g" +
+                std::to_string(id % 7) + "'," +
+                (id % 3 == 0 ? "TRUE" : "FALSE") + "," +
+                (id % 5 == 0 ? "NULL" : std::to_string(id % 11)) + ")";
+    }
+    run(insert);
+  }
+  run("CREATE TABLE dim (k BIGINT, label VARCHAR)");
+  run("INSERT INTO dim VALUES (0,'zero'), (1,'one'), (2,'two'), (3,'three'),"
+      "(4,'four'), (2,'dos'), (99,'unreachable'), (NULL,'nokey')");
+  run("CREATE TABLE void (x BIGINT, y DOUBLE)");
+}
+
+class VectorizedParityTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  void SetUp() override {
+    engine_ = std::make_unique<Engine>(&catalog_);
+    BuildBigDb(engine_.get());
+    BuildPeopleDb(engine_.get());
+  }
+
+  /// Runs `sql` through the row path (serial: the specification) and the
+  /// vectorized path at the parameterized thread count; both must agree
+  /// byte-for-byte.
+  void ExpectParity(const std::string& sql) {
+    ExecOptions row;
+    row.vectorized = false;
+    row.num_threads = 1;
+    ExecOptions vec;
+    vec.vectorized = true;
+    vec.num_threads = GetParam();
+    auto r = engine_->ExecuteSql(sql, row);
+    auto v = engine_->ExecuteSql(sql, vec);
+    AF_ASSERT_OK_RESULT(r);
+    AF_ASSERT_OK_RESULT(v);
+    EXPECT_TRUE(ExactlyEqual(**r, **v))
+        << sql << " with num_threads=" << GetParam();
+  }
+
+  Catalog catalog_;
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_P(VectorizedParityTest, ScanAndFilter) {
+  ExpectParity("SELECT * FROM big");
+  ExpectParity("SELECT id, v FROM big WHERE v > 250.0 AND id < 4000");
+  ExpectParity("SELECT id FROM big WHERE id % 7 = 3");
+  ExpectParity("SELECT id FROM big WHERE id BETWEEN 100 AND 200");
+  ExpectParity("SELECT id FROM big WHERE id NOT BETWEEN 50 AND 4950");
+  ExpectParity("SELECT name FROM big WHERE name >= 'g3' AND name < 'g5'");
+  ExpectParity("SELECT id FROM big WHERE flag");
+  ExpectParity("SELECT id FROM big WHERE NOT flag AND v <> 0.25");
+  ExpectParity("SELECT id FROM big WHERE id < 0");            // empty result
+  ExpectParity("SELECT * FROM void");                         // empty table
+  ExpectParity("SELECT * FROM void WHERE x > 0 AND y < 1.5");
+}
+
+TEST_P(VectorizedParityTest, NullSemantics) {
+  ExpectParity("SELECT id, n FROM big WHERE n IS NULL");
+  ExpectParity("SELECT id, n FROM big WHERE n IS NOT NULL AND n > 5");
+  // Comparisons against NULL are NULL, filtered out; Kleene OR/AND keep a
+  // row only when the whole predicate is definitely true.
+  ExpectParity("SELECT id FROM big WHERE n > 3 OR flag");
+  ExpectParity("SELECT id FROM big WHERE n > 3 AND flag");
+  ExpectParity("SELECT n + 1, n * 2, n IS NULL FROM big WHERE id < 100");
+}
+
+TEST_P(VectorizedParityTest, ProjectionArithmetic) {
+  ExpectParity("SELECT id + 1, id - 2, id * 3, v / 4.0 FROM big WHERE id < 500");
+  // Integer division promotes to double; division/modulo by zero is NULL.
+  ExpectParity("SELECT id / 2, id / 0, id % 0, v / 0.0 FROM big WHERE id < 64");
+  ExpectParity("SELECT -id, -v, id % 11 FROM big WHERE v > 900.0");
+  ExpectParity("SELECT (id + 7) * (id % 5) - 3 FROM big WHERE id < 2049");
+  ExpectParity("SELECT id > 10, v <= 500.0, name = 'g2' FROM big WHERE id < 40");
+}
+
+TEST_P(VectorizedParityTest, Aggregates) {
+  ExpectParity("SELECT count(*) FROM big");
+  ExpectParity("SELECT count(n), sum(id), sum(v), avg(v) FROM big");
+  ExpectParity("SELECT min(id), max(id), min(v), max(v), min(name), max(name)"
+               " FROM big");
+  ExpectParity("SELECT count(*) FROM big WHERE id > 4999");  // empty input
+  ExpectParity("SELECT sum(x), avg(y), count(x) FROM void");
+}
+
+TEST_P(VectorizedParityTest, GroupBy) {
+  ExpectParity("SELECT name, count(*), sum(v) FROM big GROUP BY name");
+  // NULL is a group of its own; group order is first-appearance order.
+  ExpectParity("SELECT n, count(*) FROM big GROUP BY n");
+  ExpectParity("SELECT flag, n, avg(v), min(id) FROM big GROUP BY flag, n");
+  ExpectParity("SELECT name, max(n) FROM big WHERE id % 2 = 0 GROUP BY name");
+}
+
+TEST_P(VectorizedParityTest, Joins) {
+  ExpectParity("SELECT big.id, dim.label FROM big JOIN dim ON big.n = dim.k "
+               "WHERE big.id < 300");
+  // Duplicate build keys fan out; NULL keys never match.
+  ExpectParity("SELECT big.id, dim.label FROM big LEFT JOIN dim "
+               "ON big.n = dim.k WHERE big.id < 300");
+  ExpectParity("SELECT people.name, orders.item FROM people JOIN orders "
+               "ON people.id = orders.person_id");
+  ExpectParity("SELECT people.name, orders.amount FROM people LEFT JOIN orders "
+               "ON people.id = orders.person_id");
+  ExpectParity("SELECT big.id FROM big JOIN void ON big.id = void.x");
+}
+
+TEST_P(VectorizedParityTest, MixedRowAndVectorizedOperators) {
+  // ORDER BY / LIMIT / DISTINCT / LIKE stay on the row path; their children
+  // re-gate, so these plans cross the batch->row boundary mid-tree.
+  ExpectParity("SELECT id, v FROM big WHERE v > 500.0 ORDER BY v, id LIMIT 20");
+  ExpectParity("SELECT name, count(*) FROM big GROUP BY name ORDER BY name");
+  ExpectParity("SELECT DISTINCT name FROM big WHERE id < 1000");
+  ExpectParity("SELECT name FROM big WHERE name LIKE 'g%' AND id < 30");
+  ExpectParity("SELECT count(DISTINCT name) FROM big");
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, VectorizedParityTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(VectorizedExecTest, ThreadCountsAreByteIdenticalOnTheVecPath) {
+  Catalog catalog;
+  Engine engine(&catalog);
+  BuildBigDb(&engine);
+  const std::string sql =
+      "SELECT name, count(*), sum(v) FROM big WHERE id % 3 <> 1 GROUP BY name";
+  ExecOptions serial;
+  serial.num_threads = 1;
+  auto base = engine.ExecuteSql(sql, serial);
+  AF_ASSERT_OK_RESULT(base);
+  for (size_t threads : {2u, 4u, 8u}) {
+    ExecOptions options;
+    options.num_threads = threads;
+    auto r = engine.ExecuteSql(sql, options);
+    AF_ASSERT_OK_RESULT(r);
+    EXPECT_TRUE(ExactlyEqual(**base, **r)) << "threads=" << threads;
+  }
+}
+
+TEST(VectorizedExecTest, ArenaExhaustionIsATypedError) {
+  Catalog catalog;
+  Engine engine(&catalog);
+  BuildBigDb(&engine);
+  // A budget below the arena's minimum block size: the first filtered batch
+  // cannot even allocate its selection vector. Working memory has no partial
+  // answer, so the vectorized path must fail typed, not truncate.
+  ExecOptions vec;
+  vec.limits.MaxBytes(1024);
+  auto r = engine.ExecuteSql("SELECT id FROM big WHERE id % 7 = 3", vec);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("arena"), std::string::npos)
+      << r.status().ToString();
+
+  // The same query under the same budget on the row path truncates instead:
+  // the two observable behaviors of one `max_bytes` knob.
+  ExecOptions row;
+  row.vectorized = false;
+  row.limits.MaxBytes(1024);
+  auto rr = engine.ExecuteSql("SELECT id FROM big WHERE id % 7 = 3", row);
+  AF_ASSERT_OK_RESULT(rr);
+  EXPECT_TRUE((*rr)->truncated);
+}
+
+TEST(VectorizedExecTest, OutputBudgetsTruncateLikeTheRowPath) {
+  Catalog catalog;
+  Engine engine(&catalog);
+  BuildBigDb(&engine);
+  // Unfiltered scans use no arena scratch, so max_bytes acts purely as the
+  // output cap, same as the row path: a well-formed truncated result.
+  for (bool vectorized : {true, false}) {
+    ExecOptions options;
+    options.vectorized = vectorized;
+    options.limits.MaxBytes(16 * 1024);
+    auto r = engine.ExecuteSql("SELECT * FROM big", options);
+    AF_ASSERT_OK_RESULT(r);
+    EXPECT_TRUE((*r)->truncated) << "vectorized=" << vectorized;
+    EXPECT_EQ((*r)->interrupt, StatusCode::kResourceExhausted);
+    EXPECT_GT((*r)->rows.size(), 0u);
+    EXPECT_LT((*r)->rows.size(), 5000u);
+  }
+  // max_rows truncates at batch granularity: at least the cap, not wildly
+  // more than one extra batch per worker.
+  ExecOptions options;
+  options.limits.MaxRows(1000);
+  auto r = engine.ExecuteSql("SELECT id FROM big", options);
+  AF_ASSERT_OK_RESULT(r);
+  EXPECT_TRUE((*r)->truncated);
+  EXPECT_GE((*r)->rows.size(), 1000u);
+  EXPECT_LT((*r)->rows.size(), 5000u);
+}
+
+TEST(VectorizedExecTest, VecPlanAndFallbackMetricsMove) {
+  Catalog catalog;
+  Engine engine(&catalog);
+  BuildBigDb(&engine);
+  auto& reg = obs::MetricsRegistry::Default();
+  obs::Counter* plans = reg.GetCounter("af.exec.vec.plans");
+  obs::Counter* fallbacks = reg.GetCounter("af.exec.vec.fallback_nodes");
+
+  uint64_t plans_before = plans->value();
+  auto r = engine.ExecuteSql("SELECT id FROM big WHERE id < 10");
+  AF_ASSERT_OK_RESULT(r);
+  EXPECT_GT(plans->value(), plans_before);
+
+  uint64_t fallbacks_before = fallbacks->value();
+  auto f = engine.ExecuteSql("SELECT name FROM big WHERE name LIKE 'g1%'");
+  AF_ASSERT_OK_RESULT(f);
+  EXPECT_GT(fallbacks->value(), fallbacks_before);
+}
+
+}  // namespace
+}  // namespace agentfirst

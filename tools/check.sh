@@ -13,8 +13,12 @@
 #                       boots the server on an ephemeral loopback port,
 #                       drives it with afprobe, then runs net_test and
 #                       fuzz_wire_test under the same TSan build
+#   6. vectorized     — row/vec parity + thread-count determinism under the
+#                       same TSan build, then the bench smoke
+#                       (bench_parallel_exec --quick), which fails if the
+#                       vectorized path is ever slower than the row path
 #
-#   tools/check.sh              # all five stages
+#   tools/check.sh              # all six stages
 #   tools/check.sh --no-tests   # static stages only (fast pre-push)
 #
 # Exits non-zero on the first failing stage.
@@ -27,7 +31,7 @@ if [[ "${1:-}" == "--no-tests" ]]; then
   run_tests=0
 fi
 
-echo "=== [1/5] aflint ==="
+echo "=== [1/6] aflint ==="
 # The lint rule engine is a plain C++ library; build just the CLI target so
 # this stage stays fast even on a cold tree.
 cmake -B build -S . > /dev/null
@@ -35,11 +39,11 @@ cmake --build build -j "$(nproc)" --target aflint > /dev/null
 ./build/tools/aflint --root . src tests tools bench
 echo "aflint: clean"
 
-echo "=== [2/5] afmetrics self-test ==="
+echo "=== [2/6] afmetrics self-test ==="
 cmake --build build -j "$(nproc)" --target afmetrics > /dev/null
 ./build/tools/afmetrics --self-test
 
-echo "=== [3/5] clang thread-safety analysis ==="
+echo "=== [3/6] clang thread-safety analysis ==="
 if command -v clang++ > /dev/null 2>&1; then
   cmake -B build-tsafety -S . -DCMAKE_CXX_COMPILER=clang++ \
         -DAGENTFIRST_THREAD_SAFETY=ON > /dev/null
@@ -51,15 +55,15 @@ else
 fi
 
 if [[ "$run_tests" == "1" ]]; then
-  echo "=== [4/5] tier-1 build + tests ==="
+  echo "=== [4/6] tier-1 build + tests ==="
   cmake --build build -j "$(nproc)"
   ctest --test-dir build --output-on-failure -j "$(nproc)"
 else
-  echo "=== [4/5] tier-1 tests skipped (--no-tests) ==="
+  echo "=== [4/6] tier-1 tests skipped (--no-tests) ==="
 fi
 
 if [[ "$run_tests" == "1" ]]; then
-  echo "=== [5/5] networked service smoke (TSan) ==="
+  echo "=== [5/6] networked service smoke (TSan) ==="
   cmake -B build-tsan -S . -DAGENTFIRST_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   cmake --build build-tsan -j "$(nproc)" \
@@ -94,7 +98,26 @@ if [[ "$run_tests" == "1" ]]; then
   ./build-tsan/tests/net_test
   ./build-tsan/tests/fuzz_wire_test
 else
-  echo "=== [5/5] net smoke skipped (--no-tests) ==="
+  echo "=== [5/6] net smoke skipped (--no-tests) ==="
+fi
+
+if [[ "$run_tests" == "1" ]]; then
+  echo "=== [6/6] vectorized parity (TSan) + bench smoke ==="
+  # Parity (row path == vec path, byte-identical) and determinism (same
+  # answer at 1/2/4/8 threads) have to hold under TSan, or the batch
+  # kernels' lock-free morsel claiming is wrong in a way plain runs can
+  # miss. Reuses the stage-5 TSan build tree.
+  cmake --build build-tsan -j "$(nproc)" \
+        --target vectorized_exec_test parallel_determinism_test > /dev/null
+  ./build-tsan/tests/vectorized_exec_test
+  ./build-tsan/tests/parallel_determinism_test
+  # Perf gate: the vectorized path must beat the row path on its own
+  # workloads (scan+filter, hash join, aggregate); --quick exits non-zero
+  # on any regression. Run from the default (unsanitized) build.
+  cmake --build build -j "$(nproc)" --target bench_parallel_exec > /dev/null
+  ./build/bench/bench_parallel_exec --quick
+else
+  echo "=== [6/6] vectorized parity + bench smoke skipped (--no-tests) ==="
 fi
 
 echo "check.sh: all stages passed"
