@@ -168,6 +168,22 @@ struct InterruptCtx {
     return false;
   }
 
+  /// Clears a recorded fault — and the stop flag it raised — so the caller
+  /// can retry the same subtree on another path (the vectorized engine's
+  /// arena-exhaustion fallback). Genuine soft-trip state survives: when a
+  /// deadline or output budget also tripped, `stop` stays set and the retry
+  /// runs in drain mode; a hard cancellation is never cleared.
+  void ClearFault() {
+    MutexLock lock(fault_mutex);
+    fault = Status::OK();
+    has_fault.store(false, std::memory_order_relaxed);
+    if (code.load(std::memory_order_relaxed) ==
+            static_cast<int>(StatusCode::kOk) &&
+        !hard.load(std::memory_order_relaxed)) {
+      stop.store(false, std::memory_order_relaxed);
+    }
+  }
+
   /// Fault point usable inside parallel morsel bodies; returns true when an
   /// error was injected (and recorded) at `site`.
   bool FaultAt(const char* site) {

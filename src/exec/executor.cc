@@ -655,7 +655,9 @@ Result<ResultSetPtr> ExecNestedLoopJoin(const PlanNode& node,
 struct AggState {
   int64_t count = 0;
   double sum_double = 0.0;
-  int64_t sum_int = 0;
+  /// Unsigned accumulator: SUM over BIGINT wraps two's-complement, and
+  /// signed overflow would be UB. Cast back to int64_t at finalize.
+  uint64_t sum_int = 0;
   bool sum_is_int = true;
   bool any = false;
   Value min;
@@ -693,7 +695,7 @@ Result<ResultSetPtr> ExecAggregate(const PlanNode& node, const ExecOptions& opti
       st.any = true;
       ++st.count;
       if (v.type() == DataType::kInt64) {
-        st.sum_int += v.int_value();
+        st.sum_int += static_cast<uint64_t>(v.int_value());
         st.sum_double += v.AsDouble();
       } else if (IsNumeric(v.type())) {
         st.sum_is_int = false;
@@ -772,8 +774,9 @@ Result<ResultSetPtr> ExecAggregate(const PlanNode& node, const ExecOptions& opti
           if (!st.any) {
             row.push_back(Value::Null());
           } else if (agg.output_type == DataType::kInt64 && st.sum_is_int) {
-            row.push_back(Value::Int(static_cast<int64_t>(
-                std::llround(static_cast<double>(st.sum_int) * agg_scale))));
+            row.push_back(Value::Int(static_cast<int64_t>(std::llround(
+                static_cast<double>(static_cast<int64_t>(st.sum_int)) *
+                agg_scale))));
           } else {
             row.push_back(Value::Double(st.sum_double * agg_scale));
           }
@@ -880,7 +883,20 @@ Result<ResultSetPtr> ExecNode(const PlanNode& node, const ExecOptions& options,
   if (options.vectorized && options.cache == nullptr &&
       options.trace == nullptr && options.sample_rate >= 1.0) {
     if (vec::CanVectorize(node)) {
-      return vec::ExecuteVectorized(node, options, ctx);
+      Result<ResultSetPtr> vres = vec::ExecuteVectorized(node, options, ctx);
+      if (vres.ok() ||
+          vres.status().code() != StatusCode::kResourceExhausted) {
+        return vres;
+      }
+      // The only kResourceExhausted *error* the vectorized path produces is
+      // arena (working-memory) exhaustion — output-budget trips come back as
+      // truncated OK results. The row path treats max_bytes purely as an
+      // output cap and truncates, so vectorization being on by default must
+      // not turn that contract into a hard failure: clear the attempt's
+      // fault trip and re-run this subtree row-at-a-time. (A concurrent
+      // deadline/budget trip survives ClearFault, so the rerun drains into
+      // the usual truncated partial.)
+      ctx.ClearFault();
     }
     Metrics().vec_fallbacks->Increment();
   }

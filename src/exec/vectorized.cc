@@ -461,23 +461,31 @@ Status ExecVecFilter(const PlanNode& node, VecExec& ex, VecResult* out) {
     return true;
   };
   if (!draining && UseParallel(ex.options, out->TotalActiveRows())) {
+    std::vector<char> batch_done(out->batches.size(), 0);
     PoolFor(ex.options)->ParallelFor(
         0, out->batches.size(),
         [&](size_t begin, size_t end) {
           for (size_t i = begin; i < end; ++i) {
-            if (ex.ctx.Check() || ex.ctx.FaultAt("exec.filter.morsel")) {
-              // Batches not reached keep no rows (vs. all rows untouched).
-              out->batches[i].sel = kNoRows;
-              out->batches[i].sel_size = 0;
-              continue;
-            }
+            if (ex.ctx.Check() || ex.ctx.FaultAt("exec.filter.morsel")) return;
             if (!filter_batch(out->batches[i])) {
               ex.ctx.TripFault(ArenaExhausted());
               return;
             }
+            batch_done[i] = 1;
           }
         },
         /*grain=*/1, ex.options.num_threads, ex.ctx.stop_flag());
+    // A mid-loop trip leaves morsels unclaimed (ParallelFor stops claiming
+    // once the stop flag is set), and their batches still carry the input
+    // selection — sel == nullptr means *every* row. Sweep every unfiltered
+    // batch to "no rows" so a truncated partial never contains rows the
+    // predicate was not applied to.
+    for (size_t i = 0; i < out->batches.size(); ++i) {
+      if (!batch_done[i]) {
+        out->batches[i].sel = kNoRows;
+        out->batches[i].sel_size = 0;
+      }
+    }
     return ex.ctx.TakeError();
   }
   for (size_t i = 0; i < out->batches.size(); ++i) {
@@ -590,6 +598,7 @@ Status ExecVecHashJoin(const PlanNode& node, VecExec& ex, VecResult* out) {
   out->batches.assign(left.batches.size(), VecBatch{});
   BatchBudget budget(ex.ctx);
   constexpr uint32_t kPad = UINT32_MAX;  // left-join NULL padding marker
+  bool draining = ex.ctx.soft_stopped();
 
   // Probes one left batch and materializes its output batch (dense gather,
   // no selection). False on arena exhaustion.
@@ -658,12 +667,13 @@ Status ExecVecHashJoin(const PlanNode& node, VecExec& ex, VecResult* out) {
         return false;
       }
     }
-    budget.Count(ob);
+    // Same drain contract as the filter: input reached after a trip is a
+    // bounded partial the budget already paid for, so don't re-count it.
+    if (!draining) budget.Count(ob);
     Metrics().vec_batches->Increment();
     return true;
   };
 
-  bool draining = ex.ctx.soft_stopped();
   if (!draining && UseParallel(ex.options, left.TotalActiveRows())) {
     PoolFor(ex.options)->ParallelFor(
         0, left.batches.size(),
@@ -692,12 +702,13 @@ Status ExecVecHashJoin(const PlanNode& node, VecExec& ex, VecResult* out) {
 /// Typed per-group accumulator. Only the fields the (statically typed)
 /// aggregate actually reads are maintained; the replication targets are the
 /// row path's AggState transitions, including its quirks (NaN never replaces
-/// a min/max; int sums overflow by wrapping; finalize rounds through
-/// llround even at scale 1.0).
+/// a min/max; int sums wrap two's-complement — accumulated unsigned, like
+/// AggState, because signed overflow is UB; finalize rounds through llround
+/// even at scale 1.0).
 struct VAggState {
   int64_t count = 0;
   double sum_double = 0.0;
-  int64_t sum_int = 0;
+  uint64_t sum_int = 0;
   bool any = false;
   bool has = false;  // min/max seen a value
   int64_t min_i = 0, max_i = 0;
@@ -792,7 +803,7 @@ Status ExecVecAggregate(const PlanNode& node, VecExec& ex, VecResult* out) {
         switch (arg_types[a]) {
           case DataType::kInt64: {
             int64_t v = c.i64[row];
-            st.sum_int += v;
+            st.sum_int += static_cast<uint64_t>(v);
             st.sum_double += static_cast<double>(v);
             if (!st.has || v < st.min_i) st.min_i = v;
             if (!st.has || v > st.max_i) st.max_i = v;
@@ -874,8 +885,8 @@ Status ExecVecAggregate(const PlanNode& node, VecExec& ex, VecResult* out) {
             const VAggState& st = groups[g].states[a];
             valid[g] = st.any ? 1 : 0;
             data[g] = st.any
-                          ? static_cast<int64_t>(std::llround(
-                                static_cast<double>(st.sum_int)))
+                          ? static_cast<int64_t>(std::llround(static_cast<double>(
+                                static_cast<int64_t>(st.sum_int))))
                           : 0;
           }
           col.i64 = data;
@@ -1025,7 +1036,10 @@ Result<ResultSetPtr> ExecuteVectorized(const PlanNode& node,
                                        const ExecOptions& options,
                                        exec_internal::InterruptCtx& ctx) {
   // The arena's working memory is capped by the same max_bytes budget that
-  // bounds result size; 0 = unlimited.
+  // bounds result size; 0 = unlimited. Exhaustion surfaces here as a typed
+  // kResourceExhausted error, which ExecNode catches and retries on the row
+  // path — callers of the engine only ever see max_bytes behave as the
+  // documented output budget (truncation, not failure).
   MemoryTracker tracker(options.limits.max_bytes.value_or(0));
   Arena arena(&tracker);
   VecExec ex{options, ctx, &arena};

@@ -25,7 +25,10 @@ bool CanVectorize(const PlanNode& node);
 /// uniformly across both paths. The arena is capped by
 /// `options.limits.max_bytes`; exhausting it fails the plan with a typed
 /// kResourceExhausted error (working memory, unlike the output budget, has
-/// no meaningful partial answer).
+/// no meaningful partial answer). ExecNode treats that error as "this plan
+/// does not fit the vectorized engine under this budget" and retries the
+/// subtree on the row path, whose max_bytes contract is truncation — so the
+/// hard error never escapes the executor.
 Result<ResultSetPtr> ExecuteVectorized(const PlanNode& node,
                                        const ExecOptions& options,
                                        exec_internal::InterruptCtx& ctx);

@@ -5,11 +5,14 @@
 // inputs, division by zero, NaN-free ordering quirks) rides on the same
 // harness: whatever the row path answers is the specification.
 //
-// The one intentional divergence is working memory: the vectorized path
-// allocates its batch buffers from a per-query arena capped by
-// `limits.max_bytes`, and exhausting that cap is a typed kResourceExhausted
-// *error* (there is no meaningful partial answer for scratch memory), where
-// the row path only knows output-size truncation.
+// Working memory is the one place the paths differ internally: the
+// vectorized engine allocates its batch buffers from a per-query arena
+// capped by `limits.max_bytes`, and exhausting that cap is a typed
+// kResourceExhausted error at the vectorized layer (there is no meaningful
+// partial answer for scratch memory). The executor catches exactly that
+// error and retries the subtree on the row path, so at the engine surface
+// `max_bytes` always keeps its documented meaning — an output budget that
+// truncates, never a hard failure.
 
 #include <string>
 #include <vector>
@@ -211,30 +214,88 @@ TEST(VectorizedExecTest, ThreadCountsAreByteIdenticalOnTheVecPath) {
   }
 }
 
-TEST(VectorizedExecTest, ArenaExhaustionIsATypedError) {
+TEST(VectorizedExecTest, ArenaExhaustionFallsBackToRowPathTruncation) {
   Catalog catalog;
   Engine engine(&catalog);
   BuildBigDb(&engine);
-  // A budget below the arena's minimum block size: the first filtered batch
-  // cannot even allocate its selection vector. Working memory has no partial
-  // answer, so the vectorized path must fail typed, not truncate.
+  auto& reg = obs::MetricsRegistry::Default();
+  obs::Counter* fallbacks = reg.GetCounter("af.exec.vec.fallback_nodes");
+  uint64_t fallbacks_before = fallbacks->value();
+
+  // A budget below the arena's minimum block size: the vectorized engine
+  // cannot even allocate its first selection vector. That exhaustion is a
+  // typed error internally, but the executor must catch it and rerun the
+  // subtree row-at-a-time — callers who set max_bytes get the documented
+  // contract (a truncated partial result), never a hard failure.
   ExecOptions vec;
   vec.limits.MaxBytes(1024);
   auto r = engine.ExecuteSql("SELECT id FROM big WHERE id % 7 = 3", vec);
-  ASSERT_FALSE(r.ok());
-  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
-      << r.status().ToString();
-  EXPECT_NE(r.status().message().find("arena"), std::string::npos)
-      << r.status().ToString();
+  AF_ASSERT_OK_RESULT(r);
+  EXPECT_TRUE((*r)->truncated);
+  EXPECT_EQ((*r)->interrupt, StatusCode::kResourceExhausted);
+  EXPECT_LT((*r)->rows.size(), 715u);  // 715 ids in [0,5000) are ≡3 (mod 7)
+  // Whatever partial survives must still honor the predicate.
+  for (const Row& row : (*r)->rows) {
+    ASSERT_EQ(row[0].int_value() % 7, 3);
+  }
+  EXPECT_GT(fallbacks->value(), fallbacks_before);
 
-  // The same query under the same budget on the row path truncates instead:
-  // the two observable behaviors of one `max_bytes` knob.
-  ExecOptions row;
-  row.vectorized = false;
-  row.limits.MaxBytes(1024);
-  auto rr = engine.ExecuteSql("SELECT id FROM big WHERE id % 7 = 3", row);
+  // The same query under the same budget with vectorization off truncates
+  // directly — one `max_bytes` knob, one observable behavior.
+  ExecOptions row_opts;
+  row_opts.vectorized = false;
+  row_opts.limits.MaxBytes(1024);
+  auto rr = engine.ExecuteSql("SELECT id FROM big WHERE id % 7 = 3", row_opts);
   AF_ASSERT_OK_RESULT(rr);
   EXPECT_TRUE((*rr)->truncated);
+  EXPECT_EQ((*rr)->interrupt, StatusCode::kResourceExhausted);
+}
+
+TEST(VectorizedExecTest, MidPlanTripNeverLeaksUnfilteredRows) {
+  Catalog catalog;
+  Engine engine(&catalog);
+  BuildBigDb(&engine);
+  // Sweep deadlines from "trips immediately" to "finishes comfortably" so
+  // some runs soft-trip mid-plan at every thread count. Wherever the trip
+  // lands, a truncated filter result may only contain rows that passed the
+  // predicate (regression: parallel morsels left unclaimed by a mid-loop
+  // trip used to keep their full input selection).
+  for (double ms : {0.01, 0.05, 0.2, 1.0, 5.0, 50.0}) {
+    for (size_t threads : {1u, 4u, 8u}) {
+      ExecOptions options;
+      options.num_threads = threads;
+      options.limits.DeadlineMillis(ms);
+      auto r = engine.ExecuteSql("SELECT id FROM big WHERE id % 7 = 3", options);
+      AF_ASSERT_OK_RESULT(r);
+      for (const Row& row : (*r)->rows) {
+        ASSERT_EQ(row[0].int_value() % 7, 3)
+            << "deadline=" << ms << "ms threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(VectorizedExecTest, IntSumOverflowWrapsIdenticallyOnBothPaths) {
+  Catalog catalog;
+  Engine engine(&catalog);
+  auto run = [&](const std::string& sql) {
+    auto r = engine.ExecuteSql(sql);
+    ASSERT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  };
+  run("CREATE TABLE huge (x BIGINT)");
+  // (2^63-1) + (2^63-1) + 2 + 1 wraps to 1 in two's complement. Both paths
+  // accumulate unsigned (signed overflow is UB) and must agree on the wrap.
+  run("INSERT INTO huge VALUES (9223372036854775807), (9223372036854775807), "
+      "(2), (1)");
+  ExecOptions row;
+  row.vectorized = false;
+  auto rr = engine.ExecuteSql("SELECT sum(x) FROM huge", row);
+  auto vr = engine.ExecuteSql("SELECT sum(x) FROM huge");
+  AF_ASSERT_OK_RESULT(rr);
+  AF_ASSERT_OK_RESULT(vr);
+  EXPECT_TRUE(ExactlyEqual(**rr, **vr));
+  ASSERT_EQ((*vr)->rows.size(), 1u);
+  EXPECT_EQ((*vr)->rows[0][0].int_value(), 1);
 }
 
 TEST(VectorizedExecTest, OutputBudgetsTruncateLikeTheRowPath) {
