@@ -17,7 +17,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -244,11 +244,7 @@ int main(int argc, char** argv) {
               faulted.answers_ok == faulted.answers_total ? "PASS" : "FAIL");
 
   if (argc > 1) {
-    std::ofstream out(argv[1]);
-    if (!out) {
-      std::fprintf(stderr, "cannot open %s for writing\n", argv[1]);
-      return 1;
-    }
+    std::ostringstream out;
     out << "{\n  \"bench\": \"bench_fault_tolerance\",\n";
     out << "  \"scan_rows\": " << kScanRows << ",\n";
     out << "  \"interrupt_check_overhead_pct\": "
@@ -260,7 +256,11 @@ int main(int argc, char** argv) {
         << faulted.answers_ok << ", \"answers_total\": "
         << faulted.answers_total << ", \"retries\": " << faulted.retries
         << ", \"slowdown_vs_clean\": " << Num(slowdown, 3) << "}\n";
-    out << "}\n";
+    out << "}";
+    if (!bench::UpdateBenchJson(argv[1], "bench_fault_tolerance", out.str())) {
+      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+      return 1;
+    }
     std::printf("wrote %s\n", argv[1]);
   }
   return 0;

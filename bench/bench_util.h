@@ -2,6 +2,8 @@
 #define AGENTFIRST_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -39,6 +41,74 @@ inline std::string Num(double v, int decimals = 2) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
   return buf;
+}
+
+/// Splits a results file into its top-level JSON objects. Accepts both the
+/// array form this helper writes and a bare single object (the legacy
+/// one-bench-per-file format).
+inline std::vector<std::string> SplitTopLevelJsonObjects(
+    const std::string& text) {
+  std::vector<std::string> objects;
+  int depth = 0;
+  bool in_string = false, escaped = false;
+  size_t start = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_string) {
+      if (escaped) escaped = false;
+      else if (c == '\\') escaped = true;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{') {
+      if (depth == 0) start = i;
+      ++depth;
+    } else if (c == '}') {
+      if (depth > 0 && --depth == 0) {
+        objects.push_back(text.substr(start, i - start + 1));
+      }
+    }
+  }
+  return objects;
+}
+
+/// Updates one bench's section of a shared results file (e.g. several
+/// robustness benches all recording into BENCH_robustness.json). The file is
+/// a JSON array of objects, each carrying a `"bench"` name; the object whose
+/// name matches is replaced in place (or appended), so rerunning any one
+/// bench never clobbers the others. Returns false if the file cannot be
+/// written.
+inline bool UpdateBenchJson(const std::string& path,
+                            const std::string& bench_name,
+                            const std::string& object_text) {
+  std::vector<std::string> objects;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      objects = SplitTopLevelJsonObjects(buf.str());
+    }
+  }
+  const std::string key = "\"bench\": \"" + bench_name + "\"";
+  bool replaced = false;
+  for (std::string& obj : objects) {
+    if (obj.find(key) != std::string::npos) {
+      obj = object_text;
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) objects.push_back(object_text);
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "[\n";
+  for (size_t i = 0; i < objects.size(); ++i) {
+    out << objects[i] << (i + 1 < objects.size() ? ",\n" : "\n");
+  }
+  out << "]\n";
+  return out.good();
 }
 
 /// A crude inline bar for terminal "plots".

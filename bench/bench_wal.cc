@@ -1,0 +1,324 @@
+// Durability bench: what the WAL costs and how fast it comes back.
+//
+//   build/bench/bench_wal [BENCH_robustness.json]
+//
+// Four measurements:
+//   1. Append throughput vs fsync policy: a single-writer burst of 64-byte
+//      records under never / group_commit / always, ending in one Sync()
+//      barrier, in records/s and MB/s. This is the raw price list an
+//      operator chooses from with `--fsync`.
+//   2. Group-commit coalescing: 4 concurrent writers each appending and
+//      waiting for durability per record. Under kAlways every record pays
+//      its own fsync; under kGroupCommit the flush thread batches the
+//      concurrent appends into shared fsyncs, and the speedup is the whole
+//      point of the policy.
+//   3. Checkpoint cost: time to snapshot a 50k-row catalog + memory store
+//      to disk (and the snapshot's size), since checkpoints stall nothing
+//      but do burn I/O that probes could have used.
+//   4. Recovery time vs WAL length: replay wall-clock and rows/s for logs
+//      of 1k / 10k / 50k inserted rows — the restart-latency curve that
+//      decides how aggressively auto-checkpointing should trim the log.
+//
+// The JSON output shares BENCH_robustness.json with bench_fault_tolerance;
+// each bench rewrites only its own section.
+
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/bytes.h"
+#include "common/thread_pool.h"
+#include "core/system.h"
+#include "io/file_util.h"
+#include "wal/wal.h"
+
+namespace agentfirst {
+namespace {
+
+using wal::DurabilityOptions;
+using wal::FsyncPolicy;
+using wal::FsyncPolicyName;
+using wal::WalRecordType;
+using wal::WalWriter;
+
+constexpr size_t kBodyBytes = 64;
+
+double Seconds(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+std::string BenchDir(const std::string& leaf) {
+  std::string dir = "/tmp/agentfirst_bench_wal/" + leaf;
+  (void)io::CreateDirectories(dir);
+  (void)io::RemoveFile(wal::WalPath(dir));
+  (void)io::RemoveFile(wal::CheckpointPath(dir));
+  return dir;
+}
+
+struct AppendResult {
+  double seconds = 0.0;
+  size_t records = 0;
+  double RecordsPerSec() const { return records / seconds; }
+  double MbPerSec() const { return records * kBodyBytes / seconds / 1e6; }
+};
+
+/// Single-writer burst: `n` appends then one Sync barrier.
+AppendResult MeasureBurst(FsyncPolicy policy, size_t n) {
+  std::string dir = BenchDir(std::string("burst_") + FsyncPolicyName(policy));
+  DurabilityOptions options;
+  options.fsync = policy;
+  auto writer = WalWriter::Open(wal::WalPath(dir), options, 1);
+  if (!writer.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 writer.status().ToString().c_str());
+    return {};
+  }
+  std::string body(kBodyBytes, 'x');
+  auto t0 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < n; ++i) {
+    auto lsn = (*writer)->Append(WalRecordType::kMemoryRemove, body);
+    if (!lsn.ok()) {
+      std::fprintf(stderr, "append failed: %s\n",
+                   lsn.status().ToString().c_str());
+      return {};
+    }
+  }
+  if (Status s = (*writer)->Sync(); !s.ok()) {
+    std::fprintf(stderr, "sync failed: %s\n", s.ToString().c_str());
+    return {};
+  }
+  AppendResult out{Seconds(t0, std::chrono::steady_clock::now()), n};
+  (void)(*writer)->Close();
+  return out;
+}
+
+/// 4 concurrent writers, each append immediately followed by WaitDurable —
+/// the per-statement durability barrier a served fleet episode pays.
+AppendResult MeasureConcurrentDurable(FsyncPolicy policy, size_t per_writer) {
+  constexpr size_t kWriters = 4;
+  std::string dir = BenchDir(std::string("conc_") + FsyncPolicyName(policy));
+  DurabilityOptions options;
+  options.fsync = policy;
+  options.group_window_us = 100;
+  auto writer = WalWriter::Open(wal::WalPath(dir), options, 1);
+  if (!writer.ok()) return {};
+  std::string body(kBodyBytes, 'x');
+  // A private pool sized to the writer count: the writers spend their time
+  // blocked in WaitDurable, so this works (and measures coalescing) even on
+  // a single-core machine where the shared pool has one worker.
+  ThreadPool pool(kWriters);
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::future<bool>> tasks;
+  for (size_t w = 0; w < kWriters; ++w) {
+    tasks.push_back(pool.Submit([&]() {
+      for (size_t i = 0; i < per_writer; ++i) {
+        auto lsn = (*writer)->Append(WalRecordType::kMemoryRemove, body);
+        if (!lsn.ok()) return false;
+        if (!(*writer)->WaitDurable(*lsn).ok()) return false;
+      }
+      return true;
+    }));
+  }
+  bool ok = true;
+  for (auto& t : tasks) ok = t.get() && ok;
+  AppendResult out{Seconds(t0, std::chrono::steady_clock::now()),
+                   kWriters * per_writer};
+  (void)(*writer)->Close();
+  if (!ok) {
+    std::fprintf(stderr, "concurrent append failed\n");
+    return {};
+  }
+  return out;
+}
+
+/// Builds a durable system with `rows` rows via 500-row INSERT chunks.
+bool PopulateDurable(AgentFirstSystem* system, size_t rows) {
+  if (!system->ExecuteSql("CREATE TABLE sales (id BIGINT, region VARCHAR, "
+                          "amount DOUBLE)")
+           .ok()) {
+    return false;
+  }
+  for (size_t done = 0; done < rows;) {
+    size_t chunk = std::min<size_t>(500, rows - done);
+    std::string insert = "INSERT INTO sales VALUES ";
+    for (size_t i = 0; i < chunk; ++i) {
+      size_t id = done + i;
+      if (i > 0) insert += ",";
+      insert += "(" + std::to_string(id) + ",'r" + std::to_string(id % 11) +
+                "'," + std::to_string((id * 37) % 1000) + ".0)";
+    }
+    if (!system->ExecuteSql(insert).ok()) return false;
+    done += chunk;
+  }
+  return true;
+}
+
+struct CheckpointResult {
+  double seconds = 0.0;
+  uint64_t bytes = 0;
+};
+
+CheckpointResult MeasureCheckpoint(size_t rows) {
+  std::string dir = BenchDir("checkpoint");
+  AgentFirstSystem system;
+  DurabilityOptions options;
+  options.data_dir = dir;
+  options.fsync = FsyncPolicy::kNever;
+  if (!system.EnableDurability(options).ok()) return {};
+  if (!PopulateDurable(&system, rows)) return {};
+  auto t0 = std::chrono::steady_clock::now();
+  if (Status s = system.CheckpointNow(); !s.ok()) {
+    std::fprintf(stderr, "checkpoint failed: %s\n", s.ToString().c_str());
+    return {};
+  }
+  CheckpointResult out;
+  out.seconds = Seconds(t0, std::chrono::steady_clock::now());
+  out.bytes = io::FileSize(wal::CheckpointPath(dir)).value_or(0);
+  (void)system.CloseDurability();
+  return out;
+}
+
+struct RecoveryResult {
+  double seconds = 0.0;
+  uint64_t records = 0;
+  size_t rows = 0;
+};
+
+RecoveryResult MeasureRecovery(size_t rows) {
+  std::string dir = BenchDir("recover_" + std::to_string(rows));
+  DurabilityOptions options;
+  options.data_dir = dir;
+  options.fsync = FsyncPolicy::kNever;
+  {
+    AgentFirstSystem system;
+    if (!system.EnableDurability(options).ok()) return {};
+    if (!PopulateDurable(&system, rows)) return {};
+    if (!system.CloseDurability().ok()) return {};
+  }
+  AgentFirstSystem reborn;
+  auto t0 = std::chrono::steady_clock::now();
+  if (Status s = reborn.EnableDurability(options); !s.ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n", s.ToString().c_str());
+    return {};
+  }
+  RecoveryResult out;
+  out.seconds = Seconds(t0, std::chrono::steady_clock::now());
+  out.records = reborn.recovery_report().records_replayed;
+  out.rows = rows;
+  (void)reborn.CloseDurability();
+  return out;
+}
+
+}  // namespace
+}  // namespace agentfirst
+
+int main(int argc, char** argv) {
+  using namespace agentfirst;
+  using bench::Num;
+
+  // 1. Burst append throughput per policy.
+  struct PolicyRun {
+    FsyncPolicy policy;
+    size_t n;
+    AppendResult burst;
+  };
+  std::vector<PolicyRun> bursts = {
+      {FsyncPolicy::kNever, 50000, {}},
+      {FsyncPolicy::kGroupCommit, 50000, {}},
+      {FsyncPolicy::kAlways, 500, {}},
+  };
+  std::vector<std::vector<std::string>> burst_rows;
+  for (PolicyRun& run : bursts) {
+    run.burst = MeasureBurst(run.policy, run.n);
+    if (run.burst.records == 0) return 1;
+    burst_rows.push_back({FsyncPolicyName(run.policy),
+                          std::to_string(run.burst.records),
+                          Num(run.burst.RecordsPerSec() / 1e3, 1) + "k",
+                          Num(run.burst.MbPerSec(), 1)});
+    std::printf("  burst %-12s %6zu records: %8.1fk rec/s, %6.1f MB/s\n",
+                FsyncPolicyName(run.policy), run.burst.records,
+                run.burst.RecordsPerSec() / 1e3, run.burst.MbPerSec());
+  }
+
+  // 2. Group-commit coalescing under concurrent durable writers.
+  AppendResult conc_always =
+      MeasureConcurrentDurable(FsyncPolicy::kAlways, 250);
+  AppendResult conc_group =
+      MeasureConcurrentDurable(FsyncPolicy::kGroupCommit, 250);
+  if (conc_always.records == 0 || conc_group.records == 0) return 1;
+  double coalesce_speedup =
+      conc_always.RecordsPerSec() > 0
+          ? conc_group.RecordsPerSec() / conc_always.RecordsPerSec()
+          : 0.0;
+  std::printf("  4 writers, durable per record: always %.1fk rec/s, "
+              "group_commit %.1fk rec/s (%.2fx)\n",
+              conc_always.RecordsPerSec() / 1e3,
+              conc_group.RecordsPerSec() / 1e3, coalesce_speedup);
+
+  // 3. Checkpoint cost.
+  constexpr size_t kCheckpointRows = 50000;
+  CheckpointResult ckpt = MeasureCheckpoint(kCheckpointRows);
+  if (ckpt.bytes == 0) return 1;
+  std::printf("  checkpoint of %zu rows: %.1f ms, %.2f MB\n", kCheckpointRows,
+              ckpt.seconds * 1e3, ckpt.bytes / 1e6);
+
+  // 4. Recovery time vs WAL length.
+  std::vector<RecoveryResult> recoveries;
+  std::vector<std::vector<std::string>> recovery_rows;
+  for (size_t rows : {size_t{1000}, size_t{10000}, size_t{50000}}) {
+    RecoveryResult r = MeasureRecovery(rows);
+    if (r.records == 0) return 1;
+    recoveries.push_back(r);
+    recovery_rows.push_back(
+        {std::to_string(r.rows), std::to_string(r.records),
+         Num(r.seconds * 1e3, 1), Num(r.rows / r.seconds / 1e3, 1) + "k"});
+    std::printf("  recover %6zu rows (%llu wal records): %7.1f ms "
+                "(%.1fk rows/s)\n",
+                r.rows, static_cast<unsigned long long>(r.records),
+                r.seconds * 1e3, r.rows / r.seconds / 1e3);
+  }
+
+  std::printf("\nAppend throughput (single writer, %zu-byte bodies):\n",
+              kBodyBytes);
+  bench::PrintTable({"fsync", "records", "rec/s", "MB/s"}, burst_rows);
+  std::printf("\nRecovery time vs WAL length:\n");
+  bench::PrintTable({"rows", "wal records", "ms", "rows/s"}, recovery_rows);
+
+  if (argc > 1) {
+    std::ostringstream out;
+    out << "{\n  \"bench\": \"bench_wal\",\n";
+    out << "  \"body_bytes\": " << kBodyBytes << ",\n";
+    out << "  \"append_records_per_sec\": {";
+    for (size_t i = 0; i < bursts.size(); ++i) {
+      out << (i ? ", " : "") << "\"" << FsyncPolicyName(bursts[i].policy)
+          << "\": " << Num(bursts[i].burst.RecordsPerSec(), 0);
+    }
+    out << "},\n";
+    out << "  \"group_commit_coalescing\": {\"writers\": 4, "
+        << "\"always_rec_per_sec\": " << Num(conc_always.RecordsPerSec(), 0)
+        << ", \"group_rec_per_sec\": " << Num(conc_group.RecordsPerSec(), 0)
+        << ", \"speedup\": " << Num(coalesce_speedup, 2) << "},\n";
+    out << "  \"checkpoint\": {\"rows\": " << kCheckpointRows
+        << ", \"seconds\": " << Num(ckpt.seconds, 4)
+        << ", \"bytes\": " << ckpt.bytes << "},\n";
+    out << "  \"recovery\": [";
+    for (size_t i = 0; i < recoveries.size(); ++i) {
+      const RecoveryResult& r = recoveries[i];
+      out << (i ? ", " : "") << "{\"rows\": " << r.rows
+          << ", \"wal_records\": " << r.records
+          << ", \"seconds\": " << Num(r.seconds, 4) << "}";
+    }
+    out << "]\n}";
+    if (!bench::UpdateBenchJson(argv[1], "bench_wal", out.str())) {
+      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+      return 1;
+    }
+    std::printf("wrote %s\n", argv[1]);
+  }
+  return 0;
+}

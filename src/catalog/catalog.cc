@@ -2,6 +2,11 @@
 
 namespace agentfirst {
 
+void Catalog::SetMutationListener(CatalogMutationListener* listener) {
+  listener_ = listener;
+  for (auto& [name, table] : tables_) table->SetMutationListener(listener);
+}
+
 Result<TablePtr> Catalog::CreateTable(const std::string& name, Schema schema) {
   if (tables_.count(name) > 0) {
     return Status::AlreadyExists("table already exists: " + name);
@@ -9,6 +14,10 @@ Result<TablePtr> Catalog::CreateTable(const std::string& name, Schema schema) {
   auto table = std::make_shared<Table>(name, std::move(schema));
   tables_[name] = table;
   ++schema_version_;
+  if (listener_ != nullptr) {
+    table->SetMutationListener(listener_);
+    listener_->OnCreateTable(*table);
+  }
   return table;
 }
 
@@ -17,8 +26,13 @@ Status Catalog::RegisterTable(TablePtr table) {
   if (tables_.count(table->name()) > 0) {
     return Status::AlreadyExists("table already exists: " + table->name());
   }
+  const Table& registered = *table;
   tables_[table->name()] = std::move(table);
   ++schema_version_;
+  if (listener_ != nullptr) {
+    tables_[registered.name()]->SetMutationListener(listener_);
+    listener_->OnRegisterTable(registered);
+  }
   return Status::OK();
 }
 
@@ -35,6 +49,9 @@ bool Catalog::HasTable(const std::string& name) const {
 Status Catalog::DropTable(const std::string& name) {
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  // The table may live on through shared_ptrs (branch views); mutations made
+  // through those are no longer catalog state, so stop observing them.
+  it->second->SetMutationListener(nullptr);
   tables_.erase(it);
   stats_cache_.erase(name);
   for (auto iit = indexes_.begin(); iit != indexes_.end();) {
@@ -42,6 +59,7 @@ Status Catalog::DropTable(const std::string& name) {
     else ++iit;
   }
   ++schema_version_;
+  if (listener_ != nullptr) listener_->OnDropTable(name);
   return Status::OK();
 }
 
@@ -59,6 +77,7 @@ Status Catalog::CreateIndex(const std::string& table, const std::string& column)
   auto index = std::make_unique<HashIndex>(table, *col);
   AF_RETURN_IF_ERROR(index->Build(*tit->second));
   indexes_[key] = std::move(index);
+  if (listener_ != nullptr) listener_->OnCreateIndex(table, column);
   return Status::OK();
 }
 
@@ -66,6 +85,7 @@ Status Catalog::DropIndex(const std::string& table, const std::string& column) {
   if (indexes_.erase(std::make_pair(table, column)) == 0) {
     return Status::NotFound("no index on " + table + "." + column);
   }
+  if (listener_ != nullptr) listener_->OnDropIndex(table, column);
   return Status::OK();
 }
 

@@ -15,6 +15,25 @@
 
 namespace agentfirst {
 
+/// Observer of catalog DDL, called AFTER each successful change (the new
+/// schema_version is already visible). Extends TableMutationListener so one
+/// hook object — the durability manager in src/wal/ — sees both DDL and the
+/// row-level changes of every table the catalog owns: attaching a catalog
+/// listener also attaches it to each current and future table. Scratch
+/// catalogs (branch query sandboxes) never attach one.
+class CatalogMutationListener : public TableMutationListener {
+ public:
+  /// `table` is empty (freshly created); its schema is final.
+  virtual void OnCreateTable(const Table& table) = 0;
+  /// An externally built table (possibly non-empty) entered the catalog.
+  virtual void OnRegisterTable(const Table& table) = 0;
+  virtual void OnDropTable(const std::string& name) = 0;
+  virtual void OnCreateIndex(const std::string& table,
+                             const std::string& column) = 0;
+  virtual void OnDropIndex(const std::string& table,
+                           const std::string& column) = 0;
+};
+
 /// The database catalog: named tables, their statistics (computed lazily and
 /// invalidated by version counters), and a schema version used by the
 /// agentic memory store to detect stale grounding.
@@ -44,6 +63,15 @@ class Catalog {
   /// version they were derived from.
   uint64_t schema_version() const { return schema_version_; }
 
+  /// Installs (or clears) the DDL + table-mutation observer. Attaching also
+  /// installs it as every owned table's TableMutationListener; clearing
+  /// detaches them. The listener must outlive the catalog or be cleared
+  /// first.
+  void SetMutationListener(CatalogMutationListener* listener);
+
+  /// Recovery-only: restores the version counter after a checkpoint load.
+  void RestoreSchemaVersion(uint64_t v) { schema_version_ = v; }
+
   // --- equality indexes ----------------------------------------------------
 
   /// Declares a hash index on table.column (built immediately). Fails with
@@ -64,6 +92,8 @@ class Catalog {
   std::map<std::pair<std::string, std::string>, std::unique_ptr<HashIndex>>
       indexes_;
   uint64_t schema_version_ = 0;
+  /// Not owned; nullptr when durability is off (the default).
+  CatalogMutationListener* listener_ = nullptr;
 };
 
 }  // namespace agentfirst

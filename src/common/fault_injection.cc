@@ -72,6 +72,7 @@ Status FaultRegistry::Hit(const char* site) {
     if (!state.armed) return Status::OK();
     spec = state.spec;
     seed = seed_;
+    if (hit_index < spec.skip_first) return Status::OK();
     if (spec.max_fires != 0 && state.fired_count >= spec.max_fires) {
       return Status::OK();
     }
@@ -79,7 +80,8 @@ Status FaultRegistry::Hit(const char* site) {
     // (seed, site, k): the *set* of firing indices is identical across
     // thread counts and interleavings, which is what makes 10%-fault sweeps
     // reproducible.
-    uint64_t draw = Mix64(HashCombine(HashString(site, seed), hit_index));
+    uint64_t draw =
+        Mix64(HashCombine(HashString(site, seed), hit_index - spec.skip_first));
     double u = static_cast<double>(draw >> 11) * (1.0 / 9007199254740992.0);
     if (u >= spec.probability) return Status::OK();
     ++state.fired_count;

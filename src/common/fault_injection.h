@@ -31,6 +31,11 @@ struct FaultSpec {
   /// Fire only on the first `max_fires` firing opportunities (0 = unlimited).
   /// Lets tests model faults that heal (retry then succeeds).
   uint64_t max_fires = 0;
+  /// Skip the first `skip_first` hits before any can fire. With
+  /// probability = 1 and max_fires = 1 this means "fail exactly the k-th
+  /// visit" — the knob crash-torture sweeps use to walk a fault site through
+  /// every byte-offset / record-index it guards.
+  uint64_t skip_first = 0;
 };
 
 /// A seeded, deterministic fault-point registry (the test double for machine

@@ -21,6 +21,7 @@ enum class StatusCode {
   kResourceExhausted,
   kDeadlineExceeded,
   kCancelled,
+  kFailedPrecondition,
 };
 
 /// Returns a human-readable name for `code` (e.g. "NotFound").
@@ -74,6 +75,9 @@ class [[nodiscard]] Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

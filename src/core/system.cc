@@ -1,5 +1,8 @@
 #include "core/system.h"
 
+#include "io/file_util.h"
+#include "wal/checkpoint.h"
+
 namespace agentfirst {
 
 AgentFirstSystem::AgentFirstSystem(Options options)
@@ -8,6 +11,75 @@ AgentFirstSystem::AgentFirstSystem(Options options)
       search_(&catalog_),
       optimizer_(&catalog_, &memory_, &search_, options.optimizer) {
   optimizer_.SetCancellationToken(probe_cancel_.token());
+}
+
+AgentFirstSystem::~AgentFirstSystem() {
+  (void)CloseDurability();  // teardown is best-effort; callers wanting the
+                            // close status call CloseDurability themselves
+}
+
+Status AgentFirstSystem::EnableDurability(const wal::DurabilityOptions& options) {
+  if (wal_ != nullptr) {
+    return Status::FailedPrecondition("durability already enabled");
+  }
+  if (options.data_dir.empty()) {
+    return Status::InvalidArgument("durability requires a data_dir");
+  }
+  if (catalog_.NumTables() > 0 || memory_.size() > 0) {
+    // Pre-existing unlogged state could never be recovered; require
+    // durability from the first mutation.
+    return Status::FailedPrecondition(
+        "enable durability on an empty system, before loading data");
+  }
+  AF_RETURN_IF_ERROR(io::CreateDirectories(options.data_dir));
+  recovery_report_ = wal::RecoveryReport{};
+  AF_ASSIGN_OR_RETURN(recovery_report_,
+                      wal::Recover(options.data_dir, &catalog_, &memory_,
+                                   &branches_));
+  AF_ASSIGN_OR_RETURN(std::unique_ptr<wal::WalWriter> writer,
+                      wal::WalWriter::Open(wal::WalPath(options.data_dir),
+                                           options,
+                                           recovery_report_.max_lsn + 1));
+  wal_ = std::make_unique<wal::WalManager>(std::move(writer));
+  *wal_->branch_meta() = recovery_report_.meta;
+  wal_options_ = options;
+  catalog_.SetMutationListener(wal_.get());
+  memory_.SetMutationListener(wal_.get());
+  branches_.SetMutationListener(wal_.get());
+  // Recovery succeeded; the verdict tells callers about dropped branches.
+  return recovery_report_.branch_status;
+}
+
+Status AgentFirstSystem::CheckpointNow() {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition("durability not enabled");
+  }
+  AF_RETURN_IF_ERROR(wal_->writer()->Sync());
+  uint64_t lsn = wal_->writer()->last_lsn();
+  AF_RETURN_IF_ERROR(wal::WriteCheckpoint(
+      wal::CheckpointPath(wal_options_.data_dir), catalog_, &memory_,
+      *wal_->branch_meta(), lsn));
+  return wal_->writer()->ResetAfterCheckpoint();
+}
+
+Status AgentFirstSystem::CloseDurability() {
+  if (wal_ == nullptr) return Status::OK();
+  catalog_.SetMutationListener(nullptr);
+  memory_.SetMutationListener(nullptr);
+  branches_.SetMutationListener(nullptr);
+  Status closed = wal_->writer()->Close();
+  wal_.reset();
+  return closed;
+}
+
+Status AgentFirstSystem::DurabilityBarrier() {
+  if (wal_ == nullptr) return Status::OK();
+  AF_RETURN_IF_ERROR(wal_->Barrier());
+  if (wal_options_.checkpoint_every_bytes > 0 &&
+      wal_->writer()->live_bytes() > wal_options_.checkpoint_every_bytes) {
+    return CheckpointNow();
+  }
+  return Status::OK();
 }
 
 void AgentFirstSystem::CancelAllProbes() { probe_cancel_.RequestCancel(); }
@@ -21,6 +93,9 @@ void AgentFirstSystem::ResetProbeCancellation() {
 
 Result<ResultSetPtr> AgentFirstSystem::ExecuteSql(const std::string& sql) {
   auto result = engine_.ExecuteSql(sql);
+  // Durable-on-return: the statement's records must reach stable storage
+  // (per the fsync policy) before the caller sees success.
+  AF_RETURN_IF_ERROR(DurabilityBarrier());
   return result;
 }
 
@@ -29,7 +104,9 @@ Result<ProbeResponse> AgentFirstSystem::HandleProbe(const Probe& probe) {
   if (numbered.id == 0) {
     numbered.id = next_probe_id_.fetch_add(1, std::memory_order_relaxed);
   }
-  return optimizer_.Process(numbered);
+  auto response = optimizer_.Process(numbered);
+  AF_RETURN_IF_ERROR(DurabilityBarrier());  // memory-store puts, DML queries
+  return response;
 }
 
 Result<std::vector<ProbeResponse>> AgentFirstSystem::HandleProbeBatch(
@@ -37,7 +114,9 @@ Result<std::vector<ProbeResponse>> AgentFirstSystem::HandleProbeBatch(
   for (Probe& p : probes) {
     if (p.id == 0) p.id = next_probe_id_.fetch_add(1, std::memory_order_relaxed);
   }
-  return optimizer_.ProcessBatch(probes);
+  auto responses = optimizer_.ProcessBatch(probes);
+  AF_RETURN_IF_ERROR(DurabilityBarrier());
+  return responses;
 }
 
 Status AgentFirstSystem::EnableBranching(const std::string& table_name) {

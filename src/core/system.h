@@ -15,6 +15,8 @@
 #include "exec/engine.h"
 #include "memory/memory_store.h"
 #include "txn/branch_manager.h"
+#include "wal/recovery.h"
+#include "wal/wal.h"
 
 namespace agentfirst {
 
@@ -42,9 +44,47 @@ class AgentFirstSystem : public ProbeService {
 
   AgentFirstSystem() : AgentFirstSystem(Options()) {}
   explicit AgentFirstSystem(Options options);
+  /// Closes the WAL cleanly (flush + fsync) when durability is still on.
+  ~AgentFirstSystem() override;
 
-  /// Plain SQL path (also usable by agents for DDL/DML).
+  /// Plain SQL path (also usable by agents for DDL/DML). With durability
+  /// enabled, the statement's WAL records are durable (per the fsync
+  /// policy) before this returns.
   Result<ResultSetPtr> ExecuteSql(const std::string& sql) override;
+
+  // --- durability (src/wal/) ----------------------------------------------
+
+  /// Turns on write-ahead logging under options.data_dir. If the directory
+  /// holds a previous incarnation's checkpoint/WAL, the system state is
+  /// recovered from it FIRST (the catalog must still be empty — enable
+  /// durability before loading data). Returns the recovery's branch verdict:
+  /// OK, or kFailedPrecondition when branches with unlogged COW state had to
+  /// be dropped (recovery itself still succeeded; see recovery_report()).
+  /// Call at most once.
+  Status EnableDurability(const wal::DurabilityOptions& options);
+
+  /// True after a successful EnableDurability.
+  bool durable() const { return wal_ != nullptr; }
+
+  /// Snapshots catalog + memory + branch metadata to the checkpoint file
+  /// (temp file + atomic rename) and truncates the WAL.
+  Status CheckpointNow();
+
+  /// Flushes + fsyncs + closes the WAL and detaches the listeners. The
+  /// clean-shutdown path (afserve SIGTERM); the system stays usable but is
+  /// no longer durable.
+  Status CloseDurability();
+
+  /// Recovery details of the last EnableDurability (empty when none ran).
+  const wal::RecoveryReport& recovery_report() const {
+    return recovery_report_;
+  }
+  wal::WalManager* wal() { return wal_.get(); }
+
+  /// Blocks until all logged records are durable per the policy, then takes
+  /// an automatic checkpoint if the WAL outgrew checkpoint_every_bytes.
+  /// No-op when durability is off.
+  Status DurabilityBarrier();
 
   /// The agent-first path: answers + steering + discovery.
   Result<ProbeResponse> HandleProbe(const Probe& probe) override;
@@ -86,6 +126,11 @@ class AgentFirstSystem : public ProbeService {
   BranchManager branches_;
   /// Source behind CancelAllProbes; its token is installed in the optimizer.
   CancellationSource probe_cancel_;
+  /// Durability hook; null until EnableDurability. Declared after the
+  /// stores it observes so its detach-in-destructor ordering is safe.
+  std::unique_ptr<wal::WalManager> wal_;
+  wal::DurabilityOptions wal_options_;
+  wal::RecoveryReport recovery_report_;
   /// Id generator, not a metric: probes may now arrive concurrently from
   /// many network sessions (src/net/server.cc submits them from pool tasks),
   /// so assignment must be race-free. aflint:allow(raw-counter)

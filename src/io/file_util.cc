@@ -1,0 +1,204 @@
+#include "io/file_util.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/fault_injection.h"
+
+namespace agentfirst {
+namespace io {
+
+namespace {
+
+Status Errno(const char* op, const std::string& path) {
+  return Status::Internal(std::string("io: ") + op + " failed for " + path +
+                          ": " + std::strerror(errno));
+}
+
+/// Directory fsync after a rename, so the new name itself is durable.
+Status SyncDirOf(const std::string& path) {
+  AF_FAULT_POINT("io.dir.fsync");
+  std::string dir = ".";
+  size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) dir = path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Errno("opendir", dir);
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Errno("fsyncdir", dir);
+  return Status::OK();
+}
+
+}  // namespace
+
+File::~File() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+File::File(File&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<File> File::OpenForAppend(const std::string& path) {
+  AF_FAULT_POINT("io.file.open");
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("open(append)", path);
+  return File(fd);
+}
+
+Result<File> File::OpenForWrite(const std::string& path) {
+  AF_FAULT_POINT("io.file.open");
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("open(write)", path);
+  return File(fd);
+}
+
+Status File::WriteAll(std::string_view data) {
+  if (fd_ < 0) return Status::Internal("io: write on closed file");
+  size_t written = 0;
+  while (written < data.size()) {
+    size_t want = data.size() - written;
+    // A short-write fault truncates this write() mid-buffer and reports
+    // failure — the bytes that landed stay in the file, producing the torn
+    // tail recovery must detect. One hit per write() call keeps the
+    // (seed, site, hit) schedule aligned with record count.
+    Status torn = AF_FAULT_STATUS("io.file.short_write");
+    if (!torn.ok()) {
+      if (want > 1) (void)::write(fd_, data.data() + written, want / 2);
+      return torn;
+    }
+    AF_FAULT_POINT("io.file.write");
+    ssize_t n = ::write(fd_, data.data() + written, want);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", "fd");
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status File::Sync() {
+  if (fd_ < 0) return Status::Internal("io: fsync on closed file");
+  AF_FAULT_POINT("io.file.fsync");
+  if (::fsync(fd_) != 0) return Errno("fsync", "fd");
+  return Status::OK();
+}
+
+Status File::Truncate(uint64_t size) {
+  if (fd_ < 0) return Status::Internal("io: truncate on closed file");
+  AF_FAULT_POINT("io.file.truncate");
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return Errno("ftruncate", "fd");
+  }
+  return Status::OK();
+}
+
+Status File::Close() {
+  if (fd_ < 0) return Status::OK();
+  int fd = fd_;
+  fd_ = -1;
+  if (::close(fd) != 0) return Errno("close", "fd");
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  AF_FAULT_POINT("io.file.read");
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("io: no such file: " + path);
+    return Errno("open(read)", path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Errno("read", path);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view data) {
+  std::string tmp = path + ".tmp";
+  AF_ASSIGN_OR_RETURN(File f, File::OpenForWrite(tmp));
+  Status written = f.WriteAll(data);
+  if (written.ok()) written = f.Sync();
+  if (written.ok()) written = f.Close();
+  if (!written.ok()) {
+    (void)f.Close();             // fd cleanup; the close status is secondary
+    (void)RemoveFile(tmp);       // best-effort: a stale .tmp is harmless
+    return written;
+  }
+  AF_RETURN_IF_ERROR(RenameFile(tmp, path));
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT) return Status::NotFound("io: no such file: " + path);
+    return Errno("stat", path);
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("unlink", path);
+  }
+  return Status::OK();
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  AF_FAULT_POINT("io.file.rename");
+  if (::rename(from.c_str(), to.c_str()) != 0) return Errno("rename", from);
+  return SyncDirOf(to);
+}
+
+Status CreateDirectories(const std::string& path) {
+  if (path.empty()) return Status::OK();
+  std::string accum;
+  size_t i = 0;
+  if (path[0] == '/') accum = "/";
+  while (i < path.size()) {
+    size_t next = path.find('/', i);
+    if (next == std::string::npos) next = path.size();
+    if (next > i) {
+      if (!accum.empty() && accum.back() != '/') accum += '/';
+      accum += path.substr(i, next - i);
+      if (::mkdir(accum.c_str(), 0755) != 0 && errno != EEXIST) {
+        return Errno("mkdir", accum);
+      }
+    }
+    i = next + 1;
+  }
+  return Status::OK();
+}
+
+}  // namespace io
+}  // namespace agentfirst

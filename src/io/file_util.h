@@ -1,0 +1,78 @@
+#ifndef AGENTFIRST_IO_FILE_UTIL_H_
+#define AGENTFIRST_IO_FILE_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace agentfirst {
+namespace io {
+
+/// The one place in the tree (with src/wal/) allowed to make raw file
+/// syscalls — everything else goes through these helpers (enforced by the
+/// aflint `raw-file-io` rule). Each operation carries an AF_FAULT_POINT site
+/// (io.file.open / write / short_write / fsync / rename / read / truncate)
+/// so crash-torture tests can fail any step deterministically.
+///
+/// A writable file handle. Move-only; the destructor closes without syncing
+/// (a deliberate crash-consistency stance: durability is only claimed after
+/// an explicit Sync()).
+class File {
+ public:
+  File() = default;
+  ~File();
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  /// Opens (creating if needed) for appending at the end.
+  static Result<File> OpenForAppend(const std::string& path);
+  /// Opens (creating, truncating) for writing from the start.
+  static Result<File> OpenForWrite(const std::string& path);
+
+  bool open() const { return fd_ >= 0; }
+
+  /// Writes all of `data`, looping over partial writes. A short write cut
+  /// off by an injected fault leaves a genuinely torn file — exactly the
+  /// torn-tail state recovery must tolerate.
+  Status WriteAll(std::string_view data);
+
+  /// fsync(2): the durability barrier.
+  Status Sync();
+
+  /// Truncates to `size` bytes (used to drop a torn WAL tail in place).
+  Status Truncate(uint64_t size);
+
+  /// Closes the descriptor. Idempotent; returns the close(2) status once.
+  Status Close();
+
+ private:
+  explicit File(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+/// Reads the whole file into a string. NotFound when absent.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `data` to `path` via temp file + fsync + rename(2) — the atomic
+/// publish used for checkpoints: readers see the old file or the new one,
+/// never a prefix. The containing directory is fsynced after the rename so
+/// the name survives a crash too.
+Status WriteFileAtomic(const std::string& path, std::string_view data);
+
+bool FileExists(const std::string& path);
+Result<uint64_t> FileSize(const std::string& path);
+Status RemoveFile(const std::string& path);
+/// rename(2) within one filesystem; fsyncs the destination directory.
+Status RenameFile(const std::string& from, const std::string& to);
+/// mkdir -p. OK when the directory already exists.
+Status CreateDirectories(const std::string& path);
+
+}  // namespace io
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_IO_FILE_UTIL_H_

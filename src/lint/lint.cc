@@ -266,6 +266,7 @@ class Linter {
       CheckRawMutexGuard(i, line);
       CheckRawCounter(i, line);
       CheckRawSocket(i, line);
+      CheckRawFileIo(i, line);
       CheckDeprecatedBriefLimits(i, line);
       CheckMutexMemberCoverage(i, line);
       if (scrubbed_.kernel_begin[i]) in_kernel_ = true;
@@ -454,6 +455,27 @@ class Linter {
     }
   }
 
+  void CheckRawFileIo(size_t idx, const std::string& line) {
+    // src/io/ owns the raw syscalls; src/wal/ may use them for the log file
+    // hot path. Everywhere else durable bytes go through io::File so each
+    // operation carries its fault point and the atomic-publish discipline.
+    if (StartsWith(path_, "src/io/") || StartsWith(path_, "src/wal/")) return;
+    for (const char* tok :
+         {"open", "openat", "creat", "write", "pwrite", "writev", "fsync",
+          "fdatasync", "rename", "renameat", "unlink", "ftruncate",
+          "truncate", "mkdir", "fopen", "freopen"}) {
+      if (FindSyscallToken(line, tok) != std::string::npos) {
+        Report(idx, "raw-file-io",
+               std::string(tok) +
+                   "() outside src/io/ + src/wal/: file mutations go through "
+                   "io::File / io::WriteFileAtomic (io/file_util.h) so every "
+                   "write, fsync, and rename has a fault-injection point and "
+                   "the WAL sees a consistent disk");
+        return;
+      }
+    }
+  }
+
   void CheckDeprecatedBriefLimits(size_t idx, const std::string& line) {
     // probe.{h,cc} declare the aliases and fold them in EffectiveLimits();
     // everywhere else a write is new code on a doomed API.
@@ -630,6 +652,7 @@ std::vector<std::string> RuleNames() {
           "fault-point-scope",
           "raw-counter",
           "raw-socket",
+          "raw-file-io",
           "deprecated-brief-limits",
           "row-value-in-kernel"};
 }

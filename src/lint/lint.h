@@ -81,6 +81,18 @@ struct Diagnostic {
 ///                        them). New code sets brief.limits /
 ///                        ProbeBuilder::Limits; the aliases are deleted next
 ///                        PR. Reads and == comparisons are fine.
+///   raw-file-io          open/write/fsync/rename/unlink/ftruncate/mkdir-
+///                        family syscalls (::open(...) or bare open(...)) and
+///                        C stdio fopen/freopen outside src/io/ + src/wal/.
+///                        Durable bytes must flow through io::File /
+///                        io::WriteFileAtomic so every write, fsync, and
+///                        rename carries a fault-injection point and one
+///                        crash-consistency discipline; a file mutated behind
+///                        the WAL's back cannot be recovered. Member calls
+///                        (f.open(), stream->write()) and std::-qualified
+///                        names do not match; the global-scope `::write(...)`
+///                        form does. The net wake-pipe ::write takes an
+///                        explicit aflint:allow(raw-file-io).
 ///   row-value-in-kernel  Value / Row / GetRow / EvalExpr / EvalPredicate
 ///                        between `// aflint:kernel-begin` and
 ///                        `// aflint:kernel-end` comment markers. Kernel

@@ -103,8 +103,7 @@ uint64_t AgenticMemoryStore::Put(MemoryArtifact artifact) {
   // Supersede same-key same-owner artifacts.
   for (size_t i = 0; i < artifacts_.size(); ++i) {
     if (artifacts_[i]->key == artifact.key && artifacts_[i]->owner == artifact.owner) {
-      artifacts_.erase(artifacts_.begin() + static_cast<long>(i));
-      embeddings_.erase(embeddings_.begin() + static_cast<long>(i));
+      RemoveAt(i);
       break;
     }
   }
@@ -112,6 +111,7 @@ uint64_t AgenticMemoryStore::Put(MemoryArtifact artifact) {
   uint64_t id = artifact.id;
   artifacts_.push_back(std::make_unique<MemoryArtifact>(std::move(artifact)));
   embeddings_.push_back(std::move(emb));
+  if (listener_ != nullptr) listener_->OnPut(*artifacts_.back());
   EvictIfNeeded();
   return id;
 }
@@ -124,8 +124,7 @@ std::optional<MemoryHit> AgenticMemoryStore::GetExact(const std::string& key,
     if (IsStale(*a)) {
       if (options_.staleness == StalenessPolicy::kEager) {
         ++stats_.stale_dropped;
-        artifacts_.erase(artifacts_.begin() + static_cast<long>(i));
-        embeddings_.erase(embeddings_.begin() + static_cast<long>(i));
+        RemoveAt(i);
         ++stats_.exact_misses;
         return std::nullopt;
       }
@@ -176,10 +175,7 @@ std::vector<MemoryHit> AgenticMemoryStore::Search(const std::string& query,
   }
   // Remove stale entries found during the scan (descending index order).
   std::sort(to_drop.begin(), to_drop.end(), std::greater<>());
-  for (size_t i : to_drop) {
-    artifacts_.erase(artifacts_.begin() + static_cast<long>(i));
-    embeddings_.erase(embeddings_.begin() + static_cast<long>(i));
-  }
+  for (size_t i : to_drop) RemoveAt(i);
   return hits;
 }
 
@@ -187,8 +183,7 @@ size_t AgenticMemoryStore::SweepStale() {
   size_t removed = 0;
   for (size_t i = artifacts_.size(); i > 0; --i) {
     if (IsStale(*artifacts_[i - 1])) {
-      artifacts_.erase(artifacts_.begin() + static_cast<long>(i - 1));
-      embeddings_.erase(embeddings_.begin() + static_cast<long>(i - 1));
+      RemoveAt(i - 1);
       ++removed;
       ++stats_.stale_dropped;
     }
@@ -248,9 +243,40 @@ void AgenticMemoryStore::EvictIfNeeded() {
     for (size_t i = 1; i < artifacts_.size(); ++i) {
       if (artifacts_[i]->last_used_tick < artifacts_[lru]->last_used_tick) lru = i;
     }
-    artifacts_.erase(artifacts_.begin() + static_cast<long>(lru));
-    embeddings_.erase(embeddings_.begin() + static_cast<long>(lru));
+    RemoveAt(lru);
     ++stats_.evictions;
+  }
+}
+
+void AgenticMemoryStore::RemoveAt(size_t i) {
+  uint64_t id = artifacts_[i]->id;
+  artifacts_.erase(artifacts_.begin() + static_cast<long>(i));
+  embeddings_.erase(embeddings_.begin() + static_cast<long>(i));
+  if (listener_ != nullptr) listener_->OnRemove(id);
+}
+
+std::vector<const MemoryArtifact*> AgenticMemoryStore::SnapshotArtifacts() const {
+  std::vector<const MemoryArtifact*> out;
+  out.reserve(artifacts_.size());
+  for (const auto& a : artifacts_) out.push_back(a.get());
+  return out;
+}
+
+void AgenticMemoryStore::RestorePut(MemoryArtifact artifact) {
+  Embedding emb = EmbedText(artifact.key + " " + artifact.content);
+  if (artifact.id >= next_id_) next_id_ = artifact.id + 1;
+  if (artifact.created_tick > tick_) tick_ = artifact.created_tick;
+  if (artifact.last_used_tick > tick_) tick_ = artifact.last_used_tick;
+  artifacts_.push_back(std::make_unique<MemoryArtifact>(std::move(artifact)));
+  embeddings_.push_back(std::move(emb));
+}
+
+void AgenticMemoryStore::RestoreRemove(uint64_t id) {
+  for (size_t i = 0; i < artifacts_.size(); ++i) {
+    if (artifacts_[i]->id != id) continue;
+    artifacts_.erase(artifacts_.begin() + static_cast<long>(i));
+    embeddings_.erase(embeddings_.begin() + static_cast<long>(i));
+    return;
   }
 }
 

@@ -49,6 +49,18 @@ struct MemoryHit {
   bool stale = false;
 };
 
+/// Observer of memory-store state changes, called AFTER each change. OnPut
+/// sees the artifact fully stamped (id, ticks, pinned versions); OnRemove
+/// fires for every departure — supersede, LRU eviction, stale drop, sweep —
+/// so a log of (put, remove) events replays to the exact artifact set. The
+/// write-ahead log implements this; recovery Restore* methods bypass it.
+class MemoryMutationListener {
+ public:
+  virtual ~MemoryMutationListener() = default;
+  virtual void OnPut(const MemoryArtifact& artifact) = 0;
+  virtual void OnRemove(uint64_t id) = 0;
+};
+
 /// The agentic memory store (paper Sec. 6.1): a persistent, queryable
 /// semantic cache of grounding gleaned by prior probes. Supports exact
 /// structured lookup and embedding-based semantic search, staleness
@@ -113,14 +125,43 @@ class AgenticMemoryStore {
   size_t size() const { return artifacts_.size(); }
   const Stats& stats() const { return stats_; }
 
+  /// Installs (or clears) the durability observer.
+  void SetMutationListener(MemoryMutationListener* listener) {
+    listener_ = listener;
+  }
+
+  // --- durability support (src/wal/) --------------------------------------
+
+  /// Read-only view of every artifact in store order, for checkpointing.
+  std::vector<const MemoryArtifact*> SnapshotArtifacts() const;
+  uint64_t next_id() const { return next_id_; }
+  uint64_t tick() const { return tick_; }
+
+  /// Recovery-only: re-inserts an already-stamped artifact exactly as
+  /// logged — no re-stamping, no supersede scan, no eviction, no listener
+  /// callback (removals were logged separately and replay in order). Counter
+  /// state advances so post-recovery puts continue the id/tick sequence.
+  void RestorePut(MemoryArtifact artifact);
+  /// Recovery-only: removes the artifact with `id` (no-op when absent).
+  void RestoreRemove(uint64_t id);
+  /// Recovery-only: pins the id/tick counters after a checkpoint load.
+  void RestoreCounters(uint64_t next_id, uint64_t tick) {
+    next_id_ = next_id;
+    tick_ = tick;
+  }
+
  private:
   bool Visible(const MemoryArtifact& a, const std::string& principal) const;
   bool IsStale(const MemoryArtifact& a) const;
   void Touch(MemoryArtifact* a);
   void EvictIfNeeded();
+  /// Erases slot `i` and notifies the listener (the one removal funnel).
+  void RemoveAt(size_t i);
 
   Catalog* catalog_;
   Options options_;
+  /// Not owned; nullptr when durability is off.
+  MemoryMutationListener* listener_ = nullptr;
   Stats stats_;
   uint64_t next_id_ = 1;
   uint64_t tick_ = 0;

@@ -169,7 +169,8 @@ size_t ProbeServer::NumSessions() const {
 void ProbeServer::RingWakePipe() {
   if (wake_write_fd_ < 0) return;
   char byte = 1;
-  // A full pipe means a wake-up is already pending; nothing to do.
+  // A full pipe means a wake-up is already pending; nothing to do. The pipe
+  // is an event-loop doorbell, not durable state. aflint:allow(raw-file-io)
   (void)::write(wake_write_fd_, &byte, 1);  // best-effort wake
 }
 

@@ -138,129 +138,6 @@ Result<FrameHeader> ParseFrameHeader(const uint8_t* data,
 }
 
 // ---------------------------------------------------------------------------
-// WireWriter / WireReader
-// ---------------------------------------------------------------------------
-
-void WireWriter::U16(uint16_t v) {
-  U8(static_cast<uint8_t>(v & 0xff));
-  U8(static_cast<uint8_t>(v >> 8));
-}
-
-void WireWriter::U32(uint32_t v) {
-  U16(static_cast<uint16_t>(v & 0xffff));
-  U16(static_cast<uint16_t>(v >> 16));
-}
-
-void WireWriter::U64(uint64_t v) {
-  U32(static_cast<uint32_t>(v & 0xffffffffu));
-  U32(static_cast<uint32_t>(v >> 32));
-}
-
-void WireWriter::F64(double v) {
-  uint64_t bits = 0;
-  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
-  std::memcpy(&bits, &v, sizeof(bits));
-  U64(bits);
-}
-
-void WireWriter::Str(std::string_view s) {
-  U32(static_cast<uint32_t>(s.size()));
-  buf_.append(s.data(), s.size());
-}
-
-Status WireReader::Take(size_t n, const uint8_t** out) {
-  if (!status_.ok()) return status_;
-  if (data_.size() - pos_ < n) {
-    status_ = Malformed("truncated payload (needed " + std::to_string(n) +
-                        " more bytes, had " +
-                        std::to_string(data_.size() - pos_) + ")");
-    return status_;
-  }
-  *out = reinterpret_cast<const uint8_t*>(data_.data()) + pos_;
-  pos_ += n;
-  return Status::OK();
-}
-
-Status WireReader::U8(uint8_t* v) {
-  const uint8_t* p = nullptr;
-  AF_RETURN_IF_ERROR(Take(1, &p));
-  *v = p[0];
-  return Status::OK();
-}
-
-Status WireReader::U16(uint16_t* v) {
-  const uint8_t* p = nullptr;
-  AF_RETURN_IF_ERROR(Take(2, &p));
-  *v = static_cast<uint16_t>(p[0]) | (static_cast<uint16_t>(p[1]) << 8);
-  return Status::OK();
-}
-
-Status WireReader::U32(uint32_t* v) {
-  const uint8_t* p = nullptr;
-  AF_RETURN_IF_ERROR(Take(4, &p));
-  *v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
-       (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
-  return Status::OK();
-}
-
-Status WireReader::U64(uint64_t* v) {
-  uint32_t lo = 0, hi = 0;
-  AF_RETURN_IF_ERROR(U32(&lo));
-  AF_RETURN_IF_ERROR(U32(&hi));
-  *v = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
-  return Status::OK();
-}
-
-Status WireReader::F64(double* v) {
-  uint64_t bits = 0;
-  AF_RETURN_IF_ERROR(U64(&bits));
-  std::memcpy(v, &bits, sizeof(bits));
-  return Status::OK();
-}
-
-Status WireReader::Bool(bool* v) {
-  uint8_t b = 0;
-  AF_RETURN_IF_ERROR(U8(&b));
-  if (b > 1) return status_ = Malformed("bool byte out of range");
-  *v = (b == 1);
-  return Status::OK();
-}
-
-Status WireReader::Str(std::string* v) {
-  uint32_t len = 0;
-  AF_RETURN_IF_ERROR(U32(&len));
-  if (len > remaining()) {
-    return status_ = Malformed("string length " + std::to_string(len) +
-                               " exceeds remaining payload");
-  }
-  const uint8_t* p = nullptr;
-  AF_RETURN_IF_ERROR(Take(len, &p));
-  v->assign(reinterpret_cast<const char*>(p), len);
-  return Status::OK();
-}
-
-Status WireReader::Count(size_t min_bytes_per_element, size_t* count) {
-  uint32_t n = 0;
-  AF_RETURN_IF_ERROR(U32(&n));
-  size_t floor = min_bytes_per_element == 0 ? 1 : min_bytes_per_element;
-  if (n > remaining() / floor) {
-    return status_ = Malformed("element count " + std::to_string(n) +
-                               " cannot fit in remaining payload");
-  }
-  *count = n;
-  return Status::OK();
-}
-
-Status WireReader::ExpectEnd() const {
-  if (!status_.ok()) return status_;
-  if (pos_ != data_.size()) {
-    return Malformed("trailing garbage (" + std::to_string(data_.size() - pos_) +
-                     " unconsumed bytes)");
-  }
-  return Status::OK();
-}
-
-// ---------------------------------------------------------------------------
 // Object serde
 // ---------------------------------------------------------------------------
 
@@ -356,93 +233,6 @@ Status ReadProbe(WireReader* r, Probe* out) {
   AF_RETURN_IF_ERROR(ReadOptU64(r, &probe.semantic_top_k));
   AF_RETURN_IF_ERROR(r->Bool(&probe.dry_run));
   *out = std::move(probe);
-  return Status::OK();
-}
-
-void AppendValue(const Value& value, WireWriter* w) {
-  w->U8(static_cast<uint8_t>(value.type()));
-  switch (value.type()) {
-    case DataType::kNull:
-      break;
-    case DataType::kBool:
-      w->Bool(value.bool_value());
-      break;
-    case DataType::kInt64:
-      w->U64(static_cast<uint64_t>(value.int_value()));
-      break;
-    case DataType::kFloat64:
-      w->F64(value.double_value());
-      break;
-    case DataType::kString:
-      w->Str(value.string_value());
-      break;
-  }
-}
-
-Status ReadValue(WireReader* r, Value* out) {
-  uint8_t type = 0;
-  AF_RETURN_IF_ERROR(r->U8(&type));
-  if (type > static_cast<uint8_t>(DataType::kString)) {
-    return Malformed("value type out of range");
-  }
-  switch (static_cast<DataType>(type)) {
-    case DataType::kNull:
-      *out = Value::Null();
-      return Status::OK();
-    case DataType::kBool: {
-      bool v = false;
-      AF_RETURN_IF_ERROR(r->Bool(&v));
-      *out = Value::Bool(v);
-      return Status::OK();
-    }
-    case DataType::kInt64: {
-      uint64_t v = 0;
-      AF_RETURN_IF_ERROR(r->U64(&v));
-      *out = Value::Int(static_cast<int64_t>(v));
-      return Status::OK();
-    }
-    case DataType::kFloat64: {
-      double v = 0;
-      AF_RETURN_IF_ERROR(r->F64(&v));
-      *out = Value::Double(v);
-      return Status::OK();
-    }
-    case DataType::kString: {
-      std::string v;
-      AF_RETURN_IF_ERROR(r->Str(&v));
-      *out = Value::String(std::move(v));
-      return Status::OK();
-    }
-  }
-  return Malformed("value type out of range");
-}
-
-void AppendSchema(const Schema& schema, WireWriter* w) {
-  w->U32(static_cast<uint32_t>(schema.NumColumns()));
-  for (const ColumnDef& col : schema.columns()) {
-    w->Str(col.name);
-    w->U8(static_cast<uint8_t>(col.type));
-    w->Bool(col.nullable);
-    w->Str(col.table);
-  }
-}
-
-Status ReadSchema(WireReader* r, Schema* out) {
-  size_t n = 0;
-  AF_RETURN_IF_ERROR(r->Count(10, &n));
-  std::vector<ColumnDef> columns(n);
-  for (size_t i = 0; i < n; ++i) {
-    AF_RETURN_IF_ERROR(r->Str(&columns[i].name));
-    uint8_t type = 0;
-    AF_RETURN_IF_ERROR(r->U8(&type));
-    if (type > static_cast<uint8_t>(DataType::kString)) {
-      return Malformed("column type out of range");
-    }
-    columns[i].type = static_cast<DataType>(type);
-    AF_RETURN_IF_ERROR(r->Bool(&columns[i].nullable));
-    AF_RETURN_IF_ERROR(r->Str(&columns[i].table));
-  }
-  *out = Schema(std::move(columns));
   return Status::OK();
 }
 

@@ -8,10 +8,12 @@
 #include <utility>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "core/probe.h"
 #include "exec/result_set.h"
+#include "types/serde.h"
 
 /// The agent-first wire protocol (afp): a versioned, length-prefixed binary
 /// framing plus full serde for the probe vocabulary, so armies of agent
@@ -102,61 +104,11 @@ void AppendFrameHeader(FrameType type, size_t payload_bytes, std::string* out);
 Result<FrameHeader> ParseFrameHeader(const uint8_t* data,
                                      size_t max_payload_bytes);
 
-/// Append-only little-endian encoder. All Append* serde below writes through
-/// one of these; buffer() is the accumulated payload.
-class WireWriter {
- public:
-  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
-  void U16(uint16_t v);
-  void U32(uint32_t v);
-  void U64(uint64_t v);
-  /// IEEE-754 bit pattern, so doubles round-trip exactly.
-  void F64(double v);
-  void Bool(bool v) { U8(v ? 1 : 0); }
-  /// u32 byte length + raw bytes.
-  void Str(std::string_view s);
-
-  const std::string& buffer() const { return buf_; }
-  std::string Take() { return std::move(buf_); }
-  size_t size() const { return buf_.size(); }
-
- private:
-  std::string buf_;
-};
-
-/// Bounds-checked sequential decoder over one payload. Every getter returns
-/// a Status; after the first failure the reader is poisoned and all further
-/// reads fail, so callers may chain reads and check once.
-class WireReader {
- public:
-  explicit WireReader(std::string_view data) : data_(data) {}
-
-  Status U8(uint8_t* v);
-  Status U16(uint16_t* v);
-  Status U32(uint32_t* v);
-  Status U64(uint64_t* v);
-  Status F64(double* v);
-  Status Bool(bool* v);
-  Status Str(std::string* v);
-
-  /// Reads a u32 element count for a sequence whose elements occupy at least
-  /// `min_bytes_per_element` bytes each; counts that could not possibly fit
-  /// in the remaining payload are rejected before any allocation.
-  Status Count(size_t min_bytes_per_element, size_t* count);
-
-  size_t remaining() const { return data_.size() - pos_; }
-  bool failed() const { return !status_.ok(); }
-
-  /// Rejects trailing garbage: OK iff every payload byte was consumed.
-  Status ExpectEnd() const;
-
- private:
-  Status Take(size_t n, const uint8_t** out);
-
-  std::string_view data_;
-  size_t pos_ = 0;
-  Status status_;
-};
+/// The byte codec itself lives in common/bytes.h (shared with the WAL and
+/// checkpoint formats, which adopted this protocol's framing discipline);
+/// the historical wire-local names remain as aliases.
+using WireWriter = ByteWriter;
+using WireReader = ByteReader;
 
 // ---------------------------------------------------------------------------
 // Object serde. Append* writes one object; Read* parses one object from the
@@ -174,11 +126,9 @@ Status ReadBrief(WireReader* r, Brief* out);
 Status AppendProbe(const Probe& probe, WireWriter* w);
 Status ReadProbe(WireReader* r, Probe* out);
 
-void AppendValue(const Value& value, WireWriter* w);
-Status ReadValue(WireReader* r, Value* out);
-
-void AppendSchema(const Schema& schema, WireWriter* w);
-Status ReadSchema(WireReader* r, Schema* out);
+// Value / Row / Schema serde moved to types/serde.h (agentfirst::AppendValue
+// et al.), so the WAL shares it; unqualified calls in this namespace still
+// resolve there via the enclosing namespace.
 
 void AppendResultSet(const ResultSet& rs, WireWriter* w);
 Status ReadResultSet(WireReader* r, ResultSet* out);

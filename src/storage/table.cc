@@ -2,7 +2,7 @@
 
 namespace agentfirst {
 
-Status Table::AppendRow(const Row& row) {
+Status Table::AppendRowInternal(const Row& row) {
   if (segments_.empty() || segments_.back()->Full()) {
     segments_.push_back(std::make_shared<Segment>(schema_, segment_capacity_));
   }
@@ -12,8 +12,30 @@ Status Table::AppendRow(const Row& row) {
   return Status::OK();
 }
 
+Status Table::AppendRow(const Row& row) {
+  size_t first = num_rows_;
+  AF_RETURN_IF_ERROR(AppendRowInternal(row));
+  if (listener_ != nullptr) listener_->OnAppendRows(*this, first, &row, 1);
+  return Status::OK();
+}
+
 Status Table::AppendRows(const std::vector<Row>& rows) {
-  for (const Row& r : rows) AF_RETURN_IF_ERROR(AppendRow(r));
+  size_t first = num_rows_;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    Status appended = AppendRowInternal(rows[i]);
+    if (!appended.ok()) {
+      // The prefix that did land is reported so the WAL never under-records
+      // a half-applied batch (csv.cc's drop-half-imported-tables path relies
+      // on DropTable being logged afterwards).
+      if (listener_ != nullptr && i > 0) {
+        listener_->OnAppendRows(*this, first, rows.data(), i);
+      }
+      return appended;
+    }
+  }
+  if (listener_ != nullptr && !rows.empty()) {
+    listener_->OnAppendRows(*this, first, rows.data(), rows.size());
+  }
   return Status::OK();
 }
 
@@ -47,6 +69,7 @@ Status Table::SetValue(size_t row, size_t col, const Value& v) {
   auto [seg, off] = Locate(row);
   AF_RETURN_IF_ERROR(segments_[seg]->SetValue(off, col, v));
   ++data_version_;
+  if (listener_ != nullptr) listener_->OnSetValue(*this, row, col, v);
   return Status::OK();
 }
 
@@ -70,6 +93,7 @@ Status Table::RemoveRows(const std::vector<uint8_t>& remove_mask) {
   segments_ = std::move(new_segments);
   num_rows_ = new_count;
   ++data_version_;
+  if (listener_ != nullptr) listener_->OnRemoveRows(*this, remove_mask);
   return Status::OK();
 }
 

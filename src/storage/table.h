@@ -13,6 +13,26 @@
 
 namespace agentfirst {
 
+class Table;
+
+/// Observer of table mutations, called AFTER each successful mutation. The
+/// write-ahead log (src/wal/) implements this to capture row-level changes;
+/// scratch tables (branch materializations, test fixtures) simply never get
+/// a listener attached. Listeners must not mutate the table re-entrantly.
+class TableMutationListener {
+ public:
+  virtual ~TableMutationListener() = default;
+  /// `rows[0..n)` were appended; `first_row` is the global row id of rows[0].
+  virtual void OnAppendRows(const Table& table, size_t first_row,
+                            const Row* rows, size_t n) = 0;
+  virtual void OnSetValue(const Table& table, size_t row, size_t col,
+                          const Value& value) = 0;
+  /// Rows whose mask entry was non-zero were removed (mask indexes the
+  /// pre-removal row space).
+  virtual void OnRemoveRows(const Table& table,
+                            const std::vector<uint8_t>& removed_mask) = 0;
+};
+
 /// An in-memory table: a schema plus a sequence of columnar segments.
 /// Segments are held by shared_ptr so snapshots (branches) can alias them;
 /// a Table used through the branch manager must be mutated via COW helpers.
@@ -49,6 +69,18 @@ class Table {
   /// memory store and statistics cache for staleness detection.
   uint64_t data_version() const { return data_version_; }
 
+  size_t segment_capacity() const { return segment_capacity_; }
+
+  /// Installs (or clears, with nullptr) the mutation observer. Owned by the
+  /// caller; normally the catalog attaches its durability hook here.
+  void SetMutationListener(TableMutationListener* listener) {
+    listener_ = listener;
+  }
+
+  /// Recovery-only: restores the mutation counter after a checkpoint load so
+  /// version-pinned artifacts (memory store, stats cache) keep matching.
+  void RestoreDataVersion(uint64_t v) { data_version_ = v; }
+
   /// Builds a table directly from segments (used by branch materialization).
   static std::shared_ptr<Table> FromSegments(
       std::string name, Schema schema,
@@ -56,6 +88,7 @@ class Table {
 
  private:
   std::pair<size_t, size_t> Locate(size_t row) const;
+  Status AppendRowInternal(const Row& row);
 
   std::string name_;
   Schema schema_;
@@ -63,6 +96,8 @@ class Table {
   std::vector<std::shared_ptr<Segment>> segments_;
   size_t num_rows_ = 0;
   uint64_t data_version_ = 0;
+  /// Not owned; nullptr for scratch tables.
+  TableMutationListener* listener_ = nullptr;
 };
 
 using TablePtr = std::shared_ptr<Table>;

@@ -24,10 +24,11 @@ Status BranchManager::ImportTable(const Table& table) {
   bt.base_segments = bt.segments;
   bt.base_num_rows = bt.num_rows;
   main.tables[table.name()] = std::move(bt);
+  if (listener_ != nullptr) listener_->OnImport(table.name(), table.data_version());
   return Status::OK();
 }
 
-Result<uint64_t> BranchManager::Fork(uint64_t parent) {
+Status BranchManager::ForkInto(uint64_t id, uint64_t parent) {
   auto it = branches_.find(parent);
   if (it == branches_.end()) {
     return Status::NotFound("no such branch: " + std::to_string(parent));
@@ -37,7 +38,7 @@ Result<uint64_t> BranchManager::Fork(uint64_t parent) {
   for (auto& [name, bt] : it->second.tables) bt.owned.clear();
 
   Branch child;
-  child.id = next_branch_id_++;
+  child.id = id;
   child.parent = parent;
   for (const auto& [name, src] : it->second.tables) {
     BranchTable bt;
@@ -49,10 +50,26 @@ Result<uint64_t> BranchManager::Fork(uint64_t parent) {
     bt.base_num_rows = src.num_rows;
     child.tables[name] = std::move(bt);
   }
-  uint64_t id = child.id;
   branches_[id] = std::move(child);
   ++stats_.forks;
+  return Status::OK();
+}
+
+Result<uint64_t> BranchManager::Fork(uint64_t parent) {
+  uint64_t id = next_branch_id_;
+  AF_RETURN_IF_ERROR(ForkInto(id, parent));
+  ++next_branch_id_;
+  if (listener_ != nullptr) listener_->OnFork(id, parent);
   return id;
+}
+
+Status BranchManager::RestoreFork(uint64_t id, uint64_t parent) {
+  if (branches_.count(id) > 0) {
+    return Status::AlreadyExists("branch already exists: " + std::to_string(id));
+  }
+  AF_RETURN_IF_ERROR(ForkInto(id, parent));
+  if (id >= next_branch_id_) next_branch_id_ = id + 1;
+  return Status::OK();
 }
 
 Status BranchManager::Rollback(uint64_t branch) {
@@ -65,6 +82,7 @@ Status BranchManager::Rollback(uint64_t branch) {
   }
   branches_.erase(it);
   ++stats_.rollbacks;
+  if (listener_ != nullptr) listener_->OnRollback(branch);
   return Status::OK();
 }
 
@@ -164,7 +182,9 @@ Status BranchManager::WriteToTable(BranchTable* bt, size_t row, size_t col,
 Status BranchManager::Write(uint64_t branch, const std::string& table, size_t row,
                             size_t col, const Value& value) {
   AF_ASSIGN_OR_RETURN(BranchTable* bt, FindTableMutable(branch, table));
-  return WriteToTable(bt, row, col, value);
+  AF_RETURN_IF_ERROR(WriteToTable(bt, row, col, value));
+  if (listener_ != nullptr) listener_->OnMutate(branch);
+  return Status::OK();
 }
 
 Status BranchManager::Append(uint64_t branch, const std::string& table,
@@ -188,6 +208,7 @@ Status BranchManager::Append(uint64_t branch, const std::string& table,
   AF_RETURN_IF_ERROR(bt->segments.back()->AppendRow(row));
   ++bt->num_rows;
   ++stats_.cells_written;
+  if (listener_ != nullptr) listener_->OnMutate(branch);
   return Status::OK();
 }
 
@@ -279,6 +300,10 @@ Result<MergeReport> BranchManager::Merge(uint64_t source, uint64_t destination,
   }
   report.committed = true;
   ++stats_.merges;
+  if (listener_ != nullptr &&
+      (report.cells_applied > 0 || report.rows_appended > 0)) {
+    listener_->OnMutate(destination);
+  }
   return report;
 }
 

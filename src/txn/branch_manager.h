@@ -40,6 +40,24 @@ struct MergeReport {
   std::vector<MergeConflict> conflicts;
 };
 
+/// Observer of branch lifecycle events, called AFTER each successful change.
+/// The write-ahead log records these as markers only (COW segment contents
+/// are never logged): recovery re-creates branches whose state is provably
+/// reconstructible — imported tables unchanged since import, no mutations —
+/// and reports every other branch as dropped via a typed error, never
+/// silently. Scratch branch managers simply never attach one.
+class BranchMutationListener {
+ public:
+  virtual ~BranchMutationListener() = default;
+  /// A catalog table entered the main branch; `data_version` pins the source
+  /// table state whose segments the import shares.
+  virtual void OnImport(const std::string& table, uint64_t data_version) = 0;
+  virtual void OnFork(uint64_t id, uint64_t parent) = 0;
+  /// `branch` was mutated (cell write, row append, or merge application).
+  virtual void OnMutate(uint64_t branch) = 0;
+  virtual void OnRollback(uint64_t branch) = 0;
+};
+
 /// Copy-on-write branch manager (paper Sec. 6.2): supports massive
 /// speculative forking with multi-world isolation. A branch shares all
 /// segments with its parent at fork time (O(#segments) pointers); the first
@@ -119,6 +137,15 @@ class BranchManager {
   size_t DistinctLiveSegments() const;
   size_t LogicalSegmentRefs() const;
 
+  /// Installs (or clears) the durability observer.
+  void SetMutationListener(BranchMutationListener* listener) {
+    listener_ = listener;
+  }
+
+  /// Recovery-only: re-creates branch `id` as a fork of `parent` exactly as
+  /// Fork would, advancing the id counter past `id`. No listener callback.
+  Status RestoreFork(uint64_t id, uint64_t parent);
+
  private:
   struct BranchTable {
     Schema schema;
@@ -152,9 +179,14 @@ class BranchManager {
 
   Status WriteToTable(BranchTable* bt, size_t row, size_t col, const Value& value);
 
+  /// Shares the fork wiring between Fork and RestoreFork.
+  Status ForkInto(uint64_t id, uint64_t parent);
+
   std::map<uint64_t, Branch> branches_;
   uint64_t next_branch_id_ = 1;
   Stats stats_;
+  /// Not owned; nullptr when durability is off.
+  BranchMutationListener* listener_ = nullptr;
 };
 
 }  // namespace agentfirst

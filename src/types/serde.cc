@@ -1,0 +1,116 @@
+#include "types/serde.h"
+
+namespace agentfirst {
+
+namespace {
+
+Status Malformed(const std::string& what) {
+  return Status::InvalidArgument("codec: " + what);
+}
+
+}  // namespace
+
+void AppendValue(const Value& value, ByteWriter* w) {
+  w->U8(static_cast<uint8_t>(value.type()));
+  switch (value.type()) {
+    case DataType::kNull:
+      break;
+    case DataType::kBool:
+      w->Bool(value.bool_value());
+      break;
+    case DataType::kInt64:
+      w->U64(static_cast<uint64_t>(value.int_value()));
+      break;
+    case DataType::kFloat64:
+      w->F64(value.double_value());
+      break;
+    case DataType::kString:
+      w->Str(value.string_value());
+      break;
+  }
+}
+
+Status ReadValue(ByteReader* r, Value* out) {
+  uint8_t type = 0;
+  AF_RETURN_IF_ERROR(r->U8(&type));
+  if (type > static_cast<uint8_t>(DataType::kString)) {
+    return Malformed("value type out of range");
+  }
+  switch (static_cast<DataType>(type)) {
+    case DataType::kNull:
+      *out = Value::Null();
+      return Status::OK();
+    case DataType::kBool: {
+      bool v = false;
+      AF_RETURN_IF_ERROR(r->Bool(&v));
+      *out = Value::Bool(v);
+      return Status::OK();
+    }
+    case DataType::kInt64: {
+      uint64_t v = 0;
+      AF_RETURN_IF_ERROR(r->U64(&v));
+      *out = Value::Int(static_cast<int64_t>(v));
+      return Status::OK();
+    }
+    case DataType::kFloat64: {
+      double v = 0;
+      AF_RETURN_IF_ERROR(r->F64(&v));
+      *out = Value::Double(v);
+      return Status::OK();
+    }
+    case DataType::kString: {
+      std::string v;
+      AF_RETURN_IF_ERROR(r->Str(&v));
+      *out = Value::String(std::move(v));
+      return Status::OK();
+    }
+  }
+  return Malformed("value type out of range");
+}
+
+void AppendRow(const Row& row, ByteWriter* w) {
+  w->U32(static_cast<uint32_t>(row.size()));
+  for (const Value& v : row) AppendValue(v, w);
+}
+
+Status ReadRow(ByteReader* r, Row* out) {
+  size_t n = 0;
+  AF_RETURN_IF_ERROR(r->Count(1, &n));
+  Row row(n);
+  for (size_t i = 0; i < n; ++i) {
+    AF_RETURN_IF_ERROR(ReadValue(r, &row[i]));
+  }
+  *out = std::move(row);
+  return Status::OK();
+}
+
+void AppendSchema(const Schema& schema, ByteWriter* w) {
+  w->U32(static_cast<uint32_t>(schema.NumColumns()));
+  for (const ColumnDef& col : schema.columns()) {
+    w->Str(col.name);
+    w->U8(static_cast<uint8_t>(col.type));
+    w->Bool(col.nullable);
+    w->Str(col.table);
+  }
+}
+
+Status ReadSchema(ByteReader* r, Schema* out) {
+  size_t n = 0;
+  AF_RETURN_IF_ERROR(r->Count(10, &n));
+  std::vector<ColumnDef> columns(n);
+  for (size_t i = 0; i < n; ++i) {
+    AF_RETURN_IF_ERROR(r->Str(&columns[i].name));
+    uint8_t type = 0;
+    AF_RETURN_IF_ERROR(r->U8(&type));
+    if (type > static_cast<uint8_t>(DataType::kString)) {
+      return Malformed("column type out of range");
+    }
+    columns[i].type = static_cast<DataType>(type);
+    AF_RETURN_IF_ERROR(r->Bool(&columns[i].nullable));
+    AF_RETURN_IF_ERROR(r->Str(&columns[i].table));
+  }
+  *out = Schema(std::move(columns));
+  return Status::OK();
+}
+
+}  // namespace agentfirst

@@ -1,0 +1,30 @@
+#ifndef AGENTFIRST_TYPES_SERDE_H_
+#define AGENTFIRST_TYPES_SERDE_H_
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace agentfirst {
+
+/// Binary serde for the type vocabulary (Value, Row, Schema), shared by the
+/// afp wire protocol and the durability formats (WAL records, checkpoints).
+/// Append* writes one object through a ByteWriter; Read* parses one object
+/// from the reader's cursor and fills `out` only on success. Decoding is
+/// total: out-of-range type tags, truncated fields, and oversized lengths
+/// come back as a non-OK Status, never UB.
+
+void AppendValue(const Value& value, ByteWriter* w);
+Status ReadValue(ByteReader* r, Value* out);
+
+/// u32 column count + per-cell values.
+void AppendRow(const Row& row, ByteWriter* w);
+Status ReadRow(ByteReader* r, Row* out);
+
+void AppendSchema(const Schema& schema, ByteWriter* w);
+Status ReadSchema(ByteReader* r, Schema* out);
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_TYPES_SERDE_H_

@@ -1,0 +1,200 @@
+#include "wal/checkpoint.h"
+
+#include <algorithm>
+
+#include "common/fault_injection.h"
+#include "io/file_util.h"
+#include "obs/metrics.h"
+#include "types/serde.h"
+
+namespace agentfirst {
+namespace wal {
+
+namespace {
+
+obs::Counter* CheckpointsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("af.wal.checkpoints");
+  return c;
+}
+
+/// Catalog + memory portion shared by checkpoints and the canonical digest.
+Status AppendState(const Catalog& catalog, const AgenticMemoryStore* memory,
+                   ByteWriter* w) {
+  w->U64(catalog.schema_version());
+  std::vector<std::string> names = catalog.ListTables();
+  std::sort(names.begin(), names.end());
+  w->U32(static_cast<uint32_t>(names.size()));
+  for (const std::string& name : names) {
+    AF_ASSIGN_OR_RETURN(TablePtr table, catalog.GetTable(name));
+    w->Str(name);
+    AppendSchema(table->schema(), w);
+    w->U64(table->segment_capacity());
+    w->U64(table->data_version());
+    w->U32(static_cast<uint32_t>(table->NumRows()));
+    for (size_t i = 0; i < table->NumRows(); ++i) {
+      AF_ASSIGN_OR_RETURN(Row row, table->GetRow(i));
+      AppendRow(row, w);
+    }
+  }
+  std::vector<std::pair<std::string, std::string>> indexes =
+      catalog.ListIndexes();
+  std::sort(indexes.begin(), indexes.end());
+  w->U32(static_cast<uint32_t>(indexes.size()));
+  for (const auto& [table, column] : indexes) {
+    w->Str(table);
+    w->Str(column);
+  }
+  w->Bool(memory != nullptr);
+  if (memory != nullptr) {
+    w->U64(memory->next_id());
+    w->U64(memory->tick());
+    std::vector<const MemoryArtifact*> artifacts = memory->SnapshotArtifacts();
+    w->U32(static_cast<uint32_t>(artifacts.size()));
+    for (const MemoryArtifact* a : artifacts) AppendArtifact(*a, w);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> EncodeCheckpointPayload(const Catalog& catalog,
+                                            const AgenticMemoryStore* memory,
+                                            const BranchMeta& branches,
+                                            uint64_t lsn) {
+  AF_FAULT_POINT("wal.checkpoint.encode");
+  ByteWriter w;
+  w.U64(lsn);
+  AF_RETURN_IF_ERROR(AppendState(catalog, memory, &w));
+  w.Bool(branches.main_tainted);
+  w.U32(static_cast<uint32_t>(branches.imports.size()));
+  for (const auto& imp : branches.imports) {
+    w.Str(imp.table);
+    w.U64(imp.data_version);
+  }
+  w.U32(static_cast<uint32_t>(branches.forks.size()));
+  for (const auto& fork : branches.forks) {
+    w.U64(fork.id);
+    w.U64(fork.parent);
+    w.Bool(fork.tainted);
+  }
+  return w.Take();
+}
+
+Result<CheckpointData> DecodeCheckpoint(std::string_view bytes) {
+  if (bytes.size() < 20) {
+    return Status::InvalidArgument("checkpoint: file shorter than header");
+  }
+  if (bytes.substr(0, 4) != std::string_view(kCheckpointMagic, 4)) {
+    return Status::InvalidArgument("checkpoint: bad magic");
+  }
+  ByteReader head(bytes.substr(4, 16));
+  uint32_t version = 0;
+  uint64_t payload_len = 0;
+  uint32_t crc = 0;
+  AF_RETURN_IF_ERROR(head.U32(&version));
+  AF_RETURN_IF_ERROR(head.U64(&payload_len));
+  AF_RETURN_IF_ERROR(head.U32(&crc));
+  if (version != kCheckpointFormatVersion) {
+    return Status::InvalidArgument("checkpoint: unsupported version " +
+                                   std::to_string(version));
+  }
+  if (payload_len > kMaxCheckpointSize || bytes.size() - 20 != payload_len) {
+    return Status::InvalidArgument("checkpoint: payload length mismatch");
+  }
+  std::string_view payload = bytes.substr(20);
+  if (Crc32c(payload) != crc) {
+    return Status::InvalidArgument("checkpoint: checksum mismatch");
+  }
+
+  CheckpointData data;
+  ByteReader r(payload);
+  AF_RETURN_IF_ERROR(r.U64(&data.lsn));
+  AF_RETURN_IF_ERROR(r.U64(&data.schema_version));
+  size_t ntables = 0;
+  AF_RETURN_IF_ERROR(r.Count(8, &ntables));
+  data.tables.resize(ntables);
+  for (size_t t = 0; t < ntables; ++t) {
+    CheckpointTable& table = data.tables[t];
+    AF_RETURN_IF_ERROR(r.Str(&table.name));
+    AF_RETURN_IF_ERROR(ReadSchema(&r, &table.schema));
+    AF_RETURN_IF_ERROR(r.U64(&table.segment_capacity));
+    AF_RETURN_IF_ERROR(r.U64(&table.data_version));
+    size_t nrows = 0;
+    AF_RETURN_IF_ERROR(r.Count(4, &nrows));
+    table.rows.resize(nrows);
+    for (size_t i = 0; i < nrows; ++i) {
+      AF_RETURN_IF_ERROR(ReadRow(&r, &table.rows[i]));
+    }
+    if (table.segment_capacity == 0) {
+      return Status::InvalidArgument("checkpoint: zero segment capacity");
+    }
+  }
+  size_t nindexes = 0;
+  AF_RETURN_IF_ERROR(r.Count(8, &nindexes));
+  data.indexes.resize(nindexes);
+  for (size_t i = 0; i < nindexes; ++i) {
+    AF_RETURN_IF_ERROR(r.Str(&data.indexes[i].first));
+    AF_RETURN_IF_ERROR(r.Str(&data.indexes[i].second));
+  }
+  AF_RETURN_IF_ERROR(r.Bool(&data.has_memory));
+  if (data.has_memory) {
+    AF_RETURN_IF_ERROR(r.U64(&data.memory_next_id));
+    AF_RETURN_IF_ERROR(r.U64(&data.memory_tick));
+    size_t nartifacts = 0;
+    AF_RETURN_IF_ERROR(r.Count(8, &nartifacts));
+    data.artifacts.resize(nartifacts);
+    for (size_t i = 0; i < nartifacts; ++i) {
+      AF_RETURN_IF_ERROR(ReadArtifact(&r, &data.artifacts[i]));
+    }
+  }
+  AF_RETURN_IF_ERROR(r.Bool(&data.branches.main_tainted));
+  size_t nimports = 0;
+  AF_RETURN_IF_ERROR(r.Count(12, &nimports));
+  data.branches.imports.resize(nimports);
+  for (size_t i = 0; i < nimports; ++i) {
+    AF_RETURN_IF_ERROR(r.Str(&data.branches.imports[i].table));
+    AF_RETURN_IF_ERROR(r.U64(&data.branches.imports[i].data_version));
+  }
+  size_t nforks = 0;
+  AF_RETURN_IF_ERROR(r.Count(17, &nforks));
+  data.branches.forks.resize(nforks);
+  for (size_t i = 0; i < nforks; ++i) {
+    AF_RETURN_IF_ERROR(r.U64(&data.branches.forks[i].id));
+    AF_RETURN_IF_ERROR(r.U64(&data.branches.forks[i].parent));
+    AF_RETURN_IF_ERROR(r.Bool(&data.branches.forks[i].tainted));
+  }
+  AF_RETURN_IF_ERROR(r.ExpectEnd());
+  return data;
+}
+
+Status WriteCheckpoint(const std::string& path, const Catalog& catalog,
+                       const AgenticMemoryStore* memory,
+                       const BranchMeta& branches, uint64_t lsn) {
+  AF_ASSIGN_OR_RETURN(std::string payload, EncodeCheckpointPayload(
+                                               catalog, memory, branches, lsn));
+  ByteWriter file;
+  file.U8(static_cast<uint8_t>(kCheckpointMagic[0]));
+  file.U8(static_cast<uint8_t>(kCheckpointMagic[1]));
+  file.U8(static_cast<uint8_t>(kCheckpointMagic[2]));
+  file.U8(static_cast<uint8_t>(kCheckpointMagic[3]));
+  file.U32(kCheckpointFormatVersion);
+  file.U64(payload.size());
+  file.U32(Crc32c(payload));
+  std::string image = file.Take();
+  image += payload;
+  AF_FAULT_POINT("wal.checkpoint.write");
+  AF_RETURN_IF_ERROR(io::WriteFileAtomic(path, image));
+  CheckpointsCounter()->Increment();
+  return Status::OK();
+}
+
+Result<std::string> EncodeCanonicalState(const Catalog& catalog,
+                                         const AgenticMemoryStore* memory) {
+  ByteWriter w;
+  AF_RETURN_IF_ERROR(AppendState(catalog, memory, &w));
+  return w.Take();
+}
+
+}  // namespace wal
+}  // namespace agentfirst

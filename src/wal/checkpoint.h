@@ -1,0 +1,77 @@
+#ifndef AGENTFIRST_WAL_CHECKPOINT_H_
+#define AGENTFIRST_WAL_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "memory/memory_store.h"
+#include "wal/wal.h"
+
+namespace agentfirst {
+namespace wal {
+
+/// Checkpoint file: magic "AFCK", u32 format version, u64 payload length,
+/// u32 crc32c(payload), payload. Published via temp file + fsync + atomic
+/// rename, so a crash during checkpointing leaves the previous checkpoint
+/// (or none) intact — never a torn one. The payload snapshots the catalog
+/// (schemas, rows, versions, indexes), the memory store, and the branch
+/// metadata; COW branch segment contents are deliberately not serialized
+/// (see BranchMeta).
+inline constexpr char kCheckpointMagic[4] = {'A', 'F', 'C', 'K'};
+inline constexpr uint32_t kCheckpointFormatVersion = 1;
+/// Corruption guard for the u64 payload-length field.
+inline constexpr uint64_t kMaxCheckpointSize = 1ull << 34;
+
+struct CheckpointTable {
+  std::string name;
+  Schema schema;
+  uint64_t segment_capacity = 0;
+  uint64_t data_version = 0;
+  std::vector<Row> rows;
+};
+
+struct CheckpointData {
+  /// Records with lsn <= this are covered by the snapshot; replay skips them.
+  uint64_t lsn = 0;
+  uint64_t schema_version = 0;
+  std::vector<CheckpointTable> tables;
+  std::vector<std::pair<std::string, std::string>> indexes;
+  bool has_memory = false;
+  uint64_t memory_next_id = 1;
+  uint64_t memory_tick = 0;
+  std::vector<MemoryArtifact> artifacts;
+  BranchMeta branches;
+};
+
+/// Serializes the full checkpoint payload (everything after the len/crc
+/// framing). `memory` may be null.
+Result<std::string> EncodeCheckpointPayload(const Catalog& catalog,
+                                            const AgenticMemoryStore* memory,
+                                            const BranchMeta& branches,
+                                            uint64_t lsn);
+
+/// Total decoding of a complete checkpoint file image: bad magic, version
+/// skew, length mismatch, checksum failure, or any malformed field is a
+/// clean error, never UB and never a partial object.
+Result<CheckpointData> DecodeCheckpoint(std::string_view bytes);
+
+/// Encodes + atomically publishes a checkpoint at `path`.
+Status WriteCheckpoint(const std::string& path, const Catalog& catalog,
+                       const AgenticMemoryStore* memory,
+                       const BranchMeta& branches, uint64_t lsn);
+
+/// Canonical serialization of durable state (catalog + memory store; no
+/// LSN, no branch meta) — the byte string crash-torture tests compare to
+/// prove a recovered system identical to a committed prefix of a reference
+/// run. Deterministic: tables sorted by name, artifacts in store order.
+Result<std::string> EncodeCanonicalState(const Catalog& catalog,
+                                         const AgenticMemoryStore* memory);
+
+}  // namespace wal
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_WAL_CHECKPOINT_H_

@@ -1,0 +1,353 @@
+#include "wal/recovery.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "io/file_util.h"
+#include "obs/metrics.h"
+#include "types/serde.h"
+
+namespace agentfirst {
+namespace wal {
+
+namespace {
+
+obs::Counter* RecoveriesCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("af.wal.recoveries");
+  return c;
+}
+obs::Counter* ReplayedCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("af.wal.replayed_records");
+  return c;
+}
+obs::Counter* TruncatedCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("af.wal.truncated_bytes");
+  return c;
+}
+obs::Counter* DroppedBranchesCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("af.wal.dropped_branches");
+  return c;
+}
+
+/// Rebuilds one table from checkpoint rows through the normal append path,
+/// then pins the recorded mutation counter.
+Status RestoreTable(Catalog* catalog, const CheckpointTable& ct) {
+  auto table = std::make_shared<Table>(ct.name, ct.schema,
+                                       static_cast<size_t>(ct.segment_capacity));
+  AF_RETURN_IF_ERROR(table->AppendRows(ct.rows));
+  table->RestoreDataVersion(ct.data_version);
+  return catalog->RegisterTable(std::move(table));
+}
+
+/// Applies one replayed record. A non-OK return means the record is
+/// CRC-valid but semantically impossible against the recovered state —
+/// treated as corruption: replay stops there and the caller truncates.
+Status ApplyRecord(const WalRecord& rec, Catalog* catalog,
+                   AgenticMemoryStore* memory, BranchManager* branches,
+                   BranchMeta* meta) {
+  ByteReader r(rec.body);
+  switch (rec.type) {
+    case WalRecordType::kCreateTable: {
+      std::string name;
+      Schema schema;
+      uint64_t segment_capacity = 0;
+      AF_RETURN_IF_ERROR(r.Str(&name));
+      AF_RETURN_IF_ERROR(ReadSchema(&r, &schema));
+      AF_RETURN_IF_ERROR(r.U64(&segment_capacity));
+      AF_RETURN_IF_ERROR(r.ExpectEnd());
+      AF_ASSIGN_OR_RETURN(TablePtr table,
+                          catalog->CreateTable(name, std::move(schema)));
+      (void)table;
+      return Status::OK();
+    }
+    case WalRecordType::kDropTable: {
+      std::string name;
+      AF_RETURN_IF_ERROR(r.Str(&name));
+      AF_RETURN_IF_ERROR(r.ExpectEnd());
+      return catalog->DropTable(name);
+    }
+    case WalRecordType::kRegisterTable: {
+      CheckpointTable ct;
+      uint64_t segment_capacity = 0;
+      AF_RETURN_IF_ERROR(r.Str(&ct.name));
+      AF_RETURN_IF_ERROR(ReadSchema(&r, &ct.schema));
+      AF_RETURN_IF_ERROR(r.U64(&segment_capacity));
+      AF_RETURN_IF_ERROR(r.U64(&ct.data_version));
+      size_t n = 0;
+      AF_RETURN_IF_ERROR(r.Count(4, &n));
+      ct.rows.resize(n);
+      for (size_t i = 0; i < n; ++i) AF_RETURN_IF_ERROR(ReadRow(&r, &ct.rows[i]));
+      AF_RETURN_IF_ERROR(r.ExpectEnd());
+      if (segment_capacity == 0) {
+        return Status::InvalidArgument("wal: zero segment capacity");
+      }
+      ct.segment_capacity = segment_capacity;
+      return RestoreTable(catalog, ct);
+    }
+    case WalRecordType::kAppendRows: {
+      std::string name;
+      uint64_t first_row = 0;
+      AF_RETURN_IF_ERROR(r.Str(&name));
+      AF_RETURN_IF_ERROR(r.U64(&first_row));
+      size_t n = 0;
+      AF_RETURN_IF_ERROR(r.Count(4, &n));
+      std::vector<Row> rows(n);
+      for (size_t i = 0; i < n; ++i) AF_RETURN_IF_ERROR(ReadRow(&r, &rows[i]));
+      AF_RETURN_IF_ERROR(r.ExpectEnd());
+      AF_ASSIGN_OR_RETURN(TablePtr table, catalog->GetTable(name));
+      if (table->NumRows() != first_row) {
+        return Status::Internal("wal: append replay diverged for " + name);
+      }
+      return table->AppendRows(rows);
+    }
+    case WalRecordType::kSetValue: {
+      std::string name;
+      uint64_t row = 0;
+      uint64_t col = 0;
+      Value value;
+      AF_RETURN_IF_ERROR(r.Str(&name));
+      AF_RETURN_IF_ERROR(r.U64(&row));
+      AF_RETURN_IF_ERROR(r.U64(&col));
+      AF_RETURN_IF_ERROR(ReadValue(&r, &value));
+      AF_RETURN_IF_ERROR(r.ExpectEnd());
+      AF_ASSIGN_OR_RETURN(TablePtr table, catalog->GetTable(name));
+      return table->SetValue(static_cast<size_t>(row),
+                             static_cast<size_t>(col), value);
+    }
+    case WalRecordType::kRemoveRows: {
+      std::string name;
+      AF_RETURN_IF_ERROR(r.Str(&name));
+      size_t n = 0;
+      AF_RETURN_IF_ERROR(r.Count(1, &n));
+      std::vector<uint8_t> mask(n);
+      for (size_t i = 0; i < n; ++i) AF_RETURN_IF_ERROR(r.U8(&mask[i]));
+      AF_RETURN_IF_ERROR(r.ExpectEnd());
+      AF_ASSIGN_OR_RETURN(TablePtr table, catalog->GetTable(name));
+      return table->RemoveRows(mask);
+    }
+    case WalRecordType::kCreateIndex: {
+      std::string table;
+      std::string column;
+      AF_RETURN_IF_ERROR(r.Str(&table));
+      AF_RETURN_IF_ERROR(r.Str(&column));
+      AF_RETURN_IF_ERROR(r.ExpectEnd());
+      return catalog->CreateIndex(table, column);
+    }
+    case WalRecordType::kDropIndex: {
+      std::string table;
+      std::string column;
+      AF_RETURN_IF_ERROR(r.Str(&table));
+      AF_RETURN_IF_ERROR(r.Str(&column));
+      AF_RETURN_IF_ERROR(r.ExpectEnd());
+      return catalog->DropIndex(table, column);
+    }
+    case WalRecordType::kMemoryPut: {
+      MemoryArtifact artifact;
+      AF_RETURN_IF_ERROR(ReadArtifact(&r, &artifact));
+      AF_RETURN_IF_ERROR(r.ExpectEnd());
+      if (memory == nullptr) return Status::OK();
+      memory->RestorePut(std::move(artifact));
+      return Status::OK();
+    }
+    case WalRecordType::kMemoryRemove: {
+      uint64_t id = 0;
+      AF_RETURN_IF_ERROR(r.U64(&id));
+      AF_RETURN_IF_ERROR(r.ExpectEnd());
+      if (memory != nullptr) memory->RestoreRemove(id);
+      return Status::OK();
+    }
+    case WalRecordType::kBranchImport: {
+      std::string name;
+      uint64_t data_version = 0;
+      AF_RETURN_IF_ERROR(r.Str(&name));
+      AF_RETURN_IF_ERROR(r.U64(&data_version));
+      AF_RETURN_IF_ERROR(r.ExpectEnd());
+      AF_ASSIGN_OR_RETURN(TablePtr table, catalog->GetTable(name));
+      // Pure replay walks the table through the identical mutation prefix,
+      // so the import-time version must match; a mismatch means the log and
+      // snapshot disagree and the import view is unreproducible.
+      if (table->data_version() != data_version) meta->main_tainted = true;
+      AF_RETURN_IF_ERROR(branches->ImportTable(*table));
+      meta->imports.push_back(BranchMeta::Import{name, data_version});
+      return Status::OK();
+    }
+    case WalRecordType::kBranchFork: {
+      uint64_t id = 0;
+      uint64_t parent = 0;
+      AF_RETURN_IF_ERROR(r.U64(&id));
+      AF_RETURN_IF_ERROR(r.U64(&parent));
+      AF_RETURN_IF_ERROR(r.ExpectEnd());
+      bool tainted = meta->IsTainted(parent);
+      Status forked = branches->RestoreFork(id, parent);
+      // A missing parent (rolled back pre-crash after the fork was cut from
+      // checkpoint meta) makes this branch unreproducible, not recovery
+      // invalid.
+      if (!forked.ok()) tainted = true;
+      meta->forks.push_back(BranchMeta::Fork{id, parent, tainted});
+      return Status::OK();
+    }
+    case WalRecordType::kBranchMutate: {
+      uint64_t id = 0;
+      AF_RETURN_IF_ERROR(r.U64(&id));
+      AF_RETURN_IF_ERROR(r.ExpectEnd());
+      meta->Taint(id);
+      return Status::OK();
+    }
+    case WalRecordType::kBranchRollback: {
+      uint64_t id = 0;
+      AF_RETURN_IF_ERROR(r.U64(&id));
+      AF_RETURN_IF_ERROR(r.ExpectEnd());
+      (void)branches->Rollback(id);  // may already be gone (dropped fork)
+      meta->forks.erase(
+          std::remove_if(meta->forks.begin(), meta->forks.end(),
+                         [id](const BranchMeta::Fork& f) { return f.id == id; }),
+          meta->forks.end());
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("wal: unknown record type");
+}
+
+}  // namespace
+
+Result<RecoveryReport> Recover(const std::string& data_dir, Catalog* catalog,
+                               AgenticMemoryStore* memory,
+                               BranchManager* branches) {
+  AF_FAULT_POINT("wal.recover.open");
+  RecoveryReport report;
+  BranchMeta checkpoint_meta;
+
+  // --- 1. checkpoint ------------------------------------------------------
+  const std::string checkpoint_path = CheckpointPath(data_dir);
+  if (io::FileExists(checkpoint_path)) {
+    AF_ASSIGN_OR_RETURN(std::string image,
+                        io::ReadFileToString(checkpoint_path));
+    AF_ASSIGN_OR_RETURN(CheckpointData data, DecodeCheckpoint(image));
+    for (const CheckpointTable& ct : data.tables) {
+      AF_RETURN_IF_ERROR(RestoreTable(catalog, ct));
+    }
+    for (const auto& [table, column] : data.indexes) {
+      AF_RETURN_IF_ERROR(catalog->CreateIndex(table, column));
+    }
+    catalog->RestoreSchemaVersion(data.schema_version);
+    if (data.has_memory && memory != nullptr) {
+      for (MemoryArtifact& a : data.artifacts) memory->RestorePut(std::move(a));
+      memory->RestoreCounters(data.memory_next_id, data.memory_tick);
+    }
+    checkpoint_meta = std::move(data.branches);
+    report.checkpoint_loaded = true;
+    report.checkpoint_lsn = data.lsn;
+    report.max_lsn = data.lsn;
+  }
+
+  // Branch universe at checkpoint time: re-import, then re-fork in creation
+  // order. An import whose table moved on since import time cannot be
+  // reproduced from the snapshot — everything built on it is tainted.
+  BranchMeta* meta = &report.meta;
+  meta->main_tainted = checkpoint_meta.main_tainted;
+  for (const BranchMeta::Import& imp : checkpoint_meta.imports) {
+    auto table = catalog->GetTable(imp.table);
+    if (!table.ok() || (*table)->data_version() != imp.data_version) {
+      meta->main_tainted = true;
+      if (!table.ok()) continue;
+    }
+    AF_RETURN_IF_ERROR(branches->ImportTable(**table));
+    meta->imports.push_back(imp);
+  }
+  for (const BranchMeta::Fork& fork : checkpoint_meta.forks) {
+    bool tainted = fork.tainted || meta->IsTainted(fork.parent);
+    Status forked = branches->RestoreFork(fork.id, fork.parent);
+    if (!forked.ok()) tainted = true;
+    meta->forks.push_back(BranchMeta::Fork{fork.id, fork.parent, tainted});
+  }
+
+  // --- 2. WAL replay ------------------------------------------------------
+  const std::string wal_path = WalPath(data_dir);
+  bool truncate_needed = false;
+  uint64_t truncate_to = 0;
+  uint64_t file_size = 0;
+  if (io::FileExists(wal_path)) {
+    AF_ASSIGN_OR_RETURN(std::string image, io::ReadFileToString(wal_path));
+    file_size = image.size();
+    WalReadStats stats;
+    AF_ASSIGN_OR_RETURN(std::vector<WalRecord> records,
+                        ReadWalImage(image, &stats));
+    truncate_to = stats.valid_bytes;
+    truncate_needed = stats.torn_bytes > 0;
+    for (const WalRecord& rec : records) {
+      if (rec.lsn <= report.checkpoint_lsn) {
+        // Covered by the snapshot (a crash between checkpoint publish and
+        // WAL truncate leaves these behind).
+        ++report.records_skipped;
+        report.max_lsn = std::max(report.max_lsn, rec.lsn);
+        continue;
+      }
+      AF_FAULT_POINT("wal.recover.replay_record");
+      Status applied = ApplyRecord(rec, catalog, memory, branches, meta);
+      if (!applied.ok()) {
+        // CRC-valid but semantically impossible: the record (and everything
+        // after it) is corruption, not history. Cut it off like a torn tail.
+        truncate_to = rec.file_offset;
+        truncate_needed = true;
+        break;
+      }
+      ++report.records_replayed;
+      ReplayedCounter()->Increment();
+      report.max_lsn = std::max(report.max_lsn, rec.lsn);
+    }
+  }
+
+  // --- 3. tail truncation + branch verdict --------------------------------
+  if (truncate_needed) {
+    AF_ASSIGN_OR_RETURN(io::File file, io::File::OpenForAppend(wal_path));
+    AF_RETURN_IF_ERROR(file.Truncate(truncate_to));
+    AF_RETURN_IF_ERROR(file.Sync());
+    AF_RETURN_IF_ERROR(file.Close());
+    report.torn_bytes_truncated = file_size - truncate_to;
+    TruncatedCounter()->Add(report.torn_bytes_truncated);
+  }
+
+  if (meta->main_tainted) {
+    // Main's branch-manager view was written in place pre-crash; every
+    // branch (and main's own view) is unreproducible. Reset the universe.
+    report.dropped_branches.push_back(BranchManager::kMainBranch);
+    for (const BranchMeta::Fork& fork : meta->forks) {
+      report.dropped_branches.push_back(fork.id);
+      (void)branches->Rollback(fork.id);
+    }
+    meta->forks.clear();
+  } else {
+    std::vector<BranchMeta::Fork> kept;
+    for (const BranchMeta::Fork& fork : meta->forks) {
+      if (fork.tainted) {
+        report.dropped_branches.push_back(fork.id);
+        (void)branches->Rollback(fork.id);
+      } else {
+        kept.push_back(fork);
+      }
+    }
+    meta->forks = std::move(kept);
+  }
+  if (!report.dropped_branches.empty()) {
+    std::string ids;
+    for (uint64_t id : report.dropped_branches) {
+      if (!ids.empty()) ids += ", ";
+      ids += std::to_string(id);
+    }
+    report.branch_status = Status::FailedPrecondition(
+        "recovery dropped branches with unlogged copy-on-write state: [" +
+        ids + "]");
+    DroppedBranchesCounter()->Add(report.dropped_branches.size());
+  }
+
+  RecoveriesCounter()->Increment();
+  return report;
+}
+
+}  // namespace wal
+}  // namespace agentfirst

@@ -1,0 +1,64 @@
+#ifndef AGENTFIRST_WAL_RECOVERY_H_
+#define AGENTFIRST_WAL_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "memory/memory_store.h"
+#include "txn/branch_manager.h"
+#include "wal/checkpoint.h"
+#include "wal/wal.h"
+
+namespace agentfirst {
+namespace wal {
+
+/// What crash recovery did and what it could not bring back.
+struct RecoveryReport {
+  bool checkpoint_loaded = false;
+  uint64_t checkpoint_lsn = 0;
+  /// Highest LSN applied (checkpoint or replay); the writer resumes at +1.
+  uint64_t max_lsn = 0;
+  uint64_t records_replayed = 0;
+  uint64_t records_skipped = 0;  // lsn <= checkpoint_lsn (already snapshotted)
+  /// Torn/corrupt tail bytes physically truncated off the log.
+  uint64_t torn_bytes_truncated = 0;
+  /// Branches whose state the log could not reproduce (COW contents are
+  /// never logged). kMainBranch in this list means the main branch itself
+  /// was written through the branch manager pre-crash; its view was reset
+  /// to the recovered catalog tables.
+  std::vector<uint64_t> dropped_branches;
+  /// OK when every branch was restored; kFailedPrecondition naming the
+  /// dropped ids otherwise. Branch loss never fails recovery as a whole and
+  /// is never silent.
+  Status branch_status;
+  /// Surviving branch bookkeeping; seeds the WalManager after recovery.
+  BranchMeta meta;
+};
+
+/// Rebuilds `catalog` + `memory` + `branches` (all must be freshly
+/// constructed and empty, with no listeners attached) from the checkpoint
+/// and WAL under `data_dir`:
+///
+///   1. Load + verify the checkpoint, if present (tables, indexes, memory
+///      store, branch metadata).
+///   2. Replay WAL records with lsn > checkpoint lsn, in order, through the
+///      same mutation paths the live system used — so segment layout,
+///      version counters, and COW sharing relationships reproduce exactly.
+///   3. Truncate the torn/corrupt tail (detected by length/checksum) off
+///      the log file, and re-fork restorable branches / report the rest.
+///
+/// Decoding is total: torn tails, bit flips, and garbage end replay cleanly;
+/// an empty or absent data_dir recovers to an empty system. Injected faults
+/// (open/read failures) abort recovery with their error and leave the files
+/// untouched, so a re-run can succeed.
+Result<RecoveryReport> Recover(const std::string& data_dir, Catalog* catalog,
+                               AgenticMemoryStore* memory,
+                               BranchManager* branches);
+
+}  // namespace wal
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_WAL_RECOVERY_H_

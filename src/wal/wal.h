@@ -1,0 +1,260 @@
+#ifndef AGENTFIRST_WAL_WAL_H_
+#define AGENTFIRST_WAL_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/thread_pool.h"
+#include "io/file_util.h"
+#include "memory/memory_store.h"
+#include "txn/branch_manager.h"
+
+namespace agentfirst {
+namespace wal {
+
+/// How eagerly appended records reach stable storage.
+enum class FsyncPolicy {
+  kAlways,       // fsync per record (durable-on-return, slow)
+  kGroupCommit,  // flush thread coalesces appends into one fsync (default)
+  kNever,        // write-behind, no fsync (durable only across clean close)
+};
+
+const char* FsyncPolicyName(FsyncPolicy p);
+
+/// Knobs behind AgentFirstSystem::EnableDurability.
+struct DurabilityOptions {
+  /// Directory holding wal.log + checkpoint.af (created if missing).
+  std::string data_dir;
+  FsyncPolicy fsync = FsyncPolicy::kGroupCommit;
+  /// Group-commit coalescing window: how long the flush thread gathers
+  /// appends before the shared fsync.
+  int group_window_us = 100;
+  /// Take an automatic checkpoint once the live WAL exceeds this many bytes
+  /// (0 = manual checkpoints only).
+  uint64_t checkpoint_every_bytes = 0;
+};
+
+/// One WAL record per observed mutation. The numeric values are the on-disk
+/// format — append-only, never renumber.
+enum class WalRecordType : uint8_t {
+  kCreateTable = 1,     // name, schema, u64 segment_capacity
+  kDropTable = 2,       // name
+  kRegisterTable = 3,   // name, schema, u64 segment_capacity,
+                        // u64 data_version, u32 n, rows
+  kAppendRows = 4,      // table, u64 first_row, u32 n, rows
+  kSetValue = 5,        // table, u64 row, u64 col, value
+  kRemoveRows = 6,      // table, u32 mask_len, mask bytes (1 = removed)
+  kCreateIndex = 7,     // table, column
+  kDropIndex = 8,       // table, column
+  kMemoryPut = 9,       // serialized artifact (sans cached result rows)
+  kMemoryRemove = 10,   // u64 artifact id
+  kBranchImport = 11,   // table, u64 data_version at import
+  kBranchFork = 12,     // u64 id, u64 parent
+  kBranchMutate = 13,   // u64 id (branch content diverged; not replayable)
+  kBranchRollback = 14, // u64 id
+};
+
+/// File framing. A WAL file is the 8-byte header (magic "AFWL", u32 format
+/// version) followed by frames of `u32 payload_len | u32 crc32c(payload) |
+/// payload`, where payload = `u8 type | u64 lsn | body`. Anything that fails
+/// the length or checksum check — torn tail, bit flip, garbage — ends the
+/// readable prefix; decoding is total and never UB.
+inline constexpr char kWalMagic[4] = {'A', 'F', 'W', 'L'};
+inline constexpr uint32_t kWalFormatVersion = 1;
+inline constexpr size_t kWalHeaderSize = 8;
+/// Frames larger than this are rejected as corruption (no WAL record comes
+/// close; prevents a flipped length byte from driving a giant allocation).
+inline constexpr uint32_t kMaxWalRecordSize = 1u << 28;
+
+std::string EncodeWalHeader();
+
+/// A decoded frame (body still encoded; recovery dispatches on type).
+struct WalRecord {
+  WalRecordType type = WalRecordType::kCreateTable;
+  uint64_t lsn = 0;
+  std::string body;
+  /// Byte offset of this frame in the file — where recovery truncates when
+  /// a CRC-valid record turns out to have a malformed body.
+  uint64_t file_offset = 0;
+};
+
+struct WalReadStats {
+  uint64_t records = 0;
+  /// Bytes of the file that parsed cleanly (header included); everything
+  /// past this offset is torn/corrupt tail.
+  uint64_t valid_bytes = 0;
+  uint64_t torn_bytes = 0;
+};
+
+/// Parses every intact record of a WAL image; stops (without error) at the
+/// first frame that is truncated or fails its checksum. A missing or
+/// malformed header yields InvalidArgument.
+Result<std::vector<WalRecord>> ReadWalImage(std::string_view bytes,
+                                            WalReadStats* stats);
+
+/// Serialization of one memory artifact (shared by WAL records and
+/// checkpoints). Cached result rows are not persisted — they are
+/// re-derivable and version-pinned; the durable value is the grounding.
+void AppendArtifact(const MemoryArtifact& a, ByteWriter* w);
+Status ReadArtifact(ByteReader* r, MemoryArtifact* out);
+
+/// Branch bookkeeping the WAL keeps so checkpoints can describe the branch
+/// universe without serializing COW segment contents. Forks are kept in
+/// creation order; a tainted branch has state the log cannot reproduce
+/// (its own writes, or a fork taken from an already-tainted parent).
+struct BranchMeta {
+  struct Import {
+    std::string table;
+    uint64_t data_version = 0;
+  };
+  struct Fork {
+    uint64_t id = 0;
+    uint64_t parent = 0;
+    bool tainted = false;
+  };
+  std::vector<Import> imports;
+  std::vector<Fork> forks;
+  /// The main branch itself was written through the branch manager.
+  bool main_tainted = false;
+
+  bool IsTainted(uint64_t branch) const;
+  void Taint(uint64_t branch);
+};
+
+/// The low-level appender: owns the log file, assigns LSNs, and runs the
+/// group-commit flush thread (a private single-thread pool, mirroring the
+/// net server's event-loop idiom). Thread-safe: concurrent Append calls
+/// from any number of writers coalesce into shared fsyncs.
+class WalWriter {
+ public:
+  /// Opens (creating + writing the header if empty/missing) `path` for
+  /// appending. `next_lsn` seeds LSN assignment (recovery passes
+  /// max replayed LSN + 1; a fresh log starts at 1).
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                 const DurabilityOptions& options,
+                                                 uint64_t next_lsn);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record, returning its LSN. Under kGroupCommit the record
+  /// is buffered (call WaitDurable to block on the shared fsync); under
+  /// kAlways it is durable on return; under kNever it is write-behind.
+  /// After any I/O error the writer is sticky-failed and every subsequent
+  /// call returns that error.
+  Result<uint64_t> Append(WalRecordType type, std::string_view body);
+
+  /// Blocks until `lsn` is durable per the policy (no-op for kNever).
+  Status WaitDurable(uint64_t lsn);
+
+  /// Forces everything appended so far to stable storage (all policies).
+  Status Sync();
+
+  /// Truncates the log back to just the header after a checkpoint made the
+  /// prefix redundant. LSNs keep increasing across the reset.
+  Status ResetAfterCheckpoint();
+
+  /// Flushes, fsyncs, and closes. Further appends fail.
+  Status Close();
+
+  uint64_t durable_lsn() const;
+  uint64_t last_lsn() const;
+  /// Bytes appended to the live log since open / the last checkpoint reset.
+  uint64_t live_bytes() const;
+
+ private:
+  WalWriter(const DurabilityOptions& options, uint64_t next_lsn);
+
+  void FlusherLoop();
+  /// Writes + fsyncs everything pending. Called with mutex_ held.
+  Status FlushLocked(bool sync) AF_REQUIRES(mutex_);
+
+  const DurabilityOptions options_;
+
+  mutable Mutex mutex_;
+  io::File file_ AF_GUARDED_BY(mutex_);
+  std::string pending_ AF_GUARDED_BY(mutex_);
+  uint64_t next_lsn_ AF_GUARDED_BY(mutex_);
+  uint64_t buffered_lsn_ AF_GUARDED_BY(mutex_) = 0;
+  uint64_t durable_lsn_ AF_GUARDED_BY(mutex_) = 0;
+  uint64_t live_bytes_ AF_GUARDED_BY(mutex_) = 0;
+  Status io_status_ AF_GUARDED_BY(mutex_);
+  bool closed_ AF_GUARDED_BY(mutex_) = false;
+  bool stop_flusher_ AF_GUARDED_BY(mutex_) = false;
+  CondVar flusher_cv_;
+  CondVar durable_cv_;
+  /// Group-commit flush thread (single-thread private pool; kGroupCommit
+  /// and kNever only).
+  std::unique_ptr<ThreadPool> flusher_;
+};
+
+/// The durability hook: one object implementing every mutation-listener
+/// interface in the tree, translating callbacks into WAL records. Attached
+/// by AgentFirstSystem::EnableDurability to the catalog (which fans it out
+/// to each table), the memory store, and the branch manager. Append errors
+/// are sticky and surfaced by the next durability barrier, mirroring
+/// fsync-failure semantics.
+class WalManager : public CatalogMutationListener,
+                   public MemoryMutationListener,
+                   public BranchMutationListener {
+ public:
+  explicit WalManager(std::unique_ptr<WalWriter> writer)
+      : writer_(std::move(writer)) {}
+
+  WalWriter* writer() { return writer_.get(); }
+  BranchMeta* branch_meta() { return &meta_; }
+
+  /// Blocks until every record logged so far is durable per the policy and
+  /// returns the sticky error, if any. The per-call durability barrier.
+  Status Barrier();
+
+  // CatalogMutationListener.
+  void OnCreateTable(const Table& table) override;
+  void OnRegisterTable(const Table& table) override;
+  void OnDropTable(const std::string& name) override;
+  void OnCreateIndex(const std::string& table,
+                     const std::string& column) override;
+  void OnDropIndex(const std::string& table,
+                   const std::string& column) override;
+
+  // TableMutationListener.
+  void OnAppendRows(const Table& table, size_t first_row, const Row* rows,
+                    size_t n) override;
+  void OnSetValue(const Table& table, size_t row, size_t col,
+                  const Value& value) override;
+  void OnRemoveRows(const Table& table,
+                    const std::vector<uint8_t>& removed_mask) override;
+
+  // MemoryMutationListener.
+  void OnPut(const MemoryArtifact& artifact) override;
+  void OnRemove(uint64_t id) override;
+
+  // BranchMutationListener.
+  void OnImport(const std::string& table, uint64_t data_version) override;
+  void OnFork(uint64_t id, uint64_t parent) override;
+  void OnMutate(uint64_t branch) override;
+  void OnRollback(uint64_t branch) override;
+
+ private:
+  void Log(WalRecordType type, std::string_view body);
+
+  std::unique_ptr<WalWriter> writer_;
+  BranchMeta meta_;
+};
+
+/// data_dir layout helpers.
+std::string WalPath(const std::string& data_dir);
+std::string CheckpointPath(const std::string& data_dir);
+
+}  // namespace wal
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_WAL_WAL_H_

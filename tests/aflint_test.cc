@@ -38,12 +38,13 @@ bool HasRule(const std::vector<Diagnostic>& diags, const std::string& rule) {
 
 TEST(AflintTest, RuleCatalogIsStable) {
   std::vector<std::string> rules = RuleNames();
-  ASSERT_EQ(rules.size(), 10u);
+  ASSERT_EQ(rules.size(), 11u);
   EXPECT_NE(std::find(rules.begin(), rules.end(), "raw-thread"), rules.end());
   EXPECT_NE(std::find(rules.begin(), rules.end(), "fault-point-scope"),
             rules.end());
   EXPECT_NE(std::find(rules.begin(), rules.end(), "raw-counter"), rules.end());
   EXPECT_NE(std::find(rules.begin(), rules.end(), "raw-socket"), rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "raw-file-io"), rules.end());
   EXPECT_NE(std::find(rules.begin(), rules.end(), "deprecated-brief-limits"),
             rules.end());
   EXPECT_NE(std::find(rules.begin(), rules.end(), "row-value-in-kernel"),
@@ -345,6 +346,53 @@ TEST(AflintTest, RawSocketSuppressedByAllow) {
       "// legacy shim. aflint:allow(raw-socket)\n"
       "int fd = socket(AF_INET, SOCK_STREAM, 0);\n";
   EXPECT_TRUE(RunLint("src/exec/foo.cc", src).empty());
+}
+
+TEST(AflintTest, RawFileIoFiresOnSyscallsOutsideIoAndWal) {
+  std::string src =
+      "int fd = open(path.c_str(), O_WRONLY | O_CREAT, 0644);\n"
+      "ssize_t n = ::write(fd, buf, len);\n"
+      "fsync(fd);\n"
+      "rename(tmp.c_str(), final_path.c_str());\n"
+      "FILE* f = fopen(path.c_str(), \"wb\");\n";
+  auto diags = RunLint("src/exec/foo.cc", src);
+  EXPECT_TRUE(HasRuleAtLine(diags, "raw-file-io", 1));
+  EXPECT_TRUE(HasRuleAtLine(diags, "raw-file-io", 2));
+  EXPECT_TRUE(HasRuleAtLine(diags, "raw-file-io", 3));
+  EXPECT_TRUE(HasRuleAtLine(diags, "raw-file-io", 4));
+  EXPECT_TRUE(HasRuleAtLine(diags, "raw-file-io", 5));
+  // Tools and tests too: durable bytes go through io::File everywhere, so
+  // every harness write shares the same fault-injection points.
+  EXPECT_TRUE(HasRule(RunLint("tools/foo.cc", src), "raw-file-io"));
+  EXPECT_TRUE(HasRule(RunLint("tests/foo_test.cc", src), "raw-file-io"));
+}
+
+TEST(AflintTest, RawFileIoExemptUnderSrcIoAndWal) {
+  std::string src =
+      "int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);\n"
+      "if (fsync(fd) != 0) return ErrnoStatus();\n"
+      "rename(tmp.c_str(), final_path.c_str());\n";
+  EXPECT_TRUE(RunLint("src/io/file_util.cc", src).empty());
+  EXPECT_TRUE(RunLint("src/wal/wal.cc", src).empty());
+  EXPECT_TRUE(RunLint("src/wal/checkpoint.cc", src).empty());
+}
+
+TEST(AflintTest, RawFileIoIgnoresMembersAndQualifiedNames) {
+  std::string src =
+      "file.open(path);\n"
+      "stream->write(buf, len);\n"
+      "io::WriteFileAtomic(path, bytes);\n"
+      "writer_->fsync_policy();\n"
+      "int write_batch = 3;\n"
+      "std::ofstream out(path);\n";
+  EXPECT_TRUE(RunLint("src/exec/foo.cc", src).empty());
+}
+
+TEST(AflintTest, RawFileIoSuppressedByAllow) {
+  std::string src =
+      "// event-loop doorbell, not durable state. aflint:allow(raw-file-io)\n"
+      "(void)::write(wake_write_fd_, &byte, 1);\n";
+  EXPECT_TRUE(RunLint("src/net/server.cc", src).empty());
 }
 
 TEST(AflintTest, DeprecatedBriefLimitsFiresOnWrites) {

@@ -5,6 +5,10 @@
 //   afserve --host 0.0.0.0       # non-loopback bind (default 127.0.0.1)
 //   afserve --demo               # preload the afsh demo tables
 //   afserve --max-sessions 16    # concurrent agent session cap
+//   afserve --data-dir DIR       # durable: WAL + checkpoint under DIR;
+//                                # restarting on the same DIR recovers all
+//                                # previously acknowledged state
+//   afserve --fsync MODE         # always | group_commit (default) | never
 //
 // Prints exactly one line of the form
 //
@@ -12,8 +16,9 @@
 //
 // to stdout once the listener is bound (scripts parse the port out of it —
 // tools/check.sh does), then blocks until SIGINT or SIGTERM, shuts the
-// server down cleanly (draining in-flight probes), and dumps the af.net.*
-// metric family so a smoke run leaves evidence of what it served.
+// server down cleanly (draining in-flight probes, then flushing + fsyncing
+// + closing the WAL), and dumps the af.net.* / af.wal.* metric families so
+// a smoke run leaves evidence of what it served and persisted.
 
 #include <chrono>
 #include <csignal>
@@ -57,6 +62,7 @@ void LoadDemo(AgentFirstSystem* db) {
 
 int Serve(int argc, char** argv) {
   net::ProbeServer::Options options;
+  wal::DurabilityOptions durability;
   bool demo = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -71,16 +77,57 @@ int Serve(int argc, char** argv) {
       options.max_sessions = static_cast<size_t>(std::atol(next()));
     } else if (arg == "--demo") {
       demo = true;
+    } else if (arg == "--data-dir") {
+      durability.data_dir = next();
+    } else if (arg == "--fsync") {
+      std::string mode = next();
+      if (mode == "always") {
+        durability.fsync = wal::FsyncPolicy::kAlways;
+      } else if (mode == "group_commit") {
+        durability.fsync = wal::FsyncPolicy::kGroupCommit;
+      } else if (mode == "never") {
+        durability.fsync = wal::FsyncPolicy::kNever;
+      } else {
+        std::fprintf(stderr, "afserve: unknown --fsync mode '%s'\n",
+                     mode.c_str());
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: afserve [--host H] [--port P] [--max-sessions N] "
-                   "[--demo]\n");
+                   "[--demo] [--data-dir DIR] [--fsync always|group_commit|"
+                   "never]\n");
       return 2;
     }
   }
 
   AgentFirstSystem db;
-  if (demo) LoadDemo(&db);
+  if (!durability.data_dir.empty()) {
+    // Recover-then-log: must run before --demo seeds any tables. A branch
+    // verdict (kFailedPrecondition) is a warning, not a startup failure —
+    // recovery itself succeeded and nothing was lost silently.
+    Status durable = db.EnableDurability(durability);
+    if (!durable.ok()) {
+      if (durable.code() == StatusCode::kFailedPrecondition &&
+          db.durable()) {
+        std::fprintf(stderr, "afserve: %s\n", durable.ToString().c_str());
+      } else {
+        std::fprintf(stderr, "afserve: %s\n", durable.ToString().c_str());
+        return 1;
+      }
+    }
+    const auto& report = db.recovery_report();
+    std::fprintf(stderr,
+                 "afserve: recovered %s (checkpoint %s, %llu record(s) "
+                 "replayed, %llu torn byte(s) truncated)\n",
+                 durability.data_dir.c_str(),
+                 report.checkpoint_loaded ? "loaded" : "absent",
+                 static_cast<unsigned long long>(report.records_replayed),
+                 static_cast<unsigned long long>(report.torn_bytes_truncated));
+  }
+  // Demo tables are skipped when recovery already rebuilt a database: the
+  // second boot's CREATE TABLE would otherwise collide with the first's.
+  if (demo && db.catalog()->NumTables() == 0) LoadDemo(&db);
 
   net::ProbeServer server(&db, options);
   Status started = server.Start();
@@ -103,12 +150,23 @@ int Serve(int argc, char** argv) {
   std::fprintf(stderr, "afserve: shutting down (%zu session(s) open)\n",
                server.NumSessions());
   server.Stop();
+  if (db.durable()) {
+    // Flush + fsync + close the WAL after the last session drained, so a
+    // SIGTERM'd server restarted on the same --data-dir loses nothing.
+    Status closed = db.CloseDurability();
+    if (!closed.ok()) {
+      std::fprintf(stderr, "afserve: wal close failed: %s\n",
+                   closed.ToString().c_str());
+      return 1;
+    }
+  }
 
-  // Leave a trace of what this process served.
+  // Leave a trace of what this process served (and persisted).
   std::istringstream rendered(obs::MetricsRegistry::Default().RenderText());
   std::string line;
   while (std::getline(rendered, line)) {
-    if (line.find("af.net.") != std::string::npos) {
+    if (line.find("af.net.") != std::string::npos ||
+        line.find("af.wal.") != std::string::npos) {
       std::fprintf(stderr, "  %s\n", line.c_str());
     }
   }

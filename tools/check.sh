@@ -17,8 +17,13 @@
 #                       same TSan build, then the bench smoke
 #                       (bench_parallel_exec --quick), which fails if the
 #                       vectorized path is ever slower than the row path
+#   7. durability     — the WAL kill-and-recover torture (wal_test) under
+#                       AddressSanitizer via tools/run_sanitized.sh: every
+#                       injected crash site must recover to a committed
+#                       prefix with no leaks or heap errors on the
+#                       error/recovery paths
 #
-#   tools/check.sh              # all six stages
+#   tools/check.sh              # all seven stages
 #   tools/check.sh --no-tests   # static stages only (fast pre-push)
 #
 # Exits non-zero on the first failing stage.
@@ -31,7 +36,7 @@ if [[ "${1:-}" == "--no-tests" ]]; then
   run_tests=0
 fi
 
-echo "=== [1/6] aflint ==="
+echo "=== [1/7] aflint ==="
 # The lint rule engine is a plain C++ library; build just the CLI target so
 # this stage stays fast even on a cold tree.
 cmake -B build -S . > /dev/null
@@ -39,11 +44,11 @@ cmake --build build -j "$(nproc)" --target aflint > /dev/null
 ./build/tools/aflint --root . src tests tools bench
 echo "aflint: clean"
 
-echo "=== [2/6] afmetrics self-test ==="
+echo "=== [2/7] afmetrics self-test ==="
 cmake --build build -j "$(nproc)" --target afmetrics > /dev/null
 ./build/tools/afmetrics --self-test
 
-echo "=== [3/6] clang thread-safety analysis ==="
+echo "=== [3/7] clang thread-safety analysis ==="
 if command -v clang++ > /dev/null 2>&1; then
   cmake -B build-tsafety -S . -DCMAKE_CXX_COMPILER=clang++ \
         -DAGENTFIRST_THREAD_SAFETY=ON > /dev/null
@@ -55,15 +60,15 @@ else
 fi
 
 if [[ "$run_tests" == "1" ]]; then
-  echo "=== [4/6] tier-1 build + tests ==="
+  echo "=== [4/7] tier-1 build + tests ==="
   cmake --build build -j "$(nproc)"
   ctest --test-dir build --output-on-failure -j "$(nproc)"
 else
-  echo "=== [4/6] tier-1 tests skipped (--no-tests) ==="
+  echo "=== [4/7] tier-1 tests skipped (--no-tests) ==="
 fi
 
 if [[ "$run_tests" == "1" ]]; then
-  echo "=== [5/6] networked service smoke (TSan) ==="
+  echo "=== [5/7] networked service smoke (TSan) ==="
   cmake -B build-tsan -S . -DAGENTFIRST_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   cmake --build build-tsan -j "$(nproc)" \
@@ -98,11 +103,11 @@ if [[ "$run_tests" == "1" ]]; then
   ./build-tsan/tests/net_test
   ./build-tsan/tests/fuzz_wire_test
 else
-  echo "=== [5/6] net smoke skipped (--no-tests) ==="
+  echo "=== [5/7] net smoke skipped (--no-tests) ==="
 fi
 
 if [[ "$run_tests" == "1" ]]; then
-  echo "=== [6/6] vectorized parity (TSan) + bench smoke ==="
+  echo "=== [6/7] vectorized parity (TSan) + bench smoke ==="
   # Parity (row path == vec path, byte-identical) and determinism (same
   # answer at 1/2/4/8 threads) have to hold under TSan, or the batch
   # kernels' lock-free morsel claiming is wrong in a way plain runs can
@@ -117,7 +122,19 @@ if [[ "$run_tests" == "1" ]]; then
   cmake --build build -j "$(nproc)" --target bench_parallel_exec > /dev/null
   ./build/bench/bench_parallel_exec --quick
 else
-  echo "=== [6/6] vectorized parity + bench smoke skipped (--no-tests) ==="
+  echo "=== [6/7] vectorized parity + bench smoke skipped (--no-tests) ==="
+fi
+
+if [[ "$run_tests" == "1" ]]; then
+  echo "=== [7/7] durability kill-and-recover torture (ASan) ==="
+  # The whole wal_test suite — framing fuzz, group commit, and the
+  # >=50-injection-point crash torture — under AddressSanitizer with leak
+  # detection. The crash sites exercise every error/cleanup path in the
+  # writer, checkpointer, and recoverer; ASan proves those paths release
+  # what they allocate even when the "disk" fails mid-operation.
+  tools/run_sanitized.sh address wal_test
+else
+  echo "=== [7/7] durability torture skipped (--no-tests) ==="
 fi
 
 echo "check.sh: all stages passed"
