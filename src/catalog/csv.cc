@@ -1,4 +1,4 @@
-#include "io/csv.h"
+#include "catalog/csv.h"
 
 #include <cerrno>
 #include <cstdlib>

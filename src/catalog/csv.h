@@ -1,5 +1,5 @@
-#ifndef AGENTFIRST_IO_CSV_H_
-#define AGENTFIRST_IO_CSV_H_
+#ifndef AGENTFIRST_CATALOG_CSV_H_
+#define AGENTFIRST_CATALOG_CSV_H_
 
 #include <string>
 #include <vector>
@@ -30,4 +30,4 @@ Result<TablePtr> ImportCsv(Catalog* catalog, const std::string& name,
 
 }  // namespace agentfirst
 
-#endif  // AGENTFIRST_IO_CSV_H_
+#endif  // AGENTFIRST_CATALOG_CSV_H_

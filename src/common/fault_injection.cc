@@ -5,7 +5,7 @@
 #include <thread>
 
 #include "common/hash.h"
-#include "obs/metrics.h"
+#include "common/telemetry_hook.h"
 
 namespace agentfirst {
 
@@ -13,9 +13,10 @@ namespace {
 /// af.fault.fired counts injected faults process-wide; hits at armed sites
 /// are already per-site observable via FaultRegistry::hits(). Only the
 /// fired (slow) path touches this — disabled fault points stay one load.
-obs::Counter* FiredCounter() {
-  static obs::Counter* counter =
-      obs::MetricsRegistry::Default().GetCounter("af.fault.fired");
+/// Emitted through the telemetry hook (common/ sits below obs/): a no-op
+/// unless obs/metrics.cc has installed its bridge.
+TelemetryCounter& FiredCounter() {
+  static TelemetryCounter counter{"af.fault.fired"};
   return counter;
 }
 }  // namespace
@@ -86,7 +87,7 @@ Status FaultRegistry::Hit(const char* site) {
     if (u >= spec.probability) return Status::OK();
     ++state.fired_count;
   }
-  FiredCounter()->Increment();
+  FiredCounter().Increment();
   switch (spec.kind) {
     case FaultKind::kLatency:
       std::this_thread::sleep_for(std::chrono::milliseconds(spec.latency_ms));

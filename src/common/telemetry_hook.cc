@@ -1,0 +1,38 @@
+#include "common/telemetry_hook.h"
+
+namespace agentfirst {
+
+namespace {
+/// Copied into static storage on install so callers may pass temporaries;
+/// published via a single atomic pointer so readers never see a half-written
+/// vtable.
+std::atomic<const TelemetrySinkHooks*> g_sink{nullptr};
+}  // namespace
+
+void InstallTelemetrySink(const TelemetrySinkHooks& hooks) {
+  static TelemetrySinkHooks storage;
+  storage = hooks;
+  g_sink.store(&storage, std::memory_order_release);
+}
+
+const TelemetrySinkHooks* TelemetrySink() {
+  return g_sink.load(std::memory_order_acquire);
+}
+
+void* TelemetryCounter::Bind() {
+  const TelemetrySinkHooks* sink = TelemetrySink();
+  if (sink == nullptr) return nullptr;
+  void* h = sink->counter(name_);
+  handle_.store(h, std::memory_order_relaxed);
+  return h;
+}
+
+void* TelemetryGauge::Bind() {
+  const TelemetrySinkHooks* sink = TelemetrySink();
+  if (sink == nullptr) return nullptr;
+  void* h = sink->gauge(name_);
+  handle_.store(h, std::memory_order_relaxed);
+  return h;
+}
+
+}  // namespace agentfirst

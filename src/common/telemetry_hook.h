@@ -1,0 +1,81 @@
+#ifndef AGENTFIRST_COMMON_TELEMETRY_HOOK_H_
+#define AGENTFIRST_COMMON_TELEMETRY_HOOK_H_
+
+#include <atomic>
+#include <cstdint>
+
+/// Telemetry without an upward dependency. common/ sits below obs/ in the
+/// layer DAG (tools/layers.toml), so it may not include obs/metrics.h — yet
+/// the thread pool and fault registry want to publish af.pool.* / af.fault.*
+/// counters. The inversion: common/ defines an opaque function-pointer sink
+/// and emits through it; obs/metrics.cc installs a bridge to its registry
+/// from a static initializer. Processes that never link obs/ simply have no
+/// sink, and every emit is a cheap no-op.
+///
+/// Hot-path cost with a sink installed: one relaxed handle load, one acquire
+/// sink load, one indirect call into a relaxed atomic add — the same
+/// order of magnitude as the direct obs::Counter::Add it replaces.
+namespace agentfirst {
+
+/// The sink vtable. Handles are opaque to common/: the bridge returns
+/// registry-owned pointers (never freed, process lifetime) and is the only
+/// code that knows their concrete type.
+struct TelemetrySinkHooks {
+  void* (*counter)(const char* name);        // name -> counter handle
+  void* (*gauge)(const char* name);          // name -> gauge handle
+  void (*counter_add)(void* counter, uint64_t delta);
+  void (*gauge_set)(void* gauge, int64_t value);
+};
+
+/// Installs the process-wide sink. Expected to run once, from a static
+/// initializer in the sink's own module (obs/metrics.cc); a second call
+/// replaces the hooks but already-bound handles stay with the old sink.
+void InstallTelemetrySink(const TelemetrySinkHooks& hooks);
+
+/// The installed sink, or nullptr if none. Acquire-loaded so a caller that
+/// sees the pointer also sees the hook fields.
+const TelemetrySinkHooks* TelemetrySink();
+
+/// A named counter that binds itself to the sink on first use. Safe to
+/// construct before any sink exists: emits drop silently until one is
+/// installed, then bind and count normally.
+class TelemetryCounter {
+ public:
+  /// `name` must outlive the counter (string literals in practice).
+  explicit constexpr TelemetryCounter(const char* name) : name_(name) {}
+
+  void Add(uint64_t delta) {
+    void* h = handle_.load(std::memory_order_relaxed);
+    if (h == nullptr && (h = Bind()) == nullptr) return;
+    TelemetrySink()->counter_add(h, delta);
+  }
+  void Increment() { Add(1); }
+
+ private:
+  void* Bind();
+
+  const char* name_;
+  std::atomic<void*> handle_{nullptr};
+};
+
+/// Gauge counterpart of TelemetryCounter.
+class TelemetryGauge {
+ public:
+  explicit constexpr TelemetryGauge(const char* name) : name_(name) {}
+
+  void Set(int64_t value) {
+    void* h = handle_.load(std::memory_order_relaxed);
+    if (h == nullptr && (h = Bind()) == nullptr) return;
+    TelemetrySink()->gauge_set(h, value);
+  }
+
+ private:
+  void* Bind();
+
+  const char* name_;
+  std::atomic<void*> handle_{nullptr};
+};
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_COMMON_TELEMETRY_HOOK_H_

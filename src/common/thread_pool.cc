@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "obs/metrics.h"
+#include "common/telemetry_hook.h"
 
 namespace agentfirst {
 
@@ -15,21 +15,17 @@ thread_local size_t tls_worker_index = 0;
 
 /// Process-wide scheduler metrics (af.pool.*), aggregated over every pool in
 /// the process (in practice: ThreadPool::Default() plus test-local pools).
+/// Published through the telemetry hook: common/ sits below obs/ in the
+/// layer DAG, so these are silent no-ops until obs/metrics.cc installs its
+/// bridge (which every binary that links obs/ does at static-init time).
 struct PoolMetrics {
-  obs::Counter* submitted;
-  obs::Counter* steals;
-  obs::Gauge* queue_depth;
+  TelemetryCounter submitted{"af.pool.tasks_submitted"};
+  TelemetryCounter steals{"af.pool.steals"};
+  TelemetryGauge queue_depth{"af.pool.queue_depth"};
 };
 
 PoolMetrics& Metrics() {
-  static PoolMetrics* m = [] {
-    auto& reg = obs::MetricsRegistry::Default();
-    auto* metrics = new PoolMetrics();
-    metrics->submitted = reg.GetCounter("af.pool.tasks_submitted");
-    metrics->steals = reg.GetCounter("af.pool.steals");
-    metrics->queue_depth = reg.GetGauge("af.pool.queue_depth");
-    return metrics;
-  }();
+  static PoolMetrics* m = new PoolMetrics();
   return *m;
 }
 }  // namespace
@@ -65,8 +61,8 @@ ThreadPool* ThreadPool::Default() {
 }
 
 void ThreadPool::Push(Task task) {
-  Metrics().submitted->Increment();
-  Metrics().queue_depth->Set(
+  Metrics().submitted.Increment();
+  Metrics().queue_depth.Set(
       static_cast<int64_t>(num_tasks_.fetch_add(1)) + 1);
   if (tls_pool == this) {
     Worker& self = *workers_[tls_worker_index];
@@ -107,7 +103,7 @@ bool ThreadPool::PopTask(Task* out) {
     if (!victim.deque.empty()) {
       *out = std::move(victim.deque.front());
       victim.deque.pop_front();
-      Metrics().steals->Increment();
+      Metrics().steals.Increment();
       return true;
     }
   }
@@ -120,7 +116,7 @@ void ThreadPool::WorkerLoop(size_t index) {
   while (true) {
     Task task;
     if (PopTask(&task)) {
-      Metrics().queue_depth->Set(
+      Metrics().queue_depth.Set(
           static_cast<int64_t>(num_tasks_.fetch_sub(1)) - 1);
       task();
       continue;

@@ -1,0 +1,281 @@
+#include "lint/findings.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <tuple>
+
+namespace agentfirst {
+namespace lint {
+
+namespace {
+
+/// FNV-1a 64-bit — deterministic across platforms and runs.
+uint64_t Fnv1a(const std::string& s, uint64_t h = 1469598103934665603ull) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string Hex16(uint64_t v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (size_t i = 16; i-- > 0;) {
+    out[i] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+/// Whitespace-squeezed, trimmed line text: edits to indentation or alignment
+/// don't change a finding's identity.
+std::string NormalizeLine(const std::string& raw) {
+  std::string out;
+  bool pending_space = false;
+  for (char c : raw) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      pending_space = !out.empty();
+    } else {
+      if (pending_space) out += ' ';
+      pending_space = false;
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (c < 0x20) {
+          static const char* kDigits = "0123456789abcdef";
+          out += "\\u00";
+          out += kDigits[(c >> 4) & 0xf];
+          out += kDigits[c & 0xf];
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Tiny strict reader for the JSON shape EmitFindingsJson writes.
+class JsonCursor {
+ public:
+  explicit JsonCursor(const std::string& s) : s_(s) {}
+
+  void SkipSpace() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  bool Expect(char c) {
+    SkipSpace();
+    if (pos_ >= s_.size() || s_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < s_.size() && s_[pos_] == c;
+  }
+  bool ParseString(std::string* out) {
+    if (!Expect('"')) return false;
+    out->clear();
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        char e = s_[pos_++];
+        switch (e) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 't': *out += '\t'; break;
+          case 'r': *out += '\r'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return false;
+            unsigned v = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = s_[pos_++];
+              v <<= 4;
+              if (h >= '0' && h <= '9') v |= h - '0';
+              else if (h >= 'a' && h <= 'f') v |= h - 'a' + 10;
+              else if (h >= 'A' && h <= 'F') v |= h - 'A' + 10;
+              else return false;
+            }
+            // The emitter only writes \u00XX control escapes.
+            *out += static_cast<char>(v & 0xff);
+            break;
+          }
+          default:
+            return false;
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return false;
+  }
+  bool ParseUint(uint64_t* out) {
+    SkipSpace();
+    if (pos_ >= s_.size() ||
+        std::isdigit(static_cast<unsigned char>(s_[pos_])) == 0) {
+      return false;
+    }
+    *out = 0;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0) {
+      *out = *out * 10 + static_cast<uint64_t>(s_[pos_++] - '0');
+    }
+    return true;
+  }
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= s_.size();
+  }
+
+ private:
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<Finding> BuildFindings(
+    const std::vector<Diagnostic>& diags,
+    const std::map<std::string, const PrelexedSource*>& sources) {
+  std::vector<Finding> out;
+  out.reserve(diags.size());
+  for (const Diagnostic& d : diags) {
+    Finding f;
+    f.diag = d;
+    out.push_back(std::move(f));
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.diag.file, a.diag.line, a.diag.rule, a.diag.message) <
+           std::tie(b.diag.file, b.diag.line, b.diag.rule, b.diag.message);
+  });
+  // Occurrence index among identical (rule, file, normalized text) triples,
+  // in line order — so two findings on identical lines stay distinct, and
+  // the index survives line-number drift.
+  std::map<std::string, int> occurrence;
+  for (Finding& f : out) {
+    std::string text;
+    auto src = sources.find(f.diag.file);
+    if (src != sources.end() && f.diag.line >= 1 &&
+        f.diag.line <= src->second->raw.size()) {
+      text = NormalizeLine(src->second->raw[f.diag.line - 1]);
+    }
+    std::string key = f.diag.rule + "\x1f" + f.diag.file + "\x1f" + text;
+    int index = occurrence[key]++;
+    uint64_t h = Fnv1a(key);
+    h = Fnv1a("\x1f" + std::to_string(index), h);
+    f.fingerprint = Hex16(h);
+  }
+  return out;
+}
+
+std::string EmitFindingsJson(const std::vector<Finding>& findings) {
+  std::vector<const Finding*> order;
+  order.reserve(findings.size());
+  for (const Finding& f : findings) order.push_back(&f);
+  std::sort(order.begin(), order.end(), [](const Finding* a, const Finding* b) {
+    return std::tie(a->diag.file, a->diag.line, a->diag.rule, a->fingerprint) <
+           std::tie(b->diag.file, b->diag.line, b->diag.rule, b->fingerprint);
+  });
+  std::string out = "{\n  \"aflint_version\": 2,\n  \"findings\": [";
+  for (size_t i = 0; i < order.size(); ++i) {
+    const Finding& f = *order[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"rule\": \"" + EscapeJson(f.diag.rule) + "\", \"file\": \"" +
+           EscapeJson(f.diag.file) + "\", \"line\": " +
+           std::to_string(f.diag.line) + ", \"fingerprint\": \"" +
+           f.fingerprint + "\", \"message\": \"" + EscapeJson(f.diag.message) +
+           "\"}";
+  }
+  out += order.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+bool ParseFindingsJson(const std::string& json, std::vector<Finding>* out,
+                       std::string* error) {
+  JsonCursor c(json);
+  auto fail = [&](const std::string& what) {
+    *error = "malformed findings JSON: " + what;
+    return false;
+  };
+  if (!c.Expect('{')) return fail("expected top-level object");
+  bool first = true;
+  while (!c.Peek('}')) {
+    if (!first && !c.Expect(',')) return fail("expected ',' between keys");
+    first = false;
+    std::string key;
+    if (!c.ParseString(&key)) return fail("expected key string");
+    if (!c.Expect(':')) return fail("expected ':' after key");
+    if (key == "findings") {
+      if (!c.Expect('[')) return fail("findings must be an array");
+      bool first_item = true;
+      while (!c.Peek(']')) {
+        if (!first_item && !c.Expect(',')) {
+          return fail("expected ',' between findings");
+        }
+        first_item = false;
+        if (!c.Expect('{')) return fail("finding must be an object");
+        Finding f;
+        bool first_field = true;
+        while (!c.Peek('}')) {
+          if (!first_field && !c.Expect(',')) {
+            return fail("expected ',' between fields");
+          }
+          first_field = false;
+          std::string field;
+          if (!c.ParseString(&field)) return fail("expected field name");
+          if (!c.Expect(':')) return fail("expected ':' after field name");
+          if (field == "line") {
+            uint64_t v = 0;
+            if (!c.ParseUint(&v)) return fail("line must be a number");
+            f.diag.line = static_cast<size_t>(v);
+          } else {
+            std::string v;
+            if (!c.ParseString(&v)) return fail("field must be a string");
+            if (field == "rule") f.diag.rule = v;
+            else if (field == "file") f.diag.file = v;
+            else if (field == "fingerprint") f.fingerprint = v;
+            else if (field == "message") f.diag.message = v;
+          }
+        }
+        if (!c.Expect('}')) return fail("unterminated finding object");
+        if (f.fingerprint.empty()) return fail("finding without fingerprint");
+        out->push_back(std::move(f));
+      }
+      if (!c.Expect(']')) return fail("unterminated findings array");
+    } else {
+      uint64_t ignored = 0;
+      std::string ignored_s;
+      if (!c.ParseUint(&ignored) && !c.ParseString(&ignored_s)) {
+        return fail("unsupported value for key '" + key + "'");
+      }
+    }
+  }
+  if (!c.Expect('}')) return fail("unterminated top-level object");
+  if (!c.AtEnd()) return fail("trailing content");
+  return true;
+}
+
+}  // namespace lint
+}  // namespace agentfirst

@@ -1,0 +1,48 @@
+#ifndef AGENTFIRST_LINT_FINDINGS_H_
+#define AGENTFIRST_LINT_FINDINGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+#include "lint/prelex.h"
+
+/// Machine-readable findings: every diagnostic plus a stable fingerprint, so
+/// agents and CI can diff runs instead of re-parsing human text.
+///
+/// The fingerprint hashes (rule, file, normalized source-line text,
+/// occurrence index among identical triples) — NOT the line number — so a
+/// finding keeps its identity when unrelated edits shift the file, and a
+/// checked-in baseline (tools/aflint_baseline.json) only churns when real
+/// violations appear or disappear.
+namespace agentfirst {
+namespace lint {
+
+struct Finding {
+  Diagnostic diag;
+  std::string fingerprint;  // 16 hex chars
+};
+
+/// Attaches fingerprints. `sources` maps each diagnosed file to its pre-lex
+/// (used to read the offending line's text); a file missing from the map
+/// fingerprints with empty line text, which stays stable but degrades to
+/// line-content-independent identity.
+std::vector<Finding> BuildFindings(
+    const std::vector<Diagnostic>& diags,
+    const std::map<std::string, const PrelexedSource*>& sources);
+
+/// Byte-stable JSON: findings sorted by (file, line, rule, fingerprint),
+/// fixed key order, no floats, '\n'-terminated. Two runs over the same tree
+/// produce identical bytes.
+std::string EmitFindingsJson(const std::vector<Finding>& findings);
+
+/// Parses JSON produced by EmitFindingsJson (the baseline file). Returns
+/// false and sets `error` on malformed input.
+bool ParseFindingsJson(const std::string& json, std::vector<Finding>* out,
+                       std::string* error);
+
+}  // namespace lint
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_LINT_FINDINGS_H_

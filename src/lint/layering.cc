@@ -1,0 +1,392 @@
+#include "lint/layering.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <tuple>
+
+namespace agentfirst {
+namespace lint {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+/// Cuts a '#' comment (outside string literals) and trims.
+std::string StripComment(const std::string& line) {
+  bool in_string = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '"') in_string = !in_string;
+    if (line[i] == '#' && !in_string) return Trim(line.substr(0, i));
+  }
+  return Trim(line);
+}
+
+/// '[' minus ']' outside string literals — for joining multi-line arrays.
+int BracketBalance(const std::string& s) {
+  bool in_string = false;
+  int depth = 0;
+  for (char c : s) {
+    if (c == '"') in_string = !in_string;
+    if (in_string) continue;
+    if (c == '[') ++depth;
+    if (c == ']') --depth;
+  }
+  return depth;
+}
+
+void SkipSpace(const std::string& s, size_t* pos) {
+  while (*pos < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[*pos])) != 0) {
+    ++*pos;
+  }
+}
+
+bool ParseString(const std::string& s, size_t* pos, std::string* out) {
+  SkipSpace(s, pos);
+  if (*pos >= s.size() || s[*pos] != '"') return false;
+  size_t close = s.find('"', *pos + 1);
+  if (close == std::string::npos) return false;
+  *out = s.substr(*pos + 1, close - *pos - 1);
+  *pos = close + 1;
+  return true;
+}
+
+bool ParseStringList(const std::string& s, size_t* pos,
+                     std::vector<std::string>* out) {
+  SkipSpace(s, pos);
+  if (*pos >= s.size() || s[*pos] != '[') return false;
+  ++*pos;
+  while (true) {
+    SkipSpace(s, pos);
+    if (*pos < s.size() && s[*pos] == ']') {
+      ++*pos;
+      return true;
+    }
+    std::string item;
+    if (!ParseString(s, pos, &item)) return false;
+    out->push_back(item);
+    SkipSpace(s, pos);
+    if (*pos < s.size() && s[*pos] == ',') ++*pos;
+  }
+}
+
+bool ParseNestedList(const std::string& s, size_t* pos,
+                     std::vector<std::vector<std::string>>* out) {
+  SkipSpace(s, pos);
+  if (*pos >= s.size() || s[*pos] != '[') return false;
+  ++*pos;
+  while (true) {
+    SkipSpace(s, pos);
+    if (*pos < s.size() && s[*pos] == ']') {
+      ++*pos;
+      return true;
+    }
+    out->emplace_back();
+    if (!ParseStringList(s, pos, &out->back())) return false;
+    SkipSpace(s, pos);
+    if (*pos < s.size() && s[*pos] == ',') ++*pos;
+  }
+}
+
+}  // namespace
+
+bool ParseLayersToml(const std::string& content, LayerSpec* out,
+                     std::string* error) {
+  std::string section, key, buf;
+  int depth = 0;
+
+  auto finish = [&]() -> bool {
+    size_t pos = 0;
+    if (section == "layers" && key == "order") {
+      if (!ParseNestedList(buf, &pos, &out->order)) {
+        *error = "layers.order must be an array of string arrays";
+        return false;
+      }
+    } else if (section == "edges" && key == "declared") {
+      std::vector<std::string> items;
+      if (!ParseStringList(buf, &pos, &items)) {
+        *error = "edges.declared must be an array of \"from -> to\" strings";
+        return false;
+      }
+      for (const std::string& item : items) {
+        size_t arrow = item.find("->");
+        if (arrow == std::string::npos) {
+          *error = "declared edge '" + item + "' is not of the form \"from -> to\"";
+          return false;
+        }
+        std::string from = Trim(item.substr(0, arrow));
+        std::string to = Trim(item.substr(arrow + 2));
+        if (from.empty() || to.empty()) {
+          *error = "declared edge '" + item + "' is not of the form \"from -> to\"";
+          return false;
+        }
+        out->declared.emplace_back(from, to);
+      }
+    }
+    // Unknown keys are ignored so the format can grow.
+    buf.clear();
+    key.clear();
+    return true;
+  };
+
+  size_t start = 0;
+  while (start <= content.size()) {
+    size_t nl = content.find('\n', start);
+    std::string line = StripComment(
+        content.substr(start, nl == std::string::npos ? std::string::npos
+                                                      : nl - start));
+    start = nl == std::string::npos ? content.size() + 1 : nl + 1;
+    if (line.empty()) continue;
+    if (depth == 0) {
+      if (line.front() == '[' && line.back() == ']' &&
+          line.find('"') == std::string::npos) {
+        section = Trim(line.substr(1, line.size() - 2));
+        continue;
+      }
+      size_t eq = line.find('=');
+      if (eq == std::string::npos) {
+        *error = "expected 'key = value' or '[section]', got: " + line;
+        return false;
+      }
+      key = Trim(line.substr(0, eq));
+      buf = Trim(line.substr(eq + 1));
+      depth = BracketBalance(buf);
+      if (depth == 0 && !finish()) return false;
+    } else {
+      buf += " " + line;
+      depth += BracketBalance(line);
+      if (depth == 0 && !finish()) return false;
+    }
+  }
+  if (depth != 0) {
+    *error = "unterminated array for key '" + key + "'";
+    return false;
+  }
+  if (out->order.empty()) {
+    *error = "missing [layers] order";
+    return false;
+  }
+  return true;
+}
+
+std::vector<Diagnostic> CheckLayering(const LayerSpec& spec,
+                                      const std::string& spec_path,
+                                      const std::vector<SourceFile>& files) {
+  std::vector<Diagnostic> diags;
+  std::set<std::string> seen;
+  std::map<std::string, const PrelexedSource*> pres;
+  for (const SourceFile& sf : files) pres[sf.path] = &sf.pre;
+
+  auto report = [&](const std::string& file, size_t line0,
+                    const std::string& rule, const std::string& message) {
+    auto it = pres.find(file);
+    if (it != pres.end() && it->second->Allowed(line0, rule)) return;
+    Diagnostic d{file, line0 + 1, rule, message};
+    if (seen.insert(d.ToString()).second) diags.push_back(std::move(d));
+  };
+
+  // --- validate the spec itself ---------------------------------------------
+  std::map<std::string, size_t> layer_of;
+  for (size_t i = 0; i < spec.order.size(); ++i) {
+    for (const std::string& m : spec.order[i]) {
+      if (!layer_of.emplace(m, i).second) {
+        report(spec_path, 0, "layer-config",
+               "module '" + m + "' appears twice in [layers] order");
+      }
+    }
+  }
+  std::map<std::string, std::vector<std::string>> decl_adj;
+  for (const auto& [from, to] : spec.declared) {
+    auto f = layer_of.find(from);
+    auto t = layer_of.find(to);
+    if (f == layer_of.end() || t == layer_of.end()) {
+      report(spec_path, 0, "layer-config",
+             "declared edge " + from + " -> " + to +
+                 " names a module missing from [layers] order");
+      continue;
+    }
+    if (f->second != t->second) {
+      report(spec_path, 0, "layer-config",
+             "declared edge " + from + " -> " + to +
+                 " is not same-layer: cross-layer dependencies come from the "
+                 "layer order, [edges] only sanctions same-layer ones");
+      continue;
+    }
+    decl_adj[from].push_back(to);
+  }
+  {  // The declared same-layer edges must themselves form a DAG.
+    std::map<std::string, int> color;
+    std::vector<std::string> path;
+    auto dfs = [&](auto&& self, const std::string& n) -> bool {
+      color[n] = 1;
+      path.push_back(n);
+      for (const std::string& next : decl_adj[n]) {
+        if (color[next] == 1) {
+          std::string cycle = next;
+          for (size_t i = path.size(); i-- > 0;) {
+            cycle = path[i] + " -> " + cycle;
+            if (path[i] == next) break;
+          }
+          report(spec_path, 0, "layer-config",
+                 "declared edges form a cycle: " + cycle);
+          return false;
+        }
+        if (color[next] == 0 && !self(self, next)) return false;
+      }
+      path.pop_back();
+      color[n] = 2;
+      return true;
+    };
+    for (const auto& [n, ignored] : decl_adj) {
+      if (color[n] == 0 && !dfs(dfs, n)) break;
+    }
+  }
+  std::set<std::pair<std::string, std::string>> declared(spec.declared.begin(),
+                                                         spec.declared.end());
+
+  // --- check every include edge against the spec -----------------------------
+  std::vector<const SourceFile*> order;
+  order.reserve(files.size());
+  for (const SourceFile& sf : files) order.push_back(&sf);
+  std::sort(order.begin(), order.end(),
+            [](const SourceFile* a, const SourceFile* b) {
+              return a->path < b->path;
+            });
+
+  struct Inc {
+    std::string target;  // resolved repo-relative path ("src/..."), if known
+    size_t line = 0;
+  };
+  std::map<std::string, std::vector<Inc>> file_graph;
+  std::set<std::string> known_files;
+  for (const SourceFile* sf : order) known_files.insert(sf->path);
+
+  auto layer_name = [&](size_t idx) {
+    std::string out = "{";
+    for (size_t i = 0; i < spec.order[idx].size(); ++i) {
+      if (i > 0) out += ", ";
+      out += spec.order[idx][i];
+    }
+    return out + "}";
+  };
+
+  for (const SourceFile* sf : order) {
+    const std::string own = ModuleOfPath(sf->path);
+    if (own.empty()) continue;
+    bool own_known = layer_of.count(own) > 0;
+    if (!own_known) {
+      report(sf->path, 0, "layer-config",
+             "module '" + own +
+                 "' is missing from [layers] order in " + spec_path);
+    }
+    for (size_t i = 0; i < sf->pre.raw.size(); ++i) {
+      if (!sf->pre.preprocessor[i]) continue;
+      const std::string& raw = sf->pre.raw[i];
+      size_t inc = raw.find("#include");
+      if (inc == std::string::npos) continue;
+      size_t open = raw.find('"', inc);
+      if (open == std::string::npos) continue;  // <...> system include
+      size_t close = raw.find('"', open + 1);
+      if (close == std::string::npos) continue;
+      std::string p = raw.substr(open + 1, close - open - 1);
+
+      std::string resolved = "src/" + p;
+      if (known_files.count(resolved) > 0) {
+        file_graph[sf->path].push_back({resolved, i});
+      }
+
+      size_t slash = p.find('/');
+      if (slash == std::string::npos) continue;  // same-directory include
+      std::string target = p.substr(0, slash);
+      if (target == own || !own_known) continue;
+      auto t = layer_of.find(target);
+      if (t == layer_of.end()) {
+        report(sf->path, i, "layer-config",
+               "#include \"" + p + "\": module '" + target +
+                   "' is missing from [layers] order in " + spec_path);
+        continue;
+      }
+      size_t from_layer = layer_of[own];
+      size_t to_layer = t->second;
+      if (to_layer < from_layer) continue;  // strictly lower: always fine
+      if (to_layer == from_layer) {
+        if (declared.count({own, target}) == 0) {
+          report(sf->path, i, "layer-undeclared-edge",
+                 "#include \"" + p + "\": same-layer edge " + own + " -> " +
+                     target + " (layer " + std::to_string(from_layer) + " " +
+                     layer_name(from_layer) +
+                     ") is not declared in [edges] of " + spec_path +
+                     "; declare it or move the code");
+        }
+        continue;
+      }
+      report(sf->path, i, "layer-back-edge",
+             "#include \"" + p + "\": back-edge " + own + " -> " + target +
+                 ": '" + own + "' (layer " + std::to_string(from_layer) + " " +
+                 layer_name(from_layer) + ") must not depend on '" + target +
+                 "' (layer " + std::to_string(to_layer) + " " +
+                 layer_name(to_layer) + "); dependencies point strictly "
+                 "downward in " + spec_path);
+    }
+  }
+
+  // --- file-level include cycles ---------------------------------------------
+  {
+    std::map<std::string, int> color;
+    std::vector<std::string> path;
+    std::set<std::string> reported_cycles;
+    auto dfs = [&](auto&& self, const std::string& n) -> void {
+      color[n] = 1;
+      path.push_back(n);
+      for (const Inc& inc : file_graph[n]) {
+        if (color[inc.target] == 1) {
+          // Canonical form: rotate so the smallest file leads.
+          std::vector<std::string> cycle;
+          for (size_t i = path.size(); i-- > 0;) {
+            cycle.push_back(path[i]);
+            if (path[i] == inc.target) break;
+          }
+          std::reverse(cycle.begin(), cycle.end());
+          size_t min_at = 0;
+          for (size_t i = 1; i < cycle.size(); ++i) {
+            if (cycle[i] < cycle[min_at]) min_at = i;
+          }
+          std::rotate(cycle.begin(), cycle.begin() + min_at, cycle.end());
+          std::string desc;
+          for (const std::string& f : cycle) desc += f + " -> ";
+          desc += cycle.front();
+          if (reported_cycles.insert(desc).second) {
+            report(n, inc.line, "include-cycle",
+                   "include cycle: " + desc +
+                       ": headers must form a DAG (a cycle means neither "
+                       "file can be understood or rebuilt alone)");
+          }
+        } else if (color[inc.target] == 0) {
+          self(self, inc.target);
+        }
+      }
+      path.pop_back();
+      color[n] = 2;
+    };
+    for (const SourceFile* sf : order) {
+      if (color[sf->path] == 0) dfs(dfs, sf->path);
+    }
+  }
+
+  std::sort(diags.begin(), diags.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return diags;
+}
+
+}  // namespace lint
+}  // namespace agentfirst

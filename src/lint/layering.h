@@ -1,0 +1,59 @@
+#ifndef AGENTFIRST_LINT_LAYERING_H_
+#define AGENTFIRST_LINT_LAYERING_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/lint.h"
+#include "lint/prelex.h"
+
+/// Module-layering enforcement: the declared architecture lives in
+/// tools/layers.toml and the actual `#include` graph must match it.
+///
+/// The spec declares an ordered list of layers (bottom first), each a set of
+/// modules, plus the sanctioned same-layer edges:
+///
+///   [layers]
+///   order = [["types", "lint"], ["common"], ["io", "obs"], ...]
+///   [edges]
+///   declared = ["catalog -> storage", ...]
+///
+/// A module may include strictly lower layers freely and same-layer modules
+/// only through a declared edge. Everything else is an error:
+///
+///   layer-back-edge        include of a higher-layer module
+///   layer-undeclared-edge  same-layer include with no declared edge
+///   include-cycle          a cycle in the file-level include graph
+///   layer-config           the spec itself is inconsistent (duplicate or
+///                          missing module, declared edge that is not
+///                          same-layer, cycle among declared edges)
+///
+/// Diagnostics attach to the offending #include line, so an inline
+/// `// aflint:allow(layer-back-edge)` (with rationale) can sanction a
+/// deliberate exception without hiding it from readers.
+namespace agentfirst {
+namespace lint {
+
+struct LayerSpec {
+  /// Layers bottom-up; order[0] depends on nothing.
+  std::vector<std::vector<std::string>> order;
+  /// Sanctioned same-layer dependencies, as (from, to).
+  std::vector<std::pair<std::string, std::string>> declared;
+};
+
+/// Parses the tools/layers.toml subset described above. Returns false and
+/// sets `error` on malformed input.
+bool ParseLayersToml(const std::string& content, LayerSpec* out,
+                     std::string* error);
+
+/// Checks every file under src/ and tools/ against the spec. `spec_path` is
+/// used to attribute spec-level (layer-config) diagnostics.
+std::vector<Diagnostic> CheckLayering(const LayerSpec& spec,
+                                      const std::string& spec_path,
+                                      const std::vector<SourceFile>& files);
+
+}  // namespace lint
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_LINT_LAYERING_H_

@@ -6,257 +6,37 @@
 #include <memory>
 #include <set>
 
+#include "lint/prelex.h"
+
 namespace agentfirst {
 namespace lint {
 
 namespace {
 
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-bool StartsWith(const std::string& s, const std::string& prefix) {
-  return s.compare(0, prefix.size(), prefix) == 0;
-}
-
-bool EndsWith(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-/// Finds `token` in `line` starting at `from`, requiring identifier
-/// boundaries on both sides (':' counts as part of a qualified name on the
-/// left, so "this_thread" and "x::rand" style qualifications don't match).
-size_t FindToken(const std::string& line, const std::string& token,
-                 size_t from = 0) {
-  size_t pos = from;
-  while ((pos = line.find(token, pos)) != std::string::npos) {
-    bool left_ok =
-        pos == 0 || (!IsIdentChar(line[pos - 1]) && line[pos - 1] != ':');
-    size_t end = pos + token.size();
-    bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
-    if (left_ok && right_ok) return pos;
-    ++pos;
-  }
-  return std::string::npos;
-}
-
-/// Source text after comment/string scrubbing, with per-line metadata.
-struct Scrubbed {
-  /// Code text, same line structure as the input; comment bodies and
-  /// string/char literal contents replaced by spaces (quotes kept).
-  std::vector<std::string> lines;
-  /// Rules named in an aflint:allow(...) comment on each line.
-  std::vector<std::set<std::string>> allows;
-  /// Line held a comment and no code (suppressions there cover line+1).
-  std::vector<bool> comment_only;
-  /// Line belongs to a preprocessor directive (including continuations).
-  std::vector<bool> preprocessor;
-  /// Line's comment text opened / closed an aflint:kernel region.
-  std::vector<bool> kernel_begin;
-  std::vector<bool> kernel_end;
-};
-
-/// Extracts rule names from every "aflint:allow(a, b)" inside comment text.
-void ParseAllows(const std::string& comment, std::set<std::string>* out) {
-  const std::string marker = "aflint:allow(";
-  size_t pos = 0;
-  while ((pos = comment.find(marker, pos)) != std::string::npos) {
-    size_t cursor = pos + marker.size();
-    size_t close = comment.find(')', cursor);
-    if (close == std::string::npos) break;
-    std::string inside = comment.substr(cursor, close - cursor);
-    std::string name;
-    for (char c : inside + ",") {
-      if (c == ',' || c == ' ' || c == '\t') {
-        if (!name.empty()) out->insert(name);
-        name.clear();
-      } else {
-        name.push_back(c);
-      }
-    }
-    pos = close;
-  }
-}
-
-Scrubbed Scrub(const std::string& content) {
-  Scrubbed out;
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
-  State state = State::kCode;
-  std::string code_line;
-  std::string comment_line;
-  std::string raw_delim;  // for kRawString: the ")delim" terminator
-  bool in_preproc = false;
-  bool line_continues_preproc = false;
-
-  auto flush_line = [&]() {
-    out.allows.emplace_back();
-    ParseAllows(comment_line, &out.allows.back());
-    bool only_ws = std::all_of(code_line.begin(), code_line.end(), [](char c) {
-      return std::isspace(static_cast<unsigned char>(c)) != 0;
-    });
-    out.comment_only.push_back(!comment_line.empty() && only_ws);
-    out.preprocessor.push_back(in_preproc);
-    out.kernel_begin.push_back(comment_line.find("aflint:kernel-begin") !=
-                               std::string::npos);
-    out.kernel_end.push_back(comment_line.find("aflint:kernel-end") !=
-                             std::string::npos);
-    out.lines.push_back(code_line);
-    // A preprocessor directive continues onto the next line after a
-    // trailing backslash.
-    line_continues_preproc =
-        in_preproc && !code_line.empty() && code_line.back() == '\\';
-    code_line.clear();
-    comment_line.clear();
-    in_preproc = line_continues_preproc;
-  };
-
-  for (size_t i = 0; i < content.size(); ++i) {
-    char c = content[i];
-    char next = i + 1 < content.size() ? content[i + 1] : '\0';
-    if (c == '\n') {
-      if (state == State::kLineComment) state = State::kCode;
-      flush_line();
-      continue;
-    }
-    switch (state) {
-      case State::kCode: {
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          code_line += "  ";
-          ++i;
-        } else if (c == '"') {
-          // R"delim( ... )delim" — detect the R prefix just before.
-          bool raw = !code_line.empty() && code_line.back() == 'R' &&
-                     (code_line.size() < 2 || !IsIdentChar(code_line[code_line.size() - 2]));
-          code_line += '"';
-          if (raw) {
-            raw_delim = ")";
-            size_t j = i + 1;
-            while (j < content.size() && content[j] != '(') {
-              raw_delim += content[j];
-              ++j;
-            }
-            raw_delim += '"';
-            i = j;  // skip past the opening '('
-            state = State::kRawString;
-          } else {
-            state = State::kString;
-          }
-        } else if (c == '\'') {
-          code_line += '\'';
-          state = State::kChar;
-        } else {
-          if (c == '#' && std::all_of(code_line.begin(), code_line.end(),
-                                      [](char w) { return std::isspace(static_cast<unsigned char>(w)) != 0; })) {
-            in_preproc = true;
-          }
-          code_line += c;
-        }
-        break;
-      }
-      case State::kLineComment:
-        comment_line += c;
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          code_line += "  ";
-          ++i;
-        } else {
-          comment_line += c;
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          code_line += "  ";
-          ++i;
-          if (next == '\n') flush_line();
-        } else if (c == '"') {
-          code_line += '"';
-          state = State::kCode;
-        } else {
-          code_line += ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          code_line += "  ";
-          ++i;
-        } else if (c == '\'') {
-          code_line += '\'';
-          state = State::kCode;
-        } else {
-          code_line += ' ';
-        }
-        break;
-      case State::kRawString: {
-        if (c == ')' && content.compare(i, raw_delim.size(), raw_delim) == 0) {
-          i += raw_delim.size() - 1;
-          code_line += '"';
-          state = State::kCode;
-        } else {
-          code_line += ' ';
-        }
-        break;
-      }
-    }
-  }
-  flush_line();
-  return out;
-}
-
-/// Scope classification for the fault-point-scope rule.
-struct Scope {
-  bool returns_status = false;
-};
-
-bool SignatureReturnsStatus(const std::string& sig) {
-  // Trailing return type: "-> Status" / "-> Result<...>".
-  size_t arrow = sig.rfind("->");
-  if (arrow != std::string::npos) {
-    std::string tail = sig.substr(arrow + 2);
-    if (FindToken(tail, "Status") != std::string::npos ||
-        tail.find("Result") != std::string::npos) {
-      return true;
-    }
-  }
-  // Leading return type: "Status Foo(...)" / "Result<T> Foo(...)".
-  size_t paren = sig.find('(');
-  std::string head = paren == std::string::npos ? sig : sig.substr(0, paren);
-  return FindToken(head, "Status") != std::string::npos ||
-         head.find("Result") != std::string::npos;
-}
-
-bool HasAnyToken(const std::string& sig, std::initializer_list<const char*> toks) {
-  for (const char* t : toks) {
-    if (FindToken(sig, t) != std::string::npos) return true;
-  }
-  return false;
-}
-
 class Linter {
  public:
-  Linter(const std::string& path, const std::string& content)
-      : path_(path), scrubbed_(Scrub(content)) {
+  Linter(const std::string& path, const PrelexedSource& pre)
+      : path_(path), pre_(pre) {
     in_src_ = StartsWith(path_, "src/");
     is_cc_ = EndsWith(path_, ".cc") || EndsWith(path_, ".cpp");
-    annotated_ = content.find("common/thread_annotations.h") != std::string::npos ||
-                 content.find("AF_GUARDED_BY") != std::string::npos;
+    for (const std::string& raw : pre_.raw) {
+      if (raw.find("common/thread_annotations.h") != std::string::npos ||
+          raw.find("AF_GUARDED_BY") != std::string::npos) {
+        annotated_ = true;
+        break;
+      }
+    }
   }
 
   std::vector<Diagnostic> Run() {
-    for (size_t i = 0; i < scrubbed_.lines.size(); ++i) {
-      const std::string& line = scrubbed_.lines[i];
+    for (size_t i = 0; i < pre_.lines.size(); ++i) {
+      const std::string& line = pre_.lines[i];
       // A kernel-end marker closes the region before its own line is
       // checked; a kernel-begin opens it after (the marker lines themselves
       // are outside the region).
-      if (scrubbed_.kernel_end[i]) in_kernel_ = false;
-      if (scrubbed_.preprocessor[i]) {
-        if (scrubbed_.kernel_begin[i]) in_kernel_ = true;
+      if (pre_.kernel_end[i]) in_kernel_ = false;
+      if (pre_.preprocessor[i]) {
+        if (pre_.kernel_begin[i]) in_kernel_ = true;
         continue;
       }
       if (in_kernel_) CheckRowValueInKernel(i, line);
@@ -269,24 +49,18 @@ class Linter {
       CheckRawFileIo(i, line);
       CheckDeprecatedBriefLimits(i, line);
       CheckMutexMemberCoverage(i, line);
-      if (scrubbed_.kernel_begin[i]) in_kernel_ = true;
+      if (pre_.kernel_begin[i]) in_kernel_ = true;
     }
     CheckFaultPointScope();
+    CheckIncludeHygiene();
     std::sort(diags_.begin(), diags_.end(),
               [](const Diagnostic& a, const Diagnostic& b) { return a.line < b.line; });
     return std::move(diags_);
   }
 
  private:
-  bool Allowed(size_t idx, const std::string& rule) const {
-    if (scrubbed_.allows[idx].count(rule) > 0) return true;
-    // A comment-only line suppresses for the line that follows it.
-    return idx > 0 && scrubbed_.comment_only[idx - 1] &&
-           scrubbed_.allows[idx - 1].count(rule) > 0;
-  }
-
   void Report(size_t idx, const std::string& rule, std::string message) {
-    if (Allowed(idx, rule)) return;
+    if (pre_.Allowed(idx, rule)) return;
     diags_.push_back(Diagnostic{path_, idx + 1, rule, std::move(message)});
   }
 
@@ -545,7 +319,7 @@ class Linter {
   void BuildMutexReferenceIndex() {
     referenced_storage_ = std::make_unique<std::set<std::string>>();
     referenced_mutexes_ = referenced_storage_.get();
-    for (const std::string& line : scrubbed_.lines) {
+    for (const std::string& line : pre_.lines) {
       for (const char* macro :
            {"AF_GUARDED_BY", "AF_PT_GUARDED_BY", "AF_REQUIRES", "AF_ACQUIRE",
             "AF_RELEASE", "AF_EXCLUDES"}) {
@@ -573,60 +347,128 @@ class Linter {
   }
 
   void CheckFaultPointScope() {
-    // Brace-depth scope machine: classify every opened scope by the
-    // signature text preceding its '{', so an AF_FAULT_POINT can be checked
-    // against the return type of its innermost enclosing function.
-    std::vector<Scope> stack;
-    std::string sig;
-    for (size_t idx = 0; idx < scrubbed_.lines.size(); ++idx) {
-      if (scrubbed_.preprocessor[idx]) continue;  // macro bodies don't nest scopes
-      const std::string& line = scrubbed_.lines[idx];
-      size_t pos = FindToken(line, "AF_FAULT_POINT");
-      if (pos != std::string::npos) {
-        bool ok = in_src_ && is_cc_ && !stack.empty() &&
-                  stack.back().returns_status;
+    // Token-interleaved scope walk over the shared pre-lex: the ScopeWalker
+    // opens a scope the moment its '{' token streams past, so the macro is
+    // checked against the scope it is actually in — including one-line
+    // definitions ("Status F() { AF_FAULT_POINT(...); return ...; }"), which
+    // the old line-at-a-time walker misclassified.
+    ScopeWalker walker;
+    for (const Token& t : Tokenize(pre_)) {
+      if (t.text == "AF_FAULT_POINT") {
+        bool ok = in_src_ && is_cc_ && !walker.stack().empty() &&
+                  walker.stack().back().returns_status;
         if (!ok) {
-          Report(idx, "fault-point-scope",
+          Report(t.line, "fault-point-scope",
                  "AF_FAULT_POINT returns the injected Status, so it may only "
                  "appear inside a Status/Result-returning function in a .cc "
                  "file under src/ (use AF_FAULT_STATUS in expression "
                  "contexts)");
         }
       }
-      for (char c : line) {
-        if (c == '{') {
-          Scope scope;
-          bool inherited = !stack.empty() && stack.back().returns_status;
-          if (HasAnyToken(sig, {"namespace"})) {
-            scope.returns_status = false;
-          } else if (HasAnyToken(sig, {"class", "struct", "union", "enum"}) &&
-                     sig.find('(') == std::string::npos) {
-            scope.returns_status = false;
-          } else if (HasAnyToken(sig, {"if", "for", "while", "switch", "do",
-                                       "else", "catch", "try"})) {
-            scope.returns_status = inherited;  // control flow: same function
-          } else if (sig.find('(') != std::string::npos) {
-            scope.returns_status = SignatureReturnsStatus(sig);
-          } else {
-            scope.returns_status = inherited;  // init-list / bare block
+      walker.Feed(t);
+    }
+  }
+
+  void CheckIncludeHygiene() {
+    // Headers must include what they use for names referenced from other
+    // modules: relying on a transitive include works until an unrelated
+    // cleanup breaks every downstream user at once, and it hides real
+    // module edges from the layering pass.
+    if (!in_src_) return;
+    if (!EndsWith(path_, ".h") && !EndsWith(path_, ".hpp")) return;
+    const std::string own = ModuleOfPath(path_);
+
+    std::set<std::string> includes;
+    for (size_t i = 0; i < pre_.raw.size(); ++i) {
+      if (!pre_.preprocessor[i]) continue;
+      const std::string& raw = pre_.raw[i];
+      size_t inc = raw.find("#include");
+      if (inc == std::string::npos) continue;
+      size_t open = raw.find('"', inc);
+      if (open == std::string::npos) continue;
+      size_t close = raw.find('"', open + 1);
+      if (close == std::string::npos) continue;
+      includes.insert(raw.substr(open + 1, close - open - 1));
+    }
+    auto includes_module = [&](const std::string& module) {
+      const std::string prefix = module + "/";
+      for (const std::string& inc : includes) {
+        if (StartsWith(inc, prefix)) return true;
+      }
+      return false;
+    };
+
+    // Module sub-namespaces: a `ns::Name` reference needs a direct include
+    // of some header from that module. Forward declarations
+    // ("namespace io { class File; }") are fine — they reference nothing.
+    struct NsReq { const char* ns; const char* module; };
+    static constexpr NsReq kNamespaces[] = {
+        {"io", "io"},   {"obs", "obs"}, {"net", "net"},
+        {"wal", "wal"}, {"lint", "lint"},
+        {"exec_internal", "exec"}, {"vec", "exec"},
+    };
+    // Macros and annotated primitives with one canonical home: the exact
+    // header is required, not just "some header from common/".
+    struct TokenReq { const char* token; const char* header; };
+    static constexpr TokenReq kTokens[] = {
+        {"Mutex", "common/thread_annotations.h"},
+        {"MutexLock", "common/thread_annotations.h"},
+        {"CondVar", "common/thread_annotations.h"},
+        {"AF_GUARDED_BY", "common/thread_annotations.h"},
+        {"AF_PT_GUARDED_BY", "common/thread_annotations.h"},
+        {"AF_REQUIRES", "common/thread_annotations.h"},
+        {"AF_ACQUIRE", "common/thread_annotations.h"},
+        {"AF_RELEASE", "common/thread_annotations.h"},
+        {"AF_EXCLUDES", "common/thread_annotations.h"},
+        {"AF_CAPABILITY", "common/thread_annotations.h"},
+        {"AF_SCOPED_CAPABILITY", "common/thread_annotations.h"},
+        {"AF_FAULT_POINT", "common/fault_injection.h"},
+        {"AF_FAULT_STATUS", "common/fault_injection.h"},
+        {"AF_RETURN_IF_ERROR", "common/status.h"},
+        {"AF_ASSIGN_OR_RETURN", "common/status.h"},
+    };
+
+    std::set<std::string> reported;
+    for (size_t i = 0; i < pre_.lines.size(); ++i) {
+      if (pre_.preprocessor[i]) continue;
+      const std::string& line = pre_.lines[i];
+      for (const NsReq& req : kNamespaces) {
+        if (req.module == own || reported.count(req.module) > 0) continue;
+        size_t pos = FindToken(line, req.ns);
+        bool used = false;
+        while (pos != std::string::npos) {
+          if (line.compare(pos + std::string(req.ns).size(), 2, "::") == 0) {
+            used = true;
+            break;
           }
-          stack.push_back(scope);
-          sig.clear();
-        } else if (c == '}') {
-          if (!stack.empty()) stack.pop_back();
-          sig.clear();
-        } else if (c == ';') {
-          sig.clear();
-        } else {
-          sig += c;
+          pos = FindToken(line, req.ns, pos + 1);
+        }
+        if (used && !includes_module(req.module)) {
+          reported.insert(req.module);
+          Report(i, "include-hygiene",
+                 std::string(req.ns) + ":: used but no header from " +
+                     req.module + "/ is included directly: headers must "
+                     "include what they use (transitive includes break when "
+                     "the module in between is cleaned up)");
         }
       }
-      sig += ' ';
+      for (const TokenReq& req : kTokens) {
+        if (path_ == std::string("src/") + req.header) continue;
+        if (reported.count(req.header) > 0) continue;
+        if (FindToken(line, req.token) == std::string::npos) continue;
+        if (includes.count(req.header) == 0) {
+          reported.insert(req.header);
+          Report(i, "include-hygiene",
+                 std::string(req.token) + " used but \"" + req.header +
+                     "\" is not included directly: headers must include what "
+                     "they use");
+        }
+      }
     }
   }
 
   std::string path_;
-  Scrubbed scrubbed_;
+  const PrelexedSource& pre_;
   bool in_kernel_ = false;
   bool in_src_ = false;
   bool is_cc_ = false;
@@ -654,14 +496,28 @@ std::vector<std::string> RuleNames() {
           "raw-socket",
           "raw-file-io",
           "deprecated-brief-limits",
-          "row-value-in-kernel"};
+          "row-value-in-kernel",
+          "include-hygiene",
+          "lock-order-cycle",
+          "lock-self-deadlock",
+          "condvar-hold",
+          "layer-back-edge",
+          "layer-undeclared-edge",
+          "include-cycle",
+          "layer-config"};
+}
+
+std::vector<Diagnostic> LintPrelexed(const std::string& path,
+                                     const PrelexedSource& pre) {
+  std::string normalized = path;
+  std::replace(normalized.begin(), normalized.end(), '\\', '/');
+  return Linter(normalized, pre).Run();
 }
 
 std::vector<Diagnostic> LintSource(const std::string& path,
                                    const std::string& content) {
-  std::string normalized = path;
-  std::replace(normalized.begin(), normalized.end(), '\\', '/');
-  return Linter(normalized, content).Run();
+  PrelexedSource pre = Prelex(content);
+  return LintPrelexed(path, pre);
 }
 
 }  // namespace lint

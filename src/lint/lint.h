@@ -103,12 +103,48 @@ struct Diagnostic {
 ///                        to avoid. The marker lines themselves are outside
 ///                        the region; boundary conversions take an explicit
 ///                        aflint:allow(row-value-in-kernel).
+///   include-hygiene      a header under src/ references another module's
+///                        namespace (io::, obs::, net::, wal::, lint::,
+///                        exec_internal::, vec::) without directly including
+///                        a header from that module, or uses a macro /
+///                        annotated primitive with one canonical home
+///                        (Mutex/MutexLock/CondVar/AF_* →
+///                        common/thread_annotations.h, AF_FAULT_POINT →
+///                        common/fault_injection.h, AF_RETURN_IF_ERROR →
+///                        common/status.h) without that exact include.
+///                        Transitive-include luck hides real module edges
+///                        from the layering pass and breaks every downstream
+///                        user when the module in between is cleaned up.
+///
+/// Whole-program rules (emitted by the lock-order and layering passes in
+/// lockorder.h / layering.h, not by LintSource):
+///
+///   lock-order-cycle     the global "held while acquiring" lock graph has a
+///                        cycle: two code paths acquire the same locks in
+///                        opposite (transitive) order, so the right
+///                        interleaving deadlocks. Declared intentional
+///                        orderings use `// aflint:lock-order(A, B)`.
+///   lock-self-deadlock   a path acquires a (non-recursive) Mutex it already
+///                        holds, directly or through a call chain.
+///   condvar-hold         CondVar::Wait(mu) reached while holding a lock
+///                        other than mu: Wait releases only mu, so the other
+///                        lock blocks the waker.
+///   layer-back-edge      an #include from a lower-layer module into a
+///                        higher-layer one (tools/layers.toml declares the
+///                        layer order).
+///   layer-undeclared-edge an #include between same-layer modules that is
+///                        not declared in [edges] of tools/layers.toml.
+///   include-cycle        the file-level include graph has a cycle.
+///   layer-config         tools/layers.toml itself is inconsistent (module
+///                        missing from the order, declared edge that is not
+///                        same-layer, declared-edge cycle).
 ///
 /// Suppression: `// aflint:allow(rule)` (comma-separated for several rules)
 /// on the offending line, or on a comment line immediately above it.
 ///
 /// Matching runs on scrubbed text — comment and string-literal contents are
-/// blanked first — so prose and SQL never trip a rule.
+/// blanked first via the shared pre-lex step (prelex.h) — so prose and SQL
+/// never trip a rule.
 std::vector<std::string> RuleNames();
 
 /// Lints one translation unit. `path` must be repo-relative with forward
@@ -116,6 +152,13 @@ std::vector<std::string> RuleNames();
 /// where. Diagnostics come back in line order.
 std::vector<Diagnostic> LintSource(const std::string& path,
                                    const std::string& content);
+
+struct PrelexedSource;
+
+/// Same as LintSource but over an existing pre-lex (see prelex.h), so the
+/// driver scrubs each file once and shares the result across all passes.
+std::vector<Diagnostic> LintPrelexed(const std::string& path,
+                                     const PrelexedSource& pre);
 
 }  // namespace lint
 }  // namespace agentfirst

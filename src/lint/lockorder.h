@@ -1,0 +1,67 @@
+#ifndef AGENTFIRST_LINT_LOCKORDER_H_
+#define AGENTFIRST_LINT_LOCKORDER_H_
+
+#include <vector>
+
+#include "lint/lint.h"
+#include "lint/prelex.h"
+
+/// Whole-program static lock-order analysis.
+///
+/// The scanner walks every function body with the shared ScopeWalker and
+/// extracts, per function:
+///
+///   - acquisition sites:   MutexLock guard(expr);
+///   - entry-held locks:    AF_REQUIRES(expr) on the definition or any
+///                          declaration of the same (class, name);
+///   - condvar waits:       cv.Wait(mu, ...) where mu is currently held;
+///   - call sites:          Name(...), Cls::Name(...), obj->Name(...), with
+///                          the set of locks held at the call.
+///
+/// Lock identity is the enclosing-class-qualified normalized expression
+/// ("WalWriter::mutex_", "ThreadPool::state.mutex"; free functions qualify
+/// by module, lambdas by the class of the function they appear in). Calls
+/// resolve inside one module only: an explicit "Cls::Name" resolves exactly,
+/// a bare or member "Name(...)" resolves to the caller's own class first and
+/// otherwise — for bare calls only — to the unique function of that name in
+/// the module; ambiguous or cross-module calls are skipped. Lambdas are
+/// separate anonymous functions (they may run later on another thread), so
+/// no edge connects them to their enclosing function; locks they need at
+/// entry are declared with AF_REQUIRES on the lambda itself.
+///
+/// From the transitive "locks acquired by f, directly or through resolved
+/// calls" relation the pass builds the global lock-order graph (edge A -> B:
+/// some path acquires B while holding A) and reports:
+///
+///   lock-order-cycle     a cycle in the graph — two paths take the same
+///                        locks in opposite transitive order;
+///   lock-self-deadlock   acquiring a lock already held (directly or through
+///                        a call chain);
+///   condvar-hold         reaching cv.Wait(mu) while holding a lock other
+///                        than mu (Wait releases only mu).
+///
+/// `// aflint:lock-order(A, B)` declares that A is always acquired before B
+/// by design; contradicting B -> A edges are removed before cycle detection
+/// (use it to kill false edges from canonicalization, never to silence a
+/// genuine inversion). Site-attached findings honor aflint:allow(rule).
+///
+/// Soundness limits, deliberately accepted: the call graph is intra-module
+/// and name-based (no overload or function-pointer resolution, no
+/// cross-module edges), lock identity is syntactic (distinct instances with
+/// the same member name on different classes stay distinct, two aliases of
+/// one lock are not unified), and mutually-recursive call chains
+/// under-approximate. The pass is a deterministic linter: it must be cheap,
+/// byte-stable, and zero-false-positive on the real tree; the clang
+/// thread-safety stage and TSan cover what it cannot see.
+namespace agentfirst {
+namespace lint {
+
+/// Runs the analysis over one self-consistent file set (normally every
+/// source file under src/). Diagnostics come back sorted by
+/// (file, line, rule, message) and deduplicated.
+std::vector<Diagnostic> AnalyzeLockOrder(const std::vector<SourceFile>& files);
+
+}  // namespace lint
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_LINT_LOCKORDER_H_

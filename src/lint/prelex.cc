@@ -1,0 +1,516 @@
+#include "lint/prelex.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace agentfirst {
+namespace lint {
+
+namespace {
+
+/// Extracts rule names from every "aflint:allow(a, b)" inside comment text.
+void ParseAllows(const std::string& comment, std::set<std::string>* out) {
+  const std::string marker = "aflint:allow(";
+  size_t pos = 0;
+  while ((pos = comment.find(marker, pos)) != std::string::npos) {
+    size_t cursor = pos + marker.size();
+    size_t close = comment.find(')', cursor);
+    if (close == std::string::npos) break;
+    std::string inside = comment.substr(cursor, close - cursor);
+    std::string name;
+    for (char c : inside + ",") {
+      if (c == ',' || c == ' ' || c == '\t') {
+        if (!name.empty()) out->insert(name);
+        name.clear();
+      } else {
+        name.push_back(c);
+      }
+    }
+    pos = close;
+  }
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+/// Extracts (A, B) pairs from every "aflint:lock-order(A, B)" in comment
+/// text. Anything other than exactly two non-empty names is ignored.
+void ParseLockOrders(const std::string& comment,
+                     std::vector<std::pair<std::string, std::string>>* out) {
+  const std::string marker = "aflint:lock-order(";
+  size_t pos = 0;
+  while ((pos = comment.find(marker, pos)) != std::string::npos) {
+    size_t cursor = pos + marker.size();
+    size_t close = comment.find(')', cursor);
+    if (close == std::string::npos) break;
+    std::string inside = comment.substr(cursor, close - cursor);
+    size_t comma = inside.find(',');
+    if (comma != std::string::npos) {
+      std::string a = Trim(inside.substr(0, comma));
+      std::string b = Trim(inside.substr(comma + 1));
+      if (!a.empty() && !b.empty() && b.find(',') == std::string::npos) {
+        out->emplace_back(a, b);
+      }
+    }
+    pos = close;
+  }
+}
+
+}  // namespace
+
+bool PrelexedSource::Allowed(size_t idx, const std::string& rule) const {
+  if (idx >= allows.size()) return false;
+  if (allows[idx].count(rule) > 0) return true;
+  // A contiguous block of comment-only lines directly above suppresses for
+  // the line that follows it — the marker may sit anywhere in the block, so
+  // an allow can open a multi-line rationale comment.
+  while (idx > 0 && comment_only[idx - 1]) {
+    --idx;
+    if (allows[idx].count(rule) > 0) return true;
+  }
+  return false;
+}
+
+size_t FindToken(const std::string& line, const std::string& token,
+                 size_t from) {
+  size_t pos = from;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    bool left_ok =
+        pos == 0 || (!IsIdentChar(line[pos - 1]) && line[pos - 1] != ':');
+    size_t end = pos + token.size();
+    bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+    if (left_ok && right_ok) return pos;
+    ++pos;
+  }
+  return std::string::npos;
+}
+
+PrelexedSource Prelex(const std::string& content) {
+  PrelexedSource out;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string code_line;
+  std::string comment_line;
+  std::string raw_delim;  // for kRawString: the ")delim" terminator
+  bool in_preproc = false;
+  bool line_continues_preproc = false;
+
+  auto flush_line = [&]() {
+    out.allows.emplace_back();
+    ParseAllows(comment_line, &out.allows.back());
+    ParseLockOrders(comment_line, &out.lock_orders);
+    bool only_ws = std::all_of(code_line.begin(), code_line.end(), [](char c) {
+      return std::isspace(static_cast<unsigned char>(c)) != 0;
+    });
+    out.comment_only.push_back(!comment_line.empty() && only_ws);
+    out.preprocessor.push_back(in_preproc);
+    out.kernel_begin.push_back(comment_line.find("aflint:kernel-begin") !=
+                               std::string::npos);
+    out.kernel_end.push_back(comment_line.find("aflint:kernel-end") !=
+                             std::string::npos);
+    out.lines.push_back(code_line);
+    // A preprocessor directive continues onto the next line after a
+    // trailing backslash.
+    line_continues_preproc =
+        in_preproc && !code_line.empty() && code_line.back() == '\\';
+    code_line.clear();
+    comment_line.clear();
+    in_preproc = line_continues_preproc;
+  };
+
+  for (size_t i = 0; i < content.size(); ++i) {
+    char c = content[i];
+    char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      flush_line();
+      continue;
+    }
+    switch (state) {
+      case State::kCode: {
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          code_line += "  ";
+          ++i;
+        } else if (c == '"') {
+          // R"delim( ... )delim" — detect the R prefix just before.
+          bool raw = !code_line.empty() && code_line.back() == 'R' &&
+                     (code_line.size() < 2 || !IsIdentChar(code_line[code_line.size() - 2]));
+          code_line += '"';
+          if (raw) {
+            raw_delim = ")";
+            size_t j = i + 1;
+            while (j < content.size() && content[j] != '(') {
+              raw_delim += content[j];
+              ++j;
+            }
+            raw_delim += '"';
+            i = j;  // skip past the opening '('
+            state = State::kRawString;
+          } else {
+            state = State::kString;
+          }
+        } else if (c == '\'') {
+          code_line += '\'';
+          state = State::kChar;
+        } else {
+          if (c == '#' && std::all_of(code_line.begin(), code_line.end(),
+                                      [](char w) { return std::isspace(static_cast<unsigned char>(w)) != 0; })) {
+            in_preproc = true;
+          }
+          code_line += c;
+        }
+        break;
+      }
+      case State::kLineComment:
+        comment_line += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          code_line += "  ";
+          ++i;
+        } else {
+          comment_line += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          code_line += "  ";
+          ++i;
+          if (next == '\n') flush_line();
+        } else if (c == '"') {
+          code_line += '"';
+          state = State::kCode;
+        } else {
+          code_line += ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          code_line += "  ";
+          ++i;
+        } else if (c == '\'') {
+          code_line += '\'';
+          state = State::kCode;
+        } else {
+          code_line += ' ';
+        }
+        break;
+      case State::kRawString: {
+        if (c == ')' && content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          code_line += '"';
+          state = State::kCode;
+        } else {
+          code_line += ' ';
+        }
+        break;
+      }
+    }
+  }
+  flush_line();
+
+  // Raw lines: the scrubber flushes exactly once per '\n' (the escaped
+  // newline inside a string literal is consumed with its own flush), so a
+  // plain split stays aligned with the scrubbed lines.
+  std::string raw_line;
+  for (char c : content) {
+    if (c == '\n') {
+      out.raw.push_back(raw_line);
+      raw_line.clear();
+    } else {
+      raw_line.push_back(c);
+    }
+  }
+  out.raw.push_back(raw_line);
+  return out;
+}
+
+std::vector<Token> Tokenize(const PrelexedSource& src) {
+  std::vector<Token> out;
+  for (size_t li = 0; li < src.lines.size(); ++li) {
+    if (src.preprocessor[li]) continue;  // directives don't nest scopes
+    const std::string& line = src.lines[li];
+    size_t i = 0;
+    while (i < line.size()) {
+      char c = line[i];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++i;
+        continue;
+      }
+      Token t;
+      t.line = li;
+      if (IsIdentChar(c)) {
+        size_t b = i;
+        while (i < line.size() && IsIdentChar(line[i])) ++i;
+        t.text = line.substr(b, i - b);
+      } else if (c == ':' && i + 1 < line.size() && line[i + 1] == ':') {
+        t.text = "::";
+        i += 2;
+      } else if (c == '-' && i + 1 < line.size() && line[i + 1] == '>') {
+        t.text = "->";
+        i += 2;
+      } else {
+        t.text = std::string(1, c);
+        ++i;
+      }
+      out.push_back(std::move(t));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool HasTok(const std::vector<Token>& sig, const char* text) {
+  for (const Token& t : sig) {
+    if (t.text == text) return true;
+  }
+  return false;
+}
+
+std::string JoinTokens(const std::vector<Token>& sig, size_t from, size_t to) {
+  std::string out;
+  for (size_t i = from; i < to && i < sig.size(); ++i) {
+    if (!out.empty()) out += ' ';
+    out += sig[i].text;
+  }
+  return out;
+}
+
+/// True when the joined signature text declares a Status / Result<T> return,
+/// either leading ("Status Foo(") or trailing ("-> Result<T>").
+bool SignatureReturnsStatus(const std::string& sig) {
+  size_t arrow = sig.rfind("->");
+  if (arrow != std::string::npos) {
+    std::string tail = sig.substr(arrow + 2);
+    if (FindToken(tail, "Status") != std::string::npos ||
+        tail.find("Result") != std::string::npos) {
+      return true;
+    }
+  }
+  size_t paren = sig.find('(');
+  std::string head = paren == std::string::npos ? sig : sig.substr(0, paren);
+  return FindToken(head, "Status") != std::string::npos ||
+         head.find("Result") != std::string::npos;
+}
+
+/// Collects the argument expressions of every AF_REQUIRES(...) macro in the
+/// signature, each joined without spaces ("this->mu", "shard.mutex").
+void CollectRequiresArgs(const std::vector<Token>& sig,
+                         std::vector<std::string>* out) {
+  for (size_t i = 0; i + 1 < sig.size(); ++i) {
+    if (sig[i].text != "AF_REQUIRES" || sig[i + 1].text != "(") continue;
+    int depth = 0;
+    std::string arg;
+    size_t j = i + 1;
+    for (; j < sig.size(); ++j) {
+      const std::string& t = sig[j].text;
+      if (t == "(") {
+        if (depth++ > 0) arg += t;
+      } else if (t == ")") {
+        if (--depth == 0) break;
+        arg += t;
+      } else if (t == "," && depth == 1) {
+        if (!arg.empty()) out->push_back(arg);
+        arg.clear();
+      } else if (depth >= 1) {
+        arg += t;
+      }
+    }
+    if (!arg.empty()) out->push_back(arg);
+    i = j;
+  }
+}
+
+}  // namespace
+
+SigInfo ClassifySignature(const std::vector<Token>& sig) {
+  SigInfo out;
+  CollectRequiresArgs(sig, &out.requires_args);
+
+  if (HasTok(sig, "namespace")) {
+    out.kind = SigInfo::kNamespace;
+    for (const Token& t : sig) {
+      if (t.IsIdent() && t.text != "namespace" && t.text != "inline") {
+        out.name = t.text;
+      }
+    }
+    return out;
+  }
+
+  // Lambda introducer: a '[' in expression position. At statement start (or
+  // after another '[') it is an attribute ([[nodiscard]]), after an
+  // identifier or ')' it is a subscript; after '(', ',', '=', 'return' and
+  // friends it opens a lambda capture list.
+  for (size_t i = 0; i < sig.size(); ++i) {
+    if (sig[i].text != "[" || i == 0) continue;
+    const std::string& prev = sig[i - 1].text;
+    if (prev == "(" || prev == "," || prev == "=" || prev == "return" ||
+        prev == "&&" || prev == "||" || prev == "!" || prev == "<") {
+      out.kind = SigInfo::kLambda;
+      // Trailing return only: a lambda without one never returns Status.
+      for (size_t j = sig.size(); j-- > i;) {
+        if (sig[j].text == "->") {
+          out.returns_status =
+              SignatureReturnsStatus("-> " + JoinTokens(sig, j + 1, sig.size()));
+          break;
+        }
+      }
+      return out;
+    }
+  }
+
+  bool has_paren = HasTok(sig, "(");
+  for (const char* kw : {"class", "struct", "union", "enum"}) {
+    if (!HasTok(sig, kw) || has_paren) continue;
+    out.kind = SigInfo::kType;
+    // Name: last identifier after the last type keyword, stopping at the
+    // base-class list ("class Foo final : public Bar {").
+    size_t kw_pos = 0;
+    for (size_t i = 0; i < sig.size(); ++i) {
+      const std::string& t = sig[i].text;
+      if (t == "class" || t == "struct" || t == "union" || t == "enum") {
+        kw_pos = i;
+      }
+    }
+    for (size_t i = kw_pos + 1; i < sig.size(); ++i) {
+      if (sig[i].text == ":" || sig[i].text == "<") break;
+      if (sig[i].IsIdent() && sig[i].text != "final") out.name = sig[i].text;
+    }
+    return out;
+  }
+
+  for (const char* kw : {"if", "for", "while", "switch", "do", "else",
+                         "catch", "try", "case", "default"}) {
+    if (HasTok(sig, kw)) {
+      out.kind = SigInfo::kControl;
+      return out;
+    }
+  }
+
+  if (has_paren) {
+    int depth = 0;
+    size_t first_open = sig.size(), first_close = sig.size();
+    for (size_t i = 0; i < sig.size(); ++i) {
+      if (sig[i].text == "(") {
+        if (depth == 0 && first_open == sig.size()) first_open = i;
+        ++depth;
+      } else if (sig[i].text == ")") {
+        --depth;
+        if (depth == 0 && first_close == sig.size()) first_close = i;
+      }
+    }
+    if (depth != 0) {
+      out.kind = SigInfo::kPlain;  // '{' is a brace argument mid-expression
+      return out;
+    }
+    out.kind = SigInfo::kFunction;
+    out.returns_status = SignatureReturnsStatus(JoinTokens(sig, 0, sig.size()));
+    if (first_open > 0 && sig[first_open - 1].IsIdent()) {
+      size_t n = first_open - 1;
+      out.name = sig[n].text;
+      if (n > 0 && sig[n - 1].text == "~") out.name = "~" + out.name;
+      size_t q = n > 0 && sig[n - 1].text == "~" ? n - 1 : n;
+      if (q >= 2 && sig[q - 1].text == "::" && sig[q - 2].IsIdent()) {
+        out.class_qualifier = sig[q - 2].text;
+      }
+    }
+    // "Foo::Foo() : member{...} {": a top-level ':' after the parameter
+    // list with a trailing identifier means this '{' is a brace-init inside
+    // the member-init list, not the function body.
+    if (!sig.empty() && sig.back().IsIdent()) {
+      for (size_t i = first_close + 1; i < sig.size(); ++i) {
+        if (sig[i].text == ":") {
+          out.init_list_brace = true;
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+  out.kind = SigInfo::kPlain;
+  return out;
+}
+
+ScopeWalker::Event ScopeWalker::Feed(const Token& t) {
+  if (t.text == "{") {
+    Scope s;
+    bool inherited = !stack_.empty() && stack_.back().returns_status;
+    if (pending_active_ && stack_.size() == pending_depth_) {
+      // Between a member-init-list brace-init and the function body: an
+      // "ident {" is another brace-init, anything else opens the body.
+      if (!sig_.empty() && sig_.back().IsIdent()) {
+        s.sig.kind = SigInfo::kPlain;
+        s.returns_status = inherited;
+      } else {
+        s.sig = pending_sig_;
+        s.returns_status = pending_sig_.returns_status;
+        pending_active_ = false;
+      }
+    } else {
+      SigInfo info = ClassifySignature(sig_);
+      if (info.kind == SigInfo::kFunction && info.init_list_brace) {
+        pending_sig_ = info;
+        pending_sig_.init_list_brace = false;
+        pending_active_ = true;
+        pending_depth_ = stack_.size();
+        s.sig.kind = SigInfo::kPlain;
+        s.returns_status = inherited;
+      } else {
+        s.sig = info;
+        switch (info.kind) {
+          case SigInfo::kNamespace:
+          case SigInfo::kType:
+            s.returns_status = false;
+            break;
+          case SigInfo::kControl:
+          case SigInfo::kPlain:
+            s.returns_status = inherited;
+            break;
+          case SigInfo::kFunction:
+          case SigInfo::kLambda:
+            s.returns_status = info.returns_status;
+            break;
+        }
+      }
+    }
+    stack_.push_back(std::move(s));
+    sig_.clear();
+    return Event::kOpen;
+  }
+  if (t.text == "}") {
+    if (!stack_.empty()) {
+      closed_ = stack_.back();
+      stack_.pop_back();
+    } else {
+      closed_ = Scope{};
+    }
+    if (pending_active_ && stack_.size() < pending_depth_) {
+      pending_active_ = false;
+    }
+    sig_.clear();
+    return Event::kClose;
+  }
+  if (t.text == ";") {
+    sig_.clear();
+    if (pending_active_ && stack_.size() == pending_depth_) {
+      pending_active_ = false;
+    }
+    return Event::kStatement;
+  }
+  sig_.push_back(t);
+  return Event::kNone;
+}
+
+}  // namespace lint
+}  // namespace agentfirst

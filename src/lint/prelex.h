@@ -1,0 +1,177 @@
+#ifndef AGENTFIRST_LINT_PRELEX_H_
+#define AGENTFIRST_LINT_PRELEX_H_
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// The shared pre-lex step for every aflint pass. Each file is scrubbed
+/// exactly once (comment and string-literal contents blanked, suppression
+/// and annotation comments parsed, preprocessor lines marked) and the result
+/// feeds the line-rule engine, the lock-order scanner, and the layering
+/// checker alike — no pass re-scrubs, and no pass ever pattern-matches text
+/// that lives in prose or SQL.
+namespace agentfirst {
+namespace lint {
+
+/// Source text after comment/string scrubbing, with per-line metadata.
+struct PrelexedSource {
+  /// Original text, split into lines (no trailing '\n').
+  std::vector<std::string> raw;
+  /// Code text, same line structure as the input; comment bodies and
+  /// string/char literal contents replaced by spaces (quotes kept).
+  std::vector<std::string> lines;
+  /// Rules named in an aflint:allow(...) comment on each line.
+  std::vector<std::set<std::string>> allows;
+  /// Line held a comment and no code (suppressions there cover line+1).
+  std::vector<bool> comment_only;
+  /// Line belongs to a preprocessor directive (including continuations).
+  std::vector<bool> preprocessor;
+  /// Line's comment text opened / closed an aflint:kernel region.
+  std::vector<bool> kernel_begin;
+  std::vector<bool> kernel_end;
+  /// Declared lock orderings from `aflint:lock-order(A, B)` comments: the
+  /// author asserts A is (transitively) acquired before B by design and the
+  /// reverse order cannot happen at runtime. Collected file-wide by the
+  /// lock-order pass.
+  std::vector<std::pair<std::string, std::string>> lock_orders;
+
+  /// True when the rule is allowed on line `idx` (0-based) — either named on
+  /// the line itself or on a comment-only line immediately above it.
+  bool Allowed(size_t idx, const std::string& rule) const;
+};
+
+PrelexedSource Prelex(const std::string& content);
+
+/// One file handed to a whole-program pass: repo-relative forward-slash
+/// path plus its (single) pre-lex.
+struct SourceFile {
+  std::string path;
+  PrelexedSource pre;
+};
+
+// --- small shared text helpers ---------------------------------------------
+
+inline bool IsIdentChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+inline bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+inline bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Finds `token` in `line` starting at `from`, requiring identifier
+/// boundaries on both sides (':' counts as part of a qualified name on the
+/// left, so "this_thread" and "x::rand" style qualifications don't match).
+size_t FindToken(const std::string& line, const std::string& token,
+                 size_t from = 0);
+
+/// Module name of a repo-relative path under src/ ("src/io/file_util.h" -> "io"),
+/// "tools" for paths under tools/, "" otherwise.
+inline std::string ModuleOfPath(const std::string& path) {
+  if (StartsWith(path, "tools/")) return "tools";
+  if (!StartsWith(path, "src/")) return "";
+  size_t slash = path.find('/', 4);
+  if (slash == std::string::npos) return "";
+  return path.substr(4, slash - 4);
+}
+
+// --- token stream -----------------------------------------------------------
+
+/// One lexical token of scrubbed code. `text` is an identifier (or number),
+/// a multi-char operator ("::", "->"), or a single punctuation char. String
+/// and char literals come through as a lone '"' / '\'' token; preprocessor
+/// lines produce no tokens at all.
+struct Token {
+  size_t line = 0;  // 0-based line index into the PrelexedSource
+  std::string text;
+
+  bool IsIdent() const { return !text.empty() && IsIdentChar(text[0]); }
+};
+
+std::vector<Token> Tokenize(const PrelexedSource& src);
+
+// --- scope-signature classifier ---------------------------------------------
+
+/// Classification of the statement text preceding a '{' — the scope
+/// machinery the fault-point-scope rule introduced, shared with the
+/// lock-order scanner so both agree on what a function is.
+struct SigInfo {
+  enum Kind {
+    kNamespace,     // namespace N {
+    kType,          // class/struct/union/enum {
+    kControl,       // if/for/while/switch/else/do/try/catch/case {
+    kFunction,      // a function (or constructor) definition
+    kLambda,        // [..](..) {
+    kPlain,         // init-list / bare block / unknown
+  };
+  Kind kind = kPlain;
+  /// For kFunction/kLambda: does it return Status / Result<T>?
+  bool returns_status = false;
+  /// For kFunction: the function name; for kNamespace/kType: the scope name.
+  std::string name;
+  /// For kFunction defined out of line ("Ret Cls::Name(...)"): "Cls".
+  std::string class_qualifier;
+  /// Raw argument expressions of every AF_REQUIRES(...) in the signature.
+  std::vector<std::string> requires_args;
+  /// For kFunction: this '{' is a brace-init inside the member-init list
+  /// ("Foo::Foo() : member{...} {"), not the function body. The body's '{'
+  /// follows; ScopeWalker handles the deferral.
+  bool init_list_brace = false;
+};
+
+/// Classifies the tokens accumulated since the last statement boundary
+/// (';', '{', '}') up to an opening '{'.
+SigInfo ClassifySignature(const std::vector<Token>& sig);
+
+/// Token-driven brace/scope walker shared by the fault-point-scope rule and
+/// the lock-order scanner, so both agree on what a function is. Feed tokens
+/// in order; between tokens the current scope stack is available. Because
+/// the walk is token-interleaved, a one-line "Status F() { AF_FAULT_POINT..."
+/// sees the function scope already open when the macro token arrives — the
+/// false positive the old line-at-a-time walker had.
+class ScopeWalker {
+ public:
+  struct Scope {
+    SigInfo sig;
+    /// Effective "innermost function returns Status/Result", inherited
+    /// through control-flow and plain scopes, reset by namespaces, types,
+    /// functions, and lambdas.
+    bool returns_status = false;
+  };
+
+  enum class Event {
+    kNone,       // token absorbed into the pending signature
+    kOpen,       // '{': stack().back() is the newly opened scope
+    kClose,      // '}': closed() is the scope just closed
+    kStatement,  // ';': signature buffer reset
+  };
+
+  Event Feed(const Token& t);
+
+  const std::vector<Scope>& stack() const { return stack_; }
+  const Scope& closed() const { return closed_; }
+  /// Tokens accumulated since the last statement boundary. Inspect BEFORE
+  /// feeding a ';' to classify declarations ("void F() AF_REQUIRES(mu);").
+  const std::vector<Token>& pending_sig() const { return sig_; }
+
+ private:
+  std::vector<Scope> stack_;
+  std::vector<Token> sig_;
+  Scope closed_;
+  SigInfo pending_sig_;
+  bool pending_active_ = false;
+  size_t pending_depth_ = 0;
+};
+
+}  // namespace lint
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_LINT_PRELEX_H_

@@ -10,7 +10,11 @@
 
 #include "catalog/catalog.h"
 #include "common/result.h"
+// aflint:allow(layer-back-edge) the memory store caches agent-visible
+// artifacts by design (paper Sec. 5): Embeddings for semantic recall ...
 #include "embed/embedding.h"
+// aflint:allow(layer-back-edge) ... and whole ResultSets for answer reuse.
+// Both are leaf value types; neither embed/ nor exec/ includes memory/.
 #include "exec/result_set.h"
 
 namespace agentfirst {

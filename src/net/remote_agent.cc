@@ -1,4 +1,4 @@
-#include "agents/remote_agent.h"
+#include "net/remote_agent.h"
 
 namespace agentfirst {
 

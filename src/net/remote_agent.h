@@ -1,5 +1,5 @@
-#ifndef AGENTFIRST_AGENTS_REMOTE_AGENT_H_
-#define AGENTFIRST_AGENTS_REMOTE_AGENT_H_
+#ifndef AGENTFIRST_NET_REMOTE_AGENT_H_
+#define AGENTFIRST_NET_REMOTE_AGENT_H_
 
 #include <memory>
 #include <string>
@@ -53,4 +53,4 @@ class RemoteAgent : public ProbeService {
 
 }  // namespace agentfirst
 
-#endif  // AGENTFIRST_AGENTS_REMOTE_AGENT_H_
+#endif  // AGENTFIRST_NET_REMOTE_AGENT_H_

@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "core/probe.h"
 #include "exec/result_set.h"
+#include "obs/trace.h"
 #include "types/serde.h"
 
 /// The agent-first wire protocol (afp): a versioned, length-prefixed binary

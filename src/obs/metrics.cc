@@ -2,10 +2,34 @@
 
 #include <algorithm>
 
+#include "common/telemetry_hook.h"
+
 namespace agentfirst {
 namespace obs {
 
 namespace {
+
+/// Bridge from common/'s layer-inverted telemetry hook into the default
+/// registry. Installed by a static initializer: any binary that links this
+/// object file gets af.pool.* / af.fault.* wired up before main(); binaries
+/// without obs/ leave the hook empty and those emits are no-ops.
+void* HookCounter(const char* name) {
+  return MetricsRegistry::Default().GetCounter(name);
+}
+void* HookGauge(const char* name) {
+  return MetricsRegistry::Default().GetGauge(name);
+}
+void HookCounterAdd(void* counter, uint64_t delta) {
+  static_cast<Counter*>(counter)->Add(delta);
+}
+void HookGaugeSet(void* gauge, int64_t value) {
+  static_cast<Gauge*>(gauge)->Set(value);
+}
+const bool g_telemetry_bridge_installed = [] {
+  InstallTelemetrySink(
+      {&HookCounter, &HookGauge, &HookCounterAdd, &HookGaugeSet});
+  return true;
+}();
 
 /// FNV-1a — stable across runs and platforms, so stripe assignment (and
 /// therefore lock contention shape) is reproducible.

@@ -1,7 +1,11 @@
 #ifndef AGENTFIRST_TYPES_SERDE_H_
 #define AGENTFIRST_TYPES_SERDE_H_
 
+// aflint:allow(layer-back-edge) serde speaks the tree-wide Bytes/Status
+// vocabulary; both are freestanding value types with no dependency back
+// into types/, so the include cannot become a cycle.
 #include "common/bytes.h"
+// aflint:allow(layer-back-edge) see common/bytes.h above.
 #include "common/status.h"
 #include "types/schema.h"
 #include "types/value.h"

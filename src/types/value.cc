@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+// aflint:allow(layer-back-edge) implementation-only use of the shared
+// freestanding string helpers; nothing from common/ appears in types/ APIs.
 #include "common/str_util.h"
 
 namespace agentfirst {

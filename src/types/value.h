@@ -6,6 +6,9 @@
 #include <variant>
 #include <vector>
 
+// aflint:allow(layer-back-edge) common/hash.h is a freestanding header-only
+// kernel (no common/ types leak into the API); splitting it below types/
+// would duplicate the one FNV/mix implementation the whole tree shares.
 #include "common/hash.h"
 #include "types/data_type.h"
 

@@ -5,6 +5,10 @@
 #include <string>
 #include <vector>
 
+// aflint:allow(layer-back-edge) MiniBird is the end-to-end benchmark: it
+// drives a whole AgentFirstSystem by construction. core/ never includes
+// workload/, so the edge stays acyclic; every other workload/ file sits
+// below core/ as declared.
 #include "core/system.h"
 #include "exec/result_set.h"
 

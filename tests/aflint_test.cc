@@ -7,10 +7,17 @@
 #include "lint/lint.h"
 
 #include <algorithm>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "lint/findings.h"
+#include "lint/layering.h"
+#include "lint/lockorder.h"
+#include "lint/prelex.h"
 
 namespace agentfirst {
 namespace lint {
@@ -38,7 +45,23 @@ bool HasRule(const std::vector<Diagnostic>& diags, const std::string& rule) {
 
 TEST(AflintTest, RuleCatalogIsStable) {
   std::vector<std::string> rules = RuleNames();
-  ASSERT_EQ(rules.size(), 11u);
+  ASSERT_EQ(rules.size(), 19u);
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "include-hygiene"),
+            rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "lock-order-cycle"),
+            rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "lock-self-deadlock"),
+            rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "condvar-hold"),
+            rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "layer-back-edge"),
+            rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "layer-undeclared-edge"),
+            rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "include-cycle"),
+            rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "layer-config"),
+            rules.end());
   EXPECT_NE(std::find(rules.begin(), rules.end(), "raw-thread"), rules.end());
   EXPECT_NE(std::find(rules.begin(), rules.end(), "fault-point-scope"),
             rules.end());
@@ -539,6 +562,519 @@ TEST(AflintTest, MultipleViolationsComeBackInLineOrder) {
   EXPECT_EQ(diags[0].rule, "raw-thread");
   EXPECT_EQ(diags[1].rule, "unseeded-random");
   EXPECT_EQ(diags[2].rule, "iostream-in-lib");
+}
+
+// ---------------------------------------------------------------------------
+// fault-point-scope regression: the scope walker must attribute a fault point
+// to its enclosing function even when the whole function sits on one line
+// (the old line-oriented tracker opened the scope one line too late).
+
+TEST(AflintTest, FaultPointOkInSingleLineStatusFunction) {
+  std::string src =
+      "Status F() { AF_FAULT_POINT(\"x\"); return Status::OK(); }\n";
+  EXPECT_TRUE(RunLint("src/core/foo.cc", src).empty());
+}
+
+TEST(AflintTest, FaultPointFiresInSingleLineVoidFunction) {
+  std::string src = "void F() { AF_FAULT_POINT(\"x\"); }\n";
+  EXPECT_TRUE(
+      HasRuleAtLine(RunLint("src/core/foo.cc", src), "fault-point-scope", 1));
+}
+
+TEST(AflintTest, FaultPointOkAfterConstructorInitList) {
+  // The ctor's member-init braces must not be mistaken for its body.
+  std::string src =
+      "class C {\n"
+      " public:\n"
+      "  C() : a_{1}, b_{2} {}\n"
+      "  Status F() {\n"
+      "    AF_FAULT_POINT(\"x\");\n"
+      "    return Status::OK();\n"
+      "  }\n"
+      "  int a_; int b_;\n"
+      "};\n";
+  EXPECT_TRUE(RunLint("src/core/foo.cc", src).empty());
+}
+
+// ---------------------------------------------------------------------------
+// include-hygiene
+
+TEST(AflintTest, IncludeHygieneFiresOnTransitiveNamespaceUse) {
+  std::string src =
+      "#include \"core/probe.h\"\n"
+      "void F(obs::TraceSpan* span);\n";
+  EXPECT_TRUE(
+      HasRuleAtLine(RunLint("src/net/foo.h", src), "include-hygiene", 2));
+}
+
+TEST(AflintTest, IncludeHygieneSatisfiedByDirectInclude) {
+  std::string src =
+      "#include \"obs/trace.h\"\n"
+      "void F(obs::TraceSpan* span);\n";
+  EXPECT_TRUE(RunLint("src/net/foo.h", src).empty());
+}
+
+TEST(AflintTest, IncludeHygieneSkipsImplementationFiles) {
+  // Only headers are checked: a .cc with a sloppy transitive include hurts
+  // nobody downstream.
+  std::string src =
+      "#include \"core/probe.h\"\n"
+      "void F(obs::TraceSpan* span) {}\n";
+  EXPECT_TRUE(RunLint("src/net/foo.cc", src).empty());
+}
+
+TEST(AflintTest, IncludeHygieneRequiresThreadAnnotationsHeader) {
+  std::string src =
+      "class C {\n"
+      "  int x_ AF_GUARDED_BY(mu_);\n"
+      "};\n";
+  EXPECT_TRUE(HasRule(RunLint("src/core/foo.h", src), "include-hygiene"));
+  std::string fixed = "#include \"common/thread_annotations.h\"\n" + src;
+  EXPECT_TRUE(RunLint("src/core/foo.h", fixed).empty());
+}
+
+// ---------------------------------------------------------------------------
+// lock-order analysis (whole-program)
+
+std::vector<Diagnostic> RunLockOrder(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  std::vector<SourceFile> sources;
+  for (const auto& [path, content] : files) {
+    sources.push_back({path, Prelex(content)});
+  }
+  return AnalyzeLockOrder(sources);
+}
+
+TEST(AflintTest, LockOrderTwoLockCycle) {
+  std::string src =
+      "class A {\n"
+      " public:\n"
+      "  void F() {\n"
+      "    MutexLock l1(a_);\n"
+      "    MutexLock l2(b_);\n"
+      "  }\n"
+      "  void G() {\n"
+      "    MutexLock l1(b_);\n"
+      "    MutexLock l2(a_);\n"
+      "  }\n"
+      "  Mutex a_;\n"
+      "  Mutex b_;\n"
+      "};\n";
+  auto diags = RunLockOrder({{"src/core/a.cc", src}});
+  ASSERT_TRUE(HasRule(diags, "lock-order-cycle")) << diags.size();
+  bool mentions_both = false;
+  for (const Diagnostic& d : diags) {
+    if (d.message.find("A::a_") != std::string::npos &&
+        d.message.find("A::b_") != std::string::npos) {
+      mentions_both = true;
+    }
+  }
+  EXPECT_TRUE(mentions_both);
+}
+
+TEST(AflintTest, LockOrderThreeLockCycleThroughCallEdge) {
+  // a_ -> b_ exists only through F's call to H: the analysis must follow the
+  // intra-module call graph, not just lexically nested acquisitions.
+  std::string src =
+      "class A {\n"
+      " public:\n"
+      "  void F() {\n"
+      "    MutexLock l(a_);\n"
+      "    H();\n"
+      "  }\n"
+      "  void H() { MutexLock l(b_); }\n"
+      "  void G() {\n"
+      "    MutexLock l1(b_);\n"
+      "    MutexLock l2(c_);\n"
+      "  }\n"
+      "  void K() {\n"
+      "    MutexLock l1(c_);\n"
+      "    MutexLock l2(a_);\n"
+      "  }\n"
+      "  Mutex a_;\n"
+      "  Mutex b_;\n"
+      "  Mutex c_;\n"
+      "};\n";
+  auto diags = RunLockOrder({{"src/core/a.cc", src}});
+  ASSERT_TRUE(HasRule(diags, "lock-order-cycle"));
+  bool via_call = false;
+  for (const Diagnostic& d : diags) {
+    if (d.rule == "lock-order-cycle" &&
+        d.message.find("via call to A::H") != std::string::npos) {
+      via_call = true;
+    }
+  }
+  EXPECT_TRUE(via_call);
+}
+
+TEST(AflintTest, CondvarWaitWhileHoldingAnotherLock) {
+  std::string src =
+      "class A {\n"
+      " public:\n"
+      "  void F() {\n"
+      "    MutexLock l1(a_);\n"
+      "    MutexLock l2(b_);\n"
+      "    cv_.Wait(b_);\n"
+      "  }\n"
+      "  Mutex a_;\n"
+      "  Mutex b_;\n"
+      "  CondVar cv_;\n"
+      "};\n";
+  auto diags = RunLockOrder({{"src/core/a.cc", src}});
+  EXPECT_TRUE(HasRuleAtLine(diags, "condvar-hold", 6)) << diags.size();
+}
+
+TEST(AflintTest, CondvarWaitHoldingOnlyItsOwnMutexIsClean) {
+  std::string src =
+      "class A {\n"
+      " public:\n"
+      "  void F() {\n"
+      "    MutexLock l(a_);\n"
+      "    cv_.Wait(a_);\n"
+      "  }\n"
+      "  Mutex a_;\n"
+      "  CondVar cv_;\n"
+      "};\n";
+  EXPECT_TRUE(RunLockOrder({{"src/core/a.cc", src}}).empty());
+}
+
+TEST(AflintTest, DeclaredLockOrderSuppressesReverseEdge) {
+  std::string src =
+      "// aflint:lock-order(A::a_, A::b_)\n"
+      "class A {\n"
+      " public:\n"
+      "  void F() {\n"
+      "    MutexLock l1(a_);\n"
+      "    MutexLock l2(b_);\n"
+      "  }\n"
+      "  void G() {\n"
+      "    MutexLock l1(b_);\n"
+      "    MutexLock l2(a_);\n"
+      "  }\n"
+      "  Mutex a_;\n"
+      "  Mutex b_;\n"
+      "};\n";
+  EXPECT_TRUE(RunLockOrder({{"src/core/a.cc", src}}).empty());
+}
+
+TEST(AflintTest, RecursiveSelfLockThroughCallChain) {
+  std::string src =
+      "class A {\n"
+      " public:\n"
+      "  void F() {\n"
+      "    MutexLock l(m_);\n"
+      "    G();\n"
+      "  }\n"
+      "  void G() { MutexLock l(m_); }\n"
+      "  Mutex m_;\n"
+      "};\n";
+  auto diags = RunLockOrder({{"src/core/a.cc", src}});
+  EXPECT_TRUE(HasRuleAtLine(diags, "lock-self-deadlock", 5)) << diags.size();
+}
+
+TEST(AflintTest, DirectDoubleAcquireIsSelfDeadlock) {
+  std::string src =
+      "class A {\n"
+      " public:\n"
+      "  void F() {\n"
+      "    MutexLock l1(m_);\n"
+      "    MutexLock l2(m_);\n"
+      "  }\n"
+      "  Mutex m_;\n"
+      "};\n";
+  auto diags = RunLockOrder({{"src/core/a.cc", src}});
+  EXPECT_TRUE(HasRuleAtLine(diags, "lock-self-deadlock", 5));
+}
+
+TEST(AflintTest, ConsistentOrderAcrossFunctionsIsClean) {
+  std::string src =
+      "class A {\n"
+      " public:\n"
+      "  void F() {\n"
+      "    MutexLock l1(a_);\n"
+      "    MutexLock l2(b_);\n"
+      "  }\n"
+      "  void G() {\n"
+      "    MutexLock l1(a_);\n"
+      "    MutexLock l2(b_);\n"
+      "  }\n"
+      "  void H() { MutexLock l(b_); }\n"
+      "  Mutex a_;\n"
+      "  Mutex b_;\n"
+      "};\n";
+  EXPECT_TRUE(RunLockOrder({{"src/core/a.cc", src}}).empty());
+}
+
+TEST(AflintTest, RequiresAnnotatedHelperDoesNotReacquire) {
+  // A helper with AF_REQUIRES(m) holds m on entry but does not acquire it:
+  // calling it under m is the whole point, not a self-deadlock.
+  std::string src =
+      "class A {\n"
+      " public:\n"
+      "  void Put() {\n"
+      "    MutexLock l(m_);\n"
+      "    EvictLocked();\n"
+      "  }\n"
+      "  void EvictLocked() AF_REQUIRES(m_) { n_ = 0; }\n"
+      "  Mutex m_;\n"
+      "  int n_ AF_GUARDED_BY(m_);\n"
+      "};\n";
+  EXPECT_TRUE(RunLockOrder({{"src/core/a.cc", src}}).empty());
+}
+
+TEST(AflintTest, ForeignObjectMemberCallDoesNotResolveToOwnClass) {
+  // s_.lru.size() is a call on another object: resolving it to A::size()
+  // (which locks m_) would manufacture a self-deadlock.
+  std::string src =
+      "class A {\n"
+      " public:\n"
+      "  size_t size() {\n"
+      "    MutexLock l(m_);\n"
+      "    return n_;\n"
+      "  }\n"
+      "  void Put() {\n"
+      "    MutexLock l(m_);\n"
+      "    size_t k = s_.lru.size();\n"
+      "    n_ = k;\n"
+      "  }\n"
+      "  Mutex m_;\n"
+      "  size_t n_;\n"
+      "  Shard s_;\n"
+      "};\n";
+  EXPECT_TRUE(RunLockOrder({{"src/core/a.cc", src}}).empty());
+}
+
+TEST(AflintTest, LockOrderCycleAcrossFilesInOneModule) {
+  std::string f1 =
+      "class A {\n"
+      " public:\n"
+      "  void F();\n"
+      "  void G();\n"
+      "  Mutex a_;\n"
+      "  Mutex b_;\n"
+      "};\n";
+  std::string f2 =
+      "void A::F() {\n"
+      "  MutexLock l1(a_);\n"
+      "  MutexLock l2(b_);\n"
+      "}\n";
+  std::string f3 =
+      "void A::G() {\n"
+      "  MutexLock l1(b_);\n"
+      "  MutexLock l2(a_);\n"
+      "}\n";
+  auto diags = RunLockOrder({{"src/core/a.h", f1},
+                             {"src/core/f.cc", f2},
+                             {"src/core/g.cc", f3}});
+  EXPECT_TRUE(HasRule(diags, "lock-order-cycle"));
+}
+
+TEST(AflintTest, LockOrderSuppressedByInlineAllow) {
+  std::string src =
+      "class A {\n"
+      " public:\n"
+      "  void F() {\n"
+      "    MutexLock l1(a_);\n"
+      "    // aflint:allow(lock-order-cycle) fixture\n"
+      "    MutexLock l2(b_);\n"
+      "  }\n"
+      "  void G() {\n"
+      "    MutexLock l1(b_);\n"
+      "    // aflint:allow(lock-order-cycle) fixture\n"
+      "    MutexLock l2(a_);\n"
+      "  }\n"
+      "  Mutex a_;\n"
+      "  Mutex b_;\n"
+      "};\n";
+  EXPECT_TRUE(RunLockOrder({{"src/core/a.cc", src}}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// layering
+
+constexpr char kLayersToml[] =
+    "[layers]\n"
+    "order = [\n"
+    "  [\"base\"],\n"
+    "  [\"mid\", \"mid2\"],\n"
+    "  [\"top\"],\n"
+    "]\n"
+    "[edges]\n"
+    "declared = [\"mid -> mid2\"]\n";
+
+std::vector<Diagnostic> RunLayering(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  LayerSpec spec;
+  std::string error;
+  if (!ParseLayersToml(kLayersToml, &spec, &error)) {
+    ADD_FAILURE() << error;
+    return {};
+  }
+  std::vector<SourceFile> sources;
+  for (const auto& [path, content] : files) {
+    sources.push_back({path, Prelex(content)});
+  }
+  return CheckLayering(spec, "tools/layers.toml", sources);
+}
+
+TEST(AflintTest, LayeringRejectsBackEdge) {
+  auto diags = RunLayering(
+      {{"src/base/b.h", "#include \"top/t.h\"\n"},
+       {"src/top/t.h", "int t;\n"}});
+  ASSERT_TRUE(HasRuleAtLine(diags, "layer-back-edge", 1)) << diags.size();
+  // The diagnostic names the offending include and both layers.
+  EXPECT_NE(diags[0].message.find("top/t.h"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("base -> top"), std::string::npos);
+}
+
+TEST(AflintTest, LayeringRejectsUndeclaredSameLayerEdge) {
+  // mid -> mid2 is declared; the reverse direction is not.
+  auto diags = RunLayering(
+      {{"src/mid2/x.h", "#include \"mid/y.h\"\n"},
+       {"src/mid/y.h", "int y;\n"}});
+  EXPECT_TRUE(HasRuleAtLine(diags, "layer-undeclared-edge", 1))
+      << diags.size();
+}
+
+TEST(AflintTest, LayeringAcceptsDeclaredSameLayerEdge) {
+  auto diags = RunLayering(
+      {{"src/mid/y.h", "#include \"mid2/x.h\"\n"},
+       {"src/mid2/x.h", "int x;\n"}});
+  EXPECT_TRUE(diags.empty()) << diags.size();
+}
+
+TEST(AflintTest, LayeringRejectsIncludeCycle) {
+  auto diags = RunLayering(
+      {{"src/base/a.h", "#include \"base/b.h\"\n"},
+       {"src/base/b.h", "#include \"base/a.h\"\n"}});
+  ASSERT_TRUE(HasRule(diags, "include-cycle")) << diags.size();
+  // The offending path is printed in full.
+  bool has_path = false;
+  for (const Diagnostic& d : diags) {
+    if (d.message.find("src/base/a.h -> src/base/b.h -> src/base/a.h") !=
+        std::string::npos) {
+      has_path = true;
+    }
+  }
+  EXPECT_TRUE(has_path);
+}
+
+TEST(AflintTest, LayeringAcceptsCleanTree) {
+  auto diags = RunLayering(
+      {{"src/top/t.h", "#include \"mid/y.h\"\n#include \"base/b.h\"\n"},
+       {"src/mid/y.h", "#include \"base/b.h\"\n"},
+       {"src/base/b.h", "int b;\n"}});
+  EXPECT_TRUE(diags.empty()) << diags.size();
+}
+
+TEST(AflintTest, LayeringReportsUnknownModule) {
+  auto diags = RunLayering({{"src/rogue/r.h", "int r;\n"}});
+  EXPECT_TRUE(HasRule(diags, "layer-config"));
+}
+
+TEST(AflintTest, LayeringBackEdgeSuppressedByInlineAllow) {
+  auto diags = RunLayering(
+      {{"src/base/b.h",
+        "// aflint:allow(layer-back-edge) fixture rationale\n"
+        "#include \"top/t.h\"\n"},
+       {"src/top/t.h", "int t;\n"}});
+  EXPECT_TRUE(diags.empty()) << diags.size();
+}
+
+TEST(AflintTest, LayersTomlParserRejectsGarbage) {
+  LayerSpec spec;
+  std::string error;
+  EXPECT_FALSE(ParseLayersToml("not toml at all", &spec, &error));
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_FALSE(ParseLayersToml("[layers]\n", &spec, &error));  // no order
+  EXPECT_FALSE(error.empty());
+}
+
+// ---------------------------------------------------------------------------
+// findings pipeline
+
+TEST(AflintTest, FindingsJsonIsByteStable) {
+  std::string src =
+      "void F() { std::thread t([] {}); }\n"
+      "int G() { return rand(); }\n";
+  PrelexedSource pre = Prelex(src);
+  auto diags = LintPrelexed("src/core/foo.cc", pre);
+  ASSERT_FALSE(diags.empty());
+  std::map<std::string, const PrelexedSource*> sources = {
+      {"src/core/foo.cc", &pre}};
+  std::string a = EmitFindingsJson(BuildFindings(diags, sources));
+  std::string b = EmitFindingsJson(BuildFindings(diags, sources));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"aflint_version\": 2"), std::string::npos);
+  EXPECT_EQ(a.back(), '\n');
+}
+
+TEST(AflintTest, FingerprintSurvivesLineDrift) {
+  std::string before = "void F() { std::thread t([] {}); }\n";
+  std::string after =
+      "// three new comment lines\n"
+      "// pushed the violation\n"
+      "// down the file\n"
+      "void F() { std::thread t([] {}); }\n";
+  PrelexedSource pre_before = Prelex(before);
+  PrelexedSource pre_after = Prelex(after);
+  auto fb = BuildFindings(LintPrelexed("src/core/foo.cc", pre_before),
+                          {{"src/core/foo.cc", &pre_before}});
+  auto fa = BuildFindings(LintPrelexed("src/core/foo.cc", pre_after),
+                          {{"src/core/foo.cc", &pre_after}});
+  ASSERT_EQ(fb.size(), 1u);
+  ASSERT_EQ(fa.size(), 1u);
+  EXPECT_NE(fb[0].diag.line, fa[0].diag.line);
+  EXPECT_EQ(fb[0].fingerprint, fa[0].fingerprint);
+}
+
+TEST(AflintTest, IdenticalLinesGetDistinctFingerprints) {
+  std::string src =
+      "void F() { std::thread t([] {}); }\n"
+      "void G() { std::thread t([] {}); }\n";
+  PrelexedSource pre = Prelex(src);
+  auto findings = BuildFindings(LintPrelexed("src/core/foo.cc", pre),
+                                {{"src/core/foo.cc", &pre}});
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_NE(findings[0].fingerprint, findings[1].fingerprint);
+}
+
+TEST(AflintTest, FindingsJsonRoundTrips) {
+  std::string src = "void F() { std::thread t([] {}); }\n";
+  PrelexedSource pre = Prelex(src);
+  auto findings = BuildFindings(LintPrelexed("src/core/foo.cc", pre),
+                                {{"src/core/foo.cc", &pre}});
+  ASSERT_EQ(findings.size(), 1u);
+  std::string json = EmitFindingsJson(findings);
+  std::vector<Finding> parsed;
+  std::string error;
+  ASSERT_TRUE(ParseFindingsJson(json, &parsed, &error)) << error;
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].fingerprint, findings[0].fingerprint);
+  EXPECT_EQ(parsed[0].diag.rule, findings[0].diag.rule);
+  EXPECT_EQ(parsed[0].diag.file, findings[0].diag.file);
+  EXPECT_EQ(parsed[0].diag.line, findings[0].diag.line);
+}
+
+TEST(AflintTest, EmptyFindingsJsonRoundTrips) {
+  std::string json = EmitFindingsJson({});
+  std::vector<Finding> parsed;
+  std::string error;
+  ASSERT_TRUE(ParseFindingsJson(json, &parsed, &error)) << error;
+  EXPECT_TRUE(parsed.empty());
+  EXPECT_EQ(json, EmitFindingsJson({}));
+}
+
+TEST(AflintTest, MalformedFindingsJsonIsRejected) {
+  std::vector<Finding> parsed;
+  std::string error;
+  EXPECT_FALSE(ParseFindingsJson("{", &parsed, &error));
+  EXPECT_FALSE(ParseFindingsJson("", &parsed, &error));
+  EXPECT_FALSE(ParseFindingsJson(
+      "{\"findings\": [{\"rule\": \"x\", \"file\": \"y\", \"line\": 1, "
+      "\"message\": \"z\"}]}",  // no fingerprint
+      &parsed, &error));
 }
 
 }  // namespace

@@ -6,7 +6,7 @@
 
 #include "core/system.h"
 #include "gtest/gtest.h"
-#include "io/csv.h"
+#include "catalog/csv.h"
 #include "test_util.h"
 #include "txn/branch_manager.h"
 

@@ -22,7 +22,7 @@
 #include <string>
 #include <vector>
 
-#include "agents/remote_agent.h"
+#include "net/remote_agent.h"
 #include "agents/sim_agent.h"
 #include "common/thread_pool.h"
 #include "core/system.h"

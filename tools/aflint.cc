@@ -1,24 +1,46 @@
-// aflint — the in-tree source linter. Walks the given directories (default:
-// src tests) and enforces the project conventions that neither the compiler
-// nor TSan can check; see src/lint/lint.h for the rule catalog.
+// aflint — the in-tree whole-program linter. Walks the given directories
+// (default: src tests) and enforces the project conventions that neither the
+// compiler nor TSan can check: the per-file rule catalog (src/lint/lint.h),
+// static lock-order deadlock analysis (src/lint/lockorder.h), and module
+// layering against tools/layers.toml (src/lint/layering.h).
 //
-//   aflint [--root <repo-root>] [--list-rules] [dir|file ...]
+//   aflint [--root <repo-root>] [--list-rules] [--json] [--rule=<name>]...
+//          [--baseline <file>] [--update-baseline] [--layers <file>]
+//          [dir|file ...]
 //
-// Exit codes: 0 = clean, 1 = violations found (one "file:line: error: ..."
-// diagnostic per line on stdout), 2 = usage or I/O error.
+//   --json             emit machine-readable findings (byte-stable JSON with
+//                      per-finding fingerprints) on stdout instead of text
+//   --rule=<name>      only report findings of this rule (repeatable)
+//   --baseline <file>  findings whose fingerprint appears in the baseline
+//                      are legacy: reported in the summary, not failing
+//   --update-baseline  rewrite the baseline (default
+//                      <root>/tools/aflint_baseline.json) to the current
+//                      findings and exit 0
+//   --layers <file>    layering spec (default <root>/tools/layers.toml;
+//                      the layering pass is skipped if the default is absent)
+//
+// Exit codes: 0 = clean (no non-baselined findings), 1 = new violations
+// (one "file:line: error: ..." diagnostic per line on stdout in text mode),
+// 2 = usage or I/O error.
 
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "lint/findings.h"
+#include "lint/layering.h"
 #include "lint/lint.h"
+#include "lint/lockorder.h"
+#include "lint/prelex.h"
 
 namespace fs = std::filesystem;
+namespace lint = agentfirst::lint;
 
 namespace {
 
@@ -40,23 +62,52 @@ bool ReadFile(const fs::path& p, std::string* out) {
 
 int main(int argc, char** argv) {
   fs::path root = ".";
+  fs::path layers_file;
+  fs::path baseline_file;
+  bool json = false;
+  bool update_baseline = false;
+  std::set<std::string> rule_filter;
   std::vector<std::string> targets;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg == "--root") {
+    auto needs_value = [&](const char* flag) -> bool {
       if (i + 1 >= argc) {
-        std::cerr << "aflint: --root needs a directory argument\n";
+        std::cerr << "aflint: " << flag << " needs an argument\n";
+        return false;
+      }
+      return true;
+    };
+    if (arg == "--root") {
+      if (!needs_value("--root")) return 2;
+      root = argv[++i];
+    } else if (arg == "--layers") {
+      if (!needs_value("--layers")) return 2;
+      layers_file = argv[++i];
+    } else if (arg == "--baseline") {
+      if (!needs_value("--baseline")) return 2;
+      baseline_file = argv[++i];
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--update-baseline") {
+      update_baseline = true;
+    } else if (arg.rfind("--rule=", 0) == 0) {
+      std::string name = arg.substr(7);
+      auto rules = lint::RuleNames();
+      if (std::find(rules.begin(), rules.end(), name) == rules.end()) {
+        std::cerr << "aflint: unknown rule '" << name
+                  << "' (see --list-rules)\n";
         return 2;
       }
-      root = argv[++i];
+      rule_filter.insert(name);
     } else if (arg == "--list-rules") {
-      for (const std::string& rule : agentfirst::lint::RuleNames()) {
+      for (const std::string& rule : lint::RuleNames()) {
         std::cout << rule << "\n";
       }
       return 0;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: aflint [--root <repo-root>] [--list-rules] "
-                   "[dir|file ...]\n";
+                   "[--json] [--rule=<name>]... [--baseline <file>] "
+                   "[--update-baseline] [--layers <file>] [dir|file ...]\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "aflint: unknown option '" << arg << "'\n";
@@ -66,6 +117,11 @@ int main(int argc, char** argv) {
     }
   }
   if (targets.empty()) targets = {"src", "tests"};
+  bool layers_required = !layers_file.empty();
+  if (layers_file.empty()) layers_file = root / "tools" / "layers.toml";
+  if (baseline_file.empty() && update_baseline) {
+    baseline_file = root / "tools" / "aflint_baseline.json";
+  }
 
   std::error_code ec;
   std::vector<fs::path> files;
@@ -93,25 +149,122 @@ int main(int argc, char** argv) {
     }
   }
   std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  size_t violations = 0;
-  size_t scanned = 0;
+  // One pre-lex per file, shared by every pass.
+  std::vector<lint::SourceFile> sources;
+  sources.reserve(files.size());
   for (const fs::path& file : files) {
     std::string content;
     if (!ReadFile(file, &content)) {
       std::cerr << "aflint: cannot read " << file.string() << "\n";
       return 2;
     }
-    ++scanned;
     // Rules key off repo-relative paths ("src/...", "tests/...").
     std::string rel = fs::relative(file, root, ec).generic_string();
     if (ec) rel = file.generic_string();
-    for (const auto& diag : agentfirst::lint::LintSource(rel, content)) {
-      std::cout << diag.ToString() << "\n";
-      ++violations;
+    sources.push_back({rel, lint::Prelex(content)});
+  }
+
+  std::vector<lint::Diagnostic> diags;
+  for (const lint::SourceFile& sf : sources) {
+    for (lint::Diagnostic& d : lint::LintPrelexed(sf.path, sf.pre)) {
+      diags.push_back(std::move(d));
     }
   }
+  for (lint::Diagnostic& d : lint::AnalyzeLockOrder(sources)) {
+    diags.push_back(std::move(d));
+  }
+  if (fs::is_regular_file(layers_file, ec)) {
+    std::string toml;
+    if (!ReadFile(layers_file, &toml)) {
+      std::cerr << "aflint: cannot read " << layers_file.string() << "\n";
+      return 2;
+    }
+    lint::LayerSpec spec;
+    std::string error;
+    if (!lint::ParseLayersToml(toml, &spec, &error)) {
+      std::cerr << "aflint: " << layers_file.string() << ": " << error << "\n";
+      return 2;
+    }
+    std::string spec_rel = fs::relative(layers_file, root, ec).generic_string();
+    if (ec) spec_rel = layers_file.generic_string();
+    for (lint::Diagnostic& d : lint::CheckLayering(spec, spec_rel, sources)) {
+      diags.push_back(std::move(d));
+    }
+  } else if (layers_required) {
+    std::cerr << "aflint: no such layers file: " << layers_file.string()
+              << "\n";
+    return 2;
+  }
+
+  if (!rule_filter.empty()) {
+    diags.erase(std::remove_if(diags.begin(), diags.end(),
+                               [&](const lint::Diagnostic& d) {
+                                 return rule_filter.count(d.rule) == 0;
+                               }),
+                diags.end());
+  }
+
+  std::map<std::string, const lint::PrelexedSource*> by_path;
+  for (const lint::SourceFile& sf : sources) by_path[sf.path] = &sf.pre;
+  std::vector<lint::Finding> findings = lint::BuildFindings(diags, by_path);
+
+  if (update_baseline) {
+    std::ofstream out(baseline_file, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "aflint: cannot write " << baseline_file.string() << "\n";
+      return 2;
+    }
+    out << lint::EmitFindingsJson(findings);
+    std::fprintf(stderr, "aflint: baseline %s updated with %zu finding(s)\n",
+                 baseline_file.generic_string().c_str(), findings.size());
+    return 0;
+  }
+
+  std::set<std::string> baseline;
+  size_t stale_baseline = 0;
+  if (!baseline_file.empty()) {
+    std::string content;
+    if (!ReadFile(baseline_file, &content)) {
+      std::cerr << "aflint: cannot read baseline " << baseline_file.string()
+                << "\n";
+      return 2;
+    }
+    std::vector<lint::Finding> base;
+    std::string error;
+    if (!lint::ParseFindingsJson(content, &base, &error)) {
+      std::cerr << "aflint: " << baseline_file.string() << ": " << error
+                << "\n";
+      return 2;
+    }
+    for (const lint::Finding& f : base) baseline.insert(f.fingerprint);
+    std::set<std::string> current;
+    for (const lint::Finding& f : findings) current.insert(f.fingerprint);
+    for (const std::string& fp : baseline) {
+      if (current.count(fp) == 0) ++stale_baseline;
+    }
+  }
+
+  size_t fresh = 0;
+  size_t legacy = 0;
+  for (const lint::Finding& f : findings) {
+    if (baseline.count(f.fingerprint) > 0) {
+      ++legacy;
+      continue;
+    }
+    ++fresh;
+    if (!json) std::cout << f.diag.ToString() << "\n";
+  }
+  if (json) std::cout << lint::EmitFindingsJson(findings);
+
   std::fprintf(stderr, "aflint: %zu file(s) scanned, %zu violation(s)\n",
-               scanned, violations);
-  return violations == 0 ? 0 : 1;
+               sources.size(), fresh);
+  if (!baseline.empty() || legacy > 0 || stale_baseline > 0) {
+    std::fprintf(stderr,
+                 "aflint: baseline: %zu legacy finding(s) tracked, %zu stale "
+                 "entr%s (fixed — run --update-baseline)\n",
+                 legacy, stale_baseline, stale_baseline == 1 ? "y" : "ies");
+  }
+  return fresh == 0 ? 0 : 1;
 }

@@ -34,10 +34,10 @@
 #include <sstream>
 #include <string>
 
-#include "agents/remote_agent.h"
+#include "net/remote_agent.h"
 #include "common/str_util.h"
 #include "core/system.h"
-#include "io/csv.h"
+#include "catalog/csv.h"
 
 namespace agentfirst {
 namespace {

@@ -1,29 +1,34 @@
 #!/usr/bin/env bash
 # One-shot gate for the static-analysis toolchain plus tier-1:
 #
-#   1. aflint         — in-tree convention linter over src/, tests/, tools/, bench/
-#   2. afmetrics      — telemetry registry self-test (concurrency, histogram
+#   1. aflint         — whole-program linter over src/, tests/, tools/, bench/:
+#                       per-file rules, static lock-order deadlock analysis,
+#                       and module layering against tools/layers.toml
+#   2. findings       — machine-readable pipeline: `aflint --json` must be
+#                       byte-stable across runs and diff clean against the
+#                       checked-in tools/aflint_baseline.json
+#   3. afmetrics      — telemetry registry self-test (concurrency, histogram
 #                       bucket math, render formats)
-#   3. thread-safety  — clang -Wthread-safety -Werror=thread-safety build
+#   4. thread-safety  — clang -Wthread-safety -Werror=thread-safety build
 #                       (skipped with a notice when clang++ is absent; the
 #                       AF_* annotations compile to nothing under GCC, so a
 #                       GCC build proves nothing about locking)
-#   4. tier-1         — default build + full ctest suite
-#   5. net smoke      — TSan build of afserved + afprobe + the net tests:
+#   5. tier-1         — default build + full ctest suite
+#   6. net smoke      — TSan build of afserved + afprobe + the net tests:
 #                       boots the server on an ephemeral loopback port,
 #                       drives it with afprobe, then runs net_test and
 #                       fuzz_wire_test under the same TSan build
-#   6. vectorized     — row/vec parity + thread-count determinism under the
+#   7. vectorized     — row/vec parity + thread-count determinism under the
 #                       same TSan build, then the bench smoke
 #                       (bench_parallel_exec --quick), which fails if the
 #                       vectorized path is ever slower than the row path
-#   7. durability     — the WAL kill-and-recover torture (wal_test) under
+#   8. durability     — the WAL kill-and-recover torture (wal_test) under
 #                       AddressSanitizer via tools/run_sanitized.sh: every
 #                       injected crash site must recover to a committed
 #                       prefix with no leaks or heap errors on the
 #                       error/recovery paths
 #
-#   tools/check.sh              # all seven stages
+#   tools/check.sh              # all eight stages
 #   tools/check.sh --no-tests   # static stages only (fast pre-push)
 #
 # Exits non-zero on the first failing stage.
@@ -36,7 +41,7 @@ if [[ "${1:-}" == "--no-tests" ]]; then
   run_tests=0
 fi
 
-echo "=== [1/7] aflint ==="
+echo "=== [1/8] aflint ==="
 # The lint rule engine is a plain C++ library; build just the CLI target so
 # this stage stays fast even on a cold tree.
 cmake -B build -S . > /dev/null
@@ -44,11 +49,27 @@ cmake --build build -j "$(nproc)" --target aflint > /dev/null
 ./build/tools/aflint --root . src tests tools bench
 echo "aflint: clean"
 
-echo "=== [2/7] afmetrics self-test ==="
+echo "=== [2/8] aflint findings pipeline ==="
+# Byte-stability: two runs over the same tree must produce identical JSON
+# (sorted findings, fixed key order, content-addressed fingerprints).
+json_a=$(mktemp)
+json_b=$(mktemp)
+./build/tools/aflint --root . --json src tests tools bench > "$json_a"
+./build/tools/aflint --root . --json src tests tools bench > "$json_b"
+cmp "$json_a" "$json_b"
+rm -f "$json_a" "$json_b"
+# Baseline gate: a finding whose fingerprint is missing from the checked-in
+# baseline fails the stage. After deliberately accepting a finding, refresh
+# with `aflint --root . --update-baseline src tests tools bench`.
+./build/tools/aflint --root . --baseline tools/aflint_baseline.json \
+    src tests tools bench
+echo "findings: byte-stable, no new findings vs tools/aflint_baseline.json"
+
+echo "=== [3/8] afmetrics self-test ==="
 cmake --build build -j "$(nproc)" --target afmetrics > /dev/null
 ./build/tools/afmetrics --self-test
 
-echo "=== [3/7] clang thread-safety analysis ==="
+echo "=== [4/8] clang thread-safety analysis ==="
 if command -v clang++ > /dev/null 2>&1; then
   cmake -B build-tsafety -S . -DCMAKE_CXX_COMPILER=clang++ \
         -DAGENTFIRST_THREAD_SAFETY=ON > /dev/null
@@ -60,15 +81,15 @@ else
 fi
 
 if [[ "$run_tests" == "1" ]]; then
-  echo "=== [4/7] tier-1 build + tests ==="
+  echo "=== [5/8] tier-1 build + tests ==="
   cmake --build build -j "$(nproc)"
   ctest --test-dir build --output-on-failure -j "$(nproc)"
 else
-  echo "=== [4/7] tier-1 tests skipped (--no-tests) ==="
+  echo "=== [5/8] tier-1 tests skipped (--no-tests) ==="
 fi
 
 if [[ "$run_tests" == "1" ]]; then
-  echo "=== [5/7] networked service smoke (TSan) ==="
+  echo "=== [6/8] networked service smoke (TSan) ==="
   cmake -B build-tsan -S . -DAGENTFIRST_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   cmake --build build-tsan -j "$(nproc)" \
@@ -103,11 +124,11 @@ if [[ "$run_tests" == "1" ]]; then
   ./build-tsan/tests/net_test
   ./build-tsan/tests/fuzz_wire_test
 else
-  echo "=== [5/7] net smoke skipped (--no-tests) ==="
+  echo "=== [6/8] net smoke skipped (--no-tests) ==="
 fi
 
 if [[ "$run_tests" == "1" ]]; then
-  echo "=== [6/7] vectorized parity (TSan) + bench smoke ==="
+  echo "=== [7/8] vectorized parity (TSan) + bench smoke ==="
   # Parity (row path == vec path, byte-identical) and determinism (same
   # answer at 1/2/4/8 threads) have to hold under TSan, or the batch
   # kernels' lock-free morsel claiming is wrong in a way plain runs can
@@ -122,11 +143,11 @@ if [[ "$run_tests" == "1" ]]; then
   cmake --build build -j "$(nproc)" --target bench_parallel_exec > /dev/null
   ./build/bench/bench_parallel_exec --quick
 else
-  echo "=== [6/7] vectorized parity + bench smoke skipped (--no-tests) ==="
+  echo "=== [7/8] vectorized parity + bench smoke skipped (--no-tests) ==="
 fi
 
 if [[ "$run_tests" == "1" ]]; then
-  echo "=== [7/7] durability kill-and-recover torture (ASan) ==="
+  echo "=== [8/8] durability kill-and-recover torture (ASan) ==="
   # The whole wal_test suite — framing fuzz, group commit, and the
   # >=50-injection-point crash torture — under AddressSanitizer with leak
   # detection. The crash sites exercise every error/cleanup path in the
@@ -134,7 +155,7 @@ if [[ "$run_tests" == "1" ]]; then
   # what they allocate even when the "disk" fails mid-operation.
   tools/run_sanitized.sh address wal_test
 else
-  echo "=== [7/7] durability torture skipped (--no-tests) ==="
+  echo "=== [8/8] durability torture skipped (--no-tests) ==="
 fi
 
 echo "check.sh: all stages passed"
