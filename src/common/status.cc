@@ -30,6 +30,10 @@ const char* StatusCodeName(StatusCode code) {
       return "Cancelled";
     case StatusCode::kFailedPrecondition:
       return "FailedPrecondition";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kUnauthenticated:
+      return "Unauthenticated";
   }
   return "Unknown";
 }

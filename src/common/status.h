@@ -22,7 +22,14 @@ enum class StatusCode {
   kDeadlineExceeded,
   kCancelled,
   kFailedPrecondition,
+  kUnavailable,      // endpoint gone / connection closed; retry elsewhere
+  kUnauthenticated,  // missing or invalid credential; fix the token, not the request
 };
+
+/// Largest valid StatusCode value; wire decoders bound-check against this so
+/// adding a code here is the single edit that widens the protocol's range.
+inline constexpr int kMaxStatusCodeValue =
+    static_cast<int>(StatusCode::kUnauthenticated);
 
 /// Returns a human-readable name for `code` (e.g. "NotFound").
 const char* StatusCodeName(StatusCode code);
@@ -78,6 +85,12 @@ class [[nodiscard]] Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Unauthenticated(std::string msg) {
+    return Status(StatusCode::kUnauthenticated, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,169 @@
+#include "core/admission.h"
+
+#include <utility>
+#include <vector>
+
+namespace agentfirst {
+
+int PhaseAdmissionPriority(ProbePhase phase) {
+  switch (phase) {
+    case ProbePhase::kValidation:
+      return 4;
+    case ProbePhase::kSolutionFormulation:
+      return 3;
+    case ProbePhase::kUnspecified:
+      return 2;  // unknown intent ranks above known-cold exploration
+    case ProbePhase::kStatExploration:
+      return 1;
+    case ProbePhase::kMetadataExploration:
+      return 0;
+  }
+  return 0;
+}
+
+AdmissionController::AdmissionController(Options options)
+    : options_(std::move(options)) {
+  obs::MetricsRegistry& reg = options_.metrics != nullptr
+                                  ? *options_.metrics
+                                  : obs::MetricsRegistry::Default();
+  admitted_ = reg.GetCounter("af.admit.admitted");
+  queued_total_ = reg.GetCounter("af.admit.queued");
+  shed_overload_ = reg.GetCounter("af.admit.shed_overload");
+  shed_tenant_quota_ = reg.GetCounter("af.admit.shed_tenant_quota");
+  evicted_ = reg.GetCounter("af.admit.evicted");
+  queue_depth_ = reg.GetGauge("af.admit.queue_depth");
+  running_gauge_ = reg.GetGauge("af.admit.running");
+}
+
+Status AdmissionController::ChargeTenant(const std::string& tenant,
+                                         size_t bytes) {
+  TenantUsage& usage = tenants_[tenant];
+  if (options_.max_inflight_per_tenant != 0 &&
+      usage.inflight >= options_.max_inflight_per_tenant) {
+    return Status::ResourceExhausted(
+        "admission: tenant '" + tenant + "' at its concurrency quota (" +
+        std::to_string(options_.max_inflight_per_tenant) +
+        " outstanding probes); finish or cancel one before submitting more");
+  }
+  if (options_.max_outstanding_bytes_per_tenant != 0 &&
+      usage.bytes + bytes > options_.max_outstanding_bytes_per_tenant) {
+    return Status::ResourceExhausted(
+        "admission: tenant '" + tenant + "' at its outstanding-byte quota (" +
+        std::to_string(options_.max_outstanding_bytes_per_tenant) +
+        " bytes); drain responses before submitting more");
+  }
+  usage.inflight += 1;
+  usage.bytes += bytes;
+  return Status::OK();
+}
+
+void AdmissionController::RefundTenant(const std::string& tenant,
+                                       size_t bytes) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  TenantUsage& usage = it->second;
+  if (usage.inflight > 0) usage.inflight -= 1;
+  usage.bytes = usage.bytes >= bytes ? usage.bytes - bytes : 0;
+  if (usage.inflight == 0 && usage.bytes == 0) tenants_.erase(it);
+}
+
+void AdmissionController::Submit(Work work) {
+  // Decide under the lock; fire callbacks after releasing it, so run/shed
+  // may take session or pool locks without ordering against ours.
+  std::function<void()> dispatch_now;
+  Work evicted_work;
+  bool have_eviction = false;
+  Status refusal;
+
+  {
+    MutexLock lock(mutex_);
+    Status tenant_check = ChargeTenant(work.tenant, work.bytes);
+    if (!tenant_check.ok()) {
+      shed_tenant_quota_->Increment();
+      refusal = tenant_check;
+    } else if (options_.max_concurrent == 0 ||
+               running_ < options_.max_concurrent) {
+      ++running_;
+      running_gauge_->Set(static_cast<int64_t>(running_));
+      admitted_->Increment();
+      dispatch_now = std::move(work.run);
+    } else if (options_.max_queued != 0 && queue_.size() < options_.max_queued) {
+      uint64_t seq = next_seq_++;
+      queued_total_->Increment();
+      queue_.emplace(std::make_pair(work.priority, seq),
+                     Queued{std::move(work), seq});
+      queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+    } else if (options_.max_queued != 0 &&
+               work.priority > std::prev(queue_.end())->first.first) {
+      // Preemption: the arriving exploit-phase probe outranks the queue's
+      // least important entry; that entry is shed to make room. The victim
+      // is the lowest-priority, most recently queued unit (oldest work of a
+      // priority keeps its place).
+      auto victim = std::prev(queue_.end());
+      evicted_work = std::move(victim->second.work);
+      have_eviction = true;
+      queue_.erase(victim);
+      RefundTenant(evicted_work.tenant, evicted_work.bytes);
+      evicted_->Increment();
+      uint64_t seq = next_seq_++;
+      queued_total_->Increment();
+      queue_.emplace(std::make_pair(work.priority, seq),
+                     Queued{std::move(work), seq});
+      queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+    } else {
+      RefundTenant(work.tenant, work.bytes);
+      shed_overload_->Increment();
+      refusal = Status::ResourceExhausted(
+          options_.max_queued == 0
+              ? "admission: all " + std::to_string(options_.max_concurrent) +
+                    " execution slots busy and load shedding is immediate "
+                    "(no wait queue); retry with backoff"
+              : "admission: all " + std::to_string(options_.max_concurrent) +
+                    " execution slots busy and the wait queue is full; retry "
+                    "with backoff or raise the probe's phase");
+    }
+  }
+
+  if (dispatch_now) {
+    dispatch_now();
+  } else if (!refusal.ok()) {
+    work.shed(refusal);
+  }
+  if (have_eviction) {
+    evicted_work.shed(Status::ResourceExhausted(
+        "admission: preempted while queued by a higher-priority (exploit-"
+        "phase) probe; retry with backoff"));
+  }
+}
+
+void AdmissionController::Release(const std::string& tenant, size_t bytes) {
+  std::function<void()> dispatch_next;
+  {
+    MutexLock lock(mutex_);
+    RefundTenant(tenant, bytes);
+    if (running_ > 0) --running_;
+    if (!queue_.empty()) {
+      // The freed slot goes to the highest-priority, oldest queued unit.
+      auto next = queue_.begin();
+      dispatch_next = std::move(next->second.work.run);
+      queue_.erase(next);
+      queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+      ++running_;
+      admitted_->Increment();
+    }
+    running_gauge_->Set(static_cast<int64_t>(running_));
+  }
+  if (dispatch_next) dispatch_next();
+}
+
+size_t AdmissionController::QueueDepth() const {
+  MutexLock lock(mutex_);
+  return queue_.size();
+}
+
+size_t AdmissionController::Running() const {
+  MutexLock lock(mutex_);
+  return running_;
+}
+
+}  // namespace agentfirst

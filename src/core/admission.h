@@ -1,0 +1,141 @@
+#ifndef AGENTFIRST_CORE_ADMISSION_H_
+#define AGENTFIRST_CORE_ADMISSION_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "core/probe.h"
+#include "obs/metrics.h"
+
+/// Admission control for fleet-scale speculation (paper Sec. 4.1/5.2): the
+/// gate every probe passes before it may touch the executor. Agent fleets
+/// produce bursts of redundant, phase-tagged probes; the controller turns
+/// "queue forever and fall over" into three deterministic outcomes:
+///
+///   admit  — a global execution slot and the tenant's quotas are available;
+///            the work runs immediately.
+///   queue  — all slots are busy but the bounded wait queue has room (or the
+///            probe outranks a queued one, which it evicts). Queued work is
+///            ordered by phase priority — exploit-phase probes (validation,
+///            solution formulation) dispatch before cold exploration, per the
+///            paper's speculation lifecycle — then FIFO within a priority.
+///   shed   — a typed kResourceExhausted is returned *immediately*: tenant
+///            over its concurrency or outstanding-byte quota, queue full and
+///            the probe doesn't outrank anything, or no queue configured.
+///            Never silent queueing, never an unbounded wait: the agent gets
+///            a machine-readable signal it can back off on.
+///
+/// The controller is transport-agnostic (it never sees a socket); the server
+/// feeds it closures, and tests drive it directly.
+namespace agentfirst {
+
+/// Maps a probe phase to its admission priority (higher dispatches first).
+/// Exploit phases preempt exploration: an agent validating a candidate
+/// answer is about to finish its episode, while cold exploration is cheap to
+/// re-issue and often redundant across the fleet.
+int PhaseAdmissionPriority(ProbePhase phase);
+
+class AdmissionController {
+ public:
+  struct Options {
+    /// Units of work (probe or batch) executing at once. 0 = unlimited
+    /// (the controller still enforces tenant quotas).
+    size_t max_concurrent = 0;
+    /// Bounded wait queue used only when every slot is busy. 0 = no queue:
+    /// overload sheds immediately.
+    size_t max_queued = 0;
+    /// Per-tenant cap on admitted-or-queued units. 0 = unlimited.
+    size_t max_inflight_per_tenant = 0;
+    /// Per-tenant cap on outstanding request bytes (admitted + queued).
+    /// 0 = unlimited.
+    size_t max_outstanding_bytes_per_tenant = 0;
+    /// Registry for af.admit.* metrics; nullptr = MetricsRegistry::Default().
+    obs::MetricsRegistry* metrics = nullptr;
+  };
+
+  /// One unit of work asking for admission. Exactly one of `run` / `shed` is
+  /// invoked, exactly once — inline from Submit, or later from a Release
+  /// (whichever thread releases dispatches the next queued unit).
+  struct Work {
+    std::string tenant;
+    /// Phase-derived priority (PhaseAdmissionPriority); ties broken FIFO.
+    int priority = 0;
+    /// Outstanding-byte accounting (the encoded request size).
+    size_t bytes = 0;
+    /// Dispatch: the work now owns a slot. Must eventually be balanced by
+    /// Release(tenant, bytes).
+    std::function<void()> run;
+    /// Typed rejection; the status explains which wall was hit.
+    std::function<void(const Status&)> shed;
+  };
+
+  explicit AdmissionController(Options options);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Admits, queues, or sheds `work`. Callbacks fire outside the internal
+  /// lock (run/shed may take their own locks freely).
+  void Submit(Work work);
+
+  /// Returns the slot held by a previously dispatched unit and dispatches
+  /// the highest-priority queued unit, if any, on this thread.
+  void Release(const std::string& tenant, size_t bytes);
+
+  /// Point-in-time queue depth (the af.admit.queue_depth gauge).
+  size_t QueueDepth() const;
+  /// Point-in-time running units (the af.admit.running gauge).
+  size_t Running() const;
+
+ private:
+  struct TenantUsage {
+    size_t inflight = 0;  // admitted + queued units
+    size_t bytes = 0;     // admitted + queued request bytes
+  };
+  struct Queued {
+    Work work;
+    uint64_t seq = 0;
+  };
+  /// Dispatch order: highest priority first, oldest first within a
+  /// priority. Eviction picks the reverse: lowest priority, youngest.
+  struct QueueOrder {
+    bool operator()(const std::pair<int, uint64_t>& a,
+                    const std::pair<int, uint64_t>& b) const {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    }
+  };
+
+  /// Charges `tenant`'s quotas or returns the typed refusal.
+  Status ChargeTenant(const std::string& tenant, size_t bytes)
+      AF_REQUIRES(mutex_);
+  void RefundTenant(const std::string& tenant, size_t bytes)
+      AF_REQUIRES(mutex_);
+
+  const Options options_;
+
+  mutable Mutex mutex_;
+  size_t running_ AF_GUARDED_BY(mutex_) = 0;
+  uint64_t next_seq_ AF_GUARDED_BY(mutex_) = 1;
+  std::map<std::pair<int, uint64_t>, Queued, QueueOrder> queue_
+      AF_GUARDED_BY(mutex_);
+  std::map<std::string, TenantUsage> tenants_ AF_GUARDED_BY(mutex_);
+
+  // Cached af.admit.* metric pointers (registered once in the constructor).
+  obs::Counter* admitted_;
+  obs::Counter* queued_total_;
+  obs::Counter* shed_overload_;
+  obs::Counter* shed_tenant_quota_;
+  obs::Counter* evicted_;
+  obs::Gauge* queue_depth_;
+  obs::Gauge* running_gauge_;
+};
+
+}  // namespace agentfirst
+
+#endif  // AGENTFIRST_CORE_ADMISSION_H_

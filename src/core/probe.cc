@@ -13,21 +13,6 @@ const char* ProbePhaseName(ProbePhase phase) {
   return "?";
 }
 
-ResourceLimits Brief::EffectiveLimits() const {
-  // The deprecated-alias shim: fold the old 0-means-unset knobs into the
-  // unified struct. Delete this fold (and the alias fields) next PR.
-  ResourceLimits folded = limits;
-  if (!folded.cost_budget && cost_budget > 0.0) folded.cost_budget = cost_budget;
-  if (!folded.deadline && deadline_ms > 0.0) {
-    folded.deadline = ResourceLimits::Millis(deadline_ms);
-  }
-  if (!folded.max_rows && max_result_rows > 0) folded.max_rows = max_result_rows;
-  if (!folded.max_bytes && max_result_bytes > 0) {
-    folded.max_bytes = max_result_bytes;
-  }
-  return folded;
-}
-
 const char* HintKindName(HintKind kind) {
   switch (kind) {
     case HintKind::kRelatedTable: return "related_table";

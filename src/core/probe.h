@@ -59,22 +59,6 @@ struct Brief {
   /// useful-per-cost queries ("satisfice under available resources",
   /// paper Sec. 5.2).
   ResourceLimits limits;
-
-  // ---------------------------------------------------------------------
-  // Deprecated aliases, kept for one PR so out-of-tree callers compile.
-  // 0 keeps its old "not set" meaning here; EffectiveLimits() folds any
-  // set alias into `limits` (a set `limits` field always wins). New code
-  // must use `limits` / ProbeBuilder.
-  double cost_budget = 0.0;      // deprecated: use limits.cost_budget
-  double deadline_ms = 0.0;      // deprecated: use limits.deadline
-  size_t max_result_rows = 0;    // deprecated: use limits.max_rows
-  size_t max_result_bytes = 0;   // deprecated: use limits.max_bytes
-
-  /// `limits` with any set deprecated alias folded in. The only supported
-  /// way to read this brief's limits; everything inside the system goes
-  /// through it so the aliases can be deleted next PR by deleting this
-  /// fold.
-  ResourceLimits EffectiveLimits() const;
 };
 
 /// A probe: one or more SQL queries plus a brief, and optionally a semantic

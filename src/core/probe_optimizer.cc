@@ -294,7 +294,7 @@ void ProbeOptimizer::PrepareProbe(const Probe& probe, ProbeTask* task) {
                      brief.max_relative_error == 0.0;
   task->exploratory = exploratory;
   task->wants_exact = wants_exact;
-  task->limits = brief.EffectiveLimits().MergedOver(options_.default_limits);
+  task->limits = brief.limits.MergedOver(options_.default_limits);
 
   if (options_.enable_tracing) {
     task->trace.name = "probe";

@@ -76,7 +76,7 @@ class ProbeOptimizer {
     size_t intra_query_threads = 1;
     /// Default resource limits applied to every probe whose brief leaves the
     /// corresponding field unset (common/limits.h merge rule:
-    /// `brief.EffectiveLimits().MergedOver(default_limits)` — the brief
+    /// `brief.limits.MergedOver(default_limits)` — the brief
     /// always wins field-by-field). Deadline expiry yields a truncated
     /// partial answer, never a hang: an oversized probe costs at most the
     /// deadline plus one morsel.

@@ -2,6 +2,7 @@
 #define AGENTFIRST_CORE_PROBE_SERVICE_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -9,6 +10,23 @@
 #include "exec/result_set.h"
 
 namespace agentfirst {
+
+/// What an endpoint says about itself (ProbeService::ServerInfo). Identical
+/// vocabulary in-process and over the wire, so shells and harnesses render
+/// one banner instead of special-casing transports.
+struct ServiceInfo {
+  /// Human-readable endpoint name ("in-process" or the server's
+  /// advertised name).
+  std::string name = "in-process";
+  /// afp protocol version the endpoint speaks (1 for the in-process facade,
+  /// which shares the wire vocabulary without serializing it).
+  uint32_t protocol_version = 1;
+  /// Event loops serving sessions; 0 = not a networked endpoint.
+  uint32_t num_loops = 0;
+  /// The authenticated principal this endpoint sees the caller as
+  /// ("local" in-process; the token's tenant over the wire).
+  std::string tenant = "local";
+};
 
 /// The abstract probe endpoint an agent talks to. Two implementations exist:
 /// AgentFirstSystem (the in-process engine facade) and agents::RemoteAgent
@@ -37,6 +55,19 @@ class ProbeService {
 
   /// Plain SQL path (DDL/DML and direct queries).
   virtual Result<ResultSetPtr> ExecuteSql(const std::string& sql) = 0;
+
+  /// Liveness: returns `echo` if the endpoint is reachable. In-process this
+  /// is trivially the identity; remote implementations round-trip a PING
+  /// frame, so the same call measures RTT on both sides of the interface.
+  virtual Result<std::string> Ping(std::string_view echo) {
+    return std::string(echo);
+  }
+
+  /// Who/what is answering. Defaults describe the in-process facade; remote
+  /// implementations ask the server. Shared taxonomy with every other call:
+  /// an unreachable endpoint returns kUnavailable, a rejected credential
+  /// kUnauthenticated.
+  virtual Result<ServiceInfo> ServerInfo() { return ServiceInfo(); }
 };
 
 }  // namespace agentfirst

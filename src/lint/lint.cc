@@ -251,9 +251,8 @@ class Linter {
   }
 
   void CheckDeprecatedBriefLimits(size_t idx, const std::string& line) {
-    // probe.{h,cc} declare the aliases and fold them in EffectiveLimits();
-    // everywhere else a write is new code on a doomed API.
-    if (path_ == "src/core/probe.h" || path_ == "src/core/probe.cc") return;
+    // The alias fields themselves are gone from Brief (PR 9); this rule now
+    // guards against their resurrection anywhere, probe.{h,cc} included.
     for (const char* tok :
          {"deadline_ms", "max_result_rows", "max_result_bytes", "cost_budget"}) {
       size_t pos = FindToken(line, tok);
@@ -278,9 +277,9 @@ class Linter {
                         (after + 1 >= line.size() || line[after + 1] != '=');
         if (applicable && is_write) {
           Report(idx, "deprecated-brief-limits",
-                 std::string("write to deprecated Brief::") + tok +
-                     ": set brief.limits (ResourceLimits) or use "
-                     "ProbeBuilder; the aliases fold away next PR");
+                 std::string("write to removed Brief::") + tok +
+                     ": the deprecated aliases were deleted; set brief.limits "
+                     "(ResourceLimits) or use ProbeBuilder");
           return;
         }
         pos = FindToken(line, tok, pos + 1);

@@ -73,14 +73,15 @@ struct Diagnostic {
 ///                        and std::-qualified names do not match; the
 ///                        global-scope `::poll(...)` form does.
 ///   deprecated-brief-limits
-///                        a write (=, +=, ...) to Brief's deprecated limit
+///                        a write (=, +=, ...) to Brief's removed limit
 ///                        aliases — deadline_ms / max_result_rows /
 ///                        max_result_bytes anywhere, cost_budget when
-///                        spelled `brief.cost_budget` — outside
-///                        src/core/probe.{h,cc} (which declare and fold
-///                        them). New code sets brief.limits /
-///                        ProbeBuilder::Limits; the aliases are deleted next
-///                        PR. Reads and == comparisons are fine.
+///                        spelled `brief.cost_budget`. The alias fields were
+///                        deleted from Brief (PR 9); this rule stops them
+///                        from coming back. New code sets brief.limits /
+///                        ProbeBuilder::Limits. Reads and == comparisons are
+///                        fine (local variables named deadline_ms still
+///                        compile — only writes are flagged).
 ///   raw-file-io          open/write/fsync/rename/unlink/ftruncate/mkdir-
 ///                        family syscalls (::open(...) or bare open(...)) and
 ///                        C stdio fopen/freopen outside src/io/ + src/wal/.

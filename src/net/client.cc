@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 namespace agentfirst {
@@ -16,6 +17,21 @@ namespace {
 
 Status Errno(const std::string& what) {
   return Status::Internal("net: " + what + ": " + std::strerror(errno));
+}
+
+/// Blocking wrapper body: wait out the io timeout, then surface the typed
+/// result. An abandoned (timed-out) future stays registered client-side; its
+/// late response is consumed and dropped by the completion it still owns.
+template <typename T>
+Result<T> Await(std::future<Result<T>> future, int io_timeout_ms) {
+  if (io_timeout_ms > 0) {
+    if (future.wait_for(std::chrono::milliseconds(io_timeout_ms)) !=
+        std::future_status::ready) {
+      return Status::DeadlineExceeded("net: no response within " +
+                                      std::to_string(io_timeout_ms) + " ms");
+    }
+  }
+  return future.get();
 }
 
 }  // namespace
@@ -50,13 +66,19 @@ Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
   (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
   std::unique_ptr<Client> client(new Client(fd, std::move(options)));
-  Status handshake = client->SendAll(EncodeHelloFrame(client->options_.client_name));
+  Status handshake;
+  {
+    MutexLock lock(client->send_mutex_);
+    handshake = client->SendAll(EncodeHelloFrame(client->options_.client_name,
+                                                 client->options_.token));
+  }
   if (handshake.ok()) {
     FrameType type;
     std::string payload;
-    handshake = client->ReadFrame(&type, &payload);
+    handshake = client->ReadFrame(&type, &payload, /*for_reader=*/false);
     if (handshake.ok()) {
       if (type == FrameType::kError) {
+        // A rejected token lands here as the carried kUnauthenticated.
         Status carried;
         handshake = (DecodeErrorPayload(payload, &carried).ok() && !carried.ok())
                         ? carried
@@ -79,20 +101,358 @@ Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
     client->Close();
     return handshake;
   }
+  if (!client->options_.manual_frames_for_test) client->StartReader();
   return client;
 }
 
 Client::~Client() { Close(); }
 
+bool Client::connected() const {
+  MutexLock lock(mutex_);
+  return fd_ >= 0 && dead_.ok();
+}
+
 void Client::Close() {
+  stopping_.store(true, std::memory_order_release);
+  if (fd_ >= 0) {
+    // Unblocks a reader parked in recv(); actual close happens after the
+    // reader is joined so the descriptor cannot be recycled under it.
+    (void)::shutdown(fd_, SHUT_RDWR);
+  }
+  if (reader_pool_ != nullptr) {
+    if (reader_done_.valid()) reader_done_.wait();
+    reader_pool_.reset();
+  }
+  FailAllPending(Status::Unavailable("net: client closed"));
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
   }
 }
 
+void Client::StartReader() {
+  reader_pool_ = std::make_unique<ThreadPool>(1);
+  reader_done_ = reader_pool_->Submit([this] { ReaderLoop(); });
+}
+
+void Client::ReaderLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    FrameType type;
+    std::string payload;
+    Status read = ReadFrame(&type, &payload, /*for_reader=*/true);
+    if (!read.ok()) {
+      // kCancelled here is our own stop flag, not a transport fact; waiters
+      // are failed by Close() with its kUnavailable.
+      if (read.code() != StatusCode::kCancelled) FailAllPending(read);
+      return;
+    }
+    if (!HandleIncoming(type, payload)) return;
+  }
+}
+
+bool Client::HandleIncoming(FrameType type, const std::string& payload) {
+  switch (type) {
+    case FrameType::kPong: {
+      Completion complete;
+      {
+        MutexLock lock(mutex_);
+        if (pings_.empty()) return true;  // echo nobody waits for; drop
+        complete = std::move(pings_.front());
+        pings_.pop_front();
+      }
+      complete(Status::OK(), payload);
+      return true;
+    }
+
+    case FrameType::kError: {
+      // Session-level failure: the server closes after sending this, so
+      // every outstanding request dies with the carried status.
+      Status carried;
+      Status decode = DecodeErrorPayload(payload, &carried);
+      FailAllPending(decode.ok() && !carried.ok()
+                         ? carried
+                         : Status::Internal("net: undecodable error frame"));
+      return false;
+    }
+
+    case FrameType::kProbeResponse:
+    case FrameType::kProbeBatchResponse:
+    case FrameType::kSqlResponse:
+    case FrameType::kServerInfoResponse: {
+      uint64_t corr = PeekCorrelationId(payload);
+      Completion complete;
+      {
+        MutexLock lock(mutex_);
+        auto it = pending_.find(corr);
+        if (it != pending_.end() && it->second.expect == type) {
+          complete = std::move(it->second.complete);
+          pending_.erase(it);
+        }
+      }
+      if (!complete) {
+        // Unknown id or the wrong response type for it: the stream is
+        // desynchronized and nothing further on it can be trusted.
+        FailAllPending(Status::Internal("net: correlation id mismatch on " +
+                                        std::string(FrameTypeName(type))));
+        return false;
+      }
+      complete(Status::OK(), payload);
+      return true;
+    }
+
+    default:
+      FailAllPending(Status::Internal("net: unexpected frame " +
+                                      std::string(FrameTypeName(type))));
+      return false;
+  }
+}
+
+void Client::FailAllPending(const Status& status) {
+  std::map<uint64_t, PendingCall> pending;
+  std::deque<Completion> pings;
+  {
+    MutexLock lock(mutex_);
+    if (dead_.ok()) dead_ = status;  // first fatal status wins
+    pending.swap(pending_);
+    pings.swap(pings_);
+  }
+  for (auto& [corr, call] : pending) call.complete(status, {});
+  for (auto& complete : pings) complete(status, {});
+}
+
+uint64_t Client::NextCorr() {
+  MutexLock lock(mutex_);
+  return next_corr_++;
+}
+
+void Client::DispatchCall(uint64_t corr, FrameType expect, std::string frame,
+                          Completion complete) {
+  Status dead = Status::OK();
+  {
+    MutexLock lock(mutex_);
+    if (!dead_.ok()) {
+      dead = dead_;
+    } else {
+      pending_.emplace(corr, PendingCall{expect, complete});
+    }
+  }
+  if (!dead.ok()) {
+    complete(dead, {});
+    return;
+  }
+  Status sent;
+  {
+    MutexLock lock(send_mutex_);
+    sent = SendAll(frame);
+  }
+  if (!sent.ok()) {
+    // Reclaim the registration — unless the reader raced us and already
+    // completed it (a response can land while send() reports the failure).
+    Completion reclaimed;
+    {
+      MutexLock lock(mutex_);
+      auto it = pending_.find(corr);
+      if (it != pending_.end()) {
+        reclaimed = std::move(it->second.complete);
+        pending_.erase(it);
+      }
+    }
+    if (reclaimed) reclaimed(sent, {});
+  }
+}
+
+std::future<Result<ProbeResponse>> Client::ProbeAsync(const Probe& probe) {
+  auto promise = std::make_shared<std::promise<Result<ProbeResponse>>>();
+  std::future<Result<ProbeResponse>> future = promise->get_future();
+  uint64_t corr = NextCorr();
+  Result<std::string> frame = EncodeProbeRequestFrame(corr, probe);
+  if (!frame.ok()) {
+    promise->set_value(frame.status());
+    return future;
+  }
+  DispatchCall(
+      corr, FrameType::kProbeResponse, std::move(*frame),
+      [promise](const Status& transport, std::string_view payload) {
+        if (!transport.ok()) {
+          promise->set_value(transport);
+          return;
+        }
+        auto decoded = DecodeProbeResponsePayload(payload);
+        if (!decoded.ok()) {
+          promise->set_value(decoded.status());
+        } else if (!decoded->status.ok()) {
+          promise->set_value(decoded->status);
+        } else if (!decoded->response.has_value()) {
+          promise->set_value(
+              Status::Internal("net: OK probe response without a body"));
+        } else {
+          promise->set_value(std::move(*decoded->response));
+        }
+      });
+  return future;
+}
+
+std::future<Result<std::vector<ProbeResponse>>> Client::ProbeBatchAsync(
+    const std::vector<Probe>& probes) {
+  auto promise =
+      std::make_shared<std::promise<Result<std::vector<ProbeResponse>>>>();
+  std::future<Result<std::vector<ProbeResponse>>> future =
+      promise->get_future();
+  uint64_t corr = NextCorr();
+  Result<std::string> frame = EncodeProbeBatchRequestFrame(corr, probes);
+  if (!frame.ok()) {
+    promise->set_value(frame.status());
+    return future;
+  }
+  DispatchCall(
+      corr, FrameType::kProbeBatchResponse, std::move(*frame),
+      [promise](const Status& transport, std::string_view payload) {
+        if (!transport.ok()) {
+          promise->set_value(transport);
+          return;
+        }
+        auto decoded = DecodeProbeBatchResponsePayload(payload);
+        if (!decoded.ok()) {
+          promise->set_value(decoded.status());
+        } else if (!decoded->status.ok()) {
+          promise->set_value(decoded->status);
+        } else {
+          promise->set_value(std::move(decoded->responses));
+        }
+      });
+  return future;
+}
+
+std::future<Result<ResultSetPtr>> Client::ExecuteSqlAsync(
+    const std::string& sql) {
+  auto promise = std::make_shared<std::promise<Result<ResultSetPtr>>>();
+  std::future<Result<ResultSetPtr>> future = promise->get_future();
+  uint64_t corr = NextCorr();
+  DispatchCall(
+      corr, FrameType::kSqlResponse, EncodeSqlRequestFrame(corr, sql),
+      [promise](const Status& transport, std::string_view payload) {
+        if (!transport.ok()) {
+          promise->set_value(transport);
+          return;
+        }
+        auto decoded = DecodeSqlResponsePayload(payload);
+        if (!decoded.ok()) {
+          promise->set_value(decoded.status());
+        } else if (!decoded->status.ok()) {
+          promise->set_value(decoded->status);
+        } else if (!decoded->result.has_value()) {
+          promise->set_value(
+              Status::Internal("net: OK SQL response without a body"));
+        } else {
+          promise->set_value(ResultSetPtr(
+              std::make_shared<const ResultSet>(std::move(*decoded->result))));
+        }
+      });
+  return future;
+}
+
+std::future<Result<std::string>> Client::PingAsync(std::string_view echo) {
+  auto promise = std::make_shared<std::promise<Result<std::string>>>();
+  std::future<Result<std::string>> future = promise->get_future();
+  Completion complete = [promise](const Status& transport,
+                                  std::string_view payload) {
+    if (!transport.ok()) {
+      promise->set_value(transport);
+      return;
+    }
+    WireReader r(payload);
+    std::string echoed;
+    Status read = r.Str(&echoed);
+    if (read.ok()) read = r.ExpectEnd();
+    if (!read.ok()) {
+      promise->set_value(read);
+    } else {
+      promise->set_value(std::move(echoed));
+    }
+  };
+  Status dead = Status::OK();
+  {
+    MutexLock lock(mutex_);
+    if (!dead_.ok()) {
+      dead = dead_;
+    } else {
+      pings_.push_back(complete);
+    }
+  }
+  if (!dead.ok()) {
+    complete(dead, {});
+    return future;
+  }
+  Status sent;
+  {
+    MutexLock lock(send_mutex_);
+    sent = SendAll(EncodePingFrame(echo));
+  }
+  if (!sent.ok()) {
+    // Reclaim the newest queued ping (ours, unless a racing pong already
+    // consumed from the front — the queue is FIFO either way).
+    Completion reclaimed;
+    {
+      MutexLock lock(mutex_);
+      if (!pings_.empty()) {
+        reclaimed = std::move(pings_.back());
+        pings_.pop_back();
+      }
+    }
+    if (reclaimed) reclaimed(sent, {});
+  }
+  return future;
+}
+
+std::future<Result<ServiceInfo>> Client::ServerInfoAsync() {
+  auto promise = std::make_shared<std::promise<Result<ServiceInfo>>>();
+  std::future<Result<ServiceInfo>> future = promise->get_future();
+  uint64_t corr = NextCorr();
+  DispatchCall(
+      corr, FrameType::kServerInfoResponse, EncodeServerInfoRequestFrame(corr),
+      [promise](const Status& transport, std::string_view payload) {
+        if (!transport.ok()) {
+          promise->set_value(transport);
+          return;
+        }
+        auto decoded = DecodeServerInfoResponsePayload(payload);
+        if (!decoded.ok()) {
+          promise->set_value(decoded.status());
+        } else if (!decoded->status.ok()) {
+          promise->set_value(decoded->status);
+        } else if (!decoded->info.has_value()) {
+          promise->set_value(
+              Status::Internal("net: OK server info without a body"));
+        } else {
+          promise->set_value(std::move(*decoded->info));
+        }
+      });
+  return future;
+}
+
+Result<ProbeResponse> Client::HandleProbe(const Probe& probe) {
+  return Await(ProbeAsync(probe), options_.io_timeout_ms);
+}
+
+Result<std::vector<ProbeResponse>> Client::HandleProbeBatch(
+    std::vector<Probe> probes) {
+  return Await(ProbeBatchAsync(probes), options_.io_timeout_ms);
+}
+
+Result<ResultSetPtr> Client::ExecuteSql(const std::string& sql) {
+  return Await(ExecuteSqlAsync(sql), options_.io_timeout_ms);
+}
+
+Result<std::string> Client::Ping(std::string_view echo) {
+  return Await(PingAsync(echo), options_.io_timeout_ms);
+}
+
+Result<ServiceInfo> Client::ServerInfo() {
+  return Await(ServerInfoAsync(), options_.io_timeout_ms);
+}
+
 Status Client::SendAll(std::string_view bytes) {
-  if (fd_ < 0) return Status::Internal("net: client not connected");
+  if (fd_ < 0) return Status::Unavailable("net: client not connected");
   size_t sent = 0;
   while (sent < bytes.size()) {
     ssize_t n =
@@ -102,40 +462,49 @@ Status Client::SendAll(std::string_view bytes) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
         return Status::DeadlineExceeded("net: send timed out");
       }
-      Status status = Errno("send");
-      Close();
-      return status;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Status::Unavailable("net: connection closed while sending");
+      }
+      return Errno("send");
     }
     sent += static_cast<size_t>(n);
   }
   return Status::OK();
 }
 
-Status Client::ReadFrame(FrameType* type, std::string* payload) {
-  if (fd_ < 0) return Status::Internal("net: client not connected");
+Status Client::ReadFrame(FrameType* type, std::string* payload,
+                         bool for_reader) {
+  if (fd_ < 0) return Status::Unavailable("net: client not connected");
   uint8_t header[kFrameHeaderBytes];
   size_t got = 0;
   while (got < sizeof(header)) {
     ssize_t n = ::recv(fd_, header + got, sizeof(header) - got, 0);
     if (n == 0) {
-      Close();
-      return Status::Aborted("net: server closed the connection");
+      return Status::Unavailable("net: server closed the connection");
     }
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        return Status::DeadlineExceeded("net: receive timed out");
+        if (!for_reader) {
+          return Status::DeadlineExceeded("net: receive timed out");
+        }
+        // Socket timeouts just pace the reader's stop checks; request
+        // deadlines live at the future-wait layer.
+        if (stopping_.load(std::memory_order_acquire)) {
+          return Status::Cancelled("net: client closing");
+        }
+        continue;
       }
-      Status status = Errno("recv");
-      Close();
-      return status;
+      if (errno == ECONNRESET) {
+        return Status::Unavailable("net: connection reset");
+      }
+      return Errno("recv");
     }
     got += static_cast<size_t>(n);
   }
   auto parsed = ParseFrameHeader(header, options_.max_frame_bytes);
   if (!parsed.ok()) {
     // Framing is lost; nothing on this socket can be trusted any more.
-    Close();
     return parsed.status();
   }
   *type = parsed->type;
@@ -144,130 +513,43 @@ Status Client::ReadFrame(FrameType* type, std::string* payload) {
   while (got < payload->size()) {
     ssize_t n = ::recv(fd_, payload->data() + got, payload->size() - got, 0);
     if (n == 0) {
-      Close();
-      return Status::Aborted("net: server closed mid-frame");
+      return Status::Unavailable("net: server closed mid-frame");
     }
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        return Status::DeadlineExceeded("net: receive timed out");
+        if (!for_reader) {
+          return Status::DeadlineExceeded("net: receive timed out");
+        }
+        if (stopping_.load(std::memory_order_acquire)) {
+          return Status::Cancelled("net: client closing");
+        }
+        continue;
       }
-      Status status = Errno("recv");
-      Close();
-      return status;
+      if (errno == ECONNRESET) {
+        return Status::Unavailable("net: connection reset");
+      }
+      return Errno("recv");
     }
     got += static_cast<size_t>(n);
   }
   return Status::OK();
 }
 
-Status Client::ReadExpected(FrameType expected, uint64_t expect_corr,
-                            std::string* payload) {
-  while (true) {
-    FrameType type;
-    AF_RETURN_IF_ERROR(ReadFrame(&type, payload));
-    if (type == FrameType::kError) {
-      Status carried;
-      Status decode = DecodeErrorPayload(*payload, &carried);
-      Close();  // the server closes after an error frame; mirror it
-      if (decode.ok() && !carried.ok()) return carried;
-      return Status::Internal("net: undecodable error frame");
-    }
-    if (type == FrameType::kPong) continue;  // stale ping echo
-    if (type != expected) {
-      Close();
-      return Status::Internal("net: expected " +
-                              std::string(FrameTypeName(expected)) + ", got " +
-                              FrameTypeName(type));
-    }
-    uint64_t corr = PeekCorrelationId(*payload);
-    if (corr != expect_corr) {
-      // A strictly blocking client never has two requests in flight, so a
-      // mismatched id means the stream is desynchronized.
-      Close();
-      return Status::Internal("net: correlation id mismatch");
-    }
-    return Status::OK();
-  }
+Status Client::SendRawForTest(std::string_view bytes) {
+  MutexLock lock(send_mutex_);
+  return SendAll(bytes);
 }
-
-Result<ProbeResponse> Client::HandleProbe(const Probe& probe) {
-  uint64_t corr = next_corr_++;
-  AF_ASSIGN_OR_RETURN(std::string frame, EncodeProbeRequestFrame(corr, probe));
-  AF_RETURN_IF_ERROR(SendAll(frame));
-  std::string payload;
-  AF_RETURN_IF_ERROR(ReadExpected(FrameType::kProbeResponse, corr, &payload));
-  AF_ASSIGN_OR_RETURN(DecodedProbeResponse decoded,
-                      DecodeProbeResponsePayload(payload));
-  if (!decoded.status.ok()) return decoded.status;
-  if (!decoded.response.has_value()) {
-    return Status::Internal("net: OK probe response without a body");
-  }
-  return std::move(*decoded.response);
-}
-
-Result<std::vector<ProbeResponse>> Client::HandleProbeBatch(
-    std::vector<Probe> probes) {
-  uint64_t corr = next_corr_++;
-  AF_ASSIGN_OR_RETURN(std::string frame,
-                      EncodeProbeBatchRequestFrame(corr, probes));
-  AF_RETURN_IF_ERROR(SendAll(frame));
-  std::string payload;
-  AF_RETURN_IF_ERROR(
-      ReadExpected(FrameType::kProbeBatchResponse, corr, &payload));
-  AF_ASSIGN_OR_RETURN(DecodedProbeBatchResponse decoded,
-                      DecodeProbeBatchResponsePayload(payload));
-  if (!decoded.status.ok()) return decoded.status;
-  return std::move(decoded.responses);
-}
-
-Result<ResultSetPtr> Client::ExecuteSql(const std::string& sql) {
-  uint64_t corr = next_corr_++;
-  AF_RETURN_IF_ERROR(SendAll(EncodeSqlRequestFrame(corr, sql)));
-  std::string payload;
-  AF_RETURN_IF_ERROR(ReadExpected(FrameType::kSqlResponse, corr, &payload));
-  AF_ASSIGN_OR_RETURN(DecodedSqlResponse decoded,
-                      DecodeSqlResponsePayload(payload));
-  if (!decoded.status.ok()) return decoded.status;
-  if (!decoded.result.has_value()) {
-    return Status::Internal("net: OK SQL response without a body");
-  }
-  return ResultSetPtr(
-      std::make_shared<const ResultSet>(std::move(*decoded.result)));
-}
-
-Result<std::string> Client::Ping(std::string_view echo) {
-  AF_RETURN_IF_ERROR(SendAll(EncodePingFrame(echo)));
-  while (true) {
-    FrameType type;
-    std::string payload;
-    AF_RETURN_IF_ERROR(ReadFrame(&type, &payload));
-    if (type == FrameType::kError) {
-      Status carried;
-      Status decode = DecodeErrorPayload(payload, &carried);
-      Close();
-      if (decode.ok() && !carried.ok()) return Result<std::string>(carried);
-      return Status::Internal("net: undecodable error frame");
-    }
-    if (type != FrameType::kPong) {
-      Close();
-      return Status::Internal("net: expected PONG, got " +
-                              std::string(FrameTypeName(type)));
-    }
-    WireReader r(payload);
-    std::string echoed;
-    AF_RETURN_IF_ERROR(r.Str(&echoed));
-    AF_RETURN_IF_ERROR(r.ExpectEnd());
-    return echoed;
-  }
-}
-
-Status Client::SendRawForTest(std::string_view bytes) { return SendAll(bytes); }
 
 Result<std::pair<FrameType, std::string>> Client::ReadFrameForTest() {
+  if (!options_.manual_frames_for_test) {
+    return Status::FailedPrecondition(
+        "net: ReadFrameForTest requires Options::manual_frames_for_test "
+        "(the reader thread owns the socket otherwise)");
+  }
   FrameType type;
   std::string payload;
-  AF_RETURN_IF_ERROR(ReadFrame(&type, &payload));
+  AF_RETURN_IF_ERROR(ReadFrame(&type, &payload, /*for_reader=*/false));
   return std::make_pair(type, std::move(payload));
 }
 

@@ -1,7 +1,12 @@
 #ifndef AGENTFIRST_NET_CLIENT_H_
 #define AGENTFIRST_NET_CLIENT_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -10,32 +15,61 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/thread_pool.h"
 #include "core/probe.h"
+#include "core/probe_service.h"
 #include "exec/result_set.h"
 #include "net/wire.h"
 
-/// Blocking client for the afp wire protocol: one TCP connection, one
-/// outstanding request at a time (an agent's turn loop is sequential anyway;
-/// concurrency comes from running many agents, each with its own Client).
-/// Not thread-safe — callers wanting parallel sessions open parallel
-/// clients, exactly like parallel agents.
+/// Pipelined client for the afp wire protocol: one TCP connection, many
+/// outstanding requests. Every request carries a correlation id; a
+/// background reader thread pairs responses to waiting futures, so an agent
+/// can keep its whole speculation burst in flight on one socket instead of
+/// opening a connection per probe (the request/response ordering freedom the
+/// paper's Sec. 4.3 asks the serving layer to exploit).
+///
+/// The *Async methods are the primitive surface: they enqueue one frame and
+/// return a std::future that resolves when the matching response arrives —
+/// out of order, whenever the server finishes. The blocking ProbeService
+/// surface (HandleProbe et al.) is implemented on top as send + wait, so
+/// sequential callers keep their one-line calls and get the same taxonomy.
+///
+/// Status taxonomy (shared with the in-process facade): a vanished endpoint
+/// is kUnavailable, a rejected credential kUnauthenticated, a quota refusal
+/// kResourceExhausted, a timed-out wait kDeadlineExceeded.
+///
+/// Thread model: async calls may be issued from any thread (sends are
+/// serialized internally); each future is a normal std::future. Close() must
+/// not race in-flight calls — outstanding futures are failed with
+/// kUnavailable when the connection dies or closes.
 namespace agentfirst {
 namespace net {
 
 class Client {
  public:
   struct Options {
-    /// Socket-level send/receive timeout; an unresponsive server turns into
-    /// kDeadlineExceeded instead of a hang. 0 = block forever.
+    /// Blocking-call wait budget and socket-level send timeout; an
+    /// unresponsive server turns into kDeadlineExceeded instead of a hang.
+    /// 0 = block forever. Async callers pace themselves with their futures.
     int io_timeout_ms = 30000;
     /// Per-frame payload cap accepted from the server.
     size_t max_frame_bytes = 64u << 20;
     /// Name sent in the HELLO.
     std::string client_name = "afclient";
+    /// Session token sent in the HELLO ("" against open servers). Servers
+    /// armed with tokens reject unknown ones with kUnauthenticated.
+    std::string token;
+    /// Test-only: skip the background reader thread so SendRawForTest /
+    /// ReadFrameForTest own the socket (protocol-abuse tests read the
+    /// server's error frames themselves). Blocking/async calls must not be
+    /// used in this mode — nothing would ever complete their futures.
+    bool manual_frames_for_test = false;
   };
 
-  /// Connects, performs the HELLO handshake, and returns a ready client.
-  /// `host` is an IPv4 dotted quad or "localhost" (no DNS).
+  /// Connects, performs the HELLO handshake (including token auth — a
+  /// rejected token surfaces here as kUnauthenticated), and returns a ready
+  /// client. `host` is an IPv4 dotted quad or "localhost" (no DNS).
   static Result<std::unique_ptr<Client>> Connect(const std::string& host,
                                                  uint16_t port,
                                                  Options options);
@@ -48,50 +82,112 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Round-trips one probe. Fails client-side (kInvalidArgument) when the
-  /// probe sets Brief::stop_when; see wire.h.
-  Result<ProbeResponse> HandleProbe(const Probe& probe);
+  // -------------------------------------------------------------------------
+  // Async pipelined surface: returns immediately; the future resolves when
+  // the correlated response arrives (responses may complete out of order).
+  // -------------------------------------------------------------------------
 
-  /// Round-trips a whole batch as one frame, so the server runs it through
+  /// Submits one probe. Fails client-side (kInvalidArgument) when the probe
+  /// sets Brief::stop_when; see wire.h.
+  std::future<Result<ProbeResponse>> ProbeAsync(const Probe& probe);
+
+  /// Submits a whole batch as one frame, so the server runs it through
   /// ProbeOptimizer::ProcessBatch with cross-probe sharing intact.
-  Result<std::vector<ProbeResponse>> HandleProbeBatch(std::vector<Probe> probes);
+  std::future<Result<std::vector<ProbeResponse>>> ProbeBatchAsync(
+      const std::vector<Probe>& probes);
 
   /// Plain SQL (DDL/DML/SELECT) over the wire.
-  Result<ResultSetPtr> ExecuteSql(const std::string& sql);
+  std::future<Result<ResultSetPtr>> ExecuteSqlAsync(const std::string& sql);
 
-  /// Liveness + RTT: sends PING, returns the echoed payload.
+  /// Liveness + RTT: sends PING, resolves with the echoed payload. Pongs
+  /// carry no correlation id; they complete ping futures in FIFO order.
+  std::future<Result<std::string>> PingAsync(std::string_view echo);
+
+  /// Asks the server who it is (name, protocol version, loop count, and the
+  /// tenant it authenticated this session as).
+  std::future<Result<ServiceInfo>> ServerInfoAsync();
+
+  // -------------------------------------------------------------------------
+  // Blocking surface (the ProbeService shape): async + wait, bounded by
+  // io_timeout_ms.
+  // -------------------------------------------------------------------------
+
+  Result<ProbeResponse> HandleProbe(const Probe& probe);
+  Result<std::vector<ProbeResponse>> HandleProbeBatch(std::vector<Probe> probes);
+  Result<ResultSetPtr> ExecuteSql(const std::string& sql);
   Result<std::string> Ping(std::string_view echo);
+  Result<ServiceInfo> ServerInfo();
 
   /// Half of the server's HELLO_ACK (its advertised name).
   const std::string& server_name() const { return server_name_; }
 
-  bool connected() const { return fd_ >= 0; }
+  bool connected() const;
+  /// Fails all outstanding futures with kUnavailable, stops the reader, and
+  /// closes the socket. Idempotent.
   void Close();
 
   /// Test hooks: inject raw bytes / read one raw frame, so protocol-abuse
   /// tests (malformed frames, bad magic, oversized length prefixes) exercise
   /// the server without raw sockets outside src/net/ (aflint's raw-socket
-  /// rule keeps syscalls here).
+  /// rule keeps syscalls here). ReadFrameForTest requires
+  /// Options::manual_frames_for_test — otherwise the reader thread would
+  /// have consumed the frame already.
   Status SendRawForTest(std::string_view bytes);
   Result<std::pair<FrameType, std::string>> ReadFrameForTest();
 
  private:
+  /// Called with OK + the response payload, or the transport failure.
+  using Completion = std::function<void(const Status&, std::string_view)>;
+
   Client(int fd, Options options) : fd_(fd), options_(std::move(options)) {}
 
-  Status SendAll(std::string_view bytes);
-  /// Reads exactly one frame (header + payload). kError frames are not
-  /// special-cased here; callers decide.
-  Status ReadFrame(FrameType* type, std::string* payload);
-  /// Reads frames until one of `expected` type arrives; a kError frame (or
-  /// transport failure) becomes the returned Status. Stray kPong frames are
-  /// skipped; anything else is a protocol error.
-  Status ReadExpected(FrameType expected, uint64_t expect_corr,
-                      std::string* payload);
+  void StartReader();
+  void ReaderLoop();
+  /// Routes one received frame; returns false on fatal protocol desync
+  /// (unknown correlation id, unexpected type) after failing all waiters.
+  bool HandleIncoming(FrameType type, const std::string& payload);
+  /// Registers the completion under `corr`, then sends; a failed send
+  /// reclaims the registration and completes with the error.
+  void DispatchCall(uint64_t corr, FrameType expect, std::string frame,
+                    Completion complete);
+  /// Marks the connection dead (first status wins) and completes every
+  /// outstanding future with it.
+  void FailAllPending(const Status& status);
+  uint64_t NextCorr();
+
+  Status SendAll(std::string_view bytes) AF_REQUIRES(send_mutex_);
+  /// Reads exactly one frame (header + payload). With `for_reader` the call
+  /// treats socket timeouts as pacing (recheck the stop flag and keep
+  /// reading); without, a timeout is kDeadlineExceeded (handshake & manual
+  /// test reads). Never closes the socket.
+  Status ReadFrame(FrameType* type, std::string* payload, bool for_reader);
 
   int fd_ = -1;
   Options options_;
   std::string server_name_;
-  uint64_t next_corr_ = 1;
+
+  /// Reader thread (sole task of a private single-thread pool; raw
+  /// std::thread is banned outside thread_pool.* by aflint's raw-thread
+  /// rule). Absent in manual_frames_for_test mode.
+  std::unique_ptr<ThreadPool> reader_pool_;
+  std::future<void> reader_done_;
+  std::atomic<bool> stopping_{false};
+
+  /// Serializes writers; separate from mutex_ so completions never wait on
+  /// a socket send.
+  Mutex send_mutex_;
+
+  struct PendingCall {
+    FrameType expect = FrameType::kError;
+    Completion complete;
+  };
+  mutable Mutex mutex_;
+  uint64_t next_corr_ AF_GUARDED_BY(mutex_) = 1;
+  std::map<uint64_t, PendingCall> pending_ AF_GUARDED_BY(mutex_);
+  /// Outstanding pings, oldest first (pongs have no correlation id).
+  std::deque<Completion> pings_ AF_GUARDED_BY(mutex_);
+  /// OK while the connection is usable; the first fatal status otherwise.
+  Status dead_ AF_GUARDED_BY(mutex_) = Status::OK();
 };
 
 }  // namespace net

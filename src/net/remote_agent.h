@@ -18,8 +18,11 @@ namespace agentfirst {
 /// connection, which is exactly how the server's per-session backpressure
 /// and disconnect-cancellation are meant to be exercised.
 ///
-/// Not thread-safe (the underlying Client is strictly blocking); parallel
-/// agents use parallel RemoteAgents.
+/// The underlying Client is pipelined (many requests in flight on one
+/// socket); this adapter exposes the blocking ProbeService shape of it.
+/// Callers wanting pipelining drive client() directly with the *Async
+/// surface. Parallel agents still use parallel RemoteAgents — the session
+/// is the principal the server meters and cancels.
 class RemoteAgent : public ProbeService {
  public:
   /// Connects and handshakes. `client_name` becomes the session's HELLO
@@ -44,6 +47,12 @@ class RemoteAgent : public ProbeService {
   Result<ResultSetPtr> ExecuteSql(const std::string& sql) override {
     return client_->ExecuteSql(sql);
   }
+
+  Result<std::string> Ping(std::string_view echo) override {
+    return client_->Ping(echo);
+  }
+
+  Result<ServiceInfo> ServerInfo() override { return client_->ServerInfo(); }
 
   net::Client* client() { return client_.get(); }
 

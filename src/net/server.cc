@@ -8,11 +8,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <utility>
 
+#include "core/admission.h"
 #include "net/wire.h"
 
 // Glibc guards POLLRDHUP behind _GNU_SOURCE; a missing definition only costs
@@ -64,6 +66,9 @@ ProbeServer::ProbeServer(ProbeService* service, Options options)
   obs::MetricsRegistry& reg = options_.metrics != nullptr
                                   ? *options_.metrics
                                   : obs::MetricsRegistry::Default();
+  AdmissionController::Options admission_options = options_.admission;
+  admission_options.metrics = &reg;
+  admission_ = std::make_unique<AdmissionController>(admission_options);
   sessions_gauge_ = reg.GetGauge("af.net.sessions");
   sessions_total_ = reg.GetCounter("af.net.sessions_total");
   frames_in_ = reg.GetCounter("af.net.frames_in");
@@ -74,6 +79,11 @@ ProbeServer::ProbeServer(ProbeService* service, Options options)
   probes_ = reg.GetCounter("af.net.probes");
   probes_cancelled_ = reg.GetCounter("af.net.probes_cancelled");
   backpressure_stalls_ = reg.GetCounter("af.net.backpressure_stalls");
+  auth_failures_ = reg.GetCounter("af.net.auth_failures");
+  loops_gauge_ = reg.GetGauge("af.net.loops");
+  loop_polls_ = reg.GetCounter("af.net.loop.polls");
+  loop_wakeups_ = reg.GetCounter("af.net.loop.wakeups");
+  loop_handoffs_ = reg.GetCounter("af.net.loop.handoffs");
   inflight_gauge_ = reg.GetGauge("af.net.inflight");
   probe_latency_us_ = reg.GetHistogram("af.net.probe_latency_us");
 }
@@ -119,59 +129,85 @@ Status ProbeServer::Start() {
   }
   bound_port_ = ntohs(bound.sin_port);
 
-  int pipe_fds[2];
-  if (::pipe(pipe_fds) < 0) {
-    Status status = Errno("pipe");
+  Status setup = SetNonBlocking(listen_fd_);
+  size_t num_loops = std::max<size_t>(1, options_.num_loops);
+  for (size_t i = 0; setup.ok() && i < num_loops; ++i) {
+    auto loop = std::make_unique<Loop>();
+    loop->index = i;
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) < 0) {
+      setup = Errno("pipe");
+      break;
+    }
+    loop->wake_read_fd = pipe_fds[0];
+    loop->wake_write_fd = pipe_fds[1];
+    setup = SetNonBlocking(loop->wake_read_fd);
+    if (setup.ok()) setup = SetNonBlocking(loop->wake_write_fd);
+    loops_.push_back(std::move(loop));
+    if (!setup.ok()) break;
+  }
+  if (!setup.ok()) {
+    for (auto& loop : loops_) {
+      if (loop->wake_read_fd >= 0) ::close(loop->wake_read_fd);
+      if (loop->wake_write_fd >= 0) ::close(loop->wake_write_fd);
+    }
+    loops_.clear();
     ::close(listen_fd_);
     listen_fd_ = -1;
-    return status;
-  }
-  wake_read_fd_ = pipe_fds[0];
-  wake_write_fd_ = pipe_fds[1];
-
-  Status nb = SetNonBlocking(listen_fd_);
-  if (nb.ok()) nb = SetNonBlocking(wake_read_fd_);
-  if (nb.ok()) nb = SetNonBlocking(wake_write_fd_);
-  if (!nb.ok()) {
-    ::close(listen_fd_);
-    ::close(wake_read_fd_);
-    ::close(wake_write_fd_);
-    listen_fd_ = wake_read_fd_ = wake_write_fd_ = -1;
-    return nb;
+    return setup;
   }
 
   running_.store(true, std::memory_order_release);
-  loop_pool_ = std::make_unique<ThreadPool>(1);
-  loop_done_ = loop_pool_->Submit([this] { EventLoop(); });
+  loops_gauge_->Set(static_cast<int64_t>(loops_.size()));
+  for (auto& loop : loops_) {
+    loop->thread = std::make_unique<ThreadPool>(1);
+    Loop* raw = loop.get();
+    loop->done = loop->thread->Submit([this, raw] { LoopMain(raw); });
+  }
   return Status::OK();
 }
 
 void ProbeServer::Stop() {
   if (!running_.load(std::memory_order_acquire)) return;
   stop_requested_.store(true, std::memory_order_release);
-  RingWakePipe();
-  if (loop_done_.valid()) loop_done_.wait();
-  loop_pool_.reset();
-  // Safe only now: the loop thread is gone and its pool tasks drained, so
-  // nobody can write to the wake pipe or poll these fds anymore.
+  for (auto& loop : loops_) RingWakePipe(loop.get());
+  for (auto& loop : loops_) {
+    if (loop->done.valid()) loop->done.wait();
+    loop->thread.reset();
+  }
+  // The loops closed their sessions on the way out, firing every session's
+  // cancellation; wait for the pool tasks (and the admission queue they
+  // drain) to finish before touching the fds — completions ring wake pipes.
+  {
+    MutexLock lock(drain_mutex_);
+    drain_cv_.Wait(drain_mutex_, [this]() AF_REQUIRES(drain_mutex_) {
+      return tasks_inflight_ == 0;
+    });
+  }
+  // Safe only now: the loop threads are gone and their pool tasks drained,
+  // so nobody can write to a wake pipe or poll these fds anymore.
   ::close(listen_fd_);
-  ::close(wake_read_fd_);
-  ::close(wake_write_fd_);
-  listen_fd_ = wake_read_fd_ = wake_write_fd_ = -1;
+  listen_fd_ = -1;
+  for (auto& loop : loops_) {
+    ::close(loop->wake_read_fd);
+    ::close(loop->wake_write_fd);
+    loop->wake_read_fd = loop->wake_write_fd = -1;
+  }
+  loops_.clear();
   running_.store(false, std::memory_order_release);
 }
 
 size_t ProbeServer::NumSessions() const {
-  MutexLock lock(sessions_mutex_);
-  return sessions_.size();
+  MutexLock lock(live_mutex_);
+  return live_sessions_;
 }
 
-void ProbeServer::RingWakePipe() {
-  if (wake_write_fd_ < 0) return;
+void ProbeServer::RingWakePipe(Loop* loop) {
+  if (loop == nullptr || loop->wake_write_fd < 0) return;
   char byte = 1;
   // A full pipe means a wake-up is already pending; nothing to do. The pipe
   // is an event-loop doorbell, not durable state. aflint:allow(raw-file-io)
-  (void)::write(wake_write_fd_, &byte, 1);  // best-effort wake
+  (void)::write(loop->wake_write_fd, &byte, 1);  // best-effort wake
 }
 
 void ProbeServer::TaskStarted() {
@@ -187,20 +223,32 @@ void ProbeServer::TaskFinished() {
   if (tasks_inflight_ == 0) drain_cv_.notify_all();
 }
 
-void ProbeServer::EventLoop() {
+void ProbeServer::AdoptPending(Loop* loop) {
+  MutexLock lock(loop->mutex);
+  while (!loop->pending.empty()) {
+    loop->sessions.push_back(std::move(loop->pending.front()));
+    loop->pending.pop_front();
+  }
+}
+
+void ProbeServer::LoopMain(Loop* loop) {
+  const bool is_acceptor = loop->index == 0;
   std::vector<pollfd> fds;
-  std::vector<SessionPtr> polled;  // parallel to fds[2..]
+  std::vector<SessionPtr> polled;  // parallel to fds[base..]
+  const size_t base = is_acceptor ? 2 : 1;
 
   std::vector<SessionPtr> resumable;
   while (!stop_requested_.load(std::memory_order_acquire)) {
+    AdoptPending(loop);
+
     // Backpressure release: a session that hit its inflight cap mid-buffer
     // may hold complete frames in userspace `inbuf`. POLLIN cannot signal
     // those (the kernel already handed the bytes over), so resume them here
     // once completions bring the session back under its cap.
     resumable.clear();
     {
-      MutexLock lock(sessions_mutex_);
-      for (const SessionPtr& s : sessions_) {
+      MutexLock lock(loop->mutex);
+      for (const SessionPtr& s : loop->sessions) {
         if (s->inbuf.size() < kFrameHeaderBytes) continue;
         MutexLock slock(s->mutex);
         if (s->inflight < options_.max_inflight_per_session &&
@@ -216,12 +264,12 @@ void ProbeServer::EventLoop() {
 
     fds.clear();
     polled.clear();
-    fds.push_back({listen_fd_, POLLIN, 0});
-    fds.push_back({wake_read_fd_, POLLIN, 0});
+    fds.push_back({loop->wake_read_fd, POLLIN, 0});
+    if (is_acceptor) fds.push_back({listen_fd_, POLLIN, 0});
 
     {
-      MutexLock lock(sessions_mutex_);
-      for (const SessionPtr& s : sessions_) {
+      MutexLock lock(loop->mutex);
+      for (const SessionPtr& s : loop->sessions) {
         short events = POLLRDHUP;
         bool want_write;
         bool at_cap;
@@ -249,21 +297,23 @@ void ProbeServer::EventLoop() {
       }
     }
 
+    loop_polls_->Increment();
     int n = ::poll(fds.data(), fds.size(), /*timeout_ms=*/200);
     if (n < 0 && errno != EINTR) break;  // poll itself failed; shut down
     if (stop_requested_.load(std::memory_order_acquire)) break;
     if (n <= 0) continue;
 
-    if (fds[1].revents != 0) {
+    if (fds[0].revents != 0) {
+      loop_wakeups_->Increment();
       char drain[256];
-      while (::read(wake_read_fd_, drain, sizeof(drain)) > 0) {
+      while (::read(loop->wake_read_fd, drain, sizeof(drain)) > 0) {
       }
     }
-    if (fds[0].revents != 0) AcceptNew();
+    if (is_acceptor && fds[1].revents != 0) AcceptNew();
 
     for (size_t i = 0; i < polled.size(); ++i) {
       const SessionPtr& s = polled[i];
-      short revents = fds[i + 2].revents;
+      short revents = fds[i + base].revents;
       if (revents == 0) continue;
       bool alive = true;
       if (revents & (POLLERR | POLLNVAL)) alive = false;
@@ -275,20 +325,17 @@ void ProbeServer::EventLoop() {
     }
   }
 
-  // Shutdown: every session's cancellation fires, so in-flight probes stop
-  // within a morsel; wait for their pool tasks to drain, then close.
+  // Shutdown: adopt any sessions still waiting in the handoff queue so they
+  // get a proper close, then close everything this loop owns — every
+  // session's cancellation fires, so in-flight probes stop within a morsel.
+  // Stop() waits for the pool tasks to drain after joining the loops.
+  AdoptPending(loop);
   std::vector<SessionPtr> remaining;
   {
-    MutexLock lock(sessions_mutex_);
-    remaining = sessions_;
+    MutexLock lock(loop->mutex);
+    remaining = loop->sessions;
   }
   for (const SessionPtr& s : remaining) CloseSession(s);
-  {
-    MutexLock lock(drain_mutex_);
-    drain_cv_.Wait(drain_mutex_, [this]() AF_REQUIRES(drain_mutex_) {
-      return tasks_inflight_ == 0;
-    });
-  }
   // The fds are closed by Stop() after this loop is joined: closing them
   // here would race with RingWakePipe writers (Stop itself, completions).
 }
@@ -299,8 +346,8 @@ void ProbeServer::AcceptNew() {
     if (fd < 0) return;  // EAGAIN or transient error; poll again
     size_t count;
     {
-      MutexLock lock(sessions_mutex_);
-      count = sessions_.size();
+      MutexLock lock(live_mutex_);
+      count = live_sessions_;
     }
     if (options_.max_sessions != 0 && count >= options_.max_sessions) {
       std::string frame = EncodeErrorFrame(Status::ResourceExhausted(
@@ -320,12 +367,28 @@ void ProbeServer::AcceptNew() {
     auto session = std::make_shared<Session>();
     session->fd = fd;
     session->id = next_session_id_++;
+    // Shard round-robin. This runs on loop 0's thread: its own sessions are
+    // adopted directly, every other loop gets a handoff through its pending
+    // queue plus a doorbell ring.
+    Loop* target = loops_[next_loop_++ % loops_.size()].get();
+    session->loop = target;
     {
-      MutexLock lock(sessions_mutex_);
-      sessions_.push_back(session);
-      sessions_gauge_->Set(static_cast<int64_t>(sessions_.size()));
+      MutexLock lock(live_mutex_);
+      ++live_sessions_;
+      sessions_gauge_->Set(static_cast<int64_t>(live_sessions_));
     }
     sessions_total_->Increment();
+    if (target->index == 0) {
+      MutexLock lock(target->mutex);
+      target->sessions.push_back(std::move(session));
+    } else {
+      {
+        MutexLock lock(target->mutex);
+        target->pending.push_back(std::move(session));
+      }
+      loop_handoffs_->Increment();
+      RingWakePipe(target);
+    }
   }
 }
 
@@ -384,6 +447,41 @@ bool ProbeServer::DecodeBuffered(const SessionPtr& session) {
   return true;
 }
 
+bool ProbeServer::HandleHello(const SessionPtr& session,
+                              std::string_view payload) {
+  auto hello = DecodeHelloPayload(payload);
+  if (!hello.ok()) {
+    decode_errors_->Increment();
+    Enqueue(session, EncodeErrorFrame(hello.status()));
+    MutexLock lock(session->mutex);
+    session->close_after_flush = true;
+    return true;
+  }
+  if (!options_.tokens.empty()) {
+    auto it = options_.tokens.find(hello->token);
+    if (it == options_.tokens.end()) {
+      auth_failures_->Increment();
+      Enqueue(session,
+              EncodeErrorFrame(Status::Unauthenticated(
+                  hello->token.empty()
+                      ? "net: this server requires a session token and the "
+                        "HELLO carried none"
+                      : "net: unknown session token")));
+      MutexLock lock(session->mutex);
+      session->close_after_flush = true;
+      return true;
+    }
+    session->tenant = it->second;
+  } else {
+    // Open server: the self-declared client name is the tenant, so quota
+    // accounting still groups one agent harness's sessions together.
+    session->tenant = hello->name.empty() ? "anonymous" : hello->name;
+  }
+  session->hello_done = true;
+  Enqueue(session, EncodeHelloAckFrame(options_.server_name));
+  return true;
+}
+
 bool ProbeServer::HandleFrame(const SessionPtr& session, uint8_t type,
                               std::string_view payload) {
   FrameType frame_type = static_cast<FrameType>(type);
@@ -398,30 +496,38 @@ bool ProbeServer::HandleFrame(const SessionPtr& session, uint8_t type,
       session->close_after_flush = true;
       return true;
     }
-    auto hello = DecodeHelloPayload(payload);
-    if (!hello.ok()) {
-      decode_errors_->Increment();
-      Enqueue(session, EncodeErrorFrame(hello.status()));
-      MutexLock lock(session->mutex);
-      session->close_after_flush = true;
-      return true;
-    }
-    session->hello_done = true;
-    Enqueue(session, EncodeHelloAckFrame(options_.server_name));
-    return true;
+    return HandleHello(session, payload);
   }
 
   switch (frame_type) {
     case FrameType::kPing:
       // Echo the payload back verbatim (liveness + RTT measurement).
       {
-        WireWriter w;
         std::string frame;
         AppendFrameHeader(FrameType::kPong, payload.size(), &frame);
         frame.append(payload);
         Enqueue(session, std::move(frame));
       }
       return true;
+
+    case FrameType::kServerInfoRequest: {
+      auto request = DecodeServerInfoRequestPayload(payload);
+      if (!request.ok()) {
+        decode_errors_->Increment();
+        Enqueue(session, EncodeErrorFrame(request.status()));
+        MutexLock lock(session->mutex);
+        session->close_after_flush = true;
+        return true;
+      }
+      ServiceInfo info;
+      info.name = options_.server_name;
+      info.protocol_version = kProtocolVersion;
+      info.num_loops = static_cast<uint32_t>(loops_.size());
+      info.tenant = session->tenant;
+      Enqueue(session,
+              EncodeServerInfoResponseFrame(request->corr, Status::OK(), &info));
+      return true;
+    }
 
     case FrameType::kProbeRequest: {
       auto request = DecodeProbeRequestPayload(payload);
@@ -432,7 +538,8 @@ bool ProbeServer::HandleFrame(const SessionPtr& session, uint8_t type,
                                          request.status(), nullptr));
         return true;
       }
-      DispatchProbe(session, request->corr, std::move(request->probe));
+      DispatchProbe(session, request->corr, std::move(request->probe),
+                    payload.size());
       return true;
     }
 
@@ -445,7 +552,8 @@ bool ProbeServer::HandleFrame(const SessionPtr& session, uint8_t type,
                                               request.status(), {}));
         return true;
       }
-      DispatchProbeBatch(session, request->corr, std::move(request->probes));
+      DispatchProbeBatch(session, request->corr, std::move(request->probes),
+                         payload.size());
       return true;
     }
 
@@ -484,38 +592,66 @@ bool ProbeServer::HandleFrame(const SessionPtr& session, uint8_t type,
 }
 
 void ProbeServer::DispatchProbe(const SessionPtr& session, uint64_t corr,
-                                Probe probe) {
+                                Probe probe, size_t request_bytes) {
   probe.cancel = session->cancel.token();
   {
     MutexLock lock(session->mutex);
     ++session->inflight;
   }
+  // Counted from dispatch, not execution: a queued unit must hold Stop()'s
+  // drain open, and its latency includes the time it waited for a slot.
   TaskStarted();
   probes_->Increment();
   uint64_t start_us = NowMicros();
-  (void)pool_->Submit([this, session, corr, probe = std::move(probe),
-                       start_us]() mutable {
-    Result<ProbeResponse> result = service_->HandleProbe(probe);
-    probe_latency_us_->Record(NowMicros() - start_us);
-    std::string frame =
-        result.ok() ? EncodeProbeResponseFrame(corr, Status::OK(), &*result)
-                    : EncodeProbeResponseFrame(corr, result.status(), nullptr);
-    EnqueueFromPool(session, std::move(frame));
+  AdmissionController::Work work;
+  work.tenant = session->tenant;
+  work.priority = PhaseAdmissionPriority(probe.brief.phase);
+  work.bytes = request_bytes;
+  work.run = [this, session, corr, probe = std::move(probe), start_us,
+              tenant = session->tenant, request_bytes]() mutable {
+    (void)pool_->Submit([this, session, corr, probe = std::move(probe),
+                         start_us, tenant, request_bytes]() mutable {
+      Result<ProbeResponse> result = service_->HandleProbe(probe);
+      probe_latency_us_->Record(NowMicros() - start_us);
+      std::string frame =
+          result.ok() ? EncodeProbeResponseFrame(corr, Status::OK(), &*result)
+                      : EncodeProbeResponseFrame(corr, result.status(), nullptr);
+      EnqueueFromPool(session, std::move(frame));
+      {
+        MutexLock lock(session->mutex);
+        --session->inflight;
+        // A session that closed while we executed means the answer was
+        // dropped: the probe was abandoned speculation, delivered to nobody.
+        if (session->closed) probes_cancelled_->Increment();
+      }
+      // Release before TaskFinished: the queued unit this dispatches calls
+      // TaskStarted-accounted work, so tasks_inflight_ never hits zero while
+      // admitted work remains (Stop()'s drain wait depends on it).
+      admission_->Release(tenant, request_bytes);
+      TaskFinished();
+    });
+  };
+  work.shed = [this, session, corr](const Status& status) {
+    EnqueueFromPool(session,
+                    EncodeProbeResponseFrame(corr, status, nullptr));
     {
       MutexLock lock(session->mutex);
       --session->inflight;
-      // A session that closed while we executed means the answer was
-      // dropped: the probe was abandoned speculation, delivered to nobody.
-      if (session->closed) probes_cancelled_->Increment();
     }
     TaskFinished();
-  });
+  };
+  admission_->Submit(std::move(work));
 }
 
 void ProbeServer::DispatchProbeBatch(const SessionPtr& session, uint64_t corr,
-                                     std::vector<Probe> probes) {
+                                     std::vector<Probe> probes,
+                                     size_t request_bytes) {
   CancellationToken token = session->cancel.token();
-  for (Probe& p : probes) p.cancel = token;
+  int priority = PhaseAdmissionPriority(ProbePhase::kUnspecified);
+  for (Probe& p : probes) {
+    p.cancel = token;
+    priority = std::max(priority, PhaseAdmissionPriority(p.brief.phase));
+  }
   {
     MutexLock lock(session->mutex);
     ++session->inflight;
@@ -523,27 +659,44 @@ void ProbeServer::DispatchProbeBatch(const SessionPtr& session, uint64_t corr,
   TaskStarted();
   probes_->Add(probes.size());
   uint64_t start_us = NowMicros();
-  (void)pool_->Submit([this, session, corr, probes = std::move(probes),
-                       start_us]() mutable {
-    size_t n = probes.size();
-    Result<std::vector<ProbeResponse>> result =
-        service_->HandleProbeBatch(std::move(probes));
-    uint64_t elapsed = NowMicros() - start_us;
-    // Per-probe latency: the batch executed as one unit, so each member
-    // observed the same wall time.
-    for (size_t i = 0; i < n; ++i) probe_latency_us_->Record(elapsed);
-    std::string frame =
-        result.ok()
-            ? EncodeProbeBatchResponseFrame(corr, Status::OK(), *result)
-            : EncodeProbeBatchResponseFrame(corr, result.status(), {});
-    EnqueueFromPool(session, std::move(frame));
+  AdmissionController::Work work;
+  work.tenant = session->tenant;
+  work.priority = priority;
+  work.bytes = request_bytes;
+  work.run = [this, session, corr, probes = std::move(probes), start_us,
+              tenant = session->tenant, request_bytes]() mutable {
+    (void)pool_->Submit([this, session, corr, probes = std::move(probes),
+                         start_us, tenant, request_bytes]() mutable {
+      size_t n = probes.size();
+      Result<std::vector<ProbeResponse>> result =
+          service_->HandleProbeBatch(std::move(probes));
+      uint64_t elapsed = NowMicros() - start_us;
+      // Per-probe latency: the batch executed as one unit, so each member
+      // observed the same wall time.
+      for (size_t i = 0; i < n; ++i) probe_latency_us_->Record(elapsed);
+      std::string frame =
+          result.ok()
+              ? EncodeProbeBatchResponseFrame(corr, Status::OK(), *result)
+              : EncodeProbeBatchResponseFrame(corr, result.status(), {});
+      EnqueueFromPool(session, std::move(frame));
+      {
+        MutexLock lock(session->mutex);
+        --session->inflight;
+        if (session->closed) probes_cancelled_->Add(n);
+      }
+      admission_->Release(tenant, request_bytes);
+      TaskFinished();
+    });
+  };
+  work.shed = [this, session, corr](const Status& status) {
+    EnqueueFromPool(session, EncodeProbeBatchResponseFrame(corr, status, {}));
     {
       MutexLock lock(session->mutex);
       --session->inflight;
-      if (session->closed) probes_cancelled_->Add(n);
     }
     TaskFinished();
-  });
+  };
+  admission_->Submit(std::move(work));
 }
 
 void ProbeServer::DispatchSql(const SessionPtr& session, uint64_t corr,
@@ -584,7 +737,7 @@ void ProbeServer::EnqueueFromPool(const SessionPtr& session, std::string frame) 
     session->outbox_bytes += frame.size();
     session->outbox.push_back(std::move(frame));
   }
-  RingWakePipe();
+  RingWakePipe(session->loop);
 }
 
 bool ProbeServer::FlushOutbox(const SessionPtr& session) {
@@ -630,14 +783,19 @@ void ProbeServer::CloseSession(const SessionPtr& session) {
   // tag probes whose answers were already delivered.)
   session->cancel.RequestCancel();
   ::close(session->fd);
-  MutexLock lock(sessions_mutex_);
-  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
-    if (it->get() == session.get()) {
-      sessions_.erase(it);
-      break;
+  {
+    MutexLock lock(session->loop->mutex);
+    auto& sessions = session->loop->sessions;
+    for (auto it = sessions.begin(); it != sessions.end(); ++it) {
+      if (it->get() == session.get()) {
+        sessions.erase(it);
+        break;
+      }
     }
   }
-  sessions_gauge_->Set(static_cast<int64_t>(sessions_.size()));
+  MutexLock lock(live_mutex_);
+  --live_sessions_;
+  sessions_gauge_->Set(static_cast<int64_t>(live_sessions_));
 }
 
 }  // namespace net

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -13,17 +14,36 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
+#include "core/admission.h"
 #include "core/probe_service.h"
 #include "obs/metrics.h"
 
 /// The networked probe endpoint (`afserved`): a portable poll-based TCP
 /// server that multiplexes many concurrent agent sessions onto one
-/// ProbeService (normally the in-process AgentFirstSystem). One event-loop
-/// thread owns every socket; probe execution never runs on it — decoded
-/// requests are dispatched to the shared work-stealing ThreadPool, so a
-/// hundred chatting agents contend for the same scheduler as in-process
-/// callers and the paper's "many agents, one substrate" economics hold over
-/// the wire too.
+/// ProbeService (normally the in-process AgentFirstSystem).
+///
+/// Fleet-scale layout: sessions are sharded round-robin at accept across
+/// `num_loops` event loops, each owning its own poll set and self-pipe, so
+/// frame decode and socket I/O scale with cores instead of serializing on
+/// one loop thread. Loop 0 additionally owns the listen socket; a session
+/// accepted for another loop is handed over through that loop's pending
+/// queue and wake pipe and is touched by exactly one loop thread for its
+/// whole life. Probe execution never runs on a loop thread — decoded
+/// requests pass the admission controller and are dispatched to the shared
+/// work-stealing ThreadPool, so a hundred chatting agents contend for the
+/// same scheduler as in-process callers and the paper's "many agents, one
+/// substrate" economics hold over the wire too.
+///
+/// Admission control (core/admission.h): every probe/batch is gated on
+/// per-tenant concurrency and outstanding-byte quotas plus a global slot
+/// count with a bounded phase-priority queue. Refusals come back as typed
+/// kResourceExhausted probe responses immediately — never silent queueing —
+/// and exploit-phase probes preempt queued cold exploration.
+///
+/// Auth: when `tokens` is non-empty the HELLO must carry a known token;
+/// the matching tenant becomes the session's admission principal. Unknown
+/// tokens get a kUnauthenticated error frame and the session closes. An
+/// open server (no tokens) uses the HELLO client name as the tenant.
 ///
 /// Per-session flow control: a session may have at most
 /// `max_inflight_per_session` probes executing and at most
@@ -48,6 +68,10 @@ class ProbeServer {
     std::string host = "127.0.0.1";
     /// 0 = ephemeral: the kernel picks; read the bound port from port().
     uint16_t port = 0;
+    /// Event loops sessions are sharded across (clamped to >= 1). Each loop
+    /// is one thread owning its own poll set; sessions are assigned
+    /// round-robin at accept and never migrate.
+    size_t num_loops = 1;
     /// Accepted-connection cap; further connects are refused with an error
     /// frame. 0 = unlimited.
     size_t max_sessions = 64;
@@ -60,6 +84,13 @@ class ProbeServer {
     size_t max_frame_bytes = 64u << 20;
     /// Name sent in the HELLO_ACK.
     std::string server_name = "afserved";
+    /// Session tokens: token -> tenant. Empty = open server (tenant = the
+    /// HELLO client name). Non-empty = HELLOs with unknown tokens are
+    /// rejected with kUnauthenticated and closed.
+    std::map<std::string, std::string> tokens;
+    /// Probe admission quotas (core/admission.h). The metrics field is
+    /// overridden with this server's registry. Defaults = no quotas armed.
+    AdmissionController::Options admission;
     /// Pool probe work is dispatched to; nullptr = ThreadPool::Default().
     ThreadPool* pool = nullptr;
     /// Registry for af.net.* metrics; nullptr = MetricsRegistry::Default().
@@ -73,7 +104,7 @@ class ProbeServer {
   ProbeServer(const ProbeServer&) = delete;
   ProbeServer& operator=(const ProbeServer&) = delete;
 
-  /// Binds, listens, and starts the event loop. Fails with a Status (never
+  /// Binds, listens, and starts the event loops. Fails with a Status (never
   /// aborts) when the address is bad or the port is taken.
   Status Start();
 
@@ -86,18 +117,31 @@ class ProbeServer {
   /// The actually-bound port (useful with Options::port = 0).
   uint16_t port() const { return bound_port_; }
 
+  /// Number of event loops actually running (Options::num_loops clamped).
+  size_t NumLoops() const { return loops_.size(); }
+
   /// Point-in-time count of connected sessions (the af.net.sessions gauge).
   size_t NumSessions() const;
 
+  /// The admission controller (tests inspect queue depth / running count).
+  AdmissionController* admission() { return admission_.get(); }
+
  private:
-  /// One connected agent. The event-loop thread owns fd/inbuf/poll
+  struct Loop;
+
+  /// One connected agent. The owning loop's thread owns fd/inbuf/poll
   /// interest; pool-side completion tasks touch only the mutex-guarded
   /// output state, so the two sides meet at exactly one lock.
   struct Session {
     int fd = -1;
     uint64_t id = 0;
+    /// The event loop that owns this session's socket (fixed at accept).
+    Loop* loop = nullptr;
     bool hello_done = false;
-    /// Read buffer (event-loop thread only).
+    /// Admission principal: the token's tenant, or the HELLO client name on
+    /// an open server. Loop-thread-only (written once at HELLO).
+    std::string tenant;
+    /// Read buffer (owning loop thread only).
     std::string inbuf;
     /// Fires when the client disconnects or the server stops; attached to
     /// every probe this session submits.
@@ -110,7 +154,8 @@ class ProbeServer {
     size_t front_offset AF_GUARDED_BY(mutex) = 0;
     /// Total bytes across outbox (backpressure input).
     size_t outbox_bytes AF_GUARDED_BY(mutex) = 0;
-    /// Probes/SQL dispatched to the pool and not yet completed.
+    /// Probes/SQL dispatched (admitted, queued, or executing) and not yet
+    /// answered.
     size_t inflight AF_GUARDED_BY(mutex) = 0;
     /// Set once the socket is gone; completions then drop their output.
     bool closed AF_GUARDED_BY(mutex) = false;
@@ -122,8 +167,31 @@ class ProbeServer {
   };
   using SessionPtr = std::shared_ptr<Session>;
 
-  void EventLoop();
+  /// One event loop: its own poll set, self-pipe, sessions, and thread.
+  struct Loop {
+    size_t index = 0;
+    int wake_read_fd = -1;
+    int wake_write_fd = -1;
+    /// The loop thread runs as the sole task of this private single-thread
+    /// pool: it blocks in poll() for the server's whole lifetime, which
+    /// would starve the shared pool's workers (raw std::thread is banned
+    /// outside thread_pool.* by aflint's raw-thread rule).
+    std::unique_ptr<ThreadPool> thread;
+    std::future<void> done;
+
+    Mutex mutex;
+    /// Sessions this loop polls (owning thread iterates; NumSessions and
+    /// the accept path read the size under the lock).
+    std::vector<SessionPtr> sessions AF_GUARDED_BY(mutex);
+    /// Accepted by loop 0, awaiting adoption by this loop's thread.
+    std::deque<SessionPtr> pending AF_GUARDED_BY(mutex);
+  };
+
+  void LoopMain(Loop* loop);
+  /// Loop 0 only: accepts and shards new connections.
   void AcceptNew();
+  /// Moves this loop's pending sessions into its poll set.
+  void AdoptPending(Loop* loop);
   /// Reads whatever the socket has and dispatches complete frames. Returns
   /// false when the session died (EOF, error, fatal protocol violation).
   bool ReadAndDispatch(const SessionPtr& session);
@@ -134,51 +202,50 @@ class ProbeServer {
   /// Handles one complete frame; returns false on fatal protocol errors.
   bool HandleFrame(const SessionPtr& session, uint8_t type,
                    std::string_view payload);
+  /// HELLO processing: protocol version + token auth. Always returns true
+  /// (auth failures close via close_after_flush so the error frame lands).
+  bool HandleHello(const SessionPtr& session, std::string_view payload);
   /// Writes queued bytes; returns false when the socket died.
   bool FlushOutbox(const SessionPtr& session);
   void CloseSession(const SessionPtr& session);
   void Enqueue(const SessionPtr& session, std::string frame);
-  /// Completion-side enqueue: appends under the lock and rings the wake
-  /// pipe so the loop re-polls for writability.
+  /// Completion-side enqueue: appends under the lock and rings the owning
+  /// loop's wake pipe so it re-polls for writability.
   void EnqueueFromPool(const SessionPtr& session, std::string frame);
-  void DispatchProbe(const SessionPtr& session, uint64_t corr, Probe probe);
+  void DispatchProbe(const SessionPtr& session, uint64_t corr, Probe probe,
+                     size_t request_bytes);
   void DispatchProbeBatch(const SessionPtr& session, uint64_t corr,
-                          std::vector<Probe> probes);
+                          std::vector<Probe> probes, size_t request_bytes);
   void DispatchSql(const SessionPtr& session, uint64_t corr, std::string sql);
   /// Marks one pool task started/finished (drain accounting for Stop()).
   void TaskStarted();
   void TaskFinished();
-  void RingWakePipe();
+  void RingWakePipe(Loop* loop);
 
   ProbeService* const service_;
   const Options options_;
   ThreadPool* pool_;
 
   int listen_fd_ = -1;
-  int wake_read_fd_ = -1;
-  int wake_write_fd_ = -1;
   uint16_t bound_port_ = 0;
-  uint64_t next_session_id_ = 1;  // event-loop thread only
+  uint64_t next_session_id_ = 1;  // accept path (loop 0 thread) only
+  size_t next_loop_ = 0;          // round-robin cursor (loop 0 thread only)
 
-  /// The event loop runs as the sole task of this private single-thread
-  /// pool: it blocks in poll() for the server's whole lifetime, which would
-  /// starve the shared pool's workers (raw std::thread is banned outside
-  /// thread_pool.* by aflint's raw-thread rule, and this keeps lifecycle =
-  /// pool lifecycle).
-  std::unique_ptr<ThreadPool> loop_pool_;
-  std::future<void> loop_done_;
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::unique_ptr<AdmissionController> admission_;
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
-
-  /// Sessions list: event-loop thread writes; NumSessions reads under lock.
-  mutable Mutex sessions_mutex_;
-  std::vector<SessionPtr> sessions_ AF_GUARDED_BY(sessions_mutex_);
 
   /// Pool tasks in flight across all sessions; Stop() waits for 0.
   Mutex drain_mutex_;
   CondVar drain_cv_;
   size_t tasks_inflight_ AF_GUARDED_BY(drain_mutex_) = 0;
+
+  /// Live session count across all loops, pending included (max_sessions
+  /// cap + af.net.sessions gauge).
+  mutable Mutex live_mutex_;
+  size_t live_sessions_ AF_GUARDED_BY(live_mutex_) = 0;
 
   // Cached af.net.* metric pointers (registered once in the constructor).
   obs::Gauge* sessions_gauge_;
@@ -191,6 +258,11 @@ class ProbeServer {
   obs::Counter* probes_;
   obs::Counter* probes_cancelled_;
   obs::Counter* backpressure_stalls_;
+  obs::Counter* auth_failures_;
+  obs::Gauge* loops_gauge_;
+  obs::Counter* loop_polls_;
+  obs::Counter* loop_wakeups_;
+  obs::Counter* loop_handoffs_;
   obs::Gauge* inflight_gauge_;
   obs::Histogram* probe_latency_us_;
 };

@@ -84,6 +84,10 @@ const char* FrameTypeName(FrameType type) {
       return "PING";
     case FrameType::kPong:
       return "PONG";
+    case FrameType::kServerInfoRequest:
+      return "SERVER_INFO_REQUEST";
+    case FrameType::kServerInfoResponse:
+      return "SERVER_INFO_RESPONSE";
   }
   return "UNKNOWN";
 }
@@ -118,7 +122,7 @@ Result<FrameHeader> ParseFrameHeader(const uint8_t* data,
   }
   uint8_t type = data[5];
   if (type < static_cast<uint8_t>(FrameType::kHello) ||
-      type > static_cast<uint8_t>(FrameType::kPong)) {
+      type > static_cast<uint8_t>(FrameType::kServerInfoResponse)) {
     return Malformed("unknown frame type " + std::to_string(type));
   }
   header.type = static_cast<FrameType>(type);
@@ -172,9 +176,7 @@ void AppendBrief(const Brief& brief, WireWriter* w) {
   w->U32(static_cast<uint32_t>(brief.priority));
   w->U64(static_cast<uint64_t>(brief.k_of_n));
   w->U64(static_cast<uint64_t>(brief.enough_rows_total));
-  // Deprecated aliases are folded here, so briefs travel only in the unified
-  // vocabulary and a decoded Brief never resurrects an alias field.
-  AppendResourceLimits(brief.EffectiveLimits(), w);
+  AppendResourceLimits(brief.limits, w);
 }
 
 Status ReadBrief(WireReader* r, Brief* out) {
@@ -268,7 +270,7 @@ Status ReadResultSet(WireReader* r, ResultSet* out) {
   AF_RETURN_IF_ERROR(r->Bool(&rs.truncated));
   uint8_t interrupt = 0;
   AF_RETURN_IF_ERROR(r->U8(&interrupt));
-  if (interrupt > static_cast<uint8_t>(StatusCode::kCancelled)) {
+  if (interrupt > static_cast<uint8_t>(kMaxStatusCodeValue)) {
     return Malformed("interrupt code out of range");
   }
   rs.interrupt = static_cast<StatusCode>(interrupt);
@@ -284,7 +286,7 @@ void AppendStatusPayload(const Status& status, WireWriter* w) {
 Status ReadStatusPayload(WireReader* r, Status* out) {
   uint8_t code = 0;
   AF_RETURN_IF_ERROR(r->U8(&code));
-  if (code > static_cast<uint8_t>(StatusCode::kCancelled)) {
+  if (code > static_cast<uint8_t>(kMaxStatusCodeValue)) {
     return Malformed("status code out of range");
   }
   std::string message;
@@ -505,10 +507,12 @@ std::string EncodeSqlRequestFrame(uint64_t corr, const std::string& sql) {
   return FinishFrame(FrameType::kSqlRequest, &w);
 }
 
-std::string EncodeHelloFrame(const std::string& client_name) {
+std::string EncodeHelloFrame(const std::string& client_name,
+                             const std::string& token) {
   WireWriter w;
   w.U8(kProtocolVersion);
   w.Str(client_name);
+  w.Str(token);
   return FinishFrame(FrameType::kHello, &w);
 }
 
@@ -659,6 +663,59 @@ Result<DecodedHello> DecodeHelloPayload(std::string_view payload) {
                      std::to_string(out.version));
   }
   AF_RETURN_IF_ERROR(r.Str(&out.name));
+  // The client HELLO carries a session token; the HELLO_ACK (decoded with
+  // the same reader) does not — absent means "".
+  if (r.remaining() > 0) AF_RETURN_IF_ERROR(r.Str(&out.token));
+  AF_RETURN_IF_ERROR(r.ExpectEnd());
+  return out;
+}
+
+std::string EncodeServerInfoRequestFrame(uint64_t corr) {
+  WireWriter w;
+  w.U64(corr);
+  return FinishFrame(FrameType::kServerInfoRequest, &w);
+}
+
+std::string EncodeServerInfoResponseFrame(uint64_t corr, const Status& status,
+                                          const ServiceInfo* info) {
+  WireWriter w;
+  w.U64(corr);
+  AppendStatusPayload(status, &w);
+  w.Bool(info != nullptr);
+  if (info != nullptr) {
+    w.Str(info->name);
+    w.U32(info->protocol_version);
+    w.U32(info->num_loops);
+    w.Str(info->tenant);
+  }
+  return FinishFrame(FrameType::kServerInfoResponse, &w);
+}
+
+Result<DecodedServerInfoRequest> DecodeServerInfoRequestPayload(
+    std::string_view payload) {
+  WireReader r(payload);
+  DecodedServerInfoRequest out;
+  AF_RETURN_IF_ERROR(r.U64(&out.corr));
+  AF_RETURN_IF_ERROR(r.ExpectEnd());
+  return out;
+}
+
+Result<DecodedServerInfoResponse> DecodeServerInfoResponsePayload(
+    std::string_view payload) {
+  WireReader r(payload);
+  DecodedServerInfoResponse out;
+  AF_RETURN_IF_ERROR(r.U64(&out.corr));
+  AF_RETURN_IF_ERROR(ReadStatusPayload(&r, &out.status));
+  bool present = false;
+  AF_RETURN_IF_ERROR(r.Bool(&present));
+  if (present) {
+    ServiceInfo info;
+    AF_RETURN_IF_ERROR(r.Str(&info.name));
+    AF_RETURN_IF_ERROR(r.U32(&info.protocol_version));
+    AF_RETURN_IF_ERROR(r.U32(&info.num_loops));
+    AF_RETURN_IF_ERROR(r.Str(&info.tenant));
+    out.info = std::move(info);
+  }
   AF_RETURN_IF_ERROR(r.ExpectEnd());
   return out;
 }

@@ -12,6 +12,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "core/probe.h"
+#include "core/probe_service.h"
 #include "exec/result_set.h"
 #include "obs/trace.h"
 #include "types/serde.h"
@@ -56,8 +57,7 @@
 /// wire: Brief::stop_when (an arbitrary std::function; EncodeProbe rejects
 /// probes that set it with kInvalidArgument) and Probe::cancel (runtime-only
 /// cancellation, re-attached server-side from the session's disconnect
-/// source). Deprecated Brief limit aliases are folded via EffectiveLimits()
-/// at encode time and travel only as the unified ResourceLimits.
+/// source). Brief limits travel as the unified ResourceLimits struct.
 namespace agentfirst {
 namespace net {
 
@@ -86,6 +86,8 @@ enum class FrameType : uint8_t {
   kError = 9,
   kPing = 10,
   kPong = 11,
+  kServerInfoRequest = 12,
+  kServerInfoResponse = 13,
 };
 
 const char* FrameTypeName(FrameType type);
@@ -119,8 +121,7 @@ using WireReader = ByteReader;
 void AppendResourceLimits(const ResourceLimits& limits, WireWriter* w);
 Status ReadResourceLimits(WireReader* r, ResourceLimits* out);
 
-/// Folds deprecated aliases via EffectiveLimits(); stop_when is checked by
-/// EncodeProbe (a Brief alone has no failure mode).
+/// stop_when is checked by EncodeProbe (a Brief alone has no failure mode).
 void AppendBrief(const Brief& brief, WireWriter* w);
 Status ReadBrief(WireReader* r, Brief* out);
 
@@ -157,8 +158,15 @@ Result<std::string> EncodeProbeRequestFrame(uint64_t corr, const Probe& probe);
 Result<std::string> EncodeProbeBatchRequestFrame(uint64_t corr,
                                                  const std::vector<Probe>& probes);
 std::string EncodeSqlRequestFrame(uint64_t corr, const std::string& sql);
-std::string EncodeHelloFrame(const std::string& client_name);
+/// HELLO carries the client's name and its session token ("" when the server
+/// runs open). Servers armed with --tokens-file reject unknown tokens with a
+/// kUnauthenticated error frame and close.
+std::string EncodeHelloFrame(const std::string& client_name,
+                             const std::string& token);
 std::string EncodeHelloAckFrame(const std::string& server_name);
+std::string EncodeServerInfoRequestFrame(uint64_t corr);
+std::string EncodeServerInfoResponseFrame(uint64_t corr, const Status& status,
+                                          const ServiceInfo* info);
 std::string EncodeErrorFrame(const Status& status);
 std::string EncodePingFrame(std::string_view echo);
 std::string EncodePongFrame(std::string_view echo);
@@ -205,6 +213,15 @@ struct DecodedSqlResponse {
 struct DecodedHello {
   uint8_t version = 0;
   std::string name;
+  std::string token;  // empty against open (token-less) servers
+};
+struct DecodedServerInfoRequest {
+  uint64_t corr = 0;
+};
+struct DecodedServerInfoResponse {
+  uint64_t corr = 0;
+  Status status;
+  std::optional<ServiceInfo> info;
 };
 
 Result<DecodedProbeRequest> DecodeProbeRequestPayload(std::string_view payload);
@@ -216,6 +233,10 @@ Result<DecodedProbeBatchResponse> DecodeProbeBatchResponsePayload(
     std::string_view payload);
 Result<DecodedSqlResponse> DecodeSqlResponsePayload(std::string_view payload);
 Result<DecodedHello> DecodeHelloPayload(std::string_view payload);
+Result<DecodedServerInfoRequest> DecodeServerInfoRequestPayload(
+    std::string_view payload);
+Result<DecodedServerInfoResponse> DecodeServerInfoResponsePayload(
+    std::string_view payload);
 /// Fills `carried` with the status the error frame transports; the returned
 /// Status reports whether decoding itself succeeded (Result<Status> would be
 /// ambiguous — both arms are a Status).

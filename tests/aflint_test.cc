@@ -433,11 +433,14 @@ TEST(AflintTest, DeprecatedBriefLimitsFiresOnWrites) {
                       "deprecated-brief-limits"));
 }
 
-TEST(AflintTest, DeprecatedBriefLimitsExemptInProbeItself) {
-  // probe.{h,cc} declare the aliases and fold them in EffectiveLimits().
+TEST(AflintTest, DeprecatedBriefLimitsFiresEvenInProbeItself) {
+  // The alias fields were deleted from Brief (PR 9); the old probe.{h,cc}
+  // declaration-site exemption is retired with them.
   std::string src = "brief.deadline_ms = 50.0;\n";
-  EXPECT_TRUE(RunLint("src/core/probe.h", src).empty());
-  EXPECT_TRUE(RunLint("src/core/probe.cc", src).empty());
+  EXPECT_TRUE(HasRule(RunLint("src/core/probe.h", src),
+                      "deprecated-brief-limits"));
+  EXPECT_TRUE(HasRule(RunLint("src/core/probe.cc", src),
+                      "deprecated-brief-limits"));
 }
 
 TEST(AflintTest, DeprecatedBriefLimitsIgnoresReadsAndNewApi) {

@@ -312,6 +312,8 @@ TEST(FuzzWireTest, RandomGarbageNeverCrashesAnyDecoder) {
     (void)DecodeProbeBatchResponsePayload(garbage);
     (void)DecodeSqlResponsePayload(garbage);
     (void)DecodeHelloPayload(garbage);
+    (void)DecodeServerInfoRequestPayload(garbage);
+    (void)DecodeServerInfoResponsePayload(garbage);
     Status carried;
     (void)DecodeErrorPayload(garbage, &carried);
     (void)PeekCorrelationId(garbage);

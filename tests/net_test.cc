@@ -25,6 +25,7 @@
 #include "net/remote_agent.h"
 #include "agents/sim_agent.h"
 #include "common/thread_pool.h"
+#include "core/admission.h"
 #include "core/system.h"
 #include "gtest/gtest.h"
 #include "io/file_util.h"
@@ -87,20 +88,20 @@ TEST(WireTest, ProbeRequestRoundTripIsByteIdentical) {
   EXPECT_EQ(*frame, *reencoded);
 }
 
-TEST(WireTest, DeprecatedBriefAliasesFoldAtEncode) {
-  Probe with_alias;
-  with_alias.agent_id = "a";
-  with_alias.queries = {"SELECT 1"};
-  with_alias.brief.deadline_ms = 75.0;  // aflint:allow(deprecated-brief-limits)
+TEST(WireTest, BriefLimitsRoundTripOnTheWire) {
+  Probe probe;
+  probe.agent_id = "a";
+  probe.queries = {"SELECT 1"};
+  probe.brief.limits.DeadlineMillis(75.0).MaxRows(42);
 
-  Probe with_limits = with_alias;
-  with_limits.brief.deadline_ms = 0.0;  // aflint:allow(deprecated-brief-limits)
-  with_limits.brief.limits.DeadlineMillis(75.0);
-
-  auto a = EncodeProbeRequestFrame(1, with_alias);
-  auto b = EncodeProbeRequestFrame(1, with_limits);
-  ASSERT_TRUE(a.ok() && b.ok());
-  EXPECT_EQ(*a, *b) << "aliases must fold into ResourceLimits on the wire";
+  auto frame = EncodeProbeRequestFrame(1, probe);
+  ASSERT_TRUE(frame.ok());
+  std::string_view payload(frame->data() + kFrameHeaderBytes,
+                           frame->size() - kFrameHeaderBytes);
+  auto decoded = DecodeProbeRequestPayload(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_DOUBLE_EQ(decoded->probe.brief.limits.deadline->count(), 75.0);
+  EXPECT_EQ(*decoded->probe.brief.limits.max_rows, 42u);
 }
 
 TEST(WireTest, StopWhenIsRejectedAtEncode) {
@@ -197,6 +198,51 @@ TEST(WireTest, ErrorStatusTravelsWithoutABody) {
   EXPECT_FALSE(decoded->response.has_value());
 }
 
+TEST(WireTest, HelloTokenRoundTripsAndStaysOptional) {
+  // HELLO with a token (client → server).
+  std::string with = EncodeHelloFrame("agent-9", "s3cret");
+  auto decoded = DecodeHelloPayload(
+      std::string_view(with).substr(kFrameHeaderBytes));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->name, "agent-9");
+  EXPECT_EQ(decoded->token, "s3cret");
+
+  // HELLO_ACK shape: no token field at all (the server's reply reuses the
+  // payload layout, and older peers never sent one).
+  std::string without = EncodeHelloFrame("afserved", "");
+  auto ack = DecodeHelloPayload(
+      std::string_view(without).substr(kFrameHeaderBytes));
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  EXPECT_EQ(ack->name, "afserved");
+  EXPECT_TRUE(ack->token.empty());
+}
+
+TEST(WireTest, ServerInfoRoundTripsOnTheWire) {
+  ServiceInfo info;
+  info.name = "afserved";
+  info.protocol_version = kProtocolVersion;
+  info.num_loops = 4;
+  info.tenant = "tenant-a";
+  std::string frame = EncodeServerInfoResponseFrame(11, Status::OK(), &info);
+  auto decoded = DecodeServerInfoResponsePayload(
+      std::string_view(frame).substr(kFrameHeaderBytes));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->corr, 11u);
+  ASSERT_TRUE(decoded->info.has_value());
+  EXPECT_EQ(decoded->info->name, "afserved");
+  EXPECT_EQ(decoded->info->num_loops, 4u);
+  EXPECT_EQ(decoded->info->tenant, "tenant-a");
+
+  // A refusal travels as a status with no body, like every other response.
+  std::string refused = EncodeServerInfoResponseFrame(
+      12, Status::Unauthenticated("bad token"), nullptr);
+  auto rdecoded = DecodeServerInfoResponsePayload(
+      std::string_view(refused).substr(kFrameHeaderBytes));
+  ASSERT_TRUE(rdecoded.ok());
+  EXPECT_EQ(rdecoded->status.code(), StatusCode::kUnauthenticated);
+  EXPECT_FALSE(rdecoded->info.has_value());
+}
+
 TEST(WireTest, TrailingGarbageIsRejected) {
   std::string frame = EncodeSqlRequestFrame(1, "SELECT 1");
   std::string payload(frame.substr(kFrameHeaderBytes));
@@ -228,6 +274,14 @@ struct ServerFixture {
   obs::MetricsRegistry metrics;
   std::unique_ptr<ProbeServer> server;
 };
+
+/// Client options for protocol-abuse tests: no reader thread, so
+/// SendRawForTest / ReadFrameForTest own the socket.
+Client::Options ManualClient() {
+  Client::Options options;
+  options.manual_frames_for_test = true;
+  return options;
+}
 
 TEST(NetServerTest, StartBindsEphemeralPortAndStopIsIdempotent) {
   ServerFixture fx;
@@ -304,7 +358,7 @@ TEST(NetServerTest, RebootOnSameDataDirRecoversServedState) {
 
 TEST(NetServerTest, MalformedHeaderGetsErrorFrameThenClose) {
   ServerFixture fx;
-  auto client = Client::Connect("127.0.0.1", fx.server->port());
+  auto client = Client::Connect("127.0.0.1", fx.server->port(), ManualClient());
   ASSERT_TRUE(client.ok());
   ASSERT_TRUE((*client)->SendRawForTest("garbage that is no afp header").ok());
   auto frame = (*client)->ReadFrameForTest();
@@ -321,7 +375,7 @@ TEST(NetServerTest, MalformedHeaderGetsErrorFrameThenClose) {
 
 TEST(NetServerTest, MalformedRequestPayloadKeepsSessionOpen) {
   ServerFixture fx;
-  auto client = Client::Connect("127.0.0.1", fx.server->port());
+  auto client = Client::Connect("127.0.0.1", fx.server->port(), ManualClient());
   ASSERT_TRUE(client.ok());
 
   // Valid header, kSqlRequest type, payload = corr id + garbage (no valid
@@ -344,14 +398,24 @@ TEST(NetServerTest, MalformedRequestPayloadKeepsSessionOpen) {
   EXPECT_EQ(decoded->corr, 77u);
   EXPECT_FALSE(decoded->status.ok());
 
-  EXPECT_TRUE((*client)->ExecuteSql("SELECT 1").ok());
+  // The same session still serves well-formed requests afterwards.
+  ASSERT_TRUE(
+      (*client)->SendRawForTest(EncodeSqlRequestFrame(78, "SELECT 1")).ok());
+  auto healthy = (*client)->ReadFrameForTest();
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+  ASSERT_EQ(healthy->first, FrameType::kSqlResponse);
+  auto ok_reply = DecodeSqlResponsePayload(healthy->second);
+  ASSERT_TRUE(ok_reply.ok());
+  EXPECT_EQ(ok_reply->corr, 78u);
+  EXPECT_TRUE(ok_reply->status.ok()) << ok_reply->status.ToString();
 }
 
 TEST(NetServerTest, DuplicateHelloIsAProtocolError) {
   ServerFixture fx;
-  auto client = Client::Connect("127.0.0.1", fx.server->port());
+  auto client = Client::Connect("127.0.0.1", fx.server->port(), ManualClient());
   ASSERT_TRUE(client.ok());
-  ASSERT_TRUE((*client)->SendRawForTest(EncodeHelloFrame("again")).ok());
+  ASSERT_TRUE(
+      (*client)->SendRawForTest(EncodeHelloFrame("again", /*token=*/"")).ok());
   auto frame = (*client)->ReadFrameForTest();
   ASSERT_TRUE(frame.ok());
   EXPECT_EQ(frame->first, FrameType::kError);
@@ -367,6 +431,314 @@ TEST(NetServerTest, SessionCapRefusesExtraConnections) {
   auto c = Client::Connect("127.0.0.1", fx.server->port());
   EXPECT_FALSE(c.ok());
   EXPECT_EQ(fx.server->NumSessions(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Token auth + ServerInfo
+// ---------------------------------------------------------------------------
+
+TEST(NetAuthTest, TokenServerRejectsBadOrMissingCredentials) {
+  ProbeServer::Options options;
+  options.tokens = {{"s3cret", "tenant-a"}, {"other", "tenant-b"}};
+  ServerFixture fx(options);
+
+  // No token: refused at the handshake with the typed code.
+  auto anonymous = Client::Connect("127.0.0.1", fx.server->port());
+  ASSERT_FALSE(anonymous.ok());
+  EXPECT_EQ(anonymous.status().code(), StatusCode::kUnauthenticated);
+
+  // Wrong token: same refusal.
+  Client::Options wrong;
+  wrong.token = "guess";
+  auto intruder = Client::Connect("127.0.0.1", fx.server->port(), wrong);
+  ASSERT_FALSE(intruder.ok());
+  EXPECT_EQ(intruder.status().code(), StatusCode::kUnauthenticated);
+  EXPECT_GE(fx.Counter("af.net.auth_failures"), 2u);
+
+  // Right token: admitted, and the session is bound to the token's tenant.
+  Client::Options good;
+  good.token = "s3cret";
+  auto client = Client::Connect("127.0.0.1", fx.server->port(), good);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto info = (*client)->ServerInfo();
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->tenant, "tenant-a");
+  EXPECT_TRUE((*client)->ExecuteSql("SELECT 1").ok());
+}
+
+TEST(NetServerTest, ServerInfoReportsIdentityAndLoops) {
+  ProbeServer::Options options;
+  options.num_loops = 2;
+  ServerFixture fx(options);
+  EXPECT_EQ(fx.server->NumLoops(), 2u);
+  auto client = Client::Connect("127.0.0.1", fx.server->port());
+  ASSERT_TRUE(client.ok());
+  auto info = (*client)->ServerInfo();
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->name, "afserved");
+  EXPECT_EQ(info->protocol_version, kProtocolVersion);
+  EXPECT_EQ(info->num_loops, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Admission controller (transport-free unit tests)
+// ---------------------------------------------------------------------------
+
+TEST(AdmissionTest, PhasePriorityFavorsExploitOverExploration) {
+  EXPECT_GT(PhaseAdmissionPriority(ProbePhase::kValidation),
+            PhaseAdmissionPriority(ProbePhase::kSolutionFormulation));
+  EXPECT_GT(PhaseAdmissionPriority(ProbePhase::kSolutionFormulation),
+            PhaseAdmissionPriority(ProbePhase::kUnspecified));
+  EXPECT_GT(PhaseAdmissionPriority(ProbePhase::kUnspecified),
+            PhaseAdmissionPriority(ProbePhase::kStatExploration));
+  EXPECT_GT(PhaseAdmissionPriority(ProbePhase::kStatExploration),
+            PhaseAdmissionPriority(ProbePhase::kMetadataExploration));
+}
+
+AdmissionController::Work MakeWork(const std::string& tenant, int priority,
+                                   size_t bytes,
+                                   std::vector<std::string>* ran,
+                                   std::vector<Status>* sheds,
+                                   const std::string& label) {
+  AdmissionController::Work work;
+  work.tenant = tenant;
+  work.priority = priority;
+  work.bytes = bytes;
+  work.run = [ran, label] { ran->push_back(label); };
+  work.shed = [sheds](const Status& s) { sheds->push_back(s); };
+  return work;
+}
+
+TEST(AdmissionTest, QueueDispatchesByPriorityThenFifo) {
+  AdmissionController::Options options;
+  options.max_concurrent = 1;
+  options.max_queued = 8;
+  obs::MetricsRegistry metrics;
+  options.metrics = &metrics;
+  AdmissionController admission(options);
+
+  std::vector<std::string> ran;
+  std::vector<Status> sheds;
+  admission.Submit(MakeWork("a", 0, 1, &ran, &sheds, "first"));
+  ASSERT_EQ(ran, std::vector<std::string>{"first"});  // slot free: inline
+
+  // Queued while the slot is busy: exploration before validation, on
+  // purpose, to prove dispatch order is priority not arrival.
+  admission.Submit(MakeWork(
+      "a", PhaseAdmissionPriority(ProbePhase::kMetadataExploration), 1, &ran,
+      &sheds, "explore"));
+  admission.Submit(MakeWork(
+      "a", PhaseAdmissionPriority(ProbePhase::kValidation), 1, &ran, &sheds,
+      "validate"));
+  admission.Submit(MakeWork(
+      "a", PhaseAdmissionPriority(ProbePhase::kValidation), 1, &ran, &sheds,
+      "validate2"));
+  EXPECT_EQ(admission.QueueDepth(), 3u);
+  EXPECT_EQ(ran.size(), 1u);
+
+  admission.Release("a", 1);  // dispatches highest priority first
+  admission.Release("a", 1);  // FIFO within the validation priority
+  admission.Release("a", 1);
+  admission.Release("a", 1);
+  EXPECT_TRUE(sheds.empty());
+  EXPECT_EQ(ran, (std::vector<std::string>{"first", "validate", "validate2",
+                                           "explore"}));
+  EXPECT_EQ(admission.QueueDepth(), 0u);
+  EXPECT_EQ(admission.Running(), 0u);
+}
+
+TEST(AdmissionTest, FullQueueEvictsLowestPriorityYoungest) {
+  AdmissionController::Options options;
+  options.max_concurrent = 1;
+  options.max_queued = 1;
+  obs::MetricsRegistry metrics;
+  options.metrics = &metrics;
+  AdmissionController admission(options);
+
+  std::vector<std::string> ran;
+  std::vector<Status> shed_low;
+  std::vector<Status> shed_high;
+  admission.Submit(MakeWork("a", 0, 1, &ran, &shed_low, "running"));
+
+  // Low-priority occupant of the single queue slot.
+  admission.Submit(MakeWork("a", 0, 1, &ran, &shed_low, "explore"));
+  EXPECT_EQ(admission.QueueDepth(), 1u);
+
+  // A validation probe outranks it: the occupant is evicted with a typed
+  // kResourceExhausted and the newcomer takes the slot.
+  admission.Submit(MakeWork("a", 4, 1, &ran, &shed_high, "validate"));
+  ASSERT_EQ(shed_low.size(), 1u);
+  EXPECT_EQ(shed_low[0].code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(admission.QueueDepth(), 1u);
+
+  // Another low-priority probe does not outrank the queued validation:
+  // shed immediately, never queued.
+  admission.Submit(MakeWork("a", 0, 1, &ran, &shed_low, "explore2"));
+  ASSERT_EQ(shed_low.size(), 2u);
+  EXPECT_EQ(shed_low[1].code(), StatusCode::kResourceExhausted);
+
+  admission.Release("a", 1);
+  EXPECT_EQ(ran, (std::vector<std::string>{"running", "validate"}));
+  EXPECT_TRUE(shed_high.empty());
+  admission.Release("a", 1);
+}
+
+TEST(AdmissionTest, TenantQuotasShedTypedAndRecoverOnRelease) {
+  AdmissionController::Options options;
+  options.max_inflight_per_tenant = 1;
+  options.max_outstanding_bytes_per_tenant = 100;
+  obs::MetricsRegistry metrics;
+  options.metrics = &metrics;
+  AdmissionController admission(options);
+
+  std::vector<std::string> ran;
+  std::vector<Status> sheds;
+  admission.Submit(MakeWork("a", 0, 10, &ran, &sheds, "a1"));
+  ASSERT_EQ(ran, std::vector<std::string>{"a1"});
+
+  // Tenant a is at its concurrency quota; tenant b is unaffected.
+  admission.Submit(MakeWork("a", 0, 10, &ran, &sheds, "a2"));
+  ASSERT_EQ(sheds.size(), 1u);
+  EXPECT_EQ(sheds[0].code(), StatusCode::kResourceExhausted);
+  admission.Submit(MakeWork("b", 0, 10, &ran, &sheds, "b1"));
+  EXPECT_EQ(ran, (std::vector<std::string>{"a1", "b1"}));
+
+  // Releasing a's unit restores its quota...
+  admission.Release("a", 10);
+  admission.Submit(MakeWork("a", 0, 95, &ran, &sheds, "a3"));
+  EXPECT_EQ(ran, (std::vector<std::string>{"a1", "b1", "a3"}));
+
+  // ...but the byte quota still binds: 95 outstanding + 10 > 100.
+  admission.Release("b", 10);
+  admission.Submit(MakeWork("a", 0, 10, &ran, &sheds, "a4"));
+  ASSERT_EQ(sheds.size(), 2u);
+  EXPECT_EQ(sheds[1].code(), StatusCode::kResourceExhausted);
+  admission.Release("a", 95);
+  admission.Submit(MakeWork("a", 0, 10, &ran, &sheds, "a5"));
+  EXPECT_EQ(ran.back(), "a5");
+  admission.Release("a", 10);
+}
+
+// ---------------------------------------------------------------------------
+// Admission + pipelining over the wire
+// ---------------------------------------------------------------------------
+
+TEST(NetAdmissionTest, QuotaShedReturnsResourceExhaustedOverWire) {
+  ProbeServer::Options options;
+  options.admission.max_concurrent = 1;
+  options.admission.max_queued = 0;  // overload sheds immediately
+  ServerFixture fx(options);
+  ASSERT_TRUE(fx.db.ExecuteSql("CREATE TABLE slow (k BIGINT)").ok());
+  std::string insert = "INSERT INTO slow VALUES (1)";
+  for (int i = 1; i < 1200; ++i) insert += ",(1)";
+  ASSERT_TRUE(fx.db.ExecuteSql(insert).ok());
+
+  auto client = Client::Connect("127.0.0.1", fx.server->port());
+  ASSERT_TRUE(client.ok());
+
+  Probe slow;
+  slow.id = 1;
+  slow.agent_id = "greedy";
+  slow.queries = {"SELECT COUNT(*) FROM slow a JOIN slow b ON a.k = b.k"};
+  Probe quick;
+  quick.id = 2;
+  quick.agent_id = "greedy";
+  quick.queries = {"SELECT 1"};
+
+  // Both pipelined on one connection. The first occupies the single slot;
+  // the second is shed with the typed code while the first is still running
+  // — its (rejected) future completes out of order, before the slow one.
+  auto first = (*client)->ProbeAsync(slow);
+  auto second = (*client)->ProbeAsync(quick);
+
+  auto rejected = second.get();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+
+  auto served = first.get();
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_GE(fx.Counter("af.admit.shed_overload"), 1u);
+}
+
+TEST(NetAdmissionTest, QueuedProbesDispatchExploitBeforeExploration) {
+  ProbeServer::Options options;
+  options.admission.max_concurrent = 1;
+  options.admission.max_queued = 4;
+  ServerFixture fx(options);
+  ASSERT_TRUE(fx.db.ExecuteSql("CREATE TABLE slow (k BIGINT)").ok());
+  std::string insert = "INSERT INTO slow VALUES (1)";
+  for (int i = 1; i < 1500; ++i) insert += ",(1)";
+  ASSERT_TRUE(fx.db.ExecuteSql(insert).ok());
+
+  auto client = Client::Connect("127.0.0.1", fx.server->port(), ManualClient());
+  ASSERT_TRUE(client.ok());
+
+  auto probe_frame = [](uint64_t corr, ProbePhase phase,
+                        const std::string& sql) {
+    Probe probe;
+    probe.id = corr;
+    probe.agent_id = "phased";
+    probe.queries = {sql};
+    probe.brief.phase = phase;
+    auto frame = EncodeProbeRequestFrame(corr, probe);
+    EXPECT_TRUE(frame.ok());
+    return *frame;
+  };
+
+  // One slow probe takes the slot; then a cold exploration probe and a
+  // validation probe arrive, in that order, and both queue. The validation
+  // probe must dispatch (and therefore answer) first.
+  std::string burst;
+  burst += probe_frame(
+      1, ProbePhase::kUnspecified,
+      "SELECT COUNT(*) FROM slow a JOIN slow b ON a.k = b.k");
+  burst += probe_frame(2, ProbePhase::kMetadataExploration, "SELECT 1");
+  burst += probe_frame(3, ProbePhase::kValidation, "SELECT 2");
+  ASSERT_TRUE((*client)->SendRawForTest(burst).ok());
+
+  std::vector<uint64_t> order;
+  for (int i = 0; i < 3; ++i) {
+    auto frame = (*client)->ReadFrameForTest();
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    ASSERT_EQ(frame->first, FrameType::kProbeResponse);
+    auto decoded = DecodeProbeResponsePayload(frame->second);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_TRUE(decoded->status.ok()) << decoded->status.ToString();
+    order.push_back(decoded->corr);
+  }
+  EXPECT_EQ(order, (std::vector<uint64_t>{1, 3, 2}));
+  EXPECT_GE(fx.Counter("af.admit.queued"), 2u);
+}
+
+TEST(NetClientTest, PipelinedCallsCompleteOutOfOrder) {
+  ServerFixture fx;
+  ASSERT_TRUE(fx.db.ExecuteSql("CREATE TABLE slow (k BIGINT)").ok());
+  std::string insert = "INSERT INTO slow VALUES (1)";
+  for (int i = 1; i < 1500; ++i) insert += ",(1)";
+  ASSERT_TRUE(fx.db.ExecuteSql(insert).ok());
+
+  auto client = Client::Connect("127.0.0.1", fx.server->port());
+  ASSERT_TRUE(client.ok());
+
+  // The slow join goes out first; the cheap calls behind it on the same
+  // connection must not wait for it (the server runs them on other pool
+  // threads and the client pairs responses by correlation id).
+  auto slow = (*client)->ExecuteSqlAsync(
+      "SELECT COUNT(*) FROM slow a JOIN slow b ON a.k = b.k");
+  auto quick = (*client)->ExecuteSqlAsync("SELECT 41 + 1");
+  auto echo = (*client)->PingAsync("overtake");
+
+  auto quick_result = quick.get();
+  ASSERT_TRUE(quick_result.ok()) << quick_result.status().ToString();
+  EXPECT_EQ((*quick_result)->rows[0][0].int_value(), 42);
+  auto echoed = echo.get();
+  ASSERT_TRUE(echoed.ok());
+  EXPECT_EQ(*echoed, "overtake");
+  // The cheap responses overtook the join: it is typically still running
+  // when they resolve, and it must still complete correctly afterwards.
+  auto slow_result = slow.get();
+  ASSERT_TRUE(slow_result.ok()) << slow_result.status().ToString();
+  EXPECT_EQ((*slow_result)->rows[0][0].int_value(), 1500ll * 1500ll);
 }
 
 // ---------------------------------------------------------------------------
@@ -525,6 +897,71 @@ TEST(NetParityTest, ScriptedProbesMatchInProcessAtManySessionCounts) {
   }
 }
 
+TEST(NetParityTest, MultiLoopServerPreservesByteParity) {
+  // Same methodology as above, but the subject shards its sessions across
+  // 1, 2, and 4 event loops: loop assignment must be invisible in every
+  // response byte.
+  const size_t sessions = 4;
+  AgentFirstSystem reference(PureFunctionOptions());
+  SeedParityTables(&reference);
+  std::vector<std::vector<std::string>> want(sessions);
+  for (size_t s = 0; s < sessions; ++s) {
+    for (Probe& probe : SessionScript(s)) {
+      auto response = reference.HandleProbe(probe);
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      want[s].push_back(Canonical(*response));
+    }
+  }
+
+  for (size_t loops : {size_t{1}, size_t{2}, size_t{4}}) {
+    SCOPED_TRACE("loops=" + std::to_string(loops));
+    AgentFirstSystem served(PureFunctionOptions());
+    SeedParityTables(&served);
+    obs::MetricsRegistry metrics;
+    ProbeServer::Options options;
+    options.metrics = &metrics;
+    options.num_loops = loops;
+    ProbeServer server(&served, options);
+    ASSERT_TRUE(server.Start().ok());
+    ASSERT_EQ(server.NumLoops(), loops);
+
+    std::vector<std::vector<std::string>> got(sessions);
+    std::atomic<int> failures{0};
+    {
+      ThreadPool pool(sessions);
+      pool.ParallelFor(
+          0, sessions,
+          [&](size_t begin, size_t end) {
+            for (size_t s = begin; s < end; ++s) {
+              auto client = Client::Connect("127.0.0.1", server.port());
+              if (!client.ok()) {
+                failures.fetch_add(1);
+                continue;
+              }
+              for (Probe& probe : SessionScript(s)) {
+                auto response = (*client)->HandleProbe(probe);
+                if (!response.ok()) {
+                  failures.fetch_add(1);
+                  break;
+                }
+                got[s].push_back(Canonical(*response));
+              }
+            }
+          },
+          /*grain=*/1, sessions);
+    }
+    server.Stop();
+
+    ASSERT_EQ(failures.load(), 0);
+    for (size_t s = 0; s < sessions; ++s) {
+      ASSERT_EQ(got[s].size(), want[s].size());
+      for (size_t i = 0; i < want[s].size(); ++i) {
+        EXPECT_EQ(got[s][i], want[s][i]) << "session " << s << " step " << i;
+      }
+    }
+  }
+}
+
 TEST(NetParityTest, BatchOverWireMatchesInProcess) {
   AgentFirstSystem reference(PureFunctionOptions());
   SeedParityTables(&reference);
@@ -656,7 +1093,7 @@ TEST(NetServerTest, DisconnectCancelsInflightProbes) {
   ASSERT_TRUE(fx.db.ExecuteSql("CREATE TABLE big (k BIGINT)").ok());
   ASSERT_TRUE(fx.db.ExecuteSql(insert).ok());
 
-  auto client = Client::Connect("127.0.0.1", fx.server->port());
+  auto client = Client::Connect("127.0.0.1", fx.server->port(), ManualClient());
   ASSERT_TRUE(client.ok());
   Probe probe;
   probe.agent_id = "quitter";
@@ -707,7 +1144,7 @@ TEST(NetServerTest, InflightCapBackpressuresAndPreservesOrder) {
     ASSERT_TRUE(fx.db.ExecuteSql(insert).ok());
   }
 
-  auto client = Client::Connect("127.0.0.1", fx.server->port());
+  auto client = Client::Connect("127.0.0.1", fx.server->port(), ManualClient());
   ASSERT_TRUE(client.ok());
 
   // Three SQL requests back-to-back without reading: past the inflight cap
@@ -735,7 +1172,7 @@ TEST(NetServerTest, OutboxByteCapBackpressures) {
   ProbeServer::Options options;
   options.max_outbox_bytes_per_session = 1;  // any queued response is "full"
   ServerFixture fx(options);
-  auto client = Client::Connect("127.0.0.1", fx.server->port());
+  auto client = Client::Connect("127.0.0.1", fx.server->port(), ManualClient());
   ASSERT_TRUE(client.ok());
 
   std::string big(64 * 1024, 'x');

@@ -188,23 +188,20 @@ TEST(ResourceLimitsTest, UnboundedAndFallbackAccessors) {
   EXPECT_DOUBLE_EQ(limits.deadline_millis_or(-1.0), 2.5);
 }
 
-TEST(ResourceLimitsTest, BriefEffectiveLimitsFoldsDeprecatedAliases) {
+TEST(ResourceLimitsTest, BriefLimitsAreTheOnlyLimitsChannel) {
+  // PR 9 deleted the deprecated alias fields; a Brief's resource envelope is
+  // exactly its `limits` member, merged field-by-field over the optimizer's
+  // defaults by the documented rule.
   Brief brief;
-  brief.deadline_ms = 75.0;    // deprecated alias, set  aflint:allow(deprecated-brief-limits)
-  brief.max_result_rows = 42;  // deprecated alias, set  aflint:allow(deprecated-brief-limits)
-  brief.limits.CostBudget(900.0);  // new API, set
-  ResourceLimits folded = brief.EffectiveLimits();
-  EXPECT_DOUBLE_EQ(folded.deadline->count(), 75.0);
-  EXPECT_EQ(*folded.max_rows, 42u);
-  EXPECT_DOUBLE_EQ(*folded.cost_budget, 900.0);
-  EXPECT_FALSE(folded.max_bytes.has_value());  // set nowhere
-}
-
-TEST(ResourceLimitsTest, NewApiWinsOverDeprecatedAlias) {
-  Brief brief;
-  brief.deadline_ms = 75.0;  // aflint:allow(deprecated-brief-limits)
-  brief.limits.DeadlineMillis(10.0);
-  EXPECT_DOUBLE_EQ(brief.EffectiveLimits().deadline->count(), 10.0);
+  brief.limits.DeadlineMillis(75.0).MaxRows(42).CostBudget(900.0);
+  ResourceLimits defaults;
+  defaults.DeadlineMillis(500.0);
+  defaults.max_bytes = 1 << 20;
+  ResourceLimits merged = brief.limits.MergedOver(defaults);
+  EXPECT_DOUBLE_EQ(merged.deadline->count(), 75.0);  // brief wins
+  EXPECT_EQ(*merged.max_rows, 42u);
+  EXPECT_DOUBLE_EQ(*merged.cost_budget, 900.0);
+  EXPECT_EQ(*merged.max_bytes, 1u << 20);  // default fills the gap
 }
 
 TEST(ProbeBuilderTest, BuildsLimitsAndQueries) {

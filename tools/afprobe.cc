@@ -1,19 +1,24 @@
 // afprobe -- wire-protocol client for a running afserved, plus a
 // self-contained protocol battery.
 //
-//   afprobe --connect HOST:PORT                      # ping + "SELECT 1"
-//   afprobe --connect HOST:PORT --sql "SELECT ..."   # one SQL statement
-//   afprobe --connect HOST:PORT --probe "brief|sql"  # one probe with brief
+//   afprobe --addr HOST:PORT                         # ping + "SELECT 1"
+//   afprobe --addr HOST:PORT --sql "SELECT ..."      # one SQL statement
+//   afprobe --addr HOST:PORT --probe "brief|sql"     # one probe with brief
+//   afprobe --addr HOST:PORT --token TOK             # authenticated session
 //   afprobe --self-test                              # in-process server +
 //                                                    # client battery; exit 0
 //                                                    # iff every check passes
 //
+// (--connect is an accepted alias of --addr.) Exit codes across the CLI
+// tools are uniform: 0 success, 1 runtime/server failure, 2 usage error.
+//
 // --self-test needs no running server and no free fixed port: it boots an
 // AgentFirstSystem behind a ProbeServer on an ephemeral loopback port,
-// connects real clients, and exercises the happy paths and the protocol
-// error paths (malformed magic, truncated frame, oversized length prefix).
-// It is registered with ctest (afprobe_self_test) and runs in
-// tools/check.sh, like afmetrics --self-test.
+// connects real clients, and exercises the happy paths, the auth handshake
+// (accepted token, rejected token, missing token), pipelined out-of-order
+// completion, and the protocol error paths (malformed magic, oversized
+// length prefix). It is registered with ctest (afprobe_self_test) and runs
+// in tools/check.sh, like afmetrics --self-test.
 
 #include <cstdio>
 #include <cstdlib>
@@ -111,17 +116,39 @@ int SelfTest() {
     CHECK_OK(responses);
     CHECK_TRUE(responses.ok() && responses->size() == 2);
 
+    // Pipelining: several async calls in flight on one socket, waited out
+    // of submission order; every future resolves with its own answer.
+    auto f_count = (*client)->ExecuteSqlAsync("SELECT COUNT(*) FROM t");
+    auto f_max = (*client)->ExecuteSqlAsync("SELECT MAX(id) FROM t");
+    auto f_ping = (*client)->PingAsync("pipelined");
+    auto ping_back = f_ping.get();
+    CHECK_OK(ping_back);
+    CHECK_TRUE(ping_back.ok() && *ping_back == "pipelined");
+    auto max_rows = f_max.get();
+    CHECK_OK(max_rows);
+    auto count_rows = f_count.get();
+    CHECK_OK(count_rows);
+
+    // The endpoint identifies itself with the shared ServiceInfo shape.
+    auto info = (*client)->ServerInfo();
+    CHECK_OK(info);
+    CHECK_TRUE(info.ok() && info->name == "afprobe-selftest");
+    CHECK_TRUE(info.ok() && info->num_loops >= 1);
+
     CHECK_OK((*client)->ExecuteSql("DROP TABLE t"));
     auto gone = (*client)->ExecuteSql("SELECT COUNT(*) FROM t");
     CHECK_TRUE(!gone.ok());
   }
 
-  // Protocol abuse: each case gets a fresh connection, sends raw bytes
-  // through the test hook, and must get an afp error frame back (never a
-  // hang, never a crash). The server closes abusive sessions; a fresh
-  // connection afterwards must still work.
+  // Protocol abuse: each case gets a fresh connection in manual-frame mode
+  // (no reader thread — the test owns the socket), sends raw bytes through
+  // the test hook, and must get an afp error frame back (never a hang,
+  // never a crash). The server closes abusive sessions; a fresh connection
+  // afterwards must still work.
   {
-    auto client = net::Client::Connect("127.0.0.1", server.port());
+    net::Client::Options manual;
+    manual.manual_frames_for_test = true;
+    auto client = net::Client::Connect("127.0.0.1", server.port(), manual);
     CHECK_OK(client);
     if (client.ok()) {
       CHECK_OK((*client)->SendRawForTest("XXXX-not-an-afp-frame-header"));
@@ -130,7 +157,9 @@ int SelfTest() {
     }
   }
   {
-    auto client = net::Client::Connect("127.0.0.1", server.port());
+    net::Client::Options manual;
+    manual.manual_frames_for_test = true;
+    auto client = net::Client::Connect("127.0.0.1", server.port(), manual);
     CHECK_OK(client);
     if (client.ok()) {
       // Valid magic/version, oversized length prefix.
@@ -152,15 +181,51 @@ int SelfTest() {
 
   server.Stop();
   CHECK_TRUE(!server.running());
+
+  // Auth handshake: a token-armed server accepts the known token (and maps
+  // it to its tenant), rejects unknown and missing tokens with a typed
+  // kUnauthenticated at Connect time.
+  {
+    net::ProbeServer::Options secured;
+    secured.server_name = "afprobe-selftest-auth";
+    secured.tokens = {{"s3cret", "tenant-a"}};
+    net::ProbeServer auth_server(&db, secured);
+    CHECK_OK(auth_server.Start());
+
+    net::Client::Options with_token;
+    with_token.token = "s3cret";
+    auto good =
+        net::Client::Connect("127.0.0.1", auth_server.port(), with_token);
+    CHECK_OK(good);
+    if (good.ok()) {
+      CHECK_OK((*good)->ExecuteSql("SELECT 1"));
+      auto info = (*good)->ServerInfo();
+      CHECK_OK(info);
+      CHECK_TRUE(info.ok() && info->tenant == "tenant-a");
+    }
+
+    net::Client::Options wrong_token;
+    wrong_token.token = "not-the-token";
+    auto bad =
+        net::Client::Connect("127.0.0.1", auth_server.port(), wrong_token);
+    CHECK_TRUE(!bad.ok());
+    CHECK_TRUE(bad.status().code() == StatusCode::kUnauthenticated);
+
+    auto missing = net::Client::Connect("127.0.0.1", auth_server.port());
+    CHECK_TRUE(!missing.ok());
+    CHECK_TRUE(missing.status().code() == StatusCode::kUnauthenticated);
+
+    auth_server.Stop();
+  }
   std::printf("afprobe self-test: %s\n", g_failures == 0 ? "PASS" : "FAIL");
   return g_failures == 0 ? 0 : 1;
 }
 
-int RunClient(const std::string& endpoint, const std::string& sql,
-              const std::string& probe_spec) {
+int RunClient(const std::string& endpoint, const std::string& token,
+              const std::string& sql, const std::string& probe_spec) {
   size_t colon = endpoint.rfind(':');
   if (colon == std::string::npos) {
-    std::fprintf(stderr, "afprobe: --connect wants HOST:PORT, got '%s'\n",
+    std::fprintf(stderr, "afprobe: --addr wants HOST:PORT, got '%s'\n",
                  endpoint.c_str());
     return 2;
   }
@@ -171,8 +236,11 @@ int RunClient(const std::string& endpoint, const std::string& sql,
     return 2;
   }
 
+  net::Client::Options options;
+  options.client_name = "afprobe";
+  options.token = token;
   auto client =
-      net::Client::Connect(host, static_cast<uint16_t>(port));
+      net::Client::Connect(host, static_cast<uint16_t>(port), options);
   if (!client.ok()) {
     std::fprintf(stderr, "afprobe: %s\n",
                  client.status().ToString().c_str());
@@ -220,7 +288,7 @@ int RunClient(const std::string& endpoint, const std::string& sql,
 }
 
 int Main(int argc, char** argv) {
-  std::string endpoint, sql, probe_spec;
+  std::string endpoint, token, sql, probe_spec;
   bool self_test = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -229,26 +297,28 @@ int Main(int argc, char** argv) {
     };
     if (arg == "--self-test") {
       self_test = true;
-    } else if (arg == "--connect") {
+    } else if (arg == "--addr" || arg == "--connect") {
       endpoint = next();
+    } else if (arg == "--token") {
+      token = next();
     } else if (arg == "--sql") {
       sql = next();
     } else if (arg == "--probe") {
       probe_spec = next();
     } else {
       std::fprintf(stderr,
-                   "usage: afprobe --self-test | --connect HOST:PORT "
-                   "[--sql S] [--probe 'brief|sql']\n");
+                   "usage: afprobe --self-test | --addr HOST:PORT "
+                   "[--token TOK] [--sql S] [--probe 'brief|sql']\n");
       return 2;
     }
   }
   if (self_test) return SelfTest();
   if (endpoint.empty()) {
     std::fprintf(stderr,
-                 "afprobe: need --self-test or --connect HOST:PORT\n");
+                 "afprobe: need --self-test or --addr HOST:PORT\n");
     return 2;
   }
-  return RunClient(endpoint, sql, probe_spec);
+  return RunClient(endpoint, token, sql, probe_spec);
 }
 
 }  // namespace

@@ -1,10 +1,18 @@
 // afserve -- serve an AgentFirstSystem over the afp wire protocol (TCP).
 //
 //   afserve                      # ephemeral loopback port, empty database
-//   afserve --port 7070          # fixed port
-//   afserve --host 0.0.0.0       # non-loopback bind (default 127.0.0.1)
+//   afserve --addr 0.0.0.0:7070  # bind address (HOST:PORT in one flag;
+//                                # --host/--port remain as the split form)
+//   afserve --num-loops 4        # event loops sessions are sharded across
 //   afserve --demo               # preload the afsh demo tables
 //   afserve --max-sessions 16    # concurrent agent session cap
+//   afserve --tokens-file FILE   # token auth: each line "TOKEN TENANT"
+//                                # (missing tenant = the token); HELLOs with
+//                                # unknown tokens are rejected
+//   afserve --max-concurrent N   # admission: global probe slots (0 = off)
+//   afserve --max-queued N       # admission: bounded priority wait queue
+//   afserve --tenant-inflight N  # admission: per-tenant concurrency quota
+//   afserve --tenant-bytes N     # admission: per-tenant outstanding bytes
 //   afserve --data-dir DIR       # durable: WAL + checkpoint under DIR;
 //                                # restarting on the same DIR recovers all
 //                                # previously acknowledged state
@@ -24,6 +32,8 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -60,6 +70,31 @@ void LoadDemo(AgentFirstSystem* db) {
   }
 }
 
+/// Loads "TOKEN TENANT" lines (missing tenant = the token itself; '#'
+/// starts a comment) into the server's token map.
+Status LoadTokensFile(const std::string& path,
+                      std::map<std::string, std::string>* tokens) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("afserve: cannot read tokens file: " + path);
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::string token, tenant;
+    if (!(fields >> token)) continue;  // blank / comment-only line
+    if (!(fields >> tenant)) tenant = token;
+    (*tokens)[token] = tenant;
+  }
+  if (tokens->empty()) {
+    return Status::InvalidArgument(
+        "afserve: tokens file has no tokens: " + path);
+  }
+  return Status::OK();
+}
+
 int Serve(int argc, char** argv) {
   net::ProbeServer::Options options;
   wal::DurabilityOptions durability;
@@ -73,8 +108,39 @@ int Serve(int argc, char** argv) {
       options.port = static_cast<uint16_t>(std::atoi(next()));
     } else if (arg == "--host") {
       options.host = next();
+    } else if (arg == "--addr") {
+      std::string addr = next();
+      size_t colon = addr.rfind(':');
+      int port = colon == std::string::npos
+                     ? 0
+                     : std::atoi(addr.c_str() + colon + 1);
+      if (colon == std::string::npos || port <= 0 || port > 65535) {
+        std::fprintf(stderr, "afserve: --addr wants HOST:PORT, got '%s'\n",
+                     addr.c_str());
+        return 2;
+      }
+      options.host = addr.substr(0, colon);
+      options.port = static_cast<uint16_t>(port);
+    } else if (arg == "--num-loops") {
+      options.num_loops = static_cast<size_t>(std::atol(next()));
     } else if (arg == "--max-sessions") {
       options.max_sessions = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--tokens-file") {
+      Status loaded = LoadTokensFile(next(), &options.tokens);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "%s\n", loaded.ToString().c_str());
+        return 1;
+      }
+    } else if (arg == "--max-concurrent") {
+      options.admission.max_concurrent = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--max-queued") {
+      options.admission.max_queued = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--tenant-inflight") {
+      options.admission.max_inflight_per_tenant =
+          static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--tenant-bytes") {
+      options.admission.max_outstanding_bytes_per_tenant =
+          static_cast<size_t>(std::atol(next()));
     } else if (arg == "--demo") {
       demo = true;
     } else if (arg == "--data-dir") {
@@ -94,9 +160,11 @@ int Serve(int argc, char** argv) {
       }
     } else {
       std::fprintf(stderr,
-                   "usage: afserve [--host H] [--port P] [--max-sessions N] "
-                   "[--demo] [--data-dir DIR] [--fsync always|group_commit|"
-                   "never]\n");
+                   "usage: afserve [--addr H:P | --host H --port P] "
+                   "[--num-loops N] [--max-sessions N] [--tokens-file FILE] "
+                   "[--max-concurrent N] [--max-queued N] "
+                   "[--tenant-inflight N] [--tenant-bytes N] [--demo] "
+                   "[--data-dir DIR] [--fsync always|group_commit|never]\n");
       return 2;
     }
   }
@@ -137,6 +205,14 @@ int Serve(int argc, char** argv) {
   }
   std::printf("afserved listening on %s:%u\n", options.host.c_str(),
               static_cast<unsigned>(server.port()));
+  std::fprintf(stderr,
+               "afserve: %zu event loop(s), %zu token(s), admission "
+               "slots=%zu queue=%zu tenant-inflight=%zu tenant-bytes=%zu "
+               "(0 = unlimited)\n",
+               server.NumLoops(), options.tokens.size(),
+               options.admission.max_concurrent, options.admission.max_queued,
+               options.admission.max_inflight_per_tenant,
+               options.admission.max_outstanding_bytes_per_tenant);
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);
@@ -166,6 +242,7 @@ int Serve(int argc, char** argv) {
   std::string line;
   while (std::getline(rendered, line)) {
     if (line.find("af.net.") != std::string::npos ||
+        line.find("af.admit.") != std::string::npos ||
         line.find("af.wal.") != std::string::npos) {
       std::fprintf(stderr, "  %s\n", line.c_str());
     }

@@ -2,8 +2,13 @@
 // plain SQL executes directly; meta commands expose the agent-facing
 // machinery (probes with briefs, semantic discovery, memory, branches).
 //
-//   ./build/tools/afsh            # interactive
-//   ./build/tools/afsh < file.sql # scripted
+//   ./build/tools/afsh                      # interactive, in-process
+//   ./build/tools/afsh < file.sql           # scripted
+//   ./build/tools/afsh --addr HOST:PORT     # start attached to an afserved
+//   ./build/tools/afsh --addr H:P --token T # ... with a session token
+//
+// Exit codes match the other CLI tools: 0 success, 1 runtime/connect
+// failure (for --addr given on the command line), 2 usage error.
 //
 // Meta commands:
 //   \dt                       list tables
@@ -19,10 +24,14 @@
 //   \export <table> <csv>     dump a table
 //   \metrics                  probe-optimizer accounting
 //   \demo                     load a small demo database
-//   \connect host:port        attach to a running afserved; SQL, \probe,
+//   \connect host:port [tok]  attach to a running afserved (optional session
+//                             token; defaults to --token); SQL, \probe,
 //                             \search, \dt, \stats, \demo then go over the
 //                             wire. On connect failure the shell stays on
 //                             the in-process system.
+//   \ping                     round-trip a PING through the active endpoint
+//   \server                   who is answering (name, protocol, loops,
+//                             tenant) — works in-process and remote
 //   \disconnect               drop the connection, back to in-process
 //   \q                        quit
 
@@ -80,12 +89,53 @@ void LoadDemo(ProbeService* svc, AgentFirstSystem* local_or_null) {
   }
 }
 
-int RunShell() {
+/// Connects with the afsh identity and optional session token; prints the
+/// server's ServiceInfo banner on success.
+Result<std::unique_ptr<RemoteAgent>> ConnectRemote(const std::string& endpoint,
+                                                   const std::string& token) {
+  size_t colon = endpoint.rfind(':');
+  int port = colon == std::string::npos
+                 ? 0
+                 : std::atoi(endpoint.c_str() + colon + 1);
+  if (colon == std::string::npos || port <= 0 || port > 65535) {
+    return Status::InvalidArgument("afsh: endpoint wants host:port, got '" +
+                                   endpoint + "'");
+  }
+  net::Client::Options options;
+  options.client_name = "afsh";
+  options.token = token;
+  AF_ASSIGN_OR_RETURN(auto remote,
+                      RemoteAgent::Connect(endpoint.substr(0, colon),
+                                           static_cast<uint16_t>(port),
+                                           options));
+  auto info = remote->ServerInfo();
+  if (info.ok()) {
+    std::printf("connected to %s (server: %s, protocol v%u, %u loop(s), "
+                "tenant %s)\n",
+                endpoint.c_str(), info->name.c_str(), info->protocol_version,
+                info->num_loops, info->tenant.c_str());
+  } else {
+    std::printf("connected to %s (server info unavailable: %s)\n",
+                endpoint.c_str(), info.status().ToString().c_str());
+  }
+  return remote;
+}
+
+int RunShell(const std::string& addr, const std::string& token) {
   AgentFirstSystem db;
   // When connected, probes and SQL go over the wire; commands that reach
   // into local subsystems (memory, branches, CSV import/export, optimizer
   // metrics) stay on the in-process system and say so.
   std::unique_ptr<RemoteAgent> remote;
+  if (!addr.empty()) {
+    auto attached = ConnectRemote(addr, token);
+    if (!attached.ok()) {
+      std::fprintf(stderr, "afsh: %s\n",
+                   attached.status().ToString().c_str());
+      return 1;
+    }
+    remote = std::move(*attached);
+  }
   std::printf("afsh -- agent-first shell. \\q quits, \\demo loads sample data.\n");
   std::string line;
   while (true) {
@@ -126,25 +176,36 @@ int RunShell() {
     if (cmd == "\\demo") {
       LoadDemo(svc, remote == nullptr ? &db : nullptr);
     } else if (cmd == "\\connect") {
-      std::string endpoint;
-      in >> endpoint;
-      size_t colon = endpoint.rfind(':');
-      int port = colon == std::string::npos
-                     ? 0
-                     : std::atoi(endpoint.c_str() + colon + 1);
-      if (colon == std::string::npos || port <= 0 || port > 65535) {
-        std::printf("usage: \\connect host:port\n");
+      std::string endpoint, session_token;
+      in >> endpoint >> session_token;
+      if (endpoint.empty()) {
+        std::printf("usage: \\connect host:port [token]\n");
         continue;
       }
-      auto attached = RemoteAgent::Connect(endpoint.substr(0, colon),
-                                           static_cast<uint16_t>(port));
+      auto attached = ConnectRemote(
+          endpoint, session_token.empty() ? token : session_token);
       if (!attached.ok()) {
         std::printf("connect failed: %s\nstaying in-process\n",
                     attached.status().ToString().c_str());
       } else {
         remote = std::move(*attached);
-        std::printf("connected to %s (server: %s)\n", endpoint.c_str(),
-                    remote->client()->server_name().c_str());
+      }
+    } else if (cmd == "\\ping") {
+      auto echoed = svc->Ping("afsh");
+      if (!echoed.ok()) {
+        std::printf("error: %s\n", echoed.status().ToString().c_str());
+      } else {
+        std::printf("pong (%s)\n",
+                    remote != nullptr ? "remote" : "in-process");
+      }
+    } else if (cmd == "\\server") {
+      auto info = svc->ServerInfo();
+      if (!info.ok()) {
+        std::printf("error: %s\n", info.status().ToString().c_str());
+      } else {
+        std::printf("  %s, protocol v%u, %u loop(s), tenant %s\n",
+                    info->name.c_str(), info->protocol_version,
+                    info->num_loops, info->tenant.c_str());
       }
     } else if (cmd == "\\disconnect") {
       if (remote == nullptr) {
@@ -289,7 +350,26 @@ int RunShell() {
   return 0;
 }
 
+int Main(int argc, char** argv) {
+  std::string addr, token;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : "";
+    };
+    if (arg == "--addr") {
+      addr = next();
+    } else if (arg == "--token") {
+      token = next();
+    } else {
+      std::fprintf(stderr, "usage: afsh [--addr HOST:PORT] [--token TOK]\n");
+      return 2;
+    }
+  }
+  return RunShell(addr, token);
+}
+
 }  // namespace
 }  // namespace agentfirst
 
-int main() { return agentfirst::RunShell(); }
+int main(int argc, char** argv) { return agentfirst::Main(argc, argv); }

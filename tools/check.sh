@@ -27,8 +27,13 @@
 #                       injected crash site must recover to a committed
 #                       prefix with no leaks or heap errors on the
 #                       error/recovery paths
+#   9. fleet smoke    — a 4-loop TSan afserved with admission quotas and
+#                       token auth armed: authenticated pipelined smoke via
+#                       afprobe, a rejected bad-token connect, then the
+#                       bench_fleet --quick gate (shed integrity always;
+#                       multi-loop-beats-single-loop on >=4 cores)
 #
-#   tools/check.sh              # all eight stages
+#   tools/check.sh              # all nine stages
 #   tools/check.sh --no-tests   # static stages only (fast pre-push)
 #
 # Exits non-zero on the first failing stage.
@@ -41,7 +46,7 @@ if [[ "${1:-}" == "--no-tests" ]]; then
   run_tests=0
 fi
 
-echo "=== [1/8] aflint ==="
+echo "=== [1/9] aflint ==="
 # The lint rule engine is a plain C++ library; build just the CLI target so
 # this stage stays fast even on a cold tree.
 cmake -B build -S . > /dev/null
@@ -49,7 +54,7 @@ cmake --build build -j "$(nproc)" --target aflint > /dev/null
 ./build/tools/aflint --root . src tests tools bench
 echo "aflint: clean"
 
-echo "=== [2/8] aflint findings pipeline ==="
+echo "=== [2/9] aflint findings pipeline ==="
 # Byte-stability: two runs over the same tree must produce identical JSON
 # (sorted findings, fixed key order, content-addressed fingerprints).
 json_a=$(mktemp)
@@ -65,11 +70,11 @@ rm -f "$json_a" "$json_b"
     src tests tools bench
 echo "findings: byte-stable, no new findings vs tools/aflint_baseline.json"
 
-echo "=== [3/8] afmetrics self-test ==="
+echo "=== [3/9] afmetrics self-test ==="
 cmake --build build -j "$(nproc)" --target afmetrics > /dev/null
 ./build/tools/afmetrics --self-test
 
-echo "=== [4/8] clang thread-safety analysis ==="
+echo "=== [4/9] clang thread-safety analysis ==="
 if command -v clang++ > /dev/null 2>&1; then
   cmake -B build-tsafety -S . -DCMAKE_CXX_COMPILER=clang++ \
         -DAGENTFIRST_THREAD_SAFETY=ON > /dev/null
@@ -81,15 +86,15 @@ else
 fi
 
 if [[ "$run_tests" == "1" ]]; then
-  echo "=== [5/8] tier-1 build + tests ==="
+  echo "=== [5/9] tier-1 build + tests ==="
   cmake --build build -j "$(nproc)"
   ctest --test-dir build --output-on-failure -j "$(nproc)"
 else
-  echo "=== [5/8] tier-1 tests skipped (--no-tests) ==="
+  echo "=== [5/9] tier-1 tests skipped (--no-tests) ==="
 fi
 
 if [[ "$run_tests" == "1" ]]; then
-  echo "=== [6/8] networked service smoke (TSan) ==="
+  echo "=== [6/9] networked service smoke (TSan) ==="
   cmake -B build-tsan -S . -DAGENTFIRST_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   cmake --build build-tsan -j "$(nproc)" \
@@ -124,11 +129,11 @@ if [[ "$run_tests" == "1" ]]; then
   ./build-tsan/tests/net_test
   ./build-tsan/tests/fuzz_wire_test
 else
-  echo "=== [6/8] net smoke skipped (--no-tests) ==="
+  echo "=== [6/9] net smoke skipped (--no-tests) ==="
 fi
 
 if [[ "$run_tests" == "1" ]]; then
-  echo "=== [7/8] vectorized parity (TSan) + bench smoke ==="
+  echo "=== [7/9] vectorized parity (TSan) + bench smoke ==="
   # Parity (row path == vec path, byte-identical) and determinism (same
   # answer at 1/2/4/8 threads) have to hold under TSan, or the batch
   # kernels' lock-free morsel claiming is wrong in a way plain runs can
@@ -143,11 +148,11 @@ if [[ "$run_tests" == "1" ]]; then
   cmake --build build -j "$(nproc)" --target bench_parallel_exec > /dev/null
   ./build/bench/bench_parallel_exec --quick
 else
-  echo "=== [7/8] vectorized parity + bench smoke skipped (--no-tests) ==="
+  echo "=== [7/9] vectorized parity + bench smoke skipped (--no-tests) ==="
 fi
 
 if [[ "$run_tests" == "1" ]]; then
-  echo "=== [8/8] durability kill-and-recover torture (ASan) ==="
+  echo "=== [8/9] durability kill-and-recover torture (ASan) ==="
   # The whole wal_test suite — framing fuzz, group commit, and the
   # >=50-injection-point crash torture — under AddressSanitizer with leak
   # detection. The crash sites exercise every error/cleanup path in the
@@ -155,7 +160,67 @@ if [[ "$run_tests" == "1" ]]; then
   # what they allocate even when the "disk" fails mid-operation.
   tools/run_sanitized.sh address wal_test
 else
-  echo "=== [8/8] durability torture skipped (--no-tests) ==="
+  echo "=== [8/9] durability torture skipped (--no-tests) ==="
+fi
+
+if [[ "$run_tests" == "1" ]]; then
+  echo "=== [9/9] fleet-scale serving smoke (TSan) + bench_fleet gate ==="
+  # A sharded server with every fleet mechanism armed: 4 event loops,
+  # admission quotas, and token auth. Reuses the stage-6 TSan build.
+  cmake --build build-tsan -j "$(nproc)" --target afserve afprobe > /dev/null
+  export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+
+  tokens_file=$(mktemp)
+  printf '%s\n' '# check.sh fleet smoke' 'ck-t0ken smoke-tenant' \
+      > "$tokens_file"
+  fleet_log=$(mktemp)
+  ./build-tsan/tools/afserve --demo --num-loops 4 \
+      --tokens-file "$tokens_file" --max-concurrent 8 --max-queued 16 \
+      --tenant-inflight 8 --tenant-bytes 1000000 > "$fleet_log" 2>&1 &
+  fleet_pid=$!
+  trap 'kill "$fleet_pid" 2>/dev/null || true' EXIT
+  port=""
+  for _ in $(seq 1 100); do
+    port=$(sed -n 's/^afserved listening on .*:\([0-9][0-9]*\)$/\1/p' "$fleet_log" | head -1)
+    [[ -n "$port" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$port" ]]; then
+    echo "fleet afserved did not come up:" >&2
+    cat "$fleet_log" >&2
+    exit 1
+  fi
+  # Authenticated pipelined smoke: afprobe's client pipelines over one
+  # connection; the probe passes the admission gate.
+  ./build-tsan/tools/afprobe --addr "127.0.0.1:$port" --token ck-t0ken \
+      --sql "SELECT COUNT(*) FROM stores"
+  ./build-tsan/tools/afprobe --addr "127.0.0.1:$port" --token ck-t0ken \
+      --probe "rough is fine | SELECT city, SUM(revenue) FROM stores JOIN sales ON stores.store_id = sales.store_id GROUP BY city"
+  # A bad token must be refused at the handshake (kUnauthenticated).
+  if ./build-tsan/tools/afprobe --addr "127.0.0.1:$port" --token wrong \
+      --sql "SELECT 1" 2>/dev/null; then
+    echo "fleet smoke: bad token was accepted" >&2
+    exit 1
+  fi
+  echo "fleet smoke: bad token refused as expected"
+  kill "$fleet_pid"
+  wait "$fleet_pid"
+  trap - EXIT
+  rm -f "$tokens_file"
+  echo "--- fleet afserved accounting (loops, admission, auth):"
+  grep -E "af\.(net\.loop|net\.auth|admit)\." "$fleet_log" || true
+
+  # The fleet bench gate, from the default (unsanitized) build: shed
+  # integrity is checked unconditionally; the multi-loop-vs-single-loop
+  # throughput gate arms itself only on >=4 cores (on fewer there is
+  # nothing to shard onto, and the bench says so). A scratch JSON keeps
+  # --quick numbers out of the checked-in BENCH_net.json.
+  cmake --build build -j "$(nproc)" --target bench_fleet > /dev/null
+  fleet_json=$(mktemp)
+  ./build/bench/bench_fleet --quick "$fleet_json"
+  rm -f "$fleet_json"
+else
+  echo "=== [9/9] fleet smoke + bench_fleet gate skipped (--no-tests) ==="
 fi
 
 echo "check.sh: all stages passed"
