@@ -7,11 +7,18 @@ void Catalog::SetMutationListener(CatalogMutationListener* listener) {
   for (auto& [name, table] : tables_) table->SetMutationListener(listener);
 }
 
+void Catalog::SetBufferPool(storage::BufferPool* pool) {
+  pool_ = pool;
+  if (pool_ == nullptr) return;
+  for (auto& [name, table] : tables_) table->AttachBufferPool(pool_);
+}
+
 Result<TablePtr> Catalog::CreateTable(const std::string& name, Schema schema) {
   if (tables_.count(name) > 0) {
     return Status::AlreadyExists("table already exists: " + name);
   }
   auto table = std::make_shared<Table>(name, std::move(schema));
+  if (pool_ != nullptr) table->AttachBufferPool(pool_);
   tables_[name] = table;
   ++schema_version_;
   if (listener_ != nullptr) {
@@ -27,6 +34,7 @@ Status Catalog::RegisterTable(TablePtr table) {
     return Status::AlreadyExists("table already exists: " + table->name());
   }
   const Table& registered = *table;
+  if (pool_ != nullptr) table->AttachBufferPool(pool_);
   tables_[table->name()] = std::move(table);
   ++schema_version_;
   if (listener_ != nullptr) {
@@ -127,7 +135,8 @@ Result<const TableStats*> Catalog::GetStats(const std::string& name) {
       cached->second.data_version == it->second->data_version()) {
     return const_cast<const TableStats*>(&cached->second);
   }
-  stats_cache_[name] = ComputeTableStats(*it->second);
+  AF_ASSIGN_OR_RETURN(TableStats fresh, ComputeTableStats(*it->second));
+  stats_cache_[name] = std::move(fresh);
   return const_cast<const TableStats*>(&stats_cache_[name]);
 }
 

@@ -69,6 +69,13 @@ class Catalog {
   /// first.
   void SetMutationListener(CatalogMutationListener* listener);
 
+  /// Moves every current table — and all future ones — into `pool` so their
+  /// segments become pageable (see Table::AttachBufferPool). The pool must
+  /// outlive the catalog; attachment is one-way (pass nullptr only before
+  /// any pool was set).
+  void SetBufferPool(storage::BufferPool* pool);
+  storage::BufferPool* buffer_pool() const { return pool_; }
+
   /// Recovery-only: restores the version counter after a checkpoint load.
   void RestoreSchemaVersion(uint64_t v) { schema_version_ = v; }
 
@@ -94,6 +101,8 @@ class Catalog {
   uint64_t schema_version_ = 0;
   /// Not owned; nullptr when durability is off (the default).
   CatalogMutationListener* listener_ = nullptr;
+  /// Not owned; nullptr when paged storage is off (the default).
+  storage::BufferPool* pool_ = nullptr;
 };
 
 }  // namespace agentfirst

@@ -43,7 +43,8 @@ Status ExportCsv(const Table& table, const std::string& path) {
     out << (NeedsQuoting(name) ? QuoteField(name) : name);
   }
   out << "\n";
-  for (const auto& seg : table.segments()) {
+  for (size_t s = 0; s < table.NumSegments(); ++s) {
+    AF_ASSIGN_OR_RETURN(storage::SegmentPin seg, table.PinSegment(s));
     for (size_t r = 0; r < seg->num_rows(); ++r) {
       for (size_t c = 0; c < schema.NumColumns(); ++c) {
         if (c > 0) out << ",";

@@ -9,7 +9,8 @@ Status HashIndex::Build(const Table& table) {
   buckets_.clear();
   num_entries_ = 0;
   size_t row = 0;
-  for (const auto& seg : table.segments()) {
+  for (size_t s = 0; s < table.NumSegments(); ++s) {
+    AF_ASSIGN_OR_RETURN(storage::SegmentPin seg, table.PinSegment(s));
     const ColumnVector& col = seg->column(column_);
     for (size_t i = 0; i < seg->num_rows(); ++i, ++row) {
       Value v = col.Get(i);

@@ -61,7 +61,7 @@ double ColumnStats::RangeSelectivity(const std::string& op, const Value& v) cons
   return std::clamp(sel, 0.0, 1.0) * non_null_frac;
 }
 
-TableStats ComputeTableStats(const Table& table, uint64_t seed) {
+Result<TableStats> ComputeTableStats(const Table& table, uint64_t seed) {
   TableStats stats;
   stats.row_count = table.NumRows();
   stats.data_version = table.data_version();
@@ -78,7 +78,8 @@ TableStats ComputeTableStats(const Table& table, uint64_t seed) {
     bool numeric = IsNumeric(schema.column(c).type);
 
     size_t seen_non_null = 0;
-    for (const auto& seg : table.segments()) {
+    for (size_t s = 0; s < table.NumSegments(); ++s) {
+      AF_ASSIGN_OR_RETURN(storage::SegmentPin seg, table.PinSegment(s));
       const ColumnVector& col = seg->column(c);
       for (size_t i = 0; i < seg->num_rows(); ++i) {
         Value v = col.Get(i);

@@ -47,8 +47,9 @@ struct TableStats {
 };
 
 /// Scans the table once and computes full statistics. `seed` drives the
-/// reservoir sample.
-TableStats ComputeTableStats(const Table& table, uint64_t seed = 42);
+/// reservoir sample. Fails only when a pooled table cannot fault a segment
+/// back in (io.page.read).
+Result<TableStats> ComputeTableStats(const Table& table, uint64_t seed = 42);
 
 }  // namespace agentfirst
 

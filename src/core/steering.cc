@@ -70,10 +70,13 @@ void SleeperAgent::WhyEmpty(const PlanNode& plan, std::vector<Hint>* hints) {
     for (const auto& conjunct : conjuncts) {
       size_t matches = 0;
       size_t inspected = 0;
-      for (const auto& seg : plan.table->segments()) {
-        for (size_t r = 0; r < seg->num_rows(); ++r) {
+      for (size_t s = 0; s < plan.table->NumSegments(); ++s) {
+        Result<storage::SegmentPin> pin = plan.table->PinSegment(s);
+        if (!pin.ok()) break;  // hinting is best-effort; skip on fault errors
+        const Segment& seg = **pin;
+        for (size_t r = 0; r < seg.num_rows(); ++r) {
           if (inspected++ >= options_.why_not_row_budget) break;
-          if (EvalPredicate(*conjunct, seg->GetRow(r))) {
+          if (EvalPredicate(*conjunct, seg.GetRow(r))) {
             ++matches;
             break;
           }

@@ -50,6 +50,22 @@ Status AgentFirstSystem::EnableDurability(const wal::DurabilityOptions& options)
   return recovery_report_.branch_status;
 }
 
+Status AgentFirstSystem::EnableStorage(const storage::StorageOptions& options) {
+  if (pool_ != nullptr) {
+    return Status::FailedPrecondition("storage already enabled");
+  }
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("storage requires a dir");
+  }
+  AF_ASSIGN_OR_RETURN(std::unique_ptr<storage::BufferPool> pool,
+                      storage::BufferPool::Open(options));
+  pool_ = std::move(pool);
+  // Existing tables (e.g. just recovered from a checkpoint) are adopted into
+  // the pool here; tables created afterwards attach inside the catalog.
+  catalog_.SetBufferPool(pool_.get());
+  return Status::OK();
+}
+
 Status AgentFirstSystem::CheckpointNow() {
   if (wal_ == nullptr) {
     return Status::FailedPrecondition("durability not enabled");

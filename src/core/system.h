@@ -14,6 +14,7 @@
 #include "core/semantic_search.h"
 #include "exec/engine.h"
 #include "memory/memory_store.h"
+#include "storage/buffer_pool.h"
 #include "txn/branch_manager.h"
 #include "wal/recovery.h"
 #include "wal/wal.h"
@@ -81,6 +82,20 @@ class AgentFirstSystem : public ProbeService {
   }
   wal::WalManager* wal() { return wal_.get(); }
 
+  // --- paged storage (src/storage/) ---------------------------------------
+
+  /// Turns on the buffer pool: every catalog table's segments (current and
+  /// future) become pageable under options.max_table_bytes, spilling to
+  /// `<options.dir>/pages.af`. Composes with durability — enable durability
+  /// first (it needs an empty system to recover into), then storage; the
+  /// page file is a cache, so recovery correctness never depends on it.
+  /// Call at most once.
+  Status EnableStorage(const storage::StorageOptions& options);
+
+  /// True after a successful EnableStorage.
+  bool paged() const { return pool_ != nullptr; }
+  storage::BufferPool* buffer_pool() { return pool_.get(); }
+
   /// Blocks until all logged records are durable per the policy, then takes
   /// an automatic checkpoint if the WAL outgrew checkpoint_every_bytes.
   /// No-op when durability is off.
@@ -118,6 +133,10 @@ class AgentFirstSystem : public ProbeService {
   ProbeOptimizer* optimizer() { return &optimizer_; }
 
  private:
+  /// Declared before catalog_: tables unregister their frames as the catalog
+  /// (and any lingering TablePtrs it exclusively owned) dies, so the pool
+  /// must be destroyed after it.
+  std::unique_ptr<storage::BufferPool> pool_;
   Catalog catalog_;
   Engine engine_;
   AgenticMemoryStore memory_;

@@ -189,9 +189,10 @@ Result<ResultSetPtr> Engine::ExecUpdate(const UpdateStmt& stmt) {
   int64_t affected = 0;
   size_t base = 0;
   std::vector<Row> rows;
-  for (const auto& seg : table->segments()) {
+  for (size_t s = 0; s < table->NumSegments(); ++s) {
+    AF_ASSIGN_OR_RETURN(storage::SegmentPin pin, table->PinSegment(s));
     rows.clear();
-    seg->ReadRows(0, seg->num_rows(), &rows);
+    pin->ReadRows(0, pin->num_rows(), &rows);
     for (size_t i = 0; i < rows.size(); ++i) {
       const Row& row = rows[i];
       if (where != nullptr && !EvalPredicate(*where, row)) continue;
@@ -201,7 +202,7 @@ Result<ResultSetPtr> Engine::ExecUpdate(const UpdateStmt& stmt) {
       }
       ++affected;
     }
-    base += seg->num_rows();
+    base += pin->num_rows();
   }
   return MakeAffectedResult(affected);
 }
@@ -221,16 +222,17 @@ Result<ResultSetPtr> Engine::ExecDelete(const DeleteStmt& stmt) {
   // column-at-a-time materialized rows instead of per-row GetRow calls.
   size_t base = 0;
   std::vector<Row> rows;
-  for (const auto& seg : table->segments()) {
+  for (size_t s = 0; s < table->NumSegments(); ++s) {
+    AF_ASSIGN_OR_RETURN(storage::SegmentPin pin, table->PinSegment(s));
     rows.clear();
-    seg->ReadRows(0, seg->num_rows(), &rows);
+    pin->ReadRows(0, pin->num_rows(), &rows);
     for (size_t i = 0; i < rows.size(); ++i) {
       if (where == nullptr || EvalPredicate(*where, rows[i])) {
         mask[base + i] = 1;
         ++affected;
       }
     }
-    base += seg->num_rows();
+    base += pin->num_rows();
   }
   AF_RETURN_IF_ERROR(table->RemoveRows(mask));
   return MakeAffectedResult(affected);

@@ -13,6 +13,7 @@
 #include "exec/evaluator.h"
 #include "exec/exec_internal.h"
 #include "exec/vectorized.h"
+#include "storage/buffer_pool.h"
 
 namespace agentfirst {
 
@@ -228,25 +229,32 @@ Result<ResultSetPtr> ExecScan(const PlanNode& node, const ExecOptions& options,
     }
     return out;
   }
-  const auto& segments = node.table->segments();
+  const size_t nseg = node.table->NumSegments();
   // Morsel-driven parallel scan: one morsel per storage segment, per-morsel
-  // output buffers merged in segment order (deterministic). Sampling stays
-  // serial: its RNG stream runs across segment boundaries.
-  if (!sampling && UseParallel(options, node.table->NumRows()) &&
-      segments.size() > 1) {
-    std::vector<std::vector<Row>> buffers(segments.size());
+  // output buffers merged in segment order (deterministic). Each morsel pins
+  // only its own segment — under a buffer pool that keeps at most
+  // num_threads segments resident per scan, letting eviction engage
+  // mid-query. Sampling stays serial: its RNG stream runs across segment
+  // boundaries.
+  if (!sampling && UseParallel(options, node.table->NumRows()) && nseg > 1) {
+    std::vector<std::vector<Row>> buffers(nseg);
     // Budget tripwires local to this scan, not metrics.
     // aflint:allow(raw-counter)
     std::atomic<size_t> produced_rows{0};
     // aflint:allow(raw-counter)
     std::atomic<size_t> produced_bytes{0};
     PoolFor(options)->ParallelFor(
-        0, segments.size(),
+        0, nseg,
         [&](size_t begin, size_t end) {
           std::vector<Row> scratch;
           for (size_t s = begin; s < end; ++s) {
             if (ctx.Check() || ctx.FaultAt("exec.scan.morsel")) return;
-            const Segment& seg = *segments[s];
+            Result<storage::SegmentPin> pin = node.table->PinSegment(s);
+            if (!pin.ok()) {
+              ctx.TripFault(std::move(pin).status());
+              return;
+            }
+            const Segment& seg = **pin;
             std::vector<Row>& buf = buffers[s];
             buf.reserve(seg.num_rows());
             // Column-at-a-time materialization in interrupt-check-sized
@@ -307,8 +315,10 @@ Result<ResultSetPtr> ExecScan(const PlanNode& node, const ExecOptions& options,
   size_t scanned = 0;
   bool tripped = false;
   if (sampling) {
-    for (const auto& seg : segments) {
-      for (size_t i = 0; i < seg->num_rows(); ++i) {
+    for (size_t s = 0; s < nseg && !tripped; ++s) {
+      AF_ASSIGN_OR_RETURN(storage::SegmentPin pin, node.table->PinSegment(s));
+      const Segment& seg = *pin;
+      for (size_t i = 0; i < seg.num_rows(); ++i) {
         // Sampling decides before the row is materialized: skipped rows
         // never pay the GetRow copy.
         if ((scanned++ % kCheckInterval) == 0 && scanned > 1 && ctx.Check()) {
@@ -316,7 +326,7 @@ Result<ResultSetPtr> ExecScan(const PlanNode& node, const ExecOptions& options,
           break;
         }
         if (!rng.NextBool(options.sample_rate)) continue;
-        Row row = seg->GetRow(i);
+        Row row = seg.GetRow(i);
         if (node.scan_filter != nullptr &&
             !EvalPredicate(*node.scan_filter, row)) {
           continue;
@@ -334,11 +344,13 @@ Result<ResultSetPtr> ExecScan(const PlanNode& node, const ExecOptions& options,
     // chunks, then filter/account per row (identical output, order, and
     // interrupt cadence to the old per-row GetRow loop).
     std::vector<Row> scratch;
-    for (const auto& seg : segments) {
-      for (size_t base = 0; base < seg->num_rows() && !tripped;
+    for (size_t s = 0; s < nseg && !tripped; ++s) {
+      AF_ASSIGN_OR_RETURN(storage::SegmentPin pin, node.table->PinSegment(s));
+      const Segment& seg = *pin;
+      for (size_t base = 0; base < seg.num_rows() && !tripped;
            base += kCheckInterval) {
         scratch.clear();
-        seg->ReadRows(base, base + kCheckInterval, &scratch);
+        seg.ReadRows(base, base + kCheckInterval, &scratch);
         for (Row& row : scratch) {
           if ((scanned++ % kCheckInterval) == 0 && scanned > 1 && ctx.Check()) {
             tripped = true;

@@ -15,6 +15,7 @@
 #include "common/hash.h"
 #include "exec/evaluator.h"
 #include "exec/vec_batch.h"
+#include "storage/buffer_pool.h"
 #include "storage/segment.h"
 
 namespace agentfirst {
@@ -155,6 +156,13 @@ struct VecExec {
   const ExecOptions& options;
   InterruptCtx& ctx;
   Arena* arena;
+  /// Segment pins deposited by scans. Batches are zero-copy views into
+  /// segment column storage, so every scanned segment must stay pinned until
+  /// the batches are materialized to rows at the end of ExecuteVectorized —
+  /// the pins live there and die after conversion. Operators run one at a
+  /// time (ParallelFor fans out *within* one operator), so plain push_back
+  /// after the scan's barrier is race-free.
+  storage::PinnedSegments* pins;
 };
 
 /// Rough resident footprint of one batch once materialized as rows —
@@ -388,13 +396,23 @@ Status ExecVecScan(const PlanNode& node, VecExec& ex, VecResult* out) {
   }
   // A scan reached after the plan already tripped produces no new data.
   if (ex.ctx.Check()) return ex.ctx.TakeError();
-  const auto& segments = table.segments();
-  out->batches.assign(segments.size(), VecBatch{});
+  const size_t nseg = table.NumSegments();
+  out->batches.assign(nseg, VecBatch{});
   BatchBudget budget(ex.ctx);
+  // One pin per segment, assigned by index (each ParallelFor morsel owns a
+  // disjoint range, so no lock). The whole vector moves into ex.pins after
+  // the scan so the zero-copy views below outlive eviction.
+  storage::PinnedSegments pins(nseg);
   // One batch per storage segment, built zero-copy over the column spans.
   // Returns false on arena exhaustion (only possible with a scan filter).
   auto scan_segment = [&](size_t s) -> bool {
-    const Segment& seg = *segments[s];
+    Result<storage::SegmentPin> pin = table.PinSegment(s);
+    if (!pin.ok()) {
+      ex.ctx.TripFault(std::move(pin).status());
+      return true;  // not arena exhaustion; the trip carries the error
+    }
+    pins[s] = std::move(pin).value();
+    const Segment& seg = *pins[s];
     VecBatch& b = out->batches[s];
     b.num_rows = seg.num_rows();
     b.cols.reserve(seg.NumColumns());
@@ -414,9 +432,16 @@ Status ExecVecScan(const PlanNode& node, VecExec& ex, VecResult* out) {
     Metrics().vec_batches->Increment();
     return true;
   };
-  if (UseParallel(ex.options, table.NumRows()) && segments.size() > 1) {
+  // Keeps every pinned segment alive until batches are materialized, even
+  // when this scan exits early on a trip.
+  auto deposit_pins = [&]() {
+    for (storage::SegmentPin& p : pins) {
+      if (p.valid()) ex.pins->push_back(std::move(p));
+    }
+  };
+  if (UseParallel(ex.options, table.NumRows()) && nseg > 1) {
     PoolFor(ex.options)->ParallelFor(
-        0, segments.size(),
+        0, nseg,
         [&](size_t begin, size_t end) {
           for (size_t s = begin; s < end; ++s) {
             if (ex.ctx.Check() || ex.ctx.FaultAt("exec.scan.morsel")) return;
@@ -427,15 +452,20 @@ Status ExecVecScan(const PlanNode& node, VecExec& ex, VecResult* out) {
           }
         },
         /*grain=*/1, ex.options.num_threads, ex.ctx.stop_flag());
+    deposit_pins();
     return ex.ctx.TakeError();
   }
-  for (size_t s = 0; s < segments.size(); ++s) {
+  for (size_t s = 0; s < nseg; ++s) {
     // Same interrupt cadence as the serial row scan: roughly every
     // kCheckInterval (= one segment's) rows.
     if (s > 0 && ex.ctx.Check()) break;
-    if (!scan_segment(s)) return ArenaExhausted();
+    if (!scan_segment(s)) {
+      deposit_pins();
+      return ArenaExhausted();
+    }
     if (ex.ctx.stop.load(std::memory_order_relaxed)) break;  // budget trip
   }
+  deposit_pins();
   return ex.ctx.TakeError();
 }
 
@@ -1042,7 +1072,10 @@ Result<ResultSetPtr> ExecuteVectorized(const PlanNode& node,
   // documented output budget (truncation, not failure).
   MemoryTracker tracker(options.limits.max_bytes.value_or(0));
   Arena arena(&tracker);
-  VecExec ex{options, ctx, &arena};
+  // Scanned segments stay pinned (resident) until the batches' zero-copy
+  // views have been materialized into the ResultSet below.
+  storage::PinnedSegments pins;
+  VecExec ex{options, ctx, &arena, &pins};
   VecResult res;
   AF_RETURN_IF_ERROR(ExecVecNode(node, ex, &res));
   AF_RETURN_IF_ERROR(ctx.TakeError());

@@ -66,6 +66,58 @@ Result<File> File::OpenForWrite(const std::string& path) {
   return File(fd);
 }
 
+Result<File> File::OpenForReadWrite(const std::string& path) {
+  AF_FAULT_POINT("io.file.open");
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("open(rw)", path);
+  return File(fd);
+}
+
+Result<File> File::OpenForUpdate(const std::string& path) {
+  AF_FAULT_POINT("io.file.open");
+  int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+  if (fd < 0) return Errno("open(update)", path);
+  return File(fd);
+}
+
+Result<std::string> File::ReadAt(uint64_t offset, size_t n) const {
+  if (fd_ < 0) return Status::Internal("io: pread on closed file");
+  AF_FAULT_POINT("io.page.read");
+  std::string out;
+  out.resize(n);
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::pread(fd_, &out[done], n - done,
+                        static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Errno("pread", "fd");
+    }
+    if (r == 0) {
+      return Status::Internal("io: short pread at offset " +
+                              std::to_string(offset));
+    }
+    done += static_cast<size_t>(r);
+  }
+  return out;
+}
+
+Status File::WriteAt(uint64_t offset, std::string_view data) {
+  if (fd_ < 0) return Status::Internal("io: pwrite on closed file");
+  AF_FAULT_POINT("io.page.write");
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = ::pwrite(fd_, data.data() + written, data.size() - written,
+                         static_cast<off_t>(offset + written));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("pwrite", "fd");
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
 Status File::WriteAll(std::string_view data) {
   if (fd_ < 0) return Status::Internal("io: write on closed file");
   size_t written = 0;

@@ -33,8 +33,26 @@ class File {
   static Result<File> OpenForAppend(const std::string& path);
   /// Opens (creating, truncating) for writing from the start.
   static Result<File> OpenForWrite(const std::string& path);
+  /// Opens (creating, truncating) for positional read/write — the page-file
+  /// handle used by the buffer pool's SegmentStore. Truncation is deliberate:
+  /// the page file is a spill cache, never a source of truth, so it starts
+  /// empty on every open.
+  static Result<File> OpenForReadWrite(const std::string& path);
+  /// Opens an existing file for positional read/write without truncating —
+  /// in-place surgery on a file some other handle also has open (corruption
+  /// injection in tests, torn-tail repair).
+  static Result<File> OpenForUpdate(const std::string& path);
 
   bool open() const { return fd_ >= 0; }
+
+  /// pread(2): reads exactly `n` bytes at `offset`. Fails on short reads —
+  /// a page read that runs off the end of the file means cache corruption.
+  /// Fault site: io.page.read.
+  Result<std::string> ReadAt(uint64_t offset, size_t n) const;
+
+  /// pwrite(2): writes all of `data` at `offset`, looping over partial
+  /// writes. Fault site: io.page.write.
+  Status WriteAt(uint64_t offset, std::string_view data);
 
   /// Writes all of `data`, looping over partial writes. A short write cut
   /// off by an injected fault leaves a genuinely torn file — exactly the

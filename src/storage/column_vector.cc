@@ -8,6 +8,23 @@ Status TypeError(DataType col, DataType val) {
                                  DataTypeName(val) + " in " +
                                  DataTypeName(col) + " column");
 }
+
+// Per-entry budget charge: fixed-width payload + one validity byte. Strings
+// add their character count on top of the object header.
+uint64_t FixedSlotBytes(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return sizeof(int64_t) + 1;
+    case DataType::kFloat64:
+      return sizeof(double) + 1;
+    case DataType::kBool:
+      return 1 + 1;
+    case DataType::kString:
+      return sizeof(std::string) + 1;
+    default:
+      return 1;
+  }
+}
 }  // namespace
 
 Status ColumnVector::Append(const Value& v) {
@@ -29,6 +46,7 @@ Status ColumnVector::Append(const Value& v) {
       default:
         break;
     }
+    bytes_ += FixedSlotBytes(type_);
     return Status::OK();
   }
   switch (type_) {
@@ -47,10 +65,12 @@ Status ColumnVector::Append(const Value& v) {
     case DataType::kString:
       if (v.type() != DataType::kString) return TypeError(type_, v.type());
       strings_.push_back(v.string_value());
+      bytes_ += v.string_value().size();
       break;
     default:
       return Status::Internal("column has no storage type");
   }
+  bytes_ += FixedSlotBytes(type_);
   valid_.push_back(1);
   return Status::OK();
 }
@@ -75,6 +95,13 @@ Status ColumnVector::Set(size_t i, const Value& v) {
   if (i >= valid_.size()) return Status::OutOfRange("column index out of range");
   if (v.is_null()) {
     valid_[i] = 0;
+    if (type_ == DataType::kString) {
+      // Release the dead payload so MemoryBytes tracks what is actually
+      // reachable (NULL string cells are never read back).
+      bytes_ -= strings_[i].size();
+      strings_[i].clear();
+      strings_[i].shrink_to_fit();
+    }
     return Status::OK();
   }
   switch (type_) {
@@ -92,6 +119,8 @@ Status ColumnVector::Set(size_t i, const Value& v) {
       break;
     case DataType::kString:
       if (v.type() != DataType::kString) return TypeError(type_, v.type());
+      bytes_ += v.string_value().size();
+      bytes_ -= strings_[i].size();
       strings_[i] = v.string_value();
       break;
     default:

@@ -52,8 +52,15 @@ class ColumnVector {
   const uint8_t* bool_data() const { return bools_.data(); }
   const std::string* string_data() const { return strings_.data(); }
 
+  /// Approximate resident heap footprint, maintained incrementally by
+  /// Append/Set (O(1) reads). The buffer pool charges this against its
+  /// byte budget, so it deliberately counts payload bytes (fixed-width
+  /// element + validity byte + string characters), not allocator slack.
+  uint64_t MemoryBytes() const { return bytes_; }
+
  private:
   DataType type_;
+  uint64_t bytes_ = 0;
   std::vector<uint8_t> valid_;
   std::vector<int64_t> ints_;
   std::vector<double> doubles_;

@@ -7,7 +7,22 @@ namespace agentfirst {
 Segment::Segment(const Schema& schema, size_t capacity) : capacity_(capacity) {
   columns_.reserve(schema.NumColumns());
   for (const ColumnDef& col : schema.columns()) {
-    columns_.emplace_back(col.type);
+    columns_.push_back(std::make_shared<ColumnVector>(col.type));
+  }
+}
+
+std::shared_ptr<Segment> Segment::FromColumns(
+    size_t capacity, size_t num_rows,
+    std::vector<std::shared_ptr<ColumnVector>> columns) {
+  auto seg = std::make_shared<Segment>(Schema(), capacity);
+  seg->num_rows_ = num_rows;
+  seg->columns_ = std::move(columns);
+  return seg;
+}
+
+void Segment::DetachColumn(size_t c) {
+  if (columns_[c].use_count() > 1) {
+    columns_[c] = std::make_shared<ColumnVector>(*columns_[c]);
   }
 }
 
@@ -21,7 +36,7 @@ Status Segment::AppendRow(const Row& row) {
   for (size_t c = 0; c < columns_.size(); ++c) {
     const Value& v = row[c];
     if (v.is_null()) continue;
-    DataType ct = columns_[c].type();
+    DataType ct = columns_[c]->type();
     bool ok = (v.type() == ct) || (IsNumeric(v.type()) && IsNumeric(ct));
     if (!ok) {
       return Status::InvalidArgument(
@@ -30,7 +45,8 @@ Status Segment::AppendRow(const Row& row) {
     }
   }
   for (size_t c = 0; c < columns_.size(); ++c) {
-    AF_RETURN_IF_ERROR(columns_[c].Append(row[c]));
+    DetachColumn(c);
+    AF_RETURN_IF_ERROR(columns_[c]->Append(row[c]));
   }
   ++num_rows_;
   return Status::OK();
@@ -39,13 +55,14 @@ Status Segment::AppendRow(const Row& row) {
 Status Segment::SetValue(size_t row, size_t col, const Value& v) {
   if (row >= num_rows_) return Status::OutOfRange("row out of range");
   if (col >= columns_.size()) return Status::OutOfRange("column out of range");
-  return columns_[col].Set(row, v);
+  DetachColumn(col);
+  return columns_[col]->Set(row, v);
 }
 
 Row Segment::GetRow(size_t row) const {
   Row out;
   out.reserve(columns_.size());
-  for (const ColumnVector& c : columns_) out.push_back(c.Get(row));
+  for (const auto& c : columns_) out.push_back(c->Get(row));
   return out;
 }
 
@@ -59,7 +76,7 @@ void Segment::ReadRows(size_t begin, size_t end, std::vector<Row>* out) const {
     (*out)[base + r].resize(columns_.size());  // default Values == NULL
   }
   for (size_t c = 0; c < columns_.size(); ++c) {
-    const ColumnVector& col = columns_[c];
+    const ColumnVector& col = *columns_[c];
     const uint8_t* valid = col.valid_data();
     switch (col.type()) {
       case DataType::kInt64: {
@@ -103,7 +120,14 @@ void Segment::ReadRows(size_t begin, size_t end, std::vector<Row>* out) const {
 }
 
 std::shared_ptr<Segment> Segment::Clone() const {
+  // Shares the column vectors; each side detaches a column on first write.
   return std::make_shared<Segment>(*this);
+}
+
+uint64_t Segment::MemoryBytes() const {
+  uint64_t total = 0;
+  for (const auto& c : columns_) total += c->MemoryBytes();
+  return total;
 }
 
 }  // namespace agentfirst

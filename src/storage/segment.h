@@ -14,12 +14,21 @@ namespace agentfirst {
 
 /// A fixed-capacity horizontal slice of a table, stored column-wise.
 /// Segments are the unit of copy-on-write sharing between branches: a branch
-/// that updates one row copies only that row's segment.
+/// that updates one row copies only that row's segment — and within that
+/// segment, Clone() shares the ColumnVectors until a column is actually
+/// written (per-column copy-on-write), so a one-column UPDATE on a cloned
+/// segment copies one column, not the whole segment.
 class Segment {
  public:
   static constexpr size_t kDefaultCapacity = 1024;
 
   Segment(const Schema& schema, size_t capacity = kDefaultCapacity);
+
+  /// Rebuilds a segment from decoded columns (buffer-pool fault path).
+  /// All columns must have `num_rows` entries.
+  static std::shared_ptr<Segment> FromColumns(
+      size_t capacity, size_t num_rows,
+      std::vector<std::shared_ptr<ColumnVector>> columns);
 
   size_t num_rows() const { return num_rows_; }
   size_t capacity() const { return capacity_; }
@@ -29,7 +38,9 @@ class Segment {
   /// Appends a row; fails when full or on column count/type mismatch.
   Status AppendRow(const Row& row);
 
-  Value GetValue(size_t row, size_t col) const { return columns_[col].Get(row); }
+  Value GetValue(size_t row, size_t col) const {
+    return columns_[col]->Get(row);
+  }
   Status SetValue(size_t row, size_t col, const Value& v);
 
   Row GetRow(size_t row) const;
@@ -40,15 +51,32 @@ class Segment {
   /// more than a handful of consecutive rows leave columnar storage.
   void ReadRows(size_t begin, size_t end, std::vector<Row>* out) const;
 
-  const ColumnVector& column(size_t i) const { return columns_[i]; }
+  const ColumnVector& column(size_t i) const { return *columns_[i]; }
 
-  /// Deep copy; used by the branch manager when a shared segment is written.
+  /// Lazy copy: the clone shares every ColumnVector with this segment; a
+  /// column is deep-copied only when one side writes it (see DetachColumn).
+  /// Value semantics are identical to a deep copy — used by the branch
+  /// manager when a shared segment is written.
   std::shared_ptr<Segment> Clone() const;
 
+  /// True when column `i`'s storage is shared with another segment
+  /// (i.e. a lazy clone has not yet been detached). Test/introspection hook.
+  bool ColumnShared(size_t i) const { return columns_[i].use_count() > 1; }
+
+  /// Approximate resident heap footprint (sum of column payloads). Shared
+  /// columns are charged to every sharer; the buffer pool treats this as an
+  /// upper bound when budgeting.
+  uint64_t MemoryBytes() const;
+
  private:
+  /// Gives this segment exclusive ownership of column `c` before a write.
+  /// Requires external synchronization (callers already hold exclusive
+  /// write access to the segment).
+  void DetachColumn(size_t c);
+
   size_t capacity_;
   size_t num_rows_ = 0;
-  std::vector<ColumnVector> columns_;
+  std::vector<std::shared_ptr<ColumnVector>> columns_;
 };
 
 }  // namespace agentfirst

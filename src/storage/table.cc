@@ -2,11 +2,64 @@
 
 namespace agentfirst {
 
-Status Table::AppendRowInternal(const Row& row) {
-  if (segments_.empty() || segments_.back()->Full()) {
-    segments_.push_back(std::make_shared<Segment>(schema_, segment_capacity_));
+Table::~Table() {
+  if (pool_ != nullptr) {
+    for (uint64_t frame : frames_) pool_->Unregister(frame);
   }
-  AF_RETURN_IF_ERROR(segments_.back()->AppendRow(row));
+}
+
+void Table::AttachBufferPool(storage::BufferPool* pool) {
+  if (pool == nullptr || pool_ != nullptr) return;
+  pool_ = pool;
+  frames_.reserve(segments_.size());
+  for (auto& seg : segments_) {
+    frames_.push_back(pool_->Register(std::move(seg)));
+  }
+  segments_.clear();
+}
+
+Result<storage::SegmentPin> Table::PinSegment(size_t i) const {
+  if (i >= slot_rows_.size()) {
+    return Status::OutOfRange("segment index out of range");
+  }
+  if (pool_ != nullptr) return pool_->Pin(frames_[i]);
+  return storage::SegmentPin(segments_[i]);
+}
+
+Result<storage::PinnedSegments> Table::PinSegments() const {
+  storage::PinnedSegments pins;
+  pins.reserve(slot_rows_.size());
+  for (size_t i = 0; i < slot_rows_.size(); ++i) {
+    AF_ASSIGN_OR_RETURN(storage::SegmentPin pin, PinSegment(i));
+    pins.push_back(std::move(pin));
+  }
+  return pins;
+}
+
+Status Table::AppendRowInternal(const Row& row) {
+  bool need_new_slot = slot_rows_.empty() || slot_rows_.back() >= slot_caps_.back();
+  if (pool_ != nullptr) {
+    if (need_new_slot) {
+      auto seg = std::make_shared<Segment>(schema_, segment_capacity_);
+      AF_RETURN_IF_ERROR(seg->AppendRow(row));
+      slot_rows_.push_back(1);
+      slot_caps_.push_back(seg->capacity());
+      frames_.push_back(pool_->Register(std::move(seg)));
+    } else {
+      AF_ASSIGN_OR_RETURN(storage::SegmentPin pin, pool_->Pin(frames_.back()));
+      AF_RETURN_IF_ERROR(pin.mutable_segment()->AppendRow(row));
+      pool_->MarkDirty(frames_.back());
+      ++slot_rows_.back();
+    }
+  } else {
+    if (need_new_slot) {
+      segments_.push_back(std::make_shared<Segment>(schema_, segment_capacity_));
+      slot_rows_.push_back(0);
+      slot_caps_.push_back(segments_.back()->capacity());
+    }
+    AF_RETURN_IF_ERROR(segments_.back()->AppendRow(row));
+    ++slot_rows_.back();
+  }
   ++num_rows_;
   ++data_version_;
   return Status::OK();
@@ -41,10 +94,11 @@ Status Table::AppendRows(const std::vector<Row>& rows) {
 
 std::pair<size_t, size_t> Table::Locate(size_t row) const {
   // Segments are filled to capacity before a new one starts, except possibly
-  // after FromSegments; walk for correctness.
+  // after FromSegments; walk for correctness. Uses the slot row counts so no
+  // (possibly evicted) segment object is touched.
   size_t seg = 0;
-  while (seg < segments_.size() && row >= segments_[seg]->num_rows()) {
-    row -= segments_[seg]->num_rows();
+  while (seg < slot_rows_.size() && row >= slot_rows_[seg]) {
+    row -= slot_rows_[seg];
     ++seg;
   }
   return {seg, row};
@@ -53,21 +107,25 @@ std::pair<size_t, size_t> Table::Locate(size_t row) const {
 Result<Row> Table::GetRow(size_t row) const {
   if (row >= num_rows_) return Status::OutOfRange("row out of range");
   auto [seg, off] = Locate(row);
-  return segments_[seg]->GetRow(off);
+  AF_ASSIGN_OR_RETURN(storage::SegmentPin pin, PinSegment(seg));
+  return pin->GetRow(off);
 }
 
 Result<Value> Table::GetValue(size_t row, size_t col) const {
   if (row >= num_rows_) return Status::OutOfRange("row out of range");
   if (col >= schema_.NumColumns()) return Status::OutOfRange("col out of range");
   auto [seg, off] = Locate(row);
-  return segments_[seg]->GetValue(off, col);
+  AF_ASSIGN_OR_RETURN(storage::SegmentPin pin, PinSegment(seg));
+  return pin->GetValue(off, col);
 }
 
 Status Table::SetValue(size_t row, size_t col, const Value& v) {
   if (row >= num_rows_) return Status::OutOfRange("row out of range");
   if (col >= schema_.NumColumns()) return Status::OutOfRange("col out of range");
   auto [seg, off] = Locate(row);
-  AF_RETURN_IF_ERROR(segments_[seg]->SetValue(off, col, v));
+  AF_ASSIGN_OR_RETURN(storage::SegmentPin pin, PinSegment(seg));
+  AF_RETURN_IF_ERROR(pin.mutable_segment()->SetValue(off, col, v));
+  if (pool_ != nullptr) pool_->MarkDirty(frames_[seg]);
   ++data_version_;
   if (listener_ != nullptr) listener_->OnSetValue(*this, row, col, v);
   return Status::OK();
@@ -77,24 +135,67 @@ Status Table::RemoveRows(const std::vector<uint8_t>& remove_mask) {
   if (remove_mask.size() != num_rows_) {
     return Status::InvalidArgument("mask size does not match row count");
   }
+  // Pin the old segments up front: the rebuild below reads every row, and
+  // holding the pins keeps eviction from churning pages mid-rebuild.
+  AF_ASSIGN_OR_RETURN(storage::PinnedSegments old_pins, PinSegments());
   std::vector<std::shared_ptr<Segment>> new_segments;
+  std::vector<size_t> new_rows;
+  std::vector<size_t> new_caps;
   size_t new_count = 0;
   size_t global = 0;
-  for (const auto& seg : segments_) {
-    for (size_t i = 0; i < seg->num_rows(); ++i, ++global) {
+  for (const storage::SegmentPin& pin : old_pins) {
+    const Segment& seg = *pin;
+    for (size_t i = 0; i < seg.num_rows(); ++i, ++global) {
       if (remove_mask[global] != 0) continue;
       if (new_segments.empty() || new_segments.back()->Full()) {
         new_segments.push_back(std::make_shared<Segment>(schema_, segment_capacity_));
+        new_rows.push_back(0);
+        new_caps.push_back(new_segments.back()->capacity());
       }
-      AF_RETURN_IF_ERROR(new_segments.back()->AppendRow(seg->GetRow(i)));
+      AF_RETURN_IF_ERROR(new_segments.back()->AppendRow(seg.GetRow(i)));
+      ++new_rows.back();
       ++new_count;
     }
   }
-  segments_ = std::move(new_segments);
+  if (pool_ != nullptr) {
+    for (uint64_t frame : frames_) pool_->Unregister(frame);
+    frames_.clear();
+    frames_.reserve(new_segments.size());
+    for (auto& seg : new_segments) {
+      frames_.push_back(pool_->Register(std::move(seg)));
+    }
+    new_segments.clear();
+  } else {
+    segments_ = std::move(new_segments);
+  }
+  slot_rows_ = std::move(new_rows);
+  slot_caps_ = std::move(new_caps);
   num_rows_ = new_count;
   ++data_version_;
   if (listener_ != nullptr) listener_->OnRemoveRows(*this, remove_mask);
   return Status::OK();
+}
+
+uint64_t Table::ResidentBytes() const {
+  uint64_t total = 0;
+  if (pool_ != nullptr) {
+    for (uint64_t frame : frames_) {
+      if (pool_->FrameResident(frame)) total += pool_->FrameBytes(frame);
+    }
+  } else {
+    for (const auto& seg : segments_) total += seg->MemoryBytes();
+  }
+  return total;
+}
+
+uint64_t Table::TotalBytes() const {
+  uint64_t total = 0;
+  if (pool_ != nullptr) {
+    for (uint64_t frame : frames_) total += pool_->FrameBytes(frame);
+  } else {
+    for (const auto& seg : segments_) total += seg->MemoryBytes();
+  }
+  return total;
 }
 
 std::shared_ptr<Table> Table::FromSegments(
@@ -103,7 +204,11 @@ std::shared_ptr<Table> Table::FromSegments(
   auto t = std::make_shared<Table>(std::move(name), std::move(schema));
   t->segments_ = std::move(segments);
   t->num_rows_ = 0;
-  for (const auto& s : t->segments_) t->num_rows_ += s->num_rows();
+  for (const auto& s : t->segments_) {
+    t->slot_rows_.push_back(s->num_rows());
+    t->slot_caps_.push_back(s->capacity());
+    t->num_rows_ += s->num_rows();
+  }
   return t;
 }
 

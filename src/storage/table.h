@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "storage/buffer_pool.h"
 #include "storage/segment.h"
 #include "types/schema.h"
 #include "types/value.h"
@@ -33,22 +34,52 @@ class TableMutationListener {
                             const std::vector<uint8_t>& removed_mask) = 0;
 };
 
-/// An in-memory table: a schema plus a sequence of columnar segments.
-/// Segments are held by shared_ptr so snapshots (branches) can alias them;
-/// a Table used through the branch manager must be mutated via COW helpers.
+/// A table: a schema plus a sequence of columnar segments. Segments are held
+/// by shared_ptr so snapshots (branches) can alias them; a Table used through
+/// the branch manager must be mutated via COW helpers.
+///
+/// Two residency modes:
+///  - Unpooled (default): segments live in `segments_`, fully resident —
+///    the historical in-memory table. Scratch tables (branch
+///    materializations, test fixtures) stay in this mode.
+///  - Pooled: after AttachBufferPool, segment ownership moves to the
+///    BufferPool and the table holds frame ids; segments may be evicted to
+///    the page file and fault back in on access. All access then goes
+///    through the pin-scoped accessors (PinSegment / PinSegments), which
+///    also work in unpooled mode — readers never branch on the mode.
+///
+/// The raw `segments()` accessor remains for unpooled scratch tables only;
+/// it returns an empty vector on a pooled table.
 class Table {
  public:
   Table(std::string name, Schema schema, size_t segment_capacity = Segment::kDefaultCapacity)
       : name_(std::move(name)),
         schema_(std::move(schema)),
         segment_capacity_(segment_capacity) {}
+  ~Table();
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
 
   size_t NumRows() const { return num_rows_; }
-  size_t NumSegments() const { return segments_.size(); }
+  size_t NumSegments() const { return slot_rows_.size(); }
+  /// Unpooled tables only (empty once a pool is attached) — see class note.
   const std::vector<std::shared_ptr<Segment>>& segments() const { return segments_; }
+
+  /// True once AttachBufferPool has moved the segments into a pool.
+  bool pooled() const { return pool_ != nullptr; }
+
+  /// Moves segment ownership into `pool`: every current segment becomes a
+  /// frame, and future segments register on creation. One-way; call before
+  /// the table is shared across threads.
+  void AttachBufferPool(storage::BufferPool* pool);
+
+  /// Pin-scoped access to segment `i` (faulting it in when evicted). On an
+  /// unpooled table this is infallible and simply keeps the segment alive.
+  Result<storage::SegmentPin> PinSegment(size_t i) const;
+  /// Pins every segment, in order. Holding the result keeps the whole table
+  /// resident — prefer pinning per-segment in scans so eviction can engage.
+  Result<storage::PinnedSegments> PinSegments() const;
 
   Status AppendRow(const Row& row);
   Status AppendRows(const std::vector<Row>& rows);
@@ -70,6 +101,12 @@ class Table {
   uint64_t data_version() const { return data_version_; }
 
   size_t segment_capacity() const { return segment_capacity_; }
+
+  /// Bytes of this table's segments currently resident in memory / in total
+  /// (total counts evicted segments at their last measured size). Equal for
+  /// unpooled tables. Surfaced by afsh \tables.
+  uint64_t ResidentBytes() const;
+  uint64_t TotalBytes() const;
 
   /// Installs (or clears, with nullptr) the mutation observer. Owned by the
   /// caller; normally the catalog attaches its durability hook here.
@@ -93,11 +130,21 @@ class Table {
   std::string name_;
   Schema schema_;
   size_t segment_capacity_;
+  /// Unpooled mode: the segments themselves. Pooled mode: empty.
   std::vector<std::shared_ptr<Segment>> segments_;
+  /// Pooled mode: one BufferPool frame id per segment slot.
+  std::vector<uint64_t> frames_;
+  /// Row count and capacity per segment slot, maintained in both modes so
+  /// Locate() and fullness checks never need to touch (possibly evicted)
+  /// segment objects.
+  std::vector<size_t> slot_rows_;
+  std::vector<size_t> slot_caps_;
   size_t num_rows_ = 0;
   uint64_t data_version_ = 0;
   /// Not owned; nullptr for scratch tables.
   TableMutationListener* listener_ = nullptr;
+  /// Not owned (the system owns the pool); nullptr in unpooled mode.
+  storage::BufferPool* pool_ = nullptr;
 };
 
 using TablePtr = std::shared_ptr<Table>;

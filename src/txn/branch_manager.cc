@@ -18,7 +18,15 @@ Status BranchManager::ImportTable(const Table& table) {
   }
   BranchTable bt;
   bt.schema = table.schema();
-  bt.segments = table.segments();  // shared
+  // Share the table's segments via pins: the pin scope ends here, but the
+  // copied shared_ptrs keep each segment alive — and, on a pooled table,
+  // visibly aliased (use_count > 1), which is exactly what stops the buffer
+  // pool from evicting a branch-snapshotted segment out from under us.
+  AF_ASSIGN_OR_RETURN(storage::PinnedSegments pins, table.PinSegments());
+  bt.segments.reserve(pins.size());
+  for (const storage::SegmentPin& pin : pins) {
+    bt.segments.push_back(pin.segment());
+  }
   bt.num_rows = table.NumRows();
   bt.base_rows = bt.num_rows;
   bt.base_segments = bt.segments;

@@ -32,9 +32,16 @@ Status AppendState(const Catalog& catalog, const AgenticMemoryStore* memory,
     w->U64(table->segment_capacity());
     w->U64(table->data_version());
     w->U32(static_cast<uint32_t>(table->NumRows()));
-    for (size_t i = 0; i < table->NumRows(); ++i) {
-      AF_ASSIGN_OR_RETURN(Row row, table->GetRow(i));
-      AppendRow(row, w);
+    // Pin one segment at a time: a pooled table checkpoints without pulling
+    // every segment resident at once, and the encoded bytes are identical to
+    // the historical per-row loop (ReadRows materializes the same Rows in
+    // the same order).
+    std::vector<Row> rows;
+    for (size_t s = 0; s < table->NumSegments(); ++s) {
+      AF_ASSIGN_OR_RETURN(storage::SegmentPin pin, table->PinSegment(s));
+      rows.clear();
+      pin->ReadRows(0, pin->num_rows(), &rows);
+      for (const Row& row : rows) AppendRow(row, w);
     }
   }
   std::vector<std::pair<std::string, std::string>> indexes =

@@ -17,6 +17,10 @@
 //                                # restarting on the same DIR recovers all
 //                                # previously acknowledged state
 //   afserve --fsync MODE         # always | group_commit (default) | never
+//   afserve --max-table-bytes N  # paged storage: byte budget across all
+//                                # table segments; cold segments spill to
+//                                # <data-dir>/pages and fault back on demand
+//                                # (requires --data-dir)
 //
 // Prints exactly one line of the form
 //
@@ -25,8 +29,9 @@
 // to stdout once the listener is bound (scripts parse the port out of it —
 // tools/check.sh does), then blocks until SIGINT or SIGTERM, shuts the
 // server down cleanly (draining in-flight probes, then flushing + fsyncing
-// + closing the WAL), and dumps the af.net.* / af.wal.* metric families so
-// a smoke run leaves evidence of what it served and persisted.
+// + closing the WAL), and dumps the af.net.* / af.wal.* / af.storage.*
+// metric families so a smoke run leaves evidence of what it served,
+// persisted, and paged.
 
 #include <chrono>
 #include <csignal>
@@ -98,6 +103,7 @@ Status LoadTokensFile(const std::string& path,
 int Serve(int argc, char** argv) {
   net::ProbeServer::Options options;
   wal::DurabilityOptions durability;
+  storage::StorageOptions paging;
   bool demo = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -145,6 +151,8 @@ int Serve(int argc, char** argv) {
       demo = true;
     } else if (arg == "--data-dir") {
       durability.data_dir = next();
+    } else if (arg == "--max-table-bytes") {
+      paging.max_table_bytes = static_cast<uint64_t>(std::atoll(next()));
     } else if (arg == "--fsync") {
       std::string mode = next();
       if (mode == "always") {
@@ -164,7 +172,8 @@ int Serve(int argc, char** argv) {
                    "[--num-loops N] [--max-sessions N] [--tokens-file FILE] "
                    "[--max-concurrent N] [--max-queued N] "
                    "[--tenant-inflight N] [--tenant-bytes N] [--demo] "
-                   "[--data-dir DIR] [--fsync always|group_commit|never]\n");
+                   "[--data-dir DIR] [--fsync always|group_commit|never] "
+                   "[--max-table-bytes N]\n");
       return 2;
     }
   }
@@ -192,6 +201,27 @@ int Serve(int argc, char** argv) {
                  report.checkpoint_loaded ? "loaded" : "absent",
                  static_cast<unsigned long long>(report.records_replayed),
                  static_cast<unsigned long long>(report.torn_bytes_truncated));
+  }
+  if (paging.max_table_bytes > 0) {
+    if (durability.data_dir.empty()) {
+      std::fprintf(stderr,
+                   "afserve: --max-table-bytes requires --data-dir (the page "
+                   "file lives under it)\n");
+      return 2;
+    }
+    // After recovery: freshly recovered segments register with the pool and
+    // become pageable immediately.
+    paging.dir = durability.data_dir + "/pages";
+    Status paged = db.EnableStorage(paging);
+    if (!paged.ok()) {
+      std::fprintf(stderr, "afserve: %s\n", paged.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "afserve: paged storage on (budget %llu bytes, pages under "
+                 "%s)\n",
+                 static_cast<unsigned long long>(paging.max_table_bytes),
+                 paging.dir.c_str());
   }
   // Demo tables are skipped when recovery already rebuilt a database: the
   // second boot's CREATE TABLE would otherwise collide with the first's.
@@ -243,7 +273,8 @@ int Serve(int argc, char** argv) {
   while (std::getline(rendered, line)) {
     if (line.find("af.net.") != std::string::npos ||
         line.find("af.admit.") != std::string::npos ||
-        line.find("af.wal.") != std::string::npos) {
+        line.find("af.wal.") != std::string::npos ||
+        line.find("af.storage.") != std::string::npos) {
       std::fprintf(stderr, "  %s\n", line.c_str());
     }
   }

@@ -12,6 +12,8 @@
 //
 // Meta commands:
 //   \dt                       list tables
+//   \tables                   per-table storage residency (resident/total
+//                             bytes under the buffer pool)
 //   \stats <table>            column statistics
 //   \probe <brief> | <sql>    issue a probe with a brief (answers + hints)
 //   \search <phrase>          semantic discovery over data + metadata
@@ -167,7 +169,8 @@ int RunShell(const std::string& addr, const std::string& token) {
     bool local_only = cmd == "\\memory" || cmd == "\\fork" ||
                       cmd == "\\branch" || cmd == "\\merge" ||
                       cmd == "\\rollback" || cmd == "\\export" ||
-                      cmd == "\\import" || cmd == "\\metrics";
+                      cmd == "\\import" || cmd == "\\metrics" ||
+                      cmd == "\\tables";
     if (local_only && remote != nullptr) {
       std::printf("%s is local-only; \\disconnect first\n", cmd.c_str());
       continue;
@@ -219,6 +222,29 @@ int RunShell(const std::string& addr, const std::string& token) {
           "SELECT table_name, num_rows, num_columns FROM "
           "information_schema.tables ORDER BY table_name");
       if (r.ok()) PrintResult(*r);
+    } else if (cmd == "\\tables") {
+      std::printf("  %-20s %10s %8s %14s %14s %6s\n", "table", "rows",
+                  "segments", "resident_bytes", "total_bytes", "res%");
+      for (const std::string& name : db.catalog()->ListTables()) {
+        auto t = db.catalog()->GetTable(name);
+        if (!t.ok()) continue;
+        uint64_t resident = (*t)->ResidentBytes();
+        uint64_t total = (*t)->TotalBytes();
+        double pct = total == 0 ? 100.0 : 100.0 * resident / total;
+        std::printf("  %-20s %10zu %8zu %14llu %14llu %5.1f%%\n", name.c_str(),
+                    (*t)->NumRows(), (*t)->NumSegments(),
+                    static_cast<unsigned long long>(resident),
+                    static_cast<unsigned long long>(total), pct);
+      }
+      if (db.paged()) {
+        std::printf("  pool: %llu resident of %llu budget bytes\n",
+                    static_cast<unsigned long long>(
+                        db.buffer_pool()->ResidentBytes()),
+                    static_cast<unsigned long long>(
+                        db.buffer_pool()->max_table_bytes()));
+      } else {
+        std::printf("  (no buffer pool attached; all segments resident)\n");
+      }
     } else if (cmd == "\\stats") {
       std::string table;
       in >> table;

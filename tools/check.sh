@@ -32,8 +32,13 @@
 #                       afprobe, a rejected bad-token connect, then the
 #                       bench_fleet --quick gate (shed integrity always;
 #                       multi-loop-beats-single-loop on >=4 cores)
+#  10. paged storage  — storage_test (pin storms, evict/fault byte-identity,
+#                       eviction-vs-checkpoint races) under the same TSan
+#                       build, then the bench_storage --quick gate: a
+#                       10%-residency scan must be byte-identical to fully
+#                       resident and must actually fault
 #
-#   tools/check.sh              # all nine stages
+#   tools/check.sh              # all ten stages
 #   tools/check.sh --no-tests   # static stages only (fast pre-push)
 #
 # Exits non-zero on the first failing stage.
@@ -46,7 +51,7 @@ if [[ "${1:-}" == "--no-tests" ]]; then
   run_tests=0
 fi
 
-echo "=== [1/9] aflint ==="
+echo "=== [1/10] aflint ==="
 # The lint rule engine is a plain C++ library; build just the CLI target so
 # this stage stays fast even on a cold tree.
 cmake -B build -S . > /dev/null
@@ -54,7 +59,7 @@ cmake --build build -j "$(nproc)" --target aflint > /dev/null
 ./build/tools/aflint --root . src tests tools bench
 echo "aflint: clean"
 
-echo "=== [2/9] aflint findings pipeline ==="
+echo "=== [2/10] aflint findings pipeline ==="
 # Byte-stability: two runs over the same tree must produce identical JSON
 # (sorted findings, fixed key order, content-addressed fingerprints).
 json_a=$(mktemp)
@@ -70,11 +75,11 @@ rm -f "$json_a" "$json_b"
     src tests tools bench
 echo "findings: byte-stable, no new findings vs tools/aflint_baseline.json"
 
-echo "=== [3/9] afmetrics self-test ==="
+echo "=== [3/10] afmetrics self-test ==="
 cmake --build build -j "$(nproc)" --target afmetrics > /dev/null
 ./build/tools/afmetrics --self-test
 
-echo "=== [4/9] clang thread-safety analysis ==="
+echo "=== [4/10] clang thread-safety analysis ==="
 if command -v clang++ > /dev/null 2>&1; then
   cmake -B build-tsafety -S . -DCMAKE_CXX_COMPILER=clang++ \
         -DAGENTFIRST_THREAD_SAFETY=ON > /dev/null
@@ -86,15 +91,15 @@ else
 fi
 
 if [[ "$run_tests" == "1" ]]; then
-  echo "=== [5/9] tier-1 build + tests ==="
+  echo "=== [5/10] tier-1 build + tests ==="
   cmake --build build -j "$(nproc)"
   ctest --test-dir build --output-on-failure -j "$(nproc)"
 else
-  echo "=== [5/9] tier-1 tests skipped (--no-tests) ==="
+  echo "=== [5/10] tier-1 tests skipped (--no-tests) ==="
 fi
 
 if [[ "$run_tests" == "1" ]]; then
-  echo "=== [6/9] networked service smoke (TSan) ==="
+  echo "=== [6/10] networked service smoke (TSan) ==="
   cmake -B build-tsan -S . -DAGENTFIRST_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
   cmake --build build-tsan -j "$(nproc)" \
@@ -129,11 +134,11 @@ if [[ "$run_tests" == "1" ]]; then
   ./build-tsan/tests/net_test
   ./build-tsan/tests/fuzz_wire_test
 else
-  echo "=== [6/9] net smoke skipped (--no-tests) ==="
+  echo "=== [6/10] net smoke skipped (--no-tests) ==="
 fi
 
 if [[ "$run_tests" == "1" ]]; then
-  echo "=== [7/9] vectorized parity (TSan) + bench smoke ==="
+  echo "=== [7/10] vectorized parity (TSan) + bench smoke ==="
   # Parity (row path == vec path, byte-identical) and determinism (same
   # answer at 1/2/4/8 threads) have to hold under TSan, or the batch
   # kernels' lock-free morsel claiming is wrong in a way plain runs can
@@ -148,11 +153,11 @@ if [[ "$run_tests" == "1" ]]; then
   cmake --build build -j "$(nproc)" --target bench_parallel_exec > /dev/null
   ./build/bench/bench_parallel_exec --quick
 else
-  echo "=== [7/9] vectorized parity + bench smoke skipped (--no-tests) ==="
+  echo "=== [7/10] vectorized parity + bench smoke skipped (--no-tests) ==="
 fi
 
 if [[ "$run_tests" == "1" ]]; then
-  echo "=== [8/9] durability kill-and-recover torture (ASan) ==="
+  echo "=== [8/10] durability kill-and-recover torture (ASan) ==="
   # The whole wal_test suite — framing fuzz, group commit, and the
   # >=50-injection-point crash torture — under AddressSanitizer with leak
   # detection. The crash sites exercise every error/cleanup path in the
@@ -160,11 +165,11 @@ if [[ "$run_tests" == "1" ]]; then
   # what they allocate even when the "disk" fails mid-operation.
   tools/run_sanitized.sh address wal_test
 else
-  echo "=== [8/9] durability torture skipped (--no-tests) ==="
+  echo "=== [8/10] durability torture skipped (--no-tests) ==="
 fi
 
 if [[ "$run_tests" == "1" ]]; then
-  echo "=== [9/9] fleet-scale serving smoke (TSan) + bench_fleet gate ==="
+  echo "=== [9/10] fleet-scale serving smoke (TSan) + bench_fleet gate ==="
   # A sharded server with every fleet mechanism armed: 4 event loops,
   # admission quotas, and token auth. Reuses the stage-6 TSan build.
   cmake --build build-tsan -j "$(nproc)" --target afserve afprobe > /dev/null
@@ -220,7 +225,26 @@ if [[ "$run_tests" == "1" ]]; then
   ./build/bench/bench_fleet --quick "$fleet_json"
   rm -f "$fleet_json"
 else
-  echo "=== [9/9] fleet smoke + bench_fleet gate skipped (--no-tests) ==="
+  echo "=== [9/10] fleet smoke + bench_fleet gate skipped (--no-tests) ==="
+fi
+
+if [[ "$run_tests" == "1" ]]; then
+  echo "=== [10/10] paged storage (TSan) + bench_storage gate ==="
+  # The buffer pool's evict/fault machinery under TSan: concurrent pin
+  # storms, dirty write-back, and the eviction-races-checkpoint composition
+  # test. Reuses the stage-6 TSan build tree.
+  cmake --build build-tsan -j "$(nproc)" --target storage_test > /dev/null
+  ./build-tsan/tests/storage_test
+  # The residency gate, from the default (unsanitized) build: starved
+  # residency must change nothing but speed, and must actually fault. A
+  # scratch JSON keeps --quick numbers out of the checked-in
+  # BENCH_parallel.json.
+  cmake --build build -j "$(nproc)" --target bench_storage > /dev/null
+  storage_json=$(mktemp)
+  ./build/bench/bench_storage --quick "$storage_json"
+  rm -f "$storage_json"
+else
+  echo "=== [10/10] paged storage + bench_storage gate skipped (--no-tests) ==="
 fi
 
 echo "check.sh: all stages passed"
